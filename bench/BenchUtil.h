@@ -1,0 +1,41 @@
+//===- bench/BenchUtil.h - Shared harness output helpers --------*- C++ -*-===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Output helpers shared by the experiment harness binaries. Each binary
+/// reproduces one of the paper's tables or figures; banner() labels the
+/// experiment, and section() separates the paper-shaped output from the
+/// machine-readable CSV dump.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDGC_BENCH_BENCHUTIL_H
+#define RDGC_BENCH_BENCHUTIL_H
+
+#include <cstdio>
+#include <string>
+
+namespace rdgc {
+
+inline void banner(const char *ExperimentId, const char *Description) {
+  std::printf("==============================================================="
+              "=================\n");
+  std::printf("%s\n%s\n", ExperimentId, Description);
+  std::printf("==============================================================="
+              "=================\n\n");
+}
+
+inline void section(const char *Title) {
+  std::printf("\n--- %s ---\n\n", Title);
+}
+
+inline void emit(const std::string &Text) {
+  std::fputs(Text.c_str(), stdout);
+}
+
+} // namespace rdgc
+
+#endif // RDGC_BENCH_BENCHUTIL_H

@@ -1,0 +1,96 @@
+//===- bench/ProfileCommon.h - Shared profile/survival logic ----*- C++ -*-===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared machinery for the live-profile figures (Figures 2-4) and the
+/// survival-rate tables (Tables 4-7): run a workload on a mark/sweep heap
+/// with paced collections so the lifetime trace has bounded error, then
+/// render the epoch-cohort stacked chart and the survival-by-age table.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDGC_BENCH_PROFILECOMMON_H
+#define RDGC_BENCH_PROFILECOMMON_H
+
+#include "bench/BenchUtil.h"
+#include "gc/MarkSweep.h"
+#include "lifetime/LiveProfile.h"
+#include "lifetime/ObjectTrace.h"
+#include "lifetime/SurvivalAnalyzer.h"
+#include "support/AsciiChart.h"
+#include "support/TableWriter.h"
+#include "workloads/Workload.h"
+
+#include <memory>
+
+namespace rdgc {
+
+/// A finished trace of one workload run.
+struct TracedRun {
+  ObjectTrace Trace;
+  WorkloadOutcome Outcome;
+};
+
+/// Runs \p W on a mark/sweep heap with collections paced every
+/// \p PacingBytes, recording every object lifetime.
+inline std::unique_ptr<TracedRun> traceWorkload(Workload &W,
+                                                size_t ArenaBytes,
+                                                uint64_t PacingBytes) {
+  auto Run = std::make_unique<TracedRun>();
+  Heap H(std::make_unique<MarkSweepCollector>(ArenaBytes));
+  H.setObserver(&Run->Trace);
+  H.setGcPacing(PacingBytes);
+  Run->Outcome = W.run(H);
+  H.collectFullNow();
+  Run->Trace.finalize();
+  return Run;
+}
+
+/// Renders the Figure 2/3/4-style stacked live-storage chart.
+inline void printLiveProfile(const ObjectTrace &Trace, uint64_t EpochBytes,
+                             uint64_t OldCutoff, const char *Title) {
+  LiveProfile Profile(Trace, EpochBytes,
+                      /*SampleBytes=*/EpochBytes / 4, OldCutoff);
+  std::printf("peak live storage: %s\n\n",
+              TableWriter::formatBytes(Profile.peakLiveBytes()).c_str());
+  emit(renderStackedChart(Profile.cohortLayers(), 72, 22, Title));
+  std::printf("(each glyph layer is the surviving storage from one %s\n"
+              " allocation epoch; the top '@'-style layer aggregates"
+              " storage older than %s)\n",
+              TableWriter::formatBytes(EpochBytes).c_str(),
+              TableWriter::formatBytes(OldCutoff).c_str());
+
+  // CSV: total live by time.
+  section("CSV: live storage vs time");
+  TableWriter Csv({"bytes_allocated", "live_bytes"});
+  const auto &Times = Profile.sampleTimes();
+  const auto &Live = Profile.totalLive();
+  for (size_t I = 0; I < Times.size(); ++I)
+    Csv.addRow({TableWriter::formatUnsigned(Times[I]),
+                TableWriter::formatUnsigned(Live[I])});
+  emit(Csv.renderCsv());
+}
+
+/// Renders a Table 4/5/6/7-style survival table.
+inline void printSurvivalTable(const ObjectTrace &Trace, uint64_t Delta,
+                               uint64_t FirstAge, uint64_t BandWidth,
+                               uint64_t LastAge, const char *Caption) {
+  SurvivalAnalyzer Analyzer(Trace, Delta);
+  auto Bands = Analyzer.uniformBands(FirstAge, BandWidth, LastAge);
+  TableWriter Table({"age band", "survival", "bytes observed"});
+  for (const SurvivalBand &Band : Bands)
+    Table.addRow({Band.label(),
+                  Band.BytesObserved
+                      ? TableWriter::formatPercent(Band.survivalRate(), 0)
+                      : "-",
+                  TableWriter::formatBytes(Band.BytesObserved)});
+  std::printf("%s\n\n", Caption);
+  emit(Table.renderText());
+}
+
+} // namespace rdgc
+
+#endif // RDGC_BENCH_PROFILECOMMON_H

@@ -1,0 +1,173 @@
+//===- bench/ablation_policies.cpp - Experiment E11 -----------------------===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ablations over the non-predictive collector's design choices
+/// (Section 8): the j-selection policy, the step count k, and the
+/// remembered-set growth that Section 8.3 warns about when programs
+/// create young-to-old pointers.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "gc/Generational.h"
+#include "gc/NonPredictive.h"
+#include "lifetime/LifetimeModel.h"
+#include "lifetime/MutatorDriver.h"
+#include "model/DecayModel.h"
+#include "support/TableWriter.h"
+
+#include <memory>
+
+using namespace rdgc;
+
+namespace {
+
+constexpr double HalfLife = 2048;
+constexpr size_t ObjectBytes = 24;
+
+size_t heapBytesForLoad(double L) {
+  double LiveBytes = DecayModel(HalfLife).equilibriumLiveExact() *
+                     static_cast<double>(ObjectBytes);
+  return static_cast<size_t>(L * LiveBytes);
+}
+
+struct DecayResult {
+  double MarkCons = 0;
+  uint64_t Collections = 0;
+  uint64_t RemsetInserts = 0;
+};
+
+DecayResult runDecay(Heap &H, bool LinkObjects) {
+  RadioactiveLifetime Model(HalfLife);
+  MutatorDriver::Config Config;
+  Config.Seed = 0xab1a7e;
+  Config.LinkObjects = LinkObjects;
+  Config.LinkRandomly = LinkObjects;
+  MutatorDriver Driver(H, Model, Config);
+  Driver.run(40 * 2048);
+  H.stats().reset();
+  Driver.run(160 * 2048);
+  DecayResult Result;
+  Result.MarkCons = H.stats().markConsRatio();
+  Result.Collections = H.stats().collections();
+  Result.RemsetInserts = H.stats().rememberedSetInserts();
+  return Result;
+}
+
+const char *policyName(JSelectionPolicy Policy) {
+  switch (Policy) {
+  case JSelectionPolicy::Fixed:
+    return "fixed";
+  case JSelectionPolicy::HalfOfEmpty:
+    return "half-of-empty";
+  case JSelectionPolicy::AllEmpty:
+    return "all-empty";
+  }
+  return "?";
+}
+
+} // namespace
+
+int main() {
+  banner("E11 / Section 8 ablations",
+         "j-selection policy, step count, and remembered-set growth\n"
+         "(radioactive decay mutator, h = 2048, L = 3.5)");
+
+  const double L = 3.5;
+
+  section("j-selection policy (k = 16)");
+  TableWriter Pol({"policy", "fixed j", "mark/cons", "collections"});
+  struct PolicyPoint {
+    JSelectionPolicy Policy;
+    size_t FixedJ;
+  };
+  const PolicyPoint Points[] = {
+      {JSelectionPolicy::Fixed, 1},  {JSelectionPolicy::Fixed, 2},
+      {JSelectionPolicy::Fixed, 4},  {JSelectionPolicy::Fixed, 8},
+      {JSelectionPolicy::HalfOfEmpty, 0},
+      {JSelectionPolicy::AllEmpty, 0},
+  };
+  for (const PolicyPoint &Point : Points) {
+    NonPredictiveConfig Config;
+    Config.StepCount = 16;
+    Config.StepBytes = heapBytesForLoad(L) / 16;
+    Config.Policy = Point.Policy;
+    Config.FixedJ = Point.FixedJ;
+    Heap H(std::make_unique<NonPredictiveCollector>(Config));
+    DecayResult R = runDecay(H, /*LinkObjects=*/false);
+    Pol.addRow({policyName(Point.Policy),
+                Point.Policy == JSelectionPolicy::Fixed
+                    ? TableWriter::formatUnsigned(Point.FixedJ)
+                    : "-",
+                TableWriter::formatDouble(R.MarkCons, 4),
+                TableWriter::formatUnsigned(R.Collections)});
+  }
+  emit(Pol.renderText());
+
+  section("Step count k (policy = half-of-empty)");
+  TableWriter Steps({"k", "step size", "mark/cons", "collections"});
+  for (size_t K : {4, 8, 16, 32, 64}) {
+    NonPredictiveConfig Config;
+    Config.StepCount = K;
+    Config.StepBytes = heapBytesForLoad(L) / K;
+    Heap H(std::make_unique<NonPredictiveCollector>(Config));
+    DecayResult R = runDecay(H, /*LinkObjects=*/false);
+    Steps.addRow({TableWriter::formatUnsigned(K),
+                  TableWriter::formatBytes(Config.StepBytes),
+                  TableWriter::formatDouble(R.MarkCons, 4),
+                  TableWriter::formatUnsigned(R.Collections)});
+  }
+  emit(Steps.renderText());
+
+  section("Remembered-set pressure (objects link to older objects)");
+  TableWriter Rem({"collector", "mark/cons", "remset inserts",
+                   "remset peak"});
+  {
+    // Depth-bounded random links keep a couple of extra generations of
+    // dead objects reachable; give both collectors ~2x headroom over the
+    // unlinked configuration.
+    NonPredictiveConfig Config;
+    Config.StepCount = 16;
+    Config.StepBytes = 2 * heapBytesForLoad(L) / 16;
+    auto Owned = std::make_unique<NonPredictiveCollector>(Config);
+    NonPredictiveCollector *Raw = Owned.get();
+    Heap Np(std::move(Owned));
+    DecayResult R = runDecay(Np, /*LinkObjects=*/true);
+    Rem.addRow({"non-predictive", TableWriter::formatDouble(R.MarkCons, 4),
+                TableWriter::formatUnsigned(R.RemsetInserts),
+                TableWriter::formatUnsigned(Raw->rememberedSetPeak())});
+  }
+  {
+    size_t HeapBytes = 2 * heapBytesForLoad(L);
+    Heap Gen(std::make_unique<GenerationalCollector>(HeapBytes / 8,
+                                                     HeapBytes));
+    DecayResult R = runDecay(Gen, /*LinkObjects=*/true);
+    Rem.addRow({"generational", TableWriter::formatDouble(R.MarkCons, 4),
+                TableWriter::formatUnsigned(R.RemsetInserts), "-"});
+  }
+  // Section 8.3's countermeasure: adaptive j reduction bounds the set.
+  {
+    NonPredictiveConfig Config;
+    Config.StepCount = 16;
+    Config.StepBytes = 2 * heapBytesForLoad(L) / 16;
+    Config.RemsetJReductionThreshold = 2048;
+    auto Owned = std::make_unique<NonPredictiveCollector>(Config);
+    NonPredictiveCollector *Raw = Owned.get();
+    Heap Np(std::move(Owned));
+    DecayResult R = runDecay(Np, /*LinkObjects=*/true);
+    Rem.addRow({"non-predictive + adaptive j",
+                TableWriter::formatDouble(R.MarkCons, 4),
+                TableWriter::formatUnsigned(R.RemsetInserts),
+                TableWriter::formatUnsigned(Raw->rememberedSetPeak())});
+  }
+  emit(Rem.renderText());
+  std::printf("\nSection 8.3: non-predictive collection cannot rely on"
+              " pointers flowing\nyoung-to-old, so its remembered set can"
+              " grow where a conventional collector's\nstays small;"
+              " reducing j is the paper's countermeasure.\n");
+  return 0;
+}

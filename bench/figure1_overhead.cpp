@@ -1,0 +1,79 @@
+//===- bench/figure1_overhead.cpp - Experiment E2: Figure 1 ---------------===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces Figure 1 of the paper: the mark/cons overhead of the
+/// non-predictive collector divided by the overhead of a non-generational
+/// collector, as a function of the young-generation fraction g and the
+/// inverse load factor L, under the radioactive decay model. Thin curves
+/// are Corollary 5 (where Theorem 4's hypothesis holds); thick curves are
+/// the Equation 4 lower bound.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "model/NonPredictiveModel.h"
+#include "support/AsciiChart.h"
+#include "support/TableWriter.h"
+
+#include <cstdio>
+
+using namespace rdgc;
+
+int main() {
+  banner("E2 / Figure 1",
+         "Relative mark/cons overhead of non-predictive gc vs generation\n"
+         "fraction g, one curve per inverse load factor L (radioactive\n"
+         "decay model)");
+
+  const double Loads[] = {1.5, 2.0, 3.0, 3.5, 5.0, 10.0};
+
+  section("CSV series (g, relative overhead, regime) per L");
+  TableWriter Csv({"L", "g", "relative_overhead", "mark_cons", "regime"});
+  std::vector<ChartSeries> Series;
+  for (double L : Loads) {
+    NonPredictiveModel Model(L);
+    ChartSeries S;
+    char Name[64];
+    std::snprintf(Name, sizeof(Name), "L = %.1f", L);
+    S.Name = Name;
+    for (double G = 0.0; G <= 0.5 + 1e-9; G += 0.01) {
+      NonPredictiveEvaluation Eval = Model.evaluate(G);
+      S.X.push_back(G);
+      S.Y.push_back(Eval.RelativeOverhead);
+      Csv.addRow({TableWriter::formatDouble(L, 1),
+                  TableWriter::formatDouble(G, 2),
+                  TableWriter::formatDouble(Eval.RelativeOverhead, 4),
+                  TableWriter::formatDouble(Eval.MarkCons, 4),
+                  Eval.Theorem4Applies ? "theorem4" : "eq4-lower-bound"});
+    }
+    Series.push_back(std::move(S));
+  }
+  emit(Csv.renderCsv());
+
+  section("Figure 1 (ASCII rendering; y = relative overhead, x = g)");
+  emit(renderLineChart(Series, 72, 24,
+                       "overhead(non-predictive) / overhead(non-gen)"));
+
+  section("Headline numbers");
+  TableWriter Head({"L", "best g", "overhead at best g",
+                    "advantage over non-gen"});
+  for (double L : Loads) {
+    NonPredictiveModel Model(L);
+    double BestG = Model.optimalYoungFraction();
+    NonPredictiveEvaluation Eval = Model.evaluate(BestG);
+    Head.addRow({TableWriter::formatDouble(L, 1),
+                 TableWriter::formatDouble(BestG, 3),
+                 TableWriter::formatDouble(Eval.RelativeOverhead, 3),
+                 TableWriter::formatPercent(1.0 - Eval.RelativeOverhead, 1)});
+  }
+  emit(Head.renderText());
+  std::printf("\nEvery row with overhead < 1 is the paper's main result:"
+              " even under the\nradioactive decay model, where no lifetime"
+              " heuristic can work, a generational\norganization beats a"
+              " non-generational collector.\n");
+  return 0;
+}

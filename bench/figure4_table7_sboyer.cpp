@@ -1,0 +1,46 @@
+//===- bench/figure4_table7_sboyer.cpp - Experiment E9 --------------------===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces Figure 4 and Table 7 of the paper: the sboyer benchmark
+/// (nboyer with Henry Baker's shared-consing tweak). Allocation collapses,
+/// the long-lived accretion flattens, and old-band survival saturates near
+/// 100% while overall allocation is a fraction of nboyer's — the pattern
+/// of a program tuned for performance, where the remaining gc cost comes
+/// from long-lived objects (Section 7.2's closing observation).
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/ProfileCommon.h"
+#include "workloads/BoyerWorkload.h"
+
+using namespace rdgc;
+
+int main() {
+  banner("E9 / Figure 4 + Table 7",
+         "sboyer: live storage by epoch, and survival rates by age\n"
+         "(paper: ~1.3 MB peak, survival 95-100% across all bands)");
+
+  BoyerWorkload W(/*SharedConsing=*/true, /*ScaleLevel=*/4, /*Repeats=*/1);
+  auto Run = traceWorkload(W, /*ArenaBytes=*/64 << 20,
+                           /*PacingBytes=*/50 * 1024);
+  std::printf("workload validation: %s (%s)\n\n",
+              Run->Outcome.Valid ? "ok" : "FAILED",
+              Run->Outcome.Detail.c_str());
+
+  section("Figure 4: live storage vs time");
+  printLiveProfile(Run->Trace, /*EpochBytes=*/500 * 1024,
+                   /*OldCutoff=*/5000 * 1024,
+                   "sboyer: live storage by epoch cohort");
+
+  section("Table 7: survival rates by age");
+  printSurvivalTable(Run->Trace, /*Delta=*/500 * 1024,
+                     /*FirstAge=*/500 * 1024, /*BandWidth=*/500 * 1024,
+                     /*LastAge=*/5000 * 1024,
+                     "Percentage of each age band surviving the next"
+                     " 500,000 bytes of allocation:");
+  return 0;
+}

@@ -1,0 +1,116 @@
+//===- bench/micro_collector.cpp - Experiment E12 -------------------------===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// google-benchmark microbenchmarks of the substrate costs the paper's
+/// analysis abstracts away (Section 6's caveats): allocation throughput
+/// per collector, the write barrier, remembered-set insertion, and the
+/// Cheney copy rate that the mark/cons ratio prices.
+///
+//===----------------------------------------------------------------------===//
+
+#include "gc/CollectorFactory.h"
+#include "gc/Generational.h"
+#include "gc/StopAndCopy.h"
+#include "heap/Heap.h"
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+using namespace rdgc;
+
+namespace {
+
+std::unique_ptr<Heap> makeBenchHeap(CollectorKind Kind) {
+  CollectorSizing Sizing;
+  Sizing.PrimaryBytes = 32 * 1024 * 1024;
+  Sizing.NurseryBytes = 1024 * 1024;
+  Sizing.StepCount = 8;
+  return makeHeap(Kind, Sizing);
+}
+
+void allocatePairs(benchmark::State &State, CollectorKind Kind) {
+  auto H = makeBenchHeap(Kind);
+  for (auto _ : State) {
+    Value V = H->allocatePair(Value::fixnum(1), Value::null());
+    benchmark::DoNotOptimize(V);
+  }
+  State.SetItemsProcessed(State.iterations());
+  State.SetBytesProcessed(State.iterations() * 24);
+}
+
+void BM_AllocatePair_StopAndCopy(benchmark::State &State) {
+  allocatePairs(State, CollectorKind::StopAndCopy);
+}
+void BM_AllocatePair_MarkSweep(benchmark::State &State) {
+  allocatePairs(State, CollectorKind::MarkSweep);
+}
+void BM_AllocatePair_Generational(benchmark::State &State) {
+  allocatePairs(State, CollectorKind::Generational);
+}
+void BM_AllocatePair_NonPredictive(benchmark::State &State) {
+  allocatePairs(State, CollectorKind::NonPredictive);
+}
+BENCHMARK(BM_AllocatePair_StopAndCopy);
+BENCHMARK(BM_AllocatePair_MarkSweep);
+BENCHMARK(BM_AllocatePair_Generational);
+BENCHMARK(BM_AllocatePair_NonPredictive);
+
+/// The write barrier's fast path: a store that crosses no boundary.
+void BM_WriteBarrier_SameRegion(benchmark::State &State) {
+  auto H = makeBenchHeap(CollectorKind::Generational);
+  Handle A(*H, H->allocatePair(Value::fixnum(1), Value::null()));
+  Handle B(*H, H->allocatePair(Value::fixnum(2), Value::null()));
+  for (auto _ : State)
+    H->setPairCar(A, B);
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_WriteBarrier_SameRegion);
+
+/// The write barrier's slow path: an old-to-young store that must be
+/// remembered (the remembered bit makes repeats cheap, so the holder is
+/// re-created every batch).
+void BM_WriteBarrier_OldToYoung(benchmark::State &State) {
+  auto H = makeBenchHeap(CollectorKind::Generational);
+  Handle Old(*H, H->allocateVector(1024, Value::null()));
+  H->collectNow(); // Promote Old out of the nursery.
+  size_t Index = 0;
+  for (auto _ : State) {
+    Value Young = H->allocatePair(Value::fixnum(1), Value::null());
+    H->vectorSet(Old, Index++ & 1023, Young);
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_WriteBarrier_OldToYoung);
+
+/// Cheney evacuation rate: how fast live storage is copied.
+void BM_CheneyCopy(benchmark::State &State) {
+  auto ListWords = static_cast<size_t>(State.range(0));
+  Heap H(std::make_unique<StopAndCopyCollector>(64 * 1024 * 1024));
+  Handle List(H, Value::null());
+  for (size_t I = 0; I < ListWords / 3; ++I)
+    List = H.allocatePair(Value::fixnum(static_cast<int64_t>(I)), List);
+  for (auto _ : State)
+    H.collectNow(); // Copies the whole list every time.
+  State.SetBytesProcessed(static_cast<int64_t>(State.iterations()) *
+                          static_cast<int64_t>(ListWords) * 8);
+}
+BENCHMARK(BM_CheneyCopy)->Arg(3 << 10)->Arg(3 << 14)->Arg(3 << 18);
+
+/// A full nursery cycle of the generational collector with no survivors:
+/// the cost floor of a minor collection.
+void BM_MinorCollection_Empty(benchmark::State &State) {
+  auto H = makeBenchHeap(CollectorKind::Generational);
+  for (auto _ : State)
+    H->collectNow();
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_MinorCollection_Empty);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,124 @@
+//===- bench/table3_overheads.cpp - Experiment E4: Table 3 ----------------===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces Table 3 of the paper: per-workload storage allocated, peak
+/// live storage, semiheap size, mutator time, and gc/mutator overhead
+/// under the stop-and-copy and conventional generational collectors —
+/// extended with the mark/sweep and non-predictive collectors and the
+/// platform-independent mark/cons ratio Section 5 analyzes.
+///
+/// Sizing follows the paper's method: each collector's heap is a multiple
+/// of the workload's measured peak live storage; absolute times differ
+/// from the paper's 1997 SPARC, so the comparison target is the *shape*
+/// (which workloads are gc-heavy, and which collector wins where).
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "gc/StopAndCopy.h"
+#include "support/TableWriter.h"
+#include "workloads/Harness.h"
+#include "workloads/Workload.h"
+
+#include <algorithm>
+
+using namespace rdgc;
+
+namespace {
+
+/// Measures peak live storage with a deliberately tight stop-and-copy heap
+/// (more collections = finer peak sampling).
+uint64_t measurePeakLiveBytes(Workload &W) {
+  size_t Semispace = std::max<size_t>(W.peakLiveHintBytes() * 2, 2 << 20);
+  Heap H(std::make_unique<StopAndCopyCollector>(Semispace));
+  H.setGcPacing(256 * 1024);
+  WorkloadOutcome Outcome = W.run(H);
+  (void)Outcome;
+  return std::max<uint64_t>(H.stats().peakLiveWords() * 8, 64 * 1024);
+}
+
+} // namespace
+
+int main() {
+  banner("E4 / Table 3",
+         "Storage allocation and garbage collection overheads\n"
+         "(workloads at scale 2; heap = 3x measured peak live)");
+
+  auto Workloads = makePaperWorkloads(/*Scale=*/2);
+
+  TableWriter Paper({"name", "storage allocated", "peak storage",
+                     "semiheap size", "mutator time",
+                     "s&c gc/mut", "gen gc/mut"});
+  TableWriter Extended({"name", "collector", "gc/mutator", "mark/cons",
+                        "collections", "gc time"});
+
+  for (auto &W : Workloads) {
+    uint64_t PeakLive = measurePeakLiveBytes(*W);
+    HarnessOptions Options;
+    Options.HeapFactor =
+        3.0 * static_cast<double>(PeakLive) /
+        static_cast<double>(std::max<size_t>(W->peakLiveHintBytes(), 1));
+    // HeapFactor is applied to the hint inside the harness; fold in the
+    // measured value so the actual heap is 3x measured peak live.
+
+    ExperimentRun StopCopy =
+        runExperiment(*W, CollectorKind::StopAndCopy, Options);
+    ExperimentRun Generational =
+        runExperiment(*W, CollectorKind::Generational, Options);
+    // The paper's actual Larceny configuration: ephemeral area plus an
+    // intermediate dynamic generation sized to the workload.
+    HarnessOptions ThreeGenOptions = Options;
+    ThreeGenOptions.IntermediateBytes =
+        std::max<size_t>(PeakLive, 512 * 1024);
+    ExperimentRun ThreeGen =
+        runExperiment(*W, CollectorKind::Generational, ThreeGenOptions);
+    ThreeGen.CollectorName = "generational-3gen";
+    ExperimentRun MarkSweep =
+        runExperiment(*W, CollectorKind::MarkSweep, Options);
+    ExperimentRun NonPredictive =
+        runExperiment(*W, CollectorKind::NonPredictive, Options);
+    ExperimentRun Hybrid =
+        runExperiment(*W, CollectorKind::NonPredictiveHybrid, Options);
+
+    Paper.addRow(
+        {W->name(), TableWriter::formatBytes(StopCopy.BytesAllocated),
+         TableWriter::formatBytes(PeakLive),
+         TableWriter::formatBytes(StopCopy.HeapBytes),
+         TableWriter::formatDouble(StopCopy.MutatorSeconds, 3) + " s",
+         TableWriter::formatPercent(StopCopy.gcOverMutator(), 0),
+         TableWriter::formatPercent(Generational.gcOverMutator(), 0)});
+
+    for (const ExperimentRun *Run :
+         {&StopCopy, &Generational, &ThreeGen, &MarkSweep, &NonPredictive,
+          &Hybrid})
+      Extended.addRow(
+          {W->name(), Run->CollectorName,
+           TableWriter::formatPercent(Run->gcOverMutator(), 1),
+           TableWriter::formatDouble(Run->MarkConsRatio, 3),
+           TableWriter::formatUnsigned(Run->Collections),
+           TableWriter::formatDouble(Run->GcSeconds, 4) + " s"});
+
+    if (!StopCopy.Valid || !Generational.Valid || !MarkSweep.Valid ||
+        !NonPredictive.Valid || !Hybrid.Valid)
+      std::printf("WARNING: %s failed validation on some collector\n",
+                  W->name());
+  }
+
+  section("Table 3 (paper's columns)");
+  emit(Paper.renderText());
+
+  section("Extended: every collector configuration");
+  emit(Extended.renderText());
+
+  std::printf(
+      "\nShape checks vs the paper: nbody/nucleic/lattice/sboyer are"
+      " gc-light under the\ngenerational collector (most objects die"
+      " young); 10dynamic is the outlier whose\ngenerational overhead"
+      " EXCEEDS stop-and-copy (it violates both generational\n"
+      "hypotheses); nboyer sits in between.\n");
+  return 0;
+}

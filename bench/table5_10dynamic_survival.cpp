@@ -1,0 +1,45 @@
+//===- bench/table5_10dynamic_survival.cpp - Experiment E7: Table 5 -------===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces Table 5 of the paper: survival rates by object age for the
+/// full 10-iteration 10dynamic benchmark, per 500,000 bytes of allocation.
+/// The paper's signature result: the OLDEST objects have the LOWEST
+/// survival rates (59% / 23% / 1% with increasing age) because each phase
+/// ends in a mass extinction — the exact opposite of the strong
+/// generational hypothesis, and the favorable case for non-predictive
+/// collection.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/ProfileCommon.h"
+#include "workloads/DynamicWorkload.h"
+
+using namespace rdgc;
+
+int main() {
+  banner("E7 / Table 5",
+         "Survival rates by age for 10dynamic\n"
+         "(paper: 59%, 23%, 1% — survival FALLS with age)");
+
+  DynamicWorkload W(/*Iterations=*/10, /*PhaseBytes=*/1800 * 1024);
+  auto Run = traceWorkload(W, /*ArenaBytes=*/96 << 20,
+                           /*PacingBytes=*/50 * 1024);
+  std::printf("workload validation: %s\n\n",
+              Run->Outcome.Valid ? "ok" : "FAILED");
+
+  printSurvivalTable(Run->Trace, /*Delta=*/500 * 1024,
+                     /*FirstAge=*/500 * 1024, /*BandWidth=*/500 * 1024,
+                     /*LastAge=*/2000 * 1024,
+                     "Percentage of each age band surviving the next"
+                     " 500,000 bytes of allocation:");
+
+  std::printf("\nReading: monotonically DECREASING survival with age"
+              " contradicts the strong\ngenerational hypothesis;"
+              " youngest-first collectors concentrate effort on the\n"
+              "storage most likely to survive (Section 7.2).\n");
+  return 0;
+}

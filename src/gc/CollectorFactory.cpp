@@ -1,0 +1,64 @@
+//===- gc/CollectorFactory.cpp - Construct collectors by name -------------===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/CollectorFactory.h"
+
+#include "gc/Generational.h"
+#include "gc/MarkCompact.h"
+#include "gc/MarkSweep.h"
+#include "gc/StopAndCopy.h"
+#include "support/Error.h"
+
+using namespace rdgc;
+
+CollectorKind rdgc::collectorKindFromName(const std::string &Name) {
+  if (Name == "stop-and-copy")
+    return CollectorKind::StopAndCopy;
+  if (Name == "mark-sweep")
+    return CollectorKind::MarkSweep;
+  if (Name == "mark-compact")
+    return CollectorKind::MarkCompact;
+  if (Name == "generational")
+    return CollectorKind::Generational;
+  if (Name == "non-predictive")
+    return CollectorKind::NonPredictive;
+  if (Name == "non-predictive-hybrid")
+    return CollectorKind::NonPredictiveHybrid;
+  reportFatalError("unknown collector name");
+}
+
+std::unique_ptr<Collector> rdgc::makeCollector(CollectorKind Kind,
+                                               const CollectorSizing &Sizing) {
+  switch (Kind) {
+  case CollectorKind::StopAndCopy:
+    return std::make_unique<StopAndCopyCollector>(Sizing.PrimaryBytes);
+  case CollectorKind::MarkSweep:
+    return std::make_unique<MarkSweepCollector>(Sizing.PrimaryBytes);
+  case CollectorKind::MarkCompact:
+    return std::make_unique<MarkCompactCollector>(Sizing.PrimaryBytes);
+  case CollectorKind::Generational:
+    return std::make_unique<GenerationalCollector>(Sizing.NurseryBytes,
+                                                   Sizing.IntermediateBytes,
+                                                   Sizing.PrimaryBytes);
+  case CollectorKind::NonPredictive:
+  case CollectorKind::NonPredictiveHybrid: {
+    NonPredictiveConfig Config;
+    Config.StepCount = Sizing.StepCount;
+    Config.StepBytes = Sizing.PrimaryBytes / Sizing.StepCount;
+    Config.Policy = Sizing.Policy;
+    Config.FixedJ = Sizing.FixedJ;
+    if (Kind == CollectorKind::NonPredictiveHybrid)
+      Config.NurseryBytes = Sizing.NurseryBytes;
+    return std::make_unique<NonPredictiveCollector>(Config);
+  }
+  }
+  reportFatalError("unknown collector kind");
+}
+
+std::unique_ptr<Heap> rdgc::makeHeap(CollectorKind Kind,
+                                     const CollectorSizing &Sizing) {
+  return std::make_unique<Heap>(makeCollector(Kind, Sizing));
+}

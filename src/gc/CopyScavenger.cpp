@@ -1,0 +1,60 @@
+//===- gc/CopyScavenger.cpp - Shared Cheney evacuation core ---------------===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/CopyScavenger.h"
+
+#include "support/Error.h"
+
+#include <cstring>
+
+using namespace rdgc;
+
+void CopyScavenger::scavenge(Value &Slot) {
+  if (!Slot.isPointer())
+    return;
+  uint64_t *Header = Slot.asHeaderPtr();
+  ObjectRef Obj(Header);
+  if (Obj.isForwarded()) {
+    Slot = Value::pointer(Obj.forwardedTo());
+    return;
+  }
+  if (!InCondemned(Header))
+    return;
+
+  size_t Words = Obj.totalWords();
+  CopyTarget Target = AllocateTo(Words);
+  if (!Target.Mem)
+    reportFatalError("to-space exhausted during evacuation");
+  std::memcpy(Target.Mem, Header, Words * sizeof(uint64_t));
+  ObjectRef New(Target.Mem);
+  New.setRegion(Target.Region);
+  // A fresh copy starts outside the remembered set; the collector re-inserts
+  // it if the post-collection configuration requires an entry.
+  New.setHeaderWord(header::clearRemembered(New.headerWord()));
+  WordsCopied += Words;
+  ObjectsCopied += 1;
+  if (Observer)
+    Observer->onMove(Header, Target.Mem);
+  Obj.forwardTo(Target.Mem);
+  Slot = Value::pointer(Target.Mem);
+  Worklist.push_back(Target.Mem);
+}
+
+void CopyScavenger::scanObject(uint64_t *Header) {
+  ObjectRef(Header).forEachPointerSlot([this](uint64_t *SlotWord) {
+    Value V = Value::fromRawBits(*SlotWord);
+    scavenge(V);
+    *SlotWord = V.rawBits();
+  });
+}
+
+void CopyScavenger::drain() {
+  while (!Worklist.empty()) {
+    uint64_t *Gray = Worklist.back();
+    Worklist.pop_back();
+    scanObject(Gray);
+  }
+}

@@ -1,0 +1,77 @@
+//===- gc/CopyScavenger.h - Shared Cheney evacuation core -------*- C++ -*-===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The evacuation core shared by every copying collector (stop-and-copy,
+/// the conventional generational collector, and the non-predictive
+/// collector). A CopyScavenger is configured with a predicate deciding
+/// which objects are in the condemned region and an allocator that supplies
+/// to-space storage; it then transitively copies everything reachable from
+/// the slots it is fed, rewriting the slots, maintaining forwarding
+/// pointers, and accounting copied words (the "mark" half of the paper's
+/// mark/cons ratio).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDGC_GC_COPYSCAVENGER_H
+#define RDGC_GC_COPYSCAVENGER_H
+
+#include "heap/Heap.h"
+#include "heap/Object.h"
+#include "heap/Value.h"
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace rdgc {
+
+/// Destination storage handed out by a to-space allocator: the word address
+/// plus the region id to stamp into the copied object's header.
+struct CopyTarget {
+  uint64_t *Mem = nullptr;
+  uint8_t Region = 0;
+};
+
+/// Transitive Cheney-style copier. Lifetime: one collection cycle.
+class CopyScavenger {
+public:
+  /// \p InCondemned decides whether the object at a header address should
+  /// be evacuated; \p AllocateTo supplies to-space storage and must never
+  /// fail (collectors size to-space so survivors always fit, and abort
+  /// otherwise); \p Observer may be null.
+  CopyScavenger(std::function<bool(const uint64_t *)> InCondemned,
+                std::function<CopyTarget(size_t Words)> AllocateTo,
+                HeapObserver *Observer)
+      : InCondemned(std::move(InCondemned)),
+        AllocateTo(std::move(AllocateTo)), Observer(Observer) {}
+
+  /// Processes one slot: if it points into the condemned region, ensures
+  /// the target is copied (following any existing forwarding pointer) and
+  /// rewrites the slot.
+  void scavenge(Value &Slot);
+
+  /// Scans the pointer slots of the (already copied) object at \p Header.
+  void scanObject(uint64_t *Header);
+
+  /// Processes the worklist until no gray objects remain.
+  void drain();
+
+  uint64_t wordsCopied() const { return WordsCopied; }
+  uint64_t objectsCopied() const { return ObjectsCopied; }
+
+private:
+  std::function<bool(const uint64_t *)> InCondemned;
+  std::function<CopyTarget(size_t Words)> AllocateTo;
+  HeapObserver *Observer;
+  std::vector<uint64_t *> Worklist;
+  uint64_t WordsCopied = 0;
+  uint64_t ObjectsCopied = 0;
+};
+
+} // namespace rdgc
+
+#endif // RDGC_GC_COPYSCAVENGER_H

@@ -1,0 +1,296 @@
+//===- gc/Generational.cpp - Conventional generational collector ----------===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/Generational.h"
+
+#include "gc/CopyScavenger.h"
+#include "heap/Heap.h"
+
+using namespace rdgc;
+
+static size_t bytesToWords(size_t Bytes) {
+  size_t Words = Bytes / 8;
+  return Words < 16 ? 16 : Words;
+}
+
+GenerationalCollector::GenerationalCollector(size_t NurseryBytes,
+                                             size_t DynamicSemispaceBytes)
+    : GenerationalCollector(NurseryBytes, /*IntermediateBytes=*/0,
+                            DynamicSemispaceBytes) {}
+
+GenerationalCollector::GenerationalCollector(size_t NurseryBytes,
+                                             size_t IntermediateBytes,
+                                             size_t DynamicSemispaceBytes)
+    : Nursery(bytesToWords(NurseryBytes)),
+      DynamicA(bytesToWords(DynamicSemispaceBytes)),
+      DynamicB(bytesToWords(DynamicSemispaceBytes)) {
+  if (IntermediateBytes)
+    Intermediate = std::make_unique<Space>(bytesToWords(IntermediateBytes));
+}
+
+uint64_t *GenerationalCollector::tryAllocate(size_t Words) {
+  // Objects too big for the nursery go straight to the dynamic area, as in
+  // most production generational collectors.
+  if (Words > Nursery.capacityWords() / 2) {
+    uint64_t *Mem = activeDynamic().tryAllocate(Words);
+    if (Mem)
+      LastAllocRegion = activeDynamicRegion();
+    return Mem;
+  }
+  uint64_t *Mem = Nursery.tryAllocate(Words);
+  if (Mem)
+    LastAllocRegion = RegionNursery;
+  return Mem;
+}
+
+size_t GenerationalCollector::capacityWords() const {
+  return Nursery.capacityWords() +
+         (Intermediate ? Intermediate->capacityWords() : 0) +
+         DynamicA.capacityWords() + DynamicB.capacityWords();
+}
+
+size_t GenerationalCollector::freeWords() const {
+  return Nursery.freeWords() + activeDynamic().freeWords() +
+         (Intermediate ? Intermediate->freeWords() : 0);
+}
+
+void GenerationalCollector::onPointerStore(Value Holder, Value Stored) {
+  stats().noteBarrierHit();
+  if (!Holder.isPointer())
+    return;
+  ObjectRef HolderObj(Holder);
+  ObjectRef StoredObj(Stored);
+  // Remember any older-to-younger pointer (old-to-nursery in the 2-gen
+  // configuration; additionally dynamic-to-intermediate in the 3-gen one).
+  if (regionRank(HolderObj.region()) > regionRank(StoredObj.region())) {
+    if (RemSet.insert(HolderObj.headerPtr()))
+      stats().noteRememberedSetInsert();
+  }
+}
+
+void GenerationalCollector::refilterRememberedSet() {
+  std::vector<uint64_t *> Kept;
+  RemSet.forEach([&](uint64_t *Holder) {
+    unsigned HolderRank = regionRank(header::region(*Holder));
+    bool Interesting = false;
+    ObjectRef(Holder).forEachPointerSlot([&](uint64_t *SlotWord) {
+      Value V = Value::fromRawBits(*SlotWord);
+      if (V.isPointer() &&
+          regionRank(ObjectRef(V).region()) < HolderRank)
+        Interesting = true;
+    });
+    if (Interesting)
+      Kept.push_back(Holder);
+  });
+  RemSet.clear();
+  for (uint64_t *Holder : Kept)
+    RemSet.insert(Holder);
+}
+
+void GenerationalCollector::collect() {
+  // Youngest-first policy with promote-all at every level: a collection
+  // at one level can only run when the next-older level can absorb the
+  // worst case; otherwise escalate.
+  if (Intermediate) {
+    if (Intermediate->freeWords() >= Nursery.usedWords()) {
+      collectMinor();
+      return;
+    }
+    if (activeDynamic().freeWords() >=
+        Nursery.usedWords() + Intermediate->usedWords()) {
+      collectIntermediate();
+      return;
+    }
+    collectMajor();
+    return;
+  }
+  if (activeDynamic().freeWords() >= Nursery.usedWords())
+    collectMinor();
+  else
+    collectMajor();
+}
+
+void GenerationalCollector::collectMinor() {
+  Heap *H = heap();
+  assert(H && "collector not attached to a heap");
+  ++MinorCount;
+
+  CollectionRecord Record;
+  Record.WordsAllocatedBefore = stats().wordsAllocated();
+  Record.Kind = GK_Minor;
+
+  Space &To = Intermediate ? *Intermediate : activeDynamic();
+  uint8_t ToRegion =
+      Intermediate ? RegionIntermediate : activeDynamicRegion();
+  CopyScavenger Scavenger(
+      [](const uint64_t *Header) {
+        return header::region(*Header) == RegionNursery;
+      },
+      [&To, ToRegion](size_t Words) {
+        return CopyTarget{To.tryAllocate(Words), ToRegion};
+      },
+      H->observer());
+
+  H->forEachRoot([&](Value &Slot) {
+    ++Record.RootsScanned;
+    Scavenger.scavenge(Slot);
+  });
+  // The remembered set holds every older object that may contain a
+  // pointer into a younger region; re-scan those objects (Section 8.4).
+  RemSet.forEach([&](uint64_t *Holder) {
+    ++Record.RootsScanned;
+    Scavenger.scanObject(Holder);
+  });
+  Scavenger.drain();
+
+  if (HeapObserver *Obs = H->observer())
+    Nursery.forEachObject([&](uint64_t *Header) {
+      if (!ObjectRef(Header).isForwarded())
+        Obs->onDeath(Header, ObjectRef(Header).totalWords());
+    });
+
+  size_t NurseryUsed = Nursery.usedWords();
+  Nursery.reset();
+  if (Intermediate) {
+    // Dynamic-to-intermediate entries must survive; only the entries that
+    // existed purely for nursery pointers are dropped.
+    refilterRememberedSet();
+  } else {
+    // Promote-all into the only older region: no old-to-young pointers
+    // can remain.
+    RemSet.clear();
+  }
+
+  LastLiveWords = activeDynamic().usedWords() +
+                  (Intermediate ? Intermediate->usedWords() : 0);
+  Record.WordsTraced = Scavenger.wordsCopied();
+  Record.WordsReclaimed = NurseryUsed - Scavenger.wordsCopied();
+  Record.LiveWordsAfter = LastLiveWords;
+  stats().noteCollection(Record);
+  if (HeapObserver *Obs = H->observer())
+    Obs->onCollectionDone();
+}
+
+void GenerationalCollector::collectIntermediate() {
+  Heap *H = heap();
+  assert(H && "collector not attached to a heap");
+  assert(Intermediate && "no intermediate generation configured");
+  ++IntermediateCount;
+
+  CollectionRecord Record;
+  Record.WordsAllocatedBefore = stats().wordsAllocated();
+  Record.Kind = GK_Intermediate;
+
+  Space &To = activeDynamic();
+  uint8_t ToRegion = activeDynamicRegion();
+  CopyScavenger Scavenger(
+      [](const uint64_t *Header) {
+        uint8_t R = header::region(*Header);
+        return R == RegionNursery || R == RegionIntermediate;
+      },
+      [&To, ToRegion](size_t Words) {
+        return CopyTarget{To.tryAllocate(Words), ToRegion};
+      },
+      H->observer());
+
+  H->forEachRoot([&](Value &Slot) {
+    ++Record.RootsScanned;
+    Scavenger.scavenge(Slot);
+  });
+  RemSet.forEach([&](uint64_t *Holder) {
+    ++Record.RootsScanned;
+    Scavenger.scanObject(Holder);
+  });
+  Scavenger.drain();
+
+  if (HeapObserver *Obs = H->observer()) {
+    auto ReportDeaths = [&](const Space &S) {
+      S.forEachObject([&](uint64_t *Header) {
+        if (!ObjectRef(Header).isForwarded())
+          Obs->onDeath(Header, ObjectRef(Header).totalWords());
+      });
+    };
+    ReportDeaths(Nursery);
+    ReportDeaths(*Intermediate);
+  }
+
+  size_t CondemnedUsed = Nursery.usedWords() + Intermediate->usedWords();
+  Nursery.reset();
+  Intermediate->reset();
+  // Everything now lives in the dynamic area: no cross-generation
+  // pointers into younger regions can remain.
+  RemSet.clear();
+
+  LastLiveWords = activeDynamic().usedWords();
+  Record.WordsTraced = Scavenger.wordsCopied();
+  Record.WordsReclaimed = CondemnedUsed - Scavenger.wordsCopied();
+  Record.LiveWordsAfter = LastLiveWords;
+  stats().noteCollection(Record);
+  if (HeapObserver *Obs = H->observer())
+    Obs->onCollectionDone();
+}
+
+void GenerationalCollector::collectMajor() {
+  Heap *H = heap();
+  assert(H && "collector not attached to a heap");
+  ++MajorCount;
+
+  CollectionRecord Record;
+  Record.WordsAllocatedBefore = stats().wordsAllocated();
+  Record.Kind = GK_Major;
+
+  Space &From = activeDynamic();
+  Space &To = idleDynamic();
+  uint8_t FromRegion = activeDynamicRegion();
+  uint8_t ToRegion = idleDynamicRegion();
+
+  CopyScavenger Scavenger(
+      [FromRegion](const uint64_t *Header) {
+        uint8_t R = header::region(*Header);
+        return R == RegionNursery || R == RegionIntermediate ||
+               R == FromRegion;
+      },
+      [&To, ToRegion](size_t Words) {
+        return CopyTarget{To.tryAllocate(Words), ToRegion};
+      },
+      H->observer());
+
+  H->forEachRoot([&](Value &Slot) {
+    ++Record.RootsScanned;
+    Scavenger.scavenge(Slot);
+  });
+  Scavenger.drain();
+
+  if (HeapObserver *Obs = H->observer()) {
+    auto ReportDeaths = [&](const Space &S) {
+      S.forEachObject([&](uint64_t *Header) {
+        if (!ObjectRef(Header).isForwarded())
+          Obs->onDeath(Header, ObjectRef(Header).totalWords());
+      });
+    };
+    ReportDeaths(Nursery);
+    if (Intermediate)
+      ReportDeaths(*Intermediate);
+    ReportDeaths(From);
+  }
+
+  size_t CondemnedUsed = Nursery.usedWords() + From.usedWords() +
+                         (Intermediate ? Intermediate->usedWords() : 0);
+  Nursery.reset();
+  if (Intermediate)
+    Intermediate->reset();
+  From.reset();
+  ActiveIsA = !ActiveIsA;
+  RemSet.clear();
+
+  LastLiveWords = activeDynamic().usedWords();
+  Record.WordsTraced = Scavenger.wordsCopied();
+  Record.WordsReclaimed = CondemnedUsed - Scavenger.wordsCopied();
+  Record.LiveWordsAfter = LastLiveWords;
+  stats().noteCollection(Record);
+  if (HeapObserver *Obs = H->observer())
+    Obs->onCollectionDone();
+}

@@ -1,0 +1,125 @@
+//===- gc/Generational.h - Conventional generational collector --*- C++ -*-===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The conventional (youngest-first) generational collector, modeled on the
+/// Larceny configuration the paper benchmarks against: an ephemeral nursery
+/// collected by stop-and-copy with an all-survivors promotion policy, and a
+/// dynamic area of two semispaces for promoted objects. A write barrier
+/// records dynamic-area objects that acquire pointers into the nursery; the
+/// remembered set seeds minor collections (Sections 3, 7, 8 of the paper).
+///
+/// This collector embodies the "predict that every object dies young"
+/// heuristic. On the radioactive decay model it performs *worse* than
+/// non-generational collection (Section 3) — experiment E10 demonstrates
+/// exactly that.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDGC_GC_GENERATIONAL_H
+#define RDGC_GC_GENERATIONAL_H
+
+#include "gc/RememberedSet.h"
+#include "gc/Space.h"
+#include "heap/Collector.h"
+
+#include <memory>
+
+namespace rdgc {
+
+/// Collection kinds recorded in CollectionRecord::Kind.
+enum GenerationalCollectionKind {
+  GK_Minor = 1,        ///< Nursery scavenge; all survivors promoted.
+  GK_Major = 2,        ///< Full collection of every generation.
+  GK_Intermediate = 5, ///< Nursery + intermediate, promoting into dynamic.
+};
+
+/// Nursery (+ optional intermediate generation) + two-semispace dynamic
+/// area, youngest-first policy. With an intermediate generation this is
+/// the Larceny configuration the paper benchmarks: an ephemeral area, an
+/// intermediate dynamic generation absorbing medium-lived survivors, and
+/// the oldest area (Section 7.1's setup and Section 8's baseline).
+class GenerationalCollector : public Collector {
+public:
+  /// Region ids stamped into object headers, ordered young to old.
+  enum : uint8_t {
+    RegionNursery = 1,
+    RegionIntermediate = 2,
+    RegionDynamicA = 3,
+    RegionDynamicB = 4,
+  };
+
+  GenerationalCollector(size_t NurseryBytes, size_t DynamicSemispaceBytes);
+
+  /// Three-generation configuration: nursery -> intermediate -> dynamic.
+  /// Pass IntermediateBytes = 0 for the two-generation configuration.
+  GenerationalCollector(size_t NurseryBytes, size_t IntermediateBytes,
+                        size_t DynamicSemispaceBytes);
+
+  uint64_t *tryAllocate(size_t Words) override;
+  void collect() override;
+  void collectFull() override { collectMajor(); }
+  void onPointerStore(Value Holder, Value Stored) override;
+  uint8_t currentAllocationRegion() const override { return LastAllocRegion; }
+  size_t capacityWords() const override;
+  size_t freeWords() const override;
+  size_t liveWordsAfterLastCollect() const override { return LastLiveWords; }
+  const char *name() const override { return "generational"; }
+
+  size_t rememberedSetSize() const { return RemSet.size(); }
+  size_t nurseryCapacityWords() const { return Nursery.capacityWords(); }
+  size_t dynamicUsedWords() const { return activeDynamic().usedWords(); }
+  bool hasIntermediate() const { return Intermediate != nullptr; }
+  size_t intermediateUsedWords() const {
+    return Intermediate ? Intermediate->usedWords() : 0;
+  }
+  uint64_t minorCollections() const { return MinorCount; }
+  uint64_t intermediateCollections() const { return IntermediateCount; }
+  uint64_t majorCollections() const { return MajorCount; }
+
+private:
+  Space &activeDynamic() { return ActiveIsA ? DynamicA : DynamicB; }
+  const Space &activeDynamic() const { return ActiveIsA ? DynamicA : DynamicB; }
+  Space &idleDynamic() { return ActiveIsA ? DynamicB : DynamicA; }
+  uint8_t activeDynamicRegion() const {
+    return ActiveIsA ? RegionDynamicA : RegionDynamicB;
+  }
+  uint8_t idleDynamicRegion() const {
+    return ActiveIsA ? RegionDynamicB : RegionDynamicA;
+  }
+
+  void collectMinor();
+  void collectIntermediate();
+  void collectMajor();
+
+  /// Age rank of a region id (0 youngest); both dynamic semispaces share
+  /// the oldest rank.
+  static unsigned regionRank(uint8_t Region) {
+    return Region >= RegionDynamicA ? 2 : Region - 1;
+  }
+
+  /// Drops remembered-set entries that no longer hold a pointer into a
+  /// strictly younger region (Section 8.4-style re-filtering; needed once
+  /// an intermediate generation exists, because dynamic-to-intermediate
+  /// entries must survive a minor collection).
+  void refilterRememberedSet();
+
+  Space Nursery;
+  std::unique_ptr<Space> Intermediate; ///< Null in the 2-gen configuration.
+  Space DynamicA;
+  Space DynamicB;
+  bool ActiveIsA = true;
+  RememberedSet RemSet;
+  uint8_t LastAllocRegion = RegionNursery;
+  size_t LastLiveWords = 0;
+  uint64_t MinorCount = 0;
+  uint64_t IntermediateCount = 0;
+  uint64_t MajorCount = 0;
+};
+
+} // namespace rdgc
+
+#endif // RDGC_GC_GENERATIONAL_H

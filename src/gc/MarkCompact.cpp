@@ -1,0 +1,146 @@
+//===- gc/MarkCompact.cpp - Sliding mark-compact collector ----------------===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/MarkCompact.h"
+
+#include "heap/Heap.h"
+#include "heap/Object.h"
+
+#include <cstring>
+#include <vector>
+
+using namespace rdgc;
+
+MarkCompactCollector::MarkCompactCollector(size_t ArenaBytes)
+    : Arena(std::make_unique<uint64_t[]>(ArenaBytes / 8 < 16 ? 16
+                                                             : ArenaBytes / 8)),
+      ArenaWords(ArenaBytes / 8 < 16 ? 16 : ArenaBytes / 8) {}
+
+uint64_t *MarkCompactCollector::tryAllocate(size_t Words) {
+  if (Top + Words > ArenaWords)
+    return nullptr;
+  uint64_t *Mem = Arena.get() + Top;
+  Top += Words;
+  return Mem;
+}
+
+uint64_t MarkCompactCollector::markPhase(uint64_t &RootsScanned) {
+  Heap *H = heap();
+  std::vector<uint64_t *> MarkStack;
+  uint64_t MarkedWords = 0;
+
+  auto MarkValue = [&](Value V) {
+    if (!V.isPointer())
+      return;
+    uint64_t *Header = V.asHeaderPtr();
+    assert(Header >= Arena.get() && Header < Arena.get() + ArenaWords &&
+           "pointer outside the mark-compact arena");
+    if (header::isMarked(*Header))
+      return;
+    *Header = header::setMark(*Header);
+    MarkedWords += ObjectRef(Header).totalWords();
+    MarkStack.push_back(Header);
+  };
+
+  H->forEachRoot([&](Value &Slot) {
+    ++RootsScanned;
+    MarkValue(Slot);
+  });
+  while (!MarkStack.empty()) {
+    uint64_t *Header = MarkStack.back();
+    MarkStack.pop_back();
+    ObjectRef(Header).forEachPointerSlot(
+        [&](uint64_t *SlotWord) { MarkValue(Value::fromRawBits(*SlotWord)); });
+  }
+  return MarkedWords;
+}
+
+void MarkCompactCollector::collect() {
+  Heap *H = heap();
+  assert(H && "collector not attached to a heap");
+  HeapObserver *Obs = H->observer();
+
+  CollectionRecord Record;
+  Record.WordsAllocatedBefore = stats().wordsAllocated();
+  Record.Kind = 0;
+
+  // Phase 1: mark.
+  uint64_t MarkedWords = markPhase(Record.RootsScanned);
+
+  // Phase 2: compute slide-down forwarding addresses in address order.
+  std::unordered_map<const uint64_t *, uint64_t *> NewAddress;
+  NewAddress.reserve(1024);
+  {
+    size_t Cursor = 0;
+    uint64_t *P = Arena.get();
+    uint64_t *End = Arena.get() + Top;
+    while (P < End) {
+      size_t Words = header::payloadWords(*P) + 1;
+      if (header::isMarked(*P)) {
+        NewAddress.emplace(P, Arena.get() + Cursor);
+        Cursor += Words;
+      }
+      P += Words;
+    }
+  }
+
+  // Phase 3: rewrite every reference (roots and live objects' fields).
+  auto Forward = [&](Value &Slot) {
+    if (!Slot.isPointer())
+      return;
+    auto It = NewAddress.find(Slot.asHeaderPtr());
+    assert(It != NewAddress.end() && "reachable object was not marked");
+    Slot = Value::pointer(It->second);
+  };
+  H->forEachRoot(Forward);
+  {
+    uint64_t *P = Arena.get();
+    uint64_t *End = Arena.get() + Top;
+    while (P < End) {
+      size_t Words = header::payloadWords(*P) + 1;
+      if (header::isMarked(*P))
+        ObjectRef(P).forEachPointerSlot([&](uint64_t *SlotWord) {
+          Value V = Value::fromRawBits(*SlotWord);
+          Forward(V);
+          *SlotWord = V.rawBits();
+        });
+      P += Words;
+    }
+  }
+
+  // Phase 4: slide. Live objects only move downward, so a forward walk
+  // with memmove is safe; dead objects are reported before their storage
+  // can be overwritten.
+  {
+    uint64_t *P = Arena.get();
+    uint64_t *End = Arena.get() + Top;
+    while (P < End) {
+      size_t Words = header::payloadWords(*P) + 1;
+      if (header::isMarked(*P)) {
+        *P = header::clearMark(*P);
+        uint64_t *Dest = NewAddress.find(P)->second;
+        if (Obs && Dest != P)
+          Obs->onMove(P, Dest);
+        if (Dest != P)
+          std::memmove(Dest, P, Words * sizeof(uint64_t));
+      } else if (Obs) {
+        Obs->onDeath(P, Words);
+      }
+      P += Words;
+    }
+  }
+
+  size_t OldTop = Top;
+  Top = MarkedWords;
+  LastLiveWords = MarkedWords;
+
+  Record.WordsTraced = MarkedWords;
+  Record.WordsReclaimed = OldTop - MarkedWords;
+  Record.LiveWordsAfter = MarkedWords;
+  stats().noteCollection(Record);
+  if (Obs)
+    Obs->onCollectionDone();
+}

@@ -1,0 +1,56 @@
+//===- gc/MarkCompact.h - Sliding mark-compact collector --------*- C++ -*-===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A non-generational sliding mark-compact collector (the "compacting
+/// mark/sweep" basic algorithm the paper lists in Section 4, and the one
+/// Section 8 plans for the production non-predictive collector). A single
+/// arena is bump-allocated; collection marks the live objects, computes
+/// slide-down forwarding addresses in one address-ordered pass, rewrites
+/// every reference, and slides the survivors to the bottom of the arena.
+///
+/// Address order is preserved (unlike Cheney's breadth-first copy order),
+/// allocation is always a pointer bump (unlike the free-list mark/sweep),
+/// and only one arena is needed (unlike the two-space collectors) — the
+/// classic trade-off triangle among the basic algorithms.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDGC_GC_MARKCOMPACT_H
+#define RDGC_GC_MARKCOMPACT_H
+
+#include "heap/Collector.h"
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+namespace rdgc {
+
+/// Single-arena sliding compactor.
+class MarkCompactCollector : public Collector {
+public:
+  explicit MarkCompactCollector(size_t ArenaBytes);
+
+  uint64_t *tryAllocate(size_t Words) override;
+  void collect() override;
+  size_t capacityWords() const override { return ArenaWords; }
+  size_t freeWords() const override { return ArenaWords - Top; }
+  size_t liveWordsAfterLastCollect() const override { return LastLiveWords; }
+  const char *name() const override { return "mark-compact"; }
+
+private:
+  uint64_t markPhase(uint64_t &RootsScanned);
+
+  std::unique_ptr<uint64_t[]> Arena;
+  size_t ArenaWords;
+  size_t Top = 0;
+  size_t LastLiveWords = 0;
+};
+
+} // namespace rdgc
+
+#endif // RDGC_GC_MARKCOMPACT_H

@@ -1,0 +1,185 @@
+//===- gc/MarkSweep.cpp - Non-generational mark/sweep collector -----------===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/MarkSweep.h"
+
+#include "heap/Heap.h"
+#include "heap/Object.h"
+
+#include <vector>
+
+using namespace rdgc;
+
+// Free-chunk layout: header word with tag Free and payloadWords = chunk size
+// minus one; payload word 0 holds the address of the next free chunk's
+// header (0 terminates). The minimum chunk is therefore two words; a single
+// stranded word is written as a Padding pseudo-object and recovered by the
+// next sweep's coalescing pass.
+
+static uint64_t *nextFree(uint64_t *Chunk) {
+  return reinterpret_cast<uint64_t *>(Chunk[1]);
+}
+
+static void setNextFree(uint64_t *Chunk, uint64_t *Next) {
+  Chunk[1] = reinterpret_cast<uint64_t>(Next);
+}
+
+static void makeFreeChunk(uint64_t *At, size_t Words, uint64_t *Next) {
+  assert(Words >= 2 && "free chunks need at least two words");
+  *At = header::encode(ObjectTag::Free, Words - 1, 0);
+  setNextFree(At, Next);
+}
+
+MarkSweepCollector::MarkSweepCollector(size_t ArenaBytes)
+    : Arena(std::make_unique<uint64_t[]>(ArenaBytes / 8 < 16
+                                             ? 16
+                                             : ArenaBytes / 8)),
+      ArenaWords(ArenaBytes / 8 < 16 ? 16 : ArenaBytes / 8) {
+  makeFreeChunk(Arena.get(), ArenaWords, nullptr);
+  FreeListHead = Arena.get();
+  FreeWordCount = ArenaWords;
+}
+
+uint64_t *MarkSweepCollector::tryAllocate(size_t Words) {
+  assert(Words >= 2 && "allocation smaller than the minimum object");
+  uint64_t *Prev = nullptr;
+  for (uint64_t *Chunk = FreeListHead; Chunk; Chunk = nextFree(Chunk)) {
+    size_t ChunkWords = header::payloadWords(*Chunk) + 1;
+    if (ChunkWords < Words) {
+      Prev = Chunk;
+      continue;
+    }
+    size_t Remainder = ChunkWords - Words;
+    uint64_t *Next = nextFree(Chunk);
+    uint64_t *Replacement = Next;
+    if (Remainder >= 2) {
+      // Split: the tail of the chunk stays free, preserving address order.
+      uint64_t *Tail = Chunk + Words;
+      makeFreeChunk(Tail, Remainder, Next);
+      Replacement = Tail;
+    } else if (Remainder == 1) {
+      // A stranded word: emit padding so the linear sweep walk stays valid.
+      Chunk[Words] = header::encode(ObjectTag::Padding, 0, 0);
+    }
+    if (Prev)
+      setNextFree(Prev, Replacement);
+    else
+      FreeListHead = Replacement;
+    FreeWordCount -= ChunkWords;
+    if (Remainder >= 2)
+      FreeWordCount += Remainder;
+    return Chunk;
+  }
+  return nullptr;
+}
+
+size_t MarkSweepCollector::freeListLength() const {
+  size_t Length = 0;
+  for (uint64_t *Chunk = FreeListHead; Chunk; Chunk = nextFree(Chunk))
+    ++Length;
+  return Length;
+}
+
+uint64_t MarkSweepCollector::markPhase(uint64_t &RootsScanned) {
+  Heap *H = heap();
+  std::vector<uint64_t *> MarkStack;
+  uint64_t MarkedWords = 0;
+
+  auto MarkValue = [&](Value V) {
+    if (!V.isPointer())
+      return;
+    uint64_t *Header = V.asHeaderPtr();
+    assert(Header >= Arena.get() && Header < Arena.get() + ArenaWords &&
+           "pointer outside the mark/sweep arena");
+    if (header::isMarked(*Header))
+      return;
+    *Header = header::setMark(*Header);
+    MarkedWords += ObjectRef(Header).totalWords();
+    MarkStack.push_back(Header);
+  };
+
+  H->forEachRoot([&](Value &Slot) {
+    ++RootsScanned;
+    MarkValue(Slot);
+  });
+
+  while (!MarkStack.empty()) {
+    uint64_t *Header = MarkStack.back();
+    MarkStack.pop_back();
+    ObjectRef(Header).forEachPointerSlot([&](uint64_t *SlotWord) {
+      MarkValue(Value::fromRawBits(*SlotWord));
+    });
+  }
+  return MarkedWords;
+}
+
+uint64_t MarkSweepCollector::sweepPhase() {
+  Heap *H = heap();
+  HeapObserver *Obs = H->observer();
+  uint64_t Reclaimed = 0;
+
+  FreeListHead = nullptr;
+  FreeWordCount = 0;
+  uint64_t *ListTail = nullptr;
+
+  auto AppendFree = [&](uint64_t *At, size_t Words) {
+    // Try to extend the previous free chunk (address-ordered coalescing).
+    if (ListTail && ListTail + header::payloadWords(*ListTail) + 1 == At) {
+      size_t Merged = header::payloadWords(*ListTail) + 1 + Words;
+      *ListTail = header::encode(ObjectTag::Free, Merged - 1, 0);
+      setNextFree(ListTail, nullptr);
+    } else if (Words >= 2) {
+      makeFreeChunk(At, Words, nullptr);
+      if (ListTail)
+        setNextFree(ListTail, At);
+      else
+        FreeListHead = At;
+      ListTail = At;
+    } else {
+      // A lone word with no neighbor to merge into: keep it as padding.
+      *At = header::encode(ObjectTag::Padding, 0, 0);
+      return;
+    }
+    FreeWordCount += Words;
+  };
+
+  uint64_t *P = Arena.get();
+  uint64_t *End = Arena.get() + ArenaWords;
+  while (P < End) {
+    size_t Words = header::payloadWords(*P) + 1;
+    ObjectTag Tag = header::tag(*P);
+    if (Tag == ObjectTag::Free || Tag == ObjectTag::Padding) {
+      AppendFree(P, Words);
+    } else if (header::isMarked(*P)) {
+      *P = header::clearMark(*P);
+    } else {
+      if (Obs)
+        Obs->onDeath(P, Words);
+      Reclaimed += Words;
+      AppendFree(P, Words);
+    }
+    P += Words;
+  }
+  return Reclaimed;
+}
+
+void MarkSweepCollector::collect() {
+  assert(heap() && "collector not attached to a heap");
+  CollectionRecord Record;
+  Record.WordsAllocatedBefore = stats().wordsAllocated();
+
+  uint64_t MarkedWords = markPhase(Record.RootsScanned);
+  uint64_t Reclaimed = sweepPhase();
+  LastLiveWords = MarkedWords;
+
+  Record.WordsTraced = MarkedWords;
+  Record.WordsReclaimed = Reclaimed;
+  Record.LiveWordsAfter = MarkedWords;
+  Record.Kind = 0;
+  stats().noteCollection(Record);
+  if (HeapObserver *Obs = heap()->observer())
+    Obs->onCollectionDone();
+}

@@ -1,0 +1,397 @@
+//===- gc/NonPredictive.cpp - The paper's non-predictive collector --------===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/NonPredictive.h"
+
+#include "gc/CopyScavenger.h"
+#include "heap/Heap.h"
+#include "support/Error.h"
+
+#include <algorithm>
+
+using namespace rdgc;
+
+NonPredictiveCollector::NonPredictiveCollector(
+    const NonPredictiveConfig &Config)
+    : Config(Config), K(Config.StepCount),
+      StepWords(std::max<size_t>(Config.StepBytes / 8, 16)) {
+  assert(K >= 2 && "a non-predictive collector needs at least two steps");
+  assert(K <= 200 && "step count limited by the 8-bit region id");
+
+  Buffers.reserve(2 * K);
+  LogicalToPhysical.resize(K);
+  for (size_t I = 0; I < K; ++I) {
+    Buffers.push_back(std::make_unique<Space>(StepWords));
+    PhysicalToLogical.push_back(static_cast<uint16_t>(I + 1));
+    LogicalToPhysical[I] = static_cast<uint16_t>(I);
+  }
+  // All steps start empty; choose the initial j accordingly.
+  J = chooseJ(K);
+  CurrentLogical = K;
+
+  if (Config.NurseryBytes)
+    Nursery =
+        std::make_unique<Space>(std::max<size_t>(Config.NurseryBytes / 8, 16));
+}
+
+size_t NonPredictiveCollector::chooseJ(size_t EmptySteps) const {
+  size_t Limit = static_cast<size_t>(Config.MaxJFraction *
+                                     static_cast<double>(K));
+  size_t Chosen = 0;
+  switch (Config.Policy) {
+  case JSelectionPolicy::Fixed:
+    Chosen = std::min(Config.FixedJ, EmptySteps);
+    break;
+  case JSelectionPolicy::HalfOfEmpty:
+    Chosen = EmptySteps / 2;
+    break;
+  case JSelectionPolicy::AllEmpty:
+    Chosen = EmptySteps;
+    break;
+  }
+  return std::min(Chosen, Limit);
+}
+
+void NonPredictiveCollector::overrideJ(size_t NewJ) {
+  assert(NewJ <= K / 2 && "the paper requires j <= k/2");
+  for (size_t Step = 1; Step <= NewJ; ++Step)
+    assert(logicalStep(Step).isEmpty() &&
+           "steps 1..j must be empty when j is chosen");
+  J = NewJ;
+}
+
+size_t NonPredictiveCollector::stepUsedWords(size_t Logical) const {
+  return logicalStep(Logical).usedWords();
+}
+
+size_t NonPredictiveCollector::freeWords() const {
+  return stepsFreeWords() + (Nursery ? Nursery->freeWords() : 0);
+}
+
+uint64_t *NonPredictiveCollector::tryAllocateInSteps(size_t Words) {
+  if (Words > StepWords)
+    reportFatalError("object larger than a non-predictive step");
+  // Allocation occurs in the highest-numbered step that has free space;
+  // once a step fills, allocation moves down and never returns (Section 4).
+  while (CurrentLogical >= 1) {
+    Space &Step = logicalStep(CurrentLogical);
+    if (uint64_t *Mem = Step.tryAllocate(Words)) {
+      LastAllocRegion = static_cast<uint8_t>(
+          LogicalToPhysical[CurrentLogical - 1] + 1);
+      return Mem;
+    }
+    if (CurrentLogical == 1)
+      return nullptr;
+    --CurrentLogical;
+  }
+  return nullptr;
+}
+
+size_t NonPredictiveCollector::stepsFreeWords() const {
+  size_t Free = 0;
+  for (size_t Step = 1; Step <= CurrentLogical; ++Step)
+    Free += logicalStep(Step).freeWords();
+  return Free;
+}
+
+uint64_t *NonPredictiveCollector::tryAllocate(size_t Words) {
+  if (!Nursery)
+    return tryAllocateInSteps(Words);
+  // Hybrid mode: the mutator allocates in the ephemeral area; objects too
+  // large for it go straight into the step heap.
+  if (Words > Nursery->capacityWords() / 2)
+    return tryAllocateInSteps(Words);
+  uint64_t *Mem = Nursery->tryAllocate(Words);
+  if (Mem)
+    LastAllocRegion = RegionNursery;
+  return Mem;
+}
+
+void NonPredictiveCollector::onPointerStore(Value Holder, Value Stored) {
+  stats().noteBarrierHit();
+  if (!Holder.isPointer())
+    return;
+  uint8_t HolderRegion = ObjectRef(Holder).region();
+  if (HolderRegion == RegionNursery)
+    return; // The nursery is condemned by every collection that needs it.
+  uint8_t StoredRegion = ObjectRef(Stored).region();
+  if (StoredRegion == RegionNursery) {
+    // Old-to-ephemeral pointer (hybrid mode, the conventional direction).
+    if (RemSet.insert(Holder.asHeaderPtr())) {
+      stats().noteRememberedSetInsert();
+      RemsetPeak = std::max(RemsetPeak, RemSet.size());
+    }
+    return;
+  }
+  size_t HolderStep = logicalOfRegion(HolderRegion);
+  if (HolderStep == 0 || HolderStep > J)
+    return;
+  size_t StoredStep = logicalOfRegion(StoredRegion);
+  if (StoredStep > J) {
+    if (RemSet.insert(Holder.asHeaderPtr())) {
+      stats().noteRememberedSetInsert();
+      RemsetPeak = std::max(RemsetPeak, RemSet.size());
+    }
+    // Section 8.3: if the set grows unacceptably, reduce j on the spot.
+    // Stale entries for holders now outside steps 1..j are dropped when
+    // the set is next traced (Section 8.4's re-filtering).
+    if (Config.RemsetJReductionThreshold &&
+        RemSet.size() >= Config.RemsetJReductionThreshold && J > 0)
+      J /= 2;
+  }
+}
+
+size_t NonPredictiveCollector::acquireBuffer() {
+  if (!FreePool.empty()) {
+    size_t Id = FreePool.back();
+    FreePool.pop_back();
+    assert(Buffers[Id]->isEmpty() && "pooled buffer not empty");
+    return Id;
+  }
+  if (Buffers.size() >= 254)
+    reportFatalError("non-predictive collector ran out of region ids");
+  Buffers.push_back(std::make_unique<Space>(StepWords));
+  PhysicalToLogical.push_back(0);
+  return Buffers.size() - 1;
+}
+
+void NonPredictiveCollector::collect() {
+  if (!Nursery) {
+    collectWithJ(J);
+    return;
+  }
+  // Hybrid mode: a minor collection promotes every nursery survivor into
+  // the steps, so it only runs when the steps can absorb the worst case;
+  // otherwise run a non-predictive collection (which itself promotes the
+  // nursery first, per Section 8.4: a non-predictive collection always
+  // promotes all live objects out of the ephemeral area).
+  if (Nursery->usedWords() <= stepsFreeWords())
+    collectMinor();
+  else
+    collectWithJ(J);
+}
+
+void NonPredictiveCollector::collectFull() { collectWithJ(0); }
+
+void NonPredictiveCollector::collectMinor() {
+  Heap *H = heap();
+  assert(H && "collector not attached to a heap");
+  assert(Nursery && "minor collections require the hybrid configuration");
+  ++MinorCount;
+
+  CollectionRecord Record;
+  Record.WordsAllocatedBefore = stats().wordsAllocated();
+  Record.Kind = NPK_Minor;
+
+  // Promotion target: the normal downward step-allocation path. Track the
+  // lowest step promoted into so j can be decreased below it afterwards.
+  size_t LowestPromotedStep = K + 1;
+  auto AllocateTo = [&](size_t Words) -> CopyTarget {
+    uint64_t *Mem = tryAllocateInSteps(Words);
+    if (!Mem)
+      reportFatalError("step heap exhausted during nursery promotion");
+    LowestPromotedStep = std::min(LowestPromotedStep, CurrentLogical);
+    return CopyTarget{Mem, LastAllocRegion};
+  };
+  auto InCondemned = [](const uint64_t *Header) {
+    return header::region(*Header) == RegionNursery;
+  };
+  CopyScavenger Scavenger(InCondemned, AllocateTo, H->observer());
+
+  H->forEachRoot([&](Value &Slot) {
+    ++Record.RootsScanned;
+    Scavenger.scavenge(Slot);
+  });
+  // Remembered step-heap objects may hold nursery pointers; scan them.
+  RemSet.forEach([&](uint64_t *Holder) {
+    ++Record.RootsScanned;
+    Scavenger.scanObject(Holder);
+  });
+  Scavenger.drain();
+
+  HeapObserver *Obs = H->observer();
+  if (Obs)
+    Nursery->forEachObject([&](uint64_t *Header) {
+      if (!ObjectRef(Header).isForwarded())
+        Obs->onDeath(Header, ObjectRef(Header).totalWords());
+    });
+
+  size_t NurseryUsed = Nursery->usedWords();
+  Nursery->reset();
+
+  // If promotion reached the exempt steps, shrink the exemption below the
+  // promotion frontier: promoted objects then sit in the collected region
+  // and need no remembered-set entries for their old-to-old pointers
+  // (this replaces the paper's situation-5 scan; Section 8.1 permits
+  // decreasing j at any time).
+  if (LowestPromotedStep <= J)
+    J = LowestPromotedStep - 1;
+
+  // Re-filter the remembered set (Section 8.4): after promote-all no
+  // nursery pointers remain, so keep only holders that still have a
+  // pointer from steps 1..j into steps j+1..k.
+  std::vector<uint64_t *> Kept;
+  RemSet.forEach([&](uint64_t *Holder) {
+    size_t HolderStep = logicalOfRegion(header::region(*Holder));
+    if (HolderStep == 0 || HolderStep > J)
+      return;
+    bool Interesting = false;
+    ObjectRef(Holder).forEachPointerSlot([&](uint64_t *SlotWord) {
+      Value V = Value::fromRawBits(*SlotWord);
+      if (V.isPointer() && ObjectRef(V).region() != RegionNursery &&
+          logicalOfRegion(ObjectRef(V).region()) > J)
+        Interesting = true;
+    });
+    if (Interesting)
+      Kept.push_back(Holder);
+  });
+  RemSet.clear();
+  for (uint64_t *Holder : Kept)
+    RemSet.insert(Holder);
+
+  LastLiveWords = Scavenger.wordsCopied();
+  Record.WordsTraced = Scavenger.wordsCopied();
+  Record.WordsReclaimed = NurseryUsed - Scavenger.wordsCopied();
+  Record.LiveWordsAfter = LastLiveWords;
+  stats().noteCollection(Record);
+  if (Obs)
+    Obs->onCollectionDone();
+}
+
+void NonPredictiveCollector::collectWithJ(size_t CollectJ) {
+  Heap *H = heap();
+  assert(H && "collector not attached to a heap");
+  assert(CollectJ <= J && "j can only be decreased at collection time");
+  ++CollectionCount;
+
+  CollectionRecord Record;
+  Record.WordsAllocatedBefore = stats().wordsAllocated();
+  Record.Kind = NPK_Collection;
+
+  // --- Evacuate steps CollectJ+1..k into fresh buffers, packed so that the
+  // first to-buffer will become the highest-numbered renamed step.
+  std::vector<uint16_t> ToBuffers;
+  size_t ToCursor = 0; // Index into ToBuffers of the buffer being filled.
+
+  auto AllocateTo = [&](size_t Words) -> CopyTarget {
+    if (ToBuffers.empty())
+      ToBuffers.push_back(static_cast<uint16_t>(acquireBuffer()));
+    uint64_t *Mem = Buffers[ToBuffers[ToCursor]]->tryAllocate(Words);
+    if (!Mem) {
+      ToBuffers.push_back(static_cast<uint16_t>(acquireBuffer()));
+      ++ToCursor;
+      Mem = Buffers[ToBuffers[ToCursor]]->tryAllocate(Words);
+    }
+    return CopyTarget{Mem, static_cast<uint8_t>(ToBuffers[ToCursor] + 1)};
+  };
+
+  auto InCondemned = [this, CollectJ](const uint64_t *Header) {
+    uint8_t Region = header::region(*Header);
+    if (Region == RegionNursery)
+      return true; // Hybrid mode: the nursery is always promoted out.
+    return logicalOfRegion(Region) > CollectJ;
+  };
+
+  CopyScavenger Scavenger(InCondemned, AllocateTo, H->observer());
+
+  H->forEachRoot([&](Value &Slot) {
+    ++Record.RootsScanned;
+    Scavenger.scavenge(Slot);
+  });
+  // Remembered objects in steps 1..j hold pointers into the condemned
+  // region; those slots are roots and must be rewritten (Section 8.6).
+  RemSet.forEach([&](uint64_t *Holder) {
+    ++Record.RootsScanned;
+    Scavenger.scanObject(Holder);
+  });
+  Scavenger.drain();
+
+  // --- Report deaths and recycle the condemned buffers.
+  size_t CondemnedUsed = 0;
+  HeapObserver *Obs = H->observer();
+  if (Nursery) {
+    CondemnedUsed += Nursery->usedWords();
+    if (Obs)
+      Nursery->forEachObject([&](uint64_t *Header) {
+        if (!ObjectRef(Header).isForwarded())
+          Obs->onDeath(Header, ObjectRef(Header).totalWords());
+      });
+    Nursery->reset();
+  }
+  std::vector<uint16_t> RecycledBuffers;
+  for (size_t Step = CollectJ + 1; Step <= K; ++Step) {
+    uint16_t Phys = LogicalToPhysical[Step - 1];
+    Space &S = *Buffers[Phys];
+    CondemnedUsed += S.usedWords();
+    if (Obs)
+      S.forEachObject([&](uint64_t *Header) {
+        if (!ObjectRef(Header).isForwarded())
+          Obs->onDeath(Header, ObjectRef(Header).totalWords());
+      });
+    S.reset();
+    RecycledBuffers.push_back(Phys);
+  }
+
+  // --- Rename the steps (Section 4):
+  //   new 1..k-j            <- the collected region: empties, then
+  //                            survivors packed at the high end
+  //   new k-j+1..k          <- the exempt steps 1..j, order preserved
+  size_t M = ToBuffers.size();
+  if (M == 1 && Buffers[ToBuffers[0]]->isEmpty()) {
+    // No survivors at all; the to-buffer was acquired but never used.
+    RecycledBuffers.push_back(ToBuffers[0]);
+    ToBuffers.clear();
+    M = 0;
+  }
+  size_t CollectedSlots = K - CollectJ;
+  if (M > CollectedSlots)
+    reportFatalError("non-predictive survivors exceed the collected region");
+
+  std::vector<uint16_t> NewLogical(K);
+  // Exempt steps move to the top, preserving order.
+  for (size_t Step = 1; Step <= CollectJ; ++Step)
+    NewLogical[CollectedSlots + Step - 1] = LogicalToPhysical[Step - 1];
+  // Survivor buffers: first-filled gets the highest new number.
+  for (size_t I = 0; I < M; ++I)
+    NewLogical[CollectedSlots - 1 - I] = ToBuffers[I];
+  // Leading steps are empty recycled buffers.
+  for (size_t Slot = 0; Slot < CollectedSlots - M; ++Slot) {
+    assert(!RecycledBuffers.empty() && "not enough buffers to rebuild steps");
+    NewLogical[Slot] = RecycledBuffers.back();
+    RecycledBuffers.pop_back();
+  }
+  // Anything left over returns to the pool.
+  for (uint16_t Phys : RecycledBuffers)
+    FreePool.push_back(Phys);
+
+  LogicalToPhysical = std::move(NewLogical);
+  std::fill(PhysicalToLogical.begin(), PhysicalToLogical.end(), 0);
+  for (size_t I = 0; I < K; ++I)
+    PhysicalToLogical[LogicalToPhysical[I]] = static_cast<uint16_t>(I + 1);
+
+  RemSet.clear();
+
+  // --- Choose the next j (steps 1..j must be empty) and reset allocation
+  // to the highest-numbered step with free space.
+  size_t EmptySteps = 0;
+  while (EmptySteps < K && logicalStep(EmptySteps + 1).isEmpty())
+    ++EmptySteps;
+  J = chooseJ(EmptySteps);
+  CurrentLogical = K;
+
+  // --- Accounting. The exempt steps are assumed live (Section 4).
+  size_t ExemptUsed = 0;
+  for (size_t Step = CollectedSlots + 1; Step <= K; ++Step)
+    ExemptUsed += logicalStep(Step).usedWords();
+  LastLiveWords = Scavenger.wordsCopied() + ExemptUsed;
+
+  Record.WordsTraced = Scavenger.wordsCopied();
+  Record.WordsReclaimed = CondemnedUsed - Scavenger.wordsCopied();
+  Record.LiveWordsAfter = LastLiveWords;
+  stats().noteCollection(Record);
+  if (Obs)
+    Obs->onCollectionDone();
+}

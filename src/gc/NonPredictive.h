@@ -1,0 +1,207 @@
+//===- gc/NonPredictive.h - The paper's non-predictive collector -*- C++ -*-===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The non-predictive generational collector of Section 4 of the paper.
+///
+/// Heap storage is divided into k equal *steps*. Logically, step 1 is the
+/// youngest and step k the oldest. All allocation occurs in the
+/// highest-numbered step that has free space, so the steps fill from k down
+/// to 1. A tuning parameter j (0 <= j <= k/2) exempts the j youngest steps
+/// — the most recent allocation — from the next collection.
+///
+/// When the steps are full:
+///   - Steps j+1..k are collected as a single generation, with survivors
+///     promoted into the highest-numbered step that has free space (i.e.
+///     packed at the high end of the vacated region).
+///   - Steps j+1..k are renamed to 1..k-j; the exempt steps 1..j are
+///     renamed (exchanged, not collected) to k-j+1..k.
+///   - A new j is chosen such that steps 1..j are empty (Section 8.1
+///     recommends j = floor(l/2) where l is the number of empty steps).
+///
+/// No object ages are tracked and no lifetime prediction is attempted; the
+/// collector only knows how much allocation has happened since an object
+/// was allocated or last considered for collection. The remembered set
+/// (Section 8.3) records objects in steps 1..j that contain pointers into
+/// steps j+1..k; those slots form part of the root set for a non-predictive
+/// collection and are rewritten when their targets move.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDGC_GC_NONPREDICTIVE_H
+#define RDGC_GC_NONPREDICTIVE_H
+
+#include "gc/RememberedSet.h"
+#include "gc/Space.h"
+#include "heap/Collector.h"
+
+#include <memory>
+#include <vector>
+
+namespace rdgc {
+
+/// How the tuning parameter j is chosen after each collection.
+enum class JSelectionPolicy {
+  /// j = min(FixedJ, number of empty steps): the simplest policy; Table 1
+  /// of the paper uses a fixed j = 1.
+  Fixed,
+  /// j = floor(l / 2) where l is the number of empty steps, the paper's
+  /// recommended policy (Section 8.1).
+  HalfOfEmpty,
+  /// j = l: exempt every empty step (greedy; an ablation point — it
+  /// violates no invariant but risks leaving too little reclaimable
+  /// storage, see Theorem 4's hypothesis).
+  AllEmpty,
+};
+
+/// Configuration for a NonPredictiveCollector.
+struct NonPredictiveConfig {
+  size_t StepCount = 8;           ///< k: number of equal steps.
+  size_t StepBytes = 64 * 1024;   ///< Size of each step.
+  JSelectionPolicy Policy = JSelectionPolicy::HalfOfEmpty;
+  size_t FixedJ = 1;              ///< Used by JSelectionPolicy::Fixed.
+  /// Upper bound on j as a fraction of k; the paper requires j <= k/2.
+  double MaxJFraction = 0.5;
+  /// When nonzero, the collector runs in the paper's Section 8 hybrid
+  /// configuration: allocation goes to an ephemeral nursery of this size,
+  /// minor collections promote every nursery survivor into the step heap
+  /// (Larceny's promote-all policy), and the non-predictive machinery
+  /// manages only the promoted objects.
+  size_t NurseryBytes = 0;
+  /// Section 8.3's countermeasure: when nonzero and the remembered set
+  /// reaches this many entries, j is halved immediately ("its value can
+  /// be decreased at any time", Section 8.1), shrinking the young region
+  /// whose outgoing pointers need remembering.
+  size_t RemsetJReductionThreshold = 0;
+};
+
+/// Collection kind recorded in CollectionRecord::Kind.
+enum NonPredictiveCollectionKind {
+  NPK_Collection = 3, ///< Collection of steps j+1..k (and the nursery).
+  NPK_Minor = 4,      ///< Hybrid mode: nursery promotion only.
+};
+
+/// The 2-generation non-predictive collector (with an optional ephemeral
+/// nursery in front, Section 8's hybrid configuration).
+class NonPredictiveCollector : public Collector {
+public:
+  /// Region id stamped into nursery objects' headers (step objects carry
+  /// their physical step id + 1).
+  enum : uint8_t { RegionNursery = 255 };
+
+  explicit NonPredictiveCollector(const NonPredictiveConfig &Config);
+
+  uint64_t *tryAllocate(size_t Words) override;
+  void collect() override;
+  void collectFull() override;
+  void onPointerStore(Value Holder, Value Stored) override;
+  uint8_t currentAllocationRegion() const override { return LastAllocRegion; }
+  /// The paper's heap size N is k steps (plus the ephemeral area in the
+  /// hybrid configuration); the copy reserve is bookkeeping.
+  size_t capacityWords() const override {
+    return K * StepWords + (Nursery ? Nursery->capacityWords() : 0);
+  }
+  size_t freeWords() const override;
+  size_t liveWordsAfterLastCollect() const override { return LastLiveWords; }
+  const char *name() const override {
+    return Nursery ? "non-predictive-hybrid" : "non-predictive";
+  }
+
+  //===--------------------------------------------------------------------===
+  // Introspection for tests and experiments.
+  //===--------------------------------------------------------------------===
+
+  size_t stepCount() const { return K; }
+  size_t stepWords() const { return StepWords; }
+  size_t currentJ() const { return J; }
+  bool isHybrid() const { return Nursery != nullptr; }
+  /// Words used in logical step \p Logical (1-based).
+  size_t stepUsedWords(size_t Logical) const;
+  size_t rememberedSetSize() const { return RemSet.size(); }
+  /// Largest entry count the remembered set ever reached.
+  size_t rememberedSetPeak() const { return RemsetPeak; }
+  uint64_t collectionsRun() const { return CollectionCount; }
+  uint64_t minorCollectionsRun() const { return MinorCount; }
+
+  /// Forces the tuning parameter for the next cycle; only decreases or
+  /// choices keeping steps 1..j empty are legal (Section 8.1). Exposed for
+  /// experiments; asserts on an illegal choice.
+  void overrideJ(size_t NewJ);
+
+private:
+  Space &logicalStep(size_t Logical) {
+    assert(Logical >= 1 && Logical <= K && "logical step out of range");
+    return *Buffers[LogicalToPhysical[Logical - 1]];
+  }
+  const Space &logicalStep(size_t Logical) const {
+    assert(Logical >= 1 && Logical <= K && "logical step out of range");
+    return *Buffers[LogicalToPhysical[Logical - 1]];
+  }
+
+  /// Logical step number (1-based) for a region byte, or 0 when the region
+  /// is not currently mapped (only possible for stale from-space headers,
+  /// which never reach the barrier).
+  size_t logicalOfRegion(uint8_t Region) const {
+    assert(Region >= 1 && static_cast<size_t>(Region) <= Buffers.size() &&
+           "bad region byte");
+    return PhysicalToLogical[Region - 1];
+  }
+
+  /// Allocates \p Words in the highest-numbered step with free space
+  /// (the shared path for mutator allocation in pure mode and promotion
+  /// in hybrid mode). Updates LastAllocRegion; returns nullptr when the
+  /// steps are exhausted.
+  uint64_t *tryAllocateInSteps(size_t Words);
+
+  /// Total free words in the steps still reachable by the downward
+  /// allocation cursor.
+  size_t stepsFreeWords() const;
+
+  /// Hybrid mode: promotes every nursery survivor into the steps
+  /// (Larceny's promote-all minor collection). If promotion reaches a
+  /// step numbered <= j, j is decreased below it, which preserves the
+  /// remembered-set invariant without scanning promoted objects
+  /// (Section 8.1 allows decreasing j at any time).
+  void collectMinor();
+
+  /// Runs a collection of steps CollectJ+1..k (plus, in hybrid mode, the
+  /// nursery, whose survivors are promoted) with the given exemption.
+  void collectWithJ(size_t CollectJ);
+
+  /// Grabs an empty buffer (from the pool, or freshly allocated).
+  size_t acquireBuffer();
+
+  /// Chooses j for the next cycle given \p EmptySteps leading empty steps.
+  size_t chooseJ(size_t EmptySteps) const;
+
+  NonPredictiveConfig Config;
+  size_t K;
+  size_t StepWords;
+  size_t J;
+
+  /// All step buffers ever created; index is the physical id (region byte
+  /// minus one). Buffers not mapped to a logical step sit in FreePool.
+  std::vector<std::unique_ptr<Space>> Buffers;
+  std::vector<uint16_t> LogicalToPhysical; ///< [logical-1] -> physical id.
+  std::vector<uint16_t> PhysicalToLogical; ///< [physical] -> logical or 0.
+  std::vector<uint16_t> FreePool;
+
+  size_t CurrentLogical; ///< Allocation proceeds from here downward.
+  /// Step-heap objects that may hold an interesting pointer: into steps
+  /// j+1..k from steps 1..j (Section 8.3), or — hybrid mode — into the
+  /// nursery. Entries are re-filtered when traced, per Section 8.4.
+  RememberedSet RemSet;
+  std::unique_ptr<Space> Nursery;
+  uint8_t LastAllocRegion = 1;
+  size_t LastLiveWords = 0;
+  uint64_t CollectionCount = 0;
+  uint64_t MinorCount = 0;
+  size_t RemsetPeak = 0;
+};
+
+} // namespace rdgc
+
+#endif // RDGC_GC_NONPREDICTIVE_H

@@ -1,0 +1,71 @@
+//===- gc/RememberedSet.h - Cross-generation pointer tracking ---*- C++ -*-===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The remembered set used by the generational and non-predictive
+/// collectors. Entries are *holder objects* (not slots): an object is
+/// remembered when it may contain a pointer that crosses the collector's
+/// interesting boundary (old-to-nursery for the conventional collector;
+/// steps 1..j into steps j+1..k for the non-predictive collector, per
+/// Section 8.3 of the paper). Duplicate suppression uses the remembered bit
+/// in the object header, so insertion is O(1) and idempotent.
+///
+/// Per Section 8.4, the collector re-examines every entry when it is traced
+/// and drops entries that no longer contain interesting pointers; with the
+/// promote-all policies used here that reduces to clearing the set after
+/// each collection that consumes it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDGC_GC_REMEMBEREDSET_H
+#define RDGC_GC_REMEMBEREDSET_H
+
+#include "heap/Object.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace rdgc {
+
+/// A deduplicated sequential store buffer of holder objects.
+class RememberedSet {
+public:
+  /// Remembers \p Holder; no-op if it is already remembered. Returns true
+  /// when a new entry was created.
+  bool insert(uint64_t *Holder) {
+    if (header::isRemembered(*Holder))
+      return false;
+    *Holder = header::setRemembered(*Holder);
+    Entries.push_back(Holder);
+    return true;
+  }
+
+  /// Visits every remembered holder.
+  template <typename VisitorT> void forEach(VisitorT &&Visit) const {
+    for (uint64_t *Holder : Entries)
+      Visit(Holder);
+  }
+
+  /// Empties the set, clearing the remembered bit of every (unmoved)
+  /// entry. Holders that were evacuated by a copying collection carry a
+  /// cleared bit on their new copy already (see CopyScavenger), so clearing
+  /// the stale from-space header here is harmless.
+  void clear() {
+    for (uint64_t *Holder : Entries)
+      *Holder = header::clearRemembered(*Holder);
+    Entries.clear();
+  }
+
+  size_t size() const { return Entries.size(); }
+  bool empty() const { return Entries.empty(); }
+
+private:
+  std::vector<uint64_t *> Entries;
+};
+
+} // namespace rdgc
+
+#endif // RDGC_GC_REMEMBEREDSET_H

@@ -1,0 +1,84 @@
+//===- gc/Space.h - Contiguous bump-allocated space -------------*- C++ -*-===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A contiguous, bump-allocated region of words. Semispaces, nursery, and
+/// the non-predictive collector's steps are all Spaces; the mark/sweep
+/// arena reuses the storage but manages it with a free list instead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDGC_GC_SPACE_H
+#define RDGC_GC_SPACE_H
+
+#include "heap/Object.h"
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+
+namespace rdgc {
+
+/// A fixed-size word buffer with a bump allocation cursor.
+class Space {
+public:
+  explicit Space(size_t CapacityWords)
+      : Storage(std::make_unique<uint64_t[]>(CapacityWords)),
+        Capacity(CapacityWords), Top(0) {
+    assert(CapacityWords >= 2 && "space too small for any object");
+  }
+
+  Space(Space &&) = default;
+  Space &operator=(Space &&) = default;
+
+  /// Bump-allocates \p Words words; returns nullptr when they don't fit.
+  uint64_t *tryAllocate(size_t Words) {
+    if (Top + Words > Capacity)
+      return nullptr;
+    uint64_t *Result = Storage.get() + Top;
+    Top += Words;
+    return Result;
+  }
+
+  bool contains(const uint64_t *P) const {
+    return P >= Storage.get() && P < Storage.get() + Capacity;
+  }
+
+  /// Empties the space (allocation restarts at the bottom).
+  void reset() { Top = 0; }
+
+  size_t capacityWords() const { return Capacity; }
+  size_t usedWords() const { return Top; }
+  size_t freeWords() const { return Capacity - Top; }
+  bool isEmpty() const { return Top == 0; }
+
+  uint64_t *begin() const { return Storage.get(); }
+  uint64_t *allocationCursor() const { return Storage.get() + Top; }
+
+  /// Walks every object in [begin, cursor) in address order, calling
+  /// \p Visit with the header address. Forwarded and free objects are
+  /// included (their headers still carry a valid size), so this works on a
+  /// from-space after evacuation.
+  template <typename VisitorT> void forEachObject(VisitorT &&Visit) const {
+    uint64_t *P = begin();
+    uint64_t *End = allocationCursor();
+    while (P < End) {
+      size_t Words = header::payloadWords(*P) + 1;
+      assert(P + Words <= End && "corrupt object size during space walk");
+      Visit(P);
+      P += Words;
+    }
+  }
+
+private:
+  std::unique_ptr<uint64_t[]> Storage;
+  size_t Capacity;
+  size_t Top;
+};
+
+} // namespace rdgc
+
+#endif // RDGC_GC_SPACE_H

@@ -1,0 +1,79 @@
+//===- gc/StopAndCopy.cpp - Non-generational two-space collector ----------===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/StopAndCopy.h"
+
+#include "gc/CopyScavenger.h"
+#include "heap/Heap.h"
+
+#include <utility>
+
+using namespace rdgc;
+
+static size_t bytesToWords(size_t Bytes) {
+  size_t Words = Bytes / 8;
+  return Words < 2 ? 2 : Words;
+}
+
+StopAndCopyCollector::StopAndCopyCollector(size_t SemispaceBytes)
+    : Active(bytesToWords(SemispaceBytes)), Idle(bytesToWords(SemispaceBytes)) {
+}
+
+uint64_t *StopAndCopyCollector::tryAllocate(size_t Words) {
+  return Active.tryAllocate(Words);
+}
+
+size_t StopAndCopyCollector::capacityWords() const {
+  return Active.capacityWords() + Idle.capacityWords();
+}
+
+size_t StopAndCopyCollector::freeWords() const { return Active.freeWords(); }
+
+void StopAndCopyCollector::collect() {
+  Heap *H = heap();
+  assert(H && "collector not attached to a heap");
+
+  CollectionRecord Record;
+  Record.WordsAllocatedBefore = stats().wordsAllocated();
+
+  Space &From = Active;
+  Space &To = Idle;
+  uint8_t ToRegion = ActiveRegion == 1 ? 2 : 1;
+
+  CopyScavenger Scavenger(
+      [&From](const uint64_t *P) { return From.contains(P); },
+      [&To, ToRegion](size_t Words) {
+        return CopyTarget{To.tryAllocate(Words), ToRegion};
+      },
+      H->observer());
+
+  H->forEachRoot([&](Value &Slot) {
+    ++Record.RootsScanned;
+    Scavenger.scavenge(Slot);
+  });
+  Scavenger.drain();
+
+  // Report deaths: anything left unforwarded in from-space did not survive.
+  if (HeapObserver *Obs = H->observer())
+    From.forEachObject([&](uint64_t *Header) {
+      if (!ObjectRef(Header).isForwarded())
+        Obs->onDeath(Header, ObjectRef(Header).totalWords());
+    });
+
+  size_t FromUsed = From.usedWords();
+  From.reset();
+  std::swap(Active, Idle);
+  ActiveRegion = ToRegion;
+  LastLiveWords = Active.usedWords();
+
+  Record.WordsTraced = Scavenger.wordsCopied();
+  Record.WordsReclaimed = FromUsed - Scavenger.wordsCopied();
+  Record.LiveWordsAfter = LastLiveWords;
+  Record.Kind = 0;
+  stats().noteCollection(Record);
+  if (HeapObserver *Obs = H->observer())
+    Obs->onCollectionDone();
+}

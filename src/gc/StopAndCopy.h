@@ -1,0 +1,49 @@
+//===- gc/StopAndCopy.h - Non-generational two-space collector --*- C++ -*-===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The non-generational stop-and-copy collector: two equal semispaces,
+/// Cheney evacuation on every collection. This is Larceny's "stop-and-copy"
+/// baseline from Table 3 of the paper and one of the two non-generational
+/// reference points for the analysis in Section 5.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDGC_GC_STOPANDCOPY_H
+#define RDGC_GC_STOPANDCOPY_H
+
+#include "gc/Space.h"
+#include "heap/Collector.h"
+
+namespace rdgc {
+
+/// Two-semispace Cheney collector.
+class StopAndCopyCollector : public Collector {
+public:
+  /// \p SemispaceBytes is the size of each of the two semispaces.
+  explicit StopAndCopyCollector(size_t SemispaceBytes);
+
+  uint64_t *tryAllocate(size_t Words) override;
+  void collect() override;
+  uint8_t currentAllocationRegion() const override { return ActiveRegion; }
+  size_t capacityWords() const override;
+  size_t freeWords() const override;
+  size_t liveWordsAfterLastCollect() const override { return LastLiveWords; }
+  const char *name() const override { return "stop-and-copy"; }
+
+  /// Semispace size in words (for load-factor reporting).
+  size_t semispaceWords() const { return Active.capacityWords(); }
+
+private:
+  Space Active;
+  Space Idle;
+  uint8_t ActiveRegion = 1; ///< Toggles 1/2 on each flip.
+  size_t LastLiveWords = 0;
+};
+
+} // namespace rdgc
+
+#endif // RDGC_GC_STOPANDCOPY_H

@@ -1,0 +1,91 @@
+//===- heap/Collector.h - Abstract collector interface ----------*- C++ -*-===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The interface every garbage collector implements. The Heap facade owns
+/// exactly one Collector and funnels allocation, pointer stores, and
+/// explicit collection requests through it. Concrete collectors live in
+/// src/gc: stop-and-copy, mark/sweep, conventional generational, and the
+/// paper's non-predictive collector.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDGC_HEAP_COLLECTOR_H
+#define RDGC_HEAP_COLLECTOR_H
+
+#include "heap/GcStats.h"
+#include "heap/Value.h"
+
+#include <cstddef>
+
+namespace rdgc {
+
+class Heap;
+
+/// Abstract base class for collectors. Collectors own their storage; the
+/// Heap facade owns the collector and provides root enumeration.
+class Collector {
+public:
+  virtual ~Collector();
+
+  /// Attempts to allocate \p Words contiguous words (header + payload).
+  /// Returns the header address, or nullptr when the collector needs to run
+  /// a collection first (the Heap facade will call collect() and retry).
+  virtual uint64_t *tryAllocate(size_t Words) = 0;
+
+  /// Runs one collection cycle. Roots are enumerated through the attached
+  /// Heap. Live objects may move; every root slot is updated in place.
+  virtual void collect() = 0;
+
+  /// Runs the most aggressive collection the collector supports (e.g. a
+  /// major collection, or a non-predictive cycle with j = 0). The Heap
+  /// facade falls back to this when a regular collection did not free
+  /// enough storage for a pending allocation. Defaults to collect().
+  virtual void collectFull() { collect(); }
+
+  /// Write-barrier hook, invoked by the Heap facade on every store of
+  /// \p Stored into a pointer field of \p Holder (including initializing
+  /// stores). The default does nothing (non-generational collectors).
+  virtual void onPointerStore(Value Holder, Value Stored) {}
+
+  /// Region id (collector-defined) of the words most recently returned by
+  /// tryAllocate. The Heap facade stamps this into the new object's header
+  /// so barrier predicates can classify holder and target cheaply.
+  virtual uint8_t currentAllocationRegion() const { return 0; }
+
+  /// Total managed storage in words (all spaces/steps, both semispaces).
+  virtual size_t capacityWords() const = 0;
+
+  /// Words currently available for allocation without collecting.
+  virtual size_t freeWords() const = 0;
+
+  /// Live words as of the end of the last collection (collector-defined
+  /// precision; used by experiments for load-factor reporting).
+  virtual size_t liveWordsAfterLastCollect() const = 0;
+
+  /// A short, stable identifier (used in tables: "stop-and-copy", ...).
+  virtual const char *name() const = 0;
+
+  /// Heap attachment: called exactly once by the Heap constructor.
+  void attachHeap(Heap *H) {
+    assert(!AttachedHeap && "collector already attached to a heap");
+    AttachedHeap = H;
+  }
+  Heap *heap() const { return AttachedHeap; }
+
+  GcStats &stats() { return Stats; }
+  const GcStats &stats() const { return Stats; }
+
+protected:
+  GcStats Stats;
+
+private:
+  Heap *AttachedHeap = nullptr;
+};
+
+} // namespace rdgc
+
+#endif // RDGC_HEAP_COLLECTOR_H

@@ -1,0 +1,94 @@
+//===- heap/GcStats.h - Collection accounting -------------------*- C++ -*-===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Accounting shared by every collector. The paper's central cost metric is
+/// the mark/cons ratio: words marked (or copied) divided by words allocated
+/// (Section 3). We track both, along with per-collection records so the
+/// harness can reconstruct traces like Table 1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDGC_HEAP_GCSTATS_H
+#define RDGC_HEAP_GCSTATS_H
+
+#include <cstdint>
+#include <vector>
+
+namespace rdgc {
+
+/// What a single collection did.
+struct CollectionRecord {
+  uint64_t WordsAllocatedBefore = 0; ///< Cumulative allocation at GC time.
+  uint64_t WordsTraced = 0;          ///< Words marked or copied.
+  uint64_t WordsReclaimed = 0;       ///< Words of storage freed.
+  uint64_t LiveWordsAfter = 0;       ///< Live words in the collected region.
+  uint64_t RootsScanned = 0;         ///< Root and remembered-set slots.
+  int Kind = 0;                      ///< Collector-defined (minor/major/...).
+};
+
+/// Streaming counters for one collector instance.
+class GcStats {
+public:
+  void noteAllocation(uint64_t Words) {
+    WordsAllocatedCount += Words;
+    ObjectsAllocatedCount += 1;
+  }
+
+  void noteCollection(const CollectionRecord &Record) {
+    Records.push_back(Record);
+    WordsTracedCount += Record.WordsTraced;
+    WordsReclaimedCount += Record.WordsReclaimed;
+    if (Record.LiveWordsAfter > PeakLiveWordsCount)
+      PeakLiveWordsCount = Record.LiveWordsAfter;
+  }
+
+  void noteBarrierHit() { ++BarrierHits; }
+  void noteGcSeconds(double Seconds) { GcSecondsTotal += Seconds; }
+  void noteRememberedSetInsert() { ++RememberedSetInserts; }
+
+  uint64_t wordsAllocated() const { return WordsAllocatedCount; }
+  uint64_t objectsAllocated() const { return ObjectsAllocatedCount; }
+  uint64_t wordsTraced() const { return WordsTracedCount; }
+  uint64_t wordsReclaimed() const { return WordsReclaimedCount; }
+  uint64_t peakLiveWords() const { return PeakLiveWordsCount; }
+  uint64_t collections() const { return Records.size(); }
+  uint64_t barrierHits() const { return BarrierHits; }
+  /// Wall-clock seconds spent inside collection cycles (accumulated by the
+  /// Heap facade around every collector invocation).
+  double gcSeconds() const { return GcSecondsTotal; }
+  uint64_t rememberedSetInserts() const { return RememberedSetInserts; }
+
+  /// The paper's cost metric: words traced per word allocated. Returns zero
+  /// before any allocation.
+  double markConsRatio() const {
+    if (WordsAllocatedCount == 0)
+      return 0.0;
+    return static_cast<double>(WordsTracedCount) /
+           static_cast<double>(WordsAllocatedCount);
+  }
+
+  const std::vector<CollectionRecord> &records() const { return Records; }
+
+  /// Resets every counter; used between experiment phases that share one
+  /// heap (e.g. warmup vs measured region).
+  void reset() { *this = GcStats(); }
+
+private:
+  uint64_t WordsAllocatedCount = 0;
+  uint64_t ObjectsAllocatedCount = 0;
+  uint64_t WordsTracedCount = 0;
+  uint64_t WordsReclaimedCount = 0;
+  uint64_t PeakLiveWordsCount = 0;
+  uint64_t BarrierHits = 0;
+  uint64_t RememberedSetInserts = 0;
+  double GcSecondsTotal = 0.0;
+  std::vector<CollectionRecord> Records;
+};
+
+} // namespace rdgc
+
+#endif // RDGC_HEAP_GCSTATS_H

@@ -1,0 +1,355 @@
+//===- heap/Heap.cpp - The garbage-collected heap facade ------------------===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "heap/Heap.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+
+using namespace rdgc;
+
+//===----------------------------------------------------------------------===
+// Out-of-line virtual anchors.
+//===----------------------------------------------------------------------===
+
+Collector::~Collector() = default;
+RootProvider::~RootProvider() = default;
+HeapObserver::~HeapObserver() = default;
+
+const char *rdgc::objectTagName(ObjectTag Tag) {
+  switch (Tag) {
+  case ObjectTag::Pair:
+    return "pair";
+  case ObjectTag::Cell:
+    return "cell";
+  case ObjectTag::Flonum:
+    return "flonum";
+  case ObjectTag::Vector:
+    return "vector";
+  case ObjectTag::Closure:
+    return "closure";
+  case ObjectTag::Environment:
+    return "environment";
+  case ObjectTag::Record:
+    return "record";
+  case ObjectTag::String:
+    return "string";
+  case ObjectTag::Bytevector:
+    return "bytevector";
+  case ObjectTag::Padding:
+    return "padding";
+  case ObjectTag::Free:
+    return "free";
+  case ObjectTag::Forward:
+    return "forward";
+  }
+  return "unknown";
+}
+
+//===----------------------------------------------------------------------===
+// Handle.
+//===----------------------------------------------------------------------===
+
+Handle::Handle(Heap &H) : Owner(H), Slot(Value::unspecified()) {
+  Owner.registerRootSlot(&Slot);
+}
+
+Handle::Handle(Heap &H, Value V) : Owner(H), Slot(V) {
+  Owner.registerRootSlot(&Slot);
+}
+
+Handle::~Handle() { Owner.unregisterRootSlot(&Slot); }
+
+//===----------------------------------------------------------------------===
+// Heap.
+//===----------------------------------------------------------------------===
+
+Heap::Heap(std::unique_ptr<Collector> C) : Coll(std::move(C)) {
+  assert(Coll && "heap requires a collector");
+  Coll->attachHeap(this);
+}
+
+Heap::~Heap() = default;
+
+void Heap::registerRootSlot(Value *Slot) { RootSlots.push_back(Slot); }
+
+void Heap::unregisterRootSlot(Value *Slot) {
+  // Handles unregister in LIFO order in practice, so search from the back.
+  for (size_t I = RootSlots.size(); I-- > 0;) {
+    if (RootSlots[I] == Slot) {
+      RootSlots.erase(RootSlots.begin() + static_cast<ptrdiff_t>(I));
+      return;
+    }
+  }
+  assert(false && "unregistering a slot that was never registered");
+}
+
+void Heap::addRootProvider(RootProvider *Provider) {
+  assert(Provider && "null root provider");
+  Providers.push_back(Provider);
+}
+
+void Heap::removeRootProvider(RootProvider *Provider) {
+  auto It = std::find(Providers.begin(), Providers.end(), Provider);
+  assert(It != Providers.end() && "provider not registered");
+  Providers.erase(It);
+}
+
+void Heap::forEachRoot(const std::function<void(Value &)> &Visit) {
+  for (Value *Slot : RootSlots)
+    Visit(*Slot);
+  for (RootProvider *Provider : Providers)
+    Provider->forEachRoot(Visit);
+}
+
+namespace {
+
+/// Accumulates the enclosed scope's wall time into GcStats.
+class GcTimer {
+public:
+  explicit GcTimer(GcStats &Stats)
+      : Stats(Stats), Start(std::chrono::steady_clock::now()) {}
+  ~GcTimer() {
+    auto End = std::chrono::steady_clock::now();
+    Stats.noteGcSeconds(std::chrono::duration<double>(End - Start).count());
+  }
+
+private:
+  GcStats &Stats;
+  std::chrono::steady_clock::time_point Start;
+};
+
+} // namespace
+
+void Heap::collectNow() {
+  GcTimer Timer(Coll->stats());
+  Coll->collect();
+}
+
+void Heap::collectFullNow() {
+  GcTimer Timer(Coll->stats());
+  Coll->collectFull();
+}
+
+uint64_t *Heap::allocateRaw(ObjectTag Tag, size_t PayloadWords) {
+  assert(PayloadWords >= 1 && "objects need at least one payload word");
+  size_t Words = PayloadWords + 1;
+  if (PacingBytes) {
+    PacingCounter += Words * 8;
+    if (PacingCounter >= PacingBytes) {
+      PacingCounter = 0;
+      collectFullNow();
+    }
+  }
+  uint64_t *Mem = Coll->tryAllocate(Words);
+  if (!Mem) {
+    GcTimer Timer(Coll->stats());
+    Coll->collect();
+    Mem = Coll->tryAllocate(Words);
+  }
+  if (!Mem) {
+    GcTimer Timer(Coll->stats());
+    Coll->collectFull();
+    Mem = Coll->tryAllocate(Words);
+    if (!Mem)
+      reportFatalError("heap exhausted: allocation failed after collection");
+  }
+  *Mem = header::encode(Tag, PayloadWords, Coll->currentAllocationRegion());
+  Coll->stats().noteAllocation(Words);
+  if (Obs)
+    Obs->onAllocate(Mem, Words);
+  return Mem;
+}
+
+namespace {
+
+/// Roots a fixed set of Value locals for the duration of an allocation that
+/// may collect. Strictly scoped (LIFO), so registration order is safe.
+class TempRoots {
+public:
+  TempRoots(Heap &H, std::initializer_list<Value *> Slots) : Owner(H) {
+    for (Value *Slot : Slots) {
+      Owner.registerRootSlot(Slot);
+      Registered.push_back(Slot);
+    }
+  }
+  ~TempRoots() {
+    for (size_t I = Registered.size(); I-- > 0;)
+      Owner.unregisterRootSlot(Registered[I]);
+  }
+
+private:
+  Heap &Owner;
+  std::vector<Value *> Registered;
+};
+
+} // namespace
+
+Value Heap::allocatePair(Value Car, Value Cdr) {
+  TempRoots Roots(*this, {&Car, &Cdr});
+  uint64_t *Mem = allocateRaw(ObjectTag::Pair, 2);
+  ObjectRef Obj(Mem);
+  Obj.setValueAt(0, Car);
+  Obj.setValueAt(1, Cdr);
+  Value Result = Value::pointer(Mem);
+  barrier(Result, Car);
+  barrier(Result, Cdr);
+  return Result;
+}
+
+Value Heap::allocateCell(Value Contents) {
+  TempRoots Roots(*this, {&Contents});
+  uint64_t *Mem = allocateRaw(ObjectTag::Cell, 1);
+  ObjectRef Obj(Mem);
+  Obj.setValueAt(0, Contents);
+  Value Result = Value::pointer(Mem);
+  barrier(Result, Contents);
+  return Result;
+}
+
+Value Heap::allocateFlonum(double D) {
+  uint64_t *Mem = allocateRaw(ObjectTag::Flonum, 1);
+  uint64_t Bits;
+  std::memcpy(&Bits, &D, sizeof(Bits));
+  ObjectRef(Mem).setRawAt(0, Bits);
+  return Value::pointer(Mem);
+}
+
+Value Heap::allocateVector(size_t Count, Value Fill) {
+  return allocateVectorLike(ObjectTag::Vector, Count, Fill);
+}
+
+Value Heap::allocateVectorLike(ObjectTag Tag, size_t Count, Value Fill) {
+  assert((Tag == ObjectTag::Vector || Tag == ObjectTag::Closure ||
+          Tag == ObjectTag::Environment || Tag == ObjectTag::Record) &&
+         "not a vector-shaped tag");
+  TempRoots Roots(*this, {&Fill});
+  uint64_t *Mem = allocateRaw(Tag, vectorPayloadWords(Count));
+  ObjectRef Obj(Mem);
+  Obj.setRawAt(0, Count);
+  for (size_t I = 0; I < Count; ++I)
+    Obj.setValueAt(1 + I, Fill);
+  Value Result = Value::pointer(Mem);
+  if (Count > 0)
+    barrier(Result, Fill);
+  return Result;
+}
+
+Value Heap::allocateString(std::string_view Text) {
+  uint64_t *Mem = allocateRaw(ObjectTag::String, bytesPayloadWords(Text.size()));
+  ObjectRef Obj(Mem);
+  Obj.setRawAt(0, Text.size());
+  if (!Text.empty())
+    std::memcpy(Obj.bytes(), Text.data(), Text.size());
+  // Zero any padding in the final word so heap verification can hash bytes.
+  size_t Padded = (Text.size() + 7) / 8 * 8;
+  if (Padded > Text.size())
+    std::memset(Obj.bytes() + Text.size(), 0, Padded - Text.size());
+  return Value::pointer(Mem);
+}
+
+Value Heap::allocateBytevector(size_t Bytes, uint8_t Fill) {
+  uint64_t *Mem =
+      allocateRaw(ObjectTag::Bytevector, bytesPayloadWords(Bytes));
+  ObjectRef Obj(Mem);
+  Obj.setRawAt(0, Bytes);
+  size_t Padded = (Bytes + 7) / 8 * 8;
+  std::memset(Obj.bytes(), Fill, Bytes);
+  if (Padded > Bytes)
+    std::memset(Obj.bytes() + Bytes, 0, Padded - Bytes);
+  return Value::pointer(Mem);
+}
+
+//===----------------------------------------------------------------------===
+// Typed accessors.
+//===----------------------------------------------------------------------===
+
+Value Heap::pairCar(Value Pair) const {
+  assert(isa(Pair, ObjectTag::Pair) && "car of a non-pair");
+  return ObjectRef(Pair).valueAt(0);
+}
+
+Value Heap::pairCdr(Value Pair) const {
+  assert(isa(Pair, ObjectTag::Pair) && "cdr of a non-pair");
+  return ObjectRef(Pair).valueAt(1);
+}
+
+void Heap::setPairCar(Value Pair, Value V) {
+  assert(isa(Pair, ObjectTag::Pair) && "set-car! of a non-pair");
+  ObjectRef(Pair).setValueAt(0, V);
+  barrier(Pair, V);
+}
+
+void Heap::setPairCdr(Value Pair, Value V) {
+  assert(isa(Pair, ObjectTag::Pair) && "set-cdr! of a non-pair");
+  ObjectRef(Pair).setValueAt(1, V);
+  barrier(Pair, V);
+}
+
+Value Heap::cellRef(Value Cell) const {
+  assert(isa(Cell, ObjectTag::Cell) && "cell-ref of a non-cell");
+  return ObjectRef(Cell).valueAt(0);
+}
+
+void Heap::setCell(Value Cell, Value V) {
+  assert(isa(Cell, ObjectTag::Cell) && "cell-set! of a non-cell");
+  ObjectRef(Cell).setValueAt(0, V);
+  barrier(Cell, V);
+}
+
+double Heap::flonumValue(Value Flonum) const {
+  assert(isa(Flonum, ObjectTag::Flonum) && "flonum-value of a non-flonum");
+  uint64_t Bits = ObjectRef(Flonum).rawAt(0);
+  double D;
+  std::memcpy(&D, &Bits, sizeof(D));
+  return D;
+}
+
+size_t Heap::vectorLength(Value VectorLike) const {
+  return ObjectRef(VectorLike).elementCount();
+}
+
+Value Heap::vectorRef(Value VectorLike, size_t Index) const {
+  ObjectRef Obj(VectorLike);
+  assert(Index < Obj.elementCount() && "vector index out of range");
+  return Obj.valueAt(1 + Index);
+}
+
+void Heap::vectorSet(Value VectorLike, size_t Index, Value V) {
+  ObjectRef Obj(VectorLike);
+  assert(Index < Obj.elementCount() && "vector index out of range");
+  Obj.setValueAt(1 + Index, V);
+  barrier(VectorLike, V);
+}
+
+size_t Heap::stringLength(Value StringLike) const {
+  return ObjectRef(StringLike).byteCount();
+}
+
+std::string Heap::stringValue(Value StringLike) const {
+  ObjectRef Obj(StringLike);
+  return std::string(reinterpret_cast<const char *>(Obj.bytes()),
+                     Obj.byteCount());
+}
+
+uint8_t Heap::byteRef(Value StringLike, size_t Index) const {
+  ObjectRef Obj(StringLike);
+  assert(Index < Obj.byteCount() && "byte index out of range");
+  return Obj.bytes()[Index];
+}
+
+void Heap::byteSet(Value StringLike, size_t Index, uint8_t Byte) {
+  ObjectRef Obj(StringLike);
+  assert(Index < Obj.byteCount() && "byte index out of range");
+  Obj.bytes()[Index] = Byte;
+}
+
+ObjectTag Heap::tagOf(Value Pointer) const {
+  return ObjectRef(Pointer).tag();
+}

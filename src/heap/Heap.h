@@ -1,0 +1,206 @@
+//===- heap/Heap.h - The garbage-collected heap facade ----------*- C++ -*-===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Heap facade: the single public entry point through which mutators
+/// allocate objects, read and write fields (with the write barrier applied),
+/// and register roots. A Heap owns exactly one Collector; every experiment
+/// swaps collectors behind this unchanged interface.
+///
+/// GC safety contract: any Value held in a C++ local across a call that may
+/// allocate must live in a Handle (or another registered root); allocation
+/// can trigger a collection that moves objects and rewrites rooted slots in
+/// place. The typed allocation functions root their own arguments, so
+/// `heap.allocatePair(A, B)` is safe even though A and B are plain Values —
+/// but A and B are stale afterwards if a collection ran, so idiomatic code
+/// keeps live structures in Handles.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDGC_HEAP_HEAP_H
+#define RDGC_HEAP_HEAP_H
+
+#include "heap/Collector.h"
+#include "heap/Object.h"
+#include "heap/Value.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rdgc {
+
+class Heap;
+
+/// Supplies additional root slots to the collector (e.g. the lifetime
+/// simulator's object registry, or a Scheme interpreter's global table).
+class RootProvider {
+public:
+  virtual ~RootProvider();
+  /// Invokes \p Visit on every root slot. Slots may be rewritten.
+  virtual void forEachRoot(const std::function<void(Value &)> &Visit) = 0;
+};
+
+/// Observes object lifetimes: allocation, relocation by a copying collector,
+/// and death (detected at collection time). Used by the trace instrumentation
+/// that reproduces the paper's survival-rate tables and live-storage figures.
+class HeapObserver {
+public:
+  virtual ~HeapObserver();
+  virtual void onAllocate(uint64_t *Header, size_t TotalWords) {}
+  virtual void onMove(uint64_t *From, uint64_t *To) {}
+  virtual void onDeath(uint64_t *Header, size_t TotalWords) {}
+  /// Called after every completed collection cycle.
+  virtual void onCollectionDone() {}
+};
+
+/// A rooted Value slot. The slot is registered with the heap for the
+/// lifetime of the Handle, so the collector keeps the referenced object
+/// alive and rewrites the slot when the object moves. Handles are intended
+/// for stack (scoped) use and are neither copyable nor movable.
+class Handle {
+public:
+  explicit Handle(Heap &H);
+  Handle(Heap &H, Value V);
+  ~Handle();
+
+  Handle(const Handle &) = delete;
+  Handle &operator=(const Handle &) = delete;
+
+  Value get() const { return Slot; }
+  void set(Value V) { Slot = V; }
+  Handle &operator=(Value V) {
+    Slot = V;
+    return *this;
+  }
+  operator Value() const { return Slot; }
+
+private:
+  Heap &Owner;
+  Value Slot;
+};
+
+/// The garbage-collected heap.
+class Heap {
+public:
+  /// Takes ownership of \p C and attaches it.
+  explicit Heap(std::unique_ptr<Collector> C);
+  ~Heap();
+
+  Heap(const Heap &) = delete;
+  Heap &operator=(const Heap &) = delete;
+
+  Collector &collector() { return *Coll; }
+  const Collector &collector() const { return *Coll; }
+  GcStats &stats() { return Coll->stats(); }
+  const GcStats &stats() const { return Coll->stats(); }
+
+  //===--------------------------------------------------------------------===
+  // Allocation. Every function roots its Value arguments across a possible
+  // collection and applies the write barrier to initializing pointer stores.
+  //===--------------------------------------------------------------------===
+
+  Value allocatePair(Value Car, Value Cdr);
+  Value allocateCell(Value Contents);
+  Value allocateFlonum(double D);
+  Value allocateVector(size_t Count, Value Fill);
+  /// Vector-shaped object with a different tag (Closure/Environment/Record).
+  Value allocateVectorLike(ObjectTag Tag, size_t Count, Value Fill);
+  Value allocateString(std::string_view Text);
+  Value allocateBytevector(size_t Bytes, uint8_t Fill);
+
+  //===--------------------------------------------------------------------===
+  // Typed accessors. Writes of pointer fields go through the write barrier.
+  //===--------------------------------------------------------------------===
+
+  Value pairCar(Value Pair) const;
+  Value pairCdr(Value Pair) const;
+  void setPairCar(Value Pair, Value V);
+  void setPairCdr(Value Pair, Value V);
+
+  Value cellRef(Value Cell) const;
+  void setCell(Value Cell, Value V);
+
+  double flonumValue(Value Flonum) const;
+
+  size_t vectorLength(Value VectorLike) const;
+  Value vectorRef(Value VectorLike, size_t Index) const;
+  void vectorSet(Value VectorLike, size_t Index, Value V);
+
+  size_t stringLength(Value StringLike) const;
+  std::string stringValue(Value StringLike) const;
+  uint8_t byteRef(Value StringLike, size_t Index) const;
+  void byteSet(Value StringLike, size_t Index, uint8_t Byte);
+
+  /// Tag of a heap object.
+  ObjectTag tagOf(Value Pointer) const;
+  /// True when \p V is a heap pointer with the given tag.
+  bool isa(Value V, ObjectTag Tag) const {
+    return V.isPointer() && tagOf(V) == Tag;
+  }
+
+  //===--------------------------------------------------------------------===
+  // Collection and roots.
+  //===--------------------------------------------------------------------===
+
+  /// Forces a collection cycle now.
+  void collectNow();
+
+  /// Forces the most aggressive collection the collector supports (major
+  /// collection / j = 0 cycle).
+  void collectFullNow();
+
+  /// Profiling aid: when \p Bytes is nonzero, a full collection is forced
+  /// every \p Bytes of allocation (before the triggering allocation, so
+  /// uninitialized objects are never traced). The lifetime tracer uses
+  /// this to bound death-detection error to the pacing quantum.
+  void setGcPacing(uint64_t Bytes) { PacingBytes = Bytes; }
+
+  /// Registers/unregisters an external root slot. Unregistration is
+  /// expected in roughly LIFO order (Handles guarantee it).
+  void registerRootSlot(Value *Slot);
+  void unregisterRootSlot(Value *Slot);
+
+  void addRootProvider(RootProvider *Provider);
+  void removeRootProvider(RootProvider *Provider);
+
+  /// Enumerates every root slot: handles, temporary allocation roots, and
+  /// provider-supplied roots. Collectors call this.
+  void forEachRoot(const std::function<void(Value &)> &Visit);
+
+  /// Installs (or clears, with nullptr) the lifetime observer.
+  void setObserver(HeapObserver *Observer) { Obs = Observer; }
+  HeapObserver *observer() const { return Obs; }
+
+  /// Cumulative bytes allocated — the paper's unit of time.
+  uint64_t bytesAllocated() const { return stats().wordsAllocated() * 8; }
+
+private:
+  friend class Handle;
+
+  /// Allocates header + \p PayloadWords words, collecting if necessary, and
+  /// writes the header. Aborts on exhaustion.
+  uint64_t *allocateRaw(ObjectTag Tag, size_t PayloadWords);
+
+  /// Applies the write barrier for a store of \p Stored into \p Holder.
+  void barrier(Value Holder, Value Stored) {
+    if (Stored.isPointer())
+      Coll->onPointerStore(Holder, Stored);
+  }
+
+  std::unique_ptr<Collector> Coll;
+  uint64_t PacingBytes = 0;
+  uint64_t PacingCounter = 0;
+  std::vector<Value *> RootSlots;
+  std::vector<RootProvider *> Providers;
+  HeapObserver *Obs = nullptr;
+};
+
+} // namespace rdgc
+
+#endif // RDGC_HEAP_HEAP_H

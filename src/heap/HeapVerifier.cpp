@@ -1,0 +1,108 @@
+//===- heap/HeapVerifier.cpp - Heap integrity checking --------------------===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "heap/HeapVerifier.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <unordered_set>
+#include <vector>
+
+using namespace rdgc;
+
+namespace {
+
+bool checkObject(ObjectRef Obj, std::string &Problem) {
+  char Buf[128];
+  switch (Obj.tag()) {
+  case ObjectTag::Pair:
+    if (Obj.payloadWords() != 2) {
+      Problem = "pair with wrong payload size";
+      return false;
+    }
+    return true;
+  case ObjectTag::Cell:
+    if (Obj.payloadWords() != 1) {
+      Problem = "cell with wrong payload size";
+      return false;
+    }
+    return true;
+  case ObjectTag::Flonum:
+    if (Obj.payloadWords() != 1) {
+      Problem = "flonum with wrong payload size";
+      return false;
+    }
+    return true;
+  case ObjectTag::Vector:
+  case ObjectTag::Closure:
+  case ObjectTag::Environment:
+  case ObjectTag::Record:
+    if (Obj.payloadWords() != Obj.elementCount() + 1) {
+      std::snprintf(Buf, sizeof(Buf),
+                    "%s length word %" PRIu64
+                    " disagrees with payload size %zu",
+                    objectTagName(Obj.tag()),
+                    static_cast<uint64_t>(Obj.elementCount()),
+                    Obj.payloadWords());
+      Problem = Buf;
+      return false;
+    }
+    return true;
+  case ObjectTag::String:
+  case ObjectTag::Bytevector:
+    if (Obj.payloadWords() != 1 + (Obj.byteCount() + 7) / 8) {
+      Problem = "string/bytevector byte count disagrees with payload size";
+      return false;
+    }
+    return true;
+  case ObjectTag::Padding:
+  case ObjectTag::Free:
+    Problem = std::string("reachable ") + objectTagName(Obj.tag()) +
+              " pseudo-object";
+    return false;
+  case ObjectTag::Forward:
+    Problem = "reachable forwarded object (collection left a stale "
+              "reference)";
+    return false;
+  }
+  Problem = "unknown object tag";
+  return false;
+}
+
+} // namespace
+
+HeapVerification rdgc::verifyHeap(Heap &H) {
+  HeapVerification Result;
+  std::unordered_set<const uint64_t *> Visited;
+  std::vector<uint64_t *> Worklist;
+
+  auto Visit = [&](Value V) {
+    if (!Result.Ok || !V.isPointer())
+      return;
+    uint64_t *Header = V.asHeaderPtr();
+    if (!Visited.insert(Header).second)
+      return;
+    ObjectRef Obj(Header);
+    std::string Problem;
+    if (!checkObject(Obj, Problem)) {
+      Result.Ok = false;
+      Result.FirstProblem = Problem;
+      return;
+    }
+    Result.ObjectsVisited += 1;
+    Result.WordsVisited += Obj.totalWords();
+    Worklist.push_back(Header);
+  };
+
+  H.forEachRoot([&](Value &Slot) { Visit(Slot); });
+  while (Result.Ok && !Worklist.empty()) {
+    uint64_t *Header = Worklist.back();
+    Worklist.pop_back();
+    ObjectRef(Header).forEachPointerSlot(
+        [&](uint64_t *SlotWord) { Visit(Value::fromRawBits(*SlotWord)); });
+  }
+  return Result;
+}

@@ -1,0 +1,41 @@
+//===- heap/HeapVerifier.h - Heap integrity checking ------------*- C++ -*-===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A debugging aid that walks everything reachable from the roots and
+/// checks structural invariants: headers carry sane tags and sizes,
+/// vector-like objects' length words agree with their payload sizes, no
+/// reachable object is forwarded or free, and the object graph is
+/// finitely traversable. Tests run it after stress scenarios; examples
+/// can call it after a collection to assert the heap is sound.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDGC_HEAP_HEAPVERIFIER_H
+#define RDGC_HEAP_HEAPVERIFIER_H
+
+#include "heap/Heap.h"
+
+#include <cstdint>
+#include <string>
+
+namespace rdgc {
+
+/// The verifier's verdict.
+struct HeapVerification {
+  bool Ok = true;
+  std::string FirstProblem;    ///< Empty when Ok.
+  uint64_t ObjectsVisited = 0; ///< Distinct reachable objects.
+  uint64_t WordsVisited = 0;   ///< Their total footprint.
+};
+
+/// Verifies every object reachable from \p H's roots. Read-only; never
+/// allocates on the verified heap.
+HeapVerification verifyHeap(Heap &H);
+
+} // namespace rdgc
+
+#endif // RDGC_HEAP_HEAPVERIFIER_H

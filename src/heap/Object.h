@@ -1,0 +1,260 @@
+//===- heap/Object.h - Object headers and layouts ---------------*- C++ -*-===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Heap object headers and layout rules shared by every collector.
+///
+/// Every heap object is a header word followed by payload words:
+///
+///   bits 0..5   ObjectTag
+///   bit  6      mark bit (mark/sweep collectors)
+///   bit  7      remembered bit (deduplicates remembered-set entries)
+///   bits 8..15  region id (collector-defined: space, generation, or step)
+///   bits 16..63 payload size in words
+///
+/// Layouts by tag (payload word indices):
+///   Pair         [0]=car (Value)  [1]=cdr (Value)
+///   Cell         [0]=contents (Value)
+///   Flonum       [0]=IEEE double bits (raw)
+///   Vector       [0]=element count (raw)  [1..n]=elements (Values)
+///   Closure      same shape as Vector (the Scheme layer defines the slots)
+///   Environment  same shape as Vector
+///   Record       same shape as Vector
+///   String       [0]=byte count (raw)     [1..]=bytes (raw)
+///   Bytevector   same shape as String
+///   Forward      [0]=forwarding pointer (Value); set by copying collectors
+///
+/// Every object has at least one payload word, so a forwarding pointer
+/// always fits in payload word 0.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDGC_HEAP_OBJECT_H
+#define RDGC_HEAP_OBJECT_H
+
+#include "heap/Value.h"
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+
+namespace rdgc {
+
+/// Runtime type of a heap object.
+enum class ObjectTag : uint8_t {
+  Pair = 0,
+  Cell = 1,
+  Flonum = 2,
+  Vector = 3,
+  Closure = 4,
+  Environment = 5,
+  Record = 6,
+  String = 7,
+  Bytevector = 8,
+  Padding = 29, ///< One-word filler (mark/sweep arenas only; no payload).
+  Free = 30,    ///< Free-list chunk (mark/sweep arenas only).
+  Forward = 31, ///< Forwarded object (copying collection in progress).
+};
+
+/// Returns a human-readable name for \p Tag.
+const char *objectTagName(ObjectTag Tag);
+
+/// Header encode/decode helpers. A header is a single uint64_t at the start
+/// of the object; Value pointers point at the header word.
+namespace header {
+
+constexpr uint64_t TagMask = 0x3f;
+constexpr uint64_t MarkBit = 1ULL << 6;
+constexpr uint64_t RememberedBit = 1ULL << 7;
+constexpr unsigned RegionShift = 8;
+constexpr uint64_t RegionMask = 0xffULL << RegionShift;
+constexpr unsigned SizeShift = 16;
+
+inline uint64_t encode(ObjectTag Tag, size_t PayloadWords, uint8_t Region) {
+  assert((PayloadWords >= 1 || Tag == ObjectTag::Padding) &&
+         "allocated objects need at least one payload word");
+  assert(PayloadWords < (1ULL << 48) && "object too large");
+  return static_cast<uint64_t>(Tag) |
+         (static_cast<uint64_t>(Region) << RegionShift) |
+         (static_cast<uint64_t>(PayloadWords) << SizeShift);
+}
+
+inline ObjectTag tag(uint64_t Header) {
+  return static_cast<ObjectTag>(Header & TagMask);
+}
+
+inline size_t payloadWords(uint64_t Header) {
+  return static_cast<size_t>(Header >> SizeShift);
+}
+
+inline uint8_t region(uint64_t Header) {
+  return static_cast<uint8_t>((Header & RegionMask) >> RegionShift);
+}
+
+inline uint64_t withRegion(uint64_t Header, uint8_t Region) {
+  return (Header & ~RegionMask) |
+         (static_cast<uint64_t>(Region) << RegionShift);
+}
+
+inline bool isMarked(uint64_t Header) { return (Header & MarkBit) != 0; }
+inline uint64_t setMark(uint64_t Header) { return Header | MarkBit; }
+inline uint64_t clearMark(uint64_t Header) { return Header & ~MarkBit; }
+
+inline bool isRemembered(uint64_t Header) {
+  return (Header & RememberedBit) != 0;
+}
+inline uint64_t setRemembered(uint64_t Header) {
+  return Header | RememberedBit;
+}
+inline uint64_t clearRemembered(uint64_t Header) {
+  return Header & ~RememberedBit;
+}
+
+} // namespace header
+
+/// Non-owning view of a heap object, wrapping the header address. All
+/// collectors and the Heap facade manipulate objects through this view.
+class ObjectRef {
+public:
+  explicit ObjectRef(uint64_t *Header) : Header(Header) {
+    assert(Header && "null object");
+  }
+  explicit ObjectRef(Value V) : ObjectRef(V.asHeaderPtr()) {}
+
+  uint64_t *headerPtr() const { return Header; }
+  uint64_t headerWord() const { return *Header; }
+  void setHeaderWord(uint64_t W) { *Header = W; }
+
+  ObjectTag tag() const { return header::tag(*Header); }
+  size_t payloadWords() const { return header::payloadWords(*Header); }
+  /// Total footprint including the header word.
+  size_t totalWords() const { return payloadWords() + 1; }
+  uint8_t region() const { return header::region(*Header); }
+  void setRegion(uint8_t Region) {
+    *Header = header::withRegion(*Header, Region);
+  }
+
+  bool isForwarded() const { return tag() == ObjectTag::Forward; }
+
+  /// Installs a forwarding pointer to \p NewLocation (another header
+  /// address), preserving nothing else: the object has been copied.
+  void forwardTo(uint64_t *NewLocation) {
+    assert(!isForwarded() && "object already forwarded");
+    *Header = header::encode(ObjectTag::Forward, payloadWords(), region());
+    payload()[0] = Value::pointer(NewLocation).rawBits();
+  }
+
+  /// The forwarding destination of a forwarded object.
+  uint64_t *forwardedTo() const {
+    assert(isForwarded() && "object not forwarded");
+    return Value::fromRawBits(payload()[0]).asHeaderPtr();
+  }
+
+  uint64_t *payload() const { return Header + 1; }
+
+  /// Reads payload word \p Index as a Value.
+  Value valueAt(size_t Index) const {
+    assert(Index < payloadWords() && "payload index out of range");
+    return Value::fromRawBits(payload()[Index]);
+  }
+
+  /// Writes payload word \p Index as a Value (no write barrier; the Heap
+  /// facade is responsible for barriers).
+  void setValueAt(size_t Index, Value V) {
+    assert(Index < payloadWords() && "payload index out of range");
+    payload()[Index] = V.rawBits();
+  }
+
+  /// Raw payload word access (lengths, flonum bits, string bytes).
+  uint64_t rawAt(size_t Index) const {
+    assert(Index < payloadWords() && "payload index out of range");
+    return payload()[Index];
+  }
+  void setRawAt(size_t Index, uint64_t W) {
+    assert(Index < payloadWords() && "payload index out of range");
+    payload()[Index] = W;
+  }
+
+  /// For Vector/Closure/Environment/Record: the logical element count.
+  size_t elementCount() const {
+    assert(hasLengthWord() && "object has no length word");
+    return static_cast<size_t>(payload()[0]);
+  }
+
+  /// For String/Bytevector: the logical byte count.
+  size_t byteCount() const {
+    ObjectTag T = tag();
+    assert((T == ObjectTag::String || T == ObjectTag::Bytevector) &&
+           "object has no byte count");
+    (void)T;
+    return static_cast<size_t>(payload()[0]);
+  }
+
+  /// Byte storage of a String/Bytevector (after the length word).
+  uint8_t *bytes() const {
+    assert((tag() == ObjectTag::String || tag() == ObjectTag::Bytevector) &&
+           "object has no byte storage");
+    return reinterpret_cast<uint8_t *>(payload() + 1);
+  }
+
+  /// True for tags whose payload word 0 is a raw length followed by Values.
+  bool hasLengthWord() const {
+    ObjectTag T = tag();
+    return T == ObjectTag::Vector || T == ObjectTag::Closure ||
+           T == ObjectTag::Environment || T == ObjectTag::Record;
+  }
+
+  /// Invokes \p Visit on every payload slot that holds a Value, passing the
+  /// slot address so the visitor can rewrite it (copying collectors do).
+  /// Must not be called on forwarded or free objects.
+  template <typename VisitorT> void forEachPointerSlot(VisitorT &&Visit) {
+    switch (tag()) {
+    case ObjectTag::Pair:
+      Visit(payload() + 0);
+      Visit(payload() + 1);
+      return;
+    case ObjectTag::Cell:
+      Visit(payload() + 0);
+      return;
+    case ObjectTag::Vector:
+    case ObjectTag::Closure:
+    case ObjectTag::Environment:
+    case ObjectTag::Record: {
+      size_t Count = elementCount();
+      for (size_t I = 0; I < Count; ++I)
+        Visit(payload() + 1 + I);
+      return;
+    }
+    case ObjectTag::Flonum:
+    case ObjectTag::String:
+    case ObjectTag::Bytevector:
+    case ObjectTag::Padding:
+      return;
+    case ObjectTag::Free:
+    case ObjectTag::Forward:
+      assert(false && "cannot scan a free or forwarded object");
+      return;
+    }
+    assert(false && "unknown object tag");
+  }
+
+private:
+  uint64_t *Header;
+};
+
+/// Number of payload words needed for a vector-like object of \p Elements
+/// elements: one raw length word plus the elements, minimum one word.
+inline size_t vectorPayloadWords(size_t Elements) { return 1 + Elements; }
+
+/// Number of payload words needed for a string-like object of \p Bytes
+/// bytes: one raw length word plus the rounded-up byte storage.
+inline size_t bytesPayloadWords(size_t Bytes) {
+  return 1 + (Bytes + 7) / 8;
+}
+
+} // namespace rdgc
+
+#endif // RDGC_HEAP_OBJECT_H

@@ -1,0 +1,65 @@
+//===- heap/RootStack.h - Scoped rooting of value vectors -------*- C++ -*-===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A RootProvider that exposes a stack of std::vector<Value> frames to the
+/// collector. Recursive tree-walkers (the reader, the evaluator) keep their
+/// intermediate values in scoped frames so they survive collections
+/// triggered by nested allocation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDGC_HEAP_ROOTSTACK_H
+#define RDGC_HEAP_ROOTSTACK_H
+
+#include "heap/Heap.h"
+
+#include <vector>
+
+namespace rdgc {
+
+/// Stack of rooted Value vectors.
+class RootStack : public RootProvider {
+public:
+  explicit RootStack(Heap &H) : H(H) { H.addRootProvider(this); }
+  ~RootStack() override { H.removeRootProvider(this); }
+
+  RootStack(const RootStack &) = delete;
+  RootStack &operator=(const RootStack &) = delete;
+
+  void forEachRoot(const std::function<void(Value &)> &Visit) override {
+    for (std::vector<Value> *Frame : Frames)
+      for (Value &V : *Frame)
+        Visit(V);
+  }
+
+  void push(std::vector<Value> *Frame) { Frames.push_back(Frame); }
+  void pop() { Frames.pop_back(); }
+
+private:
+  Heap &H;
+  std::vector<std::vector<Value> *> Frames;
+};
+
+/// RAII frame registration.
+class ScopedRootFrame {
+public:
+  ScopedRootFrame(RootStack &Stack, std::vector<Value> *Frame)
+      : Stack(Stack) {
+    Stack.push(Frame);
+  }
+  ~ScopedRootFrame() { Stack.pop(); }
+
+  ScopedRootFrame(const ScopedRootFrame &) = delete;
+  ScopedRootFrame &operator=(const ScopedRootFrame &) = delete;
+
+private:
+  RootStack &Stack;
+};
+
+} // namespace rdgc
+
+#endif // RDGC_HEAP_ROOTSTACK_H

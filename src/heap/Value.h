@@ -1,0 +1,172 @@
+//===- heap/Value.h - Tagged 64-bit runtime values --------------*- C++ -*-===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The tagged value representation used by the garbage-collected heap,
+/// modeled on Larceny's uniform representation (Section 7.2 of the paper:
+/// "Larceny's uniform 32-bit representation", widened here to 64 bits).
+///
+/// Encoding (low 3 bits):
+///   xx1  fixnum        (61-bit signed integer, value in bits 1..63)
+///   000  heap pointer  (8-byte-aligned address of the object header)
+///   010  immediate     (subtag in bits 3..7, payload in bits 8..63)
+///
+/// Immediates cover '(), #t, #f, the unspecified value, end-of-file, Unicode
+/// characters, and interned symbols (symbols are immediates holding an index
+/// into the runtime's symbol table, so symbol comparison is eq? and symbols
+/// never occupy heap storage).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDGC_HEAP_VALUE_H
+#define RDGC_HEAP_VALUE_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace rdgc {
+
+/// Subtags for immediate (non-pointer, non-fixnum) values.
+enum class ImmediateKind : uint8_t {
+  Null = 0,        ///< The empty list '().
+  False = 1,       ///< #f.
+  True = 2,        ///< #t.
+  Unspecified = 3, ///< The unspecified value (result of set! etc.).
+  Eof = 4,         ///< End-of-file object.
+  Char = 5,        ///< Character; payload is the code point.
+  Symbol = 6,      ///< Interned symbol; payload is the symbol-table index.
+};
+
+/// A tagged 64-bit Scheme-style value. Trivially copyable; the garbage
+/// collector relocates the objects that pointer values designate and
+/// rewrites the values in place, so a Value held across a collection must
+/// live in a rooted slot (see Handle).
+class Value {
+public:
+  /// Default-constructs the unspecified value so uninitialized slots are
+  /// always safe for the collector to scan.
+  constexpr Value() : Bits(encodeImmediate(ImmediateKind::Unspecified, 0)) {}
+
+  //===--------------------------------------------------------------------===
+  // Constructors.
+  //===--------------------------------------------------------------------===
+
+  static constexpr Value fixnum(int64_t V) {
+    return Value((static_cast<uint64_t>(V) << 1) | 0x1);
+  }
+
+  /// Wraps a pointer to an object header. \p Header must be 8-byte aligned.
+  static Value pointer(uint64_t *Header) {
+    auto Bits = reinterpret_cast<uint64_t>(Header);
+    assert((Bits & 0x7) == 0 && "heap pointers must be 8-byte aligned");
+    return Value(Bits);
+  }
+
+  static constexpr Value null() {
+    return Value(encodeImmediate(ImmediateKind::Null, 0));
+  }
+  static constexpr Value falseValue() {
+    return Value(encodeImmediate(ImmediateKind::False, 0));
+  }
+  static constexpr Value trueValue() {
+    return Value(encodeImmediate(ImmediateKind::True, 0));
+  }
+  static constexpr Value boolean(bool B) {
+    return B ? trueValue() : falseValue();
+  }
+  static constexpr Value unspecified() {
+    return Value(encodeImmediate(ImmediateKind::Unspecified, 0));
+  }
+  static constexpr Value eof() {
+    return Value(encodeImmediate(ImmediateKind::Eof, 0));
+  }
+  static constexpr Value character(uint32_t CodePoint) {
+    return Value(encodeImmediate(ImmediateKind::Char, CodePoint));
+  }
+  /// A symbol immediate holding an index into the runtime's symbol table.
+  static constexpr Value symbol(uint32_t Index) {
+    return Value(encodeImmediate(ImmediateKind::Symbol, Index));
+  }
+
+  //===--------------------------------------------------------------------===
+  // Predicates.
+  //===--------------------------------------------------------------------===
+
+  constexpr bool isFixnum() const { return (Bits & 0x1) != 0; }
+  constexpr bool isPointer() const { return (Bits & 0x7) == 0; }
+  constexpr bool isImmediate() const { return (Bits & 0x7) == 0x2; }
+
+  constexpr bool isNull() const { return isKind(ImmediateKind::Null); }
+  constexpr bool isFalse() const { return isKind(ImmediateKind::False); }
+  constexpr bool isTrue() const { return isKind(ImmediateKind::True); }
+  constexpr bool isBoolean() const { return isFalse() || isTrue(); }
+  constexpr bool isUnspecified() const {
+    return isKind(ImmediateKind::Unspecified);
+  }
+  constexpr bool isEof() const { return isKind(ImmediateKind::Eof); }
+  constexpr bool isChar() const { return isKind(ImmediateKind::Char); }
+  constexpr bool isSymbol() const { return isKind(ImmediateKind::Symbol); }
+
+  /// Scheme truthiness: everything except #f is true.
+  constexpr bool isTruthy() const { return !isFalse(); }
+
+  //===--------------------------------------------------------------------===
+  // Accessors.
+  //===--------------------------------------------------------------------===
+
+  constexpr int64_t asFixnum() const {
+    assert(isFixnum() && "not a fixnum");
+    return static_cast<int64_t>(Bits) >> 1;
+  }
+
+  uint64_t *asHeaderPtr() const {
+    assert(isPointer() && "not a heap pointer");
+    return reinterpret_cast<uint64_t *>(Bits);
+  }
+
+  constexpr uint32_t asChar() const {
+    assert(isChar() && "not a character");
+    return static_cast<uint32_t>(Bits >> 8);
+  }
+
+  constexpr uint32_t symbolIndex() const {
+    assert(isSymbol() && "not a symbol");
+    return static_cast<uint32_t>(Bits >> 8);
+  }
+
+  /// Raw bit pattern, for hashing and debugging.
+  constexpr uint64_t rawBits() const { return Bits; }
+  static constexpr Value fromRawBits(uint64_t Bits) { return Value(Bits); }
+
+  /// Identity comparison (Scheme eq?).
+  friend constexpr bool operator==(Value A, Value B) {
+    return A.Bits == B.Bits;
+  }
+  friend constexpr bool operator!=(Value A, Value B) {
+    return A.Bits != B.Bits;
+  }
+
+private:
+  explicit constexpr Value(uint64_t Bits) : Bits(Bits) {}
+
+  static constexpr uint64_t encodeImmediate(ImmediateKind Kind,
+                                            uint64_t Payload) {
+    return (Payload << 8) | (static_cast<uint64_t>(Kind) << 3) | 0x2;
+  }
+
+  constexpr bool isKind(ImmediateKind Kind) const {
+    return isImmediate() &&
+           ((Bits >> 3) & 0x1f) == static_cast<uint64_t>(Kind);
+  }
+
+  uint64_t Bits;
+};
+
+static_assert(sizeof(Value) == 8, "Value must be one machine word");
+
+} // namespace rdgc
+
+#endif // RDGC_HEAP_VALUE_H

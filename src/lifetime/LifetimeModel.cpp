@@ -1,0 +1,56 @@
+//===- lifetime/LifetimeModel.cpp - Object lifetime distributions ---------===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lifetime/LifetimeModel.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace rdgc;
+
+LifetimeModel::~LifetimeModel() = default;
+
+RadioactiveLifetime::RadioactiveLifetime(double HalfLife)
+    : H(HalfLife), SurvivalPerUnit(std::exp2(-1.0 / HalfLife)) {
+  assert(HalfLife > 0.0 && "half-life must be positive");
+}
+
+uint64_t RadioactiveLifetime::sampleLifetime(uint64_t, Xoshiro256 &Rng) {
+  return Rng.nextGeometric(SurvivalPerUnit);
+}
+
+WeakGenerationalLifetime::WeakGenerationalLifetime(double DieYoungProb,
+                                                   double YoungHalfLife,
+                                                   double OldHalfLife)
+    : DieYoungProb(DieYoungProb),
+      YoungSurvival(std::exp2(-1.0 / YoungHalfLife)),
+      OldSurvival(std::exp2(-1.0 / OldHalfLife)) {
+  assert(DieYoungProb >= 0.0 && DieYoungProb <= 1.0 && "not a probability");
+}
+
+uint64_t WeakGenerationalLifetime::sampleLifetime(uint64_t, Xoshiro256 &Rng) {
+  double Survival = Rng.nextBernoulli(DieYoungProb) ? YoungSurvival
+                                                    : OldSurvival;
+  return Rng.nextGeometric(Survival);
+}
+
+PhasedLifetime::PhasedLifetime(uint64_t PhaseLength, double Carryover)
+    : PhaseLength(PhaseLength), Carryover(Carryover) {
+  assert(PhaseLength > 0 && "phase length must be positive");
+  assert(Carryover >= 0.0 && Carryover < 1.0 && "carryover must be in [0,1)");
+}
+
+uint64_t PhasedLifetime::sampleLifetime(uint64_t Now, Xoshiro256 &Rng) {
+  // Live until the end of the current phase; with probability Carryover^n
+  // survive n further phases. This makes old objects (born early in a
+  // phase) no more likely to survive the extinction than young ones, and
+  // gives monotonically *decreasing* survival with age within a phase.
+  uint64_t UntilPhaseEnd = PhaseLength - (Now % PhaseLength);
+  uint64_t Lifetime = UntilPhaseEnd;
+  while (Rng.nextBernoulli(Carryover))
+    Lifetime += PhaseLength;
+  return Lifetime;
+}

@@ -1,0 +1,115 @@
+//===- lifetime/LifetimeModel.h - Object lifetime distributions -*- C++ -*-===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lifetime distributions for the mutator driver. Time is measured in
+/// allocation units (one object allocated per unit), the paper's convention
+/// (Section 2). The radioactive decay model is the star; the others exist
+/// for baselines and ablations: the weak generational hypothesis (most
+/// objects die young), anti-generational lifetimes (survival decreases with
+/// age, like the iterated 10dynamic benchmark of Section 7.2), and
+/// degenerate distributions for tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDGC_LIFETIME_LIFETIMEMODEL_H
+#define RDGC_LIFETIME_LIFETIMEMODEL_H
+
+#include "support/Random.h"
+
+#include <cstdint>
+#include <memory>
+
+namespace rdgc {
+
+/// Samples object lifetimes, in allocation units.
+class LifetimeModel {
+public:
+  virtual ~LifetimeModel();
+
+  /// Returns the number of allocation units the object allocated at time
+  /// \p Now will live. Zero means it dies before the next allocation.
+  virtual uint64_t sampleLifetime(uint64_t Now, Xoshiro256 &Rng) = 0;
+
+  virtual const char *name() const = 0;
+};
+
+/// Section 2's model: memoryless, half-life H. Age predicts nothing.
+class RadioactiveLifetime : public LifetimeModel {
+public:
+  explicit RadioactiveLifetime(double HalfLife);
+  uint64_t sampleLifetime(uint64_t Now, Xoshiro256 &Rng) override;
+  const char *name() const override { return "radioactive-decay"; }
+  double halfLife() const { return H; }
+
+private:
+  double H;
+  double SurvivalPerUnit;
+};
+
+/// The weak generational hypothesis: a fraction DieYoungProb of objects
+/// die with a short half-life; the rest live with a long half-life.
+class WeakGenerationalLifetime : public LifetimeModel {
+public:
+  WeakGenerationalLifetime(double DieYoungProb, double YoungHalfLife,
+                           double OldHalfLife);
+  uint64_t sampleLifetime(uint64_t Now, Xoshiro256 &Rng) override;
+  const char *name() const override { return "weak-generational"; }
+
+private:
+  double DieYoungProb;
+  double YoungSurvival;
+  double OldSurvival;
+};
+
+/// Anti-generational lifetimes modeled on iterated processes (Section 7.2,
+/// Table 5): objects live until the end of the current phase (a mass
+/// extinction every PhaseLength units), except a Carryover fraction that
+/// survives into the next phase. Survival rates *decrease* with age, the
+/// opposite of the strong generational hypothesis.
+class PhasedLifetime : public LifetimeModel {
+public:
+  PhasedLifetime(uint64_t PhaseLength, double Carryover);
+  uint64_t sampleLifetime(uint64_t Now, Xoshiro256 &Rng) override;
+  const char *name() const override { return "phased"; }
+
+private:
+  uint64_t PhaseLength;
+  double Carryover;
+};
+
+/// Every object lives exactly Lifetime units (deterministic; test support).
+class FixedLifetime : public LifetimeModel {
+public:
+  explicit FixedLifetime(uint64_t Lifetime) : Lifetime(Lifetime) {}
+  uint64_t sampleLifetime(uint64_t, Xoshiro256 &) override {
+    return Lifetime;
+  }
+  const char *name() const override { return "fixed"; }
+
+private:
+  uint64_t Lifetime;
+};
+
+/// Lifetimes uniform in [Lo, Hi] (an age-predictive distribution where a
+/// conventional collector's heuristics do work; ablation baseline).
+class UniformLifetime : public LifetimeModel {
+public:
+  UniformLifetime(uint64_t Lo, uint64_t Hi) : Lo(Lo), Hi(Hi) {}
+  uint64_t sampleLifetime(uint64_t, Xoshiro256 &Rng) override {
+    return static_cast<uint64_t>(
+        Rng.nextInRange(static_cast<int64_t>(Lo), static_cast<int64_t>(Hi)));
+  }
+  const char *name() const override { return "uniform"; }
+
+private:
+  uint64_t Lo;
+  uint64_t Hi;
+};
+
+} // namespace rdgc
+
+#endif // RDGC_LIFETIME_LIFETIMEMODEL_H

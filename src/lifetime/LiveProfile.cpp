@@ -1,0 +1,51 @@
+//===- lifetime/LiveProfile.cpp - Live storage by cohort ------------------===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lifetime/LiveProfile.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace rdgc;
+
+LiveProfile::LiveProfile(const ObjectTrace &Trace, uint64_t EpochBytes,
+                         uint64_t SampleBytes, uint64_t OldCutoff) {
+  assert(EpochBytes > 0 && SampleBytes > 0 && "degenerate profile grid");
+  const uint64_t End = Trace.bytesAllocated();
+  const size_t SampleCount = static_cast<size_t>(End / SampleBytes) + 1;
+  const size_t EpochCount = static_cast<size_t>(End / EpochBytes) + 1;
+
+  Times.resize(SampleCount);
+  for (size_t S = 0; S < SampleCount; ++S)
+    Times[S] = static_cast<uint64_t>(S) * SampleBytes;
+  Total.assign(SampleCount, 0);
+  // One layer per epoch plus the old/"white" band as the last layer.
+  Layers.assign(EpochCount + 1,
+                std::vector<double>(SampleCount, 0.0));
+
+  for (const ObjectRecord &R : Trace.records()) {
+    size_t Epoch = static_cast<size_t>(R.BirthBytes / EpochBytes);
+    // Sample indices where the object is live: birth <= t < death.
+    size_t First = static_cast<size_t>(
+        (R.BirthBytes + SampleBytes - 1) / SampleBytes);
+    uint64_t DeathClamped = std::min<uint64_t>(R.DeathBytes, End + 1);
+    for (size_t S = First; S < SampleCount && Times[S] < DeathClamped; ++S) {
+      Total[S] += R.SizeBytes;
+      uint64_t Age = Times[S] - R.BirthBytes;
+      if (OldCutoff != 0 && Age > OldCutoff)
+        Layers.back()[S] += static_cast<double>(R.SizeBytes);
+      else
+        Layers[Epoch][S] += static_cast<double>(R.SizeBytes);
+    }
+  }
+}
+
+uint64_t LiveProfile::peakLiveBytes() const {
+  uint64_t Peak = 0;
+  for (uint64_t V : Total)
+    Peak = std::max(Peak, V);
+  return Peak;
+}

@@ -1,0 +1,94 @@
+//===- lifetime/MutatorDriver.cpp - Model-driven mutator ------------------===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lifetime/MutatorDriver.h"
+
+using namespace rdgc;
+
+MutatorDriver::MutatorDriver(Heap &H, LifetimeModel &Model, const Config &C)
+    : H(H), Model(Model), PayloadWords(C.ObjectPayloadWords),
+      LinkObjects(C.LinkObjects), Rng(C.Seed),
+      MaxLinkDepth(C.MaxLinkDepth), LinkRandomly(C.LinkRandomly) {
+  assert(PayloadWords >= 2 && "driver objects need at least two fields");
+  H.addRootProvider(this);
+}
+
+MutatorDriver::~MutatorDriver() { H.removeRootProvider(this); }
+
+void MutatorDriver::forEachRoot(const std::function<void(Value &)> &Visit) {
+  for (Value &Slot : Slots)
+    Visit(Slot);
+}
+
+void MutatorDriver::processDeaths() {
+  while (!Deaths.empty() && Deaths.top().Time <= Now) {
+    Death D = Deaths.top();
+    Deaths.pop();
+    if (SlotEpoch[D.Slot] != D.Epoch)
+      continue; // Stale entry; the slot was reused.
+    Slots[D.Slot] = Value::unspecified();
+    ++SlotEpoch[D.Slot];
+    FreeSlots.push_back(D.Slot);
+    --LiveCount;
+    if (LastAllocatedSlot == D.Slot)
+      LastAllocatedSlot = UINT32_MAX;
+  }
+}
+
+void MutatorDriver::allocateOne() {
+  // The object is a vector of PayloadWords - 1 elements (one payload word
+  // is the length), each initialized to a fixnum; optionally the first
+  // element points at the most recently allocated live object.
+  size_t Elements = PayloadWords - 1;
+  Value Obj = H.allocateVector(Elements, Value::fixnum(
+                                             static_cast<int64_t>(Now)));
+  uint8_t Depth = 0;
+  if (LinkObjects && Elements > 0 && !Slots.empty()) {
+    uint32_t Target = LastAllocatedSlot;
+    if (LinkRandomly) {
+      // A few probes for a live slot of random age.
+      for (int Probe = 0; Probe < 4; ++Probe) {
+        auto Candidate = static_cast<uint32_t>(Rng.nextBelow(Slots.size()));
+        if (Slots[Candidate].isPointer()) {
+          Target = Candidate;
+          break;
+        }
+      }
+    }
+    if (Target != UINT32_MAX && Slots[Target].isPointer() &&
+        SlotDepth[Target] < MaxLinkDepth) {
+      H.vectorSet(Obj, 0, Slots[Target]);
+      Depth = SlotDepth[Target] + 1;
+    }
+  }
+
+  uint32_t Slot;
+  if (!FreeSlots.empty()) {
+    Slot = FreeSlots.back();
+    FreeSlots.pop_back();
+  } else {
+    Slot = static_cast<uint32_t>(Slots.size());
+    Slots.push_back(Value::unspecified());
+    SlotEpoch.push_back(0);
+    SlotDepth.push_back(0);
+  }
+  Slots[Slot] = Obj;
+  SlotDepth[Slot] = Depth;
+  ++LiveCount;
+  LastAllocatedSlot = Slot;
+
+  uint64_t Lifetime = Model.sampleLifetime(Now, Rng);
+  Deaths.push(Death{Now + Lifetime + 1, Slot, SlotEpoch[Slot]});
+}
+
+void MutatorDriver::run(uint64_t Units) {
+  for (uint64_t I = 0; I < Units; ++I) {
+    processDeaths();
+    allocateOne();
+    ++Now;
+  }
+  processDeaths();
+}

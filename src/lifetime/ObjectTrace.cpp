@@ -1,0 +1,44 @@
+//===- lifetime/ObjectTrace.cpp - Exact lifetime tracing ------------------===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lifetime/ObjectTrace.h"
+
+using namespace rdgc;
+
+void ObjectTrace::onAllocate(uint64_t *Header, size_t TotalWords) {
+  uint64_t Bytes = TotalWords * 8;
+  Clock += Bytes;
+  ObjectRecord Record;
+  Record.BirthBytes = Clock;
+  Record.SizeBytes = static_cast<uint32_t>(Bytes);
+  Live[Header] = Records.size();
+  Records.push_back(Record);
+}
+
+void ObjectTrace::onMove(uint64_t *From, uint64_t *To) {
+  auto It = Live.find(From);
+  if (It == Live.end())
+    return; // Object predates the trace.
+  uint64_t Index = It->second;
+  Live.erase(It);
+  Live[To] = Index;
+}
+
+void ObjectTrace::onDeath(uint64_t *Header, size_t) {
+  auto It = Live.find(Header);
+  if (It == Live.end())
+    return; // Object predates the trace.
+  Records[It->second].DeathBytes = Clock;
+  Live.erase(It);
+}
+
+uint64_t ObjectTrace::liveBytesAt(uint64_t T) const {
+  uint64_t Sum = 0;
+  for (const ObjectRecord &R : Records)
+    if (R.BirthBytes <= T && T < R.DeathBytes)
+      Sum += R.SizeBytes;
+  return Sum;
+}

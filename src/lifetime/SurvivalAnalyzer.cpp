@@ -1,0 +1,72 @@
+//===- lifetime/SurvivalAnalyzer.cpp - Survival rates by age --------------===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lifetime/SurvivalAnalyzer.h"
+
+#include <cassert>
+#include <cinttypes>
+#include <cstdio>
+
+using namespace rdgc;
+
+std::string SurvivalBand::label() const {
+  char Buf[96];
+  if (AgeHi == UINT64_MAX)
+    std::snprintf(Buf, sizeof(Buf), "More than %" PRIu64 " bytes old", AgeLo);
+  else
+    std::snprintf(Buf, sizeof(Buf), "%" PRIu64 " to %" PRIu64 " bytes old",
+                  AgeLo, AgeHi);
+  return Buf;
+}
+
+SurvivalAnalyzer::SurvivalAnalyzer(const ObjectTrace &Trace, uint64_t Delta)
+    : Trace(Trace), Delta(Delta) {
+  assert(Delta > 0 && "checkpoint spacing must be positive");
+}
+
+std::vector<SurvivalBand>
+SurvivalAnalyzer::uniformBands(uint64_t FirstAge, uint64_t BandWidth,
+                               uint64_t LastAge) const {
+  std::vector<SurvivalBand> Bands;
+  for (uint64_t Lo = FirstAge; Lo < LastAge; Lo += BandWidth) {
+    SurvivalBand Band;
+    Band.AgeLo = Lo;
+    Band.AgeHi = Lo + BandWidth;
+    Bands.push_back(Band);
+  }
+  SurvivalBand Open;
+  Open.AgeLo = LastAge;
+  Open.AgeHi = UINT64_MAX;
+  Bands.push_back(Open);
+  return analyze(std::move(Bands));
+}
+
+std::vector<SurvivalBand>
+SurvivalAnalyzer::analyze(std::vector<SurvivalBand> Bands) const {
+  const uint64_t End = Trace.bytesAllocated();
+  // For every record and every checkpoint t in [birth, death) with
+  // t + Delta <= end-of-trace, the object contributes its size to the band
+  // holding age t - birth, and to the survivors if death > t + Delta.
+  for (const ObjectRecord &R : Trace.records()) {
+    // First checkpoint at or after birth.
+    uint64_t T = (R.BirthBytes + Delta - 1) / Delta * Delta;
+    for (; T < R.DeathBytes && T + Delta <= End; T += Delta) {
+      if (T > End)
+        break;
+      uint64_t Age = T - R.BirthBytes;
+      bool Survives = R.DeathBytes > T + Delta;
+      for (SurvivalBand &Band : Bands) {
+        if (Age < Band.AgeLo || Age >= Band.AgeHi)
+          continue;
+        Band.BytesObserved += R.SizeBytes;
+        if (Survives)
+          Band.BytesSurviving += R.SizeBytes;
+        break;
+      }
+    }
+  }
+  return Bands;
+}

@@ -1,0 +1,70 @@
+//===- lifetime/SurvivalAnalyzer.h - Survival rates by age ------*- C++ -*-===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Computes the paper's survival-rates-by-age tables (Tables 4-7) from an
+/// ObjectTrace: for each age band [lo, hi) and each checkpoint t (every
+/// Delta bytes of allocation), take the bytes live at t whose age falls in
+/// the band, and measure the fraction still live at t + Delta. Results are
+/// byte-weighted aggregates over all checkpoints, exactly the quantity the
+/// paper reports as "the percentage that survives the next Delta bytes of
+/// allocation".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDGC_LIFETIME_SURVIVALANALYZER_H
+#define RDGC_LIFETIME_SURVIVALANALYZER_H
+
+#include "lifetime/ObjectTrace.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rdgc {
+
+/// One row of a survival table.
+struct SurvivalBand {
+  uint64_t AgeLo = 0;           ///< Inclusive lower age bound, bytes.
+  uint64_t AgeHi = 0;           ///< Exclusive upper bound; UINT64_MAX = open.
+  uint64_t BytesObserved = 0;   ///< Denominator: band-aged live bytes seen.
+  uint64_t BytesSurviving = 0;  ///< Numerator: of those, alive Delta later.
+
+  double survivalRate() const {
+    return BytesObserved
+               ? static_cast<double>(BytesSurviving) / BytesObserved
+               : 0.0;
+  }
+  /// "500,000 to 1,000,000 bytes old" / "More than 5,000,000 bytes old".
+  std::string label() const;
+};
+
+/// Computes survival rates by age from a finished trace.
+class SurvivalAnalyzer {
+public:
+  /// \p Delta is both the checkpoint spacing and the survival horizon
+  /// ("survives the next Delta bytes of allocation").
+  SurvivalAnalyzer(const ObjectTrace &Trace, uint64_t Delta);
+
+  /// Uniform bands of width \p BandWidth from \p FirstAge up to \p LastAge,
+  /// plus a final open band ("more than LastAge bytes old") — the shape of
+  /// Tables 4, 6, and 7.
+  std::vector<SurvivalBand> uniformBands(uint64_t FirstAge,
+                                         uint64_t BandWidth,
+                                         uint64_t LastAge) const;
+
+  /// Arbitrary bands: pairs of (lo, hi); hi == UINT64_MAX for an open band.
+  std::vector<SurvivalBand>
+  analyze(std::vector<SurvivalBand> Bands) const;
+
+private:
+  const ObjectTrace &Trace;
+  uint64_t Delta;
+};
+
+} // namespace rdgc
+
+#endif // RDGC_LIFETIME_SURVIVALANALYZER_H

@@ -1,0 +1,40 @@
+//===- model/DecayModel.cpp - The radioactive decay model -----------------===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "model/DecayModel.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace rdgc;
+
+DecayModel::DecayModel(double HalfLife) : H(HalfLife) {
+  assert(HalfLife > 0.0 && "half-life must be positive");
+}
+
+double DecayModel::survivalPerUnit() const { return std::exp2(-1.0 / H); }
+
+double DecayModel::survivalProbability(double T) const {
+  assert(T >= 0.0 && "survival is over a non-negative interval");
+  return std::exp2(-T / H);
+}
+
+double DecayModel::density(double T) const {
+  return (std::log(2.0) / H) * std::exp2(-T / H);
+}
+
+double DecayModel::equilibriumLiveExact() const {
+  return 1.0 / (1.0 - survivalPerUnit());
+}
+
+double DecayModel::equilibriumLiveApprox() const {
+  return H / std::log(2.0);
+}
+
+double DecayModel::expectedSurvivorsOfWindow(double T) const {
+  double R = survivalPerUnit();
+  return R * (1.0 - std::pow(R, T)) / (1.0 - R);
+}

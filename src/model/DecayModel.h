@@ -1,0 +1,61 @@
+//===- model/DecayModel.h - The radioactive decay model ---------*- C++ -*-===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The radioactive decay model of object lifetimes (Section 2 of the
+/// paper). Time is measured in allocations: one object is allocated per
+/// unit of time. For every object that is live at time t0, the probability
+/// that it is still alive at time t0 + t is 2^{-t/h}, where h is the model's
+/// single parameter, the half-life. The age of a live object therefore
+/// carries no information about its remaining life expectancy — the
+/// memoryless property that defeats every lifetime-prediction heuristic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDGC_MODEL_DECAYMODEL_H
+#define RDGC_MODEL_DECAYMODEL_H
+
+#include <cstdint>
+
+namespace rdgc {
+
+/// Closed-form quantities of the radioactive decay model.
+class DecayModel {
+public:
+  /// \p HalfLife is h, in allocation units; must be positive.
+  explicit DecayModel(double HalfLife);
+
+  double halfLife() const { return H; }
+
+  /// r = 2^{-1/h}: the probability of surviving one allocation unit.
+  double survivalPerUnit() const;
+
+  /// 2^{-t/h}: probability of surviving \p T further allocation units.
+  double survivalProbability(double T) const;
+
+  /// The probability density function P_h(t) = (ln 2 / h) 2^{-t/h}.
+  double density(double T) const;
+
+  /// Exact equilibrium live-object count n = 1/(1 - r): at equilibrium one
+  /// object dies per allocation, so 1 = n (1 - 2^{-1/h}).
+  double equilibriumLiveExact() const;
+
+  /// Equation 1's approximation n ~= h / ln 2 ~= 1.4427 h (valid for large
+  /// h via L'Hospital's rule).
+  double equilibriumLiveApprox() const;
+
+  /// The expected number of the last \p T allocations that are still live:
+  /// sum_{t=1..T} 2^{-t/h} = r (1 - r^T) / (1 - r). This is the first term
+  /// of live_h(f, g) in Section 5.
+  double expectedSurvivorsOfWindow(double T) const;
+
+private:
+  double H;
+};
+
+} // namespace rdgc
+
+#endif // RDGC_MODEL_DECAYMODEL_H

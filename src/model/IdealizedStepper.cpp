@@ -1,0 +1,140 @@
+//===- model/IdealizedStepper.cpp - Table 1's idealized dynamics ----------===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "model/IdealizedStepper.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace rdgc;
+
+IdealizedStepper::IdealizedStepper(const Config &C)
+    : C(C), K(C.StepCount), Live(K, 0.0), Used(K, 0.0), Open(K, true) {
+  assert(K >= 2 && "need at least two steps");
+  assert(C.StepUnits > 0 && C.HalfLife > 0 && "degenerate configuration");
+  J = C.Policy == StepperJPolicy::Fixed ? std::min(C.FixedJ, K / 2) : K / 2;
+}
+
+double IdealizedStepper::totalLive() const {
+  double Sum = 0;
+  for (double V : Live)
+    Sum += V;
+  return Sum;
+}
+
+void IdealizedStepper::recordRow(bool AfterCollection) {
+  StepperRow Row;
+  Row.Time = Time;
+  Row.LiveByStep = Live;
+  Row.AfterCollection = AfterCollection;
+  Trace.push_back(std::move(Row));
+}
+
+void IdealizedStepper::collect() {
+  ++Collections;
+  // Collect steps j+1..k: all their live storage is marked (copied).
+  double Survivors = 0;
+  for (size_t I = J; I < K; ++I)
+    Survivors += Live[I];
+  Marked += Survivors;
+
+  std::vector<double> NewLive(K, 0.0);
+  std::vector<double> NewUsed(K, 0.0);
+  std::vector<bool> NewOpen(K, true);
+
+  // Survivors are packed into the highest-numbered renamed steps of the
+  // collected region (promotion into the highest step with free space).
+  // Under Table 1's idealization those steps then close to allocation.
+  double Remaining = Survivors;
+  size_t Slot = K - J; // 1-based logical step number of the highest slot.
+  while (Remaining > 1e-9) {
+    assert(Slot >= 1 && "survivors exceed the collected region");
+    double Amount = std::min(Remaining, C.StepUnits);
+    NewLive[Slot - 1] = Amount;
+    NewUsed[Slot - 1] = Amount;
+    if (C.CloseSurvivorSteps)
+      NewOpen[Slot - 1] = false;
+    Remaining -= Amount;
+    --Slot;
+  }
+
+  // The exempt steps 1..j are exchanged to positions k-j+1..k.
+  for (size_t I = 0; I < J; ++I) {
+    NewLive[K - J + I] = Live[I];
+    NewUsed[K - J + I] = Used[I];
+    NewOpen[K - J + I] = Open[I];
+  }
+
+  Live = std::move(NewLive);
+  Used = std::move(NewUsed);
+  Open = std::move(NewOpen);
+
+  // Choose the next j among the empty steps.
+  size_t Empty = 0;
+  while (Empty < K && Used[Empty] == 0.0)
+    ++Empty;
+  if (C.Policy == StepperJPolicy::Fixed)
+    J = std::min(C.FixedJ, Empty);
+  else
+    J = Empty / 2;
+  J = std::min(J, K / 2);
+
+  recordRow(/*AfterCollection=*/true);
+}
+
+void IdealizedStepper::allocate(double Units) {
+  while (Units > 1e-9) {
+    // Highest-numbered open step with free space.
+    size_t Step = K;
+    while (Step >= 1 &&
+           (!Open[Step - 1] || Used[Step - 1] >= C.StepUnits - 1e-9))
+      --Step;
+    if (Step == 0) {
+      collect();
+      continue;
+    }
+    double Amount = std::min(Units, C.StepUnits - Used[Step - 1]);
+    Used[Step - 1] += Amount;
+    Live[Step - 1] += Amount; // Fresh storage is all live.
+    Units -= Amount;
+  }
+}
+
+void IdealizedStepper::runTicks(size_t Ticks) {
+  const double DecayFactor = std::exp2(-C.StepUnits / C.HalfLife);
+  const double HeapUnits = static_cast<double>(K) * C.StepUnits;
+  for (size_t T = 0; T < Ticks; ++T) {
+    // Collections happen the instant the steps are full — before any of
+    // this tick's decay, exactly as Table 1's "gc" line records the state
+    // at the moment of collection.
+    double OpenFree = 0;
+    for (size_t I = 0; I < K; ++I)
+      if (Open[I])
+        OpenFree += C.StepUnits - Used[I];
+    if (OpenFree < C.StepUnits - 1e-9)
+      collect();
+    // Same rule for the shadow non-generational mark/sweep collector: it
+    // marks all live storage the instant its (equal-sized) heap fills.
+    if (NonGenUsed + C.StepUnits > HeapUnits) {
+      NonGenMarked += NonGenLive;
+      NonGenUsed = NonGenLive;
+    }
+
+    // Decay everything that already exists by one tick's expected factor.
+    for (double &V : Live)
+      V *= DecayFactor;
+    NonGenLive *= DecayFactor;
+
+    NonGenUsed += C.StepUnits;
+    NonGenLive += C.StepUnits;
+
+    allocate(C.StepUnits);
+    Time += C.StepUnits;
+    Allocated += C.StepUnits;
+    recordRow(/*AfterCollection=*/false);
+  }
+}

@@ -1,0 +1,130 @@
+//===- model/NonPredictiveModel.cpp - Section 5's analysis ----------------===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "model/NonPredictiveModel.h"
+
+#include "support/FixedPoint.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace rdgc;
+
+NonPredictiveModel::NonPredictiveModel(double InverseLoad) : L(InverseLoad) {
+  assert(InverseLoad > 1.0 && "inverse load factor must exceed 1");
+}
+
+double NonPredictiveModel::liveFractionYoung(double F, double G) const {
+  assert(F >= 0.0 && F <= G + 1e-12 && "requires 0 <= f <= g");
+  // 2^{-Lf/ln 2} = e^{-Lf}.
+  return 1.0 - std::exp(-L * F) * (1.0 - L * (G - F));
+}
+
+bool NonPredictiveModel::theorem4Applies(double G) const {
+  if (G < 0.0 || G > 0.5)
+    return false;
+  double Live = liveFractionYoung(G, G);
+  return L * (1.0 - 2.0 * G) >= 1.0 - Live;
+}
+
+double NonPredictiveModel::theorem4MarkCons(double G) const {
+  double Live = liveFractionYoung(G, G);
+  double Denominator = L * (1.0 - G) - (1.0 - Live);
+  assert(Denominator > 0.0 && "degenerate configuration: nothing reclaimed");
+  return (1.0 - Live) / Denominator;
+}
+
+double NonPredictiveModel::nonGenerationalMarkCons() const {
+  return 1.0 / (L - 1.0);
+}
+
+double NonPredictiveModel::corollary5RelativeOverhead(double G) const {
+  return theorem4MarkCons(G) * (L - 1.0);
+}
+
+double NonPredictiveModel::equation4FixedPoint(double G) const {
+  auto Step = [this, G](double F) {
+    double Candidate = 1.0 - G + (liveFractionYoung(F, G) - 1.0) / L;
+    return std::max(0.0, std::min(Candidate, G));
+  };
+  SolveResult Result = solveFixedPoint(Step, /*X0=*/G);
+  assert(Result.Converged && "Equation 4 iteration failed to converge");
+  return Result.Value;
+}
+
+NonPredictiveEvaluation NonPredictiveModel::evaluate(double G) const {
+  NonPredictiveEvaluation Eval;
+  Eval.YoungFraction = G;
+  Eval.InverseLoad = L;
+  if (theorem4Applies(G)) {
+    Eval.Theorem4Applies = true;
+    Eval.FreeFraction = G;
+    Eval.LiveFractionYoung = liveFractionYoung(G, G);
+    Eval.MarkCons = theorem4MarkCons(G);
+  } else {
+    // Lower bound: divide the expected live storage in steps j+1..k
+    // (expression 2) by the expected garbage there (expression 3).
+    Eval.Theorem4Applies = false;
+    double F = equation4FixedPoint(G);
+    double Live = liveFractionYoung(F, G);
+    Eval.FreeFraction = F;
+    Eval.LiveFractionYoung = Live;
+    double Marked = 1.0 - Live;                    // expression (2) / n
+    double Reclaimed = L * (1.0 - G) - 1.0 + Live; // expression (3) / n
+    assert(Reclaimed > 0.0 && "degenerate configuration: nothing reclaimed");
+    Eval.MarkCons = Marked / Reclaimed;
+  }
+  Eval.RelativeOverhead = Eval.MarkCons * (L - 1.0);
+  return Eval;
+}
+
+double NonPredictiveModel::optimalYoungFraction() const {
+  // Restrict to the Theorem 4 regime, where the estimate is exact rather
+  // than a lower bound. Feasibility L(1-2g) >= 1 - l(g,g) has a decreasing
+  // left side and an increasing right side in g, so the feasible set is an
+  // interval [0, gmax]; find gmax by bisection.
+  double FeasibleHi = 0.0;
+  {
+    double Lo = 0.0, Hi = 0.5;
+    if (theorem4Applies(Hi)) {
+      FeasibleHi = Hi;
+    } else {
+      for (int I = 0; I < 60; ++I) {
+        double Mid = 0.5 * (Lo + Hi);
+        if (theorem4Applies(Mid))
+          Lo = Mid;
+        else
+          Hi = Mid;
+      }
+      FeasibleHi = Lo;
+    }
+  }
+  // Golden-section search on [0, gmax]; the objective is unimodal in
+  // practice for L > 1.
+  const double Phi = (std::sqrt(5.0) - 1.0) / 2.0;
+  double Lo = 0.0, Hi = FeasibleHi;
+  double A = Hi - Phi * (Hi - Lo);
+  double B = Lo + Phi * (Hi - Lo);
+  double FA = evaluate(A).MarkCons;
+  double FB = evaluate(B).MarkCons;
+  for (int I = 0; I < 200 && (Hi - Lo) > 1e-10; ++I) {
+    if (FA < FB) {
+      Hi = B;
+      B = A;
+      FB = FA;
+      A = Hi - Phi * (Hi - Lo);
+      FA = evaluate(A).MarkCons;
+    } else {
+      Lo = A;
+      A = B;
+      FA = FB;
+      B = Lo + Phi * (Hi - Lo);
+      FB = evaluate(B).MarkCons;
+    }
+  }
+  return 0.5 * (Lo + Hi);
+}

@@ -1,0 +1,98 @@
+//===- model/NonPredictiveModel.h - Section 5's analysis --------*- C++ -*-===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The mathematical analysis of Section 5 of the paper: the expected
+/// behavior of a non-predictive generational collector under the
+/// radioactive decay model, in the limit of large half-life.
+///
+/// Notation (all fractions of the total heap N unless stated otherwise):
+///   L  inverse load factor: heap size / live storage at equilibrium
+///   g  = j/k, fraction of storage devoted to the young (exempt) steps
+///   f  fraction of storage free in steps 1..j right after a collection
+///
+/// Core function (Theorem 3's limit):
+///   l(f, g) = 1 - 2^{-Lf/ln 2} (1 - L(g - f)) = 1 - e^{-Lf} (1 - L(g - f))
+/// is the fraction of live storage expected to reside in steps 1..j at the
+/// beginning of the next collection.
+///
+/// Theorem 4 (stable equilibrium, f = g): when g <= 1/2 and
+/// L(1 - 2g) >= 1 - l(g,g), the expected mark/cons ratio is
+///   (1 - l(g,g)) / (L(1-g) - (1 - l(g,g))).
+///
+/// Corollary 5: relative to the non-generational mark/sweep ratio 1/(L-1),
+/// the overhead is (L-1)(1 - l) / (L(1-g) - (1 - l)) — Figure 1's thin
+/// lines.
+///
+/// Equation 4: outside Theorem 4's hypotheses, f is estimated as a fixed
+/// point of f = max(0, min(1 - g + (l(f,g) - 1)/L, g)), giving a *lower
+/// bound* on the mark/cons ratio — Figure 1's thick lines.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDGC_MODEL_NONPREDICTIVEMODEL_H
+#define RDGC_MODEL_NONPREDICTIVEMODEL_H
+
+namespace rdgc {
+
+/// Evaluation of the non-predictive collector's expected cost at one
+/// parameter point.
+struct NonPredictiveEvaluation {
+  double YoungFraction = 0.0;     ///< g.
+  double InverseLoad = 0.0;       ///< L.
+  double FreeFraction = 0.0;      ///< f used (g, or the Equation 4 point).
+  double LiveFractionYoung = 0.0; ///< l(f, g).
+  double MarkCons = 0.0;          ///< Expected mark/cons ratio.
+  double RelativeOverhead = 0.0;  ///< MarkCons / (1/(L-1)).
+  bool Theorem4Applies = false;   ///< True: exact; false: lower bound.
+};
+
+/// Closed forms of Section 5, parameterized by the inverse load factor L.
+class NonPredictiveModel {
+public:
+  /// \p InverseLoad must exceed 1 (a heap no larger than its live storage
+  /// cannot be collected at all).
+  explicit NonPredictiveModel(double InverseLoad);
+
+  double inverseLoad() const { return L; }
+
+  /// l(f, g): expected fraction of live storage in steps 1..j at the next
+  /// collection. Requires 0 <= f <= g.
+  double liveFractionYoung(double F, double G) const;
+
+  /// Theorem 4's stability hypothesis: f = g, g <= 1/2, and
+  /// L(1 - 2g) >= 1 - l(g, g).
+  bool theorem4Applies(double G) const;
+
+  /// Theorem 4's expected mark/cons ratio (meaningful when
+  /// theorem4Applies(G); still evaluable otherwise).
+  double theorem4MarkCons(double G) const;
+
+  /// The non-generational mark/sweep reference ratio 1/(L-1).
+  double nonGenerationalMarkCons() const;
+
+  /// Corollary 5: theorem4MarkCons(G) * (L-1).
+  double corollary5RelativeOverhead(double G) const;
+
+  /// Equation 4's fixed point f for a given g.
+  double equation4FixedPoint(double G) const;
+
+  /// Full evaluation at young fraction \p G: Theorem 4 when its hypotheses
+  /// hold, otherwise the Equation 4 lower bound (dividing expression (2) by
+  /// expression (3) of the paper).
+  NonPredictiveEvaluation evaluate(double G) const;
+
+  /// The g minimizing the expected mark/cons ratio, found by golden-section
+  /// search over [0, 1/2]; used by the tuning discussion and experiments.
+  double optimalYoungFraction() const;
+
+private:
+  double L;
+};
+
+} // namespace rdgc
+
+#endif // RDGC_MODEL_NONPREDICTIVEMODEL_H

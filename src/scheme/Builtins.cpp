@@ -1,0 +1,934 @@
+//===- scheme/Builtins.cpp - Builtin procedure library ---------------------===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "scheme/Builtins.h"
+
+#include "scheme/Evaluator.h"
+#include "scheme/Printer.h"
+#include "scheme/Reader.h"
+#include "support/Error.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace rdgc;
+
+namespace {
+
+//===----------------------------------------------------------------------===
+// Argument helpers.
+//===----------------------------------------------------------------------===
+
+Value wrongArity(Evaluator &E, const char *Name) {
+  return E.raiseError(std::string(Name) + ": wrong number of arguments");
+}
+
+Value typeError(Evaluator &E, const char *Name, const char *Expected) {
+  return E.raiseError(std::string(Name) + ": expected " + Expected);
+}
+
+bool isNumber(Heap &H, Value V) {
+  return V.isFixnum() || H.isa(V, ObjectTag::Flonum);
+}
+
+double toDouble(Heap &H, Value V) {
+  return V.isFixnum() ? static_cast<double>(V.asFixnum()) : H.flonumValue(V);
+}
+
+//===----------------------------------------------------------------------===
+// Pairs and lists.
+//===----------------------------------------------------------------------===
+
+Value primCons(Evaluator &E, std::vector<Value> &Args) {
+  if (Args.size() != 2)
+    return wrongArity(E, "cons");
+  return E.heap().allocatePair(Args[0], Args[1]);
+}
+
+Value primCar(Evaluator &E, std::vector<Value> &Args) {
+  if (Args.size() != 1)
+    return wrongArity(E, "car");
+  if (!E.heap().isa(Args[0], ObjectTag::Pair))
+    return typeError(E, "car", "a pair");
+  return E.heap().pairCar(Args[0]);
+}
+
+Value primCdr(Evaluator &E, std::vector<Value> &Args) {
+  if (Args.size() != 1)
+    return wrongArity(E, "cdr");
+  if (!E.heap().isa(Args[0], ObjectTag::Pair))
+    return typeError(E, "cdr", "a pair");
+  return E.heap().pairCdr(Args[0]);
+}
+
+Value primSetCar(Evaluator &E, std::vector<Value> &Args) {
+  if (Args.size() != 2)
+    return wrongArity(E, "set-car!");
+  if (!E.heap().isa(Args[0], ObjectTag::Pair))
+    return typeError(E, "set-car!", "a pair");
+  E.heap().setPairCar(Args[0], Args[1]);
+  return Value::unspecified();
+}
+
+Value primSetCdr(Evaluator &E, std::vector<Value> &Args) {
+  if (Args.size() != 2)
+    return wrongArity(E, "set-cdr!");
+  if (!E.heap().isa(Args[0], ObjectTag::Pair))
+    return typeError(E, "set-cdr!", "a pair");
+  E.heap().setPairCdr(Args[0], Args[1]);
+  return Value::unspecified();
+}
+
+Value primPairP(Evaluator &E, std::vector<Value> &Args) {
+  if (Args.size() != 1)
+    return wrongArity(E, "pair?");
+  return Value::boolean(E.heap().isa(Args[0], ObjectTag::Pair));
+}
+
+Value primNullP(Evaluator &E, std::vector<Value> &Args) {
+  if (Args.size() != 1)
+    return wrongArity(E, "null?");
+  return Value::boolean(Args[0].isNull());
+}
+
+Value primList(Evaluator &E, std::vector<Value> &Args) {
+  Handle Out(E.heap(), Value::null());
+  for (size_t I = Args.size(); I-- > 0;)
+    Out = E.heap().allocatePair(Args[I], Out);
+  return Out;
+}
+
+Value primLength(Evaluator &E, std::vector<Value> &Args) {
+  if (Args.size() != 1)
+    return wrongArity(E, "length");
+  Heap &H = E.heap();
+  int64_t N = 0;
+  for (Value Cursor = Args[0]; !Cursor.isNull(); Cursor = H.pairCdr(Cursor)) {
+    if (!H.isa(Cursor, ObjectTag::Pair))
+      return typeError(E, "length", "a proper list");
+    ++N;
+  }
+  return Value::fixnum(N);
+}
+
+Value primAppend(Evaluator &E, std::vector<Value> &Args) {
+  Heap &H = E.heap();
+  if (Args.empty())
+    return Value::null();
+  // Copy every list but the last; share the last (R7RS semantics).
+  std::vector<Value> Elements;
+  ScopedRootFrame G(E.rootStack(), &Elements);
+  for (size_t L = 0; L + 1 < Args.size(); ++L)
+    for (Value Cursor = Args[L]; Cursor.isPointer();
+         Cursor = H.pairCdr(Cursor)) {
+      if (!H.isa(Cursor, ObjectTag::Pair))
+        return typeError(E, "append", "proper lists");
+      Elements.push_back(H.pairCar(Cursor));
+    }
+  Handle Out(H, Args.back());
+  for (size_t I = Elements.size(); I-- > 0;)
+    Out = H.allocatePair(Elements[I], Out);
+  return Out;
+}
+
+Value primReverse(Evaluator &E, std::vector<Value> &Args) {
+  if (Args.size() != 1)
+    return wrongArity(E, "reverse");
+  Heap &H = E.heap();
+  Handle Out(H, Value::null());
+  std::vector<Value> Cursor{Args[0]};
+  ScopedRootFrame G(E.rootStack(), &Cursor);
+  while (Cursor[0].isPointer()) {
+    if (!H.isa(Cursor[0], ObjectTag::Pair))
+      return typeError(E, "reverse", "a proper list");
+    Out = H.allocatePair(H.pairCar(Cursor[0]), Out);
+    Cursor[0] = H.pairCdr(Cursor[0]);
+  }
+  return Out;
+}
+
+Value primListTail(Evaluator &E, std::vector<Value> &Args) {
+  if (Args.size() != 2 || !Args[1].isFixnum())
+    return wrongArity(E, "list-tail");
+  Heap &H = E.heap();
+  Value Cursor = Args[0];
+  for (int64_t I = 0; I < Args[1].asFixnum(); ++I) {
+    if (!H.isa(Cursor, ObjectTag::Pair))
+      return typeError(E, "list-tail", "a long enough list");
+    Cursor = H.pairCdr(Cursor);
+  }
+  return Cursor;
+}
+
+Value primListRef(Evaluator &E, std::vector<Value> &Args) {
+  Value Tail = primListTail(E, Args);
+  if (E.failed())
+    return Tail;
+  if (!E.heap().isa(Tail, ObjectTag::Pair))
+    return typeError(E, "list-ref", "a long enough list");
+  return E.heap().pairCar(Tail);
+}
+
+//===----------------------------------------------------------------------===
+// Equality.
+//===----------------------------------------------------------------------===
+
+bool eqv(Heap &H, Value A, Value B) {
+  if (A == B)
+    return true;
+  if (H.isa(A, ObjectTag::Flonum) && H.isa(B, ObjectTag::Flonum))
+    return H.flonumValue(A) == H.flonumValue(B);
+  return false;
+}
+
+bool structurallyEqual(Heap &H, Value A, Value B, unsigned Depth) {
+  if (eqv(H, A, B))
+    return true;
+  if (Depth == 0)
+    return false;
+  if (!A.isPointer() || !B.isPointer())
+    return false;
+  ObjectTag TA = H.tagOf(A);
+  if (TA != H.tagOf(B))
+    return false;
+  switch (TA) {
+  case ObjectTag::Pair:
+    return structurallyEqual(H, H.pairCar(A), H.pairCar(B), Depth - 1) &&
+           structurallyEqual(H, H.pairCdr(A), H.pairCdr(B), Depth - 1);
+  case ObjectTag::Vector: {
+    size_t N = H.vectorLength(A);
+    if (N != H.vectorLength(B))
+      return false;
+    for (size_t I = 0; I < N; ++I)
+      if (!structurallyEqual(H, H.vectorRef(A, I), H.vectorRef(B, I),
+                             Depth - 1))
+        return false;
+    return true;
+  }
+  case ObjectTag::String:
+  case ObjectTag::Bytevector:
+    return H.stringValue(A) == H.stringValue(B);
+  default:
+    return false;
+  }
+}
+
+Value primEqP(Evaluator &E, std::vector<Value> &Args) {
+  if (Args.size() != 2)
+    return wrongArity(E, "eq?");
+  return Value::boolean(Args[0] == Args[1]);
+}
+
+Value primEqvP(Evaluator &E, std::vector<Value> &Args) {
+  if (Args.size() != 2)
+    return wrongArity(E, "eqv?");
+  return Value::boolean(eqv(E.heap(), Args[0], Args[1]));
+}
+
+Value primEqualP(Evaluator &E, std::vector<Value> &Args) {
+  if (Args.size() != 2)
+    return wrongArity(E, "equal?");
+  return Value::boolean(structurallyEqual(E.heap(), Args[0], Args[1], 10000));
+}
+
+Value primNot(Evaluator &E, std::vector<Value> &Args) {
+  if (Args.size() != 1)
+    return wrongArity(E, "not");
+  return Value::boolean(!Args[0].isTruthy());
+}
+
+//===----------------------------------------------------------------------===
+// assq/assv/assoc and memq/memv/member.
+//===----------------------------------------------------------------------===
+
+enum class MatchKind { Eq, Eqv, Equal };
+
+bool matches(Heap &H, MatchKind Kind, Value A, Value B) {
+  switch (Kind) {
+  case MatchKind::Eq:
+    return A == B;
+  case MatchKind::Eqv:
+    return eqv(H, A, B);
+  case MatchKind::Equal:
+    return structurallyEqual(H, A, B, 10000);
+  }
+  return false;
+}
+
+template <MatchKind Kind>
+Value primAssoc(Evaluator &E, std::vector<Value> &Args) {
+  if (Args.size() != 2)
+    return wrongArity(E, "assq/assv/assoc");
+  Heap &H = E.heap();
+  for (Value Cursor = Args[1]; H.isa(Cursor, ObjectTag::Pair);
+       Cursor = H.pairCdr(Cursor)) {
+    Value Entry = H.pairCar(Cursor);
+    if (H.isa(Entry, ObjectTag::Pair) &&
+        matches(H, Kind, Args[0], H.pairCar(Entry)))
+      return Entry;
+  }
+  return Value::falseValue();
+}
+
+template <MatchKind Kind>
+Value primMember(Evaluator &E, std::vector<Value> &Args) {
+  if (Args.size() != 2)
+    return wrongArity(E, "memq/memv/member");
+  Heap &H = E.heap();
+  for (Value Cursor = Args[1]; H.isa(Cursor, ObjectTag::Pair);
+       Cursor = H.pairCdr(Cursor))
+    if (matches(H, Kind, Args[0], H.pairCar(Cursor)))
+      return Cursor;
+  return Value::falseValue();
+}
+
+//===----------------------------------------------------------------------===
+// Arithmetic (polymorphic over fixnums and flonums).
+//===----------------------------------------------------------------------===
+
+Value makeNumber(Heap &H, bool Exact, int64_t I, double D) {
+  return Exact ? Value::fixnum(I) : H.allocateFlonum(D);
+}
+
+template <char Op> Value primArith(Evaluator &E, std::vector<Value> &Args) {
+  Heap &H = E.heap();
+  if (Args.empty())
+    return Op == '+' ? Value::fixnum(0)
+                     : (Op == '*' ? Value::fixnum(1)
+                                  : wrongArity(E, "arithmetic"));
+  bool Exact = true;
+  for (Value V : Args) {
+    if (!isNumber(H, V))
+      return typeError(E, "arithmetic", "numbers");
+    Exact = Exact && V.isFixnum();
+  }
+  int64_t AccI = 0;
+  double AccD = 0;
+  if (Args.size() == 1 && (Op == '-' || Op == '/')) {
+    // Unary negation / reciprocal.
+    if (Op == '-')
+      return Args[0].isFixnum() ? Value::fixnum(-Args[0].asFixnum())
+                                : H.allocateFlonum(-H.flonumValue(Args[0]));
+    return H.allocateFlonum(1.0 / toDouble(H, Args[0]));
+  }
+  AccI = Args[0].isFixnum() ? Args[0].asFixnum() : 0;
+  AccD = toDouble(H, Args[0]);
+  for (size_t I = 1; I < Args.size(); ++I) {
+    int64_t VI = Args[I].isFixnum() ? Args[I].asFixnum() : 0;
+    double VD = toDouble(H, Args[I]);
+    switch (Op) {
+    case '+':
+      AccI += VI;
+      AccD += VD;
+      break;
+    case '-':
+      AccI -= VI;
+      AccD -= VD;
+      break;
+    case '*':
+      AccI *= VI;
+      AccD *= VD;
+      break;
+    case '/':
+      Exact = false;
+      AccD /= VD;
+      break;
+    }
+  }
+  return makeNumber(H, Exact, AccI, AccD);
+}
+
+template <char Op> Value primCompare(Evaluator &E, std::vector<Value> &Args) {
+  Heap &H = E.heap();
+  if (Args.size() < 2)
+    return wrongArity(E, "comparison");
+  for (Value V : Args)
+    if (!isNumber(H, V))
+      return typeError(E, "comparison", "numbers");
+  for (size_t I = 0; I + 1 < Args.size(); ++I) {
+    double A = toDouble(H, Args[I]);
+    double B = toDouble(H, Args[I + 1]);
+    bool Ok = Op == '<'   ? A < B
+              : Op == '>' ? A > B
+              : Op == 'l' ? A <= B
+              : Op == 'g' ? A >= B
+                          : A == B;
+    if (!Ok)
+      return Value::falseValue();
+  }
+  return Value::trueValue();
+}
+
+Value primQuotient(Evaluator &E, std::vector<Value> &Args) {
+  if (Args.size() != 2 || !Args[0].isFixnum() || !Args[1].isFixnum())
+    return typeError(E, "quotient", "two fixnums");
+  if (Args[1].asFixnum() == 0)
+    return E.raiseError("quotient: division by zero");
+  return Value::fixnum(Args[0].asFixnum() / Args[1].asFixnum());
+}
+
+Value primRemainder(Evaluator &E, std::vector<Value> &Args) {
+  if (Args.size() != 2 || !Args[0].isFixnum() || !Args[1].isFixnum())
+    return typeError(E, "remainder", "two fixnums");
+  if (Args[1].asFixnum() == 0)
+    return E.raiseError("remainder: division by zero");
+  return Value::fixnum(Args[0].asFixnum() % Args[1].asFixnum());
+}
+
+Value primModulo(Evaluator &E, std::vector<Value> &Args) {
+  if (Args.size() != 2 || !Args[0].isFixnum() || !Args[1].isFixnum())
+    return typeError(E, "modulo", "two fixnums");
+  int64_t B = Args[1].asFixnum();
+  if (B == 0)
+    return E.raiseError("modulo: division by zero");
+  int64_t M = Args[0].asFixnum() % B;
+  if (M != 0 && ((M < 0) != (B < 0)))
+    M += B;
+  return Value::fixnum(M);
+}
+
+Value primZeroP(Evaluator &E, std::vector<Value> &Args) {
+  if (Args.size() != 1 || !isNumber(E.heap(), Args[0]))
+    return typeError(E, "zero?", "a number");
+  return Value::boolean(toDouble(E.heap(), Args[0]) == 0.0);
+}
+
+Value primNumberP(Evaluator &E, std::vector<Value> &Args) {
+  if (Args.size() != 1)
+    return wrongArity(E, "number?");
+  return Value::boolean(isNumber(E.heap(), Args[0]));
+}
+
+Value primMin(Evaluator &E, std::vector<Value> &Args) {
+  Heap &H = E.heap();
+  if (Args.empty())
+    return wrongArity(E, "min");
+  Value Best = Args[0];
+  for (Value V : Args)
+    if (toDouble(H, V) < toDouble(H, Best))
+      Best = V;
+  return Best;
+}
+
+Value primMax(Evaluator &E, std::vector<Value> &Args) {
+  Heap &H = E.heap();
+  if (Args.empty())
+    return wrongArity(E, "max");
+  Value Best = Args[0];
+  for (Value V : Args)
+    if (toDouble(H, V) > toDouble(H, Best))
+      Best = V;
+  return Best;
+}
+
+Value primAbs(Evaluator &E, std::vector<Value> &Args) {
+  if (Args.size() != 1 || !isNumber(E.heap(), Args[0]))
+    return typeError(E, "abs", "a number");
+  if (Args[0].isFixnum())
+    return Value::fixnum(std::llabs(Args[0].asFixnum()));
+  return E.heap().allocateFlonum(std::fabs(E.heap().flonumValue(Args[0])));
+}
+
+Value primOddP(Evaluator &E, std::vector<Value> &Args) {
+  if (Args.size() != 1 || !Args[0].isFixnum())
+    return typeError(E, "odd?", "a fixnum");
+  return Value::boolean(Args[0].asFixnum() % 2 != 0);
+}
+
+Value primEvenP(Evaluator &E, std::vector<Value> &Args) {
+  if (Args.size() != 1 || !Args[0].isFixnum())
+    return typeError(E, "even?", "a fixnum");
+  return Value::boolean(Args[0].asFixnum() % 2 == 0);
+}
+
+Value primSqrt(Evaluator &E, std::vector<Value> &Args) {
+  if (Args.size() != 1 || !isNumber(E.heap(), Args[0]))
+    return typeError(E, "sqrt", "a number");
+  return E.heap().allocateFlonum(std::sqrt(toDouble(E.heap(), Args[0])));
+}
+
+Value primExpt(Evaluator &E, std::vector<Value> &Args) {
+  Heap &H = E.heap();
+  if (Args.size() != 2 || !isNumber(H, Args[0]) || !isNumber(H, Args[1]))
+    return typeError(E, "expt", "two numbers");
+  if (Args[0].isFixnum() && Args[1].isFixnum() && Args[1].asFixnum() >= 0) {
+    int64_t Base = Args[0].asFixnum();
+    int64_t Result = 1;
+    for (int64_t I = 0; I < Args[1].asFixnum(); ++I)
+      Result *= Base;
+    return Value::fixnum(Result);
+  }
+  return H.allocateFlonum(
+      std::pow(toDouble(H, Args[0]), toDouble(H, Args[1])));
+}
+
+//===----------------------------------------------------------------------===
+// Type predicates.
+//===----------------------------------------------------------------------===
+
+Value primSymbolP(Evaluator &E, std::vector<Value> &Args) {
+  if (Args.size() != 1)
+    return wrongArity(E, "symbol?");
+  return Value::boolean(Args[0].isSymbol());
+}
+
+Value primStringP(Evaluator &E, std::vector<Value> &Args) {
+  if (Args.size() != 1)
+    return wrongArity(E, "string?");
+  return Value::boolean(E.heap().isa(Args[0], ObjectTag::String));
+}
+
+Value primVectorP(Evaluator &E, std::vector<Value> &Args) {
+  if (Args.size() != 1)
+    return wrongArity(E, "vector?");
+  return Value::boolean(E.heap().isa(Args[0], ObjectTag::Vector));
+}
+
+Value primProcedureP(Evaluator &E, std::vector<Value> &Args) {
+  if (Args.size() != 1)
+    return wrongArity(E, "procedure?");
+  return Value::boolean(E.heap().isa(Args[0], ObjectTag::Closure) ||
+                        E.heap().isa(Args[0], ObjectTag::Record));
+}
+
+Value primBooleanP(Evaluator &E, std::vector<Value> &Args) {
+  if (Args.size() != 1)
+    return wrongArity(E, "boolean?");
+  return Value::boolean(Args[0].isBoolean());
+}
+
+Value primCharP(Evaluator &E, std::vector<Value> &Args) {
+  if (Args.size() != 1)
+    return wrongArity(E, "char?");
+  return Value::boolean(Args[0].isChar());
+}
+
+//===----------------------------------------------------------------------===
+// Vectors.
+//===----------------------------------------------------------------------===
+
+Value primVector(Evaluator &E, std::vector<Value> &Args) {
+  Heap &H = E.heap();
+  Handle Vec(H, H.allocateVector(Args.size(), Value::unspecified()));
+  for (size_t I = 0; I < Args.size(); ++I)
+    H.vectorSet(Vec, I, Args[I]);
+  return Vec;
+}
+
+Value primMakeVector(Evaluator &E, std::vector<Value> &Args) {
+  if (Args.empty() || Args.size() > 2 || !Args[0].isFixnum() ||
+      Args[0].asFixnum() < 0)
+    return typeError(E, "make-vector", "a non-negative length");
+  Value Fill = Args.size() == 2 ? Args[1] : Value::fixnum(0);
+  return E.heap().allocateVector(static_cast<size_t>(Args[0].asFixnum()),
+                                 Fill);
+}
+
+Value primVectorRef(Evaluator &E, std::vector<Value> &Args) {
+  Heap &H = E.heap();
+  if (Args.size() != 2 || !H.isa(Args[0], ObjectTag::Vector) ||
+      !Args[1].isFixnum())
+    return typeError(E, "vector-ref", "a vector and an index");
+  auto Index = Args[1].asFixnum();
+  if (Index < 0 || static_cast<size_t>(Index) >= H.vectorLength(Args[0]))
+    return E.raiseError("vector-ref: index out of range");
+  return H.vectorRef(Args[0], static_cast<size_t>(Index));
+}
+
+Value primVectorSet(Evaluator &E, std::vector<Value> &Args) {
+  Heap &H = E.heap();
+  if (Args.size() != 3 || !H.isa(Args[0], ObjectTag::Vector) ||
+      !Args[1].isFixnum())
+    return typeError(E, "vector-set!", "a vector and an index");
+  auto Index = Args[1].asFixnum();
+  if (Index < 0 || static_cast<size_t>(Index) >= H.vectorLength(Args[0]))
+    return E.raiseError("vector-set!: index out of range");
+  H.vectorSet(Args[0], static_cast<size_t>(Index), Args[2]);
+  return Value::unspecified();
+}
+
+Value primVectorLength(Evaluator &E, std::vector<Value> &Args) {
+  if (Args.size() != 1 || !E.heap().isa(Args[0], ObjectTag::Vector))
+    return typeError(E, "vector-length", "a vector");
+  return Value::fixnum(
+      static_cast<int64_t>(E.heap().vectorLength(Args[0])));
+}
+
+Value primVectorToList(Evaluator &E, std::vector<Value> &Args) {
+  Heap &H = E.heap();
+  if (Args.size() != 1 || !H.isa(Args[0], ObjectTag::Vector))
+    return typeError(E, "vector->list", "a vector");
+  Handle Out(H, Value::null());
+  Handle Vec(H, Args[0]);
+  for (size_t I = H.vectorLength(Vec); I-- > 0;)
+    Out = H.allocatePair(H.vectorRef(Vec, I), Out);
+  return Out;
+}
+
+Value primListToVector(Evaluator &E, std::vector<Value> &Args) {
+  Heap &H = E.heap();
+  if (Args.size() != 1)
+    return wrongArity(E, "list->vector");
+  std::vector<Value> Elements;
+  ScopedRootFrame G(E.rootStack(), &Elements);
+  for (Value Cursor = Args[0]; Cursor.isPointer();
+       Cursor = H.pairCdr(Cursor))
+    Elements.push_back(H.pairCar(Cursor));
+  Handle Vec(H, H.allocateVector(Elements.size(), Value::unspecified()));
+  for (size_t I = 0; I < Elements.size(); ++I)
+    H.vectorSet(Vec, I, Elements[I]);
+  return Vec;
+}
+
+//===----------------------------------------------------------------------===
+// Strings and characters.
+//===----------------------------------------------------------------------===
+
+Value primStringLength(Evaluator &E, std::vector<Value> &Args) {
+  if (Args.size() != 1 || !E.heap().isa(Args[0], ObjectTag::String))
+    return typeError(E, "string-length", "a string");
+  return Value::fixnum(static_cast<int64_t>(E.heap().stringLength(Args[0])));
+}
+
+Value primStringAppend(Evaluator &E, std::vector<Value> &Args) {
+  Heap &H = E.heap();
+  std::string Out;
+  for (Value V : Args) {
+    if (!H.isa(V, ObjectTag::String))
+      return typeError(E, "string-append", "strings");
+    Out += H.stringValue(V);
+  }
+  return H.allocateString(Out);
+}
+
+Value primSubstring(Evaluator &E, std::vector<Value> &Args) {
+  Heap &H = E.heap();
+  if (Args.size() != 3 || !H.isa(Args[0], ObjectTag::String) ||
+      !Args[1].isFixnum() || !Args[2].isFixnum())
+    return typeError(E, "substring", "a string and two indices");
+  std::string S = H.stringValue(Args[0]);
+  auto Lo = static_cast<size_t>(Args[1].asFixnum());
+  auto Hi = static_cast<size_t>(Args[2].asFixnum());
+  if (Lo > Hi || Hi > S.size())
+    return E.raiseError("substring: indices out of range");
+  return H.allocateString(S.substr(Lo, Hi - Lo));
+}
+
+Value primStringEqP(Evaluator &E, std::vector<Value> &Args) {
+  Heap &H = E.heap();
+  if (Args.size() != 2 || !H.isa(Args[0], ObjectTag::String) ||
+      !H.isa(Args[1], ObjectTag::String))
+    return typeError(E, "string=?", "two strings");
+  return Value::boolean(H.stringValue(Args[0]) == H.stringValue(Args[1]));
+}
+
+Value primStringRef(Evaluator &E, std::vector<Value> &Args) {
+  Heap &H = E.heap();
+  if (Args.size() != 2 || !H.isa(Args[0], ObjectTag::String) ||
+      !Args[1].isFixnum())
+    return typeError(E, "string-ref", "a string and an index");
+  auto Index = Args[1].asFixnum();
+  if (Index < 0 || static_cast<size_t>(Index) >= H.stringLength(Args[0]))
+    return E.raiseError("string-ref: index out of range");
+  return Value::character(H.byteRef(Args[0], static_cast<size_t>(Index)));
+}
+
+Value primSymbolToString(Evaluator &E, std::vector<Value> &Args) {
+  if (Args.size() != 1 || !Args[0].isSymbol())
+    return typeError(E, "symbol->string", "a symbol");
+  return E.heap().allocateString(E.symbols().name(Args[0]));
+}
+
+Value primStringToSymbol(Evaluator &E, std::vector<Value> &Args) {
+  if (Args.size() != 1 || !E.heap().isa(Args[0], ObjectTag::String))
+    return typeError(E, "string->symbol", "a string");
+  return E.symbols().intern(E.heap().stringValue(Args[0]));
+}
+
+Value primNumberToString(Evaluator &E, std::vector<Value> &Args) {
+  Heap &H = E.heap();
+  if (Args.size() != 1 || !isNumber(H, Args[0]))
+    return typeError(E, "number->string", "a number");
+  char Buf[64];
+  if (Args[0].isFixnum())
+    std::snprintf(Buf, sizeof(Buf), "%" PRId64, Args[0].asFixnum());
+  else
+    std::snprintf(Buf, sizeof(Buf), "%g", H.flonumValue(Args[0]));
+  return H.allocateString(Buf);
+}
+
+Value primStringToNumber(Evaluator &E, std::vector<Value> &Args) {
+  Heap &H = E.heap();
+  if (Args.size() != 1 || !H.isa(Args[0], ObjectTag::String))
+    return typeError(E, "string->number", "a string");
+  std::string S = H.stringValue(Args[0]);
+  char *End = nullptr;
+  long long IntValue = std::strtoll(S.c_str(), &End, 10);
+  if (End && *End == '\0' && End != S.c_str())
+    return Value::fixnum(IntValue);
+  double DblValue = std::strtod(S.c_str(), &End);
+  if (End && *End == '\0' && End != S.c_str())
+    return H.allocateFlonum(DblValue);
+  return Value::falseValue();
+}
+
+Value primCharToInteger(Evaluator &E, std::vector<Value> &Args) {
+  if (Args.size() != 1 || !Args[0].isChar())
+    return typeError(E, "char->integer", "a character");
+  return Value::fixnum(Args[0].asChar());
+}
+
+Value primIntegerToChar(Evaluator &E, std::vector<Value> &Args) {
+  if (Args.size() != 1 || !Args[0].isFixnum() || Args[0].asFixnum() < 0)
+    return typeError(E, "integer->char", "a non-negative fixnum");
+  return Value::character(static_cast<uint32_t>(Args[0].asFixnum()));
+}
+
+//===----------------------------------------------------------------------===
+// Control, output, introspection.
+//===----------------------------------------------------------------------===
+
+Value primApply(Evaluator &E, std::vector<Value> &Args) {
+  Heap &H = E.heap();
+  if (Args.size() < 2)
+    return wrongArity(E, "apply");
+  std::vector<Value> CallArgs(Args.begin() + 1, Args.end() - 1);
+  ScopedRootFrame G(E.rootStack(), &CallArgs);
+  for (Value Cursor = Args.back(); Cursor.isPointer();
+       Cursor = H.pairCdr(Cursor)) {
+    if (!H.isa(Cursor, ObjectTag::Pair))
+      return typeError(E, "apply", "a proper argument list");
+    CallArgs.push_back(H.pairCar(Cursor));
+  }
+  return E.apply(Args[0], CallArgs);
+}
+
+Value primError(Evaluator &E, std::vector<Value> &Args) {
+  Printer P(E.heap(), E.symbols());
+  std::string Message = "error:";
+  for (Value V : Args) {
+    Message += ' ';
+    Message += P.display(V);
+  }
+  return E.raiseError(Message);
+}
+
+Value primDisplay(Evaluator &E, std::vector<Value> &Args) {
+  if (Args.size() != 1)
+    return wrongArity(E, "display");
+  Printer P(E.heap(), E.symbols());
+  std::fputs(P.display(Args[0]).c_str(), stdout);
+  return Value::unspecified();
+}
+
+Value primWrite(Evaluator &E, std::vector<Value> &Args) {
+  if (Args.size() != 1)
+    return wrongArity(E, "write");
+  Printer P(E.heap(), E.symbols());
+  std::fputs(P.write(Args[0]).c_str(), stdout);
+  return Value::unspecified();
+}
+
+Value primNewline(Evaluator &E, std::vector<Value> &Args) {
+  if (!Args.empty())
+    return wrongArity(E, "newline");
+  std::fputc('\n', stdout);
+  return Value::unspecified();
+}
+
+Value primGensym(Evaluator &E, std::vector<Value> &Args) {
+  if (!Args.empty())
+    return wrongArity(E, "gensym");
+  return E.symbols().gensym();
+}
+
+Value primCollectGarbage(Evaluator &E, std::vector<Value> &Args) {
+  if (!Args.empty())
+    return wrongArity(E, "collect-garbage");
+  E.heap().collectNow();
+  return Value::unspecified();
+}
+
+Value primBytesAllocated(Evaluator &E, std::vector<Value> &Args) {
+  if (!Args.empty())
+    return wrongArity(E, "bytes-allocated");
+  return Value::fixnum(static_cast<int64_t>(E.heap().bytesAllocated()));
+}
+
+//===----------------------------------------------------------------------===
+// Prelude (Scheme-level library code).
+//===----------------------------------------------------------------------===
+
+const char *Prelude = R"prelude(
+(define (caar p) (car (car p)))
+(define (cadr p) (car (cdr p)))
+(define (cdar p) (cdr (car p)))
+(define (cddr p) (cdr (cdr p)))
+(define (caddr p) (car (cddr p)))
+(define (cdddr p) (cdr (cddr p)))
+(define (cadddr p) (car (cdddr p)))
+(define (list? x)
+  (cond ((null? x) #t)
+        ((pair? x) (list? (cdr x)))
+        (else #f)))
+(define (map1 f lst)
+  (if (null? lst)
+      '()
+      (cons (f (car lst)) (map1 f (cdr lst)))))
+(define (map f lst . more)
+  (if (null? more)
+      (map1 f lst)
+      (if (or (null? lst) (null? (car more)))
+          '()
+          (cons (f (car lst) (car (car more)))
+                (map f (cdr lst) (cdr (car more)))))))
+(define (for-each f lst)
+  (if (null? lst)
+      #t
+      (begin (f (car lst)) (for-each f (cdr lst)))))
+(define (filter keep? lst)
+  (cond ((null? lst) '())
+        ((keep? (car lst)) (cons (car lst) (filter keep? (cdr lst))))
+        (else (filter keep? (cdr lst)))))
+(define (fold-left f acc lst)
+  (if (null? lst) acc (fold-left f (f acc (car lst)) (cdr lst))))
+(define (fold-right f acc lst)
+  (if (null? lst) acc (f (car lst) (fold-right f acc (cdr lst)))))
+(define (iota n)
+  (let loop ((i (- n 1)) (acc '()))
+    (if (< i 0) acc (loop (- i 1) (cons i acc)))))
+(define (1+ n) (+ n 1))
+(define (1- n) (- n 1))
+(define (positive? n) (> n 0))
+(define (negative? n) (< n 0))
+(define (integer? n) (number? n))
+(define (atom? x) (not (pair? x)))
+(define (last-pair lst)
+  (if (null? (cdr lst)) lst (last-pair (cdr lst))))
+(define (list-copy lst)
+  (if (pair? lst) (cons (car lst) (list-copy (cdr lst))) lst))
+(define (split-at lst n)
+  (if (or (zero? n) (null? lst))
+      (cons '() lst)
+      (let ((rest (split-at (cdr lst) (- n 1))))
+        (cons (cons (car lst) (car rest)) (cdr rest)))))
+(define (merge before? a b)
+  (cond ((null? a) b)
+        ((null? b) a)
+        ((before? (car b) (car a)) (cons (car b) (merge before? a (cdr b))))
+        (else (cons (car a) (merge before? (cdr a) b)))))
+(define (sort lst before?)
+  (let ((n (length lst)))
+    (if (< n 2)
+        lst
+        (let ((halves (split-at lst (quotient n 2))))
+          (merge before?
+                 (sort (car halves) before?)
+                 (sort (cdr halves) before?))))))
+)prelude";
+
+} // namespace
+
+void rdgc::installBuiltins(Evaluator &Eval) {
+  Eval.definePrimitive("cons", primCons);
+  Eval.definePrimitive("car", primCar);
+  Eval.definePrimitive("cdr", primCdr);
+  Eval.definePrimitive("set-car!", primSetCar);
+  Eval.definePrimitive("set-cdr!", primSetCdr);
+  Eval.definePrimitive("pair?", primPairP);
+  Eval.definePrimitive("null?", primNullP);
+  Eval.definePrimitive("list", primList);
+  Eval.definePrimitive("length", primLength);
+  Eval.definePrimitive("append", primAppend);
+  Eval.definePrimitive("reverse", primReverse);
+  Eval.definePrimitive("list-tail", primListTail);
+  Eval.definePrimitive("list-ref", primListRef);
+
+  Eval.definePrimitive("eq?", primEqP);
+  Eval.definePrimitive("eqv?", primEqvP);
+  Eval.definePrimitive("equal?", primEqualP);
+  Eval.definePrimitive("not", primNot);
+
+  Eval.definePrimitive("assq", primAssoc<MatchKind::Eq>);
+  Eval.definePrimitive("assv", primAssoc<MatchKind::Eqv>);
+  Eval.definePrimitive("assoc", primAssoc<MatchKind::Equal>);
+  Eval.definePrimitive("memq", primMember<MatchKind::Eq>);
+  Eval.definePrimitive("memv", primMember<MatchKind::Eqv>);
+  Eval.definePrimitive("member", primMember<MatchKind::Equal>);
+
+  Eval.definePrimitive("+", primArith<'+'>);
+  Eval.definePrimitive("-", primArith<'-'>);
+  Eval.definePrimitive("*", primArith<'*'>);
+  Eval.definePrimitive("/", primArith<'/'>);
+  Eval.definePrimitive("=", primCompare<'='>);
+  Eval.definePrimitive("<", primCompare<'<'>);
+  Eval.definePrimitive(">", primCompare<'>'>);
+  Eval.definePrimitive("<=", primCompare<'l'>);
+  Eval.definePrimitive(">=", primCompare<'g'>);
+  Eval.definePrimitive("quotient", primQuotient);
+  Eval.definePrimitive("remainder", primRemainder);
+  Eval.definePrimitive("modulo", primModulo);
+  Eval.definePrimitive("zero?", primZeroP);
+  Eval.definePrimitive("number?", primNumberP);
+  Eval.definePrimitive("min", primMin);
+  Eval.definePrimitive("max", primMax);
+  Eval.definePrimitive("abs", primAbs);
+  Eval.definePrimitive("odd?", primOddP);
+  Eval.definePrimitive("even?", primEvenP);
+  Eval.definePrimitive("sqrt", primSqrt);
+  Eval.definePrimitive("expt", primExpt);
+
+  Eval.definePrimitive("symbol?", primSymbolP);
+  Eval.definePrimitive("string?", primStringP);
+  Eval.definePrimitive("vector?", primVectorP);
+  Eval.definePrimitive("procedure?", primProcedureP);
+  Eval.definePrimitive("boolean?", primBooleanP);
+  Eval.definePrimitive("char?", primCharP);
+
+  Eval.definePrimitive("vector", primVector);
+  Eval.definePrimitive("make-vector", primMakeVector);
+  Eval.definePrimitive("vector-ref", primVectorRef);
+  Eval.definePrimitive("vector-set!", primVectorSet);
+  Eval.definePrimitive("vector-length", primVectorLength);
+  Eval.definePrimitive("vector->list", primVectorToList);
+  Eval.definePrimitive("list->vector", primListToVector);
+
+  Eval.definePrimitive("string-length", primStringLength);
+  Eval.definePrimitive("string-append", primStringAppend);
+  Eval.definePrimitive("substring", primSubstring);
+  Eval.definePrimitive("string=?", primStringEqP);
+  Eval.definePrimitive("string-ref", primStringRef);
+  Eval.definePrimitive("symbol->string", primSymbolToString);
+  Eval.definePrimitive("string->symbol", primStringToSymbol);
+  Eval.definePrimitive("number->string", primNumberToString);
+  Eval.definePrimitive("string->number", primStringToNumber);
+  Eval.definePrimitive("char->integer", primCharToInteger);
+  Eval.definePrimitive("integer->char", primIntegerToChar);
+
+  Eval.definePrimitive("apply", primApply);
+  Eval.definePrimitive("error", primError);
+  Eval.definePrimitive("display", primDisplay);
+  Eval.definePrimitive("write", primWrite);
+  Eval.definePrimitive("newline", primNewline);
+  Eval.definePrimitive("gensym", primGensym);
+  Eval.definePrimitive("collect-garbage", primCollectGarbage);
+  Eval.definePrimitive("bytes-allocated", primBytesAllocated);
+
+  // Evaluate the prelude.
+  Reader R(Eval.heap(), Eval.symbols());
+  std::vector<Value> Forms;
+  ScopedRootFrame G(Eval.rootStack(), &Forms);
+  if (!R.readAll(Prelude, Forms))
+    reportFatalError("prelude failed to parse");
+  for (size_t I = 0; I < Forms.size(); ++I) {
+    Eval.evalTopLevel(Forms[I]);
+    if (Eval.failed())
+      reportFatalError(
+          ("prelude failed to evaluate: " + Eval.errorMessage()).c_str());
+  }
+}

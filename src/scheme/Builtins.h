@@ -1,0 +1,28 @@
+//===- scheme/Builtins.h - Builtin procedure library ------------*- C++ -*-===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Installs the standard builtin procedures (pairs, lists, numbers,
+/// vectors, strings, characters, control, output, and GC introspection)
+/// into an Evaluator, along with a small Scheme-level prelude (compound
+/// accessors, map helpers) evaluated at install time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDGC_SCHEME_BUILTINS_H
+#define RDGC_SCHEME_BUILTINS_H
+
+namespace rdgc {
+
+class Evaluator;
+
+/// Installs every builtin and the prelude. Aborts on internal failure
+/// (the prelude is trusted source text).
+void installBuiltins(Evaluator &Eval);
+
+} // namespace rdgc
+
+#endif // RDGC_SCHEME_BUILTINS_H

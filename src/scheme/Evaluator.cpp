@@ -1,0 +1,753 @@
+//===- scheme/Evaluator.cpp - Scheme evaluator -----------------------------===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Environments are heap objects (tag Environment) with two slots:
+//   [0] parent environment, or #f at the chain's end
+//   [1] an association list of (symbol . value) pairs
+// Mutability of the association list gives internal define for free.
+//
+// Closures are heap objects (tag Closure) with three slots:
+//   [0] parameter list (proper, dotted, or a bare rest symbol)
+//   [1] body (a non-empty list of expressions)
+//   [2] captured environment (or #f)
+//
+// Builtins are heap objects (tag Record) with one slot: a fixnum index
+// into the evaluator's primitive table.
+//
+// GC discipline: every Value held across a possibly-allocating call lives
+// in a rooted frame (RootStack) or a Handle; plain locals are re-read from
+// rooted storage after any such call because a copying collector rewrites
+// the rooted slots in place.
+//
+//===----------------------------------------------------------------------===//
+
+#include "scheme/Evaluator.h"
+
+using namespace rdgc;
+
+Evaluator::Evaluator(Heap &H, SymbolTable &Symbols)
+    : H(H), Symbols(Symbols), Roots(H) {
+  H.addRootProvider(this);
+  SymQuote = Symbols.intern("quote");
+  SymQuasiquote = Symbols.intern("quasiquote");
+  SymUnquote = Symbols.intern("unquote");
+  SymUnquoteSplicing = Symbols.intern("unquote-splicing");
+  SymIf = Symbols.intern("if");
+  SymDefine = Symbols.intern("define");
+  SymSet = Symbols.intern("set!");
+  SymLambda = Symbols.intern("lambda");
+  SymBegin = Symbols.intern("begin");
+  SymLet = Symbols.intern("let");
+  SymLetStar = Symbols.intern("let*");
+  SymLetrec = Symbols.intern("letrec");
+  SymCond = Symbols.intern("cond");
+  SymElse = Symbols.intern("else");
+  SymCase = Symbols.intern("case");
+  SymAnd = Symbols.intern("and");
+  SymOr = Symbols.intern("or");
+  SymWhen = Symbols.intern("when");
+  SymUnless = Symbols.intern("unless");
+  SymDo = Symbols.intern("do");
+  SymArrow = Symbols.intern("=>");
+}
+
+Evaluator::~Evaluator() { H.removeRootProvider(this); }
+
+void Evaluator::forEachRoot(const std::function<void(Value &)> &Visit) {
+  for (Value &V : GlobalValues)
+    Visit(V);
+}
+
+Value Evaluator::raiseError(const std::string &Message) {
+  if (!Failed) {
+    Failed = true;
+    Error = Message;
+  }
+  return Value::unspecified();
+}
+
+void Evaluator::defineGlobal(Value Symbol, Value V) {
+  assert(Symbol.isSymbol() && "global names must be symbols");
+  auto It = GlobalIndex.find(Symbol.symbolIndex());
+  if (It != GlobalIndex.end()) {
+    GlobalValues[It->second] = V;
+    return;
+  }
+  GlobalIndex.emplace(Symbol.symbolIndex(),
+                      static_cast<uint32_t>(GlobalValues.size()));
+  GlobalValues.push_back(V);
+}
+
+bool Evaluator::lookupGlobal(Value Symbol, Value &Out) const {
+  auto It = GlobalIndex.find(Symbol.symbolIndex());
+  if (It == GlobalIndex.end())
+    return false;
+  Out = GlobalValues[It->second];
+  return true;
+}
+
+void Evaluator::definePrimitive(const char *Name, PrimitiveFn Fn) {
+  size_t Index = Primitives.size();
+  Primitives.push_back(Fn);
+  Value Prim = H.allocateVectorLike(ObjectTag::Record, 1,
+                                    Value::fixnum(static_cast<int64_t>(Index)));
+  defineGlobal(Symbols.intern(Name), Prim);
+}
+
+Value Evaluator::lookupVariable(Value Symbol, Value Env) {
+  for (Value Frame = Env; Frame.isPointer();
+       Frame = H.vectorRef(Frame, 0)) {
+    for (Value Bindings = H.vectorRef(Frame, 1); Bindings.isPointer();
+         Bindings = H.pairCdr(Bindings)) {
+      Value Binding = H.pairCar(Bindings);
+      if (H.pairCar(Binding) == Symbol)
+        return H.pairCdr(Binding);
+    }
+  }
+  Value Global;
+  if (lookupGlobal(Symbol, Global))
+    return Global;
+  return raiseError("unbound variable: " + Symbols.name(Symbol));
+}
+
+bool Evaluator::setVariable(Value Symbol, Value Env, Value NewValue) {
+  for (Value Frame = Env; Frame.isPointer();
+       Frame = H.vectorRef(Frame, 0)) {
+    for (Value Bindings = H.vectorRef(Frame, 1); Bindings.isPointer();
+         Bindings = H.pairCdr(Bindings)) {
+      Value Binding = H.pairCar(Bindings);
+      if (H.pairCar(Binding) == Symbol) {
+        H.setPairCdr(Binding, NewValue);
+        return true;
+      }
+    }
+  }
+  auto It = GlobalIndex.find(Symbol.symbolIndex());
+  if (It == GlobalIndex.end())
+    return false;
+  GlobalValues[It->second] = NewValue;
+  return true;
+}
+
+Value Evaluator::makeClosure(Value Params, Value Body, Value Env) {
+  std::vector<Value> F{Params, Body, Env};
+  ScopedRootFrame G(Roots, &F);
+  Value Closure =
+      H.allocateVectorLike(ObjectTag::Closure, 3, Value::unspecified());
+  H.vectorSet(Closure, 0, F[0]);
+  H.vectorSet(Closure, 1, F[1]);
+  H.vectorSet(Closure, 2, F[2]);
+  return Closure;
+}
+
+Value Evaluator::listOfValues(const std::vector<Value> &Values) {
+  // Values must already be rooted by the caller.
+  Handle List(H, Value::null());
+  for (size_t I = Values.size(); I-- > 0;)
+    List = H.allocatePair(Values[I], List);
+  return List;
+}
+
+Value Evaluator::bindParameters(Value Params, std::vector<Value> &Args,
+                                Value Env) {
+  // Args are rooted by the caller; root the work-in-progress alist.
+  std::vector<Value> F{Params, Env, Value::null()};
+  ScopedRootFrame G(Roots, &F);
+  enum { ParamsSlot = 0, EnvSlot = 1, AlistSlot = 2 };
+
+  size_t ArgIndex = 0;
+  while (F[ParamsSlot].isPointer() &&
+         H.isa(F[ParamsSlot], ObjectTag::Pair)) {
+    Value Name = H.pairCar(F[ParamsSlot]);
+    if (!Name.isSymbol())
+      return raiseError("parameter names must be symbols");
+    if (ArgIndex >= Args.size())
+      return raiseError("too few arguments");
+    Value Binding = H.allocatePair(Name, Args[ArgIndex]);
+    F[AlistSlot] = H.allocatePair(Binding, F[AlistSlot]);
+    ++ArgIndex;
+    F[ParamsSlot] = H.pairCdr(F[ParamsSlot]);
+  }
+
+  if (F[ParamsSlot].isSymbol()) {
+    // Rest parameter: bind the remaining arguments as a list.
+    Handle Rest(H, Value::null());
+    for (size_t I = Args.size(); I-- > ArgIndex;)
+      Rest = H.allocatePair(Args[I], Rest);
+    Value Binding = H.allocatePair(F[ParamsSlot], Rest);
+    F[AlistSlot] = H.allocatePair(Binding, F[AlistSlot]);
+  } else if (!F[ParamsSlot].isNull()) {
+    return raiseError("malformed parameter list");
+  } else if (ArgIndex != Args.size()) {
+    return raiseError("too many arguments");
+  }
+
+  Value Frame =
+      H.allocateVectorLike(ObjectTag::Environment, 2, Value::unspecified());
+  H.vectorSet(Frame, 0, F[EnvSlot]);
+  H.vectorSet(Frame, 1, F[AlistSlot]);
+  return Frame;
+}
+
+Value Evaluator::evalBodyButLast(Value Body, Value Env) {
+  std::vector<Value> F{Body, Env};
+  ScopedRootFrame G(Roots, &F);
+  while (true) {
+    if (!H.isa(F[0], ObjectTag::Pair))
+      return raiseError("malformed body");
+    Value Tail = H.pairCdr(F[0]);
+    if (Tail.isNull())
+      return H.pairCar(F[0]); // The caller tail-evaluates this.
+    eval(H.pairCar(F[0]), F[1]);
+    if (Failed)
+      return Value::unspecified();
+    F[0] = H.pairCdr(F[0]);
+  }
+}
+
+Value Evaluator::apply(Value Proc, std::vector<Value> &Args) {
+  if (Failed)
+    return Value::unspecified();
+  if (H.isa(Proc, ObjectTag::Record)) {
+    auto Index = static_cast<size_t>(H.vectorRef(Proc, 0).asFixnum());
+    assert(Index < Primitives.size() && "bad primitive index");
+    ScopedRootFrame G(Roots, &Args);
+    return Primitives[Index](*this, Args);
+  }
+  if (!H.isa(Proc, ObjectTag::Closure))
+    return raiseError("application of a non-procedure");
+
+  std::vector<Value> F{Proc, Value::unspecified()};
+  ScopedRootFrame G(Roots, &F);
+  {
+    ScopedRootFrame ArgsGuard(Roots, &Args);
+    F[1] = bindParameters(H.vectorRef(Proc, 0), Args, H.vectorRef(Proc, 2));
+  }
+  if (Failed)
+    return Value::unspecified();
+  Value Last = evalBodyButLast(H.vectorRef(F[0], 1), F[1]);
+  if (Failed)
+    return Value::unspecified();
+  return eval(Last, F[1]);
+}
+
+Value Evaluator::evalQuasiquote(Value Template, Value Env, int Depth) {
+  std::vector<Value> F{Template, Env};
+  ScopedRootFrame G(Roots, &F);
+
+  if (!H.isa(F[0], ObjectTag::Pair))
+    return F[0];
+
+  Value Head = H.pairCar(F[0]);
+  if (Head == SymUnquote) {
+    if (Depth == 1)
+      return eval(H.pairCar(H.pairCdr(F[0])), F[1]);
+    std::vector<Value> Inner{Value::unspecified()};
+    ScopedRootFrame IG(Roots, &Inner);
+    Inner[0] = evalQuasiquote(H.pairCar(H.pairCdr(F[0])), F[1], Depth - 1);
+    Handle Tail(H, H.allocatePair(Inner[0], Value::null()));
+    return H.allocatePair(SymUnquote, Tail);
+  }
+  if (Head == SymQuasiquote) {
+    std::vector<Value> Inner{Value::unspecified()};
+    ScopedRootFrame IG(Roots, &Inner);
+    Inner[0] = evalQuasiquote(H.pairCar(H.pairCdr(F[0])), F[1], Depth + 1);
+    Handle Tail(H, H.allocatePair(Inner[0], Value::null()));
+    return H.allocatePair(SymQuasiquote, Tail);
+  }
+
+  // Element-wise construction, handling unquote-splicing at depth 1.
+  std::vector<Value> Elements;
+  ScopedRootFrame EG(Roots, &Elements);
+  Handle TailValue(H, Value::null());
+  while (H.isa(F[0], ObjectTag::Pair)) {
+    Value Item = H.pairCar(F[0]);
+    if (H.isa(Item, ObjectTag::Pair) &&
+        H.pairCar(Item) == SymUnquoteSplicing && Depth == 1) {
+      Value Spliced = eval(H.pairCar(H.pairCdr(Item)), F[1]);
+      if (Failed)
+        return Value::unspecified();
+      Handle SplicedH(H, Spliced);
+      Value Cursor = SplicedH;
+      while (H.isa(Cursor, ObjectTag::Pair)) {
+        Elements.push_back(H.pairCar(Cursor));
+        Cursor = H.pairCdr(Cursor);
+      }
+    } else if (Item == SymUnquote && Depth == 1) {
+      // Dotted (a . ,b) template tail.
+      TailValue = eval(H.pairCar(H.pairCdr(F[0])), F[1]);
+      if (Failed)
+        return Value::unspecified();
+      F[0] = Value::null();
+      break;
+    } else {
+      Value Expanded = evalQuasiquote(Item, F[1], Depth);
+      if (Failed)
+        return Value::unspecified();
+      Elements.push_back(Expanded);
+    }
+    F[0] = H.pairCdr(F[0]);
+  }
+  if (!F[0].isNull() && !H.isa(F[0], ObjectTag::Pair))
+    TailValue = evalQuasiquote(F[0], F[1], Depth);
+
+  Handle Out(H, TailValue);
+  for (size_t I = Elements.size(); I-- > 0;)
+    Out = H.allocatePair(Elements[I], Out);
+  return Out;
+}
+
+Value Evaluator::eval(Value Expr0, Value Env0) {
+  if (Failed)
+    return Value::unspecified();
+
+  // The tail loop's registers, rooted for the whole activation.
+  std::vector<Value> R{Expr0, Env0};
+  ScopedRootFrame G(Roots, &R);
+  enum { ExprSlot = 0, EnvSlot = 1 };
+
+  for (;;) {
+    if (Failed)
+      return Value::unspecified();
+    Value Expr = R[ExprSlot];
+
+    if (Expr.isSymbol())
+      return lookupVariable(Expr, R[EnvSlot]);
+    if (!Expr.isPointer())
+      return Expr; // Fixnums, booleans, chars, '(), unspecified.
+    if (H.tagOf(Expr) != ObjectTag::Pair)
+      return Expr; // Strings, vectors, flonums self-evaluate.
+
+    Value Op = H.pairCar(Expr);
+    if (Op.isSymbol()) {
+      //--- quote -------------------------------------------------------
+      if (Op == SymQuote)
+        return H.pairCar(H.pairCdr(Expr));
+
+      //--- quasiquote ---------------------------------------------------
+      if (Op == SymQuasiquote)
+        return evalQuasiquote(H.pairCar(H.pairCdr(Expr)), R[EnvSlot], 1);
+
+      //--- if ------------------------------------------------------------
+      if (Op == SymIf) {
+        Value Test = eval(H.pairCar(H.pairCdr(R[ExprSlot])), R[EnvSlot]);
+        if (Failed)
+          return Value::unspecified();
+        Value Tail = H.pairCdr(H.pairCdr(R[ExprSlot]));
+        if (Test.isTruthy()) {
+          R[ExprSlot] = H.pairCar(Tail);
+        } else {
+          Value AltTail = H.pairCdr(Tail);
+          if (AltTail.isNull())
+            return Value::unspecified();
+          R[ExprSlot] = H.pairCar(AltTail);
+        }
+        continue;
+      }
+
+      //--- define ---------------------------------------------------------
+      if (Op == SymDefine) {
+        Value Target = H.pairCar(H.pairCdr(Expr));
+        std::vector<Value> F{Value::unspecified(), Value::unspecified()};
+        ScopedRootFrame FG(Roots, &F);
+        if (Target.isSymbol()) {
+          F[0] = Target;
+          Value Body = H.pairCdr(H.pairCdr(R[ExprSlot]));
+          F[1] = Body.isNull() ? Value::unspecified()
+                               : eval(H.pairCar(Body), R[EnvSlot]);
+        } else if (H.isa(Target, ObjectTag::Pair)) {
+          // (define (name . params) body...).
+          F[0] = H.pairCar(Target);
+          if (!F[0].isSymbol())
+            return raiseError("define: procedure name must be a symbol");
+          F[1] = makeClosure(H.pairCdr(Target),
+                             H.pairCdr(H.pairCdr(R[ExprSlot])), R[EnvSlot]);
+        } else {
+          return raiseError("malformed define");
+        }
+        if (Failed)
+          return Value::unspecified();
+        if (R[EnvSlot].isPointer()) {
+          // Internal define: extend the current frame.
+          Value Binding = H.allocatePair(F[0], F[1]);
+          Handle BindingH(H, Binding);
+          Value NewAlist =
+              H.allocatePair(BindingH, H.vectorRef(R[EnvSlot], 1));
+          H.vectorSet(R[EnvSlot], 1, NewAlist);
+        } else {
+          defineGlobal(F[0], F[1]);
+        }
+        return Value::unspecified();
+      }
+
+      //--- set! -----------------------------------------------------------
+      if (Op == SymSet) {
+        Value Name = H.pairCar(H.pairCdr(Expr));
+        if (!Name.isSymbol())
+          return raiseError("set!: target must be a symbol");
+        std::vector<Value> F{Name};
+        ScopedRootFrame FG(Roots, &F);
+        Value NewValue =
+            eval(H.pairCar(H.pairCdr(H.pairCdr(R[ExprSlot]))), R[EnvSlot]);
+        if (Failed)
+          return Value::unspecified();
+        if (!setVariable(F[0], R[EnvSlot], NewValue))
+          return raiseError("set!: unbound variable: " + Symbols.name(F[0]));
+        return Value::unspecified();
+      }
+
+      //--- lambda ----------------------------------------------------------
+      if (Op == SymLambda)
+        return makeClosure(H.pairCar(H.pairCdr(Expr)),
+                           H.pairCdr(H.pairCdr(Expr)), R[EnvSlot]);
+
+      //--- begin -----------------------------------------------------------
+      if (Op == SymBegin) {
+        Value Body = H.pairCdr(Expr);
+        if (Body.isNull())
+          return Value::unspecified();
+        Value Last = evalBodyButLast(Body, R[EnvSlot]);
+        if (Failed)
+          return Value::unspecified();
+        R[ExprSlot] = Last;
+        continue;
+      }
+
+      //--- let / named let / let* / letrec ----------------------------------
+      if (Op == SymLet || Op == SymLetStar || Op == SymLetrec) {
+        Value Second = H.pairCar(H.pairCdr(Expr));
+        if (Op == SymLet && Second.isSymbol()) {
+          // Named let: (let loop ((v init)...) body...) desugars to a
+          // letrec-bound closure applied to the inits.
+          std::vector<Value> F{Second, H.pairCar(H.pairCdr(H.pairCdr(Expr))),
+                               H.pairCdr(H.pairCdr(H.pairCdr(Expr))),
+                               Value::unspecified(), Value::unspecified()};
+          ScopedRootFrame FG(Roots, &F);
+          enum { Name = 0, Bindings = 1, Body = 2, NewEnv = 3, Proc = 4 };
+          // Build the parameter list and evaluate the initializers.
+          std::vector<Value> Params, Inits;
+          ScopedRootFrame PG(Roots, &Params), IG(Roots, &Inits);
+          std::vector<Value> Cursor{F[Bindings]};
+          ScopedRootFrame CG(Roots, &Cursor);
+          while (Cursor[0].isPointer()) {
+            Value Binding = H.pairCar(Cursor[0]);
+            Params.push_back(H.pairCar(Binding));
+            Value Init = eval(H.pairCar(H.pairCdr(Binding)), R[EnvSlot]);
+            if (Failed)
+              return Value::unspecified();
+            Inits.push_back(Init);
+            Cursor[0] = H.pairCdr(Cursor[0]);
+          }
+          // New frame binding the loop name, then the closure within it.
+          F[NewEnv] = H.allocateVectorLike(ObjectTag::Environment, 2,
+                                           Value::unspecified());
+          H.vectorSet(F[NewEnv], 0, R[EnvSlot]);
+          H.vectorSet(F[NewEnv], 1, Value::null());
+          Value ParamList = listOfValues(Params);
+          Handle ParamListH(H, ParamList);
+          F[Proc] = makeClosure(ParamListH, F[Body], F[NewEnv]);
+          Value Binding = H.allocatePair(F[Name], F[Proc]);
+          Handle BindingH(H, Binding);
+          Value Alist = H.allocatePair(BindingH, Value::null());
+          H.vectorSet(F[NewEnv], 1, Alist);
+          return apply(F[Proc], Inits);
+        }
+
+        // Ordinary let/let*/letrec.
+        std::vector<Value> F{H.pairCar(H.pairCdr(Expr)),
+                             H.pairCdr(H.pairCdr(Expr)),
+                             Value::unspecified()};
+        ScopedRootFrame FG(Roots, &F);
+        enum { Bindings = 0, Body = 1, NewEnv = 2 };
+
+        F[NewEnv] = H.allocateVectorLike(ObjectTag::Environment, 2,
+                                         Value::unspecified());
+        H.vectorSet(F[NewEnv], 0, R[EnvSlot]);
+        H.vectorSet(F[NewEnv], 1, Value::null());
+
+        bool Sequential = Op == SymLetStar;
+        bool Recursive = Op == SymLetrec;
+        while (F[Bindings].isPointer()) {
+          Value Binding = H.pairCar(F[Bindings]);
+          std::vector<Value> BF{H.pairCar(Binding),
+                                H.pairCar(H.pairCdr(Binding))};
+          ScopedRootFrame BG(Roots, &BF);
+          Value InitEnv =
+              (Sequential || Recursive) ? F[NewEnv] : R[EnvSlot];
+          Value InitValue = eval(BF[1], InitEnv);
+          if (Failed)
+            return Value::unspecified();
+          Handle InitH(H, InitValue);
+          Value Pair = H.allocatePair(BF[0], InitH);
+          Handle PairH(H, Pair);
+          Value NewAlist = H.allocatePair(PairH, H.vectorRef(F[NewEnv], 1));
+          H.vectorSet(F[NewEnv], 1, NewAlist);
+          F[Bindings] = H.pairCdr(F[Bindings]);
+        }
+        if (F[Body].isNull())
+          return Value::unspecified();
+        Value Last = evalBodyButLast(F[Body], F[NewEnv]);
+        if (Failed)
+          return Value::unspecified();
+        R[ExprSlot] = Last;
+        R[EnvSlot] = F[NewEnv];
+        continue;
+      }
+
+      //--- cond -------------------------------------------------------------
+      if (Op == SymCond) {
+        std::vector<Value> F{H.pairCdr(Expr)};
+        ScopedRootFrame FG(Roots, &F);
+        bool Matched = false;
+        while (F[0].isPointer()) {
+          Value Clause = H.pairCar(F[0]);
+          Value Test = H.pairCar(Clause);
+          if (Test == SymElse) {
+            Value Last = evalBodyButLast(H.pairCdr(Clause), R[EnvSlot]);
+            if (Failed)
+              return Value::unspecified();
+            R[ExprSlot] = Last;
+            Matched = true;
+            break;
+          }
+          Value TestValue = eval(Test, R[EnvSlot]);
+          if (Failed)
+            return Value::unspecified();
+          if (TestValue.isTruthy()) {
+            Value Clause2 = H.pairCar(F[0]); // Re-read after eval.
+            Value Body = H.pairCdr(Clause2);
+            if (Body.isNull())
+              return TestValue;
+            if (H.pairCar(Body) == SymArrow) {
+              std::vector<Value> Args{TestValue};
+              ScopedRootFrame AG(Roots, &Args);
+              Value Proc =
+                  eval(H.pairCar(H.pairCdr(Body)), R[EnvSlot]);
+              if (Failed)
+                return Value::unspecified();
+              return apply(Proc, Args);
+            }
+            Value Last = evalBodyButLast(Body, R[EnvSlot]);
+            if (Failed)
+              return Value::unspecified();
+            R[ExprSlot] = Last;
+            Matched = true;
+            break;
+          }
+          F[0] = H.pairCdr(F[0]);
+        }
+        if (!Matched)
+          return Value::unspecified();
+        continue;
+      }
+
+      //--- case --------------------------------------------------------------
+      if (Op == SymCase) {
+        std::vector<Value> F{Value::unspecified(), H.pairCdr(H.pairCdr(Expr))};
+        ScopedRootFrame FG(Roots, &F);
+        F[0] = eval(H.pairCar(H.pairCdr(R[ExprSlot])), R[EnvSlot]);
+        if (Failed)
+          return Value::unspecified();
+        while (F[1].isPointer()) {
+          Value Clause = H.pairCar(F[1]);
+          Value Datums = H.pairCar(Clause);
+          bool Hit = Datums == SymElse;
+          for (Value D = Datums; !Hit && D.isPointer(); D = H.pairCdr(D))
+            Hit = H.pairCar(D) == F[0];
+          if (Hit) {
+            Value Last = evalBodyButLast(H.pairCdr(Clause), R[EnvSlot]);
+            if (Failed)
+              return Value::unspecified();
+            R[ExprSlot] = Last;
+            break;
+          }
+          F[1] = H.pairCdr(F[1]);
+          if (F[1].isNull())
+            return Value::unspecified();
+        }
+        continue;
+      }
+
+      //--- and / or -----------------------------------------------------------
+      if (Op == SymAnd || Op == SymOr) {
+        bool IsAnd = Op == SymAnd;
+        std::vector<Value> F{H.pairCdr(Expr)};
+        ScopedRootFrame FG(Roots, &F);
+        if (F[0].isNull())
+          return Value::boolean(IsAnd);
+        for (;;) {
+          Value Tail = H.pairCdr(F[0]);
+          if (Tail.isNull()) {
+            R[ExprSlot] = H.pairCar(F[0]); // Tail position.
+            break;
+          }
+          Value V = eval(H.pairCar(F[0]), R[EnvSlot]);
+          if (Failed)
+            return Value::unspecified();
+          if (IsAnd && !V.isTruthy())
+            return V;
+          if (!IsAnd && V.isTruthy())
+            return V;
+          F[0] = H.pairCdr(F[0]);
+        }
+        continue;
+      }
+
+      //--- when / unless --------------------------------------------------------
+      if (Op == SymWhen || Op == SymUnless) {
+        Value Test = eval(H.pairCar(H.pairCdr(R[ExprSlot])), R[EnvSlot]);
+        if (Failed)
+          return Value::unspecified();
+        bool Run = Op == SymWhen ? Test.isTruthy() : !Test.isTruthy();
+        if (!Run)
+          return Value::unspecified();
+        Value Body = H.pairCdr(H.pairCdr(R[ExprSlot]));
+        if (Body.isNull())
+          return Value::unspecified();
+        Value Last = evalBodyButLast(Body, R[EnvSlot]);
+        if (Failed)
+          return Value::unspecified();
+        R[ExprSlot] = Last;
+        continue;
+      }
+
+      //--- do ---------------------------------------------------------------------
+      if (Op == SymDo) {
+        // (do ((var init step)...) (test result...) command...).
+        std::vector<Value> F{H.pairCar(H.pairCdr(Expr)),
+                             H.pairCar(H.pairCdr(H.pairCdr(Expr))),
+                             H.pairCdr(H.pairCdr(H.pairCdr(Expr))),
+                             Value::unspecified()};
+        ScopedRootFrame FG(Roots, &F);
+        enum { Specs = 0, TestClause = 1, Commands = 2, LoopEnv = 3 };
+
+        // Initial frame.
+        F[LoopEnv] = H.allocateVectorLike(ObjectTag::Environment, 2,
+                                          Value::unspecified());
+        H.vectorSet(F[LoopEnv], 0, R[EnvSlot]);
+        H.vectorSet(F[LoopEnv], 1, Value::null());
+        {
+          std::vector<Value> Cursor{F[Specs]};
+          ScopedRootFrame CG(Roots, &Cursor);
+          while (Cursor[0].isPointer()) {
+            Value Spec = H.pairCar(Cursor[0]);
+            std::vector<Value> SF{H.pairCar(Spec)};
+            ScopedRootFrame SG(Roots, &SF);
+            Value Init = eval(H.pairCar(H.pairCdr(Spec)), R[EnvSlot]);
+            if (Failed)
+              return Value::unspecified();
+            Handle InitH(H, Init);
+            Value Pair = H.allocatePair(SF[0], InitH);
+            Handle PairH(H, Pair);
+            Value Alist = H.allocatePair(PairH, H.vectorRef(F[LoopEnv], 1));
+            H.vectorSet(F[LoopEnv], 1, Alist);
+            Cursor[0] = H.pairCdr(Cursor[0]);
+          }
+        }
+
+        for (;;) {
+          Value Test = eval(H.pairCar(F[TestClause]), F[LoopEnv]);
+          if (Failed)
+            return Value::unspecified();
+          if (Test.isTruthy()) {
+            Value Results = H.pairCdr(F[TestClause]);
+            if (Results.isNull())
+              return Value::unspecified();
+            Value Last = evalBodyButLast(Results, F[LoopEnv]);
+            if (Failed)
+              return Value::unspecified();
+            R[ExprSlot] = Last;
+            R[EnvSlot] = F[LoopEnv];
+            break;
+          }
+          // Commands.
+          {
+            std::vector<Value> Cursor{F[Commands]};
+            ScopedRootFrame CG(Roots, &Cursor);
+            while (Cursor[0].isPointer()) {
+              eval(H.pairCar(Cursor[0]), F[LoopEnv]);
+              if (Failed)
+                return Value::unspecified();
+              Cursor[0] = H.pairCdr(Cursor[0]);
+            }
+          }
+          // Steps: evaluate all in the old frame, then rebind.
+          std::vector<Value> Names, NewValues;
+          ScopedRootFrame NG(Roots, &Names), VG(Roots, &NewValues);
+          {
+            std::vector<Value> Cursor{F[Specs]};
+            ScopedRootFrame CG(Roots, &Cursor);
+            while (Cursor[0].isPointer()) {
+              Value Spec = H.pairCar(Cursor[0]);
+              Value Name = H.pairCar(Spec);
+              Value StepTail = H.pairCdr(H.pairCdr(Spec));
+              Names.push_back(Name);
+              if (StepTail.isNull()) {
+                NewValues.push_back(lookupVariable(Name, F[LoopEnv]));
+              } else {
+                Value Stepped = eval(H.pairCar(StepTail), F[LoopEnv]);
+                if (Failed)
+                  return Value::unspecified();
+                NewValues.push_back(Stepped);
+              }
+              Cursor[0] = H.pairCdr(Cursor[0]);
+            }
+          }
+          for (size_t I = 0; I < Names.size(); ++I)
+            setVariable(Names[I], F[LoopEnv], NewValues[I]);
+        }
+        continue;
+      }
+    }
+
+    //--- application ----------------------------------------------------------
+    std::vector<Value> Parts; // [0] = operator value, rest = arguments.
+    ScopedRootFrame PG(Roots, &Parts);
+    {
+      std::vector<Value> Cursor{R[ExprSlot]};
+      ScopedRootFrame CG(Roots, &Cursor);
+      while (Cursor[0].isPointer()) {
+        Value V = eval(H.pairCar(Cursor[0]), R[EnvSlot]);
+        if (Failed)
+          return Value::unspecified();
+        Parts.push_back(V);
+        Cursor[0] = H.pairCdr(Cursor[0]);
+      }
+      if (!Cursor[0].isNull())
+        return raiseError("malformed application");
+    }
+    if (Parts.empty())
+      return raiseError("empty application");
+
+    Value Proc = Parts[0];
+    if (H.isa(Proc, ObjectTag::Record)) {
+      auto Index = static_cast<size_t>(H.vectorRef(Proc, 0).asFixnum());
+      assert(Index < Primitives.size() && "bad primitive index");
+      std::vector<Value> Args(Parts.begin() + 1, Parts.end());
+      ScopedRootFrame AG(Roots, &Args);
+      return Primitives[Index](*this, Args);
+    }
+    if (!H.isa(Proc, ObjectTag::Closure))
+      return raiseError("application of a non-procedure");
+
+    // Tail call: bind parameters and loop on the closure body.
+    std::vector<Value> Args(Parts.begin() + 1, Parts.end());
+    ScopedRootFrame AG(Roots, &Args);
+    Value NewEnv =
+        bindParameters(H.vectorRef(Proc, 0), Args, H.vectorRef(Proc, 2));
+    if (Failed)
+      return Value::unspecified();
+    // Proc may be stale after bindParameters' allocations; Parts is rooted,
+    // so re-read it.
+    Proc = Parts[0];
+    Handle NewEnvH(H, NewEnv);
+    Value Last = evalBodyButLast(H.vectorRef(Proc, 1), NewEnvH);
+    if (Failed)
+      return Value::unspecified();
+    R[ExprSlot] = Last;
+    R[EnvSlot] = NewEnvH;
+  }
+}

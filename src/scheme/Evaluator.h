@@ -1,0 +1,125 @@
+//===- scheme/Evaluator.h - Scheme evaluator --------------------*- C++ -*-===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tree-walking Scheme evaluator over the garbage-collected heap, in the
+/// spirit of Larceny's role in the paper: all program data — environments,
+/// closures, every cons — lives on the managed heap and flows through
+/// whichever collector the heap was built with, so interpreted programs are
+/// GC workloads.
+///
+/// Supported special forms: quote, quasiquote/unquote/unquote-splicing, if,
+/// define (value and procedure forms, top level), set!, lambda (fixed,
+/// rest, and dotted parameter lists), begin, let (including named let),
+/// let*, letrec, cond (with else), case, and, or, when, unless, do.
+/// Proper tail calls are executed iteratively.
+///
+/// Errors use a fail-flag protocol rather than C++ exceptions (the library
+/// builds without them): eval() returns the unspecified value and failed()
+/// reports true until clearError().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDGC_SCHEME_EVALUATOR_H
+#define RDGC_SCHEME_EVALUATOR_H
+
+#include "heap/Heap.h"
+#include "heap/RootStack.h"
+#include "scheme/SymbolTable.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace rdgc {
+
+class Evaluator;
+
+/// Signature of a builtin procedure. Arguments are rooted by the caller.
+using PrimitiveFn = Value (*)(Evaluator &, std::vector<Value> &Args);
+
+/// The evaluator.
+class Evaluator : public RootProvider {
+public:
+  Evaluator(Heap &H, SymbolTable &Symbols);
+  ~Evaluator() override;
+
+  Heap &heap() { return H; }
+  SymbolTable &symbols() { return Symbols; }
+
+  /// Evaluates \p Expr in environment \p Env (false/null = top level).
+  Value eval(Value Expr, Value Env);
+
+  /// Evaluates at top level.
+  Value evalTopLevel(Value Expr) { return eval(Expr, Value::falseValue()); }
+
+  /// Applies a procedure (closure or primitive) to rooted arguments.
+  Value apply(Value Proc, std::vector<Value> &Args);
+
+  //===--------------------------------------------------------------------===
+  // Globals and primitives.
+  //===--------------------------------------------------------------------===
+
+  void defineGlobal(Value Symbol, Value V);
+  bool lookupGlobal(Value Symbol, Value &Out) const;
+
+  /// Registers a builtin under \p Name.
+  void definePrimitive(const char *Name, PrimitiveFn Fn);
+
+  //===--------------------------------------------------------------------===
+  // Error protocol.
+  //===--------------------------------------------------------------------===
+
+  bool failed() const { return Failed; }
+  const std::string &errorMessage() const { return Error; }
+  void clearError() {
+    Failed = false;
+    Error.clear();
+  }
+  /// Raises an error (first message wins) and returns unspecified.
+  Value raiseError(const std::string &Message);
+
+  // RootProvider: global values and the primitive table are roots.
+  void forEachRoot(const std::function<void(Value &)> &Visit) override;
+
+  /// The root stack used to protect intermediate values; exposed so
+  /// builtins that allocate in loops can root their state.
+  RootStack &rootStack() { return Roots; }
+
+private:
+  Value lookupVariable(Value Symbol, Value Env);
+  bool setVariable(Value Symbol, Value Env, Value NewValue);
+  Value makeClosure(Value Params, Value Body, Value Env);
+  /// Binds closure parameters to arguments, yielding a new environment
+  /// frame; respects rest parameters ((a b . rest) and bare symbol).
+  Value bindParameters(Value Params, std::vector<Value> &Args, Value Env);
+  Value evalQuasiquote(Value Template, Value Env, int Depth);
+  /// Evaluates all but the last expression of \p Body; returns the last
+  /// (for the caller's tail loop). Body must be a non-empty list.
+  Value evalBodyButLast(Value Body, Value Env);
+  Value listOfValues(const std::vector<Value> &Values);
+
+  Heap &H;
+  SymbolTable &Symbols;
+  RootStack Roots;
+
+  std::vector<Value> GlobalValues;
+  std::unordered_map<uint32_t, uint32_t> GlobalIndex;
+  std::vector<PrimitiveFn> Primitives;
+
+  bool Failed = false;
+  std::string Error;
+
+  // Cached special-form symbols.
+  Value SymQuote, SymQuasiquote, SymUnquote, SymUnquoteSplicing, SymIf,
+      SymDefine, SymSet, SymLambda, SymBegin, SymLet, SymLetStar, SymLetrec,
+      SymCond, SymElse, SymCase, SymAnd, SymOr, SymWhen, SymUnless, SymDo,
+      SymArrow;
+};
+
+} // namespace rdgc
+
+#endif // RDGC_SCHEME_EVALUATOR_H

@@ -1,0 +1,179 @@
+//===- scheme/Printer.cpp - S-expression printer ---------------------------===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "scheme/Printer.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+using namespace rdgc;
+
+std::string Printer::write(Value V, unsigned DepthLimit) const {
+  std::string Out;
+  render(V, Out, /*WriteSyntax=*/true, DepthLimit);
+  return Out;
+}
+
+std::string Printer::display(Value V, unsigned DepthLimit) const {
+  std::string Out;
+  render(V, Out, /*WriteSyntax=*/false, DepthLimit);
+  return Out;
+}
+
+void Printer::render(Value V, std::string &Out, bool WriteSyntax,
+                     unsigned Depth) const {
+  if (Depth == 0) {
+    Out += "...";
+    return;
+  }
+  if (V.isFixnum()) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%" PRId64, V.asFixnum());
+    Out += Buf;
+    return;
+  }
+  if (V.isNull()) {
+    Out += "()";
+    return;
+  }
+  if (V.isTrue()) {
+    Out += "#t";
+    return;
+  }
+  if (V.isFalse()) {
+    Out += "#f";
+    return;
+  }
+  if (V.isUnspecified()) {
+    Out += "#!unspecified";
+    return;
+  }
+  if (V.isEof()) {
+    Out += "#!eof";
+    return;
+  }
+  if (V.isChar()) {
+    uint32_t C = V.asChar();
+    if (C == ' ')
+      Out += "#\\space";
+    else if (C == '\n')
+      Out += "#\\newline";
+    else if (C < 128) {
+      Out += "#\\";
+      Out += static_cast<char>(C);
+    } else {
+      char Buf[16];
+      std::snprintf(Buf, sizeof(Buf), "#\\x%x", C);
+      Out += Buf;
+    }
+    return;
+  }
+  if (V.isSymbol()) {
+    Out += Symbols.name(V);
+    return;
+  }
+
+  assert(V.isPointer() && "unknown value kind");
+  switch (H.tagOf(V)) {
+  case ObjectTag::Pair: {
+    Out += '(';
+    Value Cursor = V;
+    unsigned Guard = 0;
+    for (;;) {
+      render(H.pairCar(Cursor), Out, WriteSyntax, Depth - 1);
+      Value Cdr = H.pairCdr(Cursor);
+      if (Cdr.isNull())
+        break;
+      if (!H.isa(Cdr, ObjectTag::Pair)) {
+        Out += " . ";
+        render(Cdr, Out, WriteSyntax, Depth - 1);
+        break;
+      }
+      Out += ' ';
+      Cursor = Cdr;
+      if (++Guard > 100000) {
+        Out += "...";
+        break;
+      }
+    }
+    Out += ')';
+    return;
+  }
+  case ObjectTag::Vector: {
+    Out += "#(";
+    size_t N = H.vectorLength(V);
+    for (size_t I = 0; I < N; ++I) {
+      if (I)
+        Out += ' ';
+      render(H.vectorRef(V, I), Out, WriteSyntax, Depth - 1);
+    }
+    Out += ')';
+    return;
+  }
+  case ObjectTag::String: {
+    std::string S = H.stringValue(V);
+    if (!WriteSyntax) {
+      Out += S;
+      return;
+    }
+    Out += '"';
+    for (char C : S) {
+      if (C == '"' || C == '\\')
+        Out += '\\';
+      if (C == '\n') {
+        Out += "\\n";
+        continue;
+      }
+      Out += C;
+    }
+    Out += '"';
+    return;
+  }
+  case ObjectTag::Flonum: {
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "%g", H.flonumValue(V));
+    Out += Buf;
+    // Ensure it reads back as a flonum.
+    bool HasDot = false;
+    for (const char *P = Buf; *P; ++P)
+      if (*P == '.' || *P == 'e' || *P == 'n' || *P == 'i')
+        HasDot = true;
+    if (!HasDot)
+      Out += ".0";
+    return;
+  }
+  case ObjectTag::Cell:
+    Out += "#<cell ";
+    render(H.cellRef(V), Out, WriteSyntax, Depth - 1);
+    Out += '>';
+    return;
+  case ObjectTag::Closure:
+    Out += "#<procedure>";
+    return;
+  case ObjectTag::Environment:
+    Out += "#<environment>";
+    return;
+  case ObjectTag::Record:
+    Out += "#<record>";
+    return;
+  case ObjectTag::Bytevector: {
+    Out += "#u8(";
+    size_t N = H.stringLength(V);
+    char Buf[8];
+    for (size_t I = 0; I < N; ++I) {
+      if (I)
+        Out += ' ';
+      std::snprintf(Buf, sizeof(Buf), "%u", H.byteRef(V, I));
+      Out += Buf;
+    }
+    Out += ')';
+    return;
+  }
+  default:
+    Out += "#<unknown>";
+    return;
+  }
+}

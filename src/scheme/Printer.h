@@ -1,0 +1,45 @@
+//===- scheme/Printer.h - S-expression printer ------------------*- C++ -*-===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders heap values back to s-expression text (write syntax). Cycles
+/// are cut off with a depth limit rather than datum labels; the printer is
+/// a debugging and REPL aid, not a serializer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDGC_SCHEME_PRINTER_H
+#define RDGC_SCHEME_PRINTER_H
+
+#include "heap/Heap.h"
+#include "scheme/SymbolTable.h"
+
+#include <string>
+
+namespace rdgc {
+
+/// Value-to-text rendering.
+class Printer {
+public:
+  Printer(Heap &H, const SymbolTable &Symbols) : H(H), Symbols(Symbols) {}
+
+  /// Renders \p V with write syntax (strings quoted).
+  std::string write(Value V, unsigned DepthLimit = 64) const;
+
+  /// Renders \p V with display syntax (strings raw).
+  std::string display(Value V, unsigned DepthLimit = 64) const;
+
+private:
+  void render(Value V, std::string &Out, bool WriteSyntax,
+              unsigned Depth) const;
+
+  Heap &H;
+  const SymbolTable &Symbols;
+};
+
+} // namespace rdgc
+
+#endif // RDGC_SCHEME_PRINTER_H

@@ -1,0 +1,332 @@
+//===- scheme/Reader.cpp - S-expression reader -----------------------------===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "scheme/Reader.h"
+
+#include <cctype>
+#include <cstdlib>
+
+using namespace rdgc;
+
+bool Reader::fail(const std::string &Message) {
+  if (Error.empty())
+    Error = Message;
+  return false;
+}
+
+void Reader::skipWhitespace() {
+  while (!atEnd()) {
+    char C = peek();
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      advance();
+      continue;
+    }
+    if (C == ';') {
+      while (!atEnd() && peek() != '\n')
+        advance();
+      continue;
+    }
+    if (C == '#' && Position + 1 < Text.size() && Text[Position + 1] == '|') {
+      Position += 2;
+      int Depth = 1;
+      while (!atEnd() && Depth > 0) {
+        if (peek() == '|' && Position + 1 < Text.size() &&
+            Text[Position + 1] == '#') {
+          Position += 2;
+          --Depth;
+        } else if (peek() == '#' && Position + 1 < Text.size() &&
+                   Text[Position + 1] == '|') {
+          Position += 2;
+          ++Depth;
+        } else {
+          advance();
+        }
+      }
+      continue;
+    }
+    break;
+  }
+}
+
+static bool isDelimiter(char C) {
+  return std::isspace(static_cast<unsigned char>(C)) || C == '(' ||
+         C == ')' || C == '[' || C == ']' || C == '"' || C == ';';
+}
+
+bool Reader::parseQuoted(const char *SymbolName, Value &Result) {
+  Value Inner;
+  if (!parseDatum(Inner))
+    return false;
+  Handle InnerH(H, Inner);
+  Handle Tail(H, H.allocatePair(InnerH, Value::null()));
+  Result = H.allocatePair(Symbols.intern(SymbolName), Tail);
+  return true;
+}
+
+bool Reader::parseDatum(Value &Result) {
+  skipWhitespace();
+  if (atEnd())
+    return fail("unexpected end of input");
+  char C = peek();
+  if (C == '(' || C == '[')
+    return parseList(Result);
+  if (C == ')' || C == ']')
+    return fail("unexpected ')'");
+  if (C == '\'') {
+    advance();
+    return parseQuoted("quote", Result);
+  }
+  if (C == '`') {
+    advance();
+    return parseQuoted("quasiquote", Result);
+  }
+  if (C == ',') {
+    advance();
+    if (!atEnd() && peek() == '@') {
+      advance();
+      return parseQuoted("unquote-splicing", Result);
+    }
+    return parseQuoted("unquote", Result);
+  }
+  if (C == '"')
+    return parseString(Result);
+  if (C == '#')
+    return parseHash(Result);
+  return parseAtom(Result);
+}
+
+bool Reader::parseList(Value &Result) {
+  char Open = advance();
+  char Close = Open == '(' ? ')' : ']';
+  std::vector<Value> Elements;
+  ScopedRootFrame Guard(*Roots, &Elements);
+  Value Tail = Value::null();
+  bool Dotted = false;
+
+  for (;;) {
+    skipWhitespace();
+    if (atEnd())
+      return fail("unterminated list");
+    if (peek() == Close) {
+      advance();
+      break;
+    }
+    if (peek() == '.' && Position + 1 < Text.size() &&
+        isDelimiter(Text[Position + 1]) && !Elements.empty()) {
+      advance();
+      Value TailDatum;
+      if (!parseDatum(TailDatum))
+        return false;
+      Elements.push_back(TailDatum); // Rooted via the guard.
+      Dotted = true;
+      skipWhitespace();
+      if (atEnd() || peek() != Close)
+        return fail("malformed dotted list");
+      advance();
+      break;
+    }
+    Value Element;
+    if (!parseDatum(Element))
+      return false;
+    Elements.push_back(Element);
+  }
+
+  if (Dotted) {
+    Tail = Elements.back();
+    Elements.pop_back();
+  }
+  Handle TailH(H, Tail);
+  for (size_t I = Elements.size(); I-- > 0;)
+    TailH = H.allocatePair(Elements[I], TailH);
+  Result = TailH;
+  return true;
+}
+
+bool Reader::parseVector(Value &Result) {
+  advance(); // The '(' following '#'.
+  std::vector<Value> Elements;
+  ScopedRootFrame Guard(*Roots, &Elements);
+  for (;;) {
+    skipWhitespace();
+    if (atEnd())
+      return fail("unterminated vector");
+    if (peek() == ')') {
+      advance();
+      break;
+    }
+    Value Element;
+    if (!parseDatum(Element))
+      return false;
+    Elements.push_back(Element);
+  }
+  Handle Vec(H, H.allocateVector(Elements.size(), Value::unspecified()));
+  for (size_t I = 0; I < Elements.size(); ++I)
+    H.vectorSet(Vec, I, Elements[I]);
+  Result = Vec;
+  return true;
+}
+
+bool Reader::parseString(Value &Result) {
+  advance(); // Opening quote.
+  std::string Out;
+  while (!atEnd() && peek() != '"') {
+    char C = advance();
+    if (C == '\\') {
+      if (atEnd())
+        return fail("unterminated string escape");
+      char E = advance();
+      switch (E) {
+      case 'n':
+        Out += '\n';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case '\\':
+        Out += '\\';
+        break;
+      case '"':
+        Out += '"';
+        break;
+      default:
+        Out += E;
+        break;
+      }
+    } else {
+      Out += C;
+    }
+  }
+  if (atEnd())
+    return fail("unterminated string literal");
+  advance(); // Closing quote.
+  Result = H.allocateString(Out);
+  return true;
+}
+
+bool Reader::parseHash(Value &Result) {
+  advance(); // '#'.
+  if (atEnd())
+    return fail("lone '#'");
+  char C = peek();
+  if (C == '(')
+    return parseVector(Result);
+  if (C == 't') {
+    advance();
+    Result = Value::trueValue();
+    return true;
+  }
+  if (C == 'f') {
+    advance();
+    Result = Value::falseValue();
+    return true;
+  }
+  if (C == '\\') {
+    advance();
+    if (atEnd())
+      return fail("unterminated character literal");
+    // Named characters or a single char.
+    std::string Name;
+    Name += advance();
+    while (!atEnd() && !isDelimiter(peek()))
+      Name += advance();
+    if (Name.size() == 1) {
+      Result = Value::character(static_cast<uint32_t>(
+          static_cast<unsigned char>(Name[0])));
+      return true;
+    }
+    if (Name == "space")
+      Result = Value::character(' ');
+    else if (Name == "newline")
+      Result = Value::character('\n');
+    else if (Name == "tab")
+      Result = Value::character('\t');
+    else
+      return fail("unknown character literal #\\" + Name);
+    return true;
+  }
+  return fail("unsupported '#' syntax");
+}
+
+bool Reader::parseAtom(Value &Result) {
+  size_t Start = Position;
+  while (!atEnd() && !isDelimiter(peek()))
+    advance();
+  std::string_view Token = Text.substr(Start, Position - Start);
+  if (Token.empty())
+    return fail("empty token");
+
+  // A token is a number only if the numeric grammar consumes it entirely
+  // (so identifiers like 1+, -, and x2 stay symbols). The leading character
+  // must be a digit, a sign, or a dot, and at least one digit must appear.
+  char First = Token[0];
+  bool MayBeNumber =
+      std::isdigit(static_cast<unsigned char>(First)) || First == '+' ||
+      First == '-' || First == '.';
+  bool HasDigit = false;
+  for (char C : Token)
+    if (std::isdigit(static_cast<unsigned char>(C)))
+      HasDigit = true;
+
+  if (MayBeNumber && HasDigit) {
+    std::string Buffer(Token);
+    char *End = nullptr;
+    long long IntValue = std::strtoll(Buffer.c_str(), &End, 10);
+    if (End == Buffer.c_str() + Buffer.size()) {
+      Result = Value::fixnum(IntValue);
+      return true;
+    }
+    double DblValue = std::strtod(Buffer.c_str(), &End);
+    if (End == Buffer.c_str() + Buffer.size()) {
+      Result = H.allocateFlonum(DblValue);
+      return true;
+    }
+  }
+
+  Result = Symbols.intern(Token);
+  return true;
+}
+
+bool Reader::readOne(std::string_view Input, Value &Result) {
+  Text = Input;
+  Position = 0;
+  Error.clear();
+  RootStack RootsStorage(H);
+  Roots = &RootsStorage;
+  bool Ok = parseDatum(Result);
+  if (Ok) {
+    skipWhitespace();
+    if (!atEnd())
+      Ok = fail("trailing garbage after datum");
+  }
+  Roots = nullptr;
+  return Ok;
+}
+
+bool Reader::readAll(std::string_view Input, std::vector<Value> &Results) {
+  Text = Input;
+  Position = 0;
+  Error.clear();
+  RootStack RootsStorage(H);
+  Roots = &RootsStorage;
+  ScopedRootFrame Guard(RootsStorage, &Results);
+  bool Ok = true;
+  for (;;) {
+    skipWhitespace();
+    if (atEnd())
+      break;
+    Value Datum;
+    if (!parseDatum(Datum)) {
+      Ok = false;
+      break;
+    }
+    Results.push_back(Datum);
+  }
+  Roots = nullptr;
+  return Ok;
+}

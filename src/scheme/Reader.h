@@ -1,0 +1,71 @@
+//===- scheme/Reader.h - S-expression reader --------------------*- C++ -*-===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses s-expression text into heap data: proper and dotted lists,
+/// fixnums, symbols, strings, booleans, characters, vectors, and the quote
+/// family ('x, `x, ,x, ,@x expand to (quote x) etc.). Comments (; to end
+/// of line and #| ... |#) are skipped.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDGC_SCHEME_READER_H
+#define RDGC_SCHEME_READER_H
+
+#include "heap/Heap.h"
+#include "heap/RootStack.h"
+#include "scheme/SymbolTable.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rdgc {
+
+/// Recursive-descent s-expression reader.
+class Reader {
+public:
+  Reader(Heap &H, SymbolTable &Symbols) : H(H), Symbols(Symbols) {}
+
+  /// Parses a single datum from \p Text. Returns false (with an error
+  /// message in errorMessage()) on malformed input or trailing garbage
+  /// other than whitespace/comments.
+  bool readOne(std::string_view Text, Value &Result);
+
+  /// Parses every datum in \p Text into \p Results (rooted by the caller's
+  /// provider while parsing continues).
+  bool readAll(std::string_view Text, std::vector<Value> &Results);
+
+  const std::string &errorMessage() const { return Error; }
+
+private:
+  bool parseDatum(Value &Result);
+  bool parseList(Value &Result);
+  bool parseVector(Value &Result);
+  bool parseString(Value &Result);
+  bool parseHash(Value &Result);
+  bool parseAtom(Value &Result);
+  bool parseQuoted(const char *SymbolName, Value &Result);
+
+  void skipWhitespace();
+  bool atEnd() const { return Position >= Text.size(); }
+  char peek() const { return Text[Position]; }
+  char advance() { return Text[Position++]; }
+  bool fail(const std::string &Message);
+
+  Heap &H;
+  SymbolTable &Symbols;
+  std::string_view Text;
+  size_t Position = 0;
+  std::string Error;
+  /// Roots the intermediate element vectors of in-progress lists across
+  /// the allocations that build them.
+  RootStack *Roots = nullptr;
+};
+
+} // namespace rdgc
+
+#endif // RDGC_SCHEME_READER_H

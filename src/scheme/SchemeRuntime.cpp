@@ -1,0 +1,40 @@
+//===- scheme/SchemeRuntime.cpp - One-stop Scheme runtime ------------------===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "scheme/SchemeRuntime.h"
+
+#include "scheme/Builtins.h"
+
+using namespace rdgc;
+
+SchemeRuntime::SchemeRuntime(Heap &H)
+    : H(H), Eval(H, Symbols), Read(H, Symbols), Print(H, Symbols) {
+  installBuiltins(Eval);
+}
+
+Value SchemeRuntime::evalString(std::string_view Source) {
+  ReadError.clear();
+  std::vector<Value> Forms;
+  ScopedRootFrame G(Eval.rootStack(), &Forms);
+  if (!Read.readAll(Source, Forms)) {
+    ReadError = "read error: " + Read.errorMessage();
+    return Value::unspecified();
+  }
+  Value Result = Value::unspecified();
+  for (size_t I = 0; I < Forms.size(); ++I) {
+    Result = Eval.evalTopLevel(Forms[I]);
+    if (Eval.failed())
+      return Value::unspecified();
+  }
+  return Result;
+}
+
+std::string SchemeRuntime::evalToString(std::string_view Source) {
+  Value Result = evalString(Source);
+  if (failed())
+    return "error: " + errorMessage();
+  return Print.write(Result);
+}

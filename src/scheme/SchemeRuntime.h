@@ -1,0 +1,69 @@
+//===- scheme/SchemeRuntime.h - One-stop Scheme runtime ---------*- C++ -*-===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ties a Heap, SymbolTable, Reader, Printer, Evaluator, and the builtin
+/// library into one object: the moral equivalent of a Larceny instance
+/// linked against a chosen garbage collector. Evaluating source text on a
+/// SchemeRuntime is how the Boyer workloads and the REPL example run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDGC_SCHEME_SCHEMERUNTIME_H
+#define RDGC_SCHEME_SCHEMERUNTIME_H
+
+#include "heap/Heap.h"
+#include "scheme/Evaluator.h"
+#include "scheme/Printer.h"
+#include "scheme/Reader.h"
+#include "scheme/SymbolTable.h"
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace rdgc {
+
+/// A complete Scheme system on a caller-supplied heap.
+class SchemeRuntime {
+public:
+  /// The runtime borrows \p H; callers pick the collector.
+  explicit SchemeRuntime(Heap &H);
+
+  Heap &heap() { return H; }
+  SymbolTable &symbols() { return Symbols; }
+  Evaluator &evaluator() { return Eval; }
+  Reader &reader() { return Read; }
+  Printer &printer() { return Print; }
+
+  /// Parses and evaluates every form in \p Source, returning the value of
+  /// the last one. Check failed() afterwards.
+  Value evalString(std::string_view Source);
+
+  /// Convenience: evalString + render the result with write syntax.
+  std::string evalToString(std::string_view Source);
+
+  bool failed() const { return Eval.failed() || !ReadError.empty(); }
+  std::string errorMessage() const {
+    return !ReadError.empty() ? ReadError : Eval.errorMessage();
+  }
+  void clearError() {
+    Eval.clearError();
+    ReadError.clear();
+  }
+
+private:
+  Heap &H;
+  SymbolTable Symbols;
+  Evaluator Eval;
+  Reader Read;
+  Printer Print;
+  std::string ReadError;
+};
+
+} // namespace rdgc
+
+#endif // RDGC_SCHEME_SCHEMERUNTIME_H

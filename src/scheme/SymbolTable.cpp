@@ -1,0 +1,39 @@
+//===- scheme/SymbolTable.cpp - Interned symbols ---------------------------===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "scheme/SymbolTable.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace rdgc;
+
+Value SymbolTable::intern(std::string_view Name) {
+  std::string Key(Name);
+  auto It = Indices.find(Key);
+  if (It != Indices.end())
+    return Value::symbol(It->second);
+  auto Index = static_cast<uint32_t>(Names.size());
+  Names.push_back(Key);
+  Indices.emplace(std::move(Key), Index);
+  return Value::symbol(Index);
+}
+
+const std::string &SymbolTable::name(Value Symbol) const {
+  assert(Symbol.isSymbol() && "not a symbol");
+  assert(Symbol.symbolIndex() < Names.size() && "unknown symbol index");
+  return Names[Symbol.symbolIndex()];
+}
+
+Value SymbolTable::gensym() {
+  char Buf[32];
+  for (;;) {
+    std::snprintf(Buf, sizeof(Buf), "g%llu",
+                  static_cast<unsigned long long>(GensymCounter++));
+    if (Indices.find(Buf) == Indices.end())
+      return intern(Buf);
+  }
+}

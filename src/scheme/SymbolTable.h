@@ -1,0 +1,53 @@
+//===- scheme/SymbolTable.h - Interned symbols ------------------*- C++ -*-===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interned symbols for the Scheme substrate. Symbols are immediates (a
+/// table index packed into a Value), so they cost no heap storage and
+/// compare with eq? — the same design choice Larceny makes for its symbol
+/// table, and one that keeps the garbage collector out of symbol-heavy
+/// workloads like the Boyer benchmark's rule database.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDGC_SCHEME_SYMBOLTABLE_H
+#define RDGC_SCHEME_SYMBOLTABLE_H
+
+#include "heap/Value.h"
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace rdgc {
+
+/// Bidirectional string <-> symbol-index map.
+class SymbolTable {
+public:
+  /// Interns \p Name, returning its symbol Value (stable for the table's
+  /// lifetime).
+  Value intern(std::string_view Name);
+
+  /// The name of an interned symbol.
+  const std::string &name(Value Symbol) const;
+
+  /// Number of interned symbols.
+  size_t size() const { return Names.size(); }
+
+  /// Generates a fresh uninterned-looking symbol ("g17") guaranteed not to
+  /// collide with any existing symbol.
+  Value gensym();
+
+private:
+  std::vector<std::string> Names;
+  std::unordered_map<std::string, uint32_t> Indices;
+  uint64_t GensymCounter = 0;
+};
+
+} // namespace rdgc
+
+#endif // RDGC_SCHEME_SYMBOLTABLE_H

@@ -1,0 +1,167 @@
+//===- support/AsciiChart.cpp - Terminal charts for the harness ----------===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/AsciiChart.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+using namespace rdgc;
+
+namespace {
+
+/// A character canvas with (0,0) at the top-left.
+class Canvas {
+public:
+  Canvas(unsigned Width, unsigned Height)
+      : Width(Width), Height(Height),
+        Cells(static_cast<size_t>(Width) * Height, ' ') {}
+
+  void set(unsigned X, unsigned Y, char Glyph) {
+    if (X < Width && Y < Height)
+      Cells[static_cast<size_t>(Y) * Width + X] = Glyph;
+  }
+
+  std::string render(const std::string &LeftMargin) const {
+    std::string Out;
+    for (unsigned Y = 0; Y < Height; ++Y) {
+      Out += LeftMargin;
+      Out.append(&Cells[static_cast<size_t>(Y) * Width], Width);
+      Out += '\n';
+    }
+    return Out;
+  }
+
+private:
+  unsigned Width;
+  unsigned Height;
+  std::vector<char> Cells;
+};
+
+std::string formatAxisValue(double V) {
+  char Buf[32];
+  if (std::fabs(V) >= 1000.0 || (std::fabs(V) < 0.01 && V != 0.0))
+    std::snprintf(Buf, sizeof(Buf), "%.3g", V);
+  else
+    std::snprintf(Buf, sizeof(Buf), "%.3f", V);
+  return Buf;
+}
+
+} // namespace
+
+std::string rdgc::renderLineChart(const std::vector<ChartSeries> &Series,
+                                  unsigned Width, unsigned Height,
+                                  const std::string &Title) {
+  assert(Width >= 8 && Height >= 4 && "chart too small");
+  double MinX = 0, MaxX = 1, MinY = 0, MaxY = 1;
+  bool Any = false;
+  for (const auto &S : Series) {
+    assert(S.X.size() == S.Y.size() && "series X/Y length mismatch");
+    for (size_t I = 0; I < S.X.size(); ++I) {
+      if (!Any) {
+        MinX = MaxX = S.X[I];
+        MinY = MaxY = S.Y[I];
+        Any = true;
+        continue;
+      }
+      MinX = std::min(MinX, S.X[I]);
+      MaxX = std::max(MaxX, S.X[I]);
+      MinY = std::min(MinY, S.Y[I]);
+      MaxY = std::max(MaxY, S.Y[I]);
+    }
+  }
+  if (MaxX == MinX)
+    MaxX = MinX + 1;
+  if (MaxY == MinY)
+    MaxY = MinY + 1;
+
+  Canvas C(Width, Height);
+  for (size_t S = 0; S < Series.size(); ++S) {
+    char Glyph = static_cast<char>('a' + (S % 26));
+    const auto &Ser = Series[S];
+    for (size_t I = 0; I < Ser.X.size(); ++I) {
+      double FX = (Ser.X[I] - MinX) / (MaxX - MinX);
+      double FY = (Ser.Y[I] - MinY) / (MaxY - MinY);
+      auto X = static_cast<unsigned>(FX * (Width - 1) + 0.5);
+      auto Y = static_cast<unsigned>((1.0 - FY) * (Height - 1) + 0.5);
+      C.set(X, Y, Glyph);
+    }
+  }
+
+  std::string Out;
+  if (!Title.empty())
+    Out += Title + "\n";
+  Out += "  y: [" + formatAxisValue(MinY) + ", " + formatAxisValue(MaxY) +
+         "]\n";
+  Out += C.render("  |");
+  Out += "  +" + std::string(Width, '-') + "\n";
+  Out += "   x: [" + formatAxisValue(MinX) + ", " + formatAxisValue(MaxX) +
+         "]\n";
+  for (size_t S = 0; S < Series.size(); ++S)
+    Out += "   " + std::string(1, static_cast<char>('a' + (S % 26))) + " = " +
+           Series[S].Name + "\n";
+  return Out;
+}
+
+std::string
+rdgc::renderStackedChart(const std::vector<std::vector<double>> &Layers,
+                         unsigned Width, unsigned Height,
+                         const std::string &Title) {
+  assert(Width >= 8 && Height >= 4 && "chart too small");
+  static const char Palette[] = "#*+=-.:oxs%&@";
+  const size_t PaletteSize = sizeof(Palette) - 1;
+
+  size_t TimeSteps = 0;
+  for (const auto &L : Layers)
+    TimeSteps = std::max(TimeSteps, L.size());
+  if (TimeSteps == 0)
+    return Title + "\n  (empty)\n";
+
+  // Total height at each time index determines the y scale.
+  double MaxTotal = 0;
+  std::vector<double> Totals(TimeSteps, 0.0);
+  for (const auto &L : Layers)
+    for (size_t T = 0; T < L.size(); ++T)
+      Totals[T] += std::max(0.0, L[T]);
+  for (double V : Totals)
+    MaxTotal = std::max(MaxTotal, V);
+  if (MaxTotal <= 0)
+    MaxTotal = 1;
+
+  Canvas C(Width, Height);
+  for (unsigned X = 0; X < Width; ++X) {
+    // Map the column to a time index (nearest sample).
+    size_t T = TimeSteps == 1
+                   ? 0
+                   : static_cast<size_t>(
+                         static_cast<double>(X) * (TimeSteps - 1) /
+                             (Width - 1) +
+                         0.5);
+    double Base = 0;
+    for (size_t L = 0; L < Layers.size(); ++L) {
+      double Val = T < Layers[L].size() ? std::max(0.0, Layers[L][T]) : 0.0;
+      if (Val <= 0)
+        continue;
+      double Lo = Base / MaxTotal;
+      double Hi = (Base + Val) / MaxTotal;
+      auto RowLo = static_cast<unsigned>((1.0 - Hi) * (Height - 1) + 0.5);
+      auto RowHi = static_cast<unsigned>((1.0 - Lo) * (Height - 1) + 0.5);
+      for (unsigned Y = RowLo; Y <= RowHi && Y < Height; ++Y)
+        C.set(X, Y, Palette[L % PaletteSize]);
+      Base += Val;
+    }
+  }
+
+  std::string Out;
+  if (!Title.empty())
+    Out += Title + "\n";
+  Out += "  peak total: " + formatAxisValue(MaxTotal) + "\n";
+  Out += C.render("  |");
+  Out += "  +" + std::string(Width, '-') + "  (time ->)\n";
+  return Out;
+}

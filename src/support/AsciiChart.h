@@ -1,0 +1,47 @@
+//===- support/AsciiChart.h - Terminal charts for the harness --*- C++ -*-===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal ASCII chart renderers used by the benchmark harness to reproduce
+/// the paper's figures directly in terminal output: a multi-series line
+/// chart (Figure 1) and a stacked area chart (Figures 2-4, live storage by
+/// allocation-epoch cohort).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDGC_SUPPORT_ASCIICHART_H
+#define RDGC_SUPPORT_ASCIICHART_H
+
+#include <string>
+#include <vector>
+
+namespace rdgc {
+
+/// A named series of (x, y) samples for line charts.
+struct ChartSeries {
+  std::string Name;
+  std::vector<double> X;
+  std::vector<double> Y;
+};
+
+/// Renders a multi-series line chart into a character grid. Each series is
+/// drawn with its own glyph ('a' + index by default). Axes are labelled with
+/// min/max values.
+std::string renderLineChart(const std::vector<ChartSeries> &Series,
+                            unsigned Width = 72, unsigned Height = 20,
+                            const std::string &Title = "");
+
+/// Renders a stacked area chart: Layers[l][t] is the height of layer l at
+/// time index t; layers are stacked bottom-up and drawn with per-layer
+/// glyphs cycling through a palette. Used for the live-storage-by-cohort
+/// figures where each cohort is an allocation epoch.
+std::string renderStackedChart(const std::vector<std::vector<double>> &Layers,
+                               unsigned Width = 72, unsigned Height = 20,
+                               const std::string &Title = "");
+
+} // namespace rdgc
+
+#endif // RDGC_SUPPORT_ASCIICHART_H

@@ -1,0 +1,16 @@
+//===- support/Error.cpp - Fatal error reporting --------------------------===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Error.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+void rdgc::reportFatalError(const char *Message) {
+  std::fprintf(stderr, "rdgc fatal error: %s\n", Message);
+  std::fflush(stderr);
+  std::abort();
+}

@@ -1,0 +1,24 @@
+//===- support/Error.h - Fatal error reporting ------------------*- C++ -*-===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fatal-error reporting for invariant violations that must be caught even
+/// in release builds (e.g. heap exhaustion). The library does not use C++
+/// exceptions; unrecoverable conditions print a message and abort.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDGC_SUPPORT_ERROR_H
+#define RDGC_SUPPORT_ERROR_H
+
+namespace rdgc {
+
+/// Prints "rdgc fatal error: <message>" to stderr and aborts.
+[[noreturn]] void reportFatalError(const char *Message);
+
+} // namespace rdgc
+
+#endif // RDGC_SUPPORT_ERROR_H

@@ -1,0 +1,78 @@
+//===- support/FixedPoint.cpp - Scalar fixed-point / root solvers --------===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FixedPoint.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace rdgc;
+
+SolveResult rdgc::solveFixedPoint(const std::function<double(double)> &F,
+                                  double X0, double Tolerance,
+                                  unsigned MaxIter, double Damping) {
+  assert(Damping > 0.0 && Damping <= 1.0 && "damping must be in (0, 1]");
+  SolveResult Result;
+  double X = X0;
+  for (unsigned I = 0; I < MaxIter; ++I) {
+    double FX = F(X);
+    double Residual = std::fabs(FX - X);
+    Result.Iterations = I + 1;
+    if (Residual <= Tolerance) {
+      Result.Value = FX;
+      Result.Residual = Residual;
+      Result.Converged = true;
+      return Result;
+    }
+    X = (1.0 - Damping) * X + Damping * FX;
+  }
+  Result.Value = X;
+  Result.Residual = std::fabs(F(X) - X);
+  Result.Converged = Result.Residual <= Tolerance;
+  return Result;
+}
+
+SolveResult rdgc::solveBisection(const std::function<double(double)> &F,
+                                 double Lo, double Hi, double Tolerance,
+                                 unsigned MaxIter) {
+  assert(Lo <= Hi && "empty bracket");
+  SolveResult Result;
+  double FLo = F(Lo);
+  double FHi = F(Hi);
+  if (FLo == 0.0) {
+    Result.Value = Lo;
+    Result.Converged = true;
+    return Result;
+  }
+  if (FHi == 0.0) {
+    Result.Value = Hi;
+    Result.Converged = true;
+    return Result;
+  }
+  assert(FLo * FHi < 0.0 && "bisection requires a sign change");
+  for (unsigned I = 0; I < MaxIter; ++I) {
+    double Mid = 0.5 * (Lo + Hi);
+    double FMid = F(Mid);
+    Result.Iterations = I + 1;
+    if (std::fabs(FMid) <= Tolerance || (Hi - Lo) <= Tolerance) {
+      Result.Value = Mid;
+      Result.Residual = std::fabs(FMid);
+      Result.Converged = true;
+      return Result;
+    }
+    if (FLo * FMid < 0.0) {
+      Hi = Mid;
+      FHi = FMid;
+    } else {
+      Lo = Mid;
+      FLo = FMid;
+    }
+  }
+  Result.Value = 0.5 * (Lo + Hi);
+  Result.Residual = std::fabs(F(Result.Value));
+  Result.Converged = false;
+  return Result;
+}

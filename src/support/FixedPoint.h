@@ -1,0 +1,46 @@
+//===- support/FixedPoint.h - Scalar fixed-point / root solvers -*- C++ -*-===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Scalar solvers used by the analytic model in src/model: a damped
+/// fixed-point iterator for Equation 4 of the paper, and a bisection root
+/// finder used by the property tests to cross-check it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDGC_SUPPORT_FIXEDPOINT_H
+#define RDGC_SUPPORT_FIXEDPOINT_H
+
+#include <functional>
+
+namespace rdgc {
+
+/// Result of a scalar solve.
+struct SolveResult {
+  double Value = 0.0;      ///< The approximate solution.
+  double Residual = 0.0;   ///< |f(x) - x| (fixed point) or |f(x)| (root).
+  unsigned Iterations = 0; ///< Iterations consumed.
+  bool Converged = false;  ///< True when the tolerance was met.
+};
+
+/// Solves x = F(x) by damped iteration x' = (1-Damping)*x + Damping*F(x),
+/// starting from \p X0, stopping when |F(x) - x| <= Tolerance or MaxIter is
+/// reached. Damping in (0, 1] trades speed for robustness; Equation 4 of the
+/// paper is a contraction on [0, g] for practical parameters, so the default
+/// damping converges quickly.
+SolveResult solveFixedPoint(const std::function<double(double)> &F, double X0,
+                            double Tolerance = 1e-12, unsigned MaxIter = 10000,
+                            double Damping = 0.5);
+
+/// Finds a root of F on [Lo, Hi] by bisection; requires F(Lo) and F(Hi) to
+/// have opposite signs (or one of them to be zero).
+SolveResult solveBisection(const std::function<double(double)> &F, double Lo,
+                           double Hi, double Tolerance = 1e-12,
+                           unsigned MaxIter = 200);
+
+} // namespace rdgc
+
+#endif // RDGC_SUPPORT_FIXEDPOINT_H

@@ -1,0 +1,81 @@
+//===- support/Random.cpp - Deterministic PRNG utilities -----------------===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Random.h"
+
+#include <cmath>
+
+using namespace rdgc;
+
+Xoshiro256::Xoshiro256(uint64_t Seed) {
+  SplitMix64 Seeder(Seed);
+  for (auto &Word : State)
+    Word = Seeder.next();
+}
+
+static uint64_t rotl(uint64_t X, int K) { return (X << K) | (X >> (64 - K)); }
+
+uint64_t Xoshiro256::next() {
+  const uint64_t Result = rotl(State[1] * 5, 7) * 9;
+  const uint64_t T = State[1] << 17;
+  State[2] ^= State[0];
+  State[3] ^= State[1];
+  State[1] ^= State[2];
+  State[0] ^= State[3];
+  State[2] ^= T;
+  State[3] = rotl(State[3], 45);
+  return Result;
+}
+
+double Xoshiro256::nextDouble() {
+  // 53 high bits scaled into [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+uint64_t Xoshiro256::nextBelow(uint64_t Bound) {
+  assert(Bound > 0 && "bound must be positive");
+  // Lemire's method: multiply-shift with rejection of the biased region.
+  uint64_t X = next();
+  __uint128_t M = static_cast<__uint128_t>(X) * Bound;
+  uint64_t Lo = static_cast<uint64_t>(M);
+  if (Lo < Bound) {
+    uint64_t Threshold = (0 - Bound) % Bound;
+    while (Lo < Threshold) {
+      X = next();
+      M = static_cast<__uint128_t>(X) * Bound;
+      Lo = static_cast<uint64_t>(M);
+    }
+  }
+  return static_cast<uint64_t>(M >> 64);
+}
+
+int64_t Xoshiro256::nextInRange(int64_t Lo, int64_t Hi) {
+  assert(Lo <= Hi && "empty range");
+  uint64_t Span = static_cast<uint64_t>(Hi - Lo) + 1;
+  return Lo + static_cast<int64_t>(nextBelow(Span));
+}
+
+uint64_t Xoshiro256::nextGeometric(double SurvivalProb) {
+  assert(SurvivalProb > 0.0 && SurvivalProb < 1.0 &&
+         "survival probability must be in (0, 1)");
+  // Inverse-transform sampling: the number of whole units survived is
+  // floor(log(U) / log(r)) for U uniform in (0, 1).
+  double U = nextDouble();
+  if (U <= 0.0)
+    U = 0x1.0p-53;
+  double Units = std::floor(std::log(U) / std::log(SurvivalProb));
+  if (Units < 0)
+    Units = 0;
+  return static_cast<uint64_t>(Units);
+}
+
+double Xoshiro256::nextExponential(double Mean) {
+  assert(Mean > 0.0 && "mean must be positive");
+  double U = nextDouble();
+  if (U <= 0.0)
+    U = 0x1.0p-53;
+  return -Mean * std::log(U);
+}

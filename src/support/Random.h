@@ -1,0 +1,86 @@
+//===- support/Random.h - Deterministic PRNG utilities ---------*- C++ -*-===//
+//
+// Part of the rdgc project, a reproduction of Clinger & Hansen,
+// "Generational Garbage Collection and the Radioactive Decay Model",
+// PLDI 1997. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic, seedable pseudo-random number generators used by the
+/// lifetime simulator and the workloads. Experiments must be reproducible
+/// bit-for-bit across runs, so all randomness flows through these classes
+/// rather than std::random_device.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDGC_SUPPORT_RANDOM_H
+#define RDGC_SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace rdgc {
+
+/// SplitMix64: tiny, fast generator used to seed larger generators and for
+/// cheap hashing. Passes BigCrush when used as a stream.
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed) : State(Seed) {}
+
+  /// Returns the next 64 pseudo-random bits.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+private:
+  uint64_t State;
+};
+
+/// Xoshiro256** by Blackman & Vigna: the workhorse generator for the
+/// simulator. Small state, excellent statistical quality, and cheap enough
+/// to sample per allocated object.
+class Xoshiro256 {
+public:
+  /// Seeds the four state words from a single 64-bit seed via SplitMix64,
+  /// as recommended by the algorithm's authors.
+  explicit Xoshiro256(uint64_t Seed);
+
+  /// Returns the next 64 pseudo-random bits.
+  uint64_t next();
+
+  /// Returns a double uniformly distributed in [0, 1).
+  double nextDouble();
+
+  /// Returns an integer uniformly distributed in [0, Bound). \p Bound must
+  /// be positive. Uses Lemire's nearly-divisionless rejection method.
+  uint64_t nextBelow(uint64_t Bound);
+
+  /// Returns an integer uniformly distributed in [Lo, Hi] inclusive.
+  int64_t nextInRange(int64_t Lo, int64_t Hi);
+
+  /// Returns true with probability \p P.
+  bool nextBernoulli(double P) { return nextDouble() < P; }
+
+  /// Samples a geometric lifetime in whole time units for the radioactive
+  /// decay model: the number of time units an object survives when its
+  /// per-unit survival probability is \p SurvivalProb (= 2^{-1/h}).
+  /// Returns a value >= 0; an object that returns 0 dies within its first
+  /// time unit.
+  uint64_t nextGeometric(double SurvivalProb);
+
+  /// Samples an exponential with mean \p Mean (continuous analogue of the
+  /// decay model, used by property tests).
+  double nextExponential(double Mean);
+
+private:
+  uint64_t State[4];
+};
+
+} // namespace rdgc
+
+#endif // RDGC_SUPPORT_RANDOM_H

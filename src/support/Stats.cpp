@@ -1,0 +1,85 @@
+//===- support/Stats.cpp - Streaming statistics accumulators -------------===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace rdgc;
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats &Other) {
+  if (Other.Count == 0)
+    return;
+  if (Count == 0) {
+    *this = Other;
+    return;
+  }
+  uint64_t NewCount = Count + Other.Count;
+  double Delta = Other.Mean - Mean;
+  double NewMean =
+      Mean + Delta * static_cast<double>(Other.Count) / NewCount;
+  M2 += Other.M2 + Delta * Delta * static_cast<double>(Count) *
+                       static_cast<double>(Other.Count) / NewCount;
+  Mean = NewMean;
+  Count = NewCount;
+  Minimum = std::min(Minimum, Other.Minimum);
+  Maximum = std::max(Maximum, Other.Maximum);
+}
+
+Histogram::Histogram(double Lo, double Hi, size_t BucketCount)
+    : Lo(Lo), Hi(Hi), Buckets(BucketCount, 0) {
+  assert(Hi > Lo && "histogram range must be non-empty");
+  assert(BucketCount > 0 && "histogram needs at least one bucket");
+}
+
+void Histogram::add(double X) {
+  ++Total;
+  if (X < Lo) {
+    ++Underflow;
+    return;
+  }
+  if (X >= Hi) {
+    ++Overflow;
+    return;
+  }
+  double Fraction = (X - Lo) / (Hi - Lo);
+  size_t Index = static_cast<size_t>(Fraction * Buckets.size());
+  if (Index >= Buckets.size())
+    Index = Buckets.size() - 1;
+  ++Buckets[Index];
+}
+
+double Histogram::bucketLow(size_t Index) const {
+  assert(Index < Buckets.size() && "bucket index out of range");
+  return Lo + (Hi - Lo) * static_cast<double>(Index) / Buckets.size();
+}
+
+double Histogram::bucketHigh(size_t Index) const {
+  assert(Index < Buckets.size() && "bucket index out of range");
+  return Lo + (Hi - Lo) * static_cast<double>(Index + 1) / Buckets.size();
+}
+
+double Histogram::quantile(double Q) const {
+  assert(Q >= 0.0 && Q <= 1.0 && "quantile must be in [0, 1]");
+  if (Total == 0)
+    return Lo;
+  double Target = Q * static_cast<double>(Total);
+  double Seen = static_cast<double>(Underflow);
+  if (Target <= Seen)
+    return Lo;
+  for (size_t I = 0, E = Buckets.size(); I != E; ++I) {
+    double Next = Seen + static_cast<double>(Buckets[I]);
+    if (Target <= Next && Buckets[I] > 0) {
+      double Within = (Target - Seen) / static_cast<double>(Buckets[I]);
+      return bucketLow(I) + Within * (bucketHigh(I) - bucketLow(I));
+    }
+    Seen = Next;
+  }
+  return Hi;
+}

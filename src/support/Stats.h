@@ -1,0 +1,98 @@
+//===- support/Stats.h - Streaming statistics accumulators -----*- C++ -*-===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Streaming statistics used throughout the experiment harness: Welford
+/// mean/variance accumulation, min/max tracking, and fixed-width histograms.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDGC_SUPPORT_STATS_H
+#define RDGC_SUPPORT_STATS_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace rdgc {
+
+/// Accumulates count, mean, variance (Welford's online algorithm), minimum,
+/// and maximum of a stream of doubles without storing the stream.
+class RunningStats {
+public:
+  /// Adds one observation.
+  void add(double X) {
+    Count += 1;
+    double Delta = X - Mean;
+    Mean += Delta / static_cast<double>(Count);
+    M2 += Delta * (X - Mean);
+    if (X < Minimum)
+      Minimum = X;
+    if (X > Maximum)
+      Maximum = X;
+  }
+
+  uint64_t count() const { return Count; }
+  double mean() const { return Count ? Mean : 0.0; }
+
+  /// Population variance; zero until at least two observations arrive.
+  double variance() const {
+    return Count > 1 ? M2 / static_cast<double>(Count) : 0.0;
+  }
+
+  double stddev() const;
+  double min() const { return Count ? Minimum : 0.0; }
+  double max() const { return Count ? Maximum : 0.0; }
+
+  /// Merges another accumulator into this one (parallel Welford merge).
+  void merge(const RunningStats &Other);
+
+private:
+  uint64_t Count = 0;
+  double Mean = 0.0;
+  double M2 = 0.0;
+  double Minimum = std::numeric_limits<double>::infinity();
+  double Maximum = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-width histogram over [Lo, Hi) with overflow/underflow buckets.
+class Histogram {
+public:
+  Histogram(double Lo, double Hi, size_t BucketCount);
+
+  /// Adds one observation, crediting the underflow or overflow bucket when
+  /// it falls outside [Lo, Hi).
+  void add(double X);
+
+  size_t bucketCount() const { return Buckets.size(); }
+  uint64_t bucket(size_t Index) const { return Buckets[Index]; }
+  uint64_t underflow() const { return Underflow; }
+  uint64_t overflow() const { return Overflow; }
+  uint64_t total() const { return Total; }
+
+  /// Lower edge of bucket \p Index.
+  double bucketLow(size_t Index) const;
+  /// Upper edge of bucket \p Index.
+  double bucketHigh(size_t Index) const;
+
+  /// Approximate quantile (0 <= Q <= 1) assuming uniform density within each
+  /// bucket. Underflow/overflow observations clamp to the range edges.
+  double quantile(double Q) const;
+
+private:
+  double Lo;
+  double Hi;
+  std::vector<uint64_t> Buckets;
+  uint64_t Underflow = 0;
+  uint64_t Overflow = 0;
+  uint64_t Total = 0;
+};
+
+} // namespace rdgc
+
+#endif // RDGC_SUPPORT_STATS_H

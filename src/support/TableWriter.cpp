@@ -1,0 +1,151 @@
+//===- support/TableWriter.cpp - Aligned text tables and CSV -------------===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/TableWriter.h"
+
+#include <cassert>
+#include <cinttypes>
+#include <cstdio>
+
+using namespace rdgc;
+
+TableWriter::TableWriter(std::vector<std::string> Headers)
+    : Headers(std::move(Headers)) {
+  assert(!this->Headers.empty() && "table needs at least one column");
+  Alignments.assign(this->Headers.size(), Align::Right);
+  Alignments[0] = Align::Left;
+}
+
+void TableWriter::setAlign(size_t Index, Align A) {
+  assert(Index < Alignments.size() && "column index out of range");
+  Alignments[Index] = A;
+}
+
+void TableWriter::addRow(std::vector<std::string> Cells) {
+  assert(Cells.size() == Headers.size() && "row width mismatch");
+  Rows.push_back(std::move(Cells));
+}
+
+std::string TableWriter::formatInt(int64_t V) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%" PRId64, V);
+  return Buf;
+}
+
+std::string TableWriter::formatUnsigned(uint64_t V) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%" PRIu64, V);
+  return Buf;
+}
+
+std::string TableWriter::formatDouble(double V, int Decimals) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Decimals, V);
+  return Buf;
+}
+
+std::string TableWriter::formatPercent(double Fraction, int Decimals) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f%%", Decimals, Fraction * 100.0);
+  return Buf;
+}
+
+std::string TableWriter::formatBytes(uint64_t Bytes) {
+  char Buf[64];
+  if (Bytes >= 1024ULL * 1024 * 1024)
+    std::snprintf(Buf, sizeof(Buf), "%.1f GB",
+                  static_cast<double>(Bytes) / (1024.0 * 1024.0 * 1024.0));
+  else if (Bytes >= 1024ULL * 1024)
+    std::snprintf(Buf, sizeof(Buf), "%.1f MB",
+                  static_cast<double>(Bytes) / (1024.0 * 1024.0));
+  else if (Bytes >= 1024ULL)
+    std::snprintf(Buf, sizeof(Buf), "%.1f kB",
+                  static_cast<double>(Bytes) / 1024.0);
+  else
+    std::snprintf(Buf, sizeof(Buf), "%" PRIu64 " B", Bytes);
+  return Buf;
+}
+
+std::string TableWriter::renderText() const {
+  std::vector<size_t> Widths(Headers.size(), 0);
+  for (size_t C = 0; C < Headers.size(); ++C)
+    Widths[C] = Headers[C].size();
+  for (const auto &Row : Rows)
+    for (size_t C = 0; C < Row.size(); ++C)
+      if (Row[C].size() > Widths[C])
+        Widths[C] = Row[C].size();
+
+  auto RenderCell = [&](const std::string &Cell, size_t C) {
+    std::string Out;
+    size_t Pad = Widths[C] - Cell.size();
+    if (Alignments[C] == Align::Right)
+      Out.append(Pad, ' ');
+    Out += Cell;
+    if (Alignments[C] == Align::Left)
+      Out.append(Pad, ' ');
+    return Out;
+  };
+
+  std::string Out;
+  for (size_t C = 0; C < Headers.size(); ++C) {
+    if (C)
+      Out += "  ";
+    Out += RenderCell(Headers[C], C);
+  }
+  Out += '\n';
+  size_t RuleWidth = 0;
+  for (size_t C = 0; C < Widths.size(); ++C)
+    RuleWidth += Widths[C] + (C ? 2 : 0);
+  Out.append(RuleWidth, '-');
+  Out += '\n';
+  for (const auto &Row : Rows) {
+    for (size_t C = 0; C < Row.size(); ++C) {
+      if (C)
+        Out += "  ";
+      Out += RenderCell(Row[C], C);
+    }
+    Out += '\n';
+  }
+  return Out;
+}
+
+static std::string csvEscape(const std::string &Cell) {
+  bool NeedsQuote = false;
+  for (char Ch : Cell)
+    if (Ch == ',' || Ch == '"' || Ch == '\n') {
+      NeedsQuote = true;
+      break;
+    }
+  if (!NeedsQuote)
+    return Cell;
+  std::string Out = "\"";
+  for (char Ch : Cell) {
+    if (Ch == '"')
+      Out += '"';
+    Out += Ch;
+  }
+  Out += '"';
+  return Out;
+}
+
+std::string TableWriter::renderCsv() const {
+  std::string Out;
+  for (size_t C = 0; C < Headers.size(); ++C) {
+    if (C)
+      Out += ',';
+    Out += csvEscape(Headers[C]);
+  }
+  Out += '\n';
+  for (const auto &Row : Rows) {
+    for (size_t C = 0; C < Row.size(); ++C) {
+      if (C)
+        Out += ',';
+      Out += csvEscape(Row[C]);
+    }
+    Out += '\n';
+  }
+  return Out;
+}

@@ -1,0 +1,69 @@
+//===- support/TableWriter.h - Aligned text tables and CSV -----*- C++ -*-===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Formatting helpers for the benchmark harness. TableWriter accumulates a
+/// rectangular table of strings and renders it either as an aligned,
+/// human-readable text table (like the tables in the paper) or as CSV for
+/// downstream plotting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDGC_SUPPORT_TABLEWRITER_H
+#define RDGC_SUPPORT_TABLEWRITER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rdgc {
+
+/// Column alignment for text rendering.
+enum class Align { Left, Right };
+
+/// Accumulates rows of cells and renders them aligned or as CSV.
+class TableWriter {
+public:
+  /// Creates a table with the given column headers; all columns default to
+  /// right alignment except the first, which is left aligned (matching the
+  /// paper's table style).
+  explicit TableWriter(std::vector<std::string> Headers);
+
+  /// Overrides the alignment of column \p Index.
+  void setAlign(size_t Index, Align A);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Convenience cell formatters.
+  static std::string formatInt(int64_t V);
+  static std::string formatUnsigned(uint64_t V);
+  /// Fixed-point with \p Decimals fractional digits.
+  static std::string formatDouble(double V, int Decimals = 3);
+  /// Percentage with \p Decimals fractional digits, e.g. "85%".
+  static std::string formatPercent(double Fraction, int Decimals = 0);
+  /// Human-readable byte count, e.g. "2.0 MB".
+  static std::string formatBytes(uint64_t Bytes);
+
+  /// Renders the table with aligned columns and a header rule.
+  std::string renderText() const;
+
+  /// Renders the table as RFC-4180-ish CSV (cells containing commas or
+  /// quotes are quoted).
+  std::string renderCsv() const;
+
+  size_t rowCount() const { return Rows.size(); }
+  size_t columnCount() const { return Headers.size(); }
+
+private:
+  std::vector<std::string> Headers;
+  std::vector<Align> Alignments;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace rdgc
+
+#endif // RDGC_SUPPORT_TABLEWRITER_H

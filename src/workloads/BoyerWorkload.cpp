@@ -1,0 +1,440 @@
+//===- workloads/BoyerWorkload.cpp - Boyer term-rewriting benchmark -------===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/BoyerWorkload.h"
+
+#include "heap/RootStack.h"
+#include "scheme/Printer.h"
+#include "scheme/Reader.h"
+#include "scheme/SymbolTable.h"
+#include "support/Error.h"
+
+#include <unordered_map>
+
+using namespace rdgc;
+
+namespace {
+
+// The lemma database. Every lemma has the shape (equal LHS RHS): a term
+// whose head matches LHS (by one-way unification binding the LHS's
+// variables) rewrites to the corresponding instance of RHS. Boolean
+// connectives reduce to if-form so the tautology checker only ever sees
+// if/true/false skeletons over opaque atoms; the arithmetic and list
+// lemmas are standard identities over Peano naturals and lists which give
+// the rewriter real work (and the collector real garbage) without
+// affecting the propositional verdict.
+const char *LemmaDatabase = R"lemmas(
+(equal (implies p q) (if p (if q (true) (false)) (true)))
+(equal (and p q) (if p (if q (true) (false)) (false)))
+(equal (or p q) (if p (true) (if q (true) (false))))
+(equal (not p) (if p (false) (true)))
+(equal (iff p q) (and (implies p q) (implies q p)))
+(equal (if (if a b c) d e) (if a (if b d e) (if c d e)))
+(equal (f x) (g (h x)))
+(equal (plus (zero) x) (fix x))
+(equal (plus (add1 x) y) (add1 (plus x y)))
+(equal (plus (plus x y) z) (plus x (plus y z)))
+(equal (fix (plus x y)) (plus x y))
+(equal (times (zero) x) (zero))
+(equal (times (add1 x) y) (plus y (times x y)))
+(equal (times (times x y) z) (times x (times y z)))
+(equal (times x (plus y z)) (plus (times x y) (times x z)))
+(equal (difference x x) (zero))
+(equal (difference (plus x y) (plus x z)) (difference y z))
+(equal (difference (zero) x) (zero))
+(equal (eqp x y) (equal (fix x) (fix y)))
+(equal (lessp (zero) (add1 x)) (true))
+(equal (lessp x (zero)) (false))
+(equal (lessp (add1 x) (add1 y)) (lessp x y))
+(equal (lessp (remainder x y) y) (if (zerop y) (false) (true)))
+(equal (remainder x (add1 (zero))) (zero))
+(equal (remainder (zero) x) (zero))
+(equal (quotient (zero) x) (zero))
+(equal (zerop x) (equal x (zero)))
+(equal (append (append x y) z) (append x (append y z)))
+(equal (append (nil) x) x)
+(equal (append (cons a x) y) (cons a (append x y)))
+(equal (reverse (append x y)) (append (reverse y) (reverse x)))
+(equal (reverse (nil)) (nil))
+(equal (reverse (cons a x)) (append (reverse x) (cons a (nil))))
+(equal (length (nil)) (zero))
+(equal (length (cons a x)) (add1 (length x)))
+(equal (length (append x y)) (plus (length x) (length y)))
+(equal (length (reverse x)) (length x))
+(equal (member a (nil)) (false))
+(equal (member a (cons b x)) (if (equal a b) (true) (member a x)))
+(equal (member a (append x y)) (or (member a x) (member a y)))
+(equal (flatten (leaf a)) (cons a (nil)))
+(equal (flatten (node l r)) (append (flatten l) (flatten r)))
+(equal (depth (leaf a)) (add1 (zero)))
+(equal (depth (node l r)) (add1 (max (depth l) (depth r))))
+(equal (max x (zero)) (fix x))
+(equal (max (zero) y) (fix y))
+(equal (max (add1 x) (add1 y)) (add1 (max x y)))
+(equal (count a (nil)) (zero))
+(equal (count a (cons b x)) (if (equal a b) (add1 (count a x)) (count a x)))
+(equal (exp x (zero)) (add1 (zero)))
+(equal (exp x (add1 y)) (times x (exp x y)))
+(equal (gcd x (zero)) (fix x))
+(equal (gcd (zero) y) (fix y))
+(equal (g (h (g x))) (g x))
+(equal (assoc a (cons (cons b v) x)) (if (equal a b) (cons b v) (assoc a x)))
+(equal (assoc a (nil)) (false))
+(equal (nth (nil) i) (nil))
+(equal (nth x (zero)) x)
+(equal (nth (cons a x) (add1 i)) (nth x i))
+(equal (last (append x (cons a (nil)))) (cons a (nil)))
+(equal (odd x) (not (even x)))
+(equal (even (zero)) (true))
+(equal (even (add1 x)) (not (even x)))
+(equal (double (zero)) (zero))
+(equal (double (add1 x)) (add1 (add1 (double x))))
+(equal (half (double x)) (fix x))
+)lemmas";
+
+// The theorem to prove: a propositional tautology (a chain of
+// implications), exactly the shape the paper's benchmark uses.
+const char *TheoremText =
+    "(implies (and (implies x y)"
+    "              (and (implies y z)"
+    "                   (and (implies z u)"
+    "                        (implies u w))))"
+    "         (implies x w))";
+
+// Substitutions mapping the propositional atoms to heavyweight terms that
+// the arithmetic and list lemmas grind on. The scale level nests each
+// template into its own `hole` position, following the paper's
+// problem-scaling idea: deeper terms mean more rewriting and allocation
+// (the times-distribution lemma makes the growth superlinear).
+const char *SubstitutionTemplate[] = {
+    "(f (plus (plus a b) (plus c hole)))",
+    "(f (times (times a b) (plus c hole)))",
+    "(f (reverse (append (append a b) hole)))",
+    "(equal (plus a hole) (difference x y))",
+    "(lessp (remainder a hole) (member a (length b)))",
+};
+const char *SubstitutionBase[] = {"(zero)", "d", "(nil)", "b", "b"};
+const char *SubstitutionVars[] = {"x", "y", "z", "u", "w"};
+
+/// The rewriter. Holds every rooted term structure for one run.
+class BoyerEngine : public RootProvider {
+public:
+  BoyerEngine(Heap &H, bool Shared)
+      : H(H), Shared(Shared), Symbols(), Roots(H) {
+    H.addRootProvider(this);
+    SymEqual = Symbols.intern("equal");
+    SymIf = Symbols.intern("if");
+    SymTrue = Symbols.intern("true");
+    SymFalse = Symbols.intern("false");
+  }
+  ~BoyerEngine() override { H.removeRootProvider(this); }
+
+  void forEachRoot(const std::function<void(Value &)> &Visit) override {
+    for (auto &Entry : RulesByHead)
+      Visit(Entry.second);
+  }
+
+  /// Parses the lemma database and indexes the rules by LHS head symbol.
+  bool loadLemmas() {
+    Reader R(H, Symbols);
+    std::vector<Value> Lemmas;
+    ScopedRootFrame G(Roots, &Lemmas);
+    if (!R.readAll(LemmaDatabase, Lemmas))
+      return false;
+    for (size_t I = 0; I < Lemmas.size(); ++I) {
+      Value Lemma = Lemmas[I];
+      if (!H.isa(Lemma, ObjectTag::Pair) || H.pairCar(Lemma) != SymEqual)
+        return false;
+      Value Lhs = H.pairCar(H.pairCdr(Lemma));
+      if (!H.isa(Lhs, ObjectTag::Pair) || !H.pairCar(Lhs).isSymbol())
+        return false;
+      uint32_t Head = H.pairCar(Lhs).symbolIndex();
+      auto It = RulesByHead.find(Head);
+      if (It == RulesByHead.end())
+        RulesByHead.emplace(Head, H.allocatePair(Lemma, Value::null()));
+      else
+        It->second = H.allocatePair(Lemmas[I], It->second);
+      ++RuleCount;
+    }
+    return true;
+  }
+
+  /// Parses a term from text.
+  bool parse(const char *Text, Value &Out) {
+    Reader R(H, Symbols);
+    return R.readOne(Text, Out);
+  }
+
+  /// apply-subst: instantiates \p Term under the association list
+  /// \p Subst (variable symbol -> replacement term). With shared consing,
+  /// an unchanged subterm is returned as-is.
+  Value applySubst(Value Subst, Value Term) {
+    if (!H.isa(Term, ObjectTag::Pair)) {
+      if (Term.isSymbol()) {
+        Value Hit = assq(Term, Subst);
+        if (Hit.isPointer())
+          return H.pairCdr(Hit);
+      }
+      return Term;
+    }
+    std::vector<Value> F{Subst, Term, Value::unspecified(),
+                         Value::unspecified()};
+    ScopedRootFrame G(Roots, &F);
+    F[2] = applySubst(F[0], H.pairCar(F[1]));
+    F[3] = applySubst(F[0], H.pairCdr(F[1]));
+    if (Shared && F[2] == H.pairCar(F[1]) && F[3] == H.pairCdr(F[1]))
+      return F[1];
+    return H.allocatePair(F[2], F[3]);
+  }
+
+  /// rewrite: bottom-up rewriting to a fixed point against the lemma
+  /// database. The classic benchmark's hot loop.
+  Value rewrite(Value Term) {
+    ++RewriteCalls;
+    if (!H.isa(Term, ObjectTag::Pair))
+      return Term;
+
+    std::vector<Value> F{Term, Value::unspecified()};
+    ScopedRootFrame G(Roots, &F);
+
+    // Rewrite the arguments (everything after the head symbol).
+    F[1] = rewriteArgs(H.pairCdr(F[0]));
+    Value NewTerm;
+    if (Shared && F[1] == H.pairCdr(F[0]))
+      NewTerm = F[0];
+    else
+      NewTerm = H.allocatePair(H.pairCar(F[0]), F[1]);
+
+    // Try the rules for this head symbol.
+    Value Head = H.pairCar(NewTerm);
+    if (!Head.isSymbol())
+      return NewTerm;
+    auto It = RulesByHead.find(Head.symbolIndex());
+    if (It == RulesByHead.end())
+      return NewTerm;
+
+    std::vector<Value> M{NewTerm, It->second, Value::null()};
+    ScopedRootFrame MG(Roots, &M);
+    while (M[1].isPointer()) {
+      Value Lemma = H.pairCar(M[1]);
+      Value Lhs = H.pairCar(H.pairCdr(Lemma));
+      M[2] = Value::null();
+      if (oneWayUnify(M[0], Lhs, M[2])) {
+        Value Rhs = H.pairCar(H.pairCdr(H.pairCdr(H.pairCar(M[1]))));
+        std::vector<Value> S{M[2], Rhs};
+        ScopedRootFrame SG(Roots, &S);
+        Value Instance = applySubst(S[0], S[1]);
+        return rewrite(Instance);
+      }
+      M[1] = H.pairCdr(M[1]);
+    }
+    return M[0];
+  }
+
+  /// tautologyp over if-normal terms, with assumption lists.
+  bool tautologyP(Value Term, Value TrueList, Value FalseList) {
+    std::vector<Value> F{Term, TrueList, FalseList};
+    ScopedRootFrame G(Roots, &F);
+    for (;;) {
+      if (isTrueTerm(F[0]) || memberTerm(F[0], F[1]))
+        return true;
+      if (isFalseTerm(F[0]) || memberTerm(F[0], F[2]))
+        return false;
+      if (!H.isa(F[0], ObjectTag::Pair) || H.pairCar(F[0]) != SymIf)
+        return false;
+      Value Test = H.pairCar(H.pairCdr(F[0]));
+      if (isTrueTerm(Test) || memberTerm(Test, F[1])) {
+        F[0] = H.pairCar(H.pairCdr(H.pairCdr(F[0])));
+        continue;
+      }
+      if (isFalseTerm(Test) || memberTerm(Test, F[2])) {
+        F[0] = H.pairCar(H.pairCdr(H.pairCdr(H.pairCdr(F[0]))));
+        continue;
+      }
+      // Case split on the test.
+      std::vector<Value> S{Test, H.pairCar(H.pairCdr(H.pairCdr(F[0]))),
+                           H.pairCar(H.pairCdr(H.pairCdr(H.pairCdr(F[0])))),
+                           Value::unspecified(), Value::unspecified()};
+      ScopedRootFrame SG(Roots, &S);
+      S[3] = H.allocatePair(S[0], F[1]); // Assume test true.
+      S[4] = H.allocatePair(S[0], F[2]); // Assume test false.
+      return tautologyP(S[1], S[3], F[2]) && tautologyP(S[2], F[1], S[4]);
+    }
+  }
+
+  /// tautp: rewrite to normal form, then decide.
+  bool tautP(Value Term) {
+    Handle T(H, rewrite(Term));
+    return tautologyP(T, Value::null(), Value::null());
+  }
+
+  uint64_t rewriteCalls() const { return RewriteCalls; }
+  size_t ruleCount() const { return RuleCount; }
+  SymbolTable &symbols() { return Symbols; }
+
+private:
+  Value assq(Value Key, Value Alist) {
+    for (Value Cursor = Alist; Cursor.isPointer();
+         Cursor = H.pairCdr(Cursor)) {
+      Value Entry = H.pairCar(Cursor);
+      if (H.isa(Entry, ObjectTag::Pair) && H.pairCar(Entry) == Key)
+        return Entry;
+    }
+    return Value::falseValue();
+  }
+
+  Value rewriteArgs(Value Args) {
+    if (!H.isa(Args, ObjectTag::Pair))
+      return Args;
+    std::vector<Value> F{Args, Value::unspecified(), Value::unspecified()};
+    ScopedRootFrame G(Roots, &F);
+    F[1] = rewrite(H.pairCar(F[0]));
+    F[2] = rewriteArgs(H.pairCdr(F[0]));
+    if (Shared && F[1] == H.pairCar(F[0]) && F[2] == H.pairCdr(F[0]))
+      return F[0];
+    return H.allocatePair(F[1], F[2]);
+  }
+
+  /// One-way unification. Pattern variables are symbols at argument
+  /// positions; a symbol in the car of a compound pattern is a function
+  /// head and must match exactly. \p Subst accumulates bindings (a rooted
+  /// slot owned by the caller).
+  bool oneWayUnify(Value Term, Value Pattern, Value &Subst) {
+    if (Pattern.isSymbol()) {
+      Value Hit = assq(Pattern, Subst);
+      if (Hit.isPointer())
+        return equalTerms(Term, H.pairCdr(Hit));
+      std::vector<Value> F{Term, Pattern, Subst};
+      ScopedRootFrame G(Roots, &F);
+      Value Binding = H.allocatePair(F[1], F[0]);
+      Handle BindingH(H, Binding);
+      Subst = H.allocatePair(BindingH, F[2]);
+      return true;
+    }
+    if (!Pattern.isPointer())
+      return Term == Pattern; // Fixnums, '(), etc. match exactly.
+    if (!H.isa(Pattern, ObjectTag::Pair) || !H.isa(Term, ObjectTag::Pair))
+      return false;
+
+    // Both are applications (head symbol . arguments): the heads are
+    // constants and must match exactly; each argument position unifies as
+    // a full pattern where symbols are variables.
+    if (H.pairCar(Pattern) != H.pairCar(Term) ||
+        !H.pairCar(Pattern).isSymbol())
+      return false;
+    std::vector<Value> F{H.pairCdr(Term), H.pairCdr(Pattern)};
+    ScopedRootFrame G(Roots, &F);
+    while (H.isa(F[1], ObjectTag::Pair)) {
+      if (!H.isa(F[0], ObjectTag::Pair))
+        return false;
+      if (!oneWayUnify(H.pairCar(F[0]), H.pairCar(F[1]), Subst))
+        return false;
+      F[0] = H.pairCdr(F[0]);
+      F[1] = H.pairCdr(F[1]);
+    }
+    return F[0].isNull() && F[1].isNull();
+  }
+
+  bool equalTerms(Value A, Value B) {
+    if (A == B)
+      return true;
+    if (!H.isa(A, ObjectTag::Pair) || !H.isa(B, ObjectTag::Pair))
+      return false;
+    return equalTerms(H.pairCar(A), H.pairCar(B)) &&
+           equalTerms(H.pairCdr(A), H.pairCdr(B));
+  }
+
+  bool isTrueTerm(Value T) {
+    return H.isa(T, ObjectTag::Pair) && H.pairCar(T) == SymTrue;
+  }
+  bool isFalseTerm(Value T) {
+    return H.isa(T, ObjectTag::Pair) && H.pairCar(T) == SymFalse;
+  }
+  bool memberTerm(Value T, Value List) {
+    for (Value Cursor = List; Cursor.isPointer();
+         Cursor = H.pairCdr(Cursor))
+      if (equalTerms(T, H.pairCar(Cursor)))
+        return true;
+    return false;
+  }
+
+  Heap &H;
+  bool Shared;
+  SymbolTable Symbols;
+  RootStack Roots;
+  std::unordered_map<uint32_t, Value> RulesByHead;
+  size_t RuleCount = 0;
+  uint64_t RewriteCalls = 0;
+
+  Value SymEqual, SymIf, SymTrue, SymFalse;
+};
+
+} // namespace
+
+BoyerWorkload::BoyerWorkload(bool SharedConsing, int ScaleLevel,
+                             int RepeatsOverride)
+    : Shared(SharedConsing), Scale(ScaleLevel < 1 ? 1 : ScaleLevel),
+      Repeats(RepeatsOverride < 0 ? (ScaleLevel < 1 ? 1 : ScaleLevel)
+                                  : RepeatsOverride) {}
+
+size_t BoyerWorkload::peakLiveHintBytes() const {
+  // Grows with scale; the classic size peaks around a couple of megabytes
+  // in our representation, roughly doubling per level.
+  return (Shared ? 1u : 3u) * (1u << 20) << (Scale - 1);
+}
+
+WorkloadOutcome BoyerWorkload::run(Heap &H) {
+  WorkloadOutcome Outcome;
+  BoyerEngine Engine(H, Shared);
+  if (!Engine.loadLemmas()) {
+    Outcome.Detail = "lemma database failed to load";
+    return Outcome;
+  }
+
+  // Build the substitution, nesting each template into its own hole
+  // Scale times.
+  Value Hole = Engine.symbols().intern("hole");
+  Handle Subst(H, Value::null());
+  for (size_t I = 0; I < 5; ++I) {
+    Value Template, Base;
+    if (!Engine.parse(SubstitutionTemplate[I], Template) ||
+        !Engine.parse(SubstitutionBase[I], Base)) {
+      Outcome.Detail = "substitution term failed to parse";
+      return Outcome;
+    }
+    Handle TemplateH(H, Template);
+    Handle Rep(H, Base);
+    for (int Nest = 0; Nest < Scale; ++Nest) {
+      Handle Binding(H, H.allocatePair(Hole, Rep));
+      Handle HoleSubst(H, H.allocatePair(Binding, Value::null()));
+      Rep = Engine.applySubst(HoleSubst, TemplateH);
+    }
+    Value Var = Engine.symbols().intern(SubstitutionVars[I]);
+    Handle Pair(H, H.allocatePair(Var, Rep));
+    Subst = H.allocatePair(Pair, Subst);
+  }
+
+  Value Theorem;
+  if (!Engine.parse(TheoremText, Theorem)) {
+    Outcome.Detail = "theorem failed to parse";
+    return Outcome;
+  }
+  Handle TheoremH(H, Theorem);
+
+  // By default the scale level also repeats the proof (as iterated uses
+  // of the prover would), so allocation volume grows with scale on both
+  // axes; the profile experiments override Repeats to 1.
+  bool AllProved = true;
+  for (int Round = 0; Round < Repeats && AllProved; ++Round) {
+    Handle Instance(H, Engine.applySubst(Subst, TheoremH));
+    AllProved = Engine.tautP(Instance);
+  }
+
+  Outcome.Valid = AllProved;
+  Outcome.UnitsOfWork = Engine.rewriteCalls();
+  Outcome.Detail = AllProved ? "theorem proved" : "theorem NOT proved";
+  return Outcome;
+}

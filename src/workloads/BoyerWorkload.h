@@ -1,0 +1,72 @@
+//===- workloads/BoyerWorkload.h - Boyer term-rewriting benchmark -*- C++ -*-===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Boyer theorem-prover benchmark (Section 7.1 of the paper): a term
+/// rewriter that reduces a propositional theorem to if-normal form using a
+/// lemma database, then checks it with a tautology prover that case-splits
+/// on if-conditions. Storage behavior is the point: rewriting recursively
+/// duplicates a large term tree, allocating many short-lived subterms while
+/// the canonicalized subtrees become nearly permanent (Figure 3, Table 6).
+///
+/// Two variants, as in the paper:
+///   - nboyer: plain fresh-consing rewriter.
+///   - sboyer: Henry Baker's shared-consing tweak — when every rewritten
+///     subterm is eq? to the original subterm, return the original term
+///     instead of allocating a copy. This collapses the permanent storage
+///     accretion and defeats the strong generational hypothesis (Figure 4,
+///     Table 7).
+///
+/// The lemma database holds boolean-connective rules (implies/and/or/not
+/// reduced to if-form) plus arithmetic and list lemmas over Peano naturals
+/// (plus, times, difference, lessp, remainder, append, reverse, member,
+/// length, ...). Rules are stated as s-expressions and parsed by the Scheme
+/// reader; rule lookup uses a per-head-symbol index (the paper's "faster
+/// and more portable data structure" replacing property lists).
+///
+/// The scale level nests the substitution terms more deeply, following the
+/// problem-scaling idea credited to Bob Boyer in the paper (nboyer2 means
+/// scale 2, etc.).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDGC_WORKLOADS_BOYERWORKLOAD_H
+#define RDGC_WORKLOADS_BOYERWORKLOAD_H
+
+#include "workloads/Workload.h"
+
+namespace rdgc {
+
+/// The Boyer benchmark mutator.
+class BoyerWorkload : public Workload {
+public:
+  /// \p SharedConsing selects sboyer; \p ScaleLevel nests the substitution
+  /// terms (1 = the classic size). \p Repeats overrides how many times the
+  /// proof is run (default: once per scale level); the profile experiments
+  /// use Repeats = 1 so the long-lived accretion of a single proof is
+  /// visible, as in the paper's Figures 3 and 4.
+  BoyerWorkload(bool SharedConsing, int ScaleLevel, int Repeats = -1);
+
+  const char *name() const override {
+    return Shared ? "sboyer" : "nboyer";
+  }
+  const char *description() const override {
+    return Shared
+               ? "term rewriting and tautology checking, shared consing"
+               : "term rewriting and tautology checking";
+  }
+  WorkloadOutcome run(Heap &H) override;
+  size_t peakLiveHintBytes() const override;
+
+private:
+  bool Shared;
+  int Scale;
+  int Repeats;
+};
+
+} // namespace rdgc
+
+#endif // RDGC_WORKLOADS_BOYERWORKLOAD_H

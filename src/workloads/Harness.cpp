@@ -1,0 +1,60 @@
+//===- workloads/Harness.cpp - Workload experiment harness ----------------===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Harness.h"
+
+#include "gc/Generational.h"
+#include "gc/NonPredictive.h"
+
+#include <algorithm>
+#include <chrono>
+
+using namespace rdgc;
+
+ExperimentRun rdgc::runExperiment(Workload &W, CollectorKind Kind,
+                                  const HarnessOptions &Options) {
+  CollectorSizing Sizing;
+  size_t Hint = W.peakLiveHintBytes();
+  Sizing.PrimaryBytes = static_cast<size_t>(
+      std::max<double>(static_cast<double>(Hint) * Options.HeapFactor,
+                       256 * 1024));
+  Sizing.NurseryBytes = Options.NurseryBytes;
+  Sizing.IntermediateBytes = Options.IntermediateBytes;
+  Sizing.StepCount = Options.StepCount;
+  Sizing.Policy = Options.Policy;
+
+  auto H = makeHeap(Kind, Sizing);
+
+  auto Start = std::chrono::steady_clock::now();
+  WorkloadOutcome Outcome = W.run(*H);
+  // A final full collection makes end-of-run live storage observable.
+  H->collectFullNow();
+  auto End = std::chrono::steady_clock::now();
+
+  const GcStats &Stats = H->stats();
+  ExperimentRun Run;
+  Run.WorkloadName = W.name();
+  Run.CollectorName = H->collector().name();
+  Run.Valid = Outcome.Valid;
+  Run.BytesAllocated = Stats.wordsAllocated() * 8;
+  Run.PeakLiveBytes = Stats.peakLiveWords() * 8;
+  Run.HeapBytes = Sizing.PrimaryBytes;
+  double WallSeconds = std::chrono::duration<double>(End - Start).count();
+  Run.GcSeconds = Stats.gcSeconds();
+  Run.MutatorSeconds = std::max(0.0, WallSeconds - Run.GcSeconds);
+  Run.MarkConsRatio = Stats.markConsRatio();
+  Run.Collections = Stats.collections();
+
+  if (Kind == CollectorKind::Generational) {
+    auto &G = static_cast<GenerationalCollector &>(H->collector());
+    Run.RememberedSetPeak = G.rememberedSetSize();
+  } else if (Kind == CollectorKind::NonPredictive ||
+             Kind == CollectorKind::NonPredictiveHybrid) {
+    auto &N = static_cast<NonPredictiveCollector &>(H->collector());
+    Run.RememberedSetPeak = N.rememberedSetSize();
+  }
+  return Run;
+}

@@ -1,0 +1,70 @@
+//===- workloads/Harness.h - Workload experiment harness --------*- C++ -*-===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs workloads against collectors and gathers the measurements the
+/// paper's Table 3 reports: storage allocated, peak live storage, heap
+/// sizing, mutator time, and gc time as a fraction of mutator time — plus
+/// the platform-independent mark/cons ratio Section 5 analyzes. Heap
+/// sizing mirrors the paper's method: the semispace (or arena, or total
+/// step storage) is set to a multiple of the workload's peak live storage.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDGC_WORKLOADS_HARNESS_H
+#define RDGC_WORKLOADS_HARNESS_H
+
+#include "gc/CollectorFactory.h"
+#include "workloads/Workload.h"
+
+#include <string>
+
+namespace rdgc {
+
+/// One workload-on-collector measurement.
+struct ExperimentRun {
+  std::string WorkloadName;
+  std::string CollectorName;
+  bool Valid = false;             ///< Workload self-validation verdict.
+  uint64_t BytesAllocated = 0;    ///< Total heap allocation.
+  uint64_t PeakLiveBytes = 0;     ///< Max live observed at any collection.
+  uint64_t HeapBytes = 0;         ///< Collector storage (semispace/arena).
+  double MutatorSeconds = 0.0;    ///< Wall time minus gc time.
+  double GcSeconds = 0.0;         ///< Wall time inside collections.
+  double MarkConsRatio = 0.0;     ///< Words traced / words allocated.
+  uint64_t Collections = 0;
+  uint64_t RememberedSetPeak = 0; ///< Peak remembered-set size (if any).
+
+  /// The Table 3 column: gc time / mutator time.
+  double gcOverMutator() const {
+    return MutatorSeconds > 0 ? GcSeconds / MutatorSeconds : 0.0;
+  }
+};
+
+/// Options controlling a run.
+struct HarnessOptions {
+  /// Heap storage as a multiple of the workload's peak-live hint (the
+  /// inverse load factor knob; the paper sizes the semiheap so collectors
+  /// "touch a little less storage" comparably).
+  double HeapFactor = 2.0;
+  /// Nursery bytes for the generational collector (paper: 1 MB).
+  size_t NurseryBytes = 1024 * 1024;
+  /// Intermediate generation bytes for the generational collector
+  /// (0 = two generations; the paper's setup had one, Section 7.1).
+  size_t IntermediateBytes = 0;
+  /// Step count for the non-predictive collector.
+  size_t StepCount = 8;
+  JSelectionPolicy Policy = JSelectionPolicy::HalfOfEmpty;
+};
+
+/// Runs \p W on a fresh heap with the given collector and returns the
+/// measurements.
+ExperimentRun runExperiment(Workload &W, CollectorKind Kind,
+                            const HarnessOptions &Options);
+
+} // namespace rdgc
+
+#endif // RDGC_WORKLOADS_HARNESS_H

@@ -1,0 +1,154 @@
+//===- workloads/LatticeWorkload.cpp - Lattice map enumeration ------------===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/LatticeWorkload.h"
+
+#include "heap/RootStack.h"
+
+using namespace rdgc;
+
+// The source lattice 2^a is enumerated element by element in an order where
+// every element is preceded by its subsets. Each partial assignment is kept
+// as a heap list of (element . image) pairs; extending an assignment copies
+// the spine (purely functional style), so the run allocates heavily but
+// only the current backtracking path is ever live.
+
+namespace {
+
+/// Lattice order on bitmask elements: x <= y iff x's bits are a subset.
+bool leq(uint64_t X, uint64_t Y) { return (X & ~Y) == 0; }
+
+class Enumerator {
+public:
+  Enumerator(Heap &H, unsigned SourceBits, unsigned TargetBits)
+      : H(H), Roots(H), SourceCount(1ULL << SourceBits),
+        TargetCount(1ULL << TargetBits) {}
+
+  uint64_t countMaps() {
+    Handle Empty(H, Value::null());
+    return extend(0, Empty);
+  }
+
+  uint64_t allocationsOfInterest() const { return Extensions; }
+
+private:
+  /// Looks up the image assigned to \p Element in the assignment list.
+  uint64_t imageOf(Value Assignment, uint64_t Element) {
+    for (Value Cursor = Assignment; Cursor.isPointer();
+         Cursor = H.pairCdr(Cursor)) {
+      Value Entry = H.pairCar(Cursor);
+      if (static_cast<uint64_t>(H.pairCar(Entry).asFixnum()) == Element)
+        return static_cast<uint64_t>(H.pairCdr(Entry).asFixnum());
+    }
+    assert(false && "element not assigned yet");
+    return 0;
+  }
+
+  /// Counts the monotone completions of an assignment covering elements
+  /// 0..Element-1.
+  uint64_t extend(uint64_t Element, Value Assignment) {
+    if (Element == SourceCount)
+      return 1;
+    uint64_t Total = 0;
+    std::vector<Value> F{Assignment};
+    ScopedRootFrame G(Roots, &F);
+    for (uint64_t Image = 0; Image < TargetCount; ++Image) {
+      // Monotonicity against every already-assigned predecessor and
+      // successor (only predecessors exist in subset-completion order).
+      bool Ok = true;
+      for (uint64_t Prev = 0; Prev < Element && Ok; ++Prev) {
+        uint64_t PrevImage = imageOf(F[0], Prev);
+        if (leq(Prev, Element) && !leq(PrevImage, Image))
+          Ok = false;
+        if (leq(Element, Prev) && !leq(Image, PrevImage))
+          Ok = false;
+      }
+      if (!Ok)
+        continue;
+      ++Extensions;
+      std::vector<Value> E{F[0], Value::unspecified()};
+      ScopedRootFrame EG(Roots, &E);
+      Value Entry =
+          H.allocatePair(Value::fixnum(static_cast<int64_t>(Element)),
+                         Value::fixnum(static_cast<int64_t>(Image)));
+      Handle EntryH(H, Entry);
+      E[1] = H.allocatePair(EntryH, E[0]);
+      Total += extend(Element + 1, E[1]);
+    }
+    return Total;
+  }
+
+  Heap &H;
+  RootStack Roots;
+  uint64_t SourceCount;
+  uint64_t TargetCount;
+  uint64_t Extensions = 0;
+};
+
+/// Off-heap reference implementation of the same count.
+uint64_t countReference(unsigned SourceBits, unsigned TargetBits) {
+  uint64_t SourceCount = 1ULL << SourceBits;
+  uint64_t TargetCount = 1ULL << TargetBits;
+  std::vector<uint64_t> Images(SourceCount, 0);
+  // Depth-first over assignments with the same pruning.
+  struct Frame {
+    uint64_t Element;
+    uint64_t NextImage;
+  };
+  uint64_t Total = 0;
+  std::vector<Frame> Stack;
+  Stack.push_back({0, 0});
+  while (!Stack.empty()) {
+    Frame &Top = Stack.back();
+    if (Top.Element == SourceCount) {
+      ++Total;
+      Stack.pop_back();
+      continue;
+    }
+    bool Advanced = false;
+    while (Top.NextImage < TargetCount) {
+      uint64_t Image = Top.NextImage++;
+      bool Ok = true;
+      for (uint64_t Prev = 0; Prev < Top.Element && Ok; ++Prev) {
+        if (leq(Prev, Top.Element) && !leq(Images[Prev], Image))
+          Ok = false;
+        if (leq(Top.Element, Prev) && !leq(Image, Images[Prev]))
+          Ok = false;
+      }
+      if (Ok) {
+        Images[Top.Element] = Image;
+        Stack.push_back({Top.Element + 1, 0});
+        Advanced = true;
+        break;
+      }
+    }
+    if (!Advanced)
+      Stack.pop_back();
+  }
+  return Total;
+}
+
+} // namespace
+
+LatticeWorkload::LatticeWorkload(unsigned SourceBits, unsigned TargetBits)
+    : SourceBits(SourceBits), TargetBits(TargetBits) {
+  assert(SourceBits >= 1 && SourceBits <= 4 && "source lattice too large");
+  assert(TargetBits >= 1 && TargetBits <= 4 && "target lattice too large");
+}
+
+uint64_t LatticeWorkload::referenceCount() const {
+  return countReference(SourceBits, TargetBits);
+}
+
+WorkloadOutcome LatticeWorkload::run(Heap &H) {
+  Enumerator E(H, SourceBits, TargetBits);
+  uint64_t Count = E.countMaps();
+  WorkloadOutcome Outcome;
+  Outcome.Valid = Count == referenceCount();
+  Outcome.UnitsOfWork = Count;
+  Outcome.Detail = "monotone maps: " + std::to_string(Count);
+  return Outcome;
+}

@@ -1,0 +1,48 @@
+//===- workloads/LatticeWorkload.h - Lattice map enumeration ----*- C++ -*-===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The lattice benchmark (Table 2: "enumeration of maps between
+/// lattices"): counts the monotone maps from one finite lattice to
+/// another by backtracking over candidate assignments in topological
+/// order. Purely functional list manipulation on the heap — a high
+/// allocation rate with almost no long-lived storage, the paper's example
+/// of a typical purely functional program (Section 7.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDGC_WORKLOADS_LATTICEWORKLOAD_H
+#define RDGC_WORKLOADS_LATTICEWORKLOAD_H
+
+#include "workloads/Workload.h"
+
+namespace rdgc {
+
+/// Counts monotone maps between two boolean lattices 2^a -> 2^b.
+class LatticeWorkload : public Workload {
+public:
+  /// Source lattice is the powerset of \p SourceBits elements, target the
+  /// powerset of \p TargetBits elements.
+  LatticeWorkload(unsigned SourceBits, unsigned TargetBits);
+
+  const char *name() const override { return "lattice"; }
+  const char *description() const override {
+    return "enumeration of monotone maps between lattices";
+  }
+  WorkloadOutcome run(Heap &H) override;
+  size_t peakLiveHintBytes() const override { return 512 * 1024; }
+
+  /// The reference count computed without the heap (for validation).
+  uint64_t referenceCount() const;
+
+private:
+  unsigned SourceBits;
+  unsigned TargetBits;
+};
+
+} // namespace rdgc
+
+#endif // RDGC_WORKLOADS_LATTICEWORKLOAD_H

@@ -1,0 +1,125 @@
+//===- workloads/NBodyWorkload.cpp - Boxed-flonum n-body ------------------===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/NBodyWorkload.h"
+
+#include "heap/RootStack.h"
+#include "support/Random.h"
+
+#include <cmath>
+
+using namespace rdgc;
+
+namespace {
+
+/// Boxed arithmetic: every operation reads flonum boxes and allocates a
+/// fresh box for the result, mirroring Larceny's uniform representation.
+class BoxedMath {
+public:
+  explicit BoxedMath(Heap &H) : H(H) {}
+
+  Value box(double D) { return H.allocateFlonum(D); }
+  double unbox(Value V) { return H.flonumValue(V); }
+
+  Value add(Value A, Value B) { return box(unbox(A) + unbox(B)); }
+  Value sub(Value A, Value B) { return box(unbox(A) - unbox(B)); }
+  Value mul(Value A, Value B) { return box(unbox(A) * unbox(B)); }
+  Value div(Value A, Value B) { return box(unbox(A) / unbox(B)); }
+  Value sqrtv(Value A) { return box(std::sqrt(unbox(A))); }
+
+private:
+  Heap &H;
+};
+
+} // namespace
+
+NBodyWorkload::NBodyWorkload(unsigned Bodies, unsigned Steps)
+    : Bodies(Bodies < 2 ? 2 : Bodies), Steps(Steps ? Steps : 1) {}
+
+WorkloadOutcome NBodyWorkload::run(Heap &H) {
+  RootStack Roots(H);
+  BoxedMath M(H);
+
+  // State: one vector per body of 7 boxed flonums
+  // [x y z vx vy vz mass]; the state vectors are the only storage that
+  // survives a timestep.
+  std::vector<Value> State(Bodies);
+  ScopedRootFrame G(Roots, &State);
+
+  Xoshiro256 Rng(0xB0D1E5);
+  for (unsigned B = 0; B < Bodies; ++B) {
+    State[B] = H.allocateVector(7, Value::unspecified());
+    for (size_t Slot = 0; Slot < 3; ++Slot)
+      H.vectorSet(State[B], Slot, M.box(Rng.nextDouble() * 10 - 5));
+    for (size_t Slot = 3; Slot < 6; ++Slot)
+      H.vectorSet(State[B], Slot, M.box(Rng.nextDouble() * 0.1 - 0.05));
+    H.vectorSet(State[B], 6, M.box(Rng.nextDouble() * 0.9 + 0.1));
+  }
+
+  const double Dt = 0.01;
+  Handle DtBox(H, M.box(Dt));
+  Handle Eps(H, M.box(1e-6));
+
+  for (unsigned Step = 0; Step < Steps; ++Step) {
+    for (unsigned I = 0; I < Bodies; ++I) {
+      // Accumulate the acceleration on body I; every intermediate is a
+      // fresh box.
+      std::vector<Value> Acc{M.box(0), M.box(0), M.box(0)};
+      ScopedRootFrame AccG(Roots, &Acc);
+      for (unsigned J = 0; J < Bodies; ++J) {
+        if (I == J)
+          continue;
+        std::vector<Value> T{
+            M.sub(H.vectorRef(State[J], 0), H.vectorRef(State[I], 0)),
+            Value::unspecified(), Value::unspecified(),
+            Value::unspecified(), Value::unspecified()};
+        ScopedRootFrame TG(Roots, &T);
+        T[1] = M.sub(H.vectorRef(State[J], 1), H.vectorRef(State[I], 1));
+        T[2] = M.sub(H.vectorRef(State[J], 2), H.vectorRef(State[I], 2));
+        // r^2 = dx^2 + dy^2 + dz^2 + eps.
+        T[3] = M.add(M.add(M.mul(T[0], T[0]), M.mul(T[1], T[1])),
+                     M.add(M.mul(T[2], T[2]), Eps));
+        // a = m_j / (r^2 * r).
+        T[4] = M.div(H.vectorRef(State[J], 6),
+                     M.mul(T[3], M.sqrtv(T[3])));
+        Acc[0] = M.add(Acc[0], M.mul(T[0], T[4]));
+        Acc[1] = M.add(Acc[1], M.mul(T[1], T[4]));
+        Acc[2] = M.add(Acc[2], M.mul(T[2], T[4]));
+      }
+      for (size_t Axis = 0; Axis < 3; ++Axis) {
+        Value NewV = M.add(H.vectorRef(State[I], 3 + Axis),
+                           M.mul(Acc[Axis], DtBox));
+        H.vectorSet(State[I], 3 + Axis, NewV);
+      }
+    }
+    for (unsigned I = 0; I < Bodies; ++I)
+      for (size_t Axis = 0; Axis < 3; ++Axis) {
+        Value NewX = M.add(H.vectorRef(State[I], Axis),
+                           M.mul(H.vectorRef(State[I], 3 + Axis), DtBox));
+        H.vectorSet(State[I], Axis, NewX);
+      }
+  }
+
+  // Validation: total momentum must be finite and the system must have
+  // moved; checksum the positions.
+  double Checksum = 0;
+  bool Finite = true;
+  for (unsigned B = 0; B < Bodies; ++B)
+    for (size_t Slot = 0; Slot < 6; ++Slot) {
+      double V = M.unbox(H.vectorRef(State[B], Slot));
+      if (!std::isfinite(V))
+        Finite = false;
+      Checksum += V;
+    }
+
+  WorkloadOutcome Outcome;
+  Outcome.Valid = Finite;
+  Outcome.UnitsOfWork = static_cast<uint64_t>(Bodies) * Bodies * Steps;
+  Outcome.Detail =
+      "position checksum: " + std::to_string(Checksum) +
+      (Finite ? "" : " (non-finite!)");
+  return Outcome;
+}

@@ -1,0 +1,45 @@
+//===- workloads/NBodyWorkload.h - Boxed-flonum n-body ----------*- C++ -*-===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The nbody benchmark (Table 2: inverse-square-law simulation). Section
+/// 7.2 of the paper attributes its "excessively rapid allocation" to
+/// Larceny's uniform representation: every floating-point operation
+/// allocates a 16-byte boxed flonum. We reproduce exactly that: an O(n^2)
+/// gravitational integrator whose arithmetic goes through boxed flonums on
+/// the managed heap, so the allocation volume scales with the flop count
+/// while almost nothing survives beyond a timestep — textbook weak
+/// generational behavior.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDGC_WORKLOADS_NBODYWORKLOAD_H
+#define RDGC_WORKLOADS_NBODYWORKLOAD_H
+
+#include "workloads/Workload.h"
+
+namespace rdgc {
+
+/// O(n^2) gravity with every intermediate boxed on the heap.
+class NBodyWorkload : public Workload {
+public:
+  NBodyWorkload(unsigned Bodies, unsigned Steps);
+
+  const char *name() const override { return "nbody"; }
+  const char *description() const override {
+    return "inverse-square-law simulation with boxed flonums";
+  }
+  WorkloadOutcome run(Heap &H) override;
+  size_t peakLiveHintBytes() const override { return 256 * 1024; }
+
+private:
+  unsigned Bodies;
+  unsigned Steps;
+};
+
+} // namespace rdgc
+
+#endif // RDGC_WORKLOADS_NBODYWORKLOAD_H

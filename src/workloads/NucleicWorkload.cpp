@@ -1,0 +1,199 @@
+//===- workloads/NucleicWorkload.cpp - Float-heavy search -----------------===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/NucleicWorkload.h"
+
+#include "heap/RootStack.h"
+#include "support/Random.h"
+
+#include <cmath>
+
+using namespace rdgc;
+
+namespace {
+
+/// A 3D point as a heap vector of three boxed flonums, plus the boxed
+/// operations on them. Everything allocates, as in Larceny.
+class BoxedGeometry {
+public:
+  BoxedGeometry(Heap &H, RootStack &Roots) : H(H), Roots(Roots) {}
+
+  Value point(double X, double Y, double Z) {
+    Handle P(H, H.allocateVector(3, Value::unspecified()));
+    H.vectorSet(P, 0, H.allocateFlonum(X));
+    H.vectorSet(P, 1, H.allocateFlonum(Y));
+    H.vectorSet(P, 2, H.allocateFlonum(Z));
+    return P;
+  }
+
+  double coord(Value P, size_t Axis) {
+    return H.flonumValue(H.vectorRef(P, Axis));
+  }
+
+  /// Applies a rotation (about the z axis by Angle) followed by a
+  /// translation, boxing every intermediate.
+  Value transform(Value P, double Angle, Value Offset) {
+    std::vector<Value> F{P, Offset};
+    ScopedRootFrame G(Roots, &F);
+    double C = std::cos(Angle);
+    double S = std::sin(Angle);
+    // Each product/sum below models one boxed flop.
+    Handle Xc(H, H.allocateFlonum(coord(F[0], 0) * C));
+    Handle Ys(H, H.allocateFlonum(coord(F[0], 1) * S));
+    Handle Xs(H, H.allocateFlonum(coord(F[0], 0) * S));
+    Handle Yc(H, H.allocateFlonum(coord(F[0], 1) * C));
+    Handle NewX(H, H.allocateFlonum(H.flonumValue(Xc) - H.flonumValue(Ys) +
+                                    coord(F[1], 0)));
+    Handle NewY(H, H.allocateFlonum(H.flonumValue(Xs) + H.flonumValue(Yc) +
+                                    coord(F[1], 1)));
+    Handle NewZ(H, H.allocateFlonum(coord(F[0], 2) + coord(F[1], 2)));
+    Handle Out(H, H.allocateVector(3, Value::unspecified()));
+    H.vectorSet(Out, 0, NewX);
+    H.vectorSet(Out, 1, NewY);
+    H.vectorSet(Out, 2, NewZ);
+    return Out;
+  }
+
+  /// Squared distance, through boxes.
+  double distanceSquared(Value A, Value B) {
+    std::vector<Value> F{A, B};
+    ScopedRootFrame G(Roots, &F);
+    double Sum = 0;
+    for (size_t Axis = 0; Axis < 3; ++Axis) {
+      Handle D(H, H.allocateFlonum(coord(F[0], Axis) - coord(F[1], Axis)));
+      Handle D2(H, H.allocateFlonum(H.flonumValue(D) * H.flonumValue(D)));
+      Sum += H.flonumValue(D2);
+    }
+    return Sum;
+  }
+
+private:
+  Heap &H;
+  RootStack &Roots;
+};
+
+/// Beam search over conformations: at each residue every beam member is
+/// extended by every candidate transform, extensions are scored by a
+/// boxed-flonum energy over the whole placed prefix, and the lowest-energy
+/// feasible extensions form the next beam. All chains are heap lists, and
+/// every score is computed through boxed arithmetic — the float-per-flop
+/// allocation profile Section 7.2 describes.
+class Search {
+public:
+  Search(Heap &H, unsigned ChainLength, unsigned Candidates, double Phase)
+      : H(H), Roots(H), Geo(H, Roots), ChainLength(ChainLength),
+        Candidates(Candidates), Phase(Phase) {}
+
+  /// Runs the search; returns true when a full-length conformation
+  /// survived to the end, accumulating the number of scored placements.
+  bool search(uint64_t &Explored) {
+    const size_t BeamWidth = 8;
+    // Beam chains are heap lists (newest point first).
+    std::vector<Value> Beam;
+    ScopedRootFrame BG(Roots, &Beam);
+    {
+      Handle Origin(H, Geo.point(0, 0, 0));
+      Beam.push_back(H.allocatePair(Origin, Value::null()));
+    }
+
+    for (unsigned Residue = 1; Residue <= ChainLength; ++Residue) {
+      std::vector<Value> Next; // Candidate chains, best-first.
+      std::vector<double> NextEnergy;
+      ScopedRootFrame NG(Roots, &Next);
+      for (size_t B = 0; B < Beam.size(); ++B) {
+        for (unsigned C = 0; C < Candidates; ++C) {
+          ++Explored;
+          double Angle = 0.61 * static_cast<double>(C + 1) +
+                         0.13 * static_cast<double>(Residue) + Phase;
+          std::vector<Value> F{Beam[B], Value::unspecified(),
+                               Value::unspecified()};
+          ScopedRootFrame FG(Roots, &F);
+          F[1] = Geo.point(1.0, 0.15 * C, 0.05 * (C % 3));
+          F[2] = Geo.transform(H.pairCar(F[0]), Angle, F[1]);
+          // Feasibility and energy against the whole prefix, every
+          // distance through boxed math.
+          bool Ok = true;
+          double Energy = 0;
+          size_t Skip = 0;
+          for (Value Cursor = F[0]; Cursor.isPointer();
+               Cursor = H.pairCdr(Cursor), ++Skip) {
+            double D2 = Geo.distanceSquared(F[2], H.pairCar(Cursor));
+            if (Skip > 0 && D2 < 0.81) {
+              Ok = false;
+              break;
+            }
+            Energy += 1.0 / (D2 + 0.01);
+            // The list cell may have moved; Cursor re-reads are safe
+            // because distanceSquared roots its own operands and the
+            // cursor itself is re-fetched from the rooted chain below.
+            Cursor = refresh(F[0], Skip);
+          }
+          if (!Ok)
+            continue;
+          Value Extended = H.allocatePair(F[2], F[0]);
+          // Insert best-first, bounded by the beam width.
+          size_t Pos = 0;
+          while (Pos < NextEnergy.size() && NextEnergy[Pos] <= Energy)
+            ++Pos;
+          Next.insert(Next.begin() + static_cast<ptrdiff_t>(Pos), Extended);
+          NextEnergy.insert(NextEnergy.begin() +
+                                static_cast<ptrdiff_t>(Pos),
+                            Energy);
+          if (Next.size() > BeamWidth) {
+            Next.pop_back();
+            NextEnergy.pop_back();
+          }
+        }
+      }
+      if (Next.empty())
+        return false;
+      Beam = Next;
+    }
+    return true;
+  }
+
+private:
+  /// Returns the \p Index-th cell of \p Chain (rooted), tolerating moves.
+  Value refresh(Value Chain, size_t Index) {
+    Value Cursor = Chain;
+    for (size_t I = 0; I < Index && Cursor.isPointer(); ++I)
+      Cursor = H.pairCdr(Cursor);
+    return Cursor;
+  }
+
+  Heap &H;
+  RootStack Roots;
+  BoxedGeometry Geo;
+  unsigned ChainLength;
+  unsigned Candidates;
+  double Phase;
+};
+
+} // namespace
+
+NucleicWorkload::NucleicWorkload(unsigned ChainLength,
+                                 unsigned CandidatesPerResidue,
+                                 unsigned Rounds)
+    : ChainLength(ChainLength < 2 ? 2 : ChainLength),
+      Candidates(CandidatesPerResidue < 2 ? 2 : CandidatesPerResidue),
+      Rounds(Rounds ? Rounds : 1) {}
+
+WorkloadOutcome NucleicWorkload::run(Heap &H) {
+  uint64_t Explored = 0;
+  unsigned Found = 0;
+  for (unsigned R = 0; R < Rounds; ++R) {
+    Search S(H, ChainLength, Candidates, 0.211 * R);
+    if (S.search(Explored))
+      ++Found;
+  }
+  WorkloadOutcome Outcome;
+  Outcome.Valid = Found == Rounds;
+  Outcome.UnitsOfWork = Explored;
+  Outcome.Detail = std::to_string(Found) + "/" + std::to_string(Rounds) +
+                   " conformations found, " + std::to_string(Explored) +
+                   " placements";
+  return Outcome;
+}

@@ -1,0 +1,54 @@
+//===- workloads/NucleicWorkload.h - Float-heavy search ---------*- C++ -*-===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The nucleic benchmark (Table 2: determination of nucleic acids'
+/// spatial structure). The original is a constraint-satisfaction search
+/// over 3D conformations whose Larceny cost, per Section 7.2 of the
+/// paper, is dominated by boxed flonum allocation: every one of its ~7
+/// million floating-point operations allocates a 16-byte box.
+///
+/// Substitution note (see DESIGN.md): we keep the algorithmic shape — a
+/// depth-first placement search over a chain of pseudo-residues, each
+/// placed by applying one of several candidate rigid-body transforms and
+/// accepted only if distance constraints against previously placed
+/// residues hold — with all vector math running through boxed flonums on
+/// the managed heap. The GC-relevant variables (allocation per flop,
+/// short-lived temporaries, small live set) match the original's.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDGC_WORKLOADS_NUCLEICWORKLOAD_H
+#define RDGC_WORKLOADS_NUCLEICWORKLOAD_H
+
+#include "workloads/Workload.h"
+
+namespace rdgc {
+
+/// Backtracking conformation search with boxed-flonum arithmetic.
+class NucleicWorkload : public Workload {
+public:
+  /// \p Rounds independent searches are run (with rotated constraint
+  /// phases), multiplying allocation volume without deepening recursion.
+  NucleicWorkload(unsigned ChainLength, unsigned CandidatesPerResidue,
+                  unsigned Rounds = 1);
+
+  const char *name() const override { return "nucleic"; }
+  const char *description() const override {
+    return "conformation search with boxed-flonum geometry";
+  }
+  WorkloadOutcome run(Heap &H) override;
+  size_t peakLiveHintBytes() const override { return 256 * 1024; }
+
+private:
+  unsigned ChainLength;
+  unsigned Candidates;
+  unsigned Rounds;
+};
+
+} // namespace rdgc
+
+#endif // RDGC_WORKLOADS_NUCLEICWORKLOAD_H

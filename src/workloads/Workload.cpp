@@ -1,0 +1,38 @@
+//===- workloads/Workload.cpp - Benchmark mutator registry ----------------===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+#include "workloads/BoyerWorkload.h"
+#include "workloads/DynamicWorkload.h"
+#include "workloads/LatticeWorkload.h"
+#include "workloads/NBodyWorkload.h"
+#include "workloads/NucleicWorkload.h"
+
+using namespace rdgc;
+
+Workload::~Workload() = default;
+
+std::vector<std::unique_ptr<Workload>> rdgc::makePaperWorkloads(int Scale) {
+  if (Scale < 1)
+    Scale = 1;
+  std::vector<std::unique_ptr<Workload>> Out;
+  // Parameters chosen so relative allocation volumes echo Table 3's
+  // proportions at Scale 1 and grow with the scale level.
+  Out.push_back(std::make_unique<NBodyWorkload>(
+      16 * Scale, static_cast<unsigned>(60 * Scale)));
+  Out.push_back(std::make_unique<NucleicWorkload>(
+      static_cast<unsigned>(12 + Scale), 6,
+      static_cast<unsigned>(24 * Scale)));
+  Out.push_back(std::make_unique<LatticeWorkload>(3, Scale >= 2 ? 4 : 3));
+  Out.push_back(std::make_unique<DynamicWorkload>(
+      10, static_cast<size_t>(Scale) * 900 * 1024));
+  Out.push_back(std::make_unique<BoyerWorkload>(/*SharedConsing=*/false,
+                                                Scale));
+  Out.push_back(std::make_unique<BoyerWorkload>(/*SharedConsing=*/true,
+                                                Scale));
+  return Out;
+}

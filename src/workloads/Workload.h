@@ -1,0 +1,67 @@
+//===- workloads/Workload.h - Benchmark mutator interface -------*- C++ -*-===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The interface of the paper's six allocation-intensive benchmarks
+/// (Table 2), re-implemented as mutators over the garbage-collected heap.
+/// Each workload drives a caller-supplied Heap so every experiment can
+/// swap collectors, and self-validates its computation so the test suite
+/// can prove the mutators are computing real results rather than just
+/// burning allocation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDGC_WORKLOADS_WORKLOAD_H
+#define RDGC_WORKLOADS_WORKLOAD_H
+
+#include "heap/Heap.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace rdgc {
+
+/// What a workload reports after running.
+struct WorkloadOutcome {
+  bool Valid = false;          ///< Self-validation verdict.
+  std::string Detail;          ///< Human-readable result summary.
+  uint64_t UnitsOfWork = 0;    ///< Workload-defined work metric.
+};
+
+/// A benchmark mutator.
+class Workload {
+public:
+  virtual ~Workload();
+
+  /// Short name as in Table 2 ("nboyer", "lattice", ...).
+  virtual const char *name() const = 0;
+
+  /// One-line description (the Table 2 column).
+  virtual const char *description() const = 0;
+
+  /// Runs the benchmark against \p H and returns the outcome. A workload
+  /// may be run multiple times; each run is independent.
+  virtual WorkloadOutcome run(Heap &H) = 0;
+
+  /// Approximate live-heap requirement in bytes, used by harnesses to size
+  /// heaps comparably to the paper's Table 3 setup.
+  virtual size_t peakLiveHintBytes() const = 0;
+};
+
+/// Scale presets mirroring the paper's problem sizes (nboyer2, sboyer3...).
+struct WorkloadScale {
+  int Level = 1;
+};
+
+/// Instantiates every paper workload at the given scale level:
+/// nbody, nucleic, lattice, dynamic (10 iterations), nboyer, sboyer.
+std::vector<std::unique_ptr<Workload>> makePaperWorkloads(int ScaleLevel);
+
+} // namespace rdgc
+
+#endif // RDGC_WORKLOADS_WORKLOAD_H

@@ -1,0 +1,308 @@
+//===- tests/test_collectors.cpp - Cross-collector property tests ---------===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Property tests run against every collector through the uniform Heap
+/// interface: reachable structures survive arbitrarily many collections
+/// with their contents intact, unreachable structures are reclaimed, shared
+/// structure and cycles are preserved, and randomized mutation against a
+/// shadow model never diverges.
+///
+//===----------------------------------------------------------------------===//
+
+#include "gc/CollectorFactory.h"
+#include "heap/Heap.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+using namespace rdgc;
+
+namespace {
+
+struct CollectorParam {
+  const char *Name;
+  CollectorKind Kind;
+};
+
+class CollectorTest : public ::testing::TestWithParam<CollectorParam> {
+protected:
+  CollectorTest() {
+    CollectorSizing Sizing;
+    Sizing.PrimaryBytes = 1024 * 1024;
+    Sizing.NurseryBytes = 64 * 1024;
+    Sizing.StepCount = 8;
+    H = makeHeap(GetParam().Kind, Sizing);
+  }
+
+  std::unique_ptr<Heap> H;
+};
+
+/// Root provider backed by a std::vector<Value>.
+class VectorRoots : public RootProvider {
+public:
+  std::vector<Value> Slots;
+  void forEachRoot(const std::function<void(Value &)> &Visit) override {
+    for (Value &V : Slots)
+      Visit(V);
+  }
+};
+
+/// Builds the list (lo lo+1 ... hi-1) as heap pairs.
+Value buildList(Heap &H, int Lo, int Hi) {
+  Handle List(H, Value::null());
+  for (int I = Hi - 1; I >= Lo; --I)
+    List = H.allocatePair(Value::fixnum(I), List);
+  return List;
+}
+
+/// Checks that \p List is exactly (lo ... hi-1).
+void expectList(Heap &H, Value List, int Lo, int Hi) {
+  Value Cursor = List;
+  for (int I = Lo; I < Hi; ++I) {
+    ASSERT_TRUE(Cursor.isPointer()) << "list truncated at " << I;
+    ASSERT_EQ(H.pairCar(Cursor).asFixnum(), I);
+    Cursor = H.pairCdr(Cursor);
+  }
+  EXPECT_TRUE(Cursor.isNull());
+}
+
+} // namespace
+
+TEST_P(CollectorTest, NameMatches) {
+  EXPECT_STREQ(H->collector().name(), GetParam().Name);
+}
+
+TEST_P(CollectorTest, ListSurvivesManyCollections) {
+  Handle List(*H, buildList(*H, 0, 500));
+  for (int I = 0; I < 10; ++I)
+    H->collectNow();
+  expectList(*H, List, 0, 500);
+}
+
+TEST_P(CollectorTest, GarbageIsReclaimed) {
+  // Allocate far more than the heap size in garbage; this only completes
+  // if collections actually reclaim storage.
+  for (int I = 0; I < 200000; ++I)
+    H->allocatePair(Value::fixnum(I), Value::null());
+  EXPECT_GT(H->stats().collections(), 0u);
+  EXPECT_GT(H->stats().wordsReclaimed(), 0u);
+}
+
+TEST_P(CollectorTest, LiveDataRetainedWhileGarbageChurns) {
+  Handle Keep(*H, buildList(*H, 0, 200));
+  for (int I = 0; I < 100000; ++I)
+    H->allocatePair(Value::fixnum(I), Value::null());
+  expectList(*H, Keep, 0, 200);
+}
+
+TEST_P(CollectorTest, SharingPreserved) {
+  Handle Shared(*H, buildList(*H, 10, 20));
+  Handle A(*H, H->allocatePair(Value::fixnum(1), Shared));
+  Handle B(*H, H->allocatePair(Value::fixnum(2), Shared));
+  for (int I = 0; I < 5; ++I)
+    H->collectNow();
+  EXPECT_EQ(H->pairCdr(A), H->pairCdr(B));
+  expectList(*H, H->pairCdr(A), 10, 20);
+}
+
+TEST_P(CollectorTest, CyclesSurviveAndDie) {
+  // A reachable cycle survives...
+  {
+    Handle A(*H, H->allocatePair(Value::fixnum(1), Value::null()));
+    Handle B(*H, H->allocatePair(Value::fixnum(2), A));
+    H->setPairCdr(A, B);
+    H->collectNow();
+    EXPECT_EQ(H->pairCar(H->pairCdr(A)).asFixnum(), 2);
+    EXPECT_EQ(H->pairCdr(H->pairCdr(A)), A.get());
+  }
+  // ...and once unreachable it is reclaimed by a full collection (tracing
+  // collectors have no trouble with cycles, unlike reference counting).
+  // A full cycle is forced because a minor/partial collection may not
+  // condemn the region holding the cycle (Section 8.2 discusses the
+  // non-predictive case).
+  H->collectFullNow();
+  EXPECT_EQ(H->collector().liveWordsAfterLastCollect(), 0u);
+}
+
+TEST_P(CollectorTest, DeepRecursiveStructure) {
+  // A 20k-deep list exercises the non-recursive tracing paths.
+  Handle List(*H, buildList(*H, 0, 20000));
+  H->collectNow();
+  expectList(*H, List, 0, 20000);
+}
+
+TEST_P(CollectorTest, VectorsOfPointers) {
+  Handle Vec(*H, H->allocateVector(64, Value::null()));
+  for (size_t I = 0; I < 64; ++I)
+    H->vectorSet(Vec, I,
+                 H->allocatePair(Value::fixnum(static_cast<int64_t>(I)),
+                                 Value::null()));
+  for (int I = 0; I < 5; ++I)
+    H->collectNow();
+  for (size_t I = 0; I < 64; ++I)
+    EXPECT_EQ(H->pairCar(H->vectorRef(Vec, I)).asFixnum(),
+              static_cast<int64_t>(I));
+}
+
+TEST_P(CollectorTest, MixedObjectTypesSurvive) {
+  Handle Vec(*H, H->allocateVector(5, Value::null()));
+  H->vectorSet(Vec, 0, H->allocateFlonum(2.5));
+  H->vectorSet(Vec, 1, H->allocateString("persistent"));
+  H->vectorSet(Vec, 2, H->allocateCell(Value::fixnum(99)));
+  H->vectorSet(Vec, 3, H->allocateBytevector(3, 7));
+  H->vectorSet(Vec, 4, Value::symbol(42));
+  for (int I = 0; I < 4; ++I)
+    H->collectNow();
+  EXPECT_DOUBLE_EQ(H->flonumValue(H->vectorRef(Vec, 0)), 2.5);
+  EXPECT_EQ(H->stringValue(H->vectorRef(Vec, 1)), "persistent");
+  EXPECT_EQ(H->cellRef(H->vectorRef(Vec, 2)).asFixnum(), 99);
+  EXPECT_EQ(H->byteRef(H->vectorRef(Vec, 3), 2), 7);
+  EXPECT_EQ(H->vectorRef(Vec, 4).symbolIndex(), 42u);
+}
+
+TEST_P(CollectorTest, OldToYoungPointersTrackedByBarrier) {
+  // Create an old object (survives a collection), then store freshly
+  // allocated young objects into it. Generational collectors must remember
+  // the store; all collectors must preserve the referent.
+  Handle Old(*H, H->allocateVector(32, Value::null()));
+  H->collectNow(); // Old is now in an older region for generational GCs.
+  for (size_t I = 0; I < 32; ++I) {
+    Value Young =
+        H->allocatePair(Value::fixnum(static_cast<int64_t>(I) * 3),
+                        Value::null());
+    H->vectorSet(Old, I, Young);
+    // Churn to force collections between stores.
+    for (int J = 0; J < 2000; ++J)
+      H->allocatePair(Value::fixnum(J), Value::null());
+  }
+  for (size_t I = 0; I < 32; ++I)
+    EXPECT_EQ(H->pairCar(H->vectorRef(Old, I)).asFixnum(),
+              static_cast<int64_t>(I) * 3);
+}
+
+TEST_P(CollectorTest, RandomizedMutationAgainstShadowModel) {
+  // Property test: a registry of lists mirrors a shadow model of expected
+  // contents; random create/drop/mutate/churn operations with periodic
+  // forced collections must never diverge from the shadow.
+  VectorRoots Roots;
+  H->addRootProvider(&Roots);
+  const size_t SlotCount = 32;
+  Roots.Slots.assign(SlotCount, Value::null());
+  std::vector<std::vector<int64_t>> Shadow(SlotCount);
+
+  Xoshiro256 Rng(0xC0FFEE);
+  for (int Op = 0; Op < 4000; ++Op) {
+    size_t Slot = Rng.nextBelow(SlotCount);
+    switch (Rng.nextBelow(5)) {
+    case 0: { // Create a fresh list.
+      int Len = static_cast<int>(Rng.nextBelow(20));
+      int Base = static_cast<int>(Rng.nextBelow(1000));
+      Roots.Slots[Slot] = buildList(*H, Base, Base + Len);
+      Shadow[Slot].clear();
+      for (int I = Base; I < Base + Len; ++I)
+        Shadow[Slot].push_back(I);
+      break;
+    }
+    case 1: // Drop.
+      Roots.Slots[Slot] = Value::null();
+      Shadow[Slot].clear();
+      break;
+    case 2: { // Prepend an element.
+      int64_t V = static_cast<int64_t>(Rng.nextBelow(100000));
+      Roots.Slots[Slot] = H->allocatePair(Value::fixnum(V), Roots.Slots[Slot]);
+      Shadow[Slot].insert(Shadow[Slot].begin(), V);
+      break;
+    }
+    case 3: { // Mutate the first element, if any.
+      if (!Shadow[Slot].empty()) {
+        int64_t V = static_cast<int64_t>(Rng.nextBelow(100000));
+        H->setPairCar(Roots.Slots[Slot], Value::fixnum(V));
+        Shadow[Slot][0] = V;
+      }
+      break;
+    }
+    case 4: // Churn garbage.
+      for (int I = 0; I < 50; ++I)
+        H->allocatePair(Value::fixnum(I), Value::null());
+      break;
+    }
+    if (Op % 500 == 0)
+      H->collectNow();
+  }
+
+  // Verify every list against the shadow model.
+  for (size_t Slot = 0; Slot < SlotCount; ++Slot) {
+    Value Cursor = Roots.Slots[Slot];
+    for (int64_t Expected : Shadow[Slot]) {
+      ASSERT_TRUE(Cursor.isPointer());
+      ASSERT_EQ(H->pairCar(Cursor).asFixnum(), Expected);
+      Cursor = H->pairCdr(Cursor);
+    }
+    EXPECT_TRUE(Cursor.isNull());
+  }
+  H->removeRootProvider(&Roots);
+}
+
+TEST_P(CollectorTest, StatsAreConsistent) {
+  Handle Keep(*H, buildList(*H, 0, 100));
+  for (int I = 0; I < 50000; ++I)
+    H->allocatePair(Value::fixnum(I), Value::null());
+  const GcStats &S = H->stats();
+  EXPECT_GT(S.wordsAllocated(), 0u);
+  EXPECT_GT(S.collections(), 0u);
+  EXPECT_EQ(S.collections(), S.records().size());
+  // Mark/cons must be finite and positive once collections have happened.
+  EXPECT_GT(S.markConsRatio(), 0.0);
+  EXPECT_LT(S.markConsRatio(), 10.0);
+  for (const CollectionRecord &R : S.records())
+    EXPECT_LE(R.WordsTraced, S.wordsAllocated());
+}
+
+TEST_P(CollectorTest, ExplicitCollectOnEmptyHeapIsSafe) {
+  H->collectNow();
+  H->collectNow();
+  EXPECT_EQ(H->collector().liveWordsAfterLastCollect(), 0u);
+}
+
+TEST_P(CollectorTest, WeakGenerationalWorkload) {
+  // Mostly-dying-young allocation with a slowly growing survivor set:
+  // the classic workload every collector must handle.
+  VectorRoots Roots;
+  H->addRootProvider(&Roots);
+  Xoshiro256 Rng(99);
+  for (int I = 0; I < 100000; ++I) {
+    Value P = H->allocatePair(Value::fixnum(I), Value::null());
+    if (Rng.nextBernoulli(0.002) && Roots.Slots.size() < 2000)
+      Roots.Slots.push_back(P);
+  }
+  for (size_t I = 0; I < Roots.Slots.size(); ++I)
+    EXPECT_TRUE(Roots.Slots[I].isPointer());
+  H->removeRootProvider(&Roots);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCollectors, CollectorTest,
+    ::testing::Values(
+        CollectorParam{"stop-and-copy", CollectorKind::StopAndCopy},
+        CollectorParam{"mark-sweep", CollectorKind::MarkSweep},
+        CollectorParam{"mark-compact", CollectorKind::MarkCompact},
+        CollectorParam{"generational", CollectorKind::Generational},
+        CollectorParam{"non-predictive", CollectorKind::NonPredictive},
+        CollectorParam{"non-predictive-hybrid",
+                
+                CollectorKind::NonPredictiveHybrid}),
+    [](const ::testing::TestParamInfo<CollectorParam> &Info) {
+      std::string Name = Info.param.Name;
+      for (char &C : Name)
+        if (C == '-')
+          C = '_';
+      return Name;
+    });

@@ -1,0 +1,374 @@
+//===- tests/test_gc_edge.cpp - Collector edge cases ----------------------===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Edge cases across the collectors: large objects, zero-length objects,
+/// free-list fragmentation and padding in the mark/sweep arena, buffer
+/// pool growth in the non-predictive collector, gc pacing, stats resets,
+/// and deeply nested root frames.
+///
+//===----------------------------------------------------------------------===//
+
+#include "gc/CollectorFactory.h"
+#include "gc/Generational.h"
+#include "gc/MarkSweep.h"
+#include "gc/NonPredictive.h"
+#include "gc/StopAndCopy.h"
+#include "heap/Heap.h"
+#include "heap/RootStack.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+using namespace rdgc;
+
+//===----------------------------------------------------------------------===
+// Large and degenerate objects.
+//===----------------------------------------------------------------------===
+
+TEST(EdgeTest, LargeObjectBypassesGenerationalNursery) {
+  auto C = std::make_unique<GenerationalCollector>(16 * 1024, 1024 * 1024);
+  GenerationalCollector *G = C.get();
+  Heap H(std::move(C));
+  // Bigger than half the nursery: goes straight to the dynamic area.
+  Handle Big(H, H.allocateVector(4096, Value::fixnum(1)));
+  EXPECT_NE(ObjectRef(Big.get()).region(),
+            GenerationalCollector::RegionNursery);
+  EXPECT_GT(G->dynamicUsedWords(), 4096u);
+  H.collectNow();
+  EXPECT_EQ(H.vectorRef(Big, 4095).asFixnum(), 1);
+}
+
+TEST(EdgeTest, LargeObjectBypassesHybridNursery) {
+  NonPredictiveConfig Config;
+  Config.StepCount = 8;
+  Config.StepBytes = 64 * 1024;
+  Config.NurseryBytes = 8 * 1024;
+  Heap H(std::make_unique<NonPredictiveCollector>(Config));
+  Handle Big(H, H.allocateVector(2048, Value::fixnum(2)));
+  EXPECT_NE(ObjectRef(Big.get()).region(),
+            NonPredictiveCollector::RegionNursery);
+  H.collectNow();
+  EXPECT_EQ(H.vectorRef(Big, 2047).asFixnum(), 2);
+}
+
+TEST(EdgeTest, ZeroLengthObjectsSurvive) {
+  for (CollectorKind Kind :
+       {CollectorKind::StopAndCopy, CollectorKind::MarkSweep,
+        CollectorKind::Generational, CollectorKind::NonPredictive,
+        CollectorKind::NonPredictiveHybrid}) {
+    CollectorSizing Sizing;
+    Sizing.PrimaryBytes = 256 * 1024;
+    auto H = makeHeap(Kind, Sizing);
+    Handle V(*H, H->allocateVector(0, Value::null()));
+    Handle S(*H, H->allocateString(""));
+    Handle B(*H, H->allocateBytevector(0, 0));
+    H->collectFullNow();
+    EXPECT_EQ(H->vectorLength(V), 0u) << H->collector().name();
+    EXPECT_EQ(H->stringLength(S), 0u);
+    EXPECT_EQ(H->stringLength(B), 0u);
+  }
+}
+
+TEST(EdgeTest, StringPaddingPreservedAcrossCopies) {
+  // Strings of every residue mod 8 survive copying intact.
+  auto H = std::make_unique<Heap>(
+      std::make_unique<StopAndCopyCollector>(256 * 1024));
+  std::vector<std::unique_ptr<Handle>> Handles;
+  for (size_t Len = 0; Len < 24; ++Len) {
+    std::string Text(Len, 'x');
+    for (size_t I = 0; I < Len; ++I)
+      Text[I] = static_cast<char>('a' + I % 26);
+    Handles.push_back(std::make_unique<Handle>(*H, H->allocateString(Text)));
+  }
+  H->collectNow();
+  H->collectNow();
+  for (size_t Len = 0; Len < 24; ++Len) {
+    std::string Expected(Len, 'x');
+    for (size_t I = 0; I < Len; ++I)
+      Expected[I] = static_cast<char>('a' + I % 26);
+    EXPECT_EQ(H->stringValue(*Handles[Len]), Expected);
+  }
+  // Destroy handles in LIFO order (vector destruction is reverse order).
+  while (!Handles.empty())
+    Handles.pop_back();
+}
+
+//===----------------------------------------------------------------------===
+// Mark/sweep free-list behavior.
+//===----------------------------------------------------------------------===
+
+TEST(EdgeTest, MarkSweepCoalescesAfterFragmentation) {
+  auto C = std::make_unique<MarkSweepCollector>(64 * 1024);
+  MarkSweepCollector *Ms = C.get();
+  Heap H(std::move(C));
+  // Alternate kept/garbage objects to fragment, then drop the keepers.
+  {
+    std::vector<Value> Keep;
+    RootStack Roots(H);
+    ScopedRootFrame G(Roots, &Keep);
+    for (int I = 0; I < 200; ++I) {
+      Keep.push_back(H.allocateVector(3, Value::fixnum(I)));
+      H.allocateVector(5, Value::fixnum(I)); // Garbage.
+    }
+    H.collectNow();
+    EXPECT_GT(Ms->freeListLength(), 50u) << "expected fragmentation";
+  }
+  H.collectNow();
+  // With everything dead, the sweep coalesces to a single chunk.
+  EXPECT_EQ(Ms->freeListLength(), 1u);
+  EXPECT_EQ(Ms->freeWords(), Ms->capacityWords());
+}
+
+TEST(EdgeTest, MarkSweepSurvivesAwkwardSplitSizes) {
+  // Allocation sizes chosen to produce 1-word remainders (padding) and
+  // exact fits against the free list.
+  Heap H(std::make_unique<MarkSweepCollector>(32 * 1024));
+  RootStack Roots(H);
+  std::vector<Value> Keep;
+  ScopedRootFrame G(Roots, &Keep);
+  Xoshiro256 Rng(77);
+  for (int Round = 0; Round < 2000; ++Round) {
+    size_t Count = Rng.nextBelow(7); // Payload 1 + count words.
+    Value V = H.allocateVector(Count, Value::fixnum(Round));
+    if (Rng.nextBernoulli(0.3))
+      Keep.push_back(V);
+    if (Keep.size() > 120)
+      Keep.erase(Keep.begin(), Keep.begin() + 60);
+  }
+  // Verify survivors.
+  for (Value V : Keep)
+    EXPECT_LE(H.vectorLength(V), 6u);
+}
+
+//===----------------------------------------------------------------------===
+// Non-predictive buffer management.
+//===----------------------------------------------------------------------===
+
+TEST(EdgeTest, NonPredictiveReusesBufferPool) {
+  NonPredictiveConfig Config;
+  Config.StepCount = 8;
+  Config.StepBytes = 8 * 1024;
+  Heap H(std::make_unique<NonPredictiveCollector>(Config));
+  // Many cycles with survivors: the to-space buffers must be recycled,
+  // not leaked (the region-id space would run out after ~30 cycles if
+  // buffers were never reused).
+  Handle Keep(H, Value::null());
+  for (int I = 0; I < 50; ++I)
+    Keep = H.allocatePair(Value::fixnum(I), Keep);
+  for (int Cycle = 0; Cycle < 300; ++Cycle) {
+    for (int I = 0; I < 3000; ++I)
+      H.allocatePair(Value::fixnum(I), Value::null());
+    if (Cycle % 50 == 0)
+      H.collectNow();
+  }
+  // Still alive and correct after hundreds of potential collections.
+  Value Cursor = Keep;
+  for (int I = 49; I >= 0; --I) {
+    ASSERT_TRUE(Cursor.isPointer());
+    EXPECT_EQ(H.pairCar(Cursor).asFixnum(), I);
+    Cursor = H.pairCdr(Cursor);
+  }
+}
+
+TEST(EdgeTest, NonPredictiveObjectNearStepSize) {
+  NonPredictiveConfig Config;
+  Config.StepCount = 4;
+  Config.StepBytes = 8 * 1024;
+  Heap H(std::make_unique<NonPredictiveCollector>(Config));
+  // An object filling most of a step still works, including survival.
+  size_t Words = Config.StepBytes / 8 - 8;
+  Handle Big(H, H.allocateVector(Words - 2, Value::fixnum(3)));
+  for (int I = 0; I < 20000; ++I)
+    H.allocatePair(Value::fixnum(I), Value::null());
+  EXPECT_EQ(H.vectorRef(Big, 0).asFixnum(), 3);
+  EXPECT_EQ(H.vectorRef(Big, Words - 3).asFixnum(), 3);
+}
+
+//===----------------------------------------------------------------------===
+// Heap facade machinery.
+//===----------------------------------------------------------------------===
+
+TEST(EdgeTest, GcPacingForcesCollections) {
+  auto H = std::make_unique<Heap>(
+      std::make_unique<StopAndCopyCollector>(4 * 1024 * 1024));
+  H->setGcPacing(64 * 1024);
+  for (int I = 0; I < 10000; ++I) // 240 kB of pairs.
+    H->allocatePair(Value::fixnum(I), Value::null());
+  // Without pacing a 4 MB semispace would never collect here.
+  EXPECT_GE(H->stats().collections(), 3u);
+  H->setGcPacing(0);
+  uint64_t Before = H->stats().collections();
+  for (int I = 0; I < 10000; ++I)
+    H->allocatePair(Value::fixnum(I), Value::null());
+  EXPECT_EQ(H->stats().collections(), Before);
+}
+
+TEST(EdgeTest, StatsResetClearsCounters) {
+  Heap H(std::make_unique<StopAndCopyCollector>(64 * 1024));
+  for (int I = 0; I < 5000; ++I)
+    H.allocatePair(Value::fixnum(I), Value::null());
+  EXPECT_GT(H.stats().wordsAllocated(), 0u);
+  H.stats().reset();
+  EXPECT_EQ(H.stats().wordsAllocated(), 0u);
+  EXPECT_EQ(H.stats().collections(), 0u);
+  EXPECT_EQ(H.stats().markConsRatio(), 0.0);
+}
+
+TEST(EdgeTest, DeeplyNestedRootFrames) {
+  Heap H(std::make_unique<StopAndCopyCollector>(512 * 1024));
+  RootStack Roots(H);
+  // 100 nested frames, each rooting a list; collect at the deepest point.
+  std::function<void(int)> Recurse = [&](int Depth) {
+    std::vector<Value> Frame;
+    ScopedRootFrame G(Roots, &Frame);
+    Frame.push_back(H.allocatePair(Value::fixnum(Depth), Value::null()));
+    if (Depth == 0) {
+      H.collectNow();
+      return;
+    }
+    Recurse(Depth - 1);
+    EXPECT_EQ(H.pairCar(Frame[0]).asFixnum(), Depth);
+  };
+  Recurse(100);
+}
+
+TEST(EdgeTest, ManySimultaneousHandles) {
+  Heap H(std::make_unique<StopAndCopyCollector>(1024 * 1024));
+  std::vector<std::unique_ptr<Handle>> Handles;
+  for (int I = 0; I < 5000; ++I)
+    Handles.push_back(std::make_unique<Handle>(
+        H, H.allocatePair(Value::fixnum(I), Value::null())));
+  H.collectNow();
+  for (int I = 0; I < 5000; ++I)
+    EXPECT_EQ(H.pairCar(*Handles[I]).asFixnum(), I);
+  while (!Handles.empty())
+    Handles.pop_back();
+  H.collectNow();
+  EXPECT_EQ(H.collector().liveWordsAfterLastCollect(), 0u);
+}
+
+TEST(EdgeTest, CollectionRecordBookkeepingConsistent) {
+  for (CollectorKind Kind :
+       {CollectorKind::StopAndCopy, CollectorKind::MarkSweep,
+        CollectorKind::Generational, CollectorKind::NonPredictive,
+        CollectorKind::NonPredictiveHybrid}) {
+    CollectorSizing Sizing;
+    Sizing.PrimaryBytes = 128 * 1024;
+    Sizing.NurseryBytes = 16 * 1024;
+    auto H = makeHeap(Kind, Sizing);
+    Handle Keep(*H, Value::null());
+    for (int I = 0; I < 30000; ++I) {
+      if (I % 100 == 0)
+        Keep = H->allocatePair(Value::fixnum(I), Value::null());
+      else
+        H->allocatePair(Value::fixnum(I), Value::null());
+    }
+    uint64_t TracedSum = 0, ReclaimedSum = 0;
+    for (const CollectionRecord &R : H->stats().records()) {
+      TracedSum += R.WordsTraced;
+      ReclaimedSum += R.WordsReclaimed;
+      EXPECT_LE(R.WordsAllocatedBefore, H->stats().wordsAllocated());
+    }
+    EXPECT_EQ(TracedSum, H->stats().wordsTraced()) << H->collector().name();
+    EXPECT_EQ(ReclaimedSum, H->stats().wordsReclaimed());
+    // Conservation: reclaimed + still-occupied <= allocated (copying
+    // collectors may count promoted words in both traced and live).
+    EXPECT_LE(ReclaimedSum, H->stats().wordsAllocated());
+  }
+}
+
+//===----------------------------------------------------------------------===
+// Three-generation configuration (the paper's Larceny setup).
+//===----------------------------------------------------------------------===
+
+TEST(ThreeGenTest, PromotionChainNurseryIntermediateDynamic) {
+  auto C = std::make_unique<GenerationalCollector>(
+      16 * 1024, /*IntermediateBytes=*/32 * 1024, 512 * 1024);
+  GenerationalCollector *G = C.get();
+  Heap H(std::move(C));
+  ASSERT_TRUE(G->hasIntermediate());
+
+  Handle Keep(H, H.allocatePair(Value::fixnum(5), Value::null()));
+  EXPECT_EQ(ObjectRef(Keep.get()).region(),
+            GenerationalCollector::RegionNursery);
+  H.collectNow(); // Minor: nursery -> intermediate.
+  EXPECT_EQ(ObjectRef(Keep.get()).region(),
+            GenerationalCollector::RegionIntermediate);
+  EXPECT_EQ(G->minorCollections(), 1u);
+  // Keep a rotating window of survivors so promotion actually fills the
+  // intermediate generation and forces its collection.
+  {
+    std::vector<std::unique_ptr<Handle>> Window;
+    for (int I = 0; I < 40000; ++I) {
+      Window.push_back(std::make_unique<Handle>(
+          H, H.allocatePair(Value::fixnum(I), Value::null())));
+      if (Window.size() > 256)
+        Window.erase(Window.begin());
+      if (G->intermediateCollections() > 0)
+        break;
+    }
+    while (!Window.empty())
+      Window.pop_back();
+  }
+  EXPECT_GT(G->intermediateCollections(), 0u);
+  EXPECT_GE(ObjectRef(Keep.get()).region(),
+            GenerationalCollector::RegionIntermediate);
+  EXPECT_EQ(H.pairCar(Keep).asFixnum(), 5);
+}
+
+TEST(ThreeGenTest, DynamicToIntermediatePointersSurviveMinors) {
+  auto C = std::make_unique<GenerationalCollector>(16 * 1024, 64 * 1024,
+                                                   512 * 1024);
+  Heap H(std::move(C));
+  // Promote a holder all the way to the dynamic area.
+  Handle Old(H, H.allocateVector(8, Value::null()));
+  H.collectFullNow();
+  ASSERT_GE(ObjectRef(Old.get()).region(),
+            GenerationalCollector::RegionDynamicA);
+  // Point it at an intermediate-resident object.
+  Handle Young(H, H.allocatePair(Value::fixnum(11), Value::null()));
+  H.collectNow(); // Young is now intermediate.
+  ASSERT_EQ(ObjectRef(Young.get()).region(),
+            GenerationalCollector::RegionIntermediate);
+  H.vectorSet(Old, 0, Young);
+  // Churn through several *minor* collections: the dynamic->intermediate
+  // remembered entry must persist (Section 8.4 re-filtering keeps it).
+  for (int I = 0; I < 4000; ++I)
+    H.allocatePair(Value::fixnum(I), Value::null());
+  Value Target = H.vectorRef(Old, 0);
+  ASSERT_TRUE(Target.isPointer());
+  EXPECT_EQ(H.pairCar(Target).asFixnum(), 11);
+}
+
+TEST(ThreeGenTest, StressAgainstShadowModel) {
+  auto C = std::make_unique<GenerationalCollector>(8 * 1024, 24 * 1024,
+                                                   256 * 1024);
+  Heap H(std::move(C));
+  std::vector<std::unique_ptr<Handle>> Keep;
+  std::vector<int64_t> Shadow;
+  Xoshiro256 Rng(0x333);
+  for (int Op = 0; Op < 60000; ++Op) {
+    int64_t V = static_cast<int64_t>(Rng.nextBelow(1 << 20));
+    if (Rng.nextBernoulli(0.02)) {
+      Keep.push_back(std::make_unique<Handle>(
+          H, H.allocatePair(Value::fixnum(V), Value::null())));
+      Shadow.push_back(V);
+      if (Keep.size() > 500) {
+        Keep.erase(Keep.begin(), Keep.begin() + 250);
+        Shadow.erase(Shadow.begin(), Shadow.begin() + 250);
+      }
+    } else {
+      H.allocatePair(Value::fixnum(V), Value::null());
+    }
+  }
+  for (size_t I = 0; I < Keep.size(); ++I)
+    EXPECT_EQ(H.pairCar(*Keep[I]).asFixnum(), Shadow[I]);
+  while (!Keep.empty())
+    Keep.pop_back();
+}

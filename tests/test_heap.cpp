@@ -1,0 +1,245 @@
+//===- tests/test_heap.cpp - Heap facade tests ----------------------------===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "heap/Heap.h"
+
+#include "gc/StopAndCopy.h"
+
+#include <gtest/gtest.h>
+
+using namespace rdgc;
+
+namespace {
+
+class HeapTest : public ::testing::Test {
+protected:
+  HeapTest()
+      : H(std::make_unique<StopAndCopyCollector>(256 * 1024)) {}
+  Heap H;
+};
+
+} // namespace
+
+TEST_F(HeapTest, AllocatePair) {
+  Value P = H.allocatePair(Value::fixnum(1), Value::fixnum(2));
+  ASSERT_TRUE(P.isPointer());
+  EXPECT_EQ(H.tagOf(P), ObjectTag::Pair);
+  EXPECT_EQ(H.pairCar(P).asFixnum(), 1);
+  EXPECT_EQ(H.pairCdr(P).asFixnum(), 2);
+}
+
+TEST_F(HeapTest, PairMutation) {
+  Handle P(H, H.allocatePair(Value::fixnum(1), Value::fixnum(2)));
+  H.setPairCar(P, Value::fixnum(10));
+  H.setPairCdr(P, Value::null());
+  EXPECT_EQ(H.pairCar(P).asFixnum(), 10);
+  EXPECT_TRUE(H.pairCdr(P).isNull());
+}
+
+TEST_F(HeapTest, AllocateCell) {
+  Value C = H.allocateCell(Value::fixnum(7));
+  EXPECT_EQ(H.tagOf(C), ObjectTag::Cell);
+  EXPECT_EQ(H.cellRef(C).asFixnum(), 7);
+  H.setCell(C, Value::trueValue());
+  EXPECT_TRUE(H.cellRef(C).isTrue());
+}
+
+TEST_F(HeapTest, AllocateFlonum) {
+  Value F = H.allocateFlonum(3.14159);
+  EXPECT_EQ(H.tagOf(F), ObjectTag::Flonum);
+  EXPECT_DOUBLE_EQ(H.flonumValue(F), 3.14159);
+  Value Neg = H.allocateFlonum(-0.0);
+  EXPECT_DOUBLE_EQ(H.flonumValue(Neg), -0.0);
+}
+
+TEST_F(HeapTest, AllocateVector) {
+  Value V = H.allocateVector(5, Value::fixnum(9));
+  EXPECT_EQ(H.tagOf(V), ObjectTag::Vector);
+  EXPECT_EQ(H.vectorLength(V), 5u);
+  for (size_t I = 0; I < 5; ++I)
+    EXPECT_EQ(H.vectorRef(V, I).asFixnum(), 9);
+  H.vectorSet(V, 2, Value::character('x'));
+  EXPECT_EQ(H.vectorRef(V, 2).asChar(), 'x');
+}
+
+TEST_F(HeapTest, AllocateEmptyVector) {
+  Value V = H.allocateVector(0, Value::null());
+  EXPECT_EQ(H.vectorLength(V), 0u);
+}
+
+TEST_F(HeapTest, AllocateVectorLike) {
+  Value C = H.allocateVectorLike(ObjectTag::Closure, 3, Value::null());
+  EXPECT_EQ(H.tagOf(C), ObjectTag::Closure);
+  EXPECT_EQ(H.vectorLength(C), 3u);
+  Value E = H.allocateVectorLike(ObjectTag::Environment, 2, Value::null());
+  EXPECT_EQ(H.tagOf(E), ObjectTag::Environment);
+}
+
+TEST_F(HeapTest, AllocateString) {
+  Value S = H.allocateString("hello, world");
+  EXPECT_EQ(H.tagOf(S), ObjectTag::String);
+  EXPECT_EQ(H.stringLength(S), 12u);
+  EXPECT_EQ(H.stringValue(S), "hello, world");
+  EXPECT_EQ(H.byteRef(S, 0), 'h');
+  H.byteSet(S, 0, 'H');
+  EXPECT_EQ(H.stringValue(S), "Hello, world");
+}
+
+TEST_F(HeapTest, AllocateEmptyString) {
+  Value S = H.allocateString("");
+  EXPECT_EQ(H.stringLength(S), 0u);
+  EXPECT_EQ(H.stringValue(S), "");
+}
+
+TEST_F(HeapTest, AllocateBytevector) {
+  Value B = H.allocateBytevector(10, 0xab);
+  EXPECT_EQ(H.tagOf(B), ObjectTag::Bytevector);
+  EXPECT_EQ(H.stringLength(B), 10u);
+  for (size_t I = 0; I < 10; ++I)
+    EXPECT_EQ(H.byteRef(B, I), 0xab);
+}
+
+TEST_F(HeapTest, StatsCountAllocation) {
+  uint64_t Before = H.stats().objectsAllocated();
+  H.allocatePair(Value::null(), Value::null());
+  EXPECT_EQ(H.stats().objectsAllocated(), Before + 1);
+  // A pair is three words: header + car + cdr.
+  EXPECT_GE(H.stats().wordsAllocated(), 3u);
+}
+
+TEST_F(HeapTest, HandleSurvivesCollection) {
+  Handle P(H, H.allocatePair(Value::fixnum(11), Value::fixnum(22)));
+  for (int I = 0; I < 3; ++I)
+    H.collectNow();
+  EXPECT_EQ(H.pairCar(P).asFixnum(), 11);
+  EXPECT_EQ(H.pairCdr(P).asFixnum(), 22);
+}
+
+TEST_F(HeapTest, HandleIsRewrittenOnMove) {
+  Handle P(H, H.allocatePair(Value::fixnum(1), Value::null()));
+  Value Before = P.get();
+  H.collectNow();
+  // Stop-and-copy always moves survivors to the other semispace.
+  EXPECT_NE(P.get(), Before);
+  EXPECT_EQ(H.pairCar(P).asFixnum(), 1);
+}
+
+TEST_F(HeapTest, UnrootedObjectsDie) {
+  H.allocatePair(Value::fixnum(1), Value::null());
+  uint64_t LiveBefore = H.collector().liveWordsAfterLastCollect();
+  (void)LiveBefore;
+  H.collectNow();
+  EXPECT_EQ(H.collector().liveWordsAfterLastCollect(), 0u);
+}
+
+TEST_F(HeapTest, DeepListSurvives) {
+  // Build a list of 1000 fixnums, collect, and verify every element.
+  Handle List(H, Value::null());
+  for (int I = 999; I >= 0; --I)
+    List = H.allocatePair(Value::fixnum(I), List);
+  H.collectNow();
+  Value Cursor = List;
+  for (int I = 0; I < 1000; ++I) {
+    ASSERT_TRUE(Cursor.isPointer());
+    EXPECT_EQ(H.pairCar(Cursor).asFixnum(), I);
+    Cursor = H.pairCdr(Cursor);
+  }
+  EXPECT_TRUE(Cursor.isNull());
+}
+
+TEST_F(HeapTest, SharedStructurePreservedAcrossCollection) {
+  Handle Shared(H, H.allocatePair(Value::fixnum(1), Value::null()));
+  Handle A(H, H.allocatePair(Value::fixnum(2), Shared));
+  Handle B(H, H.allocatePair(Value::fixnum(3), Shared));
+  H.collectNow();
+  // Sharing must be preserved: both cdrs point at the same object.
+  EXPECT_EQ(H.pairCdr(A), H.pairCdr(B));
+}
+
+TEST_F(HeapTest, CycleSurvivesCollection) {
+  Handle A(H, H.allocatePair(Value::fixnum(1), Value::null()));
+  Handle B(H, H.allocatePair(Value::fixnum(2), A));
+  H.setPairCdr(A, B);
+  H.collectNow();
+  EXPECT_EQ(H.pairCdr(A), B.get());
+  EXPECT_EQ(H.pairCdr(B), A.get());
+  EXPECT_EQ(H.pairCar(A).asFixnum(), 1);
+  EXPECT_EQ(H.pairCar(B).asFixnum(), 2);
+}
+
+namespace {
+
+/// Root provider backed by a std::vector<Value>.
+class VectorRoots : public RootProvider {
+public:
+  std::vector<Value> Slots;
+  void forEachRoot(const std::function<void(Value &)> &Visit) override {
+    for (Value &V : Slots)
+      Visit(V);
+  }
+};
+
+} // namespace
+
+TEST_F(HeapTest, RootProviderKeepsObjectsAlive) {
+  VectorRoots Roots;
+  H.addRootProvider(&Roots);
+  Roots.Slots.push_back(H.allocatePair(Value::fixnum(5), Value::null()));
+  H.collectNow();
+  EXPECT_EQ(H.pairCar(Roots.Slots[0]).asFixnum(), 5);
+  H.removeRootProvider(&Roots);
+  H.collectNow();
+  EXPECT_EQ(H.collector().liveWordsAfterLastCollect(), 0u);
+}
+
+namespace {
+
+/// Observer that counts lifecycle events.
+class CountingObserver : public HeapObserver {
+public:
+  int Allocations = 0;
+  int Moves = 0;
+  int Deaths = 0;
+  int CollectionsDone = 0;
+  void onAllocate(uint64_t *, size_t) override { ++Allocations; }
+  void onMove(uint64_t *, uint64_t *) override { ++Moves; }
+  void onDeath(uint64_t *, size_t) override { ++Deaths; }
+  void onCollectionDone() override { ++CollectionsDone; }
+};
+
+} // namespace
+
+TEST_F(HeapTest, ObserverSeesLifecycle) {
+  CountingObserver Obs;
+  H.setObserver(&Obs);
+  Handle Kept(H, H.allocatePair(Value::fixnum(1), Value::null()));
+  H.allocatePair(Value::fixnum(2), Value::null()); // Dies.
+  H.collectNow();
+  EXPECT_EQ(Obs.Allocations, 2);
+  EXPECT_EQ(Obs.Moves, 1);
+  EXPECT_EQ(Obs.Deaths, 1);
+  EXPECT_EQ(Obs.CollectionsDone, 1);
+  H.setObserver(nullptr);
+}
+
+TEST_F(HeapTest, AllocationArgumentsRootedAcrossGC) {
+  // Fill most of the semispace so the next allocation forces a collection,
+  // then allocate a pair whose arguments are unrooted temporaries. The
+  // allocator must root them itself.
+  Value Car = H.allocatePair(Value::fixnum(123), Value::null());
+  Value Cdr = H.allocatePair(Value::fixnum(456), Value::null());
+  Handle CarH(H, Car), CdrH(H, Cdr);
+  // A one-element vector is exactly three words, as is a pair; fill until
+  // fewer than three words remain.
+  while (H.collector().freeWords() >= 3)
+    H.allocateVector(1, Value::null());
+  // This allocation triggers a collection mid-call.
+  uint64_t CollectionsBefore = H.stats().collections();
+  Value P = H.allocatePair(CarH, CdrH);
+  EXPECT_GT(H.stats().collections(), CollectionsBefore);
+  EXPECT_EQ(H.pairCar(H.pairCar(P)).asFixnum(), 123);
+  EXPECT_EQ(H.pairCar(H.pairCdr(P)).asFixnum(), 456);
+}

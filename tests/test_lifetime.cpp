@@ -1,0 +1,318 @@
+//===- tests/test_lifetime.cpp - Lifetime framework tests -----------------===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the lifetime simulation framework: the distributions, the
+/// mutator driver (equilibrium live storage matches Equation 1), the
+/// object trace (births, moves, deaths through real collectors), the
+/// survival analyzer (recovers known survival rates), and the live
+/// profiler.
+///
+//===----------------------------------------------------------------------===//
+
+#include "gc/CollectorFactory.h"
+#include "gc/MarkSweep.h"
+#include "gc/StopAndCopy.h"
+#include "lifetime/LifetimeModel.h"
+#include "lifetime/LiveProfile.h"
+#include "lifetime/MutatorDriver.h"
+#include "lifetime/ObjectTrace.h"
+#include "lifetime/SurvivalAnalyzer.h"
+#include "model/DecayModel.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+using namespace rdgc;
+
+//===----------------------------------------------------------------------===
+// Lifetime models.
+//===----------------------------------------------------------------------===
+
+TEST(LifetimeModelTest, RadioactiveMeanLifetime) {
+  RadioactiveLifetime Model(128);
+  Xoshiro256 Rng(1);
+  double Sum = 0;
+  const int N = 100000;
+  for (int I = 0; I < N; ++I)
+    Sum += static_cast<double>(Model.sampleLifetime(0, Rng));
+  // Mean of the geometric is r/(1-r) ~= h/ln2 - 1/2 for large h.
+  double Expected = DecayModel(128).equilibriumLiveExact() - 1.0;
+  EXPECT_NEAR(Sum / N, Expected, Expected * 0.03);
+}
+
+TEST(LifetimeModelTest, RadioactiveIgnoresAllocationTime) {
+  RadioactiveLifetime Model(64);
+  Xoshiro256 RngA(7), RngB(7);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(Model.sampleLifetime(0, RngA),
+              Model.sampleLifetime(123456, RngB));
+}
+
+TEST(LifetimeModelTest, WeakGenerationalIsBimodal) {
+  WeakGenerationalLifetime Model(0.9, 4, 4096);
+  Xoshiro256 Rng(3);
+  int Young = 0, Old = 0;
+  for (int I = 0; I < 20000; ++I) {
+    uint64_t L = Model.sampleLifetime(0, Rng);
+    if (L < 64)
+      ++Young;
+    else if (L > 512)
+      ++Old;
+  }
+  EXPECT_GT(Young, 15000); // ~90% die fast.
+  EXPECT_GT(Old, 500);     // A solid tail lives long.
+}
+
+TEST(LifetimeModelTest, PhasedDiesAtPhaseBoundary) {
+  PhasedLifetime Model(1000, 0.0);
+  Xoshiro256 Rng(5);
+  // An object born at 250 dies exactly at the phase end (750 more units).
+  EXPECT_EQ(Model.sampleLifetime(250, Rng), 750u);
+  // Objects born late die soon: anti-correlation of age and survival.
+  EXPECT_EQ(Model.sampleLifetime(990, Rng), 10u);
+}
+
+TEST(LifetimeModelTest, PhasedCarryover) {
+  PhasedLifetime Model(100, 0.5);
+  Xoshiro256 Rng(9);
+  int Survivors = 0;
+  for (int I = 0; I < 10000; ++I)
+    if (Model.sampleLifetime(0, Rng) > 100)
+      ++Survivors;
+  EXPECT_NEAR(Survivors, 5000, 300); // ~50% carry into the next phase.
+}
+
+//===----------------------------------------------------------------------===
+// MutatorDriver.
+//===----------------------------------------------------------------------===
+
+TEST(MutatorDriverTest, EquilibriumMatchesEquation1) {
+  // Under radioactive decay with half-life h, live objects at equilibrium
+  // should approach n = 1/(1 - 2^{-1/h}) ~= 1.4427 h (Equation 1).
+  const double HalfLife = 256;
+  CollectorSizing Sizing;
+  Sizing.PrimaryBytes = 1024 * 1024;
+  auto H = makeHeap(CollectorKind::StopAndCopy, Sizing);
+  RadioactiveLifetime Model(HalfLife);
+  MutatorDriver::Config Config;
+  MutatorDriver Driver(*H, Model, Config);
+
+  Driver.run(static_cast<uint64_t>(HalfLife * 40));
+  double Expected = DecayModel(HalfLife).equilibriumLiveExact();
+  EXPECT_NEAR(static_cast<double>(Driver.liveObjects()), Expected,
+              Expected * 0.25);
+}
+
+TEST(MutatorDriverTest, FixedLifetimeHoldsExactWindow) {
+  CollectorSizing Sizing;
+  Sizing.PrimaryBytes = 1024 * 1024;
+  auto H = makeHeap(CollectorKind::StopAndCopy, Sizing);
+  FixedLifetime Model(100);
+  MutatorDriver::Config Config;
+  MutatorDriver Driver(*H, Model, Config);
+  Driver.run(1000);
+  // Exactly the last ~100 allocations are registered.
+  EXPECT_NEAR(static_cast<double>(Driver.liveObjects()), 100.0, 2.0);
+}
+
+TEST(MutatorDriverTest, DriverWorksOnEveryCollector) {
+  for (CollectorKind Kind :
+       {CollectorKind::StopAndCopy, CollectorKind::MarkSweep,
+        CollectorKind::Generational, CollectorKind::NonPredictive}) {
+    CollectorSizing Sizing;
+    Sizing.PrimaryBytes = 512 * 1024;
+    Sizing.NurseryBytes = 32 * 1024;
+    auto H = makeHeap(Kind, Sizing);
+    RadioactiveLifetime Model(300);
+    MutatorDriver::Config Config;
+    Config.LinkObjects = true; // Exercise barriers.
+    MutatorDriver Driver(*H, Model, Config);
+    Driver.run(30000);
+    EXPECT_GT(H->stats().collections(), 0u)
+        << H->collector().name() << " never collected";
+    EXPECT_GT(Driver.liveObjects(), 100u);
+  }
+}
+
+//===----------------------------------------------------------------------===
+// ObjectTrace.
+//===----------------------------------------------------------------------===
+
+TEST(ObjectTraceTest, TracksBirthsMovesAndDeaths) {
+  auto Collector = std::make_unique<StopAndCopyCollector>(64 * 1024);
+  Heap H(std::move(Collector));
+  ObjectTrace Trace;
+  H.setObserver(&Trace);
+
+  Handle Kept(H, H.allocatePair(Value::fixnum(1), Value::null()));
+  H.allocatePair(Value::fixnum(2), Value::null()); // Dies at first gc.
+  H.collectNow();
+  H.collectNow(); // Kept moves again.
+  Trace.finalize();
+
+  ASSERT_EQ(Trace.records().size(), 2u);
+  const ObjectRecord &KeptRecord = Trace.records()[0];
+  const ObjectRecord &DeadRecord = Trace.records()[1];
+  EXPECT_EQ(KeptRecord.DeathBytes, UINT64_MAX);
+  EXPECT_NE(DeadRecord.DeathBytes, UINT64_MAX);
+  EXPECT_EQ(KeptRecord.SizeBytes, 24u);
+  EXPECT_EQ(DeadRecord.SizeBytes, 24u);
+  EXPECT_LT(KeptRecord.BirthBytes, DeadRecord.BirthBytes);
+}
+
+TEST(ObjectTraceTest, LiveBytesAtReconstructsHistory) {
+  auto Collector = std::make_unique<StopAndCopyCollector>(64 * 1024);
+  Heap H(std::move(Collector));
+  ObjectTrace Trace;
+  H.setObserver(&Trace);
+
+  Handle A(H, H.allocatePair(Value::fixnum(1), Value::null())); // 24 bytes.
+  H.allocatePair(Value::fixnum(2), Value::null());              // 24, dies.
+  H.allocatePair(Value::fixnum(3), Value::null());              // 24, dies.
+  H.collectNow(); // Deaths are stamped with the clock, 72.
+  Trace.finalize();
+
+  EXPECT_EQ(Trace.liveBytesAt(24), 24u);      // Only A born yet.
+  EXPECT_EQ(Trace.liveBytesAt(48), 48u);      // A and the first garbage pair.
+  // The third pair's birth stamp is 72 and its death stamp is also 72 (it
+  // died at the collection with no allocation in between), so under the
+  // half-open [birth, death) convention it never contributes.
+  EXPECT_EQ(Trace.liveBytesAt(71), 48u);
+  EXPECT_EQ(Trace.liveBytesAt(1000000), 24u); // Only A after the deaths.
+}
+
+//===----------------------------------------------------------------------===
+// SurvivalAnalyzer.
+//===----------------------------------------------------------------------===
+
+TEST(SurvivalAnalyzerTest, RecoversDecaySurvivalRates) {
+  // Drive the decay model on a mark/sweep heap with frequent forced
+  // collections; measured band survival must match 2^{-Delta/h} for every
+  // age band — the defining signature of the radioactive decay model.
+  auto Collector = std::make_unique<MarkSweepCollector>(4 * 1024 * 1024);
+  Heap H(std::move(Collector));
+  ObjectTrace Trace;
+  H.setObserver(&Trace);
+
+  const double HalfLifeObjects = 512; // In objects; one object = 24 bytes.
+  RadioactiveLifetime Model(HalfLifeObjects);
+  MutatorDriver::Config Config;
+  MutatorDriver Driver(H, Model, Config);
+
+  const uint64_t StepObjects = 128;
+  for (int I = 0; I < 1500; ++I) {
+    Driver.run(StepObjects);
+    H.collectNow(); // Deaths become visible each step.
+  }
+  Trace.finalize();
+
+  const uint64_t ObjectBytes = 24;
+  const uint64_t Delta = StepObjects * ObjectBytes * 4;
+  SurvivalAnalyzer Analyzer(Trace, Delta);
+  auto Bands = Analyzer.uniformBands(0, Delta * 2, Delta * 8);
+
+  double DeltaObjects = static_cast<double>(Delta) / ObjectBytes;
+  double Expected = std::exp2(-DeltaObjects / HalfLifeObjects);
+  for (const SurvivalBand &Band : Bands) {
+    ASSERT_GT(Band.BytesObserved, 0u) << Band.label();
+    EXPECT_NEAR(Band.survivalRate(), Expected, 0.06)
+        << Band.label() << ": age must not predict survival";
+  }
+}
+
+TEST(SurvivalAnalyzerTest, BandLabels) {
+  SurvivalBand Band;
+  Band.AgeLo = 500000;
+  Band.AgeHi = 1000000;
+  EXPECT_EQ(Band.label(), "500000 to 1000000 bytes old");
+  Band.AgeHi = UINT64_MAX;
+  EXPECT_EQ(Band.label(), "More than 500000 bytes old");
+}
+
+TEST(SurvivalAnalyzerTest, ImmortalObjectsSurviveEverywhere) {
+  auto Collector = std::make_unique<MarkSweepCollector>(1024 * 1024);
+  Heap H(std::move(Collector));
+  ObjectTrace Trace;
+  H.setObserver(&Trace);
+
+  // A rooted list that lives forever plus churn that dies instantly.
+  Handle Keep(H, Value::null());
+  for (int I = 0; I < 50; ++I)
+    Keep = H.allocatePair(Value::fixnum(I), Keep);
+  for (int Round = 0; Round < 100; ++Round) {
+    for (int I = 0; I < 100; ++I)
+      H.allocatePair(Value::fixnum(I), Value::null());
+    H.collectNow();
+  }
+  Trace.finalize();
+
+  SurvivalAnalyzer Analyzer(Trace, 4096);
+  auto Bands = Analyzer.uniformBands(0, 65536, 131072);
+  // The oldest band is dominated by the immortal list: survival near 1.
+  const SurvivalBand &Oldest = Bands.back();
+  ASSERT_GT(Oldest.BytesObserved, 0u);
+  EXPECT_GT(Oldest.survivalRate(), 0.95);
+  // The youngest band is dominated by churn: survival near 0.
+  EXPECT_LT(Bands.front().survivalRate(), 0.3);
+}
+
+//===----------------------------------------------------------------------===
+// LiveProfile.
+//===----------------------------------------------------------------------===
+
+TEST(LiveProfileTest, TotalsAndPeak) {
+  auto Collector = std::make_unique<MarkSweepCollector>(1024 * 1024);
+  Heap H(std::move(Collector));
+  ObjectTrace Trace;
+  H.setObserver(&Trace);
+
+  // A triangle wave of live storage: grow a list, drop it, grow again.
+  for (int Round = 0; Round < 3; ++Round) {
+    Handle Keep(H, Value::null());
+    for (int I = 0; I < 500; ++I)
+      Keep = H.allocatePair(Value::fixnum(I), Keep);
+    H.collectNow();
+    // Keep dies at scope exit...
+  }
+  H.collectNow();
+  Trace.finalize();
+
+  LiveProfile Profile(Trace, /*EpochBytes=*/2048, /*SampleBytes=*/512,
+                      /*OldCutoff=*/0);
+  EXPECT_GT(Profile.peakLiveBytes(), 500u * 24 / 2);
+  EXPECT_EQ(Profile.sampleTimes().size(), Profile.totalLive().size());
+  EXPECT_GT(Profile.cohortLayers().size(), 2u);
+
+  // Layer totals must sum to the total at every sample.
+  for (size_t S = 0; S < Profile.sampleTimes().size(); ++S) {
+    double LayerSum = 0;
+    for (const auto &Layer : Profile.cohortLayers())
+      LayerSum += Layer[S];
+    EXPECT_NEAR(LayerSum, static_cast<double>(Profile.totalLive()[S]), 1e-6);
+  }
+}
+
+TEST(LiveProfileTest, OldCutoffMovesBytesToWhiteBand) {
+  auto Collector = std::make_unique<MarkSweepCollector>(1024 * 1024);
+  Heap H(std::move(Collector));
+  ObjectTrace Trace;
+  H.setObserver(&Trace);
+
+  Handle Keep(H, H.allocatePair(Value::fixnum(1), Value::null()));
+  for (int I = 0; I < 2000; ++I)
+    H.allocatePair(Value::fixnum(I), Value::null());
+  H.collectNow();
+  Trace.finalize();
+
+  LiveProfile Profile(Trace, 1024, 1024, /*OldCutoff=*/4096);
+  // At late samples, the kept pair is older than the cutoff: it must be in
+  // the last ("white") layer.
+  const auto &White = Profile.cohortLayers().back();
+  EXPECT_GT(White.back(), 0.0);
+}

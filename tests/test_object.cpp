@@ -1,0 +1,145 @@
+//===- tests/test_object.cpp - Object header and layout tests -------------===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "heap/Object.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace rdgc;
+
+TEST(HeaderTest, EncodeDecode) {
+  uint64_t H = header::encode(ObjectTag::Vector, 17, 3);
+  EXPECT_EQ(header::tag(H), ObjectTag::Vector);
+  EXPECT_EQ(header::payloadWords(H), 17u);
+  EXPECT_EQ(header::region(H), 3);
+  EXPECT_FALSE(header::isMarked(H));
+  EXPECT_FALSE(header::isRemembered(H));
+}
+
+TEST(HeaderTest, MarkBitRoundTrip) {
+  uint64_t H = header::encode(ObjectTag::Pair, 2, 1);
+  H = header::setMark(H);
+  EXPECT_TRUE(header::isMarked(H));
+  EXPECT_EQ(header::tag(H), ObjectTag::Pair);
+  EXPECT_EQ(header::payloadWords(H), 2u);
+  H = header::clearMark(H);
+  EXPECT_FALSE(header::isMarked(H));
+}
+
+TEST(HeaderTest, RememberedBitRoundTrip) {
+  uint64_t H = header::encode(ObjectTag::Cell, 1, 7);
+  H = header::setRemembered(H);
+  EXPECT_TRUE(header::isRemembered(H));
+  EXPECT_EQ(header::region(H), 7);
+  H = header::clearRemembered(H);
+  EXPECT_FALSE(header::isRemembered(H));
+}
+
+TEST(HeaderTest, RegionRewrite) {
+  uint64_t H = header::encode(ObjectTag::Flonum, 1, 4);
+  H = header::withRegion(H, 9);
+  EXPECT_EQ(header::region(H), 9);
+  EXPECT_EQ(header::tag(H), ObjectTag::Flonum);
+  EXPECT_EQ(header::payloadWords(H), 1u);
+}
+
+TEST(HeaderTest, LargeSizes) {
+  uint64_t H = header::encode(ObjectTag::Bytevector, (1ULL << 32) + 5, 0);
+  EXPECT_EQ(header::payloadWords(H), (1ULL << 32) + 5);
+}
+
+namespace {
+
+/// A stack buffer posing as a heap object.
+struct FakeObject {
+  alignas(8) uint64_t Words[16] = {};
+
+  ObjectRef make(ObjectTag Tag, size_t PayloadWords, uint8_t Region = 0) {
+    Words[0] = header::encode(Tag, PayloadWords, Region);
+    return ObjectRef(Words);
+  }
+};
+
+} // namespace
+
+TEST(ObjectRefTest, PairScanVisitsBothSlots) {
+  FakeObject F;
+  ObjectRef Obj = F.make(ObjectTag::Pair, 2);
+  Obj.setValueAt(0, Value::fixnum(1));
+  Obj.setValueAt(1, Value::fixnum(2));
+  std::vector<uint64_t *> Slots;
+  Obj.forEachPointerSlot([&](uint64_t *S) { Slots.push_back(S); });
+  ASSERT_EQ(Slots.size(), 2u);
+  EXPECT_EQ(Slots[0], F.Words + 1);
+  EXPECT_EQ(Slots[1], F.Words + 2);
+}
+
+TEST(ObjectRefTest, VectorScanSkipsLengthWord) {
+  FakeObject F;
+  ObjectRef Obj = F.make(ObjectTag::Vector, vectorPayloadWords(3));
+  Obj.setRawAt(0, 3);
+  std::vector<uint64_t *> Slots;
+  Obj.forEachPointerSlot([&](uint64_t *S) { Slots.push_back(S); });
+  ASSERT_EQ(Slots.size(), 3u);
+  EXPECT_EQ(Slots[0], F.Words + 2); // After header and length word.
+}
+
+TEST(ObjectRefTest, EmptyVectorScansNothing) {
+  FakeObject F;
+  ObjectRef Obj = F.make(ObjectTag::Vector, vectorPayloadWords(0));
+  Obj.setRawAt(0, 0);
+  int Count = 0;
+  Obj.forEachPointerSlot([&](uint64_t *) { ++Count; });
+  EXPECT_EQ(Count, 0);
+}
+
+TEST(ObjectRefTest, RawTypesScanNothing) {
+  for (ObjectTag Tag :
+       {ObjectTag::Flonum, ObjectTag::String, ObjectTag::Bytevector}) {
+    FakeObject F;
+    ObjectRef Obj = F.make(Tag, 2);
+    Obj.setRawAt(0, 1); // Byte length for string-likes; bits for flonum.
+    int Count = 0;
+    Obj.forEachPointerSlot([&](uint64_t *) { ++Count; });
+    EXPECT_EQ(Count, 0) << objectTagName(Tag);
+  }
+}
+
+TEST(ObjectRefTest, ForwardingRoundTrip) {
+  FakeObject From, To;
+  ObjectRef FromObj = From.make(ObjectTag::Pair, 2, 5);
+  To.make(ObjectTag::Pair, 2, 6);
+  EXPECT_FALSE(FromObj.isForwarded());
+  FromObj.forwardTo(To.Words);
+  EXPECT_TRUE(FromObj.isForwarded());
+  EXPECT_EQ(FromObj.forwardedTo(), To.Words);
+  // The forwarded header still reports the correct size for linear walks.
+  EXPECT_EQ(FromObj.payloadWords(), 2u);
+}
+
+TEST(ObjectRefTest, TotalWordsIncludesHeader) {
+  FakeObject F;
+  ObjectRef Obj = F.make(ObjectTag::Vector, vectorPayloadWords(4));
+  EXPECT_EQ(Obj.totalWords(), 1 + 1 + 4u);
+}
+
+TEST(ObjectLayoutTest, PayloadWordHelpers) {
+  EXPECT_EQ(vectorPayloadWords(0), 1u);
+  EXPECT_EQ(vectorPayloadWords(5), 6u);
+  EXPECT_EQ(bytesPayloadWords(0), 1u);
+  EXPECT_EQ(bytesPayloadWords(1), 2u);
+  EXPECT_EQ(bytesPayloadWords(8), 2u);
+  EXPECT_EQ(bytesPayloadWords(9), 3u);
+}
+
+TEST(ObjectTagTest, NamesAreStable) {
+  EXPECT_STREQ(objectTagName(ObjectTag::Pair), "pair");
+  EXPECT_STREQ(objectTagName(ObjectTag::Forward), "forward");
+  EXPECT_STREQ(objectTagName(ObjectTag::Free), "free");
+  EXPECT_STREQ(objectTagName(ObjectTag::Padding), "padding");
+}

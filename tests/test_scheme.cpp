@@ -1,0 +1,363 @@
+//===- tests/test_scheme.cpp - Scheme substrate tests ---------------------===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the Scheme substrate: reader, printer, evaluator, and
+/// builtins. The whole suite is parameterized over the collectors and runs
+/// on a deliberately tiny heap, so every test doubles as a GC-safety test
+/// for the evaluator (collections fire constantly mid-eval).
+///
+//===----------------------------------------------------------------------===//
+
+#include "gc/CollectorFactory.h"
+#include "scheme/SchemeRuntime.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+using namespace rdgc;
+
+namespace {
+
+struct SchemeParam {
+  const char *Name;
+  CollectorKind Kind;
+};
+
+class SchemeTest : public ::testing::TestWithParam<SchemeParam> {
+protected:
+  SchemeTest() {
+    CollectorSizing Sizing;
+    // Small heap: forces frequent collections during evaluation.
+    Sizing.PrimaryBytes = 192 * 1024;
+    Sizing.NurseryBytes = 16 * 1024;
+    Sizing.StepCount = 8;
+    H = makeHeap(GetParam().Kind, Sizing);
+    S = std::make_unique<SchemeRuntime>(*H);
+  }
+
+  std::string run(const char *Source) {
+    std::string Result = S->evalToString(Source);
+    EXPECT_FALSE(S->failed()) << S->errorMessage();
+    return Result;
+  }
+
+  std::unique_ptr<Heap> H;
+  std::unique_ptr<SchemeRuntime> S;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===
+// Reader and printer.
+//===----------------------------------------------------------------------===
+
+TEST_P(SchemeTest, ReadWriteRoundTrip) {
+  EXPECT_EQ(run("'(a b (c 1 -2) \"str\" #t #f #\\x 3.5)"),
+            "(a b (c 1 -2) \"str\" #t #f #\\x 3.5)");
+}
+
+TEST_P(SchemeTest, DottedPairs) {
+  EXPECT_EQ(run("'(a . b)"), "(a . b)");
+  EXPECT_EQ(run("'(a b . c)"), "(a b . c)");
+  EXPECT_EQ(run("(cons 1 2)"), "(1 . 2)");
+}
+
+TEST_P(SchemeTest, VectorsAndComments) {
+  EXPECT_EQ(run("; comment\n#(1 2 3) #| block #| nested |# |# "), "#(1 2 3)");
+}
+
+TEST_P(SchemeTest, QuoteSugar) {
+  EXPECT_EQ(run("''x"), "(quote x)");
+  EXPECT_EQ(run("'`x"), "(quasiquote x)");
+  EXPECT_EQ(run("',x"), "(unquote x)");
+  EXPECT_EQ(run("',@x"), "(unquote-splicing x)");
+}
+
+//===----------------------------------------------------------------------===
+// Core evaluation.
+//===----------------------------------------------------------------------===
+
+TEST_P(SchemeTest, SelfEvaluating) {
+  EXPECT_EQ(run("42"), "42");
+  EXPECT_EQ(run("-7"), "-7");
+  EXPECT_EQ(run("#t"), "#t");
+  EXPECT_EQ(run("\"hi\""), "\"hi\"");
+  EXPECT_EQ(run("#\\a"), "#\\a");
+}
+
+TEST_P(SchemeTest, Arithmetic) {
+  EXPECT_EQ(run("(+ 1 2 3)"), "6");
+  EXPECT_EQ(run("(- 10 3 2)"), "5");
+  EXPECT_EQ(run("(- 5)"), "-5");
+  EXPECT_EQ(run("(* 2 3 4)"), "24");
+  EXPECT_EQ(run("(quotient 17 5)"), "3");
+  EXPECT_EQ(run("(remainder 17 5)"), "2");
+  EXPECT_EQ(run("(modulo -7 3)"), "2");
+  EXPECT_EQ(run("(+ 1 2.5)"), "3.5");
+  EXPECT_EQ(run("(max 3 1 4 1 5)"), "5");
+  EXPECT_EQ(run("(min 3 1 4)"), "1");
+  EXPECT_EQ(run("(abs -9)"), "9");
+  EXPECT_EQ(run("(expt 2 10)"), "1024");
+}
+
+TEST_P(SchemeTest, Comparisons) {
+  EXPECT_EQ(run("(< 1 2 3)"), "#t");
+  EXPECT_EQ(run("(< 1 3 2)"), "#f");
+  EXPECT_EQ(run("(= 2 2 2)"), "#t");
+  EXPECT_EQ(run("(>= 3 3 2)"), "#t");
+  EXPECT_EQ(run("(zero? 0)"), "#t");
+  EXPECT_EQ(run("(even? 4)"), "#t");
+  EXPECT_EQ(run("(odd? 4)"), "#f");
+}
+
+TEST_P(SchemeTest, Conditionals) {
+  EXPECT_EQ(run("(if #t 'yes 'no)"), "yes");
+  EXPECT_EQ(run("(if #f 'yes 'no)"), "no");
+  EXPECT_EQ(run("(if 0 'zero-is-true 'no)"), "zero-is-true");
+  EXPECT_EQ(run("(cond (#f 1) (#t 2) (else 3))"), "2");
+  EXPECT_EQ(run("(cond (#f 1) (else 3))"), "3");
+  EXPECT_EQ(run("(cond ((assv 2 '((1 a) (2 b))) => cadr) (else 'none))"),
+            "b");
+  EXPECT_EQ(run("(case 3 ((1 2) 'small) ((3 4) 'medium) (else 'big))"),
+            "medium");
+  EXPECT_EQ(run("(case 9 ((1 2) 'small) (else 'big))"), "big");
+  EXPECT_EQ(run("(and 1 2 3)"), "3");
+  EXPECT_EQ(run("(and 1 #f 3)"), "#f");
+  EXPECT_EQ(run("(and)"), "#t");
+  EXPECT_EQ(run("(or #f #f 7)"), "7");
+  EXPECT_EQ(run("(or)"), "#f");
+  EXPECT_EQ(run("(when #t 1 2)"), "2");
+  EXPECT_EQ(run("(unless #f 'ran)"), "ran");
+}
+
+TEST_P(SchemeTest, DefineAndSet) {
+  EXPECT_EQ(run("(define x 10) (set! x (+ x 5)) x"), "15");
+  EXPECT_EQ(run("(define (square n) (* n n)) (square 12)"), "144");
+  EXPECT_EQ(run("(define (f . args) args) (f 1 2 3)"), "(1 2 3)");
+  EXPECT_EQ(run("(define (g a . rest) (cons a rest)) (g 1 2 3)"), "(1 2 3)");
+}
+
+TEST_P(SchemeTest, LambdaAndClosures) {
+  EXPECT_EQ(run("((lambda (x y) (+ x y)) 3 4)"), "7");
+  EXPECT_EQ(run("(define (adder n) (lambda (x) (+ x n)))"
+                "((adder 10) 32)"),
+            "42");
+  EXPECT_EQ(run("(define counter"
+                "  (let ((n 0)) (lambda () (set! n (+ n 1)) n)))"
+                "(counter) (counter) (counter)"),
+            "3");
+}
+
+TEST_P(SchemeTest, LetForms) {
+  EXPECT_EQ(run("(let ((x 2) (y 3)) (* x y))"), "6");
+  EXPECT_EQ(run("(let* ((x 2) (y (* x x))) y)"), "4");
+  EXPECT_EQ(run("(letrec ((even? (lambda (n) (if (zero? n) #t (odd? (- n 1)))))"
+                "         (odd?  (lambda (n) (if (zero? n) #f (even? (- n 1))))))"
+                "  (even? 100))"),
+            "#t");
+  EXPECT_EQ(run("(let loop ((i 0) (acc '()))"
+                "  (if (= i 5) (reverse acc) (loop (+ i 1) (cons i acc))))"),
+            "(0 1 2 3 4)");
+}
+
+TEST_P(SchemeTest, InternalDefine) {
+  EXPECT_EQ(run("(define (f x)"
+                "  (define y (* x 2))"
+                "  (define (g z) (+ z y))"
+                "  (g 10))"
+                "(f 5)"),
+            "20");
+}
+
+TEST_P(SchemeTest, DoLoop) {
+  EXPECT_EQ(run("(do ((i 0 (+ i 1)) (sum 0 (+ sum i)))"
+                "    ((= i 5) sum))"),
+            "10");
+}
+
+TEST_P(SchemeTest, TailCallsDontOverflow) {
+  // One million iterations only works with proper tail calls.
+  EXPECT_EQ(run("(define (count n) (if (zero? n) 'done (count (- n 1))))"
+                "(count 1000000)"),
+            "done");
+}
+
+TEST_P(SchemeTest, MutualTailRecursion) {
+  EXPECT_EQ(run("(define (even2? n) (if (zero? n) #t (odd2? (- n 1))))"
+                "(define (odd2? n) (if (zero? n) #f (even2? (- n 1))))"
+                "(even2? 200000)"),
+            "#t");
+}
+
+//===----------------------------------------------------------------------===
+// Lists and higher-order functions.
+//===----------------------------------------------------------------------===
+
+TEST_P(SchemeTest, ListLibrary) {
+  EXPECT_EQ(run("(length '(a b c))"), "3");
+  EXPECT_EQ(run("(append '(1 2) '(3) '() '(4 5))"), "(1 2 3 4 5)");
+  EXPECT_EQ(run("(reverse '(1 2 3))"), "(3 2 1)");
+  EXPECT_EQ(run("(list-ref '(a b c d) 2)"), "c");
+  EXPECT_EQ(run("(list-tail '(a b c d) 2)"), "(c d)");
+  EXPECT_EQ(run("(assq 'b '((a 1) (b 2)))"), "(b 2)");
+  EXPECT_EQ(run("(assq 'z '((a 1)))"), "#f");
+  EXPECT_EQ(run("(memq 'c '(a b c d))"), "(c d)");
+  EXPECT_EQ(run("(member '(1) '((0) (1) (2)))"), "((1) (2))");
+}
+
+TEST_P(SchemeTest, HigherOrder) {
+  EXPECT_EQ(run("(map (lambda (x) (* x x)) '(1 2 3 4))"), "(1 4 9 16)");
+  EXPECT_EQ(run("(map + '(1 2 3) '(10 20 30))"), "(11 22 33)");
+  EXPECT_EQ(run("(filter odd? '(1 2 3 4 5))"), "(1 3 5)");
+  EXPECT_EQ(run("(fold-left + 0 '(1 2 3 4))"), "10");
+  EXPECT_EQ(run("(fold-right cons '() '(1 2 3))"), "(1 2 3)");
+  EXPECT_EQ(run("(apply + 1 2 '(3 4 5))"), "15");
+  EXPECT_EQ(run("(iota 5)"), "(0 1 2 3 4)");
+}
+
+TEST_P(SchemeTest, Equality) {
+  EXPECT_EQ(run("(eq? 'a 'a)"), "#t");
+  EXPECT_EQ(run("(eq? '(a) '(a))"), "#f");
+  EXPECT_EQ(run("(equal? '(a (b) 1) '(a (b) 1))"), "#t");
+  EXPECT_EQ(run("(eqv? 1.5 1.5)"), "#t");
+  EXPECT_EQ(run("(equal? \"abc\" \"abc\")"), "#t");
+  EXPECT_EQ(run("(equal? #(1 2) #(1 2))"), "#t");
+  EXPECT_EQ(run("(equal? #(1 2) #(1 3))"), "#f");
+}
+
+TEST_P(SchemeTest, VectorsInScheme) {
+  EXPECT_EQ(run("(define v (make-vector 3 'x))"
+                "(vector-set! v 1 42)"
+                "(list (vector-ref v 0) (vector-ref v 1) (vector-length v))"),
+            "(x 42 3)");
+  EXPECT_EQ(run("(vector->list (list->vector '(1 2 3)))"), "(1 2 3)");
+}
+
+TEST_P(SchemeTest, Strings) {
+  EXPECT_EQ(run("(string-append \"foo\" \"bar\")"), "\"foobar\"");
+  EXPECT_EQ(run("(substring \"hello\" 1 3)"), "\"el\"");
+  EXPECT_EQ(run("(string=? \"a\" \"a\")"), "#t");
+  EXPECT_EQ(run("(symbol->string 'abc)"), "\"abc\"");
+  EXPECT_EQ(run("(string->symbol \"xyz\")"), "xyz");
+  EXPECT_EQ(run("(string->number \"42\")"), "42");
+  EXPECT_EQ(run("(string->number \"nope\")"), "#f");
+  EXPECT_EQ(run("(number->string 17)"), "\"17\"");
+}
+
+TEST_P(SchemeTest, Quasiquote) {
+  EXPECT_EQ(run("`(1 2 ,(+ 1 2))"), "(1 2 3)");
+  EXPECT_EQ(run("`(a ,@(list 1 2 3) b)"), "(a 1 2 3 b)");
+  EXPECT_EQ(run("(define x 5) `(x is ,x)"), "(x is 5)");
+  EXPECT_EQ(run("`(1 `(2 ,(3)))"), "(1 (quasiquote (2 (unquote (3)))))");
+}
+
+//===----------------------------------------------------------------------===
+// GC interaction.
+//===----------------------------------------------------------------------===
+
+TEST_P(SchemeTest, AllocationHeavyRecursion) {
+  // Builds and discards many intermediate lists; collections fire
+  // throughout on the tiny test heap.
+  EXPECT_EQ(run("(define (build n)"
+                "  (if (zero? n) '() (cons n (build (- n 1)))))"
+                "(define (churn i acc)"
+                "  (if (zero? i) acc (churn (- i 1) (length (build 300)))))"
+                "(churn 200 0)"),
+            "300");
+  EXPECT_GT(H->stats().collections(), 0u);
+}
+
+TEST_P(SchemeTest, ExplicitGcFromScheme) {
+  EXPECT_EQ(run("(define keep (list 1 2 3))"
+                "(collect-garbage)"
+                "keep"),
+            "(1 2 3)");
+}
+
+TEST_P(SchemeTest, DeepStructureSurvivesGc) {
+  EXPECT_EQ(run("(define (tree d)"
+                "  (if (zero? d) 'leaf (list (tree (- d 1)) (tree (- d 1)))))"
+                "(define t (tree 6))"
+                "(collect-garbage)"
+                "(define (count-leaves t)"
+                "  (if (pair? t)"
+                "      (+ (count-leaves (car t)) (count-leaves (cdr t)))"
+                "      (if (eq? t 'leaf) 1 0)))"
+                "(count-leaves t)"),
+            "64");
+}
+
+//===----------------------------------------------------------------------===
+// Error handling.
+//===----------------------------------------------------------------------===
+
+TEST_P(SchemeTest, UnboundVariableFails) {
+  S->evalString("this-is-unbound");
+  EXPECT_TRUE(S->failed());
+  EXPECT_NE(S->errorMessage().find("unbound"), std::string::npos);
+  S->clearError();
+  EXPECT_EQ(run("(+ 1 1)"), "2"); // Recovery after clearing.
+}
+
+TEST_P(SchemeTest, TypeErrorsFail) {
+  S->evalString("(car 5)");
+  EXPECT_TRUE(S->failed());
+  S->clearError();
+  S->evalString("(vector-ref (vector 1) 5)");
+  EXPECT_TRUE(S->failed());
+  S->clearError();
+  S->evalString("(1 2 3)");
+  EXPECT_TRUE(S->failed());
+  S->clearError();
+  S->evalString("(quotient 1 0)");
+  EXPECT_TRUE(S->failed());
+}
+
+TEST_P(SchemeTest, UserErrors) {
+  S->evalString("(error \"boom\" 42)");
+  EXPECT_TRUE(S->failed());
+  EXPECT_NE(S->errorMessage().find("boom"), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCollectors, SchemeTest,
+    ::testing::Values(
+        SchemeParam{"stop-and-copy", CollectorKind::StopAndCopy},
+        SchemeParam{"mark-sweep", CollectorKind::MarkSweep},
+        SchemeParam{"mark-compact", CollectorKind::MarkCompact},
+        SchemeParam{"generational", CollectorKind::Generational},
+        SchemeParam{"non-predictive", CollectorKind::NonPredictive},
+        SchemeParam{"non-predictive-hybrid",
+                
+                CollectorKind::NonPredictiveHybrid}),
+    [](const ::testing::TestParamInfo<SchemeParam> &Info) {
+      std::string Name = Info.param.Name;
+      for (char &C : Name)
+        if (C == '-')
+          C = '_';
+      return Name;
+    });
+
+TEST_P(SchemeTest, SortAndListUtilities) {
+  EXPECT_EQ(run("(sort '(3 1 4 1 5 9 2 6) <)"), "(1 1 2 3 4 5 6 9)");
+  EXPECT_EQ(run("(sort '() <)"), "()");
+  EXPECT_EQ(run("(sort '(7) <)"), "(7)");
+  EXPECT_EQ(run("(sort '(2 1) >)"), "(2 1)");
+  EXPECT_EQ(run("(sort (iota 20) >)"),
+            "(19 18 17 16 15 14 13 12 11 10 9 8 7 6 5 4 3 2 1 0)");
+  // Stability: pairs with equal keys keep their order.
+  EXPECT_EQ(run("(map cdr (sort '((1 . a) (0 . b) (1 . c) (0 . d))"
+                "                (lambda (x y) (< (car x) (car y)))))"),
+            "(b d a c)");
+  EXPECT_EQ(run("(define xs '(1 2 3))"
+                "(define ys (list-copy xs))"
+                "(set-car! ys 99)"
+                "(list (car xs) (car ys))"),
+            "(1 99)");
+  EXPECT_EQ(run("(last-pair '(a b c))"), "(c)");
+}

@@ -1,0 +1,292 @@
+//===- tests/test_support.cpp - Support library tests ---------------------===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/AsciiChart.h"
+#include "support/FixedPoint.h"
+#include "support/Random.h"
+#include "support/Stats.h"
+#include "support/TableWriter.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace rdgc;
+
+//===----------------------------------------------------------------------===
+// Random.
+//===----------------------------------------------------------------------===
+
+TEST(SplitMix64Test, IsDeterministic) {
+  SplitMix64 A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiffer) {
+  SplitMix64 A(1), B(2);
+  EXPECT_NE(A.next(), B.next());
+}
+
+TEST(Xoshiro256Test, IsDeterministic) {
+  Xoshiro256 A(7), B(7);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Xoshiro256Test, DoubleInUnitInterval) {
+  Xoshiro256 Rng(123);
+  for (int I = 0; I < 10000; ++I) {
+    double D = Rng.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(Xoshiro256Test, NextBelowRespectsBound) {
+  Xoshiro256 Rng(99);
+  for (uint64_t Bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40})
+    for (int I = 0; I < 1000; ++I)
+      EXPECT_LT(Rng.nextBelow(Bound), Bound);
+}
+
+TEST(Xoshiro256Test, NextBelowIsRoughlyUniform) {
+  Xoshiro256 Rng(5);
+  int Counts[10] = {};
+  const int N = 100000;
+  for (int I = 0; I < N; ++I)
+    ++Counts[Rng.nextBelow(10)];
+  for (int C : Counts) {
+    EXPECT_GT(C, N / 10 * 0.9);
+    EXPECT_LT(C, N / 10 * 1.1);
+  }
+}
+
+TEST(Xoshiro256Test, NextInRangeInclusive) {
+  Xoshiro256 Rng(17);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I < 10000; ++I) {
+    int64_t V = Rng.nextInRange(-3, 3);
+    EXPECT_GE(V, -3);
+    EXPECT_LE(V, 3);
+    SawLo |= V == -3;
+    SawHi |= V == 3;
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(Xoshiro256Test, GeometricMeanMatchesDecayModel) {
+  // For survival probability r per unit, the expected number of whole units
+  // survived is r / (1 - r).
+  Xoshiro256 Rng(2024);
+  const double HalfLife = 64.0;
+  const double R = std::exp2(-1.0 / HalfLife);
+  const double Expected = R / (1.0 - R);
+  double Sum = 0;
+  const int N = 200000;
+  for (int I = 0; I < N; ++I)
+    Sum += static_cast<double>(Rng.nextGeometric(R));
+  double Mean = Sum / N;
+  EXPECT_NEAR(Mean, Expected, Expected * 0.02);
+}
+
+TEST(Xoshiro256Test, GeometricIsMemoryless) {
+  // P(T >= a + b | T >= a) should equal P(T >= b): the defining property
+  // of the radioactive decay model (Section 2).
+  Xoshiro256 Rng(31337);
+  const double R = std::exp2(-1.0 / 32.0);
+  const int N = 300000;
+  int AtLeastA = 0, AtLeastAB = 0, AtLeastB = 0;
+  const uint64_t A = 20, B = 30;
+  for (int I = 0; I < N; ++I) {
+    uint64_t T = Rng.nextGeometric(R);
+    if (T >= A)
+      ++AtLeastA;
+    if (T >= A + B)
+      ++AtLeastAB;
+    if (T >= B)
+      ++AtLeastB;
+  }
+  double CondProb = static_cast<double>(AtLeastAB) / AtLeastA;
+  double Marginal = static_cast<double>(AtLeastB) / N;
+  EXPECT_NEAR(CondProb, Marginal, 0.02);
+}
+
+TEST(Xoshiro256Test, ExponentialMean) {
+  Xoshiro256 Rng(8);
+  double Sum = 0;
+  const int N = 200000;
+  for (int I = 0; I < N; ++I)
+    Sum += Rng.nextExponential(5.0);
+  EXPECT_NEAR(Sum / N, 5.0, 0.1);
+}
+
+//===----------------------------------------------------------------------===
+// Stats.
+//===----------------------------------------------------------------------===
+
+TEST(RunningStatsTest, Empty) {
+  RunningStats S;
+  EXPECT_EQ(S.count(), 0u);
+  EXPECT_EQ(S.mean(), 0.0);
+  EXPECT_EQ(S.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, KnownValues) {
+  RunningStats S;
+  for (double V : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+    S.add(V);
+  EXPECT_EQ(S.count(), 8u);
+  EXPECT_DOUBLE_EQ(S.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(S.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(S.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(S.min(), 2.0);
+  EXPECT_DOUBLE_EQ(S.max(), 9.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesSequential) {
+  RunningStats All, A, B;
+  Xoshiro256 Rng(4);
+  for (int I = 0; I < 1000; ++I) {
+    double V = Rng.nextDouble() * 10 - 5;
+    All.add(V);
+    (I % 2 ? A : B).add(V);
+  }
+  A.merge(B);
+  EXPECT_EQ(A.count(), All.count());
+  EXPECT_NEAR(A.mean(), All.mean(), 1e-9);
+  EXPECT_NEAR(A.variance(), All.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(A.min(), All.min());
+  EXPECT_DOUBLE_EQ(A.max(), All.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats A, Empty;
+  A.add(1.0);
+  A.add(3.0);
+  A.merge(Empty);
+  EXPECT_EQ(A.count(), 2u);
+  EXPECT_DOUBLE_EQ(A.mean(), 2.0);
+  Empty.merge(A);
+  EXPECT_EQ(Empty.count(), 2u);
+}
+
+TEST(HistogramTest, BucketsAndOverflow) {
+  Histogram H(0.0, 10.0, 10);
+  for (int I = 0; I < 10; ++I)
+    H.add(I + 0.5);
+  H.add(-1.0);
+  H.add(42.0);
+  EXPECT_EQ(H.total(), 12u);
+  EXPECT_EQ(H.underflow(), 1u);
+  EXPECT_EQ(H.overflow(), 1u);
+  for (size_t I = 0; I < 10; ++I)
+    EXPECT_EQ(H.bucket(I), 1u);
+  EXPECT_DOUBLE_EQ(H.bucketLow(3), 3.0);
+  EXPECT_DOUBLE_EQ(H.bucketHigh(3), 4.0);
+}
+
+TEST(HistogramTest, QuantileOfUniform) {
+  Histogram H(0.0, 1.0, 100);
+  Xoshiro256 Rng(10);
+  for (int I = 0; I < 100000; ++I)
+    H.add(Rng.nextDouble());
+  EXPECT_NEAR(H.quantile(0.5), 0.5, 0.02);
+  EXPECT_NEAR(H.quantile(0.9), 0.9, 0.02);
+}
+
+//===----------------------------------------------------------------------===
+// FixedPoint.
+//===----------------------------------------------------------------------===
+
+TEST(FixedPointTest, SolvesCosineFixedPoint) {
+  // x = cos(x) has the Dottie number ~0.739085 as its fixed point.
+  SolveResult R = solveFixedPoint([](double X) { return std::cos(X); }, 0.5);
+  EXPECT_TRUE(R.Converged);
+  EXPECT_NEAR(R.Value, 0.7390851332151607, 1e-9);
+}
+
+TEST(FixedPointTest, IdentityOfConstant) {
+  SolveResult R = solveFixedPoint([](double) { return 3.25; }, 0.0);
+  EXPECT_TRUE(R.Converged);
+  EXPECT_DOUBLE_EQ(R.Value, 3.25);
+}
+
+TEST(BisectionTest, FindsSqrtTwo) {
+  SolveResult R =
+      solveBisection([](double X) { return X * X - 2.0; }, 0.0, 2.0);
+  EXPECT_TRUE(R.Converged);
+  EXPECT_NEAR(R.Value, std::sqrt(2.0), 1e-9);
+}
+
+TEST(BisectionTest, EndpointRoot) {
+  SolveResult R = solveBisection([](double X) { return X; }, 0.0, 1.0);
+  EXPECT_TRUE(R.Converged);
+  EXPECT_DOUBLE_EQ(R.Value, 0.0);
+}
+
+//===----------------------------------------------------------------------===
+// TableWriter.
+//===----------------------------------------------------------------------===
+
+TEST(TableWriterTest, RendersAlignedText) {
+  TableWriter T({"name", "value"});
+  T.addRow({"alpha", "1"});
+  T.addRow({"b", "22"});
+  std::string Text = T.renderText();
+  EXPECT_NE(Text.find("name"), std::string::npos);
+  EXPECT_NE(Text.find("alpha"), std::string::npos);
+  // The value column is right aligned: "22" ends at the same column as "1".
+  EXPECT_NE(Text.find(" 1\n"), std::string::npos);
+  EXPECT_NE(Text.find("22\n"), std::string::npos);
+}
+
+TEST(TableWriterTest, CsvEscaping) {
+  TableWriter T({"a", "b"});
+  T.addRow({"x,y", "with \"quote\""});
+  std::string Csv = T.renderCsv();
+  EXPECT_NE(Csv.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(Csv.find("\"with \"\"quote\"\"\""), std::string::npos);
+}
+
+TEST(TableWriterTest, Formatters) {
+  EXPECT_EQ(TableWriter::formatInt(-12), "-12");
+  EXPECT_EQ(TableWriter::formatUnsigned(7), "7");
+  EXPECT_EQ(TableWriter::formatDouble(1.23456, 2), "1.23");
+  EXPECT_EQ(TableWriter::formatPercent(0.85), "85%");
+  EXPECT_EQ(TableWriter::formatBytes(2 * 1024 * 1024), "2.0 MB");
+  EXPECT_EQ(TableWriter::formatBytes(512), "512 B");
+}
+
+//===----------------------------------------------------------------------===
+// AsciiChart.
+//===----------------------------------------------------------------------===
+
+TEST(AsciiChartTest, LineChartMentionsSeries) {
+  ChartSeries S;
+  S.Name = "overhead";
+  for (int I = 0; I <= 10; ++I) {
+    S.X.push_back(I);
+    S.Y.push_back(I * I);
+  }
+  std::string Out = renderLineChart({S}, 40, 10, "test chart");
+  EXPECT_NE(Out.find("test chart"), std::string::npos);
+  EXPECT_NE(Out.find("overhead"), std::string::npos);
+  EXPECT_NE(Out.find('a'), std::string::npos);
+}
+
+TEST(AsciiChartTest, StackedChartHandlesEmpty) {
+  std::string Out = renderStackedChart({}, 40, 10, "empty");
+  EXPECT_NE(Out.find("empty"), std::string::npos);
+}
+
+TEST(AsciiChartTest, StackedChartRendersLayers) {
+  std::vector<std::vector<double>> Layers(2, std::vector<double>(20, 1.0));
+  std::string Out = renderStackedChart(Layers, 40, 10, "layers");
+  EXPECT_NE(Out.find('#'), std::string::npos);
+  EXPECT_NE(Out.find('*'), std::string::npos);
+}

@@ -1,0 +1,95 @@
+//===- tests/test_value.cpp - Tagged value representation tests -----------===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "heap/Value.h"
+
+#include <gtest/gtest.h>
+
+using namespace rdgc;
+
+TEST(ValueTest, DefaultIsUnspecified) {
+  Value V;
+  EXPECT_TRUE(V.isUnspecified());
+  EXPECT_TRUE(V.isImmediate());
+  EXPECT_FALSE(V.isPointer());
+  EXPECT_FALSE(V.isFixnum());
+}
+
+TEST(ValueTest, FixnumRoundTrip) {
+  for (int64_t N : {0L, 1L, -1L, 42L, -42L, (1L << 60) - 1, -(1L << 60)}) {
+    Value V = Value::fixnum(N);
+    EXPECT_TRUE(V.isFixnum());
+    EXPECT_FALSE(V.isPointer());
+    EXPECT_FALSE(V.isImmediate());
+    EXPECT_EQ(V.asFixnum(), N);
+  }
+}
+
+TEST(ValueTest, PointerRoundTrip) {
+  alignas(8) uint64_t Fake[4] = {};
+  Value V = Value::pointer(Fake);
+  EXPECT_TRUE(V.isPointer());
+  EXPECT_FALSE(V.isFixnum());
+  EXPECT_FALSE(V.isImmediate());
+  EXPECT_EQ(V.asHeaderPtr(), Fake);
+}
+
+TEST(ValueTest, ImmediatesAreDistinct) {
+  Value Vs[] = {Value::null(),        Value::falseValue(),
+                Value::trueValue(),   Value::unspecified(),
+                Value::eof(),         Value::character('a'),
+                Value::symbol(0)};
+  for (size_t I = 0; I < std::size(Vs); ++I)
+    for (size_t J = 0; J < std::size(Vs); ++J)
+      EXPECT_EQ(Vs[I] == Vs[J], I == J);
+}
+
+TEST(ValueTest, PredicatesExclusive) {
+  EXPECT_TRUE(Value::null().isNull());
+  EXPECT_FALSE(Value::null().isFalse());
+  EXPECT_TRUE(Value::falseValue().isFalse());
+  EXPECT_TRUE(Value::falseValue().isBoolean());
+  EXPECT_TRUE(Value::trueValue().isTrue());
+  EXPECT_TRUE(Value::trueValue().isBoolean());
+  EXPECT_FALSE(Value::null().isBoolean());
+  EXPECT_TRUE(Value::eof().isEof());
+}
+
+TEST(ValueTest, Truthiness) {
+  // Scheme semantics: only #f is false.
+  EXPECT_FALSE(Value::falseValue().isTruthy());
+  EXPECT_TRUE(Value::trueValue().isTruthy());
+  EXPECT_TRUE(Value::null().isTruthy());
+  EXPECT_TRUE(Value::fixnum(0).isTruthy());
+  EXPECT_TRUE(Value::unspecified().isTruthy());
+}
+
+TEST(ValueTest, CharacterPayload) {
+  Value V = Value::character(0x1F600);
+  EXPECT_TRUE(V.isChar());
+  EXPECT_EQ(V.asChar(), 0x1F600u);
+  EXPECT_FALSE(V.isSymbol());
+}
+
+TEST(ValueTest, SymbolPayload) {
+  Value V = Value::symbol(123456);
+  EXPECT_TRUE(V.isSymbol());
+  EXPECT_EQ(V.symbolIndex(), 123456u);
+  EXPECT_FALSE(V.isChar());
+}
+
+TEST(ValueTest, RawBitsRoundTrip) {
+  Value V = Value::fixnum(-99);
+  EXPECT_EQ(Value::fromRawBits(V.rawBits()), V);
+}
+
+TEST(ValueTest, EqualityIsIdentity) {
+  alignas(8) uint64_t A[2] = {}, B[2] = {};
+  EXPECT_EQ(Value::pointer(A), Value::pointer(A));
+  EXPECT_NE(Value::pointer(A), Value::pointer(B));
+  EXPECT_EQ(Value::fixnum(5), Value::fixnum(5));
+  EXPECT_NE(Value::fixnum(5), Value::fixnum(6));
+}
