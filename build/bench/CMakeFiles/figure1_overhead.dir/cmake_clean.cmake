@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure1_overhead.dir/figure1_overhead.cpp.o"
+  "CMakeFiles/figure1_overhead.dir/figure1_overhead.cpp.o.d"
+  "figure1_overhead"
+  "figure1_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure1_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure2_dynamic_profile.dir/figure2_dynamic_profile.cpp.o"
+  "CMakeFiles/figure2_dynamic_profile.dir/figure2_dynamic_profile.cpp.o.d"
+  "figure2_dynamic_profile"
+  "figure2_dynamic_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure2_dynamic_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

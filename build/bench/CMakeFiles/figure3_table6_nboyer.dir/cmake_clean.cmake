@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure3_table6_nboyer.dir/figure3_table6_nboyer.cpp.o"
+  "CMakeFiles/figure3_table6_nboyer.dir/figure3_table6_nboyer.cpp.o.d"
+  "figure3_table6_nboyer"
+  "figure3_table6_nboyer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure3_table6_nboyer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for figure3_table6_nboyer.
+# This may be replaced when dependencies are built.

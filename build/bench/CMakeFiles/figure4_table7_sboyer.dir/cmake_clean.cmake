@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure4_table7_sboyer.dir/figure4_table7_sboyer.cpp.o"
+  "CMakeFiles/figure4_table7_sboyer.dir/figure4_table7_sboyer.cpp.o.d"
+  "figure4_table7_sboyer"
+  "figure4_table7_sboyer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure4_table7_sboyer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

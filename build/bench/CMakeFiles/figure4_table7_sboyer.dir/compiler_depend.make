@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for figure4_table7_sboyer.
+# This may be replaced when dependencies are built.

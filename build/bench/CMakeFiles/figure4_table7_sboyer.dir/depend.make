@@ -1,0 +1,2 @@
+# Empty dependencies file for figure4_table7_sboyer.
+# This may be replaced when dependencies are built.

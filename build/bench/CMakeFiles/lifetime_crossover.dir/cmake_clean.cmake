@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lifetime_crossover.dir/lifetime_crossover.cpp.o"
+  "CMakeFiles/lifetime_crossover.dir/lifetime_crossover.cpp.o.d"
+  "lifetime_crossover"
+  "lifetime_crossover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lifetime_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_collector.dir/micro_collector.cpp.o"
+  "CMakeFiles/micro_collector.dir/micro_collector.cpp.o.d"
+  "micro_collector"
+  "micro_collector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_collector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_trace.dir/table1_trace.cpp.o"
+  "CMakeFiles/table1_trace.dir/table1_trace.cpp.o.d"
+  "table1_trace"
+  "table1_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_benchmarks.dir/table2_benchmarks.cpp.o"
+  "CMakeFiles/table2_benchmarks.dir/table2_benchmarks.cpp.o.d"
+  "table2_benchmarks"
+  "table2_benchmarks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_benchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

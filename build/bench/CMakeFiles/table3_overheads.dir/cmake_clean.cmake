@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_overheads.dir/table3_overheads.cpp.o"
+  "CMakeFiles/table3_overheads.dir/table3_overheads.cpp.o.d"
+  "table3_overheads"
+  "table3_overheads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_overheads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_dynamic_survival.dir/table4_dynamic_survival.cpp.o"
+  "CMakeFiles/table4_dynamic_survival.dir/table4_dynamic_survival.cpp.o.d"
+  "table4_dynamic_survival"
+  "table4_dynamic_survival.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_dynamic_survival.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_10dynamic_survival.dir/table5_10dynamic_survival.cpp.o"
+  "CMakeFiles/table5_10dynamic_survival.dir/table5_10dynamic_survival.cpp.o.d"
+  "table5_10dynamic_survival"
+  "table5_10dynamic_survival.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_10dynamic_survival.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

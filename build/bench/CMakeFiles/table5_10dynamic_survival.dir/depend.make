@@ -1,0 +1,2 @@
+# Empty dependencies file for table5_10dynamic_survival.
+# This may be replaced when dependencies are built.

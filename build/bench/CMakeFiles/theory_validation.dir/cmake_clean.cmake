@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theory_validation.dir/theory_validation.cpp.o"
+  "CMakeFiles/theory_validation.dir/theory_validation.cpp.o.d"
+  "theory_validation"
+  "theory_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theory_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boyer_demo.dir/boyer_demo.cpp.o"
+  "CMakeFiles/boyer_demo.dir/boyer_demo.cpp.o.d"
+  "boyer_demo"
+  "boyer_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boyer_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

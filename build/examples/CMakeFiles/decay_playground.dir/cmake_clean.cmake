@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decay_playground.dir/decay_playground.cpp.o"
+  "CMakeFiles/decay_playground.dir/decay_playground.cpp.o.d"
+  "decay_playground"
+  "decay_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decay_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

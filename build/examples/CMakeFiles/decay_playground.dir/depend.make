@@ -1,0 +1,2 @@
+# Empty dependencies file for decay_playground.
+# This may be replaced when dependencies are built.

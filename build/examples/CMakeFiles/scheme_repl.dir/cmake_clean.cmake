@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheme_repl.dir/scheme_repl.cpp.o"
+  "CMakeFiles/scheme_repl.dir/scheme_repl.cpp.o.d"
+  "scheme_repl"
+  "scheme_repl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheme_repl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

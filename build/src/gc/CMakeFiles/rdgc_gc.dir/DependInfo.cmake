@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gc/CollectorFactory.cpp" "src/gc/CMakeFiles/rdgc_gc.dir/CollectorFactory.cpp.o" "gcc" "src/gc/CMakeFiles/rdgc_gc.dir/CollectorFactory.cpp.o.d"
+  "/root/repo/src/gc/CopyScavenger.cpp" "src/gc/CMakeFiles/rdgc_gc.dir/CopyScavenger.cpp.o" "gcc" "src/gc/CMakeFiles/rdgc_gc.dir/CopyScavenger.cpp.o.d"
+  "/root/repo/src/gc/Generational.cpp" "src/gc/CMakeFiles/rdgc_gc.dir/Generational.cpp.o" "gcc" "src/gc/CMakeFiles/rdgc_gc.dir/Generational.cpp.o.d"
+  "/root/repo/src/gc/MarkCompact.cpp" "src/gc/CMakeFiles/rdgc_gc.dir/MarkCompact.cpp.o" "gcc" "src/gc/CMakeFiles/rdgc_gc.dir/MarkCompact.cpp.o.d"
+  "/root/repo/src/gc/MarkSweep.cpp" "src/gc/CMakeFiles/rdgc_gc.dir/MarkSweep.cpp.o" "gcc" "src/gc/CMakeFiles/rdgc_gc.dir/MarkSweep.cpp.o.d"
+  "/root/repo/src/gc/NonPredictive.cpp" "src/gc/CMakeFiles/rdgc_gc.dir/NonPredictive.cpp.o" "gcc" "src/gc/CMakeFiles/rdgc_gc.dir/NonPredictive.cpp.o.d"
+  "/root/repo/src/gc/StopAndCopy.cpp" "src/gc/CMakeFiles/rdgc_gc.dir/StopAndCopy.cpp.o" "gcc" "src/gc/CMakeFiles/rdgc_gc.dir/StopAndCopy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/heap/CMakeFiles/rdgc_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rdgc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdgc_gc.dir/CollectorFactory.cpp.o"
+  "CMakeFiles/rdgc_gc.dir/CollectorFactory.cpp.o.d"
+  "CMakeFiles/rdgc_gc.dir/CopyScavenger.cpp.o"
+  "CMakeFiles/rdgc_gc.dir/CopyScavenger.cpp.o.d"
+  "CMakeFiles/rdgc_gc.dir/Generational.cpp.o"
+  "CMakeFiles/rdgc_gc.dir/Generational.cpp.o.d"
+  "CMakeFiles/rdgc_gc.dir/MarkCompact.cpp.o"
+  "CMakeFiles/rdgc_gc.dir/MarkCompact.cpp.o.d"
+  "CMakeFiles/rdgc_gc.dir/MarkSweep.cpp.o"
+  "CMakeFiles/rdgc_gc.dir/MarkSweep.cpp.o.d"
+  "CMakeFiles/rdgc_gc.dir/NonPredictive.cpp.o"
+  "CMakeFiles/rdgc_gc.dir/NonPredictive.cpp.o.d"
+  "CMakeFiles/rdgc_gc.dir/StopAndCopy.cpp.o"
+  "CMakeFiles/rdgc_gc.dir/StopAndCopy.cpp.o.d"
+  "librdgc_gc.a"
+  "librdgc_gc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdgc_gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

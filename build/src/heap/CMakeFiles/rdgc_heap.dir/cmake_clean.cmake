@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdgc_heap.dir/Heap.cpp.o"
+  "CMakeFiles/rdgc_heap.dir/Heap.cpp.o.d"
+  "CMakeFiles/rdgc_heap.dir/HeapVerifier.cpp.o"
+  "CMakeFiles/rdgc_heap.dir/HeapVerifier.cpp.o.d"
+  "librdgc_heap.a"
+  "librdgc_heap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdgc_heap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

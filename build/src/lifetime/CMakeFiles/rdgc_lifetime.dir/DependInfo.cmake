@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lifetime/LifetimeModel.cpp" "src/lifetime/CMakeFiles/rdgc_lifetime.dir/LifetimeModel.cpp.o" "gcc" "src/lifetime/CMakeFiles/rdgc_lifetime.dir/LifetimeModel.cpp.o.d"
+  "/root/repo/src/lifetime/LiveProfile.cpp" "src/lifetime/CMakeFiles/rdgc_lifetime.dir/LiveProfile.cpp.o" "gcc" "src/lifetime/CMakeFiles/rdgc_lifetime.dir/LiveProfile.cpp.o.d"
+  "/root/repo/src/lifetime/MutatorDriver.cpp" "src/lifetime/CMakeFiles/rdgc_lifetime.dir/MutatorDriver.cpp.o" "gcc" "src/lifetime/CMakeFiles/rdgc_lifetime.dir/MutatorDriver.cpp.o.d"
+  "/root/repo/src/lifetime/ObjectTrace.cpp" "src/lifetime/CMakeFiles/rdgc_lifetime.dir/ObjectTrace.cpp.o" "gcc" "src/lifetime/CMakeFiles/rdgc_lifetime.dir/ObjectTrace.cpp.o.d"
+  "/root/repo/src/lifetime/SurvivalAnalyzer.cpp" "src/lifetime/CMakeFiles/rdgc_lifetime.dir/SurvivalAnalyzer.cpp.o" "gcc" "src/lifetime/CMakeFiles/rdgc_lifetime.dir/SurvivalAnalyzer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/heap/CMakeFiles/rdgc_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rdgc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdgc_lifetime.dir/LifetimeModel.cpp.o"
+  "CMakeFiles/rdgc_lifetime.dir/LifetimeModel.cpp.o.d"
+  "CMakeFiles/rdgc_lifetime.dir/LiveProfile.cpp.o"
+  "CMakeFiles/rdgc_lifetime.dir/LiveProfile.cpp.o.d"
+  "CMakeFiles/rdgc_lifetime.dir/MutatorDriver.cpp.o"
+  "CMakeFiles/rdgc_lifetime.dir/MutatorDriver.cpp.o.d"
+  "CMakeFiles/rdgc_lifetime.dir/ObjectTrace.cpp.o"
+  "CMakeFiles/rdgc_lifetime.dir/ObjectTrace.cpp.o.d"
+  "CMakeFiles/rdgc_lifetime.dir/SurvivalAnalyzer.cpp.o"
+  "CMakeFiles/rdgc_lifetime.dir/SurvivalAnalyzer.cpp.o.d"
+  "librdgc_lifetime.a"
+  "librdgc_lifetime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdgc_lifetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

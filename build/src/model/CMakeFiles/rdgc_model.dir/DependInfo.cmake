@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/DecayModel.cpp" "src/model/CMakeFiles/rdgc_model.dir/DecayModel.cpp.o" "gcc" "src/model/CMakeFiles/rdgc_model.dir/DecayModel.cpp.o.d"
+  "/root/repo/src/model/IdealizedStepper.cpp" "src/model/CMakeFiles/rdgc_model.dir/IdealizedStepper.cpp.o" "gcc" "src/model/CMakeFiles/rdgc_model.dir/IdealizedStepper.cpp.o.d"
+  "/root/repo/src/model/NonPredictiveModel.cpp" "src/model/CMakeFiles/rdgc_model.dir/NonPredictiveModel.cpp.o" "gcc" "src/model/CMakeFiles/rdgc_model.dir/NonPredictiveModel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/rdgc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdgc_model.dir/DecayModel.cpp.o"
+  "CMakeFiles/rdgc_model.dir/DecayModel.cpp.o.d"
+  "CMakeFiles/rdgc_model.dir/IdealizedStepper.cpp.o"
+  "CMakeFiles/rdgc_model.dir/IdealizedStepper.cpp.o.d"
+  "CMakeFiles/rdgc_model.dir/NonPredictiveModel.cpp.o"
+  "CMakeFiles/rdgc_model.dir/NonPredictiveModel.cpp.o.d"
+  "librdgc_model.a"
+  "librdgc_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdgc_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scheme/Builtins.cpp" "src/scheme/CMakeFiles/rdgc_scheme.dir/Builtins.cpp.o" "gcc" "src/scheme/CMakeFiles/rdgc_scheme.dir/Builtins.cpp.o.d"
+  "/root/repo/src/scheme/Evaluator.cpp" "src/scheme/CMakeFiles/rdgc_scheme.dir/Evaluator.cpp.o" "gcc" "src/scheme/CMakeFiles/rdgc_scheme.dir/Evaluator.cpp.o.d"
+  "/root/repo/src/scheme/Printer.cpp" "src/scheme/CMakeFiles/rdgc_scheme.dir/Printer.cpp.o" "gcc" "src/scheme/CMakeFiles/rdgc_scheme.dir/Printer.cpp.o.d"
+  "/root/repo/src/scheme/Reader.cpp" "src/scheme/CMakeFiles/rdgc_scheme.dir/Reader.cpp.o" "gcc" "src/scheme/CMakeFiles/rdgc_scheme.dir/Reader.cpp.o.d"
+  "/root/repo/src/scheme/SchemeRuntime.cpp" "src/scheme/CMakeFiles/rdgc_scheme.dir/SchemeRuntime.cpp.o" "gcc" "src/scheme/CMakeFiles/rdgc_scheme.dir/SchemeRuntime.cpp.o.d"
+  "/root/repo/src/scheme/SymbolTable.cpp" "src/scheme/CMakeFiles/rdgc_scheme.dir/SymbolTable.cpp.o" "gcc" "src/scheme/CMakeFiles/rdgc_scheme.dir/SymbolTable.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/heap/CMakeFiles/rdgc_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rdgc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

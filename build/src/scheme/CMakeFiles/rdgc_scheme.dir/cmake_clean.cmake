@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdgc_scheme.dir/Builtins.cpp.o"
+  "CMakeFiles/rdgc_scheme.dir/Builtins.cpp.o.d"
+  "CMakeFiles/rdgc_scheme.dir/Evaluator.cpp.o"
+  "CMakeFiles/rdgc_scheme.dir/Evaluator.cpp.o.d"
+  "CMakeFiles/rdgc_scheme.dir/Printer.cpp.o"
+  "CMakeFiles/rdgc_scheme.dir/Printer.cpp.o.d"
+  "CMakeFiles/rdgc_scheme.dir/Reader.cpp.o"
+  "CMakeFiles/rdgc_scheme.dir/Reader.cpp.o.d"
+  "CMakeFiles/rdgc_scheme.dir/SchemeRuntime.cpp.o"
+  "CMakeFiles/rdgc_scheme.dir/SchemeRuntime.cpp.o.d"
+  "CMakeFiles/rdgc_scheme.dir/SymbolTable.cpp.o"
+  "CMakeFiles/rdgc_scheme.dir/SymbolTable.cpp.o.d"
+  "librdgc_scheme.a"
+  "librdgc_scheme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdgc_scheme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/AsciiChart.cpp" "src/support/CMakeFiles/rdgc_support.dir/AsciiChart.cpp.o" "gcc" "src/support/CMakeFiles/rdgc_support.dir/AsciiChart.cpp.o.d"
+  "/root/repo/src/support/Error.cpp" "src/support/CMakeFiles/rdgc_support.dir/Error.cpp.o" "gcc" "src/support/CMakeFiles/rdgc_support.dir/Error.cpp.o.d"
+  "/root/repo/src/support/FixedPoint.cpp" "src/support/CMakeFiles/rdgc_support.dir/FixedPoint.cpp.o" "gcc" "src/support/CMakeFiles/rdgc_support.dir/FixedPoint.cpp.o.d"
+  "/root/repo/src/support/Random.cpp" "src/support/CMakeFiles/rdgc_support.dir/Random.cpp.o" "gcc" "src/support/CMakeFiles/rdgc_support.dir/Random.cpp.o.d"
+  "/root/repo/src/support/Stats.cpp" "src/support/CMakeFiles/rdgc_support.dir/Stats.cpp.o" "gcc" "src/support/CMakeFiles/rdgc_support.dir/Stats.cpp.o.d"
+  "/root/repo/src/support/TableWriter.cpp" "src/support/CMakeFiles/rdgc_support.dir/TableWriter.cpp.o" "gcc" "src/support/CMakeFiles/rdgc_support.dir/TableWriter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

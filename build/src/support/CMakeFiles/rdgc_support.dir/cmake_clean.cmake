@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdgc_support.dir/AsciiChart.cpp.o"
+  "CMakeFiles/rdgc_support.dir/AsciiChart.cpp.o.d"
+  "CMakeFiles/rdgc_support.dir/Error.cpp.o"
+  "CMakeFiles/rdgc_support.dir/Error.cpp.o.d"
+  "CMakeFiles/rdgc_support.dir/FixedPoint.cpp.o"
+  "CMakeFiles/rdgc_support.dir/FixedPoint.cpp.o.d"
+  "CMakeFiles/rdgc_support.dir/Random.cpp.o"
+  "CMakeFiles/rdgc_support.dir/Random.cpp.o.d"
+  "CMakeFiles/rdgc_support.dir/Stats.cpp.o"
+  "CMakeFiles/rdgc_support.dir/Stats.cpp.o.d"
+  "CMakeFiles/rdgc_support.dir/TableWriter.cpp.o"
+  "CMakeFiles/rdgc_support.dir/TableWriter.cpp.o.d"
+  "librdgc_support.a"
+  "librdgc_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdgc_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

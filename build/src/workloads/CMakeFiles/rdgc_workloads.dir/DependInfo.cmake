@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/BoyerWorkload.cpp" "src/workloads/CMakeFiles/rdgc_workloads.dir/BoyerWorkload.cpp.o" "gcc" "src/workloads/CMakeFiles/rdgc_workloads.dir/BoyerWorkload.cpp.o.d"
+  "/root/repo/src/workloads/DynamicWorkload.cpp" "src/workloads/CMakeFiles/rdgc_workloads.dir/DynamicWorkload.cpp.o" "gcc" "src/workloads/CMakeFiles/rdgc_workloads.dir/DynamicWorkload.cpp.o.d"
+  "/root/repo/src/workloads/Harness.cpp" "src/workloads/CMakeFiles/rdgc_workloads.dir/Harness.cpp.o" "gcc" "src/workloads/CMakeFiles/rdgc_workloads.dir/Harness.cpp.o.d"
+  "/root/repo/src/workloads/LatticeWorkload.cpp" "src/workloads/CMakeFiles/rdgc_workloads.dir/LatticeWorkload.cpp.o" "gcc" "src/workloads/CMakeFiles/rdgc_workloads.dir/LatticeWorkload.cpp.o.d"
+  "/root/repo/src/workloads/NBodyWorkload.cpp" "src/workloads/CMakeFiles/rdgc_workloads.dir/NBodyWorkload.cpp.o" "gcc" "src/workloads/CMakeFiles/rdgc_workloads.dir/NBodyWorkload.cpp.o.d"
+  "/root/repo/src/workloads/NucleicWorkload.cpp" "src/workloads/CMakeFiles/rdgc_workloads.dir/NucleicWorkload.cpp.o" "gcc" "src/workloads/CMakeFiles/rdgc_workloads.dir/NucleicWorkload.cpp.o.d"
+  "/root/repo/src/workloads/Workload.cpp" "src/workloads/CMakeFiles/rdgc_workloads.dir/Workload.cpp.o" "gcc" "src/workloads/CMakeFiles/rdgc_workloads.dir/Workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/heap/CMakeFiles/rdgc_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/gc/CMakeFiles/rdgc_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/scheme/CMakeFiles/rdgc_scheme.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rdgc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

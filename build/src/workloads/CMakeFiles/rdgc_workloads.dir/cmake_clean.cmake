@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdgc_workloads.dir/BoyerWorkload.cpp.o"
+  "CMakeFiles/rdgc_workloads.dir/BoyerWorkload.cpp.o.d"
+  "CMakeFiles/rdgc_workloads.dir/DynamicWorkload.cpp.o"
+  "CMakeFiles/rdgc_workloads.dir/DynamicWorkload.cpp.o.d"
+  "CMakeFiles/rdgc_workloads.dir/Harness.cpp.o"
+  "CMakeFiles/rdgc_workloads.dir/Harness.cpp.o.d"
+  "CMakeFiles/rdgc_workloads.dir/LatticeWorkload.cpp.o"
+  "CMakeFiles/rdgc_workloads.dir/LatticeWorkload.cpp.o.d"
+  "CMakeFiles/rdgc_workloads.dir/NBodyWorkload.cpp.o"
+  "CMakeFiles/rdgc_workloads.dir/NBodyWorkload.cpp.o.d"
+  "CMakeFiles/rdgc_workloads.dir/NucleicWorkload.cpp.o"
+  "CMakeFiles/rdgc_workloads.dir/NucleicWorkload.cpp.o.d"
+  "CMakeFiles/rdgc_workloads.dir/Workload.cpp.o"
+  "CMakeFiles/rdgc_workloads.dir/Workload.cpp.o.d"
+  "librdgc_workloads.a"
+  "librdgc_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdgc_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

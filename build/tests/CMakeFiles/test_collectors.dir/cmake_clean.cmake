@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_collectors.dir/test_collectors.cpp.o"
+  "CMakeFiles/test_collectors.dir/test_collectors.cpp.o.d"
+  "test_collectors"
+  "test_collectors.pdb"
+  "test_collectors[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_collectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

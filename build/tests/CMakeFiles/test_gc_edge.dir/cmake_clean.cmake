@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gc_edge.dir/test_gc_edge.cpp.o"
+  "CMakeFiles/test_gc_edge.dir/test_gc_edge.cpp.o.d"
+  "test_gc_edge"
+  "test_gc_edge.pdb"
+  "test_gc_edge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gc_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_heap.dir/test_heap.cpp.o"
+  "CMakeFiles/test_heap.dir/test_heap.cpp.o.d"
+  "test_heap"
+  "test_heap.pdb"
+  "test_heap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_heap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lifetime.dir/test_lifetime.cpp.o"
+  "CMakeFiles/test_lifetime.dir/test_lifetime.cpp.o.d"
+  "test_lifetime"
+  "test_lifetime.pdb"
+  "test_lifetime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lifetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

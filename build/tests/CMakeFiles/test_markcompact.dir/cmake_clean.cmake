@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_markcompact.dir/test_markcompact.cpp.o"
+  "CMakeFiles/test_markcompact.dir/test_markcompact.cpp.o.d"
+  "test_markcompact"
+  "test_markcompact.pdb"
+  "test_markcompact[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_markcompact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

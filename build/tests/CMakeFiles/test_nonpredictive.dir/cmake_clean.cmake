@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nonpredictive.dir/test_nonpredictive.cpp.o"
+  "CMakeFiles/test_nonpredictive.dir/test_nonpredictive.cpp.o.d"
+  "test_nonpredictive"
+  "test_nonpredictive.pdb"
+  "test_nonpredictive[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nonpredictive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

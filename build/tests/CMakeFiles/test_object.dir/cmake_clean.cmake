@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_object.dir/test_object.cpp.o"
+  "CMakeFiles/test_object.dir/test_object.cpp.o.d"
+  "test_object"
+  "test_object.pdb"
+  "test_object[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_object.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

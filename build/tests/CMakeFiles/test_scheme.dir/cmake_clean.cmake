@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scheme.dir/test_scheme.cpp.o"
+  "CMakeFiles/test_scheme.dir/test_scheme.cpp.o.d"
+  "test_scheme"
+  "test_scheme.pdb"
+  "test_scheme[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scheme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

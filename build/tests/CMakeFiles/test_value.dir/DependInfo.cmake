@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_value.cpp" "tests/CMakeFiles/test_value.dir/test_value.cpp.o" "gcc" "tests/CMakeFiles/test_value.dir/test_value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gc/CMakeFiles/rdgc_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/heap/CMakeFiles/rdgc_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/rdgc_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/lifetime/CMakeFiles/rdgc_lifetime.dir/DependInfo.cmake"
+  "/root/repo/build/src/scheme/CMakeFiles/rdgc_scheme.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/rdgc_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rdgc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
