@@ -9,6 +9,10 @@
 #include "gc/CopyScavenger.h"
 #include "heap/Heap.h"
 
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
 using namespace rdgc;
 
 static size_t bytesToWords(size_t Bytes) {
@@ -233,9 +237,83 @@ void GenerationalCollector::collectIntermediate() {
     Obs->onCollectionDone();
 }
 
+bool GenerationalCollector::ensureMajorToSpace() {
+  size_t WorstCase = Nursery.usedWords() +
+                     (Intermediate ? Intermediate->usedWords() : 0) +
+                     activeDynamic().usedWords();
+  if (idleDynamic().capacityWords() >= WorstCase)
+    return true;
+  size_t NewCapacity =
+      capacityWords() - idleDynamic().capacityWords() + WorstCase;
+  if (!withinCapacityLimit(NewCapacity))
+    // The worst case counts garbage; measure exact liveness before giving
+    // up, so a capped heap can still reclaim space. A major collection's
+    // copies are exactly the root-reachable words (everything is
+    // condemned and the remembered set is not consulted), so the existing
+    // idle semispace suffices whenever the live words fit it.
+    return measuredLiveWords() <= idleDynamic().capacityWords();
+  idleDynamic() = Space(std::max<size_t>(WorstCase, 16));
+  stats().noteHeapGrowth();
+  return true;
+}
+
+size_t GenerationalCollector::measuredLiveWords() {
+  Heap *H = heap();
+  assert(H && "collector not attached to a heap");
+  size_t Live = 0;
+  std::unordered_set<const uint64_t *> Seen;
+  std::vector<uint64_t *> Stack;
+  auto Visit = [&](Value V) {
+    if (!V.isPointer())
+      return;
+    uint64_t *Header = V.asHeaderPtr();
+    if (!Seen.insert(Header).second)
+      return;
+    Live += ObjectRef(Header).totalWords();
+    Stack.push_back(Header);
+  };
+  H->forEachRoot([&](Value &Slot) { Visit(Slot); });
+  while (!Stack.empty()) {
+    uint64_t *Header = Stack.back();
+    Stack.pop_back();
+    ObjectRef(Header).forEachPointerSlot(
+        [&](uint64_t *SlotWord) { Visit(Value::fromRawBits(*SlotWord)); });
+  }
+  return Live;
+}
+
+bool GenerationalCollector::tryGrowHeap(size_t MinWords) {
+  // Grow the dynamic area: evacuate everything into an enlarged idle
+  // semispace via a major collection, then retire the smaller one. Small
+  // allocations land in the (now empty) nursery afterwards; big ones in
+  // the enlarged dynamic semispace.
+  size_t LiveBound = Nursery.usedWords() +
+                     (Intermediate ? Intermediate->usedWords() : 0) +
+                     activeDynamic().usedWords();
+  size_t MinNewWords = LiveBound + MinWords;
+  size_t NewWords = std::max(activeDynamic().capacityWords() * 2, MinNewWords);
+  // Honor the heap's capacity ceiling (total = nursery + intermediate +
+  // both dynamic semispaces), shrinking the request to the largest dynamic
+  // semispace that still fits; refuse when that is no growth at all.
+  size_t FixedWords = Nursery.capacityWords() +
+                      (Intermediate ? Intermediate->capacityWords() : 0);
+  if (!withinCapacityLimit(FixedWords + 2 * NewWords)) {
+    size_t Limit = capacityLimitWords();
+    NewWords = Limit > FixedWords ? (Limit - FixedWords) / 2 : 0;
+    if (NewWords < MinNewWords || NewWords <= activeDynamic().capacityWords())
+      return false;
+  }
+  idleDynamic() = Space(NewWords);
+  collectMajor();
+  idleDynamic() = Space(NewWords);
+  return true;
+}
+
 void GenerationalCollector::collectMajor() {
   Heap *H = heap();
   assert(H && "collector not attached to a heap");
+  if (!ensureMajorToSpace())
+    return; // Refused; the allocation ladder surfaces HeapExhausted.
   ++MajorCount;
 
   CollectionRecord Record;

@@ -62,6 +62,7 @@ public:
   uint64_t *tryAllocate(size_t Words) override;
   void collect() override;
   void collectFull() override { collectMajor(); }
+  bool tryGrowHeap(size_t MinWords) override;
   void onPointerStore(Value Holder, Value Stored) override;
   uint8_t currentAllocationRegion() const override { return LastAllocRegion; }
   size_t capacityWords() const override;
@@ -94,6 +95,19 @@ private:
   void collectMinor();
   void collectIntermediate();
   void collectMajor();
+
+  /// Guarantees the idle semispace can absorb a major collection's worst
+  /// case (promotion-failure hardening), enlarging it if permitted. When a
+  /// capacity limit forbids the enlargement, falls back to an exact
+  /// liveness measurement — the worst case counts garbage, and a major
+  /// collection copies exactly the root-reachable words — refusing (false)
+  /// only when even the live words cannot fit, because running the major
+  /// then could abort mid-evacuation.
+  bool ensureMajorToSpace();
+
+  /// Words reachable from the heap roots; the exact size of a major
+  /// collection's survivors.
+  size_t measuredLiveWords();
 
   /// Age rank of a region id (0 youngest); both dynamic semispaces share
   /// the oldest rank.

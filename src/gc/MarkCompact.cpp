@@ -6,9 +6,11 @@
 
 #include "gc/MarkCompact.h"
 
+#include "gc/CopyScavenger.h"
 #include "heap/Heap.h"
 #include "heap/Object.h"
 
+#include <algorithm>
 #include <cstring>
 #include <vector>
 
@@ -25,6 +27,70 @@ uint64_t *MarkCompactCollector::tryAllocate(size_t Words) {
   uint64_t *Mem = Arena.get() + Top;
   Top += Words;
   return Mem;
+}
+
+bool MarkCompactCollector::tryGrowHeap(size_t MinWords) {
+  Heap *H = heap();
+  assert(H && "collector not attached to a heap");
+  size_t MinNewWords = Top + MinWords;
+  size_t NewWords = std::max(ArenaWords * 2, MinNewWords);
+  // Honor the heap's capacity ceiling, shrinking the request to the largest
+  // arena that still fits; refuse when that is no growth at all.
+  if (!withinCapacityLimit(NewWords)) {
+    NewWords = capacityLimitWords();
+    if (NewWords < MinNewWords || NewWords <= ArenaWords)
+      return false;
+  }
+  auto NewArena = std::make_unique<uint64_t[]>(NewWords);
+  size_t Cursor = 0;
+
+  CollectionRecord Record;
+  Record.WordsAllocatedBefore = stats().wordsAllocated();
+
+  // The cursor can never pass Top <= NewWords - MinWords, so the to-space
+  // allocator cannot fail.
+  CopyScavenger Scavenger(
+      [this](const uint64_t *P) {
+        return P >= Arena.get() && P < Arena.get() + ArenaWords;
+      },
+      [&](size_t Words) {
+        uint64_t *Mem = NewArena.get() + Cursor;
+        Cursor += Words;
+        return CopyTarget{Mem, 0};
+      },
+      H->observer());
+  H->forEachRoot([&](Value &Slot) {
+    ++Record.RootsScanned;
+    Scavenger.scavenge(Slot);
+  });
+  Scavenger.drain();
+
+  // Unforwarded objects in the old arena are garbage.
+  if (HeapObserver *Obs = H->observer()) {
+    uint64_t *P = Arena.get();
+    uint64_t *End = Arena.get() + Top;
+    while (P < End) {
+      size_t Words = header::payloadWords(*P) + 1;
+      if (header::tag(*P) != ObjectTag::Forward)
+        Obs->onDeath(P, Words);
+      P += Words;
+    }
+  }
+
+  size_t OldTop = Top;
+  Arena = std::move(NewArena);
+  ArenaWords = NewWords;
+  Top = Cursor;
+  LastLiveWords = Cursor;
+
+  Record.WordsTraced = Scavenger.wordsCopied();
+  Record.WordsReclaimed = OldTop - Scavenger.wordsCopied();
+  Record.LiveWordsAfter = Cursor;
+  Record.Kind = CollectionKindGrowth;
+  stats().noteCollection(Record);
+  if (HeapObserver *Obs = H->observer())
+    Obs->onCollectionDone();
+  return true;
 }
 
 uint64_t MarkCompactCollector::markPhase(uint64_t &RootsScanned) {

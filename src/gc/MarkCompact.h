@@ -37,6 +37,11 @@ public:
 
   uint64_t *tryAllocate(size_t Words) override;
   void collect() override;
+  /// Evacuates the survivors into a larger arena. Copy order is Cheney
+  /// (breadth-first), so growth — unlike a normal collection — does not
+  /// preserve address order; it only runs when the alternative is failing
+  /// the allocation outright.
+  bool tryGrowHeap(size_t MinWords) override;
   size_t capacityWords() const override { return ArenaWords; }
   size_t freeWords() const override { return ArenaWords - Top; }
   size_t liveWordsAfterLastCollect() const override { return LastLiveWords; }

@@ -6,9 +6,11 @@
 
 #include "gc/MarkSweep.h"
 
+#include "gc/CopyScavenger.h"
 #include "heap/Heap.h"
 #include "heap/Object.h"
 
+#include <algorithm>
 #include <vector>
 
 using namespace rdgc;
@@ -164,6 +166,77 @@ uint64_t MarkSweepCollector::sweepPhase() {
     P += Words;
   }
   return Reclaimed;
+}
+
+bool MarkSweepCollector::tryGrowHeap(size_t MinWords) {
+  Heap *H = heap();
+  assert(H && "collector not attached to a heap");
+  size_t UsedBound = ArenaWords - FreeWordCount;
+  size_t MinNewWords = UsedBound + MinWords;
+  size_t NewWords = std::max(ArenaWords * 2, MinNewWords);
+  // Honor the heap's capacity ceiling, shrinking the request to the largest
+  // arena that still fits; refuse when that is no growth at all.
+  if (!withinCapacityLimit(NewWords)) {
+    NewWords = capacityLimitWords();
+    if (NewWords < MinNewWords || NewWords <= ArenaWords)
+      return false;
+  }
+  auto NewArena = std::make_unique<uint64_t[]>(NewWords);
+  size_t Cursor = 0;
+
+  CollectionRecord Record;
+  Record.WordsAllocatedBefore = stats().wordsAllocated();
+
+  // Evacuate every reachable object into the bottom of the new arena. The
+  // cursor can never pass UsedBound <= NewWords - MinWords, so the
+  // to-space allocator cannot fail.
+  CopyScavenger Scavenger(
+      [this](const uint64_t *P) {
+        return P >= Arena.get() && P < Arena.get() + ArenaWords;
+      },
+      [&](size_t Words) {
+        uint64_t *Mem = NewArena.get() + Cursor;
+        Cursor += Words;
+        return CopyTarget{Mem, 0};
+      },
+      H->observer());
+  H->forEachRoot([&](Value &Slot) {
+    ++Record.RootsScanned;
+    Scavenger.scavenge(Slot);
+  });
+  Scavenger.drain();
+
+  // Anything real left unforwarded in the old arena is garbage (growth
+  // runs right after a full collection, but an unreachable structure built
+  // since then is possible).
+  if (HeapObserver *Obs = H->observer()) {
+    uint64_t *P = Arena.get();
+    uint64_t *End = Arena.get() + ArenaWords;
+    while (P < End) {
+      size_t Words = header::payloadWords(*P) + 1;
+      ObjectTag Tag = header::tag(*P);
+      if (Tag != ObjectTag::Free && Tag != ObjectTag::Padding &&
+          Tag != ObjectTag::Forward)
+        Obs->onDeath(P, Words);
+      P += Words;
+    }
+  }
+
+  Arena = std::move(NewArena);
+  ArenaWords = NewWords;
+  makeFreeChunk(Arena.get() + Cursor, NewWords - Cursor, nullptr);
+  FreeListHead = Arena.get() + Cursor;
+  FreeWordCount = NewWords - Cursor;
+  LastLiveWords = Scavenger.wordsCopied();
+
+  Record.WordsTraced = Scavenger.wordsCopied();
+  Record.WordsReclaimed = UsedBound - Scavenger.wordsCopied();
+  Record.LiveWordsAfter = LastLiveWords;
+  Record.Kind = CollectionKindGrowth;
+  stats().noteCollection(Record);
+  if (HeapObserver *Obs = H->observer())
+    Obs->onCollectionDone();
+  return true;
 }
 
 void MarkSweepCollector::collect() {

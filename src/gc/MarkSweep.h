@@ -36,6 +36,10 @@ public:
 
   uint64_t *tryAllocate(size_t Words) override;
   void collect() override;
+  /// Growth is the one operation that moves objects in this collector: the
+  /// survivors are evacuated (with onMove reported, so lifetime tracing
+  /// stays exact) into a larger arena and compacted at its bottom.
+  bool tryGrowHeap(size_t MinWords) override;
   size_t capacityWords() const override { return ArenaWords; }
   size_t freeWords() const override { return FreeWordCount; }
   size_t liveWordsAfterLastCollect() const override { return LastLiveWords; }

@@ -11,6 +11,7 @@
 #include "support/Error.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 using namespace rdgc;
 
@@ -73,7 +74,7 @@ size_t NonPredictiveCollector::freeWords() const {
 
 uint64_t *NonPredictiveCollector::tryAllocateInSteps(size_t Words) {
   if (Words > StepWords)
-    reportFatalError("object larger than a non-predictive step");
+    return nullptr; // Can never fit a step; the facade's ladder reports it.
   // Allocation occurs in the highest-numbered step that has free space;
   // once a step fills, allocation moves down and never returns (Section 4).
   while (CurrentLogical >= 1) {
@@ -95,6 +96,64 @@ size_t NonPredictiveCollector::stepsFreeWords() const {
   for (size_t Step = 1; Step <= CurrentLogical; ++Step)
     Free += logicalStep(Step).freeWords();
   return Free;
+}
+
+bool NonPredictiveCollector::minorPromotionFits() const {
+  assert(Nursery && "minor collections require the hybrid configuration");
+  size_t Used = Nursery->usedWords();
+  size_t Free = stepsFreeWords();
+  if (capacityLimitWords() == 0)
+    return Used <= Free; // addSteps absorbs any packing slack.
+  // Capped configuration: addSteps cannot rescue a mid-promotion
+  // shortfall, so charge worst-case tail slack — the downward allocation
+  // cursor can strand up to MaxObj - 1 words in each step it crosses.
+  size_t MaxObj = 1;
+  Nursery->forEachObject([&](uint64_t *Header) {
+    MaxObj = std::max(MaxObj, ObjectRef(Header).totalWords());
+  });
+  return Used + CurrentLogical * (MaxObj - 1) <= Free;
+}
+
+void NonPredictiveCollector::measureCondemnedLive(size_t CollectJ,
+                                                  bool NurseryAsRoots,
+                                                  size_t &LiveWords,
+                                                  size_t &MaxObjWords) {
+  Heap *H = heap();
+  LiveWords = 0;
+  MaxObjWords = 1;
+  std::unordered_set<const uint64_t *> Seen;
+  std::vector<uint64_t *> Stack;
+  auto Visit = [&](Value V) {
+    if (!V.isPointer())
+      return;
+    uint64_t *Header = V.asHeaderPtr();
+    if (!Seen.insert(Header).second)
+      return;
+    uint8_t Region = header::region(*Header);
+    bool Copied = Region == RegionNursery ? !NurseryAsRoots
+                                          : logicalOfRegion(Region) > CollectJ;
+    if (Copied) {
+      size_t Words = ObjectRef(Header).totalWords();
+      LiveWords += Words;
+      MaxObjWords = std::max(MaxObjWords, Words);
+    }
+    Stack.push_back(Header);
+  };
+  auto ScanObject = [&](uint64_t *Header) {
+    ObjectRef(Header).forEachPointerSlot(
+        [&](uint64_t *SlotWord) { Visit(Value::fromRawBits(*SlotWord)); });
+  };
+  H->forEachRoot([&](Value &Slot) { Visit(Slot); });
+  // Remembered holders are scanned unconditionally by the collection, so
+  // their condemned targets count as copies even when the holder is dead.
+  RemSet.forEach(ScanObject);
+  if (Nursery && NurseryAsRoots)
+    Nursery->forEachObject(ScanObject);
+  while (!Stack.empty()) {
+    uint64_t *Header = Stack.back();
+    Stack.pop_back();
+    ScanObject(Header);
+  }
 }
 
 uint64_t *NonPredictiveCollector::tryAllocate(size_t Words) {
@@ -144,6 +203,38 @@ void NonPredictiveCollector::onPointerStore(Value Holder, Value Stored) {
   }
 }
 
+size_t NonPredictiveCollector::addSteps(size_t Count) {
+  // Keep K small enough that a collection's to-buffers (at most one per
+  // collected step) still fit the 254 region-id budget: K + K <= 254.
+  const size_t MaxGrownStepCount = 120;
+  size_t Added = 0;
+  while (Added < Count) {
+    if (K >= MaxGrownStepCount)
+      break;
+    if (!withinCapacityLimit(capacityWords() + StepWords))
+      break;
+    if (FreePool.empty() && Buffers.size() >= 254)
+      break;
+    size_t Phys = acquireBuffer();
+    LogicalToPhysical.push_back(static_cast<uint16_t>(Phys));
+    PhysicalToLogical[Phys] = static_cast<uint16_t>(K + 1);
+    ++K;
+    ++Added;
+  }
+  if (Added) {
+    // The new steps are empty and highest-numbered; allocation resumes
+    // there (the downward cursor never revisits lower steps on its own).
+    CurrentLogical = K;
+  }
+  return Added;
+}
+
+bool NonPredictiveCollector::tryGrowHeap(size_t MinWords) {
+  if (MinWords > StepWords)
+    return false; // An object can never span steps.
+  return addSteps(std::max<size_t>(1, K / 2)) > 0;
+}
+
 size_t NonPredictiveCollector::acquireBuffer() {
   if (!FreePool.empty()) {
     size_t Id = FreePool.back();
@@ -168,7 +259,7 @@ void NonPredictiveCollector::collect() {
   // otherwise run a non-predictive collection (which itself promotes the
   // nursery first, per Section 8.4: a non-predictive collection always
   // promotes all live objects out of the ephemeral area).
-  if (Nursery->usedWords() <= stepsFreeWords())
+  if (minorPromotionFits())
     collectMinor();
   else
     collectWithJ(J);
@@ -191,6 +282,8 @@ void NonPredictiveCollector::collectMinor() {
   size_t LowestPromotedStep = K + 1;
   auto AllocateTo = [&](size_t Words) -> CopyTarget {
     uint64_t *Mem = tryAllocateInSteps(Words);
+    if (!Mem && addSteps(1))
+      Mem = tryAllocateInSteps(Words);
     if (!Mem)
       reportFatalError("step heap exhausted during nursery promotion");
     LowestPromotedStep = std::min(LowestPromotedStep, CurrentLogical);
@@ -265,6 +358,43 @@ void NonPredictiveCollector::collectWithJ(size_t CollectJ) {
   Heap *H = heap();
   assert(H && "collector not attached to a heap");
   assert(CollectJ <= J && "j can only be decreased at collection time");
+
+  // Promote-all can need more room than the vacated region: the nursery's
+  // survivors ride along with the condemned steps' survivors. Normally the
+  // overflow is absorbed by appending steps at rename time; under a
+  // capacity ceiling that may be forbidden, so bound the number of
+  // to-buffers before condemning anything. The bound uses exact
+  // reachability (from-space used words count garbage) plus worst-case
+  // packing slack: a to-buffer holds at least StepWords - MaxObj + 1
+  // useful words. When promote-all cannot be guaranteed to fit, leave the
+  // nursery in place this cycle — its objects are scanned conservatively
+  // as roots — and promote it with a follow-up minor collection once the
+  // steps have room. When even the condemned steps alone cannot be packed
+  // under the ceiling, refuse the collection and let the allocation
+  // ladder surface the exhaustion.
+  bool PromoteNursery = Nursery != nullptr;
+  if (capacityLimitWords() != 0) {
+    size_t Headroom = capacityLimitWords() > capacityWords()
+                          ? capacityLimitWords() - capacityWords()
+                          : 0;
+    size_t SlotBudget = (K - CollectJ) + Headroom / StepWords;
+    size_t LiveWords = 0, MaxObj = 1;
+    auto BuffersNeeded = [&] {
+      size_t Usable = StepWords - (MaxObj - 1);
+      return (LiveWords + Usable - 1) / Usable;
+    };
+    measureCondemnedLive(CollectJ, /*NurseryAsRoots=*/false, LiveWords,
+                         MaxObj);
+    if (BuffersNeeded() > SlotBudget) {
+      if (!Nursery)
+        return; // Refused; the allocation ladder surfaces HeapExhausted.
+      PromoteNursery = false;
+      measureCondemnedLive(CollectJ, /*NurseryAsRoots=*/true, LiveWords,
+                           MaxObj);
+      if (BuffersNeeded() > SlotBudget)
+        return; // Refused; the allocation ladder surfaces HeapExhausted.
+    }
+  }
   ++CollectionCount;
 
   CollectionRecord Record;
@@ -288,10 +418,10 @@ void NonPredictiveCollector::collectWithJ(size_t CollectJ) {
     return CopyTarget{Mem, static_cast<uint8_t>(ToBuffers[ToCursor] + 1)};
   };
 
-  auto InCondemned = [this, CollectJ](const uint64_t *Header) {
+  auto InCondemned = [this, CollectJ, PromoteNursery](const uint64_t *Header) {
     uint8_t Region = header::region(*Header);
     if (Region == RegionNursery)
-      return true; // Hybrid mode: the nursery is always promoted out.
+      return PromoteNursery; // Hybrid mode: normally promoted out.
     return logicalOfRegion(Region) > CollectJ;
   };
 
@@ -307,12 +437,21 @@ void NonPredictiveCollector::collectWithJ(size_t CollectJ) {
     ++Record.RootsScanned;
     Scavenger.scanObject(Holder);
   });
+  if (Nursery && !PromoteNursery)
+    // The unpromoted nursery is a young region that is not scanned via the
+    // remembered set, so scan every nursery object conservatively: garbage
+    // nursery objects transiently retain their condemned referents until
+    // the follow-up minor collection.
+    Nursery->forEachObject([&](uint64_t *Header) {
+      ++Record.RootsScanned;
+      Scavenger.scanObject(Header);
+    });
   Scavenger.drain();
 
   // --- Report deaths and recycle the condemned buffers.
   size_t CondemnedUsed = 0;
   HeapObserver *Obs = H->observer();
-  if (Nursery) {
+  if (Nursery && PromoteNursery) {
     CondemnedUsed += Nursery->usedWords();
     if (Obs)
       Nursery->forEachObject([&](uint64_t *Header) {
@@ -347,8 +486,16 @@ void NonPredictiveCollector::collectWithJ(size_t CollectJ) {
     M = 0;
   }
   size_t CollectedSlots = K - CollectJ;
-  if (M > CollectedSlots)
-    reportFatalError("non-predictive survivors exceed the collected region");
+  if (M > CollectedSlots) {
+    // Promote-all overflow: the nursery's survivors (plus packing slack)
+    // needed more room than the vacated region. Absorb the overflow by
+    // keeping the extra survivor buffers as new steps — k grows, the steps
+    // stay equal-sized, and no data moves again. The capped configuration
+    // never reaches here: it leaves the nursery unpromoted instead.
+    K += M - CollectedSlots;
+    CollectedSlots = M;
+    stats().noteHeapGrowth();
+  }
 
   std::vector<uint16_t> NewLogical(K);
   // Exempt steps move to the top, preserving order.
@@ -373,6 +520,22 @@ void NonPredictiveCollector::collectWithJ(size_t CollectJ) {
     PhysicalToLogical[LogicalToPhysical[I]] = static_cast<uint16_t>(I + 1);
 
   RemSet.clear();
+  if (Nursery && !PromoteNursery)
+    // Re-remember every step object still holding a nursery pointer: the
+    // pending minor collection treats those slots as nursery roots. (After
+    // a promote-all cycle no nursery pointers exist and the clear alone is
+    // correct.)
+    for (size_t Step = 1; Step <= K; ++Step)
+      logicalStep(Step).forEachObject([&](uint64_t *Header) {
+        bool HoldsNurseryPointer = false;
+        ObjectRef(Header).forEachPointerSlot([&](uint64_t *SlotWord) {
+          Value V = Value::fromRawBits(*SlotWord);
+          if (V.isPointer() && ObjectRef(V).region() == RegionNursery)
+            HoldsNurseryPointer = true;
+        });
+        if (HoldsNurseryPointer)
+          RemSet.insert(Header);
+      });
 
   // --- Choose the next j (steps 1..j must be empty) and reset allocation
   // to the highest-numbered step with free space.
@@ -394,4 +557,9 @@ void NonPredictiveCollector::collectWithJ(size_t CollectJ) {
   stats().noteCollection(Record);
   if (Obs)
     Obs->onCollectionDone();
+
+  // A deferred nursery promotion runs as soon as the steps can absorb the
+  // worst case; if they still cannot, the allocation ladder takes over.
+  if (Nursery && !PromoteNursery && minorPromotionFits())
+    collectMinor();
 }

@@ -97,6 +97,12 @@ public:
   uint64_t *tryAllocate(size_t Words) override;
   void collect() override;
   void collectFull() override;
+  /// Grows by whole steps (about k/2 at a time), appended at the top as the
+  /// new highest-numbered — empty — steps, so the paper's k-equal-steps
+  /// invariant is preserved and no live data moves. Refuses for objects
+  /// larger than a step, beyond the region-id budget, or past the heap's
+  /// capacity limit.
+  bool tryGrowHeap(size_t MinWords) override;
   void onPointerStore(Value Holder, Value Stored) override;
   uint8_t currentAllocationRegion() const override { return LastAllocRegion; }
   /// The paper's heap size N is k steps (plus the ephemeral area in the
@@ -160,6 +166,21 @@ private:
   /// allocation cursor.
   size_t stepsFreeWords() const;
 
+  /// Hybrid mode: true when a promote-all minor collection is guaranteed
+  /// to fit in the steps. Uncapped heaps only need the free words (a
+  /// mid-promotion shortfall is absorbed by addSteps); capped heaps also
+  /// charge worst-case per-step tail slack since growing is forbidden.
+  bool minorPromotionFits() const;
+
+  /// Exact-reachability measurement used by capped collections before
+  /// condemning anything: computes the words a collectWithJ(CollectJ)
+  /// cycle would copy (condemned steps plus, unless \p NurseryAsRoots,
+  /// the nursery) and the largest single copied object. Holders in the
+  /// remembered set — and, when \p NurseryAsRoots, every nursery object —
+  /// count as roots, matching the collection's conservative scans.
+  void measureCondemnedLive(size_t CollectJ, bool NurseryAsRoots,
+                            size_t &LiveWords, size_t &MaxObjWords);
+
   /// Hybrid mode: promotes every nursery survivor into the steps
   /// (Larceny's promote-all minor collection). If promotion reaches a
   /// step numbered <= j, j is decreased below it, which preserves the
@@ -173,6 +194,13 @@ private:
 
   /// Grabs an empty buffer (from the pool, or freshly allocated).
   size_t acquireBuffer();
+
+  /// Appends up to \p Count empty steps at the top (logical K+1..) and
+  /// moves the allocation cursor onto them. Stops early at the grown-step
+  /// ceiling, the region-id budget, or the heap's capacity limit; returns
+  /// how many steps were actually added. Safe to call mid-promotion (the
+  /// nursery-minor to-space fallback uses it).
+  size_t addSteps(size_t Count);
 
   /// Chooses j for the next cycle given \p EmptySteps leading empty steps.
   size_t chooseJ(size_t EmptySteps) const;

@@ -9,6 +9,7 @@
 #include "gc/CopyScavenger.h"
 #include "heap/Heap.h"
 
+#include <algorithm>
 #include <utility>
 
 using namespace rdgc;
@@ -31,6 +32,27 @@ size_t StopAndCopyCollector::capacityWords() const {
 }
 
 size_t StopAndCopyCollector::freeWords() const { return Active.freeWords(); }
+
+bool StopAndCopyCollector::tryGrowHeap(size_t MinWords) {
+  // At least double so growth amortizes, and always enough that the live
+  // data plus the pending request fit the new semispace.
+  size_t MinNewWords = Active.usedWords() + MinWords;
+  size_t NewWords = std::max(Active.capacityWords() * 2, MinNewWords);
+  // Honor the heap's capacity ceiling (total = both semispaces), shrinking
+  // the request to the largest semispace that still fits; refuse when even
+  // that is no growth at all.
+  if (!withinCapacityLimit(NewWords * 2)) {
+    NewWords = capacityLimitWords() / 2;
+    if (NewWords < MinNewWords || NewWords <= Active.capacityWords())
+      return false;
+  }
+  // Evacuate into an enlarged to-space (collect flips into it), then
+  // retire the old, smaller semispace.
+  Idle = Space(NewWords);
+  collect();
+  Idle = Space(NewWords);
+  return true;
+}
 
 void StopAndCopyCollector::collect() {
   Heap *H = heap();

@@ -28,6 +28,7 @@ public:
 
   uint64_t *tryAllocate(size_t Words) override;
   void collect() override;
+  bool tryGrowHeap(size_t MinWords) override;
   uint8_t currentAllocationRegion() const override { return ActiveRegion; }
   size_t capacityWords() const override;
   size_t freeWords() const override;

@@ -46,6 +46,15 @@ public:
   /// enough storage for a pending allocation. Defaults to collect().
   virtual void collectFull() { collect(); }
 
+  /// Grows the managed storage so that at least \p MinWords contiguous words
+  /// become allocatable, preserving all live data (objects may move; root
+  /// slots are rewritten). Called by the Heap facade as the last rung of the
+  /// allocation recovery ladder, after a full collection has already run and
+  /// still left the request unsatisfiable. Returns false when the collector
+  /// cannot (or will not) grow; the facade then surfaces a recoverable
+  /// HeapExhausted fault instead of aborting. The default refuses.
+  virtual bool tryGrowHeap(size_t MinWords) { return false; }
+
   /// Write-barrier hook, invoked by the Heap facade on every store of
   /// \p Stored into a pointer field of \p Holder (including initializing
   /// stores). The default does nothing (non-generational collectors).
@@ -79,12 +88,30 @@ public:
   GcStats &stats() { return Stats; }
   const GcStats &stats() const { return Stats; }
 
+  /// Storage ceiling in words (0 = unlimited), maintained by the owning
+  /// Heap (setMaxHeapBytes / setHeapGrowthEnabled). Collectors consult it
+  /// before any internal emergency expansion — e.g. enlarging a to-space to
+  /// absorb a worst-case promotion — so a capped heap stays capped.
+  void setCapacityLimitWords(size_t Words) { CapacityLimitWords = Words; }
+  size_t capacityLimitWords() const { return CapacityLimitWords; }
+
+  /// True when growing total capacity to \p NewCapacityWords stays within
+  /// the configured ceiling.
+  bool withinCapacityLimit(size_t NewCapacityWords) const {
+    return CapacityLimitWords == 0 || NewCapacityWords <= CapacityLimitWords;
+  }
+
 protected:
   GcStats Stats;
 
 private:
   Heap *AttachedHeap = nullptr;
+  size_t CapacityLimitWords = 0;
 };
+
+/// CollectionRecord::Kind value shared by collectors for the evacuation a
+/// tryGrowHeap implementation performs when it is not a plain collection.
+constexpr int CollectionKindGrowth = 6;
 
 } // namespace rdgc
 

@@ -50,6 +50,11 @@ public:
   void noteGcSeconds(double Seconds) { GcSecondsTotal += Seconds; }
   void noteRememberedSetInsert() { ++RememberedSetInserts; }
 
+  // Recovery-ladder accounting (see Heap::allocateRaw).
+  void noteEmergencyFullCollection() { ++EmergencyFullCollections; }
+  void noteHeapGrowth() { ++HeapGrowths; }
+  void noteHeapExhaustion() { ++HeapExhaustions; }
+
   uint64_t wordsAllocated() const { return WordsAllocatedCount; }
   uint64_t objectsAllocated() const { return ObjectsAllocatedCount; }
   uint64_t wordsTraced() const { return WordsTracedCount; }
@@ -61,6 +66,13 @@ public:
   /// Heap facade around every collector invocation).
   double gcSeconds() const { return GcSecondsTotal; }
   uint64_t rememberedSetInserts() const { return RememberedSetInserts; }
+  /// Full collections forced by the allocation recovery ladder after a
+  /// normal collection left a request unsatisfied.
+  uint64_t emergencyFullCollections() const { return EmergencyFullCollections; }
+  /// Successful Collector::tryGrowHeap escalations.
+  uint64_t heapGrowths() const { return HeapGrowths; }
+  /// Recoverable HeapExhausted faults surfaced to the mutator.
+  uint64_t heapExhaustions() const { return HeapExhaustions; }
 
   /// The paper's cost metric: words traced per word allocated. Returns zero
   /// before any allocation.
@@ -85,6 +97,9 @@ private:
   uint64_t PeakLiveWordsCount = 0;
   uint64_t BarrierHits = 0;
   uint64_t RememberedSetInserts = 0;
+  uint64_t EmergencyFullCollections = 0;
+  uint64_t HeapGrowths = 0;
+  uint64_t HeapExhaustions = 0;
   double GcSecondsTotal = 0.0;
   std::vector<CollectionRecord> Records;
 };

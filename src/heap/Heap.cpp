@@ -6,10 +6,12 @@
 
 #include "heap/Heap.h"
 
+#include "heap/TortureMode.h"
 #include "support/Error.h"
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 
 using namespace rdgc;
@@ -73,9 +75,43 @@ Handle::~Handle() { Owner.unregisterRootSlot(&Slot); }
 Heap::Heap(std::unique_ptr<Collector> C) : Coll(std::move(C)) {
   assert(Coll && "heap requires a collector");
   Coll->attachHeap(this);
+  if (const TortureOptions *Env = TortureMode::environmentOptions())
+    enableTortureMode(*Env);
 }
 
 Heap::~Heap() = default;
+
+void Heap::enableTortureMode(const TortureOptions &Opts) {
+  HeapObserver *Embedder = Torture ? Torture->inner() : Obs;
+  Torture = std::make_unique<TortureMode>(*this, Opts);
+  Torture->setInner(Embedder);
+  Obs = Torture.get();
+}
+
+void Heap::setObserver(HeapObserver *Observer) {
+  if (Torture)
+    Torture->setInner(Observer);
+  else
+    Obs = Observer;
+}
+
+void Heap::setMaxHeapBytes(size_t Bytes) {
+  MaxHeapBytes = Bytes;
+  Coll->setCapacityLimitWords(GrowthEnabled ? Bytes / 8
+                                            : Coll->capacityWords());
+}
+
+void Heap::setHeapGrowthEnabled(bool Enabled) {
+  GrowthEnabled = Enabled;
+  Coll->setCapacityLimitWords(Enabled ? MaxHeapBytes / 8
+                                      : Coll->capacityWords());
+}
+
+bool Heap::growthAllowed() const {
+  if (!GrowthEnabled)
+    return false;
+  return MaxHeapBytes == 0 || Coll->capacityWords() * 8 < MaxHeapBytes;
+}
 
 void Heap::registerRootSlot(Value *Slot) { RootSlots.push_back(Slot); }
 
@@ -87,7 +123,9 @@ void Heap::unregisterRootSlot(Value *Slot) {
       return;
     }
   }
-  assert(false && "unregistering a slot that was never registered");
+  // Root-stack corruption must be caught in release builds too — the
+  // experiment configurations — so this cannot be a bare assert.
+  reportFatalError("unregistering a root slot that was never registered");
 }
 
 void Heap::addRootProvider(RootProvider *Provider) {
@@ -140,6 +178,8 @@ void Heap::collectFullNow() {
 uint64_t *Heap::allocateRaw(ObjectTag Tag, size_t PayloadWords) {
   assert(PayloadWords >= 1 && "objects need at least one payload word");
   size_t Words = PayloadWords + 1;
+  if (Torture && Torture->shouldForceCollect())
+    collectFullNow();
   if (PacingBytes) {
     PacingCounter += Words * 8;
     if (PacingCounter >= PacingBytes) {
@@ -147,18 +187,47 @@ uint64_t *Heap::allocateRaw(ObjectTag Tag, size_t PayloadWords) {
       collectFullNow();
     }
   }
-  uint64_t *Mem = Coll->tryAllocate(Words);
+  // The recovery ladder. Torture mode may synthetically fail the first
+  // rungs (FaultDepth 1 fails the fast path, 2 also fails the retry after
+  // a normal collection); the attempts after the emergency full collection
+  // are always genuine, so injection exercises the ladder without ever
+  // manufacturing a spurious HeapExhausted.
+  int FaultDepth = Torture ? Torture->nextAllocationFaultDepth() : 0;
+  uint64_t *Mem = FaultDepth >= 1 ? nullptr : Coll->tryAllocate(Words);
   if (!Mem) {
-    GcTimer Timer(Coll->stats());
-    Coll->collect();
+    // Rung 1: a normal collection.
+    {
+      GcTimer Timer(Coll->stats());
+      Coll->collect();
+    }
+    Mem = FaultDepth >= 2 ? nullptr : Coll->tryAllocate(Words);
+  }
+  if (!Mem) {
+    // Rung 2: an emergency full collection (major cycle / j = 0).
+    {
+      GcTimer Timer(Coll->stats());
+      Coll->collectFull();
+    }
+    Coll->stats().noteEmergencyFullCollection();
+    Mem = Coll->tryAllocate(Words);
+  }
+  // Rung 3: grow the heap. Attempts are bounded so a collector whose
+  // growth reports success without satisfying the request cannot loop.
+  for (int Attempt = 0; !Mem && Attempt < 8 && growthAllowed(); ++Attempt) {
+    if (!Coll->tryGrowHeap(Words))
+      break;
+    Coll->stats().noteHeapGrowth();
     Mem = Coll->tryAllocate(Words);
   }
   if (!Mem) {
-    GcTimer Timer(Coll->stats());
-    Coll->collectFull();
-    Mem = Coll->tryAllocate(Words);
-    if (!Mem)
-      reportFatalError("heap exhausted: allocation failed after collection");
+    // Rung 4: surface a recoverable fault instead of aborting.
+    Coll->stats().noteHeapExhaustion();
+    LastFault = HeapFault::HeapExhausted;
+    if (FaultHandler)
+      FaultHandler(HeapFault::HeapExhausted,
+                   "heap exhausted: allocation failed after a full "
+                   "collection and every permitted growth attempt");
+    return nullptr;
   }
   *Mem = header::encode(Tag, PayloadWords, Coll->currentAllocationRegion());
   Coll->stats().noteAllocation(Words);
@@ -194,6 +263,8 @@ private:
 Value Heap::allocatePair(Value Car, Value Cdr) {
   TempRoots Roots(*this, {&Car, &Cdr});
   uint64_t *Mem = allocateRaw(ObjectTag::Pair, 2);
+  if (!Mem)
+    return Value::unspecified();
   ObjectRef Obj(Mem);
   Obj.setValueAt(0, Car);
   Obj.setValueAt(1, Cdr);
@@ -206,6 +277,8 @@ Value Heap::allocatePair(Value Car, Value Cdr) {
 Value Heap::allocateCell(Value Contents) {
   TempRoots Roots(*this, {&Contents});
   uint64_t *Mem = allocateRaw(ObjectTag::Cell, 1);
+  if (!Mem)
+    return Value::unspecified();
   ObjectRef Obj(Mem);
   Obj.setValueAt(0, Contents);
   Value Result = Value::pointer(Mem);
@@ -215,6 +288,8 @@ Value Heap::allocateCell(Value Contents) {
 
 Value Heap::allocateFlonum(double D) {
   uint64_t *Mem = allocateRaw(ObjectTag::Flonum, 1);
+  if (!Mem)
+    return Value::unspecified();
   uint64_t Bits;
   std::memcpy(&Bits, &D, sizeof(Bits));
   ObjectRef(Mem).setRawAt(0, Bits);
@@ -231,6 +306,8 @@ Value Heap::allocateVectorLike(ObjectTag Tag, size_t Count, Value Fill) {
          "not a vector-shaped tag");
   TempRoots Roots(*this, {&Fill});
   uint64_t *Mem = allocateRaw(Tag, vectorPayloadWords(Count));
+  if (!Mem)
+    return Value::unspecified();
   ObjectRef Obj(Mem);
   Obj.setRawAt(0, Count);
   for (size_t I = 0; I < Count; ++I)
@@ -243,6 +320,8 @@ Value Heap::allocateVectorLike(ObjectTag Tag, size_t Count, Value Fill) {
 
 Value Heap::allocateString(std::string_view Text) {
   uint64_t *Mem = allocateRaw(ObjectTag::String, bytesPayloadWords(Text.size()));
+  if (!Mem)
+    return Value::unspecified();
   ObjectRef Obj(Mem);
   Obj.setRawAt(0, Text.size());
   if (!Text.empty())
@@ -257,6 +336,8 @@ Value Heap::allocateString(std::string_view Text) {
 Value Heap::allocateBytevector(size_t Bytes, uint8_t Fill) {
   uint64_t *Mem =
       allocateRaw(ObjectTag::Bytevector, bytesPayloadWords(Bytes));
+  if (!Mem)
+    return Value::unspecified();
   ObjectRef Obj(Mem);
   Obj.setRawAt(0, Bytes);
   size_t Padded = (Bytes + 7) / 8 * 8;
@@ -270,40 +351,90 @@ Value Heap::allocateBytevector(size_t Bytes, uint8_t Fill) {
 // Typed accessors.
 //===----------------------------------------------------------------------===
 
+bool Heap::accessible(Value V, const char *Op) const {
+  if (V.isPointer())
+    return true;
+  // While a recoverable fault is pending, poisoned unspecified values from
+  // failed allocations may flow through accessors; degrade to a no-op so
+  // the mutator can unwind to its fault check.
+  if (LastFault != HeapFault::None)
+    return false;
+  char Message[96];
+  std::snprintf(Message, sizeof(Message), "%s applied to a non-heap value",
+                Op);
+  reportFatalError(Message);
+}
+
+namespace {
+
+#ifndef NDEBUG
+/// Debug-build bounds check shared by the indexed accessors; fatals with
+/// the operation, index, object tag, and length.
+void checkIndex(const char *Op, ObjectRef Obj, size_t Index, size_t Count) {
+  if (Index < Count)
+    return;
+  char Message[128];
+  std::snprintf(Message, sizeof(Message),
+                "%s: index %zu out of range for %s of length %zu", Op, Index,
+                objectTagName(Obj.tag()), Count);
+  reportFatalError(Message);
+}
+#define RDGC_CHECK_INDEX(Op, Obj, Index, Count)                                \
+  checkIndex(Op, Obj, Index, Count)
+#else
+#define RDGC_CHECK_INDEX(Op, Obj, Index, Count) ((void)0)
+#endif
+
+} // namespace
+
 Value Heap::pairCar(Value Pair) const {
+  if (!accessible(Pair, "car"))
+    return Value::unspecified();
   assert(isa(Pair, ObjectTag::Pair) && "car of a non-pair");
   return ObjectRef(Pair).valueAt(0);
 }
 
 Value Heap::pairCdr(Value Pair) const {
+  if (!accessible(Pair, "cdr"))
+    return Value::unspecified();
   assert(isa(Pair, ObjectTag::Pair) && "cdr of a non-pair");
   return ObjectRef(Pair).valueAt(1);
 }
 
 void Heap::setPairCar(Value Pair, Value V) {
+  if (!accessible(Pair, "set-car!"))
+    return;
   assert(isa(Pair, ObjectTag::Pair) && "set-car! of a non-pair");
   ObjectRef(Pair).setValueAt(0, V);
   barrier(Pair, V);
 }
 
 void Heap::setPairCdr(Value Pair, Value V) {
+  if (!accessible(Pair, "set-cdr!"))
+    return;
   assert(isa(Pair, ObjectTag::Pair) && "set-cdr! of a non-pair");
   ObjectRef(Pair).setValueAt(1, V);
   barrier(Pair, V);
 }
 
 Value Heap::cellRef(Value Cell) const {
+  if (!accessible(Cell, "cell-ref"))
+    return Value::unspecified();
   assert(isa(Cell, ObjectTag::Cell) && "cell-ref of a non-cell");
   return ObjectRef(Cell).valueAt(0);
 }
 
 void Heap::setCell(Value Cell, Value V) {
+  if (!accessible(Cell, "cell-set!"))
+    return;
   assert(isa(Cell, ObjectTag::Cell) && "cell-set! of a non-cell");
   ObjectRef(Cell).setValueAt(0, V);
   barrier(Cell, V);
 }
 
 double Heap::flonumValue(Value Flonum) const {
+  if (!accessible(Flonum, "flonum-value"))
+    return 0.0;
   assert(isa(Flonum, ObjectTag::Flonum) && "flonum-value of a non-flonum");
   uint64_t Bits = ObjectRef(Flonum).rawAt(0);
   double D;
@@ -312,41 +443,55 @@ double Heap::flonumValue(Value Flonum) const {
 }
 
 size_t Heap::vectorLength(Value VectorLike) const {
+  if (!accessible(VectorLike, "vector-length"))
+    return 0;
   return ObjectRef(VectorLike).elementCount();
 }
 
 Value Heap::vectorRef(Value VectorLike, size_t Index) const {
+  if (!accessible(VectorLike, "vector-ref"))
+    return Value::unspecified();
   ObjectRef Obj(VectorLike);
-  assert(Index < Obj.elementCount() && "vector index out of range");
+  RDGC_CHECK_INDEX("vector-ref", Obj, Index, Obj.elementCount());
   return Obj.valueAt(1 + Index);
 }
 
 void Heap::vectorSet(Value VectorLike, size_t Index, Value V) {
+  if (!accessible(VectorLike, "vector-set!"))
+    return;
   ObjectRef Obj(VectorLike);
-  assert(Index < Obj.elementCount() && "vector index out of range");
+  RDGC_CHECK_INDEX("vector-set!", Obj, Index, Obj.elementCount());
   Obj.setValueAt(1 + Index, V);
   barrier(VectorLike, V);
 }
 
 size_t Heap::stringLength(Value StringLike) const {
+  if (!accessible(StringLike, "string-length"))
+    return 0;
   return ObjectRef(StringLike).byteCount();
 }
 
 std::string Heap::stringValue(Value StringLike) const {
+  if (!accessible(StringLike, "string-value"))
+    return std::string();
   ObjectRef Obj(StringLike);
   return std::string(reinterpret_cast<const char *>(Obj.bytes()),
                      Obj.byteCount());
 }
 
 uint8_t Heap::byteRef(Value StringLike, size_t Index) const {
+  if (!accessible(StringLike, "byte-ref"))
+    return 0;
   ObjectRef Obj(StringLike);
-  assert(Index < Obj.byteCount() && "byte index out of range");
+  RDGC_CHECK_INDEX("byte-ref", Obj, Index, Obj.byteCount());
   return Obj.bytes()[Index];
 }
 
 void Heap::byteSet(Value StringLike, size_t Index, uint8_t Byte) {
+  if (!accessible(StringLike, "byte-set!"))
+    return;
   ObjectRef Obj(StringLike);
-  assert(Index < Obj.byteCount() && "byte index out of range");
+  RDGC_CHECK_INDEX("byte-set!", Obj, Index, Obj.byteCount());
   Obj.bytes()[Index] = Byte;
 }
 

@@ -26,6 +26,7 @@
 #include "heap/Collector.h"
 #include "heap/Object.h"
 #include "heap/Value.h"
+#include "support/Error.h"
 
 #include <functional>
 #include <memory>
@@ -36,6 +37,8 @@
 namespace rdgc {
 
 class Heap;
+class TortureMode;
+struct TortureOptions;
 
 /// Supplies additional root slots to the collector (e.g. the lifetime
 /// simulator's object registry, or a Scheme interpreter's global table).
@@ -161,6 +164,50 @@ public:
   /// this to bound death-detection error to the pacing quantum.
   void setGcPacing(uint64_t Bytes) { PacingBytes = Bytes; }
 
+  //===--------------------------------------------------------------------===
+  // Failure modes and recovery (see DESIGN.md, "Failure modes").
+  //
+  // Exhaustion is recoverable: allocateRaw climbs a ladder (collect, then
+  // an emergency full collect, then Collector::tryGrowHeap) and, when every
+  // rung fails, records a HeapFault and returns a sentinel instead of
+  // aborting. Typed allocators then return Value::unspecified(); accessors
+  // treat non-pointer operands as benign no-ops while a fault is pending,
+  // so the mutator can unwind to a point where it checks lastFault().
+  //===--------------------------------------------------------------------===
+
+  /// The most recent unacknowledged fault (HeapFault::None when healthy).
+  HeapFault lastFault() const { return LastFault; }
+
+  /// Acknowledges the pending fault so the mutator can resume allocating.
+  void clearFault() { LastFault = HeapFault::None; }
+
+  /// Installs (or clears, with nullptr) a callback invoked whenever a
+  /// recoverable fault is surfaced. Runs inside the failing allocation;
+  /// must not allocate on this heap.
+  void setFaultHandler(HeapFaultHandler Handler) {
+    FaultHandler = std::move(Handler);
+  }
+
+  /// Caps total managed storage; tryGrowHeap is not attempted beyond this
+  /// and collector-internal emergency expansions honor it. 0 = unlimited.
+  void setMaxHeapBytes(size_t Bytes);
+  size_t maxHeapBytes() const { return MaxHeapBytes; }
+
+  /// Convenience: freezes capacity at its current value (false restores
+  /// the setMaxHeapBytes policy, unlimited by default).
+  void setHeapGrowthEnabled(bool Enabled);
+
+  //===--------------------------------------------------------------------===
+  // Torture mode (see TortureMode.h). Enabled programmatically here or
+  // process-wide via RDGC_TORTURE=<seed>:<interval>.
+  //===--------------------------------------------------------------------===
+
+  /// Enables deterministic GC torture for this heap. Replaces any torture
+  /// harness already installed; the embedder's observer is preserved.
+  void enableTortureMode(const TortureOptions &Opts);
+  /// The active torture harness, or nullptr.
+  TortureMode *tortureMode() const { return Torture.get(); }
+
   /// Registers/unregisters an external root slot. Unregistration is
   /// expected in roughly LIFO order (Handles guarantee it).
   void registerRootSlot(Value *Slot);
@@ -173,8 +220,12 @@ public:
   /// provider-supplied roots. Collectors call this.
   void forEachRoot(const std::function<void(Value &)> &Visit);
 
-  /// Installs (or clears, with nullptr) the lifetime observer.
-  void setObserver(HeapObserver *Observer) { Obs = Observer; }
+  /// Installs (or clears, with nullptr) the lifetime observer. When torture
+  /// mode is active the torture harness stays installed and the observer is
+  /// chained behind it, still seeing every event.
+  void setObserver(HeapObserver *Observer);
+  /// The observer collectors must notify (the torture harness when active,
+  /// otherwise the embedder's observer).
   HeapObserver *observer() const { return Obs; }
 
   /// Cumulative bytes allocated — the paper's unit of time.
@@ -183,9 +234,20 @@ public:
 private:
   friend class Handle;
 
-  /// Allocates header + \p PayloadWords words, collecting if necessary, and
-  /// writes the header. Aborts on exhaustion.
+  /// Allocates header + \p PayloadWords words and writes the header,
+  /// climbing the recovery ladder (collect, emergency full collect, grow)
+  /// under pressure. On exhaustion records HeapFault::HeapExhausted,
+  /// invokes the fault handler, and returns nullptr — it never aborts.
   uint64_t *allocateRaw(ObjectTag Tag, size_t PayloadWords);
+
+  /// True when the recovery ladder may still attempt tryGrowHeap.
+  bool growthAllowed() const;
+
+  /// Guard for typed accessors: true when \p V is a heap pointer. For a
+  /// non-pointer it either returns false — when a recoverable fault is
+  /// pending, so poisoned unspecified values flow harmlessly while the
+  /// mutator unwinds — or reports a fatal type error named after \p Op.
+  bool accessible(Value V, const char *Op) const;
 
   /// Applies the write barrier for a store of \p Stored into \p Holder.
   void barrier(Value Holder, Value Stored) {
@@ -199,6 +261,11 @@ private:
   std::vector<Value *> RootSlots;
   std::vector<RootProvider *> Providers;
   HeapObserver *Obs = nullptr;
+  std::unique_ptr<TortureMode> Torture;
+  HeapFaultHandler FaultHandler;
+  HeapFault LastFault = HeapFault::None;
+  size_t MaxHeapBytes = 0;
+  bool GrowthEnabled = true;
 };
 
 } // namespace rdgc

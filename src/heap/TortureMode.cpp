@@ -1,0 +1,114 @@
+//===- heap/TortureMode.cpp - Deterministic GC stress harness -------------===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "heap/TortureMode.h"
+
+#include "heap/HeapVerifier.h"
+#include "support/Error.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+
+using namespace rdgc;
+
+TortureMode::TortureMode(Heap &Owner, const TortureOptions &Opts)
+    : Owner(Owner), Opts(Opts), Rng(Opts.Seed) {}
+
+bool TortureMode::parseSpec(const char *Spec, TortureOptions &Out) {
+  if (!Spec || !*Spec)
+    return false;
+  errno = 0;
+  char *End = nullptr;
+  unsigned long long Seed = std::strtoull(Spec, &End, 10);
+  if (End == Spec || *End != ':' || errno == ERANGE)
+    return false;
+  const char *IntervalText = End + 1;
+  errno = 0;
+  unsigned long long Interval = std::strtoull(IntervalText, &End, 10);
+  if (End == IntervalText || *End != '\0' || errno == ERANGE)
+    return false;
+  Out.Seed = Seed;
+  Out.CollectInterval = Interval;
+  return true;
+}
+
+const TortureOptions *TortureMode::environmentOptions() {
+  static const std::optional<TortureOptions> Cached =
+      []() -> std::optional<TortureOptions> {
+    const char *Spec = std::getenv("RDGC_TORTURE");
+    if (!Spec || !*Spec)
+      return std::nullopt;
+    TortureOptions Opts;
+    if (!parseSpec(Spec, Opts)) {
+      std::fprintf(stderr,
+                   "rdgc: ignoring malformed RDGC_TORTURE=\"%s\" "
+                   "(expected <seed>:<interval>)\n",
+                   Spec);
+      return std::nullopt;
+    }
+    return Opts;
+  }();
+  return Cached ? &*Cached : nullptr;
+}
+
+bool TortureMode::shouldForceCollect() {
+  if (Opts.CollectInterval == 0)
+    return false;
+  if (++AllocationTick % Opts.CollectInterval != 0)
+    return false;
+  ++ForcedCollections;
+  return true;
+}
+
+int TortureMode::nextAllocationFaultDepth() {
+  if (!Opts.InjectAllocationFaults || Opts.FaultProbability <= 0.0)
+    return 0;
+  // One draw per allocation keeps the stream position a pure function of
+  // the allocation count, which is what makes same-seed runs identical.
+  uint64_t Bits = Rng.next();
+  double Uniform = static_cast<double>(Bits >> 11) * 0x1.0p-53;
+  if (Uniform >= Opts.FaultProbability)
+    return 0;
+  ++InjectedFaults;
+  return (Bits & 1) ? 2 : 1;
+}
+
+void TortureMode::onAllocate(uint64_t *Header, size_t TotalWords) {
+  if (Inner)
+    Inner->onAllocate(Header, TotalWords);
+}
+
+void TortureMode::onMove(uint64_t *From, uint64_t *To) {
+  if (Inner)
+    Inner->onMove(From, To);
+}
+
+void TortureMode::onDeath(uint64_t *Header, size_t TotalWords) {
+  if (Inner)
+    Inner->onDeath(Header, TotalWords);
+}
+
+void TortureMode::onCollectionDone() {
+  if (Inner)
+    Inner->onCollectionDone();
+  if (!Opts.VerifyAfterCollection || InVerify)
+    return;
+  InVerify = true;
+  HeapVerification Result = verifyHeap(Owner);
+  InVerify = false;
+  ++Verifications;
+  if (!Result.Ok) {
+    std::fprintf(stderr,
+                 "rdgc torture (seed %llu, tick %llu): heap verification "
+                 "failed after collection: %s\n",
+                 static_cast<unsigned long long>(Opts.Seed),
+                 static_cast<unsigned long long>(AllocationTick),
+                 Result.FirstProblem.c_str());
+    reportFatalError("torture mode: heap verification failed");
+  }
+}

@@ -1,0 +1,122 @@
+//===- heap/TortureMode.h - Deterministic GC stress harness -----*- C++ -*-===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic GC torture mode, in the spirit of V8's --gc-interval and
+/// SpiderMonkey's GC zeal: a stress harness that makes collector bugs
+/// reproduce on demand instead of once a week. When enabled, the heap
+///
+///   - forces a full collection every N allocations (CollectInterval),
+///   - injects synthetic allocation failures so the OOM recovery ladder in
+///     Heap::allocateRaw (collect, emergency full collect, grow) is
+///     exercised continuously rather than only at genuine exhaustion, and
+///   - runs verifyHeap after every completed collection cycle, aborting
+///     with a diagnostic the moment any heap invariant breaks.
+///
+/// Every decision flows from a single SplitMix64 seed plus the allocation
+/// count, so two runs with the same seed perform the identical sequence of
+/// forced collections and injected faults — a failure seed is a repro.
+///
+/// Enable programmatically via Heap::enableTortureMode, or for a whole
+/// process via the environment variable RDGC_TORTURE=<seed>:<interval>
+/// (parsed once, applied to every Heap constructed afterwards).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDGC_HEAP_TORTUREMODE_H
+#define RDGC_HEAP_TORTUREMODE_H
+
+#include "heap/Heap.h"
+#include "support/Random.h"
+
+#include <cstdint>
+
+namespace rdgc {
+
+/// Configuration for TortureMode. The defaults are the harshest settings:
+/// collect before every allocation, inject faults, verify every cycle.
+struct TortureOptions {
+  /// Seed for the SplitMix64 stream driving every injection decision.
+  uint64_t Seed = 1;
+
+  /// Force a full collection before every Nth allocation (V8 --gc-interval
+  /// style). 0 disables forced collections but keeps injection/verification.
+  uint64_t CollectInterval = 1;
+
+  /// When true, allocations occasionally have their fast path (and
+  /// sometimes their first post-collection retry) synthetically failed so
+  /// the recovery ladder's higher rungs run. Injection never manufactures a
+  /// HeapExhausted outcome: the ladder's final attempts are always genuine.
+  bool InjectAllocationFaults = true;
+
+  /// Probability that a given allocation is chosen for fault injection.
+  double FaultProbability = 1.0 / 64.0;
+
+  /// Run verifyHeap after every completed collection cycle and abort with
+  /// a diagnostic if any invariant is broken.
+  bool VerifyAfterCollection = true;
+};
+
+/// The torture harness. Installed by Heap::enableTortureMode as the heap's
+/// observer; any observer the embedder installs afterwards is chained as
+/// the inner observer and sees every event unchanged.
+class TortureMode final : public HeapObserver {
+public:
+  TortureMode(Heap &Owner, const TortureOptions &Opts);
+
+  /// Parses "<seed>:<interval>" (both decimal, e.g. "1234:1"). Returns
+  /// false, leaving \p Out untouched, when the spec is malformed.
+  static bool parseSpec(const char *Spec, TortureOptions &Out);
+
+  /// The process-wide options from RDGC_TORTURE, or nullptr when the
+  /// variable is unset or malformed. Parsed once and cached.
+  static const TortureOptions *environmentOptions();
+
+  const TortureOptions &options() const { return Opts; }
+
+  //===--- Hooks called by Heap::allocateRaw ------------------------------===
+
+  /// Advances the allocation tick; true when a full collection must be
+  /// forced before this allocation.
+  bool shouldForceCollect();
+
+  /// Draws this allocation's injected-fault depth: 0 = no injection,
+  /// 1 = fail the fast path (forces the collect rung), 2 = also fail the
+  /// first post-collection retry (forces the emergency-full rung).
+  int nextAllocationFaultDepth();
+
+  //===--- Observer chaining ----------------------------------------------===
+
+  void setInner(HeapObserver *Observer) { Inner = Observer; }
+  HeapObserver *inner() const { return Inner; }
+
+  void onAllocate(uint64_t *Header, size_t TotalWords) override;
+  void onMove(uint64_t *From, uint64_t *To) override;
+  void onDeath(uint64_t *Header, size_t TotalWords) override;
+  void onCollectionDone() override;
+
+  //===--- Accounting ------------------------------------------------------===
+
+  uint64_t allocationsSeen() const { return AllocationTick; }
+  uint64_t forcedCollections() const { return ForcedCollections; }
+  uint64_t injectedFaults() const { return InjectedFaults; }
+  uint64_t verificationsRun() const { return Verifications; }
+
+private:
+  Heap &Owner;
+  TortureOptions Opts;
+  SplitMix64 Rng;
+  HeapObserver *Inner = nullptr;
+  bool InVerify = false;
+  uint64_t AllocationTick = 0;
+  uint64_t ForcedCollections = 0;
+  uint64_t InjectedFaults = 0;
+  uint64_t Verifications = 0;
+};
+
+} // namespace rdgc
+
+#endif // RDGC_HEAP_TORTUREMODE_H

@@ -31,6 +31,11 @@ using namespace rdgc;
 Evaluator::Evaluator(Heap &H, SymbolTable &Symbols)
     : H(H), Symbols(Symbols), Roots(H) {
   H.addRootProvider(this);
+  // Heap exhaustion surfaces through the evaluator's own error protocol:
+  // the fail flag makes eval() unwind, the REPL reports and keeps running.
+  H.setFaultHandler([this](HeapFault, const char *Detail) {
+    raiseError(std::string("out of memory: ") + Detail);
+  });
   SymQuote = Symbols.intern("quote");
   SymQuasiquote = Symbols.intern("quasiquote");
   SymUnquote = Symbols.intern("unquote");
@@ -54,7 +59,10 @@ Evaluator::Evaluator(Heap &H, SymbolTable &Symbols)
   SymArrow = Symbols.intern("=>");
 }
 
-Evaluator::~Evaluator() { H.removeRootProvider(this); }
+Evaluator::~Evaluator() {
+  H.setFaultHandler(nullptr);
+  H.removeRootProvider(this);
+}
 
 void Evaluator::forEachRoot(const std::function<void(Value &)> &Visit) {
   for (Value &V : GlobalValues)

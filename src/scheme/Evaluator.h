@@ -78,6 +78,9 @@ public:
   void clearError() {
     Failed = false;
     Error.clear();
+    // Recovering from an error also acknowledges any pending heap fault
+    // (e.g. out-of-memory), re-arming strict accessor checking.
+    H.clearFault();
   }
   /// Raises an error (first message wins) and returns unspecified.
   Value raiseError(const std::string &Message);

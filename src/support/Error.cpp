@@ -1,4 +1,4 @@
-//===- support/Error.cpp - Fatal error reporting --------------------------===//
+//===- support/Error.cpp - Fatal and recoverable error reporting ----------===//
 //
 // Part of the rdgc project. Distributed under the MIT license.
 //
@@ -13,4 +13,14 @@ void rdgc::reportFatalError(const char *Message) {
   std::fprintf(stderr, "rdgc fatal error: %s\n", Message);
   std::fflush(stderr);
   std::abort();
+}
+
+const char *rdgc::heapFaultName(HeapFault Fault) {
+  switch (Fault) {
+  case HeapFault::None:
+    return "none";
+  case HeapFault::HeapExhausted:
+    return "heap-exhausted";
+  }
+  return "unknown";
 }

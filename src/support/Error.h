@@ -1,23 +1,68 @@
-//===- support/Error.h - Fatal error reporting ------------------*- C++ -*-===//
+//===- support/Error.h - Fatal and recoverable error reporting --*- C++ -*-===//
 //
 // Part of the rdgc project. Distributed under the MIT license.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Fatal-error reporting for invariant violations that must be caught even
-/// in release builds (e.g. heap exhaustion). The library does not use C++
-/// exceptions; unrecoverable conditions print a message and abort.
+/// Error reporting for the runtime. Two severities exist:
+///
+///   - Fatal errors (reportFatalError) are invariant violations that must be
+///     caught even in release builds — e.g. root-stack corruption or a
+///     collector losing track of its own survivors. The library does not use
+///     C++ exceptions; these print a message and abort.
+///
+///   - Recoverable faults (HeapFault / AllocResult) are conditions the
+///     mutator can survive, chiefly heap exhaustion after the allocation
+///     recovery ladder (collect, full collect, grow) has been climbed to the
+///     top. They are surfaced as structured values and, optionally, through
+///     a HeapFaultHandler callback so embedders — the Scheme REPL, the
+///     workload harness — can report "out of memory" and keep running.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef RDGC_SUPPORT_ERROR_H
 #define RDGC_SUPPORT_ERROR_H
 
+#include <cstdint>
+#include <functional>
+
 namespace rdgc {
 
 /// Prints "rdgc fatal error: <message>" to stderr and aborts.
 [[noreturn]] void reportFatalError(const char *Message);
+
+/// Recoverable fault codes. HeapFault::None means no fault is pending.
+enum class HeapFault : uint8_t {
+  None = 0,
+  /// Allocation failed after a normal collection, an emergency full
+  /// collection, and every permitted heap growth attempt.
+  HeapExhausted = 1,
+};
+
+/// Short stable name for a fault ("none", "heap-exhausted").
+const char *heapFaultName(HeapFault Fault);
+
+/// Outcome of a raw allocation request: either storage, or a structured
+/// fault describing why the recovery ladder could not produce any.
+struct AllocResult {
+  uint64_t *Mem = nullptr;
+  HeapFault Fault = HeapFault::None;
+
+  bool ok() const { return Mem != nullptr; }
+
+  static AllocResult success(uint64_t *Mem) {
+    return AllocResult{Mem, HeapFault::None};
+  }
+  static AllocResult failure(HeapFault Fault) {
+    return AllocResult{nullptr, Fault};
+  }
+};
+
+/// Callback invoked by the Heap when a recoverable fault is surfaced.
+/// \p Detail is a static human-readable description. Handlers run inside
+/// the failing allocation and must not allocate on the faulting heap.
+using HeapFaultHandler = std::function<void(HeapFault Fault, const char *Detail)>;
 
 } // namespace rdgc
 

@@ -28,17 +28,25 @@ ExperimentRun rdgc::runExperiment(Workload &W, CollectorKind Kind,
 
   auto H = makeHeap(Kind, Sizing);
 
+  // Surface heap exhaustion as data rather than a crash: a workload that
+  // outgrows its sizing produces an invalid run with HeapExhausted set.
+  bool SawExhaustion = false;
+  H->setFaultHandler(
+      [&SawExhaustion](HeapFault, const char *) { SawExhaustion = true; });
+
   auto Start = std::chrono::steady_clock::now();
   WorkloadOutcome Outcome = W.run(*H);
   // A final full collection makes end-of-run live storage observable.
   H->collectFullNow();
   auto End = std::chrono::steady_clock::now();
+  H->setFaultHandler(nullptr);
 
   const GcStats &Stats = H->stats();
   ExperimentRun Run;
   Run.WorkloadName = W.name();
   Run.CollectorName = H->collector().name();
-  Run.Valid = Outcome.Valid;
+  Run.HeapExhausted = SawExhaustion;
+  Run.Valid = Outcome.Valid && !SawExhaustion;
   Run.BytesAllocated = Stats.wordsAllocated() * 8;
   Run.PeakLiveBytes = Stats.peakLiveWords() * 8;
   Run.HeapBytes = Sizing.PrimaryBytes;

@@ -29,6 +29,7 @@ struct ExperimentRun {
   std::string WorkloadName;
   std::string CollectorName;
   bool Valid = false;             ///< Workload self-validation verdict.
+  bool HeapExhausted = false;     ///< The run hit a structured out-of-memory.
   uint64_t BytesAllocated = 0;    ///< Total heap allocation.
   uint64_t PeakLiveBytes = 0;     ///< Max live observed at any collection.
   uint64_t HeapBytes = 0;         ///< Collector storage (semispace/arena).

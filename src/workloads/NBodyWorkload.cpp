@@ -49,14 +49,23 @@ WorkloadOutcome NBodyWorkload::run(Heap &H) {
   std::vector<Value> State(Bodies);
   ScopedRootFrame G(Roots, &State);
 
+  // Rooting discipline used throughout: a freshly boxed flonum may be held
+  // in an unrooted local only until the next allocation, so every compound
+  // expression is sequenced one box at a time — the callee unboxes its
+  // arguments before it allocates the result.
   Xoshiro256 Rng(0xB0D1E5);
   for (unsigned B = 0; B < Bodies; ++B) {
     State[B] = H.allocateVector(7, Value::unspecified());
-    for (size_t Slot = 0; Slot < 3; ++Slot)
-      H.vectorSet(State[B], Slot, M.box(Rng.nextDouble() * 10 - 5));
-    for (size_t Slot = 3; Slot < 6; ++Slot)
-      H.vectorSet(State[B], Slot, M.box(Rng.nextDouble() * 0.1 - 0.05));
-    H.vectorSet(State[B], 6, M.box(Rng.nextDouble() * 0.9 + 0.1));
+    for (size_t Slot = 0; Slot < 3; ++Slot) {
+      Value Box = M.box(Rng.nextDouble() * 10 - 5);
+      H.vectorSet(State[B], Slot, Box);
+    }
+    for (size_t Slot = 3; Slot < 6; ++Slot) {
+      Value Box = M.box(Rng.nextDouble() * 0.1 - 0.05);
+      H.vectorSet(State[B], Slot, Box);
+    }
+    Value Box = M.box(Rng.nextDouble() * 0.9 + 0.1);
+    H.vectorSet(State[B], 6, Box);
   }
 
   const double Dt = 0.01;
@@ -67,8 +76,10 @@ WorkloadOutcome NBodyWorkload::run(Heap &H) {
     for (unsigned I = 0; I < Bodies; ++I) {
       // Accumulate the acceleration on body I; every intermediate is a
       // fresh box.
-      std::vector<Value> Acc{M.box(0), M.box(0), M.box(0)};
+      std::vector<Value> Acc(3, Value::unspecified());
       ScopedRootFrame AccG(Roots, &Acc);
+      for (Value &A : Acc)
+        A = M.box(0);
       for (unsigned J = 0; J < Bodies; ++J) {
         if (I == J)
           continue;
@@ -80,25 +91,31 @@ WorkloadOutcome NBodyWorkload::run(Heap &H) {
         T[1] = M.sub(H.vectorRef(State[J], 1), H.vectorRef(State[I], 1));
         T[2] = M.sub(H.vectorRef(State[J], 2), H.vectorRef(State[I], 2));
         // r^2 = dx^2 + dy^2 + dz^2 + eps.
-        T[3] = M.add(M.add(M.mul(T[0], T[0]), M.mul(T[1], T[1])),
-                     M.add(M.mul(T[2], T[2]), Eps));
+        T[3] = M.mul(T[0], T[0]);
+        Value Dy2 = M.mul(T[1], T[1]);
+        T[3] = M.add(T[3], Dy2);
+        Value Dz2 = M.mul(T[2], T[2]);
+        T[3] = M.add(T[3], Dz2);
+        T[3] = M.add(T[3], Eps);
         // a = m_j / (r^2 * r).
-        T[4] = M.div(H.vectorRef(State[J], 6),
-                     M.mul(T[3], M.sqrtv(T[3])));
-        Acc[0] = M.add(Acc[0], M.mul(T[0], T[4]));
-        Acc[1] = M.add(Acc[1], M.mul(T[1], T[4]));
-        Acc[2] = M.add(Acc[2], M.mul(T[2], T[4]));
+        T[4] = M.sqrtv(T[3]);
+        T[4] = M.mul(T[3], T[4]);
+        T[4] = M.div(H.vectorRef(State[J], 6), T[4]);
+        for (size_t Axis = 0; Axis < 3; ++Axis) {
+          Value Da = M.mul(T[Axis], T[4]);
+          Acc[Axis] = M.add(Acc[Axis], Da);
+        }
       }
       for (size_t Axis = 0; Axis < 3; ++Axis) {
-        Value NewV = M.add(H.vectorRef(State[I], 3 + Axis),
-                           M.mul(Acc[Axis], DtBox));
+        Value Dv = M.mul(Acc[Axis], DtBox);
+        Value NewV = M.add(H.vectorRef(State[I], 3 + Axis), Dv);
         H.vectorSet(State[I], 3 + Axis, NewV);
       }
     }
     for (unsigned I = 0; I < Bodies; ++I)
       for (size_t Axis = 0; Axis < 3; ++Axis) {
-        Value NewX = M.add(H.vectorRef(State[I], Axis),
-                           M.mul(H.vectorRef(State[I], 3 + Axis), DtBox));
+        Value Dx = M.mul(H.vectorRef(State[I], 3 + Axis), DtBox);
+        Value NewX = M.add(H.vectorRef(State[I], Axis), Dx);
         H.vectorSet(State[I], Axis, NewX);
       }
   }

@@ -1,0 +1,29 @@
+//===- tests/TortureSkip.h - Skip guard for RDGC_TORTURE runs ---*- C++ -*-===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Process-wide torture (the RDGC_TORTURE environment variable) forces
+// collections and injects allocation faults on every heap by design. Tests
+// whose assertions depend on the exact allocation/collection sequence — or
+// whose cost explodes when every allocation triggers a verified full
+// collection — opt out with this guard while the rest of the suite runs
+// under torture unchanged.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef RDGC_TESTS_TORTURESKIP_H
+#define RDGC_TESTS_TORTURESKIP_H
+
+#include "heap/TortureMode.h"
+
+#include <gtest/gtest.h>
+
+#define RDGC_SKIP_UNDER_ENV_TORTURE()                                          \
+  do {                                                                         \
+    if (rdgc::TortureMode::environmentOptions())                               \
+      GTEST_SKIP() << "sequence-sensitive test skipped under RDGC_TORTURE";    \
+  } while (0)
+
+#endif // RDGC_TESTS_TORTURESKIP_H

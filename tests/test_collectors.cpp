@@ -17,6 +17,8 @@
 #include "heap/Heap.h"
 #include "support/Random.h"
 
+#include "TortureSkip.h"
+
 #include <gtest/gtest.h>
 
 #include <map>
@@ -252,6 +254,7 @@ TEST_P(CollectorTest, RandomizedMutationAgainstShadowModel) {
 }
 
 TEST_P(CollectorTest, StatsAreConsistent) {
+  RDGC_SKIP_UNDER_ENV_TORTURE(); // Exact collection/allocation accounting.
   Handle Keep(*H, buildList(*H, 0, 100));
   for (int I = 0; I < 50000; ++I)
     H->allocatePair(Value::fixnum(I), Value::null());

@@ -21,6 +21,8 @@
 #include "heap/RootStack.h"
 #include "support/Random.h"
 
+#include "TortureSkip.h"
+
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -104,6 +106,7 @@ TEST(EdgeTest, StringPaddingPreservedAcrossCopies) {
 //===----------------------------------------------------------------------===
 
 TEST(EdgeTest, MarkSweepCoalescesAfterFragmentation) {
+  RDGC_SKIP_UNDER_ENV_TORTURE(); // Depends on an undisturbed free list.
   auto C = std::make_unique<MarkSweepCollector>(64 * 1024);
   MarkSweepCollector *Ms = C.get();
   Heap H(std::move(C));
@@ -195,6 +198,7 @@ TEST(EdgeTest, NonPredictiveObjectNearStepSize) {
 //===----------------------------------------------------------------------===
 
 TEST(EdgeTest, GcPacingForcesCollections) {
+  RDGC_SKIP_UNDER_ENV_TORTURE(); // Exact pacing-triggered collection counts.
   auto H = std::make_unique<Heap>(
       std::make_unique<StopAndCopyCollector>(4 * 1024 * 1024));
   H->setGcPacing(64 * 1024);
@@ -288,6 +292,7 @@ TEST(EdgeTest, CollectionRecordBookkeepingConsistent) {
 //===----------------------------------------------------------------------===
 
 TEST(ThreeGenTest, PromotionChainNurseryIntermediateDynamic) {
+  RDGC_SKIP_UNDER_ENV_TORTURE(); // Exact promotion step sequencing.
   auto C = std::make_unique<GenerationalCollector>(
       16 * 1024, /*IntermediateBytes=*/32 * 1024, 512 * 1024);
   GenerationalCollector *G = C.get();

@@ -18,6 +18,8 @@
 #include "heap/Heap.h"
 #include "support/Random.h"
 
+#include "TortureSkip.h"
+
 #include <gtest/gtest.h>
 
 #include <functional>
@@ -82,6 +84,7 @@ TEST(HybridTest, AllocationGoesToTheNursery) {
 }
 
 TEST(HybridTest, MinorCollectionPromotesSurvivors) {
+  RDGC_SKIP_UNDER_ENV_TORTURE(); // Exact minor/major collection counts.
   HybridHeap Hy(hybridConfig());
   Heap &H = *Hy.H;
   Handle Keep(H, H.allocatePair(Value::fixnum(42), Value::null()));
@@ -97,6 +100,7 @@ TEST(HybridTest, MinorCollectionPromotesSurvivors) {
 }
 
 TEST(HybridTest, NurseryFillTriggersMinorNotMajor) {
+  RDGC_SKIP_UNDER_ENV_TORTURE(); // Exact minor/major collection counts.
   HybridHeap Hy(hybridConfig());
   Heap &H = *Hy.H;
   // Churn several nursery-fuls of garbage: minors only, no step

@@ -23,6 +23,8 @@
 #include "lifetime/SurvivalAnalyzer.h"
 #include "model/DecayModel.h"
 
+#include "TortureSkip.h"
+
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -167,6 +169,7 @@ TEST(ObjectTraceTest, TracksBirthsMovesAndDeaths) {
 }
 
 TEST(ObjectTraceTest, LiveBytesAtReconstructsHistory) {
+  RDGC_SKIP_UNDER_ENV_TORTURE(); // Exact allocation/death event history.
   auto Collector = std::make_unique<StopAndCopyCollector>(64 * 1024);
   Heap H(std::move(Collector));
   ObjectTrace Trace;
@@ -236,6 +239,7 @@ TEST(SurvivalAnalyzerTest, BandLabels) {
 }
 
 TEST(SurvivalAnalyzerTest, ImmortalObjectsSurviveEverywhere) {
+  RDGC_SKIP_UNDER_ENV_TORTURE(); // Exact survival curve accounting.
   auto Collector = std::make_unique<MarkSweepCollector>(1024 * 1024);
   Heap H(std::move(Collector));
   ObjectTrace Trace;

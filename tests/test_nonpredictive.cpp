@@ -16,6 +16,8 @@
 #include "heap/Heap.h"
 #include "support/Random.h"
 
+#include "TortureSkip.h"
+
 #include <gtest/gtest.h>
 
 #include <functional>
@@ -76,6 +78,7 @@ TEST(NonPredictiveTest, AllocationFillsFromHighestStep) {
 }
 
 TEST(NonPredictiveTest, StepsFillDownward) {
+  RDGC_SKIP_UNDER_ENV_TORTURE(); // Expects no collections while filling.
   NpHeap Np(smallConfig());
   Heap &H = *Np.H;
   size_t StepWords = Np.Collector->stepWords();
@@ -210,6 +213,9 @@ TEST(NonPredictiveTest, CyclicGarbageReclaimedWithinOneFullRotation) {
 }
 
 TEST(NonPredictiveTest, RememberedSetTracksYoungToOldStores) {
+  // Forced collections reclaim the unrooted filler vectors, so the fill
+  // loop below would never terminate.
+  RDGC_SKIP_UNDER_ENV_TORTURE();
   NpHeap Np(smallConfig());
   Heap &H = *Np.H;
   size_t StepWords = Np.Collector->stepWords();
@@ -309,6 +315,7 @@ TEST(NonPredictiveTest, ManyCyclesWithLiveMutatingWorkload) {
 }
 
 TEST(NonPredictiveTest, MarkConsBeatsFullCollectionOnDecayLikeGarbage) {
+  RDGC_SKIP_UNDER_ENV_TORTURE(); // Forced collections dominate the ratio.
   // Sanity: on a workload where old data is mostly garbage, the
   // non-predictive collector's mark/cons should be well under 1.
   NpHeap Np(smallConfig());
@@ -342,6 +349,10 @@ class NpConfigSweep : public ::testing::TestWithParam<NpSweepParam> {};
 } // namespace
 
 TEST_P(NpConfigSweep, InvariantsHoldUnderRandomizedMutation) {
+  // The emptiness probe samples at operation boundaries: after a forced
+  // collection the retry may legitimately allocate into step j before the
+  // probe runs, so the boundary-time invariant cannot be observed here.
+  RDGC_SKIP_UNDER_ENV_TORTURE();
   const NpSweepParam &P = GetParam();
   NonPredictiveConfig Config;
   Config.StepCount = P.StepCount;
@@ -433,6 +444,7 @@ INSTANTIATE_TEST_SUITE_P(
 //===----------------------------------------------------------------------===
 
 TEST(NonPredictiveTest, RemsetPressureReducesJ) {
+  RDGC_SKIP_UNDER_ENV_TORTURE(); // Exact remembered-set growth sequence.
   NonPredictiveConfig Config = smallConfig();
   Config.Policy = JSelectionPolicy::Fixed;
   Config.FixedJ = 4;

@@ -1,0 +1,510 @@
+//===- tests/test_oom.cpp - OOM recovery ladder and torture mode ----------===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The allocation recovery ladder (collect, emergency full collect, grow,
+/// structured HeapExhausted) and the deterministic torture harness: rung
+/// ordering against a probe collector, heap growth under live pressure for
+/// every real collector, capped heaps surfacing recoverable faults instead
+/// of aborting, mutator recovery after a fault, Scheme runtime survival of
+/// out-of-memory, boyer completing from an undersized growable heap, and
+/// same-seed torture reproducibility.
+///
+//===----------------------------------------------------------------------===//
+
+#include "gc/CollectorFactory.h"
+#include "heap/Heap.h"
+#include "heap/HeapVerifier.h"
+#include "heap/TortureMode.h"
+#include "scheme/SchemeRuntime.h"
+#include "workloads/BoyerWorkload.h"
+
+#include "TortureSkip.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace rdgc;
+
+namespace {
+
+//===----------------------------------------------------------------------===
+// Ladder ordering against a probe collector.
+//===----------------------------------------------------------------------===
+
+/// A collector that refuses to allocate until a chosen rung of the recovery
+/// ladder has run, recording every call so tests can assert the ladder
+/// climbs in order and stops at the first rung that helps.
+class LadderProbe : public Collector {
+public:
+  enum Rung { Never, AfterCollect, AfterFull, AfterGrow };
+
+  explicit LadderProbe(Rung SucceedAt) : SucceedAt(SucceedAt) {}
+
+  std::vector<std::string> Calls;
+
+  uint64_t *tryAllocate(size_t Words) override {
+    Calls.push_back("tryAllocate");
+    if (!Ready || Words > BufferWords - Cursor)
+      return nullptr;
+    uint64_t *Mem = Buffer + Cursor;
+    Cursor += Words;
+    return Mem;
+  }
+  void collect() override {
+    Calls.push_back("collect");
+    if (SucceedAt == AfterCollect)
+      Ready = true;
+  }
+  void collectFull() override {
+    Calls.push_back("collectFull");
+    if (SucceedAt == AfterFull)
+      Ready = true;
+  }
+  bool tryGrowHeap(size_t MinWords) override {
+    (void)MinWords;
+    Calls.push_back("grow");
+    if (SucceedAt != AfterGrow)
+      return false;
+    Ready = true;
+    return true;
+  }
+  size_t capacityWords() const override { return BufferWords; }
+  size_t freeWords() const override { return BufferWords - Cursor; }
+  size_t liveWordsAfterLastCollect() const override { return 0; }
+  const char *name() const override { return "ladder-probe"; }
+
+private:
+  static constexpr size_t BufferWords = 64;
+  Rung SucceedAt;
+  bool Ready = false;
+  uint64_t Buffer[BufferWords] = {};
+  size_t Cursor = 0;
+};
+
+std::vector<std::string> probeLadder(LadderProbe::Rung SucceedAt,
+                                     bool &SawFault, Value &Result) {
+  auto C = std::make_unique<LadderProbe>(SucceedAt);
+  LadderProbe *Probe = C.get();
+  Heap H(std::move(C));
+  H.setFaultHandler(
+      [&SawFault](HeapFault F, const char *) {
+        SawFault = F == HeapFault::HeapExhausted;
+      });
+  Result = H.allocatePair(Value::fixnum(1), Value::fixnum(2));
+  return Probe->Calls;
+}
+
+TEST(LadderTest, NormalCollectionIsTheFirstRung) {
+  RDGC_SKIP_UNDER_ENV_TORTURE();
+  bool SawFault = false;
+  Value Result;
+  auto Calls = probeLadder(LadderProbe::AfterCollect, SawFault, Result);
+  std::vector<std::string> Expected = {"tryAllocate", "collect",
+                                       "tryAllocate"};
+  EXPECT_EQ(Calls, Expected);
+  EXPECT_FALSE(SawFault);
+  EXPECT_TRUE(Result.isPointer());
+}
+
+TEST(LadderTest, EmergencyFullCollectionIsTheSecondRung) {
+  RDGC_SKIP_UNDER_ENV_TORTURE();
+  bool SawFault = false;
+  Value Result;
+  auto Calls = probeLadder(LadderProbe::AfterFull, SawFault, Result);
+  std::vector<std::string> Expected = {"tryAllocate", "collect",
+                                       "tryAllocate", "collectFull",
+                                       "tryAllocate"};
+  EXPECT_EQ(Calls, Expected);
+  EXPECT_FALSE(SawFault);
+  EXPECT_TRUE(Result.isPointer());
+}
+
+TEST(LadderTest, GrowthIsTheThirdRung) {
+  RDGC_SKIP_UNDER_ENV_TORTURE();
+  bool SawFault = false;
+  Value Result;
+  auto Calls = probeLadder(LadderProbe::AfterGrow, SawFault, Result);
+  std::vector<std::string> Expected = {"tryAllocate", "collect",
+                                       "tryAllocate", "collectFull",
+                                       "tryAllocate", "grow", "tryAllocate"};
+  EXPECT_EQ(Calls, Expected);
+  EXPECT_FALSE(SawFault);
+  EXPECT_TRUE(Result.isPointer());
+}
+
+TEST(LadderTest, ExhaustionIsAFaultNotAnAbort) {
+  RDGC_SKIP_UNDER_ENV_TORTURE();
+  bool SawFault = false;
+  Value Result;
+  auto C = std::make_unique<LadderProbe>(LadderProbe::Never);
+  LadderProbe *Probe = C.get();
+  Heap H(std::move(C));
+  std::string Detail;
+  H.setFaultHandler([&SawFault, &Detail](HeapFault F, const char *D) {
+    SawFault = F == HeapFault::HeapExhausted;
+    Detail = D;
+  });
+  Result = H.allocatePair(Value::fixnum(1), Value::fixnum(2));
+  // The ladder ran every rung exactly once (the refusing grow ends rung 3).
+  std::vector<std::string> Expected = {"tryAllocate", "collect",
+                                       "tryAllocate", "collectFull",
+                                       "tryAllocate", "grow"};
+  EXPECT_EQ(Probe->Calls, Expected);
+  EXPECT_TRUE(SawFault);
+  EXPECT_NE(Detail.find("heap exhausted"), std::string::npos);
+  EXPECT_FALSE(Result.isPointer());
+  EXPECT_EQ(H.lastFault(), HeapFault::HeapExhausted);
+  EXPECT_EQ(H.stats().heapExhaustions(), 1u);
+  EXPECT_EQ(H.stats().emergencyFullCollections(), 1u);
+  // Acknowledging the fault re-arms the heap.
+  H.clearFault();
+  EXPECT_EQ(H.lastFault(), HeapFault::None);
+}
+
+TEST(LadderTest, DisabledGrowthSkipsTheGrowRung) {
+  RDGC_SKIP_UNDER_ENV_TORTURE();
+  auto C = std::make_unique<LadderProbe>(LadderProbe::AfterGrow);
+  LadderProbe *Probe = C.get();
+  Heap H(std::move(C));
+  H.setHeapGrowthEnabled(false);
+  Value Result = H.allocatePair(Value::fixnum(1), Value::fixnum(2));
+  std::vector<std::string> Expected = {"tryAllocate", "collect",
+                                       "tryAllocate", "collectFull",
+                                       "tryAllocate"};
+  EXPECT_EQ(Probe->Calls, Expected);
+  EXPECT_FALSE(Result.isPointer());
+  EXPECT_EQ(H.lastFault(), HeapFault::HeapExhausted);
+}
+
+//===----------------------------------------------------------------------===
+// Real collectors: growth under live pressure; caps surface faults.
+//===----------------------------------------------------------------------===
+
+const CollectorKind AllKinds[] = {
+    CollectorKind::StopAndCopy,     CollectorKind::MarkSweep,
+    CollectorKind::MarkCompact,     CollectorKind::Generational,
+    CollectorKind::NonPredictive,   CollectorKind::NonPredictiveHybrid,
+};
+
+CollectorSizing tinySizing() {
+  CollectorSizing Sizing;
+  Sizing.PrimaryBytes = 8 * 1024;
+  Sizing.NurseryBytes = 4 * 1024;
+  Sizing.StepCount = 8;
+  return Sizing;
+}
+
+/// Builds a live list of \p Count pairs, returning its head through \p Out.
+void buildList(Heap &H, Handle &Out, size_t Count) {
+  Out = Value::null();
+  for (size_t I = 0; I < Count; ++I)
+    Out = H.allocatePair(Value::fixnum(static_cast<int64_t>(I)), Out);
+}
+
+size_t listLength(Heap &H, Value List) {
+  size_t N = 0;
+  while (List.isPointer()) {
+    ++N;
+    List = H.pairCdr(List);
+  }
+  return N;
+}
+
+TEST(GrowthTest, EveryCollectorGrowsUnderLivePressure) {
+  // 3000 live pairs are 9000 words = 72 KB: an order of magnitude past the
+  // 8 KB initial sizing, so every collector must grow (repeatedly).
+  for (CollectorKind Kind : AllKinds) {
+    auto H = makeHeap(Kind, tinySizing());
+    SCOPED_TRACE(H->collector().name());
+    size_t InitialCapacity = H->collector().capacityWords();
+    Handle List(*H);
+    buildList(*H, List, 3000);
+    EXPECT_EQ(H->lastFault(), HeapFault::None);
+    EXPECT_GT(H->stats().heapGrowths(), 0u);
+    EXPECT_GT(H->collector().capacityWords(), InitialCapacity);
+    EXPECT_EQ(listLength(*H, List), 3000u);
+    HeapVerification V = verifyHeap(*H);
+    EXPECT_TRUE(V.Ok) << V.FirstProblem;
+    // The grown heap still collects: drop the list and reclaim.
+    List = Value::null();
+    H->collectFullNow();
+    EXPECT_LE(H->collector().liveWordsAfterLastCollect(), 64u);
+  }
+}
+
+TEST(GrowthTest, CappedHeapsSurfaceAFaultAndNeverAbort) {
+  for (CollectorKind Kind : AllKinds) {
+    auto H = makeHeap(Kind, tinySizing());
+    SCOPED_TRACE(H->collector().name());
+    H->setHeapGrowthEnabled(false);
+    size_t Capacity = H->collector().capacityWords();
+    bool SawFault = false;
+    H->setFaultHandler([&SawFault](HeapFault F, const char *) {
+      SawFault |= F == HeapFault::HeapExhausted;
+    });
+    Handle List(*H);
+    size_t Built = 0;
+    for (; Built < 100000 && H->lastFault() == HeapFault::None; ++Built) {
+      Value Next = H->allocatePair(Value::fixnum(1), List);
+      if (!Next.isPointer())
+        break;
+      List = Next;
+    }
+    EXPECT_EQ(H->lastFault(), HeapFault::HeapExhausted);
+    EXPECT_TRUE(SawFault);
+    EXPECT_GT(Built, 0u);
+    EXPECT_LT(Built, 100000u);
+    // The cap held: the collector never grew past its frozen capacity.
+    EXPECT_EQ(H->collector().capacityWords(), Capacity);
+    EXPECT_GT(H->stats().heapExhaustions(), 0u);
+    // The heap is still coherent, and the mutator recovers by releasing
+    // storage and acknowledging the fault.
+    HeapVerification V = verifyHeap(*H);
+    EXPECT_TRUE(V.Ok) << V.FirstProblem;
+    List = Value::null();
+    H->clearFault();
+    Handle Fresh(*H, H->allocatePair(Value::fixnum(7), Value::null()));
+    EXPECT_TRUE(Fresh.get().isPointer());
+    EXPECT_EQ(H->pairCar(Fresh).asFixnum(), 7);
+    EXPECT_EQ(H->lastFault(), HeapFault::None);
+  }
+}
+
+TEST(GrowthTest, MaxHeapBytesIsAHardCeiling) {
+  for (CollectorKind Kind : AllKinds) {
+    auto H = makeHeap(Kind, tinySizing());
+    SCOPED_TRACE(H->collector().name());
+    size_t Cap = H->collector().capacityWords() * 8 * 4;
+    H->setMaxHeapBytes(Cap);
+    Handle List(*H);
+    for (size_t I = 0; I < 100000 && H->lastFault() == HeapFault::None; ++I) {
+      Value Next = H->allocatePair(Value::fixnum(1), List);
+      if (!Next.isPointer())
+        break;
+      List = Next;
+    }
+    EXPECT_EQ(H->lastFault(), HeapFault::HeapExhausted);
+    EXPECT_LE(H->collector().capacityWords() * 8, Cap);
+    HeapVerification V = verifyHeap(*H);
+    EXPECT_TRUE(V.Ok) << V.FirstProblem;
+  }
+}
+
+TEST(GrowthTest, OversizeRequestOnACappedHeapFaultsCleanly) {
+  for (CollectorKind Kind : AllKinds) {
+    auto H = makeHeap(Kind, tinySizing());
+    SCOPED_TRACE(H->collector().name());
+    H->setHeapGrowthEnabled(false);
+    // Far larger than total capacity: unsatisfiable outright.
+    Value V = H->allocateVector(1 << 20, Value::fixnum(0));
+    EXPECT_FALSE(V.isPointer());
+    EXPECT_EQ(H->lastFault(), HeapFault::HeapExhausted);
+    H->clearFault();
+    Handle Small(*H, H->allocatePair(Value::fixnum(1), Value::null()));
+    EXPECT_TRUE(Small.get().isPointer());
+  }
+}
+
+//===----------------------------------------------------------------------===
+// Workload harness and Scheme runtime integration.
+//===----------------------------------------------------------------------===
+
+TEST(OomIntegrationTest, BoyerCompletesFromAnUndersizedGrowableHeap) {
+  RDGC_SKIP_UNDER_ENV_TORTURE(); // O(allocations × heap) when every
+                                 // allocation collects and verifies.
+  CollectorSizing Sizing;
+  Sizing.PrimaryBytes = 64 * 1024; // Boyer needs megabytes.
+  auto H = makeHeap(CollectorKind::StopAndCopy, Sizing);
+  BoyerWorkload W(/*SharedConsing=*/false, /*ScaleLevel=*/1);
+  WorkloadOutcome Outcome = W.run(*H);
+  EXPECT_TRUE(Outcome.Valid) << Outcome.Detail;
+  EXPECT_EQ(H->lastFault(), HeapFault::None);
+  EXPECT_GT(H->stats().heapGrowths(), 0u);
+}
+
+TEST(OomIntegrationTest, SchemeRuntimeSurvivesOutOfMemory) {
+  CollectorSizing Sizing;
+  Sizing.PrimaryBytes = 64 * 1024;
+  auto H = makeHeap(CollectorKind::StopAndCopy, Sizing);
+  H->setHeapGrowthEnabled(false);
+  SchemeRuntime Scheme(*H);
+  Scheme.evalString("(define (grow n acc)"
+                    "  (if (= n 0) acc (grow (- n 1) (cons n acc))))"
+                    "(grow 1000000 '())");
+  ASSERT_TRUE(Scheme.failed());
+  EXPECT_NE(Scheme.errorMessage().find("out of memory"), std::string::npos)
+      << Scheme.errorMessage();
+  // The REPL protocol: report, clear, keep going.
+  Scheme.clearError();
+  EXPECT_EQ(Scheme.evalToString("(+ 1 2)"), "3");
+  EXPECT_FALSE(Scheme.failed());
+  HeapVerification V = verifyHeap(*H);
+  EXPECT_TRUE(V.Ok) << V.FirstProblem;
+}
+
+//===----------------------------------------------------------------------===
+// Torture mode.
+//===----------------------------------------------------------------------===
+
+TEST(TortureTest, SpecParsing) {
+  TortureOptions Opts;
+  EXPECT_TRUE(TortureMode::parseSpec("1234:1", Opts));
+  EXPECT_EQ(Opts.Seed, 1234u);
+  EXPECT_EQ(Opts.CollectInterval, 1u);
+  EXPECT_TRUE(TortureMode::parseSpec("987654321:64", Opts));
+  EXPECT_EQ(Opts.Seed, 987654321u);
+  EXPECT_EQ(Opts.CollectInterval, 64u);
+  EXPECT_FALSE(TortureMode::parseSpec("", Opts));
+  EXPECT_FALSE(TortureMode::parseSpec("12", Opts));
+  EXPECT_FALSE(TortureMode::parseSpec("12:", Opts));
+  EXPECT_FALSE(TortureMode::parseSpec(":3", Opts));
+  EXPECT_FALSE(TortureMode::parseSpec("a:b", Opts));
+  EXPECT_FALSE(TortureMode::parseSpec("12:3:4", Opts));
+}
+
+/// Allocates a deterministic mix of lists and vectors, dropping most of it.
+void tortureProgram(Heap &H) {
+  Handle Keep(H, Value::null());
+  for (int Round = 0; Round < 40; ++Round) {
+    Handle Scratch(H);
+    buildList(H, Scratch, 25);
+    Handle Vec(H, H.allocateVector(8, Scratch.get()));
+    if (Round % 4 == 0)
+      Keep = H.allocatePair(Vec.get(), Keep.get());
+  }
+  H.collectFullNow();
+}
+
+TEST(TortureTest, SameSeedRunsAreIdentical) {
+  TortureOptions Opts;
+  Opts.Seed = 1234;
+  Opts.CollectInterval = 3;
+  uint64_t Collections[2], Forced[2], Injected[2], Verified[2];
+  for (int Run = 0; Run < 2; ++Run) {
+    auto H = makeHeap(CollectorKind::Generational, tinySizing());
+    H->enableTortureMode(Opts);
+    tortureProgram(*H);
+    Collections[Run] = H->stats().collections();
+    Forced[Run] = H->tortureMode()->forcedCollections();
+    Injected[Run] = H->tortureMode()->injectedFaults();
+    Verified[Run] = H->tortureMode()->verificationsRun();
+  }
+  EXPECT_EQ(Collections[0], Collections[1]);
+  EXPECT_EQ(Forced[0], Forced[1]);
+  EXPECT_EQ(Injected[0], Injected[1]);
+  EXPECT_EQ(Verified[0], Verified[1]);
+  EXPECT_GT(Forced[0], 0u);
+  EXPECT_GT(Verified[0], 0u);
+}
+
+TEST(TortureTest, DifferentSeedsInjectDifferently) {
+  TortureOptions Opts;
+  Opts.CollectInterval = 0; // Injection only; isolates the seed's effect.
+  Opts.FaultProbability = 0.5;
+  uint64_t Injected[2];
+  for (int Run = 0; Run < 2; ++Run) {
+    Opts.Seed = Run == 0 ? 1 : 99991;
+    auto H = makeHeap(CollectorKind::StopAndCopy, tinySizing());
+    H->enableTortureMode(Opts);
+    tortureProgram(*H);
+    Injected[Run] = H->tortureMode()->injectedFaults();
+  }
+  // With p = 1/2 over hundreds of draws, identical totals from different
+  // streams would be an astronomical coincidence — and would indicate the
+  // seed is being ignored.
+  EXPECT_NE(Injected[0], Injected[1]);
+}
+
+TEST(TortureTest, IntervalOneVerifiesEveryCollectionAcrossCollectors) {
+  for (CollectorKind Kind : AllKinds) {
+    auto H = makeHeap(Kind, tinySizing());
+    SCOPED_TRACE(H->collector().name());
+    TortureOptions Opts;
+    Opts.Seed = 1234;
+    Opts.CollectInterval = 1;
+    H->enableTortureMode(Opts);
+    Handle List(*H);
+    buildList(*H, List, 200);
+    EXPECT_EQ(listLength(*H, List), 200u);
+    EXPECT_GE(H->tortureMode()->forcedCollections(), 200u);
+    EXPECT_GT(H->tortureMode()->verificationsRun(), 0u);
+    EXPECT_EQ(H->lastFault(), HeapFault::None);
+  }
+}
+
+TEST(TortureTest, InjectedFaultsExerciseTheLadderWithoutFalseExhaustion) {
+  TortureOptions Opts;
+  Opts.Seed = 42;
+  Opts.CollectInterval = 0;
+  Opts.FaultProbability = 1.0; // Every allocation climbs the ladder.
+  auto H = makeHeap(CollectorKind::MarkSweep, tinySizing());
+  H->enableTortureMode(Opts);
+  Handle List(*H);
+  buildList(*H, List, 100);
+  EXPECT_EQ(listLength(*H, List), 100u);
+  EXPECT_EQ(H->tortureMode()->injectedFaults(), 100u);
+  // Injection forced real collections (rung 1) and emergency fulls
+  // (rung 2), but never a spurious exhaustion: post-rung-2 attempts are
+  // genuine and the heap has room.
+  EXPECT_GT(H->stats().collections(), 0u);
+  EXPECT_EQ(H->lastFault(), HeapFault::None);
+  EXPECT_EQ(H->stats().heapExhaustions(), 0u);
+}
+
+TEST(TortureTest, EmbedderObserverStillSeesEventsUnderTorture) {
+  struct CountingObserver : HeapObserver {
+    uint64_t Allocations = 0, CollectionsDone = 0;
+    void onAllocate(uint64_t *, size_t) override { ++Allocations; }
+    void onCollectionDone() override { ++CollectionsDone; }
+  };
+  TortureOptions Opts;
+  Opts.Seed = 7;
+  Opts.CollectInterval = 2;
+  auto H = makeHeap(CollectorKind::StopAndCopy, tinySizing());
+  H->enableTortureMode(Opts);
+  CountingObserver Counting;
+  H->setObserver(&Counting);
+  Handle List(*H);
+  buildList(*H, List, 50);
+  EXPECT_EQ(Counting.Allocations, 50u);
+  EXPECT_GT(Counting.CollectionsDone, 0u);
+  // The torture harness stayed installed in front of the embedder.
+  EXPECT_EQ(H->observer(), static_cast<HeapObserver *>(H->tortureMode()));
+  EXPECT_EQ(H->tortureMode()->inner(), &Counting);
+}
+
+TEST(TortureTest, SchemeProgramsRunUnderIntervalOneTorture) {
+  CollectorSizing Sizing = tinySizing();
+  Sizing.PrimaryBytes = 64 * 1024;
+  for (CollectorKind Kind :
+       {CollectorKind::StopAndCopy, CollectorKind::Generational,
+        CollectorKind::NonPredictive}) {
+    auto H = makeHeap(Kind, Sizing);
+    SCOPED_TRACE(H->collector().name());
+    TortureOptions Opts;
+    Opts.Seed = 1234;
+    Opts.CollectInterval = 1;
+    H->enableTortureMode(Opts);
+    SchemeRuntime Scheme(*H);
+    EXPECT_EQ(Scheme.evalToString("(define (fib n)"
+                                  "  (if (< n 2) n"
+                                  "      (+ (fib (- n 1)) (fib (- n 2)))))"
+                                  "(fib 12)"),
+              "144");
+    EXPECT_EQ(Scheme.evalToString("(let loop ((n 40) (acc '()))"
+                                  "  (if (= n 0) (length acc)"
+                                  "      (loop (- n 1) (cons n acc))))"),
+              "40");
+    EXPECT_FALSE(Scheme.failed()) << Scheme.errorMessage();
+    EXPECT_GT(H->tortureMode()->verificationsRun(), 0u);
+  }
+}
+
+} // namespace

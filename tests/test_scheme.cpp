@@ -15,6 +15,8 @@
 #include "gc/CollectorFactory.h"
 #include "scheme/SchemeRuntime.h"
 
+#include "TortureSkip.h"
+
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -181,6 +183,7 @@ TEST_P(SchemeTest, DoLoop) {
 }
 
 TEST_P(SchemeTest, TailCallsDontOverflow) {
+  RDGC_SKIP_UNDER_ENV_TORTURE(); // A verified collection per allocation makes this quadratic.
   // One million iterations only works with proper tail calls.
   EXPECT_EQ(run("(define (count n) (if (zero? n) 'done (count (- n 1))))"
                 "(count 1000000)"),

@@ -24,6 +24,8 @@
 #include "workloads/NucleicWorkload.h"
 #include "workloads/Workload.h"
 
+#include "TortureSkip.h"
+
 #include <gtest/gtest.h>
 
 using namespace rdgc;
@@ -44,6 +46,8 @@ std::unique_ptr<Heap> bigHeap(CollectorKind Kind) {
 //===----------------------------------------------------------------------===
 
 TEST(BoyerTest, ProvesTheTheorem) {
+  RDGC_SKIP_UNDER_ENV_TORTURE(); // Workload-scale allocation: a verified
+  // collection per allocation makes this quadratic.
   auto H = bigHeap(CollectorKind::StopAndCopy);
   BoyerWorkload W(/*SharedConsing=*/false, /*ScaleLevel=*/1);
   WorkloadOutcome O = W.run(*H);
@@ -52,6 +56,8 @@ TEST(BoyerTest, ProvesTheTheorem) {
 }
 
 TEST(BoyerTest, SharedConsingProvesTheSameTheorem) {
+  RDGC_SKIP_UNDER_ENV_TORTURE(); // Workload-scale allocation: a verified
+  // collection per allocation makes this quadratic.
   auto H = bigHeap(CollectorKind::StopAndCopy);
   BoyerWorkload W(/*SharedConsing=*/true, /*ScaleLevel=*/1);
   WorkloadOutcome O = W.run(*H);
@@ -59,6 +65,8 @@ TEST(BoyerTest, SharedConsingProvesTheSameTheorem) {
 }
 
 TEST(BoyerTest, SharedConsingCutsAllocation) {
+  RDGC_SKIP_UNDER_ENV_TORTURE(); // Workload-scale allocation: a verified
+  // collection per allocation makes this quadratic.
   // The paper's sboyer point: Baker's tweak slashes allocation (37 MB ->
   // 10 MB for the paper's sizes). Expect at least a 2x reduction here.
   auto HN = bigHeap(CollectorKind::StopAndCopy);
@@ -70,6 +78,8 @@ TEST(BoyerTest, SharedConsingCutsAllocation) {
 }
 
 TEST(BoyerTest, ScaleGrowsAllocation) {
+  RDGC_SKIP_UNDER_ENV_TORTURE(); // Workload-scale allocation: a verified
+  // collection per allocation makes this quadratic.
   uint64_t Last = 0;
   for (int Scale : {1, 2, 3}) {
     auto H = bigHeap(CollectorKind::StopAndCopy);
@@ -81,6 +91,8 @@ TEST(BoyerTest, ScaleGrowsAllocation) {
 }
 
 TEST(BoyerTest, RunsOnEveryCollector) {
+  RDGC_SKIP_UNDER_ENV_TORTURE(); // Workload-scale allocation: a verified
+  // collection per allocation makes this quadratic.
   for (CollectorKind Kind :
        {CollectorKind::StopAndCopy, CollectorKind::MarkSweep,
         CollectorKind::Generational, CollectorKind::NonPredictive}) {
@@ -92,6 +104,8 @@ TEST(BoyerTest, RunsOnEveryCollector) {
 }
 
 TEST(BoyerTest, SurvivesSmallHeapPressure) {
+  RDGC_SKIP_UNDER_ENV_TORTURE(); // Workload-scale allocation: a verified
+  // collection per allocation makes this quadratic.
   // A heap barely larger than the proof's ~1.5 MB live peak forces
   // collections in the middle of rewriting; the proof must still succeed.
   CollectorSizing Sizing;
@@ -108,6 +122,8 @@ TEST(BoyerTest, SurvivesSmallHeapPressure) {
 //===----------------------------------------------------------------------===
 
 TEST(LatticeTest, CountsMatchReference) {
+  RDGC_SKIP_UNDER_ENV_TORTURE(); // Workload-scale allocation: a verified
+  // collection per allocation makes this quadratic.
   auto H = bigHeap(CollectorKind::StopAndCopy);
   LatticeWorkload W(2, 3);
   WorkloadOutcome O = W.run(*H);
@@ -116,6 +132,8 @@ TEST(LatticeTest, CountsMatchReference) {
 }
 
 TEST(LatticeTest, KnownSmallCounts) {
+  RDGC_SKIP_UNDER_ENV_TORTURE(); // Workload-scale allocation: a verified
+  // collection per allocation makes this quadratic.
   // Monotone maps from the 2-chain lattice 2^1 = {0 < 1}: for each target
   // lattice 2^b the count is the number of ordered pairs x <= y, which
   // for the boolean lattice 2^b is 3^b.
@@ -126,6 +144,8 @@ TEST(LatticeTest, KnownSmallCounts) {
 }
 
 TEST(LatticeTest, MostStorageIsShortLived) {
+  RDGC_SKIP_UNDER_ENV_TORTURE(); // Workload-scale allocation: a verified
+  // collection per allocation makes this quadratic.
   // The paper calls lattice "typical of purely functional programs":
   // a high allocation rate, almost no long-lived storage. Verify with a
   // small heap: the run must finish with many collections and a tiny
@@ -144,6 +164,8 @@ TEST(LatticeTest, MostStorageIsShortLived) {
 //===----------------------------------------------------------------------===
 
 TEST(DynamicTest, ConvergesAndValidates) {
+  RDGC_SKIP_UNDER_ENV_TORTURE(); // Workload-scale allocation: a verified
+  // collection per allocation makes this quadratic.
   auto H = bigHeap(CollectorKind::StopAndCopy);
   DynamicWorkload W(1, 512 * 1024);
   WorkloadOutcome O = W.run(*H);
@@ -154,6 +176,8 @@ TEST(DynamicTest, ConvergesAndValidates) {
 }
 
 TEST(DynamicTest, TenIterationsScaleTheAllocation) {
+  RDGC_SKIP_UNDER_ENV_TORTURE(); // Workload-scale allocation: a verified
+  // collection per allocation makes this quadratic.
   auto H1 = bigHeap(CollectorKind::StopAndCopy);
   auto H10 = bigHeap(CollectorKind::StopAndCopy);
   DynamicWorkload W1(1, 256 * 1024), W10(10, 256 * 1024);
@@ -164,6 +188,8 @@ TEST(DynamicTest, TenIterationsScaleTheAllocation) {
 }
 
 TEST(DynamicTest, WithinPhaseSurvivalIsHigh) {
+  RDGC_SKIP_UNDER_ENV_TORTURE(); // Workload-scale allocation: a verified
+  // collection per allocation makes this quadratic.
   // Table 4's signature: within one iteration, storage older than the
   // first band survives at 91-99% per 100 kB of further allocation.
   Heap H(std::make_unique<MarkSweepCollector>(32 * 1024 * 1024));
@@ -188,6 +214,8 @@ TEST(DynamicTest, WithinPhaseSurvivalIsHigh) {
 }
 
 TEST(DynamicTest, MassExtinctionAtPhaseEnd) {
+  RDGC_SKIP_UNDER_ENV_TORTURE(); // Workload-scale allocation: a verified
+  // collection per allocation makes this quadratic.
   // Table 5's signature: with iteration, OLD objects die (the phase
   // environment) while the carryover is tiny. After a full collection at
   // the end, live storage must be a small fraction of one phase.
@@ -203,6 +231,8 @@ TEST(DynamicTest, MassExtinctionAtPhaseEnd) {
 //===----------------------------------------------------------------------===
 
 TEST(NBodyTest, FiniteTrajectories) {
+  RDGC_SKIP_UNDER_ENV_TORTURE(); // Workload-scale allocation: a verified
+  // collection per allocation makes this quadratic.
   auto H = bigHeap(CollectorKind::StopAndCopy);
   NBodyWorkload W(12, 20);
   WorkloadOutcome O = W.run(*H);
@@ -211,6 +241,8 @@ TEST(NBodyTest, FiniteTrajectories) {
 }
 
 TEST(NBodyTest, AllocationScalesWithFlops) {
+  RDGC_SKIP_UNDER_ENV_TORTURE(); // Workload-scale allocation: a verified
+  // collection per allocation makes this quadratic.
   auto HSmall = bigHeap(CollectorKind::StopAndCopy);
   auto HBig = bigHeap(CollectorKind::StopAndCopy);
   NBodyWorkload Small(8, 10), Big(16, 20);
@@ -224,6 +256,8 @@ TEST(NBodyTest, AllocationScalesWithFlops) {
 }
 
 TEST(NBodyTest, AlmostNothingSurvives) {
+  RDGC_SKIP_UNDER_ENV_TORTURE(); // Workload-scale allocation: a verified
+  // collection per allocation makes this quadratic.
   // "Peak storage < 1 MB" despite 160 MB allocated (Table 3): all boxes
   // die within a step; only the state vectors survive.
   CollectorSizing Sizing;
@@ -241,6 +275,8 @@ TEST(NBodyTest, AlmostNothingSurvives) {
 //===----------------------------------------------------------------------===
 
 TEST(NucleicTest, FindsConformations) {
+  RDGC_SKIP_UNDER_ENV_TORTURE(); // Workload-scale allocation: a verified
+  // collection per allocation makes this quadratic.
   auto H = bigHeap(CollectorKind::StopAndCopy);
   NucleicWorkload W(12, 6, 4);
   WorkloadOutcome O = W.run(*H);
@@ -249,6 +285,8 @@ TEST(NucleicTest, FindsConformations) {
 }
 
 TEST(NucleicTest, DeterministicAcrossRuns) {
+  RDGC_SKIP_UNDER_ENV_TORTURE(); // Workload-scale allocation: a verified
+  // collection per allocation makes this quadratic.
   auto HA = bigHeap(CollectorKind::StopAndCopy);
   auto HB = bigHeap(CollectorKind::MarkSweep);
   NucleicWorkload WA(12, 6, 2), WB(12, 6, 2);
@@ -263,6 +301,8 @@ TEST(NucleicTest, DeterministicAcrossRuns) {
 //===----------------------------------------------------------------------===
 
 TEST(RegistryTest, AllSixWorkloadsValidateOnAllCollectors) {
+  RDGC_SKIP_UNDER_ENV_TORTURE(); // Workload-scale allocation: a verified
+  // collection per allocation makes this quadratic.
   for (CollectorKind Kind :
        {CollectorKind::StopAndCopy, CollectorKind::MarkSweep,
         CollectorKind::Generational, CollectorKind::NonPredictive}) {
@@ -279,6 +319,8 @@ TEST(RegistryTest, AllSixWorkloadsValidateOnAllCollectors) {
 }
 
 TEST(HarnessTest, ProducesConsistentMeasurements) {
+  RDGC_SKIP_UNDER_ENV_TORTURE(); // Workload-scale allocation: a verified
+  // collection per allocation makes this quadratic.
   BoyerWorkload W(false, 1);
   HarnessOptions Options;
   ExperimentRun Run = runExperiment(W, CollectorKind::StopAndCopy, Options);
@@ -292,6 +334,8 @@ TEST(HarnessTest, ProducesConsistentMeasurements) {
 }
 
 TEST(HarnessTest, HeapFactorControlsCollections) {
+  RDGC_SKIP_UNDER_ENV_TORTURE(); // Workload-scale allocation: a verified
+  // collection per allocation makes this quadratic.
   // A tighter heap must collect more often.
   BoyerWorkload W(false, 1);
   HarnessOptions Loose, Tight;
