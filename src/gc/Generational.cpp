@@ -158,6 +158,8 @@ void GenerationalCollector::collectMinor() {
 
   size_t NurseryUsed = Nursery.usedWords();
   Nursery.reset();
+  if (poisonFreedMemory())
+    Nursery.poisonFreeWords(PoisonPattern);
   if (Intermediate) {
     // Dynamic-to-intermediate entries must survive; only the entries that
     // existed purely for nursery pointers are dropped.
@@ -224,6 +226,10 @@ void GenerationalCollector::collectIntermediate() {
   size_t CondemnedUsed = Nursery.usedWords() + Intermediate->usedWords();
   Nursery.reset();
   Intermediate->reset();
+  if (poisonFreedMemory()) {
+    Nursery.poisonFreeWords(PoisonPattern);
+    Intermediate->poisonFreeWords(PoisonPattern);
+  }
   // Everything now lives in the dynamic area: no cross-generation
   // pointers into younger regions can remain.
   RemSet.clear();
@@ -361,6 +367,12 @@ void GenerationalCollector::collectMajor() {
   if (Intermediate)
     Intermediate->reset();
   From.reset();
+  if (poisonFreedMemory()) {
+    Nursery.poisonFreeWords(PoisonPattern);
+    if (Intermediate)
+      Intermediate->poisonFreeWords(PoisonPattern);
+    From.poisonFreeWords(PoisonPattern);
+  }
   ActiveIsA = !ActiveIsA;
   RemSet.clear();
 

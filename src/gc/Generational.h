@@ -64,6 +64,10 @@ public:
   void collectFull() override { collectMajor(); }
   bool tryGrowHeap(size_t MinWords) override;
   void onPointerStore(Value Holder, Value Stored) override;
+  void forEachRememberedHolder(
+      const std::function<void(uint64_t *)> &Visit) const override {
+    RemSet.forEach(Visit);
+  }
   uint8_t currentAllocationRegion() const override { return LastAllocRegion; }
   size_t capacityWords() const override;
   size_t freeWords() const override;

@@ -202,6 +202,10 @@ void MarkCompactCollector::collect() {
   size_t OldTop = Top;
   Top = MarkedWords;
   LastLiveWords = MarkedWords;
+  // The tail the live objects slid out of is vacated storage: any pointer
+  // still aimed there is dangling, so poison it for the verifier.
+  if (poisonFreedMemory())
+    std::fill(Arena.get() + Top, Arena.get() + OldTop, PoisonPattern);
 
   Record.WordsTraced = MarkedWords;
   Record.WordsReclaimed = OldTop - MarkedWords;

@@ -127,14 +127,21 @@ uint64_t MarkSweepCollector::sweepPhase() {
   FreeWordCount = 0;
   uint64_t *ListTail = nullptr;
 
+  bool Poison = poisonFreedMemory();
   auto AppendFree = [&](uint64_t *At, size_t Words) {
     // Try to extend the previous free chunk (address-ordered coalescing).
     if (ListTail && ListTail + header::payloadWords(*ListTail) + 1 == At) {
       size_t Merged = header::payloadWords(*ListTail) + 1 + Words;
       *ListTail = header::encode(ObjectTag::Free, Merged - 1, 0);
       setNextFree(ListTail, nullptr);
+      // The merged region carries no chunk metadata of its own (header and
+      // link both live at ListTail), so every word of it can be poisoned.
+      if (Poison)
+        std::fill(At, At + Words, PoisonPattern);
     } else if (Words >= 2) {
       makeFreeChunk(At, Words, nullptr);
+      if (Poison)
+        std::fill(At + 2, At + Words, PoisonPattern);
       if (ListTail)
         setNextFree(ListTail, At);
       else

@@ -314,6 +314,8 @@ void NonPredictiveCollector::collectMinor() {
 
   size_t NurseryUsed = Nursery->usedWords();
   Nursery->reset();
+  if (poisonFreedMemory())
+    Nursery->poisonFreeWords(PoisonPattern);
 
   // If promotion reached the exempt steps, shrink the exemption below the
   // promotion frontier: promoted objects then sit in the collected region
@@ -459,6 +461,8 @@ void NonPredictiveCollector::collectWithJ(size_t CollectJ) {
           Obs->onDeath(Header, ObjectRef(Header).totalWords());
       });
     Nursery->reset();
+    if (poisonFreedMemory())
+      Nursery->poisonFreeWords(PoisonPattern);
   }
   std::vector<uint16_t> RecycledBuffers;
   for (size_t Step = CollectJ + 1; Step <= K; ++Step) {
@@ -471,6 +475,8 @@ void NonPredictiveCollector::collectWithJ(size_t CollectJ) {
           Obs->onDeath(Header, ObjectRef(Header).totalWords());
       });
     S.reset();
+    if (poisonFreedMemory())
+      S.poisonFreeWords(PoisonPattern);
     RecycledBuffers.push_back(Phys);
   }
 

@@ -104,6 +104,10 @@ public:
   /// capacity limit.
   bool tryGrowHeap(size_t MinWords) override;
   void onPointerStore(Value Holder, Value Stored) override;
+  void forEachRememberedHolder(
+      const std::function<void(uint64_t *)> &Visit) const override {
+    RemSet.forEach(Visit);
+  }
   uint8_t currentAllocationRegion() const override { return LastAllocRegion; }
   /// The paper's heap size N is k steps (plus the ephemeral area in the
   /// hybrid configuration); the copy reserve is bookkeeping.

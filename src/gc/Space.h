@@ -16,6 +16,7 @@
 
 #include "heap/Object.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
 #include <memory>
@@ -49,6 +50,15 @@ public:
 
   /// Empties the space (allocation restarts at the bottom).
   void reset() { Top = 0; }
+
+  /// Fills every word from the allocation cursor to the end of the space
+  /// with \p Pattern. Called right after reset() this poisons the whole
+  /// buffer, so stale pointers into an evacuated from-space read as poison
+  /// until the storage is legitimately reallocated (the heap verifier's
+  /// dangling-reference check; see heap/Object.h PoisonPattern).
+  void poisonFreeWords(uint64_t Pattern) {
+    std::fill(Storage.get() + Top, Storage.get() + Capacity, Pattern);
+  }
 
   size_t capacityWords() const { return Capacity; }
   size_t usedWords() const { return Top; }

@@ -87,6 +87,8 @@ void StopAndCopyCollector::collect() {
 
   size_t FromUsed = From.usedWords();
   From.reset();
+  if (poisonFreedMemory())
+    From.poisonFreeWords(PoisonPattern);
   std::swap(Active, Idle);
   ActiveRegion = ToRegion;
   LastLiveWords = Active.usedWords();

@@ -20,6 +20,7 @@
 #include "heap/Value.h"
 
 #include <cstddef>
+#include <functional>
 
 namespace rdgc {
 
@@ -59,6 +60,14 @@ public:
   /// \p Stored into a pointer field of \p Holder (including initializing
   /// stores). The default does nothing (non-generational collectors).
   virtual void onPointerStore(Value Holder, Value Stored) {}
+
+  /// Enumerates the holder objects currently in the collector's remembered
+  /// set, if it keeps one. The heap verifier uses this to check that no
+  /// remembered holder has become a stale (forwarded or poisoned) address
+  /// and that no remembered slot holds a dangling pointer. The default is
+  /// empty (collectors without a write barrier).
+  virtual void forEachRememberedHolder(
+      const std::function<void(uint64_t *)> &Visit) const {}
 
   /// Region id (collector-defined) of the words most recently returned by
   /// tryAllocate. The Heap facade stamps this into the new object's header
@@ -101,12 +110,23 @@ public:
     return CapacityLimitWords == 0 || NewCapacityWords <= CapacityLimitWords;
   }
 
+  /// Poison-after-evacuation mode (see heap/Object.h PoisonPattern): when
+  /// enabled, collectors overwrite storage they vacate — an evacuated
+  /// from-space, a condemned step, swept free chunks — with the poison
+  /// word, so the heap verifier can detect dangling references to moved or
+  /// freed objects instead of silently reading stale data. Torture mode
+  /// enables it on every copying cycle; tests may enable it directly via
+  /// Heap::setPoisonFreedMemory.
+  void setPoisonFreedMemory(bool Enabled) { PoisonFreedMemory = Enabled; }
+  bool poisonFreedMemory() const { return PoisonFreedMemory; }
+
 protected:
   GcStats Stats;
 
 private:
   Heap *AttachedHeap = nullptr;
   size_t CapacityLimitWords = 0;
+  bool PoisonFreedMemory = false;
 };
 
 /// CollectionRecord::Kind value shared by collectors for the evacuation a

@@ -86,6 +86,8 @@ void Heap::enableTortureMode(const TortureOptions &Opts) {
   Torture = std::make_unique<TortureMode>(*this, Opts);
   Torture->setInner(Embedder);
   Obs = Torture.get();
+  if (Opts.PoisonFreedMemory)
+    Coll->setPoisonFreedMemory(true);
 }
 
 void Heap::setObserver(HeapObserver *Observer) {

@@ -197,6 +197,15 @@ public:
   /// the setMaxHeapBytes policy, unlimited by default).
   void setHeapGrowthEnabled(bool Enabled);
 
+  /// Poison-after-evacuation mode: vacated storage (evacuated from-spaces,
+  /// condemned steps, swept free chunks) is overwritten with PoisonPattern
+  /// so verifyHeap detects dangling references to moved or freed objects.
+  /// Torture mode turns this on by default (TortureOptions::
+  /// PoisonFreedMemory); tests can enable it directly here.
+  void setPoisonFreedMemory(bool Enabled) {
+    Coll->setPoisonFreedMemory(Enabled);
+  }
+
   //===--------------------------------------------------------------------===
   // Torture mode (see TortureMode.h). Enabled programmatically here or
   // process-wide via RDGC_TORTURE=<seed>:<interval>.

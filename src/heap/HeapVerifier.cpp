@@ -79,8 +79,33 @@ HeapVerification rdgc::verifyHeap(Heap &H) {
   std::unordered_set<const uint64_t *> Visited;
   std::vector<uint64_t *> Worklist;
 
-  auto Visit = [&](Value V) {
-    if (!Result.Ok || !V.isPointer())
+  auto Fail = [&](std::string Problem) {
+    if (!Result.Ok)
+      return;
+    Result.Ok = false;
+    Result.FirstProblem = std::move(Problem);
+  };
+
+  // Poison checks run unconditionally: the pattern decodes as neither a
+  // fixnum, a pointer, nor an immediate, so it can never occur in a Value
+  // slot of a healthy heap and checking costs two compares per slot.
+  auto CheckSlot = [&](Value V, const char *Where) -> bool {
+    if (V.rawBits() == PoisonPattern) {
+      Fail(std::string(Where) +
+           " holds the poison pattern (value read from evacuated storage)");
+      return false;
+    }
+    if (V.isPointer() && *V.asHeaderPtr() == PoisonPattern) {
+      Fail(std::string(Where) +
+           " points into poisoned storage (dangling reference to an "
+           "evacuated or freed object)");
+      return false;
+    }
+    return true;
+  };
+
+  auto Visit = [&](Value V, const char *Where) {
+    if (!Result.Ok || !CheckSlot(V, Where) || !V.isPointer())
       return;
     uint64_t *Header = V.asHeaderPtr();
     if (!Visited.insert(Header).second)
@@ -88,8 +113,7 @@ HeapVerification rdgc::verifyHeap(Heap &H) {
     ObjectRef Obj(Header);
     std::string Problem;
     if (!checkObject(Obj, Problem)) {
-      Result.Ok = false;
-      Result.FirstProblem = Problem;
+      Fail(std::move(Problem));
       return;
     }
     Result.ObjectsVisited += 1;
@@ -97,12 +121,43 @@ HeapVerification rdgc::verifyHeap(Heap &H) {
     Worklist.push_back(Header);
   };
 
-  H.forEachRoot([&](Value &Slot) { Visit(Slot); });
+  H.forEachRoot([&](Value &Slot) { Visit(Slot, "root slot"); });
   while (Result.Ok && !Worklist.empty()) {
     uint64_t *Header = Worklist.back();
     Worklist.pop_back();
-    ObjectRef(Header).forEachPointerSlot(
-        [&](uint64_t *SlotWord) { Visit(Value::fromRawBits(*SlotWord)); });
+    ObjectRef(Header).forEachPointerSlot([&](uint64_t *SlotWord) {
+      Visit(Value::fromRawBits(*SlotWord), "object field");
+    });
   }
+
+  // The remembered set is part of the collector's root-ish state: a stale
+  // holder address or a poisoned slot inside a remembered holder would
+  // corrupt the next minor collection. Holders are checked but not added
+  // to the reachability count — a dead-but-remembered holder is legal
+  // until the set is next re-filtered.
+  H.collector().forEachRememberedHolder([&](uint64_t *Holder) {
+    if (!Result.Ok)
+      return;
+    if (*Holder == PoisonPattern) {
+      Fail("remembered-set entry points into poisoned storage (stale "
+           "holder address)");
+      return;
+    }
+    ObjectRef Obj(Holder);
+    if (Obj.isForwarded()) {
+      Fail("remembered-set entry holds a forwarded object (stale holder "
+           "address)");
+      return;
+    }
+    ObjectTag Tag = Obj.tag();
+    if (Tag == ObjectTag::Free || Tag == ObjectTag::Padding) {
+      Fail(std::string("remembered-set entry holds a ") +
+           objectTagName(Tag) + " pseudo-object");
+      return;
+    }
+    Obj.forEachPointerSlot([&](uint64_t *SlotWord) {
+      CheckSlot(Value::fromRawBits(*SlotWord), "remembered holder field");
+    });
+  });
   return Result;
 }

@@ -12,6 +12,14 @@
 /// finitely traversable. Tests run it after stress scenarios; examples
 /// can call it after a collection to assert the heap is sound.
 ///
+/// The verifier also detects dangling references when the collector's
+/// poison-after-evacuation mode is on (Collector::setPoisonFreedMemory,
+/// enabled by torture mode): vacated storage is filled with PoisonPattern,
+/// so a root, remembered-set entry, or reachable field that still holds a
+/// pointer into an evacuated from-space — or a value that was itself read
+/// out of poisoned storage — is reported instead of silently corrupting
+/// survival statistics.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef RDGC_HEAP_HEAPVERIFIER_H

@@ -62,6 +62,17 @@ enum class ObjectTag : uint8_t {
 /// Returns a human-readable name for \p Tag.
 const char *objectTagName(ObjectTag Tag);
 
+/// The word written over evacuated (from-space) and swept storage when the
+/// poison-after-evacuation mode is enabled (see Collector::
+/// setPoisonFreedMemory). The pattern is chosen so it can never be mistaken
+/// for a live encoding: its low three bits (100) match neither a fixnum
+/// (xx1), a heap pointer (000), nor an immediate (010), so a poisoned word
+/// read as a Value is inert, and a dangling pointer whose target header
+/// reads as the pattern is unambiguously stale.
+constexpr uint64_t PoisonPattern = 0xDEADDEADDEADDEACull;
+static_assert((PoisonPattern & 0x7) == 0x4,
+              "poison must not decode as a fixnum, pointer, or immediate");
+
 /// Header encode/decode helpers. A header is a single uint64_t at the start
 /// of the object; Value pointers point at the header word.
 namespace header {

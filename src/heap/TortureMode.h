@@ -58,6 +58,13 @@ struct TortureOptions {
   /// Run verifyHeap after every completed collection cycle and abort with
   /// a diagnostic if any invariant is broken.
   bool VerifyAfterCollection = true;
+
+  /// Overwrite vacated storage (evacuated from-spaces, condemned steps,
+  /// swept free chunks) with PoisonPattern so the per-cycle verification
+  /// catches dangling references to moved or freed objects, not just
+  /// structural corruption (SpiderMonkey's JS_GC_ZEAL poisoning, V8's
+  /// --verify-heap in spirit).
+  bool PoisonFreedMemory = true;
 };
 
 /// The torture harness. Installed by Heap::enableTortureMode as the heap's

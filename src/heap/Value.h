@@ -19,6 +19,12 @@
 /// into the runtime's symbol table, so symbol comparison is eq? and symbols
 /// never occupy heap storage).
 ///
+/// The all-zero bit pattern is reserved: it is not a fixnum, not an
+/// immediate, and — although its low three bits match the pointer tag — it
+/// is never treated as a heap pointer. Zero-initialized storage (a memset
+/// root table, a calloc'd slot) is therefore always safe for the collector
+/// to scan; isPointer() rejects it and every scanner skips it.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef RDGC_HEAP_VALUE_H
@@ -58,9 +64,12 @@ public:
     return Value((static_cast<uint64_t>(V) << 1) | 0x1);
   }
 
-  /// Wraps a pointer to an object header. \p Header must be 8-byte aligned.
+  /// Wraps a pointer to an object header. \p Header must be 8-byte aligned
+  /// and non-null (the zero pattern is reserved for zero-initialized
+  /// storage, which scanners must skip).
   static Value pointer(uint64_t *Header) {
     auto Bits = reinterpret_cast<uint64_t>(Header);
+    assert(Bits != 0 && "null is not a heap pointer");
     assert((Bits & 0x7) == 0 && "heap pointers must be 8-byte aligned");
     return Value(Bits);
   }
@@ -96,7 +105,9 @@ public:
   //===--------------------------------------------------------------------===
 
   constexpr bool isFixnum() const { return (Bits & 0x1) != 0; }
-  constexpr bool isPointer() const { return (Bits & 0x7) == 0; }
+  /// The all-zero pattern is excluded so a zero-initialized slot is never
+  /// scanned (or dereferenced) as a heap pointer.
+  constexpr bool isPointer() const { return (Bits & 0x7) == 0 && Bits != 0; }
   constexpr bool isImmediate() const { return (Bits & 0x7) == 0x2; }
 
   constexpr bool isNull() const { return isKind(ImmediateKind::Null); }
@@ -166,6 +177,19 @@ private:
 };
 
 static_assert(sizeof(Value) == 8, "Value must be one machine word");
+
+// A default-constructed Value is the unspecified immediate, never the zero
+// pattern, and the zero pattern itself is inert — closing the gap between
+// the "safe to scan" comment on the default constructor and the encoding
+// (a zero word would otherwise satisfy the pointer tag and be dereferenced).
+static_assert(Value().isUnspecified(),
+              "default-constructed Value must be the unspecified immediate");
+static_assert(Value().rawBits() != 0,
+              "default-constructed Value must not be the zero pattern");
+static_assert(!Value::fromRawBits(0).isPointer() &&
+                  !Value::fromRawBits(0).isFixnum() &&
+                  !Value::fromRawBits(0).isImmediate(),
+              "the zero pattern must never be scanned as a value");
 
 } // namespace rdgc
 

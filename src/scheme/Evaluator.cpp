@@ -471,13 +471,16 @@ Value Evaluator::eval(Value Expr0, Value Env0) {
         ScopedRootFrame FG(Roots, &F);
         enum { Bindings = 0, Body = 1, NewEnv = 2 };
 
+        // Decide the flavor before the environment allocation below: a
+        // collection there could move the symbol Op points at, and a stale
+        // Op would no longer compare equal to the (rooted) Sym* slots.
+        bool Sequential = Op == SymLetStar;
+        bool Recursive = Op == SymLetrec;
+
         F[NewEnv] = H.allocateVectorLike(ObjectTag::Environment, 2,
                                          Value::unspecified());
         H.vectorSet(F[NewEnv], 0, R[EnvSlot]);
         H.vectorSet(F[NewEnv], 1, Value::null());
-
-        bool Sequential = Op == SymLetStar;
-        bool Recursive = Op == SymLetrec;
         while (F[Bindings].isPointer()) {
           Value Binding = H.pairCar(F[Bindings]);
           std::vector<Value> BF{H.pairCar(Binding),
@@ -606,10 +609,13 @@ Value Evaluator::eval(Value Expr0, Value Env0) {
 
       //--- when / unless --------------------------------------------------------
       if (Op == SymWhen || Op == SymUnless) {
+        // Decide the flavor before eval: a collection inside it could move
+        // the symbol Op points at and break the comparison below.
+        bool IsWhen = Op == SymWhen;
         Value Test = eval(H.pairCar(H.pairCdr(R[ExprSlot])), R[EnvSlot]);
         if (Failed)
           return Value::unspecified();
-        bool Run = Op == SymWhen ? Test.isTruthy() : !Test.isTruthy();
+        bool Run = IsWhen ? Test.isTruthy() : !Test.isTruthy();
         if (!Run)
           return Value::unspecified();
         Value Body = H.pairCdr(H.pairCdr(R[ExprSlot]));

@@ -396,16 +396,22 @@ WorkloadOutcome BoyerWorkload::run(Heap &H) {
 
   // Build the substitution, nesting each template into its own hole
   // Scale times.
-  Value Hole = Engine.symbols().intern("hole");
+  Handle Hole(H, Engine.symbols().intern("hole"));
   Handle Subst(H, Value::null());
   for (size_t I = 0; I < 5; ++I) {
-    Value Template, Base;
-    if (!Engine.parse(SubstitutionTemplate[I], Template) ||
-        !Engine.parse(SubstitutionBase[I], Base)) {
+    // Each parse may collect, so root the first result before the second
+    // parse runs.
+    Value Template;
+    if (!Engine.parse(SubstitutionTemplate[I], Template)) {
       Outcome.Detail = "substitution term failed to parse";
       return Outcome;
     }
     Handle TemplateH(H, Template);
+    Value Base;
+    if (!Engine.parse(SubstitutionBase[I], Base)) {
+      Outcome.Detail = "substitution term failed to parse";
+      return Outcome;
+    }
     Handle Rep(H, Base);
     for (int Nest = 0; Nest < Scale; ++Nest) {
       Handle Binding(H, H.allocatePair(Hole, Rep));

@@ -51,8 +51,9 @@ public:
       Value Node = H.allocateVector(3, Value::null());
       H.vectorSet(F[0], I, Node);
       // Slot 0: out-edges; slot 1: current type term; slot 2: height.
-      H.vectorSet(Node, 1,
-                  H.allocatePair(Value::symbol(0), Value::null()));
+      Value Term = H.allocatePair(Value::symbol(0), Value::null());
+      Node = H.vectorRef(F[0], I); // Re-read: the allocation may move it.
+      H.vectorSet(Node, 1, Term);
       H.vectorSet(Node, 2, Value::fixnum(0));
     }
     // Random flow edges, three per definition.
@@ -63,8 +64,8 @@ public:
         Value Edge = H.allocatePair(
             Value::fixnum(static_cast<int64_t>(To)),
             H.vectorRef(Node, 0));
+        Node = H.vectorRef(F[0], I); // Re-read: the allocation may move it.
         H.vectorSet(Node, 0, Edge);
-        Node = H.vectorRef(F[0], I); // Re-read: allocation may move it.
       }
     }
 

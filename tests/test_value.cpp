@@ -6,7 +6,13 @@
 
 #include "heap/Value.h"
 
+#include "gc/CollectorFactory.h"
+#include "heap/Heap.h"
+#include "heap/HeapVerifier.h"
+
 #include <gtest/gtest.h>
+
+#include <cstring>
 
 using namespace rdgc;
 
@@ -84,6 +90,28 @@ TEST(ValueTest, SymbolPayload) {
 TEST(ValueTest, RawBitsRoundTrip) {
   Value V = Value::fixnum(-99);
   EXPECT_EQ(Value::fromRawBits(V.rawBits()), V);
+}
+
+// The rooting contract in Value.h promises that zero-initialized storage
+// (memset, calloc, static BSS) is inert: the zero pattern is neither a
+// pointer nor any other kind, so a root slot that was never assigned must
+// survive a full root scan without being dereferenced.
+TEST(ValueTest, ZeroInitializedRootSlotIsNeverScanned) {
+  CollectorSizing Sizing;
+  Sizing.PrimaryBytes = 64 * 1024;
+  auto H = makeHeap(CollectorKind::StopAndCopy, Sizing);
+  alignas(alignof(Value)) unsigned char Storage[sizeof(Value)];
+  std::memset(Storage, 0, sizeof(Storage));
+  Value *Slot = reinterpret_cast<Value *>(Storage);
+  EXPECT_FALSE(Slot->isPointer());
+  EXPECT_FALSE(Slot->isFixnum());
+  EXPECT_FALSE(Slot->isImmediate());
+  H->registerRootSlot(Slot);
+  H->allocatePair(Value::fixnum(1), Value::null());
+  H->collectFullNow();
+  EXPECT_EQ(Slot->rawBits(), 0u);
+  EXPECT_TRUE(verifyHeap(*H).Ok);
+  H->unregisterRootSlot(Slot);
 }
 
 TEST(ValueTest, EqualityIsIdentity) {

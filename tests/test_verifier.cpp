@@ -80,6 +80,46 @@ TEST(VerifierTest, DetectsCorruptedLengthWord) {
   ObjectRef(Vec.get()).setRawAt(0, 4);
 }
 
+TEST(VerifierTest, DetectsCorruptedHeaderTag) {
+  CollectorSizing Sizing;
+  Sizing.PrimaryBytes = 64 * 1024;
+  auto H = makeHeap(CollectorKind::StopAndCopy, Sizing);
+  Handle P(*H, H->allocatePair(Value::fixnum(1), Value::null()));
+  ObjectRef Obj(P.get());
+  uint64_t Saved = Obj.headerWord();
+  // Tag 12 names no object kind; the payload size and region stay intact
+  // so only the tag check can fire.
+  Obj.setHeaderWord(
+      header::encode(static_cast<ObjectTag>(12), 2, Obj.region()));
+  HeapVerification V = verifyHeap(*H);
+  EXPECT_FALSE(V.Ok);
+  EXPECT_NE(V.FirstProblem.find("unknown object tag"), std::string::npos)
+      << V.FirstProblem;
+  // Repair before anything can allocate over the corrupted header.
+  Obj.setHeaderWord(Saved);
+  EXPECT_TRUE(verifyHeap(*H).Ok);
+}
+
+TEST(VerifierTest, DetectsStaleForwardedPointer) {
+  CollectorSizing Sizing;
+  Sizing.PrimaryBytes = 64 * 1024;
+  auto H = makeHeap(CollectorKind::StopAndCopy, Sizing);
+  Handle A(*H, H->allocatePair(Value::fixnum(1), Value::null()));
+  Handle B(*H, H->allocatePair(Value::fixnum(2), A));
+  // Stamp a Forward tag onto A as an interrupted evacuation would leave it;
+  // B's cdr still names the from-space copy, which no completed collection
+  // may ever expose to the mutator.
+  ObjectRef Obj(A.get());
+  uint64_t Saved = Obj.headerWord();
+  Obj.setHeaderWord(header::encode(ObjectTag::Forward, 2, Obj.region()));
+  HeapVerification V = verifyHeap(*H);
+  EXPECT_FALSE(V.Ok);
+  EXPECT_NE(V.FirstProblem.find("forwarded"), std::string::npos)
+      << V.FirstProblem;
+  Obj.setHeaderWord(Saved);
+  EXPECT_TRUE(verifyHeap(*H).Ok);
+}
+
 TEST(VerifierTest, SoundAfterStressOnEveryCollector) {
   for (CollectorKind Kind :
        {CollectorKind::StopAndCopy, CollectorKind::MarkSweep,

@@ -1,0 +1,49 @@
+// gclint fixture: the missing-barrier rule. Not compiled — only lexed.
+// Raw ObjectRef::setValueAt stores are invisible to the generational
+// collectors' remembered sets unless the surrounding function routes the
+// store through the write-barrier API.
+
+struct Value {
+  static Value fixnum(long N);
+  bool isPointer() const;
+};
+
+struct ObjectRef {
+  void setValueAt(int I, Value V);
+};
+
+struct Collector {
+  void onPointerStore(Value Holder, Value Stored);
+};
+
+struct Heap {
+  Collector &collector();
+  void barrier(Value Holder, Value Stored);
+};
+
+// Violation: a bare store with no barrier anywhere in the function.
+void storeWithoutBarrier(ObjectRef Obj, Value V) {
+  Obj.setValueAt(0, V); // gclint-expect: missing-barrier
+}
+
+// Violation: two stores, two findings, still no barrier.
+void doubleStoreWithoutBarrier(ObjectRef Obj, Value V) {
+  Obj.setValueAt(0, V); // gclint-expect: missing-barrier
+  Obj.setValueAt(1, V); // gclint-expect: missing-barrier
+}
+
+// SAFE: the store is paired with the Heap facade's barrier.
+void storeWithBarrier(Heap &H, ObjectRef Obj, Value Holder, Value V) {
+  H.barrier(Holder, V);
+  Obj.setValueAt(0, V);
+}
+
+// SAFE: notifying the collector directly is the same contract.
+void storeWithCollectorBarrier(Heap &H, ObjectRef Obj, Value Holder, Value V) {
+  if (V.isPointer())
+    H.collector().onPointerStore(Holder, V);
+  Obj.setValueAt(0, V);
+}
+
+// SAFE: no raw stores at all.
+void noStores(Heap &H, Value Holder, Value V) { H.barrier(Holder, V); }

@@ -1,0 +1,98 @@
+// gclint fixture: idiomatic GC-safe code that must produce NO findings.
+// Not compiled — only lexed. These shapes mirror the real codebase: Handle
+// rooting, TempRoots address-of rooting, rooted-frame re-reads, and
+// barriered facade stores.
+
+struct Value {
+  static Value fixnum(long N);
+  static Value null();
+  bool isPointer() const;
+};
+
+struct ObjectRef {
+  void setValueAt(int I, Value V);
+};
+
+struct Heap {
+  Value allocatePair(Value Car, Value Cdr);
+  Value allocateVector(int N, Value Fill);
+  void collectNow();
+  void setPairCdr(Value Pair, Value V);
+  void barrier(Value Holder, Value Stored);
+  void registerRootSlot(Value *Slot);
+  void unregisterRootSlot(Value *Slot);
+};
+
+struct Handle {
+  Handle(Heap &H, Value V);
+  Value get() const;
+  void set(Value V);
+  operator Value() const;
+};
+
+struct TempRoots {
+  TempRoots(Heap &H, Value *A, Value *B);
+};
+
+void use(Value V);
+
+// Handle keeps the slot rooted; get() re-reads after every collection.
+void handleIdiom(Heap &H) {
+  Handle A(H, H.allocatePair(Value::fixnum(1), Value::null()));
+  H.collectNow();
+  use(A.get());
+}
+
+// The allocator-argument idiom: arguments are consumed before the call's
+// collection can run, and allocators root them internally.
+void argumentIdiom(Heap &H) {
+  Value A = H.allocatePair(Value::fixnum(1), Value::null());
+  Value B = H.allocatePair(A, Value::null());
+  use(B);
+}
+
+// TempRoots roots by address, exactly like the typed allocators do.
+void tempRootsIdiom(Heap &H, Value Car, Value Cdr) {
+  TempRoots Roots(H, &Car, &Cdr);
+  H.collectNow();
+  use(Car);
+  use(Cdr);
+}
+
+// Re-reading from a rooted frame after the collection kills staleness.
+void rereadIdiom(Heap &H, Handle &Frame) {
+  Value A = Frame.get();
+  use(A);
+  H.collectNow();
+  A = Frame.get();
+  use(A);
+}
+
+// A barriered store: facade accessors pair setValueAt with barrier().
+void facadeStore(Heap &H, ObjectRef Obj, Value Pair, Value V) {
+  H.barrier(Pair, V);
+  Obj.setValueAt(1, V);
+}
+
+// Loop whose body rewrites the local before each read.
+void loopRefresh(Heap &H, Handle &Frame) {
+  for (int I = 0; I < 8; ++I) {
+    Value A = Frame.get();
+    use(A);
+    H.allocatePair(A, Value::null());
+  }
+}
+
+// The rooted-frame indexing idiom: enum constants that shadow a Value
+// local name (`F[Body]` in the evaluator) are indices, not reads of the
+// local, even after a collection.
+void frameIndexIdiom(Heap &H, Value *F) {
+  Value Body = F[1];
+  use(Body);
+  {
+    enum { Bindings = 0, Body = 1 };
+    H.collectNow();
+    use(F[Body]);
+    use(F[Bindings]);
+  }
+}

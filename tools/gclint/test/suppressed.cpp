@@ -1,0 +1,50 @@
+// gclint fixture: suppression comments. Not compiled — only lexed. Every
+// violation in this file carries a `gclint-ok` suppression (trailing or
+// on the preceding line), so --check-expectations must see zero findings
+// and zero expectations — the run passes only if suppression works.
+
+struct Value {
+  static Value fixnum(long N);
+  static Value null();
+};
+
+struct ObjectRef {
+  void setValueAt(int I, Value V);
+};
+
+struct Heap {
+  Value allocatePair(Value Car, Value Cdr);
+  void collectNow();
+};
+
+void use(Value V);
+
+// Trailing-style suppression on the offending line.
+void suppressedTrailing(Heap &H) {
+  Value A = H.allocatePair(Value::fixnum(1), Value::null());
+  H.collectNow();
+  use(A); // gclint-ok: unrooted-value fixture exercises trailing suppression
+}
+
+// Own-line suppression covering the next line.
+void suppressedPrecedingLine(Heap &H) {
+  Value A = H.allocatePair(Value::fixnum(1), Value::null());
+  H.collectNow();
+  // gclint-ok: unrooted-value fixture exercises preceding-line suppression
+  use(A);
+}
+
+// A missing-barrier suppression; initializing stores on a fresh object
+// need no barrier, which is the canonical reason to write one of these.
+void suppressedBarrier(ObjectRef Obj, Value V) {
+  Obj.setValueAt(0, V); // gclint-ok: missing-barrier initializing store
+}
+
+// A suppression for the wrong rule must NOT silence the finding: this one
+// is expected despite the gclint-ok comment naming another rule.
+void wrongRuleSuppression(Heap &H) {
+  Value A = H.allocatePair(Value::fixnum(1), Value::null());
+  H.collectNow();
+  // gclint-ok: missing-barrier wrong rule on purpose
+  use(A); // gclint-expect: unrooted-value
+}

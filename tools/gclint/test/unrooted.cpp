@@ -1,0 +1,134 @@
+// gclint fixture: the unrooted-value rule. Not compiled — only lexed by
+// gclint, so the minimal fake declarations below are all it needs. Each
+// line that must produce a finding carries a gclint-expect comment; the
+// fixture test runs `gclint --check-expectations` over this file and fails
+// on any missed or extra finding.
+
+struct Value {
+  static Value fixnum(long N);
+  static Value null();
+  long rawBits() const;
+};
+
+struct ObjectRef {
+  Value valueAt(int I) const;
+};
+
+struct Heap {
+  Value allocatePair(Value Car, Value Cdr);
+  Value allocateVector(int N, Value Fill);
+  void collectNow();
+  Value pairCar(Value Pair) const;
+  void keep(Value *Slot);
+};
+
+void use(Value V);
+void use2(Value V, Value W);
+
+// A helper that allocates transitively: callers of makeNode are may-allocate
+// call sites even though its name has no allocate/collect prefix.
+Value makeNode(Heap &H, Value Car) { return H.allocatePair(Car, Value::null()); }
+
+// The basic violation: A is written, a collection may run, A is read stale.
+void plainViolation(Heap &H) {
+  Value A = H.allocatePair(Value::fixnum(1), Value::null());
+  H.allocatePair(Value::fixnum(2), Value::null());
+  use(A); // gclint-expect: unrooted-value
+}
+
+// Transitive may-allocate: makeNode allocates, so it is a GC point too.
+void transitiveViolation(Heap &H) {
+  Value A = H.allocatePair(Value::fixnum(1), Value::null());
+  makeNode(H, Value::fixnum(3));
+  use(A); // gclint-expect: unrooted-value
+}
+
+// An explicit collection entry point is a GC point even without allocation.
+void collectViolation(Heap &H) {
+  Value A = H.allocatePair(Value::fixnum(1), Value::null());
+  H.collectNow();
+  use(A); // gclint-expect: unrooted-value
+}
+
+// ObjectRef locals go stale exactly like Values do.
+void objectRefViolation(Heap &H, ObjectRef Obj) {
+  H.allocatePair(Value::fixnum(1), Value::null());
+  use(Obj.valueAt(0)); // gclint-expect: unrooted-value
+}
+
+// Loop wrap-around: A is defined outside the loop and read inside a body
+// that collects, so every iteration after the first reads a stale value.
+void loopViolation(Heap &H) {
+  Value A = H.allocatePair(Value::fixnum(1), Value::null());
+  for (int I = 0; I < 4; ++I) {
+    use(A); // gclint-expect: unrooted-value
+    H.allocatePair(Value::fixnum(I), Value::null());
+  }
+}
+
+// SAFE: passing a Value as an allocator argument happens before the
+// collection the call may trigger (and allocators root their arguments).
+void safeArgument(Heap &H) {
+  Value A = H.allocatePair(Value::fixnum(1), Value::null());
+  Value B = H.allocatePair(A, Value::null());
+  use(B);
+}
+
+// SAFE: reassignment after the GC point kills the stale definition.
+void safeReassigned(Heap &H) {
+  Value A = H.allocatePair(Value::fixnum(1), Value::null());
+  H.collectNow();
+  A = H.allocatePair(Value::fixnum(2), Value::null());
+  use(A);
+}
+
+// SAFE: taking the address roots the slot (TempRoots / registerRootSlot),
+// so the collector rewrites it in place.
+void safeRooted(Heap &H) {
+  Value A = H.allocatePair(Value::fixnum(1), Value::null());
+  H.keep(&A);
+  H.collectNow();
+  use(A);
+}
+
+// SAFE: the loop rewrites A every iteration before reading it.
+void safeLoopReassigned(Heap &H) {
+  Value A = Value::null();
+  for (int I = 0; I < 4; ++I) {
+    A = H.allocatePair(Value::fixnum(I), Value::null());
+    use(A);
+  }
+}
+
+// SAFE: no GC point between the write and the read.
+void safeStraightLine(Heap &H) {
+  Value A = H.allocatePair(Value::fixnum(1), Value::null());
+  Value B = A;
+  use2(A, B);
+}
+
+// An allocating parser with a by-reference out-parameter, like
+// Reader::parseDatum and BoyerEngine::parse in the real tree.
+bool fillNode(Heap &H, Value &Out) {
+  Out = H.allocatePair(Value::fixnum(7), Value::null());
+  return true;
+}
+
+// SAFE: the callee writes the uninitialized out-parameter AFTER any
+// collection it performs, so the call is a definition, not a hazard.
+void safeOutParam(Heap &H) {
+  Value D;
+  if (!fillNode(H, D))
+    return;
+  use(D);
+}
+
+// ...but a second may-allocate call after the filling one still
+// invalidates the out-parameter's result.
+void outParamThenCollectViolation(Heap &H) {
+  Value D;
+  if (!fillNode(H, D))
+    return;
+  H.collectNow();
+  use(D); // gclint-expect: unrooted-value
+}
