@@ -8,6 +8,7 @@
 
 #include "gc/CopyScavenger.h"
 #include "heap/Heap.h"
+#include "observe/GcTracer.h"
 
 #include <algorithm>
 #include <unordered_set>
@@ -125,6 +126,7 @@ void GenerationalCollector::collectMinor() {
   CollectionRecord Record;
   Record.WordsAllocatedBefore = stats().wordsAllocated();
   Record.Kind = GK_Minor;
+  GcPhaseTimer Timer(H->tracer() != nullptr);
 
   Space &To = Intermediate ? *Intermediate : activeDynamic();
   uint8_t ToRegion =
@@ -138,18 +140,22 @@ void GenerationalCollector::collectMinor() {
       },
       H->observer());
 
+  Timer.begin(GcPhase::RootScan);
   H->forEachRoot([&](Value &Slot) {
     ++Record.RootsScanned;
     Scavenger.scavenge(Slot);
   });
   // The remembered set holds every older object that may contain a
   // pointer into a younger region; re-scan those objects (Section 8.4).
+  Timer.begin(GcPhase::RemsetScan);
   RemSet.forEach([&](uint64_t *Holder) {
     ++Record.RootsScanned;
     Scavenger.scanObject(Holder);
   });
+  Timer.begin(GcPhase::Trace);
   Scavenger.drain();
 
+  Timer.begin(GcPhase::Sweep);
   if (HeapObserver *Obs = H->observer())
     Nursery.forEachObject([&](uint64_t *Header) {
       if (!ObjectRef(Header).isForwarded())
@@ -175,9 +181,7 @@ void GenerationalCollector::collectMinor() {
   Record.WordsTraced = Scavenger.wordsCopied();
   Record.WordsReclaimed = NurseryUsed - Scavenger.wordsCopied();
   Record.LiveWordsAfter = LastLiveWords;
-  stats().noteCollection(Record);
-  if (HeapObserver *Obs = H->observer())
-    Obs->onCollectionDone();
+  finishCollection(Record, Timer);
 }
 
 void GenerationalCollector::collectIntermediate() {
@@ -189,6 +193,7 @@ void GenerationalCollector::collectIntermediate() {
   CollectionRecord Record;
   Record.WordsAllocatedBefore = stats().wordsAllocated();
   Record.Kind = GK_Intermediate;
+  GcPhaseTimer Timer(H->tracer() != nullptr);
 
   Space &To = activeDynamic();
   uint8_t ToRegion = activeDynamicRegion();
@@ -202,16 +207,20 @@ void GenerationalCollector::collectIntermediate() {
       },
       H->observer());
 
+  Timer.begin(GcPhase::RootScan);
   H->forEachRoot([&](Value &Slot) {
     ++Record.RootsScanned;
     Scavenger.scavenge(Slot);
   });
+  Timer.begin(GcPhase::RemsetScan);
   RemSet.forEach([&](uint64_t *Holder) {
     ++Record.RootsScanned;
     Scavenger.scanObject(Holder);
   });
+  Timer.begin(GcPhase::Trace);
   Scavenger.drain();
 
+  Timer.begin(GcPhase::Sweep);
   if (HeapObserver *Obs = H->observer()) {
     auto ReportDeaths = [&](const Space &S) {
       S.forEachObject([&](uint64_t *Header) {
@@ -238,9 +247,7 @@ void GenerationalCollector::collectIntermediate() {
   Record.WordsTraced = Scavenger.wordsCopied();
   Record.WordsReclaimed = CondemnedUsed - Scavenger.wordsCopied();
   Record.LiveWordsAfter = LastLiveWords;
-  stats().noteCollection(Record);
-  if (HeapObserver *Obs = H->observer())
-    Obs->onCollectionDone();
+  finishCollection(Record, Timer);
 }
 
 bool GenerationalCollector::ensureMajorToSpace() {
@@ -325,6 +332,7 @@ void GenerationalCollector::collectMajor() {
   CollectionRecord Record;
   Record.WordsAllocatedBefore = stats().wordsAllocated();
   Record.Kind = GK_Major;
+  GcPhaseTimer Timer(H->tracer() != nullptr);
 
   Space &From = activeDynamic();
   Space &To = idleDynamic();
@@ -342,12 +350,15 @@ void GenerationalCollector::collectMajor() {
       },
       H->observer());
 
+  Timer.begin(GcPhase::RootScan);
   H->forEachRoot([&](Value &Slot) {
     ++Record.RootsScanned;
     Scavenger.scavenge(Slot);
   });
+  Timer.begin(GcPhase::Trace);
   Scavenger.drain();
 
+  Timer.begin(GcPhase::Sweep);
   if (HeapObserver *Obs = H->observer()) {
     auto ReportDeaths = [&](const Space &S) {
       S.forEachObject([&](uint64_t *Header) {
@@ -380,7 +391,5 @@ void GenerationalCollector::collectMajor() {
   Record.WordsTraced = Scavenger.wordsCopied();
   Record.WordsReclaimed = CondemnedUsed - Scavenger.wordsCopied();
   Record.LiveWordsAfter = LastLiveWords;
-  stats().noteCollection(Record);
-  if (HeapObserver *Obs = H->observer())
-    Obs->onCollectionDone();
+  finishCollection(Record, Timer);
 }

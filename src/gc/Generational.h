@@ -74,7 +74,7 @@ public:
   size_t liveWordsAfterLastCollect() const override { return LastLiveWords; }
   const char *name() const override { return "generational"; }
 
-  size_t rememberedSetSize() const { return RemSet.size(); }
+  size_t rememberedSetSize() const override { return RemSet.size(); }
   size_t nurseryCapacityWords() const { return Nursery.capacityWords(); }
   size_t dynamicUsedWords() const { return activeDynamic().usedWords(); }
   bool hasIntermediate() const { return Intermediate != nullptr; }

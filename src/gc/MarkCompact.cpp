@@ -9,6 +9,7 @@
 #include "gc/CopyScavenger.h"
 #include "heap/Heap.h"
 #include "heap/Object.h"
+#include "observe/GcTracer.h"
 
 #include <algorithm>
 #include <cstring>
@@ -46,6 +47,7 @@ bool MarkCompactCollector::tryGrowHeap(size_t MinWords) {
 
   CollectionRecord Record;
   Record.WordsAllocatedBefore = stats().wordsAllocated();
+  GcPhaseTimer Timer(H->tracer() != nullptr);
 
   // The cursor can never pass Top <= NewWords - MinWords, so the to-space
   // allocator cannot fail.
@@ -59,12 +61,15 @@ bool MarkCompactCollector::tryGrowHeap(size_t MinWords) {
         return CopyTarget{Mem, 0};
       },
       H->observer());
+  Timer.begin(GcPhase::RootScan);
   H->forEachRoot([&](Value &Slot) {
     ++Record.RootsScanned;
     Scavenger.scavenge(Slot);
   });
+  Timer.begin(GcPhase::Trace);
   Scavenger.drain();
 
+  Timer.begin(GcPhase::Sweep);
   // Unforwarded objects in the old arena are garbage.
   if (HeapObserver *Obs = H->observer()) {
     uint64_t *P = Arena.get();
@@ -87,13 +92,12 @@ bool MarkCompactCollector::tryGrowHeap(size_t MinWords) {
   Record.WordsReclaimed = OldTop - Scavenger.wordsCopied();
   Record.LiveWordsAfter = Cursor;
   Record.Kind = CollectionKindGrowth;
-  stats().noteCollection(Record);
-  if (HeapObserver *Obs = H->observer())
-    Obs->onCollectionDone();
+  finishCollection(Record, Timer);
   return true;
 }
 
-uint64_t MarkCompactCollector::markPhase(uint64_t &RootsScanned) {
+uint64_t MarkCompactCollector::markPhase(uint64_t &RootsScanned,
+                                         GcPhaseTimer &Timer) {
   Heap *H = heap();
   std::vector<uint64_t *> MarkStack;
   uint64_t MarkedWords = 0;
@@ -111,10 +115,12 @@ uint64_t MarkCompactCollector::markPhase(uint64_t &RootsScanned) {
     MarkStack.push_back(Header);
   };
 
+  Timer.begin(GcPhase::RootScan);
   H->forEachRoot([&](Value &Slot) {
     ++RootsScanned;
     MarkValue(Slot);
   });
+  Timer.begin(GcPhase::Trace);
   while (!MarkStack.empty()) {
     uint64_t *Header = MarkStack.back();
     MarkStack.pop_back();
@@ -132,9 +138,14 @@ void MarkCompactCollector::collect() {
   CollectionRecord Record;
   Record.WordsAllocatedBefore = stats().wordsAllocated();
   Record.Kind = 0;
+  GcPhaseTimer Timer(H->tracer() != nullptr);
 
   // Phase 1: mark.
-  uint64_t MarkedWords = markPhase(Record.RootsScanned);
+  uint64_t MarkedWords = markPhase(Record.RootsScanned, Timer);
+
+  // Phases 2-4 (forwarding calculation, reference rewrite, slide) are the
+  // compactor's storage-reorganization work: the trace taxonomy's Sweep.
+  Timer.begin(GcPhase::Sweep);
 
   // Phase 2: compute slide-down forwarding addresses in address order.
   std::unordered_map<const uint64_t *, uint64_t *> NewAddress;
@@ -210,7 +221,5 @@ void MarkCompactCollector::collect() {
   Record.WordsTraced = MarkedWords;
   Record.WordsReclaimed = OldTop - MarkedWords;
   Record.LiveWordsAfter = MarkedWords;
-  stats().noteCollection(Record);
-  if (Obs)
-    Obs->onCollectionDone();
+  finishCollection(Record, Timer);
 }

@@ -48,7 +48,7 @@ public:
   const char *name() const override { return "mark-compact"; }
 
 private:
-  uint64_t markPhase(uint64_t &RootsScanned);
+  uint64_t markPhase(uint64_t &RootsScanned, GcPhaseTimer &Timer);
 
   std::unique_ptr<uint64_t[]> Arena;
   size_t ArenaWords;

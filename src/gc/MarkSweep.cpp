@@ -9,6 +9,7 @@
 #include "gc/CopyScavenger.h"
 #include "heap/Heap.h"
 #include "heap/Object.h"
+#include "observe/GcTracer.h"
 
 #include <algorithm>
 #include <vector>
@@ -85,7 +86,8 @@ size_t MarkSweepCollector::freeListLength() const {
   return Length;
 }
 
-uint64_t MarkSweepCollector::markPhase(uint64_t &RootsScanned) {
+uint64_t MarkSweepCollector::markPhase(uint64_t &RootsScanned,
+                                       GcPhaseTimer &Timer) {
   Heap *H = heap();
   std::vector<uint64_t *> MarkStack;
   uint64_t MarkedWords = 0;
@@ -103,11 +105,13 @@ uint64_t MarkSweepCollector::markPhase(uint64_t &RootsScanned) {
     MarkStack.push_back(Header);
   };
 
+  Timer.begin(GcPhase::RootScan);
   H->forEachRoot([&](Value &Slot) {
     ++RootsScanned;
     MarkValue(Slot);
   });
 
+  Timer.begin(GcPhase::Trace);
   while (!MarkStack.empty()) {
     uint64_t *Header = MarkStack.back();
     MarkStack.pop_back();
@@ -193,6 +197,7 @@ bool MarkSweepCollector::tryGrowHeap(size_t MinWords) {
 
   CollectionRecord Record;
   Record.WordsAllocatedBefore = stats().wordsAllocated();
+  GcPhaseTimer Timer(H->tracer() != nullptr);
 
   // Evacuate every reachable object into the bottom of the new arena. The
   // cursor can never pass UsedBound <= NewWords - MinWords, so the
@@ -207,12 +212,15 @@ bool MarkSweepCollector::tryGrowHeap(size_t MinWords) {
         return CopyTarget{Mem, 0};
       },
       H->observer());
+  Timer.begin(GcPhase::RootScan);
   H->forEachRoot([&](Value &Slot) {
     ++Record.RootsScanned;
     Scavenger.scavenge(Slot);
   });
+  Timer.begin(GcPhase::Trace);
   Scavenger.drain();
 
+  Timer.begin(GcPhase::Sweep);
   // Anything real left unforwarded in the old arena is garbage (growth
   // runs right after a full collection, but an unreachable structure built
   // since then is possible).
@@ -240,9 +248,7 @@ bool MarkSweepCollector::tryGrowHeap(size_t MinWords) {
   Record.WordsReclaimed = UsedBound - Scavenger.wordsCopied();
   Record.LiveWordsAfter = LastLiveWords;
   Record.Kind = CollectionKindGrowth;
-  stats().noteCollection(Record);
-  if (HeapObserver *Obs = H->observer())
-    Obs->onCollectionDone();
+  finishCollection(Record, Timer);
   return true;
 }
 
@@ -250,8 +256,10 @@ void MarkSweepCollector::collect() {
   assert(heap() && "collector not attached to a heap");
   CollectionRecord Record;
   Record.WordsAllocatedBefore = stats().wordsAllocated();
+  GcPhaseTimer Timer(heap()->tracer() != nullptr);
 
-  uint64_t MarkedWords = markPhase(Record.RootsScanned);
+  uint64_t MarkedWords = markPhase(Record.RootsScanned, Timer);
+  Timer.begin(GcPhase::Sweep);
   uint64_t Reclaimed = sweepPhase();
   LastLiveWords = MarkedWords;
 
@@ -259,7 +267,5 @@ void MarkSweepCollector::collect() {
   Record.WordsReclaimed = Reclaimed;
   Record.LiveWordsAfter = MarkedWords;
   Record.Kind = 0;
-  stats().noteCollection(Record);
-  if (HeapObserver *Obs = heap()->observer())
-    Obs->onCollectionDone();
+  finishCollection(Record, Timer);
 }

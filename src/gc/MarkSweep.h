@@ -50,7 +50,8 @@ public:
 
 private:
   /// Marks everything reachable from the roots; returns marked words.
-  uint64_t markPhase(uint64_t &RootsScanned);
+  /// Splits its time into the RootScan and Trace phases of \p Timer.
+  uint64_t markPhase(uint64_t &RootsScanned, GcPhaseTimer &Timer);
   /// Sweeps the arena, reporting deaths, coalescing free storage, and
   /// rebuilding the address-ordered free list; returns reclaimed words.
   uint64_t sweepPhase();

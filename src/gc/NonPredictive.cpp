@@ -8,6 +8,7 @@
 
 #include "gc/CopyScavenger.h"
 #include "heap/Heap.h"
+#include "observe/GcTracer.h"
 #include "support/Error.h"
 
 #include <algorithm>
@@ -276,6 +277,7 @@ void NonPredictiveCollector::collectMinor() {
   CollectionRecord Record;
   Record.WordsAllocatedBefore = stats().wordsAllocated();
   Record.Kind = NPK_Minor;
+  GcPhaseTimer Timer(H->tracer() != nullptr);
 
   // Promotion target: the normal downward step-allocation path. Track the
   // lowest step promoted into so j can be decreased below it afterwards.
@@ -294,17 +296,21 @@ void NonPredictiveCollector::collectMinor() {
   };
   CopyScavenger Scavenger(InCondemned, AllocateTo, H->observer());
 
+  Timer.begin(GcPhase::RootScan);
   H->forEachRoot([&](Value &Slot) {
     ++Record.RootsScanned;
     Scavenger.scavenge(Slot);
   });
   // Remembered step-heap objects may hold nursery pointers; scan them.
+  Timer.begin(GcPhase::RemsetScan);
   RemSet.forEach([&](uint64_t *Holder) {
     ++Record.RootsScanned;
     Scavenger.scanObject(Holder);
   });
+  Timer.begin(GcPhase::Trace);
   Scavenger.drain();
 
+  Timer.begin(GcPhase::Sweep);
   HeapObserver *Obs = H->observer();
   if (Obs)
     Nursery->forEachObject([&](uint64_t *Header) {
@@ -351,9 +357,7 @@ void NonPredictiveCollector::collectMinor() {
   Record.WordsTraced = Scavenger.wordsCopied();
   Record.WordsReclaimed = NurseryUsed - Scavenger.wordsCopied();
   Record.LiveWordsAfter = LastLiveWords;
-  stats().noteCollection(Record);
-  if (Obs)
-    Obs->onCollectionDone();
+  finishCollection(Record, Timer);
 }
 
 void NonPredictiveCollector::collectWithJ(size_t CollectJ) {
@@ -375,6 +379,10 @@ void NonPredictiveCollector::collectWithJ(size_t CollectJ) {
   // under the ceiling, refuse the collection and let the allocation
   // ladder surface the exhaustion.
   bool PromoteNursery = Nursery != nullptr;
+  // The capacity-planning liveness measurements below walk the whole
+  // reachable graph, so they are part of the cycle's root-scan work.
+  GcPhaseTimer Timer(H->tracer() != nullptr);
+  Timer.begin(GcPhase::RootScan);
   if (capacityLimitWords() != 0) {
     size_t Headroom = capacityLimitWords() > capacityWords()
                           ? capacityLimitWords() - capacityWords()
@@ -429,16 +437,19 @@ void NonPredictiveCollector::collectWithJ(size_t CollectJ) {
 
   CopyScavenger Scavenger(InCondemned, AllocateTo, H->observer());
 
+  Timer.begin(GcPhase::RootScan);
   H->forEachRoot([&](Value &Slot) {
     ++Record.RootsScanned;
     Scavenger.scavenge(Slot);
   });
   // Remembered objects in steps 1..j hold pointers into the condemned
   // region; those slots are roots and must be rewritten (Section 8.6).
+  Timer.begin(GcPhase::RemsetScan);
   RemSet.forEach([&](uint64_t *Holder) {
     ++Record.RootsScanned;
     Scavenger.scanObject(Holder);
   });
+  Timer.begin(GcPhase::RootScan);
   if (Nursery && !PromoteNursery)
     // The unpromoted nursery is a young region that is not scanned via the
     // remembered set, so scan every nursery object conservatively: garbage
@@ -448,8 +459,10 @@ void NonPredictiveCollector::collectWithJ(size_t CollectJ) {
       ++Record.RootsScanned;
       Scavenger.scanObject(Header);
     });
+  Timer.begin(GcPhase::Trace);
   Scavenger.drain();
 
+  Timer.begin(GcPhase::Sweep);
   // --- Report deaths and recycle the condemned buffers.
   size_t CondemnedUsed = 0;
   HeapObserver *Obs = H->observer();
@@ -560,9 +573,7 @@ void NonPredictiveCollector::collectWithJ(size_t CollectJ) {
   Record.WordsTraced = Scavenger.wordsCopied();
   Record.WordsReclaimed = CondemnedUsed - Scavenger.wordsCopied();
   Record.LiveWordsAfter = LastLiveWords;
-  stats().noteCollection(Record);
-  if (Obs)
-    Obs->onCollectionDone();
+  finishCollection(Record, Timer);
 
   // A deferred nursery promotion runs as soon as the steps can absorb the
   // worst case; if they still cannot, the allocation ladder takes over.

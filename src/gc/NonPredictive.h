@@ -130,7 +130,7 @@ public:
   bool isHybrid() const { return Nursery != nullptr; }
   /// Words used in logical step \p Logical (1-based).
   size_t stepUsedWords(size_t Logical) const;
-  size_t rememberedSetSize() const { return RemSet.size(); }
+  size_t rememberedSetSize() const override { return RemSet.size(); }
   /// Largest entry count the remembered set ever reached.
   size_t rememberedSetPeak() const { return RemsetPeak; }
   uint64_t collectionsRun() const { return CollectionCount; }

@@ -49,13 +49,21 @@ public:
       Visit(Holder);
   }
 
-  /// Empties the set, clearing the remembered bit of every (unmoved)
-  /// entry. Holders that were evacuated by a copying collection carry a
-  /// cleared bit on their new copy already (see CopyScavenger), so clearing
-  /// the stale from-space header here is harmless.
+  /// Empties the set, clearing the remembered bit of every entry that is
+  /// still a live, unmoved object. Holders evacuated by a copying
+  /// collection are stale addresses by now: their new copy already carries
+  /// a cleared bit (see CopyScavenger), and the from-space storage behind
+  /// the entry holds a forwarding header or the poison fill — writing the
+  /// cleared bit there would corrupt the poison pattern (PoisonPattern has
+  /// bit 7 set) and blind the verifier's dangling-reference scan, so those
+  /// entries are skipped instead.
   void clear() {
-    for (uint64_t *Holder : Entries)
+    for (uint64_t *Holder : Entries) {
+      if (*Holder == PoisonPattern ||
+          header::tag(*Holder) == ObjectTag::Forward)
+        continue;
       *Holder = header::clearRemembered(*Holder);
+    }
     Entries.clear();
   }
 

@@ -8,6 +8,7 @@
 
 #include "gc/CopyScavenger.h"
 #include "heap/Heap.h"
+#include "observe/GcTracer.h"
 
 #include <algorithm>
 #include <utility>
@@ -60,6 +61,7 @@ void StopAndCopyCollector::collect() {
 
   CollectionRecord Record;
   Record.WordsAllocatedBefore = stats().wordsAllocated();
+  GcPhaseTimer Timer(H->tracer() != nullptr);
 
   Space &From = Active;
   Space &To = Idle;
@@ -72,12 +74,15 @@ void StopAndCopyCollector::collect() {
       },
       H->observer());
 
+  Timer.begin(GcPhase::RootScan);
   H->forEachRoot([&](Value &Slot) {
     ++Record.RootsScanned;
     Scavenger.scavenge(Slot);
   });
+  Timer.begin(GcPhase::Trace);
   Scavenger.drain();
 
+  Timer.begin(GcPhase::Sweep);
   // Report deaths: anything left unforwarded in from-space did not survive.
   if (HeapObserver *Obs = H->observer())
     From.forEachObject([&](uint64_t *Header) {
@@ -97,7 +102,5 @@ void StopAndCopyCollector::collect() {
   Record.WordsReclaimed = FromUsed - Scavenger.wordsCopied();
   Record.LiveWordsAfter = LastLiveWords;
   Record.Kind = 0;
-  stats().noteCollection(Record);
-  if (HeapObserver *Obs = H->observer())
-    Obs->onCollectionDone();
+  finishCollection(Record, Timer);
 }

@@ -24,6 +24,7 @@
 
 namespace rdgc {
 
+class GcPhaseTimer;
 class Heap;
 
 /// Abstract base class for collectors. Collectors own their storage; the
@@ -68,6 +69,10 @@ public:
   /// empty (collectors without a write barrier).
   virtual void forEachRememberedHolder(
       const std::function<void(uint64_t *)> &Visit) const {}
+
+  /// Entries currently in the collector's remembered set; 0 for collectors
+  /// that keep none. The tracer stamps this into collection events.
+  virtual size_t rememberedSetSize() const { return 0; }
 
   /// Region id (collector-defined) of the words most recently returned by
   /// tryAllocate. The Heap facade stamps this into the new object's header
@@ -121,6 +126,14 @@ public:
   bool poisonFreedMemory() const { return PoisonFreedMemory; }
 
 protected:
+  /// Single exit point for every completed collection cycle: stops
+  /// \p Timer, records \p Record into stats, emits a structured trace
+  /// event through the attached heap's tracer (when one is installed),
+  /// and notifies the heap observer. Funneling stats and tracing through
+  /// one call keeps GcStats and the event stream consistent by
+  /// construction. Defined in Heap.cpp.
+  void finishCollection(const CollectionRecord &Record, GcPhaseTimer &Timer);
+
   GcStats Stats;
 
 private:

@@ -7,6 +7,7 @@
 #include "heap/Heap.h"
 
 #include "heap/TortureMode.h"
+#include "observe/GcTracer.h"
 #include "support/Error.h"
 
 #include <algorithm>
@@ -77,6 +78,11 @@ Heap::Heap(std::unique_ptr<Collector> C) : Coll(std::move(C)) {
   Coll->attachHeap(this);
   if (const TortureOptions *Env = TortureMode::environmentOptions())
     enableTortureMode(*Env);
+  if (TraceSink *Sink = GcTracer::environmentSink()) {
+    OwnedTracer = std::make_unique<GcTracer>();
+    OwnedTracer->addSink(Sink);
+    Tracer = OwnedTracer.get();
+  }
 }
 
 Heap::~Heap() = default;
@@ -167,6 +173,18 @@ private:
 
 } // namespace
 
+void Collector::finishCollection(const CollectionRecord &Record,
+                                 GcPhaseTimer &Timer) {
+  Timer.finish();
+  Stats.noteCollection(Record);
+  if (Heap *H = heap()) {
+    if (GcTracer *T = H->tracer())
+      T->noteCollection(*this, Record, Timer);
+    if (HeapObserver *Observer = H->observer())
+      Observer->onCollectionDone();
+  }
+}
+
 void Heap::collectNow() {
   GcTimer Timer(Coll->stats());
   Coll->collect();
@@ -185,7 +203,12 @@ uint64_t *Heap::allocateRaw(ObjectTag Tag, size_t PayloadWords) {
   if (PacingBytes) {
     PacingCounter += Words * 8;
     if (PacingCounter >= PacingBytes) {
-      PacingCounter = 0;
+      // Carry the overshoot: a large allocation that blows past the quantum
+      // must shorten the next pacing window, or the forced-collection
+      // cadence drifts below the configured rate.
+      PacingCounter -= PacingBytes;
+      if (Tracer)
+        Tracer->notePacing(*Coll, PacingBytes);
       collectFullNow();
     }
   }
@@ -198,6 +221,8 @@ uint64_t *Heap::allocateRaw(ObjectTag Tag, size_t PayloadWords) {
   uint64_t *Mem = FaultDepth >= 1 ? nullptr : Coll->tryAllocate(Words);
   if (!Mem) {
     // Rung 1: a normal collection.
+    if (Tracer)
+      Tracer->noteRecovery(*Coll, "collect", Words);
     {
       GcTimer Timer(Coll->stats());
       Coll->collect();
@@ -205,11 +230,18 @@ uint64_t *Heap::allocateRaw(ObjectTag Tag, size_t PayloadWords) {
     Mem = FaultDepth >= 2 ? nullptr : Coll->tryAllocate(Words);
   }
   if (!Mem) {
-    // Rung 2: an emergency full collection (major cycle / j = 0).
+    // Rung 2: an emergency full collection (major cycle / j = 0). The
+    // tracer's emergency window reclassifies the cycle's kind_class.
+    if (Tracer) {
+      Tracer->noteRecovery(*Coll, "emergency-full", Words);
+      Tracer->beginEmergency();
+    }
     {
       GcTimer Timer(Coll->stats());
       Coll->collectFull();
     }
+    if (Tracer)
+      Tracer->endEmergency();
     Coll->stats().noteEmergencyFullCollection();
     Mem = Coll->tryAllocate(Words);
   }
@@ -219,10 +251,14 @@ uint64_t *Heap::allocateRaw(ObjectTag Tag, size_t PayloadWords) {
     if (!Coll->tryGrowHeap(Words))
       break;
     Coll->stats().noteHeapGrowth();
+    if (Tracer)
+      Tracer->noteRecovery(*Coll, "grow", Words);
     Mem = Coll->tryAllocate(Words);
   }
   if (!Mem) {
     // Rung 4: surface a recoverable fault instead of aborting.
+    if (Tracer)
+      Tracer->noteRecovery(*Coll, "exhausted", Words);
     Coll->stats().noteHeapExhaustion();
     LastFault = HeapFault::HeapExhausted;
     if (FaultHandler)
@@ -235,6 +271,8 @@ uint64_t *Heap::allocateRaw(ObjectTag Tag, size_t PayloadWords) {
   Coll->stats().noteAllocation(Words);
   if (Obs)
     Obs->onAllocate(Mem, Words);
+  if (Tracer)
+    Tracer->maybeSampleOccupancy(*Coll);
   return Mem;
 }
 

@@ -36,6 +36,7 @@
 
 namespace rdgc {
 
+class GcTracer;
 class Heap;
 class TortureMode;
 struct TortureOptions;
@@ -165,6 +166,19 @@ public:
   void setGcPacing(uint64_t Bytes) { PacingBytes = Bytes; }
 
   //===--------------------------------------------------------------------===
+  // Event tracing (see observe/GcTracer.h and DESIGN.md §10). Enabled
+  // programmatically here or process-wide via RDGC_TRACE=<path>, which
+  // streams every heap in the process to one JSON Lines file.
+  //===--------------------------------------------------------------------===
+
+  /// Installs (or clears, with nullptr) a borrowed event tracer; it must
+  /// outlive the heap or be cleared first. Replaces the environment
+  /// tracer when RDGC_TRACE is set.
+  void setTracer(GcTracer *T) { Tracer = T; }
+  /// The active tracer, or nullptr when tracing is off.
+  GcTracer *tracer() const { return Tracer; }
+
+  //===--------------------------------------------------------------------===
   // Failure modes and recovery (see DESIGN.md, "Failure modes").
   //
   // Exhaustion is recoverable: allocateRaw climbs a ladder (collect, then
@@ -265,6 +279,9 @@ private:
   }
 
   std::unique_ptr<Collector> Coll;
+  GcTracer *Tracer = nullptr;
+  /// The environment-configured tracer (RDGC_TRACE), when one exists.
+  std::unique_ptr<GcTracer> OwnedTracer;
   uint64_t PacingBytes = 0;
   uint64_t PacingCounter = 0;
   std::vector<Value *> RootSlots;

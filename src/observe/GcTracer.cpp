@@ -1,0 +1,475 @@
+//===- observe/GcTracer.cpp - Structured GC event tracing -----------------===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "observe/GcTracer.h"
+
+#include "heap/Collector.h"
+
+#include <cassert>
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+
+using namespace rdgc;
+
+TraceSink::~TraceSink() = default;
+
+//===----------------------------------------------------------------------===
+// Names and classification.
+//===----------------------------------------------------------------------===
+
+const char *rdgc::gcPhaseName(GcPhase Phase) {
+  switch (Phase) {
+  case GcPhase::RootScan:
+    return "root_scan";
+  case GcPhase::RemsetScan:
+    return "remset_scan";
+  case GcPhase::Trace:
+    return "trace";
+  case GcPhase::Sweep:
+    return "sweep";
+  }
+  return "unknown";
+}
+
+const char *rdgc::traceEventTypeName(GcTraceEvent::Type Type) {
+  switch (Type) {
+  case GcTraceEvent::Type::Collection:
+    return "collection";
+  case GcTraceEvent::Type::Pacing:
+    return "pacing";
+  case GcTraceEvent::Type::Recovery:
+    return "recovery";
+  case GcTraceEvent::Type::Occupancy:
+    return "occupancy";
+  }
+  return "unknown";
+}
+
+const char *rdgc::collectionKindClass(int Kind, bool Emergency) {
+  if (Emergency)
+    return "emergency";
+  // CollectionRecord::Kind values are globally unique across collectors
+  // (DESIGN.md §10): 0 = whole-heap cycle of the non-generational
+  // collectors, 1/2/5 = generational minor/major/intermediate, 3 = the
+  // non-predictive collector's step collection (its most aggressive cycle,
+  // j = 0, is the same kind), 4 = the hybrid's nursery collection,
+  // 6 = the evacuation a tryGrowHeap implementation performs.
+  switch (Kind) {
+  case 0:
+    return "full";
+  case 1:
+  case 4:
+    return "minor";
+  case 2:
+  case 3:
+    return "major";
+  case 5:
+    return "intermediate";
+  case 6:
+    return "growth";
+  }
+  return "unknown";
+}
+
+//===----------------------------------------------------------------------===
+// JSON encoding. The schema is deliberately flat — one object per line,
+// string or unsigned-integer values only — so the parser below and the
+// rdgc-trace reporter need no general JSON machinery.
+//===----------------------------------------------------------------------===
+
+namespace {
+
+void appendUint(std::string &Out, const char *Key, uint64_t Value,
+                bool &First) {
+  if (!First)
+    Out += ',';
+  First = false;
+  Out += '"';
+  Out += Key;
+  Out += "\":";
+  Out += std::to_string(Value);
+}
+
+void appendString(std::string &Out, const char *Key, const std::string &Value,
+                  bool &First) {
+  if (!First)
+    Out += ',';
+  First = false;
+  Out += '"';
+  Out += Key;
+  Out += "\":\"";
+  Out += Value;
+  Out += '"';
+}
+
+} // namespace
+
+std::string rdgc::formatTraceEventJson(const GcTraceEvent &E) {
+  std::string Out = "{";
+  bool First = true;
+  appendString(Out, "type", traceEventTypeName(E.EventType), First);
+  appendUint(Out, "heap", E.HeapId, First);
+  appendUint(Out, "seq", E.Seq, First);
+  appendString(Out, "collector", E.Collector, First);
+  switch (E.EventType) {
+  case GcTraceEvent::Type::Collection:
+    appendUint(Out, "kind", static_cast<uint64_t>(E.Kind), First);
+    appendString(Out, "kind_class", E.KindClass, First);
+    appendUint(Out, "words_allocated", E.WordsAllocated, First);
+    appendUint(Out, "words_traced", E.WordsTraced, First);
+    appendUint(Out, "words_reclaimed", E.WordsReclaimed, First);
+    appendUint(Out, "live_words_after", E.LiveWordsAfter, First);
+    appendUint(Out, "roots_scanned", E.RootsScanned, First);
+    appendUint(Out, "remset_size", E.RemsetSize, First);
+    appendUint(Out, "root_scan_ns", E.Phases[GcPhase::RootScan], First);
+    appendUint(Out, "remset_scan_ns", E.Phases[GcPhase::RemsetScan], First);
+    appendUint(Out, "trace_ns", E.Phases[GcPhase::Trace], First);
+    appendUint(Out, "sweep_ns", E.Phases[GcPhase::Sweep], First);
+    appendUint(Out, "total_ns", E.TotalNanos, First);
+    break;
+  case GcTraceEvent::Type::Pacing:
+    appendUint(Out, "words_allocated", E.WordsAllocated, First);
+    appendUint(Out, "pacing_bytes", E.PacingBytes, First);
+    break;
+  case GcTraceEvent::Type::Recovery:
+    appendString(Out, "rung", E.Rung, First);
+    appendUint(Out, "words_requested", E.WordsRequested, First);
+    break;
+  case GcTraceEvent::Type::Occupancy:
+    appendUint(Out, "words_allocated", E.WordsAllocated, First);
+    appendUint(Out, "capacity_words", E.CapacityWords, First);
+    appendUint(Out, "free_words", E.FreeWords, First);
+    appendUint(Out, "live_words", E.LiveWords, First);
+    break;
+  }
+  Out += '}';
+  return Out;
+}
+
+//===----------------------------------------------------------------------===
+// JSON parsing. Strict by design: unknown keys, missing keys, duplicate
+// keys, or syntax outside the flat schema are hard errors, so rdgc-trace
+// --check catches a drifted producer instead of silently dropping fields.
+//===----------------------------------------------------------------------===
+
+namespace {
+
+struct JsonEntry {
+  std::string Key;
+  bool IsString = false;
+  std::string StringValue;
+  uint64_t UintValue = 0;
+  bool Consumed = false;
+};
+
+bool scanFlatJson(const std::string &Line, std::vector<JsonEntry> &Entries,
+                  std::string &Error) {
+  size_t I = 0;
+  auto SkipWs = [&] {
+    while (I < Line.size() && (Line[I] == ' ' || Line[I] == '\t'))
+      ++I;
+  };
+  auto Fail = [&](const std::string &Message) {
+    std::ostringstream OS;
+    OS << Message << " at offset " << I;
+    Error = OS.str();
+    return false;
+  };
+  auto ParseQuoted = [&](std::string &Out) {
+    if (I >= Line.size() || Line[I] != '"')
+      return Fail("expected '\"'");
+    ++I;
+    Out.clear();
+    while (I < Line.size() && Line[I] != '"') {
+      if (Line[I] == '\\')
+        return Fail("escape sequences are not part of the trace schema");
+      Out += Line[I++];
+    }
+    if (I >= Line.size())
+      return Fail("unterminated string");
+    ++I; // Closing quote.
+    return true;
+  };
+
+  SkipWs();
+  if (I >= Line.size() || Line[I] != '{')
+    return Fail("expected '{'");
+  ++I;
+  SkipWs();
+  if (I < Line.size() && Line[I] == '}') {
+    ++I;
+  } else {
+    while (true) {
+      SkipWs();
+      JsonEntry Entry;
+      if (!ParseQuoted(Entry.Key))
+        return false;
+      SkipWs();
+      if (I >= Line.size() || Line[I] != ':')
+        return Fail("expected ':'");
+      ++I;
+      SkipWs();
+      if (I < Line.size() && Line[I] == '"') {
+        Entry.IsString = true;
+        if (!ParseQuoted(Entry.StringValue))
+          return false;
+      } else {
+        size_t Start = I;
+        while (I < Line.size() && Line[I] >= '0' && Line[I] <= '9')
+          ++I;
+        if (I == Start)
+          return Fail("expected a string or unsigned integer value");
+        Entry.UintValue = std::strtoull(Line.substr(Start, I - Start).c_str(),
+                                        nullptr, 10);
+      }
+      for (const JsonEntry &Seen : Entries)
+        if (Seen.Key == Entry.Key)
+          return Fail("duplicate key '" + Entry.Key + "'");
+      Entries.push_back(std::move(Entry));
+      SkipWs();
+      if (I < Line.size() && Line[I] == ',') {
+        ++I;
+        continue;
+      }
+      if (I < Line.size() && Line[I] == '}') {
+        ++I;
+        break;
+      }
+      return Fail("expected ',' or '}'");
+    }
+  }
+  SkipWs();
+  if (I != Line.size())
+    return Fail("trailing characters after '}'");
+  return true;
+}
+
+} // namespace
+
+bool rdgc::parseTraceEventJson(const std::string &Line, GcTraceEvent &Event,
+                               std::string &Error) {
+  std::vector<JsonEntry> Entries;
+  if (!scanFlatJson(Line, Entries, Error))
+    return false;
+
+  auto Find = [&](const char *Key) -> JsonEntry * {
+    for (JsonEntry &E : Entries)
+      if (E.Key == Key)
+        return &E;
+    return nullptr;
+  };
+  bool Ok = true;
+  auto TakeUint = [&](const char *Key, uint64_t &Out) {
+    JsonEntry *E = Find(Key);
+    if (!E || E->IsString) {
+      Error = std::string("missing or non-integer key '") + Key + "'";
+      Ok = false;
+      return;
+    }
+    E->Consumed = true;
+    Out = E->UintValue;
+  };
+  auto TakeString = [&](const char *Key, std::string &Out) {
+    JsonEntry *E = Find(Key);
+    if (!E || !E->IsString) {
+      Error = std::string("missing or non-string key '") + Key + "'";
+      Ok = false;
+      return;
+    }
+    E->Consumed = true;
+    Out = E->StringValue;
+  };
+
+  Event = GcTraceEvent();
+  std::string TypeName;
+  TakeString("type", TypeName);
+  if (!Ok)
+    return false;
+  if (TypeName == "collection")
+    Event.EventType = GcTraceEvent::Type::Collection;
+  else if (TypeName == "pacing")
+    Event.EventType = GcTraceEvent::Type::Pacing;
+  else if (TypeName == "recovery")
+    Event.EventType = GcTraceEvent::Type::Recovery;
+  else if (TypeName == "occupancy")
+    Event.EventType = GcTraceEvent::Type::Occupancy;
+  else {
+    Error = "unknown event type '" + TypeName + "'";
+    return false;
+  }
+
+  TakeUint("heap", Event.HeapId);
+  TakeUint("seq", Event.Seq);
+  TakeString("collector", Event.Collector);
+  switch (Event.EventType) {
+  case GcTraceEvent::Type::Collection: {
+    uint64_t Kind = 0;
+    TakeUint("kind", Kind);
+    Event.Kind = static_cast<int>(Kind);
+    TakeString("kind_class", Event.KindClass);
+    TakeUint("words_allocated", Event.WordsAllocated);
+    TakeUint("words_traced", Event.WordsTraced);
+    TakeUint("words_reclaimed", Event.WordsReclaimed);
+    TakeUint("live_words_after", Event.LiveWordsAfter);
+    TakeUint("roots_scanned", Event.RootsScanned);
+    TakeUint("remset_size", Event.RemsetSize);
+    TakeUint("root_scan_ns", Event.Phases[GcPhase::RootScan]);
+    TakeUint("remset_scan_ns", Event.Phases[GcPhase::RemsetScan]);
+    TakeUint("trace_ns", Event.Phases[GcPhase::Trace]);
+    TakeUint("sweep_ns", Event.Phases[GcPhase::Sweep]);
+    TakeUint("total_ns", Event.TotalNanos);
+    break;
+  }
+  case GcTraceEvent::Type::Pacing:
+    TakeUint("words_allocated", Event.WordsAllocated);
+    TakeUint("pacing_bytes", Event.PacingBytes);
+    break;
+  case GcTraceEvent::Type::Recovery:
+    TakeString("rung", Event.Rung);
+    TakeUint("words_requested", Event.WordsRequested);
+    break;
+  case GcTraceEvent::Type::Occupancy:
+    TakeUint("words_allocated", Event.WordsAllocated);
+    TakeUint("capacity_words", Event.CapacityWords);
+    TakeUint("free_words", Event.FreeWords);
+    TakeUint("live_words", Event.LiveWords);
+    break;
+  }
+  if (!Ok)
+    return false;
+  for (const JsonEntry &E : Entries)
+    if (!E.Consumed) {
+      Error = "unknown key '" + E.Key + "' for type '" + TypeName + "'";
+      return false;
+    }
+  return true;
+}
+
+//===----------------------------------------------------------------------===
+// Sinks.
+//===----------------------------------------------------------------------===
+
+JsonLinesTraceSink::JsonLinesTraceSink(const std::string &Path)
+    : File(std::fopen(Path.c_str(), "w")) {}
+
+JsonLinesTraceSink::~JsonLinesTraceSink() {
+  if (File)
+    std::fclose(File);
+}
+
+void JsonLinesTraceSink::onEvent(const GcTraceEvent &Event) {
+  if (!File)
+    return;
+  std::string Line = formatTraceEventJson(Event);
+  Line += '\n';
+  std::fwrite(Line.data(), 1, Line.size(), File);
+  std::fflush(File);
+}
+
+//===----------------------------------------------------------------------===
+// GcTracer.
+//===----------------------------------------------------------------------===
+
+namespace {
+
+uint64_t nextTracerId() {
+  static uint64_t Next = 0;
+  return ++Next;
+}
+
+} // namespace
+
+GcTracer::GcTracer() : Id(nextTracerId()) {}
+
+void GcTracer::addSink(TraceSink *Sink) {
+  assert(Sink && "null trace sink");
+  Sinks.push_back(Sink);
+}
+
+void GcTracer::setOccupancyIntervalBytes(uint64_t Bytes) {
+  OccupancyIntervalBytes = Bytes;
+  // Re-arm so the next allocation samples immediately, then every interval.
+  NextOccupancyWords = 0;
+}
+
+void GcTracer::emit(GcTraceEvent &Event) {
+  Event.HeapId = Id;
+  Event.Seq = Seq++;
+  for (TraceSink *Sink : Sinks)
+    Sink->onEvent(Event);
+}
+
+void GcTracer::noteCollection(const Collector &C,
+                              const CollectionRecord &Record,
+                              const GcPhaseTimer &Timer) {
+  GcTraceEvent E;
+  E.EventType = GcTraceEvent::Type::Collection;
+  E.Collector = C.name();
+  E.Kind = Record.Kind;
+  E.KindClass = collectionKindClass(Record.Kind, inEmergency());
+  E.WordsAllocated = Record.WordsAllocatedBefore;
+  E.WordsTraced = Record.WordsTraced;
+  E.WordsReclaimed = Record.WordsReclaimed;
+  E.LiveWordsAfter = Record.LiveWordsAfter;
+  E.RootsScanned = Record.RootsScanned;
+  E.RemsetSize = C.rememberedSetSize();
+  E.Phases = Timer.times();
+  E.TotalNanos = Timer.totalNanos();
+  Pauses.record(E.TotalNanos);
+  emit(E);
+}
+
+void GcTracer::notePacing(const Collector &C, uint64_t PacingBytes) {
+  GcTraceEvent E;
+  E.EventType = GcTraceEvent::Type::Pacing;
+  E.Collector = C.name();
+  E.WordsAllocated = C.stats().wordsAllocated();
+  E.PacingBytes = PacingBytes;
+  emit(E);
+}
+
+void GcTracer::noteRecovery(const Collector &C, const char *Rung,
+                            uint64_t WordsRequested) {
+  GcTraceEvent E;
+  E.EventType = GcTraceEvent::Type::Recovery;
+  E.Collector = C.name();
+  E.Rung = Rung;
+  E.WordsRequested = WordsRequested;
+  emit(E);
+}
+
+void GcTracer::maybeSampleOccupancy(const Collector &C) {
+  uint64_t Words = C.stats().wordsAllocated();
+  if (Words < NextOccupancyWords)
+    return;
+  NextOccupancyWords = Words + OccupancyIntervalBytes / 8;
+  GcTraceEvent E;
+  E.EventType = GcTraceEvent::Type::Occupancy;
+  E.Collector = C.name();
+  E.WordsAllocated = Words;
+  E.CapacityWords = C.capacityWords();
+  E.FreeWords = C.freeWords();
+  E.LiveWords = C.liveWordsAfterLastCollect();
+  emit(E);
+}
+
+TraceSink *GcTracer::environmentSink() {
+  static std::unique_ptr<JsonLinesTraceSink> Shared =
+      []() -> std::unique_ptr<JsonLinesTraceSink> {
+    const char *Path = std::getenv("RDGC_TRACE");
+    if (!Path || !*Path)
+      return nullptr;
+    auto Sink = std::make_unique<JsonLinesTraceSink>(Path);
+    if (!Sink->ok()) {
+      std::fprintf(stderr, "rdgc: RDGC_TRACE: cannot open '%s' for writing\n",
+                   Path);
+      return nullptr;
+    }
+    return Sink;
+  }();
+  return Shared.get();
+}

@@ -1,0 +1,309 @@
+//===- observe/GcTracer.h - Structured GC event tracing ---------*- C++ -*-===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The observability layer: a GcTracer attached to a Heap turns every
+/// collection into one structured event — collector, kind, words
+/// allocated/traced/reclaimed, live-after, remembered-set size, and
+/// per-phase nanoseconds — plus events for allocation pacing, the OOM
+/// recovery ladder, and a periodic heap-occupancy timeline. Events fan out
+/// to pluggable sinks (JSON Lines file, in-memory capture) and feed an
+/// HDR-style pause histogram, so every figure/table binary, the torture
+/// mode, and perf work share one trustworthy stream. Setting
+/// RDGC_TRACE=<path> in the environment traces every heap in the process
+/// to one JSONL file; `tools/rdgc-trace` renders and validates it.
+///
+/// The emission point is Collector::finishCollection: every collector's
+/// collection path funnels stats recording and tracing through one call,
+/// so the event stream and GcStats can never disagree.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDGC_OBSERVE_GCTRACER_H
+#define RDGC_OBSERVE_GCTRACER_H
+
+#include "observe/PauseHistogram.h"
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace rdgc {
+
+class Collector;
+struct CollectionRecord;
+
+//===----------------------------------------------------------------------===
+// Phase taxonomy and timing.
+//===----------------------------------------------------------------------===
+
+/// The four phases every collector's cycle decomposes into (see DESIGN.md
+/// §10 for the per-collector mapping):
+///   RootScan   — enumerating handle/provider roots (and, for the
+///                non-predictive collector, pre-collection liveness
+///                planning and the conservative unpromoted-nursery scan);
+///   RemsetScan — scanning remembered-set holders into the work list;
+///   Trace      — draining the scavenge queue / mark stack (copy or mark);
+///   Sweep      — everything that reclaims or reorganizes storage: death
+///                reports, space resets and poisoning, free-list sweeps,
+///                compaction slides, step renames, remset refiltering.
+enum class GcPhase { RootScan = 0, RemsetScan = 1, Trace = 2, Sweep = 3 };
+
+constexpr unsigned GcPhaseCount = 4;
+
+const char *gcPhaseName(GcPhase Phase);
+
+/// Per-phase accumulated nanoseconds for one collection cycle.
+struct GcPhaseTimes {
+  uint64_t Nanos[GcPhaseCount] = {};
+
+  uint64_t &operator[](GcPhase Phase) {
+    return Nanos[static_cast<unsigned>(Phase)];
+  }
+  uint64_t operator[](GcPhase Phase) const {
+    return Nanos[static_cast<unsigned>(Phase)];
+  }
+  uint64_t sumNanos() const {
+    uint64_t Sum = 0;
+    for (uint64_t N : Nanos)
+      Sum += N;
+    return Sum;
+  }
+};
+
+/// Accumulating phase stopwatch a collector carries through one collection
+/// cycle. begin(P) closes the currently-open phase and opens P; phases may
+/// repeat (times accumulate). Disabled timers (no tracer attached) cost
+/// two branches per begin() and never touch the clock, so untraced
+/// collections pay nothing. finishCollection() stops the timer.
+class GcPhaseTimer {
+public:
+  explicit GcPhaseTimer(bool Enabled) : Enabled(Enabled) {
+    if (Enabled)
+      CycleStart = std::chrono::steady_clock::now();
+  }
+
+  bool enabled() const { return Enabled; }
+
+  /// Closes the open phase (if any) and starts accumulating into \p Phase.
+  void begin(GcPhase Phase) {
+    if (!Enabled)
+      return;
+    auto Now = std::chrono::steady_clock::now();
+    closeOpenPhase(Now);
+    Current = static_cast<int>(Phase);
+    PhaseStart = Now;
+  }
+
+  /// Closes the open phase and freezes the cycle total. Idempotent.
+  void finish() {
+    if (!Enabled || Finished)
+      return;
+    auto Now = std::chrono::steady_clock::now();
+    closeOpenPhase(Now);
+    TotalNanosCount = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Now - CycleStart)
+            .count());
+    Finished = true;
+  }
+
+  const GcPhaseTimes &times() const { return Times; }
+  /// Whole-cycle wall time; phase times sum to at most this.
+  uint64_t totalNanos() const { return TotalNanosCount; }
+
+private:
+  void closeOpenPhase(std::chrono::steady_clock::time_point Now) {
+    if (Current < 0)
+      return;
+    Times.Nanos[Current] += static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Now - PhaseStart)
+            .count());
+    Current = -1;
+  }
+
+  bool Enabled;
+  bool Finished = false;
+  int Current = -1;
+  std::chrono::steady_clock::time_point CycleStart;
+  std::chrono::steady_clock::time_point PhaseStart;
+  GcPhaseTimes Times;
+  uint64_t TotalNanosCount = 0;
+};
+
+//===----------------------------------------------------------------------===
+// Events.
+//===----------------------------------------------------------------------===
+
+/// One trace event. A flat record: which fields are meaningful depends on
+/// EventType (the JSON encoding only emits the meaningful ones).
+struct GcTraceEvent {
+  enum class Type {
+    Collection, ///< One completed collection cycle.
+    Pacing,     ///< setGcPacing quantum reached; a forced collection follows.
+    Recovery,   ///< A rung of the OOM recovery ladder fired.
+    Occupancy,  ///< Periodic heap-occupancy sample.
+  };
+
+  Type EventType = Type::Collection;
+  uint64_t HeapId = 0; ///< Process-unique tracer id (one per traced heap).
+  uint64_t Seq = 0;    ///< Per-tracer monotone sequence number.
+  std::string Collector;
+
+  // Collection fields.
+  int Kind = 0;          ///< The collector-defined CollectionRecord kind.
+  std::string KindClass; ///< "minor"/"major"/"full"/... (see DESIGN.md §10).
+  uint64_t WordsAllocated = 0; ///< Cumulative words allocated at event time.
+  uint64_t WordsTraced = 0;
+  uint64_t WordsReclaimed = 0;
+  uint64_t LiveWordsAfter = 0;
+  uint64_t RootsScanned = 0;
+  uint64_t RemsetSize = 0; ///< Remembered-set entries after the cycle.
+  GcPhaseTimes Phases;
+  uint64_t TotalNanos = 0; ///< Whole-cycle pause; >= Phases.sumNanos().
+
+  // Recovery fields.
+  std::string Rung; ///< "collect", "emergency-full", "grow", "exhausted".
+  uint64_t WordsRequested = 0;
+
+  // Pacing fields.
+  uint64_t PacingBytes = 0;
+
+  // Occupancy fields.
+  uint64_t CapacityWords = 0;
+  uint64_t FreeWords = 0;
+  uint64_t LiveWords = 0;
+};
+
+const char *traceEventTypeName(GcTraceEvent::Type Type);
+
+/// Maps a CollectionRecord::Kind (globally unique across collectors — see
+/// DESIGN.md §10) to the event's kind_class string. \p Emergency overrides
+/// the class when the cycle ran as the recovery ladder's emergency rung.
+const char *collectionKindClass(int Kind, bool Emergency);
+
+/// Encodes \p Event as one flat JSON object (no trailing newline). The
+/// encoding is the golden schema `rdgc-trace` validates; tests pin it.
+std::string formatTraceEventJson(const GcTraceEvent &Event);
+
+/// Parses one JSON Lines record produced by formatTraceEventJson. Strict:
+/// unknown keys, missing required keys, or malformed syntax fail with a
+/// message in \p Error. Blank lines are the caller's concern.
+bool parseTraceEventJson(const std::string &Line, GcTraceEvent &Event,
+                         std::string &Error);
+
+//===----------------------------------------------------------------------===
+// Sinks.
+//===----------------------------------------------------------------------===
+
+/// Receives every event a tracer emits. Sinks must not allocate on the
+/// traced heap (they run inside the collection cycle).
+class TraceSink {
+public:
+  virtual ~TraceSink();
+  virtual void onEvent(const GcTraceEvent &Event) = 0;
+};
+
+/// Captures events in memory, for tests and the harness.
+class MemoryTraceSink final : public TraceSink {
+public:
+  void onEvent(const GcTraceEvent &Event) override { Events.push_back(Event); }
+  const std::vector<GcTraceEvent> &events() const { return Events; }
+  void clear() { Events.clear(); }
+
+private:
+  std::vector<GcTraceEvent> Events;
+};
+
+/// Appends one JSON object per line to a file, flushing per event so a
+/// crashed process still leaves a readable trace. Multiple tracers (heaps)
+/// may share one sink; the per-event heap id keeps streams separable.
+class JsonLinesTraceSink final : public TraceSink {
+public:
+  /// Opens (truncates) \p Path. ok() reports whether the open succeeded.
+  explicit JsonLinesTraceSink(const std::string &Path);
+  ~JsonLinesTraceSink() override;
+
+  JsonLinesTraceSink(const JsonLinesTraceSink &) = delete;
+  JsonLinesTraceSink &operator=(const JsonLinesTraceSink &) = delete;
+
+  bool ok() const { return File != nullptr; }
+  void onEvent(const GcTraceEvent &Event) override;
+
+private:
+  std::FILE *File = nullptr;
+};
+
+//===----------------------------------------------------------------------===
+// GcTracer.
+//===----------------------------------------------------------------------===
+
+/// Per-heap event source. The owning Heap invokes the note* hooks; the
+/// tracer stamps ids, classifies kinds, feeds the pause histogram, and
+/// fans the event out to every attached sink. Sinks are borrowed, not
+/// owned, and must outlive the tracer.
+class GcTracer {
+public:
+  GcTracer();
+
+  void addSink(TraceSink *Sink);
+
+  /// One completed collection cycle. Called from
+  /// Collector::finishCollection with the timer already stopped.
+  void noteCollection(const Collector &C, const CollectionRecord &Record,
+                      const GcPhaseTimer &Timer);
+
+  /// The allocation-pacing quantum was reached (a forced full collection
+  /// follows immediately).
+  void notePacing(const Collector &C, uint64_t PacingBytes);
+
+  /// A rung of the OOM recovery ladder fired while an allocation of
+  /// \p WordsRequested words was pending.
+  void noteRecovery(const Collector &C, const char *Rung,
+                    uint64_t WordsRequested);
+
+  /// Samples heap occupancy if at least occupancyIntervalBytes() of
+  /// allocation happened since the last sample. Called after successful
+  /// allocations; cheap when the interval has not elapsed.
+  void maybeSampleOccupancy(const Collector &C);
+
+  /// Marks collections run inside this window as the recovery ladder's
+  /// emergency rung; their kind_class becomes "emergency".
+  void beginEmergency() { ++EmergencyDepth; }
+  void endEmergency() { --EmergencyDepth; }
+  bool inEmergency() const { return EmergencyDepth > 0; }
+
+  /// Pause-time distribution over every collection event seen so far.
+  const PauseHistogram &pauses() const { return Pauses; }
+
+  /// Occupancy sampling cadence in allocated bytes (default 1 MiB).
+  void setOccupancyIntervalBytes(uint64_t Bytes);
+  uint64_t occupancyIntervalBytes() const { return OccupancyIntervalBytes; }
+
+  uint64_t heapId() const { return Id; }
+  uint64_t eventsEmitted() const { return Seq; }
+
+  /// The process-wide JSONL sink configured by RDGC_TRACE=<path>, opened
+  /// on first use; nullptr when the variable is unset or the open failed.
+  /// Every Heap constructed afterwards attaches its own tracer to it.
+  static TraceSink *environmentSink();
+
+private:
+  void emit(GcTraceEvent &Event);
+
+  uint64_t Id;
+  uint64_t Seq = 0;
+  int EmergencyDepth = 0;
+  uint64_t OccupancyIntervalBytes = 1u << 20;
+  uint64_t NextOccupancyWords = (1u << 20) / 8;
+  PauseHistogram Pauses;
+  std::vector<TraceSink *> Sinks;
+};
+
+} // namespace rdgc
+
+#endif // RDGC_OBSERVE_GCTRACER_H

@@ -1,0 +1,74 @@
+//===- observe/PauseHistogram.cpp - HDR-style pause histogram -------------===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "observe/PauseHistogram.h"
+
+#include <bit>
+#include <cmath>
+
+using namespace rdgc;
+
+unsigned PauseHistogram::bucketIndexFor(uint64_t Value) {
+  if (Value < SubBucketCount)
+    return static_cast<unsigned>(Value);
+  // The top set bit picks the power-of-two row; the SubBucketBits bits
+  // below it pick the column. Rows overlap the exact range for values in
+  // [32, 64), which keeps indices contiguous: index(31) == 31,
+  // index(32) == 32.
+  unsigned Msb = 63u - static_cast<unsigned>(std::countl_zero(Value));
+  unsigned Shift = Msb - SubBucketBits;
+  return Shift * SubBucketCount + static_cast<unsigned>(Value >> Shift);
+}
+
+uint64_t PauseHistogram::bucketLowerEdge(unsigned Index) {
+  if (Index < 2 * SubBucketCount)
+    return Index;
+  unsigned Shift = Index / SubBucketCount - 1;
+  uint64_t Base = Index - Shift * SubBucketCount; // In [32, 64).
+  return Base << Shift;
+}
+
+uint64_t PauseHistogram::bucketUpperEdge(unsigned Index) {
+  if (Index < 2 * SubBucketCount)
+    return Index;
+  unsigned Shift = Index / SubBucketCount - 1;
+  uint64_t Base = Index - Shift * SubBucketCount;
+  return ((Base + 1) << Shift) - 1;
+}
+
+uint64_t PauseHistogram::valueAtPercentile(double Percentile) const {
+  if (Total == 0)
+    return 0;
+  if (Percentile < 0.0)
+    Percentile = 0.0;
+  if (Percentile > 100.0)
+    Percentile = 100.0;
+  uint64_t Target =
+      static_cast<uint64_t>(std::ceil(Percentile / 100.0 *
+                                      static_cast<double>(Total)));
+  if (Target == 0)
+    Target = 1;
+  if (Target > Total)
+    Target = Total;
+  uint64_t Cumulative = 0;
+  for (unsigned I = 0; I < BucketCount; ++I) {
+    Cumulative += Counts[I];
+    if (Cumulative >= Target) {
+      uint64_t Edge = bucketUpperEdge(I);
+      return Edge < MaxSeen ? Edge : MaxSeen;
+    }
+  }
+  return MaxSeen;
+}
+
+void PauseHistogram::merge(const PauseHistogram &Other) {
+  for (unsigned I = 0; I < BucketCount; ++I)
+    Counts[I] += Other.Counts[I];
+  Total += Other.Total;
+  Sum += Other.Sum;
+  if (Other.MaxSeen > MaxSeen)
+    MaxSeen = Other.MaxSeen;
+}

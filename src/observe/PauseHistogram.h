@@ -1,0 +1,83 @@
+//===- observe/PauseHistogram.h - HDR-style pause histogram -----*- C++ -*-===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A log-linear ("HDR-style") histogram for GC pause durations in
+/// nanoseconds. Values below 2^SubBucketBits are recorded exactly; above
+/// that, each power-of-two range is split into 2^SubBucketBits sub-buckets,
+/// bounding the relative quantization error by 2^-SubBucketBits (~3.1% for
+/// the default of 5 bits). Recording is O(1) with a fixed-size table —
+/// no allocation on the hot path — so the tracer can record every pause
+/// of every collection without perturbing what it measures.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDGC_OBSERVE_PAUSEHISTOGRAM_H
+#define RDGC_OBSERVE_PAUSEHISTOGRAM_H
+
+#include <array>
+#include <cstdint>
+
+namespace rdgc {
+
+/// Fixed-footprint log-linear histogram over uint64 values (nanoseconds).
+class PauseHistogram {
+public:
+  /// Sub-bucket resolution: each power-of-two range splits into 2^5 = 32
+  /// sub-buckets, so reported quantiles are within 1/32 of the true value.
+  static constexpr unsigned SubBucketBits = 5;
+  static constexpr unsigned SubBucketCount = 1u << SubBucketBits;
+  /// Values 0..63 occupy the first two sub-bucket rows exactly; each of the
+  /// remaining 58 possible shifts contributes one 32-wide row.
+  static constexpr unsigned BucketCount =
+      (64 - SubBucketBits - 1) * SubBucketCount + 2 * SubBucketCount;
+
+  void record(uint64_t Value) {
+    Counts[bucketIndexFor(Value)] += 1;
+    Total += 1;
+    if (Value > MaxSeen)
+      MaxSeen = Value;
+    Sum += Value;
+  }
+
+  uint64_t count() const { return Total; }
+  uint64_t maxValue() const { return MaxSeen; }
+  uint64_t totalSum() const { return Sum; }
+  double mean() const {
+    return Total ? static_cast<double>(Sum) / static_cast<double>(Total) : 0.0;
+  }
+
+  /// Nearest-rank percentile (\p Percentile in [0, 100]): the smallest
+  /// recorded-bucket upper edge whose cumulative count reaches
+  /// ceil(P/100 * N), clamped to the exact maximum so
+  /// valueAtPercentile(100) == maxValue(). Returns 0 on an empty histogram.
+  uint64_t valueAtPercentile(double Percentile) const;
+
+  /// Merges another histogram into this one (used by the reporter to
+  /// aggregate per-heap streams).
+  void merge(const PauseHistogram &Other);
+
+  void reset() { *this = PauseHistogram(); }
+
+  /// The bucket a value lands in. Exposed for the reporter and tests.
+  static unsigned bucketIndexFor(uint64_t Value);
+  /// Largest value a bucket can hold — the bucket's representative.
+  static uint64_t bucketUpperEdge(unsigned Index);
+  /// Smallest value a bucket can hold.
+  static uint64_t bucketLowerEdge(unsigned Index);
+
+  uint64_t countAt(unsigned Index) const { return Counts[Index]; }
+
+private:
+  std::array<uint64_t, BucketCount> Counts = {};
+  uint64_t Total = 0;
+  uint64_t MaxSeen = 0;
+  uint64_t Sum = 0;
+};
+
+} // namespace rdgc
+
+#endif // RDGC_OBSERVE_PAUSEHISTOGRAM_H

@@ -8,9 +8,11 @@
 
 #include "gc/Generational.h"
 #include "gc/NonPredictive.h"
+#include "observe/GcTracer.h"
 
 #include <algorithm>
 #include <chrono>
+#include <memory>
 
 using namespace rdgc;
 
@@ -28,6 +30,19 @@ ExperimentRun rdgc::runExperiment(Workload &W, CollectorKind Kind,
 
   auto H = makeHeap(Kind, Sizing);
 
+  // Give every run a tracer so pause percentiles are always measurable:
+  // an explicit HarnessOptions tracer wins, an RDGC_TRACE-installed one is
+  // respected, and otherwise a harness-private sinkless tracer (pure
+  // histogram accumulator) is attached for the heap's lifetime.
+  std::unique_ptr<GcTracer> LocalTracer;
+  if (Options.Tracer)
+    H->setTracer(Options.Tracer);
+  else if (!H->tracer()) {
+    LocalTracer = std::make_unique<GcTracer>();
+    H->setTracer(LocalTracer.get());
+  }
+  GcTracer *Tracer = H->tracer();
+
   // Surface heap exhaustion as data rather than a crash: a workload that
   // outgrows its sizing produces an invalid run with HeapExhausted set.
   bool SawExhaustion = false;
@@ -36,13 +51,31 @@ ExperimentRun rdgc::runExperiment(Workload &W, CollectorKind Kind,
 
   auto Start = std::chrono::steady_clock::now();
   WorkloadOutcome Outcome = W.run(*H);
-  // A final full collection makes end-of-run live storage observable.
-  H->collectFullNow();
   auto End = std::chrono::steady_clock::now();
+
+  // Snapshot the measured region before the epilogue collection below so
+  // the run's gc metrics describe only workload-driven collections.
+  const GcStats &Stats = H->stats();
+  double RunGcSeconds = Stats.gcSeconds();
+  uint64_t RunCollections = Stats.collections();
+  double RunMarkConsRatio = Stats.markConsRatio();
+
+  ExperimentRun Run;
+  Run.PauseP50Nanos = Tracer->pauses().valueAtPercentile(50.0);
+  Run.PauseP90Nanos = Tracer->pauses().valueAtPercentile(90.0);
+  Run.PauseP99Nanos = Tracer->pauses().valueAtPercentile(99.0);
+  Run.PauseMaxNanos = Tracer->pauses().maxValue();
+
+  // A final full collection makes end-of-run live storage observable. It
+  // is bookkeeping rather than workload behavior, so it runs outside the
+  // wall-clock region and is accounted separately; the fault handler stays
+  // armed because an epilogue-provoked exhaustion still invalidates the
+  // run's liveness figures.
+  H->collectFullNow();
+  Run.EpilogueGcSeconds = Stats.gcSeconds() - RunGcSeconds;
+  Run.EpilogueCollections = Stats.collections() - RunCollections;
   H->setFaultHandler(nullptr);
 
-  const GcStats &Stats = H->stats();
-  ExperimentRun Run;
   Run.WorkloadName = W.name();
   Run.CollectorName = H->collector().name();
   Run.HeapExhausted = SawExhaustion;
@@ -51,10 +84,12 @@ ExperimentRun rdgc::runExperiment(Workload &W, CollectorKind Kind,
   Run.PeakLiveBytes = Stats.peakLiveWords() * 8;
   Run.HeapBytes = Sizing.PrimaryBytes;
   double WallSeconds = std::chrono::duration<double>(End - Start).count();
-  Run.GcSeconds = Stats.gcSeconds();
-  Run.MutatorSeconds = std::max(0.0, WallSeconds - Run.GcSeconds);
-  Run.MarkConsRatio = Stats.markConsRatio();
-  Run.Collections = Stats.collections();
+  Run.GcSeconds = RunGcSeconds;
+  // No clamp: the epilogue no longer pollutes the wall clock, so a negative
+  // difference would be a real accounting bug worth seeing in the data.
+  Run.MutatorSeconds = WallSeconds - Run.GcSeconds;
+  Run.MarkConsRatio = RunMarkConsRatio;
+  Run.Collections = RunCollections;
 
   if (Kind == CollectorKind::Generational) {
     auto &G = static_cast<GenerationalCollector &>(H->collector());

@@ -24,6 +24,8 @@
 
 namespace rdgc {
 
+class GcTracer;
+
 /// One workload-on-collector measurement.
 struct ExperimentRun {
   std::string WorkloadName;
@@ -38,6 +40,20 @@ struct ExperimentRun {
   double MarkConsRatio = 0.0;     ///< Words traced / words allocated.
   uint64_t Collections = 0;
   uint64_t RememberedSetPeak = 0; ///< Peak remembered-set size (if any).
+
+  /// The end-of-run full collection that makes final live storage
+  /// observable is bookkeeping, not workload behavior; it is timed and
+  /// counted separately so GcSeconds/Collections describe only the
+  /// mutator-driven collections inside the measured region.
+  double EpilogueGcSeconds = 0.0;
+  uint64_t EpilogueCollections = 0;
+
+  /// Pause-time distribution over the measured region's collections, in
+  /// nanoseconds (zero when the run had no collections).
+  uint64_t PauseP50Nanos = 0;
+  uint64_t PauseP90Nanos = 0;
+  uint64_t PauseP99Nanos = 0;
+  uint64_t PauseMaxNanos = 0;
 
   /// The Table 3 column: gc time / mutator time.
   double gcOverMutator() const {
@@ -59,6 +75,10 @@ struct HarnessOptions {
   /// Step count for the non-predictive collector.
   size_t StepCount = 8;
   JSelectionPolicy Policy = JSelectionPolicy::HalfOfEmpty;
+  /// When non-null, the run's heap reports its trace events (and pause
+  /// histogram) here instead of a harness-private tracer. The caller keeps
+  /// ownership; RDGC_TRACE-installed tracers are left in place.
+  GcTracer *Tracer = nullptr;
 };
 
 /// Runs \p W on a fresh heap with the given collector and returns the

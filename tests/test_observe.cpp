@@ -1,0 +1,521 @@
+//===- tests/test_observe.cpp - GC event-tracing tests --------------------===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the observability layer: the JSONL event schema (golden
+/// strings and strict-parser round trips), the HDR-style pause histogram
+/// against a sorted-vector oracle, the per-collector guarantee that the
+/// event stream and GcStats agree, and the satellite bugfixes that ride
+/// along (pacing-counter carry, remembered-set clear vs. poisoned
+/// from-space headers).
+///
+//===----------------------------------------------------------------------===//
+
+#include "TortureSkip.h"
+
+#include "gc/CollectorFactory.h"
+#include "gc/RememberedSet.h"
+#include "gc/StopAndCopy.h"
+#include "observe/GcTracer.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace rdgc;
+
+namespace {
+
+CollectorSizing smallSizing() {
+  CollectorSizing Sizing;
+  Sizing.PrimaryBytes = 256 * 1024;
+  Sizing.NurseryBytes = 32 * 1024;
+  return Sizing;
+}
+
+/// Allocation churn with a rooted sliding window, enough to force several
+/// collections on every collector at smallSizing().
+void churn(Heap &H, int Pairs = 20000) {
+  Handle Window(H, H.allocateVector(64, Value::null()));
+  for (int I = 0; I < Pairs; ++I) {
+    Value P = H.allocatePair(Value::fixnum(I), Value::null());
+    H.vectorSet(Window.get(), static_cast<size_t>(I) % 64, P);
+  }
+}
+
+std::vector<GcTraceEvent>
+collectionEvents(const std::vector<GcTraceEvent> &Events) {
+  std::vector<GcTraceEvent> Out;
+  for (const GcTraceEvent &E : Events)
+    if (E.EventType == GcTraceEvent::Type::Collection)
+      Out.push_back(E);
+  return Out;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===
+// Kind classification.
+//===----------------------------------------------------------------------===
+
+TEST(TraceSchemaTest, KindClassMapping) {
+  EXPECT_STREQ(collectionKindClass(0, false), "full");
+  EXPECT_STREQ(collectionKindClass(1, false), "minor");
+  EXPECT_STREQ(collectionKindClass(2, false), "major");
+  EXPECT_STREQ(collectionKindClass(3, false), "major");
+  EXPECT_STREQ(collectionKindClass(4, false), "minor");
+  EXPECT_STREQ(collectionKindClass(5, false), "intermediate");
+  EXPECT_STREQ(collectionKindClass(6, false), "growth");
+  EXPECT_STREQ(collectionKindClass(99, false), "unknown");
+  // The emergency window overrides every class.
+  for (int Kind = 0; Kind <= 6; ++Kind)
+    EXPECT_STREQ(collectionKindClass(Kind, true), "emergency");
+}
+
+//===----------------------------------------------------------------------===
+// JSON golden strings and round trips.
+//===----------------------------------------------------------------------===
+
+TEST(TraceSchemaTest, GoldenCollectionJson) {
+  GcTraceEvent E;
+  E.EventType = GcTraceEvent::Type::Collection;
+  E.HeapId = 7;
+  E.Seq = 42;
+  E.Collector = "generational";
+  E.Kind = 1;
+  E.KindClass = "minor";
+  E.WordsAllocated = 1000;
+  E.WordsTraced = 200;
+  E.WordsReclaimed = 700;
+  E.LiveWordsAfter = 300;
+  E.RootsScanned = 16;
+  E.RemsetSize = 3;
+  E.Phases[GcPhase::RootScan] = 10;
+  E.Phases[GcPhase::RemsetScan] = 20;
+  E.Phases[GcPhase::Trace] = 30;
+  E.Phases[GcPhase::Sweep] = 40;
+  E.TotalNanos = 110;
+
+  // The schema rdgc-trace validates; changing it is a breaking change.
+  EXPECT_EQ(formatTraceEventJson(E),
+            "{\"type\":\"collection\",\"heap\":7,\"seq\":42,"
+            "\"collector\":\"generational\",\"kind\":1,"
+            "\"kind_class\":\"minor\",\"words_allocated\":1000,"
+            "\"words_traced\":200,\"words_reclaimed\":700,"
+            "\"live_words_after\":300,\"roots_scanned\":16,"
+            "\"remset_size\":3,\"root_scan_ns\":10,\"remset_scan_ns\":20,"
+            "\"trace_ns\":30,\"sweep_ns\":40,\"total_ns\":110}");
+
+  GcTraceEvent Parsed;
+  std::string Error;
+  ASSERT_TRUE(parseTraceEventJson(formatTraceEventJson(E), Parsed, Error))
+      << Error;
+  EXPECT_EQ(Parsed.EventType, GcTraceEvent::Type::Collection);
+  EXPECT_EQ(Parsed.HeapId, 7u);
+  EXPECT_EQ(Parsed.Seq, 42u);
+  EXPECT_EQ(Parsed.Collector, "generational");
+  EXPECT_EQ(Parsed.Kind, 1);
+  EXPECT_EQ(Parsed.KindClass, "minor");
+  EXPECT_EQ(Parsed.WordsAllocated, 1000u);
+  EXPECT_EQ(Parsed.WordsTraced, 200u);
+  EXPECT_EQ(Parsed.WordsReclaimed, 700u);
+  EXPECT_EQ(Parsed.LiveWordsAfter, 300u);
+  EXPECT_EQ(Parsed.RootsScanned, 16u);
+  EXPECT_EQ(Parsed.RemsetSize, 3u);
+  EXPECT_EQ(Parsed.Phases[GcPhase::RootScan], 10u);
+  EXPECT_EQ(Parsed.Phases[GcPhase::RemsetScan], 20u);
+  EXPECT_EQ(Parsed.Phases[GcPhase::Trace], 30u);
+  EXPECT_EQ(Parsed.Phases[GcPhase::Sweep], 40u);
+  EXPECT_EQ(Parsed.TotalNanos, 110u);
+}
+
+TEST(TraceSchemaTest, OtherEventTypesRoundTrip) {
+  GcTraceEvent Pacing;
+  Pacing.EventType = GcTraceEvent::Type::Pacing;
+  Pacing.HeapId = 1;
+  Pacing.Seq = 0;
+  Pacing.Collector = "stop-and-copy";
+  Pacing.WordsAllocated = 512;
+  Pacing.PacingBytes = 1024;
+  EXPECT_EQ(formatTraceEventJson(Pacing),
+            "{\"type\":\"pacing\",\"heap\":1,\"seq\":0,"
+            "\"collector\":\"stop-and-copy\",\"words_allocated\":512,"
+            "\"pacing_bytes\":1024}");
+
+  GcTraceEvent Recovery;
+  Recovery.EventType = GcTraceEvent::Type::Recovery;
+  Recovery.HeapId = 2;
+  Recovery.Seq = 5;
+  Recovery.Collector = "mark-sweep";
+  Recovery.Rung = "emergency-full";
+  Recovery.WordsRequested = 130;
+  EXPECT_EQ(formatTraceEventJson(Recovery),
+            "{\"type\":\"recovery\",\"heap\":2,\"seq\":5,"
+            "\"collector\":\"mark-sweep\",\"rung\":\"emergency-full\","
+            "\"words_requested\":130}");
+
+  GcTraceEvent Occupancy;
+  Occupancy.EventType = GcTraceEvent::Type::Occupancy;
+  Occupancy.HeapId = 3;
+  Occupancy.Seq = 9;
+  Occupancy.Collector = "mark-compact";
+  Occupancy.WordsAllocated = 4096;
+  Occupancy.CapacityWords = 32768;
+  Occupancy.FreeWords = 30000;
+  Occupancy.LiveWords = 2000;
+  EXPECT_EQ(formatTraceEventJson(Occupancy),
+            "{\"type\":\"occupancy\",\"heap\":3,\"seq\":9,"
+            "\"collector\":\"mark-compact\",\"words_allocated\":4096,"
+            "\"capacity_words\":32768,\"free_words\":30000,"
+            "\"live_words\":2000}");
+
+  for (const GcTraceEvent *E : {&Pacing, &Recovery, &Occupancy}) {
+    GcTraceEvent Parsed;
+    std::string Error;
+    ASSERT_TRUE(parseTraceEventJson(formatTraceEventJson(*E), Parsed, Error))
+        << Error;
+    EXPECT_EQ(formatTraceEventJson(Parsed), formatTraceEventJson(*E));
+  }
+}
+
+TEST(TraceSchemaTest, ParserIsStrict) {
+  GcTraceEvent E;
+  std::string Error;
+  // Unknown key.
+  EXPECT_FALSE(parseTraceEventJson("{\"type\":\"pacing\",\"heap\":1,"
+                                   "\"seq\":0,\"collector\":\"x\","
+                                   "\"words_allocated\":1,\"pacing_bytes\":2,"
+                                   "\"bogus\":3}",
+                                   E, Error));
+  EXPECT_NE(Error.find("unknown key 'bogus'"), std::string::npos) << Error;
+  // Missing required key.
+  EXPECT_FALSE(parseTraceEventJson(
+      "{\"type\":\"pacing\",\"heap\":1,\"seq\":0,\"collector\":\"x\","
+      "\"words_allocated\":1}",
+      E, Error));
+  EXPECT_NE(Error.find("pacing_bytes"), std::string::npos) << Error;
+  // Duplicate key.
+  EXPECT_FALSE(parseTraceEventJson("{\"type\":\"pacing\",\"type\":\"pacing\"}",
+                                   E, Error));
+  EXPECT_NE(Error.find("duplicate"), std::string::npos) << Error;
+  // Trailing characters.
+  EXPECT_FALSE(parseTraceEventJson(
+      "{\"type\":\"pacing\",\"heap\":1,\"seq\":0,\"collector\":\"x\","
+      "\"words_allocated\":1,\"pacing_bytes\":2}x",
+      E, Error));
+  // Escape sequences are outside the schema.
+  EXPECT_FALSE(parseTraceEventJson("{\"type\":\"pac\\ning\"}", E, Error));
+  // Negative / non-numeric values.
+  EXPECT_FALSE(parseTraceEventJson("{\"type\":\"pacing\",\"heap\":-1}", E,
+                                   Error));
+  // Unknown event type.
+  EXPECT_FALSE(parseTraceEventJson("{\"type\":\"meteor\"}", E, Error));
+  EXPECT_NE(Error.find("unknown event type"), std::string::npos) << Error;
+  // Not an object at all.
+  EXPECT_FALSE(parseTraceEventJson("[]", E, Error));
+}
+
+//===----------------------------------------------------------------------===
+// Pause histogram vs. a sorted-vector oracle.
+//===----------------------------------------------------------------------===
+
+TEST(PauseHistogramTest, BucketEdgesAreConsistent) {
+  std::vector<uint64_t> Probes = {0, 1, 31, 32, 33, 63, 64, 65, 1000};
+  for (unsigned Shift = 7; Shift < 63; Shift += 7) {
+    Probes.push_back((1ull << Shift) - 1);
+    Probes.push_back(1ull << Shift);
+    Probes.push_back((1ull << Shift) + 1);
+  }
+  for (uint64_t V : Probes) {
+    unsigned Index = PauseHistogram::bucketIndexFor(V);
+    ASSERT_LT(Index, PauseHistogram::BucketCount);
+    EXPECT_LE(PauseHistogram::bucketLowerEdge(Index), V);
+    EXPECT_GE(PauseHistogram::bucketUpperEdge(Index), V);
+    EXPECT_EQ(PauseHistogram::bucketIndexFor(
+                  PauseHistogram::bucketLowerEdge(Index)),
+              Index);
+    EXPECT_EQ(PauseHistogram::bucketIndexFor(
+                  PauseHistogram::bucketUpperEdge(Index)),
+              Index);
+    // Relative quantization error is bounded by 2^-SubBucketBits.
+    uint64_t Width = PauseHistogram::bucketUpperEdge(Index) -
+                     PauseHistogram::bucketLowerEdge(Index) + 1;
+    if (V >= PauseHistogram::SubBucketCount)
+      EXPECT_LE(Width, V / PauseHistogram::SubBucketCount + 1);
+    else
+      EXPECT_EQ(Width, 1u);
+  }
+}
+
+TEST(PauseHistogramTest, SmallValuesAreExact) {
+  PauseHistogram H;
+  for (uint64_t V = 0; V < 32; ++V)
+    H.record(V);
+  EXPECT_EQ(H.count(), 32u);
+  EXPECT_EQ(H.maxValue(), 31u);
+  EXPECT_EQ(H.totalSum(), 31u * 32u / 2);
+  EXPECT_DOUBLE_EQ(H.mean(), 15.5);
+  EXPECT_EQ(H.valueAtPercentile(50.0), 15u);
+  EXPECT_EQ(H.valueAtPercentile(100.0), 31u);
+  H.reset();
+  EXPECT_EQ(H.count(), 0u);
+  EXPECT_EQ(H.valueAtPercentile(50.0), 0u);
+}
+
+TEST(PauseHistogramTest, PercentilesMatchSortedOracle) {
+  SplitMix64 Rng(0xb5eeful);
+  PauseHistogram H;
+  std::vector<uint64_t> Oracle;
+  for (int I = 0; I < 20000; ++I) {
+    // Pause-like values spanning many orders of magnitude, capped at 2^56
+    // so the tolerance arithmetic below cannot overflow.
+    uint64_t V = Rng.next() >> (8 + Rng.next() % 44);
+    H.record(V);
+    Oracle.push_back(V);
+  }
+  std::sort(Oracle.begin(), Oracle.end());
+  for (double P : {10.0, 50.0, 90.0, 99.0, 99.9}) {
+    size_t Rank = static_cast<size_t>(
+        std::ceil(P / 100.0 * static_cast<double>(Oracle.size())));
+    uint64_t Exact = Oracle[Rank - 1];
+    uint64_t Reported = H.valueAtPercentile(P);
+    // Nearest-rank within the histogram's ~3.1% quantization.
+    EXPECT_GE(Reported + 1, Exact) << "p" << P;
+    EXPECT_LE(Reported, Exact + Exact / 16 + 1) << "p" << P;
+  }
+  EXPECT_EQ(H.valueAtPercentile(100.0), Oracle.back());
+  EXPECT_EQ(H.maxValue(), Oracle.back());
+
+  PauseHistogram Other;
+  Other.record(Oracle.back() * 2 + 1);
+  Other.merge(H);
+  EXPECT_EQ(Other.count(), H.count() + 1);
+  EXPECT_EQ(Other.maxValue(), Oracle.back() * 2 + 1);
+  EXPECT_EQ(Other.valueAtPercentile(100.0), Oracle.back() * 2 + 1);
+}
+
+//===----------------------------------------------------------------------===
+// Event stream vs. GcStats, for every collector.
+//===----------------------------------------------------------------------===
+
+TEST(TracerIntegrationTest, EventStreamAgreesWithStatsOnEveryCollector) {
+  for (CollectorKind Kind :
+       {CollectorKind::StopAndCopy, CollectorKind::MarkSweep,
+        CollectorKind::MarkCompact, CollectorKind::Generational,
+        CollectorKind::NonPredictive, CollectorKind::NonPredictiveHybrid}) {
+    auto H = makeHeap(Kind, smallSizing());
+    GcTracer Tracer;
+    MemoryTraceSink Sink;
+    Tracer.addSink(&Sink);
+    H->setTracer(&Tracer);
+
+    churn(*H);
+    H->collectFullNow();
+
+    const GcStats &Stats = H->stats();
+    auto Collections = collectionEvents(Sink.events());
+    SCOPED_TRACE(H->collector().name());
+    ASSERT_GT(Collections.size(), 0u);
+    EXPECT_EQ(Collections.size(), Stats.collections());
+
+    uint64_t TracedSum = 0, ReclaimedSum = 0, TotalNanosSum = 0;
+    uint64_t LastSeq = 0;
+    bool FirstEvent = true;
+    for (const GcTraceEvent &E : Sink.events()) {
+      if (!FirstEvent)
+        EXPECT_EQ(E.Seq, LastSeq + 1);
+      FirstEvent = false;
+      LastSeq = E.Seq;
+    }
+    for (const GcTraceEvent &E : Collections) {
+      TracedSum += E.WordsTraced;
+      ReclaimedSum += E.WordsReclaimed;
+      // Growth evacuations (kind 6) run on the recovery ladder's third
+      // rung, outside the GcTimer window, so they are not part of the
+      // gcSeconds bound checked below.
+      if (E.Kind != 6)
+        TotalNanosSum += E.TotalNanos;
+      // Attributed phase time can never exceed the cycle's wall time.
+      EXPECT_LE(E.Phases.sumNanos(), E.TotalNanos);
+      EXPECT_FALSE(E.KindClass.empty());
+      EXPECT_NE(E.KindClass, "unknown");
+      EXPECT_EQ(E.Collector, H->collector().name());
+    }
+    // The single finishCollection funnel makes these equalities structural:
+    // a collector that bypassed it would show up here.
+    EXPECT_EQ(TracedSum, Stats.wordsTraced());
+    EXPECT_EQ(ReclaimedSum, Stats.wordsReclaimed());
+    EXPECT_EQ(Tracer.pauses().count(), Stats.collections());
+    // Every traced cycle ran inside a GcTimer window, so the event total
+    // is bounded by the stats' gc seconds (generous slack for rounding).
+    EXPECT_LE(static_cast<double>(TotalNanosSum),
+              Stats.gcSeconds() * 1e9 * 1.01 + 1e6);
+  }
+}
+
+TEST(TracerIntegrationTest, JsonLinesSinkMatchesMemorySink) {
+  std::string Path = ::testing::TempDir() + "rdgc_test_trace.jsonl";
+  {
+    auto H = makeHeap(CollectorKind::Generational, smallSizing());
+    GcTracer Tracer;
+    MemoryTraceSink Memory;
+    JsonLinesTraceSink File(Path);
+    ASSERT_TRUE(File.ok());
+    Tracer.addSink(&Memory);
+    Tracer.addSink(&File);
+    H->setTracer(&Tracer);
+    churn(*H, 8000);
+    H->collectFullNow();
+
+    std::ifstream In(Path);
+    ASSERT_TRUE(In.good());
+    std::string Line;
+    size_t I = 0;
+    while (std::getline(In, Line)) {
+      ASSERT_LT(I, Memory.events().size());
+      GcTraceEvent Parsed;
+      std::string Error;
+      ASSERT_TRUE(parseTraceEventJson(Line, Parsed, Error))
+          << "line " << I + 1 << ": " << Error;
+      EXPECT_EQ(Line, formatTraceEventJson(Memory.events()[I]));
+      ++I;
+    }
+    EXPECT_EQ(I, Memory.events().size());
+    ASSERT_GT(I, 0u);
+  }
+  std::remove(Path.c_str());
+}
+
+TEST(TracerIntegrationTest, OccupancyTimelineSamplesAtInterval) {
+  auto H = makeHeap(CollectorKind::StopAndCopy, smallSizing());
+  GcTracer Tracer;
+  MemoryTraceSink Sink;
+  Tracer.addSink(&Sink);
+  Tracer.setOccupancyIntervalBytes(4096);
+  H->setTracer(&Tracer);
+  churn(*H, 4000); // ~128 kB of pairs => dozens of samples.
+
+  uint64_t LastAllocated = 0;
+  size_t Samples = 0;
+  for (const GcTraceEvent &E : Sink.events()) {
+    if (E.EventType != GcTraceEvent::Type::Occupancy)
+      continue;
+    ++Samples;
+    EXPECT_GE(E.WordsAllocated, LastAllocated);
+    LastAllocated = E.WordsAllocated;
+    EXPECT_GE(E.CapacityWords, E.FreeWords);
+    EXPECT_GT(E.CapacityWords, 0u);
+  }
+  EXPECT_GE(Samples, 10u);
+}
+
+TEST(TracerIntegrationTest, RecoveryLadderAndEmergencyClassAreTraced) {
+  RDGC_SKIP_UNDER_ENV_TORTURE(); // Exact ladder sequence.
+  CollectorSizing Sizing;
+  Sizing.PrimaryBytes = 64 * 1024;
+  auto H = makeHeap(CollectorKind::StopAndCopy, Sizing);
+  H->setMaxHeapBytes(64 * 1024); // Growth rung must refuse.
+  GcTracer Tracer;
+  MemoryTraceSink Sink;
+  Tracer.addSink(&Sink);
+  H->setTracer(&Tracer);
+  bool SawFault = false;
+  H->setFaultHandler(
+      [&SawFault](HeapFault, const char *) { SawFault = true; });
+
+  // Grow a rooted list until the capped heap gives up.
+  Handle List(*H, Value::null());
+  for (int I = 0; I < 100000 && !SawFault; ++I)
+    List.set(H->allocatePair(Value::fixnum(I), List.get()));
+  ASSERT_TRUE(SawFault);
+
+  bool SawCollectRung = false, SawEmergencyRung = false, SawExhausted = false;
+  bool SawEmergencyClass = false;
+  for (const GcTraceEvent &E : Sink.events()) {
+    if (E.EventType == GcTraceEvent::Type::Recovery) {
+      SawCollectRung |= E.Rung == "collect";
+      SawEmergencyRung |= E.Rung == "emergency-full";
+      SawExhausted |= E.Rung == "exhausted";
+      EXPECT_GT(E.WordsRequested, 0u);
+    } else if (E.EventType == GcTraceEvent::Type::Collection) {
+      SawEmergencyClass |= E.KindClass == "emergency";
+    }
+  }
+  EXPECT_TRUE(SawCollectRung);
+  EXPECT_TRUE(SawEmergencyRung);
+  EXPECT_TRUE(SawExhausted);
+  // The rung-2 full collection ran inside the tracer's emergency window.
+  EXPECT_TRUE(SawEmergencyClass);
+  H->clearFault();
+}
+
+//===----------------------------------------------------------------------===
+// Satellite bugfix: pacing-counter carry.
+//===----------------------------------------------------------------------===
+
+TEST(PacingTest, CounterCarriesTheOvershoot) {
+  RDGC_SKIP_UNDER_ENV_TORTURE(); // Exact pacing-triggered counts.
+  auto H = std::make_unique<Heap>(
+      std::make_unique<StopAndCopyCollector>(4 * 1024 * 1024));
+  GcTracer Tracer;
+  MemoryTraceSink Sink;
+  Tracer.addSink(&Sink);
+  H->setTracer(&Tracer);
+  H->setGcPacing(1024);
+  // Each vector is 82 words = 656 bytes (header + length + 80 elements).
+  // With carry semantics the quantum fires on allocations 2, 4, 5, 7, 8,
+  // 10 — six collections. The old reset-to-zero bug loses the overshoot
+  // and fires only every second allocation (five collections).
+  for (int I = 0; I < 10; ++I)
+    H->allocateVector(80, Value::fixnum(I));
+  EXPECT_EQ(H->stats().collections(), 6u);
+  size_t PacingEvents = 0;
+  for (const GcTraceEvent &E : Sink.events())
+    if (E.EventType == GcTraceEvent::Type::Pacing) {
+      ++PacingEvents;
+      EXPECT_EQ(E.PacingBytes, 1024u);
+    }
+  EXPECT_EQ(PacingEvents, 6u);
+}
+
+//===----------------------------------------------------------------------===
+// Satellite bugfix: RememberedSet::clear() vs. stale from-space headers.
+//===----------------------------------------------------------------------===
+
+TEST(RememberedSetTest, ClearSkipsPoisonedAndForwardedHolders) {
+  RememberedSet RS;
+  uint64_t Live = header::encode(ObjectTag::Pair, 2, 3);
+  uint64_t Evacuated = header::encode(ObjectTag::Pair, 2, 3);
+  uint64_t Forwarded = header::encode(ObjectTag::Vector, 4, 3);
+  ASSERT_TRUE(RS.insert(&Live));
+  ASSERT_TRUE(RS.insert(&Evacuated));
+  ASSERT_TRUE(RS.insert(&Forwarded));
+  ASSERT_FALSE(RS.insert(&Live)) << "remembered bit must deduplicate";
+
+  // Simulate a copying collection: one holder evacuated and poisoned, one
+  // left as a forwarding header, one still live in place.
+  Evacuated = PoisonPattern;
+  Forwarded = header::encode(ObjectTag::Forward, 4, 3) |
+              (Forwarded & header::RememberedBit);
+
+  RS.clear();
+  EXPECT_TRUE(RS.empty());
+  EXPECT_FALSE(header::isRemembered(Live));
+  // The poison fill must survive byte-for-byte: the old bug cleared bit 7
+  // (which PoisonPattern has set), turning 0x...DEAC into 0x...DE2C and
+  // blinding the verifier's dangling-reference scan.
+  EXPECT_EQ(Evacuated, PoisonPattern);
+  // A forwarding header is from-space storage too; clear() must not touch
+  // its bits either.
+  EXPECT_EQ(header::tag(Forwarded), ObjectTag::Forward);
+}

@@ -17,6 +17,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "TortureSkip.h"
+
 #include "gc/CollectorFactory.h"
 #include "heap/HeapVerifier.h"
 #include "heap/TortureMode.h"
@@ -219,4 +221,30 @@ TEST(PoisonTest, TortureModeEnablesPoisoning) {
   if (Stale.rawBits() != P.get().rawBits()) {
     EXPECT_EQ(*Stale.asHeaderPtr(), PoisonPattern);
   }
+}
+
+TEST(PoisonTest, RememberedSetClearPreservesPoisonedFromSpace) {
+  RDGC_SKIP_UNDER_ENV_TORTURE(); // Exact collection/evacuation sequence.
+  auto H = makeHeap(CollectorKind::Generational, smallSizing());
+  H->setPoisonFreedMemory(true);
+  // A vector larger than half the nursery lands in the dynamic area, so a
+  // nursery store makes it a remembered holder whose storage a major
+  // collection will evacuate and poison.
+  Handle Vec(*H, H->allocateVector(3000, Value::null()));
+  Handle Young(*H, H->allocatePair(Value::fixnum(1), Value::null()));
+  H->vectorSet(Vec.get(), 0, Young.get());
+  ASSERT_GE(H->collector().rememberedSetSize(), 1u)
+      << "store was not remembered";
+
+  uint64_t *OldHeader = Vec.get().asHeaderPtr();
+  H->collectFullNow(); // Evacuates the holder, poisons from-space, then
+                       // clears the remembered set — in that order.
+  ASSERT_NE(OldHeader, Vec.get().asHeaderPtr()) << "holder did not move";
+  // RememberedSet::clear() must not write the cleared remembered bit into
+  // the stale from-space header: PoisonPattern has bit 7 set, so the old
+  // bug turned 0x...DEAC into 0x...DE2C and defeated the verifier's
+  // exact-pattern dangling-reference scan.
+  EXPECT_EQ(*OldHeader, PoisonPattern);
+  HeapVerification V = verifyHeap(*H);
+  EXPECT_TRUE(V.Ok) << V.FirstProblem;
 }

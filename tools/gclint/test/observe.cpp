@@ -1,0 +1,76 @@
+// gclint fixture: the observability layer's entry points. Not compiled —
+// only lexed. The tracer hooks (noteCollection, notePacing, noteRecovery,
+// maybeSampleOccupancy) are NOT GC points: they run inside or between
+// collections and never allocate on the traced heap, so reading a Value
+// across them must stay clean. A helper that samples occupancy by first
+// forcing a collection, however, is a transitive GC point like any other.
+
+struct Value {
+  static Value fixnum(long N);
+  static Value null();
+};
+
+struct Collector;
+
+struct CollectionRecord {
+  int Kind;
+};
+
+struct GcPhaseTimer {
+  explicit GcPhaseTimer(bool Enabled);
+  void finish();
+};
+
+struct GcTracer {
+  void noteCollection(const Collector &C, const CollectionRecord &R,
+                      const GcPhaseTimer &T);
+  void notePacing(const Collector &C, unsigned long PacingBytes);
+  void noteRecovery(const Collector &C, const char *Rung,
+                    unsigned long Words);
+  void maybeSampleOccupancy(const Collector &C);
+  void beginEmergency();
+  void endEmergency();
+};
+
+struct Heap {
+  Value allocatePair(Value Car, Value Cdr);
+  void collectNow();
+  Collector &collector();
+  GcTracer *tracer();
+};
+
+void use(Value V);
+
+// Tracer hooks are observation, not mutation: no finding across them.
+void hooksAreNotGcPoints(Heap &H, GcTracer &T, const CollectionRecord &R) {
+  Value A = H.allocatePair(Value::fixnum(1), Value::null());
+  GcPhaseTimer Timer(true);
+  Timer.finish();
+  T.noteCollection(H.collector(), R, Timer);
+  T.notePacing(H.collector(), 1024);
+  T.noteRecovery(H.collector(), "collect", 2);
+  T.maybeSampleOccupancy(H.collector());
+  use(A);
+}
+
+// The emergency window markers bracket a collection elsewhere; by
+// themselves they do not collect either.
+void emergencyWindowIsNotAGcPoint(Heap &H, GcTracer &T) {
+  Value A = H.allocatePair(Value::fixnum(1), Value::null());
+  T.beginEmergency();
+  T.endEmergency();
+  use(A);
+}
+
+// A sampling helper that forces a collection first IS a transitive GC
+// point: the value read after it is stale.
+void sampleOccupancyExact(Heap &H, GcTracer &T) {
+  H.collectNow();
+  T.maybeSampleOccupancy(H.collector());
+}
+
+void helperViolation(Heap &H, GcTracer &T) {
+  Value A = H.allocatePair(Value::fixnum(1), Value::null());
+  sampleOccupancyExact(H, T);
+  use(A); // gclint-expect: unrooted-value
+}

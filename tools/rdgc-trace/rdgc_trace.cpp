@@ -1,0 +1,282 @@
+//===- tools/rdgc-trace/rdgc_trace.cpp - Trace stream reporter ------------===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reads a JSON Lines trace produced via RDGC_TRACE=<path> (or any
+/// JsonLinesTraceSink) and either validates it (--check) or renders a
+/// report: a per-collector summary table, the pause-time histogram with
+/// percentiles, and pause / mark-cons-over-time charts.
+///
+/// Usage:
+///   rdgc-trace <trace.jsonl>           render the report
+///   rdgc-trace --check <trace.jsonl>   validate only; "OK: N events" or a
+///                                      line-numbered diagnostic, exit 1
+///
+/// Validation is strict by construction — parseTraceEventJson rejects
+/// unknown keys, missing keys, and malformed syntax — plus stream-level
+/// checks: per-heap sequence numbers must be dense and monotone, and a
+/// collection's phase nanoseconds must not exceed its total pause.
+///
+//===----------------------------------------------------------------------===//
+
+#include "observe/GcTracer.h"
+#include "support/AsciiChart.h"
+#include "support/TableWriter.h"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+using namespace rdgc;
+
+namespace {
+
+struct LoadedTrace {
+  std::vector<GcTraceEvent> Events;
+  uint64_t Lines = 0;
+};
+
+/// Parses and stream-validates the whole file. Returns false after printing
+/// a "file:line: message" diagnostic.
+bool loadTrace(const std::string &Path, LoadedTrace &Trace) {
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "rdgc-trace: cannot open %s\n", Path.c_str());
+    return false;
+  }
+  std::map<uint64_t, uint64_t> NextSeq; // heap id -> expected seq.
+  std::string Line;
+  uint64_t LineNo = 0;
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    if (Line.empty())
+      continue;
+    GcTraceEvent E;
+    std::string Error;
+    if (!parseTraceEventJson(Line, E, Error)) {
+      std::fprintf(stderr, "%s:%llu: %s\n", Path.c_str(),
+                   static_cast<unsigned long long>(LineNo), Error.c_str());
+      return false;
+    }
+    auto [It, Inserted] = NextSeq.try_emplace(E.HeapId, 0);
+    if (E.Seq != It->second) {
+      std::fprintf(stderr,
+                   "%s:%llu: heap %llu sequence gap (seq %llu, expected "
+                   "%llu)\n",
+                   Path.c_str(), static_cast<unsigned long long>(LineNo),
+                   static_cast<unsigned long long>(E.HeapId),
+                   static_cast<unsigned long long>(E.Seq),
+                   static_cast<unsigned long long>(It->second));
+      return false;
+    }
+    ++It->second;
+    if (E.EventType == GcTraceEvent::Type::Collection &&
+        E.Phases.sumNanos() > E.TotalNanos) {
+      std::fprintf(stderr,
+                   "%s:%llu: phase nanoseconds sum %llu exceeds total %llu\n",
+                   Path.c_str(), static_cast<unsigned long long>(LineNo),
+                   static_cast<unsigned long long>(E.Phases.sumNanos()),
+                   static_cast<unsigned long long>(E.TotalNanos));
+      return false;
+    }
+    Trace.Events.push_back(std::move(E));
+  }
+  Trace.Lines = LineNo;
+  return true;
+}
+
+/// Per-collector aggregates for the summary table.
+struct CollectorSummary {
+  uint64_t Collections = 0;
+  uint64_t WordsTraced = 0;
+  uint64_t WordsReclaimed = 0;
+  uint64_t WordsAllocatedMax = 0; // cumulative counter; the max is the total.
+  uint64_t PauseNanos = 0;
+  uint64_t Pacings = 0;
+  uint64_t Recoveries = 0;
+};
+
+std::string formatMillis(uint64_t Nanos) {
+  return TableWriter::formatDouble(static_cast<double>(Nanos) / 1e6, 3);
+}
+
+void renderSummaryTable(const LoadedTrace &Trace) {
+  std::map<std::string, CollectorSummary> ByCollector;
+  for (const GcTraceEvent &E : Trace.Events) {
+    CollectorSummary &S = ByCollector[E.Collector];
+    switch (E.EventType) {
+    case GcTraceEvent::Type::Collection:
+      ++S.Collections;
+      S.WordsTraced += E.WordsTraced;
+      S.WordsReclaimed += E.WordsReclaimed;
+      S.PauseNanos += E.TotalNanos;
+      if (E.WordsAllocated > S.WordsAllocatedMax)
+        S.WordsAllocatedMax = E.WordsAllocated;
+      break;
+    case GcTraceEvent::Type::Pacing:
+      ++S.Pacings;
+      break;
+    case GcTraceEvent::Type::Recovery:
+      ++S.Recoveries;
+      break;
+    case GcTraceEvent::Type::Occupancy:
+      break;
+    }
+  }
+
+  TableWriter Table({"collector", "collections", "words traced",
+                     "words reclaimed", "mark/cons", "gc ms", "pacings",
+                     "recoveries"});
+  for (const auto &[Name, S] : ByCollector) {
+    double MarkCons =
+        S.WordsAllocatedMax
+            ? static_cast<double>(S.WordsTraced) / S.WordsAllocatedMax
+            : 0.0;
+    Table.addRow({Name, TableWriter::formatUnsigned(S.Collections),
+                  TableWriter::formatUnsigned(S.WordsTraced),
+                  TableWriter::formatUnsigned(S.WordsReclaimed),
+                  TableWriter::formatDouble(MarkCons, 3),
+                  formatMillis(S.PauseNanos),
+                  TableWriter::formatUnsigned(S.Pacings),
+                  TableWriter::formatUnsigned(S.Recoveries)});
+  }
+  std::printf("%s\n", Table.renderText().c_str());
+}
+
+void renderPauseHistogram(const LoadedTrace &Trace) {
+  PauseHistogram Pauses;
+  for (const GcTraceEvent &E : Trace.Events)
+    if (E.EventType == GcTraceEvent::Type::Collection)
+      Pauses.record(E.TotalNanos);
+  if (Pauses.count() == 0) {
+    std::printf("no collection events; nothing to plot\n");
+    return;
+  }
+
+  std::printf("pause times (ns): count %llu  mean %.0f  p50 %llu  p90 %llu  "
+              "p99 %llu  max %llu\n\n",
+              static_cast<unsigned long long>(Pauses.count()), Pauses.mean(),
+              static_cast<unsigned long long>(Pauses.valueAtPercentile(50.0)),
+              static_cast<unsigned long long>(Pauses.valueAtPercentile(90.0)),
+              static_cast<unsigned long long>(Pauses.valueAtPercentile(99.0)),
+              static_cast<unsigned long long>(Pauses.maxValue()));
+
+  // Power-of-two bucket bars: coarse on purpose — the HDR buckets are too
+  // fine to eyeball, and pauses span orders of magnitude.
+  std::map<unsigned, uint64_t> Log2Buckets; // floor(log2(pause)) -> count.
+  uint64_t MaxCount = 0;
+  for (const GcTraceEvent &E : Trace.Events) {
+    if (E.EventType != GcTraceEvent::Type::Collection)
+      continue;
+    unsigned Bucket = 0;
+    for (uint64_t V = E.TotalNanos; V > 1; V >>= 1)
+      ++Bucket;
+    uint64_t &Count = ++Log2Buckets[Bucket];
+    if (Count > MaxCount)
+      MaxCount = Count;
+  }
+  constexpr unsigned BarWidth = 50;
+  for (unsigned B = Log2Buckets.begin()->first;
+       B <= Log2Buckets.rbegin()->first; ++B) {
+    uint64_t Count = Log2Buckets.count(B) ? Log2Buckets[B] : 0;
+    unsigned Bar = MaxCount
+                       ? static_cast<unsigned>((Count * BarWidth) / MaxCount)
+                       : 0;
+    if (Count && Bar == 0)
+      Bar = 1;
+    std::printf("%10llu ns |%-*s| %llu\n",
+                static_cast<unsigned long long>(1ull << B), BarWidth,
+                std::string(Bar, '#').c_str(),
+                static_cast<unsigned long long>(Count));
+  }
+  std::printf("\n");
+}
+
+void renderTimelines(const LoadedTrace &Trace) {
+  // One series per collector; X is cumulative words allocated — the
+  // paper's time axis — so multi-heap traces still line up meaningfully.
+  std::map<std::string, ChartSeries> PauseSeries;
+  std::map<std::string, ChartSeries> MarkConsSeries;
+  std::map<std::string, uint64_t> TracedSoFar;
+  for (const GcTraceEvent &E : Trace.Events) {
+    if (E.EventType != GcTraceEvent::Type::Collection)
+      continue;
+    double X = static_cast<double>(E.WordsAllocated);
+    ChartSeries &P = PauseSeries[E.Collector];
+    if (P.Name.empty())
+      P.Name = E.Collector;
+    P.X.push_back(X);
+    P.Y.push_back(static_cast<double>(E.TotalNanos) / 1e6);
+    uint64_t &Traced = TracedSoFar[E.Collector];
+    Traced += E.WordsTraced;
+    ChartSeries &M = MarkConsSeries[E.Collector];
+    if (M.Name.empty())
+      M.Name = E.Collector;
+    M.X.push_back(X);
+    M.Y.push_back(E.WordsAllocated
+                      ? static_cast<double>(Traced) / E.WordsAllocated
+                      : 0.0);
+  }
+  if (PauseSeries.empty())
+    return;
+
+  std::vector<ChartSeries> Pauses, MarkCons;
+  for (auto &[Name, S] : PauseSeries)
+    Pauses.push_back(std::move(S));
+  for (auto &[Name, S] : MarkConsSeries)
+    MarkCons.push_back(std::move(S));
+  std::printf("%s\n", renderLineChart(Pauses, 72, 16,
+                                      "pause ms over words allocated")
+                          .c_str());
+  std::printf("%s\n", renderLineChart(MarkCons, 72, 16,
+                                      "cumulative mark/cons ratio")
+                          .c_str());
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool CheckOnly = false;
+  std::string Path;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--check")
+      CheckOnly = true;
+    else if (Arg == "--help" || Arg == "-h") {
+      std::printf("usage: rdgc-trace [--check] <trace.jsonl>\n");
+      return 0;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "rdgc-trace: unknown option %s\n", Arg.c_str());
+      return 2;
+    } else if (Path.empty())
+      Path = Arg;
+    else {
+      std::fprintf(stderr, "rdgc-trace: more than one input file\n");
+      return 2;
+    }
+  }
+  if (Path.empty()) {
+    std::fprintf(stderr, "usage: rdgc-trace [--check] <trace.jsonl>\n");
+    return 2;
+  }
+
+  LoadedTrace Trace;
+  if (!loadTrace(Path, Trace))
+    return 1;
+
+  if (CheckOnly) {
+    std::printf("OK: %llu events\n",
+                static_cast<unsigned long long>(Trace.Events.size()));
+    return 0;
+  }
+
+  renderSummaryTable(Trace);
+  renderPauseHistogram(Trace);
+  renderTimelines(Trace);
+  return 0;
+}
