@@ -14,6 +14,15 @@
 /// pointers, and accounting copied words (the "mark" half of the paper's
 /// mark/cons ratio).
 ///
+/// The gray set is Cheney's implicit queue, generalized to multiple
+/// to-buffers: instead of a worklist of object addresses, the scavenger
+/// tracks *scan segments* — [scan, end) windows over to-space — and drains
+/// by walking each segment's scan pointer up to its frontier. Copies that
+/// land right at an open segment's end (the common bump-allocation case)
+/// extend it in place, so a whole collection typically maintains one
+/// segment per to-buffer and never touches a side worklist. See
+/// DESIGN.md §11 for the invariants and the prefetch policy.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef RDGC_GC_COPYSCAVENGER_H
@@ -22,9 +31,11 @@
 #include "heap/Heap.h"
 #include "heap/Object.h"
 #include "heap/Value.h"
+#include "support/Error.h"
 
 #include <cstdint>
-#include <functional>
+#include <cstring>
+#include <utility>
 #include <vector>
 
 namespace rdgc {
@@ -37,37 +48,132 @@ struct CopyTarget {
 };
 
 /// Transitive Cheney-style copier. Lifetime: one collection cycle.
-class CopyScavenger {
+/// Templated over its two policy callables so the per-object hot path
+/// (condemned test, to-space bump) inlines instead of going through
+/// std::function; construction from lambdas deduces the parameters.
+template <typename InCondemnedFn, typename AllocateToFn> class CopyScavenger {
 public:
   /// \p InCondemned decides whether the object at a header address should
   /// be evacuated; \p AllocateTo supplies to-space storage and must never
   /// fail (collectors size to-space so survivors always fit, and abort
   /// otherwise); \p Observer may be null.
-  CopyScavenger(std::function<bool(const uint64_t *)> InCondemned,
-                std::function<CopyTarget(size_t Words)> AllocateTo,
+  CopyScavenger(InCondemnedFn InCondemned, AllocateToFn AllocateTo,
                 HeapObserver *Observer)
-      : InCondemned(std::move(InCondemned)),
-        AllocateTo(std::move(AllocateTo)), Observer(Observer) {}
+      : InCondemned(std::move(InCondemned)), AllocateTo(std::move(AllocateTo)),
+        Observer(Observer) {}
 
   /// Processes one slot: if it points into the condemned region, ensures
   /// the target is copied (following any existing forwarding pointer) and
   /// rewrites the slot.
-  void scavenge(Value &Slot);
+  void scavenge(Value &Slot) {
+    if (!Slot.isPointer())
+      return;
+    uint64_t *Header = Slot.asHeaderPtr();
+    ObjectRef Obj(Header);
+    if (Obj.isForwarded()) {
+      Slot = Value::pointer(Obj.forwardedTo());
+      return;
+    }
+    if (!InCondemned(Header))
+      return;
+
+    size_t Words = Obj.totalWords();
+    CopyTarget Target = AllocateTo(Words);
+    if (!Target.Mem)
+      reportFatalError("to-space exhausted during evacuation");
+    std::memcpy(Target.Mem, Header, Words * sizeof(uint64_t));
+    ObjectRef New(Target.Mem);
+    New.setRegion(Target.Region);
+    // A fresh copy starts outside the remembered set; the collector
+    // re-inserts it if the post-collection configuration requires an entry.
+    New.setHeaderWord(header::clearRemembered(New.headerWord()));
+    WordsCopied += Words;
+    ObjectsCopied += 1;
+    if (Observer)
+      Observer->onMove(Header, Target.Mem);
+    Obj.forwardTo(Target.Mem);
+    Slot = Value::pointer(Target.Mem);
+    // Gray tracking: bump allocation makes consecutive copies contiguous,
+    // so almost every copy extends the open segment instead of growing the
+    // vector. A merge across a buffer boundary (the next buffer happening
+    // to start where the last one ended) is still a valid scan: the merged
+    // window holds back-to-back objects either way.
+    if (!Segments.empty() && Segments.back().End == Target.Mem) {
+      Segments.back().End += Words;
+    } else {
+      Segments.push_back({Target.Mem, Target.Mem + Words});
+    }
+  }
 
   /// Scans the pointer slots of the (already copied) object at \p Header.
-  void scanObject(uint64_t *Header);
+  /// Slot processing runs one slot behind a prefetch of the next slot's
+  /// referent, hiding the from-space header miss behind the current slot's
+  /// copy work.
+  void scanObject(uint64_t *Header) {
+    uint64_t *Pending = nullptr;
+    ObjectRef(Header).forEachPointerSlot([&](uint64_t *SlotWord) {
+      Value Next = Value::fromRawBits(*SlotWord);
+      if (Next.isPointer())
+        __builtin_prefetch(Next.asHeaderPtr());
+      if (Pending)
+        processSlot(Pending);
+      Pending = SlotWord;
+    });
+    if (Pending)
+      processSlot(Pending);
+  }
 
-  /// Processes the worklist until no gray objects remain.
-  void drain();
+  /// Drains the gray region: walks every segment's scan pointer to its
+  /// frontier, re-reading the bounds each step because scanning may extend
+  /// the segment in place (copies landing at its end) or append new
+  /// segments (copies landing in another buffer). The outer loop repeats
+  /// until a full pass over all segments finds nothing gray.
+  void drain() {
+    bool Progress = true;
+    while (Progress) {
+      Progress = false;
+      // Index-based: scavenge() may push_back and invalidate references.
+      for (size_t I = 0; I < Segments.size(); ++I) {
+        while (Segments[I].Scan < Segments[I].End) {
+          Progress = true;
+          uint64_t *Gray = Segments[I].Scan;
+          // Pull the upcoming scan frontier into cache while this object
+          // is processed (see DESIGN.md §11 for the distance choice).
+          __builtin_prefetch(Gray + PrefetchDistanceWords);
+          Segments[I].Scan += ObjectRef(Gray).totalWords();
+          scanObject(Gray);
+        }
+      }
+    }
+    Segments.clear();
+  }
 
   uint64_t wordsCopied() const { return WordsCopied; }
   uint64_t objectsCopied() const { return ObjectsCopied; }
 
 private:
-  std::function<bool(const uint64_t *)> InCondemned;
-  std::function<CopyTarget(size_t Words)> AllocateTo;
+  /// Two cache lines ahead of the scan pointer: far enough that the line
+  /// arrives before the walk reaches it, near enough to stay inside the
+  /// segment for typical small objects.
+  static constexpr size_t PrefetchDistanceWords = 16;
+
+  /// A gray window over to-space: objects in [Scan, End) are copied but
+  /// not yet scanned.
+  struct Segment {
+    uint64_t *Scan;
+    uint64_t *End;
+  };
+
+  void processSlot(uint64_t *SlotWord) {
+    Value V = Value::fromRawBits(*SlotWord);
+    scavenge(V);
+    *SlotWord = V.rawBits();
+  }
+
+  InCondemnedFn InCondemned;
+  AllocateToFn AllocateTo;
   HeapObserver *Observer;
-  std::vector<uint64_t *> Worklist;
+  std::vector<Segment> Segments;
   uint64_t WordsCopied = 0;
   uint64_t ObjectsCopied = 0;
 };

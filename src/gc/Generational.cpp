@@ -34,6 +34,11 @@ GenerationalCollector::GenerationalCollector(size_t NurseryBytes,
       DynamicB(bytesToWords(DynamicSemispaceBytes)) {
   if (IntermediateBytes)
     Intermediate = std::make_unique<Space>(bytesToWords(IntermediateBytes));
+  // The nursery is the permanent fast window: its address, region, and
+  // big-object threshold (capacity/2, mirroring tryAllocate's routing)
+  // never change, so one publication covers the collector's lifetime.
+  // Minor collections reset the nursery in place.
+  publishAllocationWindow(&Nursery, RegionNursery, Nursery.capacityWords() / 2);
 }
 
 uint64_t *GenerationalCollector::tryAllocate(size_t Words) {

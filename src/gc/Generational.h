@@ -23,7 +23,7 @@
 #define RDGC_GC_GENERATIONAL_H
 
 #include "gc/RememberedSet.h"
-#include "gc/Space.h"
+#include "heap/Space.h"
 #include "heap/Collector.h"
 
 #include <memory>

@@ -37,6 +37,20 @@ NonPredictiveCollector::NonPredictiveCollector(
   if (Config.NurseryBytes)
     Nursery =
         std::make_unique<Space>(std::max<size_t>(Config.NurseryBytes / 8, 16));
+  updateFastWindow();
+}
+
+void NonPredictiveCollector::updateFastWindow() {
+  if (Nursery) {
+    // The big-object threshold mirrors tryAllocate's routing to the steps.
+    publishAllocationWindow(Nursery.get(), RegionNursery,
+                            Nursery->capacityWords() / 2);
+    return;
+  }
+  Space &Step = logicalStep(CurrentLogical);
+  publishAllocationWindow(
+      &Step, static_cast<uint8_t>(LogicalToPhysical[CurrentLogical - 1] + 1),
+      StepWords);
 }
 
 size_t NonPredictiveCollector::chooseJ(size_t EmptySteps) const {
@@ -88,6 +102,7 @@ uint64_t *NonPredictiveCollector::tryAllocateInSteps(size_t Words) {
     if (CurrentLogical == 1)
       return nullptr;
     --CurrentLogical;
+    updateFastWindow();
   }
   return nullptr;
 }
@@ -226,6 +241,7 @@ size_t NonPredictiveCollector::addSteps(size_t Count) {
     // The new steps are empty and highest-numbered; allocation resumes
     // there (the downward cursor never revisits lower steps on its own).
     CurrentLogical = K;
+    updateFastWindow();
   }
   return Added;
 }
@@ -563,6 +579,7 @@ void NonPredictiveCollector::collectWithJ(size_t CollectJ) {
     ++EmptySteps;
   J = chooseJ(EmptySteps);
   CurrentLogical = K;
+  updateFastWindow();
 
   // --- Accounting. The exempt steps are assumed live (Section 4).
   size_t ExemptUsed = 0;

@@ -35,7 +35,7 @@
 #define RDGC_GC_NONPREDICTIVE_H
 
 #include "gc/RememberedSet.h"
-#include "gc/Space.h"
+#include "heap/Space.h"
 #include "heap/Collector.h"
 
 #include <memory>
@@ -208,6 +208,13 @@ private:
 
   /// Chooses j for the next cycle given \p EmptySteps leading empty steps.
   size_t chooseJ(size_t EmptySteps) const;
+
+  /// Republishes the inline allocation window (Collector fast path). In
+  /// hybrid mode the window is the nursery (stable for the collector's
+  /// lifetime); in pure mode it is the step under the downward allocation
+  /// cursor, so every cursor move, step renumbering, and growth must call
+  /// this to keep the fast and slow paths stamping the same region.
+  void updateFastWindow();
 
   NonPredictiveConfig Config;
   size_t K;

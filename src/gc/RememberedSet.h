@@ -34,19 +34,31 @@ namespace rdgc {
 class RememberedSet {
 public:
   /// Remembers \p Holder; no-op if it is already remembered. Returns true
-  /// when a new entry was created.
+  /// when a new entry was created. The first insertion into an empty
+  /// backing vector reserves a block up front, so the write barrier's
+  /// growth reallocations are amortized away from the mutator's hot path
+  /// (std::vector::clear keeps capacity, so a set that has been used and
+  /// cleared never reserves again).
   bool insert(uint64_t *Holder) {
     if (header::isRemembered(*Holder))
       return false;
     *Holder = header::setRemembered(*Holder);
+    if (Entries.capacity() == 0)
+      Entries.reserve(InitialCapacity);
     Entries.push_back(Holder);
     return true;
   }
 
-  /// Visits every remembered holder.
+  /// Visits every remembered holder, prefetching a few entries ahead so
+  /// the collector's remset scan is not serialized on header-word misses
+  /// (entries are insertion-ordered, i.e. scattered across the old space).
   template <typename VisitorT> void forEach(VisitorT &&Visit) const {
-    for (uint64_t *Holder : Entries)
-      Visit(Holder);
+    size_t Count = Entries.size();
+    for (size_t I = 0; I < Count; ++I) {
+      if (I + PrefetchAhead < Count)
+        __builtin_prefetch(Entries[I + PrefetchAhead]);
+      Visit(Entries[I]);
+    }
   }
 
   /// Empties the set, clearing the remembered bit of every entry that is
@@ -64,13 +76,23 @@ public:
         continue;
       *Holder = header::clearRemembered(*Holder);
     }
+    // Keeps capacity: the next mutator phase reuses the block.
     Entries.clear();
   }
 
   size_t size() const { return Entries.size(); }
   bool empty() const { return Entries.empty(); }
+  /// Capacity currently reserved in the backing vector (test hook for the
+  /// retain-across-clear behavior).
+  size_t capacity() const { return Entries.capacity(); }
 
 private:
+  /// First-insert reservation: 256 entries (2 KiB) absorbs the barrier
+  /// bursts seen in the paper workloads without repeated reallocation.
+  static constexpr size_t InitialCapacity = 256;
+  /// forEach prefetch lookahead, in entries.
+  static constexpr size_t PrefetchAhead = 4;
+
   std::vector<uint64_t *> Entries;
 };
 

@@ -22,6 +22,10 @@ static size_t bytesToWords(size_t Bytes) {
 
 StopAndCopyCollector::StopAndCopyCollector(size_t SemispaceBytes)
     : Active(bytesToWords(SemispaceBytes)), Idle(bytesToWords(SemispaceBytes)) {
+  // &Active is a stable member address across semispace swaps, but the
+  // region stamp and capacity change at every flip, so collect()
+  // republishes after the swap.
+  publishAllocationWindow(&Active, ActiveRegion, Active.capacityWords());
 }
 
 uint64_t *StopAndCopyCollector::tryAllocate(size_t Words) {
@@ -97,6 +101,7 @@ void StopAndCopyCollector::collect() {
   std::swap(Active, Idle);
   ActiveRegion = ToRegion;
   LastLiveWords = Active.usedWords();
+  publishAllocationWindow(&Active, ActiveRegion, Active.capacityWords());
 
   Record.WordsTraced = Scavenger.wordsCopied();
   Record.WordsReclaimed = FromUsed - Scavenger.wordsCopied();

@@ -15,7 +15,7 @@
 #ifndef RDGC_GC_STOPANDCOPY_H
 #define RDGC_GC_STOPANDCOPY_H
 
-#include "gc/Space.h"
+#include "heap/Space.h"
 #include "heap/Collector.h"
 
 namespace rdgc {

@@ -17,6 +17,7 @@
 #define RDGC_HEAP_COLLECTOR_H
 
 #include "heap/GcStats.h"
+#include "heap/Space.h"
 #include "heap/Value.h"
 
 #include <cstddef>
@@ -37,6 +38,25 @@ public:
   /// Returns the header address, or nullptr when the collector needs to run
   /// a collection first (the Heap facade will call collect() and retry).
   virtual uint64_t *tryAllocate(size_t Words) = 0;
+
+  /// The inline allocation fast path (see DESIGN.md §11). Bump-allocating
+  /// collectors publish their current allocation Space as a *window*; the
+  /// Heap's header-only allocators bump it directly, skipping the virtual
+  /// tryAllocate and the out-of-line recovery ladder. Returns nullptr when
+  /// no window is published, \p Words exceeds the window's size-class bound
+  /// (e.g. the generational big-object threshold), or the window is full —
+  /// the caller then takes the slow path, whose virtual tryAllocate applies
+  /// the collector's full routing policy. FastWindowMaxWords is zero until
+  /// a window is published, so the size test also guards the deref.
+  uint64_t *tryAllocateFast(size_t Words) {
+    if (Words > FastWindowMaxWords)
+      return nullptr;
+    return FastWindow->tryAllocate(Words);
+  }
+
+  /// Region id to stamp into headers of fast-path allocations. Only
+  /// meaningful while a window is published (tryAllocateFast succeeded).
+  uint8_t fastWindowRegion() const { return FastWindowRegion; }
 
   /// Runs one collection cycle. Roots are enumerated through the attached
   /// Heap. Live objects may move; every root slot is updated in place.
@@ -126,6 +146,18 @@ public:
   bool poisonFreedMemory() const { return PoisonFreedMemory; }
 
 protected:
+  /// Publishes (or, with nullptr, retracts) the inline allocation window.
+  /// \p S must be the space the collector's own tryAllocate would bump for
+  /// requests of at most \p MaxWords words, stamping \p Region — the fast
+  /// and slow paths must agree, or headers get mis-stamped. Collectors call
+  /// this whenever the current allocation target changes (construction,
+  /// semispace flips, step-cursor moves, growth).
+  void publishAllocationWindow(Space *S, uint8_t Region, size_t MaxWords) {
+    FastWindow = S;
+    FastWindowRegion = Region;
+    FastWindowMaxWords = S ? MaxWords : 0;
+  }
+
   /// Single exit point for every completed collection cycle: stops
   /// \p Timer, records \p Record into stats, emits a structured trace
   /// event through the attached heap's tracer (when one is installed),
@@ -140,6 +172,10 @@ private:
   Heap *AttachedHeap = nullptr;
   size_t CapacityLimitWords = 0;
   bool PoisonFreedMemory = false;
+  /// Inline-allocation window state; see tryAllocateFast.
+  Space *FastWindow = nullptr;
+  size_t FastWindowMaxWords = 0;
+  uint8_t FastWindowRegion = 0;
 };
 
 /// CollectionRecord::Kind value shared by collectors for the evacuation a

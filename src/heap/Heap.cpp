@@ -94,6 +94,20 @@ void Heap::enableTortureMode(const TortureOptions &Opts) {
   Obs = Torture.get();
   if (Opts.PoisonFreedMemory)
     Coll->setPoisonFreedMemory(true);
+  // Torture forced-collection and fault-injection hooks must see every
+  // allocation, so the inline fast path stands down for the heap's lifetime.
+  updateSlowAllocForced();
+}
+
+void Heap::updateSlowAllocForced() {
+  SlowAllocForced = Torture != nullptr || PacingBytes != 0;
+}
+
+void Heap::notifyAllocationHooks(uint64_t *Mem, size_t Words) {
+  if (Obs)
+    Obs->onAllocate(Mem, Words);
+  if (Tracer)
+    Tracer->maybeSampleOccupancy(*Coll);
 }
 
 void Heap::setObserver(HeapObserver *Observer) {
@@ -300,7 +314,7 @@ private:
 
 } // namespace
 
-Value Heap::allocatePair(Value Car, Value Cdr) {
+Value Heap::allocatePairSlow(Value Car, Value Cdr) {
   TempRoots Roots(*this, {&Car, &Cdr});
   uint64_t *Mem = allocateRaw(ObjectTag::Pair, 2);
   if (!Mem)
@@ -314,7 +328,7 @@ Value Heap::allocatePair(Value Car, Value Cdr) {
   return Result;
 }
 
-Value Heap::allocateCell(Value Contents) {
+Value Heap::allocateCellSlow(Value Contents) {
   TempRoots Roots(*this, {&Contents});
   uint64_t *Mem = allocateRaw(ObjectTag::Cell, 1);
   if (!Mem)
@@ -326,7 +340,7 @@ Value Heap::allocateCell(Value Contents) {
   return Result;
 }
 
-Value Heap::allocateFlonum(double D) {
+Value Heap::allocateFlonumSlow(double D) {
   uint64_t *Mem = allocateRaw(ObjectTag::Flonum, 1);
   if (!Mem)
     return Value::unspecified();
@@ -344,14 +358,17 @@ Value Heap::allocateVectorLike(ObjectTag Tag, size_t Count, Value Fill) {
   assert((Tag == ObjectTag::Vector || Tag == ObjectTag::Closure ||
           Tag == ObjectTag::Environment || Tag == ObjectTag::Record) &&
          "not a vector-shaped tag");
-  TempRoots Roots(*this, {&Fill});
-  uint64_t *Mem = allocateRaw(Tag, vectorPayloadWords(Count));
-  if (!Mem)
-    return Value::unspecified();
+  size_t PayloadWords = vectorPayloadWords(Count);
+  uint64_t *Mem = tryFastAlloc(Tag, PayloadWords);
+  if (!Mem) {
+    TempRoots Roots(*this, {&Fill});
+    Mem = allocateRaw(Tag, PayloadWords);
+    if (!Mem)
+      return Value::unspecified();
+  }
   ObjectRef Obj(Mem);
   Obj.setRawAt(0, Count);
-  for (size_t I = 0; I < Count; ++I)
-    Obj.setValueAt(1 + I, Fill);
+  std::fill_n(Obj.payload() + 1, Count, Fill.rawBits());
   Value Result = Value::pointer(Mem);
   if (Count > 0)
     barrier(Result, Fill);
@@ -359,7 +376,10 @@ Value Heap::allocateVectorLike(ObjectTag Tag, size_t Count, Value Fill) {
 }
 
 Value Heap::allocateString(std::string_view Text) {
-  uint64_t *Mem = allocateRaw(ObjectTag::String, bytesPayloadWords(Text.size()));
+  size_t PayloadWords = bytesPayloadWords(Text.size());
+  uint64_t *Mem = tryFastAlloc(ObjectTag::String, PayloadWords);
+  if (!Mem)
+    Mem = allocateRaw(ObjectTag::String, PayloadWords);
   if (!Mem)
     return Value::unspecified();
   ObjectRef Obj(Mem);
@@ -374,8 +394,10 @@ Value Heap::allocateString(std::string_view Text) {
 }
 
 Value Heap::allocateBytevector(size_t Bytes, uint8_t Fill) {
-  uint64_t *Mem =
-      allocateRaw(ObjectTag::Bytevector, bytesPayloadWords(Bytes));
+  size_t PayloadWords = bytesPayloadWords(Bytes);
+  uint64_t *Mem = tryFastAlloc(ObjectTag::Bytevector, PayloadWords);
+  if (!Mem)
+    Mem = allocateRaw(ObjectTag::Bytevector, PayloadWords);
   if (!Mem)
     return Value::unspecified();
   ObjectRef Obj(Mem);

@@ -107,6 +107,13 @@ public:
   //===--------------------------------------------------------------------===
   // Allocation. Every function roots its Value arguments across a possible
   // collection and applies the write barrier to initializing pointer stores.
+  //
+  // allocatePair/allocateCell/allocateFlonum are defined inline below the
+  // class: they first try the collector's published bump window
+  // (Collector::tryAllocateFast), which cannot collect — so no rooting is
+  // needed — and fall back to the out-of-line *Slow variants in Heap.cpp,
+  // which root their arguments and climb the recovery ladder. See
+  // DESIGN.md §11 for the fast/slow contract.
   //===--------------------------------------------------------------------===
 
   Value allocatePair(Value Car, Value Cdr);
@@ -162,8 +169,12 @@ public:
   /// Profiling aid: when \p Bytes is nonzero, a full collection is forced
   /// every \p Bytes of allocation (before the triggering allocation, so
   /// uninitialized objects are never traced). The lifetime tracer uses
-  /// this to bound death-detection error to the pacing quantum.
-  void setGcPacing(uint64_t Bytes) { PacingBytes = Bytes; }
+  /// this to bound death-detection error to the pacing quantum. Pacing
+  /// must observe every allocation, so it forces the slow path.
+  void setGcPacing(uint64_t Bytes) {
+    PacingBytes = Bytes;
+    updateSlowAllocForced();
+  }
 
   //===--------------------------------------------------------------------===
   // Event tracing (see observe/GcTracer.h and DESIGN.md §10). Enabled
@@ -263,6 +274,40 @@ private:
   /// invokes the fault handler, and returns nullptr — it never aborts.
   uint64_t *allocateRaw(ObjectTag Tag, size_t PayloadWords);
 
+  /// The inline allocation fast path: bump the collector's published
+  /// window, write the header, and account the allocation — nothing here
+  /// can trigger a collection, so callers need not root Value locals
+  /// across it. Returns nullptr (and does nothing) when the slow path is
+  /// forced (torture/pacing), the collector publishes no window, the
+  /// request exceeds the window's bound, or the window is full. The
+  /// torture/pacing guard and the observer/tracer hook dispatch are one
+  /// branch each when those features are off.
+  uint64_t *tryFastAlloc(ObjectTag Tag, size_t PayloadWords) {
+    if (SlowAllocForced)
+      return nullptr;
+    size_t Words = PayloadWords + 1;
+    uint64_t *Mem = Coll->tryAllocateFast(Words);
+    if (!Mem)
+      return nullptr;
+    *Mem = header::encode(Tag, PayloadWords, Coll->fastWindowRegion());
+    Coll->stats().noteAllocation(Words);
+    if (Obs || Tracer)
+      notifyAllocationHooks(Mem, Words);
+    return Mem;
+  }
+
+  /// Out-of-line observer/tracer notification for fast-path allocations
+  /// (rare: only when a lifetime observer or event tracer is installed).
+  void notifyAllocationHooks(uint64_t *Mem, size_t Words);
+
+  /// Recomputes SlowAllocForced; called when torture or pacing changes.
+  void updateSlowAllocForced();
+
+  /// Out-of-line allocators: root their arguments, then allocateRaw.
+  Value allocatePairSlow(Value Car, Value Cdr);
+  Value allocateCellSlow(Value Contents);
+  Value allocateFlonumSlow(double D);
+
   /// True when the recovery ladder may still attempt tryGrowHeap.
   bool growthAllowed() const;
 
@@ -292,7 +337,51 @@ private:
   HeapFault LastFault = HeapFault::None;
   size_t MaxHeapBytes = 0;
   bool GrowthEnabled = true;
+  /// True when every allocation must take the slow path so torture-mode
+  /// forced collections and pacing quanta observe it (one branch on the
+  /// fast path; false in every performance configuration).
+  bool SlowAllocForced = false;
 };
+
+//===----------------------------------------------------------------------===
+// Inline small-object allocators (the hot path). The fast path cannot
+// collect, so the argument Values stay valid without rooting; on fallback
+// the *Slow variant re-roots them before entering the recovery ladder.
+//===----------------------------------------------------------------------===
+
+inline Value Heap::allocatePair(Value Car, Value Cdr) {
+  if (uint64_t *Mem = tryFastAlloc(ObjectTag::Pair, 2)) {
+    ObjectRef Obj(Mem);
+    Obj.setValueAt(0, Car);
+    Obj.setValueAt(1, Cdr);
+    Value Result = Value::pointer(Mem);
+    barrier(Result, Car);
+    barrier(Result, Cdr);
+    return Result;
+  }
+  return allocatePairSlow(Car, Cdr);
+}
+
+inline Value Heap::allocateCell(Value Contents) {
+  if (uint64_t *Mem = tryFastAlloc(ObjectTag::Cell, 1)) {
+    ObjectRef Obj(Mem);
+    Obj.setValueAt(0, Contents);
+    Value Result = Value::pointer(Mem);
+    barrier(Result, Contents);
+    return Result;
+  }
+  return allocateCellSlow(Contents);
+}
+
+inline Value Heap::allocateFlonum(double D) {
+  if (uint64_t *Mem = tryFastAlloc(ObjectTag::Flonum, 1)) {
+    uint64_t Bits;
+    __builtin_memcpy(&Bits, &D, sizeof(Bits));
+    ObjectRef(Mem).setRawAt(0, Bits);
+    return Value::pointer(Mem);
+  }
+  return allocateFlonumSlow(D);
+}
 
 } // namespace rdgc
 

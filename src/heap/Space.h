@@ -1,4 +1,4 @@
-//===- gc/Space.h - Contiguous bump-allocated space -------------*- C++ -*-===//
+//===- heap/Space.h - Contiguous bump-allocated space -----------*- C++ -*-===//
 //
 // Part of the rdgc project. Distributed under the MIT license.
 //
@@ -11,8 +11,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#ifndef RDGC_GC_SPACE_H
-#define RDGC_GC_SPACE_H
+#ifndef RDGC_HEAP_SPACE_H
+#define RDGC_HEAP_SPACE_H
 
 #include "heap/Object.h"
 
@@ -91,4 +91,4 @@ private:
 
 } // namespace rdgc
 
-#endif // RDGC_GC_SPACE_H
+#endif // RDGC_HEAP_SPACE_H

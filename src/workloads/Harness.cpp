@@ -59,6 +59,7 @@ ExperimentRun rdgc::runExperiment(Workload &W, CollectorKind Kind,
   double RunGcSeconds = Stats.gcSeconds();
   uint64_t RunCollections = Stats.collections();
   double RunMarkConsRatio = Stats.markConsRatio();
+  uint64_t RunWordsTraced = Stats.wordsTraced();
 
   ExperimentRun Run;
   Run.PauseP50Nanos = Tracer->pauses().valueAtPercentile(50.0);
@@ -89,6 +90,7 @@ ExperimentRun rdgc::runExperiment(Workload &W, CollectorKind Kind,
   // difference would be a real accounting bug worth seeing in the data.
   Run.MutatorSeconds = WallSeconds - Run.GcSeconds;
   Run.MarkConsRatio = RunMarkConsRatio;
+  Run.WordsTraced = RunWordsTraced;
   Run.Collections = RunCollections;
 
   if (Kind == CollectorKind::Generational) {

@@ -38,6 +38,7 @@ struct ExperimentRun {
   double MutatorSeconds = 0.0;    ///< Wall time minus gc time.
   double GcSeconds = 0.0;         ///< Wall time inside collections.
   double MarkConsRatio = 0.0;     ///< Words traced / words allocated.
+  uint64_t WordsTraced = 0;       ///< Words marked or copied during the run.
   uint64_t Collections = 0;
   uint64_t RememberedSetPeak = 0; ///< Peak remembered-set size (if any).
 

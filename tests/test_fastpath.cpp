@@ -1,0 +1,259 @@
+//===- tests/test_fastpath.cpp - Inline allocation fast path --------------===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The fast/slow allocation boundary (DESIGN.md §11): exact-fit requests
+// stay on the inline bump path without collecting, one word more falls
+// into the slow path and triggers a collection, and torture mode forces
+// every allocation onto the slow path so its hooks observe them. Also the
+// satellite regressions: string/bytevector payload initialization and
+// remembered-set capacity retention across clear() under poisoning.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/Generational.h"
+#include "gc/RememberedSet.h"
+#include "gc/StopAndCopy.h"
+#include "heap/Heap.h"
+#include "heap/TortureMode.h"
+
+#include "TortureSkip.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+using namespace rdgc;
+
+namespace {
+
+// A pair costs 3 words (header + car + cdr). 22 pairs fill a 66-word
+// semispace exactly; 21 leave a 3-word exact fit.
+constexpr size_t PairWords = 3;
+
+std::unique_ptr<Heap> makeTinyStopAndCopy(size_t SemispaceWords) {
+  return std::make_unique<Heap>(
+      std::make_unique<StopAndCopyCollector>(SemispaceWords * 8));
+}
+
+void fillToFreeWords(Heap &H, size_t TargetFree) {
+  while (H.collector().freeWords() >= TargetFree + PairWords)
+    H.allocatePair(Value::fixnum(1), Value::fixnum(2));
+  ASSERT_EQ(H.collector().freeWords(), TargetFree);
+  ASSERT_EQ(H.stats().collections(), 0u);
+}
+
+TEST(FastPathBoundary, ExactFitStaysOnFastPathWithoutCollecting) {
+  RDGC_SKIP_UNDER_ENV_TORTURE();
+  auto H = makeTinyStopAndCopy(66);
+  fillToFreeWords(*H, PairWords);
+  Value P = H->allocatePair(Value::fixnum(7), Value::fixnum(8));
+  // The exact-fit allocation bumped the window to its end without entering
+  // the recovery ladder: no collection ran, the semispace is now full, and
+  // the object carries the active region's stamp.
+  EXPECT_EQ(H->stats().collections(), 0u);
+  EXPECT_EQ(H->collector().freeWords(), 0u);
+  EXPECT_EQ(H->pairCar(P).asFixnum(), 7);
+  EXPECT_EQ(H->pairCdr(P).asFixnum(), 8);
+  EXPECT_EQ(ObjectRef(P).region(), 1);
+}
+
+TEST(FastPathBoundary, OneWordMoreEntersSlowPathAndCollects) {
+  RDGC_SKIP_UNDER_ENV_TORTURE();
+  auto H = makeTinyStopAndCopy(64);
+  // 21 pairs leave 1 free word: a pair no longer fits the window.
+  fillToFreeWords(*H, 1);
+  Value P = H->allocatePair(Value::fixnum(7), Value::fixnum(8));
+  // The fast path refused (1 < 3 words), the slow path's ladder ran a
+  // collection (everything above was garbage), and the retry succeeded.
+  EXPECT_EQ(H->stats().collections(), 1u);
+  EXPECT_EQ(H->pairCar(P).asFixnum(), 7);
+  EXPECT_EQ(H->pairCdr(P).asFixnum(), 8);
+}
+
+TEST(FastPathBoundary, TortureModeForcesSlowPathOnExactFit) {
+  RDGC_SKIP_UNDER_ENV_TORTURE();
+  auto H = makeTinyStopAndCopy(66);
+  fillToFreeWords(*H, PairWords);
+  // Torture with a collect interval of 1 forces a full collection before
+  // every allocation. Were the exact-fit allocation still taking the
+  // inline path, the forced collection could not happen.
+  TortureOptions Opts;
+  Opts.CollectInterval = 1;
+  Opts.InjectAllocationFaults = false;
+  H->enableTortureMode(Opts);
+  Value P = H->allocatePair(Value::fixnum(7), Value::fixnum(8));
+  EXPECT_GE(H->stats().collections(), 1u);
+  EXPECT_EQ(H->pairCar(P).asFixnum(), 7);
+  EXPECT_EQ(H->pairCdr(P).asFixnum(), 8);
+}
+
+TEST(FastPathBoundary, TortureModeOverflowStillCollectsAndSucceeds) {
+  RDGC_SKIP_UNDER_ENV_TORTURE();
+  auto H = makeTinyStopAndCopy(64);
+  fillToFreeWords(*H, 1);
+  TortureOptions Opts;
+  Opts.CollectInterval = 1;
+  Opts.InjectAllocationFaults = false;
+  H->enableTortureMode(Opts);
+  Value P = H->allocatePair(Value::fixnum(7), Value::fixnum(8));
+  EXPECT_GE(H->stats().collections(), 1u);
+  EXPECT_EQ(H->pairCar(P).asFixnum(), 7);
+  EXPECT_EQ(H->pairCdr(P).asFixnum(), 8);
+}
+
+TEST(FastPathBoundary, PacingForcesSlowPathSoEveryQuantumCollects) {
+  RDGC_SKIP_UNDER_ENV_TORTURE();
+  auto H = makeTinyStopAndCopy(1024);
+  // Pacing quantum of one pair: every allocation must be observed by the
+  // slow path's pacing counter, so each one forces a full collection.
+  H->setGcPacing(PairWords * 8);
+  for (int I = 0; I < 5; ++I)
+    H->allocatePair(Value::fixnum(I), Value::fixnum(I));
+  EXPECT_GE(H->stats().collections(), 5u);
+}
+
+TEST(FastPathBoundary, GenerationalBigObjectsBypassTheNurseryWindow) {
+  RDGC_SKIP_UNDER_ENV_TORTURE();
+  // Nursery of 128 words: any allocation above 64 words must be routed to
+  // the dynamic area by the slow path even though the nursery has room.
+  auto H = std::make_unique<Heap>(
+      std::make_unique<GenerationalCollector>(128 * 8, 4096 * 8));
+  Value Small = H->allocatePair(Value::fixnum(1), Value::fixnum(2));
+  EXPECT_EQ(ObjectRef(Small).region(), GenerationalCollector::RegionNursery);
+  Value Big = H->allocateVector(100, Value::fixnum(0));
+  EXPECT_NE(ObjectRef(Big).region(), GenerationalCollector::RegionNursery);
+  EXPECT_EQ(H->vectorLength(Big), 100u);
+  EXPECT_EQ(H->stats().collections(), 0u);
+}
+
+//===----------------------------------------------------------------------===
+// Satellite: string/bytevector payload initialization.
+//===----------------------------------------------------------------------===
+
+TEST(PayloadInit, StringRoundTripsNonWordAlignedLengths) {
+  auto H = makeTinyStopAndCopy(4096);
+  for (size_t Len : {0u, 1u, 7u, 8u, 9u, 11u, 13u, 16u, 23u}) {
+    std::string Text(Len, '\0');
+    for (size_t I = 0; I < Len; ++I)
+      Text[I] = static_cast<char>('a' + I % 26);
+    Value S = H->allocateString(Text);
+    ASSERT_EQ(H->stringLength(S), Len);
+    EXPECT_EQ(H->stringValue(S), Text);
+    for (size_t I = 0; I < Len; ++I)
+      EXPECT_EQ(H->byteRef(S, I), static_cast<uint8_t>(Text[I]));
+    // Padding bytes in the final payload word are zeroed so the verifier
+    // can hash whole words.
+    if (Len % 8 != 0) {
+      size_t LastWord = 1 + Len / 8; // payload word holding the tail bytes
+      uint64_t Tail = ObjectRef(S).rawAt(LastWord);
+      EXPECT_EQ(Tail >> (8 * (Len % 8)), 0u) << "length " << Len;
+    }
+  }
+}
+
+TEST(PayloadInit, StringPreservesEmbeddedNulBytes) {
+  auto H = makeTinyStopAndCopy(4096);
+  std::string Text("ab\0cd\0\0e", 8);
+  ASSERT_EQ(Text.size(), 8u);
+  Value S = H->allocateString(Text);
+  EXPECT_EQ(H->stringLength(S), 8u);
+  EXPECT_EQ(H->stringValue(S), Text);
+  EXPECT_EQ(H->byteRef(S, 2), 0u);
+  EXPECT_EQ(H->byteRef(S, 5), 0u);
+  EXPECT_EQ(H->byteRef(S, 7), 'e');
+}
+
+TEST(PayloadInit, BytevectorFillAndPaddingAreInitialized) {
+  auto H = makeTinyStopAndCopy(4096);
+  Value B = H->allocateBytevector(11, 0xAB);
+  ASSERT_EQ(H->stringLength(B), 11u);
+  for (size_t I = 0; I < 11; ++I)
+    EXPECT_EQ(H->byteRef(B, I), 0xAB);
+  // The 5 padding bytes of the second payload word must be zero.
+  uint64_t Tail = ObjectRef(B).rawAt(2);
+  EXPECT_EQ(Tail >> 24, 0u);
+  H->byteSet(B, 10, 0x5C);
+  EXPECT_EQ(H->byteRef(B, 10), 0x5C);
+}
+
+//===----------------------------------------------------------------------===
+// Satellite: remembered-set capacity retention and poisoning.
+//===----------------------------------------------------------------------===
+
+TEST(RememberedSetTest, FirstInsertReservesAndClearKeepsCapacity) {
+  RememberedSet Set;
+  EXPECT_EQ(Set.capacity(), 0u);
+  uint64_t HolderA[2] = {header::encode(ObjectTag::Cell, 1, 3), 0};
+  uint64_t HolderB[2] = {header::encode(ObjectTag::Cell, 1, 3), 0};
+  EXPECT_TRUE(Set.insert(HolderA));
+  size_t Reserved = Set.capacity();
+  EXPECT_GE(Reserved, 256u);
+  EXPECT_TRUE(Set.insert(HolderB));
+  EXPECT_FALSE(Set.insert(HolderA)) << "dedup via the remembered bit";
+  EXPECT_EQ(Set.size(), 2u);
+  Set.clear();
+  EXPECT_EQ(Set.size(), 0u);
+  EXPECT_EQ(Set.capacity(), Reserved) << "clear() must retain capacity";
+  EXPECT_FALSE(header::isRemembered(HolderA[0]));
+  EXPECT_FALSE(header::isRemembered(HolderB[0]));
+}
+
+TEST(RememberedSetTest, ClearSkipsPoisonedAndForwardedHoldersLosslessly) {
+  RememberedSet Set;
+  uint64_t Poisoned[2] = {header::encode(ObjectTag::Cell, 1, 3), 0};
+  uint64_t Forwarded[2] = {header::encode(ObjectTag::Cell, 1, 3), 0};
+  uint64_t Live[2] = {header::encode(ObjectTag::Cell, 1, 3), 0};
+  ASSERT_TRUE(Set.insert(Poisoned));
+  ASSERT_TRUE(Set.insert(Forwarded));
+  ASSERT_TRUE(Set.insert(Live));
+  // Simulate an evacuation: one holder's storage is poisoned, another now
+  // carries a forwarding header. clear() must touch neither.
+  Poisoned[0] = PoisonPattern;
+  Forwarded[0] = header::encode(ObjectTag::Forward, 1, 3);
+  Set.clear();
+  EXPECT_EQ(Poisoned[0], PoisonPattern) << "poison fill must stay intact";
+  EXPECT_EQ(header::tag(Forwarded[0]), ObjectTag::Forward);
+  EXPECT_FALSE(header::isRemembered(Live[0]));
+  // Every holder can be re-remembered after the cycle: no entry is lost.
+  Live[0] = header::encode(ObjectTag::Cell, 1, 3);
+  Poisoned[0] = header::encode(ObjectTag::Cell, 1, 3);
+  Forwarded[0] = header::encode(ObjectTag::Cell, 1, 3);
+  EXPECT_TRUE(Set.insert(Live));
+  EXPECT_TRUE(Set.insert(Poisoned));
+  EXPECT_TRUE(Set.insert(Forwarded));
+  EXPECT_EQ(Set.size(), 3u);
+}
+
+TEST(RememberedSetTest, OldToYoungPointersSurviveClearReinsertUnderPoisoning) {
+  RDGC_SKIP_UNDER_ENV_TORTURE();
+  auto H = std::make_unique<Heap>(
+      std::make_unique<GenerationalCollector>(256 * 8, 8192 * 8));
+  H->setPoisonFreedMemory(true);
+  Handle Old(*H, H->allocateVector(8, Value::fixnum(0)));
+  // Promote the vector to the dynamic area so stores into it are
+  // old-to-young and enter the remembered set.
+  H->collectNow();
+  ASSERT_NE(ObjectRef(Old).region(), GenerationalCollector::RegionNursery);
+  // Several clear/reinsert cycles: each minor collection consumes the set
+  // (clearing it while the evacuated nursery is poisoned) and the barrier
+  // re-remembers the holder for the next round.
+  for (int Round = 0; Round < 4; ++Round) {
+    for (size_t I = 0; I < 8; ++I)
+      H->vectorSet(Old, I,
+                   H->allocatePair(Value::fixnum(Round * 8 + (int)I),
+                                   Value::fixnum(Round)));
+    H->collectNow();
+    for (size_t I = 0; I < 8; ++I) {
+      Value P = H->vectorRef(Old, I);
+      ASSERT_TRUE(P.isPointer());
+      EXPECT_EQ(H->pairCar(P).asFixnum(), Round * 8 + (int)I);
+      EXPECT_EQ(H->pairCdr(P).asFixnum(), Round);
+    }
+  }
+}
+
+} // namespace

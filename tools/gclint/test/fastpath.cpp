@@ -1,0 +1,86 @@
+// gclint fixture: the inline allocation fast path (DESIGN.md §11). The
+// header-only allocators bump the collector's published window and fall
+// back to out-of-line *Slow variants that may collect. gclint's
+// may-allocate closure is seeded by name ("allocate..." plus the
+// collect*/grow entry points), so the split must keep every allocator a
+// GC point — a caller holding an unrooted Value across allocatePair is
+// still a violation even though the common path cannot collect — while
+// the window bump helper (deliberately NOT allocate-prefixed) is not a
+// GC point by itself. Not compiled — only lexed by gclint.
+
+struct Value {
+  static Value fixnum(long N);
+  static Value null();
+  static Value pointer(unsigned long *Mem);
+  bool isPointer() const;
+};
+
+struct ObjectRef {
+  ObjectRef(unsigned long *Header);
+  void setValueAt(int I, Value V);
+};
+
+struct Collector {
+  unsigned long *tryAllocateFast(unsigned long Words);
+  unsigned char fastWindowRegion() const;
+};
+
+struct Heap {
+  // The header-only hot path, modeled after heap/Heap.h: a window bump
+  // that cannot collect, then the may-allocate fallback.
+  Value allocatePair(Value Car, Value Cdr) {
+    if (unsigned long *Mem = tryFastAlloc(2)) {
+      ObjectRef Obj(Mem);
+      Obj.setValueAt(0, Car);
+      Obj.setValueAt(1, Cdr);
+      Value Result = Value::pointer(Mem);
+      barrier(Result, Car);
+      barrier(Result, Cdr);
+      return Result;
+    }
+    return allocatePairSlow(Car, Cdr);
+  }
+
+  unsigned long *tryFastAlloc(unsigned long PayloadWords);
+  void barrier(Value Holder, Value Stored);
+  Value allocatePairSlow(Value Car, Value Cdr);
+  Value pairCar(Value Pair) const;
+  Collector &collector();
+};
+
+void use(Value V);
+
+// The inline allocator must still be a may-allocate GC point: its slow
+// branch roots and collects, and callers cannot know which branch runs.
+void inlineAllocatorIsStillAGcPoint(Heap &H) {
+  Value A = H.allocatePair(Value::fixnum(1), Value::null());
+  H.allocatePair(Value::fixnum(2), Value::null());
+  use(A); // gclint-expect: unrooted-value
+}
+
+// The explicit slow path is a GC point too (it is the ladder itself).
+void slowPathIsAGcPoint(Heap &H) {
+  Value A = H.allocatePair(Value::fixnum(1), Value::null());
+  H.allocatePairSlow(Value::fixnum(2), Value::null());
+  use(A); // gclint-expect: unrooted-value
+}
+
+// SAFE: the window bump helper never collects — holding a Value across a
+// direct tryFastAlloc/tryAllocateFast call is fine. The names are chosen
+// outside the allocate* seed set precisely so the closure excludes them.
+void windowBumpAloneIsNotAGcPoint(Heap &H) {
+  Value A = H.allocatePair(Value::fixnum(1), Value::null());
+  unsigned long *Mem = H.tryFastAlloc(2);
+  unsigned long *Mem2 = H.collector().tryAllocateFast(3);
+  use(A);
+  (void)Mem;
+  (void)Mem2;
+}
+
+// SAFE: arguments to the inline allocator are passed before any
+// collection it may run (the slow variant roots them).
+void safeInlineArgument(Heap &H) {
+  Value A = H.allocatePair(Value::fixnum(1), Value::null());
+  Value B = H.allocatePair(A, Value::null());
+  use(B);
+}

@@ -1,0 +1,915 @@
+//===- tools/rdgc-bench/rdgc_bench.cpp - Reproducible perf harness --------===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A reproducible performance harness that runs the paper workload suite
+/// (boyer, dynamic, lattice, nbody, nucleic) and the micro_collector
+/// allocation configs under every collector, repeats each measurement N
+/// times, and reports median + MAD (median absolute deviation) for mutator
+/// throughput (MB/s allocated), GC throughput (MB/s traced), mark/cons,
+/// and pause percentiles. Results are emitted as schema-versioned JSON
+/// ("rdgc-bench-v1") so subsequent PRs have a trajectory to regress
+/// against.
+///
+/// Modes:
+///   rdgc-bench [--quick] [--reps N] [--scale N] [--filter SUBSTR]
+///              [--json FILE] [--baseline FILE]
+///       Run the suite. --quick restricts to the micro configs with fewer
+///       repetitions (the CI perf-smoke configuration). --baseline embeds a
+///       before/after comparison against a previous rdgc-bench JSON.
+///   rdgc-bench --validate FILE
+///       Parse FILE and check it against the rdgc-bench-v1 schema.
+///   rdgc-bench --regress CURRENT REFERENCE [--tolerance FRAC]
+///       Fail (exit 1) if CURRENT's micro allocation mutator throughput
+///       regressed more than FRAC (default 0.15) below REFERENCE on any
+///       config/collector pair present in both files.
+///
+//===----------------------------------------------------------------------===//
+
+#include "gc/CollectorFactory.h"
+#include "workloads/Harness.h"
+#include "workloads/Workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace rdgc;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Micro workloads (the micro_collector configs, phrased as Workloads so
+// they run through the same harness and report the same metrics).
+//===----------------------------------------------------------------------===//
+
+/// Tight pair-allocation loop: the "allocation is the unit of time" config
+/// the paper's analysis abstracts over. Keeps a short rolling window live
+/// so collections see a little survivorship without the loop becoming a
+/// list-copy benchmark.
+class MicroPairsWorkload : public Workload {
+public:
+  explicit MicroPairsWorkload(uint64_t Iterations) : Iterations(Iterations) {}
+  const char *name() const override { return "micro:pairs"; }
+  const char *description() const override {
+    return "tight allocatePair loop, nothing retained";
+  }
+  size_t peakLiveHintBytes() const override { return 4 * 1024 * 1024; }
+  WorkloadOutcome run(Heap &H) override {
+    uint64_t Sum = 0;
+    for (uint64_t I = 0; I < Iterations; ++I) {
+      Value V = H.allocatePair(Value::fixnum(static_cast<int64_t>(I)),
+                               Value::null());
+      Sum += static_cast<uint64_t>(H.pairCar(V).asFixnum());
+    }
+    WorkloadOutcome Out;
+    Out.Valid = Sum == Iterations * (Iterations - 1) / 2;
+    Out.UnitsOfWork = Iterations;
+    Out.Detail = "pairs allocated";
+    return Out;
+  }
+
+private:
+  uint64_t Iterations;
+};
+
+/// Single-slot cell allocation: the smallest boxed object.
+class MicroCellsWorkload : public Workload {
+public:
+  explicit MicroCellsWorkload(uint64_t Iterations) : Iterations(Iterations) {}
+  const char *name() const override { return "micro:cells"; }
+  const char *description() const override {
+    return "tight allocateCell loop, nothing retained";
+  }
+  size_t peakLiveHintBytes() const override { return 4 * 1024 * 1024; }
+  WorkloadOutcome run(Heap &H) override {
+    uint64_t Sum = 0;
+    for (uint64_t I = 0; I < Iterations; ++I) {
+      Value V = H.allocateCell(Value::fixnum(static_cast<int64_t>(I & 1023)));
+      Sum += static_cast<uint64_t>(H.cellRef(V).asFixnum());
+    }
+    WorkloadOutcome Out;
+    Out.Valid = Sum > 0;
+    Out.UnitsOfWork = Iterations;
+    Out.Detail = "cells allocated";
+    return Out;
+  }
+
+private:
+  uint64_t Iterations;
+};
+
+/// Boxed-double allocation: the numeric-code allocation profile.
+class MicroFlonumsWorkload : public Workload {
+public:
+  explicit MicroFlonumsWorkload(uint64_t Iterations) : Iterations(Iterations) {}
+  const char *name() const override { return "micro:flonums"; }
+  const char *description() const override {
+    return "tight allocateFlonum loop, nothing retained";
+  }
+  size_t peakLiveHintBytes() const override { return 4 * 1024 * 1024; }
+  WorkloadOutcome run(Heap &H) override {
+    double Sum = 0;
+    for (uint64_t I = 0; I < Iterations; ++I) {
+      Value V = H.allocateFlonum(static_cast<double>(I & 255));
+      Sum += H.flonumValue(V);
+    }
+    WorkloadOutcome Out;
+    Out.Valid = Sum >= 0;
+    Out.UnitsOfWork = Iterations;
+    Out.Detail = "flonums allocated";
+    return Out;
+  }
+
+private:
+  uint64_t Iterations;
+};
+
+/// Small-vector allocation: exercises the slow-path-only vector allocator
+/// for contrast with the inlined small-object fast path.
+class MicroVectorsWorkload : public Workload {
+public:
+  explicit MicroVectorsWorkload(uint64_t Iterations) : Iterations(Iterations) {}
+  const char *name() const override { return "micro:vector8"; }
+  const char *description() const override {
+    return "8-slot vector allocation loop, nothing retained";
+  }
+  size_t peakLiveHintBytes() const override { return 4 * 1024 * 1024; }
+  WorkloadOutcome run(Heap &H) override {
+    uint64_t Sum = 0;
+    for (uint64_t I = 0; I < Iterations; ++I) {
+      Value V =
+          H.allocateVector(8, Value::fixnum(static_cast<int64_t>(I & 63)));
+      Sum += static_cast<uint64_t>(H.vectorRef(V, 7).asFixnum());
+    }
+    WorkloadOutcome Out;
+    Out.Valid = Sum > 0;
+    Out.UnitsOfWork = Iterations;
+    Out.Detail = "vectors allocated";
+    return Out;
+  }
+
+private:
+  uint64_t Iterations;
+};
+
+/// Old-to-young stores through the write barrier: a tenured vector is
+/// repeatedly filled with freshly allocated pairs, so every store crosses
+/// the interesting boundary for the generational collectors.
+class MicroBarrierWorkload : public Workload {
+public:
+  explicit MicroBarrierWorkload(uint64_t Iterations) : Iterations(Iterations) {}
+  const char *name() const override { return "micro:barrier"; }
+  const char *description() const override {
+    return "old-to-young stores into a tenured vector";
+  }
+  size_t peakLiveHintBytes() const override { return 4 * 1024 * 1024; }
+  WorkloadOutcome run(Heap &H) override {
+    Handle Old(H, H.allocateVector(1024, Value::null()));
+    H.collectNow(); // Promote Old out of the nursery (where applicable).
+    for (uint64_t I = 0; I < Iterations; ++I) {
+      Value Young = H.allocatePair(Value::fixnum(static_cast<int64_t>(I)),
+                                   Value::null());
+      H.vectorSet(Old, I & 1023, Young);
+    }
+    WorkloadOutcome Out;
+    Out.Valid = H.vectorRef(Old, 0).isPointer();
+    Out.UnitsOfWork = Iterations;
+    Out.Detail = "barriered stores";
+    return Out;
+  }
+
+private:
+  uint64_t Iterations;
+};
+
+//===----------------------------------------------------------------------===//
+// Statistics
+//===----------------------------------------------------------------------===//
+
+double median(std::vector<double> Xs) {
+  if (Xs.empty())
+    return 0.0;
+  std::sort(Xs.begin(), Xs.end());
+  size_t N = Xs.size();
+  return N % 2 ? Xs[N / 2] : 0.5 * (Xs[N / 2 - 1] + Xs[N / 2]);
+}
+
+/// Median absolute deviation: robust spread estimate for small N.
+double mad(const std::vector<double> &Xs) {
+  double M = median(Xs);
+  std::vector<double> Devs;
+  Devs.reserve(Xs.size());
+  for (double X : Xs)
+    Devs.push_back(std::fabs(X - M));
+  return median(std::move(Devs));
+}
+
+struct MetricSummary {
+  double Median = 0.0;
+  double Mad = 0.0;
+};
+
+MetricSummary summarize(const std::vector<double> &Xs) {
+  return {median(Xs), mad(Xs)};
+}
+
+//===----------------------------------------------------------------------===//
+// Suite definition and runner
+//===----------------------------------------------------------------------===//
+
+struct BenchOptions {
+  int Reps = 5;
+  int Scale = 1;
+  bool Quick = false;
+  std::string Filter;
+  std::string JsonPath;
+  std::string BaselinePath;
+};
+
+struct BenchResult {
+  std::string Kind; // "micro" or "workload"
+  std::string Config;
+  std::string Collector;
+  int Reps = 0;
+  bool Valid = true;
+  bool HeapExhausted = false;
+  // Metric name -> summary, in stable emission order.
+  std::vector<std::pair<std::string, MetricSummary>> Metrics;
+};
+
+const std::pair<CollectorKind, const char *> AllCollectors[] = {
+    {CollectorKind::StopAndCopy, "stop-and-copy"},
+    {CollectorKind::MarkSweep, "mark-sweep"},
+    {CollectorKind::MarkCompact, "mark-compact"},
+    {CollectorKind::Generational, "generational"},
+    {CollectorKind::NonPredictive, "non-predictive"},
+    {CollectorKind::NonPredictiveHybrid, "non-predictive-hybrid"},
+};
+
+std::vector<std::unique_ptr<Workload>> makeMicroWorkloads(bool Quick) {
+  uint64_t N = Quick ? 400'000 : 2'000'000;
+  std::vector<std::unique_ptr<Workload>> Out;
+  Out.push_back(std::make_unique<MicroPairsWorkload>(N));
+  Out.push_back(std::make_unique<MicroCellsWorkload>(N));
+  Out.push_back(std::make_unique<MicroFlonumsWorkload>(N));
+  Out.push_back(std::make_unique<MicroVectorsWorkload>(N / 4));
+  Out.push_back(std::make_unique<MicroBarrierWorkload>(N));
+  return Out;
+}
+
+BenchResult runOne(Workload &W, const char *Kind, CollectorKind CK,
+                   const char *CollectorName, int Reps) {
+  std::vector<double> MutMBs, GcMBs, MarkCons, P50, P90, P99, PMax, Colls,
+      Bytes;
+  BenchResult R;
+  R.Kind = Kind;
+  R.Config = W.name();
+  R.Collector = CollectorName;
+  R.Reps = Reps;
+  for (int I = 0; I < Reps; ++I) {
+    HarnessOptions Options;
+    ExperimentRun Run = runExperiment(W, CK, Options);
+    R.Valid = R.Valid && Run.Valid;
+    R.HeapExhausted = R.HeapExhausted || Run.HeapExhausted;
+    double AllocMB = static_cast<double>(Run.BytesAllocated) / 1e6;
+    MutMBs.push_back(Run.MutatorSeconds > 0 ? AllocMB / Run.MutatorSeconds
+                                            : 0.0);
+    double TracedMB = static_cast<double>(Run.WordsTraced) * 8.0 / 1e6;
+    GcMBs.push_back(Run.GcSeconds > 0 ? TracedMB / Run.GcSeconds : 0.0);
+    MarkCons.push_back(Run.MarkConsRatio);
+    P50.push_back(static_cast<double>(Run.PauseP50Nanos));
+    P90.push_back(static_cast<double>(Run.PauseP90Nanos));
+    P99.push_back(static_cast<double>(Run.PauseP99Nanos));
+    PMax.push_back(static_cast<double>(Run.PauseMaxNanos));
+    Colls.push_back(static_cast<double>(Run.Collections));
+    Bytes.push_back(static_cast<double>(Run.BytesAllocated));
+  }
+  R.Metrics = {
+      {"mutator_mb_s", summarize(MutMBs)},
+      {"gc_mb_s", summarize(GcMBs)},
+      {"mark_cons", summarize(MarkCons)},
+      {"pause_p50_ns", summarize(P50)},
+      {"pause_p90_ns", summarize(P90)},
+      {"pause_p99_ns", summarize(P99)},
+      {"pause_max_ns", summarize(PMax)},
+      {"collections", summarize(Colls)},
+      {"bytes_allocated", summarize(Bytes)},
+  };
+  return R;
+}
+
+bool matchesFilter(const BenchOptions &Opt, const std::string &Config,
+                   const std::string &Collector) {
+  if (Opt.Filter.empty())
+    return true;
+  return Config.find(Opt.Filter) != std::string::npos ||
+         Collector.find(Opt.Filter) != std::string::npos;
+}
+
+std::vector<BenchResult> runSuite(const BenchOptions &Opt) {
+  std::vector<BenchResult> Results;
+  auto RunSet = [&](std::vector<std::unique_ptr<Workload>> Ws,
+                    const char *Kind) {
+    for (auto &W : Ws) {
+      for (auto &[CK, Name] : AllCollectors) {
+        if (!matchesFilter(Opt, W->name(), Name))
+          continue;
+        std::fprintf(stderr, "rdgc-bench: %-14s %-22s x%d ...\n", W->name(),
+                     Name, Opt.Reps);
+        Results.push_back(runOne(*W, Kind, CK, Name, Opt.Reps));
+      }
+    }
+  };
+  RunSet(makeMicroWorkloads(Opt.Quick), "micro");
+  if (!Opt.Quick)
+    RunSet(makePaperWorkloads(Opt.Scale), "workload");
+  return Results;
+}
+
+//===----------------------------------------------------------------------===//
+// JSON emission
+//===----------------------------------------------------------------------===//
+
+std::string jsonNumber(double X) {
+  if (!std::isfinite(X))
+    return "0";
+  // Integral values print without a fraction so counters stay readable.
+  if (X == std::floor(X) && std::fabs(X) < 1e15) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%.0f", X);
+    return Buf;
+  }
+  char Buf[48];
+  std::snprintf(Buf, sizeof(Buf), "%.6g", X);
+  return Buf;
+}
+
+struct BaselineEntry {
+  std::string Config, Collector, Metric;
+  double Before = 0.0, After = 0.0;
+};
+
+void emitJson(std::ostream &OS, const BenchOptions &Opt,
+              const std::vector<BenchResult> &Results,
+              const std::vector<BaselineEntry> &Baseline) {
+  OS << "{\n";
+  OS << "  \"schema\": \"rdgc-bench-v1\",\n";
+  OS << "  \"quick\": " << (Opt.Quick ? "true" : "false") << ",\n";
+  OS << "  \"reps\": " << Opt.Reps << ",\n";
+  OS << "  \"scale\": " << Opt.Scale << ",\n";
+  OS << "  \"results\": [\n";
+  for (size_t I = 0; I < Results.size(); ++I) {
+    const BenchResult &R = Results[I];
+    OS << "    {\"kind\": \"" << R.Kind << "\", \"config\": \"" << R.Config
+       << "\", \"collector\": \"" << R.Collector << "\", \"reps\": " << R.Reps
+       << ", \"valid\": " << (R.Valid ? "true" : "false")
+       << ", \"heap_exhausted\": " << (R.HeapExhausted ? "true" : "false")
+       << ",\n     \"metrics\": {";
+    for (size_t J = 0; J < R.Metrics.size(); ++J) {
+      const auto &[Name, S] = R.Metrics[J];
+      OS << (J ? ", " : "") << "\"" << Name << "\": {\"median\": "
+         << jsonNumber(S.Median) << ", \"mad\": " << jsonNumber(S.Mad) << "}";
+    }
+    OS << "}}" << (I + 1 < Results.size() ? "," : "") << "\n";
+  }
+  OS << "  ]";
+  if (!Baseline.empty()) {
+    OS << ",\n  \"baseline\": {\n    \"file\": \"" << Opt.BaselinePath
+       << "\",\n    \"comparisons\": [\n";
+    for (size_t I = 0; I < Baseline.size(); ++I) {
+      const BaselineEntry &E = Baseline[I];
+      double Ratio = E.Before > 0 ? E.After / E.Before : 0.0;
+      OS << "      {\"config\": \"" << E.Config << "\", \"collector\": \""
+         << E.Collector << "\", \"metric\": \"" << E.Metric
+         << "\", \"before\": " << jsonNumber(E.Before)
+         << ", \"after\": " << jsonNumber(E.After)
+         << ", \"ratio\": " << jsonNumber(Ratio) << "}"
+         << (I + 1 < Baseline.size() ? "," : "") << "\n";
+    }
+    OS << "    ]\n  }";
+  }
+  OS << "\n}\n";
+}
+
+//===----------------------------------------------------------------------===//
+// Minimal JSON parser (objects/arrays/strings/numbers/bools/null) — enough
+// to validate rdgc-bench output and compare runs without a dependency.
+//===----------------------------------------------------------------------===//
+
+struct JsonValue {
+  enum Type { Null, Bool, Number, String, Array, Object } Kind = Null;
+  bool BoolVal = false;
+  double NumberVal = 0.0;
+  std::string StringVal;
+  std::vector<JsonValue> Elements;
+  std::vector<std::pair<std::string, JsonValue>> Members;
+
+  const JsonValue *member(const std::string &Key) const {
+    for (auto &[K, V] : Members)
+      if (K == Key)
+        return &V;
+    return nullptr;
+  }
+};
+
+class JsonParser {
+public:
+  JsonParser(const std::string &Text) : Text(Text) {}
+
+  bool parse(JsonValue &Out, std::string &Error) {
+    Pos = 0;
+    if (!parseValue(Out, Error))
+      return false;
+    skipWs();
+    if (Pos != Text.size()) {
+      Error = "trailing characters at offset " + std::to_string(Pos);
+      return false;
+    }
+    return true;
+  }
+
+private:
+  const std::string &Text;
+  size_t Pos = 0;
+
+  void skipWs() {
+    while (Pos < Text.size() && (Text[Pos] == ' ' || Text[Pos] == '\t' ||
+                                 Text[Pos] == '\n' || Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool fail(std::string &Error, const std::string &Msg) {
+    Error = Msg + " at offset " + std::to_string(Pos);
+    return false;
+  }
+
+  bool parseValue(JsonValue &Out, std::string &Error) {
+    skipWs();
+    if (Pos >= Text.size())
+      return fail(Error, "unexpected end of input");
+    char C = Text[Pos];
+    if (C == '{')
+      return parseObject(Out, Error);
+    if (C == '[')
+      return parseArray(Out, Error);
+    if (C == '"') {
+      Out.Kind = JsonValue::String;
+      return parseString(Out.StringVal, Error);
+    }
+    if (Text.compare(Pos, 4, "true") == 0) {
+      Out.Kind = JsonValue::Bool;
+      Out.BoolVal = true;
+      Pos += 4;
+      return true;
+    }
+    if (Text.compare(Pos, 5, "false") == 0) {
+      Out.Kind = JsonValue::Bool;
+      Out.BoolVal = false;
+      Pos += 5;
+      return true;
+    }
+    if (Text.compare(Pos, 4, "null") == 0) {
+      Out.Kind = JsonValue::Null;
+      Pos += 4;
+      return true;
+    }
+    return parseNumber(Out, Error);
+  }
+
+  bool parseString(std::string &Out, std::string &Error) {
+    ++Pos; // consume '"'
+    Out.clear();
+    while (Pos < Text.size() && Text[Pos] != '"') {
+      if (Text[Pos] == '\\') {
+        ++Pos;
+        if (Pos >= Text.size())
+          return fail(Error, "bad escape");
+        switch (Text[Pos]) {
+        case '"': Out += '"'; break;
+        case '\\': Out += '\\'; break;
+        case '/': Out += '/'; break;
+        case 'n': Out += '\n'; break;
+        case 't': Out += '\t'; break;
+        case 'r': Out += '\r'; break;
+        case 'b': Out += '\b'; break;
+        case 'f': Out += '\f'; break;
+        case 'u':
+          // rdgc-bench output never emits \u escapes; accept and skip.
+          if (Pos + 4 >= Text.size())
+            return fail(Error, "bad \\u escape");
+          Pos += 4;
+          Out += '?';
+          break;
+        default:
+          return fail(Error, "bad escape");
+        }
+      } else {
+        Out += Text[Pos];
+      }
+      ++Pos;
+    }
+    if (Pos >= Text.size())
+      return fail(Error, "unterminated string");
+    ++Pos; // consume closing '"'
+    return true;
+  }
+
+  bool parseNumber(JsonValue &Out, std::string &Error) {
+    size_t Start = Pos;
+    while (Pos < Text.size() &&
+           (std::isdigit(static_cast<unsigned char>(Text[Pos])) ||
+            Text[Pos] == '-' || Text[Pos] == '+' || Text[Pos] == '.' ||
+            Text[Pos] == 'e' || Text[Pos] == 'E'))
+      ++Pos;
+    if (Pos == Start)
+      return fail(Error, "expected a value");
+    Out.Kind = JsonValue::Number;
+    Out.NumberVal = std::strtod(Text.c_str() + Start, nullptr);
+    return true;
+  }
+
+  bool parseObject(JsonValue &Out, std::string &Error) {
+    Out.Kind = JsonValue::Object;
+    ++Pos; // consume '{'
+    skipWs();
+    if (Pos < Text.size() && Text[Pos] == '}') {
+      ++Pos;
+      return true;
+    }
+    while (true) {
+      skipWs();
+      if (Pos >= Text.size() || Text[Pos] != '"')
+        return fail(Error, "expected object key");
+      std::string Key;
+      if (!parseString(Key, Error))
+        return false;
+      skipWs();
+      if (Pos >= Text.size() || Text[Pos] != ':')
+        return fail(Error, "expected ':'");
+      ++Pos;
+      JsonValue V;
+      if (!parseValue(V, Error))
+        return false;
+      Out.Members.emplace_back(std::move(Key), std::move(V));
+      skipWs();
+      if (Pos < Text.size() && Text[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      if (Pos < Text.size() && Text[Pos] == '}') {
+        ++Pos;
+        return true;
+      }
+      return fail(Error, "expected ',' or '}'");
+    }
+  }
+
+  bool parseArray(JsonValue &Out, std::string &Error) {
+    Out.Kind = JsonValue::Array;
+    ++Pos; // consume '['
+    skipWs();
+    if (Pos < Text.size() && Text[Pos] == ']') {
+      ++Pos;
+      return true;
+    }
+    while (true) {
+      JsonValue V;
+      if (!parseValue(V, Error))
+        return false;
+      Out.Elements.push_back(std::move(V));
+      skipWs();
+      if (Pos < Text.size() && Text[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      if (Pos < Text.size() && Text[Pos] == ']') {
+        ++Pos;
+        return true;
+      }
+      return fail(Error, "expected ',' or ']'");
+    }
+  }
+};
+
+bool loadJsonFile(const std::string &Path, JsonValue &Out,
+                  std::string &Error) {
+  std::ifstream In(Path);
+  if (!In) {
+    Error = "cannot open " + Path;
+    return false;
+  }
+  std::stringstream SS;
+  SS << In.rdbuf();
+  std::string Text = SS.str();
+  return JsonParser(Text).parse(Out, Error);
+}
+
+//===----------------------------------------------------------------------===//
+// Schema validation, baseline comparison, regression gate
+//===----------------------------------------------------------------------===//
+
+const char *RequiredMetrics[] = {
+    "mutator_mb_s", "gc_mb_s",      "mark_cons",    "pause_p50_ns",
+    "pause_p90_ns", "pause_p99_ns", "pause_max_ns", "collections",
+    "bytes_allocated",
+};
+
+/// Checks \p Doc against the rdgc-bench-v1 schema; appends problems to
+/// \p Errors. Returns true when the document conforms.
+bool validateSchema(const JsonValue &Doc, std::vector<std::string> &Errors) {
+  auto Complain = [&Errors](const std::string &Msg) { Errors.push_back(Msg); };
+  if (Doc.Kind != JsonValue::Object) {
+    Complain("top level is not an object");
+    return false;
+  }
+  const JsonValue *Schema = Doc.member("schema");
+  if (!Schema || Schema->Kind != JsonValue::String ||
+      Schema->StringVal != "rdgc-bench-v1")
+    Complain("missing or unexpected \"schema\" (want \"rdgc-bench-v1\")");
+  for (const char *Key : {"quick"})
+    if (const JsonValue *V = Doc.member(Key); !V || V->Kind != JsonValue::Bool)
+      Complain(std::string("missing boolean \"") + Key + "\"");
+  for (const char *Key : {"reps", "scale"})
+    if (const JsonValue *V = Doc.member(Key);
+        !V || V->Kind != JsonValue::Number)
+      Complain(std::string("missing numeric \"") + Key + "\"");
+  const JsonValue *Results = Doc.member("results");
+  if (!Results || Results->Kind != JsonValue::Array) {
+    Complain("missing \"results\" array");
+    return Errors.empty();
+  }
+  if (Results->Elements.empty())
+    Complain("\"results\" is empty");
+  for (size_t I = 0; I < Results->Elements.size(); ++I) {
+    const JsonValue &R = Results->Elements[I];
+    std::string Where = "results[" + std::to_string(I) + "]";
+    if (R.Kind != JsonValue::Object) {
+      Complain(Where + " is not an object");
+      continue;
+    }
+    for (const char *Key : {"kind", "config", "collector"})
+      if (const JsonValue *V = R.member(Key);
+          !V || V->Kind != JsonValue::String)
+        Complain(Where + " missing string \"" + Key + "\"");
+    const JsonValue *Metrics = R.member("metrics");
+    if (!Metrics || Metrics->Kind != JsonValue::Object) {
+      Complain(Where + " missing \"metrics\" object");
+      continue;
+    }
+    for (const char *M : RequiredMetrics) {
+      const JsonValue *MV = Metrics->member(M);
+      if (!MV || MV->Kind != JsonValue::Object ||
+          !MV->member("median") ||
+          MV->member("median")->Kind != JsonValue::Number ||
+          !MV->member("mad") ||
+          MV->member("mad")->Kind != JsonValue::Number) {
+        Complain(Where + " metric \"" + M +
+                 "\" missing {median, mad} numbers");
+      }
+    }
+  }
+  return Errors.empty();
+}
+
+/// Returns config/collector -> metric median for every result in \p Doc.
+std::map<std::pair<std::string, std::string>, double>
+extractMetric(const JsonValue &Doc, const std::string &Metric,
+              const std::string &KindFilter) {
+  std::map<std::pair<std::string, std::string>, double> Out;
+  const JsonValue *Results = Doc.member("results");
+  if (!Results)
+    return Out;
+  for (const JsonValue &R : Results->Elements) {
+    const JsonValue *Kind = R.member("kind");
+    const JsonValue *Config = R.member("config");
+    const JsonValue *Coll = R.member("collector");
+    const JsonValue *Metrics = R.member("metrics");
+    if (!Kind || !Config || !Coll || !Metrics)
+      continue;
+    if (!KindFilter.empty() && Kind->StringVal != KindFilter)
+      continue;
+    const JsonValue *MV = Metrics->member(Metric);
+    if (!MV)
+      continue;
+    const JsonValue *Med = MV->member("median");
+    if (!Med)
+      continue;
+    Out[{Config->StringVal, Coll->StringVal}] = Med->NumberVal;
+  }
+  return Out;
+}
+
+std::vector<BaselineEntry>
+compareToBaseline(const JsonValue &Before,
+                  const std::vector<BenchResult> &After) {
+  std::vector<BaselineEntry> Out;
+  for (const char *Metric : {"mutator_mb_s", "gc_mb_s", "pause_p99_ns"}) {
+    auto BeforeMap = extractMetric(Before, Metric, "");
+    for (const BenchResult &R : After) {
+      auto It = BeforeMap.find({R.Config, R.Collector});
+      if (It == BeforeMap.end())
+        continue;
+      for (const auto &[Name, S] : R.Metrics) {
+        if (Name != Metric)
+          continue;
+        BaselineEntry E;
+        E.Config = R.Config;
+        E.Collector = R.Collector;
+        E.Metric = Metric;
+        E.Before = It->second;
+        E.After = S.Median;
+        Out.push_back(E);
+      }
+    }
+  }
+  return Out;
+}
+
+int runValidate(const std::string &Path) {
+  JsonValue Doc;
+  std::string Error;
+  if (!loadJsonFile(Path, Doc, Error)) {
+    std::fprintf(stderr, "rdgc-bench: %s: parse error: %s\n", Path.c_str(),
+                 Error.c_str());
+    return 1;
+  }
+  std::vector<std::string> Errors;
+  if (!validateSchema(Doc, Errors)) {
+    for (const std::string &E : Errors)
+      std::fprintf(stderr, "rdgc-bench: %s: schema: %s\n", Path.c_str(),
+                   E.c_str());
+    return 1;
+  }
+  std::printf("rdgc-bench: %s conforms to rdgc-bench-v1\n", Path.c_str());
+  return 0;
+}
+
+int runRegress(const std::string &CurrentPath, const std::string &RefPath,
+               double Tolerance) {
+  JsonValue Current, Ref;
+  std::string Error;
+  if (!loadJsonFile(CurrentPath, Current, Error)) {
+    std::fprintf(stderr, "rdgc-bench: %s: parse error: %s\n",
+                 CurrentPath.c_str(), Error.c_str());
+    return 1;
+  }
+  if (!loadJsonFile(RefPath, Ref, Error)) {
+    std::fprintf(stderr, "rdgc-bench: %s: parse error: %s\n", RefPath.c_str(),
+                 Error.c_str());
+    return 1;
+  }
+  // The gate watches the micro allocation configs' mutator throughput: the
+  // metric the inline fast path is accountable for. Workload results vary
+  // with scale and are informational only.
+  auto CurMap = extractMetric(Current, "mutator_mb_s", "micro");
+  auto RefMap = extractMetric(Ref, "mutator_mb_s", "micro");
+  int Failures = 0, Checked = 0;
+  for (const auto &[Key, RefVal] : RefMap) {
+    auto It = CurMap.find(Key);
+    if (It == CurMap.end() || RefVal <= 0)
+      continue;
+    ++Checked;
+    double Floor = RefVal * (1.0 - Tolerance);
+    const char *Verdict = It->second >= Floor ? "ok" : "REGRESSION";
+    if (It->second < Floor)
+      ++Failures;
+    std::printf("rdgc-bench: %-14s %-22s ref %9.1f MB/s cur %9.1f MB/s "
+                "floor %9.1f  %s\n",
+                Key.first.c_str(), Key.second.c_str(), RefVal, It->second,
+                Floor, Verdict);
+  }
+  if (Checked == 0) {
+    std::fprintf(stderr,
+                 "rdgc-bench: no comparable micro configs between %s and %s\n",
+                 CurrentPath.c_str(), RefPath.c_str());
+    return 1;
+  }
+  if (Failures) {
+    std::fprintf(stderr,
+                 "rdgc-bench: %d config(s) regressed more than %.0f%%\n",
+                 Failures, Tolerance * 100.0);
+    return 1;
+  }
+  std::printf("rdgc-bench: all %d micro configs within %.0f%% of reference\n",
+              Checked, Tolerance * 100.0);
+  return 0;
+}
+
+void printUsage() {
+  std::fprintf(
+      stderr,
+      "usage: rdgc-bench [--quick] [--reps N] [--scale N] [--filter S]\n"
+      "                  [--json FILE] [--baseline FILE]\n"
+      "       rdgc-bench --validate FILE\n"
+      "       rdgc-bench --regress CURRENT REFERENCE [--tolerance FRAC]\n");
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  BenchOptions Opt;
+  std::string ValidatePath, RegressCurrent, RegressRef;
+  double Tolerance = 0.15;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto Next = [&](const char *Flag) -> const char * {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "rdgc-bench: %s needs an argument\n", Flag);
+        std::exit(2);
+      }
+      return argv[++I];
+    };
+    if (Arg == "--quick")
+      Opt.Quick = true;
+    else if (Arg == "--reps")
+      Opt.Reps = std::atoi(Next("--reps"));
+    else if (Arg == "--scale")
+      Opt.Scale = std::atoi(Next("--scale"));
+    else if (Arg == "--filter")
+      Opt.Filter = Next("--filter");
+    else if (Arg == "--json")
+      Opt.JsonPath = Next("--json");
+    else if (Arg == "--baseline")
+      Opt.BaselinePath = Next("--baseline");
+    else if (Arg == "--validate")
+      ValidatePath = Next("--validate");
+    else if (Arg == "--regress") {
+      RegressCurrent = Next("--regress");
+      RegressRef = Next("--regress");
+    } else if (Arg == "--tolerance")
+      Tolerance = std::atof(Next("--tolerance"));
+    else {
+      printUsage();
+      return 2;
+    }
+  }
+  if (!ValidatePath.empty())
+    return runValidate(ValidatePath);
+  if (!RegressCurrent.empty())
+    return runRegress(RegressCurrent, RegressRef, Tolerance);
+  if (Opt.Reps < 1)
+    Opt.Reps = 1;
+  if (Opt.Quick && Opt.Reps > 3)
+    Opt.Reps = 3;
+
+  std::vector<BenchResult> Results = runSuite(Opt);
+
+  std::vector<BaselineEntry> Baseline;
+  if (!Opt.BaselinePath.empty()) {
+    JsonValue Before;
+    std::string Error;
+    if (!loadJsonFile(Opt.BaselinePath, Before, Error)) {
+      std::fprintf(stderr, "rdgc-bench: baseline %s: %s\n",
+                   Opt.BaselinePath.c_str(), Error.c_str());
+      return 1;
+    }
+    Baseline = compareToBaseline(Before, Results);
+  }
+
+  if (Opt.JsonPath.empty()) {
+    emitJson(std::cout, Opt, Results, Baseline);
+  } else {
+    std::ofstream Out(Opt.JsonPath);
+    if (!Out) {
+      std::fprintf(stderr, "rdgc-bench: cannot write %s\n",
+                   Opt.JsonPath.c_str());
+      return 1;
+    }
+    emitJson(Out, Opt, Results, Baseline);
+    std::fprintf(stderr, "rdgc-bench: wrote %s\n", Opt.JsonPath.c_str());
+  }
+
+  // Human-readable summary of the headline metric.
+  std::printf("\n%-14s %-22s %12s %12s %10s %12s\n", "config", "collector",
+              "mut MB/s", "gc MB/s", "mark/cons", "pause p99 us");
+  for (const BenchResult &R : Results) {
+    double Mut = 0, Gc = 0, Mc = 0, P99 = 0;
+    for (const auto &[Name, S] : R.Metrics) {
+      if (Name == "mutator_mb_s")
+        Mut = S.Median;
+      else if (Name == "gc_mb_s")
+        Gc = S.Median;
+      else if (Name == "mark_cons")
+        Mc = S.Median;
+      else if (Name == "pause_p99_ns")
+        P99 = S.Median;
+    }
+    std::printf("%-14s %-22s %12.1f %12.1f %10.3f %12.1f%s\n",
+                R.Config.c_str(), R.Collector.c_str(), Mut, Gc, Mc,
+                P99 / 1000.0, R.Valid ? "" : "  (INVALID)");
+  }
+  return 0;
+}
