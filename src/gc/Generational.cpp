@@ -9,6 +9,7 @@
 #include "gc/CopyScavenger.h"
 #include "heap/Heap.h"
 #include "observe/GcTracer.h"
+#include "parallel/ParallelScavenger.h"
 
 #include <algorithm>
 #include <unordered_set>
@@ -134,38 +135,83 @@ void GenerationalCollector::collectMinor() {
   GcPhaseTimer Timer(H->tracer() != nullptr);
 
   Space &To = Intermediate ? *Intermediate : activeDynamic();
-  uint8_t ToRegion =
-      Intermediate ? RegionIntermediate : activeDynamicRegion();
-  CopyScavenger Scavenger(
-      [](const uint64_t *Header) {
-        return header::region(*Header) == RegionNursery;
-      },
-      [&To, ToRegion](size_t Words) {
-        return CopyTarget{To.tryAllocate(Words), ToRegion};
-      },
-      H->observer());
+  uint8_t ToRegion = Intermediate ? static_cast<uint8_t>(RegionIntermediate)
+                                  : activeDynamicRegion();
 
-  Timer.begin(GcPhase::RootScan);
-  H->forEachRoot([&](Value &Slot) {
-    ++Record.RootsScanned;
-    Scavenger.scavenge(Slot);
-  });
-  // The remembered set holds every older object that may contain a
-  // pointer into a younger region; re-scan those objects (Section 8.4).
-  Timer.begin(GcPhase::RemsetScan);
-  RemSet.forEach([&](uint64_t *Holder) {
-    ++Record.RootsScanned;
-    Scavenger.scanObject(Holder);
-  });
-  Timer.begin(GcPhase::Trace);
-  Scavenger.drain();
+  // Parallel gate (see DESIGN.md §12): worker threads requested, no
+  // observer (its hooks are thread-oblivious), and enough to-space
+  // headroom for PLAB padding. Every remembered holder is strictly older
+  // than the nursery here, so the striped remset scan never races a
+  // holder's own evacuation.
+  unsigned Threads = effectiveGcThreads();
+  bool Parallel =
+      Threads >= 2 && H->observer() == nullptr &&
+      parallelEvacuationFits(Nursery.usedWords(), /*LiveEstimateWords=*/0,
+                             To.freeWords(), Threads);
+  uint64_t WordsCopied = 0;
 
-  Timer.begin(GcPhase::Sweep);
-  if (HeapObserver *Obs = H->observer())
-    Nursery.forEachObject([&](uint64_t *Header) {
-      if (!ObjectRef(Header).isForwarded())
-        Obs->onDeath(Header, ObjectRef(Header).totalWords());
+  if (Parallel) {
+    ParallelScavenger Scavenger(
+        [](uint64_t *, uint64_t Observed) {
+          return header::region(Observed) == RegionNursery;
+        },
+        [&To, ToRegion](size_t Words) {
+          return PlabChunk{To.tryAllocate(Words), ToRegion};
+        },
+        Threads);
+    Timer.begin(GcPhase::RootScan);
+    std::vector<Value *> Roots;
+    H->forEachRoot([&](Value &Slot) {
+      ++Record.RootsScanned;
+      Roots.push_back(&Slot);
     });
+    Scavenger.scavengeRoots(Roots);
+    Timer.begin(GcPhase::RemsetScan);
+    std::vector<uint64_t *> Holders;
+    RemSet.forEach([&](uint64_t *Holder) {
+      ++Record.RootsScanned;
+      Holders.push_back(Holder);
+    });
+    Scavenger.scanRemembered(Holders);
+    Timer.begin(GcPhase::Trace);
+    Scavenger.drain();
+    Scavenger.finish();
+    WordsCopied = Scavenger.wordsCopied();
+    Record.Workers = Scavenger.workerStats();
+    Timer.begin(GcPhase::Sweep);
+  } else {
+    CopyScavenger Scavenger(
+        [](const uint64_t *Header) {
+          return header::region(*Header) == RegionNursery;
+        },
+        [&To, ToRegion](size_t Words) {
+          return CopyTarget{To.tryAllocate(Words), ToRegion};
+        },
+        H->observer());
+
+    Timer.begin(GcPhase::RootScan);
+    H->forEachRoot([&](Value &Slot) {
+      ++Record.RootsScanned;
+      Scavenger.scavenge(Slot);
+    });
+    // The remembered set holds every older object that may contain a
+    // pointer into a younger region; re-scan those objects (Section 8.4).
+    Timer.begin(GcPhase::RemsetScan);
+    RemSet.forEach([&](uint64_t *Holder) {
+      ++Record.RootsScanned;
+      Scavenger.scanObject(Holder);
+    });
+    Timer.begin(GcPhase::Trace);
+    Scavenger.drain();
+    WordsCopied = Scavenger.wordsCopied();
+
+    Timer.begin(GcPhase::Sweep);
+    if (HeapObserver *Obs = H->observer())
+      Nursery.forEachObject([&](uint64_t *Header) {
+        if (!ObjectRef(Header).isForwarded())
+          Obs->onDeath(Header, ObjectRef(Header).totalWords());
+      });
+  }
 
   size_t NurseryUsed = Nursery.usedWords();
   Nursery.reset();
@@ -183,8 +229,8 @@ void GenerationalCollector::collectMinor() {
 
   LastLiveWords = activeDynamic().usedWords() +
                   (Intermediate ? Intermediate->usedWords() : 0);
-  Record.WordsTraced = Scavenger.wordsCopied();
-  Record.WordsReclaimed = NurseryUsed - Scavenger.wordsCopied();
+  Record.WordsTraced = WordsCopied;
+  Record.WordsReclaimed = NurseryUsed - WordsCopied;
   Record.LiveWordsAfter = LastLiveWords;
   finishCollection(Record, Timer);
 }
@@ -202,39 +248,93 @@ void GenerationalCollector::collectIntermediate() {
 
   Space &To = activeDynamic();
   uint8_t ToRegion = activeDynamicRegion();
-  CopyScavenger Scavenger(
-      [](const uint64_t *Header) {
-        uint8_t R = header::region(*Header);
-        return R == RegionNursery || R == RegionIntermediate;
-      },
-      [&To, ToRegion](size_t Words) {
-        return CopyTarget{To.tryAllocate(Words), ToRegion};
-      },
-      H->observer());
 
-  Timer.begin(GcPhase::RootScan);
-  H->forEachRoot([&](Value &Slot) {
-    ++Record.RootsScanned;
-    Scavenger.scavenge(Slot);
-  });
-  Timer.begin(GcPhase::RemsetScan);
-  RemSet.forEach([&](uint64_t *Holder) {
-    ++Record.RootsScanned;
-    Scavenger.scanObject(Holder);
-  });
-  Timer.begin(GcPhase::Trace);
-  Scavenger.drain();
+  unsigned Threads = effectiveGcThreads();
+  size_t CondemnedBefore = Nursery.usedWords() + Intermediate->usedWords();
+  bool Parallel =
+      Threads >= 2 && H->observer() == nullptr &&
+      parallelEvacuationFits(CondemnedBefore, /*LiveEstimateWords=*/0,
+                             To.freeWords(), Threads);
+  uint64_t WordsCopied = 0;
 
-  Timer.begin(GcPhase::Sweep);
-  if (HeapObserver *Obs = H->observer()) {
-    auto ReportDeaths = [&](const Space &S) {
-      S.forEachObject([&](uint64_t *Header) {
-        if (!ObjectRef(Header).isForwarded())
-          Obs->onDeath(Header, ObjectRef(Header).totalWords());
-      });
-    };
-    ReportDeaths(Nursery);
-    ReportDeaths(*Intermediate);
+  if (Parallel) {
+    ParallelScavenger Scavenger(
+        [](uint64_t *, uint64_t Observed) {
+          uint8_t R = header::region(Observed);
+          return R == RegionNursery || R == RegionIntermediate;
+        },
+        [&To, ToRegion](size_t Words) {
+          return PlabChunk{To.tryAllocate(Words), ToRegion};
+        },
+        Threads);
+    Timer.begin(GcPhase::RootScan);
+    std::vector<Value *> Roots;
+    H->forEachRoot([&](Value &Slot) {
+      ++Record.RootsScanned;
+      Roots.push_back(&Slot);
+    });
+    Scavenger.scavengeRoots(Roots);
+    Timer.begin(GcPhase::RemsetScan);
+    // Intermediate-region holders are themselves condemned this cycle:
+    // scanning their from-space originals would race their own
+    // evacuation, and is unnecessary — a live condemned holder is traced
+    // through the normal object graph. (The serial path scans them
+    // anyway, which can conservatively retain children of *dead*
+    // holders; the parallel cycle is strictly more precise.) Only the
+    // dynamic-region holders carry pointers the trace cannot reach.
+    std::vector<uint64_t *> Holders;
+    RemSet.forEach([&](uint64_t *Holder) {
+      ++Record.RootsScanned;
+      // This plain read runs on the coordinator between pool barriers, so
+      // it is ordered after any evacuation (a Forward header preserves the
+      // region bits either way).
+      uint8_t R = header::region(*Holder);
+      if (R != RegionNursery && R != RegionIntermediate)
+        Holders.push_back(Holder);
+    });
+    Scavenger.scanRemembered(Holders);
+    Timer.begin(GcPhase::Trace);
+    Scavenger.drain();
+    Scavenger.finish();
+    WordsCopied = Scavenger.wordsCopied();
+    Record.Workers = Scavenger.workerStats();
+    Timer.begin(GcPhase::Sweep);
+  } else {
+    CopyScavenger Scavenger(
+        [](const uint64_t *Header) {
+          uint8_t R = header::region(*Header);
+          return R == RegionNursery || R == RegionIntermediate;
+        },
+        [&To, ToRegion](size_t Words) {
+          return CopyTarget{To.tryAllocate(Words), ToRegion};
+        },
+        H->observer());
+
+    Timer.begin(GcPhase::RootScan);
+    H->forEachRoot([&](Value &Slot) {
+      ++Record.RootsScanned;
+      Scavenger.scavenge(Slot);
+    });
+    Timer.begin(GcPhase::RemsetScan);
+    RemSet.forEach([&](uint64_t *Holder) {
+      ++Record.RootsScanned;
+      Scavenger.scanObject(Holder);
+    });
+    Timer.begin(GcPhase::Trace);
+    Scavenger.drain();
+    WordsCopied = Scavenger.wordsCopied();
+
+    Timer.begin(GcPhase::Sweep);
+    if (HeapObserver *Obs = H->observer()) {
+      auto ReportDeaths = [&](const Space &S) {
+        S.forEachObject([&](uint64_t *Header) {
+          if (!ObjectRef(Header).isForwarded())
+            Obs->onDeath(Header, ObjectRef(Header).totalWords());
+        });
+      };
+      ReportDeaths(Nursery);
+      ReportDeaths(*Intermediate);
+    }
   }
 
   size_t CondemnedUsed = Nursery.usedWords() + Intermediate->usedWords();
@@ -249,8 +349,8 @@ void GenerationalCollector::collectIntermediate() {
   RemSet.clear();
 
   LastLiveWords = activeDynamic().usedWords();
-  Record.WordsTraced = Scavenger.wordsCopied();
-  Record.WordsReclaimed = CondemnedUsed - Scavenger.wordsCopied();
+  Record.WordsTraced = WordsCopied;
+  Record.WordsReclaimed = CondemnedUsed - WordsCopied;
   Record.LiveWordsAfter = LastLiveWords;
   finishCollection(Record, Timer);
 }
@@ -344,41 +444,77 @@ void GenerationalCollector::collectMajor() {
   uint8_t FromRegion = activeDynamicRegion();
   uint8_t ToRegion = idleDynamicRegion();
 
-  CopyScavenger Scavenger(
-      [FromRegion](const uint64_t *Header) {
-        uint8_t R = header::region(*Header);
-        return R == RegionNursery || R == RegionIntermediate ||
-               R == FromRegion;
-      },
-      [&To, ToRegion](size_t Words) {
-        return CopyTarget{To.tryAllocate(Words), ToRegion};
-      },
-      H->observer());
-
-  Timer.begin(GcPhase::RootScan);
-  H->forEachRoot([&](Value &Slot) {
-    ++Record.RootsScanned;
-    Scavenger.scavenge(Slot);
-  });
-  Timer.begin(GcPhase::Trace);
-  Scavenger.drain();
-
-  Timer.begin(GcPhase::Sweep);
-  if (HeapObserver *Obs = H->observer()) {
-    auto ReportDeaths = [&](const Space &S) {
-      S.forEachObject([&](uint64_t *Header) {
-        if (!ObjectRef(Header).isForwarded())
-          Obs->onDeath(Header, ObjectRef(Header).totalWords());
-      });
-    };
-    ReportDeaths(Nursery);
-    if (Intermediate)
-      ReportDeaths(*Intermediate);
-    ReportDeaths(From);
-  }
-
   size_t CondemnedUsed = Nursery.usedWords() + From.usedWords() +
                          (Intermediate ? Intermediate->usedWords() : 0);
+  // A major cycle never consults the remembered set, so the parallel path
+  // is the plain roots-then-drain shape. LastLiveWords (the dynamic area's
+  // survivors after the previous cycle) seeds the headroom estimate when
+  // the worst case does not fit outright.
+  unsigned Threads = effectiveGcThreads();
+  bool Parallel = Threads >= 2 && H->observer() == nullptr &&
+                  parallelEvacuationFits(CondemnedUsed, LastLiveWords,
+                                         To.freeWords(), Threads);
+  uint64_t WordsCopied = 0;
+
+  if (Parallel) {
+    ParallelScavenger Scavenger(
+        [FromRegion](uint64_t *, uint64_t Observed) {
+          uint8_t R = header::region(Observed);
+          return R == RegionNursery || R == RegionIntermediate ||
+                 R == FromRegion;
+        },
+        [&To, ToRegion](size_t Words) {
+          return PlabChunk{To.tryAllocate(Words), ToRegion};
+        },
+        Threads);
+    Timer.begin(GcPhase::RootScan);
+    std::vector<Value *> Roots;
+    H->forEachRoot([&](Value &Slot) {
+      ++Record.RootsScanned;
+      Roots.push_back(&Slot);
+    });
+    Scavenger.scavengeRoots(Roots);
+    Timer.begin(GcPhase::Trace);
+    Scavenger.drain();
+    Scavenger.finish();
+    WordsCopied = Scavenger.wordsCopied();
+    Record.Workers = Scavenger.workerStats();
+    Timer.begin(GcPhase::Sweep);
+  } else {
+    CopyScavenger Scavenger(
+        [FromRegion](const uint64_t *Header) {
+          uint8_t R = header::region(*Header);
+          return R == RegionNursery || R == RegionIntermediate ||
+                 R == FromRegion;
+        },
+        [&To, ToRegion](size_t Words) {
+          return CopyTarget{To.tryAllocate(Words), ToRegion};
+        },
+        H->observer());
+
+    Timer.begin(GcPhase::RootScan);
+    H->forEachRoot([&](Value &Slot) {
+      ++Record.RootsScanned;
+      Scavenger.scavenge(Slot);
+    });
+    Timer.begin(GcPhase::Trace);
+    Scavenger.drain();
+    WordsCopied = Scavenger.wordsCopied();
+
+    Timer.begin(GcPhase::Sweep);
+    if (HeapObserver *Obs = H->observer()) {
+      auto ReportDeaths = [&](const Space &S) {
+        S.forEachObject([&](uint64_t *Header) {
+          if (!ObjectRef(Header).isForwarded())
+            Obs->onDeath(Header, ObjectRef(Header).totalWords());
+        });
+      };
+      ReportDeaths(Nursery);
+      if (Intermediate)
+        ReportDeaths(*Intermediate);
+      ReportDeaths(From);
+    }
+  }
   Nursery.reset();
   if (Intermediate)
     Intermediate->reset();
@@ -393,8 +529,8 @@ void GenerationalCollector::collectMajor() {
   RemSet.clear();
 
   LastLiveWords = activeDynamic().usedWords();
-  Record.WordsTraced = Scavenger.wordsCopied();
-  Record.WordsReclaimed = CondemnedUsed - Scavenger.wordsCopied();
+  Record.WordsTraced = WordsCopied;
+  Record.WordsReclaimed = CondemnedUsed - WordsCopied;
   Record.LiveWordsAfter = LastLiveWords;
   finishCollection(Record, Timer);
 }

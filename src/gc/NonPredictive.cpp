@@ -9,9 +9,11 @@
 #include "gc/CopyScavenger.h"
 #include "heap/Heap.h"
 #include "observe/GcTracer.h"
+#include "parallel/ParallelScavenger.h"
 #include "support/Error.h"
 
 #include <algorithm>
+#include <array>
 #include <unordered_set>
 
 using namespace rdgc;
@@ -307,32 +309,86 @@ void NonPredictiveCollector::collectMinor() {
     LowestPromotedStep = std::min(LowestPromotedStep, CurrentLogical);
     return CopyTarget{Mem, LastAllocRegion};
   };
-  auto InCondemned = [](const uint64_t *Header) {
-    return header::region(*Header) == RegionNursery;
-  };
-  CopyScavenger Scavenger(InCondemned, AllocateTo, H->observer());
+  // Parallel gate: on top of the usual conditions (workers requested, no
+  // observer, headroom), promotion only runs parallel in the uncapped
+  // configuration — addSteps then absorbs both a mid-promotion shortfall
+  // and the PLAB tail padding, exactly as it absorbs serial packing
+  // slack. Chunks never exceed a step, so a refill always fits a fresh
+  // step. Every remembered holder lives in the step heap and is therefore
+  // never condemned here.
+  unsigned Threads = effectiveGcThreads();
+  size_t EngineChunkWords = std::min(Plab::DefaultChunkWords, StepWords);
+  bool Parallel =
+      Threads >= 2 && H->observer() == nullptr &&
+      capacityLimitWords() == 0 &&
+      parallelEvacuationFits(Nursery->usedWords(), /*LiveEstimateWords=*/0,
+                             stepsFreeWords(), Threads, EngineChunkWords);
+  uint64_t WordsCopied = 0;
 
-  Timer.begin(GcPhase::RootScan);
-  H->forEachRoot([&](Value &Slot) {
-    ++Record.RootsScanned;
-    Scavenger.scavenge(Slot);
-  });
-  // Remembered step-heap objects may hold nursery pointers; scan them.
-  Timer.begin(GcPhase::RemsetScan);
-  RemSet.forEach([&](uint64_t *Holder) {
-    ++Record.RootsScanned;
-    Scavenger.scanObject(Holder);
-  });
-  Timer.begin(GcPhase::Trace);
-  Scavenger.drain();
-
-  Timer.begin(GcPhase::Sweep);
-  HeapObserver *Obs = H->observer();
-  if (Obs)
-    Nursery->forEachObject([&](uint64_t *Header) {
-      if (!ObjectRef(Header).isForwarded())
-        Obs->onDeath(Header, ObjectRef(Header).totalWords());
+  if (Parallel) {
+    ParallelScavenger Scavenger(
+        [](uint64_t *, uint64_t Observed) {
+          return header::region(Observed) == RegionNursery;
+        },
+        [&](size_t Words) -> PlabChunk {
+          uint64_t *Mem = tryAllocateInSteps(Words);
+          if (!Mem && addSteps(1))
+            Mem = tryAllocateInSteps(Words);
+          if (!Mem)
+            return PlabChunk{};
+          LowestPromotedStep = std::min(LowestPromotedStep, CurrentLogical);
+          return PlabChunk{Mem, LastAllocRegion};
+        },
+        Threads, EngineChunkWords);
+    Timer.begin(GcPhase::RootScan);
+    std::vector<Value *> Roots;
+    H->forEachRoot([&](Value &Slot) {
+      ++Record.RootsScanned;
+      Roots.push_back(&Slot);
     });
+    Scavenger.scavengeRoots(Roots);
+    Timer.begin(GcPhase::RemsetScan);
+    std::vector<uint64_t *> Holders;
+    RemSet.forEach([&](uint64_t *Holder) {
+      ++Record.RootsScanned;
+      Holders.push_back(Holder);
+    });
+    Scavenger.scanRemembered(Holders);
+    Timer.begin(GcPhase::Trace);
+    Scavenger.drain();
+    Scavenger.finish();
+    WordsCopied = Scavenger.wordsCopied();
+    Record.Workers = Scavenger.workerStats();
+    Timer.begin(GcPhase::Sweep);
+  } else {
+    auto InCondemned = [](const uint64_t *Header) {
+      return header::region(*Header) == RegionNursery;
+    };
+    CopyScavenger Scavenger(InCondemned, AllocateTo, H->observer());
+
+    Timer.begin(GcPhase::RootScan);
+    H->forEachRoot([&](Value &Slot) {
+      ++Record.RootsScanned;
+      Scavenger.scavenge(Slot);
+    });
+    // Remembered step-heap objects may hold nursery pointers; scan them.
+    Timer.begin(GcPhase::RemsetScan);
+    RemSet.forEach([&](uint64_t *Holder) {
+      ++Record.RootsScanned;
+      Scavenger.scanObject(Holder);
+    });
+    Timer.begin(GcPhase::Trace);
+    Scavenger.drain();
+    WordsCopied = Scavenger.wordsCopied();
+
+    Timer.begin(GcPhase::Sweep);
+    HeapObserver *Obs = H->observer();
+    if (Obs)
+      Nursery->forEachObject([&](uint64_t *Header) {
+        if (!ObjectRef(Header).isForwarded())
+          Obs->onDeath(Header, ObjectRef(Header).totalWords());
+      });
+  }
 
   size_t NurseryUsed = Nursery->usedWords();
   Nursery->reset();
@@ -369,9 +425,9 @@ void NonPredictiveCollector::collectMinor() {
   for (uint64_t *Holder : Kept)
     RemSet.insert(Holder);
 
-  LastLiveWords = Scavenger.wordsCopied();
-  Record.WordsTraced = Scavenger.wordsCopied();
-  Record.WordsReclaimed = NurseryUsed - Scavenger.wordsCopied();
+  LastLiveWords = WordsCopied;
+  Record.WordsTraced = WordsCopied;
+  Record.WordsReclaimed = NurseryUsed - WordsCopied;
   Record.LiveWordsAfter = LastLiveWords;
   finishCollection(Record, Timer);
 }
@@ -444,39 +500,103 @@ void NonPredictiveCollector::collectWithJ(size_t CollectJ) {
     return CopyTarget{Mem, static_cast<uint8_t>(ToBuffers[ToCursor] + 1)};
   };
 
-  auto InCondemned = [this, CollectJ, PromoteNursery](const uint64_t *Header) {
-    uint8_t Region = header::region(*Header);
-    if (Region == RegionNursery)
-      return PromoteNursery; // Hybrid mode: normally promoted out.
-    return logicalOfRegion(Region) > CollectJ;
-  };
+  // Parallel gate. Uncapped only: the capped refusal/measurement paths
+  // (including the unpromoted-nursery fallback) stay serial, so a parallel
+  // cycle always promotes the whole nursery. The region-id budget check
+  // leaves room for one to-buffer per collected step plus the extra
+  // buffers PLAB tail padding can cost (bounded by one per worker); when
+  // ids are that scarce the serial packer is the safer evacuator. The
+  // condemned predicate must not consult PhysicalToLogical — acquireBuffer
+  // appends to it mid-cycle under the chunk mutex, unsynchronized with
+  // readers — so the step-to-condemned map is snapshotted into an
+  // immutable per-region table first. Buffers acquired during the cycle
+  // are absent from the snapshot and correctly read as not condemned.
+  unsigned Threads = effectiveGcThreads();
+  size_t EngineChunkWords = std::min(Plab::DefaultChunkWords, StepWords);
+  size_t AcquirableBuffers = FreePool.size() + (254 - Buffers.size());
+  bool Parallel = Threads >= 2 && H->observer() == nullptr &&
+                  capacityLimitWords() == 0 &&
+                  AcquirableBuffers >= (K - CollectJ) + Threads + 2;
+  uint64_t WordsCopied = 0;
 
-  CopyScavenger Scavenger(InCondemned, AllocateTo, H->observer());
+  if (Parallel) {
+    assert(PromoteNursery == (Nursery != nullptr) &&
+           "uncapped cycles always promote the nursery");
+    std::array<bool, 256> Condemned{};
+    for (size_t Phys = 0; Phys < Buffers.size(); ++Phys)
+      Condemned[Phys + 1] = PhysicalToLogical[Phys] > CollectJ;
+    Condemned[RegionNursery] = Nursery != nullptr;
 
-  Timer.begin(GcPhase::RootScan);
-  H->forEachRoot([&](Value &Slot) {
-    ++Record.RootsScanned;
-    Scavenger.scavenge(Slot);
-  });
-  // Remembered objects in steps 1..j hold pointers into the condemned
-  // region; those slots are roots and must be rewritten (Section 8.6).
-  Timer.begin(GcPhase::RemsetScan);
-  RemSet.forEach([&](uint64_t *Holder) {
-    ++Record.RootsScanned;
-    Scavenger.scanObject(Holder);
-  });
-  Timer.begin(GcPhase::RootScan);
-  if (Nursery && !PromoteNursery)
-    // The unpromoted nursery is a young region that is not scanned via the
-    // remembered set, so scan every nursery object conservatively: garbage
-    // nursery objects transiently retain their condemned referents until
-    // the follow-up minor collection.
-    Nursery->forEachObject([&](uint64_t *Header) {
+    ParallelScavenger Scavenger(
+        [Condemned](uint64_t *, uint64_t Observed) {
+          return Condemned[header::region(Observed)];
+        },
+        [&](size_t Words) -> PlabChunk {
+          CopyTarget T = AllocateTo(Words);
+          return PlabChunk{T.Mem, T.Region};
+        },
+        Threads, EngineChunkWords);
+    Timer.begin(GcPhase::RootScan);
+    std::vector<Value *> Roots;
+    H->forEachRoot([&](Value &Slot) {
       ++Record.RootsScanned;
-      Scavenger.scanObject(Header);
+      Roots.push_back(&Slot);
     });
-  Timer.begin(GcPhase::Trace);
-  Scavenger.drain();
+    Scavenger.scavengeRoots(Roots);
+    Timer.begin(GcPhase::RemsetScan);
+    // Stale entries for holders that drifted into the condemned region
+    // (j reductions, old-to-nursery entries) are skipped: scanning their
+    // from-space originals would race their own evacuation, and a live
+    // condemned holder is traced through the normal graph anyway.
+    std::vector<uint64_t *> Holders;
+    RemSet.forEach([&](uint64_t *Holder) {
+      ++Record.RootsScanned;
+      if (!Condemned[header::region(*Holder)])
+        Holders.push_back(Holder);
+    });
+    Scavenger.scanRemembered(Holders);
+    Timer.begin(GcPhase::Trace);
+    Scavenger.drain();
+    Scavenger.finish();
+    WordsCopied = Scavenger.wordsCopied();
+    Record.Workers = Scavenger.workerStats();
+  } else {
+    auto InCondemned = [this, CollectJ,
+                        PromoteNursery](const uint64_t *Header) {
+      uint8_t Region = header::region(*Header);
+      if (Region == RegionNursery)
+        return PromoteNursery; // Hybrid mode: normally promoted out.
+      return logicalOfRegion(Region) > CollectJ;
+    };
+
+    CopyScavenger Scavenger(InCondemned, AllocateTo, H->observer());
+
+    Timer.begin(GcPhase::RootScan);
+    H->forEachRoot([&](Value &Slot) {
+      ++Record.RootsScanned;
+      Scavenger.scavenge(Slot);
+    });
+    // Remembered objects in steps 1..j hold pointers into the condemned
+    // region; those slots are roots and must be rewritten (Section 8.6).
+    Timer.begin(GcPhase::RemsetScan);
+    RemSet.forEach([&](uint64_t *Holder) {
+      ++Record.RootsScanned;
+      Scavenger.scanObject(Holder);
+    });
+    Timer.begin(GcPhase::RootScan);
+    if (Nursery && !PromoteNursery)
+      // The unpromoted nursery is a young region that is not scanned via
+      // the remembered set, so scan every nursery object conservatively:
+      // garbage nursery objects transiently retain their condemned
+      // referents until the follow-up minor collection.
+      Nursery->forEachObject([&](uint64_t *Header) {
+        ++Record.RootsScanned;
+        Scavenger.scanObject(Header);
+      });
+    Timer.begin(GcPhase::Trace);
+    Scavenger.drain();
+    WordsCopied = Scavenger.wordsCopied();
+  }
 
   Timer.begin(GcPhase::Sweep);
   // --- Report deaths and recycle the condemned buffers.
@@ -585,10 +705,10 @@ void NonPredictiveCollector::collectWithJ(size_t CollectJ) {
   size_t ExemptUsed = 0;
   for (size_t Step = CollectedSlots + 1; Step <= K; ++Step)
     ExemptUsed += logicalStep(Step).usedWords();
-  LastLiveWords = Scavenger.wordsCopied() + ExemptUsed;
+  LastLiveWords = WordsCopied + ExemptUsed;
 
-  Record.WordsTraced = Scavenger.wordsCopied();
-  Record.WordsReclaimed = CondemnedUsed - Scavenger.wordsCopied();
+  Record.WordsTraced = WordsCopied;
+  Record.WordsReclaimed = CondemnedUsed - WordsCopied;
   Record.LiveWordsAfter = LastLiveWords;
   finishCollection(Record, Timer);
 

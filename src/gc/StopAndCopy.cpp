@@ -9,9 +9,11 @@
 #include "gc/CopyScavenger.h"
 #include "heap/Heap.h"
 #include "observe/GcTracer.h"
+#include "parallel/ParallelScavenger.h"
 
 #include <algorithm>
 #include <utility>
+#include <vector>
 
 using namespace rdgc;
 
@@ -71,28 +73,61 @@ void StopAndCopyCollector::collect() {
   Space &To = Idle;
   uint8_t ToRegion = ActiveRegion == 1 ? 2 : 1;
 
-  CopyScavenger Scavenger(
-      [&From](const uint64_t *P) { return From.contains(P); },
-      [&To, ToRegion](size_t Words) {
-        return CopyTarget{To.tryAllocate(Words), ToRegion};
-      },
-      H->observer());
+  // The parallel scavenger cannot invoke the (thread-oblivious) observer
+  // hooks, and needs PLAB headroom in to-space; fail either gate and the
+  // cycle runs today's serial path unchanged.
+  unsigned Threads = effectiveGcThreads();
+  bool Parallel = Threads >= 2 && H->observer() == nullptr &&
+                  parallelEvacuationFits(From.usedWords(), LastLiveWords,
+                                         To.freeWords(), Threads);
+  uint64_t WordsCopied = 0;
 
-  Timer.begin(GcPhase::RootScan);
-  H->forEachRoot([&](Value &Slot) {
-    ++Record.RootsScanned;
-    Scavenger.scavenge(Slot);
-  });
-  Timer.begin(GcPhase::Trace);
-  Scavenger.drain();
-
-  Timer.begin(GcPhase::Sweep);
-  // Report deaths: anything left unforwarded in from-space did not survive.
-  if (HeapObserver *Obs = H->observer())
-    From.forEachObject([&](uint64_t *Header) {
-      if (!ObjectRef(Header).isForwarded())
-        Obs->onDeath(Header, ObjectRef(Header).totalWords());
+  if (Parallel) {
+    ParallelScavenger Scavenger(
+        [&From](uint64_t *P, uint64_t) { return From.contains(P); },
+        [&To, ToRegion](size_t Words) {
+          return PlabChunk{To.tryAllocate(Words), ToRegion};
+        },
+        Threads);
+    Timer.begin(GcPhase::RootScan);
+    std::vector<Value *> Roots;
+    H->forEachRoot([&](Value &Slot) {
+      ++Record.RootsScanned;
+      Roots.push_back(&Slot);
     });
+    Scavenger.scavengeRoots(Roots);
+    Timer.begin(GcPhase::Trace);
+    Scavenger.drain();
+    Scavenger.finish();
+    WordsCopied = Scavenger.wordsCopied();
+    Record.Workers = Scavenger.workerStats();
+    Timer.begin(GcPhase::Sweep);
+  } else {
+    CopyScavenger Scavenger(
+        [&From](const uint64_t *P) { return From.contains(P); },
+        [&To, ToRegion](size_t Words) {
+          return CopyTarget{To.tryAllocate(Words), ToRegion};
+        },
+        H->observer());
+
+    Timer.begin(GcPhase::RootScan);
+    H->forEachRoot([&](Value &Slot) {
+      ++Record.RootsScanned;
+      Scavenger.scavenge(Slot);
+    });
+    Timer.begin(GcPhase::Trace);
+    Scavenger.drain();
+    WordsCopied = Scavenger.wordsCopied();
+
+    Timer.begin(GcPhase::Sweep);
+    // Report deaths: anything left unforwarded in from-space did not
+    // survive.
+    if (HeapObserver *Obs = H->observer())
+      From.forEachObject([&](uint64_t *Header) {
+        if (!ObjectRef(Header).isForwarded())
+          Obs->onDeath(Header, ObjectRef(Header).totalWords());
+      });
+  }
 
   size_t FromUsed = From.usedWords();
   From.reset();
@@ -103,8 +138,8 @@ void StopAndCopyCollector::collect() {
   LastLiveWords = Active.usedWords();
   publishAllocationWindow(&Active, ActiveRegion, Active.capacityWords());
 
-  Record.WordsTraced = Scavenger.wordsCopied();
-  Record.WordsReclaimed = FromUsed - Scavenger.wordsCopied();
+  Record.WordsTraced = WordsCopied;
+  Record.WordsReclaimed = FromUsed - WordsCopied;
   Record.LiveWordsAfter = LastLiveWords;
   Record.Kind = 0;
   finishCollection(Record, Timer);

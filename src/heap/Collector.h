@@ -145,7 +145,27 @@ public:
   void setPoisonFreedMemory(bool Enabled) { PoisonFreedMemory = Enabled; }
   bool poisonFreedMemory() const { return PoisonFreedMemory; }
 
+  /// Requested GC worker count for the copying collectors' parallel
+  /// scavenger. 0 and 1 both mean the serial path — bit for bit the same
+  /// code the collectors always ran — so enabling the feature can never
+  /// perturb a single-threaded result. Values are clamped to
+  /// MaxGcThreads. Initialized by the Heap constructor from
+  /// RDGC_GC_THREADS; torture mode forces it back to serial.
+  void setGcThreads(unsigned Threads) {
+    GcThreads = Threads > MaxGcThreads ? MaxGcThreads : Threads;
+  }
+  unsigned gcThreads() const { return GcThreads; }
+
+  /// Sanity ceiling for RDGC_GC_THREADS; far above any plausible core
+  /// count, it only guards against parsing garbage into a thread bomb.
+  static constexpr unsigned MaxGcThreads = 64;
+
 protected:
+  /// Workers a parallel cycle would actually use: 0 when configured
+  /// serial, otherwise the configured count. Collectors still apply their
+  /// own per-cycle gates (headroom, observer hooks) before going parallel.
+  unsigned effectiveGcThreads() const { return GcThreads <= 1 ? 0 : GcThreads; }
+
   /// Publishes (or, with nullptr, retracts) the inline allocation window.
   /// \p S must be the space the collector's own tryAllocate would bump for
   /// requests of at most \p MaxWords words, stamping \p Region — the fast
@@ -171,6 +191,7 @@ protected:
 private:
   Heap *AttachedHeap = nullptr;
   size_t CapacityLimitWords = 0;
+  unsigned GcThreads = 0;
   bool PoisonFreedMemory = false;
   /// Inline-allocation window state; see tryAllocateFast.
   Space *FastWindow = nullptr;

@@ -20,6 +20,25 @@
 
 namespace rdgc {
 
+/// One parallel GC worker's contribution to a single collection cycle.
+/// Workers accumulate these in thread-local instances and the coordinator
+/// merges them after the end-of-cycle barrier — shared counters mutated
+/// from worker threads would race (and drop increments); see DESIGN.md
+/// §12.6. An empty Workers vector on a CollectionRecord means the cycle
+/// ran on the serial path.
+struct GcWorkerCycleStats {
+  uint64_t WorkerId = 0;       ///< 0 is the coordinating (mutator) thread.
+  uint64_t WordsCopied = 0;    ///< Words this worker evacuated.
+  uint64_t ObjectsCopied = 0;  ///< Objects this worker won the claim for.
+  uint64_t Steals = 0;         ///< Successful steals from other deques.
+  uint64_t StealFails = 0;     ///< Empty or lost steal attempts.
+  uint64_t PlabRefills = 0;    ///< Chunks taken from the shared allocator.
+  uint64_t PlabWasteWords = 0; ///< Words padded out in retired PLAB tails.
+  uint64_t RootScanNanos = 0;  ///< Time in the striped root/remset phases.
+  uint64_t TraceNanos = 0;     ///< Time in the drain (trace) phase.
+  uint64_t IdleNanos = 0;      ///< Time spent in the termination detector.
+};
+
 /// What a single collection did.
 struct CollectionRecord {
   uint64_t WordsAllocatedBefore = 0; ///< Cumulative allocation at GC time.
@@ -28,6 +47,9 @@ struct CollectionRecord {
   uint64_t LiveWordsAfter = 0;       ///< Live words in the collected region.
   uint64_t RootsScanned = 0;         ///< Root and remembered-set slots.
   int Kind = 0;                      ///< Collector-defined (minor/major/...).
+  /// Per-worker breakdown when the cycle ran the parallel scavenger;
+  /// empty for serial cycles (keeps serial records and traces unchanged).
+  std::vector<GcWorkerCycleStats> Workers;
 };
 
 /// Streaming counters for one collector instance.

@@ -13,6 +13,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 using namespace rdgc;
@@ -45,6 +46,8 @@ const char *rdgc::objectTagName(ObjectTag Tag) {
     return "string";
   case ObjectTag::Bytevector:
     return "bytevector";
+  case ObjectTag::Busy:
+    return "busy";
   case ObjectTag::Padding:
     return "padding";
   case ObjectTag::Free:
@@ -73,9 +76,27 @@ Handle::~Handle() { Owner.unregisterRootSlot(&Slot); }
 // Heap.
 //===----------------------------------------------------------------------===
 
+/// Parses RDGC_GC_THREADS once per process: the GC worker count for the
+/// copying collectors' parallel scavenger. Unset, empty, or malformed
+/// means 0 (serial).
+static unsigned environmentGcThreads() {
+  static unsigned Cached = [] {
+    const char *Spec = std::getenv("RDGC_GC_THREADS");
+    if (!Spec || !*Spec)
+      return 0u;
+    char *End = nullptr;
+    unsigned long N = std::strtoul(Spec, &End, 10);
+    if (End == Spec || *End != '\0')
+      return 0u;
+    return static_cast<unsigned>(N);
+  }();
+  return Cached;
+}
+
 Heap::Heap(std::unique_ptr<Collector> C) : Coll(std::move(C)) {
   assert(Coll && "heap requires a collector");
   Coll->attachHeap(this);
+  Coll->setGcThreads(environmentGcThreads());
   if (const TortureOptions *Env = TortureMode::environmentOptions())
     enableTortureMode(*Env);
   if (TraceSink *Sink = GcTracer::environmentSink()) {
@@ -94,6 +115,12 @@ void Heap::enableTortureMode(const TortureOptions &Opts) {
   Obs = Torture.get();
   if (Opts.PoisonFreedMemory)
     Coll->setPoisonFreedMemory(true);
+  // Torture's replay guarantee (same seed => same collection sequence and
+  // verifier-visible heap) only holds on the serial scavenge path, so
+  // RDGC_GC_THREADS is overridden for tortured heaps. The observer gate in
+  // the collectors would force this anyway — the torture harness installs
+  // onMove/onDeath hooks — but the override keeps the guarantee explicit.
+  Coll->setGcThreads(1);
   // Torture forced-collection and fault-injection hooks must see every
   // allocation, so the inline fast path stands down for the heap's lifetime.
   updateSlowAllocForced();

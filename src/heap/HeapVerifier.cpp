@@ -63,6 +63,10 @@ bool checkObject(ObjectRef Obj, std::string &Problem) {
     Problem = std::string("reachable ") + objectTagName(Obj.tag()) +
               " pseudo-object";
     return false;
+  case ObjectTag::Busy:
+    Problem = "reachable busy object (parallel claim leaked past the "
+              "collection cycle)";
+    return false;
   case ObjectTag::Forward:
     Problem = "reachable forwarded object (collection left a stale "
               "reference)";

@@ -37,6 +37,7 @@
 
 #include "heap/Value.h"
 
+#include <atomic>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
@@ -54,7 +55,8 @@ enum class ObjectTag : uint8_t {
   Record = 6,
   String = 7,
   Bytevector = 8,
-  Padding = 29, ///< One-word filler (mark/sweep arenas only; no payload).
+  Busy = 28,    ///< Claimed for copying by a parallel GC worker (transient).
+  Padding = 29, ///< One-word filler (mark/sweep and PLAB tails; no payload).
   Free = 30,    ///< Free-list chunk (mark/sweep arenas only).
   Forward = 31, ///< Forwarded object (copying collection in progress).
 };
@@ -122,6 +124,70 @@ inline uint64_t setRemembered(uint64_t Header) {
 }
 inline uint64_t clearRemembered(uint64_t Header) {
   return Header & ~RememberedBit;
+}
+
+//===--- Parallel forwarding protocol -------------------------------------===
+//
+// Parallel scavenging races workers to evacuate the same object. The
+// claim-then-copy protocol below keeps exactly one copy per object and
+// never publishes a half-copied one:
+//
+//   1. A worker acquire-loads the header. Forward: follow it. Busy:
+//      another worker is mid-copy; spin until Forward appears.
+//   2. Otherwise it CASes the header to the same word with the tag
+//      replaced by Busy (size and region preserved, so concurrent
+//      totalWords() walks stay coherent). The CAS winner owns the copy.
+//   3. The winner copies the payload, relaxed-stores the forwarding
+//      pointer into payload word 0, then release-stores the Forward
+//      header. The release/acquire pair on the *header* word orders the
+//      payload-word store, so any thread that observes Forward also
+//      observes a valid forwarding pointer.
+//
+// Claim-then-copy (rather than copy-then-CAS) means a lost race never
+// strands an orphaned to-space copy, which would otherwise be an
+// unreachable-but-unscanned hole the verifier could trip over.
+//
+// All accesses go through std::atomic_ref so the serial collectors keep
+// their plain (fast, UB-free) header words; Busy never survives a cycle.
+
+inline uint64_t atomicLoadAcquire(uint64_t *Header) {
+  return std::atomic_ref<uint64_t>(*Header).load(std::memory_order_acquire);
+}
+
+/// Step 2: attempts to claim the object whose header word was observed as
+/// \p Observed. On failure \p Observed is updated to the current word
+/// (typically Busy or Forward by now).
+inline bool tryClaimForCopy(uint64_t *Header, uint64_t &Observed) {
+  uint64_t Claimed =
+      (Observed & ~TagMask) | static_cast<uint64_t>(ObjectTag::Busy);
+  return std::atomic_ref<uint64_t>(*Header).compare_exchange_strong(
+      Observed, Claimed, std::memory_order_acq_rel,
+      std::memory_order_acquire);
+}
+
+/// Step 3: publishes the finished copy at \p NewLocation. \p Original is
+/// the pre-claim header word (size and region of the from-space object).
+inline void publishForward(uint64_t *Header, uint64_t Original,
+                           uint64_t *NewLocation) {
+  std::atomic_ref<uint64_t>(Header[1]).store(
+      Value::pointer(NewLocation).rawBits(), std::memory_order_relaxed);
+  uint64_t ForwardWord =
+      (Original & ~TagMask) | static_cast<uint64_t>(ObjectTag::Forward);
+  std::atomic_ref<uint64_t>(*Header).store(ForwardWord,
+                                           std::memory_order_release);
+}
+
+/// Steps 1/3 from the loser's side: spins through Busy until the Forward
+/// header appears, then returns the forwarding destination. The spin is
+/// bounded by the winner's memcpy of one object.
+inline uint64_t *waitForForward(uint64_t *Header) {
+  std::atomic_ref<uint64_t> H(*Header);
+  uint64_t W = H.load(std::memory_order_acquire);
+  while (tag(W) != ObjectTag::Forward)
+    W = H.load(std::memory_order_acquire);
+  return Value::fromRawBits(std::atomic_ref<uint64_t>(Header[1]).load(
+                                std::memory_order_relaxed))
+      .asHeaderPtr();
 }
 
 } // namespace header
@@ -244,9 +310,10 @@ public:
     case ObjectTag::Bytevector:
     case ObjectTag::Padding:
       return;
+    case ObjectTag::Busy:
     case ObjectTag::Free:
     case ObjectTag::Forward:
-      assert(false && "cannot scan a free or forwarded object");
+      assert(false && "cannot scan a busy, free, or forwarded object");
       return;
     }
     assert(false && "unknown object tag");

@@ -130,6 +130,32 @@ std::string rdgc::formatTraceEventJson(const GcTraceEvent &E) {
     appendUint(Out, "trace_ns", E.Phases[GcPhase::Trace], First);
     appendUint(Out, "sweep_ns", E.Phases[GcPhase::Sweep], First);
     appendUint(Out, "total_ns", E.TotalNanos, First);
+    // The one non-flat field: parallel cycles append an array of flat,
+    // uint-only worker objects. Serial cycles (empty vector) emit nothing,
+    // keeping their encoding byte-identical to pre-parallel builds.
+    if (!E.Workers.empty()) {
+      Out += ",\"workers\":[";
+      bool FirstWorker = true;
+      for (const GcWorkerCycleStats &W : E.Workers) {
+        if (!FirstWorker)
+          Out += ',';
+        FirstWorker = false;
+        Out += '{';
+        bool F = true;
+        appendUint(Out, "id", W.WorkerId, F);
+        appendUint(Out, "words_copied", W.WordsCopied, F);
+        appendUint(Out, "objects_copied", W.ObjectsCopied, F);
+        appendUint(Out, "steals", W.Steals, F);
+        appendUint(Out, "steal_fails", W.StealFails, F);
+        appendUint(Out, "plab_refills", W.PlabRefills, F);
+        appendUint(Out, "plab_waste_words", W.PlabWasteWords, F);
+        appendUint(Out, "root_scan_ns", W.RootScanNanos, F);
+        appendUint(Out, "trace_ns", W.TraceNanos, F);
+        appendUint(Out, "idle_ns", W.IdleNanos, F);
+        Out += '}';
+      }
+      Out += ']';
+    }
     break;
   case GcTraceEvent::Type::Pacing:
     appendUint(Out, "words_allocated", E.WordsAllocated, First);
@@ -248,12 +274,107 @@ bool scanFlatJson(const std::string &Line, std::vector<JsonEntry> &Entries,
   return true;
 }
 
+/// Splits the "workers" array — the schema's one non-flat construct — out
+/// of \p Line before the flat scan sees it. On success \p Flat holds the
+/// line with the `,"workers":[...]` span removed and \p WorkerObjects the
+/// individual `{...}` substrings (each itself flat and uint-only). Worker
+/// objects contain no strings or nested brackets, so the first ']' after
+/// the opening '[' closes the array.
+bool spliceWorkersArray(const std::string &Line, std::string &Flat,
+                        std::vector<std::string> &WorkerObjects,
+                        std::string &Error) {
+  Flat = Line;
+  const std::string Marker = "\"workers\":[";
+  size_t Pos = Flat.find(Marker);
+  if (Pos == std::string::npos)
+    return true;
+  size_t Open = Pos + Marker.size();
+  size_t Close = Flat.find(']', Open);
+  if (Close == std::string::npos) {
+    Error = "unterminated workers array";
+    return false;
+  }
+  std::string Body = Flat.substr(Open, Close - Open);
+  size_t I = 0;
+  while (I < Body.size()) {
+    if (Body[I] == ',') {
+      ++I;
+      continue;
+    }
+    if (Body[I] != '{') {
+      Error = "expected '{' in workers array";
+      return false;
+    }
+    size_t End = Body.find('}', I);
+    if (End == std::string::npos) {
+      Error = "unterminated worker object";
+      return false;
+    }
+    WorkerObjects.push_back(Body.substr(I, End - I + 1));
+    I = End + 1;
+  }
+  if (WorkerObjects.empty()) {
+    Error = "empty workers array (serial cycles omit the key)";
+    return false;
+  }
+  size_t EraseBegin = Pos;
+  if (EraseBegin > 0 && Flat[EraseBegin - 1] == ',')
+    --EraseBegin;
+  Flat.erase(EraseBegin, Close + 1 - EraseBegin);
+  return true;
+}
+
+bool parseWorkerObject(const std::string &Object, GcWorkerCycleStats &W,
+                       std::string &Error) {
+  std::vector<JsonEntry> Entries;
+  if (!scanFlatJson(Object, Entries, Error))
+    return false;
+  bool Ok = true;
+  auto TakeUint = [&](const char *Key, uint64_t &Out) {
+    for (JsonEntry &E : Entries)
+      if (E.Key == Key) {
+        if (E.IsString) {
+          Error = std::string("non-integer worker key '") + Key + "'";
+          Ok = false;
+          return;
+        }
+        E.Consumed = true;
+        Out = E.UintValue;
+        return;
+      }
+    Error = std::string("missing worker key '") + Key + "'";
+    Ok = false;
+  };
+  TakeUint("id", W.WorkerId);
+  TakeUint("words_copied", W.WordsCopied);
+  TakeUint("objects_copied", W.ObjectsCopied);
+  TakeUint("steals", W.Steals);
+  TakeUint("steal_fails", W.StealFails);
+  TakeUint("plab_refills", W.PlabRefills);
+  TakeUint("plab_waste_words", W.PlabWasteWords);
+  TakeUint("root_scan_ns", W.RootScanNanos);
+  TakeUint("trace_ns", W.TraceNanos);
+  TakeUint("idle_ns", W.IdleNanos);
+  if (!Ok)
+    return false;
+  for (const JsonEntry &E : Entries)
+    if (!E.Consumed) {
+      Error = "unknown worker key '" + E.Key + "'";
+      return false;
+    }
+  return true;
+}
+
 } // namespace
 
 bool rdgc::parseTraceEventJson(const std::string &Line, GcTraceEvent &Event,
                                std::string &Error) {
+  std::string Flat;
+  std::vector<std::string> WorkerObjects;
+  if (!spliceWorkersArray(Line, Flat, WorkerObjects, Error))
+    return false;
   std::vector<JsonEntry> Entries;
-  if (!scanFlatJson(Line, Entries, Error))
+  if (!scanFlatJson(Flat, Entries, Error))
     return false;
 
   auto Find = [&](const char *Key) -> JsonEntry * {
@@ -301,6 +422,11 @@ bool rdgc::parseTraceEventJson(const std::string &Line, GcTraceEvent &Event,
     Error = "unknown event type '" + TypeName + "'";
     return false;
   }
+  if (!WorkerObjects.empty() &&
+      Event.EventType != GcTraceEvent::Type::Collection) {
+    Error = "'workers' is only valid for collection events";
+    return false;
+  }
 
   TakeUint("heap", Event.HeapId);
   TakeUint("seq", Event.Seq);
@@ -322,6 +448,12 @@ bool rdgc::parseTraceEventJson(const std::string &Line, GcTraceEvent &Event,
     TakeUint("trace_ns", Event.Phases[GcPhase::Trace]);
     TakeUint("sweep_ns", Event.Phases[GcPhase::Sweep]);
     TakeUint("total_ns", Event.TotalNanos);
+    for (const std::string &Object : WorkerObjects) {
+      GcWorkerCycleStats W;
+      if (!parseWorkerObject(Object, W, Error))
+        return false;
+      Event.Workers.push_back(W);
+    }
     break;
   }
   case GcTraceEvent::Type::Pacing:
@@ -419,6 +551,7 @@ void GcTracer::noteCollection(const Collector &C,
   E.RemsetSize = C.rememberedSetSize();
   E.Phases = Timer.times();
   E.TotalNanos = Timer.totalNanos();
+  E.Workers = Record.Workers;
   Pauses.record(E.TotalNanos);
   emit(E);
 }

@@ -25,6 +25,7 @@
 #ifndef RDGC_OBSERVE_GCTRACER_H
 #define RDGC_OBSERVE_GCTRACER_H
 
+#include "heap/GcStats.h"
 #include "observe/PauseHistogram.h"
 
 #include <chrono>
@@ -36,7 +37,6 @@
 namespace rdgc {
 
 class Collector;
-struct CollectionRecord;
 
 //===----------------------------------------------------------------------===
 // Phase taxonomy and timing.
@@ -165,6 +165,11 @@ struct GcTraceEvent {
   uint64_t RemsetSize = 0; ///< Remembered-set entries after the cycle.
   GcPhaseTimes Phases;
   uint64_t TotalNanos = 0; ///< Whole-cycle pause; >= Phases.sumNanos().
+  /// Per-worker breakdown of a parallel cycle (copied from
+  /// CollectionRecord::Workers). Empty for serial cycles — and the JSON
+  /// encoding only emits the "workers" array when non-empty, so serial
+  /// trace streams are byte-identical to pre-parallel builds.
+  std::vector<GcWorkerCycleStats> Workers;
 
   // Recovery fields.
   std::string Rung; ///< "collect", "emergency-full", "grow", "exhausted".

@@ -1,0 +1,91 @@
+//===- parallel/GcWorkerPool.cpp - Persistent GC worker threads -----------===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parallel/GcWorkerPool.h"
+
+namespace rdgc {
+
+GcWorkerPool &GcWorkerPool::instance() {
+  // Function-local static: constructed on first parallel collection,
+  // destroyed (joining the helpers) at process exit.
+  static GcWorkerPool Pool;
+  return Pool;
+}
+
+void GcWorkerPool::ensureHelpersLocked(unsigned Count) {
+  while (Helpers.size() < Count) {
+    unsigned Index = static_cast<unsigned>(Helpers.size());
+    // A helper born mid-life must not mistake the current epoch for a
+    // fresh dispatch, so it starts already "caught up".
+    Helpers.emplace_back(
+        [this, Index, Start = Epoch] { helperMain(Index, Start); });
+  }
+}
+
+void GcWorkerPool::run(unsigned Threads,
+                       const std::function<void(unsigned)> &Task) {
+  if (Threads <= 1) {
+    Task(0);
+    return;
+  }
+  std::lock_guard<std::mutex> RunLock(RunMutex);
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ensureHelpersLocked(Threads - 1);
+    this->Task = &Task;
+    Participants = Threads - 1;
+    DoneCount = 0;
+    ++Epoch;
+  }
+  WakeCv.notify_all();
+  Task(0); // The coordinator is worker 0.
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    DoneCv.wait(Lock, [this] { return DoneCount == Participants; });
+    this->Task = nullptr;
+  }
+}
+
+void GcWorkerPool::helperMain(unsigned HelperIndex, uint64_t StartEpoch) {
+  uint64_t SeenEpoch = StartEpoch;
+  while (true) {
+    const std::function<void(unsigned)> *MyTask = nullptr;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      WakeCv.wait(Lock, [&] { return Shutdown || Epoch != SeenEpoch; });
+      if (Shutdown)
+        return;
+      SeenEpoch = Epoch;
+      if (HelperIndex < Participants)
+        MyTask = Task;
+    }
+    if (!MyTask)
+      continue; // Not enlisted this epoch; park again.
+    (*MyTask)(HelperIndex + 1); // Worker ids: caller is 0, helpers 1..N-1.
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      ++DoneCount;
+    }
+    DoneCv.notify_one();
+  }
+}
+
+unsigned GcWorkerPool::helperCount() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return static_cast<unsigned>(Helpers.size());
+}
+
+GcWorkerPool::~GcWorkerPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Shutdown = true;
+  }
+  WakeCv.notify_all();
+  for (std::thread &T : Helpers)
+    T.join();
+}
+
+} // namespace rdgc

@@ -1,0 +1,78 @@
+//===- parallel/GcWorkerPool.h - Persistent GC worker threads ---*- C++ -*-===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A process-wide pool of persistent GC helper threads. Collections are
+/// rare and short next to thread creation cost, so helpers are spawned
+/// lazily on the first parallel collection, then parked on a condition
+/// variable between cycles; each dispatch bumps an epoch and wakes every
+/// helper, and helpers whose index is beyond the requested worker count
+/// simply go back to sleep. The calling (mutator/coordinator) thread
+/// participates as worker 0, so a request for N workers uses N-1 helpers.
+///
+/// run() is a barrier: it returns only after every participating worker
+/// has finished the task, and the mutex handoff at the barrier makes all
+/// worker-side writes (copied objects, per-worker stats) visible to the
+/// coordinator — which is what lets the scavenger merge per-worker
+/// counters with plain reads afterwards.
+///
+/// The pool is a singleton because worker threads are a process resource:
+/// every Heap in the process shares one set, serialized by a run mutex
+/// (the stop-the-world collectors never overlap anyway).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDGC_PARALLEL_GCWORKERPOOL_H
+#define RDGC_PARALLEL_GCWORKERPOOL_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rdgc {
+
+/// Persistent, park/unpark worker pool with epoch-based dispatch.
+class GcWorkerPool {
+public:
+  /// The process-wide pool.
+  static GcWorkerPool &instance();
+
+  /// Runs Task(WorkerId) for WorkerId in [0, Threads); the caller executes
+  /// worker 0 itself. Blocks until every worker has returned. Concurrent
+  /// run() calls from different threads are serialized.
+  void run(unsigned Threads, const std::function<void(unsigned)> &Task);
+
+  /// Helpers currently spawned (test hook; grows monotonically).
+  unsigned helperCount();
+
+  ~GcWorkerPool();
+
+private:
+  GcWorkerPool() = default;
+
+  void helperMain(unsigned HelperIndex, uint64_t StartEpoch);
+  /// Caller must hold Mutex.
+  void ensureHelpersLocked(unsigned Count);
+
+  std::mutex RunMutex; ///< Serializes whole dispatches.
+
+  std::mutex Mutex; ///< Guards everything below.
+  std::condition_variable WakeCv;
+  std::condition_variable DoneCv;
+  std::vector<std::thread> Helpers;
+  const std::function<void(unsigned)> *Task = nullptr;
+  uint64_t Epoch = 0;
+  unsigned Participants = 0; ///< Helpers taking part in the current epoch.
+  unsigned DoneCount = 0;
+  bool Shutdown = false;
+};
+
+} // namespace rdgc
+
+#endif // RDGC_PARALLEL_GCWORKERPOOL_H

@@ -1,0 +1,372 @@
+//===- parallel/ParallelScavenger.h - Work-stealing evacuation --*- C++ -*-===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The parallel counterpart of gc/CopyScavenger.h: a work-stealing Cheney
+/// evacuation engine used by the copying collectors when a collection runs
+/// with RDGC_GC_THREADS >= 2. One collection cycle is three barrier-
+/// separated dispatches on the shared GcWorkerPool, mirroring the serial
+/// collectors' phase accounting exactly:
+///
+///   scavengeRoots()   striped over the deduplicated root slots; copies
+///                     the direct referents, pushing each new to-space
+///                     copy onto the copying worker's own deque (RootScan)
+///   scanRemembered()  striped over the remembered-set holders (RemsetScan)
+///   drain()           pop-own / steal-others until the idle-counter
+///                     termination detector proves quiescence (Trace)
+///
+/// Copies go through per-worker PLABs (Plab.h), so the only shared-cursor
+/// traffic is a mutex-guarded chunk refill amortized over hundreds of
+/// objects; forwarding installation uses the claim-then-copy CAS protocol
+/// in heap/Object.h. Workers accumulate all statistics in their own
+/// GcWorkerCycleStats and the coordinator merges them after the final
+/// barrier (the pool's join is the synchronization point), which is what
+/// keeps GcStats accounting exact under concurrency.
+///
+/// Termination: a worker with an empty deque that fails a full round of
+/// steals increments IdleWorkers and spins, re-polling every deque. Owners
+/// only push to their own deque and drain it before idling, so once every
+/// worker is idle no deque can become non-empty again — IdleWorkers ==
+/// Threads is therefore a stable quiescence proof, and every spinning
+/// worker observes it and exits. See DESIGN.md §12.5.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDGC_PARALLEL_PARALLELSCAVENGER_H
+#define RDGC_PARALLEL_PARALLELSCAVENGER_H
+
+#include "parallel/GcWorkerPool.h"
+#include "parallel/Plab.h"
+#include "parallel/WorkStealingDeque.h"
+
+#include "heap/GcStats.h"
+#include "heap/Object.h"
+#include "heap/Value.h"
+#include "support/Error.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace rdgc {
+
+/// A span of to-space storage handed out by a collector's (serial,
+/// mutex-guarded here) to-space allocator: start address plus the region
+/// id to stamp into headers copied there. Mem is null on exhaustion.
+struct PlabChunk {
+  uint64_t *Mem = nullptr;
+  uint8_t Region = 0;
+};
+
+/// Shared go-parallel headroom gate. Parallel evacuation needs more
+/// to-space than serial: retired PLAB tails are padded out (bounded by
+/// ~1/7 of the copied words given the big-object bypass, budgeted at 1/4
+/// here) plus up to one live chunk per worker at the final barrier. The
+/// worst case — every condemned word survives — is tried first; when the
+/// condemned region is too full for that, the previous cycle's live
+/// measurement with a 2x growth margin decides. Collectors fall back to
+/// the serial scavenger when this returns false, and the exact-fit
+/// degradation in the chunk path covers the residual estimate risk.
+inline bool parallelEvacuationFits(size_t CondemnedUsedWords,
+                                   size_t LiveEstimateWords,
+                                   size_t ToSpaceFreeWords, unsigned Threads,
+                                   size_t ChunkWords = Plab::DefaultChunkWords) {
+  size_t Slack = Threads * ChunkWords;
+  if (CondemnedUsedWords + CondemnedUsedWords / 4 + Slack <= ToSpaceFreeWords)
+    return true;
+  return LiveEstimateWords > 0 &&
+         LiveEstimateWords * 2 + Slack <= ToSpaceFreeWords;
+}
+
+/// Transitive parallel copier. Lifetime: one collection cycle. Templated
+/// over the condemned predicate so the per-slot hot path inlines; the
+/// chunk allocator is cold (once per PLAB refill) and stays a
+/// std::function wrapping the collector's existing serial allocation
+/// lambda. The predicate receives the header address and an
+/// atomically-loaded header word and must not dereference the header
+/// itself (racing the claim CAS would be undefined).
+template <typename InCondemnedFn> class ParallelScavenger {
+public:
+  ParallelScavenger(InCondemnedFn InCondemned,
+                    std::function<PlabChunk(size_t)> AcquireChunk,
+                    unsigned Threads,
+                    size_t ChunkWords = Plab::DefaultChunkWords)
+      : InCondemned(std::move(InCondemned)),
+        AcquireChunk(std::move(AcquireChunk)), Threads(Threads),
+        ChunkWords(ChunkWords),
+        BigObjectWords(Plab::bigObjectThreshold(ChunkWords)) {
+    Workers.reserve(Threads);
+    for (unsigned I = 0; I < Threads; ++I) {
+      Workers.push_back(std::make_unique<Worker>());
+      Workers.back()->Stats.WorkerId = I;
+    }
+  }
+
+  /// RootScan phase: deduplicates \p Slots by address (aliased slots must
+  /// not be rewritten by two workers) and processes them striped across
+  /// the pool. Referent copies are pushed gray, not drained.
+  void scavengeRoots(std::vector<Value *> &Slots) {
+    std::sort(Slots.begin(), Slots.end());
+    Slots.erase(std::unique(Slots.begin(), Slots.end()), Slots.end());
+    static_assert(sizeof(Value) == sizeof(uint64_t),
+                  "root slots are reinterpreted as raw words");
+    dispatchStriped(Slots.size(), &GcWorkerCycleStats::RootScanNanos,
+                    [this, &Slots](Worker &W, size_t I) {
+                      scavengeSlot(W, reinterpret_cast<uint64_t *>(Slots[I]));
+                    });
+  }
+
+  /// RemsetScan phase: scans each holder's pointer slots, striped.
+  /// Holders are already deduplicated by the remembered bit and must lie
+  /// outside the condemned region (the serial collectors guarantee this).
+  void scanRemembered(const std::vector<uint64_t *> &Holders) {
+    dispatchStriped(Holders.size(), &GcWorkerCycleStats::RootScanNanos,
+                    [this, &Holders](Worker &W, size_t I) {
+                      scanToSpaceObject(W, Holders[I]);
+                    });
+  }
+
+  /// Trace phase: every worker drains its own deque, steals when empty,
+  /// and the cycle ends when the idle counter proves quiescence.
+  void drain() {
+    IdleWorkers.store(0, std::memory_order_seq_cst);
+    GcWorkerPool::instance().run(Threads, [this](unsigned Id) {
+      Worker &W = *Workers[Id];
+      auto Start = std::chrono::steady_clock::now();
+      drainWorker(Id, W);
+      W.Stats.TraceNanos += nanosSince(Start);
+    });
+  }
+
+  /// Pads out every worker's live PLAB tail and folds PLAB accounting
+  /// into the per-worker stats. Call once, after drain().
+  void finish() {
+    for (auto &W : Workers) {
+      W->Lab.retire();
+      W->Stats.PlabRefills = W->Lab.refills();
+      W->Stats.PlabWasteWords = W->Lab.wasteWords();
+    }
+  }
+
+  uint64_t wordsCopied() const {
+    uint64_t Total = 0;
+    for (const auto &W : Workers)
+      Total += W->Stats.WordsCopied;
+    return Total;
+  }
+
+  uint64_t objectsCopied() const {
+    uint64_t Total = 0;
+    for (const auto &W : Workers)
+      Total += W->Stats.ObjectsCopied;
+    return Total;
+  }
+
+  /// The merged per-worker breakdown, ordered by worker id.
+  std::vector<GcWorkerCycleStats> workerStats() const {
+    std::vector<GcWorkerCycleStats> Out;
+    Out.reserve(Workers.size());
+    for (const auto &W : Workers)
+      Out.push_back(W->Stats);
+    return Out;
+  }
+
+private:
+  /// Per-worker state, cache-line separated so deque/stat traffic from
+  /// one worker never false-shares with another.
+  struct alignas(64) Worker {
+    WorkStealingDeque Deque;
+    Plab Lab;
+    GcWorkerCycleStats Stats;
+  };
+
+  static uint64_t nanosSince(std::chrono::steady_clock::time_point Start) {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - Start)
+            .count());
+  }
+
+  /// Objects with no pointer slots never need scanning; keeping them off
+  /// the deques saves the dominant share of queue traffic in numeric and
+  /// string-heavy workloads.
+  static bool isLeafTag(ObjectTag T) {
+    return T == ObjectTag::Flonum || T == ObjectTag::String ||
+           T == ObjectTag::Bytevector;
+  }
+
+  /// Runs Each(worker, index) over [0, Count) in contiguous stripes, one
+  /// per worker, timing each worker's stripe into \p TimeField.
+  template <typename EachFn>
+  void dispatchStriped(size_t Count, uint64_t GcWorkerCycleStats::*TimeField,
+                       EachFn Each) {
+    GcWorkerPool::instance().run(Threads, [&, this](unsigned Id) {
+      Worker &W = *Workers[Id];
+      auto Start = std::chrono::steady_clock::now();
+      size_t Begin = Count * Id / Threads;
+      size_t End = Count * (Id + 1) / Threads;
+      for (size_t I = Begin; I < End; ++I)
+        Each(W, I);
+      W.Stats.*TimeField += nanosSince(Start);
+    });
+  }
+
+  /// Chunk refills funnel through the collector's serial allocator under
+  /// a mutex; once per ChunkWords of copies, so contention is negligible.
+  PlabChunk acquireChunkShared(size_t Words) {
+    std::lock_guard<std::mutex> Lock(ChunkMutex);
+    return AcquireChunk(Words);
+  }
+
+  /// Claims, copies, and publishes one condemned object; returns its
+  /// to-space address. \p Observed is the pre-claim header word.
+  uint64_t *copyAndForward(Worker &W, uint64_t *Header, uint64_t Observed) {
+    size_t Payload = header::payloadWords(Observed);
+    size_t Total = Payload + 1;
+    uint64_t *Mem;
+    uint8_t Region;
+    if (Total <= BigObjectWords && W.Lab.fits(Total)) {
+      Region = W.Lab.region();
+      Mem = W.Lab.bump(Total);
+    } else if (Total <= BigObjectWords) {
+      PlabChunk C = acquireChunkShared(ChunkWords);
+      if (C.Mem) {
+        W.Lab.adopt(C.Mem, ChunkWords, C.Region);
+        Region = W.Lab.region();
+        Mem = W.Lab.bump(Total);
+      } else {
+        // To-space too fragmented for a full chunk: degrade to exact-size
+        // allocations so the parallel cycle can still complete whenever
+        // the serial one could have.
+        C = acquireChunkShared(Total);
+        if (!C.Mem)
+          reportFatalError("to-space exhausted during parallel evacuation");
+        Region = C.Region;
+        Mem = C.Mem;
+      }
+    } else {
+      // Big objects bypass the PLAB: an exact-size chunk costs one mutex
+      // round-trip and produces zero tail waste.
+      PlabChunk C = acquireChunkShared(Total);
+      if (!C.Mem)
+        reportFatalError("to-space exhausted during parallel evacuation");
+      Region = C.Region;
+      Mem = C.Mem;
+    }
+    Mem[0] = header::withRegion(header::clearRemembered(Observed), Region);
+    if (Payload)
+      std::memcpy(Mem + 1, Header + 1, Payload * sizeof(uint64_t));
+    header::publishForward(Header, Observed, Mem);
+    W.Stats.WordsCopied += Total;
+    W.Stats.ObjectsCopied += 1;
+    if (!isLeafTag(header::tag(Observed)))
+      W.Deque.push(Mem);
+    return Mem;
+  }
+
+  /// Processes one slot word: copies (or follows) the condemned referent
+  /// and rewrites the slot. The slot itself is owned by exactly one
+  /// worker (deduplicated roots, single-scan objects), so the slot write
+  /// is plain; only the referent's header is contended.
+  void scavengeSlot(Worker &W, uint64_t *SlotWord) {
+    Value V = Value::fromRawBits(*SlotWord);
+    if (!V.isPointer())
+      return;
+    uint64_t *Header = V.asHeaderPtr();
+    uint64_t Observed = header::atomicLoadAcquire(Header);
+    if (!InCondemned(Header, Observed))
+      return;
+    while (true) {
+      ObjectTag T = header::tag(Observed);
+      if (T == ObjectTag::Forward || T == ObjectTag::Busy) {
+        *SlotWord = Value::pointer(header::waitForForward(Header)).rawBits();
+        return;
+      }
+      if (header::tryClaimForCopy(Header, Observed)) {
+        *SlotWord = Value::pointer(copyAndForward(W, Header, Observed))
+                        .rawBits();
+        return;
+      }
+      // CAS failure refreshed Observed (now Busy or Forward); retry.
+    }
+  }
+
+  /// Scans the pointer slots of an object this worker holds exclusive
+  /// scan rights to (a popped/stolen to-space copy, or a remembered
+  /// holder). Referent prefetch mirrors the serial scavenger's policy.
+  void scanToSpaceObject(Worker &W, uint64_t *Header) {
+    ObjectRef(Header).forEachPointerSlot([&](uint64_t *SlotWord) {
+      Value Next = Value::fromRawBits(*SlotWord);
+      if (Next.isPointer())
+        __builtin_prefetch(Next.asHeaderPtr());
+      scavengeSlot(W, SlotWord);
+    });
+  }
+
+  bool anyDequeNonEmpty() const {
+    for (const auto &W : Workers)
+      if (!W->Deque.empty())
+        return true;
+    return false;
+  }
+
+  void drainWorker(unsigned Id, Worker &W) {
+    while (true) {
+      while (uint64_t *Obj = W.Deque.pop())
+        scanToSpaceObject(W, Obj);
+      // Own deque empty: one full round of steal attempts.
+      uint64_t *Stolen = nullptr;
+      for (unsigned Step = 1; Step < Threads && !Stolen; ++Step) {
+        Worker &Victim = *Workers[(Id + Step) % Threads];
+        Stolen = Victim.Deque.steal();
+        if (Stolen)
+          ++W.Stats.Steals;
+        else
+          ++W.Stats.StealFails;
+      }
+      if (Stolen) {
+        scanToSpaceObject(W, Stolen);
+        continue;
+      }
+      // Nothing anywhere: enter the termination detector.
+      auto IdleStart = std::chrono::steady_clock::now();
+      IdleWorkers.fetch_add(1, std::memory_order_seq_cst);
+      bool Quiesced = false;
+      while (true) {
+        if (IdleWorkers.load(std::memory_order_seq_cst) == Threads) {
+          Quiesced = true;
+          break;
+        }
+        if (anyDequeNonEmpty())
+          break; // Work reappeared; rejoin the steal loop.
+      }
+      if (!Quiesced)
+        IdleWorkers.fetch_sub(1, std::memory_order_seq_cst);
+      W.Stats.IdleNanos += nanosSince(IdleStart);
+      if (Quiesced)
+        return;
+    }
+  }
+
+  InCondemnedFn InCondemned;
+  std::function<PlabChunk(size_t)> AcquireChunk;
+  unsigned Threads;
+  size_t ChunkWords;
+  size_t BigObjectWords;
+  std::mutex ChunkMutex;
+  std::atomic<unsigned> IdleWorkers{0};
+  std::vector<std::unique_ptr<Worker>> Workers;
+};
+
+} // namespace rdgc
+
+#endif // RDGC_PARALLEL_PARALLELSCAVENGER_H

@@ -1,0 +1,99 @@
+//===- parallel/Plab.h - Promotion-local allocation buffers -----*- C++ -*-===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-worker promotion-local allocation buffers (PLABs). Parallel
+/// scavenging cannot share the to-space bump cursor — a CAS per copied
+/// object would serialize the copy loop — so each worker carves
+/// chunk-sized regions from the collector's to-space allocator (a
+/// mutex-guarded, per-chunk-amortized call) and bump-allocates copies
+/// inside its private chunk with plain stores.
+///
+/// A retired chunk's unused tail is filled with one-word Padding objects
+/// so the to-space remains a walkable sequence of well-formed headers
+/// (Space::forEachObject, the heap verifier, and the next collection's
+/// sweep all walk it). Padding is unreachable by construction, which is
+/// exactly the shape HeapVerifier permits; the words are reclaimed by the
+/// following collection like any other dead object. The PLAB records the
+/// padded words as waste so the tracer's per-worker counters expose the
+/// fragmentation cost (see DESIGN.md §12.3 for the sizing discussion).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDGC_PARALLEL_PLAB_H
+#define RDGC_PARALLEL_PLAB_H
+
+#include "heap/Object.h"
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rdgc {
+
+/// One worker's current to-space chunk. Not thread-safe: each worker owns
+/// exactly one Plab, and only the barrier-synchronized coordinator touches
+/// it outside the worker's task.
+class Plab {
+public:
+  /// Default chunk request, in words (8 KiB). Large enough that the
+  /// mutex-guarded chunk refill is amortized over hundreds of small-object
+  /// copies, small enough that the per-worker retirement waste stays
+  /// negligible next to a semispace.
+  static constexpr size_t DefaultChunkWords = 1024;
+
+  /// Objects above this size bypass the PLAB and take an exact-size chunk
+  /// straight from the shared allocator: fitting them into PLAB tails
+  /// would cap worst-case retirement waste at a full object, so routing
+  /// them around the PLAB bounds the per-refill waste at BigObjectWords
+  /// instead (the HotSpot PLAB "direct allocation" rule).
+  static constexpr size_t bigObjectThreshold(size_t ChunkWords) {
+    return ChunkWords / 8;
+  }
+
+  bool fits(size_t Words) const { return Cursor + Words <= End; }
+
+  /// Bump-allocates \p Words inside the current chunk; fits() first.
+  uint64_t *bump(size_t Words) {
+    uint64_t *Mem = Cursor;
+    Cursor += Words;
+    return Mem;
+  }
+
+  uint8_t region() const { return Region; }
+  size_t remainingWords() const { return static_cast<size_t>(End - Cursor); }
+
+  /// Pads out the current chunk's unused tail and installs a fresh chunk.
+  void adopt(uint64_t *Mem, size_t Words, uint8_t NewRegion) {
+    retire();
+    Cursor = Mem;
+    End = Mem + Words;
+    Region = NewRegion;
+    ++Refills;
+  }
+
+  /// Fills [Cursor, End) with one-word Padding objects so the enclosing
+  /// space stays walkable, and accounts the words as waste. Idempotent;
+  /// called on refill and once more at the end-of-cycle barrier.
+  void retire() {
+    WasteWords += remainingWords();
+    while (Cursor < End)
+      *Cursor++ = header::encode(ObjectTag::Padding, 0, Region);
+  }
+
+  uint64_t refills() const { return Refills; }
+  uint64_t wasteWords() const { return WasteWords; }
+
+private:
+  uint64_t *Cursor = nullptr;
+  uint64_t *End = nullptr;
+  uint8_t Region = 0;
+  uint64_t Refills = 0;
+  uint64_t WasteWords = 0;
+};
+
+} // namespace rdgc
+
+#endif // RDGC_PARALLEL_PLAB_H

@@ -1,0 +1,168 @@
+//===- parallel/WorkStealingDeque.h - Chase-Lev work stealing ---*- C++ -*-===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Chase-Lev work-stealing deque of gray-object header pointers, the
+/// per-worker queue behind the parallel scavenger. The owning worker pushes
+/// and pops at the bottom (LIFO, so it drains its own freshly copied
+/// objects while they are still hot in cache); idle workers steal from the
+/// top (FIFO, so thieves take the oldest — and typically largest —
+/// subtrees, which is the classic load-balance argument from Chase & Lev,
+/// "Dynamic Circular Work-Stealing Deque", SPAA 2005).
+///
+/// Memory ordering follows the C11 formulation of Lê, Pop, Cohen &
+/// Zappa Nardelli ("Correct and Efficient Work-Stealing for Weak Memory
+/// Models", PPoPP 2013) with one deliberate deviation: the standalone
+/// seq_cst *fences* of that paper are replaced by seq_cst *operations* on
+/// Bottom and Top (the store in popBottom, the load in steal).
+/// ThreadSanitizer does not model standalone atomic_thread_fence, so the
+/// fence formulation produces false positives under RDGC_SANITIZE=thread;
+/// the seq_cst-operation formulation is equivalently correct (the fences
+/// exist precisely to order that store/load pair in the single total order
+/// S) and is what TSan verifies. See DESIGN.md §12.4.
+///
+/// Growth never frees a ring while the deque is live: a thief may hold a
+/// pointer to a retired ring, and the entries it can still read from one
+/// (indices in [Top, Bottom) at the time of growth) were copied, not
+/// moved, so a stale read returns the correct element. Retired rings are
+/// released by the destructor, i.e. after the collection cycle's final
+/// barrier.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDGC_PARALLEL_WORKSTEALINGDEQUE_H
+#define RDGC_PARALLEL_WORKSTEALINGDEQUE_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace rdgc {
+
+/// Single-owner, multi-thief deque of object header pointers.
+class WorkStealingDeque {
+public:
+  explicit WorkStealingDeque(size_t InitialCapacity = 256)
+      : Buffer(new Ring(roundUpPow2(InitialCapacity))) {}
+
+  WorkStealingDeque(const WorkStealingDeque &) = delete;
+  WorkStealingDeque &operator=(const WorkStealingDeque &) = delete;
+
+  ~WorkStealingDeque() { delete Buffer.load(std::memory_order_relaxed); }
+
+  /// Owner only. Never fails: the ring doubles when full.
+  void push(uint64_t *Item) {
+    int64_t B = Bottom.load(std::memory_order_relaxed);
+    int64_t T = Top.load(std::memory_order_acquire);
+    Ring *R = Buffer.load(std::memory_order_relaxed);
+    if (B - T > static_cast<int64_t>(R->Mask))
+      R = grow(R, T, B);
+    R->slot(B).store(Item, std::memory_order_relaxed);
+    // Publishes the slot store to thieves that observe the new Bottom.
+    Bottom.store(B + 1, std::memory_order_release);
+  }
+
+  /// Owner only. Returns null when the deque is empty.
+  uint64_t *pop() {
+    int64_t B = Bottom.load(std::memory_order_relaxed) - 1;
+    Ring *R = Buffer.load(std::memory_order_relaxed);
+    // seq_cst store: must be ordered before the Top load below in the
+    // global order, or a concurrent steal and this pop could both take
+    // the final element (the PPoPP'13 fence, expressed as an operation).
+    Bottom.store(B, std::memory_order_seq_cst);
+    int64_t T = Top.load(std::memory_order_seq_cst);
+    if (T > B) {
+      // Already empty; restore.
+      Bottom.store(B + 1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    uint64_t *Item = R->slot(B).load(std::memory_order_relaxed);
+    if (T == B) {
+      // Final element: race the thieves for it via Top.
+      if (!Top.compare_exchange_strong(T, T + 1, std::memory_order_seq_cst,
+                                       std::memory_order_relaxed))
+        Item = nullptr; // A thief won.
+      Bottom.store(B + 1, std::memory_order_relaxed);
+    }
+    return Item;
+  }
+
+  /// Any thread. Returns null when the deque looks empty or the steal
+  /// lost a race; callers treat both as "nothing here right now" and move
+  /// to the next victim (the termination detector re-polls emptiness).
+  uint64_t *steal() {
+    int64_t T = Top.load(std::memory_order_acquire);
+    // seq_cst load pairing with popBottom's seq_cst store (see above).
+    int64_t B = Bottom.load(std::memory_order_seq_cst);
+    if (T >= B)
+      return nullptr;
+    Ring *R = Buffer.load(std::memory_order_acquire);
+    uint64_t *Item = R->slot(T).load(std::memory_order_relaxed);
+    if (!Top.compare_exchange_strong(T, T + 1, std::memory_order_seq_cst,
+                                     std::memory_order_relaxed))
+      return nullptr; // Lost to the owner or another thief.
+    return Item;
+  }
+
+  /// Approximate emptiness, for the termination detector. May report a
+  /// concurrent push late, but once every worker is idle no deque can
+  /// transition empty -> non-empty (only owners push, and an owner drains
+  /// its own deque before idling), so the detector's quiescence check is
+  /// exact when it matters.
+  bool empty() const {
+    int64_t T = Top.load(std::memory_order_acquire);
+    int64_t B = Bottom.load(std::memory_order_acquire);
+    return T >= B;
+  }
+
+  /// Ring capacity (test hook for the growth path).
+  size_t capacity() const {
+    return Buffer.load(std::memory_order_acquire)->Mask + 1;
+  }
+
+private:
+  struct Ring {
+    explicit Ring(size_t Capacity)
+        : Mask(Capacity - 1),
+          Slots(std::make_unique<std::atomic<uint64_t *>[]>(Capacity)) {}
+    std::atomic<uint64_t *> &slot(int64_t Index) {
+      return Slots[static_cast<size_t>(Index) & Mask];
+    }
+    size_t Mask;
+    std::unique_ptr<std::atomic<uint64_t *>[]> Slots;
+  };
+
+  static size_t roundUpPow2(size_t N) {
+    size_t P = 8;
+    while (P < N)
+      P <<= 1;
+    return P;
+  }
+
+  /// Owner only: doubles the ring, copying the live window [T, B). The old
+  /// ring is retired, not freed — thieves may still read it.
+  Ring *grow(Ring *Old, int64_t T, int64_t B) {
+    Ring *Bigger = new Ring((Old->Mask + 1) * 2);
+    for (int64_t I = T; I < B; ++I)
+      Bigger->slot(I).store(Old->slot(I).load(std::memory_order_relaxed),
+                            std::memory_order_relaxed);
+    Retired.emplace_back(Old);
+    Buffer.store(Bigger, std::memory_order_release);
+    return Bigger;
+  }
+
+  std::atomic<int64_t> Top{0};
+  std::atomic<int64_t> Bottom{0};
+  std::atomic<Ring *> Buffer;
+  /// Rings replaced by growth, kept alive until destruction (owner-only).
+  std::vector<std::unique_ptr<Ring>> Retired;
+};
+
+} // namespace rdgc
+
+#endif // RDGC_PARALLEL_WORKSTEALINGDEQUE_H

@@ -29,6 +29,8 @@ ExperimentRun rdgc::runExperiment(Workload &W, CollectorKind Kind,
   Sizing.Policy = Options.Policy;
 
   auto H = makeHeap(Kind, Sizing);
+  if (Options.GcThreads >= 0)
+    H->collector().setGcThreads(static_cast<unsigned>(Options.GcThreads));
 
   // Give every run a tracer so pause percentiles are always measurable:
   // an explicit HarnessOptions tracer wins, an RDGC_TRACE-installed one is

@@ -80,6 +80,11 @@ struct HarnessOptions {
   /// histogram) here instead of a harness-private tracer. The caller keeps
   /// ownership; RDGC_TRACE-installed tracers are left in place.
   GcTracer *Tracer = nullptr;
+  /// GC worker threads for the copying collectors' parallel scavenger:
+  /// -1 inherits the heap's RDGC_GC_THREADS configuration, 0 and 1 force
+  /// the serial path, >= 2 requests parallel collections (per-cycle gates
+  /// may still run individual cycles serially).
+  int GcThreads = -1;
 };
 
 /// Runs \p W on a fresh heap with the given collector and returns the

@@ -1,0 +1,509 @@
+//===- tests/test_parallel.cpp - Parallel scavenge engine tests -----------===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the src/parallel subsystem: Chase-Lev deque semantics and a
+/// 1-owner/K-thief stress run, PLAB boundary behavior, the go-parallel
+/// headroom gate, the worker pool barrier, and the collector-level
+/// guarantees — threads=1 is the serial path (identical trace streams and
+/// heap images), worker stats merge exactly into GcStats/trace accounting,
+/// the heap verifier stays green across randomized parallel collections,
+/// and the "workers" trace field round-trips.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TortureSkip.h"
+
+#include "gc/CollectorFactory.h"
+#include "heap/HeapVerifier.h"
+#include "observe/GcTracer.h"
+#include "parallel/GcWorkerPool.h"
+#include "parallel/ParallelScavenger.h"
+#include "parallel/Plab.h"
+#include "parallel/WorkStealingDeque.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace rdgc;
+
+namespace {
+
+CollectorSizing smallSizing() {
+  CollectorSizing Sizing;
+  Sizing.PrimaryBytes = 256 * 1024;
+  Sizing.NurseryBytes = 32 * 1024;
+  return Sizing;
+}
+
+std::vector<GcTraceEvent>
+collectionEvents(const std::vector<GcTraceEvent> &Events) {
+  std::vector<GcTraceEvent> Out;
+  for (const GcTraceEvent &E : Events)
+    if (E.EventType == GcTraceEvent::Type::Collection)
+      Out.push_back(E);
+  return Out;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===
+// WorkStealingDeque.
+//===----------------------------------------------------------------------===
+
+TEST(DequeTest, OwnerPopsLifoThievesStealFifo) {
+  WorkStealingDeque D;
+  uint64_t Items[3];
+  D.push(&Items[0]);
+  D.push(&Items[1]);
+  D.push(&Items[2]);
+  EXPECT_FALSE(D.empty());
+  EXPECT_EQ(D.steal(), &Items[0]); // Oldest from the top.
+  EXPECT_EQ(D.pop(), &Items[2]);   // Newest from the bottom.
+  EXPECT_EQ(D.pop(), &Items[1]);
+  EXPECT_TRUE(D.empty());
+  EXPECT_EQ(D.pop(), nullptr);
+  EXPECT_EQ(D.steal(), nullptr);
+}
+
+TEST(DequeTest, GrowsWithoutLosingEntries) {
+  WorkStealingDeque D(/*InitialCapacity=*/8);
+  size_t Before = D.capacity();
+  std::vector<uint64_t> Items(1000);
+  for (uint64_t &I : Items)
+    D.push(&I);
+  EXPECT_GT(D.capacity(), Before);
+  std::set<uint64_t *> Seen;
+  while (uint64_t *P = D.pop())
+    Seen.insert(P);
+  EXPECT_EQ(Seen.size(), Items.size());
+  for (uint64_t &I : Items)
+    EXPECT_TRUE(Seen.count(&I));
+}
+
+/// The concurrency contract: one owner pushing/popping at the bottom, K
+/// thieves stealing at the top, every pushed item surfaces exactly once.
+TEST(DequeTest, StressOneOwnerManyThieves) {
+  constexpr unsigned Thieves = 3;
+  constexpr size_t N = 200000;
+  std::vector<uint64_t> Items(N);
+  WorkStealingDeque D(/*InitialCapacity=*/8); // Exercise growth under fire.
+
+  // Each slot counts how many times its item was taken; the test passes
+  // only if every count is exactly one (no loss, no duplication).
+  std::vector<std::atomic<uint32_t>> Taken(N);
+  auto IndexOf = [&](uint64_t *P) {
+    return static_cast<size_t>(P - Items.data());
+  };
+
+  std::atomic<bool> Done{false};
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < Thieves; ++T)
+    Threads.emplace_back([&] {
+      while (!Done.load(std::memory_order_acquire))
+        if (uint64_t *P = D.steal())
+          Taken[IndexOf(P)].fetch_add(1, std::memory_order_relaxed);
+    });
+
+  // Owner: bursts of pushes interleaved with pops, then a final drain.
+  SplitMix64 Rng(42);
+  size_t Pushed = 0;
+  while (Pushed < N) {
+    size_t Burst = std::min<size_t>(1 + Rng.next() % 64, N - Pushed);
+    for (size_t I = 0; I < Burst; ++I)
+      D.push(&Items[Pushed++]);
+    for (size_t I = 0, Pops = Rng.next() % 32; I < Pops; ++I) {
+      uint64_t *P = D.pop();
+      if (!P)
+        break;
+      Taken[IndexOf(P)].fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  while (uint64_t *P = D.pop())
+    Taken[IndexOf(P)].fetch_add(1, std::memory_order_relaxed);
+  // Let the thieves observe the (now stable) empty deque, then stop them.
+  while (!D.empty())
+    std::this_thread::yield();
+  Done.store(true, std::memory_order_release);
+  for (std::thread &T : Threads)
+    T.join();
+
+  size_t Missing = 0, Duplicated = 0;
+  for (size_t I = 0; I < N; ++I) {
+    uint32_t C = Taken[I].load(std::memory_order_relaxed);
+    Missing += C == 0;
+    Duplicated += C > 1;
+  }
+  EXPECT_EQ(Missing, 0u);
+  EXPECT_EQ(Duplicated, 0u);
+}
+
+//===----------------------------------------------------------------------===
+// Plab.
+//===----------------------------------------------------------------------===
+
+TEST(PlabTest, ExactFitLeavesNoWaste) {
+  alignas(8) uint64_t Buf[32];
+  Plab P;
+  P.adopt(Buf, 32, /*Region=*/7);
+  ASSERT_TRUE(P.fits(32));
+  EXPECT_EQ(P.bump(32), Buf);
+  EXPECT_FALSE(P.fits(1));
+  EXPECT_EQ(P.remainingWords(), 0u);
+  P.retire();
+  EXPECT_EQ(P.wasteWords(), 0u);
+  EXPECT_EQ(P.refills(), 1u);
+}
+
+TEST(PlabTest, RetirePadsTailWithPaddingObjects) {
+  alignas(8) uint64_t Buf[16];
+  Plab P;
+  P.adopt(Buf, 16, /*Region=*/3);
+  EXPECT_EQ(P.bump(5), Buf);
+  EXPECT_EQ(P.remainingWords(), 11u);
+  P.retire();
+  EXPECT_EQ(P.wasteWords(), 11u);
+  for (size_t I = 5; I < 16; ++I) {
+    EXPECT_EQ(header::tag(Buf[I]), ObjectTag::Padding) << "word " << I;
+    EXPECT_EQ(header::payloadWords(Buf[I]), 0u) << "word " << I;
+    EXPECT_EQ(header::region(Buf[I]), 3u) << "word " << I;
+  }
+  // retire() is idempotent: a second call pads nothing further.
+  P.retire();
+  EXPECT_EQ(P.wasteWords(), 11u);
+}
+
+TEST(PlabTest, AdoptRetiresThePreviousChunk) {
+  alignas(8) uint64_t A[8], B[8];
+  Plab P;
+  P.adopt(A, 8, /*Region=*/1);
+  P.bump(3);
+  P.adopt(B, 8, /*Region=*/2);
+  EXPECT_EQ(P.refills(), 2u);
+  EXPECT_EQ(P.wasteWords(), 5u);
+  for (size_t I = 3; I < 8; ++I)
+    EXPECT_EQ(header::tag(A[I]), ObjectTag::Padding);
+  EXPECT_EQ(P.region(), 2u);
+  EXPECT_EQ(P.remainingWords(), 8u);
+}
+
+TEST(PlabTest, BigObjectThresholdTracksChunkSize) {
+  EXPECT_EQ(Plab::bigObjectThreshold(Plab::DefaultChunkWords),
+            Plab::DefaultChunkWords / 8);
+  EXPECT_EQ(Plab::bigObjectThreshold(64), 8u);
+}
+
+//===----------------------------------------------------------------------===
+// The go-parallel headroom gate.
+//===----------------------------------------------------------------------===
+
+TEST(ParallelGateTest, WorstCaseBranchAndLiveEstimateBranch) {
+  constexpr size_t Chunk = Plab::DefaultChunkWords;
+  // Worst case: used + used/4 + threads*chunk must fit.
+  EXPECT_TRUE(parallelEvacuationFits(1000, 0, 1250 + 2 * Chunk, 2));
+  EXPECT_FALSE(parallelEvacuationFits(1000, 0, 1249 + 2 * Chunk, 2));
+  // Fallback: the previous cycle's live measurement with a 2x margin.
+  EXPECT_TRUE(parallelEvacuationFits(100000, 400, 800 + 2 * Chunk, 2));
+  EXPECT_FALSE(parallelEvacuationFits(100000, 400, 799 + 2 * Chunk, 2));
+  // LiveEstimate == 0 disables the fallback branch entirely.
+  EXPECT_FALSE(parallelEvacuationFits(100000, 0, 50000, 2));
+}
+
+//===----------------------------------------------------------------------===
+// GcWorkerPool.
+//===----------------------------------------------------------------------===
+
+TEST(WorkerPoolTest, RunsEveryWorkerAndCallerIsWorkerZero) {
+  constexpr unsigned Threads = 4;
+  std::atomic<uint32_t> Ran{0};
+  std::thread::id Zero;
+  GcWorkerPool::instance().run(Threads, [&](unsigned Id) {
+    Ran.fetch_or(1u << Id, std::memory_order_relaxed);
+    if (Id == 0)
+      Zero = std::this_thread::get_id();
+  });
+  EXPECT_EQ(Ran.load(), (1u << Threads) - 1);
+  EXPECT_EQ(Zero, std::this_thread::get_id());
+  EXPECT_GE(GcWorkerPool::instance().helperCount(), Threads - 1);
+}
+
+TEST(WorkerPoolTest, BackToBackDispatchesReuseHelpers) {
+  unsigned Before = GcWorkerPool::instance().helperCount();
+  for (int Cycle = 0; Cycle < 10; ++Cycle) {
+    std::atomic<unsigned> Count{0};
+    GcWorkerPool::instance().run(3, [&](unsigned) {
+      Count.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(Count.load(), 3u);
+  }
+  EXPECT_LE(GcWorkerPool::instance().helperCount(), std::max(Before, 2u) + 2);
+}
+
+//===----------------------------------------------------------------------===
+// Collector integration.
+//===----------------------------------------------------------------------===
+
+namespace {
+
+/// Deterministic allocation churn with a rooted sliding window; identical
+/// calls produce identical heaps on identical collector configurations.
+void churn(Heap &H, int Pairs = 20000) {
+  Handle Window(H, H.allocateVector(64, Value::null()));
+  for (int I = 0; I < Pairs; ++I) {
+    Value P = H.allocatePair(Value::fixnum(I), Value::null());
+    H.vectorSet(Window.get(), static_cast<size_t>(I) % 64, P);
+  }
+}
+
+/// Serializes the observable heap state a churn() run leaves behind: the
+/// car fixnum of every window pair. Two bit-identical heap images must
+/// produce equal serializations (the converse sampling argument the
+/// determinism guard rests on).
+std::vector<int64_t> serializeChurnWindow(Heap &H, Value Window) {
+  std::vector<int64_t> Out;
+  for (size_t I = 0; I < 64; ++I) {
+    Value Slot = H.vectorRef(Window, I);
+    Out.push_back(Slot.isPointer() ? H.pairCar(Slot).asFixnum() : -1);
+  }
+  return Out;
+}
+
+/// The deterministic (non-timing) projection of one trace event.
+struct EventFingerprint {
+  int Type, Kind;
+  std::string KindClass;
+  uint64_t Allocated, Traced, Reclaimed, LiveAfter, Roots, Remset, NWorkers;
+
+  bool operator==(const EventFingerprint &O) const {
+    return Type == O.Type && Kind == O.Kind && KindClass == O.KindClass &&
+           Allocated == O.Allocated && Traced == O.Traced &&
+           Reclaimed == O.Reclaimed && LiveAfter == O.LiveAfter &&
+           Roots == O.Roots && Remset == O.Remset && NWorkers == O.NWorkers;
+  }
+};
+
+std::vector<EventFingerprint>
+fingerprints(const std::vector<GcTraceEvent> &Events) {
+  std::vector<EventFingerprint> Out;
+  for (const GcTraceEvent &E : Events)
+    Out.push_back({static_cast<int>(E.EventType), E.Kind, E.KindClass,
+                   E.WordsAllocated, E.WordsTraced, E.WordsReclaimed,
+                   E.LiveWordsAfter, E.RootsScanned, E.RemsetSize,
+                   E.Workers.size()});
+  return Out;
+}
+
+} // namespace
+
+/// Satellite: RDGC_GC_THREADS=1 must be the serial path — identical trace
+/// event streams and identical heap images.
+TEST(ParallelCollectTest, ThreadsOneMatchesSerialExactly) {
+  RDGC_SKIP_UNDER_ENV_TORTURE();
+  std::vector<EventFingerprint> Streams[2];
+  std::vector<int64_t> Images[2];
+  for (int Run = 0; Run < 2; ++Run) {
+    auto H = makeHeap(CollectorKind::Generational, smallSizing());
+    H->collector().setGcThreads(Run == 0 ? 0 : 1);
+    GcTracer Tracer;
+    MemoryTraceSink Sink;
+    Tracer.addSink(&Sink);
+    H->setTracer(&Tracer);
+    Handle Window(*H, H->allocateVector(64, Value::null()));
+    for (int I = 0; I < 20000; ++I) {
+      Value P = H->allocatePair(Value::fixnum(I), Value::null());
+      H->vectorSet(Window.get(), static_cast<size_t>(I) % 64, P);
+    }
+    H->collectFullNow();
+    Streams[Run] = fingerprints(Sink.events());
+    Images[Run] = serializeChurnWindow(*H, Window.get());
+    // threads <= 1 must never produce a parallel cycle.
+    for (const GcTraceEvent &E : Sink.events())
+      EXPECT_TRUE(E.Workers.empty());
+  }
+  ASSERT_GT(Streams[0].size(), 0u);
+  EXPECT_EQ(Streams[0], Streams[1]);
+  EXPECT_EQ(Images[0], Images[1]);
+}
+
+/// Torture mode owns the collection schedule and verifies after every
+/// cycle; it forces the serial path no matter what was requested.
+TEST(ParallelCollectTest, TortureModeForcesSerial) {
+  auto H = makeHeap(CollectorKind::StopAndCopy, smallSizing());
+  H->collector().setGcThreads(4);
+  EXPECT_EQ(H->collector().gcThreads(), 4u);
+  TortureOptions Opts;
+  Opts.CollectInterval = 0;
+  Opts.InjectAllocationFaults = false;
+  H->enableTortureMode(Opts);
+  EXPECT_EQ(H->collector().gcThreads(), 1u);
+}
+
+/// Satellite: per-worker stats merge exactly — the sum of the workers'
+/// copied words is the cycle's traced words, in both the trace stream and
+/// GcStats, and parallel tracing visits exactly the serial live set.
+TEST(ParallelCollectTest, WorkerStatsMergeExactly) {
+  RDGC_SKIP_UNDER_ENV_TORTURE();
+  uint64_t TracedByThreads[2] = {0, 0};
+  bool SawParallel = false;
+  for (int Run = 0; Run < 2; ++Run) {
+    auto H = makeHeap(CollectorKind::StopAndCopy, smallSizing());
+    H->collector().setGcThreads(Run == 0 ? 1 : 4);
+    GcTracer Tracer;
+    MemoryTraceSink Sink;
+    Tracer.addSink(&Sink);
+    H->setTracer(&Tracer);
+    // The first collection always runs serial (no live-words estimate yet,
+    // and a nearly-full from-space fails the worst-case headroom check);
+    // churn long enough for several more, which go parallel.
+    churn(*H, 80000);
+    auto Collections = collectionEvents(Sink.events());
+    ASSERT_GT(Collections.size(), 0u);
+    for (const GcTraceEvent &E : Collections) {
+      if (E.Workers.empty())
+        continue;
+      SawParallel = true;
+      uint64_t Sum = 0;
+      for (const GcWorkerCycleStats &W : E.Workers)
+        Sum += W.WordsCopied;
+      EXPECT_EQ(Sum, E.WordsTraced);
+    }
+    TracedByThreads[Run] = H->stats().wordsTraced();
+  }
+  // Stop-and-copy has no remembered set, so the parallel live set is
+  // exactly the serial one: total traced words must agree word-for-word.
+  EXPECT_EQ(TracedByThreads[0], TracedByThreads[1]);
+  EXPECT_TRUE(SawParallel)
+      << "no collection took the parallel path; gate regressed?";
+}
+
+/// Satellite: the heap verifier (reachability + poison discipline) stays
+/// green across randomized mutation under parallel collections, on every
+/// copying collector.
+TEST(ParallelCollectTest, VerifierStaysGreenUnderParallelCollections) {
+  RDGC_SKIP_UNDER_ENV_TORTURE();
+  const CollectorKind Kinds[] = {
+      CollectorKind::StopAndCopy, CollectorKind::Generational,
+      CollectorKind::NonPredictive, CollectorKind::NonPredictiveHybrid};
+  for (CollectorKind Kind : Kinds) {
+    auto H = makeHeap(Kind, smallSizing());
+    H->collector().setGcThreads(4);
+    GcTracer Tracer;
+    MemoryTraceSink Sink;
+    Tracer.addSink(&Sink);
+    H->setTracer(&Tracer);
+    SCOPED_TRACE(H->collector().name());
+
+    SplitMix64 Rng(7);
+    Handle Window(*H, H->allocateVector(128, Value::null()));
+    for (int Round = 0; Round < 6; ++Round) {
+      for (int I = 0; I < 3000; ++I) {
+        size_t Slot = Rng.next() % 128;
+        switch (Rng.next() % 4) {
+        case 0:
+          H->vectorSet(Window.get(), Slot,
+                       H->allocatePair(Value::fixnum(I), Value::null()));
+          break;
+        case 1:
+          H->vectorSet(Window.get(), Slot,
+                       H->allocateVector(1 + Rng.next() % 24, Value::null()));
+          break;
+        case 2: { // Cross-link two slots (builds old-to-young edges).
+          Value A = H->vectorRef(Window.get(), Slot);
+          size_t Other = Rng.next() % 128;
+          Value B = H->vectorRef(Window.get(), Other);
+          if (A.isPointer() && header::tag(*A.asHeaderPtr()) ==
+                                   ObjectTag::Vector)
+            H->vectorSet(A, 0, B);
+          break;
+        }
+        case 3:
+          H->vectorSet(Window.get(), Slot, Value::null());
+          break;
+        }
+      }
+      H->collectNow();
+      HeapVerification V = verifyHeap(*H);
+      ASSERT_TRUE(V.Ok) << V.FirstProblem;
+    }
+    bool SawParallel = false;
+    for (const GcTraceEvent &E : collectionEvents(Sink.events()))
+      SawParallel = SawParallel || !E.Workers.empty();
+    EXPECT_TRUE(SawParallel)
+        << "no collection took the parallel path; gate regressed?";
+  }
+}
+
+//===----------------------------------------------------------------------===
+// Trace "workers" field round trip.
+//===----------------------------------------------------------------------===
+
+TEST(ParallelTraceTest, WorkersFieldRoundTrips) {
+  GcTraceEvent E;
+  E.EventType = GcTraceEvent::Type::Collection;
+  E.HeapId = 3;
+  E.Seq = 9;
+  E.Collector = "stop-and-copy";
+  E.Kind = 0;
+  E.KindClass = "full";
+  E.WordsTraced = 123;
+  GcWorkerCycleStats W0, W1;
+  W0.WorkerId = 0;
+  W0.WordsCopied = 100;
+  W0.ObjectsCopied = 40;
+  W0.Steals = 3;
+  W0.PlabRefills = 1;
+  W0.RootScanNanos = 5000;
+  W1.WorkerId = 1;
+  W1.WordsCopied = 23;
+  W1.StealFails = 7;
+  W1.PlabWasteWords = 11;
+  W1.TraceNanos = 800;
+  W1.IdleNanos = 90;
+  E.Workers = {W0, W1};
+
+  std::string Line = formatTraceEventJson(E);
+  EXPECT_NE(Line.find("\"workers\":["), std::string::npos);
+
+  GcTraceEvent Parsed;
+  std::string Error;
+  ASSERT_TRUE(parseTraceEventJson(Line, Parsed, Error)) << Error;
+  ASSERT_EQ(Parsed.Workers.size(), 2u);
+  EXPECT_EQ(Parsed.Workers[0].WorkerId, 0u);
+  EXPECT_EQ(Parsed.Workers[0].WordsCopied, 100u);
+  EXPECT_EQ(Parsed.Workers[0].ObjectsCopied, 40u);
+  EXPECT_EQ(Parsed.Workers[0].Steals, 3u);
+  EXPECT_EQ(Parsed.Workers[0].PlabRefills, 1u);
+  EXPECT_EQ(Parsed.Workers[0].RootScanNanos, 5000u);
+  EXPECT_EQ(Parsed.Workers[1].WorkerId, 1u);
+  EXPECT_EQ(Parsed.Workers[1].WordsCopied, 23u);
+  EXPECT_EQ(Parsed.Workers[1].StealFails, 7u);
+  EXPECT_EQ(Parsed.Workers[1].PlabWasteWords, 11u);
+  EXPECT_EQ(Parsed.Workers[1].TraceNanos, 800u);
+  EXPECT_EQ(Parsed.Workers[1].IdleNanos, 90u);
+}
+
+TEST(ParallelTraceTest, SerialEventsOmitWorkersEntirely) {
+  GcTraceEvent E;
+  E.EventType = GcTraceEvent::Type::Collection;
+  E.Collector = "stop-and-copy";
+  E.KindClass = "full";
+  std::string Line = formatTraceEventJson(E);
+  // Byte-identity with pre-parallel streams: no trace of the new field.
+  EXPECT_EQ(Line.find("workers"), std::string::npos);
+  GcTraceEvent Parsed;
+  std::string Error;
+  ASSERT_TRUE(parseTraceEventJson(Line, Parsed, Error)) << Error;
+  EXPECT_TRUE(Parsed.Workers.empty());
+}

@@ -42,6 +42,14 @@
 /// (same line), failing on both missed and unexpected findings — the
 /// fixture tests under tools/gclint/test/ run in this mode.
 ///
+/// Files under a `parallel` directory component are exempt from the
+/// unrooted-value rule (not from missing-barrier): that code IS the moving
+/// collector — it runs inside a stop-the-world cycle where no mutator
+/// allocation can occur, and it manipulates from-space values precisely in
+/// order to move them, so the mutator rooting discipline is a category
+/// error there. A path rule rather than suppression comments keeps the
+/// exemption reviewable in one place and the tree at zero suppressions.
+///
 //===----------------------------------------------------------------------===//
 
 #include <algorithm>
@@ -903,6 +911,26 @@ bool readFile(const std::string &Path, std::string &Out) {
   return true;
 }
 
+/// True when \p Path has a directory component named exactly "parallel"
+/// (e.g. src/parallel/Plab.h, tools/gclint/test/parallel/engine.cpp).
+/// Those files are collector-internal concurrency code: the unrooted-value
+/// rule (a mutator rooting discipline) does not apply to them — see the
+/// file comment.
+bool isParallelRuntimePath(const std::string &Path) {
+  size_t Start = 0;
+  while (Start < Path.size()) {
+    size_t Sep = Path.find_first_of("/\\", Start);
+    size_t End = Sep == std::string::npos ? Path.size() : Sep;
+    if (Sep != std::string::npos && // A directory, not the filename.
+        Path.compare(Start, End - Start, "parallel") == 0)
+      return true;
+    if (Sep == std::string::npos)
+      break;
+    Start = Sep + 1;
+  }
+  return false;
+}
+
 int usage() {
   std::fprintf(
       stderr,
@@ -911,7 +939,9 @@ int usage() {
       "Rules: unrooted-value, missing-barrier. Suppress a finding with\n"
       "  // gclint-ok: <rule> <reason>\n"
       "on the same or the preceding line. With --check-expectations, each\n"
-      "finding must be matched by  // gclint-expect: <rule>  on its line.\n");
+      "finding must be matched by  // gclint-expect: <rule>  on its line.\n"
+      "Files under a `parallel` directory component are exempt from\n"
+      "unrooted-value (collector-internal concurrency code).\n");
   return 2;
 }
 
@@ -965,8 +995,10 @@ int main(int Argc, char **Argv) {
 
   std::vector<Finding> Findings;
   for (size_t I = 0; I < Files.size(); ++I) {
+    bool ParallelRuntime = isParallelRuntimePath(Files[I].Path);
     for (const Function &Fn : Functions[I]) {
-      checkUnrootedValues(Files[I], Fn, MayAllocate, Findings);
+      if (!ParallelRuntime)
+        checkUnrootedValues(Files[I], Fn, MayAllocate, Findings);
       checkMissingBarrier(Files[I], Fn, Findings);
     }
   }

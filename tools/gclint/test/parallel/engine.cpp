@@ -1,0 +1,42 @@
+// gclint fixture: the parallel-directory exemption. This file lives under
+// a `parallel` directory component, so the unrooted-value rule must stay
+// silent even though the code below is exactly the shape that rule fires
+// on elsewhere (a Value local held across a may-allocate call). There are
+// deliberately NO gclint-expect markers and NO gclint-ok suppressions
+// here: --check-expectations fails if the exemption ever regresses and a
+// finding appears. The missing-barrier rule still applies to parallel
+// code; this fixture performs no raw stores, so it must stay clean there
+// too.
+
+struct Value {
+  static Value fixnum(long N);
+  static Value null();
+  bool isPointer() const;
+  long rawBits() const;
+};
+
+struct Heap {
+  Value allocatePair(Value Car, Value Cdr);
+  void collectNow();
+};
+
+void use(Value V);
+
+// In mutator code this is the canonical unrooted-value violation. Inside
+// the scavenge engine it is routine: the "stale" value is a from-space
+// object the worker itself is about to relocate, and no mutator
+// allocation can run mid-cycle.
+void workerHoldsValueAcrossGcPoint(Heap &H) {
+  Value Gray = H.allocatePair(Value::fixnum(1), Value::null());
+  H.collectNow();
+  use(Gray); // Exempt: would be gclint[unrooted-value] outside parallel/.
+}
+
+// The loop-carried variant of the same rule, equally exempt.
+void drainLoop(Heap &H) {
+  Value Scan = H.allocatePair(Value::fixnum(2), Value::null());
+  for (int I = 0; I < 4; ++I) {
+    H.collectNow();
+    use(Scan); // Exempt: would fire outside parallel/.
+  }
+}

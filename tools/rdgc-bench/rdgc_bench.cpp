@@ -16,12 +16,23 @@
 ///
 /// Modes:
 ///   rdgc-bench [--quick] [--reps N] [--scale N] [--filter SUBSTR]
-///              [--json FILE] [--baseline FILE]
+///              [--threads N] [--json FILE] [--baseline FILE]
 ///       Run the suite. --quick restricts to the micro configs with fewer
-///       repetitions (the CI perf-smoke configuration). --baseline embeds a
-///       before/after comparison against a previous rdgc-bench JSON.
+///       repetitions (the CI perf-smoke configuration). --threads pins the
+///       copying collectors' GC worker count for every run (absent, runs
+///       inherit RDGC_GC_THREADS). --baseline embeds a before/after
+///       comparison against a previous rdgc-bench JSON.
+///   rdgc-bench --compare-threads N [--quick] [--reps R] [--scale S]
+///              [--filter SUBSTR] [--json FILE]
+///       Parallel-vs-serial mode: run every config under the copying
+///       collectors twice — GC threads pinned to 1, then to N — and report
+///       GC throughput and pause percentiles side by side with speedups.
+///       --json writes an "rdgc-bench-compare-v1" document that records
+///       the host's hardware concurrency, so single-core results read as
+///       what they are.
 ///   rdgc-bench --validate FILE
-///       Parse FILE and check it against the rdgc-bench-v1 schema.
+///       Parse FILE and check it against the rdgc-bench-v1 (or
+///       rdgc-bench-compare-v1) schema.
 ///   rdgc-bench --regress CURRENT REFERENCE [--tolerance FRAC]
 ///       Fail (exit 1) if CURRENT's micro allocation mutator throughput
 ///       regressed more than FRAC (default 0.15) below REFERENCE on any
@@ -44,6 +55,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace rdgc;
@@ -234,6 +246,12 @@ struct BenchOptions {
   int Reps = 5;
   int Scale = 1;
   bool Quick = false;
+  /// GC worker threads for every run: -1 inherits RDGC_GC_THREADS, 0/1
+  /// force the serial path, >= 2 request parallel collections.
+  int Threads = -1;
+  /// When > 0, run the parallel-vs-serial comparison mode at this thread
+  /// count instead of the plain suite.
+  int CompareThreads = 0;
   std::string Filter;
   std::string JsonPath;
   std::string BaselinePath;
@@ -271,7 +289,7 @@ std::vector<std::unique_ptr<Workload>> makeMicroWorkloads(bool Quick) {
 }
 
 BenchResult runOne(Workload &W, const char *Kind, CollectorKind CK,
-                   const char *CollectorName, int Reps) {
+                   const char *CollectorName, int Reps, int Threads) {
   std::vector<double> MutMBs, GcMBs, MarkCons, P50, P90, P99, PMax, Colls,
       Bytes;
   BenchResult R;
@@ -281,6 +299,7 @@ BenchResult runOne(Workload &W, const char *Kind, CollectorKind CK,
   R.Reps = Reps;
   for (int I = 0; I < Reps; ++I) {
     HarnessOptions Options;
+    Options.GcThreads = Threads;
     ExperimentRun Run = runExperiment(W, CK, Options);
     R.Valid = R.Valid && Run.Valid;
     R.HeapExhausted = R.HeapExhausted || Run.HeapExhausted;
@@ -329,7 +348,7 @@ std::vector<BenchResult> runSuite(const BenchOptions &Opt) {
           continue;
         std::fprintf(stderr, "rdgc-bench: %-14s %-22s x%d ...\n", W->name(),
                      Name, Opt.Reps);
-        Results.push_back(runOne(*W, Kind, CK, Name, Opt.Reps));
+        Results.push_back(runOne(*W, Kind, CK, Name, Opt.Reps, Opt.Threads));
       }
     }
   };
@@ -370,6 +389,7 @@ void emitJson(std::ostream &OS, const BenchOptions &Opt,
   OS << "  \"quick\": " << (Opt.Quick ? "true" : "false") << ",\n";
   OS << "  \"reps\": " << Opt.Reps << ",\n";
   OS << "  \"scale\": " << Opt.Scale << ",\n";
+  OS << "  \"threads\": " << Opt.Threads << ",\n";
   OS << "  \"results\": [\n";
   for (size_t I = 0; I < Results.size(); ++I) {
     const BenchResult &R = Results[I];
@@ -738,6 +758,56 @@ compareToBaseline(const JsonValue &Before,
   return Out;
 }
 
+/// Checks \p Doc against the rdgc-bench-compare-v1 schema (the
+/// --compare-threads output).
+bool validateCompareSchema(const JsonValue &Doc,
+                           std::vector<std::string> &Errors) {
+  auto Complain = [&Errors](const std::string &Msg) { Errors.push_back(Msg); };
+  for (const char *Key : {"quick"})
+    if (const JsonValue *V = Doc.member(Key); !V || V->Kind != JsonValue::Bool)
+      Complain(std::string("missing boolean \"") + Key + "\"");
+  for (const char *Key :
+       {"reps", "scale", "threads", "host_hardware_concurrency"})
+    if (const JsonValue *V = Doc.member(Key);
+        !V || V->Kind != JsonValue::Number)
+      Complain(std::string("missing numeric \"") + Key + "\"");
+  const JsonValue *Comps = Doc.member("comparisons");
+  if (!Comps || Comps->Kind != JsonValue::Array) {
+    Complain("missing \"comparisons\" array");
+    return Errors.empty();
+  }
+  if (Comps->Elements.empty())
+    Complain("\"comparisons\" is empty");
+  for (size_t I = 0; I < Comps->Elements.size(); ++I) {
+    const JsonValue &C = Comps->Elements[I];
+    std::string Where = "comparisons[" + std::to_string(I) + "]";
+    if (C.Kind != JsonValue::Object) {
+      Complain(Where + " is not an object");
+      continue;
+    }
+    for (const char *Key : {"kind", "config", "collector"})
+      if (const JsonValue *V = C.member(Key);
+          !V || V->Kind != JsonValue::String)
+        Complain(Where + " missing string \"" + Key + "\"");
+    for (const char *Side : {"serial", "parallel"}) {
+      const JsonValue *S = C.member(Side);
+      if (!S || S->Kind != JsonValue::Object) {
+        Complain(Where + " missing \"" + Side + "\" object");
+        continue;
+      }
+      for (const char *M : {"gc_mb_s", "mutator_mb_s", "pause_p50_ns",
+                            "pause_p99_ns", "pause_max_ns", "collections"})
+        if (const JsonValue *V = S->member(M);
+            !V || V->Kind != JsonValue::Number)
+          Complain(Where + "." + Side + " missing numeric \"" + M + "\"");
+    }
+    if (const JsonValue *V = C.member("gc_speedup");
+        !V || V->Kind != JsonValue::Number)
+      Complain(Where + " missing numeric \"gc_speedup\"");
+  }
+  return Errors.empty();
+}
+
 int runValidate(const std::string &Path) {
   JsonValue Doc;
   std::string Error;
@@ -746,14 +816,21 @@ int runValidate(const std::string &Path) {
                  Error.c_str());
     return 1;
   }
+  const JsonValue *Schema =
+      Doc.Kind == JsonValue::Object ? Doc.member("schema") : nullptr;
+  bool IsCompare = Schema && Schema->Kind == JsonValue::String &&
+                   Schema->StringVal == "rdgc-bench-compare-v1";
   std::vector<std::string> Errors;
-  if (!validateSchema(Doc, Errors)) {
+  bool Ok = IsCompare ? validateCompareSchema(Doc, Errors)
+                      : validateSchema(Doc, Errors);
+  if (!Ok) {
     for (const std::string &E : Errors)
       std::fprintf(stderr, "rdgc-bench: %s: schema: %s\n", Path.c_str(),
                    E.c_str());
     return 1;
   }
-  std::printf("rdgc-bench: %s conforms to rdgc-bench-v1\n", Path.c_str());
+  std::printf("rdgc-bench: %s conforms to %s\n", Path.c_str(),
+              IsCompare ? "rdgc-bench-compare-v1" : "rdgc-bench-v1");
   return 0;
 }
 
@@ -808,11 +885,132 @@ int runRegress(const std::string &CurrentPath, const std::string &RefPath,
   return 0;
 }
 
+//===----------------------------------------------------------------------===//
+// Parallel-vs-serial comparison mode
+//===----------------------------------------------------------------------===//
+
+/// The collectors with a parallel scavenge path (the copying collectors;
+/// mark-sweep and mark-compact have no worker engine to compare).
+const std::pair<CollectorKind, const char *> ParallelCollectors[] = {
+    {CollectorKind::StopAndCopy, "stop-and-copy"},
+    {CollectorKind::Generational, "generational"},
+    {CollectorKind::NonPredictive, "non-predictive"},
+    {CollectorKind::NonPredictiveHybrid, "non-predictive-hybrid"},
+};
+
+double metricMedian(const BenchResult &R, const std::string &Name) {
+  for (const auto &[N, S] : R.Metrics)
+    if (N == Name)
+      return S.Median;
+  return 0.0;
+}
+
+struct ThreadComparison {
+  std::string Kind, Config, Collector;
+  BenchResult Serial, Parallel;
+};
+
+void emitCompareJson(std::ostream &OS, const BenchOptions &Opt,
+                     const std::vector<ThreadComparison> &Comps) {
+  OS << "{\n";
+  OS << "  \"schema\": \"rdgc-bench-compare-v1\",\n";
+  OS << "  \"quick\": " << (Opt.Quick ? "true" : "false") << ",\n";
+  OS << "  \"reps\": " << Opt.Reps << ",\n";
+  OS << "  \"scale\": " << Opt.Scale << ",\n";
+  OS << "  \"threads\": " << Opt.CompareThreads << ",\n";
+  // Record what the host can actually run in parallel: a speedup below 1x
+  // on a single-core container is expected, not a defect, and the figure
+  // makes that legible after the fact.
+  OS << "  \"host_hardware_concurrency\": "
+     << std::thread::hardware_concurrency() << ",\n";
+  OS << "  \"comparisons\": [\n";
+  for (size_t I = 0; I < Comps.size(); ++I) {
+    const ThreadComparison &C = Comps[I];
+    double SerialGc = metricMedian(C.Serial, "gc_mb_s");
+    double ParGc = metricMedian(C.Parallel, "gc_mb_s");
+    OS << "    {\"kind\": \"" << C.Kind << "\", \"config\": \"" << C.Config
+       << "\", \"collector\": \"" << C.Collector << "\",\n";
+    for (const char *Side : {"serial", "parallel"}) {
+      const BenchResult &R = Side == std::string("serial") ? C.Serial
+                                                          : C.Parallel;
+      OS << "     \"" << Side << "\": {";
+      for (const char *M : {"gc_mb_s", "mutator_mb_s", "pause_p50_ns",
+                            "pause_p99_ns", "pause_max_ns", "collections"})
+        OS << (M == std::string("gc_mb_s") ? "" : ", ") << "\"" << M
+           << "\": " << jsonNumber(metricMedian(R, M));
+      OS << "},\n";
+    }
+    OS << "     \"gc_speedup\": "
+       << jsonNumber(SerialGc > 0 ? ParGc / SerialGc : 0.0) << "}"
+       << (I + 1 < Comps.size() ? "," : "") << "\n";
+  }
+  OS << "  ]\n}\n";
+}
+
+int runCompareThreads(const BenchOptions &Opt) {
+  std::vector<ThreadComparison> Comps;
+  auto RunSet = [&](std::vector<std::unique_ptr<Workload>> Ws,
+                    const char *Kind) {
+    for (auto &W : Ws) {
+      for (auto &[CK, Name] : ParallelCollectors) {
+        if (!matchesFilter(Opt, W->name(), Name))
+          continue;
+        std::fprintf(stderr,
+                     "rdgc-bench: %-14s %-22s threads 1 vs %d, x%d ...\n",
+                     W->name(), Name, Opt.CompareThreads, Opt.Reps);
+        ThreadComparison C;
+        C.Kind = Kind;
+        C.Config = W->name();
+        C.Collector = Name;
+        C.Serial = runOne(*W, Kind, CK, Name, Opt.Reps, /*Threads=*/1);
+        C.Parallel = runOne(*W, Kind, CK, Name, Opt.Reps, Opt.CompareThreads);
+        Comps.push_back(std::move(C));
+      }
+    }
+  };
+  RunSet(makeMicroWorkloads(Opt.Quick), "micro");
+  if (!Opt.Quick)
+    RunSet(makePaperWorkloads(Opt.Scale), "workload");
+  if (Comps.empty()) {
+    std::fprintf(stderr, "rdgc-bench: no configs matched the filter\n");
+    return 1;
+  }
+
+  if (!Opt.JsonPath.empty()) {
+    std::ofstream Out(Opt.JsonPath);
+    if (!Out) {
+      std::fprintf(stderr, "rdgc-bench: cannot write %s\n",
+                   Opt.JsonPath.c_str());
+      return 1;
+    }
+    emitCompareJson(Out, Opt, Comps);
+    std::fprintf(stderr, "rdgc-bench: wrote %s\n", Opt.JsonPath.c_str());
+  }
+
+  std::printf("\nparallel scavenge: GC threads 1 vs %d (host hardware "
+              "concurrency %u)\n",
+              Opt.CompareThreads, std::thread::hardware_concurrency());
+  std::printf("%-14s %-22s %12s %12s %8s %14s %14s\n", "config", "collector",
+              "gc1 MB/s", "gcN MB/s", "speedup", "p99(1) us", "p99(N) us");
+  for (const ThreadComparison &C : Comps) {
+    double SerialGc = metricMedian(C.Serial, "gc_mb_s");
+    double ParGc = metricMedian(C.Parallel, "gc_mb_s");
+    std::printf("%-14s %-22s %12.1f %12.1f %7.2fx %14.1f %14.1f\n",
+                C.Config.c_str(), C.Collector.c_str(), SerialGc, ParGc,
+                SerialGc > 0 ? ParGc / SerialGc : 0.0,
+                metricMedian(C.Serial, "pause_p99_ns") / 1000.0,
+                metricMedian(C.Parallel, "pause_p99_ns") / 1000.0);
+  }
+  return 0;
+}
+
 void printUsage() {
   std::fprintf(
       stderr,
       "usage: rdgc-bench [--quick] [--reps N] [--scale N] [--filter S]\n"
-      "                  [--json FILE] [--baseline FILE]\n"
+      "                  [--threads N] [--json FILE] [--baseline FILE]\n"
+      "       rdgc-bench --compare-threads N [--quick] [--reps R]\n"
+      "                  [--scale S] [--filter S] [--json FILE]\n"
       "       rdgc-bench --validate FILE\n"
       "       rdgc-bench --regress CURRENT REFERENCE [--tolerance FRAC]\n");
 }
@@ -838,6 +1036,10 @@ int main(int argc, char **argv) {
       Opt.Reps = std::atoi(Next("--reps"));
     else if (Arg == "--scale")
       Opt.Scale = std::atoi(Next("--scale"));
+    else if (Arg == "--threads")
+      Opt.Threads = std::atoi(Next("--threads"));
+    else if (Arg == "--compare-threads")
+      Opt.CompareThreads = std::atoi(Next("--compare-threads"));
     else if (Arg == "--filter")
       Opt.Filter = Next("--filter");
     else if (Arg == "--json")
@@ -864,6 +1066,12 @@ int main(int argc, char **argv) {
     Opt.Reps = 1;
   if (Opt.Quick && Opt.Reps > 3)
     Opt.Reps = 3;
+  if (Opt.CompareThreads < 0) {
+    std::fprintf(stderr, "rdgc-bench: --compare-threads wants N >= 1\n");
+    return 2;
+  }
+  if (Opt.CompareThreads > 0)
+    return runCompareThreads(Opt);
 
   std::vector<BenchResult> Results = runSuite(Opt);
 

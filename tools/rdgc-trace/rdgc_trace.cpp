@@ -84,6 +84,22 @@ bool loadTrace(const std::string &Path, LoadedTrace &Trace) {
                    static_cast<unsigned long long>(E.TotalNanos));
       return false;
     }
+    if (!E.Workers.empty()) {
+      // The coordinator's words_traced is the fold of the per-worker
+      // counters; a mismatch means the merge-at-barrier accounting broke.
+      uint64_t WorkerWords = 0;
+      for (const GcWorkerCycleStats &W : E.Workers)
+        WorkerWords += W.WordsCopied;
+      if (WorkerWords != E.WordsTraced) {
+        std::fprintf(stderr,
+                     "%s:%llu: worker words_copied sum %llu disagrees with "
+                     "words_traced %llu\n",
+                     Path.c_str(), static_cast<unsigned long long>(LineNo),
+                     static_cast<unsigned long long>(WorkerWords),
+                     static_cast<unsigned long long>(E.WordsTraced));
+        return false;
+      }
+    }
     Trace.Events.push_back(std::move(E));
   }
   Trace.Lines = LineNo;
@@ -145,6 +161,58 @@ void renderSummaryTable(const LoadedTrace &Trace) {
                   TableWriter::formatUnsigned(S.Pacings),
                   TableWriter::formatUnsigned(S.Recoveries)});
   }
+  std::printf("%s\n", Table.renderText().c_str());
+}
+
+/// Aggregates the per-worker breakdowns of parallel collections, when the
+/// trace has any: collection counts, copy balance, steal traffic, and PLAB
+/// overhead per worker id.
+void renderWorkerTable(const LoadedTrace &Trace) {
+  struct WorkerSummary {
+    uint64_t Cycles = 0;
+    uint64_t WordsCopied = 0;
+    uint64_t ObjectsCopied = 0;
+    uint64_t Steals = 0;
+    uint64_t StealFails = 0;
+    uint64_t PlabRefills = 0;
+    uint64_t PlabWasteWords = 0;
+    uint64_t IdleNanos = 0;
+  };
+  std::map<uint64_t, WorkerSummary> ByWorker;
+  uint64_t ParallelCycles = 0;
+  for (const GcTraceEvent &E : Trace.Events) {
+    if (E.Workers.empty())
+      continue;
+    ++ParallelCycles;
+    for (const GcWorkerCycleStats &W : E.Workers) {
+      WorkerSummary &S = ByWorker[W.WorkerId];
+      ++S.Cycles;
+      S.WordsCopied += W.WordsCopied;
+      S.ObjectsCopied += W.ObjectsCopied;
+      S.Steals += W.Steals;
+      S.StealFails += W.StealFails;
+      S.PlabRefills += W.PlabRefills;
+      S.PlabWasteWords += W.PlabWasteWords;
+      S.IdleNanos += W.IdleNanos;
+    }
+  }
+  if (ByWorker.empty())
+    return;
+
+  std::printf("parallel collections: %llu\n",
+              static_cast<unsigned long long>(ParallelCycles));
+  TableWriter Table({"worker", "cycles", "words copied", "objects", "steals",
+                     "steal fails", "plab refills", "plab waste", "idle ms"});
+  for (const auto &[Id, S] : ByWorker)
+    Table.addRow({TableWriter::formatUnsigned(Id),
+                  TableWriter::formatUnsigned(S.Cycles),
+                  TableWriter::formatUnsigned(S.WordsCopied),
+                  TableWriter::formatUnsigned(S.ObjectsCopied),
+                  TableWriter::formatUnsigned(S.Steals),
+                  TableWriter::formatUnsigned(S.StealFails),
+                  TableWriter::formatUnsigned(S.PlabRefills),
+                  TableWriter::formatUnsigned(S.PlabWasteWords),
+                  formatMillis(S.IdleNanos)});
   std::printf("%s\n", Table.renderText().c_str());
 }
 
@@ -276,6 +344,7 @@ int main(int Argc, char **Argv) {
   }
 
   renderSummaryTable(Trace);
+  renderWorkerTable(Trace);
   renderPauseHistogram(Trace);
   renderTimelines(Trace);
   return 0;
