@@ -28,6 +28,8 @@
 #ifndef RDGC_GC_COPYSCAVENGER_H
 #define RDGC_GC_COPYSCAVENGER_H
 
+#include "gc/EvacuationFailure.h"
+#include "heap/FaultPlan.h"
 #include "heap/Heap.h"
 #include "heap/Object.h"
 #include "heap/Value.h"
@@ -54,17 +56,21 @@ struct CopyTarget {
 template <typename InCondemnedFn, typename AllocateToFn> class CopyScavenger {
 public:
   /// \p InCondemned decides whether the object at a header address should
-  /// be evacuated; \p AllocateTo supplies to-space storage and must never
-  /// fail (collectors size to-space so survivors always fit, and abort
-  /// otherwise); \p Observer may be null.
+  /// be evacuated; \p AllocateTo supplies to-space storage — when it fails
+  /// (to-space exhausted, or an injected fault from \p Injector), the
+  /// victim is self-forwarded in place and the cycle completes in degraded
+  /// mode (see gc/EvacuationFailure.h; the collector must then pin the
+  /// condemned space and escalate). \p Observer and \p Injector may be
+  /// null.
   CopyScavenger(InCondemnedFn InCondemned, AllocateToFn AllocateTo,
-                HeapObserver *Observer)
+                HeapObserver *Observer, FaultInjector *Injector = nullptr)
       : InCondemned(std::move(InCondemned)), AllocateTo(std::move(AllocateTo)),
-        Observer(Observer) {}
+        Observer(Observer), Injector(Injector) {}
 
   /// Processes one slot: if it points into the condemned region, ensures
   /// the target is copied (following any existing forwarding pointer) and
-  /// rewrites the slot.
+  /// rewrites the slot. On copy-allocation failure the target survives in
+  /// place (self-forwarded) and the slot is left pointing at it.
   void scavenge(Value &Slot) {
     if (!Slot.isPointer())
       return;
@@ -78,9 +84,21 @@ public:
       return;
 
     size_t Words = Obj.totalWords();
-    CopyTarget Target = AllocateTo(Words);
-    if (!Target.Mem)
-      reportFatalError("to-space exhausted during evacuation");
+    CopyTarget Target{};
+    bool InjectedFail =
+        Injector && Injector->onEvacuation(/*StallCapable=*/false).Fail;
+    if (!InjectedFail)
+      Target = AllocateTo(Words);
+    if (!Target.Mem) {
+      // Evacuation failure: the object survives where it is. Forwarding it
+      // to itself keeps every other reference coherent; drain() scans it
+      // in place and the collector restores its header after the cycle.
+      SelfForwardEntry Entry{Header, *Header, Header[1]};
+      header::publishSelfForward(Header, Entry.OrigHeader);
+      SelfForwards.push_back(Entry);
+      SelfForwardedWordsCount += Words;
+      return;
+    }
     std::memcpy(Target.Mem, Header, Words * sizeof(uint64_t));
     ObjectRef New(Target.Mem);
     New.setRegion(Target.Region);
@@ -126,8 +144,9 @@ public:
   /// Drains the gray region: walks every segment's scan pointer to its
   /// frontier, re-reading the bounds each step because scanning may extend
   /// the segment in place (copies landing at its end) or append new
-  /// segments (copies landing in another buffer). The outer loop repeats
-  /// until a full pass over all segments finds nothing gray.
+  /// segments (copies landing in another buffer). Self-forwarded objects
+  /// are gray too — they are scanned in place through their saved payload
+  /// word. The outer loop repeats until a full pass finds nothing gray.
   void drain() {
     bool Progress = true;
     while (Progress) {
@@ -144,9 +163,35 @@ public:
           scanObject(Gray);
         }
       }
+      while (NextSelfForwardScan < SelfForwards.size()) {
+        Progress = true;
+        // Scan through a local copy: processing a slot can self-forward
+        // another object, growing (reallocating) the vector mid-scan. The
+        // copy-back publishes the scavenged slot-0 value for restore.
+        size_t I = NextSelfForwardScan++;
+        SelfForwardEntry Entry = SelfForwards[I];
+        forEachSelfForwardedPointerSlot(
+            Entry, [&](uint64_t *SlotWord) { processSlot(SlotWord); });
+        SelfForwards[I].SavedPayload0 = Entry.SavedPayload0;
+      }
     }
     Segments.clear();
   }
+
+  /// Restores every self-forwarded object's header and displaced payload
+  /// word. Call once, after drain() — and after any observer death report,
+  /// which relies on stragglers still carrying Forward headers to count
+  /// them as survivors.
+  void restoreSelfForwards() {
+    for (const SelfForwardEntry &Entry : SelfForwards)
+      restoreSelfForward(Entry);
+  }
+
+  /// True when any evacuation failed this cycle (degraded completion; the
+  /// collector must pin the condemned space instead of resetting it).
+  bool evacuationFailed() const { return !SelfForwards.empty(); }
+  uint64_t selfForwardedObjects() const { return SelfForwards.size(); }
+  uint64_t selfForwardedWords() const { return SelfForwardedWordsCount; }
 
   uint64_t wordsCopied() const { return WordsCopied; }
   uint64_t objectsCopied() const { return ObjectsCopied; }
@@ -173,7 +218,11 @@ private:
   InCondemnedFn InCondemned;
   AllocateToFn AllocateTo;
   HeapObserver *Observer;
+  FaultInjector *Injector;
   std::vector<Segment> Segments;
+  std::vector<SelfForwardEntry> SelfForwards;
+  size_t NextSelfForwardScan = 0;
+  uint64_t SelfForwardedWordsCount = 0;
   uint64_t WordsCopied = 0;
   uint64_t ObjectsCopied = 0;
 };

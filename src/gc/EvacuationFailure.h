@@ -1,0 +1,231 @@
+//===- gc/EvacuationFailure.h - Mid-cycle recovery machinery ----*- C++ -*-===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared machinery for surviving a copy-allocation failure (or a watchdog
+/// abort) in the middle of a scavenge, serial or parallel. The protocol
+/// (DESIGN.md §13):
+///
+///   Self-forwarding. When to-space cannot supply storage for a victim,
+///   the scavenger forwards the object to *itself*: the Forward header
+///   preserves size and region, so concurrent size walks stay coherent,
+///   and every other slot referencing the object resolves — through the
+///   ordinary forwarding path — back to its original address. Because the
+///   forwarding pointer lives in payload word 0, that word is saved in a
+///   side entry and the object is scanned "in place" using the saved word
+///   (SelfForwardEntry::SavedPayload0 doubles as the live slot 0 during
+///   the cycle). After the cycle's final barrier the saved payload word
+///   and the original header are written back, so the verifier sees a
+///   perfectly ordinary object.
+///
+///   Degraded completion. A cycle that self-forwarded anything ends with
+///   survivors split between to-space (copies) and the condemned space
+///   (stragglers, restored in place). The condemned space therefore must
+///   not be reset or poisoned — the collector pins it and escalates
+///   through the recovery ladder (emergency full → grow → HeapExhausted).
+///
+///   Watchdog abort. When the watchdog trips mid-cycle, workers bail out
+///   to the barrier leaving arbitrary slots unscanned; completeAbortedCycle
+///   then runs a serial marking walk that redirects every reachable slot
+///   through any published forward (so no reachable Forward header
+///   survives) without copying anything — the same split-survivor end
+///   state as a plain evacuation failure, reached from a half-finished
+///   parallel cycle.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDGC_GC_EVACUATIONFAILURE_H
+#define RDGC_GC_EVACUATIONFAILURE_H
+
+#include "heap/GcStats.h"
+#include "heap/Object.h"
+#include "heap/Space.h"
+#include "heap/Value.h"
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rdgc {
+
+/// One self-forwarded (evacuation-failed) object: enough saved state to
+/// scan it in place during the cycle and restore it afterwards.
+struct SelfForwardEntry {
+  uint64_t *Header = nullptr; ///< The object, forwarded to itself.
+  uint64_t OrigHeader = 0;    ///< Pre-claim header word (tag/size/region).
+  /// The payload word the forwarding pointer displaced. For Pair/Cell this
+  /// is a live Value slot — in-place scanning scavenges it here and the
+  /// updated value is restored; for vector-likes it is the raw length
+  /// word; for leaf tags it is raw data.
+  uint64_t SavedPayload0 = 0;
+};
+
+/// Invokes \p ScavengeSlot(uint64_t *SlotWord) on every pointer slot of a
+/// self-forwarded object, substituting \p Entry.SavedPayload0 for the
+/// displaced payload word 0. Mirrors ObjectRef::forEachPointerSlot, which
+/// cannot run here: the in-memory header is Forward and payload word 0
+/// holds the self-forwarding pointer.
+template <typename ScavengeSlotFn>
+void forEachSelfForwardedPointerSlot(SelfForwardEntry &Entry,
+                                     ScavengeSlotFn &&ScavengeSlot) {
+  uint64_t *Payload = Entry.Header + 1;
+  switch (header::tag(Entry.OrigHeader)) {
+  case ObjectTag::Pair:
+    ScavengeSlot(&Entry.SavedPayload0);
+    ScavengeSlot(Payload + 1);
+    return;
+  case ObjectTag::Cell:
+    ScavengeSlot(&Entry.SavedPayload0);
+    return;
+  case ObjectTag::Vector:
+  case ObjectTag::Closure:
+  case ObjectTag::Environment:
+  case ObjectTag::Record: {
+    // SavedPayload0 is the raw element count; elements live at payload
+    // words 1..Count, untouched by the self-forward.
+    size_t Count = static_cast<size_t>(Entry.SavedPayload0);
+    for (size_t I = 0; I < Count; ++I)
+      ScavengeSlot(Payload + 1 + I);
+    return;
+  }
+  case ObjectTag::Flonum:
+  case ObjectTag::String:
+  case ObjectTag::Bytevector:
+    return;
+  default:
+    assert(false && "self-forwarded object has a non-evacuatable tag");
+    return;
+  }
+}
+
+/// Writes the saved header and payload word back over a self-forwarded
+/// object. Must run after all scanning of the cycle has finished (serial:
+/// end of drain; parallel: after the final pool barrier) — from then on
+/// the object is indistinguishable from one that was never touched,
+/// except that it survived in place.
+inline void restoreSelfForward(const SelfForwardEntry &Entry) {
+  Entry.Header[1] = Entry.SavedPayload0;
+  Entry.Header[0] = Entry.OrigHeader;
+}
+
+/// Outcome summary of one scavenge cycle's failure handling, merged by
+/// the collector into its CollectionRecord.
+struct EvacuationOutcome {
+  bool Failed = false;           ///< Any self-forward or watchdog abort.
+  bool WatchdogTripped = false;  ///< A watchdog deadline expired.
+  uint64_t SelfForwardedObjects = 0;
+  uint64_t SelfForwardedWords = 0;
+  const char *WatchdogSite = nullptr; ///< "forward-wait"/"drain-idle"/...
+  std::string WatchdogDetail;         ///< Per-worker diagnostic dump.
+};
+
+/// Copies a cycle's failure outcome into the CollectionRecord fields the
+/// stats/trace funnel (Collector::finishCollection) reads, so counters
+/// and trace events agree by construction.
+inline void applyOutcome(CollectionRecord &Record,
+                         const EvacuationOutcome &Outcome) {
+  Record.EvacuationFailed = Outcome.Failed;
+  Record.WatchdogTripped = Outcome.WatchdogTripped;
+  Record.SelfForwardedObjects = Outcome.SelfForwardedObjects;
+  Record.SelfForwardedWords = Outcome.SelfForwardedWords;
+  Record.WatchdogSite = Outcome.WatchdogSite;
+  Record.WatchdogDetail = Outcome.WatchdogDetail;
+}
+
+/// Rewrites every stale Forward header in \p S — left behind by the
+/// successfully-evacuated objects of a failed cycle — into a Padding
+/// pseudo-object of the same total size. By the time this runs, no
+/// reachable slot points at those forwards (every live slot was rewritten
+/// before the cycle ended), so only walkability changes: whole-space
+/// walks that scan pointer slots (re-remembering, liveness measurement)
+/// can then traverse the space without meeting a Forward tag. Required
+/// whenever a failed space stays *in service* rather than being pinned
+/// aside. Returns the number of headers scrubbed.
+inline uint64_t scrubStaleForwards(Space &S) {
+  uint64_t Scrubbed = 0;
+  S.forEachObject([&](uint64_t *Header) {
+    if (header::tag(*Header) != ObjectTag::Forward)
+      return;
+    *Header = header::encode(ObjectTag::Padding,
+                             ObjectRef(Header).payloadWords(),
+                             header::region(*Header));
+    ++Scrubbed;
+  });
+  return Scrubbed;
+}
+
+/// Serial completion pass after a watchdog abort. Re-establishes the one
+/// invariant an aborted parallel cycle may have broken — a reachable slot
+/// still pointing at a Forward header — by walking everything reachable
+/// from the given roots and remembered holders, chasing forwards,
+/// rewriting slots, and marking visited objects for termination (marks
+/// are cleared before returning). Copies nothing, so it always
+/// terminates; self-forwarded objects must already be restored. Returns
+/// the number of objects visited.
+///
+/// \p ForEachRoot invokes its callback with Value& for every root slot;
+/// \p ForEachHolder invokes its callback with uint64_t* for every
+/// remembered-set holder.
+template <typename ForEachRootFn, typename ForEachHolderFn>
+uint64_t completeAbortedCycle(ForEachRootFn &&ForEachRoot,
+                              ForEachHolderFn &&ForEachHolder) {
+  std::vector<uint64_t *> Stack;
+  std::vector<uint64_t *> Marked;
+  uint64_t Visited = 0;
+
+  auto ProcessSlot = [&](uint64_t *SlotWord) {
+    Value V = Value::fromRawBits(*SlotWord);
+    if (!V.isPointer())
+      return;
+    uint64_t *H = V.asHeaderPtr();
+    // Chase forwards. Self-forwards are restored before this walk runs, so
+    // chains terminate in at most one hop; the loop guards regardless.
+    while (header::tag(*H) == ObjectTag::Forward) {
+      uint64_t *Next = ObjectRef(H).forwardedTo();
+      if (Next == H)
+        break;
+      H = Next;
+    }
+    assert(header::tag(*H) != ObjectTag::Busy &&
+           "claim leaked past the abort barrier");
+    *SlotWord = Value::pointer(H).rawBits();
+    if (!header::isMarked(*H)) {
+      *H = header::setMark(*H);
+      Marked.push_back(H);
+      Stack.push_back(H);
+      ++Visited;
+    }
+  };
+
+  ForEachRoot([&](Value &Slot) {
+    static_assert(sizeof(Value) == sizeof(uint64_t),
+                  "root slots are reinterpreted as raw words");
+    ProcessSlot(reinterpret_cast<uint64_t *>(&Slot));
+  });
+  ForEachHolder([&](uint64_t *Holder) {
+    if (!header::isMarked(*Holder)) {
+      *Holder = header::setMark(*Holder);
+      Marked.push_back(Holder);
+      Stack.push_back(Holder);
+      ++Visited;
+    }
+  });
+
+  while (!Stack.empty()) {
+    uint64_t *H = Stack.back();
+    Stack.pop_back();
+    ObjectRef(H).forEachPointerSlot(ProcessSlot);
+  }
+
+  for (uint64_t *H : Marked)
+    *H = header::clearMark(*H);
+  return Visited;
+}
+
+} // namespace rdgc
+
+#endif // RDGC_GC_EVACUATIONFAILURE_H

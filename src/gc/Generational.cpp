@@ -7,6 +7,7 @@
 #include "gc/Generational.h"
 
 #include "gc/CopyScavenger.h"
+#include "gc/EvacuationFailure.h"
 #include "heap/Heap.h"
 #include "observe/GcTracer.h"
 #include "parallel/ParallelScavenger.h"
@@ -58,9 +59,33 @@ uint64_t *GenerationalCollector::tryAllocate(size_t Words) {
 }
 
 size_t GenerationalCollector::capacityWords() const {
-  return Nursery.capacityWords() +
-         (Intermediate ? Intermediate->capacityWords() : 0) +
-         DynamicA.capacityWords() + DynamicB.capacityWords();
+  size_t Total = Nursery.capacityWords() +
+                 (Intermediate ? Intermediate->capacityWords() : 0) +
+                 DynamicA.capacityWords() + DynamicB.capacityWords();
+  for (const Space &S : Pinned)
+    Total += S.capacityWords();
+  return Total;
+}
+
+size_t GenerationalCollector::pinnedUsedWords() const {
+  size_t Total = 0;
+  for (const Space &S : Pinned)
+    Total += S.usedWords();
+  return Total;
+}
+
+size_t GenerationalCollector::usedWordsEverywhere() const {
+  return Nursery.usedWords() +
+         (Intermediate ? Intermediate->usedWords() : 0) +
+         DynamicA.usedWords() + DynamicB.usedWords() + pinnedUsedWords();
+}
+
+void GenerationalCollector::pinIfUsed(Space &S) {
+  if (S.isEmpty())
+    return;
+  size_t Cap = S.capacityWords();
+  Pinned.push_back(std::move(S));
+  S = Space(Cap);
 }
 
 size_t GenerationalCollector::freeWords() const {
@@ -77,6 +102,16 @@ void GenerationalCollector::onPointerStore(Value Holder, Value Stored) {
   // Remember any older-to-younger pointer (old-to-nursery in the 2-gen
   // configuration; additionally dynamic-to-intermediate in the 3-gen one).
   if (regionRank(HolderObj.region()) > regionRank(StoredObj.region())) {
+    // An injected insert failure models a lost barrier record. The edge is
+    // compensated for, not ignored: the next collection is forced major,
+    // which condemns every region a missed old-to-young edge could target
+    // and never consults the remembered set.
+    if (FaultInjector *FI = faultInjector())
+      if (FI->onRemsetInsert()) {
+        stats().noteRemsetFaultDrop();
+        ForceMajorNext = true;
+        return;
+      }
     if (RemSet.insert(HolderObj.headerPtr()))
       stats().noteRememberedSetInsert();
   }
@@ -102,6 +137,14 @@ void GenerationalCollector::refilterRememberedSet() {
 }
 
 void GenerationalCollector::collect() {
+  if (degraded()) {
+    recoveryRebuild(defaultRecoveryTargetWords());
+    return;
+  }
+  if (ForceMajorNext) {
+    collectMajor();
+    return;
+  }
   // Youngest-first policy with promote-all at every level: a collection
   // at one level can only run when the next-older level can absorb the
   // worst case; otherwise escalate.
@@ -138,17 +181,18 @@ void GenerationalCollector::collectMinor() {
   uint8_t ToRegion = Intermediate ? static_cast<uint8_t>(RegionIntermediate)
                                   : activeDynamicRegion();
 
-  // Parallel gate (see DESIGN.md §12): worker threads requested, no
-  // observer (its hooks are thread-oblivious), and enough to-space
-  // headroom for PLAB padding. Every remembered holder is strictly older
-  // than the nursery here, so the striped remset scan never races a
-  // holder's own evacuation.
+  // Parallel gate (see DESIGN.md §12): worker threads requested and no
+  // observer (its hooks are thread-oblivious). To-space exhaustion is no
+  // longer a gate — evacuation failure self-forwards and degrades
+  // (DESIGN.md §13). Every remembered holder is strictly older than the
+  // nursery here, so the striped remset scan never races a holder's own
+  // evacuation.
   unsigned Threads = effectiveGcThreads();
-  bool Parallel =
-      Threads >= 2 && H->observer() == nullptr &&
-      parallelEvacuationFits(Nursery.usedWords(), /*LiveEstimateWords=*/0,
-                             To.freeWords(), Threads);
+  bool Parallel = Threads >= 2 && H->observer() == nullptr &&
+                  capacityLimitWords() == 0; // Capped heaps stay serial
+                                             // (see StopAndCopy's gate).
   uint64_t WordsCopied = 0;
+  bool Degraded = false;
 
   if (Parallel) {
     ParallelScavenger Scavenger(
@@ -158,7 +202,7 @@ void GenerationalCollector::collectMinor() {
         [&To, ToRegion](size_t Words) {
           return PlabChunk{To.tryAllocate(Words), ToRegion};
         },
-        Threads);
+        Threads, Plab::DefaultChunkWords, faultInjector(), watchdogMicros());
     Timer.begin(GcPhase::RootScan);
     std::vector<Value *> Roots;
     H->forEachRoot([&](Value &Slot) {
@@ -179,6 +223,17 @@ void GenerationalCollector::collectMinor() {
     WordsCopied = Scavenger.wordsCopied();
     Record.Workers = Scavenger.workerStats();
     Timer.begin(GcPhase::Sweep);
+    if (Scavenger.evacuationFailed()) {
+      applyOutcome(Record, Scavenger.outcome());
+      Scavenger.restoreSelfForwards();
+      if (Scavenger.aborted())
+        // Minor holders are never condemned, so passing them unfiltered is
+        // safe (no holder carries a Forward header).
+        completeAbortedCycle(
+            [&](auto &&VisitRoot) { H->forEachRoot(VisitRoot); },
+            [&](auto &&VisitHolder) { RemSet.forEach(VisitHolder); });
+      Degraded = true;
+    }
   } else {
     CopyScavenger Scavenger(
         [](const uint64_t *Header) {
@@ -187,7 +242,7 @@ void GenerationalCollector::collectMinor() {
         [&To, ToRegion](size_t Words) {
           return CopyTarget{To.tryAllocate(Words), ToRegion};
         },
-        H->observer());
+        H->observer(), faultInjector());
 
     Timer.begin(GcPhase::RootScan);
     H->forEachRoot([&](Value &Slot) {
@@ -206,31 +261,50 @@ void GenerationalCollector::collectMinor() {
     WordsCopied = Scavenger.wordsCopied();
 
     Timer.begin(GcPhase::Sweep);
+    // Self-forwarded stragglers still carry Forward headers here, so they
+    // correctly count as survivors; restore runs after.
     if (HeapObserver *Obs = H->observer())
       Nursery.forEachObject([&](uint64_t *Header) {
         if (!ObjectRef(Header).isForwarded())
           Obs->onDeath(Header, ObjectRef(Header).totalWords());
       });
+    if (Scavenger.evacuationFailed()) {
+      Record.EvacuationFailed = true;
+      Record.SelfForwardedObjects = Scavenger.selfForwardedObjects();
+      Record.SelfForwardedWords = Scavenger.selfForwardedWords();
+      Degraded = true;
+    }
+    Scavenger.restoreSelfForwards();
   }
 
   size_t NurseryUsed = Nursery.usedWords();
-  Nursery.reset();
-  if (poisonFreedMemory())
-    Nursery.poisonFreeWords(PoisonPattern);
-  if (Intermediate) {
-    // Dynamic-to-intermediate entries must survive; only the entries that
-    // existed purely for nursery pointers are dropped.
-    refilterRememberedSet();
+  if (Degraded) {
+    // Live stragglers remain in the nursery: pin its contents instead of
+    // resetting. The remembered set is kept wholesale — no holder was
+    // condemned (so no entry went stale), and entries covering straggler
+    // pointers must survive until the recovery rebuild clears everything.
+    pinIfUsed(Nursery);
+    Record.WordsReclaimed = 0;
   } else {
-    // Promote-all into the only older region: no old-to-young pointers
-    // can remain.
-    RemSet.clear();
+    Nursery.reset();
+    if (poisonFreedMemory())
+      Nursery.poisonFreeWords(PoisonPattern);
+    if (Intermediate) {
+      // Dynamic-to-intermediate entries must survive; only the entries
+      // that existed purely for nursery pointers are dropped.
+      refilterRememberedSet();
+    } else {
+      // Promote-all into the only older region: no old-to-young pointers
+      // can remain.
+      RemSet.clear();
+    }
+    Record.WordsReclaimed = NurseryUsed - WordsCopied;
   }
 
   LastLiveWords = activeDynamic().usedWords() +
-                  (Intermediate ? Intermediate->usedWords() : 0);
+                  (Intermediate ? Intermediate->usedWords() : 0) +
+                  pinnedUsedWords();
   Record.WordsTraced = WordsCopied;
-  Record.WordsReclaimed = NurseryUsed - WordsCopied;
   Record.LiveWordsAfter = LastLiveWords;
   finishCollection(Record, Timer);
 }
@@ -250,12 +324,11 @@ void GenerationalCollector::collectIntermediate() {
   uint8_t ToRegion = activeDynamicRegion();
 
   unsigned Threads = effectiveGcThreads();
-  size_t CondemnedBefore = Nursery.usedWords() + Intermediate->usedWords();
-  bool Parallel =
-      Threads >= 2 && H->observer() == nullptr &&
-      parallelEvacuationFits(CondemnedBefore, /*LiveEstimateWords=*/0,
-                             To.freeWords(), Threads);
+  bool Parallel = Threads >= 2 && H->observer() == nullptr &&
+                  capacityLimitWords() == 0; // Capped heaps stay serial
+                                             // (see StopAndCopy's gate).
   uint64_t WordsCopied = 0;
+  bool Degraded = false;
 
   if (Parallel) {
     ParallelScavenger Scavenger(
@@ -266,7 +339,7 @@ void GenerationalCollector::collectIntermediate() {
         [&To, ToRegion](size_t Words) {
           return PlabChunk{To.tryAllocate(Words), ToRegion};
         },
-        Threads);
+        Threads, Plab::DefaultChunkWords, faultInjector(), watchdogMicros());
     Timer.begin(GcPhase::RootScan);
     std::vector<Value *> Roots;
     H->forEachRoot([&](Value &Slot) {
@@ -299,6 +372,24 @@ void GenerationalCollector::collectIntermediate() {
     WordsCopied = Scavenger.wordsCopied();
     Record.Workers = Scavenger.workerStats();
     Timer.begin(GcPhase::Sweep);
+    if (Scavenger.evacuationFailed()) {
+      applyOutcome(Record, Scavenger.outcome());
+      Scavenger.restoreSelfForwards();
+      if (Scavenger.aborted())
+        // Only un-condemned (dynamic-region) holders may be walked: a
+        // condemned holder can carry a Forward header after the abort,
+        // and its live children are reached through the trace anyway.
+        completeAbortedCycle(
+            [&](auto &&VisitRoot) { H->forEachRoot(VisitRoot); },
+            [&](auto &&VisitHolder) {
+              RemSet.forEach([&](uint64_t *Holder) {
+                uint8_t R = header::region(*Holder);
+                if (R != RegionNursery && R != RegionIntermediate)
+                  VisitHolder(Holder);
+              });
+            });
+      Degraded = true;
+    }
   } else {
     CopyScavenger Scavenger(
         [](const uint64_t *Header) {
@@ -308,7 +399,7 @@ void GenerationalCollector::collectIntermediate() {
         [&To, ToRegion](size_t Words) {
           return CopyTarget{To.tryAllocate(Words), ToRegion};
         },
-        H->observer());
+        H->observer(), faultInjector());
 
     Timer.begin(GcPhase::RootScan);
     H->forEachRoot([&](Value &Slot) {
@@ -335,22 +426,38 @@ void GenerationalCollector::collectIntermediate() {
       ReportDeaths(Nursery);
       ReportDeaths(*Intermediate);
     }
+    if (Scavenger.evacuationFailed()) {
+      Record.EvacuationFailed = true;
+      Record.SelfForwardedObjects = Scavenger.selfForwardedObjects();
+      Record.SelfForwardedWords = Scavenger.selfForwardedWords();
+      Degraded = true;
+    }
+    Scavenger.restoreSelfForwards();
   }
 
   size_t CondemnedUsed = Nursery.usedWords() + Intermediate->usedWords();
-  Nursery.reset();
-  Intermediate->reset();
-  if (poisonFreedMemory()) {
-    Nursery.poisonFreeWords(PoisonPattern);
-    Intermediate->poisonFreeWords(PoisonPattern);
+  if (Degraded) {
+    pinIfUsed(Nursery);
+    pinIfUsed(*Intermediate);
+    Record.WordsReclaimed = 0;
+  } else {
+    Nursery.reset();
+    Intermediate->reset();
+    if (poisonFreedMemory()) {
+      Nursery.poisonFreeWords(PoisonPattern);
+      Intermediate->poisonFreeWords(PoisonPattern);
+    }
+    Record.WordsReclaimed = CondemnedUsed - WordsCopied;
   }
-  // Everything now lives in the dynamic area: no cross-generation
-  // pointers into younger regions can remain.
+  // Everything (except pinned stragglers, handled by the recovery rebuild)
+  // now lives in the dynamic area. The set must be cleared even on a
+  // degraded cycle: condemned intermediate-region holders were evacuated,
+  // so their entries are stale — and while degraded no minor runs, so no
+  // old-to-young edge is ever trusted from an incomplete set.
   RemSet.clear();
 
-  LastLiveWords = activeDynamic().usedWords();
+  LastLiveWords = activeDynamic().usedWords() + pinnedUsedWords();
   Record.WordsTraced = WordsCopied;
-  Record.WordsReclaimed = CondemnedUsed - WordsCopied;
   Record.LiveWordsAfter = LastLiveWords;
   finishCollection(Record, Timer);
 }
@@ -405,9 +512,7 @@ bool GenerationalCollector::tryGrowHeap(size_t MinWords) {
   // semispace via a major collection, then retire the smaller one. Small
   // allocations land in the (now empty) nursery afterwards; big ones in
   // the enlarged dynamic semispace.
-  size_t LiveBound = Nursery.usedWords() +
-                     (Intermediate ? Intermediate->usedWords() : 0) +
-                     activeDynamic().usedWords();
+  size_t LiveBound = usedWordsEverywhere();
   size_t MinNewWords = LiveBound + MinWords;
   size_t NewWords = std::max(activeDynamic().capacityWords() * 2, MinNewWords);
   // Honor the heap's capacity ceiling (total = nursery + intermediate +
@@ -421,15 +526,153 @@ bool GenerationalCollector::tryGrowHeap(size_t MinWords) {
     if (NewWords < MinNewWords || NewWords <= activeDynamic().capacityWords())
       return false;
   }
+  if (degraded()) {
+    // Growth and recovery are the same operation while degraded: rebuild
+    // everything into a fresh dynamic space covering the survivors plus
+    // the pending request. Growth succeeded only if the pins drained.
+    recoveryRebuild(NewWords);
+    return !degraded();
+  }
   idleDynamic() = Space(NewWords);
   collectMajor();
   idleDynamic() = Space(NewWords);
   return true;
 }
 
+size_t GenerationalCollector::defaultRecoveryTargetWords() const {
+  // Used words bound live words, so a fresh space this size cannot fail to
+  // absorb the rebuild — unless the capacity ceiling forces it smaller, in
+  // which case the rebuild may fail again and the ladder escalates toward
+  // a recoverable HeapExhausted.
+  size_t Target =
+      std::max(activeDynamic().capacityWords(), usedWordsEverywhere());
+  // Ceiling check against the post-recovery steady state (young areas plus
+  // two dynamic semispaces); the rebuild transiently overshoots while the
+  // old spaces are still pinned.
+  size_t FixedWords = Nursery.capacityWords() +
+                      (Intermediate ? Intermediate->capacityWords() : 0);
+  if (!withinCapacityLimit(FixedWords + 2 * Target)) {
+    size_t Limit = capacityLimitWords();
+    Target = Limit > FixedWords ? (Limit - FixedWords) / 2 : 0;
+  }
+  return std::max<size_t>(Target, 16);
+}
+
+void GenerationalCollector::recoveryRebuild(size_t TargetWords) {
+  Heap *H = heap();
+  assert(H && "collector not attached to a heap");
+  assert(degraded() && "recovery rebuild without pinned spaces");
+  ForceMajorNext = false; // Everything is condemned below.
+
+  CollectionRecord Record;
+  Record.WordsAllocatedBefore = stats().wordsAllocated();
+  Record.Kind = CollectionKindRecovery;
+  GcPhaseTimer Timer(H->tracer() != nullptr);
+
+  size_t UsedSum = usedWordsEverywhere();
+  uint8_t FreshRegion = idleDynamicRegion();
+  Space Fresh(std::max<size_t>(TargetWords, 16));
+
+  // Serial by design: the degraded state is rare and correctness-critical,
+  // and the condemned predicate — everything outside the fresh space —
+  // spans every generation plus the pins, so pinned stragglers are
+  // re-tried regardless of their region stamps.
+  CopyScavenger Scavenger(
+      [&Fresh](const uint64_t *P) { return !Fresh.contains(P); },
+      [&Fresh, FreshRegion](size_t Words) {
+        return CopyTarget{Fresh.tryAllocate(Words), FreshRegion};
+      },
+      H->observer(), faultInjector());
+
+  Timer.begin(GcPhase::RootScan);
+  H->forEachRoot([&](Value &Slot) {
+    ++Record.RootsScanned;
+    Scavenger.scavenge(Slot);
+  });
+  Timer.begin(GcPhase::Trace);
+  Scavenger.drain();
+  uint64_t WordsCopied = Scavenger.wordsCopied();
+
+  Timer.begin(GcPhase::Sweep);
+  if (HeapObserver *Obs = H->observer()) {
+    // Deaths in the regular spaces are reported exactly. Pinned spaces are
+    // skipped: their garbage was already reported dead by the cycle that
+    // pinned them, and re-walking would double-report it — the cost is
+    // that a straggler dying *after* its space was pinned goes unreported
+    // (documented observer approximation of degraded mode).
+    auto ReportDeaths = [&](const Space &S) {
+      S.forEachObject([&](uint64_t *Header) {
+        if (!ObjectRef(Header).isForwarded())
+          Obs->onDeath(Header, ObjectRef(Header).totalWords());
+      });
+    };
+    ReportDeaths(Nursery);
+    if (Intermediate)
+      ReportDeaths(*Intermediate);
+    ReportDeaths(DynamicA);
+    ReportDeaths(DynamicB);
+  }
+  bool StillDegraded = Scavenger.evacuationFailed();
+  if (StillDegraded) {
+    Record.EvacuationFailed = true;
+    Record.SelfForwardedObjects = Scavenger.selfForwardedObjects();
+    Record.SelfForwardedWords = Scavenger.selfForwardedWords();
+  }
+  Scavenger.restoreSelfForwards();
+
+  // Stale either way (condemned holders were evacuated); live old-to-young
+  // edges reappear through the write barrier as the mutator resumes. Must
+  // run before the old spaces are dropped below: clear() dereferences each
+  // holder header to clear its remembered bit, and entries still point into
+  // the about-to-be-freed storage.
+  RemSet.clear();
+
+  if (!StillDegraded) {
+    // Healthy again: every survivor lives in Fresh. The old spaces hold
+    // only garbage and forwards — drop the pins, empty the young areas,
+    // and make Fresh the active dynamic semispace.
+    Pinned.clear();
+    Nursery.reset();
+    if (Intermediate)
+      Intermediate->reset();
+    if (poisonFreedMemory()) {
+      Nursery.poisonFreeWords(PoisonPattern);
+      if (Intermediate)
+        Intermediate->poisonFreeWords(PoisonPattern);
+    }
+    ActiveIsA = !ActiveIsA; // activeDynamicRegion() == FreshRegion now.
+    activeDynamic() = std::move(Fresh);
+    idleDynamic() = Space(activeDynamic().capacityWords());
+    Record.WordsReclaimed = UsedSum - WordsCopied;
+  } else {
+    // The rebuild itself ran short: every used space joins the pins and
+    // the partial copy becomes the active dynamic area for the next try.
+    pinIfUsed(Nursery);
+    if (Intermediate)
+      pinIfUsed(*Intermediate);
+    pinIfUsed(DynamicA);
+    pinIfUsed(DynamicB);
+    ActiveIsA = FreshRegion == RegionDynamicA;
+    activeDynamic() = std::move(Fresh);
+    Record.WordsReclaimed = 0;
+  }
+
+  LastLiveWords = activeDynamic().usedWords() + pinnedUsedWords();
+  Record.WordsTraced = WordsCopied;
+  Record.LiveWordsAfter = LastLiveWords;
+  finishCollection(Record, Timer);
+}
+
 void GenerationalCollector::collectMajor() {
   Heap *H = heap();
   assert(H && "collector not attached to a heap");
+  if (degraded()) {
+    // collectFull() lands here via the recovery ladder: while degraded
+    // the full-condemnation cycle *is* the rebuild.
+    recoveryRebuild(defaultRecoveryTargetWords());
+    return;
+  }
+  ForceMajorNext = false; // This cycle condemns everything a lost edge spans.
   if (!ensureMajorToSpace())
     return; // Refused; the allocation ladder surfaces HeapExhausted.
   ++MajorCount;
@@ -447,14 +690,13 @@ void GenerationalCollector::collectMajor() {
   size_t CondemnedUsed = Nursery.usedWords() + From.usedWords() +
                          (Intermediate ? Intermediate->usedWords() : 0);
   // A major cycle never consults the remembered set, so the parallel path
-  // is the plain roots-then-drain shape. LastLiveWords (the dynamic area's
-  // survivors after the previous cycle) seeds the headroom estimate when
-  // the worst case does not fit outright.
+  // is the plain roots-then-drain shape.
   unsigned Threads = effectiveGcThreads();
   bool Parallel = Threads >= 2 && H->observer() == nullptr &&
-                  parallelEvacuationFits(CondemnedUsed, LastLiveWords,
-                                         To.freeWords(), Threads);
+                  capacityLimitWords() == 0; // Capped heaps stay serial
+                                             // (see StopAndCopy's gate).
   uint64_t WordsCopied = 0;
+  bool Degraded = false;
 
   if (Parallel) {
     ParallelScavenger Scavenger(
@@ -466,7 +708,7 @@ void GenerationalCollector::collectMajor() {
         [&To, ToRegion](size_t Words) {
           return PlabChunk{To.tryAllocate(Words), ToRegion};
         },
-        Threads);
+        Threads, Plab::DefaultChunkWords, faultInjector(), watchdogMicros());
     Timer.begin(GcPhase::RootScan);
     std::vector<Value *> Roots;
     H->forEachRoot([&](Value &Slot) {
@@ -480,6 +722,17 @@ void GenerationalCollector::collectMajor() {
     WordsCopied = Scavenger.wordsCopied();
     Record.Workers = Scavenger.workerStats();
     Timer.begin(GcPhase::Sweep);
+    if (Scavenger.evacuationFailed()) {
+      applyOutcome(Record, Scavenger.outcome());
+      Scavenger.restoreSelfForwards();
+      if (Scavenger.aborted())
+        // The remembered set is not consulted: every holder is condemned
+        // in a major cycle and the root trace covers all live edges.
+        completeAbortedCycle(
+            [&](auto &&VisitRoot) { H->forEachRoot(VisitRoot); },
+            [](auto &&) {});
+      Degraded = true;
+    }
   } else {
     CopyScavenger Scavenger(
         [FromRegion](const uint64_t *Header) {
@@ -490,7 +743,7 @@ void GenerationalCollector::collectMajor() {
         [&To, ToRegion](size_t Words) {
           return CopyTarget{To.tryAllocate(Words), ToRegion};
         },
-        H->observer());
+        H->observer(), faultInjector());
 
     Timer.begin(GcPhase::RootScan);
     H->forEachRoot([&](Value &Slot) {
@@ -514,23 +767,45 @@ void GenerationalCollector::collectMajor() {
         ReportDeaths(*Intermediate);
       ReportDeaths(From);
     }
+    if (Scavenger.evacuationFailed()) {
+      Record.EvacuationFailed = true;
+      Record.SelfForwardedObjects = Scavenger.selfForwardedObjects();
+      Record.SelfForwardedWords = Scavenger.selfForwardedWords();
+      Degraded = true;
+    }
+    Scavenger.restoreSelfForwards();
   }
-  Nursery.reset();
-  if (Intermediate)
-    Intermediate->reset();
-  From.reset();
-  if (poisonFreedMemory()) {
-    Nursery.poisonFreeWords(PoisonPattern);
+  if (Degraded) {
+    // Stragglers may sit in any condemned space: pin them all untouched.
+    // The flip still happens — the to-space copies become the active
+    // dynamic area and the (freshly emptied) from-space slot its idle
+    // partner — and collect() routes to the recovery rebuild from now on.
+    pinIfUsed(Nursery);
     if (Intermediate)
-      Intermediate->poisonFreeWords(PoisonPattern);
-    From.poisonFreeWords(PoisonPattern);
+      pinIfUsed(*Intermediate);
+    pinIfUsed(From);
+    Record.WordsReclaimed = 0;
+  } else {
+    Nursery.reset();
+    if (Intermediate)
+      Intermediate->reset();
+    From.reset();
+    if (poisonFreedMemory()) {
+      Nursery.poisonFreeWords(PoisonPattern);
+      if (Intermediate)
+        Intermediate->poisonFreeWords(PoisonPattern);
+      From.poisonFreeWords(PoisonPattern);
+    }
+    Record.WordsReclaimed = CondemnedUsed - WordsCopied;
   }
   ActiveIsA = !ActiveIsA;
+  // Stale either way: every holder was condemned (entries now point at
+  // Forward headers or pinned stragglers), and while degraded no cycle
+  // consults the set before the rebuild clears the pins.
   RemSet.clear();
 
-  LastLiveWords = activeDynamic().usedWords();
+  LastLiveWords = activeDynamic().usedWords() + pinnedUsedWords();
   Record.WordsTraced = WordsCopied;
-  Record.WordsReclaimed = CondemnedUsed - WordsCopied;
   Record.LiveWordsAfter = LastLiveWords;
   finishCollection(Record, Timer);
 }

@@ -27,6 +27,7 @@
 #include "heap/Collector.h"
 
 #include <memory>
+#include <vector>
 
 namespace rdgc {
 
@@ -85,6 +86,11 @@ public:
   uint64_t intermediateCollections() const { return IntermediateCount; }
   uint64_t majorCollections() const { return MajorCount; }
 
+  /// True while a past evacuation failure has survivors pinned outside the
+  /// normal generation spaces; collections run recovery rebuilds until the
+  /// pins drain (DESIGN.md §13).
+  bool degraded() const { return !Pinned.empty(); }
+
 private:
   Space &activeDynamic() { return ActiveIsA ? DynamicA : DynamicB; }
   const Space &activeDynamic() const { return ActiveIsA ? DynamicA : DynamicB; }
@@ -99,6 +105,28 @@ private:
   void collectMinor();
   void collectIntermediate();
   void collectMajor();
+
+  /// Moves a space's contents (live stragglers after a failed evacuation,
+  /// plus whatever garbage rode along) into the pinned set and re-creates
+  /// the member empty at the same capacity. Region stamps in the pinned
+  /// objects' headers are untouched, so region-based condemned predicates
+  /// still see them. No-op for an empty space.
+  void pinIfUsed(Space &S);
+
+  /// Recovery rebuild used while degraded: condemns *everything* outside
+  /// a fresh space of \p TargetWords words (contains-based predicate, so
+  /// pinned stragglers are re-tried regardless of their region stamps) and
+  /// evacuates serially. On success all generations are whole again; on
+  /// another failure every used space joins the pinned set and the partial
+  /// copy becomes the active dynamic semispace.
+  void recoveryRebuild(size_t TargetWords);
+
+  /// Rebuild target that guarantees fit (used words bound live words),
+  /// clamped to the heap's capacity ceiling.
+  size_t defaultRecoveryTargetWords() const;
+
+  size_t pinnedUsedWords() const;
+  size_t usedWordsEverywhere() const;
 
   /// Guarantees the idle semispace can absorb a major collection's worst
   /// case (promotion-failure hardening), enlarging it if permitted. When a
@@ -129,8 +157,16 @@ private:
   std::unique_ptr<Space> Intermediate; ///< Null in the 2-gen configuration.
   Space DynamicA;
   Space DynamicB;
+  /// Spaces whose evacuation failed, still holding live stragglers. Never
+  /// reset or poisoned; emptied only by a successful recovery rebuild.
+  std::vector<Space> Pinned;
   bool ActiveIsA = true;
   RememberedSet RemSet;
+  /// Set when a remembered-set insert was dropped (injected fault): the
+  /// next collection must condemn every generation the missed edge could
+  /// span, i.e. run major, because a minor scavenge would trust the
+  /// now-incomplete set.
+  bool ForceMajorNext = false;
   uint8_t LastAllocRegion = RegionNursery;
   size_t LastLiveWords = 0;
   uint64_t MinorCount = 0;

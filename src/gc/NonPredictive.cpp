@@ -7,6 +7,7 @@
 #include "gc/NonPredictive.h"
 
 #include "gc/CopyScavenger.h"
+#include "gc/EvacuationFailure.h"
 #include "heap/Heap.h"
 #include "observe/GcTracer.h"
 #include "parallel/ParallelScavenger.h"
@@ -197,6 +198,15 @@ void NonPredictiveCollector::onPointerStore(Value Holder, Value Stored) {
   uint8_t StoredRegion = ObjectRef(Stored).region();
   if (StoredRegion == RegionNursery) {
     // Old-to-ephemeral pointer (hybrid mode, the conventional direction).
+    if (FaultInjector *FI = faultInjector())
+      if (FI->onRemsetInsert()) {
+        // Dropped entry: compensate by forcing a full (j = 0) collection,
+        // which condemns everything the missed edge could span and
+        // rebuilds the old-to-nursery set from a whole-heap scan.
+        stats().noteRemsetFaultDrop();
+        ForceFullNext = true;
+        return;
+      }
     if (RemSet.insert(Holder.asHeaderPtr())) {
       stats().noteRememberedSetInsert();
       RemsetPeak = std::max(RemsetPeak, RemSet.size());
@@ -208,6 +218,12 @@ void NonPredictiveCollector::onPointerStore(Value Holder, Value Stored) {
     return;
   size_t StoredStep = logicalOfRegion(StoredRegion);
   if (StoredStep > J) {
+    if (FaultInjector *FI = faultInjector())
+      if (FI->onRemsetInsert()) {
+        stats().noteRemsetFaultDrop();
+        ForceFullNext = true;
+        return;
+      }
     if (RemSet.insert(Holder.asHeaderPtr())) {
       stats().noteRememberedSetInsert();
       RemsetPeak = std::max(RemsetPeak, RemSet.size());
@@ -269,6 +285,13 @@ size_t NonPredictiveCollector::acquireBuffer() {
 }
 
 void NonPredictiveCollector::collect() {
+  if (ForceFullNext) {
+    // A remembered-set insert was dropped; no minor collection may trust
+    // the set until a j = 0 cycle has re-traced every edge it could have
+    // recorded.
+    collectWithJ(0);
+    return;
+  }
   if (!Nursery) {
     collectWithJ(J);
     return;
@@ -305,25 +328,25 @@ void NonPredictiveCollector::collectMinor() {
     if (!Mem && addSteps(1))
       Mem = tryAllocateInSteps(Words);
     if (!Mem)
-      reportFatalError("step heap exhausted during nursery promotion");
+      return CopyTarget{}; // Exhausted: the scavenger self-forwards.
     LowestPromotedStep = std::min(LowestPromotedStep, CurrentLogical);
     return CopyTarget{Mem, LastAllocRegion};
   };
-  // Parallel gate: on top of the usual conditions (workers requested, no
-  // observer, headroom), promotion only runs parallel in the uncapped
-  // configuration — addSteps then absorbs both a mid-promotion shortfall
-  // and the PLAB tail padding, exactly as it absorbs serial packing
-  // slack. Chunks never exceed a step, so a refill always fits a fresh
-  // step. Every remembered holder lives in the step heap and is therefore
-  // never condemned here.
+  // Parallel gate: workers requested and no observer (the engine cannot
+  // invoke the thread-oblivious observer hooks). Promotion only runs
+  // parallel in the uncapped configuration — addSteps then absorbs both a
+  // mid-promotion shortfall and the PLAB tail padding, exactly as it
+  // absorbs serial packing slack; a capped promotion that comes up short
+  // self-forwards the victims and completes degraded instead. Chunks
+  // never exceed a step, so a refill always fits a fresh step. Every
+  // remembered holder lives in the step heap and is therefore never
+  // condemned here.
   unsigned Threads = effectiveGcThreads();
   size_t EngineChunkWords = std::min(Plab::DefaultChunkWords, StepWords);
-  bool Parallel =
-      Threads >= 2 && H->observer() == nullptr &&
-      capacityLimitWords() == 0 &&
-      parallelEvacuationFits(Nursery->usedWords(), /*LiveEstimateWords=*/0,
-                             stepsFreeWords(), Threads, EngineChunkWords);
+  bool Parallel = Threads >= 2 && H->observer() == nullptr &&
+                  capacityLimitWords() == 0 && !DegradedPending;
   uint64_t WordsCopied = 0;
+  bool Degraded = false;
 
   if (Parallel) {
     ParallelScavenger Scavenger(
@@ -339,7 +362,7 @@ void NonPredictiveCollector::collectMinor() {
           LowestPromotedStep = std::min(LowestPromotedStep, CurrentLogical);
           return PlabChunk{Mem, LastAllocRegion};
         },
-        Threads, EngineChunkWords);
+        Threads, EngineChunkWords, faultInjector(), watchdogMicros());
     Timer.begin(GcPhase::RootScan);
     std::vector<Value *> Roots;
     H->forEachRoot([&](Value &Slot) {
@@ -360,11 +383,26 @@ void NonPredictiveCollector::collectMinor() {
     WordsCopied = Scavenger.wordsCopied();
     Record.Workers = Scavenger.workerStats();
     Timer.begin(GcPhase::Sweep);
+    if (Scavenger.evacuationFailed()) {
+      applyOutcome(Record, Scavenger.outcome());
+      Scavenger.restoreSelfForwards();
+      if (Scavenger.aborted())
+        // Remembered holders all live in the step heap, which a minor
+        // collection never condemns, so every holder is safe to rescan.
+        completeAbortedCycle(
+            [&](auto &&VisitRoot) { H->forEachRoot(VisitRoot); },
+            [&](auto &&VisitHolder) {
+              for (uint64_t *Holder : Holders)
+                VisitHolder(Holder);
+            });
+      Degraded = true;
+    }
   } else {
     auto InCondemned = [](const uint64_t *Header) {
       return header::region(*Header) == RegionNursery;
     };
-    CopyScavenger Scavenger(InCondemned, AllocateTo, H->observer());
+    CopyScavenger Scavenger(InCondemned, AllocateTo, H->observer(),
+                            faultInjector());
 
     Timer.begin(GcPhase::RootScan);
     H->forEachRoot([&](Value &Slot) {
@@ -382,18 +420,48 @@ void NonPredictiveCollector::collectMinor() {
     WordsCopied = Scavenger.wordsCopied();
 
     Timer.begin(GcPhase::Sweep);
+    if (Scavenger.evacuationFailed()) {
+      Record.EvacuationFailed = true;
+      Record.SelfForwardedObjects = Scavenger.selfForwardedObjects();
+      Record.SelfForwardedWords = Scavenger.selfForwardedWords();
+      Degraded = true;
+    }
     HeapObserver *Obs = H->observer();
-    if (Obs)
+    if (Obs && !Degraded)
       Nursery->forEachObject([&](uint64_t *Header) {
+        // Padding may remain from a scrubbed earlier failure; it is not
+        // an object death.
+        if (header::tag(*Header) == ObjectTag::Padding)
+          return;
         if (!ObjectRef(Header).isForwarded())
           Obs->onDeath(Header, ObjectRef(Header).totalWords());
       });
+    Scavenger.restoreSelfForwards();
   }
 
   size_t NurseryUsed = Nursery->usedWords();
-  Nursery->reset();
-  if (poisonFreedMemory())
-    Nursery->poisonFreeWords(PoisonPattern);
+  if (Degraded) {
+    // Stragglers survived in place: the nursery is not reset, so the next
+    // collection condemns and re-tries them (garbage rides along, and its
+    // deaths are reported when the space is actually reclaimed). Stale
+    // forwards left by the promoted objects are scrubbed so whole-nursery
+    // walks (promotion-fit measurement, re-remembering) stay walkable.
+    // Retries run serially until a full cycle completes healthy (a healthy
+    // minor alone cannot clean straggler step buffers).
+    DegradedPending = true;
+    // Promoted survivors may now hold step-to-nursery pointers at the
+    // stragglers — edges created by the copy itself, which no write
+    // barrier saw, so the remembered set is missing their holders. A
+    // follow-up minor trusting the set would miss the stragglers and
+    // reset the nursery under them; force a j = 0 cycle, which condemns
+    // every step and scans every live holder directly.
+    ForceFullNext = true;
+    scrubStaleForwards(*Nursery);
+  } else {
+    Nursery->reset();
+    if (poisonFreedMemory())
+      Nursery->poisonFreeWords(PoisonPattern);
+  }
 
   // If promotion reached the exempt steps, shrink the exemption below the
   // promotion frontier: promoted objects then sit in the collected region
@@ -405,29 +473,35 @@ void NonPredictiveCollector::collectMinor() {
 
   // Re-filter the remembered set (Section 8.4): after promote-all no
   // nursery pointers remain, so keep only holders that still have a
-  // pointer from steps 1..j into steps j+1..k.
-  std::vector<uint64_t *> Kept;
-  RemSet.forEach([&](uint64_t *Holder) {
-    size_t HolderStep = logicalOfRegion(header::region(*Holder));
-    if (HolderStep == 0 || HolderStep > J)
-      return;
-    bool Interesting = false;
-    ObjectRef(Holder).forEachPointerSlot([&](uint64_t *SlotWord) {
-      Value V = Value::fromRawBits(*SlotWord);
-      if (V.isPointer() && ObjectRef(V).region() != RegionNursery &&
-          logicalOfRegion(ObjectRef(V).region()) > J)
-        Interesting = true;
+  // pointer from steps 1..j into steps j+1..k. After a *degraded* minor
+  // the set is instead kept wholesale: stragglers remain in the nursery,
+  // so a holder whose only interesting pointer targets one must stay
+  // remembered (entries whose targets were promoted are stale but
+  // harmless, and the next successful cycle drops them).
+  if (!Degraded) {
+    std::vector<uint64_t *> Kept;
+    RemSet.forEach([&](uint64_t *Holder) {
+      size_t HolderStep = logicalOfRegion(header::region(*Holder));
+      if (HolderStep == 0 || HolderStep > J)
+        return;
+      bool Interesting = false;
+      ObjectRef(Holder).forEachPointerSlot([&](uint64_t *SlotWord) {
+        Value V = Value::fromRawBits(*SlotWord);
+        if (V.isPointer() && ObjectRef(V).region() != RegionNursery &&
+            logicalOfRegion(ObjectRef(V).region()) > J)
+          Interesting = true;
+      });
+      if (Interesting)
+        Kept.push_back(Holder);
     });
-    if (Interesting)
-      Kept.push_back(Holder);
-  });
-  RemSet.clear();
-  for (uint64_t *Holder : Kept)
-    RemSet.insert(Holder);
+    RemSet.clear();
+    for (uint64_t *Holder : Kept)
+      RemSet.insert(Holder);
+  }
 
-  LastLiveWords = WordsCopied;
+  LastLiveWords = WordsCopied + (Degraded ? Nursery->usedWords() : 0);
   Record.WordsTraced = WordsCopied;
-  Record.WordsReclaimed = NurseryUsed - WordsCopied;
+  Record.WordsReclaimed = Degraded ? 0 : NurseryUsed - WordsCopied;
   Record.LiveWordsAfter = LastLiveWords;
   finishCollection(Record, Timer);
 }
@@ -478,6 +552,11 @@ void NonPredictiveCollector::collectWithJ(size_t CollectJ) {
     }
   }
   ++CollectionCount;
+  if (CollectJ == 0)
+    // A full condemnation re-traces (or, for an unpromoted nursery,
+    // re-remembers from a whole-heap scan) every edge a dropped
+    // remembered-set insert could have lost.
+    ForceFullNext = false;
 
   CollectionRecord Record;
   Record.WordsAllocatedBefore = stats().wordsAllocated();
@@ -515,9 +594,10 @@ void NonPredictiveCollector::collectWithJ(size_t CollectJ) {
   size_t EngineChunkWords = std::min(Plab::DefaultChunkWords, StepWords);
   size_t AcquirableBuffers = FreePool.size() + (254 - Buffers.size());
   bool Parallel = Threads >= 2 && H->observer() == nullptr &&
-                  capacityLimitWords() == 0 &&
+                  capacityLimitWords() == 0 && !DegradedPending &&
                   AcquirableBuffers >= (K - CollectJ) + Threads + 2;
   uint64_t WordsCopied = 0;
+  bool Degraded = false;
 
   if (Parallel) {
     assert(PromoteNursery == (Nursery != nullptr) &&
@@ -535,7 +615,7 @@ void NonPredictiveCollector::collectWithJ(size_t CollectJ) {
           CopyTarget T = AllocateTo(Words);
           return PlabChunk{T.Mem, T.Region};
         },
-        Threads, EngineChunkWords);
+        Threads, EngineChunkWords, faultInjector(), watchdogMicros());
     Timer.begin(GcPhase::RootScan);
     std::vector<Value *> Roots;
     H->forEachRoot([&](Value &Slot) {
@@ -560,6 +640,20 @@ void NonPredictiveCollector::collectWithJ(size_t CollectJ) {
     Scavenger.finish();
     WordsCopied = Scavenger.wordsCopied();
     Record.Workers = Scavenger.workerStats();
+    if (Scavenger.evacuationFailed()) {
+      applyOutcome(Record, Scavenger.outcome());
+      Scavenger.restoreSelfForwards();
+      if (Scavenger.aborted())
+        // Holders was already filtered to non-condemned regions, so every
+        // entry is safe to rescan directly.
+        completeAbortedCycle(
+            [&](auto &&VisitRoot) { H->forEachRoot(VisitRoot); },
+            [&](auto &&VisitHolder) {
+              for (uint64_t *Holder : Holders)
+                VisitHolder(Holder);
+            });
+      Degraded = true;
+    }
   } else {
     auto InCondemned = [this, CollectJ,
                         PromoteNursery](const uint64_t *Header) {
@@ -569,7 +663,8 @@ void NonPredictiveCollector::collectWithJ(size_t CollectJ) {
       return logicalOfRegion(Region) > CollectJ;
     };
 
-    CopyScavenger Scavenger(InCondemned, AllocateTo, H->observer());
+    CopyScavenger Scavenger(InCondemned, AllocateTo, H->observer(),
+                            faultInjector());
 
     Timer.begin(GcPhase::RootScan);
     H->forEachRoot([&](Value &Slot) {
@@ -596,33 +691,66 @@ void NonPredictiveCollector::collectWithJ(size_t CollectJ) {
     Timer.begin(GcPhase::Trace);
     Scavenger.drain();
     WordsCopied = Scavenger.wordsCopied();
+    if (Scavenger.evacuationFailed()) {
+      Record.EvacuationFailed = true;
+      Record.SelfForwardedObjects = Scavenger.selfForwardedObjects();
+      Record.SelfForwardedWords = Scavenger.selfForwardedWords();
+      Degraded = true;
+    }
+    Scavenger.restoreSelfForwards();
   }
 
   Timer.begin(GcPhase::Sweep);
-  // --- Report deaths and recycle the condemned buffers.
+  // Retries of degraded state run serially until a full cycle like this
+  // one completes healthy (see DegradedPending).
+  DegradedPending = Degraded;
+  // --- Report deaths and recycle the condemned buffers. On a degraded
+  // cycle (evacuation failure or watchdog abort) any condemned storage
+  // still holding objects is kept in service instead: stragglers survived
+  // in place, garbage rides along, and the next cycle — which condemns
+  // the kept buffers again — re-tries them. Deaths in kept storage are
+  // reported when it is actually reclaimed, so each death is reported
+  // exactly once (late, never twice).
   size_t CondemnedUsed = 0;
   HeapObserver *Obs = H->observer();
+  auto ReportDeaths = [&](Space &S) {
+    S.forEachObject([&](uint64_t *Header) {
+      // Padding may remain from a scrubbed earlier failure (or PLAB
+      // tails); it is not an object death.
+      if (header::tag(*Header) == ObjectTag::Padding)
+        return;
+      if (!ObjectRef(Header).isForwarded())
+        Obs->onDeath(Header, ObjectRef(Header).totalWords());
+    });
+  };
   if (Nursery && PromoteNursery) {
     CondemnedUsed += Nursery->usedWords();
-    if (Obs)
-      Nursery->forEachObject([&](uint64_t *Header) {
-        if (!ObjectRef(Header).isForwarded())
-          Obs->onDeath(Header, ObjectRef(Header).totalWords());
-      });
-    Nursery->reset();
-    if (poisonFreedMemory())
-      Nursery->poisonFreeWords(PoisonPattern);
+    if (Degraded) {
+      scrubStaleForwards(*Nursery);
+    } else {
+      if (Obs)
+        ReportDeaths(*Nursery);
+      Nursery->reset();
+      if (poisonFreedMemory())
+        Nursery->poisonFreeWords(PoisonPattern);
+    }
   }
   std::vector<uint16_t> RecycledBuffers;
+  std::vector<uint16_t> StragglerBuffers;
   for (size_t Step = CollectJ + 1; Step <= K; ++Step) {
     uint16_t Phys = LogicalToPhysical[Step - 1];
     Space &S = *Buffers[Phys];
     CondemnedUsed += S.usedWords();
-    if (Obs)
-      S.forEachObject([&](uint64_t *Header) {
-        if (!ObjectRef(Header).isForwarded())
-          Obs->onDeath(Header, ObjectRef(Header).totalWords());
-      });
+    if (Degraded && !S.isEmpty()) {
+      // Keep the buffer mapped as a step; scrub the stale forwards so
+      // whole-space walks (re-remembering, liveness measurement) never
+      // meet a Forward tag.
+      scrubStaleForwards(S);
+      StragglerBuffers.push_back(Phys);
+      continue;
+    }
+    if (Obs && !Degraded)
+      ReportDeaths(S);
     S.reset();
     if (poisonFreedMemory())
       S.poisonFreeWords(PoisonPattern);
@@ -640,15 +768,20 @@ void NonPredictiveCollector::collectWithJ(size_t CollectJ) {
     ToBuffers.clear();
     M = 0;
   }
+  size_t SCount = StragglerBuffers.size();
   size_t CollectedSlots = K - CollectJ;
-  if (M > CollectedSlots) {
-    // Promote-all overflow: the nursery's survivors (plus packing slack)
-    // needed more room than the vacated region. Absorb the overflow by
-    // keeping the extra survivor buffers as new steps — k grows, the steps
-    // stay equal-sized, and no data moves again. The capped configuration
-    // never reaches here: it leaves the nursery unpromoted instead.
-    K += M - CollectedSlots;
-    CollectedSlots = M;
+  if (M + SCount > CollectedSlots) {
+    // Promote-all overflow: the nursery's survivors (plus packing slack,
+    // plus any kept straggler buffers) needed more room than the vacated
+    // region. Absorb the overflow by keeping the extra buffers as new
+    // steps — k grows, the steps stay equal-sized, and no data moves
+    // again. The capped configuration only reaches here degraded (its
+    // healthy cycles leave the nursery unpromoted instead); no new
+    // storage is allocated by the growth, so like the other collectors'
+    // recovery paths it may transiently overshoot the capacity ceiling
+    // until the kept buffers are reclaimed.
+    K += M + SCount - CollectedSlots;
+    CollectedSlots = M + SCount;
     stats().noteHeapGrowth();
   }
 
@@ -659,8 +792,12 @@ void NonPredictiveCollector::collectWithJ(size_t CollectJ) {
   // Survivor buffers: first-filled gets the highest new number.
   for (size_t I = 0; I < M; ++I)
     NewLogical[CollectedSlots - 1 - I] = ToBuffers[I];
+  // Kept straggler buffers sit just below the survivors — inside the
+  // collected region, so the next cycle condemns and re-tries them.
+  for (size_t I = 0; I < SCount; ++I)
+    NewLogical[CollectedSlots - M - 1 - I] = StragglerBuffers[I];
   // Leading steps are empty recycled buffers.
-  for (size_t Slot = 0; Slot < CollectedSlots - M; ++Slot) {
+  for (size_t Slot = 0; Slot < CollectedSlots - M - SCount; ++Slot) {
     assert(!RecycledBuffers.empty() && "not enough buffers to rebuild steps");
     NewLogical[Slot] = RecycledBuffers.back();
     RecycledBuffers.pop_back();
@@ -675,11 +812,12 @@ void NonPredictiveCollector::collectWithJ(size_t CollectJ) {
     PhysicalToLogical[LogicalToPhysical[I]] = static_cast<uint16_t>(I + 1);
 
   RemSet.clear();
-  if (Nursery && !PromoteNursery)
+  if (Nursery && (!PromoteNursery || Degraded))
     // Re-remember every step object still holding a nursery pointer: the
     // pending minor collection treats those slots as nursery roots. (After
-    // a promote-all cycle no nursery pointers exist and the clear alone is
-    // correct.)
+    // a healthy promote-all cycle no nursery pointers exist and the clear
+    // alone is correct; a degraded one leaves stragglers in the nursery,
+    // so their step-heap holders must be re-remembered.)
     for (size_t Step = 1; Step <= K; ++Step)
       logicalStep(Step).forEachObject([&](uint64_t *Header) {
         bool HoldsNurseryPointer = false;
@@ -701,14 +839,20 @@ void NonPredictiveCollector::collectWithJ(size_t CollectJ) {
   CurrentLogical = K;
   updateFastWindow();
 
-  // --- Accounting. The exempt steps are assumed live (Section 4).
+  // --- Accounting. The exempt steps are assumed live (Section 4), and so
+  // is anything kept in place by a degraded cycle.
   size_t ExemptUsed = 0;
   for (size_t Step = CollectedSlots + 1; Step <= K; ++Step)
     ExemptUsed += logicalStep(Step).usedWords();
-  LastLiveWords = WordsCopied + ExemptUsed;
+  size_t KeptUsed = 0;
+  for (uint16_t Phys : StragglerBuffers)
+    KeptUsed += Buffers[Phys]->usedWords();
+  if (Degraded && Nursery && PromoteNursery)
+    KeptUsed += Nursery->usedWords();
+  LastLiveWords = WordsCopied + ExemptUsed + KeptUsed;
 
   Record.WordsTraced = WordsCopied;
-  Record.WordsReclaimed = CondemnedUsed - WordsCopied;
+  Record.WordsReclaimed = Degraded ? 0 : CondemnedUsed - WordsCopied;
   Record.LiveWordsAfter = LastLiveWords;
   finishCollection(Record, Timer);
 

@@ -229,6 +229,19 @@ private:
   std::vector<uint16_t> FreePool;
 
   size_t CurrentLogical; ///< Allocation proceeds from here downward.
+  /// Set when a remembered-set insert was dropped (injected fault): the
+  /// next collection must be collectWithJ(0), which condemns every step
+  /// (and promotes or re-remembers the nursery), so no edge the missing
+  /// entry could have recorded goes unscanned. Cleared only when a j = 0
+  /// cycle actually proceeds past its refusal checks.
+  bool ForceFullNext = false;
+  /// Set while degraded state is outstanding (a failed cycle left
+  /// stragglers in the nursery or in kept step buffers). Retry cycles run
+  /// serially until one completes healthy — the same rule the other
+  /// copying collectors apply to their recovery rebuilds — so recovery
+  /// makes progress even in an environment where every parallel cycle
+  /// aborts (e.g. a tight watchdog on an oversubscribed machine).
+  bool DegradedPending = false;
   /// Step-heap objects that may hold an interesting pointer: into steps
   /// j+1..k from steps 1..j (Section 8.3), or — hybrid mode — into the
   /// nursery. Entries are re-filtered when traced, per Section 8.4.

@@ -7,6 +7,7 @@
 #include "gc/StopAndCopy.h"
 
 #include "gc/CopyScavenger.h"
+#include "gc/EvacuationFailure.h"
 #include "heap/Heap.h"
 #include "observe/GcTracer.h"
 #include "parallel/ParallelScavenger.h"
@@ -35,15 +36,42 @@ uint64_t *StopAndCopyCollector::tryAllocate(size_t Words) {
 }
 
 size_t StopAndCopyCollector::capacityWords() const {
-  return Active.capacityWords() + Idle.capacityWords();
+  size_t Total = Active.capacityWords() + Idle.capacityWords();
+  for (const Space &S : Pinned)
+    Total += S.capacityWords();
+  return Total;
 }
 
 size_t StopAndCopyCollector::freeWords() const { return Active.freeWords(); }
 
+size_t StopAndCopyCollector::pinnedUsedWords() const {
+  size_t Total = 0;
+  for (const Space &S : Pinned)
+    Total += S.usedWords();
+  return Total;
+}
+
+size_t StopAndCopyCollector::usedWordsAllSpaces() const {
+  return Active.usedWords() + pinnedUsedWords();
+}
+
+size_t StopAndCopyCollector::defaultRecoveryTargetWords() const {
+  // Used words bound live words, so a target this size cannot fail to fit
+  // — unless the capacity ceiling forces it smaller, in which case the
+  // rebuild may fail again and the ladder escalates toward HeapExhausted.
+  size_t Target = std::max(Active.capacityWords(), usedWordsAllSpaces());
+  // The ceiling is checked against the steady state (two semispaces of
+  // Target words); the rebuild itself transiently overshoots while the old
+  // spaces are still pinned.
+  if (!withinCapacityLimit(Target * 2))
+    Target = std::max<size_t>(capacityLimitWords() / 2, 2);
+  return Target;
+}
+
 bool StopAndCopyCollector::tryGrowHeap(size_t MinWords) {
   // At least double so growth amortizes, and always enough that the live
   // data plus the pending request fit the new semispace.
-  size_t MinNewWords = Active.usedWords() + MinWords;
+  size_t MinNewWords = usedWordsAllSpaces() + MinWords;
   size_t NewWords = std::max(Active.capacityWords() * 2, MinNewWords);
   // Honor the heap's capacity ceiling (total = both semispaces), shrinking
   // the request to the largest semispace that still fits; refuse when even
@@ -52,6 +80,13 @@ bool StopAndCopyCollector::tryGrowHeap(size_t MinWords) {
     NewWords = capacityLimitWords() / 2;
     if (NewWords < MinNewWords || NewWords <= Active.capacityWords())
       return false;
+  }
+  if (degraded()) {
+    // Growth and recovery are the same operation here: rebuild everything
+    // into a fresh space big enough for all survivors plus the pending
+    // request. Growth succeeded only if the rebuild drained the pins.
+    recoveryCollect(NewWords);
+    return !degraded();
   }
   // Evacuate into an enlarged to-space (collect flips into it), then
   // retire the old, smaller semispace.
@@ -65,6 +100,13 @@ void StopAndCopyCollector::collect() {
   Heap *H = heap();
   assert(H && "collector not attached to a heap");
 
+  if (degraded()) {
+    // Survivors are split across Active and the pinned spaces; the only
+    // way back to two clean semispaces is a rebuild condemning them all.
+    recoveryCollect(defaultRecoveryTargetWords());
+    return;
+  }
+
   CollectionRecord Record;
   Record.WordsAllocatedBefore = stats().wordsAllocated();
   GcPhaseTimer Timer(H->tracer() != nullptr);
@@ -74,13 +116,17 @@ void StopAndCopyCollector::collect() {
   uint8_t ToRegion = ActiveRegion == 1 ? 2 : 1;
 
   // The parallel scavenger cannot invoke the (thread-oblivious) observer
-  // hooks, and needs PLAB headroom in to-space; fail either gate and the
-  // cycle runs today's serial path unchanged.
+  // hooks; with an observer installed the cycle runs the serial path.
   unsigned Threads = effectiveGcThreads();
-  bool Parallel = Threads >= 2 && H->observer() == nullptr &&
-                  parallelEvacuationFits(From.usedWords(), LastLiveWords,
-                                         To.freeWords(), Threads);
+  // Capped heaps stay serial: their ladder semantics (exhaustion surfaces
+  // as a recoverable fault once recovery cannot fit the live data under
+  // the ceiling) depend on the serial path's exact accounting, and a
+  // parallel cycle's PLAB waste could overflow a to-space the serial copy
+  // fits exactly.
+  bool Parallel =
+      Threads >= 2 && H->observer() == nullptr && capacityLimitWords() == 0;
   uint64_t WordsCopied = 0;
+  bool Degraded = false;
 
   if (Parallel) {
     ParallelScavenger Scavenger(
@@ -88,7 +134,7 @@ void StopAndCopyCollector::collect() {
         [&To, ToRegion](size_t Words) {
           return PlabChunk{To.tryAllocate(Words), ToRegion};
         },
-        Threads);
+        Threads, Plab::DefaultChunkWords, faultInjector(), watchdogMicros());
     Timer.begin(GcPhase::RootScan);
     std::vector<Value *> Roots;
     H->forEachRoot([&](Value &Slot) {
@@ -102,13 +148,25 @@ void StopAndCopyCollector::collect() {
     WordsCopied = Scavenger.wordsCopied();
     Record.Workers = Scavenger.workerStats();
     Timer.begin(GcPhase::Sweep);
+    if (Scavenger.evacuationFailed()) {
+      applyOutcome(Record, Scavenger.outcome());
+      // Restoration must precede the abort walk: the walk treats a
+      // self-forward (forward-to-self) as a chain terminator only as a
+      // guard, and restored stragglers scan as ordinary objects.
+      Scavenger.restoreSelfForwards();
+      if (Scavenger.aborted())
+        completeAbortedCycle(
+            [&](auto &&VisitRoot) { H->forEachRoot(VisitRoot); },
+            [](auto &&) {});
+      Degraded = true;
+    }
   } else {
     CopyScavenger Scavenger(
         [&From](const uint64_t *P) { return From.contains(P); },
         [&To, ToRegion](size_t Words) {
           return CopyTarget{To.tryAllocate(Words), ToRegion};
         },
-        H->observer());
+        H->observer(), faultInjector());
 
     Timer.begin(GcPhase::RootScan);
     H->forEachRoot([&](Value &Slot) {
@@ -121,26 +179,129 @@ void StopAndCopyCollector::collect() {
 
     Timer.begin(GcPhase::Sweep);
     // Report deaths: anything left unforwarded in from-space did not
-    // survive.
+    // survive. Self-forwarded stragglers still carry Forward headers here,
+    // so they correctly count as survivors; restore after.
     if (HeapObserver *Obs = H->observer())
       From.forEachObject([&](uint64_t *Header) {
         if (!ObjectRef(Header).isForwarded())
           Obs->onDeath(Header, ObjectRef(Header).totalWords());
       });
+    if (Scavenger.evacuationFailed()) {
+      Record.EvacuationFailed = true;
+      Record.SelfForwardedObjects = Scavenger.selfForwardedObjects();
+      Record.SelfForwardedWords = Scavenger.selfForwardedWords();
+      Degraded = true;
+    }
+    Scavenger.restoreSelfForwards();
   }
 
   size_t FromUsed = From.usedWords();
-  From.reset();
-  if (poisonFreedMemory())
-    From.poisonFreeWords(PoisonPattern);
-  std::swap(Active, Idle);
-  ActiveRegion = ToRegion;
-  LastLiveWords = Active.usedWords();
+  if (Degraded) {
+    // From-space still holds live stragglers (and, after an abort,
+    // objects that were never reached): pin it untouched. Nothing is
+    // reclaimed this cycle; recoveryCollect earns it back.
+    Pinned.push_back(std::move(Active));
+    Active = std::move(Idle);
+    Idle = Space(2); // Placeholder until a recovery rebuild succeeds.
+    ActiveRegion = ToRegion;
+    LastLiveWords = Active.usedWords() + pinnedUsedWords();
+    Record.WordsReclaimed = 0;
+  } else {
+    From.reset();
+    if (poisonFreedMemory())
+      From.poisonFreeWords(PoisonPattern);
+    std::swap(Active, Idle);
+    ActiveRegion = ToRegion;
+    LastLiveWords = Active.usedWords();
+    Record.WordsReclaimed = FromUsed - WordsCopied;
+  }
   publishAllocationWindow(&Active, ActiveRegion, Active.capacityWords());
 
   Record.WordsTraced = WordsCopied;
-  Record.WordsReclaimed = FromUsed - WordsCopied;
   Record.LiveWordsAfter = LastLiveWords;
   Record.Kind = 0;
+  finishCollection(Record, Timer);
+}
+
+void StopAndCopyCollector::recoveryCollect(size_t TargetWords) {
+  Heap *H = heap();
+  assert(H && "collector not attached to a heap");
+  assert(degraded() && "recovery rebuild without pinned spaces");
+
+  CollectionRecord Record;
+  Record.WordsAllocatedBefore = stats().wordsAllocated();
+  GcPhaseTimer Timer(H->tracer() != nullptr);
+
+  size_t UsedSum = usedWordsAllSpaces();
+  uint8_t FreshRegion = ActiveRegion == 1 ? 2 : 1;
+  Space Fresh(std::max<size_t>(TargetWords, 2));
+
+  // Always serial: the degraded state is rare, correctness-critical, and
+  // the union-condemned predicate spans several spaces.
+  CopyScavenger Scavenger(
+      [this](const uint64_t *P) {
+        if (Active.contains(P))
+          return true;
+        for (const Space &S : Pinned)
+          if (S.contains(P))
+            return true;
+        return false;
+      },
+      [&Fresh, FreshRegion](size_t Words) {
+        return CopyTarget{Fresh.tryAllocate(Words), FreshRegion};
+      },
+      H->observer(), faultInjector());
+
+  Timer.begin(GcPhase::RootScan);
+  H->forEachRoot([&](Value &Slot) {
+    ++Record.RootsScanned;
+    Scavenger.scavenge(Slot);
+  });
+  Timer.begin(GcPhase::Trace);
+  Scavenger.drain();
+  uint64_t WordsCopied = Scavenger.wordsCopied();
+
+  Timer.begin(GcPhase::Sweep);
+  if (HeapObserver *Obs = H->observer()) {
+    auto ReportDeaths = [&](const Space &S) {
+      S.forEachObject([&](uint64_t *Header) {
+        if (!ObjectRef(Header).isForwarded())
+          Obs->onDeath(Header, ObjectRef(Header).totalWords());
+      });
+    };
+    ReportDeaths(Active);
+    for (const Space &S : Pinned)
+      ReportDeaths(S);
+  }
+  bool StillDegraded = Scavenger.evacuationFailed();
+  if (StillDegraded) {
+    Record.EvacuationFailed = true;
+    Record.SelfForwardedObjects = Scavenger.selfForwardedObjects();
+    Record.SelfForwardedWords = Scavenger.selfForwardedWords();
+  }
+  Scavenger.restoreSelfForwards();
+
+  if (!StillDegraded) {
+    // Healthy again: every survivor is in Fresh. Drop the old spaces and
+    // restore the semispace pair at the (possibly grown) rebuild size.
+    Pinned.clear();
+    Active = std::move(Fresh);
+    Idle = Space(Active.capacityWords());
+    Record.WordsReclaimed = UsedSum - WordsCopied;
+  } else {
+    // The rebuild itself ran out of room: the old active space joins the
+    // pinned set and the partial copy becomes the new active space.
+    Pinned.push_back(std::move(Active));
+    Active = std::move(Fresh);
+    Idle = Space(2);
+    Record.WordsReclaimed = 0;
+  }
+  ActiveRegion = FreshRegion;
+  LastLiveWords = Active.usedWords() + pinnedUsedWords();
+  publishAllocationWindow(&Active, ActiveRegion, Active.capacityWords());
+
+  Record.WordsTraced = WordsCopied;
+  Record.LiveWordsAfter = LastLiveWords;
+  Record.Kind = CollectionKindRecovery;
   finishCollection(Record, Timer);
 }

@@ -10,6 +10,11 @@
 /// baseline from Table 3 of the paper and one of the two non-generational
 /// reference points for the analysis in Section 5.
 ///
+/// Evacuation failure pins the exhausted from-space (survivors stay split
+/// between it and the new active space) and subsequent collections run a
+/// recovery rebuild into a single fresh space until the heap is whole
+/// again; see DESIGN.md §13.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef RDGC_GC_STOPANDCOPY_H
@@ -17,6 +22,8 @@
 
 #include "heap/Space.h"
 #include "heap/Collector.h"
+
+#include <vector>
 
 namespace rdgc {
 
@@ -38,9 +45,30 @@ public:
   /// Semispace size in words (for load-factor reporting).
   size_t semispaceWords() const { return Active.capacityWords(); }
 
+  /// True while a past evacuation failure has survivors pinned outside the
+  /// active semispace (collections run recovery rebuilds until it clears).
+  bool degraded() const { return !Pinned.empty(); }
+
 private:
+  /// Rebuild collection used while degraded: condemns Active plus every
+  /// pinned space and evacuates serially into one fresh space of
+  /// \p TargetWords words. On success the two-semispace pair is restored
+  /// at that size; on another failure the old active space joins Pinned.
+  void recoveryCollect(size_t TargetWords);
+
+  /// Rebuild target that guarantees fit (all used words could be live),
+  /// clamped to the heap's capacity ceiling.
+  size_t defaultRecoveryTargetWords() const;
+
+  size_t usedWordsAllSpaces() const;
+  size_t pinnedUsedWords() const;
+
   Space Active;
   Space Idle;
+  /// From-spaces of failed evacuations, still holding live stragglers.
+  /// Never reset or poisoned; emptied only by a successful recovery
+  /// rebuild.
+  std::vector<Space> Pinned;
   uint8_t ActiveRegion = 1; ///< Toggles 1/2 on each flip.
   size_t LastLiveWords = 0;
 };

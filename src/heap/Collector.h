@@ -25,6 +25,7 @@
 
 namespace rdgc {
 
+class FaultInjector;
 class GcPhaseTimer;
 class Heap;
 
@@ -160,6 +161,29 @@ public:
   /// count, it only guards against parsing garbage into a thread bomb.
   static constexpr unsigned MaxGcThreads = 64;
 
+  /// GC watchdog deadline in microseconds: the bound on every wait inside
+  /// a collection cycle (forward-wait spins, the idle-detector spin, the
+  /// worker-pool completion barrier). On expiry the cycle aborts with a
+  /// diagnostic trace event and completes degraded instead of hanging.
+  /// 0 disables the deadline. Initialized by the Heap constructor from
+  /// RDGC_WATCHDOG_US (default DefaultWatchdogMicros); tools running
+  /// injected stalls set it much lower.
+  void setWatchdogMicros(uint64_t Micros) { WatchdogMicrosValue = Micros; }
+  uint64_t watchdogMicros() const { return WatchdogMicrosValue; }
+
+  /// Five wall-clock seconds: longer than any plausible healthy cycle by
+  /// orders of magnitude, short enough that a wedged worker surfaces as a
+  /// diagnosed recoverable failure instead of a silent CI hang.
+  static constexpr uint64_t DefaultWatchdogMicros = 5'000'000;
+
+  /// Deterministic fault injector consulted by the scavenge paths; null in
+  /// production (no overhead). Owned by the Heap facade
+  /// (Heap::installFaultPlan / RDGC_FAULT_PLAN).
+  void setFaultInjector(FaultInjector *Injector) {
+    InstalledInjector = Injector;
+  }
+  FaultInjector *faultInjector() const { return InstalledInjector; }
+
 protected:
   /// Workers a parallel cycle would actually use: 0 when configured
   /// serial, otherwise the configured count. Collectors still apply their
@@ -191,6 +215,8 @@ protected:
 private:
   Heap *AttachedHeap = nullptr;
   size_t CapacityLimitWords = 0;
+  FaultInjector *InstalledInjector = nullptr;
+  uint64_t WatchdogMicrosValue = DefaultWatchdogMicros;
   unsigned GcThreads = 0;
   bool PoisonFreedMemory = false;
   /// Inline-allocation window state; see tryAllocateFast.
@@ -202,6 +228,10 @@ private:
 /// CollectionRecord::Kind value shared by collectors for the evacuation a
 /// tryGrowHeap implementation performs when it is not a plain collection.
 constexpr int CollectionKindGrowth = 6;
+
+/// CollectionRecord::Kind for the rebuild cycle that drains pinned
+/// (evacuation-failure) spaces back into a healthy configuration.
+constexpr int CollectionKindRecovery = 7;
 
 } // namespace rdgc
 

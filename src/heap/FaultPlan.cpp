@@ -1,0 +1,164 @@
+//===- heap/FaultPlan.cpp - Deterministic GC fault injection --------------===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "heap/FaultPlan.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+
+using namespace rdgc;
+
+//===----------------------------------------------------------------------===
+// Spec formatting and parsing.
+//===----------------------------------------------------------------------===
+
+std::string FaultPlan::spec() const {
+  std::string Out = "seed=" + std::to_string(Seed);
+  if (EvacFailAt)
+    Out += ",evac=" + std::to_string(EvacFailAt);
+  if (PlabRefillFailAt)
+    Out += ",plab=" + std::to_string(PlabRefillFailAt);
+  if (StallAt && StallMicros)
+    Out += ",stall=" + std::to_string(StallAt) + "x" +
+           std::to_string(StallMicros);
+  if (RemsetFailAt)
+    Out += ",remset=" + std::to_string(RemsetFailAt);
+  return Out;
+}
+
+static bool parseU64(const char *Text, const char *End, uint64_t &Out) {
+  if (Text == End)
+    return false;
+  uint64_t V = 0;
+  for (const char *P = Text; P != End; ++P) {
+    if (*P < '0' || *P > '9')
+      return false;
+    V = V * 10 + static_cast<uint64_t>(*P - '0');
+  }
+  Out = V;
+  return true;
+}
+
+bool FaultPlan::parse(const char *Spec, FaultPlan &Out, std::string &Error) {
+  if (!Spec || !*Spec) {
+    Error = "empty fault-plan spec";
+    return false;
+  }
+  // A bare decimal number is a derivation seed.
+  uint64_t Seed;
+  if (parseU64(Spec, Spec + std::strlen(Spec), Seed)) {
+    Out = fromSeed(Seed);
+    return true;
+  }
+  FaultPlan Plan;
+  const char *P = Spec;
+  while (*P) {
+    const char *FieldEnd = P;
+    while (*FieldEnd && *FieldEnd != ',')
+      ++FieldEnd;
+    const char *Eq = P;
+    while (Eq != FieldEnd && *Eq != '=')
+      ++Eq;
+    if (Eq == FieldEnd) {
+      Error = std::string("fault-plan field without '=': \"") +
+              std::string(P, FieldEnd) + "\"";
+      return false;
+    }
+    std::string Key(P, Eq);
+    const char *Val = Eq + 1;
+    bool Ok;
+    if (Key == "seed") {
+      Ok = parseU64(Val, FieldEnd, Plan.Seed);
+    } else if (Key == "evac") {
+      Ok = parseU64(Val, FieldEnd, Plan.EvacFailAt);
+    } else if (Key == "plab") {
+      Ok = parseU64(Val, FieldEnd, Plan.PlabRefillFailAt);
+    } else if (Key == "remset") {
+      Ok = parseU64(Val, FieldEnd, Plan.RemsetFailAt);
+    } else if (Key == "stall") {
+      const char *X = Val;
+      while (X != FieldEnd && *X != 'x')
+        ++X;
+      Ok = X != FieldEnd && parseU64(Val, X, Plan.StallAt) &&
+           parseU64(X + 1, FieldEnd, Plan.StallMicros);
+    } else {
+      Error = "unknown fault-plan key \"" + Key + "\"";
+      return false;
+    }
+    if (!Ok) {
+      Error = "malformed fault-plan value for \"" + Key + "\"";
+      return false;
+    }
+    P = *FieldEnd ? FieldEnd + 1 : FieldEnd;
+  }
+  Out = Plan;
+  return true;
+}
+
+//===----------------------------------------------------------------------===
+// Seed derivation. SplitMix64, matching TortureMode's generator.
+//===----------------------------------------------------------------------===
+
+static uint64_t splitMix64(uint64_t &State) {
+  State += 0x9e3779b97f4a7c15ull;
+  uint64_t Z = State;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+  return Z ^ (Z >> 31);
+}
+
+FaultPlan FaultPlan::fromSeed(uint64_t Seed) {
+  FaultPlan Plan;
+  Plan.Seed = Seed;
+  uint64_t State = Seed;
+  uint64_t Kinds = splitMix64(State);
+  // Ensure at least one fault kind is active so every schedule in a sweep
+  // actually exercises a failure path.
+  if ((Kinds & 0xf) == 0)
+    Kinds |= 1;
+  // Positions are drawn unconditionally so a plan's RNG stream is a pure
+  // function of the seed, independent of which kinds are active.
+  uint64_t EvacPos = 1 + splitMix64(State) % 512;
+  uint64_t PlabPos = 1 + splitMix64(State) % 32;
+  uint64_t StallPos = 1 + splitMix64(State) % 512;
+  uint64_t StallLen = 200 + splitMix64(State) % 1800; // 0.2ms .. 2ms
+  uint64_t RemsetPos = 1 + splitMix64(State) % 1024;
+  if (Kinds & 1)
+    Plan.EvacFailAt = EvacPos;
+  if (Kinds & 2)
+    Plan.PlabRefillFailAt = PlabPos;
+  if (Kinds & 4) {
+    Plan.StallAt = StallPos;
+    Plan.StallMicros = StallLen;
+  }
+  if (Kinds & 8)
+    Plan.RemsetFailAt = RemsetPos;
+  return Plan;
+}
+
+//===----------------------------------------------------------------------===
+// Environment plan.
+//===----------------------------------------------------------------------===
+
+const FaultPlan *rdgc::environmentFaultPlan() {
+  static std::optional<FaultPlan> Cached = []() -> std::optional<FaultPlan> {
+    const char *Spec = std::getenv("RDGC_FAULT_PLAN");
+    if (!Spec || !*Spec)
+      return std::nullopt;
+    FaultPlan Plan;
+    std::string Error;
+    if (!FaultPlan::parse(Spec, Plan, Error)) {
+      std::fprintf(stderr,
+                   "rdgc: ignoring malformed RDGC_FAULT_PLAN \"%s\": %s\n",
+                   Spec, Error.c_str());
+      return std::nullopt;
+    }
+    return Plan;
+  }();
+  return Cached ? &*Cached : nullptr;
+}

@@ -1,0 +1,164 @@
+//===- heap/FaultPlan.h - Deterministic GC fault injection ------*- C++ -*-===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic fault-injection engine for the collectors' failure paths,
+/// generalizing TortureMode's allocation faults to mid-collection faults:
+///
+///   - copy-allocation failure at the Nth evacuation attempt, which forces
+///     the scavengers' self-forwarding evacuation-failure path;
+///   - PLAB refill refusal at the Nth chunk acquisition (parallel only);
+///   - a worker stall of K microseconds at the Nth evacuation attempt,
+///     which exercises the GC watchdog (forward-wait spins, idle spins,
+///     and the worker-pool barrier deadline);
+///   - remembered-set insert failure at the Nth insert, which forces the
+///     generational collectors' full-collection compensation.
+///
+/// A FaultPlan is a small value type describing one schedule; it can be
+/// written as (and parsed from) a canonical spec string so any red run is
+/// reproducible from its log alone, and derived deterministically from a
+/// single seed so sweep tools (tools/rdgc-crucible) can enumerate large
+/// schedule matrices. A FaultInjector is the runtime counterpart: one per
+/// Heap, consulted from the (possibly concurrent) scavenge hot paths via
+/// atomic counters. RDGC_FAULT_PLAN=<spec|seed> installs a plan on every
+/// heap in the process. See DESIGN.md §13.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDGC_HEAP_FAULTPLAN_H
+#define RDGC_HEAP_FAULTPLAN_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace rdgc {
+
+/// One deterministic fault schedule. All positions are 1-based ordinals
+/// over a heap-lifetime counter of the corresponding operation; 0 means
+/// "never inject". A default-constructed plan injects nothing.
+struct FaultPlan {
+  /// Identifies the schedule in banners/logs; the derivation seed when the
+  /// plan came from fromSeed(), otherwise whatever the author chose.
+  uint64_t Seed = 0;
+  /// Fail the Nth evacuation copy-allocation (serial or parallel).
+  uint64_t EvacFailAt = 0;
+  /// Refuse the Nth full-chunk PLAB refill (parallel scavenger only).
+  uint64_t PlabRefillFailAt = 0;
+  /// Stall the worker performing the Nth evacuation attempt...
+  uint64_t StallAt = 0;
+  /// ...for this many microseconds (parallel scavenger only; the stall
+  /// polls the cycle's abort flag so a tripped watchdog ends it early).
+  uint64_t StallMicros = 0;
+  /// Drop the Nth remembered-set insert (generational collectors).
+  uint64_t RemsetFailAt = 0;
+
+  /// True when the plan injects at least one fault.
+  bool any() const {
+    return EvacFailAt || PlabRefillFailAt || (StallAt && StallMicros) ||
+           RemsetFailAt;
+  }
+
+  /// Canonical spec string, e.g. "seed=7,evac=12,stall=3x500". Parses back
+  /// to an identical plan; printed in the seed banner and by rdgc-crucible.
+  std::string spec() const;
+
+  /// Parses a spec: either a bare decimal seed (the plan becomes
+  /// fromSeed(seed)) or a comma-separated key=value list with keys
+  /// seed=<u64>, evac=<n>, plab=<n>, stall=<n>x<micros>, remset=<n>.
+  /// On failure returns false and describes the problem in \p Error.
+  static bool parse(const char *Spec, FaultPlan &Out, std::string &Error);
+
+  /// Derives a pseudo-random (but fully seed-determined) schedule: which
+  /// fault kinds fire and at which ordinals. Used by rdgc-crucible to turn
+  /// a seed range into a schedule matrix.
+  static FaultPlan fromSeed(uint64_t Seed);
+};
+
+/// Per-heap runtime for one FaultPlan. The on*() hooks are consulted from
+/// scavenge hot paths — including parallel GC workers — so every counter
+/// is atomic; each hook costs one fetch_add when a plan is installed and
+/// nothing at all when the Heap has no injector (callers hold a pointer
+/// that is null in production).
+class FaultInjector {
+public:
+  explicit FaultInjector(const FaultPlan &Plan) : Plan(Plan) {}
+
+  const FaultPlan &plan() const { return Plan; }
+
+  /// What the current evacuation attempt must do.
+  struct EvacDecision {
+    bool Fail = false;          ///< Report copy-allocation failure.
+    uint64_t StallMicros = 0;   ///< Stall this long first (0 = no stall).
+  };
+
+  /// Counts one evacuation attempt and returns its injected behavior.
+  /// \p StallCapable is false on the serial path, where stalls are
+  /// meaningless (there is no watchdog to trip and no concurrent worker to
+  /// block); the attempt ordinal is consumed either way, so a schedule's
+  /// evac/fail positions land identically in serial and parallel runs.
+  EvacDecision onEvacuation(bool StallCapable = true) {
+    uint64_t N = EvacAttempts.fetch_add(1, std::memory_order_relaxed) + 1;
+    EvacDecision D;
+    if (N == Plan.EvacFailAt) {
+      D.Fail = true;
+      InjectedEvacFailures.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (StallCapable && N == Plan.StallAt && Plan.StallMicros) {
+      D.StallMicros = Plan.StallMicros;
+      InjectedStalls.fetch_add(1, std::memory_order_relaxed);
+    }
+    return D;
+  }
+
+  /// Counts one full-chunk PLAB refill; true when it must be refused.
+  bool onPlabRefill() {
+    uint64_t N = PlabRefills.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (N != Plan.PlabRefillFailAt)
+      return false;
+    InjectedPlabFailures.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Counts one remembered-set insert; true when it must be dropped (the
+  /// collector then owes a full collection before the next scoped cycle).
+  bool onRemsetInsert() {
+    uint64_t N = RemsetInserts.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (N != Plan.RemsetFailAt)
+      return false;
+    InjectedRemsetFailures.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  // Accounting (read after collections; exact under concurrency because
+  // workers have joined the pool barrier by then).
+  uint64_t evacuationAttempts() const { return EvacAttempts.load(); }
+  uint64_t injectedEvacFailures() const { return InjectedEvacFailures.load(); }
+  uint64_t injectedPlabFailures() const { return InjectedPlabFailures.load(); }
+  uint64_t injectedStalls() const { return InjectedStalls.load(); }
+  uint64_t injectedRemsetFailures() const {
+    return InjectedRemsetFailures.load();
+  }
+
+private:
+  FaultPlan Plan;
+  std::atomic<uint64_t> EvacAttempts{0};
+  std::atomic<uint64_t> PlabRefills{0};
+  std::atomic<uint64_t> RemsetInserts{0};
+  std::atomic<uint64_t> InjectedEvacFailures{0};
+  std::atomic<uint64_t> InjectedPlabFailures{0};
+  std::atomic<uint64_t> InjectedStalls{0};
+  std::atomic<uint64_t> InjectedRemsetFailures{0};
+};
+
+/// The process-wide plan configured by RDGC_FAULT_PLAN, parsed once and
+/// cached; nullptr when the variable is unset. A malformed spec warns on
+/// stderr once and is treated as unset (matching RDGC_TORTURE's policy).
+const FaultPlan *environmentFaultPlan();
+
+} // namespace rdgc
+
+#endif // RDGC_HEAP_FAULTPLAN_H

@@ -16,6 +16,7 @@
 #define RDGC_HEAP_GCSTATS_H
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace rdgc {
@@ -50,6 +51,14 @@ struct CollectionRecord {
   /// Per-worker breakdown when the cycle ran the parallel scavenger;
   /// empty for serial cycles (keeps serial records and traces unchanged).
   std::vector<GcWorkerCycleStats> Workers;
+  // Degraded-completion accounting (DESIGN.md §13). Zero/false on a
+  // healthy cycle, so existing records and traces are unchanged.
+  bool EvacuationFailed = false;     ///< Cycle completed degraded.
+  bool WatchdogTripped = false;      ///< A watchdog deadline expired.
+  uint64_t SelfForwardedObjects = 0; ///< Survivors left in place.
+  uint64_t SelfForwardedWords = 0;
+  const char *WatchdogSite = nullptr; ///< "forward-wait"/"drain-idle"/...
+  std::string WatchdogDetail;         ///< Per-worker diagnostic snapshot.
 };
 
 /// Streaming counters for one collector instance.
@@ -77,6 +86,17 @@ public:
   void noteHeapGrowth() { ++HeapGrowths; }
   void noteHeapExhaustion() { ++HeapExhaustions; }
 
+  // Degraded-completion accounting (see DESIGN.md §13); fed by
+  // Collector::finishCollection from the same CollectionRecord the tracer
+  // sees, so these totals match the trace-event sums by construction.
+  void noteEvacuationFailure(uint64_t Objects, uint64_t Words) {
+    ++EvacuationFailures;
+    SelfForwardedObjectsCount += Objects;
+    SelfForwardedWordsCount += Words;
+  }
+  void noteWatchdogTrip() { ++WatchdogTrips; }
+  void noteRemsetFaultDrop() { ++RemsetFaultDrops; }
+
   uint64_t wordsAllocated() const { return WordsAllocatedCount; }
   uint64_t objectsAllocated() const { return ObjectsAllocatedCount; }
   uint64_t wordsTraced() const { return WordsTracedCount; }
@@ -95,6 +115,16 @@ public:
   uint64_t heapGrowths() const { return HeapGrowths; }
   /// Recoverable HeapExhausted faults surfaced to the mutator.
   uint64_t heapExhaustions() const { return HeapExhaustions; }
+  /// Cycles that completed degraded (self-forwarded survivors in place).
+  uint64_t evacuationFailures() const { return EvacuationFailures; }
+  /// Objects/words that survived in place across all degraded cycles.
+  uint64_t selfForwardedObjects() const { return SelfForwardedObjectsCount; }
+  uint64_t selfForwardedWords() const { return SelfForwardedWordsCount; }
+  /// Watchdog deadline expiries (each aborted one cycle recoverably).
+  uint64_t watchdogTrips() const { return WatchdogTrips; }
+  /// Remembered-set inserts dropped by fault injection; each forces the
+  /// next scoped cycle to run full (remset-independent) compensation.
+  uint64_t remsetFaultDrops() const { return RemsetFaultDrops; }
 
   /// The paper's cost metric: words traced per word allocated. Returns zero
   /// before any allocation.
@@ -122,6 +152,11 @@ private:
   uint64_t EmergencyFullCollections = 0;
   uint64_t HeapGrowths = 0;
   uint64_t HeapExhaustions = 0;
+  uint64_t EvacuationFailures = 0;
+  uint64_t SelfForwardedObjectsCount = 0;
+  uint64_t SelfForwardedWordsCount = 0;
+  uint64_t WatchdogTrips = 0;
+  uint64_t RemsetFaultDrops = 0;
   double GcSecondsTotal = 0.0;
   std::vector<CollectionRecord> Records;
 };

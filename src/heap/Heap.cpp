@@ -93,10 +93,30 @@ static unsigned environmentGcThreads() {
   return Cached;
 }
 
+/// Parses RDGC_WATCHDOG_US once per process: the GC watchdog deadline in
+/// microseconds (0 disables it). Unset, empty, or malformed means the
+/// built-in default.
+static uint64_t environmentWatchdogMicros() {
+  static uint64_t Cached = [] {
+    const char *Spec = std::getenv("RDGC_WATCHDOG_US");
+    if (!Spec || !*Spec)
+      return Collector::DefaultWatchdogMicros;
+    char *End = nullptr;
+    unsigned long long N = std::strtoull(Spec, &End, 10);
+    if (End == Spec || *End != '\0')
+      return Collector::DefaultWatchdogMicros;
+    return static_cast<uint64_t>(N);
+  }();
+  return Cached;
+}
+
 Heap::Heap(std::unique_ptr<Collector> C) : Coll(std::move(C)) {
   assert(Coll && "heap requires a collector");
   Coll->attachHeap(this);
   Coll->setGcThreads(environmentGcThreads());
+  Coll->setWatchdogMicros(environmentWatchdogMicros());
+  if (const FaultPlan *Plan = environmentFaultPlan())
+    installFaultPlan(*Plan);
   if (const TortureOptions *Env = TortureMode::environmentOptions())
     enableTortureMode(*Env);
   if (TraceSink *Sink = GcTracer::environmentSink()) {
@@ -107,6 +127,14 @@ Heap::Heap(std::unique_ptr<Collector> C) : Coll(std::move(C)) {
 }
 
 Heap::~Heap() = default;
+
+void Heap::installFaultPlan(const FaultPlan &Plan) {
+  Injector = std::make_unique<FaultInjector>(Plan);
+  Coll->setFaultInjector(Injector.get());
+  // Every verifier/assertion failure from here on names the active plan,
+  // so a red run is reproducible from its log alone.
+  setSeedBanner(SeedBannerSlot::FaultPlan, Plan.spec().c_str());
+}
 
 void Heap::enableTortureMode(const TortureOptions &Opts) {
   HeapObserver *Embedder = Torture ? Torture->inner() : Obs;
@@ -218,9 +246,23 @@ void Collector::finishCollection(const CollectionRecord &Record,
                                  GcPhaseTimer &Timer) {
   Timer.finish();
   Stats.noteCollection(Record);
+  // Degraded-completion accounting feeds stats and trace from the same
+  // record, so GcStats totals and trace-event sums agree by construction.
+  if (Record.EvacuationFailed)
+    Stats.noteEvacuationFailure(Record.SelfForwardedObjects,
+                                Record.SelfForwardedWords);
+  if (Record.WatchdogTripped)
+    Stats.noteWatchdogTrip();
   if (Heap *H = heap()) {
-    if (GcTracer *T = H->tracer())
+    if (GcTracer *T = H->tracer()) {
       T->noteCollection(*this, Record, Timer);
+      if (Record.WatchdogTripped)
+        T->noteWatchdog(*this,
+                        Record.WatchdogSite ? Record.WatchdogSite : "unknown",
+                        Record.WatchdogDetail);
+      if (Record.EvacuationFailed)
+        T->noteEvacuationFailure(*this, Record);
+    }
     if (HeapObserver *Observer = H->observer())
       Observer->onCollectionDone();
   }

@@ -24,6 +24,7 @@
 #define RDGC_HEAP_HEAP_H
 
 #include "heap/Collector.h"
+#include "heap/FaultPlan.h"
 #include "heap/Object.h"
 #include "heap/Value.h"
 #include "support/Error.h"
@@ -242,6 +243,20 @@ public:
   /// The active torture harness, or nullptr.
   TortureMode *tortureMode() const { return Torture.get(); }
 
+  //===--------------------------------------------------------------------===
+  // Fault injection (see heap/FaultPlan.h and DESIGN.md §13). Enabled
+  // programmatically here or process-wide via RDGC_FAULT_PLAN=<spec|seed>.
+  //===--------------------------------------------------------------------===
+
+  /// Installs a deterministic mid-collection fault plan for this heap,
+  /// replacing any previous one, and registers its spec in the process
+  /// failure banner so any red run is reproducible from its log. The heap
+  /// owns the injector; collectors consult it via
+  /// Collector::faultInjector().
+  void installFaultPlan(const FaultPlan &Plan);
+  /// The active fault injector, or nullptr.
+  FaultInjector *faultInjector() const { return Injector.get(); }
+
   /// Registers/unregisters an external root slot. Unregistration is
   /// expected in roughly LIFO order (Handles guarantee it).
   void registerRootSlot(Value *Slot);
@@ -333,6 +348,7 @@ private:
   std::vector<RootProvider *> Providers;
   HeapObserver *Obs = nullptr;
   std::unique_ptr<TortureMode> Torture;
+  std::unique_ptr<FaultInjector> Injector;
   HeapFaultHandler FaultHandler;
   HeapFault LastFault = HeapFault::None;
   size_t MaxHeapBytes = 0;

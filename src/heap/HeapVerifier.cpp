@@ -6,6 +6,8 @@
 
 #include "heap/HeapVerifier.h"
 
+#include "support/Error.h"
+
 #include <cinttypes>
 #include <cstdio>
 #include <unordered_set>
@@ -87,7 +89,9 @@ HeapVerification rdgc::verifyHeap(Heap &H) {
     if (!Result.Ok)
       return;
     Result.Ok = false;
-    Result.FirstProblem = std::move(Problem);
+    // Any active torture/fault-plan seed rides along in the message, so a
+    // red run is reproducible from its log alone.
+    Result.FirstProblem = std::move(Problem) + activeSeedBanner();
   };
 
   // Poison checks run unconditionally: the pattern decodes as neither a

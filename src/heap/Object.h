@@ -190,6 +190,46 @@ inline uint64_t *waitForForward(uint64_t *Header) {
       .asHeaderPtr();
 }
 
+/// Watchdog-bounded variant of waitForForward: spins until the Forward
+/// header appears OR \p GiveUp() returns true (polled every few thousand
+/// spins, so a stuck claim holder cannot hang the cycle). Returns nullptr
+/// on give-up; the caller must leave the slot unmodified and fail the
+/// cycle recoverably. A rollbackClaim by the holder also ends the wait:
+/// the restored header is no longer Busy, but GiveUp (the cycle's abort
+/// flag, set before any rollback happens) fires first.
+template <typename GiveUpFn>
+inline uint64_t *waitForForwardBounded(uint64_t *Header, GiveUpFn &&GiveUp) {
+  std::atomic_ref<uint64_t> H(*Header);
+  unsigned Spins = 0;
+  while (true) {
+    uint64_t W = H.load(std::memory_order_acquire);
+    if (tag(W) == ObjectTag::Forward)
+      return Value::fromRawBits(std::atomic_ref<uint64_t>(Header[1]).load(
+                                    std::memory_order_relaxed))
+          .asHeaderPtr();
+    if ((++Spins & 0xfff) == 0 && GiveUp())
+      return nullptr;
+  }
+}
+
+/// Undoes a tryClaimForCopy when the claim holder cannot complete the
+/// copy (aborted cycle): release-stores the pre-claim header word back, so
+/// the object is whole and unclaimed again. No slot was redirected (the
+/// forward was never published), so no thread can hold a reference to a
+/// partial copy.
+inline void rollbackClaim(uint64_t *Header, uint64_t Original) {
+  std::atomic_ref<uint64_t>(*Header).store(Original,
+                                           std::memory_order_release);
+}
+
+/// Self-forwarding (evacuation failure): publishes \p Header as forwarded
+/// to *itself*, claim already held. Payload word 0 (which the forwarding
+/// pointer overwrites) must be saved by the caller and restored after the
+/// cycle's final barrier; see gc/EvacuationFailure.h and DESIGN.md §13.
+inline void publishSelfForward(uint64_t *Header, uint64_t Original) {
+  publishForward(Header, Original, Header);
+}
+
 } // namespace header
 
 /// Non-owning view of a heap object, wrapping the header address. All

@@ -17,7 +17,14 @@
 using namespace rdgc;
 
 TortureMode::TortureMode(Heap &Owner, const TortureOptions &Opts)
-    : Owner(Owner), Opts(Opts), Rng(Opts.Seed) {}
+    : Owner(Owner), Opts(Opts), Rng(Opts.Seed) {
+  // Register the seed in the process failure banner so every fatal-error
+  // and verifier message names it (reproducibility from the log alone).
+  char Banner[32];
+  std::snprintf(Banner, sizeof(Banner), "seed=%llu",
+                static_cast<unsigned long long>(Opts.Seed));
+  setSeedBanner(SeedBannerSlot::Torture, Banner);
+}
 
 bool TortureMode::parseSpec(const char *Spec, TortureOptions &Out) {
   if (!Spec || !*Spec)

@@ -45,6 +45,10 @@ const char *rdgc::traceEventTypeName(GcTraceEvent::Type Type) {
     return "recovery";
   case GcTraceEvent::Type::Occupancy:
     return "occupancy";
+  case GcTraceEvent::Type::EvacuationFailure:
+    return "evacuation_failure";
+  case GcTraceEvent::Type::Watchdog:
+    return "watchdog";
   }
   return "unknown";
 }
@@ -57,7 +61,8 @@ const char *rdgc::collectionKindClass(int Kind, bool Emergency) {
   // collectors, 1/2/5 = generational minor/major/intermediate, 3 = the
   // non-predictive collector's step collection (its most aggressive cycle,
   // j = 0, is the same kind), 4 = the hybrid's nursery collection,
-  // 6 = the evacuation a tryGrowHeap implementation performs.
+  // 6 = the evacuation a tryGrowHeap implementation performs, 7 = the
+  // rebuild cycle that drains pinned evacuation-failure spaces.
   switch (Kind) {
   case 0:
     return "full";
@@ -71,6 +76,8 @@ const char *rdgc::collectionKindClass(int Kind, bool Emergency) {
     return "intermediate";
   case 6:
     return "growth";
+  case 7:
+    return "recovery";
   }
   return "unknown";
 }
@@ -170,6 +177,16 @@ std::string rdgc::formatTraceEventJson(const GcTraceEvent &E) {
     appendUint(Out, "capacity_words", E.CapacityWords, First);
     appendUint(Out, "free_words", E.FreeWords, First);
     appendUint(Out, "live_words", E.LiveWords, First);
+    break;
+  case GcTraceEvent::Type::EvacuationFailure:
+    appendUint(Out, "kind", static_cast<uint64_t>(E.Kind), First);
+    appendUint(Out, "self_forwarded_objects", E.SelfForwardedObjects, First);
+    appendUint(Out, "self_forwarded_words", E.SelfForwardedWords, First);
+    appendUint(Out, "watchdog", E.WatchdogFlag, First);
+    break;
+  case GcTraceEvent::Type::Watchdog:
+    appendString(Out, "site", E.Site, First);
+    appendString(Out, "detail", E.Detail, First);
     break;
   }
   Out += '}';
@@ -418,6 +435,10 @@ bool rdgc::parseTraceEventJson(const std::string &Line, GcTraceEvent &Event,
     Event.EventType = GcTraceEvent::Type::Recovery;
   else if (TypeName == "occupancy")
     Event.EventType = GcTraceEvent::Type::Occupancy;
+  else if (TypeName == "evacuation_failure")
+    Event.EventType = GcTraceEvent::Type::EvacuationFailure;
+  else if (TypeName == "watchdog")
+    Event.EventType = GcTraceEvent::Type::Watchdog;
   else {
     Error = "unknown event type '" + TypeName + "'";
     return false;
@@ -469,6 +490,19 @@ bool rdgc::parseTraceEventJson(const std::string &Line, GcTraceEvent &Event,
     TakeUint("capacity_words", Event.CapacityWords);
     TakeUint("free_words", Event.FreeWords);
     TakeUint("live_words", Event.LiveWords);
+    break;
+  case GcTraceEvent::Type::EvacuationFailure: {
+    uint64_t Kind = 0;
+    TakeUint("kind", Kind);
+    Event.Kind = static_cast<int>(Kind);
+    TakeUint("self_forwarded_objects", Event.SelfForwardedObjects);
+    TakeUint("self_forwarded_words", Event.SelfForwardedWords);
+    TakeUint("watchdog", Event.WatchdogFlag);
+    break;
+  }
+  case GcTraceEvent::Type::Watchdog:
+    TakeString("site", Event.Site);
+    TakeString("detail", Event.Detail);
     break;
   }
   if (!Ok)
@@ -572,6 +606,28 @@ void GcTracer::noteRecovery(const Collector &C, const char *Rung,
   E.Collector = C.name();
   E.Rung = Rung;
   E.WordsRequested = WordsRequested;
+  emit(E);
+}
+
+void GcTracer::noteEvacuationFailure(const Collector &C,
+                                     const CollectionRecord &Record) {
+  GcTraceEvent E;
+  E.EventType = GcTraceEvent::Type::EvacuationFailure;
+  E.Collector = C.name();
+  E.Kind = Record.Kind;
+  E.SelfForwardedObjects = Record.SelfForwardedObjects;
+  E.SelfForwardedWords = Record.SelfForwardedWords;
+  E.WatchdogFlag = Record.WatchdogTripped ? 1 : 0;
+  emit(E);
+}
+
+void GcTracer::noteWatchdog(const Collector &C, const char *Site,
+                            const std::string &Detail) {
+  GcTraceEvent E;
+  E.EventType = GcTraceEvent::Type::Watchdog;
+  E.Collector = C.name();
+  E.Site = Site ? Site : "unknown";
+  E.Detail = Detail;
   emit(E);
 }
 

@@ -147,6 +147,13 @@ struct GcTraceEvent {
     Pacing,     ///< setGcPacing quantum reached; a forced collection follows.
     Recovery,   ///< A rung of the OOM recovery ladder fired.
     Occupancy,  ///< Periodic heap-occupancy sample.
+    /// A cycle completed degraded: survivors self-forwarded in place
+    /// (and/or a watchdog abort). Emitted right after the cycle's
+    /// collection event, from the same CollectionRecord.
+    EvacuationFailure,
+    /// A GC watchdog deadline expired; carries the site and the per-worker
+    /// diagnostic snapshot taken at trip time.
+    Watchdog,
   };
 
   Type EventType = Type::Collection;
@@ -177,6 +184,15 @@ struct GcTraceEvent {
 
   // Pacing fields.
   uint64_t PacingBytes = 0;
+
+  // Evacuation-failure fields (Kind above identifies the cycle).
+  uint64_t SelfForwardedObjects = 0;
+  uint64_t SelfForwardedWords = 0;
+  uint64_t WatchdogFlag = 0; ///< 1 when the degradation was a watchdog abort.
+
+  // Watchdog fields.
+  std::string Site;   ///< "forward-wait", "drain-idle", "pool-barrier".
+  std::string Detail; ///< Flat per-worker snapshot (no quotes/escapes).
 
   // Occupancy fields.
   uint64_t CapacityWords = 0;
@@ -270,6 +286,18 @@ public:
   /// \p WordsRequested words was pending.
   void noteRecovery(const Collector &C, const char *Rung,
                     uint64_t WordsRequested);
+
+  /// A cycle completed degraded (self-forwarded survivors and/or a
+  /// watchdog abort). Called from Collector::finishCollection with the
+  /// same record the collection event was built from, so sums over the
+  /// two streams agree by construction.
+  void noteEvacuationFailure(const Collector &C,
+                             const CollectionRecord &Record);
+
+  /// A watchdog deadline expired at \p Site; \p Detail is the per-worker
+  /// diagnostic snapshot taken by the tripping thread.
+  void noteWatchdog(const Collector &C, const char *Site,
+                    const std::string &Detail);
 
   /// Samples heap occupancy if at least occupancyIntervalBytes() of
   /// allocation happened since the last sample. Called after successful

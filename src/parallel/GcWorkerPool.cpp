@@ -6,6 +6,10 @@
 
 #include "parallel/GcWorkerPool.h"
 
+#include "support/Error.h"
+
+#include <chrono>
+
 namespace rdgc {
 
 GcWorkerPool &GcWorkerPool::instance() {
@@ -26,7 +30,8 @@ void GcWorkerPool::ensureHelpersLocked(unsigned Count) {
 }
 
 void GcWorkerPool::run(unsigned Threads,
-                       const std::function<void(unsigned)> &Task) {
+                       const std::function<void(unsigned)> &Task,
+                       const BarrierWatchdog *Watchdog) {
   if (Threads <= 1) {
     Task(0);
     return;
@@ -44,7 +49,37 @@ void GcWorkerPool::run(unsigned Threads,
   Task(0); // The coordinator is worker 0.
   {
     std::unique_lock<std::mutex> Lock(Mutex);
-    DoneCv.wait(Lock, [this] { return DoneCount == Participants; });
+    auto Done = [this] { return DoneCount == Participants; };
+    if (!Watchdog || Watchdog->DeadlineMicros == 0) {
+      DoneCv.wait(Lock, Done);
+    } else {
+      unsigned Expiries = 0;
+      uint64_t WaitedMicros = 0;
+      while (!Done()) {
+        if (DoneCv.wait_for(Lock,
+                            std::chrono::microseconds(Watchdog->DeadlineMicros),
+                            Done))
+          break;
+        ++Expiries;
+        WaitedMicros += Watchdog->DeadlineMicros;
+        if (Watchdog->OnExpiry) {
+          // Diagnostics and abort-flag flips run outside the pool mutex so
+          // they can take their own locks (e.g. a scavenger's trace mutex).
+          Lock.unlock();
+          Watchdog->OnExpiry(Expiries);
+          Lock.lock();
+        }
+        // Fatal only after both thresholds: enough expiries *and* enough
+        // wall-clock that a starved-but-healthy helper would have been
+        // scheduled (a 1 ms testing deadline must not turn 4 ms of CPU
+        // contention into "worker thread is dead").
+        if (Expiries >= Watchdog->MaxExpiries &&
+            WaitedMicros >= Watchdog->MinFatalWaitMicros && !Done())
+          reportFatalError("GC worker pool barrier deadlock: helpers did not "
+                           "reach the barrier after repeated watchdog "
+                           "deadlines; a worker thread is dead or wedged");
+      }
+    }
     this->Task = nullptr;
   }
 }

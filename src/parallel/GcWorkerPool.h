@@ -40,13 +40,33 @@ namespace rdgc {
 /// Persistent, park/unpark worker pool with epoch-based dispatch.
 class GcWorkerPool {
 public:
+  /// Optional deadline on run()'s completion barrier. When the helpers
+  /// have not all finished within DeadlineMicros, OnExpiry fires (on the
+  /// coordinator thread, outside the pool mutex) once per expiry — its job
+  /// is to dump diagnostics and flip whatever abort flag makes the workers
+  /// bail out. After MaxExpiries consecutive expiries — but never sooner
+  /// than MinFatalWaitMicros after the first, so a tight testing deadline
+  /// (tools run 1 ms) cannot shrink the fatal grace below what an
+  /// oversubscribed scheduler needs to run a healthy-but-starved helper —
+  /// the pool gives up with a fatal error: a helper that ignores the
+  /// abort flag that long is genuinely dead, and no recoverable state
+  /// remains.
+  struct BarrierWatchdog {
+    uint64_t DeadlineMicros = 0; ///< 0 disables the deadline.
+    std::function<void(unsigned Expiry)> OnExpiry;
+    unsigned MaxExpiries = 4;
+    uint64_t MinFatalWaitMicros = 2'000'000;
+  };
+
   /// The process-wide pool.
   static GcWorkerPool &instance();
 
   /// Runs Task(WorkerId) for WorkerId in [0, Threads); the caller executes
   /// worker 0 itself. Blocks until every worker has returned. Concurrent
-  /// run() calls from different threads are serialized.
-  void run(unsigned Threads, const std::function<void(unsigned)> &Task);
+  /// run() calls from different threads are serialized. \p Watchdog, when
+  /// non-null with a nonzero deadline, bounds the completion barrier.
+  void run(unsigned Threads, const std::function<void(unsigned)> &Task,
+           const BarrierWatchdog *Watchdog = nullptr);
 
   /// Helpers currently spawned (test hook; grows monotonically).
   unsigned helperCount();

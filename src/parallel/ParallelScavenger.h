@@ -33,6 +33,17 @@
 /// Threads is therefore a stable quiescence proof, and every spinning
 /// worker observes it and exits. See DESIGN.md §12.5.
 ///
+/// Failure handling (DESIGN.md §13): a copy-allocation failure — real
+/// to-space exhaustion or an injected fault — self-forwards the victim in
+/// place (gc/EvacuationFailure.h) instead of aborting the process; the
+/// claim winner owns the straggler and scans it in place from its drain
+/// loop, so the cycle still reaches ordinary quiescence, merely degraded.
+/// Every unbounded wait (forward-wait spins, the idle-detector spin, the
+/// pool's completion barrier) carries a watchdog deadline; expiry records
+/// a per-worker diagnostic snapshot, sets the cycle's abort flag, and all
+/// workers bail out to the barrier, after which the collector runs
+/// completeAbortedCycle() and escalates recoverably.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef RDGC_PARALLEL_PARALLELSCAVENGER_H
@@ -42,6 +53,8 @@
 #include "parallel/Plab.h"
 #include "parallel/WorkStealingDeque.h"
 
+#include "gc/EvacuationFailure.h"
+#include "heap/FaultPlan.h"
 #include "heap/GcStats.h"
 #include "heap/Object.h"
 #include "heap/Value.h"
@@ -51,10 +64,13 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
+#include <thread>
 #include <vector>
 
 namespace rdgc {
@@ -67,26 +83,6 @@ struct PlabChunk {
   uint8_t Region = 0;
 };
 
-/// Shared go-parallel headroom gate. Parallel evacuation needs more
-/// to-space than serial: retired PLAB tails are padded out (bounded by
-/// ~1/7 of the copied words given the big-object bypass, budgeted at 1/4
-/// here) plus up to one live chunk per worker at the final barrier. The
-/// worst case — every condemned word survives — is tried first; when the
-/// condemned region is too full for that, the previous cycle's live
-/// measurement with a 2x growth margin decides. Collectors fall back to
-/// the serial scavenger when this returns false, and the exact-fit
-/// degradation in the chunk path covers the residual estimate risk.
-inline bool parallelEvacuationFits(size_t CondemnedUsedWords,
-                                   size_t LiveEstimateWords,
-                                   size_t ToSpaceFreeWords, unsigned Threads,
-                                   size_t ChunkWords = Plab::DefaultChunkWords) {
-  size_t Slack = Threads * ChunkWords;
-  if (CondemnedUsedWords + CondemnedUsedWords / 4 + Slack <= ToSpaceFreeWords)
-    return true;
-  return LiveEstimateWords > 0 &&
-         LiveEstimateWords * 2 + Slack <= ToSpaceFreeWords;
-}
-
 /// Transitive parallel copier. Lifetime: one collection cycle. Templated
 /// over the condemned predicate so the per-slot hot path inlines; the
 /// chunk allocator is cold (once per PLAB refill) and stays a
@@ -96,19 +92,27 @@ inline bool parallelEvacuationFits(size_t CondemnedUsedWords,
 /// itself (racing the claim CAS would be undefined).
 template <typename InCondemnedFn> class ParallelScavenger {
 public:
+  /// \p Injector, when non-null, is consulted on every evacuation attempt,
+  /// PLAB refill, and stall point. \p WatchdogMicros bounds every wait in
+  /// the cycle (0 disables the watchdog; waits still poll the abort flag).
   ParallelScavenger(InCondemnedFn InCondemned,
                     std::function<PlabChunk(size_t)> AcquireChunk,
                     unsigned Threads,
-                    size_t ChunkWords = Plab::DefaultChunkWords)
+                    size_t ChunkWords = Plab::DefaultChunkWords,
+                    FaultInjector *Injector = nullptr,
+                    uint64_t WatchdogMicros = 0)
       : InCondemned(std::move(InCondemned)),
         AcquireChunk(std::move(AcquireChunk)), Threads(Threads),
         ChunkWords(ChunkWords),
-        BigObjectWords(Plab::bigObjectThreshold(ChunkWords)) {
+        BigObjectWords(Plab::bigObjectThreshold(ChunkWords)),
+        Injector(Injector), WatchdogMicros(WatchdogMicros) {
     Workers.reserve(Threads);
     for (unsigned I = 0; I < Threads; ++I) {
       Workers.push_back(std::make_unique<Worker>());
       Workers.back()->Stats.WorkerId = I;
     }
+    PoolWatchdog.DeadlineMicros = WatchdogMicros;
+    PoolWatchdog.OnExpiry = [this](unsigned) { tripWatchdog("pool-barrier"); };
   }
 
   /// RootScan phase: deduplicates \p Slots by address (aliased slots must
@@ -135,16 +139,22 @@ public:
                     });
   }
 
-  /// Trace phase: every worker drains its own deque, steals when empty,
-  /// and the cycle ends when the idle counter proves quiescence.
+  /// Trace phase: every worker drains its own deque (and its own
+  /// evacuation-failure stragglers), steals when empty, and the cycle ends
+  /// when the idle counter proves quiescence — or the abort flag ends it
+  /// early, leaving completion to the collector's abort path.
   void drain() {
     IdleWorkers.store(0, std::memory_order_seq_cst);
-    GcWorkerPool::instance().run(Threads, [this](unsigned Id) {
-      Worker &W = *Workers[Id];
-      auto Start = std::chrono::steady_clock::now();
-      drainWorker(Id, W);
-      W.Stats.TraceNanos += nanosSince(Start);
-    });
+    GcWorkerPool::instance().run(
+        Threads,
+        [this](unsigned Id) {
+          Worker &W = *Workers[Id];
+          auto Start = std::chrono::steady_clock::now();
+          drainWorker(Id, W);
+          W.State.store("done", std::memory_order_relaxed);
+          W.Stats.TraceNanos += nanosSince(Start);
+        },
+        &PoolWatchdog);
   }
 
   /// Pads out every worker's live PLAB tail and folds PLAB accounting
@@ -171,6 +181,48 @@ public:
     return Total;
   }
 
+  /// True once the cycle was aborted (watchdog trip). Read post-barrier.
+  bool aborted() const { return Aborted.load(std::memory_order_acquire); }
+
+  /// True when the cycle ended degraded: any evacuation failed in place,
+  /// or the watchdog aborted tracing. The collector must pin the condemned
+  /// region instead of resetting it.
+  bool evacuationFailed() const {
+    if (aborted())
+      return true;
+    for (const auto &W : Workers)
+      if (!W->SelfForwards.empty())
+        return true;
+    return false;
+  }
+
+  /// Restores every worker's self-forwarded stragglers. Coordinator only,
+  /// after the final barrier — and after any straggler-sensitive
+  /// observation, since restore erases the Forward headers.
+  void restoreSelfForwards() {
+    for (auto &W : Workers)
+      for (const SelfForwardEntry &Entry : W->SelfForwards)
+        restoreSelfForward(Entry);
+  }
+
+  /// Merged failure summary for the collector's CollectionRecord.
+  /// Coordinator only, post-barrier.
+  EvacuationOutcome outcome() {
+    EvacuationOutcome O;
+    for (const auto &W : Workers) {
+      O.SelfForwardedObjects += W->SelfForwards.size();
+      O.SelfForwardedWords += W->SelfForwardedWords;
+    }
+    O.WatchdogTripped = WatchdogFired.load(std::memory_order_acquire);
+    O.Failed = O.WatchdogTripped || O.SelfForwardedObjects > 0 || aborted();
+    if (O.WatchdogTripped) {
+      std::lock_guard<std::mutex> Lock(WatchdogMutex);
+      O.WatchdogSite = WatchdogSite;
+      O.WatchdogDetail = WatchdogDetail;
+    }
+    return O;
+  }
+
   /// The merged per-worker breakdown, ordered by worker id.
   std::vector<GcWorkerCycleStats> workerStats() const {
     std::vector<GcWorkerCycleStats> Out;
@@ -187,11 +239,28 @@ private:
     WorkStealingDeque Deque;
     Plab Lab;
     GcWorkerCycleStats Stats;
+    /// Evacuation-failure stragglers this worker claimed; entries before
+    /// NextStraggler are already scanned in place. Owner-only, except the
+    /// coordinator's post-barrier restore/merge.
+    std::vector<SelfForwardEntry> SelfForwards;
+    size_t NextStraggler = 0;
+    uint64_t SelfForwardedWords = 0;
+    /// Watchdog diagnostics: what the worker is doing and which header it
+    /// holds claimed-but-unpublished, snapshotted by the tripping thread.
+    std::atomic<const char *> State{"init"};
+    std::atomic<uint64_t *> CurrentClaim{nullptr};
   };
 
   static uint64_t nanosSince(std::chrono::steady_clock::time_point Start) {
     return static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - Start)
+            .count());
+  }
+
+  static uint64_t microsSince(std::chrono::steady_clock::time_point Start) {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
             std::chrono::steady_clock::now() - Start)
             .count());
   }
@@ -205,19 +274,25 @@ private:
   }
 
   /// Runs Each(worker, index) over [0, Count) in contiguous stripes, one
-  /// per worker, timing each worker's stripe into \p TimeField.
+  /// per worker, timing each worker's stripe into \p TimeField. Stripes
+  /// bail out early when the cycle aborts.
   template <typename EachFn>
   void dispatchStriped(size_t Count, uint64_t GcWorkerCycleStats::*TimeField,
                        EachFn Each) {
-    GcWorkerPool::instance().run(Threads, [&, this](unsigned Id) {
-      Worker &W = *Workers[Id];
-      auto Start = std::chrono::steady_clock::now();
-      size_t Begin = Count * Id / Threads;
-      size_t End = Count * (Id + 1) / Threads;
-      for (size_t I = Begin; I < End; ++I)
-        Each(W, I);
-      W.Stats.*TimeField += nanosSince(Start);
-    });
+    GcWorkerPool::instance().run(
+        Threads,
+        [&, this](unsigned Id) {
+          Worker &W = *Workers[Id];
+          W.State.store("scan", std::memory_order_relaxed);
+          auto Start = std::chrono::steady_clock::now();
+          size_t Begin = Count * Id / Threads;
+          size_t End = Count * (Id + 1) / Threads;
+          for (size_t I = Begin;
+               I < End && !Aborted.load(std::memory_order_relaxed); ++I)
+            Each(W, I);
+          W.Stats.*TimeField += nanosSince(Start);
+        },
+        &PoolWatchdog);
   }
 
   /// Chunk refills funnel through the collector's serial allocator under
@@ -227,18 +302,86 @@ private:
     return AcquireChunk(Words);
   }
 
+  /// First watchdog trip wins: snapshots every worker's state, deque
+  /// depth, pending stragglers, and claimed-but-unpublished header into
+  /// the diagnostic detail, then raises the cycle abort flag. Later trips
+  /// only re-raise the flag. Callable from any worker or the pool-barrier
+  /// coordinator.
+  void tripWatchdog(const char *Site) {
+    if (!WatchdogFired.exchange(true, std::memory_order_acq_rel)) {
+      std::lock_guard<std::mutex> Lock(WatchdogMutex);
+      WatchdogSite = Site;
+      char Buf[160];
+      for (unsigned I = 0; I < Threads; ++I) {
+        Worker &W = *Workers[I];
+        std::snprintf(
+            Buf, sizeof(Buf),
+            "%sw%u state=%s deque=%zu stragglers=%zu claim=%p", I ? " " : "",
+            I, W.State.load(std::memory_order_relaxed), W.Deque.approxSize(),
+            W.SelfForwards.size() - W.NextStraggler,
+            static_cast<void *>(W.CurrentClaim.load(std::memory_order_relaxed)));
+        WatchdogDetail += Buf;
+      }
+    }
+    Aborted.store(true, std::memory_order_release);
+  }
+
+  /// Injected stall: sleeps in small slices, polling the abort flag so a
+  /// tripped watchdog ends the stall early. Returns true when the cycle
+  /// aborted while stalling.
+  bool stallFor(Worker &W, uint64_t Micros) {
+    W.State.store("stall", std::memory_order_relaxed);
+    auto Start = std::chrono::steady_clock::now();
+    while (microsSince(Start) < Micros) {
+      if (Aborted.load(std::memory_order_acquire))
+        return true;
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+    W.State.store("scan", std::memory_order_relaxed);
+    return Aborted.load(std::memory_order_acquire);
+  }
+
+  /// Self-forwards the claimed object at \p Header in place (evacuation
+  /// failure) and records the straggler for in-place scanning + restore.
+  uint64_t *selfForward(Worker &W, uint64_t *Header, uint64_t Observed,
+                        size_t Total) {
+    SelfForwardEntry Entry{Header, Observed, Header[1]};
+    header::publishSelfForward(Header, Observed);
+    W.SelfForwards.push_back(Entry);
+    W.SelfForwardedWords += Total;
+    return Header;
+  }
+
   /// Claims, copies, and publishes one condemned object; returns its
-  /// to-space address. \p Observed is the pre-claim header word.
+  /// to-space address — or its *original* address when evacuation failed
+  /// (self-forwarded straggler) or the cycle aborted mid-claim (claim
+  /// rolled back). \p Observed is the pre-claim header word.
   uint64_t *copyAndForward(Worker &W, uint64_t *Header, uint64_t Observed) {
     size_t Payload = header::payloadWords(Observed);
     size_t Total = Payload + 1;
+    if (Injector) {
+      FaultInjector::EvacDecision D = Injector->onEvacuation();
+      if (D.StallMicros && stallFor(W, D.StallMicros)) {
+        // Aborted while stalling: hand the claim back untouched. The
+        // object stays un-copied in the (pinned) condemned space and the
+        // abort completion pass re-threads any slots already aimed here.
+        header::rollbackClaim(Header, Observed);
+        return Header;
+      }
+      if (D.Fail)
+        return selfForward(W, Header, Observed, Total);
+    }
     uint64_t *Mem;
     uint8_t Region;
     if (Total <= BigObjectWords && W.Lab.fits(Total)) {
       Region = W.Lab.region();
       Mem = W.Lab.bump(Total);
     } else if (Total <= BigObjectWords) {
-      PlabChunk C = acquireChunkShared(ChunkWords);
+      // An injected refill refusal blocks the exact-size fallback too:
+      // it models "to-space cannot supply another chunk", so this
+      // evacuation fails deterministically.
+      bool Refused = Injector && Injector->onPlabRefill();
+      PlabChunk C = Refused ? PlabChunk{} : acquireChunkShared(ChunkWords);
       if (C.Mem) {
         W.Lab.adopt(C.Mem, ChunkWords, C.Region);
         Region = W.Lab.region();
@@ -247,9 +390,10 @@ private:
         // To-space too fragmented for a full chunk: degrade to exact-size
         // allocations so the parallel cycle can still complete whenever
         // the serial one could have.
-        C = acquireChunkShared(Total);
+        if (!Refused)
+          C = acquireChunkShared(Total);
         if (!C.Mem)
-          reportFatalError("to-space exhausted during parallel evacuation");
+          return selfForward(W, Header, Observed, Total);
         Region = C.Region;
         Mem = C.Mem;
       }
@@ -258,7 +402,7 @@ private:
       // round-trip and produces zero tail waste.
       PlabChunk C = acquireChunkShared(Total);
       if (!C.Mem)
-        reportFatalError("to-space exhausted during parallel evacuation");
+        return selfForward(W, Header, Observed, Total);
       Region = C.Region;
       Mem = C.Mem;
     }
@@ -271,6 +415,26 @@ private:
     if (!isLeafTag(header::tag(Observed)))
       W.Deque.push(Mem);
     return Mem;
+  }
+
+  /// Bounded wait for another worker's in-flight copy: spins until the
+  /// forward publishes, the cycle aborts, or the watchdog deadline expires
+  /// (which trips the watchdog itself). Null means "gave up" — the caller
+  /// leaves the slot untouched for the abort completion pass.
+  uint64_t *waitForwardBounded(Worker &W, uint64_t *Header) {
+    W.State.store("forward-wait", std::memory_order_relaxed);
+    auto Start = std::chrono::steady_clock::now();
+    uint64_t *Result = header::waitForForwardBounded(Header, [&] {
+      if (Aborted.load(std::memory_order_acquire))
+        return true;
+      if (WatchdogMicros && microsSince(Start) > WatchdogMicros) {
+        tripWatchdog("forward-wait");
+        return true;
+      }
+      return false;
+    });
+    W.State.store("scan", std::memory_order_relaxed);
+    return Result;
   }
 
   /// Processes one slot word: copies (or follows) the condemned referent
@@ -288,12 +452,16 @@ private:
     while (true) {
       ObjectTag T = header::tag(Observed);
       if (T == ObjectTag::Forward || T == ObjectTag::Busy) {
-        *SlotWord = Value::pointer(header::waitForForward(Header)).rawBits();
+        uint64_t *Fwd = waitForwardBounded(W, Header);
+        if (Fwd)
+          *SlotWord = Value::pointer(Fwd).rawBits();
         return;
       }
       if (header::tryClaimForCopy(Header, Observed)) {
-        *SlotWord = Value::pointer(copyAndForward(W, Header, Observed))
-                        .rawBits();
+        W.CurrentClaim.store(Header, std::memory_order_relaxed);
+        uint64_t *To = copyAndForward(W, Header, Observed);
+        W.CurrentClaim.store(nullptr, std::memory_order_relaxed);
+        *SlotWord = Value::pointer(To).rawBits();
         return;
       }
       // CAS failure refreshed Observed (now Busy or Forward); retry.
@@ -321,8 +489,29 @@ private:
 
   void drainWorker(unsigned Id, Worker &W) {
     while (true) {
-      while (uint64_t *Obj = W.Deque.pop())
+      if (Aborted.load(std::memory_order_acquire))
+        return;
+      W.State.store("trace", std::memory_order_relaxed);
+      while (uint64_t *Obj = W.Deque.pop()) {
         scanToSpaceObject(W, Obj);
+        if (Aborted.load(std::memory_order_acquire))
+          return;
+      }
+      // Own stragglers next: a self-forwarded object is gray until its
+      // owner scans it in place (children land on the owner's deque), and
+      // the owner never idles while one is pending — which is what keeps
+      // the quiescence proof intact. Scan through a local copy: a slot
+      // can self-forward another object mid-scan, growing (reallocating)
+      // the vector; the copy-back publishes the scavenged slot-0 value
+      // for restore.
+      if (W.NextStraggler < W.SelfForwards.size()) {
+        size_t I = W.NextStraggler++;
+        SelfForwardEntry Entry = W.SelfForwards[I];
+        forEachSelfForwardedPointerSlot(
+            Entry, [&](uint64_t *SlotWord) { scavengeSlot(W, SlotWord); });
+        W.SelfForwards[I].SavedPayload0 = Entry.SavedPayload0;
+        continue;
+      }
       // Own deque empty: one full round of steal attempts.
       uint64_t *Stolen = nullptr;
       for (unsigned Step = 1; Step < Threads && !Stolen; ++Step) {
@@ -338,16 +527,23 @@ private:
         continue;
       }
       // Nothing anywhere: enter the termination detector.
+      W.State.store("idle", std::memory_order_relaxed);
       auto IdleStart = std::chrono::steady_clock::now();
       IdleWorkers.fetch_add(1, std::memory_order_seq_cst);
       bool Quiesced = false;
       while (true) {
+        if (Aborted.load(std::memory_order_acquire)) {
+          W.Stats.IdleNanos += nanosSince(IdleStart);
+          return;
+        }
         if (IdleWorkers.load(std::memory_order_seq_cst) == Threads) {
           Quiesced = true;
           break;
         }
         if (anyDequeNonEmpty())
           break; // Work reappeared; rejoin the steal loop.
+        if (WatchdogMicros && microsSince(IdleStart) > WatchdogMicros)
+          tripWatchdog("drain-idle"); // Next iteration observes Aborted.
       }
       if (!Quiesced)
         IdleWorkers.fetch_sub(1, std::memory_order_seq_cst);
@@ -362,8 +558,16 @@ private:
   unsigned Threads;
   size_t ChunkWords;
   size_t BigObjectWords;
+  FaultInjector *Injector;
+  uint64_t WatchdogMicros;
   std::mutex ChunkMutex;
   std::atomic<unsigned> IdleWorkers{0};
+  std::atomic<bool> Aborted{false};
+  std::atomic<bool> WatchdogFired{false};
+  std::mutex WatchdogMutex;       ///< Guards the two fields below.
+  const char *WatchdogSite = nullptr;
+  std::string WatchdogDetail;
+  GcWorkerPool::BarrierWatchdog PoolWatchdog;
   std::vector<std::unique_ptr<Worker>> Workers;
 };
 

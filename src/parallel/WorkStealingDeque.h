@@ -120,6 +120,14 @@ public:
     return T >= B;
   }
 
+  /// Approximate depth, for watchdog diagnostics only: a racy snapshot of
+  /// Bottom - Top, clamped at zero. Never used for control flow.
+  size_t approxSize() const {
+    int64_t T = Top.load(std::memory_order_relaxed);
+    int64_t B = Bottom.load(std::memory_order_relaxed);
+    return B > T ? static_cast<size_t>(B - T) : 0;
+  }
+
   /// Ring capacity (test hook for the growth path).
   size_t capacity() const {
     return Buffer.load(std::memory_order_acquire)->Mask + 1;

@@ -8,9 +8,52 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+
+namespace {
+
+constexpr size_t SlotCount = 2;
+constexpr size_t SlotTextBytes = 120;
+
+const char *slotLabel(size_t Slot) {
+  return Slot == 0 ? "torture" : "fault-plan";
+}
+
+char SlotText[SlotCount][SlotTextBytes];
+char ComposedBanner[SlotCount * (SlotTextBytes + 16)];
+
+void recomposeBanner() {
+  char *Out = ComposedBanner;
+  size_t Left = sizeof(ComposedBanner);
+  Out[0] = '\0';
+  for (size_t I = 0; I < SlotCount; ++I) {
+    if (SlotText[I][0] == '\0')
+      continue;
+    int N = std::snprintf(Out, Left, " [%s %s]", slotLabel(I), SlotText[I]);
+    if (N < 0 || static_cast<size_t>(N) >= Left)
+      break;
+    Out += N;
+    Left -= static_cast<size_t>(N);
+  }
+}
+
+} // namespace
+
+void rdgc::setSeedBanner(SeedBannerSlot Slot, const char *Text) {
+  size_t I = static_cast<size_t>(Slot);
+  if (I >= SlotCount)
+    return;
+  if (!Text)
+    Text = "";
+  std::snprintf(SlotText[I], SlotTextBytes, "%s", Text);
+  recomposeBanner();
+}
+
+const char *rdgc::activeSeedBanner() { return ComposedBanner; }
 
 void rdgc::reportFatalError(const char *Message) {
-  std::fprintf(stderr, "rdgc fatal error: %s\n", Message);
+  std::fprintf(stderr, "rdgc fatal error: %s%s\n", Message,
+               activeSeedBanner());
   std::fflush(stderr);
   std::abort();
 }

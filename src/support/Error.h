@@ -29,8 +29,30 @@
 
 namespace rdgc {
 
-/// Prints "rdgc fatal error: <message>" to stderr and aborts.
+/// Prints "rdgc fatal error: <message>" to stderr — suffixed with the
+/// active seed banner (below) so torture/fault-injection failures are
+/// reproducible from the log alone — and aborts.
 [[noreturn]] void reportFatalError(const char *Message);
+
+/// Named slots for the process-wide seed banner. Each deterministic
+/// randomness source registers the spec that reproduces its stream; every
+/// fatal-error and heap-verifier failure message carries the combined
+/// banner, so any red run can be replayed from its log alone.
+enum class SeedBannerSlot : unsigned {
+  Torture = 0,   ///< RDGC_TORTURE seed/interval.
+  FaultPlan = 1, ///< Active fault-injection plan spec.
+};
+
+/// Registers (or, with nullptr/"", clears) the reproduction spec for one
+/// slot. The text is copied (truncated to an internal bound). Banner slots
+/// are normally written during heap construction, before any GC thread
+/// exists; concurrent writes are not synchronized.
+void setSeedBanner(SeedBannerSlot Slot, const char *Text);
+
+/// The combined banner, e.g. " [torture seed=42:1] [fault-plan evac=3]";
+/// the empty string when no seed source is active. The pointer is stable
+/// for the process lifetime.
+const char *activeSeedBanner();
 
 /// Recoverable fault codes. HeapFault::None means no fault is pending.
 enum class HeapFault : uint8_t {

@@ -1,0 +1,407 @@
+//===- tests/test_evacfail.cpp - Evacuation-failure recovery --------------===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The mid-collection failure machinery of DESIGN.md §13: FaultPlan
+/// parsing and seed derivation, injected copy-allocation failures on the
+/// serial and parallel scavenge paths (self-forwarding, degraded
+/// completion, recovery back to a healthy heap), PLAB refill refusal, the
+/// GC watchdog aborting a stalled parallel cycle, remembered-set insert
+/// drops forcing full-collection compensation, and the exact agreement
+/// between GcStats' degraded-cycle counters and the trace-event stream.
+///
+//===----------------------------------------------------------------------===//
+
+#include "gc/CollectorFactory.h"
+#include "heap/FaultPlan.h"
+#include "heap/Heap.h"
+#include "heap/HeapVerifier.h"
+#include "observe/GcTracer.h"
+
+#include "TortureSkip.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace rdgc;
+
+namespace {
+
+//===----------------------------------------------------------------------===
+// FaultPlan: spec grammar and seed derivation.
+//===----------------------------------------------------------------------===
+
+TEST(FaultPlanTest, SpecRoundTrip) {
+  FaultPlan Plan;
+  Plan.Seed = 7;
+  Plan.EvacFailAt = 12;
+  Plan.PlabRefillFailAt = 3;
+  Plan.StallAt = 9;
+  Plan.StallMicros = 500;
+  Plan.RemsetFailAt = 44;
+  EXPECT_EQ(Plan.spec(), "seed=7,evac=12,plab=3,stall=9x500,remset=44");
+
+  FaultPlan Parsed;
+  std::string Error;
+  ASSERT_TRUE(FaultPlan::parse(Plan.spec().c_str(), Parsed, Error)) << Error;
+  EXPECT_EQ(Parsed.Seed, Plan.Seed);
+  EXPECT_EQ(Parsed.EvacFailAt, Plan.EvacFailAt);
+  EXPECT_EQ(Parsed.PlabRefillFailAt, Plan.PlabRefillFailAt);
+  EXPECT_EQ(Parsed.StallAt, Plan.StallAt);
+  EXPECT_EQ(Parsed.StallMicros, Plan.StallMicros);
+  EXPECT_EQ(Parsed.RemsetFailAt, Plan.RemsetFailAt);
+}
+
+TEST(FaultPlanTest, BareSeedSpecDerivesFromSeed) {
+  FaultPlan Parsed;
+  std::string Error;
+  ASSERT_TRUE(FaultPlan::parse("42", Parsed, Error)) << Error;
+  FaultPlan Derived = FaultPlan::fromSeed(42);
+  EXPECT_EQ(Parsed.spec(), Derived.spec());
+}
+
+TEST(FaultPlanTest, MalformedSpecsAreRejectedWithAMessage) {
+  FaultPlan Plan;
+  std::string Error;
+  for (const char *Bad : {"", "evac", "evac=", "evac=x", "bogus=1",
+                          "stall=5", "stall=5x", "stall=x9"}) {
+    EXPECT_FALSE(FaultPlan::parse(Bad, Plan, Error)) << Bad;
+    EXPECT_FALSE(Error.empty()) << Bad;
+  }
+}
+
+TEST(FaultPlanTest, FromSeedIsDeterministicAndNeverEmpty) {
+  for (uint64_t Seed = 0; Seed < 64; ++Seed) {
+    FaultPlan A = FaultPlan::fromSeed(Seed);
+    FaultPlan B = FaultPlan::fromSeed(Seed);
+    EXPECT_EQ(A.spec(), B.spec());
+    EXPECT_EQ(A.Seed, Seed);
+    // Every derived schedule injects at least one fault, so sweeps never
+    // waste a trial.
+    EXPECT_TRUE(A.any()) << A.spec();
+  }
+  EXPECT_NE(FaultPlan::fromSeed(1).spec(), FaultPlan::fromSeed(2).spec());
+}
+
+//===----------------------------------------------------------------------===
+// Shared fixture pieces.
+//===----------------------------------------------------------------------===
+
+const CollectorKind CopyingKinds[] = {
+    CollectorKind::StopAndCopy,
+    CollectorKind::Generational,
+    CollectorKind::NonPredictive,
+    CollectorKind::NonPredictiveHybrid,
+};
+
+CollectorSizing smallSizing() {
+  CollectorSizing Sizing;
+  Sizing.PrimaryBytes = 64 * 1024;
+  Sizing.NurseryBytes = 16 * 1024;
+  Sizing.StepCount = 8;
+  return Sizing;
+}
+
+/// Builds a live list of \p Count pairs, car holding 0..Count-1 (youngest
+/// first at the head).
+void buildList(Heap &H, Handle &Out, size_t Count) {
+  Out = Value::null();
+  for (size_t I = 0; I < Count; ++I)
+    Out = H.allocatePair(Value::fixnum(static_cast<int64_t>(I)), Out);
+}
+
+/// Asserts the list built by buildList survived intact: length and every
+/// car value. Catches lost or corrupted survivors that the structural
+/// verifier alone would miss.
+void expectListIntact(Heap &H, Value List, size_t Count) {
+  size_t N = Count;
+  while (List.isPointer()) {
+    ASSERT_GT(N, 0u);
+    --N;
+    EXPECT_EQ(H.pairCar(List).asFixnum(), static_cast<int64_t>(N));
+    List = H.pairCdr(List);
+  }
+  EXPECT_EQ(N, 0u);
+}
+
+void expectVerifierGreen(Heap &H) {
+  HeapVerification V = verifyHeap(H);
+  EXPECT_TRUE(V.Ok) << V.FirstProblem;
+}
+
+//===----------------------------------------------------------------------===
+// Injected evacuation failure: serial and parallel.
+//===----------------------------------------------------------------------===
+
+void runEvacuationFailureScenario(CollectorKind Kind, unsigned Threads) {
+  auto H = makeHeap(Kind, smallSizing());
+  SCOPED_TRACE(std::string(H->collector().name()) + " threads=" +
+               std::to_string(Threads));
+  H->collector().setGcThreads(Threads);
+  H->setPoisonFreedMemory(true);
+
+  FaultPlan Plan;
+  Plan.Seed = 1;
+  Plan.EvacFailAt = 5; // Fails mid-scavenge once ≥ 5 objects are copied.
+  H->installFaultPlan(Plan);
+
+  Handle List(*H);
+  buildList(*H, List, 400);
+  H->collectNow();
+  H->collectNow();
+
+  // The injected failure fired and one cycle completed degraded, leaving
+  // self-forwarded survivors in place.
+  EXPECT_EQ(H->faultInjector()->injectedEvacFailures(), 1u);
+  EXPECT_GE(H->stats().evacuationFailures(), 1u);
+  EXPECT_GE(H->stats().selfForwardedObjects(), 1u);
+
+  // Degraded is not broken: the list survived wherever its pairs ended up.
+  expectListIntact(*H, List, 400);
+  expectVerifierGreen(*H);
+
+  // Recovery: full collections drain the degraded state and the heap keeps
+  // collecting normally afterwards (no fault was ever surfaced — the heap
+  // is uncapped).
+  H->collectFullNow();
+  H->collectFullNow();
+  expectListIntact(*H, List, 400);
+  expectVerifierGreen(*H);
+  EXPECT_EQ(H->lastFault(), HeapFault::None);
+
+  List = Value::null();
+  H->collectFullNow();
+  H->collectFullNow();
+  EXPECT_LE(H->collector().liveWordsAfterLastCollect(), 64u);
+}
+
+TEST(EvacFailTest, SerialInjectedFailureCompletesDegradedAndRecovers) {
+  RDGC_SKIP_UNDER_ENV_TORTURE();
+  for (CollectorKind Kind : CopyingKinds)
+    runEvacuationFailureScenario(Kind, 1);
+}
+
+TEST(EvacFailTest, ParallelInjectedFailureCompletesDegradedAndRecovers) {
+  RDGC_SKIP_UNDER_ENV_TORTURE();
+  for (CollectorKind Kind : CopyingKinds)
+    runEvacuationFailureScenario(Kind, 4);
+}
+
+TEST(EvacFailTest, NonCopyingCollectorsIgnoreEvacuationFaults) {
+  RDGC_SKIP_UNDER_ENV_TORTURE();
+  for (CollectorKind Kind :
+       {CollectorKind::MarkSweep, CollectorKind::MarkCompact}) {
+    auto H = makeHeap(Kind, smallSizing());
+    SCOPED_TRACE(H->collector().name());
+    FaultPlan Plan;
+    Plan.EvacFailAt = 1;
+    Plan.PlabRefillFailAt = 1;
+    H->installFaultPlan(Plan);
+    Handle List(*H);
+    buildList(*H, List, 400);
+    H->collectNow();
+    // Nothing evacuates, so nothing can fail to evacuate.
+    EXPECT_EQ(H->faultInjector()->evacuationAttempts(), 0u);
+    EXPECT_EQ(H->stats().evacuationFailures(), 0u);
+    expectListIntact(*H, List, 400);
+    expectVerifierGreen(*H);
+  }
+}
+
+TEST(EvacFailTest, PlabRefillRefusalDegradesAParallelCycle) {
+  RDGC_SKIP_UNDER_ENV_TORTURE();
+  for (CollectorKind Kind : CopyingKinds) {
+    auto H = makeHeap(Kind, smallSizing());
+    SCOPED_TRACE(H->collector().name());
+    H->collector().setGcThreads(4);
+    H->setPoisonFreedMemory(true);
+    FaultPlan Plan;
+    Plan.PlabRefillFailAt = 2;
+    H->installFaultPlan(Plan);
+    Handle List(*H);
+    buildList(*H, List, 400);
+    H->collectNow();
+    H->collectFullNow();
+    if (H->faultInjector()->injectedPlabFailures() > 0) {
+      EXPECT_GE(H->stats().evacuationFailures(), 1u);
+    }
+    expectListIntact(*H, List, 400);
+    expectVerifierGreen(*H);
+    EXPECT_EQ(H->lastFault(), HeapFault::None);
+  }
+}
+
+//===----------------------------------------------------------------------===
+// Watchdog: a stalled worker must abort the cycle, not hang it.
+//===----------------------------------------------------------------------===
+
+TEST(WatchdogTest, StalledParallelCycleAbortsRecoverably) {
+  RDGC_SKIP_UNDER_ENV_TORTURE();
+  for (CollectorKind Kind : CopyingKinds) {
+    auto H = makeHeap(Kind, smallSizing());
+    SCOPED_TRACE(H->collector().name());
+    H->collector().setGcThreads(4);
+    // Generous deadline: the pool tolerates only MaxExpiries consecutive
+    // expiries before declaring the process wedged, and on a loaded
+    // single-core CI box a healthy-but-starved worker can miss several
+    // deadlines just waiting to be scheduled.
+    H->collector().setWatchdogMicros(20'000);
+    H->setPoisonFreedMemory(true);
+
+    MemoryTraceSink Sink;
+    GcTracer Tracer;
+    Tracer.addSink(&Sink);
+    H->setTracer(&Tracer);
+
+    FaultPlan Plan;
+    Plan.StallAt = 5;
+    Plan.StallMicros = 400'000; // 20x the deadline: the watchdog must trip.
+    H->installFaultPlan(Plan);
+
+    Handle List(*H);
+    buildList(*H, List, 400);
+    H->collectNow();
+    H->collectNow();
+
+    if (H->faultInjector()->injectedStalls() > 0) {
+      EXPECT_GE(H->stats().watchdogTrips(), 1u);
+      // The tripped cycle completed degraded and was traced as such.
+      uint64_t WatchdogEvents = 0;
+      bool SawSite = false;
+      for (const GcTraceEvent &E : Sink.events())
+        if (E.EventType == GcTraceEvent::Type::Watchdog) {
+          ++WatchdogEvents;
+          SawSite |= !E.Site.empty();
+        }
+      EXPECT_EQ(WatchdogEvents, H->stats().watchdogTrips());
+      EXPECT_TRUE(SawSite);
+    }
+    expectListIntact(*H, List, 400);
+    expectVerifierGreen(*H);
+    EXPECT_EQ(H->lastFault(), HeapFault::None);
+    H->setTracer(nullptr);
+  }
+}
+
+//===----------------------------------------------------------------------===
+// Remembered-set insert drops: the generational collectors must compensate
+// with a full (remset-independent) cycle before trusting the set again.
+//===----------------------------------------------------------------------===
+
+TEST(RemsetDropTest, GenerationalCompensatesWithoutLosingTheEdge) {
+  RDGC_SKIP_UNDER_ENV_TORTURE();
+  for (CollectorKind Kind : {CollectorKind::Generational,
+                             CollectorKind::NonPredictiveHybrid}) {
+    auto H = makeHeap(Kind, smallSizing());
+    SCOPED_TRACE(H->collector().name());
+    H->setPoisonFreedMemory(true);
+
+    // Make an old holder first, with no plan installed.
+    Handle Old(*H, H->allocateCell(Value::null()));
+    H->collectFullNow();
+    H->collectFullNow();
+
+    // Now drop the very next remembered-set insert: the old→young edge
+    // created below is never remembered.
+    FaultPlan Plan;
+    Plan.RemsetFailAt = 1;
+    H->installFaultPlan(Plan);
+    Value Young = H->allocatePair(Value::fixnum(77), Value::null());
+    H->setCell(Old, Young);
+    Young = Value::unspecified(); // Reachable only through Old now.
+
+    ASSERT_EQ(H->faultInjector()->injectedRemsetFailures(), 1u);
+    EXPECT_EQ(H->stats().remsetFaultDrops(), 1u);
+
+    // A scoped (minor) collection trusting the set would miss the young
+    // pair and poison it under Old; the collector must run full instead.
+    H->collectNow();
+    Value Reloaded = H->cellRef(Old);
+    ASSERT_TRUE(Reloaded.isPointer());
+    EXPECT_EQ(H->pairCar(Reloaded).asFixnum(), 77);
+    expectVerifierGreen(*H);
+
+    // The compensation is one-shot: subsequent cycles are ordinary again.
+    H->collectNow();
+    expectVerifierGreen(*H);
+  }
+}
+
+//===----------------------------------------------------------------------===
+// Accounting: GcStats vs the trace-event stream.
+//===----------------------------------------------------------------------===
+
+TEST(EvacFailAccountingTest, StatsAgreeWithTraceEventsUnderInjection) {
+  RDGC_SKIP_UNDER_ENV_TORTURE();
+  for (CollectorKind Kind : CopyingKinds) {
+    for (unsigned Threads : {1u, 4u}) {
+      auto H = makeHeap(Kind, smallSizing());
+      SCOPED_TRACE(std::string(H->collector().name()) + " threads=" +
+                   std::to_string(Threads));
+      H->collector().setGcThreads(Threads);
+      H->collector().setWatchdogMicros(20'000);
+      H->setPoisonFreedMemory(true);
+
+      MemoryTraceSink Sink;
+      GcTracer Tracer;
+      Tracer.addSink(&Sink);
+      H->setTracer(&Tracer);
+
+      FaultPlan Plan;
+      Plan.Seed = 9;
+      Plan.EvacFailAt = 7;
+      Plan.PlabRefillFailAt = 3;
+      Plan.StallAt = 40;
+      Plan.StallMicros = 10'000;
+      Plan.RemsetFailAt = 2;
+      H->installFaultPlan(Plan);
+
+      Handle List(*H);
+      Handle Old(*H, H->allocateCell(Value::null()));
+      buildList(*H, List, 300);
+      H->setCell(Old, List.get());
+      H->collectNow();
+      buildList(*H, List, 300);
+      H->collectFullNow();
+      H->collectNow();
+
+      uint64_t EvFailEvents = 0, EvFailObjects = 0, EvFailWords = 0;
+      uint64_t WatchdogEvents = 0, CollectionEvents = 0;
+      for (const GcTraceEvent &E : Sink.events()) {
+        switch (E.EventType) {
+        case GcTraceEvent::Type::EvacuationFailure:
+          ++EvFailEvents;
+          EvFailObjects += E.SelfForwardedObjects;
+          EvFailWords += E.SelfForwardedWords;
+          break;
+        case GcTraceEvent::Type::Watchdog:
+          ++WatchdogEvents;
+          break;
+        case GcTraceEvent::Type::Collection:
+          ++CollectionEvents;
+          break;
+        default:
+          break;
+        }
+      }
+      const GcStats &Stats = H->stats();
+      EXPECT_EQ(Stats.evacuationFailures(), EvFailEvents);
+      EXPECT_EQ(Stats.selfForwardedObjects(), EvFailObjects);
+      EXPECT_EQ(Stats.selfForwardedWords(), EvFailWords);
+      EXPECT_EQ(Stats.watchdogTrips(), WatchdogEvents);
+      EXPECT_EQ(Stats.collections(), CollectionEvents);
+      EXPECT_EQ(Stats.remsetFaultDrops(),
+                H->faultInjector()->injectedRemsetFailures());
+      expectVerifierGreen(*H);
+      H->setTracer(nullptr);
+    }
+  }
+}
+
+} // namespace

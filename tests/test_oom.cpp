@@ -277,6 +277,62 @@ TEST(GrowthTest, CappedHeapsSurfaceAFaultAndNeverAbort) {
   }
 }
 
+TEST(GrowthTest, CappedHeapsRunTheLadderUnderParallelGc) {
+  RDGC_SKIP_UNDER_ENV_TORTURE(); // Torture mode forces single-threaded GC.
+  // The PR 1 recovery ladder (collect → emergency full → grow → fault) with
+  // the parallel scavenge engine enabled, as RDGC_GC_THREADS=4 would set it:
+  // the exhaustion path must surface the same recoverable fault — never a
+  // hang, an abort, or a corrupted heap — when collections run on workers.
+  for (CollectorKind Kind : AllKinds) {
+    auto H = makeHeap(Kind, tinySizing());
+    SCOPED_TRACE(H->collector().name());
+    H->collector().setGcThreads(4);
+    H->setPoisonFreedMemory(true);
+    H->setHeapGrowthEnabled(false);
+    size_t Capacity = H->collector().capacityWords();
+    bool SawFault = false;
+    H->setFaultHandler([&SawFault](HeapFault F, const char *) {
+      SawFault |= F == HeapFault::HeapExhausted;
+    });
+    Handle List(*H);
+    size_t Built = 0;
+    for (; Built < 100000 && H->lastFault() == HeapFault::None; ++Built) {
+      Value Next = H->allocatePair(Value::fixnum(1), List);
+      if (!Next.isPointer())
+        break;
+      List = Next;
+    }
+    EXPECT_EQ(H->lastFault(), HeapFault::HeapExhausted);
+    EXPECT_TRUE(SawFault);
+    EXPECT_GT(Built, 0u);
+    EXPECT_LT(Built, 100000u);
+    EXPECT_EQ(H->collector().capacityWords(), Capacity);
+    EXPECT_GT(H->stats().heapExhaustions(), 0u);
+    // Every rung before the fault ran: the emergency full collection is
+    // the ladder's second rung and must have been attempted.
+    EXPECT_GT(H->stats().emergencyFullCollections(), 0u);
+    // Growth was disabled, so the third rung must not have fired.
+    EXPECT_EQ(H->stats().heapGrowths(), 0u);
+    HeapVerification V = verifyHeap(*H);
+    EXPECT_TRUE(V.Ok) << V.FirstProblem;
+    // The list survived the ladder intact up to the fault.
+    size_t Length = 0;
+    for (Value P = List; P.isPointer(); P = H->pairCdr(P))
+      ++Length;
+    EXPECT_EQ(Length, Built);
+    // Releasing storage and acknowledging the fault recovers the heap.
+    List = Value::null();
+    H->clearFault();
+    H->collectFullNow();
+    Handle Fresh(*H, H->allocatePair(Value::fixnum(7), Value::null()));
+    EXPECT_TRUE(Fresh.get().isPointer());
+    EXPECT_EQ(H->pairCar(Fresh).asFixnum(), 7);
+    EXPECT_EQ(H->lastFault(), HeapFault::None);
+    V = verifyHeap(*H);
+    EXPECT_TRUE(V.Ok) << V.FirstProblem;
+  }
+}
+
 TEST(GrowthTest, MaxHeapBytesIsAHardCeiling) {
   for (CollectorKind Kind : AllKinds) {
     auto H = makeHeap(Kind, tinySizing());

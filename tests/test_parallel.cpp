@@ -206,22 +206,6 @@ TEST(PlabTest, BigObjectThresholdTracksChunkSize) {
 }
 
 //===----------------------------------------------------------------------===
-// The go-parallel headroom gate.
-//===----------------------------------------------------------------------===
-
-TEST(ParallelGateTest, WorstCaseBranchAndLiveEstimateBranch) {
-  constexpr size_t Chunk = Plab::DefaultChunkWords;
-  // Worst case: used + used/4 + threads*chunk must fit.
-  EXPECT_TRUE(parallelEvacuationFits(1000, 0, 1250 + 2 * Chunk, 2));
-  EXPECT_FALSE(parallelEvacuationFits(1000, 0, 1249 + 2 * Chunk, 2));
-  // Fallback: the previous cycle's live measurement with a 2x margin.
-  EXPECT_TRUE(parallelEvacuationFits(100000, 400, 800 + 2 * Chunk, 2));
-  EXPECT_FALSE(parallelEvacuationFits(100000, 400, 799 + 2 * Chunk, 2));
-  // LiveEstimate == 0 disables the fallback branch entirely.
-  EXPECT_FALSE(parallelEvacuationFits(100000, 0, 50000, 2));
-}
-
-//===----------------------------------------------------------------------===
 // GcWorkerPool.
 //===----------------------------------------------------------------------===
 

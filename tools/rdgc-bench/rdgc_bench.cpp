@@ -808,6 +808,31 @@ bool validateCompareSchema(const JsonValue &Doc,
   return Errors.empty();
 }
 
+/// Loads \p Path and checks it against the rdgc-bench-v1 schema, printing
+/// a diagnostic naming \p What ("baseline", "reference", ...) for every
+/// problem. A file that parses but does not conform (a foreign JSON
+/// document, a --compare-threads report, a truncated run) would otherwise
+/// silently contribute zero comparisons downstream.
+bool loadResultsDocument(const std::string &Path, const char *What,
+                         JsonValue &Doc) {
+  std::string Error;
+  if (!loadJsonFile(Path, Doc, Error)) {
+    std::fprintf(stderr, "rdgc-bench: %s %s: %s\n", What, Path.c_str(),
+                 Error.c_str());
+    return false;
+  }
+  std::vector<std::string> Errors;
+  if (!validateSchema(Doc, Errors)) {
+    std::fprintf(stderr,
+                 "rdgc-bench: %s %s does not conform to rdgc-bench-v1:\n",
+                 What, Path.c_str());
+    for (const std::string &E : Errors)
+      std::fprintf(stderr, "rdgc-bench:   %s\n", E.c_str());
+    return false;
+  }
+  return true;
+}
+
 int runValidate(const std::string &Path) {
   JsonValue Doc;
   std::string Error;
@@ -837,17 +862,9 @@ int runValidate(const std::string &Path) {
 int runRegress(const std::string &CurrentPath, const std::string &RefPath,
                double Tolerance) {
   JsonValue Current, Ref;
-  std::string Error;
-  if (!loadJsonFile(CurrentPath, Current, Error)) {
-    std::fprintf(stderr, "rdgc-bench: %s: parse error: %s\n",
-                 CurrentPath.c_str(), Error.c_str());
+  if (!loadResultsDocument(CurrentPath, "current results", Current) ||
+      !loadResultsDocument(RefPath, "reference", Ref))
     return 1;
-  }
-  if (!loadJsonFile(RefPath, Ref, Error)) {
-    std::fprintf(stderr, "rdgc-bench: %s: parse error: %s\n", RefPath.c_str(),
-                 Error.c_str());
-    return 1;
-  }
   // The gate watches the micro allocation configs' mutator throughput: the
   // metric the inline fast path is accountable for. Workload results vary
   // with scale and are informational only.
@@ -1073,18 +1090,26 @@ int main(int argc, char **argv) {
   if (Opt.CompareThreads > 0)
     return runCompareThreads(Opt);
 
+  // The baseline file is loaded and schema-checked up front: a missing or
+  // malformed file must fail before the suite burns minutes of runs.
+  JsonValue BaselineDoc;
+  if (!Opt.BaselinePath.empty() &&
+      !loadResultsDocument(Opt.BaselinePath, "baseline", BaselineDoc))
+    return 1;
+
   std::vector<BenchResult> Results = runSuite(Opt);
 
   std::vector<BaselineEntry> Baseline;
   if (!Opt.BaselinePath.empty()) {
-    JsonValue Before;
-    std::string Error;
-    if (!loadJsonFile(Opt.BaselinePath, Before, Error)) {
-      std::fprintf(stderr, "rdgc-bench: baseline %s: %s\n",
-                   Opt.BaselinePath.c_str(), Error.c_str());
+    Baseline = compareToBaseline(BaselineDoc, Results);
+    if (Baseline.empty()) {
+      std::fprintf(stderr,
+                   "rdgc-bench: baseline %s shares no (config, collector) "
+                   "rows with this run; check that --quick/--scale/--filter "
+                   "match the settings the baseline was recorded with\n",
+                   Opt.BaselinePath.c_str());
       return 1;
     }
-    Baseline = compareToBaseline(Before, Results);
   }
 
   if (Opt.JsonPath.empty()) {

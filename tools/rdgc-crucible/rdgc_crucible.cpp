@@ -1,0 +1,414 @@
+//===- tools/rdgc-crucible/rdgc_crucible.cpp - Fault-injection sweep ------===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fault-injection matrix runner (DESIGN.md §13). Each *trial* builds a
+/// fresh small heap for one (collector, GC-thread-count, fault schedule)
+/// triple, installs the schedule's FaultPlan, runs a deterministic mutator
+/// churn with periodic forced collections, and asserts that the collectors'
+/// degraded-completion machinery held up:
+///
+///   - the heap verifies green after every forced collection and at the end
+///     (with poison-after-evacuation on, so dangling references are caught);
+///   - no trial hangs (injected stalls are bounded and the GC watchdog is
+///     armed with a tight deadline, so even a wedged cycle aborts);
+///   - failure accounting is exact: GcStats' degraded-cycle counters equal
+///     the sums over the trace-event stream, and remembered-set fault drops
+///     equal the injector's count of dropped inserts;
+///   - an uncapped heap never surfaces a recoverable fault to the mutator
+///     (every injected failure must be absorbed by recovery, not leaked).
+///
+/// Schedules are derived from consecutive seeds via FaultPlan::fromSeed, so
+/// `rdgc-crucible --schedules 200` sweeps a deterministic 200-schedule
+/// matrix across all six collectors, serial and parallel. Any red trial
+/// prints the collector, thread count, and the plan's canonical spec string
+/// — rerunning with RDGC_FAULT_PLAN=<spec> reproduces it in any rdgc
+/// binary.
+///
+//===----------------------------------------------------------------------===//
+
+#include "gc/CollectorFactory.h"
+#include "heap/FaultPlan.h"
+#include "heap/Heap.h"
+#include "heap/HeapVerifier.h"
+#include "observe/GcTracer.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace rdgc;
+
+namespace {
+
+struct CollectorEntry {
+  const char *Name;
+  CollectorKind Kind;
+};
+
+const CollectorEntry AllCollectors[] = {
+    {"stop-and-copy", CollectorKind::StopAndCopy},
+    {"mark-sweep", CollectorKind::MarkSweep},
+    {"mark-compact", CollectorKind::MarkCompact},
+    {"generational", CollectorKind::Generational},
+    {"non-predictive", CollectorKind::NonPredictive},
+    {"non-predictive-hybrid", CollectorKind::NonPredictiveHybrid},
+};
+
+struct Options {
+  uint64_t Schedules = 200;
+  uint64_t SeedBase = 1;
+  std::vector<unsigned> Threads = {1, 4};
+  std::vector<CollectorEntry> Collectors{std::begin(AllCollectors),
+                                         std::end(AllCollectors)};
+  /// Deadline armed on every trial heap. Tight enough that some injected
+  /// stalls (0.2–2 ms, see FaultPlan::fromSeed) trip it — exercising the
+  /// abort path — while others complete normally; a spurious trip on a
+  /// slow machine only adds a recoverable degraded cycle, never a failure.
+  uint64_t WatchdogMicros = 1000;
+  uint64_t Iterations = 3000;
+  bool Verbose = false;
+};
+
+/// Everything one trial injected and suffered, for the sweep totals.
+struct TrialOutcome {
+  bool Ok = true;
+  std::string Problem;
+  uint64_t InjectedEvac = 0;
+  uint64_t InjectedPlab = 0;
+  uint64_t InjectedStalls = 0;
+  uint64_t InjectedRemset = 0;
+  uint64_t DegradedCycles = 0;
+  uint64_t WatchdogTrips = 0;
+  uint64_t Collections = 0;
+};
+
+uint64_t splitMix64(uint64_t &State) {
+  State += 0x9e3779b97f4a7c15ull;
+  uint64_t Z = State;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+  return Z ^ (Z >> 31);
+}
+
+/// Deterministic mutator churn: a rolling window of rooted objects gets
+/// freshly allocated pairs/vectors/cells/strings, and random cross-window
+/// stores create old→young edges so every write-barrier and remembered-set
+/// path runs. Forced collections land often enough that the schedule
+/// ordinals drawn by FaultPlan::fromSeed (evac ≤ 512, plab ≤ 32,
+/// stall ≤ 512, remset ≤ 1024) usually fall inside the trial.
+void churn(Heap &H, uint64_t Seed, const Options &Opt,
+           std::vector<std::unique_ptr<Handle>> &Window,
+           const std::function<bool(const char *)> &CheckAfterCollect) {
+  uint64_t Rng = Seed ^ 0xc0ffee;
+  const size_t W = Window.size();
+
+  for (uint64_t I = 0; I < Opt.Iterations; ++I) {
+    uint64_t R = splitMix64(Rng);
+    size_t Slot = static_cast<size_t>(R % W);
+    Value Fresh;
+    switch ((R >> 8) % 6) {
+    case 0:
+    case 1:
+      Fresh = H.allocatePair(Window[(R >> 16) % W]->get(),
+                             Value::fixnum(static_cast<int64_t>(I)));
+      break;
+    case 2:
+      Fresh = H.allocateVector(1 + (R >> 16) % 6, Window[(R >> 24) % W]->get());
+      break;
+    case 3:
+      Fresh = H.allocateCell(Window[(R >> 16) % W]->get());
+      break;
+    case 4:
+      Fresh = H.allocateString("crucible");
+      break;
+    default:
+      Fresh = H.allocateFlonum(static_cast<double>(R));
+      break;
+    }
+    Window[Slot]->set(Fresh);
+
+    // Cross-window stores: older holders receive pointers to younger
+    // objects, which is what drives remembered-set inserts.
+    uint64_t S = splitMix64(Rng);
+    Value Holder = Window[S % W]->get();
+    Value Stored = Window[(S >> 16) % W]->get();
+    if (H.isa(Holder, ObjectTag::Pair)) {
+      H.setPairCdr(Holder, Stored);
+    } else if (H.isa(Holder, ObjectTag::Vector)) {
+      size_t Len = H.vectorLength(Holder);
+      if (Len)
+        H.vectorSet(Holder, (S >> 32) % Len, Stored);
+    } else if (H.isa(Holder, ObjectTag::Cell)) {
+      H.setCell(Holder, Stored);
+    }
+
+    if (I % 100 == 99) {
+      H.collectNow();
+      if (!CheckAfterCollect("collect"))
+        return;
+    }
+    if (I % 379 == 378) {
+      H.collectFullNow();
+      if (!CheckAfterCollect("full-collect"))
+        return;
+    }
+  }
+}
+
+TrialOutcome runTrial(const CollectorEntry &Coll, unsigned Threads,
+                      uint64_t Seed, const Options &Opt) {
+  TrialOutcome Out;
+  FaultPlan Plan = FaultPlan::fromSeed(Seed);
+
+  MemoryTraceSink Sink;
+  GcTracer Tracer;
+  Tracer.addSink(&Sink);
+
+  // Small spaces so collections (and therefore evacuation attempts) are
+  // frequent; uncapped so every injected failure must be absorbed by the
+  // recovery machinery rather than surfacing as HeapExhausted.
+  CollectorSizing Sizing;
+  Sizing.PrimaryBytes = 96 * 1024;
+  Sizing.NurseryBytes = 16 * 1024;
+  Sizing.StepCount = 8;
+  auto H = makeHeap(Coll.Kind, Sizing);
+  H->collector().setGcThreads(Threads);
+  H->collector().setWatchdogMicros(Opt.WatchdogMicros);
+  H->setPoisonFreedMemory(true);
+  H->setTracer(&Tracer);
+  H->installFaultPlan(Plan);
+
+  auto Fail = [&](std::string Why) {
+    Out.Ok = false;
+    Out.Problem = std::move(Why);
+  };
+
+  auto CheckAfterCollect = [&](const char *When) {
+    HeapVerification V = verifyHeap(*H);
+    if (!V.Ok) {
+      Fail(std::string("verifier red after ") + When + ": " + V.FirstProblem);
+      return false;
+    }
+    return true;
+  };
+
+  {
+    std::vector<std::unique_ptr<Handle>> Window;
+    for (size_t I = 0; I < 40; ++I)
+      Window.push_back(std::make_unique<Handle>(*H));
+    churn(*H, Seed, Opt, Window, CheckAfterCollect);
+
+    // Two clean full collections: degraded structures (pinned spaces,
+    // straggler steps) must drain back to a healthy heap.
+    if (Out.Ok) {
+      H->collectFullNow();
+      H->collectFullNow();
+      CheckAfterCollect("final full collections");
+    }
+  }
+
+  // Accounting. GcStats and the trace-event stream are fed from the same
+  // CollectionRecord by Collector::finishCollection — any disagreement
+  // means a collector bypassed the funnel.
+  const GcStats &Stats = H->stats();
+  uint64_t EvFailEvents = 0, EvFailObjects = 0, EvFailWords = 0;
+  uint64_t WatchdogEvents = 0, CollectionEvents = 0;
+  for (const GcTraceEvent &E : Sink.events()) {
+    switch (E.EventType) {
+    case GcTraceEvent::Type::EvacuationFailure:
+      ++EvFailEvents;
+      EvFailObjects += E.SelfForwardedObjects;
+      EvFailWords += E.SelfForwardedWords;
+      break;
+    case GcTraceEvent::Type::Watchdog:
+      ++WatchdogEvents;
+      break;
+    case GcTraceEvent::Type::Collection:
+      ++CollectionEvents;
+      break;
+    default:
+      break;
+    }
+  }
+
+  auto CheckCount = [&](const char *What, uint64_t StatsValue,
+                        uint64_t TraceValue) {
+    if (StatsValue == TraceValue || !Out.Ok)
+      return;
+    char Buf[160];
+    std::snprintf(Buf, sizeof(Buf),
+                  "%s mismatch: GcStats says %" PRIu64 ", trace events sum to "
+                  "%" PRIu64,
+                  What, StatsValue, TraceValue);
+    Fail(Buf);
+  };
+  CheckCount("degraded-cycle count", Stats.evacuationFailures(), EvFailEvents);
+  CheckCount("self-forwarded objects", Stats.selfForwardedObjects(),
+             EvFailObjects);
+  CheckCount("self-forwarded words", Stats.selfForwardedWords(), EvFailWords);
+  CheckCount("watchdog trips", Stats.watchdogTrips(), WatchdogEvents);
+  CheckCount("collection count", Stats.collections(), CollectionEvents);
+
+  const FaultInjector *FI = H->faultInjector();
+  CheckCount("remset fault drops", Stats.remsetFaultDrops(),
+             FI->injectedRemsetFailures());
+
+  if (Out.Ok && H->lastFault() != HeapFault::None)
+    Fail("uncapped heap surfaced a recoverable fault; an injected failure "
+         "leaked past recovery");
+
+  Out.InjectedEvac = FI->injectedEvacFailures();
+  Out.InjectedPlab = FI->injectedPlabFailures();
+  Out.InjectedStalls = FI->injectedStalls();
+  Out.InjectedRemset = FI->injectedRemsetFailures();
+  Out.DegradedCycles = Stats.evacuationFailures();
+  Out.WatchdogTrips = Stats.watchdogTrips();
+  Out.Collections = Stats.collections();
+  return Out;
+}
+
+int usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options]\n"
+      "  --schedules N      fault schedules to sweep (default 200)\n"
+      "  --seed-base S      first schedule seed (default 1)\n"
+      "  --threads LIST     comma-separated GC thread counts (default 1,4)\n"
+      "  --collectors LIST  comma-separated collector names, or 'all'\n"
+      "  --watchdog-us N    per-trial GC watchdog deadline (default 1000)\n"
+      "  --iterations N     mutator iterations per trial (default 3000)\n"
+      "  --verbose          print every trial\n",
+      Argv0);
+  return 2;
+}
+
+bool splitList(const char *Text, std::vector<std::string> &Out) {
+  std::string Item;
+  for (const char *P = Text;; ++P) {
+    if (*P == ',' || *P == '\0') {
+      if (Item.empty())
+        return false;
+      Out.push_back(Item);
+      Item.clear();
+      if (*P == '\0')
+        return true;
+    } else {
+      Item.push_back(*P);
+    }
+  }
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options Opt;
+  for (int I = 1; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    auto NextValue = [&]() -> const char * {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "rdgc-crucible: %s requires a value\n", Arg);
+        std::exit(2);
+      }
+      return Argv[++I];
+    };
+    if (std::strcmp(Arg, "--schedules") == 0) {
+      Opt.Schedules = std::strtoull(NextValue(), nullptr, 10);
+    } else if (std::strcmp(Arg, "--seed-base") == 0) {
+      Opt.SeedBase = std::strtoull(NextValue(), nullptr, 10);
+    } else if (std::strcmp(Arg, "--watchdog-us") == 0) {
+      Opt.WatchdogMicros = std::strtoull(NextValue(), nullptr, 10);
+    } else if (std::strcmp(Arg, "--iterations") == 0) {
+      Opt.Iterations = std::strtoull(NextValue(), nullptr, 10);
+    } else if (std::strcmp(Arg, "--threads") == 0) {
+      std::vector<std::string> Items;
+      if (!splitList(NextValue(), Items))
+        return usage(Argv[0]);
+      Opt.Threads.clear();
+      for (const std::string &T : Items)
+        Opt.Threads.push_back(
+            static_cast<unsigned>(std::strtoul(T.c_str(), nullptr, 10)));
+    } else if (std::strcmp(Arg, "--collectors") == 0) {
+      const char *List = NextValue();
+      if (std::strcmp(List, "all") != 0) {
+        std::vector<std::string> Items;
+        if (!splitList(List, Items))
+          return usage(Argv[0]);
+        Opt.Collectors.clear();
+        for (const std::string &Name : Items) {
+          bool Found = false;
+          for (const CollectorEntry &E : AllCollectors)
+            if (Name == E.Name) {
+              Opt.Collectors.push_back(E);
+              Found = true;
+            }
+          if (!Found) {
+            std::fprintf(stderr, "rdgc-crucible: unknown collector \"%s\"\n",
+                         Name.c_str());
+            return 2;
+          }
+        }
+      }
+    } else if (std::strcmp(Arg, "--verbose") == 0) {
+      Opt.Verbose = true;
+    } else {
+      return usage(Argv[0]);
+    }
+  }
+  if (Opt.Schedules == 0 || Opt.Threads.empty() || Opt.Collectors.empty())
+    return usage(Argv[0]);
+
+  uint64_t Trials = 0, Failures = 0;
+  uint64_t TotalEvac = 0, TotalPlab = 0, TotalStalls = 0, TotalRemset = 0;
+  uint64_t TotalDegraded = 0, TotalWatchdog = 0, TotalCollections = 0;
+
+  for (uint64_t S = 0; S < Opt.Schedules; ++S) {
+    uint64_t Seed = Opt.SeedBase + S;
+    FaultPlan Plan = FaultPlan::fromSeed(Seed);
+    for (const CollectorEntry &Coll : Opt.Collectors) {
+      for (unsigned Threads : Opt.Threads) {
+        TrialOutcome Out = runTrial(Coll, Threads, Seed, Opt);
+        ++Trials;
+        TotalEvac += Out.InjectedEvac;
+        TotalPlab += Out.InjectedPlab;
+        TotalStalls += Out.InjectedStalls;
+        TotalRemset += Out.InjectedRemset;
+        TotalDegraded += Out.DegradedCycles;
+        TotalWatchdog += Out.WatchdogTrips;
+        TotalCollections += Out.Collections;
+        if (!Out.Ok) {
+          ++Failures;
+          std::fprintf(stderr,
+                       "FAIL collector=%s threads=%u plan=\"%s\": %s\n",
+                       Coll.Name, Threads, Plan.spec().c_str(),
+                       Out.Problem.c_str());
+        } else if (Opt.Verbose) {
+          std::printf("ok   collector=%-21s threads=%u plan=\"%s\" "
+                      "collections=%" PRIu64 " degraded=%" PRIu64
+                      " watchdog=%" PRIu64 "\n",
+                      Coll.Name, Threads, Plan.spec().c_str(), Out.Collections,
+                      Out.DegradedCycles, Out.WatchdogTrips);
+        }
+      }
+    }
+  }
+
+  std::printf("rdgc-crucible: %" PRIu64 " trials (%" PRIu64 " schedules x %zu "
+              "collectors x %zu thread counts), %" PRIu64 " failures\n",
+              Trials, Opt.Schedules, Opt.Collectors.size(), Opt.Threads.size(),
+              Failures);
+  std::printf("  collections=%" PRIu64 " degraded=%" PRIu64
+              " watchdog-trips=%" PRIu64 "\n",
+              TotalCollections, TotalDegraded, TotalWatchdog);
+  std::printf("  injected: evac-failures=%" PRIu64 " plab-refusals=%" PRIu64
+              " stalls=%" PRIu64 " remset-drops=%" PRIu64 "\n",
+              TotalEvac, TotalPlab, TotalStalls, TotalRemset);
+  return Failures ? 1 : 0;
+}

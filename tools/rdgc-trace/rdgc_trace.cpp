@@ -115,6 +115,8 @@ struct CollectorSummary {
   uint64_t PauseNanos = 0;
   uint64_t Pacings = 0;
   uint64_t Recoveries = 0;
+  uint64_t EvacFailures = 0;
+  uint64_t WatchdogTrips = 0;
 };
 
 std::string formatMillis(uint64_t Nanos) {
@@ -142,12 +144,18 @@ void renderSummaryTable(const LoadedTrace &Trace) {
       break;
     case GcTraceEvent::Type::Occupancy:
       break;
+    case GcTraceEvent::Type::EvacuationFailure:
+      ++S.EvacFailures;
+      break;
+    case GcTraceEvent::Type::Watchdog:
+      ++S.WatchdogTrips;
+      break;
     }
   }
 
   TableWriter Table({"collector", "collections", "words traced",
                      "words reclaimed", "mark/cons", "gc ms", "pacings",
-                     "recoveries"});
+                     "recoveries", "evac fails", "watchdog"});
   for (const auto &[Name, S] : ByCollector) {
     double MarkCons =
         S.WordsAllocatedMax
@@ -159,7 +167,9 @@ void renderSummaryTable(const LoadedTrace &Trace) {
                   TableWriter::formatDouble(MarkCons, 3),
                   formatMillis(S.PauseNanos),
                   TableWriter::formatUnsigned(S.Pacings),
-                  TableWriter::formatUnsigned(S.Recoveries)});
+                  TableWriter::formatUnsigned(S.Recoveries),
+                  TableWriter::formatUnsigned(S.EvacFailures),
+                  TableWriter::formatUnsigned(S.WatchdogTrips)});
   }
   std::printf("%s\n", Table.renderText().c_str());
 }
