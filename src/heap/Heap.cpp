@@ -216,6 +216,7 @@ void Heap::removeRootProvider(RootProvider *Provider) {
   Providers.erase(It);
 }
 
+// gclint-assume(non-allocating): root visitors rewrite slots in place
 void Heap::forEachRoot(const std::function<void(Value &)> &Visit) {
   for (Value *Slot : RootSlots)
     Visit(*Slot);

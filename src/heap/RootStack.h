@@ -30,6 +30,7 @@ public:
   RootStack(const RootStack &) = delete;
   RootStack &operator=(const RootStack &) = delete;
 
+  // gclint-assume(non-allocating): root visitors rewrite slots in place
   void forEachRoot(const std::function<void(Value &)> &Visit) override {
     for (std::vector<Value> *Frame : Frames)
       for (Value &V : *Frame)

@@ -18,6 +18,7 @@ MutatorDriver::MutatorDriver(Heap &H, LifetimeModel &Model, const Config &C)
 
 MutatorDriver::~MutatorDriver() { H.removeRootProvider(this); }
 
+// gclint-assume(non-allocating): root visitors rewrite slots in place
 void MutatorDriver::forEachRoot(const std::function<void(Value &)> &Visit) {
   for (Value &Slot : Slots)
     Visit(Slot);

@@ -29,6 +29,11 @@ void GcWorkerPool::ensureHelpersLocked(unsigned Count) {
   }
 }
 
+// The completion barrier parks the caller until every helper finishes, so
+// run() must never be entered while holding an unresolved claim. (Seeded
+// via annotation, not hardcoded, to keep unrelated run() methods out of
+// the blocking closure's seed set.)
+// gclint-assume(blocking): run() is the pool completion barrier
 void GcWorkerPool::run(unsigned Threads,
                        const std::function<void(unsigned)> &Task,
                        const BarrierWatchdog *Watchdog) {

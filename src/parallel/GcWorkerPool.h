@@ -25,6 +25,9 @@
 ///
 //===----------------------------------------------------------------------===//
 
+// gclint-protocol(worker-pool): parked helper threads dispatched inside
+// stop-the-world cycles; no mutator allocation can interleave.
+
 #ifndef RDGC_PARALLEL_GCWORKERPOOL_H
 #define RDGC_PARALLEL_GCWORKERPOOL_H
 

@@ -46,6 +46,10 @@
 ///
 //===----------------------------------------------------------------------===//
 
+// gclint-protocol(claim-copy): stop-the-world scavenge engine; from-space
+// values are manipulated precisely in order to move them, and every claim
+// is resolved through copyAndForward's publish/rollback paths.
+
 #ifndef RDGC_PARALLEL_PARALLELSCAVENGER_H
 #define RDGC_PARALLEL_PARALLELSCAVENGER_H
 

@@ -23,6 +23,10 @@
 ///
 //===----------------------------------------------------------------------===//
 
+// gclint-protocol(claim-copy): worker-owned to-space allocation buffers;
+// stores target unpublished to-space objects, so no remembered-set edge
+// or mutator rooting discipline applies.
+
 #ifndef RDGC_PARALLEL_PLAB_H
 #define RDGC_PARALLEL_PLAB_H
 

@@ -33,6 +33,10 @@
 ///
 //===----------------------------------------------------------------------===//
 
+// gclint-protocol(chase-lev): opts this file into the deque-ordering rule;
+// every Top/Bottom/Buffer access below is checked against the audited
+// PPoPP'13 memory-order table in tools/gclint/RuleDeque.cpp.
+
 #ifndef RDGC_PARALLEL_WORKSTEALINGDEQUE_H
 #define RDGC_PARALLEL_WORKSTEALINGDEQUE_H
 

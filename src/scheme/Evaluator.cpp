@@ -64,6 +64,7 @@ Evaluator::~Evaluator() {
   H.removeRootProvider(this);
 }
 
+// gclint-assume(non-allocating): root visitors rewrite slots in place
 void Evaluator::forEachRoot(const std::function<void(Value &)> &Visit) {
   for (Value &V : GlobalValues)
     Visit(V);

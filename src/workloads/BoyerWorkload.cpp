@@ -132,6 +132,7 @@ public:
   }
   ~BoyerEngine() override { H.removeRootProvider(this); }
 
+  // gclint-assume(non-allocating): root visitors rewrite slots in place
   void forEachRoot(const std::function<void(Value &)> &Visit) override {
     for (auto &Entry : RulesByHead)
       Visit(Entry.second);

@@ -30,6 +30,7 @@ public:
   }
   ~PhaseRunner() override { H.removeRootProvider(this); }
 
+  // gclint-assume(non-allocating): root visitors rewrite slots in place
   void forEachRoot(const std::function<void(Value &)> &Visit) override {
     Visit(Carryover);
   }

@@ -1,0 +1,137 @@
+//===- tools/gclint/Annotations.cpp - gclint annotation grammar -----------===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the gclint marker comments (see GclintCore.h for the grammar)
+/// and implements suppression matching. Suppression reasons are mandatory
+/// in v2: a bare `gclint-ok: <rule>` with no reason does not suppress and
+/// is reported by the unused-suppression audit, so blanket suppressions
+/// cannot creep back into the tree.
+///
+//===----------------------------------------------------------------------===//
+
+#include "GclintCore.h"
+
+#include <cctype>
+#include <functional>
+#include <sstream>
+
+namespace gclint {
+
+namespace {
+
+/// Strips leading/trailing whitespace.
+std::string trim(const std::string &S) {
+  size_t B = 0, E = S.size();
+  while (B < E && std::isspace(static_cast<unsigned char>(S[B])))
+    ++B;
+  while (E > B && std::isspace(static_cast<unsigned char>(S[E - 1])))
+    --E;
+  return S.substr(B, E - B);
+}
+
+/// Matches `<marker>(<arg>)` or `<marker>(<arg>): <rest>` at \p At in
+/// \p Text; also the legacy `<marker>: <arg> <rest>` spelling. Returns
+/// true on a hit with Arg/Rest filled.
+bool parseMarkerAt(const std::string &Text, size_t At, size_t MarkerLen,
+                   std::string &Arg, std::string &Rest) {
+  size_t P = At + MarkerLen;
+  if (P < Text.size() && Text[P] == '(') {
+    size_t Close = Text.find(')', P + 1);
+    if (Close == std::string::npos)
+      return false;
+    Arg = trim(Text.substr(P + 1, Close - P - 1));
+    size_t R = Close + 1;
+    if (R < Text.size() && Text[R] == ':')
+      ++R;
+    Rest = trim(Text.substr(R));
+    return !Arg.empty();
+  }
+  if (P < Text.size() && Text[P] == ':') {
+    std::istringstream In(Text.substr(P + 1));
+    if (!(In >> Arg))
+      return false;
+    std::string Tail;
+    std::getline(In, Tail);
+    Rest = trim(Tail);
+    return true;
+  }
+  return false;
+}
+
+/// All `<marker>...` occurrences in one comment.
+void forEachMarker(const Comment &C, const std::string &Marker,
+                   const std::function<void(const std::string &Arg,
+                                            const std::string &Rest)> &Fn) {
+  size_t At = 0;
+  while ((At = C.Text.find(Marker, At)) != std::string::npos) {
+    std::string Arg, Rest;
+    if (parseMarkerAt(C.Text, At, Marker.size(), Arg, Rest))
+      Fn(Arg, Rest);
+    At += Marker.size();
+  }
+}
+
+} // namespace
+
+FileAnnotations parseAnnotations(const SourceFile &F) {
+  FileAnnotations A;
+  for (const Comment &C : F.Comments) {
+    // Order matters: "gclint-ok" is a prefix of nothing else, but
+    // "gclint-expect"/"gclint-protocol"/"gclint-assume" must not be
+    // re-matched as "gclint-ok". Each marker word is matched exactly.
+    forEachMarker(C, "gclint-ok", [&](const std::string &Rule,
+                                      const std::string &Reason) {
+      A.Oks.push_back({C.Line, Rule, Reason, false});
+    });
+    forEachMarker(C, "gclint-expect",
+                  [&](const std::string &Rule, const std::string &) {
+                    A.Expects.emplace(C.Line, Rule);
+                  });
+    forEachMarker(C, "gclint-protocol",
+                  [&](const std::string &Name, const std::string &) {
+                    A.LineProtocols[C.Line] = Name;
+                  });
+    forEachMarker(C, "gclint-assume",
+                  [&](const std::string &Fact, const std::string &) {
+                    A.LineAssumes[C.Line].insert(Fact);
+                  });
+  }
+  return A;
+}
+
+bool suppresses(const FileAnnotations &A, const Finding &F) {
+  // A `gclint-ok` comment covers its own line (trailing style) and the
+  // following line (own-line style). Reason-less suppressions are inert:
+  // the audit flags them instead.
+  for (const Suppression &S : A.Oks) {
+    if (S.Rule != F.Rule || S.Reason.empty())
+      continue;
+    if (S.Line == F.Line || S.Line == F.Line - 1) {
+      S.Used = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string Context::protocolFor(size_t FileIdx, const Function &Fn) const {
+  const FileAnnotations &A = Annotations[FileIdx];
+  // A marker on the definition line, or up to two lines above it (the
+  // own-line style; signatures may wrap once), binds to the function.
+  for (int L = Fn.Line; L >= Fn.Line - 2; --L) {
+    auto It = A.LineProtocols.find(L);
+    if (It != A.LineProtocols.end())
+      return It->second;
+  }
+  return A.FileProtocol;
+}
+
+bool Context::callMayAllocate(const std::string &Callee) const {
+  return isAllocationSeed(Callee) || MayAllocate.count(Callee) != 0;
+}
+
+} // namespace gclint

@@ -1,0 +1,476 @@
+//===- tools/gclint/CallGraph.cpp - Interprocedural summaries -------------===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds the name-level call graph over every input file and the four
+/// interprocedural closures the rule passes consume:
+///
+///   may-allocate    seeded by the Heap allocation/collection entry points;
+///                   indirect calls (through function-typed parameters,
+///                   std::function values, or function-type aliases) are
+///                   conservatively may-allocate unless the enclosing
+///                   function carries `gclint-assume(non-allocating)`,
+///                   which asserts that every callable handed to it is
+///                   allocation-free (its *direct* calls still propagate,
+///                   so a stale assume cannot hide a real allocation path)
+///
+///   blocking        seeded by the forward-wait spins plus any function
+///                   annotated `gclint-assume(blocking)` (the worker-pool
+///                   barrier — seeding the generic name `run` by string
+///                   would poison every Harness::run in the tree)
+///
+///   publishes       seeded by the claim-resolution primitives
+///                   (publishForward / publishSelfForward / rollbackClaim):
+///                   calling into a publishing function hands the claim off
+///
+///   escaping-params which by-value Value/ObjectRef parameters a function
+///                   stashes into storage that outlives the call
+///                   (push_back & friends), propagated call-graph-wide so
+///                   wrapper helpers inherit their callees' escapes
+///
+/// Overloads and same-named methods merge in every closure — the
+/// conservative direction for a linter.
+///
+//===----------------------------------------------------------------------===//
+
+#include "GclintCore.h"
+
+#include <algorithm>
+
+namespace gclint {
+
+bool isAllocationSeed(const std::string &Name) {
+  static const std::unordered_set<std::string> Exact = {
+      "collect",        "collectFull",         "collectNow",
+      "collectFullNow", "collectMajor",        "collectMinor",
+      "collectIntermediate", "collectWithJ",   "tryGrowHeap"};
+  if (Exact.count(Name))
+    return true;
+  return Name.compare(0, 8, "allocate") == 0;
+}
+
+bool isBlockingSeed(const std::string &Name) {
+  return Name == "waitForForward" || Name == "waitForForwardBounded";
+}
+
+bool isPublishSeed(const std::string &Name) {
+  return Name == "publishForward" || Name == "publishSelfForward" ||
+         Name == "rollbackClaim";
+}
+
+bool isTrackedType(const std::string &T) {
+  return T == "Value" || T == "ObjectRef";
+}
+
+namespace {
+
+/// Container-mutating member calls that copy an argument into storage
+/// outliving the full expression: the seed set for escape events.
+bool isStashCall(const std::string &Name) {
+  return Name == "push_back" || Name == "emplace_back" || Name == "push" ||
+         Name == "insert" || Name == "emplace";
+}
+
+/// Type names that denote callables: std::function itself plus every
+/// `using X = std::function<...>` alias found in the inputs, plus the
+/// `SomethingFn` spelling used for template callable parameters.
+struct CallableTypes {
+  std::unordered_set<std::string> Names{"function"};
+
+  bool covers(const std::string &TypeName) const {
+    if (Names.count(TypeName))
+      return true;
+    size_t N = TypeName.size();
+    return N > 2 && TypeName.compare(N - 2, 2, "Fn") == 0;
+  }
+};
+
+CallableTypes collectCallableTypes(const std::vector<SourceFile> &Files) {
+  CallableTypes CT;
+  for (const SourceFile &F : Files) {
+    const std::vector<Token> &Toks = F.Toks;
+    for (size_t I = 0; I + 4 < Toks.size(); ++I) {
+      // `using Alias = std::function<...>` / `typedef std::function<...> Alias`
+      if (Toks[I].Kind == TokKind::Ident && Toks[I].Text == "using" &&
+          Toks[I + 1].Kind == TokKind::Ident && Toks[I + 2].Text == "=") {
+        for (size_t J = I + 3; J < Toks.size() && Toks[J].Text != ";"; ++J)
+          if (Toks[J].Kind == TokKind::Ident && Toks[J].Text == "function") {
+            CT.Names.insert(Toks[I + 1].Text);
+            break;
+          }
+      }
+    }
+  }
+  return CT;
+}
+
+/// Names declared with a callable type in \p F at any scope (members,
+/// globals, locals): `std::function<...> Name`, `const Alias &Name`, etc.
+std::unordered_set<std::string>
+collectCallableValueNames(const SourceFile &F, const CallableTypes &CT) {
+  std::unordered_set<std::string> Out;
+  const std::vector<Token> &Toks = F.Toks;
+  for (size_t I = 0; I + 1 < Toks.size(); ++I) {
+    if (Toks[I].Kind != TokKind::Ident || !CT.Names.count(Toks[I].Text))
+      continue;
+    size_t J = I + 1;
+    if (J < Toks.size() && Toks[J].Text == "<")
+      J = matchDelim(Toks, J, "<", ">") + 1;
+    while (J < Toks.size() && Toks[J].Kind == TokKind::Punct &&
+           (Toks[J].Text == "*" || Toks[J].Text == "&" || Toks[J].Text == "&&"))
+      ++J;
+    if (J < Toks.size() && Toks[J].Kind == TokKind::Ident &&
+        !nonFunctionNames().count(Toks[J].Text))
+      Out.insert(Toks[J].Text);
+  }
+  return Out;
+}
+
+/// Splits a parameter list (ParamBegin, ParamEnd) into per-parameter
+/// token ranges at depth-1 commas, skipping nested (), <>, {}.
+std::vector<std::pair<size_t, size_t>>
+splitParams(const std::vector<Token> &Toks, const Function &Fn) {
+  std::vector<std::pair<size_t, size_t>> Out;
+  size_t Start = Fn.ParamBegin + 1;
+  int Paren = 0, Angle = 0, Brace = 0;
+  for (size_t I = Start; I < Fn.ParamEnd; ++I) {
+    const std::string &T = Toks[I].Text;
+    if (Toks[I].Kind == TokKind::Punct) {
+      if (T == "(")
+        ++Paren;
+      else if (T == ")")
+        --Paren;
+      else if (T == "<")
+        ++Angle;
+      else if (T == ">" && Angle > 0)
+        --Angle;
+      else if (T == "{")
+        ++Brace;
+      else if (T == "}")
+        --Brace;
+      else if (T == "," && !Paren && !Angle && !Brace) {
+        if (I > Start)
+          Out.push_back({Start, I});
+        Start = I + 1;
+      }
+    }
+  }
+  if (Fn.ParamEnd > Start)
+    Out.push_back({Start, Fn.ParamEnd});
+  return Out;
+}
+
+struct ParamShape {
+  std::vector<std::string> Names;
+  std::vector<bool> Tracked;  ///< By-value Value/ObjectRef.
+  std::vector<bool> Callable; ///< Function-typed (callable) parameter.
+};
+
+ParamShape parseParams(const std::vector<Token> &Toks, const Function &Fn,
+                       const CallableTypes &CT) {
+  ParamShape P;
+  for (auto [B, E] : splitParams(Toks, Fn)) {
+    // Cut the default argument off; the name is the last identifier left.
+    size_t Stop = E;
+    int Paren = 0, Angle = 0;
+    for (size_t I = B; I < E; ++I) {
+      const std::string &T = Toks[I].Text;
+      if (Toks[I].Kind != TokKind::Punct)
+        continue;
+      if (T == "(")
+        ++Paren;
+      else if (T == ")")
+        --Paren;
+      else if (T == "<")
+        ++Angle;
+      else if (T == ">" && Angle > 0)
+        --Angle;
+      else if (T == "=" && !Paren && !Angle) {
+        Stop = I;
+        break;
+      }
+    }
+    std::string Name;
+    size_t NameIdx = 0;
+    for (size_t I = B; I < Stop; ++I)
+      if (Toks[I].Kind == TokKind::Ident &&
+          !nonFunctionNames().count(Toks[I].Text)) {
+        Name = Toks[I].Text;
+        NameIdx = I;
+      }
+    bool Callable = false;
+    for (size_t I = B; I < Stop; ++I)
+      if (Toks[I].Kind == TokKind::Ident && I != NameIdx &&
+          CT.covers(Toks[I].Text)) {
+        Callable = true;
+        break;
+      }
+    // By-value tracked param: `Value Name` with no '&'/'*' between.
+    bool Tracked = false;
+    if (NameIdx > 0 && Toks[NameIdx - 1].Kind == TokKind::Ident &&
+        isTrackedType(Toks[NameIdx - 1].Text))
+      Tracked = true;
+    // A type-only parameter (`void f(Value)`) has its "name" equal to the
+    // type; drop it so the tracked type name is never treated as callable
+    // or escaping.
+    if (isTrackedType(Name) || Name.empty()) {
+      P.Names.push_back("");
+      P.Tracked.push_back(false);
+      P.Callable.push_back(false);
+      continue;
+    }
+    P.Names.push_back(Name);
+    P.Tracked.push_back(Tracked);
+    P.Callable.push_back(Callable);
+  }
+  return P;
+}
+
+/// Local lambda names (`auto Name = [...]`): calls to these are NOT
+/// indirect — the lambda body is inline in this function's token stream
+/// and its calls are already attributed here.
+std::unordered_set<std::string>
+collectLocalLambdaNames(const std::vector<Token> &Toks, const Function &Fn) {
+  std::unordered_set<std::string> Out;
+  for (size_t I = Fn.BodyBegin + 1; I + 3 < Fn.BodyEnd; ++I)
+    if (Toks[I].Kind == TokKind::Ident && Toks[I].Text == "auto" &&
+        Toks[I + 1].Kind == TokKind::Ident && Toks[I + 2].Text == "=" &&
+        Toks[I + 3].Text == "[")
+      Out.insert(Toks[I + 1].Text);
+  return Out;
+}
+
+} // namespace
+
+void buildSummaries(Context &Ctx) {
+  CallableTypes CT = collectCallableTypes(Ctx.Files);
+
+  // Resolve file-wide protocols: a protocol marker above the first
+  // function binds to the whole file.
+  for (size_t FI = 0; FI < Ctx.Files.size(); ++FI) {
+    FileAnnotations &A = Ctx.Annotations[FI];
+    int FirstFnLine =
+        Ctx.Functions[FI].empty() ? 1 << 30 : Ctx.Functions[FI].front().Line;
+    for (const auto &[Line, Name] : A.LineProtocols)
+      if (Line < FirstFnLine - 2) {
+        A.FileProtocol = Name;
+        break;
+      }
+  }
+
+  // Bind gclint-assume facts to function names.
+  for (size_t FI = 0; FI < Ctx.Files.size(); ++FI) {
+    const FileAnnotations &A = Ctx.Annotations[FI];
+    for (const Function &Fn : Ctx.Functions[FI])
+      for (int L = Fn.Line - 2; L <= Fn.Line; ++L) {
+        auto It = A.LineAssumes.find(L);
+        if (It != A.LineAssumes.end())
+          Ctx.Assumes[Fn.Name].insert(It->second.begin(), It->second.end());
+      }
+  }
+
+  // Per-function call sites and parameter shapes.
+  Ctx.Infos.resize(Ctx.Files.size());
+  std::unordered_map<std::string, ParamShape> Shapes;
+  for (size_t FI = 0; FI < Ctx.Files.size(); ++FI) {
+    const std::vector<Token> &Toks = Ctx.Files[FI].Toks;
+    std::unordered_set<std::string> FileCallables =
+        collectCallableValueNames(Ctx.Files[FI], CT);
+    Ctx.Infos[FI].resize(Ctx.Functions[FI].size());
+    for (size_t FnI = 0; FnI < Ctx.Functions[FI].size(); ++FnI) {
+      const Function &Fn = Ctx.Functions[FI][FnI];
+      FunctionInfo &Info = Ctx.Infos[FI][FnI];
+      ParamShape P = parseParams(Toks, Fn, CT);
+      Info.ParamNames = P.Names;
+      Info.ParamTracked = P.Tracked;
+      // First definition wins for cross-file shape lookups; merging
+      // overload shapes would mix up positions.
+      Shapes.emplace(Fn.Name, P);
+
+      std::unordered_set<std::string> CallableParams;
+      for (size_t I = 0; I < P.Names.size(); ++I)
+        if (P.Callable[I] && !P.Names[I].empty())
+          CallableParams.insert(P.Names[I]);
+      std::unordered_set<std::string> LocalLambdas =
+          collectLocalLambdaNames(Toks, Fn);
+
+      for (size_t I = Fn.BodyBegin + 1; I < Fn.BodyEnd; ++I) {
+        // `(*F)(...)`: invocation of a function-typed pointer.
+        if (Toks[I].Kind == TokKind::Punct && Toks[I].Text == "(" &&
+            Toks[I + 1].Text == "*" && Toks[I + 2].Kind == TokKind::Ident &&
+            Toks[I + 3].Text == ")" && Toks[I + 4].Text == "(" &&
+            FileCallables.count(Toks[I + 2].Text)) {
+          size_t Close = matchDelim(Toks, I + 4, "(", ")");
+          Info.Calls.push_back({I + 2, I + 4, Close, /*Indirect=*/true});
+          continue;
+        }
+        if (!isCallAt(Toks, I))
+          continue;
+        size_t Close = matchDelim(Toks, I + 1, "(", ")");
+        const std::string &Name = Toks[I].Text;
+        bool Indirect = !LocalLambdas.count(Name) &&
+                        (CallableParams.count(Name) != 0 ||
+                         FileCallables.count(Name) != 0);
+        Info.Calls.push_back({I, I + 1, Close, Indirect});
+      }
+    }
+  }
+
+  // Caller -> callee name edges (direct calls only; indirect calls are
+  // modeled as edges to the pseudo-seed below).
+  std::unordered_map<std::string, std::unordered_set<std::string>> Calls;
+  std::unordered_set<std::string> HasIndirect;
+  for (size_t FI = 0; FI < Ctx.Files.size(); ++FI)
+    for (size_t FnI = 0; FnI < Ctx.Functions[FI].size(); ++FnI) {
+      const Function &Fn = Ctx.Functions[FI][FnI];
+      for (const CallSite &C : Ctx.Infos[FI][FnI].Calls) {
+        if (C.Indirect)
+          HasIndirect.insert(Fn.Name);
+        else
+          Calls[Fn.Name].insert(Ctx.Files[FI].Toks[C.NameIdx].Text);
+      }
+    }
+
+  // May-allocate closure. An indirect call makes the caller may-allocate
+  // unless it is annotated gclint-assume(non-allocating); direct calls
+  // propagate regardless (a stale assume cannot mask a real path).
+  for (const std::string &Name : HasIndirect)
+    if (!Ctx.hasAssume(Name, "non-allocating"))
+      Ctx.MayAllocate.insert(Name);
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const auto &Entry : Calls) {
+      if (Ctx.MayAllocate.count(Entry.first))
+        continue;
+      for (const std::string &Callee : Entry.second)
+        if (isAllocationSeed(Callee) || Ctx.MayAllocate.count(Callee)) {
+          Ctx.MayAllocate.insert(Entry.first);
+          Changed = true;
+          break;
+        }
+    }
+  }
+
+  // Blocking closure: forward-wait spins + gclint-assume(blocking).
+  for (const auto &[Name, Facts] : Ctx.Assumes)
+    if (Facts.count("blocking"))
+      Ctx.Blocking.insert(Name);
+  Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const auto &Entry : Calls) {
+      if (Ctx.Blocking.count(Entry.first))
+        continue;
+      for (const std::string &Callee : Entry.second)
+        if (isBlockingSeed(Callee) || Ctx.Blocking.count(Callee)) {
+          Ctx.Blocking.insert(Entry.first);
+          Changed = true;
+          break;
+        }
+    }
+  }
+
+  // Publishes closure: who (transitively) resolves a claim.
+  Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const auto &Entry : Calls) {
+      if (Ctx.Publishes.count(Entry.first))
+        continue;
+      for (const std::string &Callee : Entry.second)
+        if (isPublishSeed(Callee) || Ctx.Publishes.count(Callee)) {
+          Ctx.Publishes.insert(Entry.first);
+          Changed = true;
+          break;
+        }
+    }
+  }
+
+  // Escaping-parameter fixed point. Direct seeds: a tracked by-value
+  // parameter handed bare to a container-stash call. Propagation: handed
+  // bare to a callee position already known to escape.
+  Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (size_t FI = 0; FI < Ctx.Files.size(); ++FI) {
+      const std::vector<Token> &Toks = Ctx.Files[FI].Toks;
+      for (size_t FnI = 0; FnI < Ctx.Functions[FI].size(); ++FnI) {
+        const Function &Fn = Ctx.Functions[FI][FnI];
+        const FunctionInfo &Info = Ctx.Infos[FI][FnI];
+        auto &Escapes = Ctx.EscapingParams;
+        for (const CallSite &C : Info.Calls) {
+          if (C.Indirect)
+            continue;
+          const std::string &Callee = Toks[C.NameIdx].Text;
+          bool Stash = isStashCall(Callee);
+          auto CalleeEsc = Escapes.find(Callee);
+          if (!Stash && CalleeEsc == Escapes.end())
+            continue;
+          // Bare-identifier arguments at depth 1.
+          size_t ArgPos = 0;
+          size_t ArgStart = C.OpenPos + 1;
+          int Depth = 0;
+          for (size_t I = C.OpenPos + 1; I <= C.ClosePos; ++I) {
+            const std::string &T = Toks[I].Text;
+            bool ArgEnd = I == C.ClosePos ||
+                          (Toks[I].Kind == TokKind::Punct && T == "," &&
+                           Depth == 0);
+            if (Toks[I].Kind == TokKind::Punct && !ArgEnd) {
+              if (T == "(" || T == "[" || T == "{")
+                ++Depth;
+              else if (T == ")" || T == "]" || T == "}")
+                --Depth;
+            }
+            if (!ArgEnd)
+              continue;
+            bool Bare = I == ArgStart + 1 &&
+                        Toks[ArgStart].Kind == TokKind::Ident;
+            if (Bare) {
+              const std::string &ArgName = Toks[ArgStart].Text;
+              bool ArgEscapes =
+                  Stash ||
+                  (CalleeEsc != Escapes.end() && CalleeEsc->second.count(ArgPos));
+              if (ArgEscapes)
+                for (size_t PI = 0; PI < Info.ParamNames.size(); ++PI)
+                  if (Info.ParamTracked[PI] && Info.ParamNames[PI] == ArgName)
+                    if (Escapes[Fn.Name].insert(PI).second)
+                      Changed = true;
+            }
+            ++ArgPos;
+            ArgStart = I + 1;
+          }
+        }
+      }
+    }
+  }
+}
+
+std::vector<GcPoint> collectGcPoints(const Context &Ctx, size_t FileIdx,
+                                     size_t FnIdx) {
+  const std::vector<Token> &Toks = Ctx.Files[FileIdx].Toks;
+  const Function &Fn = Ctx.Functions[FileIdx][FnIdx];
+  const FunctionInfo &Info = Ctx.Infos[FileIdx][FnIdx];
+  bool AssumedQuiet = Ctx.hasAssume(Fn.Name, "non-allocating");
+  std::vector<GcPoint> Out;
+  for (const CallSite &C : Info.Calls) {
+    const std::string &Callee = Toks[C.NameIdx].Text;
+    bool IsGc = C.Indirect ? !AssumedQuiet : Ctx.callMayAllocate(Callee);
+    if (!IsGc)
+      continue;
+    GcPoint Gc;
+    Gc.Pos = C.ClosePos;
+    Gc.OpenPos = C.OpenPos;
+    Gc.Callee = C.Indirect ? Callee + " (indirect)" : Callee;
+    Gc.Line = Toks[C.NameIdx].Line;
+    Gc.InReturn =
+        statementStartsWith(Toks, C.NameIdx, Fn.BodyBegin, returnishJumps());
+    Out.push_back(Gc);
+  }
+  return Out;
+}
+
+} // namespace gclint

@@ -1,0 +1,314 @@
+//===- tools/gclint/GclintCore.h - gclint analysis framework ----*- C++ -*-===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shared spine of the gclint static analyzer (v2): lexer, function
+/// extraction, CFG-lite structure, the interprocedural summary context, the
+/// annotation grammar, and the per-rule entry points. The driver
+/// (gclint.cpp) lexes every input file, builds one Context with the
+/// call-graph summaries, runs each rule pass, and reports.
+///
+/// The analysis remains deliberately heuristic — a token lexer and linear
+/// scans, not a compiler frontend — and errs toward silence. What v2 adds
+/// over the original single-file checker:
+///
+///   * interprocedural summaries over a name-level call graph:
+///     may-allocate (with indirect calls conservatively allocating),
+///     root-escape (parameters stashed into outliving containers),
+///     publishes-claim and may-block (for the parallel claim protocol);
+///
+///   * an annotation grammar (see parseAnnotations) so exemptions are
+///     per-protocol and reviewable instead of per-directory:
+///
+///       // gclint-ok(<rule>): <reason>         suppress one finding; the
+///                                              reason string is mandatory
+///       // gclint-ok: <rule> <reason>          legacy spelling, same rules
+///       // gclint-expect: <rule>               fixture expectation
+///       // gclint-protocol(<name>): <reason>   this function (or file, when
+///                                              the marker precedes the
+///                                              first function) is
+///                                              collector-internal code
+///                                              upholding the named
+///                                              concurrency protocol
+///       // gclint-assume(<fact>): <reason>     trusted fact about the
+///                                              function defined on this or
+///                                              the next line; facts:
+///                                              non-allocating, blocking
+///
+///   * machine-readable output (JSON and SARIF 2.1.0) for CI annotation.
+///
+/// Protocols known today: claim-copy (the Busy-tag claim-then-copy
+/// forwarding engine), chase-lev (the work-stealing deque; opts the file
+/// into the deque-ordering rule), worker-pool (the parked helper pool).
+/// Any protocol annotation exempts the function from the mutator rooting
+/// rules (unrooted-value, interproc-escape, barrier-coverage) — that code
+/// IS the moving collector — while the concurrency rule pack
+/// (claim-protocol, no-blocking-under-claim, deque-ordering) applies
+/// everywhere or, for deque-ordering, exactly to chase-lev files.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDGC_TOOLS_GCLINT_CORE_H
+#define RDGC_TOOLS_GCLINT_CORE_H
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace gclint {
+
+//===----------------------------------------------------------------------===//
+// Lexing
+//===----------------------------------------------------------------------===//
+
+enum class TokKind { Ident, Number, String, Punct, End };
+
+struct Token {
+  TokKind Kind;
+  std::string Text;
+  int Line;
+};
+
+struct Comment {
+  int Line;
+  std::string Text;
+};
+
+struct SourceFile {
+  std::string Path;
+  std::string Text; ///< Raw contents, kept for --fix rewrites.
+  std::vector<Token> Toks;
+  std::vector<Comment> Comments;
+};
+
+void lex(const std::string &Src, SourceFile &Out);
+
+//===----------------------------------------------------------------------===//
+// Function extraction and CFG-lite structure
+//===----------------------------------------------------------------------===//
+
+struct Function {
+  std::string Name;
+  size_t ParamBegin = 0; ///< Index of the '(' opening the parameter list.
+  size_t ParamEnd = 0;   ///< Index of its matching ')'.
+  size_t BodyBegin = 0;  ///< Index of the '{' opening the body.
+  size_t BodyEnd = 0;    ///< Index of its matching '}'.
+  int Line = 0;
+};
+
+void extractFunctions(const SourceFile &F, std::vector<Function> &Out);
+
+/// Names that read as `name (` but never open a function definition or a
+/// call (keywords, type names).
+const std::unordered_set<std::string> &nonFunctionNames();
+
+size_t matchDelim(const std::vector<Token> &Toks, size_t Open,
+                  const char *OpenText, const char *CloseText);
+
+/// True when the token at \p I names a call target: an identifier directly
+/// followed by '(' that is neither a declaration nor a control keyword.
+bool isCallAt(const std::vector<Token> &Toks, size_t I);
+
+struct BraceBlock {
+  size_t Open, Close;
+};
+
+struct LoopRegion {
+  size_t BodyBegin, BodyEnd;
+};
+
+/// All matched `{...}` regions strictly inside \p Fn's body.
+std::vector<BraceBlock> collectBraceBlocks(const std::vector<Token> &Toks,
+                                           const Function &Fn);
+
+/// `for`/`while`/`do` bodies inside \p Fn, for wrap-around reasoning.
+std::vector<LoopRegion> collectLoopRegions(const std::vector<Token> &Toks,
+                                           const Function &Fn);
+
+/// A write `V = expr` takes effect when the full statement finishes, not at
+/// the variable token. Returns the index of the statement's end.
+size_t effectiveWritePos(const std::vector<Token> &Toks, size_t Write,
+                         size_t BodyEnd);
+
+/// True when the statement containing token \p I opens with one of the
+/// given keywords (scanning back to the previous ';', '{' or '}').
+bool statementStartsWith(const std::vector<Token> &Toks, size_t I,
+                         size_t BodyBegin,
+                         const std::unordered_set<std::string> &Keywords);
+
+/// True when the last statement of block \p B is an unconditional jump out
+/// of it, so control never falls out of the block's closing brace.
+bool blockEndsWithJump(const std::vector<Token> &Toks, const BraceBlock &B,
+                       const std::unordered_set<std::string> &Jumps);
+
+const std::unordered_set<std::string> &returnishJumps();
+const std::unordered_set<std::string> &fallThroughJumps();
+
+/// End of an else / else-if chain starting at the `else` token \p I.
+size_t elseChainEnd(const std::vector<Token> &Toks, size_t I, size_t BodyEnd);
+
+//===----------------------------------------------------------------------===//
+// Findings
+//===----------------------------------------------------------------------===//
+
+struct Finding {
+  std::string Path;
+  int Line;
+  std::string Rule;
+  std::string Message;
+
+  bool operator<(const Finding &O) const;
+};
+
+//===----------------------------------------------------------------------===//
+// Annotations
+//===----------------------------------------------------------------------===//
+
+struct Suppression {
+  int Line;
+  std::string Rule;
+  std::string Reason;  ///< Empty = malformed (reasons are mandatory in v2).
+  mutable bool Used = false;
+};
+
+struct FileAnnotations {
+  std::vector<Suppression> Oks;
+  std::multimap<int, std::string> Expects;
+  /// Protocol markers placed before the first function apply file-wide.
+  std::string FileProtocol;
+  /// Protocol markers on/next to a definition line apply to that function.
+  std::map<int, std::string> LineProtocols;
+  /// gclint-assume facts keyed by marker line.
+  std::map<int, std::unordered_set<std::string>> LineAssumes;
+};
+
+FileAnnotations parseAnnotations(const SourceFile &F);
+
+/// True when \p S (same line or preceding line, like all markers) covers
+/// finding \p F. Marks the suppression used.
+bool suppresses(const FileAnnotations &A, const Finding &F);
+
+//===----------------------------------------------------------------------===//
+// The interprocedural context
+//===----------------------------------------------------------------------===//
+
+/// A direct or indirect call site inside one function body.
+struct CallSite {
+  size_t NameIdx;  ///< Token index of the callee name.
+  size_t OpenPos;  ///< Its '('.
+  size_t ClosePos; ///< The matching ')'.
+  bool Indirect;   ///< Call through a parameter / std::function value.
+};
+
+struct FunctionInfo {
+  std::vector<CallSite> Calls;
+  /// Names of by-value parameters in declaration order ("" when a position
+  /// could not be parsed), and which of them have a GC-tracked type.
+  std::vector<std::string> ParamNames;
+  std::vector<bool> ParamTracked;
+};
+
+struct Context {
+  std::vector<SourceFile> Files;
+  std::vector<std::vector<Function>> Functions;
+  std::vector<FileAnnotations> Annotations;
+  /// Parallel to Functions: per-function call sites and parameter shapes.
+  std::vector<std::vector<FunctionInfo>> Infos;
+
+  /// Name-level summaries (overloads merge — the conservative direction).
+  std::unordered_set<std::string> MayAllocate;
+  std::unordered_set<std::string> Blocking;
+  std::unordered_set<std::string> Publishes;
+  /// fn name -> set of by-value tracked parameter positions the function
+  /// stashes into storage that outlives the call.
+  std::unordered_map<std::string, std::set<size_t>> EscapingParams;
+  /// fn name -> gclint-assume facts.
+  std::unordered_map<std::string, std::unordered_set<std::string>> Assumes;
+
+  /// The protocol governing \p Fn in file \p FileIdx ("" = plain mutator
+  /// code): a function-line marker wins over the file-wide one.
+  std::string protocolFor(size_t FileIdx, const Function &Fn) const;
+
+  bool hasAssume(const std::string &FnName, const std::string &Fact) const {
+    auto It = Assumes.find(FnName);
+    return It != Assumes.end() && It->second.count(Fact) != 0;
+  }
+
+  /// True when a call to \p Callee is a GC point.
+  bool callMayAllocate(const std::string &Callee) const;
+};
+
+/// Heap allocation and collection entry points that seed may-allocate.
+bool isAllocationSeed(const std::string &Name);
+/// Forward-wait spins; `gclint-assume(blocking)` seeds the rest (the pool
+/// barrier) by annotation so the generic name `run` is not poisoned.
+bool isBlockingSeed(const std::string &Name);
+/// Claim-resolution primitives: publishForward / publishSelfForward /
+/// rollbackClaim.
+bool isPublishSeed(const std::string &Name);
+/// Types whose locals the mutator rooting rules track.
+bool isTrackedType(const std::string &T);
+
+/// Fills Infos, Assumes, and every name-level closure. Call once, after
+/// all files are lexed and annotations parsed.
+void buildSummaries(Context &Ctx);
+
+/// The may-allocate call sites inside \p Fn, each positioned at its
+/// closing ')' (arguments land before the collection, results after).
+struct GcPoint {
+  size_t Pos;     ///< Token index of the call's closing ')'.
+  size_t OpenPos; ///< Token index of the call's opening '('.
+  std::string Callee;
+  int Line;
+  bool InReturn; ///< The call sits in a `return ...;` statement.
+};
+
+std::vector<GcPoint> collectGcPoints(const Context &Ctx, size_t FileIdx,
+                                     size_t FnIdx);
+
+/// CFG-lite reachability: can a collection at \p Gc be followed,
+/// dynamically, by execution of token \p Read? (Blocks ending in
+/// unconditional jumps never fall through; else-chains are exclusive.)
+bool gcReachesToken(const std::vector<Token> &Toks, const Function &Fn,
+                    const std::vector<BraceBlock> &Blocks, const GcPoint &Gc,
+                    size_t Read);
+
+//===----------------------------------------------------------------------===//
+// Rule passes
+//===----------------------------------------------------------------------===//
+
+void checkUnrootedValues(const Context &Ctx, size_t FileIdx, size_t FnIdx,
+                         std::vector<Finding> &Findings);
+void checkBarriers(const Context &Ctx, size_t FileIdx, size_t FnIdx,
+                   std::vector<Finding> &Findings);
+void checkInterprocEscape(const Context &Ctx, size_t FileIdx, size_t FnIdx,
+                          std::vector<Finding> &Findings);
+void checkClaimProtocol(const Context &Ctx, size_t FileIdx, size_t FnIdx,
+                        std::vector<Finding> &Findings);
+void checkDequeOrdering(const Context &Ctx, size_t FileIdx,
+                        std::vector<Finding> &Findings);
+
+//===----------------------------------------------------------------------===//
+// Reporting
+//===----------------------------------------------------------------------===//
+
+/// Stable catalog of every rule, for --help and the SARIF rule table.
+struct RuleDoc {
+  const char *Id;
+  const char *Summary;
+};
+const std::vector<RuleDoc> &ruleCatalog();
+
+void writeJson(const std::vector<Finding> &Findings, const std::string &Path);
+void writeSarif(const std::vector<Finding> &Findings, const std::string &Path);
+
+} // namespace gclint
+
+#endif // RDGC_TOOLS_GCLINT_CORE_H

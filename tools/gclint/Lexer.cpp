@@ -1,0 +1,409 @@
+//===- tools/gclint/Lexer.cpp - Lexing, functions, CFG-lite ---------------===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The token layer of gclint: a comment-preserving C++ lexer, brace-matched
+/// function extraction, and the CFG-lite structural helpers (brace blocks,
+/// loop regions, jump analysis) shared by every rule pass.
+///
+//===----------------------------------------------------------------------===//
+
+#include "GclintCore.h"
+
+#include <algorithm>
+#include <tuple>
+
+namespace gclint {
+
+bool Finding::operator<(const Finding &O) const {
+  return std::tie(Path, Line, Rule, Message) <
+         std::tie(O.Path, O.Line, O.Rule, O.Message);
+}
+
+namespace {
+
+bool isIdentStart(char C) {
+  return (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') || C == '_';
+}
+bool isIdentChar(char C) { return isIdentStart(C) || (C >= '0' && C <= '9'); }
+
+/// Multi-character punctuators we keep intact so `&&`, `==`, `->`, and
+/// `::` are never misread as address-of, assignment, or member access.
+const char *MultiPuncts[] = {"<<=", ">>=", "->*", "...", "::", "->", "<<",
+                             ">>", "<=",  ">=",  "==",  "!=", "&&", "||",
+                             "+=", "-=",  "*=",  "/=",  "%=", "&=", "|=",
+                             "^=", "++",  "--",  ".*"};
+
+} // namespace
+
+void lex(const std::string &Src, SourceFile &Out) {
+  size_t I = 0, N = Src.size();
+  int Line = 1;
+  while (I < N) {
+    char C = Src[I];
+    if (C == '\n') {
+      ++Line;
+      ++I;
+      continue;
+    }
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\f' || C == '\v') {
+      ++I;
+      continue;
+    }
+    // Preprocessor directives: skip to end of line (honoring continuations).
+    if (C == '#') {
+      while (I < N && Src[I] != '\n') {
+        if (Src[I] == '\\' && I + 1 < N && Src[I + 1] == '\n') {
+          ++Line;
+          I += 2;
+          continue;
+        }
+        ++I;
+      }
+      continue;
+    }
+    // Line comment.
+    if (C == '/' && I + 1 < N && Src[I + 1] == '/') {
+      size_t Start = I + 2;
+      while (I < N && Src[I] != '\n')
+        ++I;
+      Out.Comments.push_back({Line, Src.substr(Start, I - Start)});
+      continue;
+    }
+    // Block comment.
+    if (C == '/' && I + 1 < N && Src[I + 1] == '*') {
+      size_t Start = I + 2;
+      int StartLine = Line;
+      I += 2;
+      while (I + 1 < N && !(Src[I] == '*' && Src[I + 1] == '/')) {
+        if (Src[I] == '\n')
+          ++Line;
+        ++I;
+      }
+      Out.Comments.push_back({StartLine, Src.substr(Start, I - Start)});
+      I = std::min(N, I + 2);
+      continue;
+    }
+    // String and character literals.
+    if (C == '"' || C == '\'') {
+      char Quote = C;
+      size_t Start = I++;
+      while (I < N && Src[I] != Quote) {
+        if (Src[I] == '\\' && I + 1 < N)
+          ++I;
+        if (Src[I] == '\n')
+          ++Line;
+        ++I;
+      }
+      ++I;
+      Out.Toks.push_back({TokKind::String, Src.substr(Start, I - Start), Line});
+      continue;
+    }
+    if (isIdentStart(C)) {
+      size_t Start = I;
+      while (I < N && isIdentChar(Src[I]))
+        ++I;
+      Out.Toks.push_back({TokKind::Ident, Src.substr(Start, I - Start), Line});
+      continue;
+    }
+    if (C >= '0' && C <= '9') {
+      size_t Start = I;
+      while (I < N && (isIdentChar(Src[I]) || Src[I] == '\'' ||
+                       Src[I] == '.' ||
+                       ((Src[I] == '+' || Src[I] == '-') &&
+                        (Src[I - 1] == 'e' || Src[I - 1] == 'E' ||
+                         Src[I - 1] == 'p' || Src[I - 1] == 'P'))))
+        ++I;
+      Out.Toks.push_back({TokKind::Number, Src.substr(Start, I - Start), Line});
+      continue;
+    }
+    bool Matched = false;
+    for (const char *P : MultiPuncts) {
+      size_t L = std::char_traits<char>::length(P);
+      if (Src.compare(I, L, P) == 0) {
+        Out.Toks.push_back({TokKind::Punct, P, Line});
+        I += L;
+        Matched = true;
+        break;
+      }
+    }
+    if (Matched)
+      continue;
+    Out.Toks.push_back({TokKind::Punct, std::string(1, C), Line});
+    ++I;
+  }
+  Out.Toks.push_back({TokKind::End, "", Line});
+}
+
+const std::unordered_set<std::string> &nonFunctionNames() {
+  static const std::unordered_set<std::string> Names = {
+      // Control flow and operators that read as `name (`.
+      "if", "for", "while", "switch", "catch", "return", "sizeof", "alignof",
+      "decltype", "noexcept", "static_assert", "assert", "throw", "new",
+      "delete", "operator", "defined", "alignas",
+      // Type keywords: `void(Value &)` inside a std::function parameter must
+      // not be mistaken for a definition named `void`.
+      "void", "int", "bool", "char", "double", "float", "long", "short",
+      "unsigned", "signed", "auto", "const", "constexpr", "typename",
+      "template", "using", "typedef"};
+  return Names;
+}
+
+size_t matchDelim(const std::vector<Token> &Toks, size_t Open,
+                  const char *OpenText, const char *CloseText) {
+  int Depth = 0;
+  for (size_t I = Open; I < Toks.size(); ++I) {
+    if (Toks[I].Kind == TokKind::Punct) {
+      if (Toks[I].Text == OpenText)
+        ++Depth;
+      else if (Toks[I].Text == CloseText && --Depth == 0)
+        return I;
+    }
+  }
+  return Toks.size() - 1;
+}
+
+namespace {
+
+/// After a parameter list's ')', decide whether a function body follows.
+/// Accepts cv/ref qualifiers, noexcept(...), override/final, trailing
+/// return types, and constructor initializer lists; stops at ';' or '='
+/// (declaration, `= default`, `= delete`, or pure-virtual).
+bool findBody(const std::vector<Token> &Toks, size_t AfterParams,
+              size_t &BodyBegin) {
+  size_t K = AfterParams;
+  while (K < Toks.size()) {
+    const Token &T = Toks[K];
+    if (T.Kind == TokKind::End)
+      return false;
+    if (T.Kind == TokKind::Punct) {
+      if (T.Text == "{") {
+        BodyBegin = K;
+        return true;
+      }
+      if (T.Text == ";" || T.Text == "=")
+        return false;
+      if (T.Text == "(") { // noexcept(...) or an initializer's arguments.
+        K = matchDelim(Toks, K, "(", ")") + 1;
+        continue;
+      }
+      // ':' starts a constructor initializer list; ',', '&', '*', '<', '>',
+      // '->', '::' all appear in specifiers and trailing return types.
+      if (T.Text == ":" || T.Text == "," || T.Text == "&" || T.Text == "&&" ||
+          T.Text == "*" || T.Text == "<" || T.Text == ">" || T.Text == "->" ||
+          T.Text == "::") {
+        ++K;
+        continue;
+      }
+      return false;
+    }
+    ++K; // const, noexcept, override, final, type names...
+  }
+  return false;
+}
+
+} // namespace
+
+void extractFunctions(const SourceFile &F, std::vector<Function> &Out) {
+  const std::vector<Token> &Toks = F.Toks;
+  size_t I = 0;
+  while (I + 1 < Toks.size()) {
+    const Token &T = Toks[I];
+    if (T.Kind == TokKind::Ident && !nonFunctionNames().count(T.Text) &&
+        Toks[I + 1].Kind == TokKind::Punct && Toks[I + 1].Text == "(") {
+      size_t ParamEnd = matchDelim(Toks, I + 1, "(", ")");
+      size_t BodyBegin = 0;
+      if (findBody(Toks, ParamEnd + 1, BodyBegin)) {
+        Function Fn;
+        Fn.Name = T.Text;
+        Fn.ParamBegin = I + 1;
+        Fn.ParamEnd = ParamEnd;
+        Fn.BodyBegin = BodyBegin;
+        Fn.BodyEnd = matchDelim(Toks, BodyBegin, "{", "}");
+        Fn.Line = T.Line;
+        Out.push_back(Fn);
+        I = Fn.BodyEnd + 1; // Never extract inside an extracted body.
+        continue;
+      }
+    }
+    ++I;
+  }
+}
+
+bool isCallAt(const std::vector<Token> &Toks, size_t I) {
+  if (Toks[I].Kind != TokKind::Ident || nonFunctionNames().count(Toks[I].Text))
+    return false;
+  if (I + 1 >= Toks.size() || Toks[I + 1].Kind != TokKind::Punct ||
+      Toks[I + 1].Text != "(")
+    return false;
+  // `Handle P(...)` declares P; a preceding identifier is a type name.
+  if (I > 0 && Toks[I - 1].Kind == TokKind::Ident &&
+      Toks[I - 1].Text != "return" && Toks[I - 1].Text != "co_return")
+    return false;
+  return true;
+}
+
+std::vector<BraceBlock> collectBraceBlocks(const std::vector<Token> &Toks,
+                                           const Function &Fn) {
+  std::vector<BraceBlock> Blocks;
+  std::vector<size_t> Stack;
+  for (size_t I = Fn.BodyBegin + 1; I < Fn.BodyEnd; ++I) {
+    if (Toks[I].Kind != TokKind::Punct)
+      continue;
+    if (Toks[I].Text == "{")
+      Stack.push_back(I);
+    else if (Toks[I].Text == "}" && !Stack.empty()) {
+      Blocks.push_back({Stack.back(), I});
+      Stack.pop_back();
+    }
+  }
+  return Blocks;
+}
+
+std::vector<LoopRegion> collectLoopRegions(const std::vector<Token> &Toks,
+                                           const Function &Fn) {
+  std::vector<LoopRegion> Loops;
+  for (size_t I = Fn.BodyBegin + 1; I < Fn.BodyEnd; ++I) {
+    if (Toks[I].Kind != TokKind::Ident)
+      continue;
+    size_t Open = 0;
+    if (Toks[I].Text == "for" || Toks[I].Text == "while") {
+      size_t Close = matchDelim(Toks, I + 1, "(", ")");
+      if (Close + 1 < Fn.BodyEnd && Toks[Close + 1].Text == "{")
+        Open = Close + 1;
+    } else if (Toks[I].Text == "do" && Toks[I + 1].Text == "{") {
+      Open = I + 1;
+    }
+    if (Open)
+      Loops.push_back({Open, matchDelim(Toks, Open, "{", "}")});
+  }
+  return Loops;
+}
+
+size_t effectiveWritePos(const std::vector<Token> &Toks, size_t Write,
+                         size_t BodyEnd) {
+  int ParenDepth = 0, BraceDepth = 0;
+  for (size_t I = Write; I < BodyEnd; ++I) {
+    if (Toks[I].Kind != TokKind::Punct)
+      continue;
+    const std::string &T = Toks[I].Text;
+    if (T == "(")
+      ++ParenDepth;
+    else if (T == ")") {
+      if (ParenDepth == 0)
+        return I; // End of an enclosing argument list or for-header.
+      --ParenDepth;
+    } else if (T == "{")
+      ++BraceDepth;
+    else if (T == "}") {
+      if (BraceDepth == 0)
+        return I;
+      --BraceDepth;
+    } else if ((T == ";" || T == ",") && ParenDepth == 0 && BraceDepth == 0)
+      return I;
+  }
+  return BodyEnd;
+}
+
+bool statementStartsWith(const std::vector<Token> &Toks, size_t I,
+                         size_t BodyBegin,
+                         const std::unordered_set<std::string> &Keywords) {
+  size_t J = I;
+  while (J > BodyBegin) {
+    const Token &T = Toks[J - 1];
+    if (T.Kind == TokKind::Punct &&
+        (T.Text == ";" || T.Text == "{" || T.Text == "}"))
+      break;
+    --J;
+  }
+  // Strip braceless `if (...)` / `else` wrappers: `if (c) return f();` is
+  // still a statement that leaves the function when f runs.
+  while (J < I && Toks[J].Kind == TokKind::Ident) {
+    if (Toks[J].Text == "else") {
+      ++J;
+      continue;
+    }
+    if (Toks[J].Text == "if" && J + 1 < I && Toks[J + 1].Text == "(") {
+      J = matchDelim(Toks, J + 1, "(", ")") + 1;
+      continue;
+    }
+    break;
+  }
+  return J < Toks.size() && Toks[J].Kind == TokKind::Ident &&
+         Keywords.count(Toks[J].Text) != 0;
+}
+
+bool blockEndsWithJump(const std::vector<Token> &Toks, const BraceBlock &B,
+                       const std::unordered_set<std::string> &Jumps) {
+  if (B.Close == 0 || B.Close <= B.Open + 1)
+    return false;
+  const Token &Last = Toks[B.Close - 1];
+  if (Last.Kind != TokKind::Punct || Last.Text != ";")
+    return false;
+  return statementStartsWith(Toks, B.Close - 1, B.Open, Jumps);
+}
+
+const std::unordered_set<std::string> &returnishJumps() {
+  static const std::unordered_set<std::string> J = {"return", "co_return",
+                                                    "throw", "goto"};
+  return J;
+}
+
+const std::unordered_set<std::string> &fallThroughJumps() {
+  static const std::unordered_set<std::string> J = {
+      "return", "co_return", "throw", "goto", "break", "continue"};
+  return J;
+}
+
+size_t elseChainEnd(const std::vector<Token> &Toks, size_t I, size_t BodyEnd) {
+  ++I; // Past `else`.
+  if (I < BodyEnd && Toks[I].Kind == TokKind::Ident && Toks[I].Text == "if")
+    I = matchDelim(Toks, I + 1, "(", ")") + 1;
+  if (I < BodyEnd && Toks[I].Kind == TokKind::Punct && Toks[I].Text == "{") {
+    size_t CloseB = matchDelim(Toks, I, "{", "}");
+    if (CloseB + 1 < BodyEnd && Toks[CloseB + 1].Kind == TokKind::Ident &&
+        Toks[CloseB + 1].Text == "else")
+      return elseChainEnd(Toks, CloseB + 1, BodyEnd);
+    return CloseB;
+  }
+  // Braceless single-statement branch: up to its semicolon.
+  while (I < BodyEnd && Toks[I].Text != ";") {
+    if (Toks[I].Text == "(")
+      I = matchDelim(Toks, I, "(", ")");
+    else if (Toks[I].Text == "{")
+      I = matchDelim(Toks, I, "{", "}");
+    ++I;
+  }
+  return I;
+}
+
+bool gcReachesToken(const std::vector<Token> &Toks, const Function &Fn,
+                    const std::vector<BraceBlock> &Blocks, const GcPoint &Gc,
+                    size_t Read) {
+  if (Gc.InReturn)
+    return false;
+  std::vector<const BraceBlock *> Enclosing;
+  for (const BraceBlock &B : Blocks)
+    if (B.Open < Gc.Pos && Gc.Pos < B.Close)
+      Enclosing.push_back(&B);
+  std::sort(Enclosing.begin(), Enclosing.end(),
+            [](const BraceBlock *A, const BraceBlock *B) {
+              return A->Open > B->Open; // Innermost first.
+            });
+  for (const BraceBlock *B : Enclosing) {
+    if (B->Close > Read)
+      return true; // Same region holds both: reachable.
+    if (blockEndsWithJump(Toks, *B, fallThroughJumps()))
+      return false;
+    if (B->Close + 1 < Fn.BodyEnd && Toks[B->Close + 1].Kind == TokKind::Ident &&
+        Toks[B->Close + 1].Text == "else" &&
+        Read <= elseChainEnd(Toks, B->Close + 1, Fn.BodyEnd))
+      return false;
+  }
+  return true;
+}
+
+} // namespace gclint

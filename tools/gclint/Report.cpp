@@ -1,0 +1,137 @@
+//===- tools/gclint/Report.cpp - JSON and SARIF emission ------------------===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The rule catalog (one stable id + summary per rule, shared by --help
+/// and the SARIF rule table) and the machine-readable writers. SARIF
+/// 2.1.0 is the minimal subset GitHub code scanning ingests: driver,
+/// rules, and per-result ruleId/message/location.
+///
+//===----------------------------------------------------------------------===//
+
+#include "GclintCore.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace gclint {
+
+const std::vector<RuleDoc> &ruleCatalog() {
+  static const std::vector<RuleDoc> Catalog = {
+      {"unrooted-value",
+       "a Value/ObjectRef local is read after a call that may allocate and "
+       "move objects, without being re-read from a rooted slot"},
+      {"missing-barrier",
+       "a function performs raw setValueAt stores but never calls "
+       "barrier()/onPointerStore()"},
+      {"barrier-coverage",
+       "a function that calls the write barrier leaves an individual "
+       "setValueAt store uncovered"},
+      {"interproc-escape",
+       "a tracked value escapes into outliving storage (directly or through "
+       "a callee summary) before a call that may allocate"},
+      {"claim-protocol",
+       "a successful tryClaimForCopy has a path that reaches neither "
+       "publishForward/publishSelfForward nor rollbackClaim"},
+      {"no-blocking-under-claim",
+       "code holding an unresolved Busy claim calls into a forward-wait; "
+       "two workers can deadlock on each other's claims"},
+      {"deque-ordering",
+       "an atomic access in a chase-lev file deviates from the audited "
+       "Chase-Lev memory-order table"},
+      {"unused-suppression",
+       "a gclint-ok comment suppresses nothing (or lacks its mandatory "
+       "reason) and must be removed or repaired"},
+  };
+  return Catalog;
+}
+
+namespace {
+
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 8);
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+void writeJson(const std::vector<Finding> &Findings, const std::string &Path) {
+  std::ofstream Out(Path, std::ios::binary);
+  Out << "[\n";
+  for (size_t I = 0; I < Findings.size(); ++I) {
+    const Finding &F = Findings[I];
+    Out << "  {\"file\": \"" << jsonEscape(F.Path) << "\", \"line\": "
+        << F.Line << ", \"rule\": \"" << jsonEscape(F.Rule)
+        << "\", \"message\": \"" << jsonEscape(F.Message) << "\"}"
+        << (I + 1 < Findings.size() ? "," : "") << "\n";
+  }
+  Out << "]\n";
+}
+
+void writeSarif(const std::vector<Finding> &Findings, const std::string &Path) {
+  std::ofstream Out(Path, std::ios::binary);
+  Out << "{\n"
+         "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+         "  \"version\": \"2.1.0\",\n"
+         "  \"runs\": [\n"
+         "    {\n"
+         "      \"tool\": {\n"
+         "        \"driver\": {\n"
+         "          \"name\": \"gclint\",\n"
+         "          \"informationUri\": "
+         "\"https://github.com/rdgc/rdgc/tree/main/tools/gclint\",\n"
+         "          \"rules\": [\n";
+  const std::vector<RuleDoc> &Rules = ruleCatalog();
+  for (size_t I = 0; I < Rules.size(); ++I)
+    Out << "            {\"id\": \"" << Rules[I].Id
+        << "\", \"shortDescription\": {\"text\": \""
+        << jsonEscape(Rules[I].Summary) << "\"}}"
+        << (I + 1 < Rules.size() ? "," : "") << "\n";
+  Out << "          ]\n"
+         "        }\n"
+         "      },\n"
+         "      \"results\": [\n";
+  for (size_t I = 0; I < Findings.size(); ++I) {
+    const Finding &F = Findings[I];
+    Out << "        {\"ruleId\": \"" << jsonEscape(F.Rule)
+        << "\", \"level\": \"error\", \"message\": {\"text\": \""
+        << jsonEscape(F.Message) << "\"}, \"locations\": [{"
+        << "\"physicalLocation\": {\"artifactLocation\": {\"uri\": \""
+        << jsonEscape(F.Path) << "\"}, \"region\": {\"startLine\": "
+        << F.Line << "}}}]}" << (I + 1 < Findings.size() ? "," : "") << "\n";
+  }
+  Out << "      ]\n"
+         "    }\n"
+         "  ]\n"
+         "}\n";
+}
+
+} // namespace gclint

@@ -1,0 +1,161 @@
+//===- tools/gclint/RuleBarrier.cpp - Write-barrier rules -----------------===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Two complementary rules over raw heap-slot stores (setValueAt):
+///
+/// missing-barrier (v1, ported intact): the containing function performs
+/// raw stores but never calls barrier()/onPointerStore() at all. Coarse,
+/// function-level, catches accessors that forgot the barrier entirely.
+///
+/// barrier-coverage (v2): in functions that DO call the barrier, prove
+/// each individual store is covered. The v1 rule goes silent the moment
+/// one barrier call appears anywhere in the function, so a second,
+/// unbarriered store slips through — exactly the bug class generational
+/// remembered sets cannot tolerate. Each store's stored-value expression
+/// must be
+///   * a bare identifier that also appears inside some
+///     barrier()/onPointerStore() argument list in the same function, or
+///   * a statically non-pointer immediate (Value::fixnum(...) and friends
+///     never create an old-to-young edge), or
+///   * suppressed with a reasoned gclint-ok(barrier-coverage).
+/// Compound expressions we cannot name-match fall back to the v1 contract
+/// (some barrier exists in the function) and stay silent — heuristic
+/// analysis errs toward silence.
+///
+/// The driver skips both rules for gclint-protocol functions: the copying
+/// engine writes to-space slots before objects are published, where no
+/// remembered-set edge can exist yet.
+///
+//===----------------------------------------------------------------------===//
+
+#include "GclintCore.h"
+
+#include <sstream>
+
+namespace gclint {
+
+namespace {
+
+/// Value's statically-immediate constructors: stores of these never install
+/// a heap pointer, so no remembered-set edge is created.
+bool isImmediateCtor(const std::string &Name) {
+  static const std::unordered_set<std::string> Ctors = {
+      "fixnum",      "null",    "falseValue", "trueValue", "boolean",
+      "unspecified", "eof",     "character",  "symbol"};
+  return Ctors.count(Name) != 0;
+}
+
+/// Token range [First, Last] of the final top-level argument of the call
+/// whose parens are (Open, Close). Returns false for an empty arg list.
+bool lastArgRange(const std::vector<Token> &Toks, size_t Open, size_t Close,
+                  size_t &First, size_t &Last) {
+  if (Close <= Open + 1)
+    return false;
+  int Depth = 0;
+  size_t Start = Open + 1;
+  for (size_t I = Open + 1; I < Close; ++I) {
+    const std::string &T = Toks[I].Text;
+    if (Toks[I].Kind == TokKind::Punct) {
+      if (T == "(" || T == "[" || T == "{")
+        ++Depth;
+      else if (T == ")" || T == "]" || T == "}")
+        --Depth;
+      else if (T == "," && Depth == 0)
+        Start = I + 1;
+    }
+  }
+  if (Start >= Close)
+    return false;
+  First = Start;
+  Last = Close - 1;
+  return true;
+}
+
+} // namespace
+
+void checkBarriers(const Context &Ctx, size_t FileIdx, size_t FnIdx,
+                   std::vector<Finding> &Findings) {
+  const SourceFile &F = Ctx.Files[FileIdx];
+  const Function &Fn = Ctx.Functions[FileIdx][FnIdx];
+  if (Fn.Name == "setValueAt" || Fn.Name == "barrier" ||
+      Fn.Name == "onPointerStore")
+    return; // The primitives themselves.
+  const std::vector<Token> &Toks = F.Toks;
+
+  std::vector<size_t> Stores;
+  std::vector<std::pair<size_t, size_t>> BarrierArgRanges; ///< (open, close)
+  for (size_t I = Fn.BodyBegin + 1; I < Fn.BodyEnd; ++I) {
+    if (Toks[I].Kind != TokKind::Ident || Toks[I + 1].Text != "(")
+      continue;
+    if (Toks[I].Text == "barrier" || Toks[I].Text == "onPointerStore")
+      BarrierArgRanges.emplace_back(I + 1, matchDelim(Toks, I + 1, "(", ")"));
+    else if (Toks[I].Text == "setValueAt")
+      Stores.push_back(I);
+  }
+  if (Stores.empty())
+    return;
+
+  if (BarrierArgRanges.empty()) {
+    // v1 rule: no barrier anywhere in a storing function.
+    for (size_t I : Stores) {
+      std::ostringstream Msg;
+      Msg << "raw setValueAt store in '" << Fn.Name
+          << "', which never applies the write barrier; route pointer stores "
+             "through Heap accessors or call barrier()/onPointerStore() so "
+             "remembered sets see old-to-young pointers";
+      Findings.push_back({F.Path, Toks[I].Line, "missing-barrier", Msg.str()});
+    }
+    return;
+  }
+
+  // v2 rule: per-store coverage in functions that do barrier.
+  auto BarrieredIdent = [&](const std::string &Name) {
+    for (const auto &R : BarrierArgRanges)
+      for (size_t I = R.first + 1; I < R.second; ++I)
+        if (Toks[I].Kind == TokKind::Ident && Toks[I].Text == Name &&
+            (Toks[I - 1].Kind != TokKind::Punct ||
+             (Toks[I - 1].Text != "." && Toks[I - 1].Text != "->" &&
+              Toks[I - 1].Text != "::")))
+          return true;
+    return false;
+  };
+
+  for (size_t S : Stores) {
+    size_t Open = S + 1;
+    size_t Close = matchDelim(Toks, Open, "(", ")");
+    size_t First = 0, Last = 0;
+    if (!lastArgRange(Toks, Open, Close, First, Last))
+      continue;
+    // Statically non-pointer immediate: Value::fixnum(...) and friends.
+    if (Last > First + 2 && Toks[First].Text == "Value" &&
+        Toks[First + 1].Text == "::" &&
+        Toks[First + 2].Kind == TokKind::Ident &&
+        isImmediateCtor(Toks[First + 2].Text))
+      continue;
+    // Bare identifier: it must flow into some barrier call here too.
+    if (First == Last && Toks[First].Kind == TokKind::Ident) {
+      if (BarrieredIdent(Toks[First].Text))
+        continue;
+      std::ostringstream Msg;
+      Msg << "store of '" << Toks[First].Text << "' via setValueAt in '"
+          << Fn.Name
+          << "' is not covered: the function calls the write barrier for "
+             "other stores but never passes '"
+          << Toks[First].Text
+          << "' to barrier()/onPointerStore(); barrier this store too, or "
+             "mark it gclint-ok(barrier-coverage) with the reason it cannot "
+             "create an old-to-young edge";
+      Findings.push_back(
+          {F.Path, Toks[S].Line, "barrier-coverage", Msg.str()});
+      continue;
+    }
+    // Compound expression: cannot name-match; the v1 contract (a barrier
+    // exists in this function) is all we can check — stay silent.
+  }
+}
+
+} // namespace gclint

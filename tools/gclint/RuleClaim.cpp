@@ -1,0 +1,175 @@
+//===- tools/gclint/RuleClaim.cpp - Busy-tag claim protocol rules ---------===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// State-machine checks over the claim-then-copy forwarding protocol
+/// (src/heap/Object.h): a successful tryClaimForCopy puts the object
+/// header into the Busy state, and every path out of that state must
+/// reach publishForward / publishSelfForward or the registered abort edge
+/// rollbackClaim — otherwise another worker spins forever in
+/// waitForForward on a claim nobody will resolve.
+///
+/// claim-protocol: in a function that calls tryClaimForCopy, the success
+/// region (the guarded branch for `if (tryClaimForCopy(...))`, the
+/// fall-through for the negated form, the rest of the function otherwise)
+/// must contain a call that publishes — directly a publish seed, or a
+/// callee in the transitive publishes closure (ownership hand-off, e.g.
+/// copyAndForward). Interprocedural via Context::Publishes.
+///
+/// no-blocking-under-claim: inside the success region, before the claim
+/// is resolved, no call may (transitively) block on another claim —
+/// waitForForward while holding a Busy header is a two-worker deadlock.
+/// The same check runs as a prefix scan over pure publisher callees
+/// (functions that publish but never claim — they receive an
+/// already-claimed object, so they hold the claim from entry until their
+/// first publishing call).
+///
+//===----------------------------------------------------------------------===//
+
+#include "GclintCore.h"
+
+#include <sstream>
+
+namespace gclint {
+
+namespace {
+
+const char *ClaimName = "tryClaimForCopy";
+
+/// Start of the `a::b::name` chain ending at \p NameIdx.
+size_t chainStart(const std::vector<Token> &Toks, size_t NameIdx) {
+  size_t I = NameIdx;
+  while (I >= 2 && Toks[I - 1].Kind == TokKind::Punct &&
+         (Toks[I - 1].Text == "::" || Toks[I - 1].Text == "." ||
+          Toks[I - 1].Text == "->") &&
+         Toks[I - 2].Kind == TokKind::Ident)
+    I -= 2;
+  return I;
+}
+
+} // namespace
+
+void checkClaimProtocol(const Context &Ctx, size_t FileIdx, size_t FnIdx,
+                        std::vector<Finding> &Findings) {
+  const SourceFile &F = Ctx.Files[FileIdx];
+  const Function &Fn = Ctx.Functions[FileIdx][FnIdx];
+  const FunctionInfo &Info = Ctx.Infos[FileIdx][FnIdx];
+  const std::vector<Token> &Toks = F.Toks;
+
+  if (Fn.Name == ClaimName || isPublishSeed(Fn.Name) ||
+      isBlockingSeed(Fn.Name))
+    return; // The protocol primitives themselves.
+
+  auto Publishes = [&](const std::string &Callee) {
+    return isPublishSeed(Callee) || Ctx.Publishes.count(Callee) != 0;
+  };
+  auto Blocks = [&](const std::string &Callee) {
+    return isBlockingSeed(Callee) || Ctx.Blocking.count(Callee) != 0;
+  };
+
+  /// Scans the call sites inside [Begin, End] in order. The claim is held
+  /// at Begin; the first publishing callee resolves it (ownership may
+  /// transfer — the callee's own prefix is checked when it is analyzed).
+  /// Blocking callees before that point are deadlocks. Returns true when
+  /// the region resolves the claim.
+  auto ScanRegion = [&](size_t Begin, size_t End, int ClaimLine) {
+    for (const CallSite &C : Info.Calls) {
+      if (C.NameIdx < Begin || C.NameIdx > End || C.Indirect)
+        continue;
+      const std::string &Callee = Toks[C.NameIdx].Text;
+      if (Callee == ClaimName)
+        continue; // Nested claim sites get their own region scan.
+      if (Publishes(Callee))
+        return true;
+      if (Blocks(Callee)) {
+        std::ostringstream Msg;
+        Msg << "'" << Callee << "' may block on another object's forward "
+            << "while the claim taken at line " << ClaimLine
+            << " is still unresolved; publish or roll back the claim "
+               "before waiting, or two workers can deadlock on each "
+               "other's Busy headers";
+        Findings.push_back({F.Path, Toks[C.NameIdx].Line,
+                            "no-blocking-under-claim", Msg.str()});
+      }
+    }
+    return false;
+  };
+
+  bool HasClaim = false;
+  for (const CallSite &C : Info.Calls) {
+    if (C.Indirect || Toks[C.NameIdx].Text != ClaimName)
+      continue;
+    HasClaim = true;
+    int ClaimLine = Toks[C.NameIdx].Line;
+
+    // Locate the success region. Default: linear from the call's end.
+    size_t RegionBegin = C.ClosePos;
+    size_t RegionEnd = Fn.BodyEnd;
+    size_t Chain = chainStart(Toks, C.NameIdx);
+    bool Negated = Chain > 0 && Toks[Chain - 1].Kind == TokKind::Punct &&
+                   Toks[Chain - 1].Text == "!";
+    // Enclosing `if (...)` whose condition contains the call?
+    for (size_t I = Chain; I-- > Fn.BodyBegin;) {
+      if (Toks[I].Kind == TokKind::Ident && Toks[I].Text == "if" &&
+          Toks[I + 1].Text == "(") {
+        size_t CondClose = matchDelim(Toks, I + 1, "(", ")");
+        if (CondClose < C.ClosePos)
+          break; // An earlier, unrelated if.
+        size_t BodyOpen = CondClose + 1;
+        size_t BodyClose;
+        if (Toks[BodyOpen].Text == "{") {
+          BodyClose = matchDelim(Toks, BodyOpen, "{", "}");
+        } else {
+          BodyClose = BodyOpen;
+          while (BodyClose < Fn.BodyEnd && Toks[BodyClose].Text != ";")
+            ++BodyClose;
+        }
+        if (Negated) {
+          // `if (!tryClaimForCopy(...)) { lost; }` — the success path is
+          // whatever follows the statement (including its else chain).
+          size_t After = BodyClose + 1;
+          if (After < Fn.BodyEnd && Toks[After].Kind == TokKind::Ident &&
+              Toks[After].Text == "else")
+            After = elseChainEnd(Toks, After, Fn.BodyEnd) + 1;
+          RegionBegin = After;
+          RegionEnd = Fn.BodyEnd;
+        } else {
+          RegionBegin = BodyOpen;
+          RegionEnd = BodyClose;
+        }
+        break;
+      }
+      if (Toks[I].Kind == TokKind::Punct &&
+          (Toks[I].Text == ";" || Toks[I].Text == "{" || Toks[I].Text == "}"))
+        break; // Left the statement without meeting an if.
+    }
+
+    if (!ScanRegion(RegionBegin, RegionEnd, ClaimLine)) {
+      std::ostringstream Msg;
+      Msg << "claim taken by '" << ClaimName << "' at line " << ClaimLine
+          << " in '" << Fn.Name
+          << "' never reaches publishForward/publishSelfForward or "
+             "rollbackClaim on its success path; a worker that loses the "
+             "race will spin forever in waitForForward on the abandoned "
+             "Busy header";
+      Findings.push_back({F.Path, ClaimLine, "claim-protocol", Msg.str()});
+    }
+  }
+
+  // Pure publisher: resolves claims it did not take (copyAndForward
+  // shape). From entry to its first publishing call it holds the caller's
+  // claim, so that prefix must not block.
+  if (!HasClaim) {
+    bool DirectPublish = false;
+    for (const CallSite &C : Info.Calls)
+      if (!C.Indirect && isPublishSeed(Toks[C.NameIdx].Text))
+        DirectPublish = true;
+    if (DirectPublish)
+      ScanRegion(Fn.BodyBegin, Fn.BodyEnd, Fn.Line);
+  }
+}
+
+} // namespace gclint

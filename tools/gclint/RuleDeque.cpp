@@ -1,0 +1,170 @@
+//===- tools/gclint/RuleDeque.cpp - Chase-Lev memory-order rule -----------===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// deque-ordering: files under gclint-protocol(chase-lev) opt into an
+/// allowlist of memory orders for every atomic access to the deque's
+/// three shared variables (Top, Bottom, Buffer), keyed by the method the
+/// access appears in. The table encodes the PPoPP'13 C11 formulation of
+/// Chase-Lev (Lê, Pop, Cohen & Zappa Nardelli) in the seq_cst-operation
+/// variant this repo uses (see WorkStealingDeque.h's file comment):
+///
+///   * pop's Bottom reservation store and Top load, and steal's Bottom
+///     load, are the seq_cst pair that replaces the paper's fences — any
+///     downgrade lets a pop and a concurrent steal both take the final
+///     element;
+///   * push's Bottom store is the release publishing the slot write; a
+///     relaxed store lets a thief read an unwritten slot;
+///   * steal's Top load is acquire and its CAS seq_cst/relaxed; Buffer
+///     loads on the thief side are acquire so the ring's slots are
+///     visible after growth.
+///
+/// Every access must spell its order explicitly — a bare .load() is
+/// seq_cst and "safe", but the protocol demands the order be reviewable
+/// at the call site. Accesses in methods the table does not know, or
+/// with orders off the allowlist, are findings: extend the table (with
+/// the proof) before extending the deque.
+///
+//===----------------------------------------------------------------------===//
+
+#include "GclintCore.h"
+
+#include <sstream>
+
+namespace gclint {
+
+namespace {
+
+/// Allowed order sequences per "method.variable.operation". CAS entries
+/// list (success, failure) pairs.
+const std::map<std::string, std::vector<std::vector<std::string>>> &
+orderTable() {
+  static const std::map<std::string, std::vector<std::vector<std::string>>>
+      Table = {
+          // Owner push: publish the slot store with the Bottom release.
+          {"push.Bottom.load", {{"relaxed"}}},
+          {"push.Top.load", {{"acquire"}}},
+          {"push.Buffer.load", {{"relaxed"}}},
+          {"push.Bottom.store", {{"release"}}},
+          // Owner pop: the seq_cst reservation/read-back pair, then the
+          // final-element CAS against the thieves.
+          {"pop.Bottom.load", {{"relaxed"}}},
+          {"pop.Buffer.load", {{"relaxed"}}},
+          {"pop.Bottom.store", {{"seq_cst"}, {"relaxed"}}},
+          {"pop.Top.load", {{"seq_cst"}}},
+          {"pop.Top.compare_exchange_strong", {{"seq_cst", "relaxed"}}},
+          // Thief steal.
+          {"steal.Top.load", {{"acquire"}}},
+          {"steal.Bottom.load", {{"seq_cst"}}},
+          {"steal.Buffer.load", {{"acquire"}}},
+          {"steal.Top.compare_exchange_strong", {{"seq_cst", "relaxed"}}},
+          // Termination detector & diagnostics.
+          {"empty.Top.load", {{"acquire"}}},
+          {"empty.Bottom.load", {{"acquire"}}},
+          {"approxSize.Top.load", {{"relaxed"}}},
+          {"approxSize.Bottom.load", {{"relaxed"}}},
+          {"capacity.Buffer.load", {{"acquire"}}},
+          // Owner-only growth publishes the new ring.
+          {"grow.Buffer.load", {{"relaxed"}}},
+          {"grow.Buffer.store", {{"release"}}},
+          // Destructor runs after the cycle's final barrier.
+          {"WorkStealingDeque.Buffer.load", {{"relaxed"}}},
+      };
+  return Table;
+}
+
+bool isDequeVar(const std::string &Name) {
+  return Name == "Top" || Name == "Bottom" || Name == "Buffer";
+}
+
+bool isAtomicOp(const std::string &Name) {
+  return Name == "load" || Name == "store" ||
+         Name == "compare_exchange_strong" ||
+         Name == "compare_exchange_weak" || Name == "exchange" ||
+         Name.compare(0, 6, "fetch_") == 0;
+}
+
+std::string joinOrders(const std::vector<std::string> &Orders) {
+  std::string Out;
+  for (const std::string &O : Orders) {
+    if (!Out.empty())
+      Out += ", ";
+    Out += O;
+  }
+  return Out.empty() ? "<none>" : Out;
+}
+
+} // namespace
+
+void checkDequeOrdering(const Context &Ctx, size_t FileIdx,
+                        std::vector<Finding> &Findings) {
+  const SourceFile &F = Ctx.Files[FileIdx];
+  const std::vector<Token> &Toks = F.Toks;
+
+  for (size_t FnI = 0; FnI < Ctx.Functions[FileIdx].size(); ++FnI) {
+    const Function &Fn = Ctx.Functions[FileIdx][FnI];
+    if (Ctx.protocolFor(FileIdx, Fn) != "chase-lev")
+      continue;
+    for (size_t I = Fn.BodyBegin + 1; I + 3 < Fn.BodyEnd; ++I) {
+      // Pattern: <Var> . <atomic-op> ( ... ). Slot accesses never match:
+      // their member call follows the ')' of slot(I), not an identifier.
+      if (Toks[I].Kind != TokKind::Ident || !isDequeVar(Toks[I].Text))
+        continue;
+      if (Toks[I - 1].Kind == TokKind::Punct &&
+          (Toks[I - 1].Text == "." || Toks[I - 1].Text == "->" ||
+           Toks[I - 1].Text == "::"))
+        continue; // Someone else's member named Top/Bottom/Buffer.
+      if (!(Toks[I + 1].Kind == TokKind::Punct && Toks[I + 1].Text == ".") ||
+          Toks[I + 2].Kind != TokKind::Ident ||
+          !isAtomicOp(Toks[I + 2].Text) || Toks[I + 3].Text != "(")
+        continue;
+      const std::string &Var = Toks[I].Text;
+      const std::string &Op = Toks[I + 2].Text;
+      size_t Close = matchDelim(Toks, I + 3, "(", ")");
+
+      std::vector<std::string> Orders;
+      for (size_t J = I + 4; J < Close; ++J)
+        if (Toks[J].Kind == TokKind::Ident &&
+            Toks[J].Text.compare(0, 13, "memory_order_") == 0)
+          Orders.push_back(Toks[J].Text.substr(13));
+
+      auto Entry = orderTable().find(Fn.Name + "." + Var + "." + Op);
+      std::ostringstream Msg;
+      if (Entry == orderTable().end()) {
+        Msg << "atomic access '" << Var << "." << Op << "' in '" << Fn.Name
+            << "' is not in the Chase-Lev ordering table; the deque's "
+               "correctness argument (PPoPP'13, seq_cst-operation variant) "
+               "covers a fixed access pattern — add the access to the table "
+               "in RuleDeque.cpp with its proof, or restructure to use an "
+               "audited method";
+      } else if (Orders.empty()) {
+        Msg << "'" << Var << "." << Op << "' in '" << Fn.Name
+            << "' does not spell its memory order; the chase-lev protocol "
+               "requires the order at every access to be explicit and "
+               "reviewable (expected "
+            << joinOrders(Entry->second.front()) << ")";
+      } else {
+        bool Ok = false;
+        for (const std::vector<std::string> &Allowed : Entry->second)
+          if (Orders == Allowed)
+            Ok = true;
+        if (Ok)
+          continue;
+        Msg << "'" << Var << "." << Op << "' in '" << Fn.Name << "' uses "
+            << "memory order (" << joinOrders(Orders)
+            << ") but the Chase-Lev table requires (";
+        for (size_t A = 0; A < Entry->second.size(); ++A)
+          Msg << (A ? ") or (" : "") << joinOrders(Entry->second[A]);
+        Msg << "); downgrading this access breaks the PPoPP'13 ordering "
+               "argument (see WorkStealingDeque.h)";
+      }
+      Findings.push_back(
+          {F.Path, Toks[I].Line, "deque-ordering", Msg.str()});
+    }
+  }
+}
+
+} // namespace gclint

@@ -1,0 +1,171 @@
+//===- tools/gclint/RuleEscape.cpp - The interproc-escape rule ------------===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// interproc-escape: a GC-tracked value (Value / ObjectRef) is copied into
+/// storage that outlives the full expression — directly via a container
+/// stash call (push_back and friends), or through a callee whose summary
+/// says the parameter escapes — and a later call in the same function may
+/// allocate. The stashed copy is not a root: when that allocation triggers
+/// a moving collection, the container now holds a stale from-space value.
+///
+/// unrooted-value cannot see this bug class: the local itself is never
+/// read again, only its escaped copy is. The callee summary
+/// (Context::EscapingParams, a call-graph fixed point) is what makes the
+/// rule interprocedural — a helper that forwards its parameter into a
+/// vector taints every caller that passes an unrooted value and then
+/// allocates.
+///
+/// Escapes into genuinely rooted storage are recognized by the same
+/// convention the unrooted-value rule uses: a container whose address is
+/// taken anywhere in the function (`ScopedRootFrame G(Roots, &Elements)`,
+/// `TempRoots R(*this, {&Car})`) is registered as a root and its contents
+/// are maintained by the collector, so stashes into it are silent. For
+/// rooting mechanisms the heuristic cannot see, suppress the site with
+/// gclint-ok(interproc-escape) naming the mechanism.
+///
+//===----------------------------------------------------------------------===//
+
+#include "GclintCore.h"
+
+#include <sstream>
+
+namespace gclint {
+
+void checkInterprocEscape(const Context &Ctx, size_t FileIdx, size_t FnIdx,
+                          std::vector<Finding> &Findings) {
+  const SourceFile &F = Ctx.Files[FileIdx];
+  const Function &Fn = Ctx.Functions[FileIdx][FnIdx];
+  const FunctionInfo &Info = Ctx.Infos[FileIdx][FnIdx];
+  const std::vector<Token> &Toks = F.Toks;
+
+  std::vector<GcPoint> GcPoints = collectGcPoints(Ctx, FileIdx, FnIdx);
+  if (GcPoints.empty())
+    return;
+
+  // Tracked names: by-value Value/ObjectRef parameters plus locals
+  // declared in the body. Same shape the unrooted-value rule tracks.
+  std::unordered_set<std::string> TrackedNames;
+  for (size_t I = 0; I < Info.ParamNames.size(); ++I)
+    if (Info.ParamTracked[I] && !Info.ParamNames[I].empty())
+      TrackedNames.insert(Info.ParamNames[I]);
+  for (size_t I = Fn.BodyBegin + 1; I + 1 < Fn.BodyEnd; ++I)
+    if (Toks[I].Kind == TokKind::Ident && isTrackedType(Toks[I].Text) &&
+        Toks[I + 1].Kind == TokKind::Ident &&
+        !(Toks[I - 1].Kind == TokKind::Punct &&
+          (Toks[I - 1].Text == "::" || Toks[I - 1].Text == ".")))
+      TrackedNames.insert(Toks[I + 1].Text);
+  if (TrackedNames.empty())
+    return;
+
+  // Address-taken names are rooted (root-frame registration is exactly an
+  // address-of): neither a rooted container nor a rooted value is an
+  // escape hazard.
+  std::unordered_set<std::string> Rooted;
+  for (size_t I = Fn.BodyBegin + 1; I < Fn.BodyEnd; ++I)
+    if (Toks[I].Kind == TokKind::Ident && I > 0 &&
+        Toks[I - 1].Kind == TokKind::Punct && Toks[I - 1].Text == "&")
+      Rooted.insert(Toks[I].Text);
+
+  std::vector<BraceBlock> Blocks = collectBraceBlocks(Toks, Fn);
+
+  struct Escape {
+    size_t Pos; ///< Token index of the stashing call's ')'.
+    std::string Name;
+    std::string Via;
+    int Line;
+    bool InReturn;
+  };
+  std::vector<Escape> Escapes;
+
+  auto isStash = [](const std::string &Name) {
+    return Name == "push_back" || Name == "emplace_back" || Name == "push" ||
+           Name == "insert" || Name == "emplace";
+  };
+
+  for (const CallSite &C : Info.Calls) {
+    if (C.Indirect)
+      continue;
+    const std::string &Callee = Toks[C.NameIdx].Text;
+    bool Stash = isStash(Callee);
+    auto CalleeEsc = Ctx.EscapingParams.find(Callee);
+    if (!Stash && CalleeEsc == Ctx.EscapingParams.end())
+      continue;
+    // A stash into a root-registered container is maintenance, not escape.
+    if (Stash && C.NameIdx >= 2 && Toks[C.NameIdx - 1].Kind == TokKind::Punct &&
+        (Toks[C.NameIdx - 1].Text == "." || Toks[C.NameIdx - 1].Text == "->") &&
+        Toks[C.NameIdx - 2].Kind == TokKind::Ident &&
+        Rooted.count(Toks[C.NameIdx - 2].Text))
+      continue;
+    // Walk depth-0 arguments; bare tracked identifiers are escape
+    // candidates at their position.
+    size_t ArgPos = 0;
+    size_t ArgStart = C.OpenPos + 1;
+    int Depth = 0;
+    for (size_t I = C.OpenPos + 1; I <= C.ClosePos; ++I) {
+      const std::string &T = Toks[I].Text;
+      bool ArgEnd = I == C.ClosePos ||
+                    (Toks[I].Kind == TokKind::Punct && T == "," && Depth == 0);
+      if (Toks[I].Kind == TokKind::Punct && !ArgEnd) {
+        if (T == "(" || T == "[" || T == "{")
+          ++Depth;
+        else if (T == ")" || T == "]" || T == "}")
+          --Depth;
+      }
+      if (!ArgEnd)
+        continue;
+      if (I == ArgStart + 1 && Toks[ArgStart].Kind == TokKind::Ident &&
+          TrackedNames.count(Toks[ArgStart].Text) &&
+          !Rooted.count(Toks[ArgStart].Text)) {
+        bool ThisArgEscapes =
+            Stash || (CalleeEsc != Ctx.EscapingParams.end() &&
+                      CalleeEsc->second.count(ArgPos) != 0);
+        if (ThisArgEscapes)
+          Escapes.push_back({C.ClosePos, Toks[ArgStart].Text, Callee,
+                             Toks[C.NameIdx].Line,
+                             statementStartsWith(Toks, C.NameIdx, Fn.BodyBegin,
+                                                 returnishJumps())});
+      }
+      ++ArgPos;
+      ArgStart = I + 1;
+    }
+  }
+  if (Escapes.empty())
+    return;
+
+  std::set<std::pair<std::string, int>> Reported;
+  for (const Escape &E : Escapes) {
+    for (const GcPoint &Gc : GcPoints) {
+      if (Gc.Pos <= E.Pos)
+        continue;
+      // Reuse the CFG-lite reachability with the escape as the source
+      // point: can execution flow from the stash to the allocating call?
+      GcPoint From;
+      From.Pos = E.Pos;
+      From.OpenPos = E.Pos;
+      From.Callee = E.Via;
+      From.Line = E.Line;
+      From.InReturn = E.InReturn;
+      if (!gcReachesToken(Toks, Fn, Blocks, From, Gc.Pos))
+        continue;
+      if (!Reported.insert({E.Name, E.Line}).second)
+        break;
+      std::ostringstream Msg;
+      Msg << "'" << E.Name << "' escapes into storage that outlives the "
+          << "call via '" << E.Via << "' (line " << E.Line
+          << "), and the later call to '" << Gc.Callee << "' (line "
+          << Gc.Line
+          << ") may allocate and move it, leaving a stale copy in the "
+             "container; root the destination or re-store after the "
+             "allocation, or mark the site gclint-ok(interproc-escape) "
+             "naming the rooting mechanism";
+      Findings.push_back({F.Path, E.Line, "interproc-escape", Msg.str()});
+      break;
+    }
+  }
+}
+
+} // namespace gclint

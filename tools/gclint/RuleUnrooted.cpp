@@ -1,0 +1,276 @@
+//===- tools/gclint/RuleUnrooted.cpp - The unrooted-value rule ------------===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// unrooted-value: a local of type Value or ObjectRef is written before a
+/// call that may allocate (and therefore may trigger a moving collection)
+/// and read after it without being re-read from a rooted slot. Also fires
+/// when such a local defined outside a loop is read inside a loop body
+/// that contains a may-allocate call: the value is stale on every
+/// iteration after the first.
+///
+/// The rule errs toward silence: taking a local's address stops tracking
+/// it (that is exactly how TempRoots and Handle registration root a slot),
+/// references are ignored (the rooted-frame idiom re-reads through them),
+/// and reassignment after the GC point kills the stale definition.
+///
+/// This is a mutator rooting discipline: the driver does not run it over
+/// functions under a gclint-protocol annotation — that code IS the moving
+/// collector, manipulating from-space values precisely to move them.
+///
+//===----------------------------------------------------------------------===//
+
+#include "GclintCore.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace gclint {
+
+namespace {
+
+struct TrackedVar {
+  std::string Name;
+  std::string Type;
+  int DeclLine = 0;
+  std::vector<size_t> Writes; ///< Token indices of the decl and assignments.
+  std::vector<size_t> Reads;  ///< Token indices of other uses.
+  bool Escaped = false;       ///< Address taken: treated as rooted.
+  bool UninitDecl = false;    ///< Declared with no initializer (`Value V;`):
+                              ///< candidate for the out-parameter pattern.
+};
+
+} // namespace
+
+void checkUnrootedValues(const Context &Ctx, size_t FileIdx, size_t FnIdx,
+                         std::vector<Finding> &Findings) {
+  const SourceFile &F = Ctx.Files[FileIdx];
+  const Function &Fn = Ctx.Functions[FileIdx][FnIdx];
+  const std::vector<Token> &Toks = F.Toks;
+
+  std::vector<GcPoint> GcPoints = collectGcPoints(Ctx, FileIdx, FnIdx);
+  if (GcPoints.empty())
+    return;
+
+  std::vector<BraceBlock> Blocks = collectBraceBlocks(Toks, Fn);
+
+  // Does \p Gc flow back to the loop head (the wrap-around back edge)?
+  // `continue` still reaches the next iteration, but a branch that ends by
+  // returning or breaking never does. Else-exclusivity does NOT apply:
+  // later iterations are free to take the other branch.
+  auto GcWrapsInLoop = [&](const GcPoint &Gc, const LoopRegion &L) {
+    if (Gc.InReturn)
+      return false;
+    for (const BraceBlock &B : Blocks) {
+      if (!(B.Open < Gc.Pos && Gc.Pos < B.Close))
+        continue;
+      if (B.Open <= L.BodyBegin || B.Close >= L.BodyEnd)
+        continue; // Not strictly inside the loop body.
+      std::unordered_set<std::string> Jumps = returnishJumps();
+      Jumps.insert("break");
+      if (blockEndsWithJump(Toks, B, Jumps))
+        return false;
+    }
+    return true;
+  };
+
+  // Collect tracked locals: `Value v ...` / `ObjectRef o ...` declarations
+  // in the body, plus by-value Value parameters (their definition point is
+  // the top of the body). Pointers and references are skipped: a Value& is
+  // the rooted-frame idiom and re-reads the slot on every use.
+  std::vector<TrackedVar> Vars;
+  auto AddVar = [&](const std::string &Type, const std::string &Name,
+                    size_t DefPos, int Line, bool Uninit) {
+    for (const TrackedVar &V : Vars)
+      if (V.Name == Name)
+        return; // Shadowing: keep the first, coarse but stable.
+    TrackedVar V;
+    V.Name = Name;
+    V.Type = Type;
+    V.DeclLine = Line;
+    V.UninitDecl = Uninit;
+    V.Writes.push_back(DefPos);
+    Vars.push_back(V);
+  };
+
+  for (size_t I = Fn.ParamBegin + 1; I + 1 < Fn.ParamEnd; ++I)
+    if (Toks[I].Kind == TokKind::Ident && isTrackedType(Toks[I].Text) &&
+        Toks[I + 1].Kind == TokKind::Ident)
+      AddVar(Toks[I].Text, Toks[I + 1].Text, Fn.BodyBegin, Toks[I + 1].Line,
+             false);
+
+  for (size_t I = Fn.BodyBegin + 1; I + 1 < Fn.BodyEnd; ++I) {
+    if (Toks[I].Kind != TokKind::Ident || !isTrackedType(Toks[I].Text))
+      continue;
+    if (I > 0 && Toks[I - 1].Kind == TokKind::Punct &&
+        (Toks[I - 1].Text == "::" || Toks[I - 1].Text == "."))
+      continue; // Value::fixnum(...), not a declaration.
+    size_t J = I + 1;
+    if (Toks[J].Kind != TokKind::Ident)
+      continue; // `Value(...)` temporary, `Value *`, `Value &`.
+    // Lambda parameters declared `Value V` are handled by this same scan.
+    bool Uninit = J + 1 < Fn.BodyEnd && Toks[J + 1].Kind == TokKind::Punct &&
+                  (Toks[J + 1].Text == ";" || Toks[J + 1].Text == ",");
+    AddVar(Toks[I].Text, Toks[J].Text, J, Toks[J].Line, Uninit);
+  }
+  if (Vars.empty())
+    return;
+
+  // Local `enum { Bindings = 0, NewEnv = 2 }` constants share names with
+  // the rooted-frame indexing idiom (`F[NewEnv]`); the enumerator list must
+  // not read as writes of a same-named Value.
+  std::vector<BraceBlock> EnumRegions;
+  for (size_t I = Fn.BodyBegin + 1; I + 1 < Fn.BodyEnd; ++I) {
+    if (Toks[I].Kind != TokKind::Ident || Toks[I].Text != "enum")
+      continue;
+    size_t J = I + 1;
+    while (J < Fn.BodyEnd && Toks[J].Text != "{" && Toks[J].Text != ";")
+      ++J;
+    if (J < Fn.BodyEnd && Toks[J].Text == "{")
+      EnumRegions.push_back({J, matchDelim(Toks, J, "{", "}")});
+  }
+  auto InEnum = [&](size_t I) {
+    for (const BraceBlock &E : EnumRegions)
+      if (E.Open < I && I < E.Close)
+        return true;
+    return false;
+  };
+
+  // Classify every mention of a tracked name in the body.
+  std::unordered_map<std::string, TrackedVar *> ByName;
+  for (TrackedVar &V : Vars)
+    ByName[V.Name] = &V;
+  for (size_t I = Fn.BodyBegin + 1; I < Fn.BodyEnd; ++I) {
+    if (Toks[I].Kind != TokKind::Ident || InEnum(I))
+      continue;
+    auto It = ByName.find(Toks[I].Text);
+    if (It == ByName.end())
+      continue;
+    TrackedVar &V = *It->second;
+    if (!V.Writes.empty() && V.Writes.front() == I)
+      continue; // The declaration itself.
+    const Token &Prev = Toks[I - 1];
+    if (Prev.Kind == TokKind::Punct && Prev.Text == "&") {
+      // Address-of roots the slot (TempRoots, registerRootSlot) or hands it
+      // to a rewriting visitor; either way the variable is maintained.
+      V.Escaped = true;
+      continue;
+    }
+    if (Prev.Kind == TokKind::Punct &&
+        (Prev.Text == "." || Prev.Text == "->" || Prev.Text == "::"))
+      continue; // A member named like the local, not the local.
+    if (Prev.Kind == TokKind::Punct && Prev.Text == "[")
+      continue; // `F[Body]`: an enum-constant frame index (the rooted-frame
+                // idiom), not a use of a same-named Value local.
+    const Token &Next = Toks[I + 1];
+    if (Next.Kind == TokKind::Punct && Next.Text == "=")
+      V.Writes.push_back(I);
+    else
+      V.Reads.push_back(I);
+  }
+
+  // Out-parameter writes: in `Value D; if (!parse(D)) ...; use(D);` the
+  // uninitialized local is handed by reference to the may-allocate call and
+  // written by the callee AFTER any collection it performs, so the call
+  // completes a definition rather than endangering one. Model the call as a
+  // write at its closing paren. Only the first filling call gets this
+  // treatment: a later may-allocate call still invalidates the result.
+  for (TrackedVar &V : Vars) {
+    if (!V.UninitDecl)
+      continue;
+    for (const GcPoint &Gc : GcPoints) {
+      bool WrittenBefore = false;
+      for (size_t W : V.Writes)
+        if (W != V.Writes.front() && W < Gc.OpenPos)
+          WrittenBefore = true;
+      if (WrittenBefore)
+        continue;
+      bool MentionedInArgs = false;
+      for (size_t R : V.Reads)
+        if (R > Gc.OpenPos && R < Gc.Pos)
+          MentionedInArgs = true;
+      if (!MentionedInArgs)
+        continue;
+      V.Writes.push_back(Gc.Pos);
+      V.Reads.erase(std::remove_if(
+                        V.Reads.begin(), V.Reads.end(),
+                        [&](size_t R) { return R > Gc.OpenPos && R < Gc.Pos; }),
+                    V.Reads.end());
+    }
+  }
+
+  std::vector<LoopRegion> Loops = collectLoopRegions(Toks, Fn);
+
+  std::set<std::pair<std::string, int>> Reported;
+  auto Report = [&](const TrackedVar &V, size_t ReadPos, const GcPoint &Gc,
+                    const char *Flavor) {
+    int Line = Toks[ReadPos].Line;
+    if (!Reported.insert({V.Name, Line}).second)
+      return;
+    std::ostringstream Msg;
+    Msg << "'" << V.Name << "' (" << V.Type << ", declared line "
+        << V.DeclLine << ") is read " << Flavor << " a call to '" << Gc.Callee
+        << "' (line " << Gc.Line
+        << ") that may allocate and move objects; keep it in a Handle or "
+           "re-read it from a rooted slot after the call";
+    Findings.push_back({F.Path, Line, "unrooted-value", Msg.str()});
+  };
+
+  for (const TrackedVar &V : Vars) {
+    if (V.Escaped)
+      continue;
+    // Linear rule: last write before the read precedes a GC point. Writes
+    // count from the end of their statement, so a GC point inside the
+    // initializer itself does not poison the fresh definition.
+    for (size_t Read : V.Reads) {
+      size_t LastWrite = 0;
+      for (size_t W : V.Writes) {
+        size_t Effective = W == Fn.BodyBegin
+                               ? W // Parameters are live at body entry.
+                               : effectiveWritePos(Toks, W, Fn.BodyEnd);
+        if (Effective < Read)
+          LastWrite = std::max(LastWrite, Effective);
+      }
+      if (!LastWrite)
+        continue;
+      for (const GcPoint &Gc : GcPoints)
+        if (Gc.Pos > LastWrite && Gc.Pos < Read &&
+            gcReachesToken(Toks, Fn, Blocks, Gc, Read)) {
+          Report(V, Read, Gc, "after");
+          break;
+        }
+    }
+    // Wrap-around rule: defined before a loop, read inside it, never
+    // rewritten inside it, while the loop body contains a GC point.
+    for (const LoopRegion &L : Loops) {
+      bool WrittenInside = false;
+      for (size_t W : V.Writes)
+        if (W > L.BodyBegin && W < L.BodyEnd)
+          WrittenInside = true;
+      if (WrittenInside)
+        continue;
+      bool DefinedBefore = false;
+      for (size_t W : V.Writes)
+        if (W < L.BodyBegin)
+          DefinedBefore = true;
+      if (!DefinedBefore)
+        continue;
+      const GcPoint *LoopGc = nullptr;
+      for (const GcPoint &Gc : GcPoints)
+        if (Gc.Pos > L.BodyBegin && Gc.Pos < L.BodyEnd && GcWrapsInLoop(Gc, L))
+          LoopGc = &Gc;
+      if (!LoopGc)
+        continue;
+      for (size_t Read : V.Reads)
+        if (Read > L.BodyBegin && Read < L.BodyEnd) {
+          Report(V, Read, *LoopGc, "on a later iteration of a loop around");
+          break;
+        }
+    }
+  }
+}
+
+} // namespace gclint

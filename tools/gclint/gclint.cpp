@@ -1,905 +1,41 @@
-//===- tools/gclint/gclint.cpp - GC-safety linter for rdgc ----------------===//
+//===- tools/gclint/gclint.cpp - Driver for the gclint framework ----------===//
 //
 // Part of the rdgc project. Distributed under the MIT license.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A standalone token/scope-level static analyzer that enforces the heap's
-/// GC safety contract (see src/heap/Heap.h) over the rdgc sources:
+/// The gclint driver: loads every input file, builds the interprocedural
+/// Context (call-graph summaries over ALL inputs, so analysis quality
+/// does not depend on which files are being reported), runs the rule
+/// passes, applies suppressions, audits them, and reports.
 ///
-///   unrooted-value    A local of type Value or ObjectRef is written before
-///                     a call that may allocate (and therefore may trigger a
-///                     moving collection) and read after it without being
-///                     re-read from a rooted slot. Also fires when such a
-///                     local defined outside a loop is read inside a loop
-///                     body that contains a may-allocate call: the value is
-///                     stale on every iteration after the first.
+///   gclint [options] files...
+///     --check-expectations   fixture mode: findings must match
+///                            gclint-expect markers exactly
+///     --only <path>          report only findings in <path> (repeatable);
+///                            every input still feeds the call graph —
+///                            this is the diff-aware CI mode
+///     --json <path>          write findings as JSON
+///     --sarif <path>         write findings as SARIF 2.1.0
+///     --fix                  delete unused gclint-ok comments in place
+///     --dump-may-allocate    print the may-allocate closure and exit
 ///
-///   missing-barrier   A raw ObjectRef::setValueAt store appears in a
-///                     function that never goes through the write-barrier
-///                     API (Heap::barrier / Collector::onPointerStore), so
-///                     an old-to-young pointer store would be invisible to
-///                     the generational collectors' remembered sets.
-///
-/// "May allocate" is computed as a transitive closure over a name-based
-/// call graph extracted from every file on the command line, seeded with
-/// the Heap allocation entry points (allocate*) and the collection entry
-/// points (collectNow, collectFullNow, collect, collectFull, collectMajor,
-/// collectMinor, collectIntermediate, collectWithJ, tryGrowHeap).
-///
-/// The analysis is deliberately heuristic — a few hundred lines of lexer
-/// and linear scan, not a compiler frontend — and errs toward silence:
-/// taking a local's address stops tracking it (that is exactly how
-/// TempRoots and Handle registration root a slot), references are ignored
-/// (the rooted-frame idiom re-reads through them), and reassignment after
-/// the GC point kills the stale definition.
-///
-/// Findings are reported as  file:line: gclint[<rule>]: message  and
-/// suppressed by a comment  // gclint-ok: <rule> <reason>  on the same or
-/// the preceding line. With --check-expectations the tool instead compares
-/// its findings against  // gclint-expect: <rule>  comments in the inputs
-/// (same line), failing on both missed and unexpected findings — the
-/// fixture tests under tools/gclint/test/ run in this mode.
-///
-/// Files under a `parallel` directory component are exempt from the
-/// unrooted-value rule (not from missing-barrier): that code IS the moving
-/// collector — it runs inside a stop-the-world cycle where no mutator
-/// allocation can occur, and it manipulates from-space values precisely in
-/// order to move them, so the mutator rooting discipline is a category
-/// error there. A path rule rather than suppression comments keeps the
-/// exemption reviewable in one place and the tree at zero suppressions.
+/// Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
 ///
 //===----------------------------------------------------------------------===//
+
+#include "GclintCore.h"
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
-#include <map>
-#include <set>
 #include <sstream>
-#include <string>
-#include <unordered_map>
-#include <unordered_set>
-#include <vector>
+
+using namespace gclint;
 
 namespace {
-
-//===----------------------------------------------------------------------===//
-// Lexer
-//===----------------------------------------------------------------------===//
-
-enum class TokKind { Ident, Number, String, Punct, End };
-
-struct Token {
-  TokKind Kind;
-  std::string Text;
-  int Line;
-};
-
-struct Comment {
-  int Line;
-  std::string Text;
-};
-
-struct SourceFile {
-  std::string Path;
-  std::vector<Token> Toks;
-  std::vector<Comment> Comments;
-};
-
-bool isIdentStart(char C) {
-  return (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') || C == '_';
-}
-bool isIdentChar(char C) { return isIdentStart(C) || (C >= '0' && C <= '9'); }
-
-/// Multi-character punctuators we keep intact so `&&`, `==`, `->`, and
-/// `::` are never misread as address-of, assignment, or member access.
-const char *MultiPuncts[] = {"<<=", ">>=", "->*", "...", "::", "->", "<<",
-                             ">>", "<=",  ">=",  "==",  "!=", "&&", "||",
-                             "+=", "-=",  "*=",  "/=",  "%=", "&=", "|=",
-                             "^=", "++",  "--",  ".*"};
-
-void lex(const std::string &Src, SourceFile &Out) {
-  size_t I = 0, N = Src.size();
-  int Line = 1;
-  while (I < N) {
-    char C = Src[I];
-    if (C == '\n') {
-      ++Line;
-      ++I;
-      continue;
-    }
-    if (C == ' ' || C == '\t' || C == '\r' || C == '\f' || C == '\v') {
-      ++I;
-      continue;
-    }
-    // Preprocessor directives: skip to end of line (honoring continuations).
-    if (C == '#') {
-      while (I < N && Src[I] != '\n') {
-        if (Src[I] == '\\' && I + 1 < N && Src[I + 1] == '\n') {
-          ++Line;
-          I += 2;
-          continue;
-        }
-        ++I;
-      }
-      continue;
-    }
-    // Line comment.
-    if (C == '/' && I + 1 < N && Src[I + 1] == '/') {
-      size_t Start = I + 2;
-      while (I < N && Src[I] != '\n')
-        ++I;
-      Out.Comments.push_back({Line, Src.substr(Start, I - Start)});
-      continue;
-    }
-    // Block comment.
-    if (C == '/' && I + 1 < N && Src[I + 1] == '*') {
-      size_t Start = I + 2;
-      int StartLine = Line;
-      I += 2;
-      while (I + 1 < N && !(Src[I] == '*' && Src[I + 1] == '/')) {
-        if (Src[I] == '\n')
-          ++Line;
-        ++I;
-      }
-      Out.Comments.push_back({StartLine, Src.substr(Start, I - Start)});
-      I = std::min(N, I + 2);
-      continue;
-    }
-    // String and character literals.
-    if (C == '"' || C == '\'') {
-      char Quote = C;
-      size_t Start = I++;
-      while (I < N && Src[I] != Quote) {
-        if (Src[I] == '\\' && I + 1 < N)
-          ++I;
-        if (Src[I] == '\n')
-          ++Line;
-        ++I;
-      }
-      ++I;
-      Out.Toks.push_back({TokKind::String, Src.substr(Start, I - Start), Line});
-      continue;
-    }
-    if (isIdentStart(C)) {
-      size_t Start = I;
-      while (I < N && isIdentChar(Src[I]))
-        ++I;
-      Out.Toks.push_back({TokKind::Ident, Src.substr(Start, I - Start), Line});
-      continue;
-    }
-    if (C >= '0' && C <= '9') {
-      size_t Start = I;
-      while (I < N && (isIdentChar(Src[I]) || Src[I] == '.' ||
-                       ((Src[I] == '+' || Src[I] == '-') &&
-                        (Src[I - 1] == 'e' || Src[I - 1] == 'E' ||
-                         Src[I - 1] == 'p' || Src[I - 1] == 'P'))))
-        ++I;
-      Out.Toks.push_back({TokKind::Number, Src.substr(Start, I - Start), Line});
-      continue;
-    }
-    bool Matched = false;
-    for (const char *P : MultiPuncts) {
-      size_t L = std::char_traits<char>::length(P);
-      if (Src.compare(I, L, P) == 0) {
-        Out.Toks.push_back({TokKind::Punct, P, Line});
-        I += L;
-        Matched = true;
-        break;
-      }
-    }
-    if (Matched)
-      continue;
-    Out.Toks.push_back({TokKind::Punct, std::string(1, C), Line});
-    ++I;
-  }
-  Out.Toks.push_back({TokKind::End, "", Line});
-}
-
-//===----------------------------------------------------------------------===//
-// Function extraction
-//===----------------------------------------------------------------------===//
-
-struct Function {
-  std::string Name;
-  size_t ParamBegin = 0; ///< Index of the '(' opening the parameter list.
-  size_t ParamEnd = 0;   ///< Index of its matching ')'.
-  size_t BodyBegin = 0;  ///< Index of the '{' opening the body.
-  size_t BodyEnd = 0;    ///< Index of its matching '}'.
-  int Line = 0;
-};
-
-const std::unordered_set<std::string> &nonFunctionNames() {
-  static const std::unordered_set<std::string> Names = {
-      // Control flow and operators that read as `name (`.
-      "if", "for", "while", "switch", "catch", "return", "sizeof", "alignof",
-      "decltype", "noexcept", "static_assert", "assert", "throw", "new",
-      "delete", "operator", "defined", "alignas",
-      // Type keywords: `void(Value &)` inside a std::function parameter must
-      // not be mistaken for a definition named `void`.
-      "void", "int", "bool", "char", "double", "float", "long", "short",
-      "unsigned", "signed", "auto", "const", "constexpr", "typename",
-      "template", "using", "typedef"};
-  return Names;
-}
-
-size_t matchDelim(const std::vector<Token> &Toks, size_t Open,
-                  const char *OpenText, const char *CloseText) {
-  int Depth = 0;
-  for (size_t I = Open; I < Toks.size(); ++I) {
-    if (Toks[I].Kind == TokKind::Punct) {
-      if (Toks[I].Text == OpenText)
-        ++Depth;
-      else if (Toks[I].Text == CloseText && --Depth == 0)
-        return I;
-    }
-  }
-  return Toks.size() - 1;
-}
-
-/// After a parameter list's ')', decide whether a function body follows.
-/// Accepts cv/ref qualifiers, noexcept(...), override/final, trailing
-/// return types, and constructor initializer lists; stops at ';' or '='
-/// (declaration, `= default`, `= delete`, or pure-virtual).
-bool findBody(const std::vector<Token> &Toks, size_t AfterParams,
-              size_t &BodyBegin) {
-  size_t K = AfterParams;
-  while (K < Toks.size()) {
-    const Token &T = Toks[K];
-    if (T.Kind == TokKind::End)
-      return false;
-    if (T.Kind == TokKind::Punct) {
-      if (T.Text == "{") {
-        BodyBegin = K;
-        return true;
-      }
-      if (T.Text == ";" || T.Text == "=")
-        return false;
-      if (T.Text == "(") { // noexcept(...) or an initializer's arguments.
-        K = matchDelim(Toks, K, "(", ")") + 1;
-        continue;
-      }
-      // ':' starts a constructor initializer list; ',', '&', '*', '<', '>',
-      // '->', '::' all appear in specifiers and trailing return types.
-      if (T.Text == ":" || T.Text == "," || T.Text == "&" || T.Text == "&&" ||
-          T.Text == "*" || T.Text == "<" || T.Text == ">" || T.Text == "->" ||
-          T.Text == "::") {
-        ++K;
-        continue;
-      }
-      return false;
-    }
-    ++K; // const, noexcept, override, final, type names...
-  }
-  return false;
-}
-
-void extractFunctions(const SourceFile &F, std::vector<Function> &Out) {
-  const std::vector<Token> &Toks = F.Toks;
-  size_t I = 0;
-  while (I + 1 < Toks.size()) {
-    const Token &T = Toks[I];
-    if (T.Kind == TokKind::Ident && !nonFunctionNames().count(T.Text) &&
-        Toks[I + 1].Kind == TokKind::Punct && Toks[I + 1].Text == "(") {
-      size_t ParamEnd = matchDelim(Toks, I + 1, "(", ")");
-      size_t BodyBegin = 0;
-      if (findBody(Toks, ParamEnd + 1, BodyBegin)) {
-        Function Fn;
-        Fn.Name = T.Text;
-        Fn.ParamBegin = I + 1;
-        Fn.ParamEnd = ParamEnd;
-        Fn.BodyBegin = BodyBegin;
-        Fn.BodyEnd = matchDelim(Toks, BodyBegin, "{", "}");
-        Fn.Line = T.Line;
-        Out.push_back(Fn);
-        I = Fn.BodyEnd + 1; // Never extract inside an extracted body.
-        continue;
-      }
-    }
-    ++I;
-  }
-}
-
-//===----------------------------------------------------------------------===//
-// Call graph and the may-allocate closure
-//===----------------------------------------------------------------------===//
-
-/// True when a token at \p I names a call target: an identifier directly
-/// followed by '(' that is not a declaration (`Type name(...)`) and not a
-/// control keyword.
-bool isCallAt(const std::vector<Token> &Toks, size_t I) {
-  if (Toks[I].Kind != TokKind::Ident || nonFunctionNames().count(Toks[I].Text))
-    return false;
-  if (I + 1 >= Toks.size() || Toks[I + 1].Kind != TokKind::Punct ||
-      Toks[I + 1].Text != "(")
-    return false;
-  // `Handle P(...)` declares P; a preceding identifier is a type name.
-  if (I > 0 && Toks[I - 1].Kind == TokKind::Ident &&
-      Toks[I - 1].Text != "return" && Toks[I - 1].Text != "co_return")
-    return false;
-  return true;
-}
-
-bool isAllocationSeed(const std::string &Name) {
-  static const std::unordered_set<std::string> Exact = {
-      "collect",      "collectFull",         "collectNow",
-      "collectFullNow", "collectMajor",      "collectMinor",
-      "collectIntermediate", "collectWithJ", "tryGrowHeap"};
-  if (Exact.count(Name))
-    return true;
-  return Name.compare(0, 8, "allocate") == 0;
-}
-
-std::unordered_set<std::string>
-computeMayAllocate(const std::vector<SourceFile> &Files,
-                   const std::vector<std::vector<Function>> &Functions) {
-  // Name-level call graph: caller name -> set of callee names. Overloads
-  // and same-named methods on different classes merge, which is the
-  // conservative direction for a linter.
-  std::unordered_map<std::string, std::unordered_set<std::string>> Calls;
-  for (size_t FI = 0; FI < Files.size(); ++FI) {
-    const std::vector<Token> &Toks = Files[FI].Toks;
-    for (const Function &Fn : Functions[FI])
-      for (size_t I = Fn.BodyBegin + 1; I < Fn.BodyEnd; ++I)
-        if (isCallAt(Toks, I))
-          Calls[Fn.Name].insert(Toks[I].Text);
-  }
-
-  std::unordered_set<std::string> May;
-  bool Changed = true;
-  while (Changed) {
-    Changed = false;
-    for (const auto &Entry : Calls) {
-      if (May.count(Entry.first))
-        continue;
-      for (const std::string &Callee : Entry.second) {
-        if (isAllocationSeed(Callee) || May.count(Callee)) {
-          May.insert(Entry.first);
-          Changed = true;
-          break;
-        }
-      }
-    }
-  }
-  return May;
-}
-
-//===----------------------------------------------------------------------===//
-// Findings, suppressions, expectations
-//===----------------------------------------------------------------------===//
-
-struct Finding {
-  std::string Path;
-  int Line;
-  std::string Rule;
-  std::string Message;
-
-  bool operator<(const Finding &O) const {
-    return std::tie(Path, Line, Rule, Message) <
-           std::tie(O.Path, O.Line, O.Rule, O.Message);
-  }
-};
-
-/// Parses "<marker>: <rule> [text...]" comments; returns rule names keyed
-/// by the source line they apply to.
-std::multimap<int, std::string> parseMarkers(const SourceFile &F,
-                                             const std::string &Marker) {
-  std::multimap<int, std::string> Out;
-  for (const Comment &C : F.Comments) {
-    size_t At = C.Text.find(Marker + ":");
-    if (At == std::string::npos)
-      continue;
-    std::istringstream Rest(C.Text.substr(At + Marker.size() + 1));
-    std::string Rule;
-    if (Rest >> Rule)
-      Out.emplace(C.Line, Rule);
-  }
-  return Out;
-}
-
-bool isSuppressed(const std::multimap<int, std::string> &Suppressions,
-                  const Finding &F) {
-  // A `gclint-ok` comment covers its own line (trailing style) and the
-  // following line (own-line style).
-  for (int Line : {F.Line, F.Line - 1}) {
-    auto Range = Suppressions.equal_range(Line);
-    for (auto It = Range.first; It != Range.second; ++It)
-      if (It->second == F.Rule)
-        return true;
-  }
-  return false;
-}
-
-//===----------------------------------------------------------------------===//
-// Rule: unrooted-value
-//===----------------------------------------------------------------------===//
-
-struct TrackedVar {
-  std::string Name;
-  std::string Type;
-  int DeclLine = 0;
-  std::vector<size_t> Writes; ///< Token indices of the decl and assignments.
-  std::vector<size_t> Reads;  ///< Token indices of other uses.
-  bool Escaped = false;       ///< Address taken: treated as rooted.
-  bool UninitDecl = false;    ///< Declared with no initializer (`Value V;`):
-                              ///< candidate for the out-parameter pattern.
-};
-
-struct GcPoint {
-  size_t Pos;     ///< Token index of the call's closing ')': arguments land
-                  ///< before the collection, results after.
-  size_t OpenPos; ///< Token index of the call's opening '(': the argument
-                  ///< list spans (OpenPos, Pos).
-  std::string Callee;
-  int Line;
-  bool InReturn = false; ///< The call sits in a `return ...;` statement, so
-                         ///< nothing later in the function runs after it.
-};
-
-struct BraceBlock {
-  size_t Open, Close;
-};
-
-struct LoopRegion {
-  size_t BodyBegin, BodyEnd;
-};
-
-bool isTrackedType(const std::string &T) {
-  return T == "Value" || T == "ObjectRef";
-}
-
-/// A write `V = expr` takes effect when the full statement finishes, not at
-/// the variable token: in `Value B = H.allocatePair(...)` the initializer's
-/// GC point runs *before* B exists, so B is born post-collection and safe.
-/// Returns the index of the statement's end (its ';', or the delimiter that
-/// closes the enclosing construct).
-size_t effectiveWritePos(const std::vector<Token> &Toks, size_t Write,
-                         size_t BodyEnd) {
-  int ParenDepth = 0, BraceDepth = 0;
-  for (size_t I = Write; I < BodyEnd; ++I) {
-    if (Toks[I].Kind != TokKind::Punct)
-      continue;
-    const std::string &T = Toks[I].Text;
-    if (T == "(")
-      ++ParenDepth;
-    else if (T == ")") {
-      if (ParenDepth == 0)
-        return I; // End of an enclosing argument list or for-header.
-      --ParenDepth;
-    } else if (T == "{")
-      ++BraceDepth;
-    else if (T == "}") {
-      if (BraceDepth == 0)
-        return I;
-      --BraceDepth;
-    } else if ((T == ";" || T == ",") && ParenDepth == 0 && BraceDepth == 0)
-      return I;
-  }
-  return BodyEnd;
-}
-
-/// True when the statement containing token \p I opens with one of the
-/// given keywords (scanning back to the previous ';', '{' or '}').
-bool statementStartsWith(const std::vector<Token> &Toks, size_t I,
-                         size_t BodyBegin,
-                         const std::unordered_set<std::string> &Keywords) {
-  size_t J = I;
-  while (J > BodyBegin) {
-    const Token &T = Toks[J - 1];
-    if (T.Kind == TokKind::Punct &&
-        (T.Text == ";" || T.Text == "{" || T.Text == "}"))
-      break;
-    --J;
-  }
-  // Strip braceless `if (...)` / `else` wrappers: `if (c) return f();` is
-  // still a statement that leaves the function when f runs.
-  while (J < I && Toks[J].Kind == TokKind::Ident) {
-    if (Toks[J].Text == "else") {
-      ++J;
-      continue;
-    }
-    if (Toks[J].Text == "if" && J + 1 < I && Toks[J + 1].Text == "(") {
-      J = matchDelim(Toks, J + 1, "(", ")") + 1;
-      continue;
-    }
-    break;
-  }
-  return J < Toks.size() && Toks[J].Kind == TokKind::Ident &&
-         Keywords.count(Toks[J].Text) != 0;
-}
-
-/// True when the last statement of block \p B is an unconditional jump out
-/// of it, so control never flows past the block's closing brace from
-/// inside. (A block ending in a nested `}` is conservatively "falls out".)
-bool blockEndsWithJump(const std::vector<Token> &Toks, const BraceBlock &B,
-                       const std::unordered_set<std::string> &Jumps) {
-  if (B.Close == 0 || B.Close <= B.Open + 1)
-    return false;
-  const Token &Last = Toks[B.Close - 1];
-  if (Last.Kind != TokKind::Punct || Last.Text != ";")
-    return false;
-  return statementStartsWith(Toks, B.Close - 1, B.Open, Jumps);
-}
-
-const std::unordered_set<std::string> &returnishJumps() {
-  static const std::unordered_set<std::string> J = {"return", "co_return",
-                                                    "throw", "goto"};
-  return J;
-}
-
-/// Jumps that prevent fall-through past a block within one pass of the
-/// surrounding code: `continue`/`break` leave the enclosing loop body, so
-/// straight-line code after the block is skipped this iteration (the
-/// back-edge case belongs to the wrap-around rule, where locals rewritten
-/// inside the loop are already exempt).
-const std::unordered_set<std::string> &fallThroughJumps() {
-  static const std::unordered_set<std::string> J = {
-      "return", "co_return", "throw", "goto", "break", "continue"};
-  return J;
-}
-/// End of an else / else-if chain starting at the `else` token \p I: reads
-/// inside the chain are control-exclusive with the branch before it.
-size_t elseChainEnd(const std::vector<Token> &Toks, size_t I, size_t BodyEnd) {
-  ++I; // Past `else`.
-  if (I < BodyEnd && Toks[I].Kind == TokKind::Ident && Toks[I].Text == "if")
-    I = matchDelim(Toks, I + 1, "(", ")") + 1;
-  if (I < BodyEnd && Toks[I].Kind == TokKind::Punct && Toks[I].Text == "{") {
-    size_t CloseB = matchDelim(Toks, I, "{", "}");
-    if (CloseB + 1 < BodyEnd && Toks[CloseB + 1].Kind == TokKind::Ident &&
-        Toks[CloseB + 1].Text == "else")
-      return elseChainEnd(Toks, CloseB + 1, BodyEnd);
-    return CloseB;
-  }
-  // Braceless single-statement branch: up to its semicolon.
-  while (I < BodyEnd && Toks[I].Text != ";") {
-    if (Toks[I].Text == "(")
-      I = matchDelim(Toks, I, "(", ")");
-    else if (Toks[I].Text == "{")
-      I = matchDelim(Toks, I, "{", "}");
-    ++I;
-  }
-  return I;
-}
-
-void checkUnrootedValues(const SourceFile &F, const Function &Fn,
-                         const std::unordered_set<std::string> &MayAllocate,
-                         std::vector<Finding> &Findings) {
-  const std::vector<Token> &Toks = F.Toks;
-
-  // Gather may-allocate call sites; the GC point is the closing paren.
-  std::vector<GcPoint> GcPoints;
-  for (size_t I = Fn.BodyBegin + 1; I < Fn.BodyEnd; ++I) {
-    if (!isCallAt(Toks, I))
-      continue;
-    const std::string &Callee = Toks[I].Text;
-    if (!isAllocationSeed(Callee) && !MayAllocate.count(Callee))
-      continue;
-    size_t Close = matchDelim(Toks, I + 1, "(", ")");
-    GcPoint Gc;
-    Gc.Pos = Close;
-    Gc.OpenPos = I + 1;
-    Gc.Callee = Callee;
-    Gc.Line = Toks[I].Line;
-    Gc.InReturn =
-        statementStartsWith(Toks, I, Fn.BodyBegin, returnishJumps());
-    GcPoints.push_back(Gc);
-  }
-  if (GcPoints.empty())
-    return;
-
-  // Brace blocks inside the body, for the CFG-lite reachability below.
-  std::vector<BraceBlock> Blocks;
-  {
-    std::vector<size_t> Stack;
-    for (size_t I = Fn.BodyBegin + 1; I < Fn.BodyEnd; ++I) {
-      if (Toks[I].Kind != TokKind::Punct)
-        continue;
-      if (Toks[I].Text == "{")
-        Stack.push_back(I);
-      else if (Toks[I].Text == "}" && !Stack.empty()) {
-        Blocks.push_back({Stack.back(), I});
-        Stack.pop_back();
-      }
-    }
-  }
-
-  // CFG-lite: can a collection at \p Gc be followed, dynamically, by the
-  // read at \p Read? Walking the GC point's enclosing blocks outward: a
-  // block that ends with an unconditional jump never falls through to the
-  // code after it, and an `else` chain attached to the block is
-  // control-exclusive with it.
-  auto GcReachesRead = [&](const GcPoint &Gc, size_t Read) {
-    if (Gc.InReturn)
-      return false;
-    std::vector<const BraceBlock *> Enclosing;
-    for (const BraceBlock &B : Blocks)
-      if (B.Open < Gc.Pos && Gc.Pos < B.Close)
-        Enclosing.push_back(&B);
-    std::sort(Enclosing.begin(), Enclosing.end(),
-              [](const BraceBlock *A, const BraceBlock *B) {
-                return A->Open > B->Open; // Innermost first.
-              });
-    for (const BraceBlock *B : Enclosing) {
-      if (B->Close > Read)
-        return true; // Same region holds both: reachable.
-      if (blockEndsWithJump(Toks, *B, fallThroughJumps()))
-        return false;
-      if (B->Close + 1 < Fn.BodyEnd &&
-          Toks[B->Close + 1].Kind == TokKind::Ident &&
-          Toks[B->Close + 1].Text == "else" &&
-          Read <= elseChainEnd(Toks, B->Close + 1, Fn.BodyEnd))
-        return false;
-    }
-    return true;
-  };
-
-  // Does \p Gc flow back to the loop head (the wrap-around back edge)?
-  // `continue` still reaches the next iteration, but a branch that ends by
-  // returning or breaking never does. Else-exclusivity does NOT apply:
-  // later iterations are free to take the other branch.
-  auto GcWrapsInLoop = [&](const GcPoint &Gc, const LoopRegion &L) {
-    if (Gc.InReturn)
-      return false;
-    for (const BraceBlock &B : Blocks) {
-      if (!(B.Open < Gc.Pos && Gc.Pos < B.Close))
-        continue;
-      if (B.Open <= L.BodyBegin || B.Close >= L.BodyEnd)
-        continue; // Not strictly inside the loop body.
-      std::unordered_set<std::string> Jumps = returnishJumps();
-      Jumps.insert("break");
-      if (blockEndsWithJump(Toks, B, Jumps))
-        return false;
-    }
-    return true;
-  };
-
-  // Collect tracked locals: `Value v ...` / `ObjectRef o ...` declarations
-  // in the body, plus by-value Value parameters (their definition point is
-  // the top of the body). Pointers and references are skipped: a Value& is
-  // the rooted-frame idiom and re-reads the slot on every use.
-  std::vector<TrackedVar> Vars;
-  auto AddVar = [&](const std::string &Type, const std::string &Name,
-                    size_t DefPos, int Line, bool Uninit) {
-    for (const TrackedVar &V : Vars)
-      if (V.Name == Name)
-        return; // Shadowing: keep the first, coarse but stable.
-    TrackedVar V;
-    V.Name = Name;
-    V.Type = Type;
-    V.DeclLine = Line;
-    V.UninitDecl = Uninit;
-    V.Writes.push_back(DefPos);
-    Vars.push_back(V);
-  };
-
-  for (size_t I = Fn.ParamBegin + 1; I + 1 < Fn.ParamEnd; ++I)
-    if (Toks[I].Kind == TokKind::Ident && isTrackedType(Toks[I].Text) &&
-        Toks[I + 1].Kind == TokKind::Ident)
-      AddVar(Toks[I].Text, Toks[I + 1].Text, Fn.BodyBegin, Toks[I + 1].Line,
-             false);
-
-  for (size_t I = Fn.BodyBegin + 1; I + 1 < Fn.BodyEnd; ++I) {
-    if (Toks[I].Kind != TokKind::Ident || !isTrackedType(Toks[I].Text))
-      continue;
-    if (I > 0 && Toks[I - 1].Kind == TokKind::Punct &&
-        (Toks[I - 1].Text == "::" || Toks[I - 1].Text == "."))
-      continue; // Value::fixnum(...), not a declaration.
-    size_t J = I + 1;
-    if (Toks[J].Kind != TokKind::Ident)
-      continue; // `Value(...)` temporary, `Value *`, `Value &`.
-    // Lambda parameters declared `Value V` are handled by this same scan.
-    bool Uninit = J + 1 < Fn.BodyEnd && Toks[J + 1].Kind == TokKind::Punct &&
-                  (Toks[J + 1].Text == ";" || Toks[J + 1].Text == ",");
-    AddVar(Toks[I].Text, Toks[J].Text, J, Toks[J].Line, Uninit);
-  }
-  if (Vars.empty())
-    return;
-
-  // Local `enum { Bindings = 0, NewEnv = 2 }` constants share names with
-  // the rooted-frame indexing idiom (`F[NewEnv]`); the enumerator list must
-  // not read as writes of a same-named Value.
-  std::vector<BraceBlock> EnumRegions;
-  for (size_t I = Fn.BodyBegin + 1; I + 1 < Fn.BodyEnd; ++I) {
-    if (Toks[I].Kind != TokKind::Ident || Toks[I].Text != "enum")
-      continue;
-    size_t J = I + 1;
-    while (J < Fn.BodyEnd && Toks[J].Text != "{" && Toks[J].Text != ";")
-      ++J;
-    if (J < Fn.BodyEnd && Toks[J].Text == "{")
-      EnumRegions.push_back({J, matchDelim(Toks, J, "{", "}")});
-  }
-  auto InEnum = [&](size_t I) {
-    for (const BraceBlock &E : EnumRegions)
-      if (E.Open < I && I < E.Close)
-        return true;
-    return false;
-  };
-
-  // Classify every mention of a tracked name in the body.
-  std::unordered_map<std::string, TrackedVar *> ByName;
-  for (TrackedVar &V : Vars)
-    ByName[V.Name] = &V;
-  for (size_t I = Fn.BodyBegin + 1; I < Fn.BodyEnd; ++I) {
-    if (Toks[I].Kind != TokKind::Ident || InEnum(I))
-      continue;
-    auto It = ByName.find(Toks[I].Text);
-    if (It == ByName.end())
-      continue;
-    TrackedVar &V = *It->second;
-    if (!V.Writes.empty() && V.Writes.front() == I)
-      continue; // The declaration itself.
-    const Token &Prev = Toks[I - 1];
-    if (Prev.Kind == TokKind::Punct && Prev.Text == "&") {
-      // Address-of roots the slot (TempRoots, registerRootSlot) or hands it
-      // to a rewriting visitor; either way the variable is maintained.
-      V.Escaped = true;
-      continue;
-    }
-    if (Prev.Kind == TokKind::Punct &&
-        (Prev.Text == "." || Prev.Text == "->" || Prev.Text == "::"))
-      continue; // A member named like the local, not the local.
-    if (Prev.Kind == TokKind::Punct && Prev.Text == "[")
-      continue; // `F[Body]`: an enum-constant frame index (the rooted-frame
-                // idiom), not a use of a same-named Value local.
-    const Token &Next = Toks[I + 1];
-    if (Next.Kind == TokKind::Punct && Next.Text == "=")
-      V.Writes.push_back(I);
-    else
-      V.Reads.push_back(I);
-  }
-
-  // Out-parameter writes: in `Value D; if (!parse(D)) ...; use(D);` the
-  // uninitialized local is handed by reference to the may-allocate call and
-  // written by the callee AFTER any collection it performs, so the call
-  // completes a definition rather than endangering one. Model the call as a
-  // write at its closing paren. Only the first filling call gets this
-  // treatment: a later may-allocate call still invalidates the result.
-  for (TrackedVar &V : Vars) {
-    if (!V.UninitDecl)
-      continue;
-    for (const GcPoint &Gc : GcPoints) {
-      bool WrittenBefore = false;
-      for (size_t W : V.Writes)
-        if (W != V.Writes.front() && W < Gc.OpenPos)
-          WrittenBefore = true;
-      if (WrittenBefore)
-        continue;
-      bool MentionedInArgs = false;
-      for (size_t R : V.Reads)
-        if (R > Gc.OpenPos && R < Gc.Pos)
-          MentionedInArgs = true;
-      if (!MentionedInArgs)
-        continue;
-      V.Writes.push_back(Gc.Pos);
-      V.Reads.erase(std::remove_if(
-                        V.Reads.begin(), V.Reads.end(),
-                        [&](size_t R) { return R > Gc.OpenPos && R < Gc.Pos; }),
-                    V.Reads.end());
-    }
-  }
-
-  // Loop regions for the wrap-around check.
-  std::vector<LoopRegion> Loops;
-  for (size_t I = Fn.BodyBegin + 1; I < Fn.BodyEnd; ++I) {
-    if (Toks[I].Kind != TokKind::Ident)
-      continue;
-    size_t Open = 0;
-    if (Toks[I].Text == "for" || Toks[I].Text == "while") {
-      size_t Close = matchDelim(Toks, I + 1, "(", ")");
-      if (Close + 1 < Fn.BodyEnd && Toks[Close + 1].Text == "{")
-        Open = Close + 1;
-    } else if (Toks[I].Text == "do" && Toks[I + 1].Text == "{") {
-      Open = I + 1;
-    }
-    if (Open)
-      Loops.push_back({Open, matchDelim(Toks, Open, "{", "}")});
-  }
-
-  std::set<std::pair<std::string, int>> Reported;
-  auto Report = [&](const TrackedVar &V, size_t ReadPos, const GcPoint &Gc,
-                    const char *Flavor) {
-    int Line = Toks[ReadPos].Line;
-    if (!Reported.insert({V.Name, Line}).second)
-      return;
-    std::ostringstream Msg;
-    Msg << "'" << V.Name << "' (" << V.Type << ", declared line "
-        << V.DeclLine << ") is read " << Flavor << " a call to '" << Gc.Callee
-        << "' (line " << Gc.Line
-        << ") that may allocate and move objects; keep it in a Handle or "
-           "re-read it from a rooted slot after the call";
-    Findings.push_back({F.Path, Line, "unrooted-value", Msg.str()});
-  };
-
-  for (const TrackedVar &V : Vars) {
-    if (V.Escaped)
-      continue;
-    // Linear rule: last write before the read precedes a GC point. Writes
-    // count from the end of their statement, so a GC point inside the
-    // initializer itself does not poison the fresh definition.
-    for (size_t Read : V.Reads) {
-      size_t LastWrite = 0;
-      for (size_t W : V.Writes) {
-        size_t Effective = W == Fn.BodyBegin
-                               ? W // Parameters are live at body entry.
-                               : effectiveWritePos(Toks, W, Fn.BodyEnd);
-        if (Effective < Read)
-          LastWrite = std::max(LastWrite, Effective);
-      }
-      if (!LastWrite)
-        continue;
-      for (const GcPoint &Gc : GcPoints)
-        if (Gc.Pos > LastWrite && Gc.Pos < Read && GcReachesRead(Gc, Read)) {
-          Report(V, Read, Gc, "after");
-          break;
-        }
-    }
-    // Wrap-around rule: defined before a loop, read inside it, never
-    // rewritten inside it, while the loop body contains a GC point.
-    for (const LoopRegion &L : Loops) {
-      bool WrittenInside = false;
-      for (size_t W : V.Writes)
-        if (W > L.BodyBegin && W < L.BodyEnd)
-          WrittenInside = true;
-      if (WrittenInside)
-        continue;
-      bool DefinedBefore = false;
-      for (size_t W : V.Writes)
-        if (W < L.BodyBegin)
-          DefinedBefore = true;
-      if (!DefinedBefore)
-        continue;
-      const GcPoint *LoopGc = nullptr;
-      for (const GcPoint &Gc : GcPoints)
-        if (Gc.Pos > L.BodyBegin && Gc.Pos < L.BodyEnd && GcWrapsInLoop(Gc, L))
-          LoopGc = &Gc;
-      if (!LoopGc)
-        continue;
-      for (size_t Read : V.Reads)
-        if (Read > L.BodyBegin && Read < L.BodyEnd) {
-          Report(V, Read, *LoopGc, "on a later iteration of a loop around");
-          break;
-        }
-    }
-  }
-}
-
-//===----------------------------------------------------------------------===//
-// Rule: missing-barrier
-//===----------------------------------------------------------------------===//
-
-void checkMissingBarrier(const SourceFile &F, const Function &Fn,
-                         std::vector<Finding> &Findings) {
-  if (Fn.Name == "setValueAt" || Fn.Name == "barrier" ||
-      Fn.Name == "onPointerStore")
-    return; // The primitives themselves.
-  const std::vector<Token> &Toks = F.Toks;
-  bool HasBarrier = false;
-  std::vector<size_t> Stores;
-  for (size_t I = Fn.BodyBegin + 1; I < Fn.BodyEnd; ++I) {
-    if (Toks[I].Kind != TokKind::Ident || Toks[I + 1].Text != "(")
-      continue;
-    if (Toks[I].Text == "barrier" || Toks[I].Text == "onPointerStore")
-      HasBarrier = true;
-    else if (Toks[I].Text == "setValueAt")
-      Stores.push_back(I);
-  }
-  if (HasBarrier)
-    return;
-  for (size_t I : Stores) {
-    std::ostringstream Msg;
-    Msg << "raw setValueAt store in '" << Fn.Name
-        << "', which never applies the write barrier; route pointer stores "
-           "through Heap accessors or call barrier()/onPointerStore() so "
-           "remembered sets see old-to-young pointers";
-    Findings.push_back({F.Path, Toks[I].Line, "missing-barrier", Msg.str()});
-  }
-}
-
-//===----------------------------------------------------------------------===//
-// Driver
-//===----------------------------------------------------------------------===//
 
 bool readFile(const std::string &Path, std::string &Out) {
   std::ifstream In(Path, std::ios::binary);
@@ -911,96 +47,136 @@ bool readFile(const std::string &Path, std::string &Out) {
   return true;
 }
 
-/// True when \p Path has a directory component named exactly "parallel"
-/// (e.g. src/parallel/Plab.h, tools/gclint/test/parallel/engine.cpp).
-/// Those files are collector-internal concurrency code: the unrooted-value
-/// rule (a mutator rooting discipline) does not apply to them — see the
-/// file comment.
-bool isParallelRuntimePath(const std::string &Path) {
-  size_t Start = 0;
-  while (Start < Path.size()) {
-    size_t Sep = Path.find_first_of("/\\", Start);
-    size_t End = Sep == std::string::npos ? Path.size() : Sep;
-    if (Sep != std::string::npos && // A directory, not the filename.
-        Path.compare(Start, End - Start, "parallel") == 0)
-      return true;
-    if (Sep == std::string::npos)
-      break;
-    Start = Sep + 1;
-  }
-  return false;
-}
-
 int usage() {
   std::fprintf(
       stderr,
-      "usage: gclint [--check-expectations] [--dump-may-allocate] files...\n"
+      "usage: gclint [--check-expectations] [--only <path>]... [--json <p>]\n"
+      "              [--sarif <p>] [--fix] [--dump-may-allocate] files...\n"
       "\n"
-      "Rules: unrooted-value, missing-barrier. Suppress a finding with\n"
-      "  // gclint-ok: <rule> <reason>\n"
-      "on the same or the preceding line. With --check-expectations, each\n"
-      "finding must be matched by  // gclint-expect: <rule>  on its line.\n"
-      "Files under a `parallel` directory component are exempt from\n"
-      "unrooted-value (collector-internal concurrency code).\n");
+      "Rules:\n");
+  for (const RuleDoc &R : ruleCatalog())
+    std::fprintf(stderr, "  %-24s %s\n", R.Id, R.Summary);
+  std::fprintf(
+      stderr,
+      "\n"
+      "Suppress one finding with  / gclint-ok(<rule>): <reason>  on the\n"
+      "same or preceding line; the reason is mandatory. Collector-internal\n"
+      "code declares its concurrency protocol with\n"
+      "  / gclint-protocol(claim-copy|chase-lev|worker-pool): <reason>\n"
+      "on the function (or at the top of the file), which replaces the\n"
+      "mutator rooting rules with the concurrency rule pack. See\n"
+      "tools/gclint/GclintCore.h for the full annotation grammar.\n");
   return 2;
+}
+
+/// Strips the unused gclint-ok comments at \p Lines from \p Text. Returns
+/// the number of markers removed.
+size_t stripSuppressions(std::string &Text, const std::set<int> &Lines) {
+  std::vector<std::string> Out;
+  std::istringstream In(Text);
+  std::string LineText;
+  int LineNo = 0;
+  size_t Removed = 0;
+  bool Trailing = !Text.empty() && Text.back() == '\n';
+  while (std::getline(In, LineText)) {
+    ++LineNo;
+    if (Lines.count(LineNo)) {
+      size_t Marker = LineText.find("gclint-ok");
+      size_t Slash = Marker == std::string::npos
+                         ? std::string::npos
+                         : LineText.rfind("//", Marker);
+      if (Slash != std::string::npos) {
+        ++Removed;
+        LineText.erase(Slash);
+        while (!LineText.empty() &&
+               (LineText.back() == ' ' || LineText.back() == '\t'))
+          LineText.pop_back();
+        if (LineText.empty())
+          continue; // The whole line was the comment: drop it.
+      }
+    }
+    Out.push_back(LineText);
+  }
+  std::string Joined;
+  for (size_t I = 0; I < Out.size(); ++I) {
+    Joined += Out[I];
+    if (I + 1 < Out.size() || Trailing)
+      Joined += '\n';
+  }
+  Text = Joined;
+  return Removed;
 }
 
 } // namespace
 
 int main(int Argc, char **Argv) {
-  bool CheckExpectations = false;
-  bool DumpMayAllocate = false;
+  bool CheckExpectations = false, Fix = false, DumpMayAllocate = false;
+  std::string JsonPath, SarifPath;
+  std::set<std::string> Only;
   std::vector<std::string> Paths;
   for (int I = 1; I < Argc; ++I) {
-    std::string Arg = Argv[I];
-    if (Arg == "--check-expectations")
+    if (!std::strcmp(Argv[I], "--check-expectations"))
       CheckExpectations = true;
-    else if (Arg == "--dump-may-allocate")
+    else if (!std::strcmp(Argv[I], "--fix"))
+      Fix = true;
+    else if (!std::strcmp(Argv[I], "--dump-may-allocate"))
       DumpMayAllocate = true;
-    else if (Arg == "--help" || Arg == "-h")
-      return usage();
-    else if (!Arg.empty() && Arg[0] == '-')
+    else if (!std::strcmp(Argv[I], "--json") && I + 1 < Argc)
+      JsonPath = Argv[++I];
+    else if (!std::strcmp(Argv[I], "--sarif") && I + 1 < Argc)
+      SarifPath = Argv[++I];
+    else if (!std::strcmp(Argv[I], "--only") && I + 1 < Argc)
+      Only.insert(Argv[++I]);
+    else if (!std::strncmp(Argv[I], "--", 2))
       return usage();
     else
-      Paths.push_back(Arg);
+      Paths.push_back(Argv[I]);
   }
   if (Paths.empty())
     return usage();
 
-  std::vector<SourceFile> Files;
+  Context Ctx;
   for (const std::string &Path : Paths) {
-    std::string Src;
-    if (!readFile(Path, Src)) {
+    SourceFile F;
+    F.Path = Path;
+    if (!readFile(Path, F.Text)) {
       std::fprintf(stderr, "gclint: cannot read %s\n", Path.c_str());
       return 2;
     }
-    SourceFile F;
-    F.Path = Path;
-    lex(Src, F);
-    Files.push_back(std::move(F));
+    lex(F.Text, F);
+    Ctx.Files.push_back(std::move(F));
   }
+  Ctx.Functions.resize(Ctx.Files.size());
+  Ctx.Annotations.resize(Ctx.Files.size());
+  for (size_t I = 0; I < Ctx.Files.size(); ++I) {
+    extractFunctions(Ctx.Files[I], Ctx.Functions[I]);
+    Ctx.Annotations[I] = parseAnnotations(Ctx.Files[I]);
+  }
+  buildSummaries(Ctx);
 
-  std::vector<std::vector<Function>> Functions(Files.size());
-  for (size_t I = 0; I < Files.size(); ++I)
-    extractFunctions(Files[I], Functions[I]);
-
-  std::unordered_set<std::string> MayAllocate =
-      computeMayAllocate(Files, Functions);
   if (DumpMayAllocate) {
-    std::vector<std::string> Sorted(MayAllocate.begin(), MayAllocate.end());
-    std::sort(Sorted.begin(), Sorted.end());
-    for (const std::string &Name : Sorted)
-      std::printf("may-allocate: %s\n", Name.c_str());
+    std::vector<std::string> Names(Ctx.MayAllocate.begin(),
+                                   Ctx.MayAllocate.end());
+    std::sort(Names.begin(), Names.end());
+    for (const std::string &N : Names)
+      std::printf("%s\n", N.c_str());
+    return 0;
   }
 
   std::vector<Finding> Findings;
-  for (size_t I = 0; I < Files.size(); ++I) {
-    bool ParallelRuntime = isParallelRuntimePath(Files[I].Path);
-    for (const Function &Fn : Functions[I]) {
-      if (!ParallelRuntime)
-        checkUnrootedValues(Files[I], Fn, MayAllocate, Findings);
-      checkMissingBarrier(Files[I], Fn, Findings);
+  for (size_t FI = 0; FI < Ctx.Files.size(); ++FI) {
+    for (size_t FnI = 0; FnI < Ctx.Functions[FI].size(); ++FnI) {
+      const Function &Fn = Ctx.Functions[FI][FnI];
+      if (Ctx.protocolFor(FI, Fn).empty()) {
+        // Mutator rooting discipline; protocol code IS the collector.
+        checkUnrootedValues(Ctx, FI, FnI, Findings);
+        checkBarriers(Ctx, FI, FnI, Findings);
+        checkInterprocEscape(Ctx, FI, FnI, Findings);
+      }
+      // The claim state machine applies everywhere the primitives appear.
+      checkClaimProtocol(Ctx, FI, FnI, Findings);
     }
+    checkDequeOrdering(Ctx, FI, Findings);
   }
   std::sort(Findings.begin(), Findings.end());
   Findings.erase(std::unique(Findings.begin(), Findings.end(),
@@ -1010,18 +186,61 @@ int main(int Argc, char **Argv) {
                              }),
                  Findings.end());
 
+  // Suppression matching marks each gclint-ok used as it fires.
+  std::vector<Finding> Kept;
+  for (size_t FI = 0; FI < Ctx.Files.size(); ++FI)
+    for (const Finding &F : Findings)
+      if (F.Path == Ctx.Files[FI].Path &&
+          !suppresses(Ctx.Annotations[FI], F))
+        Kept.push_back(F);
+
+  // Unused-suppression audit. With --fix, stale markers are deleted
+  // instead of reported; reason-less markers are never auto-deleted (the
+  // missing reason is the bug, not the suppression).
+  size_t Fixed = 0;
+  for (size_t FI = 0; FI < Ctx.Files.size(); ++FI) {
+    std::set<int> StripLines;
+    for (const Suppression &S : Ctx.Annotations[FI].Oks) {
+      if (S.Used)
+        continue;
+      std::ostringstream Msg;
+      if (S.Reason.empty())
+        Msg << "gclint-ok(" << S.Rule
+            << ") lacks its mandatory reason, so it suppresses nothing; "
+               "append ': <why this is safe>' or remove the comment";
+      else if (Fix) {
+        StripLines.insert(S.Line);
+        continue;
+      } else
+        Msg << "gclint-ok(" << S.Rule
+            << ") matches no finding on its line; the code it excused has "
+               "changed — remove the comment (gclint --fix does this)";
+      Kept.push_back(
+          {Ctx.Files[FI].Path, S.Line, "unused-suppression", Msg.str()});
+    }
+    if (!StripLines.empty()) {
+      std::string Text = Ctx.Files[FI].Text;
+      size_t N = stripSuppressions(Text, StripLines);
+      std::ofstream Out(Ctx.Files[FI].Path, std::ios::binary);
+      Out << Text;
+      Fixed += N;
+      std::printf("gclint: %s: removed %zu unused suppression(s)\n",
+                  Ctx.Files[FI].Path.c_str(), N);
+    }
+  }
+  std::sort(Kept.begin(), Kept.end());
+
   if (CheckExpectations) {
     // Every expectation must be hit and every finding expected; the
     // suppression machinery is live too, so fixtures can pin it.
     int Failures = 0;
-    for (const SourceFile &F : Files) {
-      auto Expects = parseMarkers(F, "gclint-expect");
-      auto Suppressions = parseMarkers(F, "gclint-ok");
+    for (size_t FI = 0; FI < Ctx.Files.size(); ++FI) {
+      const SourceFile &F = Ctx.Files[FI];
       std::multimap<int, std::string> Got;
-      for (const Finding &Fi : Findings)
-        if (Fi.Path == F.Path && !isSuppressed(Suppressions, Fi))
+      for (const Finding &Fi : Kept)
+        if (Fi.Path == F.Path)
           Got.emplace(Fi.Line, Fi.Rule);
-      for (const auto &E : Expects) {
+      for (const auto &E : Ctx.Annotations[FI].Expects) {
         auto Range = Got.equal_range(E.first);
         auto It = Range.first;
         for (; It != Range.second; ++It)
@@ -1046,24 +265,31 @@ int main(int Argc, char **Argv) {
       return 1;
     }
     std::printf("gclint: all expectations matched across %zu file(s)\n",
-                Files.size());
+                Ctx.Files.size());
     return 0;
   }
 
-  int Reported = 0;
-  for (const SourceFile &F : Files) {
-    auto Suppressions = parseMarkers(F, "gclint-ok");
-    for (const Finding &Fi : Findings) {
-      if (Fi.Path != F.Path || isSuppressed(Suppressions, Fi))
-        continue;
-      std::printf("%s:%d: gclint[%s]: %s\n", Fi.Path.c_str(), Fi.Line,
-                  Fi.Rule.c_str(), Fi.Message.c_str());
-      ++Reported;
-    }
-  }
-  if (Reported) {
-    std::fprintf(stderr, "gclint: %d finding(s)\n", Reported);
+  // Diff-aware filtering happens at the reporting edge only: the whole
+  // input set has already fed the call graph.
+  std::vector<Finding> Reportable;
+  for (const Finding &F : Kept)
+    if (Only.empty() || Only.count(F.Path))
+      Reportable.push_back(F);
+
+  if (!JsonPath.empty())
+    writeJson(Reportable, JsonPath);
+  if (!SarifPath.empty())
+    writeSarif(Reportable, SarifPath);
+
+  for (const Finding &F : Reportable)
+    std::printf("%s:%d: gclint[%s]: %s\n", F.Path.c_str(), F.Line,
+                F.Rule.c_str(), F.Message.c_str());
+  if (!Reportable.empty()) {
+    std::fprintf(stderr, "gclint: %zu finding(s)\n", Reportable.size());
     return 1;
   }
+  if (Fix && Fixed)
+    std::printf("gclint: fixed %zu suppression(s), no findings remain\n",
+                Fixed);
   return 0;
 }

@@ -1,0 +1,38 @@
+# Drives the gclint --fix test (see CMakeLists.txt). Expects:
+#   GCLINT       path to the gclint binary
+#   FIXTURE_DIR  directory holding stale.cpp + stale.expected
+#   WORK_DIR     scratch directory (created; contents overwritten)
+#
+# --fix must (1) exit 0 with only stale-but-reasoned suppressions and a
+# live one present, (2) rewrite the file to exactly stale.expected, and
+# (3) be idempotent: a second pass exits 0 and changes nothing.
+
+file(MAKE_DIRECTORY ${WORK_DIR})
+configure_file(${FIXTURE_DIR}/stale.cpp ${WORK_DIR}/stale.cpp COPYONLY)
+
+execute_process(COMMAND ${GCLINT} --fix ${WORK_DIR}/stale.cpp
+                RESULT_VARIABLE RC OUTPUT_VARIABLE OUT ERROR_VARIABLE ERR)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "gclint --fix exited ${RC}\nstdout:\n${OUT}\nstderr:\n${ERR}")
+endif()
+
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                        ${WORK_DIR}/stale.cpp ${FIXTURE_DIR}/stale.expected
+                RESULT_VARIABLE DIFF)
+if(NOT DIFF EQUAL 0)
+  file(READ ${WORK_DIR}/stale.cpp GOT)
+  message(FATAL_ERROR "--fix output differs from stale.expected; got:\n${GOT}")
+endif()
+
+# Idempotence: nothing left to strip, file unchanged.
+execute_process(COMMAND ${GCLINT} --fix ${WORK_DIR}/stale.cpp
+                RESULT_VARIABLE RC2 OUTPUT_VARIABLE OUT2 ERROR_VARIABLE ERR2)
+if(NOT RC2 EQUAL 0)
+  message(FATAL_ERROR "second gclint --fix exited ${RC2}\nstdout:\n${OUT2}\nstderr:\n${ERR2}")
+endif()
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                        ${WORK_DIR}/stale.cpp ${FIXTURE_DIR}/stale.expected
+                RESULT_VARIABLE DIFF2)
+if(NOT DIFF2 EQUAL 0)
+  message(FATAL_ERROR "gclint --fix is not idempotent")
+endif()

@@ -1,0 +1,68 @@
+// gclint fixture: the Busy-tag claim protocol rules. Not compiled — only
+// lexed. This file deliberately lives OUTSIDE any parallel/ directory and
+// carries NO protocol annotation: the claim state machine applies wherever
+// the primitives appear, which is exactly what the old directory-level
+// exemption could not express (it silenced everything, including these
+// true positives, for any file under parallel/).
+
+bool tryClaimForCopy(unsigned long *Header, unsigned long Observed);
+void publishForward(unsigned long *Header, unsigned long *To);
+void rollbackClaim(unsigned long *Header, unsigned long Observed);
+unsigned long *waitForForward(unsigned long *Header);
+unsigned long *copyObject(unsigned long *Header);
+
+// Negative: the canonical shape — claim, copy, publish.
+void claimAndPublish(unsigned long *Header, unsigned long Observed) {
+  if (tryClaimForCopy(Header, Observed)) {
+    unsigned long *To = copyObject(Header);
+    publishForward(Header, To);
+  }
+}
+
+// Negative: the registered abort edge resolves the claim too.
+void claimAndAbort(unsigned long *Header, unsigned long Observed) {
+  if (tryClaimForCopy(Header, Observed)) {
+    rollbackClaim(Header, Observed);
+  }
+}
+
+// Negative: resolution through a helper — only the transitive publishes
+// closure can prove this function safe.
+void resolveViaHelper(unsigned long *Header, unsigned long Observed) {
+  if (tryClaimForCopy(Header, Observed)) {
+    forwardThroughHelper(Header);
+  }
+}
+
+void forwardThroughHelper(unsigned long *Header) {
+  publishForward(Header, copyObject(Header));
+}
+
+// Positive: the claim is never resolved — a racing worker spins forever
+// in waitForForward on the abandoned Busy header.
+void claimAndLeak(unsigned long *Header, unsigned long Observed) {
+  if (tryClaimForCopy(Header, Observed)) { // gclint-expect: claim-protocol
+    unsigned long *To = copyObject(Header);
+    recordStatistic(To);
+  }
+}
+
+// Positive: waiting on another object's forward while this claim is still
+// unresolved — two workers claiming toward each other deadlock.
+void claimThenWait(unsigned long *Header, unsigned long *Other,
+                   unsigned long Observed) {
+  if (tryClaimForCopy(Header, Observed)) {
+    waitForForward(Other); // gclint-expect: no-blocking-under-claim
+    publishForward(Header, copyObject(Header));
+  }
+}
+
+// Negative: the negated guard — the success path is the fall-through, and
+// it publishes.
+void negatedGuard(unsigned long *Header, unsigned long Observed) {
+  if (!tryClaimForCopy(Header, Observed)) {
+    waitForForward(Header); // Lost the race: waiting here is legal.
+    return;
+  }
+  publishForward(Header, copyObject(Header));
+}

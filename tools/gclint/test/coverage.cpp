@@ -1,0 +1,46 @@
+// gclint fixture: the barrier-coverage rule. Not compiled — only lexed.
+// The old gclint only flagged functions that performed heap-slot stores
+// with NO barrier call at all; a function that barriers one store and
+// forgets another was invisible. barrier-coverage checks every store.
+
+struct Value {
+  static Value fixnum(long N);
+  static Value null();
+};
+
+struct Object {
+  void setValueAt(unsigned Index, Value V);
+};
+
+void barrier(Object &Obj, Value V);
+
+// Positive: the first store is barriered, the second is not. Under the
+// old all-or-nothing check the barrier on Car made the whole function
+// pass; the Cdr store skips the remembered set and an old->young edge
+// is lost at the next minor collection.
+void secondStoreUncovered(Object &Obj, Value Car, Value Cdr) {
+  Obj.setValueAt(0, Car);
+  barrier(Obj, Car);
+  Obj.setValueAt(1, Cdr); // gclint-expect: barrier-coverage
+}
+
+// Negative: every stored value reaches a barrier call, and immediates
+// (fixnum payloads are not heap pointers) are statically exempt.
+void allCovered(Object &Obj, Value Car, Value Cdr) {
+  Obj.setValueAt(0, Car);
+  barrier(Obj, Car);
+  Obj.setValueAt(1, Cdr);
+  barrier(Obj, Cdr);
+  Obj.setValueAt(2, Value::fixnum(7));
+}
+
+// Negative: an initializing store into a freshly allocated object needs
+// no barrier (nothing old points at to-space yet), but the analysis
+// cannot know Fresh is fresh — so the exemption is a reasoned, audited
+// suppression rather than silence.
+void initializingStore(Object &Fresh, Value Seed, Value Extra) {
+  Fresh.setValueAt(0, Seed);
+  barrier(Fresh, Seed);
+  // gclint-ok(barrier-coverage): Fresh was allocated this cycle; initializing stores precede any old->new edge
+  Fresh.setValueAt(1, Extra);
+}

@@ -1,0 +1,65 @@
+// gclint fixture: the deque-ordering rule. Not compiled — only lexed.
+// The chase-lev protocol marker below opts this file into the audited
+// memory-order table (tools/gclint/RuleDeque.cpp). Each positive is a
+// downgrade TSan cannot reliably catch (it needs the losing interleaving
+// to occur under instrumentation) but the table rejects statically.
+//
+// gclint-protocol(chase-lev): fixture deque, checked against the table
+
+struct FixtureDeque {
+  // Positive: the Bottom publish store is what makes the slot write
+  // visible to thieves; relaxed lets a thief read an unwritten slot.
+  void push(unsigned long *Item) {
+    long B = Bottom.load(std::memory_order_relaxed);
+    long T = Top.load(std::memory_order_acquire);
+    storeSlot(B, Item);
+    Bottom.store(B + 1, std::memory_order_relaxed); // gclint-expect: deque-ordering
+  }
+
+  // Positive: steal's Top load must be acquire; relaxed can read a slot
+  // from before the last CAS winner's copy.
+  unsigned long *steal() {
+    long T = Top.load(std::memory_order_relaxed); // gclint-expect: deque-ordering
+    long B = Bottom.load(std::memory_order_seq_cst);
+    if (T >= B)
+      return nullptr;
+    unsigned long *Item = loadSlot(T);
+    if (!Top.compare_exchange_strong(T, T + 1, std::memory_order_seq_cst,
+                                     std::memory_order_relaxed))
+      return nullptr;
+    return Item;
+  }
+
+  // Positive: a bare .load() is seq_cst and safe, but the protocol
+  // requires the order be explicit and reviewable at the call site.
+  bool empty() const {
+    long T = Top.load(); // gclint-expect: deque-ordering
+    long B = Bottom.load(std::memory_order_acquire);
+    return T >= B;
+  }
+
+  // Positive: a method the table does not know touching the deque's
+  // atomics — the correctness argument covers a fixed access pattern.
+  void reset() {
+    Top.store(0, std::memory_order_relaxed); // gclint-expect: deque-ordering
+  }
+
+  // Negative: the audited pop shape, exactly as the table allows it.
+  unsigned long *pop() {
+    long B = Bottom.load(std::memory_order_relaxed) - 1;
+    Bottom.store(B, std::memory_order_seq_cst);
+    long T = Top.load(std::memory_order_seq_cst);
+    if (T > B) {
+      Bottom.store(B + 1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    unsigned long *Item = loadSlot(B);
+    if (T == B) {
+      if (!Top.compare_exchange_strong(T, T + 1, std::memory_order_seq_cst,
+                                       std::memory_order_relaxed))
+        Item = nullptr;
+      Bottom.store(B + 1, std::memory_order_relaxed);
+    }
+    return Item;
+  }
+};

@@ -1,0 +1,33 @@
+// gclint --fix fixture. RunFixTest.cmake copies this file into a scratch
+// directory, runs gclint --fix on the copy, and compares the result to
+// stale.expected: stale reasoned suppressions are deleted, live ones
+// survive, and a second --fix pass must be a no-op (idempotence).
+
+struct Value {
+  static Value fixnum(long N);
+};
+
+struct Object {
+  void setValueAt(unsigned Index, Value V);
+};
+
+void barrier(Object &Obj, Value V);
+void use(long X);
+
+// The suppression below matches a real barrier-coverage finding: --fix
+// must leave it alone.
+void liveSuppression(Object &Obj, Value Car, Value Cdr) {
+  Obj.setValueAt(0, Car);
+  barrier(Obj, Car);
+  Obj.setValueAt(1, Cdr); // gclint-ok(barrier-coverage): fixture store is deliberately unbarriered
+}
+
+// Both suppressions below are stale: the code they once excused is gone.
+// The trailing one is erased back to the statement; the own-line one
+// takes its whole line with it.
+void staleSuppressions() {
+  long A = 1;
+  use(A); // gclint-ok(missing-barrier): stale trailing comment, the store it excused was deleted
+  // gclint-ok(unrooted-value): stale own-line comment, the local it excused was deleted
+  use(A);
+}

@@ -1,0 +1,64 @@
+// gclint fixture: the interproc-escape rule. Not compiled — only lexed.
+// A tracked value copied into storage that outlives the full expression is
+// not a root; if the function then allocates, the stashed copy is stale.
+// The old single-function gclint could not see either shape below: the
+// local itself is never read after the GC point (so unrooted-value stays
+// silent), and the second case needs the callee's escape summary.
+
+struct Value {
+  static Value fixnum(long N);
+  static Value null();
+};
+
+struct Heap {
+  Value allocatePair(Value Car, Value Cdr);
+  void collectNow();
+};
+
+struct RootStack;
+struct ScopedRootFrame {
+  ScopedRootFrame(RootStack &Roots, void *Frame);
+};
+
+void consumeVector(void *V);
+
+// Direct stash: the member vector is plain storage, not a root. The old
+// gclint missed this — 'Kept' is never read after collectNow, only its
+// escaped copy inside PendingQueue is.
+void directStash(Heap &H) {
+  Value Kept = H.allocatePair(Value::fixnum(1), Value::null());
+  PendingQueue.push_back(Kept); // gclint-expect: interproc-escape
+  H.collectNow();
+}
+
+// Interprocedural stash: the escape happens inside the callee, so only
+// the call-graph summary (remember's parameter 0 escapes) can see it.
+struct SaveBuffer {
+  void remember(Value V) { Saved.push_back(V); }
+  void *Saved;
+};
+
+void summaryStash(Heap &H, SaveBuffer &B) {
+  Value Kept = H.allocatePair(Value::fixnum(2), Value::null());
+  B.remember(Kept); // gclint-expect: interproc-escape
+  H.collectNow();
+}
+
+// Negative: a container registered with the root stack (its address is
+// taken by the frame guard) is maintained by the collector — stashes into
+// it are maintenance, not escapes.
+void rootedStash(Heap &H, RootStack &Roots) {
+  ScopedRootFrame Guard(Roots, &Elements);
+  Value Kept = H.allocatePair(Value::fixnum(3), Value::null());
+  Elements.push_back(Kept);
+  H.collectNow();
+}
+
+// Negative: the stash happens after the last allocation, so no collection
+// can move the stashed copy.
+void stashAfterAllocation(Heap &H) {
+  Value Kept = H.allocatePair(Value::fixnum(4), Value::null());
+  H.collectNow();
+  Value Fresh = Value::fixnum(5);
+  LateQueue.push_back(Fresh);
+}

@@ -1,12 +1,17 @@
-// gclint fixture: the parallel-directory exemption. This file lives under
-// a `parallel` directory component, so the unrooted-value rule must stay
-// silent even though the code below is exactly the shape that rule fires
+// gclint fixture: the per-protocol exemption that replaced the old
+// parallel-directory path rule. The file-wide marker below declares this
+// file collector-internal claim-copy engine code, so the mutator rooting
+// rules (unrooted-value, interproc-escape, barrier-coverage) must stay
+// silent even though the code below is exactly the shape those rules fire
 // on elsewhere (a Value local held across a may-allocate call). There are
 // deliberately NO gclint-expect markers and NO gclint-ok suppressions
 // here: --check-expectations fails if the exemption ever regresses and a
-// finding appears. The missing-barrier rule still applies to parallel
-// code; this fixture performs no raw stores, so it must stay clean there
-// too.
+// finding appears. Note the directory name no longer matters — the
+// negative fixture for the old path rule is claim.cpp, which lives
+// OUTSIDE a parallel/ directory and shows the concurrency rules firing.
+//
+// gclint-protocol(claim-copy): stop-the-world scavenge engine; from-space
+// values are manipulated precisely in order to move them.
 
 struct Value {
   static Value fixnum(long N);
@@ -29,7 +34,7 @@ void use(Value V);
 void workerHoldsValueAcrossGcPoint(Heap &H) {
   Value Gray = H.allocatePair(Value::fixnum(1), Value::null());
   H.collectNow();
-  use(Gray); // Exempt: would be gclint[unrooted-value] outside parallel/.
+  use(Gray); // Exempt: would be gclint[unrooted-value] in mutator code.
 }
 
 // The loop-carried variant of the same rule, equally exempt.
@@ -37,6 +42,6 @@ void drainLoop(Heap &H) {
   Value Scan = H.allocatePair(Value::fixnum(2), Value::null());
   for (int I = 0; I < 4; ++I) {
     H.collectNow();
-    use(Scan); // Exempt: would fire outside parallel/.
+    use(Scan); // Exempt: would fire without the protocol marker.
   }
 }

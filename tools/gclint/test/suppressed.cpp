@@ -41,10 +41,12 @@ void suppressedBarrier(ObjectRef Obj, Value V) {
 }
 
 // A suppression for the wrong rule must NOT silence the finding: this one
-// is expected despite the gclint-ok comment naming another rule.
+// is expected despite the gclint-ok comment naming another rule. And since
+// that comment then suppresses nothing, the unused-suppression audit must
+// flag the comment itself.
 void wrongRuleSuppression(Heap &H) {
   Value A = H.allocatePair(Value::fixnum(1), Value::null());
   H.collectNow();
-  // gclint-ok: missing-barrier wrong rule on purpose
+  // gclint-ok: missing-barrier wrong rule on purpose -- gclint-expect: unused-suppression
   use(A); // gclint-expect: unrooted-value
 }

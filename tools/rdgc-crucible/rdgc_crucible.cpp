@@ -40,6 +40,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <vector>
@@ -285,9 +286,56 @@ int usage(const char *Argv0) {
       "  --collectors LIST  comma-separated collector names, or 'all'\n"
       "  --watchdog-us N    per-trial GC watchdog deadline (default 1000)\n"
       "  --iterations N     mutator iterations per trial (default 3000)\n"
+      "  --gclint BIN       run the gclint binary over the source tree and\n"
+      "                     refuse to sweep if it reports findings\n"
+      "  --gclint-root DIR  tree holding src/ and examples/ (default '.')\n"
       "  --verbose          print every trial\n",
       Argv0);
   return 2;
+}
+
+/// Pre-flight static analysis gate (--gclint). A fault-injection sweep over
+/// a tree with outstanding gclint findings proves nothing — a scheduled
+/// fault landing on an unrooted value or an unbarriered store produces the
+/// same red verifier a recovery bug would, so the sweep's signal is only
+/// meaningful from a statically clean tree. Returns 0 to proceed.
+int gclintPreflight(const std::string &Binary, const std::string &Root) {
+  namespace fs = std::filesystem;
+  std::string Cmd = "\"" + Binary + "\"";
+  size_t Files = 0;
+  for (const char *Dir : {"src", "examples"}) {
+    std::error_code Ec;
+    fs::path Top = fs::path(Root) / Dir;
+    if (!fs::is_directory(Top, Ec))
+      continue;
+    for (const auto &Entry : fs::recursive_directory_iterator(Top, Ec)) {
+      if (!Entry.is_regular_file())
+        continue;
+      std::string Ext = Entry.path().extension().string();
+      if (Ext != ".cpp" && Ext != ".h")
+        continue;
+      Cmd += " \"" + Entry.path().string() + "\"";
+      ++Files;
+    }
+  }
+  if (Files == 0) {
+    std::fprintf(stderr,
+                 "rdgc-crucible: --gclint found no sources under \"%s\" "
+                 "(expected src/ and examples/; see --gclint-root)\n",
+                 Root.c_str());
+    return 2;
+  }
+  std::printf("rdgc-crucible: gclint pre-flight over %zu source file(s)\n",
+              Files);
+  std::fflush(stdout);
+  int RC = std::system(Cmd.c_str());
+  if (RC != 0) {
+    std::fprintf(stderr,
+                 "rdgc-crucible: refusing to sweep: gclint reported "
+                 "outstanding findings (fix or reason-annotate them first)\n");
+    return 1;
+  }
+  return 0;
 }
 
 bool splitList(const char *Text, std::vector<std::string> &Out) {
@@ -310,6 +358,7 @@ bool splitList(const char *Text, std::vector<std::string> &Out) {
 
 int main(int Argc, char **Argv) {
   Options Opt;
+  std::string GclintBinary, GclintRoot = ".";
   for (int I = 1; I < Argc; ++I) {
     const char *Arg = Argv[I];
     auto NextValue = [&]() -> const char * {
@@ -356,6 +405,10 @@ int main(int Argc, char **Argv) {
           }
         }
       }
+    } else if (std::strcmp(Arg, "--gclint") == 0) {
+      GclintBinary = NextValue();
+    } else if (std::strcmp(Arg, "--gclint-root") == 0) {
+      GclintRoot = NextValue();
     } else if (std::strcmp(Arg, "--verbose") == 0) {
       Opt.Verbose = true;
     } else {
@@ -364,6 +417,10 @@ int main(int Argc, char **Argv) {
   }
   if (Opt.Schedules == 0 || Opt.Threads.empty() || Opt.Collectors.empty())
     return usage(Argv[0]);
+
+  if (!GclintBinary.empty())
+    if (int RC = gclintPreflight(GclintBinary, GclintRoot))
+      return RC;
 
   uint64_t Trials = 0, Failures = 0;
   uint64_t TotalEvac = 0, TotalPlab = 0, TotalStalls = 0, TotalRemset = 0;
