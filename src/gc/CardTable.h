@@ -1,0 +1,141 @@
+//===- gc/CardTable.h - Card-table remembered-set backend -------*- C++ -*-===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The card-table write-barrier backend (DESIGN.md §15), selectable at heap
+/// construction via RDGC_REMSET=ssb|card. Where the default SSB backend
+/// records exact holder addresses in a sequential store buffer
+/// (gc/RememberedSet.h), the card backend keeps one dirty byte per
+/// card::TableEntries-hashed 512-byte card: the barrier is a shift, a mask,
+/// and an unconditional byte store — no collector virtual call, no dedup
+/// probe, no buffer growth. The price is paid at collection time, when the
+/// generational collectors walk their old/step spaces and scan every object
+/// whose header lies on a dirty card.
+///
+/// The table is a fixed hash (card::indexOfBits), so collisions and stale
+/// dirt only ever add scan work — a dirty card with no interesting holder
+/// costs one object scan; a missed edge is impossible because every pointer
+/// store dirties the holder's card before the next collection can run.
+/// That one-sidedness is what lets the table survive space creation,
+/// promotion flips, and heap growth with no registration protocol at all.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDGC_GC_CARDTABLE_H
+#define RDGC_GC_CARDTABLE_H
+
+#include "heap/Object.h"
+#include "heap/Value.h"
+#include "support/Error.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+namespace rdgc {
+
+/// Which remembered-set backend a generational collector runs with.
+enum class RemsetBackend {
+  Ssb, ///< Sequential store buffer of exact holder addresses (the default).
+  Card ///< Hashed byte-per-card dirty table; see CardTable below.
+};
+
+inline const char *remsetBackendName(RemsetBackend Backend) {
+  return Backend == RemsetBackend::Card ? "card" : "ssb";
+}
+
+/// Parses a backend name ("ssb" or "card"); anything else is a fatal
+/// configuration error (a typo silently falling back to a default would
+/// invalidate an A/B measurement).
+inline RemsetBackend remsetBackendFromName(const char *Name) {
+  if (std::strcmp(Name, "ssb") == 0)
+    return RemsetBackend::Ssb;
+  if (std::strcmp(Name, "card") == 0)
+    return RemsetBackend::Card;
+  reportFatalError("RDGC_REMSET must be \"ssb\" or \"card\"");
+}
+
+/// Reads RDGC_REMSET afresh on every call (no static cache: the bench's
+/// --compare-remsets mode constructs both backends in one process). Unset
+/// or empty means the SSB default.
+inline RemsetBackend remsetBackendFromEnvironment() {
+  const char *Spec = std::getenv("RDGC_REMSET");
+  if (!Spec || !*Spec)
+    return RemsetBackend::Ssb;
+  return remsetBackendFromName(Spec);
+}
+
+/// The dirty byte table. One instance per collector running the card
+/// backend; the owning Heap caches base() so the barrier fast path is a
+/// single indexed store with no indirection through the collector.
+class CardTable {
+public:
+  CardTable() : Table(new uint8_t[card::TableEntries]) { clearAll(); }
+
+  CardTable(const CardTable &) = delete;
+  CardTable &operator=(const CardTable &) = delete;
+
+  uint8_t *base() { return Table.get(); }
+
+  bool isDirty(size_t Index) const { return Table[Index] != 0; }
+  void dirty(size_t Index) { Table[Index] = 1; }
+  /// Dirties the card covering \p Header (a holder's header address).
+  void dirtyHolder(const uint64_t *Header) {
+    dirty(card::indexOfBits(reinterpret_cast<uint64_t>(Header)));
+  }
+  bool holderDirty(const uint64_t *Header) const {
+    return isDirty(card::indexOfBits(reinterpret_cast<uint64_t>(Header)));
+  }
+
+  void clearAll() { std::memset(Table.get(), 0, card::TableEntries); }
+
+  /// Scan accounting over the address range [\p Begin, \p End): the number
+  /// of table entries the range maps to (capped at the table size — a
+  /// range wider than the unaliased span inspects every entry at most
+  /// once) and, via \p Dirty, how many of them are dirty.
+  size_t countCovering(const uint64_t *Begin, const uint64_t *End,
+                       size_t &Dirty) const {
+    Dirty = 0;
+    if (Begin >= End)
+      return 0;
+    auto BeginBits = reinterpret_cast<uint64_t>(Begin);
+    auto EndBits = reinterpret_cast<uint64_t>(End);
+    size_t Span = static_cast<size_t>(((EndBits - 1) >> card::Shift) -
+                                      (BeginBits >> card::Shift)) +
+                  1;
+    size_t Inspected = Span < card::TableEntries ? Span : card::TableEntries;
+    size_t First = card::indexOfBits(BeginBits);
+    for (size_t I = 0; I < Inspected; ++I)
+      if (Table[(First + I) & card::IndexMask])
+        ++Dirty;
+    return Inspected;
+  }
+
+private:
+  std::unique_ptr<uint8_t[]> Table;
+};
+
+/// Walks every scannable object in \p S whose header lies on a dirty card.
+/// Free/Padding/Busy/Forward headers are skipped: Free and Padding hold no
+/// slots, and Busy/Forward never survive to the scan points the card walk
+/// runs from (cycle start and post-cycle verification). \p SpaceT is any
+/// space exposing forEachObject over [begin, allocation cursor).
+template <typename SpaceT, typename Fn>
+void forEachDirtyCardObject(const CardTable &Cards, SpaceT &S, Fn &&Visit) {
+  S.forEachObject([&](uint64_t *Header) {
+    ObjectTag Tag = header::tag(*Header);
+    if (Tag == ObjectTag::Free || Tag == ObjectTag::Padding ||
+        Tag == ObjectTag::Busy || Tag == ObjectTag::Forward)
+      return;
+    if (Cards.holderDirty(Header))
+      Visit(Header);
+  });
+}
+
+} // namespace rdgc
+
+#endif // RDGC_GC_CARDTABLE_H

@@ -32,17 +32,26 @@ CollectorKind rdgc::collectorKindFromName(const std::string &Name) {
 
 std::unique_ptr<Collector> rdgc::makeCollector(CollectorKind Kind,
                                                const CollectorSizing &Sizing) {
+  RemsetBackend Backend = Sizing.Remset.empty()
+                              ? remsetBackendFromEnvironment()
+                              : remsetBackendFromName(Sizing.Remset.c_str());
   switch (Kind) {
   case CollectorKind::StopAndCopy:
     return std::make_unique<StopAndCopyCollector>(Sizing.PrimaryBytes);
-  case CollectorKind::MarkSweep:
-    return std::make_unique<MarkSweepCollector>(Sizing.PrimaryBytes);
-  case CollectorKind::MarkCompact:
-    return std::make_unique<MarkCompactCollector>(Sizing.PrimaryBytes);
+  case CollectorKind::MarkSweep: {
+    auto C = std::make_unique<MarkSweepCollector>(Sizing.PrimaryBytes);
+    C->setBitmapMarking(Sizing.BitmapMarking);
+    return C;
+  }
+  case CollectorKind::MarkCompact: {
+    auto C = std::make_unique<MarkCompactCollector>(Sizing.PrimaryBytes);
+    C->setBitmapMarking(Sizing.BitmapMarking);
+    return C;
+  }
   case CollectorKind::Generational:
-    return std::make_unique<GenerationalCollector>(Sizing.NurseryBytes,
-                                                   Sizing.IntermediateBytes,
-                                                   Sizing.PrimaryBytes);
+    return std::make_unique<GenerationalCollector>(
+        Sizing.NurseryBytes, Sizing.IntermediateBytes, Sizing.PrimaryBytes,
+        Backend);
   case CollectorKind::NonPredictive:
   case CollectorKind::NonPredictiveHybrid: {
     NonPredictiveConfig Config;
@@ -50,6 +59,7 @@ std::unique_ptr<Collector> rdgc::makeCollector(CollectorKind Kind,
     Config.StepBytes = Sizing.PrimaryBytes / Sizing.StepCount;
     Config.Policy = Sizing.Policy;
     Config.FixedJ = Sizing.FixedJ;
+    Config.Backend = Backend;
     if (Kind == CollectorKind::NonPredictiveHybrid)
       Config.NurseryBytes = Sizing.NurseryBytes;
     return std::make_unique<NonPredictiveCollector>(Config);

@@ -58,6 +58,13 @@ struct CollectorSizing {
   /// j-selection policy for the non-predictive collector.
   JSelectionPolicy Policy = JSelectionPolicy::HalfOfEmpty;
   size_t FixedJ = 1;
+  /// Remembered-set backend for the generational and non-predictive
+  /// collectors: "ssb", "card", or "" to inherit RDGC_REMSET from the
+  /// environment (DESIGN.md §15).
+  std::string Remset;
+  /// Side-bitmap marking for the mark/sweep and mark-compact collectors
+  /// (DESIGN.md §15); false selects the legacy header mark bit.
+  bool BitmapMarking = true;
 };
 
 /// Builds a collector of the given kind.

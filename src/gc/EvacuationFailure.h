@@ -108,8 +108,16 @@ void forEachSelfForwardedPointerSlot(SelfForwardEntry &Entry,
 /// the object is indistinguishable from one that was never touched,
 /// except that it survived in place.
 inline void restoreSelfForward(const SelfForwardEntry &Entry) {
+  // The remembered bit is taken from the Forward word as it stands *now*,
+  // not from the pre-claim snapshot: RememberedSet::clear may legitimately
+  // clear the bit of a self-forwarded holder (it survives in place), and
+  // restoring OrigHeader verbatim would resurrect it — after which every
+  // later insert dedupes against a bit with no backing entry and the
+  // holder's old-to-nursery edges are silently dropped.
+  uint64_t ForwardWord = Entry.Header[0];
   Entry.Header[1] = Entry.SavedPayload0;
-  Entry.Header[0] = Entry.OrigHeader;
+  Entry.Header[0] = (Entry.OrigHeader & ~header::RememberedBit) |
+                    (ForwardWord & header::RememberedBit);
 }
 
 /// Outcome summary of one scavenge cycle's failure handling, merged by

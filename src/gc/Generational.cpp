@@ -30,10 +30,13 @@ GenerationalCollector::GenerationalCollector(size_t NurseryBytes,
 
 GenerationalCollector::GenerationalCollector(size_t NurseryBytes,
                                              size_t IntermediateBytes,
-                                             size_t DynamicSemispaceBytes)
+                                             size_t DynamicSemispaceBytes,
+                                             RemsetBackend Backend)
     : Nursery(bytesToWords(NurseryBytes)),
       DynamicA(bytesToWords(DynamicSemispaceBytes)),
       DynamicB(bytesToWords(DynamicSemispaceBytes)) {
+  if (Backend == RemsetBackend::Card)
+    Cards = std::make_unique<CardTable>();
   if (IntermediateBytes)
     Intermediate = std::make_unique<Space>(bytesToWords(IntermediateBytes));
   // The nursery is the permanent fast window: its address, region, and
@@ -97,6 +100,14 @@ void GenerationalCollector::onPointerStore(Value Holder, Value Stored) {
   stats().noteBarrierHit();
   if (!Holder.isPointer())
     return;
+  // The Heap's barrier dispatch short-circuits to cardMark when the card
+  // backend is active, so this path is normally SSB-only; direct callers
+  // (tests, embedders driving the collector without a Heap) still get the
+  // equivalent card-dirtying behavior.
+  if (Cards) {
+    Cards->dirtyHolder(Holder.asHeaderPtr());
+    return;
+  }
   ObjectRef HolderObj(Holder);
   ObjectRef StoredObj(Stored);
   // Remember any older-to-younger pointer (old-to-nursery in the 2-gen
@@ -134,6 +145,65 @@ void GenerationalCollector::refilterRememberedSet() {
   RemSet.clear();
   for (uint64_t *Holder : Kept)
     RemSet.insert(Holder);
+}
+
+std::vector<uint64_t *>
+GenerationalCollector::gatherDirtyCardHolders(bool IncludeIntermediate,
+                                              CollectionRecord &Record) {
+  std::vector<uint64_t *> Holders;
+  auto Gather = [&](const Space &S) {
+    size_t Dirty = 0;
+    Record.CardsScanned +=
+        Cards->countCovering(S.begin(), S.allocationCursor(), Dirty);
+    Record.CardsDirty += Dirty;
+    forEachDirtyCardObject(*Cards, S,
+                           [&](uint64_t *Header) { Holders.push_back(Header); });
+  };
+  if (IncludeIntermediate && Intermediate)
+    Gather(*Intermediate);
+  Gather(activeDynamic());
+  return Holders;
+}
+
+void GenerationalCollector::redirtyIfInteresting(uint64_t *Holder) {
+  unsigned HolderRank = regionRank(header::region(*Holder));
+  bool Interesting = false;
+  ObjectRef(Holder).forEachPointerSlot([&](uint64_t *SlotWord) {
+    Value V = Value::fromRawBits(*SlotWord);
+    if (V.isPointer() && regionRank(ObjectRef(V).region()) < HolderRank)
+      Interesting = true;
+  });
+  if (Interesting)
+    Cards->dirtyHolder(Holder);
+}
+
+void GenerationalCollector::forEachRememberedHolder(
+    const std::function<void(uint64_t *)> &Visit) const {
+  if (!Cards) {
+    RemSet.forEach(Visit);
+    return;
+  }
+  // Card backend: the "set" is every scannable object on a dirty card in
+  // the spaces the scans cover (never the nursery — young holders are
+  // condemned wholesale, so their dirt is inert).
+  if (Intermediate)
+    forEachDirtyCardObject(*Cards, *Intermediate, Visit);
+  forEachDirtyCardObject(*Cards, activeDynamic(), Visit);
+}
+
+size_t GenerationalCollector::rememberedSetSize() const {
+  if (!Cards)
+    return RemSet.size();
+  size_t Total = 0;
+  size_t Dirty = 0;
+  if (Intermediate) {
+    Cards->countCovering(Intermediate->begin(),
+                         Intermediate->allocationCursor(), Dirty);
+    Total += Dirty;
+  }
+  Cards->countCovering(activeDynamic().begin(),
+                       activeDynamic().allocationCursor(), Dirty);
+  return Total + Dirty;
 }
 
 void GenerationalCollector::collect() {
@@ -193,6 +263,19 @@ void GenerationalCollector::collectMinor() {
                                              // (see StopAndCopy's gate).
   uint64_t WordsCopied = 0;
   bool Degraded = false;
+  // Card backend: the holders scanned this cycle, kept for the post-cycle
+  // re-dirty pass (they are never condemned by a minor, so the addresses
+  // stay valid). Unused on the SSB backend. Gathered before any evacuation
+  // starts: once the scavenger hands out PLAB chunks the to-space is not
+  // walkable (unfilled chunk interiors hold uninitialized words), and no
+  // new dirt can appear during a cycle — the mutator is stopped and copies
+  // never mark cards.
+  std::vector<uint64_t *> CardHolders;
+  if (Cards) {
+    Timer.begin(GcPhase::RemsetScan);
+    CardHolders = gatherDirtyCardHolders(/*IncludeIntermediate=*/true, Record);
+    Record.RootsScanned += CardHolders.size();
+  }
 
   if (Parallel) {
     ParallelScavenger Scavenger(
@@ -212,10 +295,14 @@ void GenerationalCollector::collectMinor() {
     Scavenger.scavengeRoots(Roots);
     Timer.begin(GcPhase::RemsetScan);
     std::vector<uint64_t *> Holders;
-    RemSet.forEach([&](uint64_t *Holder) {
-      ++Record.RootsScanned;
-      Holders.push_back(Holder);
-    });
+    if (Cards) {
+      Holders = std::move(CardHolders);
+    } else {
+      RemSet.forEach([&](uint64_t *Holder) {
+        ++Record.RootsScanned;
+        Holders.push_back(Holder);
+      });
+    }
     Scavenger.scanRemembered(Holders);
     Timer.begin(GcPhase::Trace);
     Scavenger.drain();
@@ -231,9 +318,13 @@ void GenerationalCollector::collectMinor() {
         // safe (no holder carries a Forward header).
         completeAbortedCycle(
             [&](auto &&VisitRoot) { H->forEachRoot(VisitRoot); },
-            [&](auto &&VisitHolder) { RemSet.forEach(VisitHolder); });
+            [&](auto &&VisitHolder) {
+              for (uint64_t *Holder : Holders)
+                VisitHolder(Holder);
+            });
       Degraded = true;
     }
+    CardHolders = std::move(Holders);
   } else {
     CopyScavenger Scavenger(
         [](const uint64_t *Header) {
@@ -252,10 +343,15 @@ void GenerationalCollector::collectMinor() {
     // The remembered set holds every older object that may contain a
     // pointer into a younger region; re-scan those objects (Section 8.4).
     Timer.begin(GcPhase::RemsetScan);
-    RemSet.forEach([&](uint64_t *Holder) {
-      ++Record.RootsScanned;
-      Scavenger.scanObject(Holder);
-    });
+    if (Cards) {
+      for (uint64_t *Holder : CardHolders)
+        Scavenger.scanObject(Holder);
+    } else {
+      RemSet.forEach([&](uint64_t *Holder) {
+        ++Record.RootsScanned;
+        Scavenger.scanObject(Holder);
+      });
+    }
     Timer.begin(GcPhase::Trace);
     Scavenger.drain();
     WordsCopied = Scavenger.wordsCopied();
@@ -283,13 +379,28 @@ void GenerationalCollector::collectMinor() {
     // resetting. The remembered set is kept wholesale — no holder was
     // condemned (so no entry went stale), and entries covering straggler
     // pointers must survive until the recovery rebuild clears everything.
+    // The card backend likewise keeps its dirt untouched.
     pinIfUsed(Nursery);
     Record.WordsReclaimed = 0;
   } else {
     Nursery.reset();
     if (poisonFreedMemory())
       Nursery.poisonFreeWords(PoisonPattern);
-    if (Intermediate) {
+    if (Cards) {
+      // Wipe the table, then let each holder scanned this cycle re-dirty
+      // its own card if it still carries an older-to-younger pointer (the
+      // card analogue of refilterRememberedSet; with no intermediate
+      // generation promote-all leaves nothing younger to point at, so the
+      // wipe alone is exact). Holders outside the scanned set cannot be
+      // interesting: acquiring a younger pointer dirties a card through
+      // the barrier, and the scavenger only rewrites slots in place — a
+      // rewritten slot's holder pointed into the nursery before the cycle
+      // and so was already on a dirty card.
+      Cards->clearAll();
+      if (Intermediate)
+        for (uint64_t *Holder : CardHolders)
+          redirtyIfInteresting(Holder);
+    } else if (Intermediate) {
       // Dynamic-to-intermediate entries must survive; only the entries
       // that existed purely for nursery pointers are dropped.
       refilterRememberedSet();
@@ -329,6 +440,18 @@ void GenerationalCollector::collectIntermediate() {
                                              // (see StopAndCopy's gate).
   uint64_t WordsCopied = 0;
   bool Degraded = false;
+  // Card backend: gathered before any evacuation — the active dynamic
+  // semispace is this cycle's to-space, and it must not be walked once
+  // copies (or PLAB chunks) are landing in it. Precise by construction:
+  // only the dynamic semispace is walked, so condemned holders never
+  // enter the list.
+  std::vector<uint64_t *> CardHolders;
+  if (Cards) {
+    Timer.begin(GcPhase::RemsetScan);
+    CardHolders = gatherDirtyCardHolders(/*IncludeIntermediate=*/false,
+                                         Record);
+    Record.RootsScanned += CardHolders.size();
+  }
 
   if (Parallel) {
     ParallelScavenger Scavenger(
@@ -356,15 +479,19 @@ void GenerationalCollector::collectIntermediate() {
     // holders; the parallel cycle is strictly more precise.) Only the
     // dynamic-region holders carry pointers the trace cannot reach.
     std::vector<uint64_t *> Holders;
-    RemSet.forEach([&](uint64_t *Holder) {
-      ++Record.RootsScanned;
-      // This plain read runs on the coordinator between pool barriers, so
-      // it is ordered after any evacuation (a Forward header preserves the
-      // region bits either way).
-      uint8_t R = header::region(*Holder);
-      if (R != RegionNursery && R != RegionIntermediate)
-        Holders.push_back(Holder);
-    });
+    if (Cards) {
+      Holders = std::move(CardHolders);
+    } else {
+      RemSet.forEach([&](uint64_t *Holder) {
+        ++Record.RootsScanned;
+        // This plain read runs on the coordinator between pool barriers, so
+        // it is ordered after any evacuation (a Forward header preserves the
+        // region bits either way).
+        uint8_t R = header::region(*Holder);
+        if (R != RegionNursery && R != RegionIntermediate)
+          Holders.push_back(Holder);
+      });
+    }
     Scavenger.scanRemembered(Holders);
     Timer.begin(GcPhase::Trace);
     Scavenger.drain();
@@ -382,11 +509,8 @@ void GenerationalCollector::collectIntermediate() {
         completeAbortedCycle(
             [&](auto &&VisitRoot) { H->forEachRoot(VisitRoot); },
             [&](auto &&VisitHolder) {
-              RemSet.forEach([&](uint64_t *Holder) {
-                uint8_t R = header::region(*Holder);
-                if (R != RegionNursery && R != RegionIntermediate)
-                  VisitHolder(Holder);
-              });
+              for (uint64_t *Holder : Holders)
+                VisitHolder(Holder);
             });
       Degraded = true;
     }
@@ -407,10 +531,15 @@ void GenerationalCollector::collectIntermediate() {
       Scavenger.scavenge(Slot);
     });
     Timer.begin(GcPhase::RemsetScan);
-    RemSet.forEach([&](uint64_t *Holder) {
-      ++Record.RootsScanned;
-      Scavenger.scanObject(Holder);
-    });
+    if (Cards) {
+      for (uint64_t *Holder : CardHolders)
+        Scavenger.scanObject(Holder);
+    } else {
+      RemSet.forEach([&](uint64_t *Holder) {
+        ++Record.RootsScanned;
+        Scavenger.scanObject(Holder);
+      });
+    }
     Timer.begin(GcPhase::Trace);
     Scavenger.drain();
     WordsCopied = Scavenger.wordsCopied();
@@ -455,6 +584,8 @@ void GenerationalCollector::collectIntermediate() {
   // so their entries are stale — and while degraded no minor runs, so no
   // old-to-young edge is ever trusted from an incomplete set.
   RemSet.clear();
+  if (Cards)
+    Cards->clearAll();
 
   LastLiveWords = activeDynamic().usedWords() + pinnedUsedWords();
   Record.WordsTraced = WordsCopied;
@@ -626,6 +757,8 @@ void GenerationalCollector::recoveryRebuild(size_t TargetWords) {
   // holder header to clear its remembered bit, and entries still point into
   // the about-to-be-freed storage.
   RemSet.clear();
+  if (Cards)
+    Cards->clearAll();
 
   if (!StillDegraded) {
     // Healthy again: every survivor lives in Fresh. The old spaces hold
@@ -803,6 +936,8 @@ void GenerationalCollector::collectMajor() {
   // Forward headers or pinned stragglers), and while degraded no cycle
   // consults the set before the rebuild clears the pins.
   RemSet.clear();
+  if (Cards)
+    Cards->clearAll();
 
   LastLiveWords = activeDynamic().usedWords() + pinnedUsedWords();
   Record.WordsTraced = WordsCopied;

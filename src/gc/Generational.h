@@ -22,6 +22,7 @@
 #ifndef RDGC_GC_GENERATIONAL_H
 #define RDGC_GC_GENERATIONAL_H
 
+#include "gc/CardTable.h"
 #include "gc/RememberedSet.h"
 #include "heap/Space.h"
 #include "heap/Collector.h"
@@ -57,8 +58,11 @@ public:
 
   /// Three-generation configuration: nursery -> intermediate -> dynamic.
   /// Pass IntermediateBytes = 0 for the two-generation configuration.
+  /// \p Backend selects the remembered-set implementation (DESIGN.md §15);
+  /// it defaults to the RDGC_REMSET environment setting.
   GenerationalCollector(size_t NurseryBytes, size_t IntermediateBytes,
-                        size_t DynamicSemispaceBytes);
+                        size_t DynamicSemispaceBytes,
+                        RemsetBackend Backend = remsetBackendFromEnvironment());
 
   uint64_t *tryAllocate(size_t Words) override;
   void collect() override;
@@ -66,16 +70,18 @@ public:
   bool tryGrowHeap(size_t MinWords) override;
   void onPointerStore(Value Holder, Value Stored) override;
   void forEachRememberedHolder(
-      const std::function<void(uint64_t *)> &Visit) const override {
-    RemSet.forEach(Visit);
-  }
+      const std::function<void(uint64_t *)> &Visit) const override;
   uint8_t currentAllocationRegion() const override { return LastAllocRegion; }
   size_t capacityWords() const override;
   size_t freeWords() const override;
   size_t liveWordsAfterLastCollect() const override { return LastLiveWords; }
   const char *name() const override { return "generational"; }
 
-  size_t rememberedSetSize() const override { return RemSet.size(); }
+  size_t rememberedSetSize() const override;
+  const char *remsetBackendName() const override {
+    return Cards ? "card" : "ssb";
+  }
+  uint8_t *cardTableBase() override { return Cards ? Cards->base() : nullptr; }
   size_t nurseryCapacityWords() const { return Nursery.capacityWords(); }
   size_t dynamicUsedWords() const { return activeDynamic().usedWords(); }
   bool hasIntermediate() const { return Intermediate != nullptr; }
@@ -153,6 +159,19 @@ private:
   /// entries must survive a minor collection).
   void refilterRememberedSet();
 
+  /// Card backend: collects the header of every scannable object on a
+  /// dirty card in the spaces a remset-consuming cycle must scan — the
+  /// intermediate generation (when \p IncludeIntermediate) and the active
+  /// dynamic semispace — recording the per-cycle scan accounting into
+  /// \p Record.
+  std::vector<uint64_t *> gatherDirtyCardHolders(bool IncludeIntermediate,
+                                                 CollectionRecord &Record);
+
+  /// Card backend's Section 8.4 re-filter: after a healthy 3-gen minor the
+  /// table is wiped and each scanned holder that still carries a pointer
+  /// into a strictly younger region re-dirties its own card.
+  void redirtyIfInteresting(uint64_t *Holder);
+
   Space Nursery;
   std::unique_ptr<Space> Intermediate; ///< Null in the 2-gen configuration.
   Space DynamicA;
@@ -162,6 +181,9 @@ private:
   std::vector<Space> Pinned;
   bool ActiveIsA = true;
   RememberedSet RemSet;
+  /// Non-null iff the card-table backend is active; RemSet then stays
+  /// empty (the Heap's barrier dispatch never reaches onPointerStore).
+  std::unique_ptr<CardTable> Cards;
   /// Set when a remembered-set insert was dropped (injected fault): the
   /// next collection must condemn every generation the missed edge could
   /// span, i.e. run major, because a minor scavenge would trust the

@@ -102,15 +102,25 @@ uint64_t MarkCompactCollector::markPhase(uint64_t &RootsScanned,
   std::vector<uint64_t *> MarkStack;
   uint64_t MarkedWords = 0;
 
+  if (UseBitmap)
+    // Re-binding every cycle also re-zeroes the bits and tracks arena
+    // growth for free.
+    Bitmap.attach(Arena.get(), ArenaWords);
+
   auto MarkValue = [&](Value V) {
     if (!V.isPointer())
       return;
     uint64_t *Header = V.asHeaderPtr();
     assert(Header >= Arena.get() && Header < Arena.get() + ArenaWords &&
            "pointer outside the mark-compact arena");
-    if (header::isMarked(*Header))
-      return;
-    *Header = header::setMark(*Header);
+    if (UseBitmap) {
+      if (!Bitmap.mark(Header))
+        return;
+    } else {
+      if (header::isMarked(*Header))
+        return;
+      *Header = header::setMark(*Header);
+    }
     MarkedWords += ObjectRef(Header).totalWords();
     MarkStack.push_back(Header);
   };
@@ -147,6 +157,10 @@ void MarkCompactCollector::collect() {
   // compactor's storage-reorganization work: the trace taxonomy's Sweep.
   Timer.begin(GcPhase::Sweep);
 
+  auto IsMarked = [&](const uint64_t *P) {
+    return UseBitmap ? Bitmap.isMarked(P) : header::isMarked(*P);
+  };
+
   // Phase 2: compute slide-down forwarding addresses in address order.
   std::unordered_map<const uint64_t *, uint64_t *> NewAddress;
   NewAddress.reserve(1024);
@@ -156,7 +170,7 @@ void MarkCompactCollector::collect() {
     uint64_t *End = Arena.get() + Top;
     while (P < End) {
       size_t Words = header::payloadWords(*P) + 1;
-      if (header::isMarked(*P)) {
+      if (IsMarked(P)) {
         NewAddress.emplace(P, Arena.get() + Cursor);
         Cursor += Words;
       }
@@ -178,7 +192,7 @@ void MarkCompactCollector::collect() {
     uint64_t *End = Arena.get() + Top;
     while (P < End) {
       size_t Words = header::payloadWords(*P) + 1;
-      if (header::isMarked(*P))
+      if (IsMarked(P))
         ObjectRef(P).forEachPointerSlot([&](uint64_t *SlotWord) {
           Value V = Value::fromRawBits(*SlotWord);
           Forward(V);
@@ -196,8 +210,9 @@ void MarkCompactCollector::collect() {
     uint64_t *End = Arena.get() + Top;
     while (P < End) {
       size_t Words = header::payloadWords(*P) + 1;
-      if (header::isMarked(*P)) {
-        *P = header::clearMark(*P);
+      if (IsMarked(P)) {
+        if (!UseBitmap)
+          *P = header::clearMark(*P);
         uint64_t *Dest = NewAddress.find(P)->second;
         if (Obs && Dest != P)
           Obs->onMove(P, Dest);

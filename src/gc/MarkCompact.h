@@ -22,6 +22,7 @@
 #ifndef RDGC_GC_MARKCOMPACT_H
 #define RDGC_GC_MARKCOMPACT_H
 
+#include "gc/MarkBitmap.h"
 #include "heap/Collector.h"
 
 #include <cstdint>
@@ -34,6 +35,13 @@ namespace rdgc {
 class MarkCompactCollector : public Collector {
 public:
   explicit MarkCompactCollector(size_t ArenaBytes);
+
+  /// Selects side-bitmap marking (the default) or the legacy header mark
+  /// bit (DESIGN.md §15). With the bitmap, marking and the compaction
+  /// passes never touch header mark bits. Takes effect at the next
+  /// collection.
+  void setBitmapMarking(bool Enabled) { UseBitmap = Enabled; }
+  bool bitmapMarking() const { return UseBitmap; }
 
   uint64_t *tryAllocate(size_t Words) override;
   void collect() override;
@@ -54,6 +62,8 @@ private:
   size_t ArenaWords;
   size_t Top = 0;
   size_t LastLiveWords = 0;
+  MarkBitmap Bitmap;
+  bool UseBitmap = true;
 };
 
 } // namespace rdgc

@@ -66,6 +66,7 @@ uint64_t *MarkSweepCollector::tryAllocate(size_t Words) {
     } else if (Remainder == 1) {
       // A stranded word: emit padding so the linear sweep walk stays valid.
       Chunk[Words] = header::encode(ObjectTag::Padding, 0, 0);
+      PaddingWordCount += 1;
     }
     if (Prev)
       setNextFree(Prev, Replacement);
@@ -92,15 +93,25 @@ uint64_t MarkSweepCollector::markPhase(uint64_t &RootsScanned,
   std::vector<uint64_t *> MarkStack;
   uint64_t MarkedWords = 0;
 
+  if (UseBitmap)
+    // Re-binding every cycle also re-zeroes the bits and tracks arena
+    // growth for free.
+    Bitmap.attach(Arena.get(), ArenaWords);
+
   auto MarkValue = [&](Value V) {
     if (!V.isPointer())
       return;
     uint64_t *Header = V.asHeaderPtr();
     assert(Header >= Arena.get() && Header < Arena.get() + ArenaWords &&
            "pointer outside the mark/sweep arena");
-    if (header::isMarked(*Header))
-      return;
-    *Header = header::setMark(*Header);
+    if (UseBitmap) {
+      if (!Bitmap.mark(Header))
+        return;
+    } else {
+      if (header::isMarked(*Header))
+        return;
+      *Header = header::setMark(*Header);
+    }
     MarkedWords += ObjectRef(Header).totalWords();
     MarkStack.push_back(Header);
   };
@@ -122,13 +133,19 @@ uint64_t MarkSweepCollector::markPhase(uint64_t &RootsScanned,
   return MarkedWords;
 }
 
-uint64_t MarkSweepCollector::sweepPhase() {
+uint64_t MarkSweepCollector::sweepPhase(uint64_t MarkedWords) {
   Heap *H = heap();
   HeapObserver *Obs = H->observer();
-  uint64_t Reclaimed = 0;
 
+  // Without an observer no per-object deaths need reporting, so the bitmap
+  // sweep can skip dead headers entirely.
+  if (UseBitmap && !Obs)
+    return sweepByBitmap(MarkedWords);
+
+  uint64_t Reclaimed = 0;
   FreeListHead = nullptr;
   FreeWordCount = 0;
+  PaddingWordCount = 0;
   uint64_t *ListTail = nullptr;
 
   bool Poison = poisonFreedMemory();
@@ -154,6 +171,7 @@ uint64_t MarkSweepCollector::sweepPhase() {
     } else {
       // A lone word with no neighbor to merge into: keep it as padding.
       *At = header::encode(ObjectTag::Padding, 0, 0);
+      PaddingWordCount += 1;
       return;
     }
     FreeWordCount += Words;
@@ -164,10 +182,12 @@ uint64_t MarkSweepCollector::sweepPhase() {
   while (P < End) {
     size_t Words = header::payloadWords(*P) + 1;
     ObjectTag Tag = header::tag(*P);
+    bool Marked = UseBitmap ? Bitmap.isMarked(P) : header::isMarked(*P);
     if (Tag == ObjectTag::Free || Tag == ObjectTag::Padding) {
       AppendFree(P, Words);
-    } else if (header::isMarked(*P)) {
-      *P = header::clearMark(*P);
+    } else if (Marked) {
+      if (!UseBitmap)
+        *P = header::clearMark(*P);
     } else {
       if (Obs)
         Obs->onDeath(P, Words);
@@ -177,6 +197,51 @@ uint64_t MarkSweepCollector::sweepPhase() {
     P += Words;
   }
   return Reclaimed;
+}
+
+uint64_t MarkSweepCollector::sweepByBitmap(uint64_t MarkedWords) {
+  size_t FreeBefore = FreeWordCount;
+  size_t PaddingBefore = PaddingWordCount;
+  FreeListHead = nullptr;
+  FreeWordCount = 0;
+  PaddingWordCount = 0;
+  uint64_t *ListTail = nullptr;
+  bool Poison = poisonFreedMemory();
+  uint64_t *Base = Arena.get();
+
+  // Each gap between consecutive live objects — dead objects, old free
+  // chunks, and padding alike — becomes one pre-coalesced free chunk,
+  // without ever reading a dead header.
+  auto EmitGap = [&](size_t At, size_t Words) {
+    if (Words == 0)
+      return;
+    uint64_t *P = Base + At;
+    if (Words == 1) {
+      *P = header::encode(ObjectTag::Padding, 0, 0);
+      PaddingWordCount += 1;
+      return;
+    }
+    makeFreeChunk(P, Words, nullptr);
+    if (Poison)
+      std::fill(P + 2, P + Words, PoisonPattern);
+    if (ListTail)
+      setNextFree(ListTail, P);
+    else
+      FreeListHead = P;
+    ListTail = P;
+    FreeWordCount += Words;
+  };
+
+  size_t Cursor = 0;
+  Bitmap.forEachMarkedIndex([&](size_t Index) {
+    EmitGap(Cursor, Index - Cursor);
+    Cursor = Index + ObjectRef(Base + Index).totalWords();
+  });
+  EmitGap(Cursor, ArenaWords - Cursor);
+
+  // Reclaimed = the dead objects' words: everything that was neither live
+  // nor already on the free list (or stranded as padding) before the sweep.
+  return ArenaWords - MarkedWords - FreeBefore - PaddingBefore;
 }
 
 bool MarkSweepCollector::tryGrowHeap(size_t MinWords) {
@@ -242,6 +307,7 @@ bool MarkSweepCollector::tryGrowHeap(size_t MinWords) {
   makeFreeChunk(Arena.get() + Cursor, NewWords - Cursor, nullptr);
   FreeListHead = Arena.get() + Cursor;
   FreeWordCount = NewWords - Cursor;
+  PaddingWordCount = 0; // Survivors were compacted; no stranded words.
   LastLiveWords = Scavenger.wordsCopied();
 
   Record.WordsTraced = Scavenger.wordsCopied();
@@ -260,7 +326,7 @@ void MarkSweepCollector::collect() {
 
   uint64_t MarkedWords = markPhase(Record.RootsScanned, Timer);
   Timer.begin(GcPhase::Sweep);
-  uint64_t Reclaimed = sweepPhase();
+  uint64_t Reclaimed = sweepPhase(MarkedWords);
   LastLiveWords = MarkedWords;
 
   Record.WordsTraced = MarkedWords;

@@ -21,6 +21,7 @@
 #ifndef RDGC_GC_MARKSWEEP_H
 #define RDGC_GC_MARKSWEEP_H
 
+#include "gc/MarkBitmap.h"
 #include "heap/Collector.h"
 
 #include <cstdint>
@@ -33,6 +34,13 @@ class MarkSweepCollector : public Collector {
 public:
   /// \p ArenaBytes is the total size of the managed arena.
   explicit MarkSweepCollector(size_t ArenaBytes);
+
+  /// Selects side-bitmap marking (the default) or the legacy header mark
+  /// bit (DESIGN.md §15). With the bitmap, marking never writes object
+  /// headers and an observer-free sweep walks the bitmap by word instead
+  /// of chaining headers. Takes effect at the next collection.
+  void setBitmapMarking(bool Enabled) { UseBitmap = Enabled; }
+  bool bitmapMarking() const { return UseBitmap; }
 
   uint64_t *tryAllocate(size_t Words) override;
   void collect() override;
@@ -54,13 +62,24 @@ private:
   uint64_t markPhase(uint64_t &RootsScanned, GcPhaseTimer &Timer);
   /// Sweeps the arena, reporting deaths, coalescing free storage, and
   /// rebuilding the address-ordered free list; returns reclaimed words.
-  uint64_t sweepPhase();
+  /// \p MarkedWords is the mark phase's result (the bitmap fast path
+  /// derives reclaimed words from it instead of walking headers).
+  uint64_t sweepPhase(uint64_t MarkedWords);
+  /// Observer-free bitmap sweep: walks the mark bitmap by word, turning
+  /// each gap between live objects into a single pre-coalesced free chunk
+  /// without reading dead headers.
+  uint64_t sweepByBitmap(uint64_t MarkedWords);
 
   std::unique_ptr<uint64_t[]> Arena;
   size_t ArenaWords;
   uint64_t *FreeListHead = nullptr;
   size_t FreeWordCount = 0;
+  /// Words currently held by Padding pseudo-objects (stranded lone words);
+  /// the bitmap sweep needs this to compute reclaimed words exactly.
+  size_t PaddingWordCount = 0;
   size_t LastLiveWords = 0;
+  MarkBitmap Bitmap;
+  bool UseBitmap = true;
 };
 
 } // namespace rdgc

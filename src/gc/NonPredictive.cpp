@@ -37,6 +37,8 @@ NonPredictiveCollector::NonPredictiveCollector(
   J = chooseJ(K);
   CurrentLogical = K;
 
+  if (Config.Backend == RemsetBackend::Card)
+    Cards = std::make_unique<CardTable>();
   if (Config.NurseryBytes)
     Nursery =
         std::make_unique<Space>(std::max<size_t>(Config.NurseryBytes / 8, 16));
@@ -88,6 +90,48 @@ size_t NonPredictiveCollector::stepUsedWords(size_t Logical) const {
 
 size_t NonPredictiveCollector::freeWords() const {
   return stepsFreeWords() + (Nursery ? Nursery->freeWords() : 0);
+}
+
+std::vector<uint64_t *>
+NonPredictiveCollector::gatherDirtyCardHolders(size_t MaxStep,
+                                               CollectionRecord *Record) {
+  std::vector<uint64_t *> Holders;
+  for (size_t Step = 1; Step <= MaxStep; ++Step) {
+    Space &S = logicalStep(Step);
+    size_t Dirty = 0;
+    size_t Scanned = Cards->countCovering(S.begin(), S.allocationCursor(),
+                                          Dirty);
+    if (Record) {
+      Record->CardsScanned += Scanned;
+      Record->CardsDirty += Dirty;
+    }
+    forEachDirtyCardObject(*Cards, S,
+                           [&](uint64_t *Header) { Holders.push_back(Header); });
+  }
+  return Holders;
+}
+
+void NonPredictiveCollector::forEachRememberedHolder(
+    const std::function<void(uint64_t *)> &Visit) const {
+  if (!Cards) {
+    RemSet.forEach(Visit);
+    return;
+  }
+  for (size_t Step = 1; Step <= K; ++Step)
+    forEachDirtyCardObject(*Cards, logicalStep(Step), Visit);
+}
+
+size_t NonPredictiveCollector::rememberedSetSize() const {
+  if (!Cards)
+    return RemSet.size();
+  size_t Total = 0;
+  for (size_t Step = 1; Step <= K; ++Step) {
+    const Space &S = logicalStep(Step);
+    size_t Dirty = 0;
+    Cards->countCovering(S.begin(), S.allocationCursor(), Dirty);
+    Total += Dirty;
+  }
+  return Total;
 }
 
 uint64_t *NonPredictiveCollector::tryAllocateInSteps(size_t Words) {
@@ -165,7 +209,13 @@ void NonPredictiveCollector::measureCondemnedLive(size_t CollectJ,
   H->forEachRoot([&](Value &Slot) { Visit(Slot); });
   // Remembered holders are scanned unconditionally by the collection, so
   // their condemned targets count as copies even when the holder is dead.
-  RemSet.forEach(ScanObject);
+  // The card backend only scans exempt-step holders (condemned holders are
+  // reached through the graph), so the measurement mirrors that.
+  if (Cards)
+    for (uint64_t *Holder : gatherDirtyCardHolders(CollectJ, nullptr))
+      ScanObject(Holder);
+  else
+    RemSet.forEach(ScanObject);
   if (Nursery && NurseryAsRoots)
     Nursery->forEachObject(ScanObject);
   while (!Stack.empty()) {
@@ -192,6 +242,13 @@ void NonPredictiveCollector::onPointerStore(Value Holder, Value Stored) {
   stats().noteBarrierHit();
   if (!Holder.isPointer())
     return;
+  if (Cards) {
+    // Normally unreachable — the Heap's barrier dispatch marks the card
+    // directly — but a direct call must behave identically. The card walk
+    // at scan time filters by step, so no region tests are needed here.
+    Cards->dirtyHolder(Holder.asHeaderPtr());
+    return;
+  }
   uint8_t HolderRegion = ObjectRef(Holder).region();
   if (HolderRegion == RegionNursery)
     return; // The nursery is condemned by every collection that needs it.
@@ -347,6 +404,17 @@ void NonPredictiveCollector::collectMinor() {
                   capacityLimitWords() == 0 && !DegradedPending;
   uint64_t WordsCopied = 0;
   bool Degraded = false;
+  // Card backend: any step may hold a nursery pointer, so every step's
+  // dirty cards are walked — and the walk must happen before promotion
+  // starts, because the steps are this cycle's to-space (outstanding PLAB
+  // chunk interiors are not walkable). No step is condemned by a minor
+  // collection, so every gathered holder is safe to scan.
+  std::vector<uint64_t *> CardHolders;
+  if (Cards) {
+    Timer.begin(GcPhase::RemsetScan);
+    CardHolders = gatherDirtyCardHolders(K, &Record);
+    Record.RootsScanned += CardHolders.size();
+  }
 
   if (Parallel) {
     ParallelScavenger Scavenger(
@@ -372,10 +440,14 @@ void NonPredictiveCollector::collectMinor() {
     Scavenger.scavengeRoots(Roots);
     Timer.begin(GcPhase::RemsetScan);
     std::vector<uint64_t *> Holders;
-    RemSet.forEach([&](uint64_t *Holder) {
-      ++Record.RootsScanned;
-      Holders.push_back(Holder);
-    });
+    if (Cards) {
+      Holders = std::move(CardHolders);
+    } else {
+      RemSet.forEach([&](uint64_t *Holder) {
+        ++Record.RootsScanned;
+        Holders.push_back(Holder);
+      });
+    }
     Scavenger.scanRemembered(Holders);
     Timer.begin(GcPhase::Trace);
     Scavenger.drain();
@@ -411,10 +483,15 @@ void NonPredictiveCollector::collectMinor() {
     });
     // Remembered step-heap objects may hold nursery pointers; scan them.
     Timer.begin(GcPhase::RemsetScan);
-    RemSet.forEach([&](uint64_t *Holder) {
-      ++Record.RootsScanned;
-      Scavenger.scanObject(Holder);
-    });
+    if (Cards) {
+      for (uint64_t *Holder : CardHolders)
+        Scavenger.scanObject(Holder);
+    } else {
+      RemSet.forEach([&](uint64_t *Holder) {
+        ++Record.RootsScanned;
+        Scavenger.scanObject(Holder);
+      });
+    }
     Timer.begin(GcPhase::Trace);
     Scavenger.drain();
     WordsCopied = Scavenger.wordsCopied();
@@ -478,7 +555,11 @@ void NonPredictiveCollector::collectMinor() {
   // so a holder whose only interesting pointer targets one must stay
   // remembered (entries whose targets were promoted are stale but
   // harmless, and the next successful cycle drops them).
-  if (!Degraded) {
+  //
+  // The card backend never cleans after a minor collection: dirt
+  // accumulates conservatively (extra scan work, never a missed edge) and
+  // is consumed — and the table wiped — by the next collectWithJ cycle.
+  if (!Degraded && !Cards) {
     std::vector<uint64_t *> Kept;
     RemSet.forEach([&](uint64_t *Holder) {
       size_t HolderStep = logicalOfRegion(header::region(*Holder));
@@ -629,11 +710,18 @@ void NonPredictiveCollector::collectWithJ(size_t CollectJ) {
     // from-space originals would race their own evacuation, and a live
     // condemned holder is traced through the normal graph anyway.
     std::vector<uint64_t *> Holders;
-    RemSet.forEach([&](uint64_t *Holder) {
-      ++Record.RootsScanned;
-      if (!Condemned[header::region(*Holder)])
-        Holders.push_back(Holder);
-    });
+    if (Cards) {
+      // Precise by construction: only the exempt steps 1..CollectJ are
+      // walked, so condemned holders never enter the list.
+      Holders = gatherDirtyCardHolders(CollectJ, &Record);
+      Record.RootsScanned += Holders.size();
+    } else {
+      RemSet.forEach([&](uint64_t *Holder) {
+        ++Record.RootsScanned;
+        if (!Condemned[header::region(*Holder)])
+          Holders.push_back(Holder);
+      });
+    }
     Scavenger.scanRemembered(Holders);
     Timer.begin(GcPhase::Trace);
     Scavenger.drain();
@@ -674,10 +762,17 @@ void NonPredictiveCollector::collectWithJ(size_t CollectJ) {
     // Remembered objects in steps 1..j hold pointers into the condemned
     // region; those slots are roots and must be rewritten (Section 8.6).
     Timer.begin(GcPhase::RemsetScan);
-    RemSet.forEach([&](uint64_t *Holder) {
-      ++Record.RootsScanned;
-      Scavenger.scanObject(Holder);
-    });
+    if (Cards) {
+      for (uint64_t *Holder : gatherDirtyCardHolders(CollectJ, &Record)) {
+        ++Record.RootsScanned;
+        Scavenger.scanObject(Holder);
+      }
+    } else {
+      RemSet.forEach([&](uint64_t *Holder) {
+        ++Record.RootsScanned;
+        Scavenger.scanObject(Holder);
+      });
+    }
     Timer.begin(GcPhase::RootScan);
     if (Nursery && !PromoteNursery)
       // The unpromoted nursery is a young region that is not scanned via
@@ -812,6 +907,11 @@ void NonPredictiveCollector::collectWithJ(size_t CollectJ) {
     PhysicalToLogical[LogicalToPhysical[I]] = static_cast<uint16_t>(I + 1);
 
   RemSet.clear();
+  if (Cards)
+    // Every step's dirt was either consumed (exempt steps) or belongs to
+    // condemned storage that just moved; the re-remember pass below
+    // re-dirties what the pending minor collection still needs.
+    Cards->clearAll();
   if (Nursery && (!PromoteNursery || Degraded))
     // Re-remember every step object still holding a nursery pointer: the
     // pending minor collection treats those slots as nursery roots. (After
@@ -826,7 +926,11 @@ void NonPredictiveCollector::collectWithJ(size_t CollectJ) {
           if (V.isPointer() && ObjectRef(V).region() == RegionNursery)
             HoldsNurseryPointer = true;
         });
-        if (HoldsNurseryPointer)
+        if (!HoldsNurseryPointer)
+          return;
+        if (Cards)
+          Cards->dirtyHolder(Header);
+        else
           RemSet.insert(Header);
       });
 

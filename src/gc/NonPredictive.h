@@ -34,6 +34,7 @@
 #ifndef RDGC_GC_NONPREDICTIVE_H
 #define RDGC_GC_NONPREDICTIVE_H
 
+#include "gc/CardTable.h"
 #include "gc/RememberedSet.h"
 #include "heap/Space.h"
 #include "heap/Collector.h"
@@ -76,6 +77,10 @@ struct NonPredictiveConfig {
   /// be decreased at any time", Section 8.1), shrinking the young region
   /// whose outgoing pointers need remembering.
   size_t RemsetJReductionThreshold = 0;
+  /// Remembered-set implementation (DESIGN.md §15): the sequential store
+  /// buffer or the card table. Defaults to the RDGC_REMSET environment
+  /// setting.
+  RemsetBackend Backend = remsetBackendFromEnvironment();
 };
 
 /// Collection kind recorded in CollectionRecord::Kind.
@@ -105,9 +110,7 @@ public:
   bool tryGrowHeap(size_t MinWords) override;
   void onPointerStore(Value Holder, Value Stored) override;
   void forEachRememberedHolder(
-      const std::function<void(uint64_t *)> &Visit) const override {
-    RemSet.forEach(Visit);
-  }
+      const std::function<void(uint64_t *)> &Visit) const override;
   uint8_t currentAllocationRegion() const override { return LastAllocRegion; }
   /// The paper's heap size N is k steps (plus the ephemeral area in the
   /// hybrid configuration); the copy reserve is bookkeeping.
@@ -130,8 +133,12 @@ public:
   bool isHybrid() const { return Nursery != nullptr; }
   /// Words used in logical step \p Logical (1-based).
   size_t stepUsedWords(size_t Logical) const;
-  size_t rememberedSetSize() const override { return RemSet.size(); }
-  /// Largest entry count the remembered set ever reached.
+  size_t rememberedSetSize() const override;
+  const char *remsetBackendName() const override {
+    return Cards ? "card" : "ssb";
+  }
+  uint8_t *cardTableBase() override { return Cards ? Cards->base() : nullptr; }
+  /// Largest entry count the remembered set ever reached (SSB backend).
   size_t rememberedSetPeak() const { return RemsetPeak; }
   uint64_t collectionsRun() const { return CollectionCount; }
   uint64_t minorCollectionsRun() const { return MinorCount; }
@@ -209,6 +216,14 @@ private:
   /// Chooses j for the next cycle given \p EmptySteps leading empty steps.
   size_t chooseJ(size_t EmptySteps) const;
 
+  /// Card backend: collects the header of every scannable object on a
+  /// dirty card in logical steps 1..\p MaxStep — the steps a cycle scans
+  /// via the remembered set (all k for a minor collection, the exempt
+  /// steps for collectWithJ). Accumulates card-scan accounting into
+  /// \p Record when non-null.
+  std::vector<uint64_t *> gatherDirtyCardHolders(size_t MaxStep,
+                                                 CollectionRecord *Record);
+
   /// Republishes the inline allocation window (Collector fast path). In
   /// hybrid mode the window is the nursery (stable for the collector's
   /// lifetime); in pure mode it is the step under the downward allocation
@@ -246,6 +261,9 @@ private:
   /// j+1..k from steps 1..j (Section 8.3), or — hybrid mode — into the
   /// nursery. Entries are re-filtered when traced, per Section 8.4.
   RememberedSet RemSet;
+  /// Non-null iff the card-table backend is active; RemSet then stays
+  /// empty (the Heap's barrier dispatch never reaches onPointerStore).
+  std::unique_ptr<CardTable> Cards;
   std::unique_ptr<Space> Nursery;
   uint8_t LastAllocRegion = 1;
   size_t LastLiveWords = 0;

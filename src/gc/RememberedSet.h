@@ -68,11 +68,18 @@ public:
   /// the entry holds a forwarding header or the poison fill — writing the
   /// cleared bit there would corrupt the poison pattern (PoisonPattern has
   /// bit 7 set) and blind the verifier's dangling-reference scan, so those
-  /// entries are skipped instead.
+  /// entries are skipped instead. A *self*-forwarded holder (evacuation
+  /// failure, DESIGN.md §13) is the opposite case: the object survives in
+  /// place and this very header word — remembered bit included — is what
+  /// restoreSelfForward re-publishes, so skipping it would leave the bit
+  /// set forever and make every later insert dedupe against it, silently
+  /// dropping the holder's old-to-nursery edges.
   void clear() {
     for (uint64_t *Holder : Entries) {
-      if (*Holder == PoisonPattern ||
-          header::tag(*Holder) == ObjectTag::Forward)
+      if (*Holder == PoisonPattern)
+        continue;
+      if (header::tag(*Holder) == ObjectTag::Forward &&
+          Holder[1] != reinterpret_cast<uint64_t>(Holder))
         continue;
       *Holder = header::clearRemembered(*Holder);
     }

@@ -92,8 +92,21 @@ public:
       const std::function<void(uint64_t *)> &Visit) const {}
 
   /// Entries currently in the collector's remembered set; 0 for collectors
-  /// that keep none. The tracer stamps this into collection events.
+  /// that keep none. The tracer stamps this into collection events. For the
+  /// card backend this is the dirty-card count over the spaces the
+  /// collector's scans cover.
   virtual size_t rememberedSetSize() const { return 0; }
+
+  /// The remembered-set backend this collector runs ("ssb" or "card";
+  /// "none" for collectors without a write barrier). The tracer stamps it
+  /// into every collection event so an A/B trace is self-describing.
+  virtual const char *remsetBackendName() const { return "none"; }
+
+  /// When the collector runs the card-table backend, the base of its dirty
+  /// byte table (card::TableEntries bytes); the owning Heap caches it so
+  /// the barrier fast path is one indexed store. Null means the barrier
+  /// dispatches through onPointerStore (SSB or no barrier).
+  virtual uint8_t *cardTableBase() { return nullptr; }
 
   /// Region id (collector-defined) of the words most recently returned by
   /// tryAllocate. The Heap facade stamps this into the new object's header

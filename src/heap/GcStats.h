@@ -48,6 +48,10 @@ struct CollectionRecord {
   uint64_t LiveWordsAfter = 0;       ///< Live words in the collected region.
   uint64_t RootsScanned = 0;         ///< Root and remembered-set slots.
   int Kind = 0;                      ///< Collector-defined (minor/major/...).
+  // Card-backend scan accounting (zero on the SSB backend and on cycle
+  // kinds that consult no remembered set).
+  uint64_t CardsScanned = 0; ///< Dirty-table entries inspected this cycle.
+  uint64_t CardsDirty = 0;   ///< How many of those entries were dirty.
   /// Per-worker breakdown when the cycle ran the parallel scavenger;
   /// empty for serial cycles (keeps serial records and traces unchanged).
   std::vector<GcWorkerCycleStats> Workers;

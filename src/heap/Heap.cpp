@@ -113,6 +113,7 @@ static uint64_t environmentWatchdogMicros() {
 Heap::Heap(std::unique_ptr<Collector> C) : Coll(std::move(C)) {
   assert(Coll && "heap requires a collector");
   Coll->attachHeap(this);
+  CardMarkBase = Coll->cardTableBase();
   Coll->setGcThreads(environmentGcThreads());
   Coll->setWatchdogMicros(environmentWatchdogMicros());
   if (const FaultPlan *Plan = environmentFaultPlan())

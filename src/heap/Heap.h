@@ -333,12 +333,26 @@ private:
   bool accessible(Value V, const char *Op) const;
 
   /// Applies the write barrier for a store of \p Stored into \p Holder.
+  /// Both backends share the non-pointer pre-filter (immediate and fixnum
+  /// stores are the common case and must cost one test either way); a
+  /// pointer store then either dirties the holder's card directly — the
+  /// collector's table base is cached at construction, so the card backend
+  /// never takes the virtual call — or dispatches to the collector's SSB
+  /// barrier.
   void barrier(Value Holder, Value Stored) {
-    if (Stored.isPointer())
-      Coll->onPointerStore(Holder, Stored);
+    if (!Stored.isPointer())
+      return;
+    if (CardMarkBase) {
+      cardMark(CardMarkBase, Holder);
+      return;
+    }
+    Coll->onPointerStore(Holder, Stored);
   }
 
   std::unique_ptr<Collector> Coll;
+  /// Coll->cardTableBase(), cached by the constructor; null on the SSB
+  /// backend and for collectors without a write barrier.
+  uint8_t *CardMarkBase = nullptr;
   GcTracer *Tracer = nullptr;
   /// The environment-configured tracer (RDGC_TRACE), when one exists.
   std::unique_ptr<GcTracer> OwnedTracer;

@@ -232,6 +232,16 @@ inline void publishSelfForward(uint64_t *Header, uint64_t Original) {
 
 } // namespace header
 
+/// The card-table write barrier's fast path (see gc/CardTable.h and
+/// DESIGN.md §15): dirties the card covering \p Holder's header. Branch
+/// free — one shift, one mask, one byte store — and unconditional: a
+/// redundant mark is cheaper than the test that would avoid it, and stores
+/// into young holders only cost conservative scan work later because the
+/// collectors walk dirty cards over their old/step spaces only.
+inline void cardMark(uint8_t *TableBase, Value Holder) {
+  TableBase[card::indexOfBits(Holder.rawBits())] = 1;
+}
+
 /// Non-owning view of a heap object, wrapping the header address. All
 /// collectors and the Heap facade manipulate objects through this view.
 class ObjectRef {

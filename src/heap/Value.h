@@ -31,9 +31,33 @@
 #define RDGC_HEAP_VALUE_H
 
 #include <cassert>
+#include <cstddef>
 #include <cstdint>
 
 namespace rdgc {
+
+/// Card geometry for the card-table write-barrier backend (DESIGN.md §15).
+/// The dirty table is a fixed, power-of-two byte array indexed by a hash of
+/// the holder's header address: one shift, one mask, one byte store, no
+/// per-space range checks on the barrier path. Hash collisions can only
+/// make a clean card read as dirty (extra scan work, never a missed edge),
+/// so the table needs no registration against the spaces it covers and
+/// survives space re-creation untouched.
+namespace card {
+
+/// log2 of the card size in bytes: 512-byte cards, 64 words each.
+constexpr unsigned Shift = 9;
+/// Entries in the dirty byte table (64 Ki cards = 32 MiB of unaliased
+/// address span; larger heaps alias conservatively).
+constexpr size_t TableEntries = 1u << 16;
+constexpr size_t IndexMask = TableEntries - 1;
+
+/// The dirty-table index covering the address with raw bits \p Bits.
+constexpr size_t indexOfBits(uint64_t Bits) {
+  return static_cast<size_t>((Bits >> Shift) & IndexMask);
+}
+
+} // namespace card
 
 /// Subtags for immediate (non-pointer, non-fixnum) values.
 enum class ImmediateKind : uint8_t {

@@ -132,6 +132,9 @@ std::string rdgc::formatTraceEventJson(const GcTraceEvent &E) {
     appendUint(Out, "live_words_after", E.LiveWordsAfter, First);
     appendUint(Out, "roots_scanned", E.RootsScanned, First);
     appendUint(Out, "remset_size", E.RemsetSize, First);
+    appendString(Out, "remset_backend", E.RemsetBackend, First);
+    appendUint(Out, "cards_scanned", E.CardsScanned, First);
+    appendUint(Out, "cards_dirty", E.CardsDirty, First);
     appendUint(Out, "root_scan_ns", E.Phases[GcPhase::RootScan], First);
     appendUint(Out, "remset_scan_ns", E.Phases[GcPhase::RemsetScan], First);
     appendUint(Out, "trace_ns", E.Phases[GcPhase::Trace], First);
@@ -464,6 +467,9 @@ bool rdgc::parseTraceEventJson(const std::string &Line, GcTraceEvent &Event,
     TakeUint("live_words_after", Event.LiveWordsAfter);
     TakeUint("roots_scanned", Event.RootsScanned);
     TakeUint("remset_size", Event.RemsetSize);
+    TakeString("remset_backend", Event.RemsetBackend);
+    TakeUint("cards_scanned", Event.CardsScanned);
+    TakeUint("cards_dirty", Event.CardsDirty);
     TakeUint("root_scan_ns", Event.Phases[GcPhase::RootScan]);
     TakeUint("remset_scan_ns", Event.Phases[GcPhase::RemsetScan]);
     TakeUint("trace_ns", Event.Phases[GcPhase::Trace]);
@@ -583,6 +589,9 @@ void GcTracer::noteCollection(const Collector &C,
   E.LiveWordsAfter = Record.LiveWordsAfter;
   E.RootsScanned = Record.RootsScanned;
   E.RemsetSize = C.rememberedSetSize();
+  E.RemsetBackend = C.remsetBackendName();
+  E.CardsScanned = Record.CardsScanned;
+  E.CardsDirty = Record.CardsDirty;
   E.Phases = Timer.times();
   E.TotalNanos = Timer.totalNanos();
   E.Workers = Record.Workers;

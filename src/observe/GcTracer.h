@@ -170,6 +170,11 @@ struct GcTraceEvent {
   uint64_t LiveWordsAfter = 0;
   uint64_t RootsScanned = 0;
   uint64_t RemsetSize = 0; ///< Remembered-set entries after the cycle.
+  /// Remembered-set backend: "ssb", "card", or "none" for collectors
+  /// without a remembered set (DESIGN.md §15).
+  std::string RemsetBackend;
+  uint64_t CardsScanned = 0; ///< Card backend: cards inspected this cycle.
+  uint64_t CardsDirty = 0;   ///< Card backend: dirty cards found this cycle.
   GcPhaseTimes Phases;
   uint64_t TotalNanos = 0; ///< Whole-cycle pause; >= Phases.sumNanos().
   /// Per-worker breakdown of a parallel cycle (copied from

@@ -27,6 +27,8 @@ ExperimentRun rdgc::runExperiment(Workload &W, CollectorKind Kind,
   Sizing.IntermediateBytes = Options.IntermediateBytes;
   Sizing.StepCount = Options.StepCount;
   Sizing.Policy = Options.Policy;
+  Sizing.Remset = Options.Remset;
+  Sizing.BitmapMarking = Options.BitmapMarking;
 
   auto H = makeHeap(Kind, Sizing);
   if (Options.GcThreads >= 0)

@@ -76,6 +76,11 @@ struct HarnessOptions {
   /// Step count for the non-predictive collector.
   size_t StepCount = 8;
   JSelectionPolicy Policy = JSelectionPolicy::HalfOfEmpty;
+  /// Remembered-set backend ("ssb", "card", "" = inherit RDGC_REMSET) for
+  /// the generational and non-predictive collectors.
+  std::string Remset;
+  /// Side-bitmap marking for the mark/sweep and mark-compact collectors.
+  bool BitmapMarking = true;
   /// When non-null, the run's heap reports its trace events (and pause
   /// histogram) here instead of a harness-private tracer. The caller keeps
   /// ownership; RDGC_TRACE-installed tracers are left in place.

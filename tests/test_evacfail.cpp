@@ -298,7 +298,11 @@ TEST(RemsetDropTest, GenerationalCompensatesWithoutLosingTheEdge) {
   RDGC_SKIP_UNDER_ENV_TORTURE();
   for (CollectorKind Kind : {CollectorKind::Generational,
                              CollectorKind::NonPredictiveHybrid}) {
-    auto H = makeHeap(Kind, smallSizing());
+    // remset=N drops SSB inserts; the card barrier is an unconditional
+    // byte store with nothing to drop, so pin the backend under test.
+    CollectorSizing Sizing = smallSizing();
+    Sizing.Remset = "ssb";
+    auto H = makeHeap(Kind, Sizing);
     SCOPED_TRACE(H->collector().name());
     H->setPoisonFreedMemory(true);
 
@@ -330,6 +334,62 @@ TEST(RemsetDropTest, GenerationalCompensatesWithoutLosingTheEdge) {
     // The compensation is one-shot: subsequent cycles are ordinary again.
     H->collectNow();
     expectVerifierGreen(*H);
+  }
+}
+
+// Regression for the RememberedSet::clear() self-forward bug: a holder (or
+// its referent) that rides through an injected evacuation failure must not
+// strand a stale remembered bit, or the old→young edge created afterwards
+// is never re-remembered and the next minor collection poisons the young
+// object out from under the holder.
+TEST(RemsetDropTest, OldToYoungEdgeSurvivesMinorAfterEvacuationFailure) {
+  RDGC_SKIP_UNDER_ENV_TORTURE();
+  for (CollectorKind Kind : {CollectorKind::Generational,
+                             CollectorKind::NonPredictiveHybrid}) {
+    for (const char *Backend : {"ssb", "card"}) {
+      CollectorSizing Sizing = smallSizing();
+      Sizing.Remset = Backend;
+      auto H = makeHeap(Kind, Sizing);
+      SCOPED_TRACE(std::string(H->collector().name()) + " remset=" + Backend);
+      H->setPoisonFreedMemory(true);
+
+      // Age a holder out of the nursery.
+      Handle Old(*H, H->allocateCell(Value::null()));
+      H->collectFullNow();
+      H->collectFullNow();
+
+      // Create the old→young edge, then fail an evacuation so the next
+      // scoped cycle completes degraded with self-forwarded survivors.
+      FaultPlan Plan;
+      Plan.Seed = 11;
+      Plan.EvacFailAt = 2;
+      H->installFaultPlan(Plan);
+      Handle Filler(*H);
+      buildList(*H, Filler, 64);
+      H->setCell(Old, H->allocatePair(Value::fixnum(123), Value::null()));
+      H->collectNow();
+      EXPECT_EQ(H->faultInjector()->injectedEvacFailures(), 1u);
+
+      // The edge survived the degraded cycle itself.
+      Value Young = H->cellRef(Old);
+      ASSERT_TRUE(Young.isPointer());
+      EXPECT_EQ(H->pairCar(Young).asFixnum(), 123);
+      expectVerifierGreen(*H);
+
+      // And — the bug under test — the holder can still be re-remembered:
+      // a fresh old→young edge written after recovery must survive the
+      // next minor. A stale remembered bit left by clear() on a
+      // self-forwarded holder would dedupe the insert away and lose it.
+      H->collectFullNow();
+      H->setCell(Old, H->allocatePair(Value::fixnum(321), Value::null()));
+      H->collectNow();
+      Young = H->cellRef(Old);
+      ASSERT_TRUE(Young.isPointer());
+      EXPECT_EQ(H->pairCar(Young).asFixnum(), 321);
+      expectListIntact(*H, Filler.get(), 64);
+      expectVerifierGreen(*H);
+      EXPECT_EQ(H->lastFault(), HeapFault::None);
+    }
   }
 }
 

@@ -173,7 +173,13 @@ TEST(HybridTest, OldToNurseryPointersRemembered) {
 }
 
 TEST(HybridTest, RememberedSetRefilteredAfterMinor) {
-  HybridHeap Hy(hybridConfig());
+  // Re-filtering is an exact-SSB notion (a card table has no per-holder
+  // entries to drop), so pin the backend against RDGC_REMSET overrides.
+  HybridHeap Hy([] {
+    NonPredictiveConfig C = hybridConfig();
+    C.Backend = RemsetBackend::Ssb;
+    return C;
+  }());
   Heap &H = *Hy.H;
   Handle Old(H, H.allocateVector(4, Value::null()));
   H.collectNow();

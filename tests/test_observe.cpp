@@ -100,6 +100,9 @@ TEST(TraceSchemaTest, GoldenCollectionJson) {
   E.LiveWordsAfter = 300;
   E.RootsScanned = 16;
   E.RemsetSize = 3;
+  E.RemsetBackend = "card";
+  E.CardsScanned = 12;
+  E.CardsDirty = 4;
   E.Phases[GcPhase::RootScan] = 10;
   E.Phases[GcPhase::RemsetScan] = 20;
   E.Phases[GcPhase::Trace] = 30;
@@ -113,7 +116,9 @@ TEST(TraceSchemaTest, GoldenCollectionJson) {
             "\"kind_class\":\"minor\",\"words_allocated\":1000,"
             "\"words_traced\":200,\"words_reclaimed\":700,"
             "\"live_words_after\":300,\"roots_scanned\":16,"
-            "\"remset_size\":3,\"root_scan_ns\":10,\"remset_scan_ns\":20,"
+            "\"remset_size\":3,\"remset_backend\":\"card\","
+            "\"cards_scanned\":12,\"cards_dirty\":4,"
+            "\"root_scan_ns\":10,\"remset_scan_ns\":20,"
             "\"trace_ns\":30,\"sweep_ns\":40,\"total_ns\":110}");
 
   GcTraceEvent Parsed;
@@ -132,6 +137,9 @@ TEST(TraceSchemaTest, GoldenCollectionJson) {
   EXPECT_EQ(Parsed.LiveWordsAfter, 300u);
   EXPECT_EQ(Parsed.RootsScanned, 16u);
   EXPECT_EQ(Parsed.RemsetSize, 3u);
+  EXPECT_EQ(Parsed.RemsetBackend, "card");
+  EXPECT_EQ(Parsed.CardsScanned, 12u);
+  EXPECT_EQ(Parsed.CardsDirty, 4u);
   EXPECT_EQ(Parsed.Phases[GcPhase::RootScan], 10u);
   EXPECT_EQ(Parsed.Phases[GcPhase::RemsetScan], 20u);
   EXPECT_EQ(Parsed.Phases[GcPhase::Trace], 30u);
@@ -494,28 +502,48 @@ TEST(PacingTest, CounterCarriesTheOvershoot) {
 
 TEST(RememberedSetTest, ClearSkipsPoisonedAndForwardedHolders) {
   RememberedSet RS;
-  uint64_t Live = header::encode(ObjectTag::Pair, 2, 3);
-  uint64_t Evacuated = header::encode(ObjectTag::Pair, 2, 3);
-  uint64_t Forwarded = header::encode(ObjectTag::Vector, 4, 3);
-  ASSERT_TRUE(RS.insert(&Live));
-  ASSERT_TRUE(RS.insert(&Evacuated));
-  ASSERT_TRUE(RS.insert(&Forwarded));
-  ASSERT_FALSE(RS.insert(&Live)) << "remembered bit must deduplicate";
+  // Two-word objects: header + first payload word (the forwarding target
+  // slot once the header is Forward-tagged).
+  uint64_t Live[2] = {header::encode(ObjectTag::Pair, 2, 3), 0};
+  uint64_t Evacuated[2] = {header::encode(ObjectTag::Pair, 2, 3), 0};
+  uint64_t Forwarded[2] = {header::encode(ObjectTag::Vector, 4, 3), 0};
+  uint64_t SelfForwarded[2] = {header::encode(ObjectTag::Pair, 2, 3), 0};
+  ASSERT_TRUE(RS.insert(Live));
+  ASSERT_TRUE(RS.insert(Evacuated));
+  ASSERT_TRUE(RS.insert(Forwarded));
+  ASSERT_TRUE(RS.insert(SelfForwarded));
+  ASSERT_FALSE(RS.insert(Live)) << "remembered bit must deduplicate";
 
   // Simulate a copying collection: one holder evacuated and poisoned, one
-  // left as a forwarding header, one still live in place.
-  Evacuated = PoisonPattern;
-  Forwarded = header::encode(ObjectTag::Forward, 4, 3) |
-              (Forwarded & header::RememberedBit);
+  // left as a forwarding header to its to-space copy, one self-forwarded
+  // (evacuation failure pinned it in place), one still live in place.
+  Evacuated[0] = PoisonPattern;
+  uint64_t ToSpaceCopy[2] = {header::encode(ObjectTag::Vector, 4, 3), 0};
+  Forwarded[0] = header::encode(ObjectTag::Forward, 4, 3) |
+                 (Forwarded[0] & header::RememberedBit);
+  Forwarded[1] = reinterpret_cast<uint64_t>(ToSpaceCopy);
+  SelfForwarded[0] = header::encode(ObjectTag::Forward, 2, 3) |
+                     (SelfForwarded[0] & header::RememberedBit);
+  SelfForwarded[1] = reinterpret_cast<uint64_t>(SelfForwarded);
 
   RS.clear();
   EXPECT_TRUE(RS.empty());
-  EXPECT_FALSE(header::isRemembered(Live));
+  EXPECT_FALSE(header::isRemembered(Live[0]));
   // The poison fill must survive byte-for-byte: the old bug cleared bit 7
   // (which PoisonPattern has set), turning 0x...DEAC into 0x...DE2C and
   // blinding the verifier's dangling-reference scan.
-  EXPECT_EQ(Evacuated, PoisonPattern);
-  // A forwarding header is from-space storage too; clear() must not touch
-  // its bits either.
-  EXPECT_EQ(header::tag(Forwarded), ObjectTag::Forward);
+  EXPECT_EQ(Evacuated[0], PoisonPattern);
+  // A forwarding header to a genuine to-space copy is from-space storage;
+  // clear() must not touch its bits.
+  EXPECT_EQ(header::tag(Forwarded[0]), ObjectTag::Forward);
+  EXPECT_TRUE(header::isRemembered(Forwarded[0]));
+  // A SELF-forwarded holder is a live object that failed to evacuate and
+  // stays in place. Its remembered bit must be cleared like any other live
+  // holder, or the next insert() dedupes against the stale bit and the
+  // old-to-young edge is lost (the bug this PR fixes).
+  EXPECT_EQ(header::tag(SelfForwarded[0]), ObjectTag::Forward);
+  EXPECT_FALSE(header::isRemembered(SelfForwarded[0]))
+      << "self-forwarded live holder kept a stale remembered bit";
+  ASSERT_TRUE(RS.insert(SelfForwarded))
+      << "holder could not be re-remembered after evacuation failure";
 }

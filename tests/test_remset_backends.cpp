@@ -1,0 +1,344 @@
+//===- tests/test_remset_backends.cpp - SSB vs card, bitmap vs header ----===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Differential tests for DESIGN.md §15's selectable machinery: the two
+/// remembered-set backends (exact SSB vs hashed card table) must be
+/// observationally equivalent on the generational and non-predictive
+/// collectors — identical logical heap images after identical mutator
+/// programs, verifier-green throughout, including under torture mode and
+/// an injected fault plan — and the two marking representations (side
+/// bitmap vs header mark bit) must make the mark/sweep and mark-compact
+/// collectors reclaim exactly the same storage cycle for cycle.
+///
+//===----------------------------------------------------------------------===//
+
+#include "gc/CollectorFactory.h"
+#include "heap/Heap.h"
+#include "heap/HeapVerifier.h"
+#include "heap/TortureMode.h"
+#include "observe/GcTracer.h"
+#include "support/Random.h"
+
+#include "TortureSkip.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+using namespace rdgc;
+
+namespace {
+
+CollectorSizing smallSizing(const char *Remset) {
+  CollectorSizing Sizing;
+  Sizing.PrimaryBytes = 96 * 1024;
+  Sizing.NurseryBytes = 16 * 1024;
+  Sizing.StepCount = 8;
+  Sizing.Remset = Remset;
+  return Sizing;
+}
+
+/// Serializes the reachable graph into a layout-independent word stream:
+/// objects are numbered in BFS discovery order from the roots (root order,
+/// then slot order), and every payload word is emitted either verbatim
+/// (immediates, lengths, string bytes) or as ~id of the pointee. Two heaps
+/// hold the same logical image iff the streams are equal, no matter where
+/// the collectors placed the objects.
+std::vector<uint64_t> canonicalImage(Heap &H) {
+  std::vector<uint64_t> Out;
+  std::unordered_map<const uint64_t *, uint64_t> Ids;
+  std::vector<uint64_t *> Order;
+  auto IdOf = [&](uint64_t *Header) {
+    auto [It, Fresh] = Ids.emplace(Header, Ids.size());
+    if (Fresh)
+      Order.push_back(Header);
+    return It->second;
+  };
+  H.forEachRoot([&](Value &Slot) {
+    Out.push_back(Slot.isPointer() ? ~IdOf(Slot.asHeaderPtr())
+                                   : Slot.rawBits());
+  });
+  for (size_t I = 0; I < Order.size(); ++I) {
+    ObjectRef Obj(Order[I]);
+    Out.push_back(static_cast<uint64_t>(Obj.tag()));
+    Out.push_back(Obj.payloadWords());
+    std::unordered_set<const uint64_t *> ValueSlots;
+    Obj.forEachPointerSlot(
+        [&](uint64_t *SlotWord) { ValueSlots.insert(SlotWord); });
+    for (size_t W = 0; W < Obj.payloadWords(); ++W) {
+      uint64_t *SlotWord = Obj.payload() + W;
+      Value V = Value::fromRawBits(*SlotWord);
+      if (ValueSlots.count(SlotWord) && V.isPointer())
+        Out.push_back(~IdOf(V.asHeaderPtr()));
+      else
+        Out.push_back(*SlotWord);
+    }
+  }
+  return Out;
+}
+
+void expectVerifierGreen(Heap &H) {
+  HeapVerification V = verifyHeap(H);
+  EXPECT_TRUE(V.Ok) << V.FirstProblem;
+}
+
+/// Caller-owned roots for runMutator; must outlive any canonicalImage()
+/// capture (Handles unregister themselves on destruction).
+struct MutatorState {
+  Handle Window, OldCell;
+  explicit MutatorState(Heap &H)
+      : Window(H, H.allocateVector(32, Value::null())),
+        OldCell(H, H.allocateCell(Value::null())) {}
+};
+
+/// Deterministic mutator exercising every barrier-relevant shape: aged
+/// holders (vector, cell) written with young pointers, raw-payload objects
+/// (strings, flonums) mixed in, explicit scoped collections, and a sliding
+/// window keeping a bounded live set.
+void runMutator(Heap &H, MutatorState &S, int Iterations) {
+  H.collectFullNow(); // Age the holders out of the nursery.
+  H.collectFullNow();
+  Xoshiro256 Rng(0xC0FFEE);
+  for (int I = 0; I < Iterations; ++I) {
+    Value P = H.allocatePair(Value::fixnum(I), Value::null());
+    H.vectorSet(S.Window, Rng.nextBelow(32), P); // old→young edge
+    if (I % 7 == 0)
+      H.setCell(S.OldCell, P); // old→young edge through a cell
+    if (I % 23 == 0)
+      H.vectorSet(S.Window, Rng.nextBelow(32),
+                  H.allocateString("s" + std::to_string(I)));
+    if (I % 41 == 0)
+      H.setCell(S.OldCell, H.allocateFlonum(1.0 / (I + 1)));
+    if (I % 401 == 0)
+      H.collectNow(); // scoped (minor / non-predictive) collection
+  }
+  H.collectNow();
+}
+
+const CollectorKind GenerationalKinds[] = {
+    CollectorKind::Generational,
+    CollectorKind::NonPredictive,
+    CollectorKind::NonPredictiveHybrid,
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===
+// SSB vs card table.
+//===----------------------------------------------------------------------===
+
+TEST(RemsetBackendTest, BackendsReportTheirIdentity) {
+  for (CollectorKind Kind : GenerationalKinds) {
+    auto Ssb = makeHeap(Kind, smallSizing("ssb"));
+    auto Card = makeHeap(Kind, smallSizing("card"));
+    EXPECT_STREQ(Ssb->collector().remsetBackendName(), "ssb");
+    EXPECT_STREQ(Card->collector().remsetBackendName(), "card");
+  }
+  // Non-generational collectors have no remembered set at all.
+  auto Sc = makeHeap(CollectorKind::StopAndCopy, smallSizing(""));
+  EXPECT_STREQ(Sc->collector().remsetBackendName(), "none");
+}
+
+TEST(RemsetBackendTest, SsbAndCardProduceIdenticalLogicalImages) {
+  RDGC_SKIP_UNDER_ENV_TORTURE();
+  for (CollectorKind Kind : GenerationalKinds) {
+    std::vector<uint64_t> Images[2];
+    const char *Backends[2] = {"ssb", "card"};
+    for (int Run = 0; Run < 2; ++Run) {
+      auto H = makeHeap(Kind, smallSizing(Backends[Run]));
+      SCOPED_TRACE(std::string(H->collector().name()) + " remset=" +
+                   Backends[Run]);
+      H->setPoisonFreedMemory(true);
+      MutatorState S(*H);
+      runMutator(*H, S, 12000);
+      expectVerifierGreen(*H);
+      H->collectFullNow();
+      expectVerifierGreen(*H);
+      Images[Run] = canonicalImage(*H);
+      EXPECT_EQ(H->lastFault(), HeapFault::None);
+    }
+    ASSERT_GT(Images[0].size(), 64u);
+    EXPECT_EQ(Images[0], Images[1]) << "backends diverged";
+  }
+}
+
+TEST(RemsetBackendTest, ParallelCardScanMatchesSerial) {
+  RDGC_SKIP_UNDER_ENV_TORTURE();
+  for (CollectorKind Kind : GenerationalKinds) {
+    std::vector<uint64_t> Images[2];
+    for (int Run = 0; Run < 2; ++Run) {
+      auto H = makeHeap(Kind, smallSizing("card"));
+      SCOPED_TRACE(std::string(H->collector().name()) + " threads=" +
+                   std::to_string(Run == 0 ? 1 : 4));
+      H->collector().setGcThreads(Run == 0 ? 1 : 4);
+      H->setPoisonFreedMemory(true);
+      MutatorState S(*H);
+      runMutator(*H, S, 12000);
+      H->collectFullNow();
+      expectVerifierGreen(*H);
+      Images[Run] = canonicalImage(*H);
+    }
+    ASSERT_GT(Images[0].size(), 64u);
+    EXPECT_EQ(Images[0], Images[1]) << "parallel card scan diverged";
+  }
+}
+
+TEST(RemsetBackendTest, BothBackendsSurviveTortureMode) {
+  RDGC_SKIP_UNDER_ENV_TORTURE();
+  for (CollectorKind Kind : GenerationalKinds) {
+    std::vector<uint64_t> Images[2];
+    const char *Backends[2] = {"ssb", "card"};
+    for (int Run = 0; Run < 2; ++Run) {
+      auto H = makeHeap(Kind, smallSizing(Backends[Run]));
+      SCOPED_TRACE(std::string(H->collector().name()) + " remset=" +
+                   Backends[Run]);
+      TortureOptions Opts;
+      Opts.CollectInterval = 64;
+      Opts.InjectAllocationFaults = false; // keep the schedule deterministic
+      H->enableTortureMode(Opts); // verifies after every collection
+      MutatorState S(*H);
+      runMutator(*H, S, 1200);
+      H->collectFullNow();
+      expectVerifierGreen(*H);
+      Images[Run] = canonicalImage(*H);
+      EXPECT_EQ(H->lastFault(), HeapFault::None);
+    }
+    ASSERT_GT(Images[0].size(), 64u);
+    EXPECT_EQ(Images[0], Images[1]) << "backends diverged under torture";
+  }
+}
+
+TEST(RemsetBackendTest, BothBackendsSurviveAnInjectedFaultPlan) {
+  RDGC_SKIP_UNDER_ENV_TORTURE();
+  for (CollectorKind Kind : GenerationalKinds) {
+    std::vector<uint64_t> Images[2];
+    const char *Backends[2] = {"ssb", "card"};
+    for (int Run = 0; Run < 2; ++Run) {
+      auto H = makeHeap(Kind, smallSizing(Backends[Run]));
+      SCOPED_TRACE(std::string(H->collector().name()) + " remset=" +
+                   Backends[Run]);
+      H->setPoisonFreedMemory(true);
+      FaultPlan Plan;
+      Plan.Seed = 17;
+      Plan.EvacFailAt = 40;
+      Plan.RemsetFailAt = 6;
+      H->installFaultPlan(Plan);
+      MutatorState S(*H);
+      runMutator(*H, S, 6000);
+      H->collectFullNow(); // drain any degraded state
+      H->collectFullNow();
+      expectVerifierGreen(*H);
+      Images[Run] = canonicalImage(*H);
+      EXPECT_EQ(H->lastFault(), HeapFault::None);
+    }
+    // The SSB run compensates an injected insert drop with a full cycle;
+    // the card run never consults the injector. Either way the logical
+    // image is the mutator's alone.
+    ASSERT_GT(Images[0].size(), 64u);
+    EXPECT_EQ(Images[0], Images[1]) << "backends diverged under fault plan";
+  }
+}
+
+TEST(RemsetBackendTest, CardStatsAppearInTraceEvents) {
+  RDGC_SKIP_UNDER_ENV_TORTURE();
+  auto H = makeHeap(CollectorKind::Generational, smallSizing("card"));
+  GcTracer Tracer;
+  MemoryTraceSink Sink;
+  Tracer.addSink(&Sink);
+  H->setTracer(&Tracer);
+  MutatorState S(*H);
+  runMutator(*H, S, 8000);
+  uint64_t MinorsWithScans = 0, DirtySeen = 0;
+  for (const GcTraceEvent &E : Sink.events()) {
+    if (E.EventType != GcTraceEvent::Type::Collection)
+      continue;
+    EXPECT_EQ(E.RemsetBackend, "card");
+    if (E.KindClass == "minor" && E.CardsScanned > 0)
+      ++MinorsWithScans;
+    DirtySeen += E.CardsDirty;
+    EXPECT_LE(E.CardsDirty, E.CardsScanned);
+  }
+  EXPECT_GT(MinorsWithScans, 0u) << "no minor cycle ever walked the table";
+  EXPECT_GT(DirtySeen, 0u) << "old→young stores never dirtied a card";
+  H->setTracer(nullptr);
+}
+
+//===----------------------------------------------------------------------===
+// Bitmap vs header marking.
+//===----------------------------------------------------------------------===
+
+namespace {
+
+/// The deterministic (non-timing) projection of a collection event; bitmap
+/// and header marking must agree on every field — same live set, same
+/// reclaimed storage, cycle for cycle.
+struct CycleFingerprint {
+  int Kind;
+  uint64_t Traced, Reclaimed, LiveAfter, Roots;
+  bool operator==(const CycleFingerprint &O) const {
+    return Kind == O.Kind && Traced == O.Traced && Reclaimed == O.Reclaimed &&
+           LiveAfter == O.LiveAfter && Roots == O.Roots;
+  }
+};
+
+} // namespace
+
+TEST(MarkBitmapTest, BitmapAndHeaderMarkingReclaimIdentically) {
+  RDGC_SKIP_UNDER_ENV_TORTURE();
+  for (CollectorKind Kind :
+       {CollectorKind::MarkSweep, CollectorKind::MarkCompact}) {
+    std::vector<CycleFingerprint> Cycles[2];
+    std::vector<uint64_t> Images[2];
+    for (int Run = 0; Run < 2; ++Run) {
+      CollectorSizing Sizing = smallSizing("");
+      Sizing.BitmapMarking = Run == 1;
+      auto H = makeHeap(Kind, Sizing);
+      SCOPED_TRACE(std::string(H->collector().name()) + " bitmap=" +
+                   std::to_string(Run));
+      H->setPoisonFreedMemory(true);
+      GcTracer Tracer;
+      MemoryTraceSink Sink;
+      Tracer.addSink(&Sink);
+      H->setTracer(&Tracer);
+      MutatorState S(*H);
+      runMutator(*H, S, 12000);
+      H->collectFullNow();
+      expectVerifierGreen(*H);
+      Images[Run] = canonicalImage(*H);
+      for (const GcTraceEvent &E : Sink.events())
+        if (E.EventType == GcTraceEvent::Type::Collection)
+          Cycles[Run].push_back({E.Kind, E.WordsTraced, E.WordsReclaimed,
+                                 E.LiveWordsAfter, E.RootsScanned});
+      H->setTracer(nullptr);
+    }
+    ASSERT_GT(Cycles[0].size(), 0u);
+    EXPECT_EQ(Cycles[0], Cycles[1]) << "marking modes reclaimed differently";
+    EXPECT_EQ(Images[0], Images[1]) << "marking modes diverged";
+  }
+}
+
+TEST(MarkBitmapTest, BitmapSurvivesHeapGrowth) {
+  RDGC_SKIP_UNDER_ENV_TORTURE();
+  for (CollectorKind Kind :
+       {CollectorKind::MarkSweep, CollectorKind::MarkCompact}) {
+    CollectorSizing Sizing = smallSizing("");
+    Sizing.PrimaryBytes = 16 * 1024; // small enough to force growth
+    auto H = makeHeap(Kind, Sizing);
+    SCOPED_TRACE(H->collector().name());
+    H->setPoisonFreedMemory(true);
+    Handle Keep(*H, Value::null());
+    for (int I = 0; I < 2000; ++I)
+      Keep = H->allocatePair(Value::fixnum(I), Keep.get());
+    EXPECT_GT(H->collector().capacityWords(), 16u * 1024 / 8);
+    H->collectNow();
+    expectVerifierGreen(*H);
+    EXPECT_EQ(H->lastFault(), HeapFault::None);
+  }
+}

@@ -19,6 +19,10 @@
 /// must be
 ///   * a bare identifier that also appears inside some
 ///     barrier()/onPointerStore() argument list in the same function, or
+///   * a store whose holder object appears in a cardMark() argument list
+///     (the card-table barrier takes the holder, not the stored value:
+///     dirtying the holder's card covers every slot of that holder;
+///     DESIGN.md §15), or
 ///   * a statically non-pointer immediate (Value::fixnum(...) and friends
 ///     never create an old-to-young edge), or
 ///   * suppressed with a reasoned gclint-ok(barrier-coverage).
@@ -82,24 +86,27 @@ void checkBarriers(const Context &Ctx, size_t FileIdx, size_t FnIdx,
   const SourceFile &F = Ctx.Files[FileIdx];
   const Function &Fn = Ctx.Functions[FileIdx][FnIdx];
   if (Fn.Name == "setValueAt" || Fn.Name == "barrier" ||
-      Fn.Name == "onPointerStore")
+      Fn.Name == "onPointerStore" || Fn.Name == "cardMark")
     return; // The primitives themselves.
   const std::vector<Token> &Toks = F.Toks;
 
   std::vector<size_t> Stores;
   std::vector<std::pair<size_t, size_t>> BarrierArgRanges; ///< (open, close)
+  std::vector<std::pair<size_t, size_t>> CardMarkArgRanges;
   for (size_t I = Fn.BodyBegin + 1; I < Fn.BodyEnd; ++I) {
     if (Toks[I].Kind != TokKind::Ident || Toks[I + 1].Text != "(")
       continue;
     if (Toks[I].Text == "barrier" || Toks[I].Text == "onPointerStore")
       BarrierArgRanges.emplace_back(I + 1, matchDelim(Toks, I + 1, "(", ")"));
+    else if (Toks[I].Text == "cardMark")
+      CardMarkArgRanges.emplace_back(I + 1, matchDelim(Toks, I + 1, "(", ")"));
     else if (Toks[I].Text == "setValueAt")
       Stores.push_back(I);
   }
   if (Stores.empty())
     return;
 
-  if (BarrierArgRanges.empty()) {
+  if (BarrierArgRanges.empty() && CardMarkArgRanges.empty()) {
     // v1 rule: no barrier anywhere in a storing function.
     for (size_t I : Stores) {
       std::ostringstream Msg;
@@ -113,15 +120,34 @@ void checkBarriers(const Context &Ctx, size_t FileIdx, size_t FnIdx,
   }
 
   // v2 rule: per-store coverage in functions that do barrier.
+  auto IdentInRanges =
+      [&](const std::string &Name,
+          const std::vector<std::pair<size_t, size_t>> &Ranges) {
+        for (const auto &R : Ranges)
+          for (size_t I = R.first + 1; I < R.second; ++I)
+            if (Toks[I].Kind == TokKind::Ident && Toks[I].Text == Name &&
+                (Toks[I - 1].Kind != TokKind::Punct ||
+                 (Toks[I - 1].Text != "." && Toks[I - 1].Text != "->" &&
+                  Toks[I - 1].Text != "::")))
+              return true;
+        return false;
+      };
   auto BarrieredIdent = [&](const std::string &Name) {
-    for (const auto &R : BarrierArgRanges)
-      for (size_t I = R.first + 1; I < R.second; ++I)
-        if (Toks[I].Kind == TokKind::Ident && Toks[I].Text == Name &&
-            (Toks[I - 1].Kind != TokKind::Punct ||
-             (Toks[I - 1].Text != "." && Toks[I - 1].Text != "->" &&
-              Toks[I - 1].Text != "::")))
-          return true;
-    return false;
+    return IdentInRanges(Name, BarrierArgRanges);
+  };
+  // The card-table barrier is per-holder, not per-value: cardMark(Base,
+  // Holder) covers every slot of Holder, so a store `H.setValueAt(I, V)`
+  // is covered when H itself flows into a cardMark call.
+  auto CardMarkedHolder = [&](size_t StoreIdx) {
+    if (StoreIdx < Fn.BodyBegin + 3)
+      return false;
+    const Token &Dot = Toks[StoreIdx - 1];
+    const Token &Holder = Toks[StoreIdx - 2];
+    if (Dot.Kind != TokKind::Punct || (Dot.Text != "." && Dot.Text != "->"))
+      return false;
+    if (Holder.Kind != TokKind::Ident)
+      return false;
+    return IdentInRanges(Holder.Text, CardMarkArgRanges);
   };
 
   for (size_t S : Stores) {
@@ -136,6 +162,9 @@ void checkBarriers(const Context &Ctx, size_t FileIdx, size_t FnIdx,
         Toks[First + 2].Kind == TokKind::Ident &&
         isImmediateCtor(Toks[First + 2].Text))
       continue;
+    // Covered when the holder's card is dirtied, whatever the value.
+    if (CardMarkedHolder(S))
+      continue;
     // Bare identifier: it must flow into some barrier call here too.
     if (First == Last && Toks[First].Kind == TokKind::Ident) {
       if (BarrieredIdent(Toks[First].Text))
@@ -146,8 +175,9 @@ void checkBarriers(const Context &Ctx, size_t FileIdx, size_t FnIdx,
           << "' is not covered: the function calls the write barrier for "
              "other stores but never passes '"
           << Toks[First].Text
-          << "' to barrier()/onPointerStore(); barrier this store too, or "
-             "mark it gclint-ok(barrier-coverage) with the reason it cannot "
+          << "' to barrier()/onPointerStore() (nor the holder to "
+             "cardMark()); barrier this store too, or mark it "
+             "gclint-ok(barrier-coverage) with the reason it cannot "
              "create an old-to-young edge";
       Findings.push_back(
           {F.Path, Toks[S].Line, "barrier-coverage", Msg.str()});

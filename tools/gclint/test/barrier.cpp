@@ -21,6 +21,8 @@ struct Heap {
   void barrier(Value Holder, Value Stored);
 };
 
+void cardMark(unsigned char *Base, Value Holder);
+
 // Violation: a bare store with no barrier anywhere in the function.
 void storeWithoutBarrier(ObjectRef Obj, Value V) {
   Obj.setValueAt(0, V); // gclint-expect: missing-barrier
@@ -42,6 +44,14 @@ void storeWithBarrier(Heap &H, ObjectRef Obj, Value Holder, Value V) {
 void storeWithCollectorBarrier(Heap &H, ObjectRef Obj, Value Holder, Value V) {
   if (V.isPointer())
     H.collector().onPointerStore(Holder, V);
+  Obj.setValueAt(0, V);
+}
+
+// SAFE: the card-table backend's barrier primitive counts too — dirtying
+// the holder's card is how that backend remembers the store, whatever
+// value goes into the slot (DESIGN.md §15).
+void storeWithCardMark(unsigned char *CardBase, ObjectRef Obj, Value V) {
+  cardMark(CardBase, Obj);
   Obj.setValueAt(0, V);
 }
 

@@ -13,6 +13,7 @@ struct Object {
 };
 
 void barrier(Object &Obj, Value V);
+void cardMark(unsigned char *Base, Object &Holder);
 
 // Positive: the first store is barriered, the second is not. Under the
 // old all-or-nothing check the barrier on Car made the whole function
@@ -32,6 +33,25 @@ void allCovered(Object &Obj, Value Car, Value Cdr) {
   Obj.setValueAt(1, Cdr);
   barrier(Obj, Cdr);
   Obj.setValueAt(2, Value::fixnum(7));
+}
+
+// Negative: the card-table barrier covers by holder, not by value —
+// dirtying A's card remembers every slot of A, so both stores into A
+// pass without the stored values ever reaching a barrier argument list.
+void cardMarkCoversHolder(unsigned char *Cards, Object &A, Value Car,
+                          Value Cdr) {
+  cardMark(Cards, A);
+  A.setValueAt(0, Car);
+  A.setValueAt(1, Cdr);
+}
+
+// Positive: card-marking A says nothing about B; the store into B is
+// exactly the lost-edge bug the rule exists for.
+void cardMarkWrongHolder(unsigned char *Cards, Object &A, Object &B,
+                         Value V) {
+  cardMark(Cards, A);
+  A.setValueAt(0, V);
+  B.setValueAt(0, V); // gclint-expect: barrier-coverage
 }
 
 // Negative: an initializing store into a freshly allocated object needs

@@ -30,13 +30,23 @@
 ///       --json writes an "rdgc-bench-compare-v1" document that records
 ///       the host's hardware concurrency, so single-core results read as
 ///       what they are.
+///   rdgc-bench --compare-remsets [--quick] [--reps R] [--scale S]
+///              [--filter SUBSTR] [--json FILE]
+///       Backend A/B mode: run the generational collectors under both
+///       remembered-set backends (SSB vs card table, DESIGN.md §15) and
+///       the mark collectors under both marking representations (header
+///       bits vs side bitmap), reporting mutator/GC throughput side by
+///       side. --json writes an "rdgc-bench-remsets-v1" document.
 ///   rdgc-bench --validate FILE
 ///       Parse FILE and check it against the rdgc-bench-v1 (or
-///       rdgc-bench-compare-v1) schema.
+///       rdgc-bench-compare-v1 / rdgc-bench-remsets-v1) schema.
 ///   rdgc-bench --regress CURRENT REFERENCE [--tolerance FRAC]
 ///       Fail (exit 1) if CURRENT's micro allocation mutator throughput
 ///       regressed more than FRAC (default 0.15) below REFERENCE on any
 ///       config/collector pair present in both files.
+///   rdgc-bench --self-test
+///       Round-trip an in-memory result document (including non-finite
+///       statistics, emitted as null) through emit -> parse -> validate.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -51,6 +61,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <map>
 #include <memory>
 #include <sstream>
@@ -252,9 +263,23 @@ struct BenchOptions {
   /// When > 0, run the parallel-vs-serial comparison mode at this thread
   /// count instead of the plain suite.
   int CompareThreads = 0;
+  /// Remembered-set backend for every run: "ssb", "card", or "" to inherit
+  /// RDGC_REMSET (DESIGN.md §15).
+  std::string Remset;
+  /// When set, run the backend comparison mode: SSB vs card table on the
+  /// generational collectors, header vs bitmap marking on the mark
+  /// collectors.
+  bool CompareRemsets = false;
   std::string Filter;
   std::string JsonPath;
   std::string BaselinePath;
+};
+
+/// Per-run collector knobs threaded from the mode drivers into runOne.
+struct RunKnobs {
+  int Threads = -1;
+  std::string Remset;
+  bool BitmapMarking = true;
 };
 
 struct BenchResult {
@@ -289,7 +314,7 @@ std::vector<std::unique_ptr<Workload>> makeMicroWorkloads(bool Quick) {
 }
 
 BenchResult runOne(Workload &W, const char *Kind, CollectorKind CK,
-                   const char *CollectorName, int Reps, int Threads) {
+                   const char *CollectorName, int Reps, const RunKnobs &Knobs) {
   std::vector<double> MutMBs, GcMBs, MarkCons, P50, P90, P99, PMax, Colls,
       Bytes;
   BenchResult R;
@@ -299,7 +324,9 @@ BenchResult runOne(Workload &W, const char *Kind, CollectorKind CK,
   R.Reps = Reps;
   for (int I = 0; I < Reps; ++I) {
     HarnessOptions Options;
-    Options.GcThreads = Threads;
+    Options.GcThreads = Knobs.Threads;
+    Options.Remset = Knobs.Remset;
+    Options.BitmapMarking = Knobs.BitmapMarking;
     ExperimentRun Run = runExperiment(W, CK, Options);
     R.Valid = R.Valid && Run.Valid;
     R.HeapExhausted = R.HeapExhausted || Run.HeapExhausted;
@@ -348,7 +375,10 @@ std::vector<BenchResult> runSuite(const BenchOptions &Opt) {
           continue;
         std::fprintf(stderr, "rdgc-bench: %-14s %-22s x%d ...\n", W->name(),
                      Name, Opt.Reps);
-        Results.push_back(runOne(*W, Kind, CK, Name, Opt.Reps, Opt.Threads));
+        RunKnobs Knobs;
+        Knobs.Threads = Opt.Threads;
+        Knobs.Remset = Opt.Remset;
+        Results.push_back(runOne(*W, Kind, CK, Name, Opt.Reps, Knobs));
       }
     }
   };
@@ -363,8 +393,12 @@ std::vector<BenchResult> runSuite(const BenchOptions &Opt) {
 //===----------------------------------------------------------------------===//
 
 std::string jsonNumber(double X) {
+  // NaN and infinity have no JSON spelling; "null" keeps the document
+  // valid and keeps downstream consumers honest (a silent 0 would read as
+  // a measured value). The schema validator and the regression gate both
+  // treat null as "not measured".
   if (!std::isfinite(X))
-    return "0";
+    return "null";
   // Integral values print without a fraction so counters stay readable.
   if (X == std::floor(X) && std::fabs(X) < 1e15) {
     char Buf[32];
@@ -390,6 +424,8 @@ void emitJson(std::ostream &OS, const BenchOptions &Opt,
   OS << "  \"reps\": " << Opt.Reps << ",\n";
   OS << "  \"scale\": " << Opt.Scale << ",\n";
   OS << "  \"threads\": " << Opt.Threads << ",\n";
+  OS << "  \"remset\": \"" << (Opt.Remset.empty() ? "env" : Opt.Remset)
+     << "\",\n";
   OS << "  \"results\": [\n";
   for (size_t I = 0; I < Results.size(); ++I) {
     const BenchResult &R = Results[I];
@@ -647,6 +683,13 @@ const char *RequiredMetrics[] = {
     "bytes_allocated",
 };
 
+/// A measured value in rdgc-bench output: a JSON number, or null for a
+/// statistic that was not finite (emitJson writes non-finite doubles as
+/// null rather than inventing a 0).
+bool isMeasurement(const JsonValue *V) {
+  return V && (V->Kind == JsonValue::Number || V->Kind == JsonValue::Null);
+}
+
 /// Checks \p Doc against the rdgc-bench-v1 schema; appends problems to
 /// \p Errors. Returns true when the document conforms.
 bool validateSchema(const JsonValue &Doc, std::vector<std::string> &Errors) {
@@ -692,12 +735,10 @@ bool validateSchema(const JsonValue &Doc, std::vector<std::string> &Errors) {
     for (const char *M : RequiredMetrics) {
       const JsonValue *MV = Metrics->member(M);
       if (!MV || MV->Kind != JsonValue::Object ||
-          !MV->member("median") ||
-          MV->member("median")->Kind != JsonValue::Number ||
-          !MV->member("mad") ||
-          MV->member("mad")->Kind != JsonValue::Number) {
+          !isMeasurement(MV->member("median")) ||
+          !isMeasurement(MV->member("mad"))) {
         Complain(Where + " metric \"" + M +
-                 "\" missing {median, mad} numbers");
+                 "\" missing {median, mad} numbers (or nulls)");
       }
     }
   }
@@ -725,7 +766,9 @@ extractMetric(const JsonValue &Doc, const std::string &Metric,
     if (!MV)
       continue;
     const JsonValue *Med = MV->member("median");
-    if (!Med)
+    // A null median is "not measured" (non-finite statistic); skip it
+    // rather than hand downstream comparisons a phantom 0.
+    if (!Med || Med->Kind != JsonValue::Number)
       continue;
     Out[{Config->StringVal, Coll->StringVal}] = Med->NumberVal;
   }
@@ -797,12 +840,10 @@ bool validateCompareSchema(const JsonValue &Doc,
       }
       for (const char *M : {"gc_mb_s", "mutator_mb_s", "pause_p50_ns",
                             "pause_p99_ns", "pause_max_ns", "collections"})
-        if (const JsonValue *V = S->member(M);
-            !V || V->Kind != JsonValue::Number)
+        if (!isMeasurement(S->member(M)))
           Complain(Where + "." + Side + " missing numeric \"" + M + "\"");
     }
-    if (const JsonValue *V = C.member("gc_speedup");
-        !V || V->Kind != JsonValue::Number)
+    if (!isMeasurement(C.member("gc_speedup")))
       Complain(Where + " missing numeric \"gc_speedup\"");
   }
   return Errors.empty();
@@ -833,6 +874,9 @@ bool loadResultsDocument(const std::string &Path, const char *What,
   return true;
 }
 
+bool validateRemsetsSchema(const JsonValue &Doc,
+                           std::vector<std::string> &Errors);
+
 int runValidate(const std::string &Path) {
   JsonValue Doc;
   std::string Error;
@@ -843,11 +887,19 @@ int runValidate(const std::string &Path) {
   }
   const JsonValue *Schema =
       Doc.Kind == JsonValue::Object ? Doc.member("schema") : nullptr;
-  bool IsCompare = Schema && Schema->Kind == JsonValue::String &&
-                   Schema->StringVal == "rdgc-bench-compare-v1";
+  std::string SchemaName = Schema && Schema->Kind == JsonValue::String
+                               ? Schema->StringVal
+                               : "rdgc-bench-v1";
   std::vector<std::string> Errors;
-  bool Ok = IsCompare ? validateCompareSchema(Doc, Errors)
-                      : validateSchema(Doc, Errors);
+  bool Ok;
+  if (SchemaName == "rdgc-bench-compare-v1")
+    Ok = validateCompareSchema(Doc, Errors);
+  else if (SchemaName == "rdgc-bench-remsets-v1")
+    Ok = validateRemsetsSchema(Doc, Errors);
+  else {
+    SchemaName = "rdgc-bench-v1";
+    Ok = validateSchema(Doc, Errors);
+  }
   if (!Ok) {
     for (const std::string &E : Errors)
       std::fprintf(stderr, "rdgc-bench: %s: schema: %s\n", Path.c_str(),
@@ -855,7 +907,7 @@ int runValidate(const std::string &Path) {
     return 1;
   }
   std::printf("rdgc-bench: %s conforms to %s\n", Path.c_str(),
-              IsCompare ? "rdgc-bench-compare-v1" : "rdgc-bench-v1");
+              SchemaName.c_str());
   return 0;
 }
 
@@ -979,8 +1031,13 @@ int runCompareThreads(const BenchOptions &Opt) {
         C.Kind = Kind;
         C.Config = W->name();
         C.Collector = Name;
-        C.Serial = runOne(*W, Kind, CK, Name, Opt.Reps, /*Threads=*/1);
-        C.Parallel = runOne(*W, Kind, CK, Name, Opt.Reps, Opt.CompareThreads);
+        RunKnobs Serial, Parallel;
+        Serial.Threads = 1;
+        Serial.Remset = Opt.Remset;
+        Parallel.Threads = Opt.CompareThreads;
+        Parallel.Remset = Opt.Remset;
+        C.Serial = runOne(*W, Kind, CK, Name, Opt.Reps, Serial);
+        C.Parallel = runOne(*W, Kind, CK, Name, Opt.Reps, Parallel);
         Comps.push_back(std::move(C));
       }
     }
@@ -1021,15 +1078,281 @@ int runCompareThreads(const BenchOptions &Opt) {
   return 0;
 }
 
+//===----------------------------------------------------------------------===//
+// Remembered-set / marking backend comparison mode
+//===----------------------------------------------------------------------===//
+
+/// The collectors with a selectable remembered-set backend.
+const std::pair<CollectorKind, const char *> RemsetCollectors[] = {
+    {CollectorKind::Generational, "generational"},
+    {CollectorKind::NonPredictive, "non-predictive"},
+    {CollectorKind::NonPredictiveHybrid, "non-predictive-hybrid"},
+};
+
+/// The collectors with a selectable marking representation.
+const std::pair<CollectorKind, const char *> MarkingCollectors[] = {
+    {CollectorKind::MarkSweep, "mark-sweep"},
+    {CollectorKind::MarkCompact, "mark-compact"},
+};
+
+/// One A/B measurement: SSB vs card remset, or header vs bitmap marking.
+struct BackendComparison {
+  std::string Kind, Config, Collector;
+  const char *SideA, *SideB; // "ssb"/"card" or "header"/"bitmap"
+  BenchResult A, B;
+};
+
+void emitRemsetsJson(std::ostream &OS, const BenchOptions &Opt,
+                     const std::vector<BackendComparison> &Comps) {
+  OS << "{\n";
+  OS << "  \"schema\": \"rdgc-bench-remsets-v1\",\n";
+  OS << "  \"quick\": " << (Opt.Quick ? "true" : "false") << ",\n";
+  OS << "  \"reps\": " << Opt.Reps << ",\n";
+  OS << "  \"scale\": " << Opt.Scale << ",\n";
+  OS << "  \"threads\": " << Opt.Threads << ",\n";
+  OS << "  \"comparisons\": [\n";
+  for (size_t I = 0; I < Comps.size(); ++I) {
+    const BackendComparison &C = Comps[I];
+    OS << "    {\"kind\": \"" << C.Kind << "\", \"config\": \"" << C.Config
+       << "\", \"collector\": \"" << C.Collector << "\",\n";
+    for (int Side = 0; Side < 2; ++Side) {
+      const BenchResult &R = Side ? C.B : C.A;
+      OS << "     \"" << (Side ? C.SideB : C.SideA) << "\": {";
+      for (const char *M : {"mutator_mb_s", "gc_mb_s", "pause_p50_ns",
+                            "pause_p99_ns", "pause_max_ns", "collections"})
+        OS << (M == std::string("mutator_mb_s") ? "" : ", ") << "\"" << M
+           << "\": " << jsonNumber(metricMedian(R, M));
+      OS << "},\n";
+    }
+    double MutA = metricMedian(C.A, "mutator_mb_s");
+    double MutB = metricMedian(C.B, "mutator_mb_s");
+    double GcA = metricMedian(C.A, "gc_mb_s");
+    double GcB = metricMedian(C.B, "gc_mb_s");
+    OS << "     \"mutator_ratio\": " << jsonNumber(MutA > 0 ? MutB / MutA : 0.0)
+       << ", \"gc_ratio\": " << jsonNumber(GcA > 0 ? GcB / GcA : 0.0) << "}"
+       << (I + 1 < Comps.size() ? "," : "") << "\n";
+  }
+  OS << "  ]\n}\n";
+}
+
+/// Checks \p Doc against the rdgc-bench-remsets-v1 schema (the
+/// --compare-remsets output).
+bool validateRemsetsSchema(const JsonValue &Doc,
+                           std::vector<std::string> &Errors) {
+  auto Complain = [&Errors](const std::string &Msg) { Errors.push_back(Msg); };
+  for (const char *Key : {"reps", "scale", "threads"})
+    if (const JsonValue *V = Doc.member(Key);
+        !V || V->Kind != JsonValue::Number)
+      Complain(std::string("missing numeric \"") + Key + "\"");
+  const JsonValue *Comps = Doc.member("comparisons");
+  if (!Comps || Comps->Kind != JsonValue::Array) {
+    Complain("missing \"comparisons\" array");
+    return Errors.empty();
+  }
+  if (Comps->Elements.empty())
+    Complain("\"comparisons\" is empty");
+  for (size_t I = 0; I < Comps->Elements.size(); ++I) {
+    const JsonValue &C = Comps->Elements[I];
+    std::string Where = "comparisons[" + std::to_string(I) + "]";
+    if (C.Kind != JsonValue::Object) {
+      Complain(Where + " is not an object");
+      continue;
+    }
+    for (const char *Key : {"kind", "config", "collector"})
+      if (const JsonValue *V = C.member(Key);
+          !V || V->Kind != JsonValue::String)
+        Complain(Where + " missing string \"" + Key + "\"");
+    // Sides are ssb/card for the copying collectors, header/bitmap for the
+    // mark collectors; exactly one pair must be present.
+    bool Copying = C.member("ssb") && C.member("card");
+    bool Marking = C.member("header") && C.member("bitmap");
+    if (Copying == Marking) {
+      Complain(Where + " wants either {ssb, card} or {header, bitmap}");
+      continue;
+    }
+    const char *CopySides[] = {"ssb", "card"};
+    const char *MarkSides[] = {"header", "bitmap"};
+    for (int SI = 0; SI < 2; ++SI) {
+      const char *Side = (Copying ? CopySides : MarkSides)[SI];
+      const JsonValue *S = C.member(Side);
+      if (!S || S->Kind != JsonValue::Object) {
+        Complain(Where + " missing \"" + Side + "\" object");
+        continue;
+      }
+      for (const char *M : {"mutator_mb_s", "gc_mb_s", "pause_p50_ns",
+                            "pause_p99_ns", "pause_max_ns", "collections"})
+        if (!isMeasurement(S->member(M)))
+          Complain(Where + "." + Side + " missing numeric \"" + M + "\"");
+    }
+    for (const char *Key : {"mutator_ratio", "gc_ratio"})
+      if (!isMeasurement(C.member(Key)))
+        Complain(Where + " missing numeric \"" + Key + "\"");
+  }
+  return Errors.empty();
+}
+
+int runCompareRemsets(const BenchOptions &Opt) {
+  std::vector<BackendComparison> Comps;
+  auto RunSet = [&](std::vector<std::unique_ptr<Workload>> Ws,
+                    const char *Kind) {
+    for (auto &W : Ws) {
+      for (auto &[CK, Name] : RemsetCollectors) {
+        if (!matchesFilter(Opt, W->name(), Name))
+          continue;
+        std::fprintf(stderr, "rdgc-bench: %-14s %-22s ssb vs card, x%d ...\n",
+                     W->name(), Name, Opt.Reps);
+        BackendComparison C;
+        C.Kind = Kind;
+        C.Config = W->name();
+        C.Collector = Name;
+        C.SideA = "ssb";
+        C.SideB = "card";
+        RunKnobs Ssb, Card;
+        Ssb.Threads = Card.Threads = Opt.Threads;
+        Ssb.Remset = "ssb";
+        Card.Remset = "card";
+        C.A = runOne(*W, Kind, CK, Name, Opt.Reps, Ssb);
+        C.B = runOne(*W, Kind, CK, Name, Opt.Reps, Card);
+        Comps.push_back(std::move(C));
+      }
+      for (auto &[CK, Name] : MarkingCollectors) {
+        if (!matchesFilter(Opt, W->name(), Name))
+          continue;
+        std::fprintf(stderr,
+                     "rdgc-bench: %-14s %-22s header vs bitmap, x%d ...\n",
+                     W->name(), Name, Opt.Reps);
+        BackendComparison C;
+        C.Kind = Kind;
+        C.Config = W->name();
+        C.Collector = Name;
+        C.SideA = "header";
+        C.SideB = "bitmap";
+        RunKnobs Header, Bitmap;
+        Header.Threads = Bitmap.Threads = Opt.Threads;
+        Header.BitmapMarking = false;
+        Bitmap.BitmapMarking = true;
+        C.A = runOne(*W, Kind, CK, Name, Opt.Reps, Header);
+        C.B = runOne(*W, Kind, CK, Name, Opt.Reps, Bitmap);
+        Comps.push_back(std::move(C));
+      }
+    }
+  };
+  RunSet(makeMicroWorkloads(Opt.Quick), "micro");
+  if (!Opt.Quick)
+    RunSet(makePaperWorkloads(Opt.Scale), "workload");
+  if (Comps.empty()) {
+    std::fprintf(stderr, "rdgc-bench: no configs matched the filter\n");
+    return 1;
+  }
+
+  if (!Opt.JsonPath.empty()) {
+    std::ofstream Out(Opt.JsonPath);
+    if (!Out) {
+      std::fprintf(stderr, "rdgc-bench: cannot write %s\n",
+                   Opt.JsonPath.c_str());
+      return 1;
+    }
+    emitRemsetsJson(Out, Opt, Comps);
+    std::fprintf(stderr, "rdgc-bench: wrote %s\n", Opt.JsonPath.c_str());
+  }
+
+  std::printf("\nbackend A/B: remset ssb vs card (copying), marking header "
+              "vs bitmap (mark collectors)\n");
+  std::printf("%-14s %-22s %-7s %12s %12s %12s %12s\n", "config", "collector",
+              "sides", "mutA MB/s", "mutB MB/s", "gcA MB/s", "gcB MB/s");
+  for (const BackendComparison &C : Comps) {
+    std::string Sides = std::string(C.SideA) + "/" + C.SideB;
+    std::printf("%-14s %-22s %-7s %12.1f %12.1f %12.1f %12.1f\n",
+                C.Config.c_str(), C.Collector.c_str(), Sides.c_str(),
+                metricMedian(C.A, "mutator_mb_s"),
+                metricMedian(C.B, "mutator_mb_s"),
+                metricMedian(C.A, "gc_mb_s"), metricMedian(C.B, "gc_mb_s"));
+  }
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Self-test: the emit -> parse -> validate round trip, including the null
+// spelling of non-finite statistics.
+//===----------------------------------------------------------------------===//
+
+int runSelfTest() {
+  BenchOptions Opt;
+  Opt.Reps = 1;
+  BenchResult R;
+  R.Kind = "micro";
+  R.Config = "selftest";
+  R.Collector = "stop-and-copy";
+  R.Reps = 1;
+  double Nan = std::nan("");
+  double Inf = std::numeric_limits<double>::infinity();
+  // Every required metric present; the first two carry the non-finite
+  // values a degenerate run (e.g. --reps 1 with a zero-duration mutator)
+  // can produce.
+  R.Metrics = {
+      {"mutator_mb_s", {Nan, Nan}},   {"gc_mb_s", {Inf, 0.0}},
+      {"mark_cons", {0.5, 0.0}},      {"pause_p50_ns", {100.0, 0.0}},
+      {"pause_p90_ns", {200.0, 0.0}}, {"pause_p99_ns", {300.0, 0.0}},
+      {"pause_max_ns", {400.0, 0.0}}, {"collections", {3.0, 0.0}},
+      {"bytes_allocated", {1e6, 0.0}},
+  };
+  std::ostringstream SS;
+  emitJson(SS, Opt, {R}, {});
+
+  JsonValue Doc;
+  std::string Error;
+  if (!JsonParser(SS.str()).parse(Doc, Error)) {
+    std::fprintf(stderr,
+                 "rdgc-bench: self-test: emitted JSON does not parse: %s\n%s\n",
+                 Error.c_str(), SS.str().c_str());
+    return 1;
+  }
+  std::vector<std::string> Errors;
+  if (!validateSchema(Doc, Errors)) {
+    for (const std::string &E : Errors)
+      std::fprintf(stderr, "rdgc-bench: self-test: schema: %s\n", E.c_str());
+    return 1;
+  }
+  // The NaN median must have round-tripped as null — and the regression
+  // gate's extractor must skip it, not read a phantom 0.
+  const JsonValue *Med = Doc.member("results")
+                             ->Elements[0]
+                             .member("metrics")
+                             ->member("mutator_mb_s")
+                             ->member("median");
+  if (!Med || Med->Kind != JsonValue::Null) {
+    std::fprintf(stderr,
+                 "rdgc-bench: self-test: NaN median was not emitted as null\n");
+    return 1;
+  }
+  if (!extractMetric(Doc, "mutator_mb_s", "micro").empty()) {
+    std::fprintf(stderr,
+                 "rdgc-bench: self-test: null median leaked into extraction\n");
+    return 1;
+  }
+  // A finite metric still extracts.
+  if (extractMetric(Doc, "mark_cons", "micro").size() != 1) {
+    std::fprintf(stderr,
+                 "rdgc-bench: self-test: finite median failed to extract\n");
+    return 1;
+  }
+  std::printf("rdgc-bench: self-test ok\n");
+  return 0;
+}
+
 void printUsage() {
   std::fprintf(
       stderr,
       "usage: rdgc-bench [--quick] [--reps N] [--scale N] [--filter S]\n"
-      "                  [--threads N] [--json FILE] [--baseline FILE]\n"
+      "                  [--threads N] [--remset ssb|card] [--json FILE]\n"
+      "                  [--baseline FILE]\n"
       "       rdgc-bench --compare-threads N [--quick] [--reps R]\n"
       "                  [--scale S] [--filter S] [--json FILE]\n"
+      "       rdgc-bench --compare-remsets [--quick] [--reps R]\n"
+      "                  [--scale S] [--filter S] [--json FILE]\n"
       "       rdgc-bench --validate FILE\n"
-      "       rdgc-bench --regress CURRENT REFERENCE [--tolerance FRAC]\n");
+      "       rdgc-bench --regress CURRENT REFERENCE [--tolerance FRAC]\n"
+      "       rdgc-bench --self-test\n");
 }
 
 } // namespace
@@ -1038,6 +1361,7 @@ int main(int argc, char **argv) {
   BenchOptions Opt;
   std::string ValidatePath, RegressCurrent, RegressRef;
   double Tolerance = 0.15;
+  bool SelfTest = false;
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
     auto Next = [&](const char *Flag) -> const char * {
@@ -1057,6 +1381,12 @@ int main(int argc, char **argv) {
       Opt.Threads = std::atoi(Next("--threads"));
     else if (Arg == "--compare-threads")
       Opt.CompareThreads = std::atoi(Next("--compare-threads"));
+    else if (Arg == "--remset")
+      Opt.Remset = Next("--remset");
+    else if (Arg == "--compare-remsets")
+      Opt.CompareRemsets = true;
+    else if (Arg == "--self-test")
+      SelfTest = true;
     else if (Arg == "--filter")
       Opt.Filter = Next("--filter");
     else if (Arg == "--json")
@@ -1075,10 +1405,16 @@ int main(int argc, char **argv) {
       return 2;
     }
   }
+  if (SelfTest)
+    return runSelfTest();
   if (!ValidatePath.empty())
     return runValidate(ValidatePath);
   if (!RegressCurrent.empty())
     return runRegress(RegressCurrent, RegressRef, Tolerance);
+  if (!Opt.Remset.empty() && Opt.Remset != "ssb" && Opt.Remset != "card") {
+    std::fprintf(stderr, "rdgc-bench: --remset wants ssb or card\n");
+    return 2;
+  }
   if (Opt.Reps < 1)
     Opt.Reps = 1;
   if (Opt.Quick && Opt.Reps > 3)
@@ -1089,6 +1425,8 @@ int main(int argc, char **argv) {
   }
   if (Opt.CompareThreads > 0)
     return runCompareThreads(Opt);
+  if (Opt.CompareRemsets)
+    return runCompareRemsets(Opt);
 
   // The baseline file is loaded and schema-checked up front: a missing or
   // malformed file must fail before the suite burns minutes of runs.

@@ -6,8 +6,9 @@
 ///
 /// \file
 /// The fault-injection matrix runner (DESIGN.md §13). Each *trial* builds a
-/// fresh small heap for one (collector, GC-thread-count, fault schedule)
-/// triple, installs the schedule's FaultPlan, runs a deterministic mutator
+/// fresh small heap for one (collector, GC-thread-count, remset backend,
+/// fault schedule) tuple, installs the schedule's FaultPlan, runs a
+/// deterministic mutator
 /// churn with periodic forced collections, and asserts that the collectors'
 /// degraded-completion machinery held up:
 ///
@@ -17,7 +18,9 @@
 ///     armed with a tight deadline, so even a wedged cycle aborts);
 ///   - failure accounting is exact: GcStats' degraded-cycle counters equal
 ///     the sums over the trace-event stream, and remembered-set fault drops
-///     equal the injector's count of dropped inserts;
+///     equal the injector's count of dropped inserts (under the card
+///     backend no SSB inserts exist so both sides are zero — the equality
+///     still must hold);
 ///   - an uncapped heap never surfaces a recoverable fault to the mutator
 ///     (every injected failure must be absorbed by recovery, not leaked).
 ///
@@ -67,6 +70,10 @@ struct Options {
   uint64_t Schedules = 200;
   uint64_t SeedBase = 1;
   std::vector<unsigned> Threads = {1, 4};
+  /// Remembered-set backends to sweep (DESIGN.md §15). Both by default:
+  /// the card backend reroutes every barrier and remset scan, so a sweep
+  /// that only exercises SSB says nothing about half the barrier code.
+  std::vector<std::string> Remsets = {"ssb", "card"};
   std::vector<CollectorEntry> Collectors{std::begin(AllCollectors),
                                          std::end(AllCollectors)};
   /// Deadline armed on every trial heap. Tight enough that some injected
@@ -165,7 +172,8 @@ void churn(Heap &H, uint64_t Seed, const Options &Opt,
 }
 
 TrialOutcome runTrial(const CollectorEntry &Coll, unsigned Threads,
-                      uint64_t Seed, const Options &Opt) {
+                      const std::string &Remset, uint64_t Seed,
+                      const Options &Opt) {
   TrialOutcome Out;
   FaultPlan Plan = FaultPlan::fromSeed(Seed);
 
@@ -180,6 +188,7 @@ TrialOutcome runTrial(const CollectorEntry &Coll, unsigned Threads,
   Sizing.PrimaryBytes = 96 * 1024;
   Sizing.NurseryBytes = 16 * 1024;
   Sizing.StepCount = 8;
+  Sizing.Remset = Remset;
   auto H = makeHeap(Coll.Kind, Sizing);
   H->collector().setGcThreads(Threads);
   H->collector().setWatchdogMicros(Opt.WatchdogMicros);
@@ -283,6 +292,8 @@ int usage(const char *Argv0) {
       "  --schedules N      fault schedules to sweep (default 200)\n"
       "  --seed-base S      first schedule seed (default 1)\n"
       "  --threads LIST     comma-separated GC thread counts (default 1,4)\n"
+      "  --remsets LIST     comma-separated remembered-set backends to\n"
+      "                     sweep: ssb, card (default both)\n"
       "  --collectors LIST  comma-separated collector names, or 'all'\n"
       "  --watchdog-us N    per-trial GC watchdog deadline (default 1000)\n"
       "  --iterations N     mutator iterations per trial (default 3000)\n"
@@ -384,6 +395,17 @@ int main(int Argc, char **Argv) {
       for (const std::string &T : Items)
         Opt.Threads.push_back(
             static_cast<unsigned>(std::strtoul(T.c_str(), nullptr, 10)));
+    } else if (std::strcmp(Arg, "--remsets") == 0) {
+      std::vector<std::string> Items;
+      if (!splitList(NextValue(), Items))
+        return usage(Argv[0]);
+      for (const std::string &R : Items)
+        if (R != "ssb" && R != "card") {
+          std::fprintf(stderr, "rdgc-crucible: unknown remset backend \"%s\"\n",
+                       R.c_str());
+          return 2;
+        }
+      Opt.Remsets = Items;
     } else if (std::strcmp(Arg, "--collectors") == 0) {
       const char *List = NextValue();
       if (std::strcmp(List, "all") != 0) {
@@ -415,7 +437,8 @@ int main(int Argc, char **Argv) {
       return usage(Argv[0]);
     }
   }
-  if (Opt.Schedules == 0 || Opt.Threads.empty() || Opt.Collectors.empty())
+  if (Opt.Schedules == 0 || Opt.Threads.empty() || Opt.Collectors.empty() ||
+      Opt.Remsets.empty())
     return usage(Argv[0]);
 
   if (!GclintBinary.empty())
@@ -431,36 +454,41 @@ int main(int Argc, char **Argv) {
     FaultPlan Plan = FaultPlan::fromSeed(Seed);
     for (const CollectorEntry &Coll : Opt.Collectors) {
       for (unsigned Threads : Opt.Threads) {
-        TrialOutcome Out = runTrial(Coll, Threads, Seed, Opt);
-        ++Trials;
-        TotalEvac += Out.InjectedEvac;
-        TotalPlab += Out.InjectedPlab;
-        TotalStalls += Out.InjectedStalls;
-        TotalRemset += Out.InjectedRemset;
-        TotalDegraded += Out.DegradedCycles;
-        TotalWatchdog += Out.WatchdogTrips;
-        TotalCollections += Out.Collections;
-        if (!Out.Ok) {
-          ++Failures;
-          std::fprintf(stderr,
-                       "FAIL collector=%s threads=%u plan=\"%s\": %s\n",
-                       Coll.Name, Threads, Plan.spec().c_str(),
-                       Out.Problem.c_str());
-        } else if (Opt.Verbose) {
-          std::printf("ok   collector=%-21s threads=%u plan=\"%s\" "
-                      "collections=%" PRIu64 " degraded=%" PRIu64
-                      " watchdog=%" PRIu64 "\n",
-                      Coll.Name, Threads, Plan.spec().c_str(), Out.Collections,
-                      Out.DegradedCycles, Out.WatchdogTrips);
+        for (const std::string &Remset : Opt.Remsets) {
+          TrialOutcome Out = runTrial(Coll, Threads, Remset, Seed, Opt);
+          ++Trials;
+          TotalEvac += Out.InjectedEvac;
+          TotalPlab += Out.InjectedPlab;
+          TotalStalls += Out.InjectedStalls;
+          TotalRemset += Out.InjectedRemset;
+          TotalDegraded += Out.DegradedCycles;
+          TotalWatchdog += Out.WatchdogTrips;
+          TotalCollections += Out.Collections;
+          if (!Out.Ok) {
+            ++Failures;
+            std::fprintf(
+                stderr,
+                "FAIL collector=%s threads=%u remset=%s plan=\"%s\": %s\n",
+                Coll.Name, Threads, Remset.c_str(), Plan.spec().c_str(),
+                Out.Problem.c_str());
+          } else if (Opt.Verbose) {
+            std::printf("ok   collector=%-21s threads=%u remset=%-4s "
+                        "plan=\"%s\" collections=%" PRIu64 " degraded=%" PRIu64
+                        " watchdog=%" PRIu64 "\n",
+                        Coll.Name, Threads, Remset.c_str(),
+                        Plan.spec().c_str(), Out.Collections,
+                        Out.DegradedCycles, Out.WatchdogTrips);
+          }
         }
       }
     }
   }
 
   std::printf("rdgc-crucible: %" PRIu64 " trials (%" PRIu64 " schedules x %zu "
-              "collectors x %zu thread counts), %" PRIu64 " failures\n",
+              "collectors x %zu thread counts x %zu remset backends), "
+              "%" PRIu64 " failures\n",
               Trials, Opt.Schedules, Opt.Collectors.size(), Opt.Threads.size(),
-              Failures);
+              Opt.Remsets.size(), Failures);
   std::printf("  collections=%" PRIu64 " degraded=%" PRIu64
               " watchdog-trips=%" PRIu64 "\n",
               TotalCollections, TotalDegraded, TotalWatchdog);
