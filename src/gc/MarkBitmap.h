@@ -58,11 +58,44 @@ public:
 
   void clearAll() { Bits.assign(Bits.size(), 0); }
 
+  /// True when the table is already bound to exactly this arena (and so
+  /// an attach would only re-clear, not resize).
+  bool boundTo(const uint64_t *Base, size_t Words) const {
+    return ArenaBase == Base && Bits.size() == (Words + 63) / 64;
+  }
+
+  /// Zeroes the bitmap words [\p FromWord, \p ToWord). The incremental
+  /// sweep clears each chunk as it passes so the cycle ends with an
+  /// all-zero table and the next cycle's start can skip the full clear —
+  /// the memset would otherwise land inside one budgeted slice.
+  void clearWordRange(size_t FromWord, size_t ToWord) {
+    if (ToWord > Bits.size())
+      ToWord = Bits.size();
+    for (size_t I = FromWord; I < ToWord; ++I)
+      Bits[I] = 0;
+  }
+
   /// Visits the arena word index of every set bit in ascending address
   /// order — the sweep's live-object iterator. The visitor may not set or
   /// clear bits at or below the visited index.
   template <typename Fn> void forEachMarkedIndex(Fn &&Visit) const {
-    for (size_t WordIndex = 0; WordIndex < Bits.size(); ++WordIndex) {
+    forEachMarkedIndexInWords(0, Bits.size(), Visit);
+  }
+
+  /// Bitmap words backing the table; forEachMarkedIndexInWords ranges over
+  /// [0, bitWordCount()). The incremental sweep's resumable cursor is a
+  /// bitmap-word index into this range.
+  size_t bitWordCount() const { return Bits.size(); }
+
+  /// Ranged variant of forEachMarkedIndex over the bitmap words
+  /// [\p FromWord, \p ToWord): the incremental sweep walks one budgeted
+  /// chunk of bitmap words per slice and persists the cursor in between.
+  template <typename Fn>
+  void forEachMarkedIndexInWords(size_t FromWord, size_t ToWord,
+                                 Fn &&Visit) const {
+    if (ToWord > Bits.size())
+      ToWord = Bits.size();
+    for (size_t WordIndex = FromWord; WordIndex < ToWord; ++WordIndex) {
       uint64_t Word = Bits[WordIndex];
       while (Word) {
         unsigned BitIndex = __builtin_ctzll(Word);

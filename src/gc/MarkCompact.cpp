@@ -20,19 +20,34 @@ using namespace rdgc;
 MarkCompactCollector::MarkCompactCollector(size_t ArenaBytes)
     : Arena(std::make_unique<uint64_t[]>(ArenaBytes / 8 < 16 ? 16
                                                              : ArenaBytes / 8)),
-      ArenaWords(ArenaBytes / 8 < 16 ? 16 : ArenaBytes / 8) {}
+      ArenaWords(ArenaBytes / 8 < 16 ? 16 : ArenaBytes / 8) {
+  // Pre-touch the mark bitmap off any timed path: the first attach pays
+  // allocation and page-in, which would otherwise land inside the first
+  // incremental slice and blow its budget.
+  Bitmap.attach(Arena.get(), ArenaWords);
+}
 
 uint64_t *MarkCompactCollector::tryAllocate(size_t Words) {
   if (Top + Words > ArenaWords)
     return nullptr;
   uint64_t *Mem = Arena.get() + Top;
   Top += Words;
+  if (Inc == IncState::Marking) {
+    // Allocate black: objects born while incremental marking is live are
+    // live by fiat for this cycle (SATB weak tricolor invariant).
+    Bitmap.mark(Mem);
+    IncBlackWords += Words;
+  }
   return Mem;
 }
 
 bool MarkCompactCollector::tryGrowHeap(size_t MinWords) {
   Heap *H = heap();
   assert(H && "collector not attached to a heap");
+  // Growth evacuates and replaces the arena; a half-finished incremental
+  // cycle (stale bitmap, armed SATB) must complete first.
+  if (Inc != IncState::Idle)
+    absorbIncrementalCycle();
   size_t MinNewWords = Top + MinWords;
   size_t NewWords = std::max(ArenaWords * 2, MinNewWords);
   // Honor the heap's capacity ceiling, shrinking the request to the largest
@@ -85,6 +100,7 @@ bool MarkCompactCollector::tryGrowHeap(size_t MinWords) {
   size_t OldTop = Top;
   Arena = std::move(NewArena);
   ArenaWords = NewWords;
+  Bitmap.attach(Arena.get(), ArenaWords); // re-bind and pre-touch
   Top = Cursor;
   LastLiveWords = Cursor;
 
@@ -140,25 +156,13 @@ uint64_t MarkCompactCollector::markPhase(uint64_t &RootsScanned,
   return MarkedWords;
 }
 
-void MarkCompactCollector::collect() {
+size_t MarkCompactCollector::compactLiveObjects(bool ViaBitmap,
+                                                size_t LiveWords) {
   Heap *H = heap();
-  assert(H && "collector not attached to a heap");
   HeapObserver *Obs = H->observer();
 
-  CollectionRecord Record;
-  Record.WordsAllocatedBefore = stats().wordsAllocated();
-  Record.Kind = 0;
-  GcPhaseTimer Timer(H->tracer() != nullptr);
-
-  // Phase 1: mark.
-  uint64_t MarkedWords = markPhase(Record.RootsScanned, Timer);
-
-  // Phases 2-4 (forwarding calculation, reference rewrite, slide) are the
-  // compactor's storage-reorganization work: the trace taxonomy's Sweep.
-  Timer.begin(GcPhase::Sweep);
-
   auto IsMarked = [&](const uint64_t *P) {
-    return UseBitmap ? Bitmap.isMarked(P) : header::isMarked(*P);
+    return ViaBitmap ? Bitmap.isMarked(P) : header::isMarked(*P);
   };
 
   // Phase 2: compute slide-down forwarding addresses in address order.
@@ -211,7 +215,7 @@ void MarkCompactCollector::collect() {
     while (P < End) {
       size_t Words = header::payloadWords(*P) + 1;
       if (IsMarked(P)) {
-        if (!UseBitmap)
+        if (!ViaBitmap)
           *P = header::clearMark(*P);
         uint64_t *Dest = NewAddress.find(P)->second;
         if (Obs && Dest != P)
@@ -226,15 +230,189 @@ void MarkCompactCollector::collect() {
   }
 
   size_t OldTop = Top;
-  Top = MarkedWords;
-  LastLiveWords = MarkedWords;
+  Top = LiveWords;
+  LastLiveWords = LiveWords;
   // The tail the live objects slid out of is vacated storage: any pointer
   // still aimed there is dangling, so poison it for the verifier.
   if (poisonFreedMemory())
     std::fill(Arena.get() + Top, Arena.get() + OldTop, PoisonPattern);
+  return OldTop;
+}
+
+void MarkCompactCollector::collect() {
+  Heap *H = heap();
+  assert(H && "collector not attached to a heap");
+  // A pending incremental cycle is absorbed instead of restarted; objects
+  // dead since the SATB snapshot float until the next (monolithic) cycle.
+  if (Inc != IncState::Idle) {
+    absorbIncrementalCycle();
+    return;
+  }
+
+  CollectionRecord Record;
+  Record.WordsAllocatedBefore = stats().wordsAllocated();
+  Record.Kind = 0;
+  GcPhaseTimer Timer(H->tracer() != nullptr);
+
+  // Phase 1: mark.
+  uint64_t MarkedWords = markPhase(Record.RootsScanned, Timer);
+
+  // Phases 2-4 (forwarding calculation, reference rewrite, slide) are the
+  // compactor's storage-reorganization work: the trace taxonomy's Sweep.
+  Timer.begin(GcPhase::Sweep);
+  size_t OldTop = compactLiveObjects(UseBitmap, MarkedWords);
 
   Record.WordsTraced = MarkedWords;
   Record.WordsReclaimed = OldTop - MarkedWords;
   Record.LiveWordsAfter = MarkedWords;
   finishCollection(Record, Timer);
+}
+
+//===----------------------------------------------------------------------===
+// Incremental cycles (DESIGN.md §16).
+//===----------------------------------------------------------------------===
+
+static uint64_t nanosBetween(std::chrono::steady_clock::time_point From,
+                             std::chrono::steady_clock::time_point To) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(To - From).count());
+}
+
+void MarkCompactCollector::incrementalMark(Value V) {
+  if (!V.isPointer())
+    return;
+  uint64_t *Header = V.asHeaderPtr();
+  assert(Header >= Arena.get() && Header < Arena.get() + ArenaWords &&
+         "pointer outside the mark-compact arena");
+  if (!Bitmap.mark(Header))
+    return;
+  IncTracedWords += ObjectRef(Header).totalWords();
+  IncMarkStack.push_back(Header);
+}
+
+void MarkCompactCollector::startIncrementalCycle() {
+  assert(Inc == IncState::Idle && "cycle already live");
+  Heap *H = heap();
+  Bitmap.attach(Arena.get(), ArenaWords);
+  IncMarkStack.clear();
+  IncTracedWords = 0;
+  IncBlackWords = 0;
+  IncRootsScanned = 0;
+  IncSliceCount = 0;
+  IncWordsAllocatedBefore = stats().wordsAllocated();
+  IncPhaseTimes = GcPhaseTimes();
+  IncTotalNanos = 0;
+  H->satbBuffer().clear();
+  H->satbSetActive(true);
+  Inc = IncState::Marking;
+  H->forEachRoot([&](Value &Slot) {
+    ++IncRootsScanned;
+    incrementalMark(Slot);
+  });
+}
+
+bool MarkCompactCollector::markSlice(
+    std::chrono::steady_clock::time_point Deadline) {
+  Heap *H = heap();
+  std::vector<uint64_t> &Satb = H->satbBuffer();
+  unsigned Check = 0;
+  for (;;) {
+    while (!Satb.empty()) {
+      uint64_t Raw = Satb.back();
+      Satb.pop_back();
+      incrementalMark(Value::fromRawBits(Raw));
+      if ((++Check & 63) == 0 &&
+          std::chrono::steady_clock::now() >= Deadline)
+        return false;
+    }
+    while (!IncMarkStack.empty()) {
+      uint64_t *Header = IncMarkStack.back();
+      IncMarkStack.pop_back();
+      ObjectRef(Header).forEachPointerSlot([&](uint64_t *SlotWord) {
+        incrementalMark(Value::fromRawBits(*SlotWord));
+      });
+      if ((++Check & 63) == 0 &&
+          std::chrono::steady_clock::now() >= Deadline)
+        return false;
+    }
+    // Termination: single mutator, stopped during the slice — buffer and
+    // stack empty plus a clean root rescan is the fixpoint.
+    H->forEachRoot([&](Value &Slot) {
+      ++IncRootsScanned;
+      incrementalMark(Slot);
+    });
+    if (IncMarkStack.empty() && Satb.empty())
+      return true;
+    if (std::chrono::steady_clock::now() >= Deadline)
+      return false;
+  }
+}
+
+void MarkCompactCollector::finalizeIncrementalCycle(size_t OldTop,
+                                                    uint64_t LiveWords) {
+  Inc = IncState::Idle;
+  CollectionRecord Record;
+  Record.WordsAllocatedBefore = IncWordsAllocatedBefore;
+  Record.RootsScanned = IncRootsScanned;
+  Record.WordsTraced = IncTracedWords;
+  Record.WordsReclaimed = OldTop - LiveWords;
+  Record.LiveWordsAfter = LiveWords;
+  Record.Kind = 0;
+  Record.IncrementalSlices = IncSliceCount;
+  GcPhaseTimer Timer(heap()->tracer() != nullptr);
+  Timer.seed(IncPhaseTimes, IncTotalNanos);
+  finishCollection(Record, Timer);
+}
+
+bool MarkCompactCollector::stepOnce(
+    std::chrono::steady_clock::time_point Deadline, uint64_t BudgetNanos) {
+  Heap *H = heap();
+  auto T0 = std::chrono::steady_clock::now();
+  auto T1 = T0;
+  if (Inc == IncState::Idle) {
+    startIncrementalCycle();
+    T1 = std::chrono::steady_clock::now();
+    IncPhaseTimes[GcPhase::RootScan] += nanosBetween(T0, T1);
+  }
+  uint64_t Before = IncTracedWords;
+  bool Done = markSlice(Deadline);
+  uint64_t WorkWords = IncTracedWords - Before;
+  auto T2 = std::chrono::steady_clock::now();
+  IncPhaseTimes[GcPhase::Trace] += nanosBetween(T1, T2);
+  const char *Phase = "mark";
+  size_t OldTop = 0;
+  uint64_t LiveWords = 0;
+  if (Done) {
+    // The compaction remainder runs monolithically in the terminating
+    // slice: objects move, so the mutator cannot be resumed mid-slide
+    // without a read barrier it does not have.
+    Phase = "compact";
+    H->satbSetActive(false);
+    H->satbBuffer().clear();
+    LiveWords = IncTracedWords + IncBlackWords;
+    OldTop = compactLiveObjects(true, LiveWords);
+    IncPhaseTimes[GcPhase::Sweep] +=
+        nanosBetween(T2, std::chrono::steady_clock::now());
+  }
+  uint64_t SliceNanos = nanosBetween(T0, std::chrono::steady_clock::now());
+  IncTotalNanos += SliceNanos;
+  ++IncSliceCount;
+  if (GcTracer *T = H->tracer())
+    T->noteSlice(*this, IncSliceCount, Phase, WorkWords, BudgetNanos,
+                 SliceNanos);
+  if (Done)
+    finalizeIncrementalCycle(OldTop, LiveWords);
+  return Inc == IncState::Idle;
+}
+
+bool MarkCompactCollector::incrementalStep(uint64_t BudgetNanos) {
+  assert(supportsIncremental() && "incremental needs bitmap marking");
+  return stepOnce(std::chrono::steady_clock::now() +
+                      std::chrono::nanoseconds(BudgetNanos),
+                  BudgetNanos);
+}
+
+void MarkCompactCollector::absorbIncrementalCycle() {
+  while (Inc != IncState::Idle)
+    stepOnce(std::chrono::steady_clock::time_point::max(), 0);
 }

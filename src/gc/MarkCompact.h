@@ -24,10 +24,13 @@
 
 #include "gc/MarkBitmap.h"
 #include "heap/Collector.h"
+#include "observe/GcTracer.h"
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 namespace rdgc {
 
@@ -55,8 +58,37 @@ public:
   size_t liveWordsAfterLastCollect() const override { return LastLiveWords; }
   const char *name() const override { return "mark-compact"; }
 
+  //===--------------------------------------------------------------------===
+  // Incremental cycles (DESIGN.md §16): SATB marking in budgeted slices;
+  // the terminating slice runs the (non-incremental) compaction remainder
+  // — sliding live objects cannot safely interleave with the mutator
+  // without a read barrier, so only the marking phase is checkpointed.
+  //===--------------------------------------------------------------------===
+
+  bool supportsIncremental() const override { return UseBitmap; }
+  bool incrementalCycleActive() const override {
+    return Inc != IncState::Idle;
+  }
+  bool incrementalStep(uint64_t BudgetNanos) override;
+
 private:
+  enum class IncState { Idle, Marking };
+
   uint64_t markPhase(uint64_t &RootsScanned, GcPhaseTimer &Timer);
+  /// Phases 2-4 (forwarding, reference rewrite, slide) over the marked
+  /// set; \p LiveWords is the marked total that becomes the new Top.
+  /// Returns the pre-compaction Top (for reclaimed-words accounting).
+  size_t compactLiveObjects(bool ViaBitmap, size_t LiveWords);
+
+  /// One bounded increment; BudgetNanos 0 marks an unbudgeted absorb
+  /// slice in the trace.
+  bool stepOnce(std::chrono::steady_clock::time_point Deadline,
+                uint64_t BudgetNanos);
+  void startIncrementalCycle();
+  bool markSlice(std::chrono::steady_clock::time_point Deadline);
+  void finalizeIncrementalCycle(size_t OldTop, uint64_t LiveWords);
+  void absorbIncrementalCycle();
+  void incrementalMark(Value V);
 
   std::unique_ptr<uint64_t[]> Arena;
   size_t ArenaWords;
@@ -64,6 +96,18 @@ private:
   size_t LastLiveWords = 0;
   MarkBitmap Bitmap;
   bool UseBitmap = true;
+
+  /// Incremental cycle state, persistent across slices (DESIGN.md §16).
+  IncState Inc = IncState::Idle;
+  std::vector<uint64_t *> IncMarkStack;
+  uint64_t IncTracedWords = 0;
+  /// Words allocated black while marking was live (live but untraced).
+  uint64_t IncBlackWords = 0;
+  uint64_t IncRootsScanned = 0;
+  uint64_t IncSliceCount = 0;
+  uint64_t IncWordsAllocatedBefore = 0;
+  GcPhaseTimes IncPhaseTimes = {};
+  uint64_t IncTotalNanos = 0;
 };
 
 } // namespace rdgc

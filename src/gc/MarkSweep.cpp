@@ -44,38 +44,66 @@ MarkSweepCollector::MarkSweepCollector(size_t ArenaBytes)
   makeFreeChunk(Arena.get(), ArenaWords, nullptr);
   FreeListHead = Arena.get();
   FreeWordCount = ArenaWords;
+  // Pre-touch the mark bitmap now, off any timed path: the first attach
+  // pays allocation and page-in (~tens of microseconds for megabyte
+  // arenas), which would otherwise land inside the first incremental
+  // slice and blow its budget. Later attaches just memset warm pages.
+  Bitmap.attach(Arena.get(), ArenaWords);
 }
 
 uint64_t *MarkSweepCollector::tryAllocate(size_t Words) {
   assert(Words >= 2 && "allocation smaller than the minimum object");
-  uint64_t *Prev = nullptr;
-  for (uint64_t *Chunk = FreeListHead; Chunk; Chunk = nextFree(Chunk)) {
-    size_t ChunkWords = header::payloadWords(*Chunk) + 1;
-    if (ChunkWords < Words) {
-      Prev = Chunk;
-      continue;
+  // Next-fit: pass 0 resumes the scan after the rover, pass 1 wraps to the
+  // head and covers everything pass 0 skipped (up to and including the
+  // rover's own chunk). When the rover is unset, pass 0 walks the whole
+  // list from the head and pass 1 terminates immediately.
+  for (int Pass = 0; Pass < 2; ++Pass) {
+    uint64_t *Prev = Pass == 0 ? RovePrev : nullptr;
+    uint64_t *Chunk = Prev ? nextFree(Prev) : FreeListHead;
+    uint64_t *Stop =
+        Pass == 0 ? nullptr : (RovePrev ? nextFree(RovePrev) : FreeListHead);
+    for (; Chunk != Stop; Prev = Chunk, Chunk = nextFree(Chunk)) {
+      size_t ChunkWords = header::payloadWords(*Chunk) + 1;
+      if (ChunkWords < Words)
+        continue;
+      size_t Remainder = ChunkWords - Words;
+      uint64_t *Next = nextFree(Chunk);
+      uint64_t *Replacement = Next;
+      if (Remainder >= 2) {
+        // Split: the tail of the chunk stays free, preserving address order.
+        uint64_t *Tail = Chunk + Words;
+        makeFreeChunk(Tail, Remainder, Next);
+        Replacement = Tail;
+      } else if (Remainder == 1) {
+        // A stranded word: emit padding so the linear sweep walk stays valid.
+        Chunk[Words] = header::encode(ObjectTag::Padding, 0, 0);
+        PaddingWordCount += 1;
+      }
+      if (Prev)
+        setNextFree(Prev, Replacement);
+      else
+        FreeListHead = Replacement;
+      FreeWordCount -= ChunkWords;
+      if (Remainder >= 2)
+        FreeWordCount += Remainder;
+      // Resume the next search at the replacement (the split tail often
+      // fits the next request). Prev is still on the list: the only node
+      // unlinked here is Chunk itself, and when Chunk was the rover's
+      // chunk this assignment moves the rover back to its predecessor.
+      RovePrev = Prev;
+      if (Inc == IncState::Marking) {
+        // Allocate black: objects born while incremental marking is live are
+        // live by fiat for this cycle (the SATB weak tricolor invariant —
+        // their fields only ever hold snapshot-reachable or black values).
+        Bitmap.mark(Chunk);
+        IncBlackWords += Words;
+      } else if (Inc == IncState::Sweeping && Chunk == SweepListTail) {
+        // The mutator consumed or split the partially rebuilt list's tail
+        // between sweep slices; keep the append point valid.
+        SweepListTail = Remainder >= 2 ? Chunk + Words : Prev;
+      }
+      return Chunk;
     }
-    size_t Remainder = ChunkWords - Words;
-    uint64_t *Next = nextFree(Chunk);
-    uint64_t *Replacement = Next;
-    if (Remainder >= 2) {
-      // Split: the tail of the chunk stays free, preserving address order.
-      uint64_t *Tail = Chunk + Words;
-      makeFreeChunk(Tail, Remainder, Next);
-      Replacement = Tail;
-    } else if (Remainder == 1) {
-      // A stranded word: emit padding so the linear sweep walk stays valid.
-      Chunk[Words] = header::encode(ObjectTag::Padding, 0, 0);
-      PaddingWordCount += 1;
-    }
-    if (Prev)
-      setNextFree(Prev, Replacement);
-    else
-      FreeListHead = Replacement;
-    FreeWordCount -= ChunkWords;
-    if (Remainder >= 2)
-      FreeWordCount += Remainder;
-    return Chunk;
   }
   return nullptr;
 }
@@ -93,10 +121,13 @@ uint64_t MarkSweepCollector::markPhase(uint64_t &RootsScanned,
   std::vector<uint64_t *> MarkStack;
   uint64_t MarkedWords = 0;
 
-  if (UseBitmap)
+  if (UseBitmap) {
     // Re-binding every cycle also re-zeroes the bits and tracks arena
-    // growth for free.
+    // growth for free. The monolithic sweep leaves its marks behind, so
+    // the next incremental cycle must re-clear.
     Bitmap.attach(Arena.get(), ArenaWords);
+    BitmapClean = false;
+  }
 
   auto MarkValue = [&](Value V) {
     if (!V.isPointer())
@@ -144,6 +175,7 @@ uint64_t MarkSweepCollector::sweepPhase(uint64_t MarkedWords) {
 
   uint64_t Reclaimed = 0;
   FreeListHead = nullptr;
+  RovePrev = nullptr;
   FreeWordCount = 0;
   PaddingWordCount = 0;
   uint64_t *ListTail = nullptr;
@@ -203,6 +235,7 @@ uint64_t MarkSweepCollector::sweepByBitmap(uint64_t MarkedWords) {
   size_t FreeBefore = FreeWordCount;
   size_t PaddingBefore = PaddingWordCount;
   FreeListHead = nullptr;
+  RovePrev = nullptr;
   FreeWordCount = 0;
   PaddingWordCount = 0;
   uint64_t *ListTail = nullptr;
@@ -247,6 +280,10 @@ uint64_t MarkSweepCollector::sweepByBitmap(uint64_t MarkedWords) {
 bool MarkSweepCollector::tryGrowHeap(size_t MinWords) {
   Heap *H = heap();
   assert(H && "collector not attached to a heap");
+  // Growth evacuates and replaces the arena; a half-finished incremental
+  // cycle (stale bitmap, armed SATB) must complete first.
+  if (Inc != IncState::Idle)
+    absorbIncrementalCycle();
   size_t UsedBound = ArenaWords - FreeWordCount;
   size_t MinNewWords = UsedBound + MinWords;
   size_t NewWords = std::max(ArenaWords * 2, MinNewWords);
@@ -304,8 +341,11 @@ bool MarkSweepCollector::tryGrowHeap(size_t MinWords) {
 
   Arena = std::move(NewArena);
   ArenaWords = NewWords;
+  Bitmap.attach(Arena.get(), ArenaWords); // re-bind, pre-touch, all-zero
+  BitmapClean = true;
   makeFreeChunk(Arena.get() + Cursor, NewWords - Cursor, nullptr);
   FreeListHead = Arena.get() + Cursor;
+  RovePrev = nullptr;
   FreeWordCount = NewWords - Cursor;
   PaddingWordCount = 0; // Survivors were compacted; no stranded words.
   LastLiveWords = Scavenger.wordsCopied();
@@ -320,6 +360,15 @@ bool MarkSweepCollector::tryGrowHeap(size_t MinWords) {
 
 void MarkSweepCollector::collect() {
   assert(heap() && "collector not attached to a heap");
+  // A pending incremental cycle is absorbed instead of starting a second
+  // cycle on top of it: the caller still gets one completed collection,
+  // though objects that died after the SATB snapshot float until the next
+  // cycle (the recovery ladder's emergency full collection, run with the
+  // cycle now idle, reclaims them monolithically).
+  if (Inc != IncState::Idle) {
+    absorbIncrementalCycle();
+    return;
+  }
   CollectionRecord Record;
   Record.WordsAllocatedBefore = stats().wordsAllocated();
   GcPhaseTimer Timer(heap()->tracer() != nullptr);
@@ -334,4 +383,251 @@ void MarkSweepCollector::collect() {
   Record.LiveWordsAfter = MarkedWords;
   Record.Kind = 0;
   finishCollection(Record, Timer);
+}
+
+//===----------------------------------------------------------------------===
+// Incremental cycles (DESIGN.md §16).
+//===----------------------------------------------------------------------===
+
+static uint64_t nanosBetween(std::chrono::steady_clock::time_point From,
+                             std::chrono::steady_clock::time_point To) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(To - From).count());
+}
+
+void MarkSweepCollector::incrementalMark(Value V) {
+  if (!V.isPointer())
+    return;
+  uint64_t *Header = V.asHeaderPtr();
+  assert(Header >= Arena.get() && Header < Arena.get() + ArenaWords &&
+         "pointer outside the mark/sweep arena");
+  if (!Bitmap.mark(Header))
+    return;
+  IncTracedWords += ObjectRef(Header).totalWords();
+  IncMarkStack.push_back(Header);
+}
+
+void MarkSweepCollector::startIncrementalCycle() {
+  assert(Inc == IncState::Idle && "cycle already live");
+  Heap *H = heap();
+  // The table must start all-zero. An incremental sweep leaves it that way
+  // (it clears each word range as it passes), so the common cycle-to-cycle
+  // path skips the full clear — a memset of the whole table would land
+  // inside this first slice's budget. Only a monolithic bitmap cycle or an
+  // arena swap since then forces the re-clear.
+  if (!BitmapClean || !Bitmap.boundTo(Arena.get(), ArenaWords))
+    Bitmap.attach(Arena.get(), ArenaWords);
+  BitmapClean = false;
+  IncMarkStack.clear();
+  IncTracedWords = 0;
+  IncBlackWords = 0;
+  IncRootsScanned = 0;
+  IncSliceCount = 0;
+  IncWordsAllocatedBefore = stats().wordsAllocated();
+  IncPhaseTimes = GcPhaseTimes();
+  IncTotalNanos = 0;
+  H->satbBuffer().clear();
+  H->satbSetActive(true);
+  Inc = IncState::Marking;
+  // The snapshot roots. Everything reachable from them at this instant is
+  // kept; the SATB barrier preserves edges the mutator deletes later.
+  H->forEachRoot([&](Value &Slot) {
+    ++IncRootsScanned;
+    incrementalMark(Slot);
+  });
+}
+
+bool MarkSweepCollector::markSlice(
+    std::chrono::steady_clock::time_point Deadline) {
+  Heap *H = heap();
+  std::vector<uint64_t> &Satb = H->satbBuffer();
+  unsigned Check = 0;
+  for (;;) {
+    // Values overwritten since the snapshot are grey by definition.
+    while (!Satb.empty()) {
+      uint64_t Raw = Satb.back();
+      Satb.pop_back();
+      incrementalMark(Value::fromRawBits(Raw));
+      if ((++Check & 63) == 0 &&
+          std::chrono::steady_clock::now() >= Deadline)
+        return false;
+    }
+    while (!IncMarkStack.empty()) {
+      uint64_t *Header = IncMarkStack.back();
+      IncMarkStack.pop_back();
+      ObjectRef(Header).forEachPointerSlot([&](uint64_t *SlotWord) {
+        incrementalMark(Value::fromRawBits(*SlotWord));
+      });
+      if ((++Check & 63) == 0 &&
+          std::chrono::steady_clock::now() >= Deadline)
+        return false;
+    }
+    // Termination attempt. The single mutator is stopped while a slice
+    // runs, so the SATB buffer cannot refill mid-slice: once the buffer
+    // and the stack are empty and a root rescan turns up nothing new, the
+    // fixpoint is reached.
+    H->forEachRoot([&](Value &Slot) {
+      ++IncRootsScanned;
+      incrementalMark(Slot);
+    });
+    if (IncMarkStack.empty() && Satb.empty())
+      return true;
+    if (std::chrono::steady_clock::now() >= Deadline)
+      return false;
+  }
+}
+
+void MarkSweepCollector::beginIncrementalSweep() {
+  heap()->satbSetActive(false);
+  heap()->satbBuffer().clear();
+  // The old free list is discarded (its chunks are unmarked, so the gap
+  // walk re-subsumes them); snapshot its books first so the cycle's
+  // reclaimed-words accounting matches the monolithic sweepByBitmap.
+  SweepStartFreeWords = FreeWordCount;
+  SweepStartPaddingWords = PaddingWordCount;
+  FreeListHead = nullptr;
+  RovePrev = nullptr;
+  FreeWordCount = 0;
+  PaddingWordCount = 0;
+  SweepListTail = nullptr;
+  SweepBitWordCursor = 0;
+  SweepArenaCursor = 0;
+  Inc = IncState::Sweeping;
+}
+
+void MarkSweepCollector::incrementalEmitGap(size_t At, size_t Words) {
+  if (Words == 0)
+    return;
+  uint64_t *P = Arena.get() + At;
+  if (Words == 1) {
+    *P = header::encode(ObjectTag::Padding, 0, 0);
+    PaddingWordCount += 1;
+    return;
+  }
+  makeFreeChunk(P, Words, nullptr);
+  if (poisonFreedMemory())
+    std::fill(P + 2, P + Words, PoisonPattern);
+  if (SweepListTail)
+    setNextFree(SweepListTail, P);
+  else
+    FreeListHead = P;
+  SweepListTail = P;
+  FreeWordCount += Words;
+}
+
+bool MarkSweepCollector::sweepSlice(
+    std::chrono::steady_clock::time_point Deadline) {
+  // Check the clock once per chunk of bitmap words (~16K arena words).
+  const size_t ChunkBitWords = 256;
+  uint64_t *Base = Arena.get();
+  size_t Total = Bitmap.bitWordCount();
+  while (SweepBitWordCursor < Total) {
+    size_t To = std::min(SweepBitWordCursor + ChunkBitWords, Total);
+    Bitmap.forEachMarkedIndexInWords(
+        SweepBitWordCursor, To, [&](size_t Index) {
+          incrementalEmitGap(SweepArenaCursor, Index - SweepArenaCursor);
+          SweepArenaCursor = Index + ObjectRef(Base + Index).totalWords();
+        });
+    // Leave the table clean behind the cursor so the next cycle's start
+    // can skip the full clear (nothing re-marks a swept range: allocate-
+    // black marking only happens before the sweep begins).
+    Bitmap.clearWordRange(SweepBitWordCursor, To);
+    SweepBitWordCursor = To;
+    if (std::chrono::steady_clock::now() >= Deadline)
+      break;
+  }
+  if (SweepBitWordCursor < Total)
+    return false;
+  incrementalEmitGap(SweepArenaCursor, ArenaWords - SweepArenaCursor);
+  SweepArenaCursor = ArenaWords;
+  return true;
+}
+
+void MarkSweepCollector::finalizeIncrementalCycle() {
+  assert(Inc == IncState::Sweeping && "finalize before the sweep finished");
+  Inc = IncState::Idle;
+  SweepListTail = nullptr;
+  BitmapClean = true; // the sweep cleared every word range it passed
+  uint64_t LiveWords = IncTracedWords + IncBlackWords;
+  LastLiveWords = LiveWords;
+  CollectionRecord Record;
+  Record.WordsAllocatedBefore = IncWordsAllocatedBefore;
+  Record.RootsScanned = IncRootsScanned;
+  Record.WordsTraced = IncTracedWords;
+  // Same books as sweepByBitmap, with the free/padding terms frozen at the
+  // marking-to-sweeping transition (the sweep rebuilt them from zero).
+  Record.WordsReclaimed =
+      ArenaWords - LiveWords - SweepStartFreeWords - SweepStartPaddingWords;
+  Record.LiveWordsAfter = LiveWords;
+  Record.Kind = 0;
+  Record.IncrementalSlices = IncSliceCount;
+  GcPhaseTimer Timer(heap()->tracer() != nullptr);
+  Timer.seed(IncPhaseTimes, IncTotalNanos);
+  finishCollection(Record, Timer);
+}
+
+bool MarkSweepCollector::stepOnce(
+    std::chrono::steady_clock::time_point Deadline, uint64_t BudgetNanos) {
+  Heap *H = heap();
+  auto T0 = std::chrono::steady_clock::now();
+  auto T1 = T0;
+  if (Inc == IncState::Idle) {
+    startIncrementalCycle();
+    T1 = std::chrono::steady_clock::now();
+    IncPhaseTimes[GcPhase::RootScan] += nanosBetween(T0, T1);
+  }
+  const char *Phase;
+  uint64_t WorkWords;
+  bool Finished = false;
+  if (Inc == IncState::Marking) {
+    Phase = "mark";
+    uint64_t Before = IncTracedWords;
+    bool MarkingDone = markSlice(Deadline);
+    WorkWords = IncTracedWords - Before;
+    auto T2 = std::chrono::steady_clock::now();
+    IncPhaseTimes[GcPhase::Trace] += nanosBetween(T1, T2);
+    if (MarkingDone) {
+      beginIncrementalSweep();
+      // The flip empties the free list, so spend whatever remains of this
+      // slice's budget publishing a swept prefix; handing control back
+      // with nothing allocatable would force the mutator's very next
+      // allocation to absorb the whole sweep as one unbudgeted pause.
+      size_t SweepBefore = SweepBitWordCursor;
+      Finished = sweepSlice(Deadline);
+      WorkWords += (SweepBitWordCursor - SweepBefore) * 64;
+      IncPhaseTimes[GcPhase::Sweep] +=
+          nanosBetween(T2, std::chrono::steady_clock::now());
+    }
+  } else {
+    Phase = "sweep";
+    size_t Before = SweepBitWordCursor;
+    Finished = sweepSlice(Deadline);
+    WorkWords = (SweepBitWordCursor - Before) * 64;
+    IncPhaseTimes[GcPhase::Sweep] +=
+        nanosBetween(T1, std::chrono::steady_clock::now());
+  }
+  uint64_t SliceNanos = nanosBetween(T0, std::chrono::steady_clock::now());
+  IncTotalNanos += SliceNanos;
+  ++IncSliceCount;
+  if (GcTracer *T = H->tracer())
+    T->noteSlice(*this, IncSliceCount, Phase, WorkWords, BudgetNanos,
+                 SliceNanos);
+  if (Finished)
+    finalizeIncrementalCycle();
+  return Inc == IncState::Idle;
+}
+
+bool MarkSweepCollector::incrementalStep(uint64_t BudgetNanos) {
+  assert(supportsIncremental() && "incremental needs bitmap marking");
+  return stepOnce(std::chrono::steady_clock::now() +
+                      std::chrono::nanoseconds(BudgetNanos),
+                  BudgetNanos);
+}
+
+void MarkSweepCollector::absorbIncrementalCycle() {
+  // Run the pending cycle to completion as unbudgeted slices (budget 0 in
+  // the trace marks them as absorb slices); afterwards the caller sees a
+  // fully collected heap, exactly as if the cycle had been monolithic.
+  while (Inc != IncState::Idle)
+    stepOnce(std::chrono::steady_clock::time_point::max(), 0);
 }

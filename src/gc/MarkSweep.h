@@ -23,9 +23,12 @@
 
 #include "gc/MarkBitmap.h"
 #include "heap/Collector.h"
+#include "observe/GcTracer.h"
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 namespace rdgc {
 
@@ -53,10 +56,52 @@ public:
   size_t liveWordsAfterLastCollect() const override { return LastLiveWords; }
   const char *name() const override { return "mark-sweep"; }
 
+  //===--------------------------------------------------------------------===
+  // Incremental cycles (DESIGN.md §16): SATB marking in budgeted slices
+  // resumable through the mark bitmap and an explicit mark stack, then a
+  // budgeted sweep resumable through a persistent bitmap-word cursor that
+  // publishes the rebuilt free list progressively, so the mutator
+  // allocates from the already-swept prefix between slices.
+  //===--------------------------------------------------------------------===
+
+  /// Incremental cycles mark and sweep through the side bitmap; the
+  /// legacy header-mark configuration stays stop-the-world.
+  bool supportsIncremental() const override { return UseBitmap; }
+  bool incrementalCycleActive() const override {
+    return Inc != IncState::Idle;
+  }
+  bool incrementalStep(uint64_t BudgetNanos) override;
+
   /// Number of chunks currently on the free list (exposed for tests).
   size_t freeListLength() const;
 
 private:
+  enum class IncState { Idle, Marking, Sweeping };
+
+  /// One bounded increment: \p Deadline caps the work, \p BudgetNanos is
+  /// what the slice event reports (0 = the unbudgeted absorb path).
+  bool stepOnce(std::chrono::steady_clock::time_point Deadline,
+                uint64_t BudgetNanos);
+  /// Arms SATB, re-attaches the bitmap, and scans the snapshot roots.
+  void startIncrementalCycle();
+  /// Marks until \p Deadline; on reaching the SATB termination fixpoint
+  /// (mark stack, SATB buffer, and a root rescan all empty) returns true.
+  bool markSlice(std::chrono::steady_clock::time_point Deadline);
+  /// Disarms SATB and initializes the resumable sweep cursor.
+  void beginIncrementalSweep();
+  /// Sweeps bitmap words until \p Deadline; true when the arena is done.
+  bool sweepSlice(std::chrono::steady_clock::time_point Deadline);
+  /// Emits the cycle's aggregate record through finishCollection.
+  void finalizeIncrementalCycle();
+  /// Runs the pending cycle to completion monolithically — the escape
+  /// hatch collect()/tryGrowHeap() take so their callers always see a
+  /// finished heap.
+  void absorbIncrementalCycle();
+  /// Marks \p V through the bitmap and pushes it for tracing.
+  void incrementalMark(Value V);
+  /// Appends [\p At, \p At + \p Words) to the partially rebuilt free list
+  /// (shared by the sweep slices; ListTail persists in SweepListTail).
+  void incrementalEmitGap(size_t At, size_t Words);
   /// Marks everything reachable from the roots; returns marked words.
   /// Splits its time into the RootScan and Trace phases of \p Timer.
   uint64_t markPhase(uint64_t &RootsScanned, GcPhaseTimer &Timer);
@@ -73,6 +118,13 @@ private:
   std::unique_ptr<uint64_t[]> Arena;
   size_t ArenaWords;
   uint64_t *FreeListHead = nullptr;
+  /// Next-fit rover: the predecessor of the chunk where the next allocation
+  /// search resumes (nullptr = resume at the head). Starting where the last
+  /// search ended keeps allocation from rescanning the small-chunk crowd
+  /// that first-fit accretes at the head of the list — the dominant mutator
+  /// cost once incremental cycles sweep mid-phase and leave live data
+  /// interleaved with the rebuilt list. Reset whenever the list is rebuilt.
+  uint64_t *RovePrev = nullptr;
   size_t FreeWordCount = 0;
   /// Words currently held by Padding pseudo-objects (stranded lone words);
   /// the bitmap sweep needs this to compute reclaimed words exactly.
@@ -80,6 +132,37 @@ private:
   size_t LastLiveWords = 0;
   MarkBitmap Bitmap;
   bool UseBitmap = true;
+  /// True while the bitmap is known all-zero (constructor, arena growth,
+  /// or a completed incremental sweep, which clears behind its cursor).
+  /// Lets startIncrementalCycle skip the full-table clear.
+  bool BitmapClean = true;
+
+  /// Incremental cycle state, persistent across slices (DESIGN.md §16).
+  IncState Inc = IncState::Idle;
+  /// Grey objects awaiting tracing; survives between marking slices.
+  std::vector<uint64_t *> IncMarkStack;
+  /// Words marked by tracing (roots, fields, SATB entries).
+  uint64_t IncTracedWords = 0;
+  /// Words allocated black (new objects marked at allocation while the
+  /// marking phase is live); live but never traced, so they are counted
+  /// apart to keep WordsTraced an honest measure of marking work.
+  uint64_t IncBlackWords = 0;
+  uint64_t IncRootsScanned = 0;
+  uint64_t IncSliceCount = 0;
+  uint64_t IncWordsAllocatedBefore = 0;
+  /// Per-phase and total nanoseconds accumulated across slices; seeds the
+  /// cycle's aggregate GcPhaseTimer at finalize.
+  GcPhaseTimes IncPhaseTimes = {};
+  uint64_t IncTotalNanos = 0;
+  /// Resumable sweep cursor: next bitmap word to scan, the arena word the
+  /// gap-emitter has reached, and the tail of the partially rebuilt list.
+  size_t SweepBitWordCursor = 0;
+  size_t SweepArenaCursor = 0;
+  uint64_t *SweepListTail = nullptr;
+  /// Free/padding words snapshotted when the sweep began (the old list is
+  /// discarded and subsumed into gaps); closes the reclaimed-words books.
+  size_t SweepStartFreeWords = 0;
+  size_t SweepStartPaddingWords = 0;
 };
 
 } // namespace rdgc

@@ -78,6 +78,32 @@ public:
   /// HeapExhausted fault instead of aborting. The default refuses.
   virtual bool tryGrowHeap(size_t MinWords) { return false; }
 
+  //===--------------------------------------------------------------------===
+  // Incremental (time-sliced) collection — DESIGN.md §16. A collector that
+  // supports it runs its full cycle as a sequence of bounded increments
+  // driven from the Heap's slow-allocation safepoint, under the SATB
+  // deletion barrier (Heap::satbCapture) so the snapshot stays complete
+  // while the mutator runs between slices. collect()/collectFull()/
+  // tryGrowHeap() remain the monolithic escape hatch: invoked while a
+  // cycle is live, they must absorb it (finish it to completion) first,
+  // so every caller of the classic entry points still gets a finished,
+  // consistent heap. The defaults decline, keeping stop-the-world
+  // collectors untouched.
+  //===--------------------------------------------------------------------===
+
+  /// True when the collector can run incremental cycles in its current
+  /// configuration (e.g. mark/sweep requires side-bitmap marking).
+  virtual bool supportsIncremental() const { return false; }
+
+  /// True while an incremental cycle is in flight (between its first slice
+  /// and its final flip).
+  virtual bool incrementalCycleActive() const { return false; }
+
+  /// Runs one increment of at most \p BudgetNanos, starting a new cycle if
+  /// none is live. Returns true when the slice completed the cycle. Must
+  /// only be called when supportsIncremental() is true.
+  virtual bool incrementalStep(uint64_t BudgetNanos) { return true; }
+
   /// Write-barrier hook, invoked by the Heap facade on every store of
   /// \p Stored into a pointer field of \p Holder (including initializing
   /// stores). The default does nothing (non-generational collectors).

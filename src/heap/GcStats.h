@@ -63,6 +63,12 @@ struct CollectionRecord {
   uint64_t SelfForwardedWords = 0;
   const char *WatchdogSite = nullptr; ///< "forward-wait"/"drain-idle"/...
   std::string WatchdogDetail;         ///< Per-worker diagnostic snapshot.
+  /// Bounded increments the cycle ran in (DESIGN.md §16); 0 for classic
+  /// monolithic cycles, so existing records and traces are unchanged. An
+  /// incremental cycle's pause-time story lives in its slice events — the
+  /// tracer keeps its aggregate collection event out of the pause
+  /// histogram.
+  uint64_t IncrementalSlices = 0;
 };
 
 /// Streaming counters for one collector instance.

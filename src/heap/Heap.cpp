@@ -110,12 +110,29 @@ static uint64_t environmentWatchdogMicros() {
   return Cached;
 }
 
+/// Parses RDGC_INCREMENTAL_BUDGET_US: the incremental engine's per-slice
+/// pause budget in microseconds (0, unset, empty, or malformed all mean
+/// fully stop-the-world collection). Unlike RDGC_GC_THREADS this is read
+/// fresh on every heap construction, so one process can A/B incremental
+/// against monolithic cycles by flipping the variable between runs.
+static uint64_t environmentIncrementalBudgetMicros() {
+  const char *Spec = std::getenv("RDGC_INCREMENTAL_BUDGET_US");
+  if (!Spec || !*Spec)
+    return 0;
+  char *End = nullptr;
+  unsigned long long N = std::strtoull(Spec, &End, 10);
+  if (End == Spec || *End != '\0')
+    return 0;
+  return static_cast<uint64_t>(N);
+}
+
 Heap::Heap(std::unique_ptr<Collector> C) : Coll(std::move(C)) {
   assert(Coll && "heap requires a collector");
   Coll->attachHeap(this);
   CardMarkBase = Coll->cardTableBase();
   Coll->setGcThreads(environmentGcThreads());
   Coll->setWatchdogMicros(environmentWatchdogMicros());
+  setIncrementalBudgetMicros(environmentIncrementalBudgetMicros());
   if (const FaultPlan *Plan = environmentFaultPlan())
     installFaultPlan(*Plan);
   if (const TortureOptions *Env = TortureMode::environmentOptions())
@@ -280,11 +297,74 @@ void Heap::collectFullNow() {
   Coll->collectFull();
 }
 
+void Heap::satbRecordSlow(Value Old) {
+  if (!Old.isPointer())
+    return;
+  SatbBuffer.push_back(Old.rawBits());
+}
+
+/// Allocation debt (in words) between incremental slices. Small enough
+/// that marking comfortably outruns allocation — a budget's worth of
+/// tracing covers orders of magnitude more words than this — and large
+/// enough that the slice-dispatch overhead stays off the common path.
+static constexpr uint64_t IncrementalSliceDebtWords = 2048;
+
+void Heap::incrementalSafepoint(size_t Words) {
+  // Keep the common case to one add and one compare: free-list collectors
+  // take this path on every allocation, so even the cycle-active virtual
+  // call is too expensive to make per-object. The debt gate also paces the
+  // start trigger — pressure is re-evaluated once per IncrementalSliceDebtWords
+  // allocated words, not per allocation.
+  IncrementalDebtWords += Words;
+  if (IncrementalDebtWords < IncrementalDebtTripWords)
+    return;
+  IncrementalDebtWords = 0;
+  // Re-derive the trip point from current capacity, off the common path:
+  // small heaps need finer pacing than the flat quantum or the whole
+  // pressure window (an eighth of capacity) could fit between two checks
+  // and the cycle would never start before exhaustion.
+  IncrementalDebtTripWords =
+      std::min<uint64_t>(IncrementalSliceDebtWords,
+                         std::max<uint64_t>(64, Coll->capacityWords() / 64));
+  if (!Coll->incrementalCycleActive()) {
+    // Start a cycle only under pressure (under an eighth of the heap still
+    // free), only when the collector supports slicing, and never under a
+    // lifetime observer — death detection assumes monolithic sweeps. The
+    // threshold trades cycle frequency against absorb risk: every sliced
+    // cycle reclaims at a point the stop-the-world collector would have
+    // kept allocating through, so a too-eager trigger inflates total GC
+    // work; an eighth leaves dozens of slice opportunities before
+    // exhaustion at the slice cadence above.
+    if (Obs || !Coll->supportsIncremental())
+      return;
+    if (Coll->freeWords() * 8 > Coll->capacityWords())
+      return;
+  }
+  GcTimer Timer(Coll->stats());
+  Coll->incrementalStep(IncrementalBudgetNanos);
+}
+
+bool Heap::incrementalStepNow() {
+  if (!Coll->supportsIncremental())
+    return false;
+  uint64_t Budget =
+      IncrementalBudgetNanos ? IncrementalBudgetNanos : uint64_t(1000) * 1000;
+  GcTimer Timer(Coll->stats());
+  Coll->incrementalStep(Budget);
+  return Coll->incrementalCycleActive();
+}
+
 uint64_t *Heap::allocateRaw(ObjectTag Tag, size_t PayloadWords) {
   assert(PayloadWords >= 1 && "objects need at least one payload word");
   size_t Words = PayloadWords + 1;
   if (Torture && Torture->shouldForceCollect())
     collectFullNow();
+  // The incremental engine's safepoint: the slow allocation path is where
+  // a pending cycle gets its bounded slices (and where one starts under
+  // pressure). Torture stays monolithic — its replay guarantee pins the
+  // collection sequence to the allocation sequence.
+  if (IncrementalBudgetNanos && !Torture)
+    incrementalSafepoint(Words);
   if (PacingBytes) {
     PacingCounter += Words * 8;
     if (PacingCounter >= PacingBytes) {
@@ -304,6 +384,25 @@ uint64_t *Heap::allocateRaw(ObjectTag Tag, size_t PayloadWords) {
   // manufacturing a spurious HeapExhausted.
   int FaultDepth = Torture ? Torture->nextAllocationFaultDepth() : 0;
   uint64_t *Mem = FaultDepth >= 1 ? nullptr : Coll->tryAllocate(Words);
+  if (!Mem && !FaultDepth && Coll->incrementalCycleActive()) {
+    // Rung 0: exhaustion with a cycle in flight. Drive the cycle forward
+    // with ordinary budgeted slices, retrying after each — the sweep
+    // publishes free chunks as it advances, so the request is usually
+    // satisfied within a slice or two. Absorbing the cycle here instead
+    // (the pre-ladder design) re-created the monolithic worst-case pause
+    // whenever allocation outran the sweep through a dense live prefix.
+    uint64_t Budget =
+        IncrementalBudgetNanos ? IncrementalBudgetNanos : uint64_t(1000) * 1000;
+    while (!Mem && Coll->incrementalCycleActive()) {
+      if (Tracer)
+        Tracer->noteRecovery(*Coll, "incremental-step", Words);
+      {
+        GcTimer Timer(Coll->stats());
+        Coll->incrementalStep(Budget);
+      }
+      Mem = Coll->tryAllocate(Words);
+    }
+  }
   if (!Mem) {
     // Rung 1: a normal collection.
     if (Tracer)
@@ -538,7 +637,9 @@ void Heap::setPairCar(Value Pair, Value V) {
   if (!accessible(Pair, "set-car!"))
     return;
   assert(isa(Pair, ObjectTag::Pair) && "set-car! of a non-pair");
-  ObjectRef(Pair).setValueAt(0, V);
+  ObjectRef Obj(Pair);
+  satbCapture(Obj, 0);
+  Obj.setValueAt(0, V);
   barrier(Pair, V);
 }
 
@@ -546,7 +647,9 @@ void Heap::setPairCdr(Value Pair, Value V) {
   if (!accessible(Pair, "set-cdr!"))
     return;
   assert(isa(Pair, ObjectTag::Pair) && "set-cdr! of a non-pair");
-  ObjectRef(Pair).setValueAt(1, V);
+  ObjectRef Obj(Pair);
+  satbCapture(Obj, 1);
+  Obj.setValueAt(1, V);
   barrier(Pair, V);
 }
 
@@ -561,7 +664,9 @@ void Heap::setCell(Value Cell, Value V) {
   if (!accessible(Cell, "cell-set!"))
     return;
   assert(isa(Cell, ObjectTag::Cell) && "cell-set! of a non-cell");
-  ObjectRef(Cell).setValueAt(0, V);
+  ObjectRef Obj(Cell);
+  satbCapture(Obj, 0);
+  Obj.setValueAt(0, V);
   barrier(Cell, V);
 }
 
@@ -594,6 +699,7 @@ void Heap::vectorSet(Value VectorLike, size_t Index, Value V) {
     return;
   ObjectRef Obj(VectorLike);
   RDGC_CHECK_INDEX("vector-set!", Obj, Index, Obj.elementCount());
+  satbCapture(Obj, 1 + Index);
   Obj.setValueAt(1 + Index, V);
   barrier(VectorLike, V);
 }

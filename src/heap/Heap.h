@@ -178,6 +178,51 @@ public:
   }
 
   //===--------------------------------------------------------------------===
+  // Incremental (time-sliced) collection — DESIGN.md §16. With a nonzero
+  // budget, collectors that support it (Collector::supportsIncremental)
+  // run their cycles as bounded increments driven from the slow
+  // allocation path, so no single pause exceeds the budget. Initialized
+  // from RDGC_INCREMENTAL_BUDGET_US by the constructor (read fresh per
+  // heap, so in-process A/B runs can flip it); 0 keeps every collector
+  // fully stop-the-world. Torture mode and lifetime observers suppress
+  // slicing (their replay/death-detection guarantees assume monolithic
+  // cycles); explicit collectNow()/collectFullNow() absorb a live cycle.
+  //===--------------------------------------------------------------------===
+
+  /// Sets the per-slice pause budget; 0 disables incremental collection.
+  void setIncrementalBudgetMicros(uint64_t Micros) {
+    IncrementalBudgetNanos = Micros * 1000;
+  }
+  uint64_t incrementalBudgetMicros() const {
+    return IncrementalBudgetNanos / 1000;
+  }
+
+  /// Test hook: runs one incremental slice right now (starting a cycle if
+  /// the collector supports it and none is live), regardless of the
+  /// allocation-debt pacing. Returns true when a cycle is live afterwards.
+  bool incrementalStepNow();
+
+  //===--------------------------------------------------------------------===
+  // SATB (snapshot-at-the-beginning) deletion barrier — the incremental
+  // engine's marking barrier. While a cycle is live the collector arms
+  // satbSetActive(true); every typed setter then captures the value it is
+  // about to overwrite (satbCapture, below) into the per-heap SATB buffer
+  // before the store, and the cycle's termination protocol drains the
+  // buffer into the mark stack before the final flip. Initializing stores
+  // need no capture: new objects are allocated black and their slots hold
+  // no snapshot-reachable values yet.
+  //===--------------------------------------------------------------------===
+
+  /// Arms/disarms old-value capture. Called by the owning collector at
+  /// cycle start/termination.
+  void satbSetActive(bool Active) { SatbActive = Active; }
+  bool satbActive() const { return SatbActive; }
+
+  /// The captured old values (raw Value bits, pointers only). The owning
+  /// collector drains and clears this between slices.
+  std::vector<uint64_t> &satbBuffer() { return SatbBuffer; }
+
+  //===--------------------------------------------------------------------===
   // Event tracing (see observe/GcTracer.h and DESIGN.md §10). Enabled
   // programmatically here or process-wide via RDGC_TRACE=<path>, which
   // streams every heap in the process to one JSON Lines file.
@@ -323,6 +368,16 @@ private:
   Value allocateCellSlow(Value Contents);
   Value allocateFlonumSlow(double D);
 
+  /// SATB capture slow path: appends \p Old to the buffer when it is a
+  /// pointer. Out of line so the armed check above stays one branch.
+  void satbRecordSlow(Value Old);
+
+  /// The incremental engine's safepoint, polled by allocateRaw: accrues
+  /// \p Words of allocation debt, starts a cycle when occupancy crosses
+  /// the trigger threshold, and resumes a pending cycle for one bounded
+  /// slice once enough debt accumulated.
+  void incrementalSafepoint(size_t Words);
+
   /// True when the recovery ladder may still attempt tryGrowHeap.
   bool growthAllowed() const;
 
@@ -349,6 +404,19 @@ private:
     Coll->onPointerStore(Holder, Stored);
   }
 
+  /// The SATB deletion barrier — the third barrier backend, dispatched
+  /// like cardMark: the disarmed fast path is a single cached-flag test
+  /// (SatbActive is false in every non-incremental configuration), and an
+  /// armed capture takes the out-of-line slow path, which filters
+  /// non-pointers and appends the overwritten value to the SATB buffer.
+  /// Runs *before* the store (unlike barrier(), which records the new
+  /// value after it): SATB needs the value being overwritten, the last
+  /// edge through which a snapshot-reachable object could escape marking.
+  void satbCapture(ObjectRef Obj, size_t SlotIndex) {
+    if (SatbActive)
+      satbRecordSlow(Obj.valueAt(SlotIndex));
+  }
+
   std::unique_ptr<Collector> Coll;
   /// Coll->cardTableBase(), cached by the constructor; null on the SSB
   /// backend and for collectors without a write barrier.
@@ -367,6 +435,17 @@ private:
   HeapFault LastFault = HeapFault::None;
   size_t MaxHeapBytes = 0;
   bool GrowthEnabled = true;
+  /// Incremental engine state: per-slice budget (0 = disabled),
+  /// allocation-debt accumulator pacing slice frequency, the SATB arm
+  /// flag, and the captured-old-value buffer.
+  uint64_t IncrementalBudgetNanos = 0;
+  uint64_t IncrementalDebtWords = 0;
+  /// Debt level that trips the next safepoint check. Re-derived from heap
+  /// capacity each time it trips (see incrementalSafepoint); starts small
+  /// so the first trip converges on the right pacing immediately.
+  uint64_t IncrementalDebtTripWords = 64;
+  bool SatbActive = false;
+  std::vector<uint64_t> SatbBuffer;
   /// True when every allocation must take the slow path so torture-mode
   /// forced collections and pacing quanta observe it (one branch on the
   /// fast path; false in every performance configuration).

@@ -49,6 +49,10 @@ const char *rdgc::traceEventTypeName(GcTraceEvent::Type Type) {
     return "evacuation_failure";
   case GcTraceEvent::Type::Watchdog:
     return "watchdog";
+  case GcTraceEvent::Type::Slice:
+    return "slice";
+  case GcTraceEvent::Type::SloViolation:
+    return "slo_violation";
   }
   return "unknown";
 }
@@ -166,6 +170,11 @@ std::string rdgc::formatTraceEventJson(const GcTraceEvent &E) {
       }
       Out += ']';
     }
+    // Incremental cycles stamp their slice count; monolithic cycles omit
+    // the key, keeping their encoding byte-identical to pre-incremental
+    // builds.
+    if (E.Slices != 0)
+      appendUint(Out, "slices", E.Slices, First);
     break;
   case GcTraceEvent::Type::Pacing:
     appendUint(Out, "words_allocated", E.WordsAllocated, First);
@@ -190,6 +199,18 @@ std::string rdgc::formatTraceEventJson(const GcTraceEvent &E) {
   case GcTraceEvent::Type::Watchdog:
     appendString(Out, "site", E.Site, First);
     appendString(Out, "detail", E.Detail, First);
+    break;
+  case GcTraceEvent::Type::Slice:
+    appendUint(Out, "slice", E.Slices, First);
+    appendString(Out, "phase", E.SlicePhase, First);
+    appendUint(Out, "work_words", E.WorkWords, First);
+    appendUint(Out, "budget_ns", E.BudgetNanos, First);
+    appendUint(Out, "pause_ns", E.PauseNanos, First);
+    break;
+  case GcTraceEvent::Type::SloViolation:
+    appendUint(Out, "threshold_ns", E.ThresholdNanos, First);
+    appendUint(Out, "pause_ns", E.PauseNanos, First);
+    appendString(Out, "source", E.PauseSource, First);
     break;
   }
   Out += '}';
@@ -442,6 +463,10 @@ bool rdgc::parseTraceEventJson(const std::string &Line, GcTraceEvent &Event,
     Event.EventType = GcTraceEvent::Type::EvacuationFailure;
   else if (TypeName == "watchdog")
     Event.EventType = GcTraceEvent::Type::Watchdog;
+  else if (TypeName == "slice")
+    Event.EventType = GcTraceEvent::Type::Slice;
+  else if (TypeName == "slo_violation")
+    Event.EventType = GcTraceEvent::Type::SloViolation;
   else {
     Error = "unknown event type '" + TypeName + "'";
     return false;
@@ -475,6 +500,16 @@ bool rdgc::parseTraceEventJson(const std::string &Line, GcTraceEvent &Event,
     TakeUint("trace_ns", Event.Phases[GcPhase::Trace]);
     TakeUint("sweep_ns", Event.Phases[GcPhase::Sweep]);
     TakeUint("total_ns", Event.TotalNanos);
+    // "slices" is conditionally present (incremental cycles only), like
+    // the workers array: its absence means a monolithic cycle.
+    if (JsonEntry *Slices = Find("slices")) {
+      if (Slices->IsString) {
+        Error = "non-integer key 'slices'";
+        return false;
+      }
+      Slices->Consumed = true;
+      Event.Slices = Slices->UintValue;
+    }
     for (const std::string &Object : WorkerObjects) {
       GcWorkerCycleStats W;
       if (!parseWorkerObject(Object, W, Error))
@@ -509,6 +544,18 @@ bool rdgc::parseTraceEventJson(const std::string &Line, GcTraceEvent &Event,
   case GcTraceEvent::Type::Watchdog:
     TakeString("site", Event.Site);
     TakeString("detail", Event.Detail);
+    break;
+  case GcTraceEvent::Type::Slice:
+    TakeUint("slice", Event.Slices);
+    TakeString("phase", Event.SlicePhase);
+    TakeUint("work_words", Event.WorkWords);
+    TakeUint("budget_ns", Event.BudgetNanos);
+    TakeUint("pause_ns", Event.PauseNanos);
+    break;
+  case GcTraceEvent::Type::SloViolation:
+    TakeUint("threshold_ns", Event.ThresholdNanos);
+    TakeUint("pause_ns", Event.PauseNanos);
+    TakeString("source", Event.PauseSource);
     break;
   }
   if (!Ok)
@@ -595,7 +642,42 @@ void GcTracer::noteCollection(const Collector &C,
   E.Phases = Timer.times();
   E.TotalNanos = Timer.totalNanos();
   E.Workers = Record.Workers;
-  Pauses.record(E.TotalNanos);
+  E.Slices = Record.IncrementalSlices;
+  emit(E);
+  // An incremental cycle's slices already fed the pause histogram one by
+  // one; recording the aggregate too would double-count every pause (and
+  // report a monolithic-sized maximum the mutator never saw).
+  if (Record.IncrementalSlices == 0)
+    recordPause(C, E.TotalNanos, "collection");
+}
+
+void GcTracer::noteSlice(const Collector &C, uint64_t SliceIndex,
+                         const char *Phase, uint64_t WorkWords,
+                         uint64_t BudgetNanos, uint64_t PauseNanos) {
+  GcTraceEvent E;
+  E.EventType = GcTraceEvent::Type::Slice;
+  E.Collector = C.name();
+  E.Slices = SliceIndex;
+  E.SlicePhase = Phase;
+  E.WorkWords = WorkWords;
+  E.BudgetNanos = BudgetNanos;
+  E.PauseNanos = PauseNanos;
+  emit(E);
+  recordPause(C, PauseNanos, "slice");
+}
+
+void GcTracer::recordPause(const Collector &C, uint64_t PauseNanos,
+                           const char *Source) {
+  Pauses.record(PauseNanos);
+  if (SloThresholdNanos == 0 || PauseNanos <= SloThresholdNanos)
+    return;
+  ++SloViolationCount;
+  GcTraceEvent E;
+  E.EventType = GcTraceEvent::Type::SloViolation;
+  E.Collector = C.name();
+  E.ThresholdNanos = SloThresholdNanos;
+  E.PauseNanos = PauseNanos;
+  E.PauseSource = Source;
   emit(E);
 }
 

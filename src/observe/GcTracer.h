@@ -106,10 +106,23 @@ public:
       return;
     auto Now = std::chrono::steady_clock::now();
     closeOpenPhase(Now);
-    TotalNanosCount = static_cast<uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(Now - CycleStart)
-            .count());
+    TotalNanosCount =
+        SeedNanos +
+        static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(Now -
+                                                                 CycleStart)
+                .count());
     Finished = true;
+  }
+
+  /// Seeds the timer with phase times and pause nanoseconds accumulated
+  /// outside its own lifetime — the incremental engine's slices each time
+  /// themselves, and the cycle's final record must carry the whole-cycle
+  /// totals. finish() adds the seed to the time observed since
+  /// construction.
+  void seed(const GcPhaseTimes &Accumulated, uint64_t TotalNanos) {
+    Times = Accumulated;
+    SeedNanos = TotalNanos;
   }
 
   const GcPhaseTimes &times() const { return Times; }
@@ -133,6 +146,7 @@ private:
   std::chrono::steady_clock::time_point PhaseStart;
   GcPhaseTimes Times;
   uint64_t TotalNanosCount = 0;
+  uint64_t SeedNanos = 0;
 };
 
 //===----------------------------------------------------------------------===
@@ -154,6 +168,13 @@ struct GcTraceEvent {
     /// A GC watchdog deadline expired; carries the site and the per-worker
     /// diagnostic snapshot taken at trip time.
     Watchdog,
+    /// One bounded increment of an incremental collection cycle (the only
+    /// mutator-visible pauses such a cycle produces; its final collection
+    /// event aggregates the whole cycle and carries a "slices" count).
+    Slice,
+    /// A pause exceeded the configured SLO threshold
+    /// (GcTracer::setSloThresholdNanos).
+    SloViolation,
   };
 
   Type EventType = Type::Collection;
@@ -182,6 +203,20 @@ struct GcTraceEvent {
   /// encoding only emits the "workers" array when non-empty, so serial
   /// trace streams are byte-identical to pre-parallel builds.
   std::vector<GcWorkerCycleStats> Workers;
+  /// Incremental slices the cycle ran in; 0 for monolithic cycles, whose
+  /// encoding omits the "slices" key so pre-incremental streams are
+  /// byte-identical.
+  uint64_t Slices = 0;
+
+  // Slice fields (Slices above doubles as the slice index).
+  std::string SlicePhase; ///< "mark" or "sweep".
+  uint64_t WorkWords = 0; ///< Words traced or swept in this slice.
+  uint64_t BudgetNanos = 0;
+  uint64_t PauseNanos = 0;
+
+  // SLO-violation fields (PauseNanos above carries the offending pause).
+  uint64_t ThresholdNanos = 0;
+  std::string PauseSource; ///< "collection" or "slice".
 
   // Recovery fields.
   std::string Rung; ///< "collect", "emergency-full", "grow", "exhausted".
@@ -304,6 +339,14 @@ public:
   void noteWatchdog(const Collector &C, const char *Site,
                     const std::string &Detail);
 
+  /// One bounded increment of an incremental cycle finished. Slices are
+  /// the mutator-visible pauses of such a cycle, so they feed the pause
+  /// histogram (and the SLO check); the cycle's aggregate collection event
+  /// does not, or every pause would be counted twice.
+  void noteSlice(const Collector &C, uint64_t SliceIndex, const char *Phase,
+                 uint64_t WorkWords, uint64_t BudgetNanos,
+                 uint64_t PauseNanos);
+
   /// Samples heap occupancy if at least occupancyIntervalBytes() of
   /// allocation happened since the last sample. Called after successful
   /// allocations; cheap when the interval has not elapsed.
@@ -315,8 +358,18 @@ public:
   void endEmergency() { --EmergencyDepth; }
   bool inEmergency() const { return EmergencyDepth > 0; }
 
-  /// Pause-time distribution over every collection event seen so far.
+  /// Pause-time distribution over every mutator-visible pause seen so far:
+  /// monolithic collections and incremental slices (an incremental cycle's
+  /// aggregate collection event is excluded — its slices already fed the
+  /// histogram individually).
   const PauseHistogram &pauses() const { return Pauses; }
+
+  /// Arms the pause-time SLO: every recorded pause above \p Nanos emits an
+  /// slo_violation event and bumps sloViolations(). 0 (the default)
+  /// disarms the check.
+  void setSloThresholdNanos(uint64_t Nanos) { SloThresholdNanos = Nanos; }
+  uint64_t sloThresholdNanos() const { return SloThresholdNanos; }
+  uint64_t sloViolations() const { return SloViolationCount; }
 
   /// Occupancy sampling cadence in allocated bytes (default 1 MiB).
   void setOccupancyIntervalBytes(uint64_t Bytes);
@@ -332,12 +385,18 @@ public:
 
 private:
   void emit(GcTraceEvent &Event);
+  /// Feeds \p PauseNanos to the histogram and, when the SLO is armed and
+  /// violated, emits an slo_violation event attributed to \p Source.
+  void recordPause(const Collector &C, uint64_t PauseNanos,
+                   const char *Source);
 
   uint64_t Id;
   uint64_t Seq = 0;
   int EmergencyDepth = 0;
   uint64_t OccupancyIntervalBytes = 1u << 20;
   uint64_t NextOccupancyWords = (1u << 20) / 8;
+  uint64_t SloThresholdNanos = 0;
+  uint64_t SloViolationCount = 0;
   PauseHistogram Pauses;
   std::vector<TraceSink *> Sinks;
 };

@@ -64,6 +64,15 @@ uint64_t PauseHistogram::valueAtPercentile(double Percentile) const {
   return MaxSeen;
 }
 
+uint64_t PauseHistogram::countAbove(uint64_t Threshold) const {
+  if (Total == 0 || Threshold >= MaxSeen)
+    return 0;
+  uint64_t Above = 0;
+  for (unsigned I = bucketIndexFor(Threshold) + 1; I < BucketCount; ++I)
+    Above += Counts[I];
+  return Above;
+}
+
 void PauseHistogram::merge(const PauseHistogram &Other) {
   for (unsigned I = 0; I < BucketCount; ++I)
     Counts[I] += Other.Counts[I];

@@ -56,6 +56,12 @@ public:
   /// valueAtPercentile(100) == maxValue(). Returns 0 on an empty histogram.
   uint64_t valueAtPercentile(double Percentile) const;
 
+  /// Count of recorded values strictly greater than \p Threshold. Exact up
+  /// to bucket quantization: values sharing \p Threshold's bucket are
+  /// excluded, so a pause must exceed the bucket's upper edge to count.
+  /// The SLO gate uses this to count budget violations.
+  uint64_t countAbove(uint64_t Threshold) const;
+
   /// Merges another histogram into this one (used by the reporter to
   /// aggregate per-heap streams).
   void merge(const PauseHistogram &Other);

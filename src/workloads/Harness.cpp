@@ -33,6 +33,9 @@ ExperimentRun rdgc::runExperiment(Workload &W, CollectorKind Kind,
   auto H = makeHeap(Kind, Sizing);
   if (Options.GcThreads >= 0)
     H->collector().setGcThreads(static_cast<unsigned>(Options.GcThreads));
+  if (Options.IncrementalBudgetUs >= 0)
+    H->setIncrementalBudgetMicros(
+        static_cast<uint64_t>(Options.IncrementalBudgetUs));
 
   // Give every run a tracer so pause percentiles are always measurable:
   // an explicit HarnessOptions tracer wins, an RDGC_TRACE-installed one is
@@ -46,6 +49,8 @@ ExperimentRun rdgc::runExperiment(Workload &W, CollectorKind Kind,
     H->setTracer(LocalTracer.get());
   }
   GcTracer *Tracer = H->tracer();
+  if (Options.SloThresholdNanos)
+    Tracer->setSloThresholdNanos(Options.SloThresholdNanos);
 
   // Surface heap exhaustion as data rather than a crash: a workload that
   // outgrows its sizing produces an invalid run with HeapExhausted set.
@@ -69,7 +74,9 @@ ExperimentRun rdgc::runExperiment(Workload &W, CollectorKind Kind,
   Run.PauseP50Nanos = Tracer->pauses().valueAtPercentile(50.0);
   Run.PauseP90Nanos = Tracer->pauses().valueAtPercentile(90.0);
   Run.PauseP99Nanos = Tracer->pauses().valueAtPercentile(99.0);
+  Run.PauseP999Nanos = Tracer->pauses().valueAtPercentile(99.9);
   Run.PauseMaxNanos = Tracer->pauses().maxValue();
+  Run.SloViolations = Tracer->sloViolations();
 
   // A final full collection makes end-of-run live storage observable. It
   // is bookkeeping rather than workload behavior, so it runs outside the

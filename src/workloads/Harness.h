@@ -49,12 +49,16 @@ struct ExperimentRun {
   double EpilogueGcSeconds = 0.0;
   uint64_t EpilogueCollections = 0;
 
-  /// Pause-time distribution over the measured region's collections, in
-  /// nanoseconds (zero when the run had no collections).
+  /// Pause-time distribution over the measured region's mutator-visible
+  /// pauses, in nanoseconds (zero when the run had no collections).
+  /// Incremental runs count each slice as one pause, not each cycle.
   uint64_t PauseP50Nanos = 0;
   uint64_t PauseP90Nanos = 0;
   uint64_t PauseP99Nanos = 0;
+  uint64_t PauseP999Nanos = 0;
   uint64_t PauseMaxNanos = 0;
+  /// Pauses above HarnessOptions::SloThresholdNanos (0 when disarmed).
+  uint64_t SloViolations = 0;
 
   /// The Table 3 column: gc time / mutator time.
   double gcOverMutator() const {
@@ -90,6 +94,15 @@ struct HarnessOptions {
   /// the serial path, >= 2 requests parallel collections (per-cycle gates
   /// may still run individual cycles serially).
   int GcThreads = -1;
+  /// Incremental per-slice pause budget in microseconds: -1 inherits the
+  /// heap's RDGC_INCREMENTAL_BUDGET_US configuration, 0 forces
+  /// stop-the-world, > 0 arms the incremental engine (DESIGN.md §16) on
+  /// collectors that support it.
+  long long IncrementalBudgetUs = -1;
+  /// When nonzero, arms the run tracer's pause-time SLO: every pause
+  /// above this many nanoseconds is counted in ExperimentRun::SloViolations
+  /// (and emits an slo_violation trace event).
+  uint64_t SloThresholdNanos = 0;
 };
 
 /// Runs \p W on a fresh heap with the given collector and returns the

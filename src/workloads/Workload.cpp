@@ -28,6 +28,10 @@ std::vector<std::unique_ptr<Workload>> rdgc::makePaperWorkloads(int Scale) {
       static_cast<unsigned>(12 + Scale), 6,
       static_cast<unsigned>(24 * Scale)));
   Out.push_back(std::make_unique<LatticeWorkload>(3, Scale >= 2 ? 4 : 3));
+  // Both dynamic profiles from the paper: the single-iteration run of
+  // Figure 2 / Table 4 and the ten-iteration 10dynamic of Tables 4-5.
+  Out.push_back(std::make_unique<DynamicWorkload>(
+      1, static_cast<size_t>(Scale) * 900 * 1024));
   Out.push_back(std::make_unique<DynamicWorkload>(
       10, static_cast<size_t>(Scale) * 900 * 1024));
   Out.push_back(std::make_unique<BoyerWorkload>(/*SharedConsing=*/false,

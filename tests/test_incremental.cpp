@@ -1,0 +1,306 @@
+//===- tests/test_incremental.cpp - Time-sliced collection cycles --------===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for DESIGN.md §16's incremental collection engine on its two
+/// sound carriers (mark/sweep and mark-compact): a cycle interrupted into
+/// budgeted slices and resumed across mutator activity must produce the
+/// same logical heap image as the monolithic collector; budgeted slices
+/// must respect their pause budget (with scheduler tolerance); the SATB
+/// deletion barrier must keep snapshot-reachable objects alive when the
+/// mutator overwrites their only path mid-mark; and the absorb contract
+/// must let collectFullNow() finish a pending cycle so its callers always
+/// see a finished heap.
+///
+//===----------------------------------------------------------------------===//
+
+#include "gc/CollectorFactory.h"
+#include "heap/Heap.h"
+#include "heap/HeapVerifier.h"
+#include "observe/GcTracer.h"
+#include "support/Random.h"
+
+#include "TortureSkip.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+using namespace rdgc;
+
+namespace {
+
+const CollectorKind IncrementalKinds[] = {
+    CollectorKind::MarkSweep,
+    CollectorKind::MarkCompact,
+};
+
+CollectorSizing smallSizing(size_t PrimaryBytes = 96 * 1024) {
+  CollectorSizing Sizing;
+  Sizing.PrimaryBytes = PrimaryBytes;
+  return Sizing;
+}
+
+/// Serializes the reachable graph into a layout-independent word stream
+/// (objects numbered in BFS discovery order from the roots; pointers
+/// emitted as ~id of the pointee). Two heaps hold the same logical image
+/// iff the streams are equal — floating garbage an in-flight SATB cycle
+/// retains is invisible, because it is unreachable by construction.
+std::vector<uint64_t> canonicalImage(Heap &H) {
+  std::vector<uint64_t> Out;
+  std::unordered_map<const uint64_t *, uint64_t> Ids;
+  std::vector<uint64_t *> Order;
+  auto IdOf = [&](uint64_t *Header) {
+    auto [It, Fresh] = Ids.emplace(Header, Ids.size());
+    if (Fresh)
+      Order.push_back(Header);
+    return It->second;
+  };
+  H.forEachRoot([&](Value &Slot) {
+    Out.push_back(Slot.isPointer() ? ~IdOf(Slot.asHeaderPtr())
+                                   : Slot.rawBits());
+  });
+  for (size_t I = 0; I < Order.size(); ++I) {
+    ObjectRef Obj(Order[I]);
+    Out.push_back(static_cast<uint64_t>(Obj.tag()));
+    Out.push_back(Obj.payloadWords());
+    std::unordered_set<const uint64_t *> ValueSlots;
+    Obj.forEachPointerSlot(
+        [&](uint64_t *SlotWord) { ValueSlots.insert(SlotWord); });
+    for (size_t W = 0; W < Obj.payloadWords(); ++W) {
+      uint64_t *SlotWord = Obj.payload() + W;
+      Value V = Value::fromRawBits(*SlotWord);
+      if (ValueSlots.count(SlotWord) && V.isPointer())
+        Out.push_back(~IdOf(V.asHeaderPtr()));
+      else
+        Out.push_back(*SlotWord);
+    }
+  }
+  return Out;
+}
+
+void expectVerifierGreen(Heap &H) {
+  HeapVerification V = verifyHeap(H);
+  EXPECT_TRUE(V.Ok) << V.FirstProblem;
+}
+
+/// Caller-owned roots for runChurn; must outlive any canonicalImage()
+/// capture (Handles unregister themselves on destruction).
+struct MutatorState {
+  Handle Window, OldCell;
+  explicit MutatorState(Heap &H)
+      : Window(H, H.allocateVector(32, Value::null())),
+        OldCell(H, H.allocateCell(Value::null())) {}
+};
+
+/// Deterministic allocation churn over a bounded live set: plenty of
+/// garbage so cycles trigger from the allocation-point safepoint, stores
+/// into surviving holders so the SATB barrier sees real overwrites, and
+/// no explicit collections — every cycle in an incremental run begins and
+/// advances at the safepoint.
+void runChurn(Heap &H, MutatorState &S, int Iterations) {
+  Xoshiro256 Rng(0xDECAF);
+  for (int I = 0; I < Iterations; ++I) {
+    Value P = H.allocatePair(Value::fixnum(I), Value::null());
+    H.vectorSet(S.Window, Rng.nextBelow(32), P);
+    if (I % 7 == 0)
+      H.setCell(S.OldCell, P);
+    if (I % 23 == 0)
+      H.vectorSet(S.Window, Rng.nextBelow(32),
+                  H.allocateString("s" + std::to_string(I)));
+    if (I % 41 == 0)
+      H.setCell(S.OldCell, H.allocateFlonum(1.0 / (I + 1)));
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===
+// Equivalence: interrupted-then-resumed cycles vs monolithic collection.
+//===----------------------------------------------------------------------===
+
+TEST(IncrementalTest, IncrementalAndMonolithicProduceIdenticalImages) {
+  RDGC_SKIP_UNDER_ENV_TORTURE();
+  for (CollectorKind Kind : IncrementalKinds) {
+    std::vector<uint64_t> Images[2];
+    const uint64_t Budgets[2] = {0, 50}; // monolithic vs 50 us slices
+    for (int Run = 0; Run < 2; ++Run) {
+      auto H = makeHeap(Kind, smallSizing());
+      SCOPED_TRACE(std::string(H->collector().name()) + " budget=" +
+                   std::to_string(Budgets[Run]) + "us");
+      H->setPoisonFreedMemory(true);
+      H->setIncrementalBudgetMicros(Budgets[Run]);
+      MutatorState S(*H);
+      runChurn(*H, S, 12000);
+      expectVerifierGreen(*H);
+      H->collectFullNow(); // absorbs any in-flight cycle first
+      EXPECT_FALSE(H->collector().incrementalCycleActive());
+      expectVerifierGreen(*H);
+      Images[Run] = canonicalImage(*H);
+      EXPECT_EQ(H->lastFault(), HeapFault::None);
+    }
+    ASSERT_GT(Images[0].size(), 64u);
+    EXPECT_EQ(Images[0], Images[1]) << "incremental run diverged";
+  }
+}
+
+//===----------------------------------------------------------------------===
+// Budget accounting: slices respect their pause budget.
+//===----------------------------------------------------------------------===
+
+TEST(IncrementalTest, BudgetedSlicesRespectTheirBudget) {
+  RDGC_SKIP_UNDER_ENV_TORTURE();
+  for (CollectorKind Kind : IncrementalKinds) {
+    auto H = makeHeap(Kind, smallSizing());
+    SCOPED_TRACE(H->collector().name());
+    const uint64_t BudgetUs = 200;
+    H->setIncrementalBudgetMicros(BudgetUs);
+    GcTracer Tracer;
+    MemoryTraceSink Sink;
+    Tracer.addSink(&Sink);
+    H->setTracer(&Tracer);
+    MutatorState S(*H);
+    runChurn(*H, S, 20000);
+    H->collectFullNow();
+    H->setTracer(nullptr);
+
+    uint64_t Budgeted = 0, Overruns = 0, PendingSlices = 0;
+    uint64_t SlicedCycles = 0;
+    for (const GcTraceEvent &E : Sink.events()) {
+      if (E.EventType == GcTraceEvent::Type::Slice) {
+        // Slice indices count up from 1 within a cycle; the cycle's
+        // aggregate collection event then carries the total.
+        EXPECT_EQ(E.Slices, PendingSlices + 1) << "slice sequence broken";
+        ++PendingSlices;
+        if (E.BudgetNanos == 0)
+          continue; // The unbudgeted absorb path is exempt by contract.
+        ++Budgeted;
+        // The budget is a deadline the slice polls, so an increment can
+        // overshoot by one work quantum (plus scheduler noise on shared
+        // CI); 2x is the accounting tolerance, 100x the sanity cap.
+        if (E.PauseNanos > 2 * E.BudgetNanos)
+          ++Overruns;
+        EXPECT_LT(E.PauseNanos, 100 * E.BudgetNanos)
+            << "slice blew through its deadline entirely";
+      } else if (E.EventType == GcTraceEvent::Type::Collection) {
+        if (E.Slices != 0)
+          ++SlicedCycles;
+        EXPECT_EQ(E.Slices, PendingSlices)
+            << "cycle aggregate disagrees with its slice events";
+        PendingSlices = 0;
+      }
+    }
+    EXPECT_GT(SlicedCycles, 0u) << "no cycle ever ran incrementally";
+    ASSERT_GT(Budgeted, 4u) << "churn never produced budgeted slices";
+    EXPECT_LE(Overruns * 5, Budgeted)
+        << Overruns << " of " << Budgeted
+        << " budgeted slices exceeded twice their budget";
+  }
+}
+
+//===----------------------------------------------------------------------===
+// SATB: overwriting the only path mid-mark must not free a snapshot
+// object this cycle.
+//===----------------------------------------------------------------------===
+
+TEST(IncrementalTest, SatbKeepsHiddenObjectsAliveThroughTheCycle) {
+  RDGC_SKIP_UNDER_ENV_TORTURE();
+  for (CollectorKind Kind : IncrementalKinds) {
+    auto H = makeHeap(Kind, smallSizing(1024 * 1024));
+    SCOPED_TRACE(H->collector().name());
+    H->setPoisonFreedMemory(true);
+    // A big live list so marking needs many tiny slices; the cycle must
+    // still be in its marking phase when the mutator hides the pair.
+    Handle List(*H, Value::null());
+    for (int I = 0; I < 20000; ++I)
+      List = H->allocatePair(Value::fixnum(I), List.get());
+    Handle Cell(*H, H->allocateCell(Value::null()));
+    Value Hidden = H->allocatePair(Value::fixnum(42), Value::fixnum(17));
+    H->setCell(Cell, Hidden);
+
+    H->setIncrementalBudgetMicros(1);
+    ASSERT_TRUE(H->incrementalStepNow()) << "cycle did not start or "
+                                            "finished in one 1us slice";
+    // Mid-mark: overwrite the only path to Hidden. The SATB capture in
+    // setCell records the old value, so the snapshot keeps the pair.
+    H->setCell(Cell, Value::null());
+    int Steps = 1;
+    while (H->incrementalStepNow())
+      ASSERT_LT(++Steps, 1000000) << "cycle never terminated";
+    EXPECT_FALSE(H->collector().incrementalCycleActive());
+    EXPECT_GT(Steps, 1) << "marking finished before the overwrite landed";
+    expectVerifierGreen(*H);
+
+    // Neither collector moves objects within a cycle, so the raw pointer
+    // still addresses the pair; with poisoning on, a freed pair could not
+    // hold its payload.
+    ObjectRef Obj(Hidden);
+    EXPECT_EQ(Value::fromRawBits(Obj.payload()[0]).rawBits(),
+              Value::fixnum(42).rawBits())
+        << "SATB let a snapshot-reachable pair die mid-cycle";
+    EXPECT_EQ(H->lastFault(), HeapFault::None);
+  }
+}
+
+//===----------------------------------------------------------------------===
+// The absorb contract and the legacy header-mark fallback.
+//===----------------------------------------------------------------------===
+
+TEST(IncrementalTest, CollectFullAbsorbsAPendingCycle) {
+  RDGC_SKIP_UNDER_ENV_TORTURE();
+  for (CollectorKind Kind : IncrementalKinds) {
+    auto H = makeHeap(Kind, smallSizing(1024 * 1024));
+    SCOPED_TRACE(H->collector().name());
+    Handle List(*H, Value::null());
+    for (int I = 0; I < 20000; ++I)
+      List = H->allocatePair(Value::fixnum(I), List.get());
+    GcTracer Tracer;
+    MemoryTraceSink Sink;
+    Tracer.addSink(&Sink);
+    H->setTracer(&Tracer);
+
+    H->setIncrementalBudgetMicros(1);
+    ASSERT_TRUE(H->incrementalStepNow());
+    ASSERT_TRUE(H->collector().incrementalCycleActive());
+    H->collectFullNow();
+    EXPECT_FALSE(H->collector().incrementalCycleActive())
+        << "collectFullNow left a cycle in flight";
+    H->setTracer(nullptr);
+    expectVerifierGreen(*H);
+
+    uint64_t AbsorbSlices = 0, SlicedCycles = 0;
+    for (const GcTraceEvent &E : Sink.events()) {
+      if (E.EventType == GcTraceEvent::Type::Slice && E.BudgetNanos == 0)
+        ++AbsorbSlices;
+      if (E.EventType == GcTraceEvent::Type::Collection && E.Slices != 0)
+        ++SlicedCycles;
+    }
+    EXPECT_GT(AbsorbSlices, 0u) << "absorb never ran a budget-0 slice";
+    EXPECT_EQ(SlicedCycles, 1u);
+  }
+}
+
+TEST(IncrementalTest, HeaderMarkingStaysStopTheWorld) {
+  for (CollectorKind Kind : IncrementalKinds) {
+    CollectorSizing Sizing = smallSizing();
+    Sizing.BitmapMarking = false;
+    auto H = makeHeap(Kind, Sizing);
+    SCOPED_TRACE(H->collector().name());
+    EXPECT_FALSE(H->collector().supportsIncremental());
+    H->setIncrementalBudgetMicros(100);
+    EXPECT_FALSE(H->incrementalStepNow());
+    // The safepoint is armed but the collector declines; allocation and
+    // monolithic collection must be unaffected.
+    MutatorState S(*H);
+    runChurn(*H, S, 4000);
+    H->collectFullNow();
+    expectVerifierGreen(*H);
+    EXPECT_EQ(H->lastFault(), HeapFault::None);
+  }
+}

@@ -312,6 +312,46 @@ TEST(PauseHistogramTest, PercentilesMatchSortedOracle) {
   EXPECT_EQ(Other.valueAtPercentile(100.0), Oracle.back() * 2 + 1);
 }
 
+TEST(PauseHistogramTest, TailPercentileAndSloCountMatchSortedOracle) {
+  // The p999 / SLO-violation surface (DESIGN.md §16) lives in the extreme
+  // tail, where a histogram has the fewest samples per bucket — pin it
+  // against sorted raw samples at a size where p99.9 is rank 49950 of
+  // 50000, not an extrapolation.
+  SplitMix64 Rng(0x5109ul);
+  PauseHistogram H;
+  std::vector<uint64_t> Oracle;
+  for (int I = 0; I < 50000; ++I) {
+    // Mostly-short pauses with a long tail, like a sliced collector whose
+    // rare absorb/compact pauses dwarf the budgeted slices.
+    uint64_t V = 1000 + Rng.next() % 20000;
+    if (I % 97 == 0)
+      V = 200000 + Rng.next() % 800000;
+    H.record(V);
+    Oracle.push_back(V);
+  }
+  std::sort(Oracle.begin(), Oracle.end());
+  size_t Rank = static_cast<size_t>(
+      std::ceil(99.9 / 100.0 * static_cast<double>(Oracle.size())));
+  uint64_t Exact = Oracle[Rank - 1];
+  uint64_t Reported = H.valueAtPercentile(99.9);
+  EXPECT_GE(Reported + 1, Exact);
+  EXPECT_LE(Reported, Exact + Exact / 16 + 1); // ~3.1% quantization
+
+  // countAbove is exact up to bucket quantization: a value counts iff its
+  // bucket lies strictly above the threshold's, i.e. iff it exceeds the
+  // threshold bucket's upper edge.
+  for (uint64_t Threshold : {uint64_t(500), uint64_t(10000), uint64_t(150000),
+                             uint64_t(500000), Oracle.back()}) {
+    uint64_t Edge = PauseHistogram::bucketUpperEdge(
+        PauseHistogram::bucketIndexFor(Threshold));
+    uint64_t Expected = static_cast<uint64_t>(
+        Oracle.end() - std::upper_bound(Oracle.begin(), Oracle.end(), Edge));
+    EXPECT_EQ(H.countAbove(Threshold), Expected) << "threshold " << Threshold;
+  }
+  EXPECT_EQ(H.countAbove(Oracle.back()), 0u);
+  EXPECT_EQ(PauseHistogram().countAbove(0), 0u);
+}
+
 //===----------------------------------------------------------------------===
 // Event stream vs. GcStats, for every collector.
 //===----------------------------------------------------------------------===
@@ -363,7 +403,20 @@ TEST(TracerIntegrationTest, EventStreamAgreesWithStatsOnEveryCollector) {
     // a collector that bypassed it would show up here.
     EXPECT_EQ(TracedSum, Stats.wordsTraced());
     EXPECT_EQ(ReclaimedSum, Stats.wordsReclaimed());
-    EXPECT_EQ(Tracer.pauses().count(), Stats.collections());
+    // Every mutator-visible pause is counted exactly once: monolithic
+    // cycles through their collection event, incremental cycles through
+    // their slices (the aggregate is excluded, or it would double-count).
+    // Holds under RDGC_INCREMENTAL_BUDGET_US as well as without it.
+    uint64_t SliceEvents = 0;
+    for (const GcTraceEvent &E : Sink.events())
+      if (E.EventType == GcTraceEvent::Type::Slice)
+        ++SliceEvents;
+    uint64_t IncrementalCycles = 0;
+    for (const GcTraceEvent &E : Collections)
+      if (E.Slices != 0)
+        ++IncrementalCycles;
+    EXPECT_EQ(Tracer.pauses().count(),
+              Stats.collections() - IncrementalCycles + SliceEvents);
     // Every traced cycle ran inside a GcTimer window, so the event total
     // is bounded by the stats' gc seconds (generous slack for rounding).
     EXPECT_LE(static_cast<double>(TotalNanosSum),

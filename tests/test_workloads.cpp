@@ -300,14 +300,14 @@ TEST(NucleicTest, DeterministicAcrossRuns) {
 // Registry and harness.
 //===----------------------------------------------------------------------===
 
-TEST(RegistryTest, AllSixWorkloadsValidateOnAllCollectors) {
+TEST(RegistryTest, AllSevenWorkloadsValidateOnAllCollectors) {
   RDGC_SKIP_UNDER_ENV_TORTURE(); // Workload-scale allocation: a verified
   // collection per allocation makes this quadratic.
   for (CollectorKind Kind :
        {CollectorKind::StopAndCopy, CollectorKind::MarkSweep,
         CollectorKind::Generational, CollectorKind::NonPredictive}) {
     auto Workloads = makePaperWorkloads(1);
-    ASSERT_EQ(Workloads.size(), 6u);
+    ASSERT_EQ(Workloads.size(), 7u);
     for (auto &W : Workloads) {
       auto H = bigHeap(Kind);
       WorkloadOutcome O = W->run(*H);

@@ -30,6 +30,9 @@ const std::vector<RuleDoc> &ruleCatalog() {
       {"barrier-coverage",
        "a function that calls the write barrier leaves an individual "
        "setValueAt store uncovered"},
+      {"satb-coverage",
+       "a function that uses the SATB deletion barrier stores into a holder "
+       "whose overwritten slot is never captured with satbCapture()"},
       {"interproc-escape",
        "a tracked value escapes into outliving storage (directly or through "
        "a callee summary) before a call that may allocate"},

@@ -5,7 +5,7 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Two complementary rules over raw heap-slot stores (setValueAt):
+/// Three complementary rules over raw heap-slot stores (setValueAt):
 ///
 /// missing-barrier (v1, ported intact): the containing function performs
 /// raw stores but never calls barrier()/onPointerStore() at all. Coarse,
@@ -30,9 +30,25 @@
 /// (some barrier exists in the function) and stay silent — heuristic
 /// analysis errs toward silence.
 ///
-/// The driver skips both rules for gclint-protocol functions: the copying
-/// engine writes to-space slots before objects are published, where no
-/// remembered-set edge can exist yet.
+/// satb-coverage (v3): the SATB deletion barrier (DESIGN.md §16) is the
+/// mirror image of the insertion barrier — it must capture the OLD value
+/// a store is about to overwrite, before the store, or an object reachable
+/// only through that slot is hidden from the marking snapshot and freed
+/// while live. The barriers above say nothing about this: they cover the
+/// new value (or the holder's card), never the overwritten one. So, in
+/// functions that call satbCapture()/satbRecordSlow() at least once, every
+/// setValueAt store must be matched by a capture of the SAME holder and
+/// the SAME slot expression — satbCapture(H, Slot) covers H.setValueAt(
+/// Slot, V), and a direct satbRecordSlow(H.valueAt(Slot)) covers it too.
+/// Holder-only matching is not enough: capturing slot 0 says nothing
+/// about a store into slot 1 of the same object. Functions that never
+/// touch the SATB barrier stay silent — most store sites predate
+/// incremental collection and are reached only through the Heap
+/// accessors, which capture centrally.
+///
+/// The driver skips all three rules for gclint-protocol functions: the
+/// copying engine writes to-space slots before objects are published,
+/// where no remembered-set edge can exist yet.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -86,13 +102,15 @@ void checkBarriers(const Context &Ctx, size_t FileIdx, size_t FnIdx,
   const SourceFile &F = Ctx.Files[FileIdx];
   const Function &Fn = Ctx.Functions[FileIdx][FnIdx];
   if (Fn.Name == "setValueAt" || Fn.Name == "barrier" ||
-      Fn.Name == "onPointerStore" || Fn.Name == "cardMark")
+      Fn.Name == "onPointerStore" || Fn.Name == "cardMark" ||
+      Fn.Name == "satbCapture" || Fn.Name == "satbRecordSlow")
     return; // The primitives themselves.
   const std::vector<Token> &Toks = F.Toks;
 
   std::vector<size_t> Stores;
   std::vector<std::pair<size_t, size_t>> BarrierArgRanges; ///< (open, close)
   std::vector<std::pair<size_t, size_t>> CardMarkArgRanges;
+  std::vector<std::pair<size_t, size_t>> SatbArgRanges;
   for (size_t I = Fn.BodyBegin + 1; I < Fn.BodyEnd; ++I) {
     if (Toks[I].Kind != TokKind::Ident || Toks[I + 1].Text != "(")
       continue;
@@ -100,11 +118,132 @@ void checkBarriers(const Context &Ctx, size_t FileIdx, size_t FnIdx,
       BarrierArgRanges.emplace_back(I + 1, matchDelim(Toks, I + 1, "(", ")"));
     else if (Toks[I].Text == "cardMark")
       CardMarkArgRanges.emplace_back(I + 1, matchDelim(Toks, I + 1, "(", ")"));
+    else if (Toks[I].Text == "satbCapture" || Toks[I].Text == "satbRecordSlow")
+      SatbArgRanges.emplace_back(I + 1, matchDelim(Toks, I + 1, "(", ")"));
     else if (Toks[I].Text == "setValueAt")
       Stores.push_back(I);
   }
   if (Stores.empty())
     return;
+
+  auto IdentInAnyRange =
+      [&](const std::string &Name,
+          const std::vector<std::pair<size_t, size_t>> &Ranges) {
+        for (const auto &R : Ranges)
+          for (size_t I = R.first + 1; I < R.second; ++I)
+            if (Toks[I].Kind == TokKind::Ident && Toks[I].Text == Name &&
+                (Toks[I - 1].Kind != TokKind::Punct ||
+                 (Toks[I - 1].Text != "." && Toks[I - 1].Text != "->" &&
+                  Toks[I - 1].Text != "::")))
+              return true;
+        return false;
+      };
+  /// Holder ident of the store at \p StoreIdx: H in `H.setValueAt(...)` /
+  /// `H->setValueAt(...)`, or "" when the holder is a compound expression
+  /// we cannot name-match (stay silent, like the value-side rules).
+  auto HolderIdent = [&](size_t StoreIdx) -> std::string {
+    if (StoreIdx < Fn.BodyBegin + 3)
+      return std::string();
+    const Token &Dot = Toks[StoreIdx - 1];
+    const Token &Holder = Toks[StoreIdx - 2];
+    if (Dot.Kind != TokKind::Punct || (Dot.Text != "." && Dot.Text != "->"))
+      return std::string();
+    if (Holder.Kind != TokKind::Ident)
+      return std::string();
+    return Holder.Text;
+  };
+
+  // v3 rule: in functions that use the SATB deletion barrier, every store
+  // must be preceded by a capture of the SAME holder and the SAME slot
+  // expression — the barrier records the value the store overwrites, so
+  // unlike the insertion barrier it is keyed by (holder, slot), not by the
+  // new value; immediates get no exemption (an immediate store still
+  // overwrites a possibly-pointer old value).
+  if (!SatbArgRanges.empty()) {
+    // Parse each capture into (holder ident, slot-expression token texts):
+    //   satbCapture(H, Slot...)              -> (H, {Slot...})
+    //   satbRecordSlow(H.valueAt(Slot...))   -> (H, {Slot...})
+    // A capture fitting neither shape defeats the name-match for the whole
+    // function — heuristic analysis errs toward silence.
+    std::vector<std::pair<std::string, std::vector<std::string>>> Captures;
+    bool Opaque = false;
+    auto SliceTexts = [&](size_t First, size_t Last) {
+      std::vector<std::string> Texts;
+      for (size_t I = First; I <= Last; ++I)
+        Texts.push_back(Toks[I].Text);
+      return Texts;
+    };
+    for (const auto &R : SatbArgRanges) {
+      size_t Open = R.first, Close = R.second;
+      if (Close <= Open + 1) {
+        Opaque = true;
+        continue;
+      }
+      const Token &H = Toks[Open + 1];
+      if (H.Kind == TokKind::Ident && Toks[Open + 2].Text == "," &&
+          Open + 3 < Close) {
+        Captures.emplace_back(H.Text, SliceTexts(Open + 3, Close - 1));
+        continue;
+      }
+      if (H.Kind == TokKind::Ident &&
+          (Toks[Open + 2].Text == "." || Toks[Open + 2].Text == "->") &&
+          Toks[Open + 3].Text == "valueAt" && Toks[Open + 4].Text == "(") {
+        size_t InnerClose = matchDelim(Toks, Open + 4, "(", ")");
+        if (InnerClose + 1 == Close && Open + 5 < InnerClose) {
+          Captures.emplace_back(H.Text, SliceTexts(Open + 5, InnerClose - 1));
+          continue;
+        }
+      }
+      Opaque = true;
+    }
+    for (size_t S : Stores) {
+      if (Opaque)
+        break;
+      std::string H = HolderIdent(S);
+      if (H.empty())
+        continue; // Compound holder: cannot name-match, stay silent.
+      // The store's slot expression: setValueAt's first top-level argument.
+      size_t Open = S + 1;
+      size_t Close = matchDelim(Toks, Open, "(", ")");
+      size_t SlotEnd = 0;
+      int Depth = 0;
+      for (size_t I = Open + 1; I < Close && !SlotEnd; ++I) {
+        const std::string &T = Toks[I].Text;
+        if (Toks[I].Kind != TokKind::Punct)
+          continue;
+        if (T == "(" || T == "[" || T == "{")
+          ++Depth;
+        else if (T == ")" || T == "]" || T == "}")
+          --Depth;
+        else if (T == "," && Depth == 0)
+          SlotEnd = I;
+      }
+      if (SlotEnd <= Open + 1)
+        continue; // No two-argument store shape: stay silent.
+      std::vector<std::string> Slot = SliceTexts(Open + 1, SlotEnd - 1);
+      bool Covered = false;
+      for (const auto &C : Captures)
+        if (C.first == H && C.second == Slot) {
+          Covered = true;
+          break;
+        }
+      if (Covered)
+        continue;
+      std::ostringstream Msg;
+      Msg << "store into '" << H << "' via setValueAt in '" << Fn.Name
+          << "' is not covered by the SATB deletion barrier: the function "
+             "captures overwritten values elsewhere but never captures this "
+             "slot of '"
+          << H
+          << "' (satbCapture with the same holder and slot expression, "
+             "before the store), so during an incremental mark the old "
+             "value of this slot can be hidden from the snapshot and "
+             "collected while live; capture the slot before the store, or "
+             "mark it gclint-ok(satb-coverage) with the reason the "
+             "overwritten value cannot be the only path to a live object";
+      Findings.push_back({F.Path, Toks[S].Line, "satb-coverage", Msg.str()});
+    }
+  }
 
   if (BarrierArgRanges.empty() && CardMarkArgRanges.empty()) {
     // v1 rule: no barrier anywhere in a storing function.
@@ -120,34 +259,15 @@ void checkBarriers(const Context &Ctx, size_t FileIdx, size_t FnIdx,
   }
 
   // v2 rule: per-store coverage in functions that do barrier.
-  auto IdentInRanges =
-      [&](const std::string &Name,
-          const std::vector<std::pair<size_t, size_t>> &Ranges) {
-        for (const auto &R : Ranges)
-          for (size_t I = R.first + 1; I < R.second; ++I)
-            if (Toks[I].Kind == TokKind::Ident && Toks[I].Text == Name &&
-                (Toks[I - 1].Kind != TokKind::Punct ||
-                 (Toks[I - 1].Text != "." && Toks[I - 1].Text != "->" &&
-                  Toks[I - 1].Text != "::")))
-              return true;
-        return false;
-      };
   auto BarrieredIdent = [&](const std::string &Name) {
-    return IdentInRanges(Name, BarrierArgRanges);
+    return IdentInAnyRange(Name, BarrierArgRanges);
   };
   // The card-table barrier is per-holder, not per-value: cardMark(Base,
   // Holder) covers every slot of Holder, so a store `H.setValueAt(I, V)`
   // is covered when H itself flows into a cardMark call.
   auto CardMarkedHolder = [&](size_t StoreIdx) {
-    if (StoreIdx < Fn.BodyBegin + 3)
-      return false;
-    const Token &Dot = Toks[StoreIdx - 1];
-    const Token &Holder = Toks[StoreIdx - 2];
-    if (Dot.Kind != TokKind::Punct || (Dot.Text != "." && Dot.Text != "->"))
-      return false;
-    if (Holder.Kind != TokKind::Ident)
-      return false;
-    return IdentInRanges(Holder.Text, CardMarkArgRanges);
+    std::string H = HolderIdent(StoreIdx);
+    return !H.empty() && IdentInAnyRange(H, CardMarkArgRanges);
   };
 
   for (size_t S : Stores) {

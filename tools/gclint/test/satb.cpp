@@ -1,0 +1,80 @@
+// gclint fixture: the satb-coverage rule. Not compiled — only lexed.
+// The SATB deletion barrier captures the OLD value a store is about to
+// overwrite (DESIGN.md §16); the insertion-barrier rules above it cover
+// the new value or the holder's card, never the overwritten one. In
+// functions that capture at all, every raw store's holder must flow into
+// a satbCapture()/satbRecordSlow() argument list.
+
+struct Value {
+  static Value fixnum(long N);
+};
+
+struct Object {
+  void setValueAt(unsigned Index, Value V);
+  Value valueAt(unsigned Index);
+};
+
+void barrier(Object &Obj, Value V);
+void satbCapture(Object &Obj, unsigned Index);
+void satbRecordSlow(Value Old);
+
+// Negative: the canonical Heap-accessor shape — capture the slot, store,
+// then the insertion barrier. Both rules pass.
+void capturedStore(Object &Obj, Value V) {
+  satbCapture(Obj, 0);
+  Obj.setValueAt(0, V);
+  barrier(Obj, V);
+}
+
+// Positive: the first store is captured, the second is not. During an
+// incremental mark the old value of slot 1 can be the only path to a
+// live object; overwriting it uncaptured hides that object from the
+// snapshot and the sweep frees it while reachable.
+void secondSlotUncaptured(Object &Obj, Value Car, Value Cdr) {
+  satbCapture(Obj, 0);
+  Obj.setValueAt(0, Car);
+  barrier(Obj, Car);
+  Obj.setValueAt(1, Cdr); // gclint-expect: satb-coverage
+  barrier(Obj, Cdr);
+}
+
+// Positive: capturing A says nothing about B — per-holder, like the
+// card-table rule. Immediates get no exemption on the SATB side: storing
+// a fixnum still overwrites a possibly-pointer old value, so the B store
+// is flagged even though its new value is statically a non-pointer.
+void wrongHolderCaptured(Object &A, Object &B, Value V) {
+  satbCapture(A, 0);
+  A.setValueAt(0, V);
+  barrier(A, V);
+  B.setValueAt(0, Value::fixnum(7)); // gclint-expect: satb-coverage
+  barrier(B, V);
+}
+
+// Negative: a direct satbRecordSlow call reads the old value off the
+// holder, so the holder appears in the capture argument list and the
+// store is covered without the satbCapture wrapper.
+void recordSlowCovers(Object &Obj, Value V) {
+  satbRecordSlow(Obj.valueAt(2));
+  Obj.setValueAt(2, V);
+  barrier(Obj, V);
+}
+
+// Negative: functions that never touch the SATB barrier are out of
+// scope — most store sites predate incremental collection and reach the
+// capture through the Heap accessors, which capture centrally.
+void noSatbInSight(Object &Obj, Value V) {
+  Obj.setValueAt(0, V);
+  barrier(Obj, V);
+}
+
+// Negative: a store the analysis flags but the author has audited — the
+// slot was initialized this cycle and never held a pointer, so the
+// overwritten value cannot be anything's only path.
+void auditedStore(Object &Fresh, Value Seed) {
+  satbCapture(Fresh, 0);
+  Fresh.setValueAt(0, Seed);
+  barrier(Fresh, Seed);
+  // gclint-ok(satb-coverage): slot 1 was zero-initialized this cycle and has never held a heap pointer
+  Fresh.setValueAt(1, Seed);
+  barrier(Fresh, Seed);
+}

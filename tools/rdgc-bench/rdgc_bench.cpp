@@ -37,16 +37,35 @@
 ///       the mark collectors under both marking representations (header
 ///       bits vs side bitmap), reporting mutator/GC throughput side by
 ///       side. --json writes an "rdgc-bench-remsets-v1" document.
+///   rdgc-bench --compare-incremental US [--quick] [--reps R] [--scale S]
+///              [--filter SUBSTR] [--json FILE]
+///       Incremental-vs-stop-the-world mode (DESIGN.md §16): run every
+///       config under every collector twice — incremental budget forced
+///       to 0 (monolithic), then set to US microseconds — and report
+///       pause p99/p999/max and mutator throughput side by side with the
+///       max-pause reduction factor. --json writes an
+///       "rdgc-bench-incremental-v1" document (the BENCH_pr9.json shape).
 ///   rdgc-bench --validate FILE
 ///       Parse FILE and check it against the rdgc-bench-v1 (or
-///       rdgc-bench-compare-v1 / rdgc-bench-remsets-v1) schema.
+///       rdgc-bench-compare-v1 / rdgc-bench-remsets-v1 /
+///       rdgc-bench-incremental-v1) schema.
 ///   rdgc-bench --regress CURRENT REFERENCE [--tolerance FRAC]
 ///       Fail (exit 1) if CURRENT's micro allocation mutator throughput
 ///       regressed more than FRAC (default 0.15) below REFERENCE on any
 ///       config/collector pair present in both files.
+///   rdgc-bench --slo-regress INCREMENTAL MONOLITHIC [--slo-factor F]
+///       Pause-SLO gate: fail (exit 1) unless the INCREMENTAL run's max
+///       pause is at least F times (default 2.0) below MONOLITHIC's on
+///       every micro config of the incremental-capable collectors
+///       (mark-sweep, mark-compact). Both files are rdgc-bench-v1 runs.
 ///   rdgc-bench --self-test
 ///       Round-trip an in-memory result document (including non-finite
 ///       statistics, emitted as null) through emit -> parse -> validate.
+///
+/// Suite-wide knobs: --incremental US arms the incremental engine (per-
+/// slice budget in microseconds; 0 forces stop-the-world) for every run;
+/// --slo-p999 US arms the pause-time SLO at US microseconds, reported as
+/// the slo_violations metric.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -188,6 +207,68 @@ private:
   uint64_t Iterations;
 };
 
+/// GCBench-style pause probe: a large persistent binary tree stays live
+/// while the mutator churns short-lived pairs against it. The other
+/// micros retain almost nothing, so their collections are near-instant
+/// regardless of collector; this is the config whose multi-megabyte live
+/// set makes pause magnitudes — and what incremental slicing does to
+/// them — visible at all.
+class MicroTreeWorkload : public Workload {
+public:
+  MicroTreeWorkload(uint64_t Iterations, unsigned Depth)
+      : Iterations(Iterations), Depth(Depth) {}
+  const char *name() const override { return "micro:tree"; }
+  const char *description() const override {
+    return "short-lived churn against a large live binary tree";
+  }
+  size_t peakLiveHintBytes() const override {
+    // Three words per pair node, 2^Depth - 1 internal nodes (the leaves
+    // are immediate fixnums), plus a quarter of churn slack.
+    return ((size_t(1) << Depth) * 3 * 8 * 5) / 4;
+  }
+  WorkloadOutcome run(Heap &H) override {
+    Handle Tree(H, buildTree(H, Depth));
+    uint64_t Sum = 0;
+    for (uint64_t I = 0; I < Iterations; ++I) {
+      Value V = H.allocatePair(Value::fixnum(static_cast<int64_t>(I)),
+                               Tree.get());
+      Sum += static_cast<uint64_t>(H.pairCar(V).asFixnum());
+    }
+    // Count the tree's leaves without allocating (no collection can
+    // interleave, so raw Values are safe to hold across the walk).
+    uint64_t Leaves = 0;
+    std::vector<Value> Stack{Tree.get()};
+    while (!Stack.empty()) {
+      Value V = Stack.back();
+      Stack.pop_back();
+      if (!V.isPointer()) {
+        ++Leaves;
+        continue;
+      }
+      Stack.push_back(H.pairCar(V));
+      Stack.push_back(H.pairCdr(V));
+    }
+    WorkloadOutcome Out;
+    Out.Valid = Leaves == (uint64_t(1) << Depth) &&
+                Sum == Iterations * (Iterations - 1) / 2;
+    Out.UnitsOfWork = Iterations;
+    Out.Detail = "churn pairs against live tree";
+    return Out;
+  }
+
+private:
+  static Value buildTree(Heap &H, unsigned Depth) {
+    if (Depth == 0)
+      return Value::fixnum(1);
+    Handle L(H, buildTree(H, Depth - 1));
+    Handle R(H, buildTree(H, Depth - 1));
+    return H.allocatePair(L.get(), R.get());
+  }
+
+  uint64_t Iterations;
+  unsigned Depth;
+};
+
 /// Old-to-young stores through the write barrier: a tenured vector is
 /// repeatedly filled with freshly allocated pairs, so every store crosses
 /// the interesting boundary for the generational collectors.
@@ -270,6 +351,19 @@ struct BenchOptions {
   /// generational collectors, header vs bitmap marking on the mark
   /// collectors.
   bool CompareRemsets = false;
+  /// Incremental per-slice budget for every run, in microseconds:
+  /// -1 inherits RDGC_INCREMENTAL_BUDGET_US, 0 forces stop-the-world.
+  long long IncrementalBudgetUs = -1;
+  /// When nonzero, arm the pause-time SLO at this many microseconds and
+  /// report violations (the slo_violations metric).
+  uint64_t SloP999Us = 0;
+  /// When > 0, run the incremental-vs-monolithic comparison mode with
+  /// this per-slice budget (microseconds).
+  long long CompareIncrementalUs = 0;
+  /// Heap sizing multiplier over each workload's peak-live hint; 0 keeps
+  /// the harness default (2.0). Tighter factors make workloads whose hint
+  /// over-provisions (the boyers) actually collect.
+  double HeapFactor = 0;
   std::string Filter;
   std::string JsonPath;
   std::string BaselinePath;
@@ -280,6 +374,9 @@ struct RunKnobs {
   int Threads = -1;
   std::string Remset;
   bool BitmapMarking = true;
+  long long IncrementalBudgetUs = -1;
+  uint64_t SloThresholdNanos = 0;
+  double HeapFactor = 0;
 };
 
 struct BenchResult {
@@ -310,13 +407,14 @@ std::vector<std::unique_ptr<Workload>> makeMicroWorkloads(bool Quick) {
   Out.push_back(std::make_unique<MicroFlonumsWorkload>(N));
   Out.push_back(std::make_unique<MicroVectorsWorkload>(N / 4));
   Out.push_back(std::make_unique<MicroBarrierWorkload>(N));
+  Out.push_back(std::make_unique<MicroTreeWorkload>(N / 2, Quick ? 16 : 18));
   return Out;
 }
 
 BenchResult runOne(Workload &W, const char *Kind, CollectorKind CK,
                    const char *CollectorName, int Reps, const RunKnobs &Knobs) {
-  std::vector<double> MutMBs, GcMBs, MarkCons, P50, P90, P99, PMax, Colls,
-      Bytes;
+  std::vector<double> MutMBs, GcMBs, MarkCons, P50, P90, P99, P999, PMax,
+      Colls, Bytes, SloViol;
   BenchResult R;
   R.Kind = Kind;
   R.Config = W.name();
@@ -327,6 +425,10 @@ BenchResult runOne(Workload &W, const char *Kind, CollectorKind CK,
     Options.GcThreads = Knobs.Threads;
     Options.Remset = Knobs.Remset;
     Options.BitmapMarking = Knobs.BitmapMarking;
+    Options.IncrementalBudgetUs = Knobs.IncrementalBudgetUs;
+    Options.SloThresholdNanos = Knobs.SloThresholdNanos;
+    if (Knobs.HeapFactor > 0)
+      Options.HeapFactor = Knobs.HeapFactor;
     ExperimentRun Run = runExperiment(W, CK, Options);
     R.Valid = R.Valid && Run.Valid;
     R.HeapExhausted = R.HeapExhausted || Run.HeapExhausted;
@@ -339,9 +441,11 @@ BenchResult runOne(Workload &W, const char *Kind, CollectorKind CK,
     P50.push_back(static_cast<double>(Run.PauseP50Nanos));
     P90.push_back(static_cast<double>(Run.PauseP90Nanos));
     P99.push_back(static_cast<double>(Run.PauseP99Nanos));
+    P999.push_back(static_cast<double>(Run.PauseP999Nanos));
     PMax.push_back(static_cast<double>(Run.PauseMaxNanos));
     Colls.push_back(static_cast<double>(Run.Collections));
     Bytes.push_back(static_cast<double>(Run.BytesAllocated));
+    SloViol.push_back(static_cast<double>(Run.SloViolations));
   }
   R.Metrics = {
       {"mutator_mb_s", summarize(MutMBs)},
@@ -350,9 +454,11 @@ BenchResult runOne(Workload &W, const char *Kind, CollectorKind CK,
       {"pause_p50_ns", summarize(P50)},
       {"pause_p90_ns", summarize(P90)},
       {"pause_p99_ns", summarize(P99)},
+      {"pause_p999_ns", summarize(P999)},
       {"pause_max_ns", summarize(PMax)},
       {"collections", summarize(Colls)},
       {"bytes_allocated", summarize(Bytes)},
+      {"slo_violations", summarize(SloViol)},
   };
   return R;
 }
@@ -378,6 +484,9 @@ std::vector<BenchResult> runSuite(const BenchOptions &Opt) {
         RunKnobs Knobs;
         Knobs.Threads = Opt.Threads;
         Knobs.Remset = Opt.Remset;
+        Knobs.IncrementalBudgetUs = Opt.IncrementalBudgetUs;
+        Knobs.SloThresholdNanos = Opt.SloP999Us * 1000;
+        Knobs.HeapFactor = Opt.HeapFactor;
         Results.push_back(runOne(*W, Kind, CK, Name, Opt.Reps, Knobs));
       }
     }
@@ -426,6 +535,9 @@ void emitJson(std::ostream &OS, const BenchOptions &Opt,
   OS << "  \"threads\": " << Opt.Threads << ",\n";
   OS << "  \"remset\": \"" << (Opt.Remset.empty() ? "env" : Opt.Remset)
      << "\",\n";
+  OS << "  \"incremental_budget_us\": " << Opt.IncrementalBudgetUs << ",\n";
+  OS << "  \"slo_p999_us\": " << Opt.SloP999Us << ",\n";
+  OS << "  \"heap_factor\": " << jsonNumber(Opt.HeapFactor) << ",\n";
   OS << "  \"results\": [\n";
   for (size_t I = 0; I < Results.size(); ++I) {
     const BenchResult &R = Results[I];
@@ -678,9 +790,10 @@ bool loadJsonFile(const std::string &Path, JsonValue &Out,
 //===----------------------------------------------------------------------===//
 
 const char *RequiredMetrics[] = {
-    "mutator_mb_s", "gc_mb_s",      "mark_cons",    "pause_p50_ns",
-    "pause_p90_ns", "pause_p99_ns", "pause_max_ns", "collections",
-    "bytes_allocated",
+    "mutator_mb_s",  "gc_mb_s",      "mark_cons",
+    "pause_p50_ns",  "pause_p90_ns", "pause_p99_ns",
+    "pause_p999_ns", "pause_max_ns", "collections",
+    "bytes_allocated", "slo_violations",
 };
 
 /// A measured value in rdgc-bench output: a JSON number, or null for a
@@ -876,6 +989,8 @@ bool loadResultsDocument(const std::string &Path, const char *What,
 
 bool validateRemsetsSchema(const JsonValue &Doc,
                            std::vector<std::string> &Errors);
+bool validateIncrementalSchema(const JsonValue &Doc,
+                               std::vector<std::string> &Errors);
 
 int runValidate(const std::string &Path) {
   JsonValue Doc;
@@ -896,6 +1011,8 @@ int runValidate(const std::string &Path) {
     Ok = validateCompareSchema(Doc, Errors);
   else if (SchemaName == "rdgc-bench-remsets-v1")
     Ok = validateRemsetsSchema(Doc, Errors);
+  else if (SchemaName == "rdgc-bench-incremental-v1")
+    Ok = validateIncrementalSchema(Doc, Errors);
   else {
     SchemaName = "rdgc-bench-v1";
     Ok = validateSchema(Doc, Errors);
@@ -1272,6 +1389,246 @@ int runCompareRemsets(const BenchOptions &Opt) {
 }
 
 //===----------------------------------------------------------------------===//
+// Incremental-vs-monolithic comparison mode (DESIGN.md §16)
+//===----------------------------------------------------------------------===//
+
+/// Metrics each side of an incremental comparison reports.
+const char *IncrementalSideMetrics[] = {
+    "mutator_mb_s", "gc_mb_s",       "pause_p50_ns", "pause_p99_ns",
+    "pause_p999_ns", "pause_max_ns", "collections",
+};
+
+/// One incremental-vs-stop-the-world measurement on a config/collector.
+struct IncrementalComparison {
+  std::string Kind, Config, Collector;
+  BenchResult Monolithic, Incremental;
+};
+
+void emitIncrementalJson(std::ostream &OS, const BenchOptions &Opt,
+                         const std::vector<IncrementalComparison> &Comps) {
+  OS << "{\n";
+  OS << "  \"schema\": \"rdgc-bench-incremental-v1\",\n";
+  OS << "  \"quick\": " << (Opt.Quick ? "true" : "false") << ",\n";
+  OS << "  \"reps\": " << Opt.Reps << ",\n";
+  OS << "  \"scale\": " << Opt.Scale << ",\n";
+  OS << "  \"threads\": " << Opt.Threads << ",\n";
+  OS << "  \"incremental_budget_us\": " << Opt.CompareIncrementalUs << ",\n";
+  OS << "  \"heap_factor\": " << jsonNumber(Opt.HeapFactor) << ",\n";
+  OS << "  \"comparisons\": [\n";
+  for (size_t I = 0; I < Comps.size(); ++I) {
+    const IncrementalComparison &C = Comps[I];
+    OS << "    {\"kind\": \"" << C.Kind << "\", \"config\": \"" << C.Config
+       << "\", \"collector\": \"" << C.Collector << "\",\n";
+    for (const char *Side : {"monolithic", "incremental"}) {
+      const BenchResult &R =
+          Side == std::string("monolithic") ? C.Monolithic : C.Incremental;
+      OS << "     \"" << Side << "\": {";
+      for (const char *M : IncrementalSideMetrics)
+        OS << (M == IncrementalSideMetrics[0] ? "" : ", ") << "\"" << M
+           << "\": " << jsonNumber(metricMedian(R, M));
+      OS << "},\n";
+    }
+    double MonoMax = metricMedian(C.Monolithic, "pause_max_ns");
+    double IncMax = metricMedian(C.Incremental, "pause_max_ns");
+    double MonoMut = metricMedian(C.Monolithic, "mutator_mb_s");
+    double IncMut = metricMedian(C.Incremental, "mutator_mb_s");
+    // max_pause_reduction > 1 means incremental shortened the worst pause;
+    // mutator_ratio < 1 is the throughput cost of slicing.
+    OS << "     \"max_pause_reduction\": "
+       << jsonNumber(IncMax > 0 ? MonoMax / IncMax : 0.0)
+       << ", \"mutator_ratio\": "
+       << jsonNumber(MonoMut > 0 ? IncMut / MonoMut : 0.0) << "}"
+       << (I + 1 < Comps.size() ? "," : "") << "\n";
+  }
+  OS << "  ]\n}\n";
+}
+
+/// Checks \p Doc against the rdgc-bench-incremental-v1 schema (the
+/// --compare-incremental output, the BENCH_pr9.json shape).
+bool validateIncrementalSchema(const JsonValue &Doc,
+                               std::vector<std::string> &Errors) {
+  auto Complain = [&Errors](const std::string &Msg) { Errors.push_back(Msg); };
+  for (const char *Key : {"reps", "scale", "incremental_budget_us"})
+    if (const JsonValue *V = Doc.member(Key);
+        !V || V->Kind != JsonValue::Number)
+      Complain(std::string("missing numeric \"") + Key + "\"");
+  const JsonValue *Comps = Doc.member("comparisons");
+  if (!Comps || Comps->Kind != JsonValue::Array) {
+    Complain("missing \"comparisons\" array");
+    return Errors.empty();
+  }
+  if (Comps->Elements.empty())
+    Complain("\"comparisons\" is empty");
+  for (size_t I = 0; I < Comps->Elements.size(); ++I) {
+    const JsonValue &C = Comps->Elements[I];
+    std::string Where = "comparisons[" + std::to_string(I) + "]";
+    if (C.Kind != JsonValue::Object) {
+      Complain(Where + " is not an object");
+      continue;
+    }
+    for (const char *Key : {"kind", "config", "collector"})
+      if (const JsonValue *V = C.member(Key);
+          !V || V->Kind != JsonValue::String)
+        Complain(Where + " missing string \"" + Key + "\"");
+    for (const char *Side : {"monolithic", "incremental"}) {
+      const JsonValue *S = C.member(Side);
+      if (!S || S->Kind != JsonValue::Object) {
+        Complain(Where + " missing \"" + Side + "\" object");
+        continue;
+      }
+      for (const char *M : IncrementalSideMetrics)
+        if (!isMeasurement(S->member(M)))
+          Complain(Where + "." + Side + " missing numeric \"" + M + "\"");
+    }
+    for (const char *Key : {"max_pause_reduction", "mutator_ratio"})
+      if (!isMeasurement(C.member(Key)))
+        Complain(Where + " missing numeric \"" + Key + "\"");
+  }
+  return Errors.empty();
+}
+
+int runCompareIncremental(const BenchOptions &Opt) {
+  std::vector<IncrementalComparison> Comps;
+  auto RunSet = [&](std::vector<std::unique_ptr<Workload>> Ws,
+                    const char *Kind) {
+    for (auto &W : Ws) {
+      for (auto &[CK, Name] : AllCollectors) {
+        if (!matchesFilter(Opt, W->name(), Name))
+          continue;
+        std::fprintf(stderr,
+                     "rdgc-bench: %-14s %-22s monolithic vs %lldus, x%d ...\n",
+                     W->name(), Name, Opt.CompareIncrementalUs, Opt.Reps);
+        IncrementalComparison C;
+        C.Kind = Kind;
+        C.Config = W->name();
+        C.Collector = Name;
+        RunKnobs Mono, Inc;
+        Mono.Threads = Inc.Threads = Opt.Threads;
+        Mono.Remset = Inc.Remset = Opt.Remset;
+        Mono.IncrementalBudgetUs = 0; // force stop-the-world
+        Inc.IncrementalBudgetUs = Opt.CompareIncrementalUs;
+        Mono.HeapFactor = Inc.HeapFactor = Opt.HeapFactor;
+        C.Monolithic = runOne(*W, Kind, CK, Name, Opt.Reps, Mono);
+        C.Incremental = runOne(*W, Kind, CK, Name, Opt.Reps, Inc);
+        Comps.push_back(std::move(C));
+      }
+    }
+  };
+  RunSet(makeMicroWorkloads(Opt.Quick), "micro");
+  if (!Opt.Quick)
+    RunSet(makePaperWorkloads(Opt.Scale), "workload");
+  if (Comps.empty()) {
+    std::fprintf(stderr, "rdgc-bench: no configs matched the filter\n");
+    return 1;
+  }
+
+  if (!Opt.JsonPath.empty()) {
+    std::ofstream Out(Opt.JsonPath);
+    if (!Out) {
+      std::fprintf(stderr, "rdgc-bench: cannot write %s\n",
+                   Opt.JsonPath.c_str());
+      return 1;
+    }
+    emitIncrementalJson(Out, Opt, Comps);
+    std::fprintf(stderr, "rdgc-bench: wrote %s\n", Opt.JsonPath.c_str());
+  }
+
+  std::printf("\nincremental collection: stop-the-world vs %lldus slices "
+              "(collectors without incremental support run monolithic on "
+              "both sides)\n",
+              Opt.CompareIncrementalUs);
+  std::printf("%-14s %-22s %12s %12s %9s %10s %10s\n", "config", "collector",
+              "maxSTW us", "maxINC us", "reduct", "mutSTW", "mutINC");
+  for (const IncrementalComparison &C : Comps) {
+    double MonoMax = metricMedian(C.Monolithic, "pause_max_ns");
+    double IncMax = metricMedian(C.Incremental, "pause_max_ns");
+    std::printf("%-14s %-22s %12.1f %12.1f %8.2fx %10.1f %10.1f\n",
+                C.Config.c_str(), C.Collector.c_str(), MonoMax / 1000.0,
+                IncMax / 1000.0, IncMax > 0 ? MonoMax / IncMax : 0.0,
+                metricMedian(C.Monolithic, "mutator_mb_s"),
+                metricMedian(C.Incremental, "mutator_mb_s"));
+  }
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Pause-SLO regression gate
+//===----------------------------------------------------------------------===//
+
+/// The collectors the SLO gate holds to a max-pause cut. Mark-sweep slices
+/// its whole cycle (mark and sweep), so its worst pause must shrink when
+/// the engine is armed. Mark-compact is incremental too, but its terminal
+/// compact slice is monolithic (DESIGN.md §16) and still bounds its worst
+/// pause, so it is measured by --compare-incremental rather than gated.
+const char *SloGateCollectors[] = {"mark-sweep"};
+
+int runSloRegress(const std::string &IncPath, const std::string &MonoPath,
+                  double Factor) {
+  JsonValue Inc, Mono;
+  if (!loadResultsDocument(IncPath, "incremental results", Inc) ||
+      !loadResultsDocument(MonoPath, "monolithic results", Mono))
+    return 1;
+  const JsonValue *Budget = Inc.member("incremental_budget_us");
+  if (!Budget || Budget->Kind != JsonValue::Number || Budget->NumberVal <= 0) {
+    std::fprintf(stderr,
+                 "rdgc-bench: %s was not recorded with --incremental > 0\n",
+                 IncPath.c_str());
+    return 1;
+  }
+  // No pause can be shorter than one slice, so a config whose monolithic
+  // max is already near the slice budget cannot be cut by any engine.
+  // Gate only the rows where a Factor cut is physically achievable: the
+  // stop-the-world max must exceed the budget by 2*Factor.
+  double FloorNs = 2.0 * Factor * Budget->NumberVal * 1000.0;
+  auto IncMap = extractMetric(Inc, "pause_max_ns", "micro");
+  auto MonoMap = extractMetric(Mono, "pause_max_ns", "micro");
+  int Failures = 0, Checked = 0;
+  for (const auto &[Key, MonoMax] : MonoMap) {
+    bool Capable = false;
+    for (const char *C : SloGateCollectors)
+      Capable = Capable || Key.second == C;
+    if (!Capable || MonoMax <= 0)
+      continue;
+    auto It = IncMap.find(Key);
+    if (It == IncMap.end())
+      continue;
+    if (MonoMax < FloorNs) {
+      std::printf("rdgc-bench: %-14s %-22s stw max %9.1f us below the "
+                  "%.1f us slicing floor; not gated\n",
+                  Key.first.c_str(), Key.second.c_str(), MonoMax / 1000.0,
+                  FloorNs / 1000.0);
+      continue;
+    }
+    ++Checked;
+    double IncMax = It->second;
+    bool Ok = IncMax * Factor <= MonoMax;
+    if (!Ok)
+      ++Failures;
+    std::printf("rdgc-bench: %-14s %-22s stw max %9.1f us inc max %9.1f us "
+                "(want %.1fx cut)  %s\n",
+                Key.first.c_str(), Key.second.c_str(), MonoMax / 1000.0,
+                IncMax / 1000.0, Factor, Ok ? "ok" : "SLO-REGRESSION");
+  }
+  if (Checked == 0) {
+    std::fprintf(stderr,
+                 "rdgc-bench: no comparable micro configs on the "
+                 "incremental-capable collectors between %s and %s\n",
+                 IncPath.c_str(), MonoPath.c_str());
+    return 1;
+  }
+  if (Failures) {
+    std::fprintf(stderr,
+                 "rdgc-bench: %d config(s) did not cut the max pause %.1fx\n",
+                 Failures, Factor);
+    return 1;
+  }
+  std::printf("rdgc-bench: incremental cut the max pause >= %.1fx on all %d "
+              "micro configs\n",
+              Factor, Checked);
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
 // Self-test: the emit -> parse -> validate round trip, including the null
 // spelling of non-finite statistics.
 //===----------------------------------------------------------------------===//
@@ -1290,11 +1647,12 @@ int runSelfTest() {
   // values a degenerate run (e.g. --reps 1 with a zero-duration mutator)
   // can produce.
   R.Metrics = {
-      {"mutator_mb_s", {Nan, Nan}},   {"gc_mb_s", {Inf, 0.0}},
-      {"mark_cons", {0.5, 0.0}},      {"pause_p50_ns", {100.0, 0.0}},
-      {"pause_p90_ns", {200.0, 0.0}}, {"pause_p99_ns", {300.0, 0.0}},
-      {"pause_max_ns", {400.0, 0.0}}, {"collections", {3.0, 0.0}},
-      {"bytes_allocated", {1e6, 0.0}},
+      {"mutator_mb_s", {Nan, Nan}},    {"gc_mb_s", {Inf, 0.0}},
+      {"mark_cons", {0.5, 0.0}},       {"pause_p50_ns", {100.0, 0.0}},
+      {"pause_p90_ns", {200.0, 0.0}},  {"pause_p99_ns", {300.0, 0.0}},
+      {"pause_p999_ns", {350.0, 0.0}}, {"pause_max_ns", {400.0, 0.0}},
+      {"collections", {3.0, 0.0}},     {"bytes_allocated", {1e6, 0.0}},
+      {"slo_violations", {0.0, 0.0}},
   };
   std::ostringstream SS;
   emitJson(SS, Opt, {R}, {});
@@ -1345,13 +1703,18 @@ void printUsage() {
       stderr,
       "usage: rdgc-bench [--quick] [--reps N] [--scale N] [--filter S]\n"
       "                  [--threads N] [--remset ssb|card] [--json FILE]\n"
-      "                  [--baseline FILE]\n"
+      "                  [--baseline FILE] [--incremental US] [--slo-p999 US]\n"
+      "                  [--heap-factor F]\n"
       "       rdgc-bench --compare-threads N [--quick] [--reps R]\n"
       "                  [--scale S] [--filter S] [--json FILE]\n"
       "       rdgc-bench --compare-remsets [--quick] [--reps R]\n"
       "                  [--scale S] [--filter S] [--json FILE]\n"
+      "       rdgc-bench --compare-incremental US [--quick] [--reps R]\n"
+      "                  [--scale S] [--filter S] [--json FILE]\n"
       "       rdgc-bench --validate FILE\n"
       "       rdgc-bench --regress CURRENT REFERENCE [--tolerance FRAC]\n"
+      "       rdgc-bench --slo-regress INCREMENTAL MONOLITHIC "
+      "[--slo-factor F]\n"
       "       rdgc-bench --self-test\n");
 }
 
@@ -1360,7 +1723,9 @@ void printUsage() {
 int main(int argc, char **argv) {
   BenchOptions Opt;
   std::string ValidatePath, RegressCurrent, RegressRef;
+  std::string SloRegressInc, SloRegressMono;
   double Tolerance = 0.15;
+  double SloFactor = 2.0;
   bool SelfTest = false;
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -1385,6 +1750,20 @@ int main(int argc, char **argv) {
       Opt.Remset = Next("--remset");
     else if (Arg == "--compare-remsets")
       Opt.CompareRemsets = true;
+    else if (Arg == "--incremental")
+      Opt.IncrementalBudgetUs = std::atoll(Next("--incremental"));
+    else if (Arg == "--slo-p999")
+      Opt.SloP999Us =
+          static_cast<uint64_t>(std::atoll(Next("--slo-p999")));
+    else if (Arg == "--compare-incremental")
+      Opt.CompareIncrementalUs = std::atoll(Next("--compare-incremental"));
+    else if (Arg == "--heap-factor")
+      Opt.HeapFactor = std::atof(Next("--heap-factor"));
+    else if (Arg == "--slo-regress") {
+      SloRegressInc = Next("--slo-regress");
+      SloRegressMono = Next("--slo-regress");
+    } else if (Arg == "--slo-factor")
+      SloFactor = std::atof(Next("--slo-factor"));
     else if (Arg == "--self-test")
       SelfTest = true;
     else if (Arg == "--filter")
@@ -1411,6 +1790,13 @@ int main(int argc, char **argv) {
     return runValidate(ValidatePath);
   if (!RegressCurrent.empty())
     return runRegress(RegressCurrent, RegressRef, Tolerance);
+  if (!SloRegressInc.empty()) {
+    if (SloFactor <= 1.0) {
+      std::fprintf(stderr, "rdgc-bench: --slo-factor wants F > 1\n");
+      return 2;
+    }
+    return runSloRegress(SloRegressInc, SloRegressMono, SloFactor);
+  }
   if (!Opt.Remset.empty() && Opt.Remset != "ssb" && Opt.Remset != "card") {
     std::fprintf(stderr, "rdgc-bench: --remset wants ssb or card\n");
     return 2;
@@ -1427,6 +1813,12 @@ int main(int argc, char **argv) {
     return runCompareThreads(Opt);
   if (Opt.CompareRemsets)
     return runCompareRemsets(Opt);
+  if (Opt.CompareIncrementalUs < 0 || Opt.IncrementalBudgetUs < -1) {
+    std::fprintf(stderr, "rdgc-bench: incremental budgets want US >= 0\n");
+    return 2;
+  }
+  if (Opt.CompareIncrementalUs > 0)
+    return runCompareIncremental(Opt);
 
   // The baseline file is loaded and schema-checked up front: a missing or
   // malformed file must fail before the suite burns minutes of runs.

@@ -74,6 +74,13 @@ struct Options {
   /// the card backend reroutes every barrier and remset scan, so a sweep
   /// that only exercises SSB says nothing about half the barrier code.
   std::vector<std::string> Remsets = {"ssb", "card"};
+  /// Incremental per-slice budgets to sweep, in microseconds; 0 is
+  /// stop-the-world (DESIGN.md §16). Only mark-sweep and mark-compact
+  /// carry incremental cycles, but the axis runs every collector: the
+  /// safepoint polling and SATB arming must be inert elsewhere, and a
+  /// fault landing inside a sliced cycle (between slices, mid-sweep)
+  /// exercises interleavings no stop-the-world schedule can.
+  std::vector<uint64_t> IncrementalUs = {0};
   std::vector<CollectorEntry> Collectors{std::begin(AllCollectors),
                                          std::end(AllCollectors)};
   /// Deadline armed on every trial heap. Tight enough that some injected
@@ -172,8 +179,8 @@ void churn(Heap &H, uint64_t Seed, const Options &Opt,
 }
 
 TrialOutcome runTrial(const CollectorEntry &Coll, unsigned Threads,
-                      const std::string &Remset, uint64_t Seed,
-                      const Options &Opt) {
+                      const std::string &Remset, uint64_t IncrementalUs,
+                      uint64_t Seed, const Options &Opt) {
   TrialOutcome Out;
   FaultPlan Plan = FaultPlan::fromSeed(Seed);
 
@@ -192,6 +199,7 @@ TrialOutcome runTrial(const CollectorEntry &Coll, unsigned Threads,
   auto H = makeHeap(Coll.Kind, Sizing);
   H->collector().setGcThreads(Threads);
   H->collector().setWatchdogMicros(Opt.WatchdogMicros);
+  H->setIncrementalBudgetMicros(IncrementalUs);
   H->setPoisonFreedMemory(true);
   H->setTracer(&Tracer);
   H->installFaultPlan(Plan);
@@ -294,6 +302,8 @@ int usage(const char *Argv0) {
       "  --threads LIST     comma-separated GC thread counts (default 1,4)\n"
       "  --remsets LIST     comma-separated remembered-set backends to\n"
       "                     sweep: ssb, card (default both)\n"
+      "  --incremental LIST comma-separated per-slice budgets in\n"
+      "                     microseconds; 0 = stop-the-world (default 0)\n"
       "  --collectors LIST  comma-separated collector names, or 'all'\n"
       "  --watchdog-us N    per-trial GC watchdog deadline (default 1000)\n"
       "  --iterations N     mutator iterations per trial (default 3000)\n"
@@ -406,6 +416,13 @@ int main(int Argc, char **Argv) {
           return 2;
         }
       Opt.Remsets = Items;
+    } else if (std::strcmp(Arg, "--incremental") == 0) {
+      std::vector<std::string> Items;
+      if (!splitList(NextValue(), Items))
+        return usage(Argv[0]);
+      Opt.IncrementalUs.clear();
+      for (const std::string &B : Items)
+        Opt.IncrementalUs.push_back(std::strtoull(B.c_str(), nullptr, 10));
     } else if (std::strcmp(Arg, "--collectors") == 0) {
       const char *List = NextValue();
       if (std::strcmp(List, "all") != 0) {
@@ -438,7 +455,7 @@ int main(int Argc, char **Argv) {
     }
   }
   if (Opt.Schedules == 0 || Opt.Threads.empty() || Opt.Collectors.empty() ||
-      Opt.Remsets.empty())
+      Opt.Remsets.empty() || Opt.IncrementalUs.empty())
     return usage(Argv[0]);
 
   if (!GclintBinary.empty())
@@ -455,29 +472,32 @@ int main(int Argc, char **Argv) {
     for (const CollectorEntry &Coll : Opt.Collectors) {
       for (unsigned Threads : Opt.Threads) {
         for (const std::string &Remset : Opt.Remsets) {
-          TrialOutcome Out = runTrial(Coll, Threads, Remset, Seed, Opt);
-          ++Trials;
-          TotalEvac += Out.InjectedEvac;
-          TotalPlab += Out.InjectedPlab;
-          TotalStalls += Out.InjectedStalls;
-          TotalRemset += Out.InjectedRemset;
-          TotalDegraded += Out.DegradedCycles;
-          TotalWatchdog += Out.WatchdogTrips;
-          TotalCollections += Out.Collections;
-          if (!Out.Ok) {
-            ++Failures;
-            std::fprintf(
-                stderr,
-                "FAIL collector=%s threads=%u remset=%s plan=\"%s\": %s\n",
-                Coll.Name, Threads, Remset.c_str(), Plan.spec().c_str(),
-                Out.Problem.c_str());
-          } else if (Opt.Verbose) {
-            std::printf("ok   collector=%-21s threads=%u remset=%-4s "
-                        "plan=\"%s\" collections=%" PRIu64 " degraded=%" PRIu64
-                        " watchdog=%" PRIu64 "\n",
-                        Coll.Name, Threads, Remset.c_str(),
-                        Plan.spec().c_str(), Out.Collections,
-                        Out.DegradedCycles, Out.WatchdogTrips);
+          for (uint64_t IncUs : Opt.IncrementalUs) {
+            TrialOutcome Out =
+                runTrial(Coll, Threads, Remset, IncUs, Seed, Opt);
+            ++Trials;
+            TotalEvac += Out.InjectedEvac;
+            TotalPlab += Out.InjectedPlab;
+            TotalStalls += Out.InjectedStalls;
+            TotalRemset += Out.InjectedRemset;
+            TotalDegraded += Out.DegradedCycles;
+            TotalWatchdog += Out.WatchdogTrips;
+            TotalCollections += Out.Collections;
+            if (!Out.Ok) {
+              ++Failures;
+              std::fprintf(stderr,
+                           "FAIL collector=%s threads=%u remset=%s "
+                           "incremental=%" PRIu64 "us plan=\"%s\": %s\n",
+                           Coll.Name, Threads, Remset.c_str(), IncUs,
+                           Plan.spec().c_str(), Out.Problem.c_str());
+            } else if (Opt.Verbose) {
+              std::printf("ok   collector=%-21s threads=%u remset=%-4s "
+                          "inc=%-4" PRIu64 " plan=\"%s\" collections=%" PRIu64
+                          " degraded=%" PRIu64 " watchdog=%" PRIu64 "\n",
+                          Coll.Name, Threads, Remset.c_str(), IncUs,
+                          Plan.spec().c_str(), Out.Collections,
+                          Out.DegradedCycles, Out.WatchdogTrips);
+            }
           }
         }
       }
@@ -485,10 +505,10 @@ int main(int Argc, char **Argv) {
   }
 
   std::printf("rdgc-crucible: %" PRIu64 " trials (%" PRIu64 " schedules x %zu "
-              "collectors x %zu thread counts x %zu remset backends), "
-              "%" PRIu64 " failures\n",
+              "collectors x %zu thread counts x %zu remset backends x %zu "
+              "incremental budgets), %" PRIu64 " failures\n",
               Trials, Opt.Schedules, Opt.Collectors.size(), Opt.Threads.size(),
-              Opt.Remsets.size(), Failures);
+              Opt.Remsets.size(), Opt.IncrementalUs.size(), Failures);
   std::printf("  collections=%" PRIu64 " degraded=%" PRIu64
               " watchdog-trips=%" PRIu64 "\n",
               TotalCollections, TotalDegraded, TotalWatchdog);

@@ -17,8 +17,10 @@
 ///
 /// Validation is strict by construction — parseTraceEventJson rejects
 /// unknown keys, missing keys, and malformed syntax — plus stream-level
-/// checks: per-heap sequence numbers must be dense and monotone, and a
-/// collection's phase nanoseconds must not exceed its total pause.
+/// checks: per-heap sequence numbers must be dense and monotone, a
+/// collection's phase nanoseconds must not exceed its total pause, slice
+/// indices must count 1..N up to the owning cycle's "slices" stamp, and an
+/// slo_violation's pause must actually exceed its threshold.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -50,6 +52,9 @@ bool loadTrace(const std::string &Path, LoadedTrace &Trace) {
     return false;
   }
   std::map<uint64_t, uint64_t> NextSeq; // heap id -> expected seq.
+  // heap id -> slice events seen since that heap's last collection event;
+  // an incremental cycle's aggregate must account for exactly these.
+  std::map<uint64_t, uint64_t> PendingSlices;
   std::string Line;
   uint64_t LineNo = 0;
   while (std::getline(In, Line)) {
@@ -82,6 +87,44 @@ bool loadTrace(const std::string &Path, LoadedTrace &Trace) {
                    Path.c_str(), static_cast<unsigned long long>(LineNo),
                    static_cast<unsigned long long>(E.Phases.sumNanos()),
                    static_cast<unsigned long long>(E.TotalNanos));
+      return false;
+    }
+    if (E.EventType == GcTraceEvent::Type::Slice) {
+      uint64_t &Pending = PendingSlices[E.HeapId];
+      if (E.Slices != Pending + 1) {
+        std::fprintf(stderr,
+                     "%s:%llu: heap %llu slice index %llu, expected %llu\n",
+                     Path.c_str(), static_cast<unsigned long long>(LineNo),
+                     static_cast<unsigned long long>(E.HeapId),
+                     static_cast<unsigned long long>(E.Slices),
+                     static_cast<unsigned long long>(Pending + 1));
+        return false;
+      }
+      ++Pending;
+    } else if (E.EventType == GcTraceEvent::Type::Collection) {
+      // Slices precede their cycle's aggregate; a monolithic aggregate
+      // (no "slices" stamp) must not ride on unclaimed slice events.
+      uint64_t &Pending = PendingSlices[E.HeapId];
+      if (E.Slices != Pending) {
+        std::fprintf(stderr,
+                     "%s:%llu: heap %llu collection claims %llu slices but "
+                     "%llu slice events precede it\n",
+                     Path.c_str(), static_cast<unsigned long long>(LineNo),
+                     static_cast<unsigned long long>(E.HeapId),
+                     static_cast<unsigned long long>(E.Slices),
+                     static_cast<unsigned long long>(Pending));
+        return false;
+      }
+      Pending = 0;
+    }
+    if (E.EventType == GcTraceEvent::Type::SloViolation &&
+        E.PauseNanos <= E.ThresholdNanos) {
+      std::fprintf(stderr,
+                   "%s:%llu: slo_violation pause %llu does not exceed "
+                   "threshold %llu\n",
+                   Path.c_str(), static_cast<unsigned long long>(LineNo),
+                   static_cast<unsigned long long>(E.PauseNanos),
+                   static_cast<unsigned long long>(E.ThresholdNanos));
       return false;
     }
     if (!E.Workers.empty()) {
@@ -150,6 +193,9 @@ void renderSummaryTable(const LoadedTrace &Trace) {
     case GcTraceEvent::Type::Watchdog:
       ++S.WatchdogTrips;
       break;
+    case GcTraceEvent::Type::Slice:
+    case GcTraceEvent::Type::SloViolation:
+      break; // Summarized by renderSliceTable.
     }
   }
 
@@ -226,33 +272,119 @@ void renderWorkerTable(const LoadedTrace &Trace) {
   std::printf("%s\n", Table.renderText().c_str());
 }
 
+/// Aggregates incremental slice events (DESIGN.md §16), when the trace has
+/// any: cycles sliced, slice counts by phase, budget overruns, absorb
+/// slices (budget 0: a blocking operation ran the cycle to completion),
+/// and SLO violations.
+void renderSliceTable(const LoadedTrace &Trace) {
+  struct SliceSummary {
+    uint64_t Slices = 0;
+    uint64_t Cycles = 0; // collection events stamped with "slices".
+    uint64_t MarkSlices = 0;
+    uint64_t SweepSlices = 0;
+    uint64_t CompactSlices = 0;
+    uint64_t AbsorbSlices = 0;
+    uint64_t Overruns = 0; // budgeted slices that exceeded their budget.
+    uint64_t MaxPauseNanos = 0;
+    uint64_t PauseNanosTotal = 0;
+    uint64_t SloViolations = 0;
+  };
+  std::map<std::string, SliceSummary> ByCollector;
+  bool Any = false;
+  for (const GcTraceEvent &E : Trace.Events) {
+    if (E.EventType == GcTraceEvent::Type::Slice) {
+      Any = true;
+      SliceSummary &S = ByCollector[E.Collector];
+      ++S.Slices;
+      if (E.SlicePhase == "mark")
+        ++S.MarkSlices;
+      else if (E.SlicePhase == "sweep")
+        ++S.SweepSlices;
+      else if (E.SlicePhase == "compact")
+        ++S.CompactSlices;
+      if (E.BudgetNanos == 0)
+        ++S.AbsorbSlices;
+      else if (E.PauseNanos > E.BudgetNanos)
+        ++S.Overruns;
+      S.PauseNanosTotal += E.PauseNanos;
+      if (E.PauseNanos > S.MaxPauseNanos)
+        S.MaxPauseNanos = E.PauseNanos;
+    } else if (E.EventType == GcTraceEvent::Type::Collection &&
+               E.Slices != 0) {
+      ++ByCollector[E.Collector].Cycles;
+    } else if (E.EventType == GcTraceEvent::Type::SloViolation) {
+      Any = true;
+      ++ByCollector[E.Collector].SloViolations;
+    }
+  }
+  if (!Any)
+    return;
+
+  TableWriter Table({"collector", "sliced cycles", "slices", "mark", "sweep",
+                     "compact", "absorb", "overruns", "mean us", "max us",
+                     "slo viol"});
+  for (const auto &[Name, S] : ByCollector) {
+    double MeanUs = S.Slices ? static_cast<double>(S.PauseNanosTotal) /
+                                   (1e3 * static_cast<double>(S.Slices))
+                             : 0.0;
+    Table.addRow(
+        {Name, TableWriter::formatUnsigned(S.Cycles),
+         TableWriter::formatUnsigned(S.Slices),
+         TableWriter::formatUnsigned(S.MarkSlices),
+         TableWriter::formatUnsigned(S.SweepSlices),
+         TableWriter::formatUnsigned(S.CompactSlices),
+         TableWriter::formatUnsigned(S.AbsorbSlices),
+         TableWriter::formatUnsigned(S.Overruns),
+         TableWriter::formatDouble(MeanUs, 1),
+         TableWriter::formatDouble(static_cast<double>(S.MaxPauseNanos) / 1e3,
+                                   1),
+         TableWriter::formatUnsigned(S.SloViolations)});
+  }
+  std::printf("%s\n", Table.renderText().c_str());
+}
+
+/// The mutator-visible pause of an event, or 0 for events that are not
+/// pauses. Matches GcTracer's histogram discipline: every slice is one
+/// pause, and an incremental cycle's aggregate collection event is not
+/// (its slices already counted).
+uint64_t pauseOf(const GcTraceEvent &E) {
+  if (E.EventType == GcTraceEvent::Type::Slice)
+    return E.PauseNanos;
+  if (E.EventType == GcTraceEvent::Type::Collection && E.Slices == 0)
+    return E.TotalNanos;
+  return 0;
+}
+
 void renderPauseHistogram(const LoadedTrace &Trace) {
   PauseHistogram Pauses;
   for (const GcTraceEvent &E : Trace.Events)
-    if (E.EventType == GcTraceEvent::Type::Collection)
-      Pauses.record(E.TotalNanos);
+    if (uint64_t Nanos = pauseOf(E))
+      Pauses.record(Nanos);
   if (Pauses.count() == 0) {
     std::printf("no collection events; nothing to plot\n");
     return;
   }
 
-  std::printf("pause times (ns): count %llu  mean %.0f  p50 %llu  p90 %llu  "
-              "p99 %llu  max %llu\n\n",
-              static_cast<unsigned long long>(Pauses.count()), Pauses.mean(),
-              static_cast<unsigned long long>(Pauses.valueAtPercentile(50.0)),
-              static_cast<unsigned long long>(Pauses.valueAtPercentile(90.0)),
-              static_cast<unsigned long long>(Pauses.valueAtPercentile(99.0)),
-              static_cast<unsigned long long>(Pauses.maxValue()));
+  std::printf(
+      "pause times (ns): count %llu  mean %.0f  p50 %llu  p90 %llu  "
+      "p99 %llu  p99.9 %llu  max %llu\n\n",
+      static_cast<unsigned long long>(Pauses.count()), Pauses.mean(),
+      static_cast<unsigned long long>(Pauses.valueAtPercentile(50.0)),
+      static_cast<unsigned long long>(Pauses.valueAtPercentile(90.0)),
+      static_cast<unsigned long long>(Pauses.valueAtPercentile(99.0)),
+      static_cast<unsigned long long>(Pauses.valueAtPercentile(99.9)),
+      static_cast<unsigned long long>(Pauses.maxValue()));
 
   // Power-of-two bucket bars: coarse on purpose — the HDR buckets are too
   // fine to eyeball, and pauses span orders of magnitude.
   std::map<unsigned, uint64_t> Log2Buckets; // floor(log2(pause)) -> count.
   uint64_t MaxCount = 0;
   for (const GcTraceEvent &E : Trace.Events) {
-    if (E.EventType != GcTraceEvent::Type::Collection)
+    uint64_t Nanos = pauseOf(E);
+    if (!Nanos)
       continue;
     unsigned Bucket = 0;
-    for (uint64_t V = E.TotalNanos; V > 1; V >>= 1)
+    for (uint64_t V = Nanos; V > 1; V >>= 1)
       ++Bucket;
     uint64_t &Count = ++Log2Buckets[Bucket];
     if (Count > MaxCount)
@@ -355,6 +487,7 @@ int main(int Argc, char **Argv) {
 
   renderSummaryTable(Trace);
   renderWorkerTable(Trace);
+  renderSliceTable(Trace);
   renderPauseHistogram(Trace);
   renderTimelines(Trace);
   return 0;
