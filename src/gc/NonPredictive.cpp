@@ -322,6 +322,17 @@ size_t NonPredictiveCollector::addSteps(size_t Count) {
 }
 
 bool NonPredictiveCollector::tryGrowHeap(size_t MinWords) {
+  if (DegradedPending) {
+    // Growth and recovery are the same operation while degraded (the
+    // generational collector's doctrine): a degraded cycle kept straggler
+    // storage in service — in hybrid mode possibly the entire nursery,
+    // which tryAllocate routes small objects to and which added steps can
+    // never relieve. Degraded retries run serially, so a full cycle here
+    // normally completes healthy and drains the kept storage; growth
+    // succeeded only if it did.
+    collectWithJ(0);
+    return !DegradedPending;
+  }
   if (MinWords > StepWords)
     return false; // An object can never span steps.
   return addSteps(std::max<size_t>(1, K / 2)) > 0;
@@ -761,6 +772,12 @@ void NonPredictiveCollector::collectWithJ(size_t CollectJ) {
     });
     // Remembered objects in steps 1..j hold pointers into the condemned
     // region; those slots are roots and must be rewritten (Section 8.6).
+    // As in the parallel branch above, stale entries that drifted into the
+    // condemned region (j reductions, full condemnations, old-to-nursery
+    // entries) are skipped: the root scan may already have evacuated them,
+    // and a live condemned holder is traced through the normal graph
+    // anyway. The region bits stay valid even in a forwarded header
+    // (ObjectRef::forwardTo preserves them), so the test is exact.
     Timer.begin(GcPhase::RemsetScan);
     if (Cards) {
       for (uint64_t *Holder : gatherDirtyCardHolders(CollectJ, &Record)) {
@@ -770,7 +787,8 @@ void NonPredictiveCollector::collectWithJ(size_t CollectJ) {
     } else {
       RemSet.forEach([&](uint64_t *Holder) {
         ++Record.RootsScanned;
-        Scavenger.scanObject(Holder);
+        if (!InCondemned(Holder))
+          Scavenger.scanObject(Holder);
       });
     }
     Timer.begin(GcPhase::RootScan);

@@ -59,6 +59,14 @@ public:
   /// meaningful while a window is published (tryAllocateFast succeeded).
   uint8_t fastWindowRegion() const { return FastWindowRegion; }
 
+  /// Size-class bound of the published window, or 0 when none is
+  /// published. The server runtime's TLAB refill clamps its chunk request
+  /// to this so a refill can never out-size the window, and uses 0 to
+  /// distinguish "this collector bump-allocates nothing inline" (fall back
+  /// to per-object locked allocation) from "the window is merely full"
+  /// (trigger a rendezvous collection).
+  size_t fastWindowMaxWords() const { return FastWindowMaxWords; }
+
   /// Runs one collection cycle. Roots are enumerated through the attached
   /// Heap. Live objects may move; every root slot is updated in place.
   virtual void collect() = 0;

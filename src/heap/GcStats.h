@@ -15,11 +15,57 @@
 #ifndef RDGC_HEAP_GCSTATS_H
 #define RDGC_HEAP_GCSTATS_H
 
+#include <atomic>
+#include <cassert>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 namespace rdgc {
+
+#ifndef NDEBUG
+/// Debug-build tripwire for the single-writer contract: statistics
+/// accumulators are plain counters, so every mutation must come from one
+/// thread at a time — the mutator thread classically, or whichever thread
+/// holds the heap mutex (slow paths) or the stopped-world safepoint
+/// (per-mutator delta merges) in server mode. Two racing writers trip the
+/// assertion instead of silently dropping increments. The flag itself is
+/// atomic so the tripwire is ThreadSanitizer-clean, and copying resets it:
+/// a copied stats object starts with no writer inside it.
+class SingleWriterTripwire {
+public:
+  SingleWriterTripwire() = default;
+  SingleWriterTripwire(const SingleWriterTripwire &) {}
+  SingleWriterTripwire &operator=(const SingleWriterTripwire &) {
+    return *this;
+  }
+
+  class Scope {
+  public:
+    explicit Scope(const SingleWriterTripwire &T) : T(T) {
+      bool Raced = T.Busy.exchange(true, std::memory_order_acquire);
+      assert(!Raced && "two threads raced a statistics update; server mode "
+                       "must accumulate per-mutator deltas and merge them "
+                       "at the safepoint barrier");
+      (void)Raced;
+    }
+    ~Scope() { T.Busy.store(false, std::memory_order_release); }
+    Scope(const Scope &) = delete;
+    Scope &operator=(const Scope &) = delete;
+
+  private:
+    const SingleWriterTripwire &T;
+  };
+
+private:
+  mutable std::atomic<bool> Busy{false};
+};
+#define RDGC_SINGLE_WRITER(Tripwire)                                           \
+  SingleWriterTripwire::Scope RdgcWriterScope(Tripwire)
+#else
+class SingleWriterTripwire {};
+#define RDGC_SINGLE_WRITER(Tripwire) ((void)0)
+#endif
 
 /// One parallel GC worker's contribution to a single collection cycle.
 /// Workers accumulate these in thread-local instances and the coordinator
@@ -75,11 +121,24 @@ struct CollectionRecord {
 class GcStats {
 public:
   void noteAllocation(uint64_t Words) {
+    RDGC_SINGLE_WRITER(Writer);
     WordsAllocatedCount += Words;
     ObjectsAllocatedCount += 1;
   }
 
+  /// Folds one mutator thread's TLAB allocation deltas in. Server mode
+  /// keeps fast-path accounting in per-thread MutatorContext counters and
+  /// merges them here — under the heap mutex at TLAB retirement and at the
+  /// safepoint barrier — mirroring the per-worker merge the parallel
+  /// scavenger does (DESIGN.md §12.6).
+  void noteMutatorDelta(uint64_t Words, uint64_t Objects) {
+    RDGC_SINGLE_WRITER(Writer);
+    WordsAllocatedCount += Words;
+    ObjectsAllocatedCount += Objects;
+  }
+
   void noteCollection(const CollectionRecord &Record) {
+    RDGC_SINGLE_WRITER(Writer);
     Records.push_back(Record);
     WordsTracedCount += Record.WordsTraced;
     WordsReclaimedCount += Record.WordsReclaimed;
@@ -169,6 +228,7 @@ private:
   uint64_t RemsetFaultDrops = 0;
   double GcSecondsTotal = 0.0;
   std::vector<CollectionRecord> Records;
+  SingleWriterTripwire Writer;
 };
 
 } // namespace rdgc

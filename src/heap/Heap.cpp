@@ -25,6 +25,12 @@ using namespace rdgc;
 Collector::~Collector() = default;
 RootProvider::~RootProvider() = default;
 HeapObserver::~HeapObserver() = default;
+ServerMutatorHooks::~ServerMutatorHooks() = default;
+
+/// The calling thread's server-mode mutator context (see MutatorContext.h).
+/// Null on every thread that is not a registered mutator, so classic
+/// configurations never see it.
+thread_local MutatorContext *rdgc::ActiveMutatorContext = nullptr;
 
 const char *rdgc::objectTagName(ObjectTag Tag) {
   switch (Tag) {
@@ -208,9 +214,32 @@ bool Heap::growthAllowed() const {
   return MaxHeapBytes == 0 || Coll->capacityWords() * 8 < MaxHeapBytes;
 }
 
-void Heap::registerRootSlot(Value *Slot) { RootSlots.push_back(Slot); }
+void Heap::registerRootSlot(Value *Slot) {
+  // Server mode: roots created on a mutator thread (Handles, TempRoots,
+  // RootStacks) go to that thread's private registry — registration must
+  // not race other mutators — and forEachRoot visits every registry with
+  // the world stopped. Threads without a context (the coordinator, before
+  // or after a server phase) still use the shared registry.
+  if (MutatorContext *Ctx = serverContext()) {
+    Ctx->RootSlots.push_back(Slot);
+    return;
+  }
+  RootSlots.push_back(Slot);
+}
 
 void Heap::unregisterRootSlot(Value *Slot) {
+  // A slot registered before the thread entered server mode may be
+  // unregistered from inside it (or vice versa), so search the thread's
+  // registry first and fall back to the shared one.
+  if (MutatorContext *Ctx = serverContext()) {
+    for (size_t I = Ctx->RootSlots.size(); I-- > 0;) {
+      if (Ctx->RootSlots[I] == Slot) {
+        Ctx->RootSlots.erase(Ctx->RootSlots.begin() +
+                             static_cast<ptrdiff_t>(I));
+        return;
+      }
+    }
+  }
   // Handles unregister in LIFO order in practice, so search from the back.
   for (size_t I = RootSlots.size(); I-- > 0;) {
     if (RootSlots[I] == Slot) {
@@ -225,10 +254,22 @@ void Heap::unregisterRootSlot(Value *Slot) {
 
 void Heap::addRootProvider(RootProvider *Provider) {
   assert(Provider && "null root provider");
+  if (MutatorContext *Ctx = serverContext()) {
+    Ctx->Providers.push_back(Provider);
+    return;
+  }
   Providers.push_back(Provider);
 }
 
 void Heap::removeRootProvider(RootProvider *Provider) {
+  if (MutatorContext *Ctx = serverContext()) {
+    auto CtxIt = std::find(Ctx->Providers.begin(), Ctx->Providers.end(),
+                           Provider);
+    if (CtxIt != Ctx->Providers.end()) {
+      Ctx->Providers.erase(CtxIt);
+      return;
+    }
+  }
   auto It = std::find(Providers.begin(), Providers.end(), Provider);
   assert(It != Providers.end() && "provider not registered");
   Providers.erase(It);
@@ -240,6 +281,10 @@ void Heap::forEachRoot(const std::function<void(Value &)> &Visit) {
     Visit(*Slot);
   for (RootProvider *Provider : Providers)
     Provider->forEachRoot(Visit);
+  // Per-mutator registries. Server mode only collects with every mutator
+  // parked, so walking them here cannot race registration.
+  if (ServerHooks)
+    ServerHooks->forEachMutatorRoot(Visit);
 }
 
 namespace {
@@ -300,7 +345,24 @@ void Heap::collectFullNow() {
 void Heap::satbRecordSlow(Value Old) {
   if (!Old.isPointer())
     return;
+  // The SATB buffer is a plain vector; a server-mode mutator defers its
+  // capture to the thread-private pending buffer (see barrier()) so the
+  // capture has no park point between it and the store it precedes.
+  if (MutatorContext *Ctx = serverContext()) {
+    Ctx->PendingSatb.push_back(Old.rawBits());
+    return;
+  }
   SatbBuffer.push_back(Old.rawBits());
+}
+
+void Heap::drainMutatorBarriers(MutatorContext &Ctx) {
+  for (const auto &Record : Ctx.PendingStores)
+    Coll->onPointerStore(Value::fromRawBits(Record.first),
+                         Value::fromRawBits(Record.second));
+  Ctx.PendingStores.clear();
+  for (uint64_t Bits : Ctx.PendingSatb)
+    SatbBuffer.push_back(Bits);
+  Ctx.PendingSatb.clear();
 }
 
 /// Allocation debt (in words) between incremental slices. Small enough
@@ -355,6 +417,17 @@ bool Heap::incrementalStepNow() {
 }
 
 uint64_t *Heap::allocateRaw(ObjectTag Tag, size_t PayloadWords) {
+  // Server mode: the runtime owns the slow path — TLAB refill under its
+  // heap lock, safepoint rendezvous (then allocateRawImpl) under
+  // exhaustion. Mutator threads must never climb the ladder directly:
+  // collecting without the rendezvous would move objects under the other
+  // mutators' feet.
+  if (ServerHooks)
+    return ServerHooks->allocateSlow(Tag, PayloadWords);
+  return allocateRawImpl(Tag, PayloadWords);
+}
+
+uint64_t *Heap::allocateRawImpl(ObjectTag Tag, size_t PayloadWords) {
   assert(PayloadWords >= 1 && "objects need at least one payload word");
   size_t Words = PayloadWords + 1;
   if (Torture && Torture->shouldForceCollect())

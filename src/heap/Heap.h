@@ -25,6 +25,7 @@
 
 #include "heap/Collector.h"
 #include "heap/FaultPlan.h"
+#include "heap/MutatorContext.h"
 #include "heap/Object.h"
 #include "heap/Value.h"
 #include "support/Error.h"
@@ -62,6 +63,33 @@ public:
   virtual void onDeath(uint64_t *Header, size_t TotalWords) {}
   /// Called after every completed collection cycle.
   virtual void onCollectionDone() {}
+};
+
+/// Server-runtime callbacks (implemented by ServerRuntime; see
+/// src/server/ServerRuntime.h and DESIGN.md §17). Declared here so the
+/// heap can route its slow paths through the multi-mutator runtime without
+/// the heap library linking against it. While hooks are installed the heap
+/// is in *server mode*: N registered mutator threads allocate through
+/// per-thread TLABs, and every path that would mutate shared heap
+/// structure is serialized by the runtime's heap lock or runs with the
+/// world stopped at a safepoint rendezvous.
+class ServerMutatorHooks {
+public:
+  virtual ~ServerMutatorHooks();
+
+  /// Slow-path allocation for the calling mutator thread: polls the
+  /// safepoint, then refills the thread's TLAB (or allocates the object
+  /// directly) under the heap lock; under exhaustion it rendezvouses
+  /// every mutator and climbs the classic recovery ladder with the world
+  /// stopped. Returns the header address with the header already written,
+  /// or nullptr once a HeapExhausted fault has been surfaced.
+  virtual uint64_t *allocateSlow(ObjectTag Tag, size_t PayloadWords) = 0;
+
+  /// Visits every registered mutator context's root slots and providers.
+  /// Called only from Heap::forEachRoot, which server mode reaches only
+  /// with the world stopped.
+  virtual void
+  forEachMutatorRoot(const std::function<void(Value &)> &Visit) = 0;
 };
 
 /// A rooted Value slot. The slot is registered with the heap for the
@@ -302,6 +330,26 @@ public:
   /// The active fault injector, or nullptr.
   FaultInjector *faultInjector() const { return Injector.get(); }
 
+  //===--------------------------------------------------------------------===
+  // Server mode (src/server, DESIGN.md §17). Installed by ServerRuntime
+  // for the span of a multi-mutator phase; null in every classic
+  // configuration, so the single extra test on the fast path predicts
+  // perfectly outside server mode.
+  //===--------------------------------------------------------------------===
+
+  /// Installs (or clears, with nullptr) the server runtime's hooks. While
+  /// set, slow-path allocation, SSB/SATB barrier mutations, and root
+  /// registration from mutator threads route through the runtime.
+  void setServerHooks(ServerMutatorHooks *Hooks) { ServerHooks = Hooks; }
+  ServerMutatorHooks *serverHooks() const { return ServerHooks; }
+
+  /// Replays one mutator context's pending write-barrier records (SSB
+  /// pointer stores, SATB captures) into the collector. The server
+  /// runtime calls this with the world stopped at a rendezvous — before
+  /// anything moves, so the recorded values are still current — and at a
+  /// mutator's exit, under the runtime's heap lock.
+  void drainMutatorBarriers(MutatorContext &Ctx);
+
   /// Registers/unregisters an external root slot. Unregistration is
   /// expected in roughly LIFO order (Handles guarantee it).
   void registerRootSlot(Value *Slot);
@@ -327,12 +375,21 @@ public:
 
 private:
   friend class Handle;
+  /// The server runtime refills TLABs from the collector's window and
+  /// drives the classic ladder (allocateRawImpl) at safepoint rendezvous.
+  friend class ServerRuntime;
 
-  /// Allocates header + \p PayloadWords words and writes the header,
-  /// climbing the recovery ladder (collect, emergency full collect, grow)
-  /// under pressure. On exhaustion records HeapFault::HeapExhausted,
-  /// invokes the fault handler, and returns nullptr — it never aborts.
+  /// Allocates header + \p PayloadWords words and writes the header. In
+  /// server mode this routes to ServerMutatorHooks::allocateSlow (which
+  /// rendezvouses before collecting); classically it is allocateRawImpl.
   uint64_t *allocateRaw(ObjectTag Tag, size_t PayloadWords);
+
+  /// The classic slow path: climbs the recovery ladder (incremental
+  /// slices, collect, emergency full collect, grow) under pressure. On
+  /// exhaustion records HeapFault::HeapExhausted, invokes the fault
+  /// handler, and returns nullptr — it never aborts. In server mode only
+  /// the rendezvous requester calls this, with every mutator parked.
+  uint64_t *allocateRawImpl(ObjectTag Tag, size_t PayloadWords);
 
   /// The inline allocation fast path: bump the collector's published
   /// window, write the header, and account the allocation — nothing here
@@ -346,6 +403,8 @@ private:
     if (SlowAllocForced)
       return nullptr;
     size_t Words = PayloadWords + 1;
+    if (ServerHooks)
+      return tryFastAllocServer(Tag, PayloadWords, Words);
     uint64_t *Mem = Coll->tryAllocateFast(Words);
     if (!Mem)
       return nullptr;
@@ -353,6 +412,26 @@ private:
     Coll->stats().noteAllocation(Words);
     if (Obs || Tracer)
       notifyAllocationHooks(Mem, Words);
+    return Mem;
+  }
+
+  /// Server-mode fast path: bump the calling thread's TLAB. Still
+  /// lock-free — the TLAB is thread-private — and it doubles as the
+  /// safepoint poll: an armed flag fails it, so the thread parks in the
+  /// runtime's slow path. Accounting goes to the context's private deltas
+  /// (GcStats is single-writer) and the per-allocation observer/tracer
+  /// hooks are skipped — server mode samples occupancy and lifetimes only
+  /// at safepoints, where the world is stopped.
+  uint64_t *tryFastAllocServer(ObjectTag Tag, size_t PayloadWords,
+                               size_t Words) {
+    MutatorContext *Ctx = ActiveMutatorContext;
+    if (!Ctx || Ctx->Owner != this || Ctx->pollArmed() ||
+        !Ctx->Tlab.fits(Words))
+      return nullptr;
+    uint64_t *Mem = Ctx->Tlab.bump(Words);
+    *Mem = header::encode(Tag, PayloadWords, Ctx->Tlab.region());
+    Ctx->DeltaWords += Words;
+    Ctx->DeltaObjects += 1;
     return Mem;
   }
 
@@ -401,6 +480,18 @@ private:
       cardMark(CardMarkBase, Holder);
       return;
     }
+    // The SSB backend appends to a plain vector the collector owns, so a
+    // server-mode mutator defers the record to its thread-private pending
+    // buffer instead, drained with the world stopped at the next
+    // rendezvous. The push has no lock and no park point, so the slot
+    // store and its record are one atomic step with respect to a
+    // rendezvous — a barrier that parked here would record from-space
+    // ghosts after the collection moved its operands. (The card backend
+    // above needs no deferral: its table store is a relaxed atomic.)
+    if (MutatorContext *Ctx = serverContext()) {
+      Ctx->PendingStores.emplace_back(Holder.rawBits(), Stored.rawBits());
+      return;
+    }
     Coll->onPointerStore(Holder, Stored);
   }
 
@@ -417,10 +508,19 @@ private:
       satbRecordSlow(Obj.valueAt(SlotIndex));
   }
 
+  /// The calling thread's mutator context when it belongs to this heap's
+  /// server runtime; null otherwise (including every classic path).
+  MutatorContext *serverContext() const {
+    MutatorContext *Ctx = ActiveMutatorContext;
+    return (ServerHooks && Ctx && Ctx->Owner == this) ? Ctx : nullptr;
+  }
+
   std::unique_ptr<Collector> Coll;
   /// Coll->cardTableBase(), cached by the constructor; null on the SSB
   /// backend and for collectors without a write barrier.
   uint8_t *CardMarkBase = nullptr;
+  /// Server-mode hooks (ServerRuntime); null in classic configurations.
+  ServerMutatorHooks *ServerHooks = nullptr;
   GcTracer *Tracer = nullptr;
   /// The environment-configured tracer (RDGC_TRACE), when one exists.
   std::unique_ptr<GcTracer> OwnedTracer;

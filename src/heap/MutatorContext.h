@@ -1,0 +1,99 @@
+//===- heap/MutatorContext.h - Per-mutator-thread heap state ----*- C++ -*-===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-mutator-thread heap state for server mode (DESIGN.md §17): the
+/// thread's TLAB — a mutator-owned Plab carved from the collector's
+/// published allocation window — its private root registries, the safepoint
+/// poll checked at every allocation point, and the allocation deltas merged
+/// into GcStats under the heap lock.
+///
+/// The TLAB reuses the PLAB machinery from src/parallel verbatim: both are
+/// bump windows chunk-refilled from a mutex-guarded shared allocator whose
+/// retired tails are padded so the enclosing space stays walkable. The only
+/// difference is who owns the buffer (a mutator thread instead of a GC
+/// worker) and what fills it (new objects instead of evacuated copies).
+///
+/// One context belongs to exactly one (thread, heap) pair. Nothing in it is
+/// shared while the thread runs: other threads read or mutate a context
+/// only with the world stopped at a safepoint rendezvous, or under the
+/// runtime's heap lock during the context's own refill.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDGC_HEAP_MUTATORCONTEXT_H
+#define RDGC_HEAP_MUTATORCONTEXT_H
+
+#include "heap/Value.h"
+#include "parallel/Plab.h"
+
+#include <atomic>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace rdgc {
+
+class Heap;
+class RootProvider;
+
+/// One mutator thread's private allocation and rooting state.
+class MutatorContext {
+public:
+  /// The heap this context allocates into. The fast path checks it, so a
+  /// thread that also touches a second (classic) heap — e.g. a per-session
+  /// heap — takes that heap's ordinary paths unaffected.
+  Heap *Owner = nullptr;
+
+  /// The thread-local allocation buffer. Cursor == End when empty (the
+  /// default), so the first allocation takes the locked refill path; a
+  /// safepoint retires it back to Cursor == End, forcing a refill after
+  /// every collection (the chunk's storage may have been evacuated).
+  Plab Tlab;
+
+  /// The safepoint coordinator's armed flag, checked with one relaxed
+  /// load on every fast-path allocation; an armed poll fails the fast
+  /// path so the thread parks in the slow path's rendezvous.
+  const std::atomic<bool> *Poll = nullptr;
+
+  /// Per-thread root registries: Handles, TempRoots, and RootProviders
+  /// (including RootStacks) constructed on this thread while server hooks
+  /// are installed land here, and Heap::forEachRoot visits every
+  /// registered context with the world stopped.
+  std::vector<Value *> RootSlots;
+  std::vector<RootProvider *> Providers;
+
+  /// Fast-path allocation accounting, folded into GcStats via
+  /// noteMutatorDelta whenever the TLAB retires (under the heap lock at a
+  /// refill, or at the safepoint barrier) so the shared counters stay
+  /// single-writer.
+  uint64_t DeltaWords = 0;
+  uint64_t DeltaObjects = 0;
+
+  /// Pending write-barrier records (SSB backend: {holder, stored} raw
+  /// bits; SATB: overwritten raw bits), drained into the collector with
+  /// the world stopped at the next rendezvous — before anything moves, so
+  /// the recorded values are still current. Pushing here instead of
+  /// locking keeps the barrier free of park points: the slot store and
+  /// its record are one atomic step with respect to a rendezvous, which a
+  /// parked barrier could split (losing the edge, or recording from-space
+  /// ghosts after a collection moved the operands).
+  std::vector<std::pair<uint64_t, uint64_t>> PendingStores;
+  std::vector<uint64_t> PendingSatb;
+
+  bool pollArmed() const {
+    return Poll && Poll->load(std::memory_order_relaxed);
+  }
+};
+
+/// The calling thread's mutator context, or null when the thread is not a
+/// registered server-mode mutator. Defined in Heap.cpp; installed and
+/// cleared by ServerRuntime around each mutator thread's body.
+extern thread_local MutatorContext *ActiveMutatorContext;
+
+} // namespace rdgc
+
+#endif // RDGC_HEAP_MUTATORCONTEXT_H

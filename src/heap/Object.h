@@ -237,9 +237,14 @@ inline void publishSelfForward(uint64_t *Header, uint64_t Original) {
 /// free — one shift, one mask, one byte store — and unconditional: a
 /// redundant mark is cheaper than the test that would avoid it, and stores
 /// into young holders only cost conservative scan work later because the
-/// collectors walk dirty cards over their old/step spaces only.
+/// collectors walk dirty cards over their old/step spaces only. The store
+/// is a relaxed atomic so concurrent mutator threads in server mode can
+/// dirty cards without a data race; on x86 it compiles to the same plain
+/// byte store, and the collector reads the table only at a safepoint with
+/// every mutator parked.
 inline void cardMark(uint8_t *TableBase, Value Holder) {
-  TableBase[card::indexOfBits(Holder.rawBits())] = 1;
+  std::atomic_ref<uint8_t>(TableBase[card::indexOfBits(Holder.rawBits())])
+      .store(1, std::memory_order_relaxed);
 }
 
 /// Non-owning view of a heap object, wrapping the header address. All

@@ -74,6 +74,7 @@ uint64_t PauseHistogram::countAbove(uint64_t Threshold) const {
 }
 
 void PauseHistogram::merge(const PauseHistogram &Other) {
+  RDGC_SINGLE_WRITER(Writer);
   for (unsigned I = 0; I < BucketCount; ++I)
     Counts[I] += Other.Counts[I];
   Total += Other.Total;

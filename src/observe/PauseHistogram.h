@@ -18,6 +18,8 @@
 #ifndef RDGC_OBSERVE_PAUSEHISTOGRAM_H
 #define RDGC_OBSERVE_PAUSEHISTOGRAM_H
 
+#include "heap/GcStats.h"
+
 #include <array>
 #include <cstdint>
 
@@ -36,6 +38,7 @@ public:
       (64 - SubBucketBits - 1) * SubBucketCount + 2 * SubBucketCount;
 
   void record(uint64_t Value) {
+    RDGC_SINGLE_WRITER(Writer);
     Counts[bucketIndexFor(Value)] += 1;
     Total += 1;
     if (Value > MaxSeen)
@@ -82,6 +85,10 @@ private:
   uint64_t Total = 0;
   uint64_t MaxSeen = 0;
   uint64_t Sum = 0;
+  /// Histograms are single-writer like GcStats: one stream per heap
+  /// classically, one per mutator thread in server mode, merged after the
+  /// threads join (merge() itself runs on the merging thread only).
+  SingleWriterTripwire Writer;
 };
 
 } // namespace rdgc

@@ -1,0 +1,79 @@
+//===- server/SafepointCoordinator.cpp - Cooperative rendezvous -----------===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/SafepointCoordinator.h"
+
+#include <cassert>
+
+using namespace rdgc;
+
+void SafepointCoordinator::registerThread() {
+  std::unique_lock<std::mutex> Lock(M);
+  // A thread arriving while a rendezvous is in flight must wait for the
+  // resume before entering the world: the requester's predicate was
+  // computed without it, so nothing would ever park it, and its context
+  // is among the registries the stopped-world root scan walks.
+  CvResume.wait(Lock, [&] { return !Armed.load(std::memory_order_relaxed); });
+  ++Registered;
+}
+
+void SafepointCoordinator::unregisterThread() {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    assert(Registered > 0 && "unregistering an unregistered mutator");
+    --Registered;
+  }
+  // The requester's wait predicate depends on Registered, so an exiting
+  // thread must wake it just like a parking thread does.
+  CvSafe.notify_all();
+}
+
+void SafepointCoordinator::pollPark() {
+  if (!Armed.load(std::memory_order_relaxed))
+    return;
+  std::unique_lock<std::mutex> Lock(M);
+  ++SafeCount;
+  CvSafe.notify_all();
+  CvResume.wait(Lock, [&] { return !Armed.load(std::memory_order_relaxed); });
+  --SafeCount;
+}
+
+void SafepointCoordinator::beginSafeRegion() {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    ++SafeCount;
+  }
+  CvSafe.notify_all();
+}
+
+void SafepointCoordinator::endSafeRegion() {
+  std::unique_lock<std::mutex> Lock(M);
+  // The caller holds the runtime's heap lock here, and only a heap-lock
+  // holder can arm, so Armed is false and this never blocks; the wait is
+  // belt-and-braces against future reorderings of the protocol.
+  CvResume.wait(Lock, [&] { return !Armed.load(std::memory_order_relaxed); });
+  --SafeCount;
+}
+
+void SafepointCoordinator::stopTheWorld() {
+  std::unique_lock<std::mutex> Lock(M);
+  assert(!Armed.load() && "nested stop-the-world");
+  Armed.store(true, std::memory_order_relaxed);
+  // Every registered thread except the caller must be accounted safe.
+  // Threads between allocation points park at their next poll; threads
+  // blocked on the heap lock counted themselves safe on the way in;
+  // threads that exit decrement Registered.
+  CvSafe.wait(Lock, [&] { return SafeCount + 1 >= Registered; });
+  Rendezvous.fetch_add(1, std::memory_order_relaxed);
+}
+
+void SafepointCoordinator::resumeTheWorld() {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Armed.store(false, std::memory_order_relaxed);
+  }
+  CvResume.notify_all();
+}

@@ -1,0 +1,89 @@
+//===- server/SafepointCoordinator.h - Cooperative rendezvous ---*- C++ -*-===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The safepoint rendezvous protocol for N mutator threads (DESIGN.md §17).
+/// Collections move objects, so they may only run with every mutator
+/// *parked* — stopped at a point where it holds no raw pointers outside its
+/// registered roots. The protocol is cooperative: mutators check an armed
+/// poll flag at every allocation point (the TLAB fast path fails when the
+/// flag is armed, routing the thread into pollPark) and count themselves
+/// safe while blocked on the runtime's heap lock, so a thread waiting for
+/// its TLAB refill parks implicitly.
+///
+/// Deadlock freedom rests on one invariant, enforced by ServerRuntime: the
+/// world is stopped only by a thread that holds the runtime's heap lock,
+/// and it disarms before releasing that lock. Hence (a) at most one
+/// requester at a time, (b) a thread holding the heap lock is never asked
+/// to park, and (c) endSafeRegion's wait can never block a lock holder —
+/// whoever holds the lock observes Armed == false.
+///
+/// Threads that stop allocating must still park: a mutator computing in a
+/// long pure loop delays the rendezvous until its next allocation point.
+/// Server code keeps allocation points (or explicit pollPark calls) inside
+/// every loop — the gclint `safepoint-poll` rule audits this.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDGC_SERVER_SAFEPOINTCOORDINATOR_H
+#define RDGC_SERVER_SAFEPOINTCOORDINATOR_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace rdgc {
+
+/// Park/rendezvous/resume for N registered mutator threads.
+class SafepointCoordinator {
+public:
+  /// The armed flag, for the allocation fast path's relaxed poll
+  /// (MutatorContext::Poll points here).
+  const std::atomic<bool> *armedFlag() const { return &Armed; }
+
+  /// Registers/unregisters the calling thread as a mutator. Unregistering
+  /// wakes a waiting requester: a thread that exits counts as parked.
+  void registerThread();
+  void unregisterThread();
+
+  /// Parks the calling thread for the duration of a pending rendezvous;
+  /// no-op (one relaxed load) when none is pending. Mutator loops without
+  /// another allocation point call this.
+  void pollPark();
+
+  /// Brackets a blocking acquisition of the runtime's heap lock: the
+  /// thread counts as safe from beginSafeRegion until endSafeRegion, which
+  /// must be called only after the lock is held. endSafeRegion re-parks if
+  /// a rendezvous arms between the bracket's start and the lock grant.
+  void beginSafeRegion();
+  void endSafeRegion();
+
+  /// Stops the world: arms the poll and waits until every registered
+  /// thread but the caller is parked, blocked safe, or exited. The caller
+  /// must hold the runtime's heap lock (see file comment).
+  void stopTheWorld();
+
+  /// Resumes the world: disarms and wakes every parked thread. Must be
+  /// called before the caller releases the runtime's heap lock.
+  void resumeTheWorld();
+
+  /// Completed stop-the-world rendezvous so far (requester side).
+  uint64_t rendezvousCount() const { return Rendezvous.load(); }
+
+private:
+  mutable std::mutex M;
+  std::condition_variable CvSafe;   ///< Requester waits for SafeCount here.
+  std::condition_variable CvResume; ///< Parked threads wait for disarm here.
+  std::atomic<bool> Armed{false};
+  std::atomic<uint64_t> Rendezvous{0};
+  unsigned SafeCount = 0;  ///< Threads currently parked or blocked safe.
+  unsigned Registered = 0; ///< Live mutator threads.
+};
+
+} // namespace rdgc
+
+#endif // RDGC_SERVER_SAFEPOINTCOORDINATOR_H

@@ -1,0 +1,175 @@
+//===- server/ServerRuntime.cpp - Multi-mutator heap runtime --------------===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+// gclint-protocol(tlab): mutator-TLAB runtime. Raw header words here are
+// either freshly carved chunks the collector has not yet published to any
+// other thread, or are manipulated with the world stopped at a safepoint
+// rendezvous; no mutator rooting discipline applies. Allocation loops must
+// keep a safepoint poll reachable (rule: safepoint-poll).
+
+#include "server/ServerRuntime.h"
+
+#include <algorithm>
+#include <cassert>
+#include <thread>
+
+using namespace rdgc;
+
+ServerRuntime::ServerRuntime(Heap &H, unsigned MutatorCount)
+    : H(H), MutatorCount(MutatorCount == 0 ? 1 : MutatorCount) {
+  Contexts.reserve(this->MutatorCount);
+  for (unsigned I = 0; I < this->MutatorCount; ++I) {
+    auto Ctx = std::make_unique<MutatorContext>();
+    Ctx->Owner = &H;
+    Ctx->Poll = Coordinator.armedFlag();
+    Contexts.push_back(std::move(Ctx));
+  }
+}
+
+ServerRuntime::~ServerRuntime() {
+  assert(H.serverHooks() != this && "runtime destroyed during run()");
+}
+
+void ServerRuntime::run(const std::function<void(unsigned)> &Body) {
+  if (passthrough()) {
+    // The classic single-threaded path, bit for bit: no hooks, so every
+    // allocation takes exactly the code it would without a runtime. This
+    // is what makes the threads=1 trace-identity guarantee hold.
+    Body(0);
+    return;
+  }
+  H.setServerHooks(this);
+  std::vector<std::thread> Threads;
+  Threads.reserve(MutatorCount);
+  for (unsigned I = 0; I < MutatorCount; ++I)
+    Threads.emplace_back([this, I, &Body] { mutatorBody(I, Body); });
+  for (std::thread &T : Threads)
+    T.join();
+  H.setServerHooks(nullptr);
+}
+
+void ServerRuntime::mutatorBody(unsigned Index,
+                                const std::function<void(unsigned)> &Body) {
+  MutatorContext &Ctx = *Contexts[Index];
+  ActiveMutatorContext = &Ctx;
+  Coordinator.registerThread();
+  Body(Index);
+  // Exit protocol: park if a rendezvous is pending, then retire the TLAB
+  // under the heap lock (counting as safe while blocked) and deregister.
+  Coordinator.pollPark();
+  Coordinator.beginSafeRegion();
+  {
+    std::unique_lock<std::mutex> Lock(HeapMutex);
+    Coordinator.endSafeRegion();
+    Ctx.Tlab.retire();
+    mergeDeltas(Ctx);
+    H.drainMutatorBarriers(Ctx);
+  }
+  Coordinator.unregisterThread();
+  ActiveMutatorContext = nullptr;
+}
+
+uint64_t *ServerRuntime::allocateSlow(ObjectTag Tag, size_t PayloadWords) {
+  MutatorContext *Ctx = ActiveMutatorContext;
+  assert(Ctx && Ctx->Owner == &H &&
+         "server-mode slow allocation off a registered mutator thread");
+  size_t Words = PayloadWords + 1;
+  // Park first when a rendezvous is pending — the fast path's failed poll
+  // lands here — then take the heap lock inside a safe-region bracket so
+  // a requester never waits on a thread that is merely queued for a
+  // refill.
+  Coordinator.pollPark();
+  Coordinator.beginSafeRegion();
+  std::unique_lock<std::mutex> Lock(HeapMutex);
+  Coordinator.endSafeRegion();
+  if (uint64_t *Mem = tryRefillLocked(*Ctx, Tag, PayloadWords, Words))
+    return Mem;
+  // Exhausted: stop the world and climb the classic ladder. The ladder
+  // itself retries allocation after every rung, so its result is final.
+  return collectAtRendezvous(Tag, PayloadWords);
+}
+
+uint64_t *ServerRuntime::tryRefillLocked(MutatorContext &Ctx, ObjectTag Tag,
+                                         size_t PayloadWords, size_t Words) {
+  Collector &C = H.collector();
+  size_t WindowMax = C.fastWindowMaxWords();
+  // Chunk size: the PLAB default, clamped to the window's size-class
+  // bound so a refill can never out-size the published window.
+  size_t Chunk = std::min(Plab::DefaultChunkWords, WindowMax);
+  if (WindowMax != 0 && Words <= Plab::bigObjectThreshold(Chunk)) {
+    if (uint64_t *ChunkMem = C.tryAllocateFast(Chunk)) {
+      // Merge the outgoing chunk's accounting before adopt() retires it.
+      mergeDeltas(Ctx);
+      Ctx.Tlab.adopt(ChunkMem, Chunk, C.fastWindowRegion());
+      uint64_t *Mem = Ctx.Tlab.bump(Words);
+      *Mem = header::encode(Tag, PayloadWords, Ctx.Tlab.region());
+      C.stats().noteAllocation(Words);
+      return Mem;
+    }
+    return nullptr;
+  }
+  // Windowless collector (mark-sweep, mark-compact) or an object too big
+  // for TLAB residency: one exact-size allocation under the lock — the
+  // same "direct allocation" rule the PLABs apply to big copies.
+  if (uint64_t *Mem = C.tryAllocate(Words)) {
+    *Mem = header::encode(Tag, PayloadWords, C.currentAllocationRegion());
+    C.stats().noteAllocation(Words);
+    return Mem;
+  }
+  return nullptr;
+}
+
+uint64_t *ServerRuntime::collectAtRendezvous(ObjectTag Tag,
+                                             size_t PayloadWords) {
+  // Caller holds HeapMutex, so we are the only possible requester and no
+  // parked thread can hold it (file comment in SafepointCoordinator.h).
+  Coordinator.stopTheWorld();
+  // TLAB retirement at the safepoint: pad every buffer's tail so the
+  // spaces are walkable for the collector, and fold the per-thread
+  // allocation deltas into GcStats while it is single-writer-safe.
+  retireAllTlabs();
+  // The classic recovery ladder, world stopped: incremental slices when a
+  // cycle is live (so mutators stay parked only for bounded increments),
+  // then collect, emergency full collect, growth, or a recoverable fault.
+  uint64_t *Mem = H.allocateRawImpl(Tag, PayloadWords);
+  // Disarm before the caller releases HeapMutex — the protocol's
+  // deadlock-freedom invariant.
+  Coordinator.resumeTheWorld();
+  return Mem;
+}
+
+void ServerRuntime::retireAllTlabs() {
+  for (std::unique_ptr<MutatorContext> &Ctx : Contexts) {
+    Ctx->Tlab.retire();
+    mergeDeltas(*Ctx);
+    // Replay deferred write-barrier records before the collection moves
+    // anything — the recorded values are still current here, and the
+    // collection consumes the remembered set they feed.
+    H.drainMutatorBarriers(*Ctx);
+  }
+}
+
+void ServerRuntime::mergeDeltas(MutatorContext &Ctx) {
+  if (Ctx.DeltaWords == 0 && Ctx.DeltaObjects == 0)
+    return;
+  H.collector().stats().noteMutatorDelta(Ctx.DeltaWords, Ctx.DeltaObjects);
+  Ctx.DeltaWords = 0;
+  Ctx.DeltaObjects = 0;
+}
+
+// gclint-assume(non-allocating): root visitors rewrite slots in place
+void ServerRuntime::forEachMutatorRoot(
+    const std::function<void(Value &)> &Visit) {
+  // Reached only from Heap::forEachRoot with the world stopped (the
+  // rendezvous requester holds HeapMutex and every mutator is parked), so
+  // the per-thread registries are stable.
+  for (std::unique_ptr<MutatorContext> &Ctx : Contexts) {
+    for (Value *Slot : Ctx->RootSlots)
+      Visit(*Slot);
+    for (RootProvider *Provider : Ctx->Providers)
+      Provider->forEachRoot(Visit);
+  }
+}

@@ -1,0 +1,115 @@
+//===- server/ServerRuntime.h - Multi-mutator heap runtime ------*- C++ -*-===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The multi-mutator server runtime (DESIGN.md §17): N mutator threads
+/// allocate concurrently into one shared Heap through per-thread TLABs,
+/// and collections run at a safepoint rendezvous with every mutator
+/// parked. The runtime implements the ServerMutatorHooks the heap routes
+/// its slow paths through:
+///
+///  - fast path (lock-free): Heap::tryFastAllocServer bumps the calling
+///    thread's TLAB after one relaxed safepoint poll;
+///  - slow path (heap lock): allocateSlow refills the TLAB with a chunk
+///    carved from the collector's published window via the PLAB machinery,
+///    or allocates the object directly for windowless collectors
+///    (mark-sweep, mark-compact) and big objects;
+///  - rendezvous (world stopped): under exhaustion the lock holder arms
+///    the safepoint, waits for every mutator to park, retires all TLABs
+///    (padding their tails so spaces stay walkable and merging per-thread
+///    allocation deltas into GcStats), then climbs the classic recovery
+///    ladder — including PR 9's incremental slices — and resumes.
+///
+/// With a single mutator the runtime is a pure passthrough: no hooks are
+/// installed and run() executes the body on the classic single-threaded
+/// code path, bit for bit — the same guarantee the parallel scavenger
+/// gives at RDGC_GC_THREADS=1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDGC_SERVER_SERVERRUNTIME_H
+#define RDGC_SERVER_SERVERRUNTIME_H
+
+#include "heap/Heap.h"
+#include "server/SafepointCoordinator.h"
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace rdgc {
+
+/// Owns the mutator threads' contexts and the safepoint protocol for one
+/// shared heap. Construct, call run() (possibly repeatedly), destroy; the
+/// heap reverts to classic single-threaded operation between runs.
+class ServerRuntime final : public ServerMutatorHooks {
+public:
+  ServerRuntime(Heap &H, unsigned MutatorCount);
+  ~ServerRuntime() override;
+
+  ServerRuntime(const ServerRuntime &) = delete;
+  ServerRuntime &operator=(const ServerRuntime &) = delete;
+
+  unsigned mutators() const { return MutatorCount; }
+
+  /// True when the runtime stands down entirely (MutatorCount <= 1): no
+  /// hooks, no TLABs, no polls — the classic code path, unchanged.
+  bool passthrough() const { return MutatorCount <= 1; }
+
+  /// Runs \p Body(MutatorIndex) on every mutator thread and joins them.
+  /// Installs the server hooks for the duration; in passthrough mode the
+  /// body runs inline on the calling thread.
+  void run(const std::function<void(unsigned)> &Body);
+
+  SafepointCoordinator &safepoints() { return Coordinator; }
+
+  /// The mutator context for \p Index; valid during and after run().
+  /// Exposed for tests that probe TLAB state between runs.
+  MutatorContext &context(unsigned Index) { return *Contexts[Index]; }
+
+  // ServerMutatorHooks — called by the Heap facade, on mutator threads.
+  uint64_t *allocateSlow(ObjectTag Tag, size_t PayloadWords) override;
+  void
+  forEachMutatorRoot(const std::function<void(Value &)> &Visit) override;
+
+private:
+  /// Thread body: installs the context and the poll, registers with the
+  /// coordinator, runs the mutator, then retires its TLAB under the lock.
+  void mutatorBody(unsigned Index, const std::function<void(unsigned)> &Body);
+
+  /// TLAB refill / direct allocation; caller holds HeapMutex. Returns
+  /// null when the collector is exhausted (rendezvous needed).
+  uint64_t *tryRefillLocked(MutatorContext &Ctx, ObjectTag Tag,
+                            size_t PayloadWords, size_t Words);
+
+  /// Stops the world, retires every TLAB, runs the classic recovery
+  /// ladder for the pending request, resumes. Caller holds HeapMutex.
+  uint64_t *collectAtRendezvous(ObjectTag Tag, size_t PayloadWords);
+
+  /// Pads every context's TLAB tail and folds its allocation deltas into
+  /// GcStats. World stopped (or single-threaded teardown).
+  void retireAllTlabs();
+
+  /// Folds one context's deltas into GcStats; caller holds HeapMutex or
+  /// has the world stopped.
+  void mergeDeltas(MutatorContext &Ctx);
+
+  Heap &H;
+  unsigned MutatorCount;
+  /// Serializes every shared-structure path: TLAB refills, direct slow
+  /// allocations, and the rendezvous requester. Threads blocked here
+  /// count as safepoint-safe (beginSafeRegion bracket). Write-barrier
+  /// records never take it — they defer to the contexts' thread-private
+  /// pending buffers, drained with the world stopped.
+  std::mutex HeapMutex;
+  SafepointCoordinator Coordinator;
+  std::vector<std::unique_ptr<MutatorContext>> Contexts;
+};
+
+} // namespace rdgc
+
+#endif // RDGC_SERVER_SERVERRUNTIME_H

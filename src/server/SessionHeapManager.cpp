@@ -1,0 +1,87 @@
+//===- server/SessionHeapManager.cpp - Session-sharded heaps --------------===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/SessionHeapManager.h"
+
+#include <cassert>
+
+using namespace rdgc;
+
+SessionHeapManager::SessionHeapManager(const Options &Opts)
+    : Opts(Opts), Model(Opts.SessionHalfLifeRequests), Remset(*this),
+      Rng(Opts.Seed) {
+  CollectorSizing Sizing;
+  Sizing.PrimaryBytes = Opts.TenuredBytes;
+  Tenured = makeHeap(Opts.TenuredCollector, Sizing);
+  Tenured->addRootProvider(&Remset);
+}
+
+SessionHeapManager::~SessionHeapManager() {
+  // Sessions (and their TenuredRefs) go first, then the provider, then
+  // the tenured heap — the remset must never outlive what it indexes.
+  Sessions.clear();
+  Tenured->removeRootProvider(&Remset);
+}
+
+void SessionHeapManager::InterHeapRemset::forEachRoot(
+    const std::function<void(Value &)> &Visit) {
+  // Runs inside a tenured collection, which only happens under the
+  // tenured lock, so the registry and every table are stable.
+  for (auto &[Id, S] : M.Sessions)
+    for (Value &Ref : S->TenuredRefs)
+      Visit(Ref);
+}
+
+uint64_t SessionHeapManager::sampleSessionLifetime() {
+  std::lock_guard<std::mutex> Lock(TenuredMutex);
+  // Geometric with the paper's per-unit survival rate: memoryless, so a
+  // session that has served a thousand requests is exactly as likely to
+  // die on the next one as a newborn — age predicts nothing.
+  return 1 + Rng.nextGeometric(Model.survivalPerUnit());
+}
+
+SessionHeapManager::Session &SessionHeapManager::createSession() {
+  CollectorSizing Sizing;
+  Sizing.PrimaryBytes = Opts.SessionHeapBytes;
+  Sizing.NurseryBytes = Opts.SessionNurseryBytes;
+  auto S = std::make_unique<Session>();
+  S->SessionHeap = makeHeap(Opts.SessionCollector, Sizing);
+  S->State = std::make_unique<Handle>(*S->SessionHeap);
+  S->RemainingRequests = sampleSessionLifetime();
+  std::lock_guard<std::mutex> Lock(TenuredMutex);
+  S->Id = NextId++;
+  Session &Ref = *S;
+  Sessions.emplace(Ref.Id, std::move(S));
+  return Ref;
+}
+
+void SessionHeapManager::destroySession(uint64_t Id) {
+  // The whole teardown runs under the tenured lock: once we hold it, no
+  // tenured collection can be scanning this session's TenuredRefs, and
+  // after the erase none ever will — the remset iteration and the
+  // destruction are serialized by construction. The session's own heap
+  // dies with the unique_ptr: its entire object graph is reclaimed
+  // without tracing a single pointer.
+  std::lock_guard<std::mutex> Lock(TenuredMutex);
+  auto It = Sessions.find(Id);
+  assert(It != Sessions.end() && "destroying an unknown session");
+  Sessions.erase(It);
+}
+
+void SessionHeapManager::withTenured(const std::function<void(Heap &)> &Fn) {
+  std::lock_guard<std::mutex> Lock(TenuredMutex);
+  Fn(*Tenured);
+}
+
+void SessionHeapManager::addTenuredRef(Session &S, Value V) {
+  std::lock_guard<std::mutex> Lock(TenuredMutex);
+  S.TenuredRefs.push_back(V);
+}
+
+size_t SessionHeapManager::liveSessions() const {
+  std::lock_guard<std::mutex> Lock(TenuredMutex);
+  return Sessions.size();
+}

@@ -1,0 +1,158 @@
+//===- server/SessionHeapManager.h - Session-sharded heaps ------*- C++ -*-===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Session-sharded server mode (DESIGN.md §17): many small per-session
+/// heaps whose *session* lifetimes — not object ages — follow the paper's
+/// radioactive-decay survival curve, plus one shared tenured heap for
+/// cross-session data. This is the paper's model lifted one level: a
+/// session is the unit that decays (each request is a coin flip with
+/// survival rate 2^(-1/h)), and destroying a session reclaims its whole
+/// heap in O(1) regardless of its object graph, the way a nursery discards
+/// dead youth wholesale.
+///
+/// Ownership rules (enforced by construction, audited by tests under
+/// ThreadSanitizer):
+///
+///  - A session heap is touched only by the thread that owns its shard;
+///    session heaps are classic single-threaded Heaps, no server hooks.
+///  - No raw cross-heap pointers, ever. A session-heap object never stores
+///    a pointer into the tenured heap or another session, and vice versa.
+///    Cross-session data lives in the tenured heap and is reached only
+///    through the session's TenuredRefs table — an off-heap Value vector
+///    that doubles as the *inter-heap remembered set*: the manager
+///    registers one RootProvider on the tenured heap that visits every
+///    session's table, so tenured collections see exactly the edges that
+///    cross the heap boundary.
+///  - The tenured heap, every TenuredRefs table, and the session registry
+///    are guarded by one tenured lock. Destroying a session takes it too,
+///    so a session dying on one shard can never race a tenured collection
+///    scanning its table from another.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDGC_SERVER_SESSIONHEAPMANAGER_H
+#define RDGC_SERVER_SESSIONHEAPMANAGER_H
+
+#include "gc/CollectorFactory.h"
+#include "heap/Heap.h"
+#include "model/DecayModel.h"
+#include "support/Random.h"
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace rdgc {
+
+/// Owns the per-session heaps, the shared tenured heap, and the
+/// inter-heap remembered set connecting them.
+class SessionHeapManager {
+public:
+  struct Options {
+    /// Collector and sizing for each (small) session heap.
+    CollectorKind SessionCollector = CollectorKind::Generational;
+    size_t SessionHeapBytes = 256 * 1024;
+    size_t SessionNurseryBytes = 64 * 1024;
+    /// The shared tenured heap. Mark-sweep by default: cross-session data
+    /// is reached through off-heap tables, and a non-moving collector
+    /// keeps those table entries stable without a read barrier.
+    CollectorKind TenuredCollector = CollectorKind::MarkSweep;
+    size_t TenuredBytes = 8 * 1024 * 1024;
+    /// Session half-life in *requests*: after h requests a session has
+    /// survived with probability 1/2 (the paper's decay model, with the
+    /// session as the decaying particle).
+    double SessionHalfLifeRequests = 32.0;
+    uint64_t Seed = 0x5E55104D;
+  };
+
+  /// One live session: its private heap, its rooted state, its remaining
+  /// decay-sampled lifetime, and its slice of the inter-heap remset.
+  struct Session {
+    uint64_t Id = 0;
+    /// Requests this session has left; sampled geometrically from the
+    /// decay model at creation (memoryless, like the paper's particles).
+    uint64_t RemainingRequests = 0;
+    std::unique_ptr<Heap> SessionHeap;
+    /// The session's state root on its own heap.
+    std::unique_ptr<Handle> State;
+    /// The session's references into the tenured heap — the only legal
+    /// representation of a cross-heap edge. Guarded by the tenured lock.
+    std::vector<Value> TenuredRefs;
+  };
+
+  explicit SessionHeapManager(const Options &Opts);
+  ~SessionHeapManager();
+
+  SessionHeapManager(const SessionHeapManager &) = delete;
+  SessionHeapManager &operator=(const SessionHeapManager &) = delete;
+
+  /// Creates a session with a decay-sampled lifetime and returns it. The
+  /// registry insert takes the tenured lock; the returned session must
+  /// only be used by the calling shard's thread.
+  Session &createSession();
+
+  /// Destroys a session: unhooks its TenuredRefs from the inter-heap
+  /// remset under the tenured lock (so no concurrent tenured collection
+  /// can be scanning them), then frees its heap — O(1) reclamation of the
+  /// session's whole object graph.
+  void destroySession(uint64_t Id);
+
+  /// One request against the session: decrements its remaining lifetime.
+  /// Returns false when the session just expired (caller destroys it).
+  bool touchSession(Session &S) {
+    return S.RemainingRequests > 0 && --S.RemainingRequests > 0;
+  }
+
+  /// Runs \p Fn with the tenured heap locked; the only legal way to
+  /// allocate or read tenured data. \p Fn may append the Values it
+  /// allocates to a session's TenuredRefs (same lock).
+  void withTenured(const std::function<void(Heap &)> &Fn);
+
+  /// Appends \p V (a tenured-heap value) to \p S's remset slice under the
+  /// tenured lock.
+  void addTenuredRef(Session &S, Value V);
+
+  size_t liveSessions() const;
+  const DecayModel &model() const { return Model; }
+  uint64_t sessionsCreated() const { return NextId; }
+
+  /// Samples a session lifetime (in requests) from the decay model:
+  /// geometric with survival rate 2^(-1/h), minimum 1.
+  uint64_t sampleSessionLifetime();
+
+private:
+  /// The RootProvider registered on the tenured heap: visits every live
+  /// session's TenuredRefs — the inter-heap remembered set. Tenured
+  /// collections only happen under the tenured lock, so iteration is
+  /// stable.
+  class InterHeapRemset final : public RootProvider {
+  public:
+    explicit InterHeapRemset(SessionHeapManager &M) : M(M) {}
+    void forEachRoot(const std::function<void(Value &)> &Visit) override;
+
+  private:
+    SessionHeapManager &M;
+  };
+
+  Options Opts;
+  DecayModel Model;
+  /// Guards the tenured heap, the session registry, every TenuredRefs
+  /// table, and the lifetime sampler's generator.
+  mutable std::mutex TenuredMutex;
+  std::unique_ptr<Heap> Tenured;
+  InterHeapRemset Remset;
+  std::unordered_map<uint64_t, std::unique_ptr<Session>> Sessions;
+  Xoshiro256 Rng;
+  uint64_t NextId = 0;
+};
+
+} // namespace rdgc
+
+#endif // RDGC_SERVER_SESSIONHEAPMANAGER_H

@@ -1,0 +1,191 @@
+//===- workloads/ServerWorkload.cpp - Request/response workload -----------===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/ServerWorkload.h"
+
+#include "heap/RootStack.h"
+#include "model/DecayModel.h"
+#include "observe/PauseHistogram.h"
+#include "server/ServerRuntime.h"
+#include "support/Random.h"
+
+#include <chrono>
+#include <vector>
+
+using namespace rdgc;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t nanosBetween(Clock::time_point From, Clock::time_point To) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(To - From)
+          .count());
+}
+
+/// Per-mutator tallies; each thread writes only its own slot, the
+/// coordinating thread reads them after the join.
+struct MutatorTally {
+  uint64_t Requests = 0;
+  uint64_t SessionDeaths = 0;
+  uint64_t Checksum = 0;
+  bool Exhausted = false;
+  PauseHistogram Latency;
+};
+
+/// One request against the shard. The shard's session table lives in a
+/// rooted frame: slot [0, Sessions) holds each session's state vector,
+/// slot [Sessions] is the scratch root for the in-flight burst list.
+/// Returns false on heap exhaustion (an allocation came back poisoned).
+bool serveRequest(Heap &H, Xoshiro256 &Rng, std::vector<Value> &Table,
+                  std::vector<uint64_t> &Remaining, double Survival,
+                  const ServerWorkloadOptions &Opts, MutatorTally &Tally) {
+  const size_t Sessions = Opts.SessionsPerMutator;
+  const size_t Scratch = Sessions;
+  size_t S = static_cast<size_t>(Rng.nextBelow(Sessions));
+  if (!Table[S].isPointer()) {
+    // Empty slot: admit a fresh session with a decay-sampled lifetime
+    // (geometric, survival 2^(-1/h) per request — memoryless, so a
+    // session's age never predicts its death, exactly as in the paper).
+    Value State = H.allocateVector(Opts.SessionStateWords, Value::null());
+    if (!State.isPointer())
+      return false;
+    Table[S] = State;
+    Remaining[S] = 1 + Rng.nextGeometric(Survival);
+  }
+  // The burst: a chain of short-lived pairs, rooted through the scratch
+  // slot while it grows (the youngest band — most of it dies when the
+  // scratch slot is cleared below).
+  Table[Scratch] = Value::null();
+  for (unsigned I = 0; I < Opts.BurstPairs; ++I) {
+    Value P = H.allocatePair(
+        Value::fixnum(static_cast<int64_t>(Rng.next() & 0xFFFF)),
+        Table[Scratch]);
+    if (!P.isPointer())
+      return false;
+    Table[Scratch] = P;
+  }
+  // Attach the burst's head into the session state, displacing whatever
+  // the slot held (a mid-life death): the write barrier runs here, so
+  // multi-mutator runs exercise the remembered-set path concurrently.
+  H.vectorSet(Table[S], Rng.nextBelow(Opts.SessionStateWords),
+              Table[Scratch]);
+  Tally.Checksum +=
+      static_cast<uint64_t>(H.pairCar(Table[Scratch]).asFixnum()) + S;
+  Table[Scratch] = Value::null();
+  // The decay clock: the session dies when its sampled lifetime expires,
+  // dropping its entire state graph at once.
+  if (--Remaining[S] == 0) {
+    Table[S] = Value::null();
+    ++Tally.SessionDeaths;
+  }
+  ++Tally.Requests;
+  return true;
+}
+
+} // namespace
+
+ServerRunResult rdgc::runServerWorkload(Heap &H,
+                                        const ServerWorkloadOptions &Opts) {
+  ServerRunResult R;
+  R.Mutators = Opts.Mutators == 0 ? 1 : Opts.Mutators;
+  const double Survival =
+      DecayModel(Opts.SessionHalfLifeRequests).survivalPerUnit();
+
+  ServerRuntime RT(H, R.Mutators);
+  std::vector<MutatorTally> Tallies(R.Mutators);
+
+  const uint64_t CollectionsBefore = H.collector().stats().collections();
+  const uint64_t BytesBefore = H.bytesAllocated();
+  const uint64_t RendezvousBefore = RT.safepoints().rendezvousCount();
+  const Clock::time_point RunStart = Clock::now();
+
+  RT.run([&](unsigned Index) {
+    MutatorTally &Tally = Tallies[Index];
+    Xoshiro256 Rng(Opts.Seed + 0x9E3779B97F4A7C15ull * (Index + 1));
+    RootStack Roots(H);
+    // The shard: session state vectors plus one scratch slot, all rooted
+    // for the life of the thread. In server mode the frame registers in
+    // this thread's private registry; in passthrough it is the classic
+    // shared one.
+    std::vector<Value> Table(Opts.SessionsPerMutator + 1, Value::null());
+    std::vector<uint64_t> Remaining(Opts.SessionsPerMutator, 0);
+    ScopedRootFrame Frame(Roots, &Table);
+
+    // Closed-loop warmup: populates the session table, faults in the
+    // TLAB machinery, and calibrates the mean service time the Poisson
+    // arrival rate is derived from.
+    MutatorTally Warmup;
+    const Clock::time_point WarmStart = Clock::now();
+    for (uint64_t I = 0; I < Opts.WarmupRequests; ++I)
+      if (!serveRequest(H, Rng, Table, Remaining, Survival, Opts, Warmup)) {
+        Tally.Exhausted = true;
+        return;
+      }
+    uint64_t WarmNanos = nanosBetween(WarmStart, Clock::now());
+    double MeanServiceNanos =
+        Opts.WarmupRequests
+            ? static_cast<double>(WarmNanos) /
+                  static_cast<double>(Opts.WarmupRequests)
+            : 1000.0;
+    if (MeanServiceNanos < 1.0)
+      MeanServiceNanos = 1.0;
+    // Offered load: TargetUtilization of this thread's measured capacity,
+    // as a mean inter-arrival gap for the exponential sampler.
+    const double MeanGapNanos = MeanServiceNanos / Opts.TargetUtilization;
+
+    // Open loop: requests arrive on a Poisson schedule that never slows
+    // down for the server. Latency is measured from the scheduled
+    // arrival, so time spent parked at a safepoint rendezvous (or queued
+    // behind one) lands in the tail instead of being silently omitted.
+    Clock::time_point Due = Clock::now();
+    for (uint64_t I = 0; I < Opts.RequestsPerMutator; ++I) {
+      Due += std::chrono::nanoseconds(
+          static_cast<uint64_t>(Rng.nextExponential(MeanGapNanos)));
+      // Idle until the arrival, keeping the safepoint poll reachable so
+      // an idle shard can never stall a rendezvous.
+      while (Clock::now() < Due)
+        RT.safepoints().pollPark();
+      if (!serveRequest(H, Rng, Table, Remaining, Survival, Opts, Tally)) {
+        Tally.Exhausted = true;
+        return;
+      }
+      Tally.Latency.record(nanosBetween(Due, Clock::now()));
+    }
+  });
+
+  R.Seconds = static_cast<double>(nanosBetween(RunStart, Clock::now())) / 1e9;
+  R.Rendezvous = RT.safepoints().rendezvousCount() - RendezvousBefore;
+  R.Collections = H.collector().stats().collections() - CollectionsBefore;
+  R.BytesAllocated = H.bytesAllocated() - BytesBefore;
+
+  // Single-threaded from here: merge the per-thread streams.
+  PauseHistogram Merged;
+  for (MutatorTally &Tally : Tallies) {
+    R.Requests += Tally.Requests;
+    R.SessionDeaths += Tally.SessionDeaths;
+    R.Checksum += Tally.Checksum;
+    R.HeapExhausted |= Tally.Exhausted;
+    Merged.merge(Tally.Latency);
+  }
+  if (H.lastFault() != HeapFault::None) {
+    R.HeapExhausted = true;
+    H.clearFault();
+  }
+  R.RequestsPerSecond =
+      R.Seconds > 0.0 ? static_cast<double>(R.Requests) / R.Seconds : 0.0;
+  R.LatencyP50Nanos = Merged.valueAtPercentile(50.0);
+  R.LatencyP99Nanos = Merged.valueAtPercentile(99.0);
+  R.LatencyP999Nanos = Merged.valueAtPercentile(99.9);
+  R.LatencyMaxNanos = Merged.maxValue();
+  R.LatencyMeanNanos = Merged.mean();
+  R.Valid = !R.HeapExhausted &&
+            R.Requests ==
+                static_cast<uint64_t>(R.Mutators) * Opts.RequestsPerMutator &&
+            R.Checksum != 0;
+  return R;
+}

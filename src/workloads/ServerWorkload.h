@@ -1,0 +1,96 @@
+//===- workloads/ServerWorkload.h - Request/response workload ---*- C++ -*-===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An open-loop request/response workload for the multi-mutator server
+/// runtime (DESIGN.md §17). Each mutator thread serves a stream of
+/// requests against a table of sessions whose lifetimes follow the
+/// paper's radioactive-decay model — a session survives each request
+/// with probability 2^(-1/h), so session deaths are memoryless and the
+/// live-session population reaches the same steady state the paper
+/// derives for objects. Every request allocates a burst of short-lived
+/// pairs (the youngest band of Table 4), attaches a fraction of them to
+/// the session's state (the surviving band), and drops the session's
+/// whole graph when its decay clock expires (the mass extinction).
+///
+/// Arrivals are Poisson: a closed-loop warmup measures the mean service
+/// time, the main phase schedules exponential inter-arrival gaps at a
+/// target utilization, and each request's reported latency is measured
+/// from its *scheduled* arrival — so queueing delay behind a GC pause
+/// shows up in the tail percentiles the way it would in a real server
+/// (coordinated omission avoided by construction).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDGC_WORKLOADS_SERVERWORKLOAD_H
+#define RDGC_WORKLOADS_SERVERWORKLOAD_H
+
+#include "heap/Heap.h"
+
+#include <cstdint>
+
+namespace rdgc {
+
+/// Tunables for one server-workload run.
+struct ServerWorkloadOptions {
+  /// Mutator threads. 1 selects the runtime's passthrough mode: the
+  /// classic single-threaded code path, no hooks, no polls.
+  unsigned Mutators = 1;
+  /// Measured requests served by each mutator (after warmup).
+  uint64_t RequestsPerMutator = 2000;
+  /// Closed-loop warmup requests per mutator, used to calibrate the
+  /// Poisson arrival rate (and to fault in the TLAB machinery).
+  uint64_t WarmupRequests = 128;
+  /// Fraction of the calibrated per-thread service capacity to offer as
+  /// load. Below 1.0 the server keeps up and the tail shows GC pauses;
+  /// near 1.0 queueing dominates.
+  double TargetUtilization = 0.6;
+  /// Live sessions per mutator thread (each thread owns its shard).
+  unsigned SessionsPerMutator = 32;
+  /// Session half-life in requests: the decay model's h, applied to
+  /// sessions as the decaying particle.
+  double SessionHalfLifeRequests = 24.0;
+  /// Short-lived pairs allocated per request.
+  unsigned BurstPairs = 48;
+  /// Slots in each session's state vector.
+  unsigned SessionStateWords = 24;
+  uint64_t Seed = 0x5EB7E12D;
+};
+
+/// What one run reports.
+struct ServerRunResult {
+  /// True when every scheduled request completed and the computation
+  /// checksum is coherent; false on heap exhaustion or a short count.
+  bool Valid = false;
+  bool HeapExhausted = false;
+  unsigned Mutators = 0;
+  uint64_t Requests = 0;
+  double Seconds = 0.0;
+  double RequestsPerSecond = 0.0;
+  /// Request latency from scheduled arrival to completion, merged across
+  /// every mutator's per-thread histogram after the join.
+  uint64_t LatencyP50Nanos = 0;
+  uint64_t LatencyP99Nanos = 0;
+  uint64_t LatencyP999Nanos = 0;
+  uint64_t LatencyMaxNanos = 0;
+  double LatencyMeanNanos = 0.0;
+  /// Safepoint rendezvous taken during the measured phase.
+  uint64_t Rendezvous = 0;
+  uint64_t Collections = 0;
+  uint64_t BytesAllocated = 0;
+  /// Sessions that expired and were replaced (decay deaths).
+  uint64_t SessionDeaths = 0;
+  uint64_t Checksum = 0;
+};
+
+/// Runs the request/response workload against \p H with
+/// \p Opts.Mutators threads. The heap must be idle (no other runtime
+/// attached); it reverts to classic single-threaded operation on return.
+ServerRunResult runServerWorkload(Heap &H, const ServerWorkloadOptions &Opts);
+
+} // namespace rdgc
+
+#endif // RDGC_WORKLOADS_SERVERWORKLOAD_H

@@ -193,6 +193,37 @@ TEST(EvacFailTest, ParallelInjectedFailureCompletesDegradedAndRecovers) {
     runEvacuationFailureScenario(Kind, 4);
 }
 
+TEST(EvacFailTest, HybridDegradedGrowthRunsRecoveryNotStepGrowth) {
+  // A degraded cycle keeps straggler storage in service — in hybrid mode
+  // possibly the entire nursery, which small-object allocation routes to
+  // and which added steps can never relieve. While degraded, tryGrowHeap
+  // must therefore retry the full cycle (growth and recovery are the same
+  // operation, as in the generational collector) instead of adding steps;
+  // otherwise the allocation ladder's growth rung spins uselessly and an
+  // uncapped heap surfaces HeapExhausted.
+  RDGC_SKIP_UNDER_ENV_TORTURE();
+  auto H = makeHeap(CollectorKind::NonPredictiveHybrid, smallSizing());
+  H->setPoisonFreedMemory(true);
+  FaultPlan Plan;
+  Plan.Seed = 1;
+  Plan.EvacFailAt = 5;
+  H->installFaultPlan(Plan);
+
+  Handle List(*H);
+  buildList(*H, List, 400);
+  H->collectFullNow(); // The injected failure completes this cycle degraded.
+  ASSERT_GE(H->stats().evacuationFailures(), 1u);
+
+  uint64_t Before = H->stats().collections();
+  EXPECT_TRUE(H->collector().tryGrowHeap(8));
+  // The growth ran a recovery cycle (the fault is spent, so it completes
+  // healthy), not a step addition that leaves the stragglers in place.
+  EXPECT_GT(H->stats().collections(), Before);
+  expectListIntact(*H, List, 400);
+  expectVerifierGreen(*H);
+  EXPECT_EQ(H->lastFault(), HeapFault::None);
+}
+
 TEST(EvacFailTest, NonCopyingCollectorsIgnoreEvacuationFaults) {
   RDGC_SKIP_UNDER_ENV_TORTURE();
   for (CollectorKind Kind :

@@ -259,6 +259,41 @@ TEST(NonPredictiveTest, RememberedSetClearedAfterCollection) {
   EXPECT_EQ(Np.Collector->rememberedSetSize(), 0u);
 }
 
+TEST(NonPredictiveTest, FullCollectionSkipsStaleRememberedHolders) {
+  // Regression test: a full (j = 0) condemnation makes every remembered-set
+  // entry stale — the holders themselves are condemned. The serial
+  // scavenger's remset scan must skip them the way the parallel one does:
+  // a rooted holder has already been evacuated by the root scan when the
+  // remset scan reaches it, and scanning the forwarded from-space original
+  // trips the walkability assert (in release it would interpret the
+  // forwarding word as a payload slot).
+  RDGC_SKIP_UNDER_ENV_TORTURE();
+  NpHeap Np(smallConfig());
+  Heap &H = *Np.H;
+  size_t StepWords = Np.Collector->stepWords();
+  Handle Old(H, H.allocatePair(Value::fixnum(7), Value::null()));
+  size_t J = Np.Collector->currentJ();
+  ASSERT_GT(J, 0u);
+  while (true) {
+    size_t Used = 0;
+    for (size_t Step = 1; Step <= J; ++Step)
+      Used += Np.Collector->stepUsedWords(Step);
+    if (Used > 0)
+      break;
+    H.allocateVector(StepWords / 8, Value::null());
+  }
+  size_t Before = Np.Collector->rememberedSetSize();
+  // Young holder in an exempt step pointing at the old object: remembered.
+  Handle Young(H, H.allocatePair(Value::fixnum(8), Old));
+  ASSERT_GT(Np.Collector->rememberedSetSize(), Before);
+  // Full condemnation with the holder rooted: the root scan forwards it
+  // before the remembered-set scan runs.
+  Np.Collector->collectFull();
+  EXPECT_EQ(H.pairCar(Young).asFixnum(), 8);
+  EXPECT_EQ(H.pairCar(H.pairCdr(Young)).asFixnum(), 7);
+  EXPECT_EQ(H.lastFault(), HeapFault::None);
+}
+
 TEST(NonPredictiveTest, OverrideJRequiresEmptySteps) {
   NpHeap Np(smallConfig());
   Np.H->collectNow();

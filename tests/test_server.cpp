@@ -1,0 +1,384 @@
+//===- tests/test_server.cpp - Multi-mutator server runtime tests ---------===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the src/server subsystem (DESIGN.md §17): safepoint
+/// rendezvous triggered from the TLAB refill path under concurrent
+/// mutators, exact per-thread allocation-delta merging into the
+/// single-writer GcStats, session-heap destruction racing tenured
+/// collections through the inter-heap remembered set, the threads=1
+/// passthrough guarantee (byte-identical trace streams against the
+/// classic single-threaded path), and the ServerWorkload's validity
+/// envelope. The multi-threaded cases double as the TSan bodies the CI
+/// server-smoke job runs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TortureSkip.h"
+
+#include "gc/CollectorFactory.h"
+#include "heap/RootStack.h"
+#include "observe/GcTracer.h"
+#include "server/ServerRuntime.h"
+#include "server/SessionHeapManager.h"
+#include "workloads/ServerWorkload.h"
+
+#include <cstdint>
+#include <gtest/gtest.h>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace rdgc;
+
+namespace {
+
+CollectorSizing smallSizing() {
+  CollectorSizing Sizing;
+  Sizing.PrimaryBytes = 256 * 1024;
+  Sizing.NurseryBytes = 32 * 1024;
+  return Sizing;
+}
+
+/// Canonicalizes one event for byte-comparison: round-trips it through
+/// the JSON codec (so the test also pins parse/format inverse-ness),
+/// then zeroes the fields that legitimately differ between two runs of
+/// the same program — wall-clock durations and the process-unique heap
+/// id. Everything else must match byte for byte.
+std::string canonicalLine(const GcTraceEvent &E) {
+  GcTraceEvent P;
+  std::string Err;
+  EXPECT_TRUE(parseTraceEventJson(formatTraceEventJson(E), P, Err)) << Err;
+  P.HeapId = 0;
+  P.TotalNanos = 0;
+  P.PauseNanos = 0;
+  P.Phases = GcPhaseTimes();
+  return formatTraceEventJson(P);
+}
+
+std::vector<std::string>
+canonicalTrace(const std::vector<GcTraceEvent> &Events) {
+  std::vector<std::string> Out;
+  Out.reserve(Events.size());
+  for (const GcTraceEvent &E : Events)
+    Out.push_back(canonicalLine(E));
+  return Out;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===
+// Rendezvous under concurrent mutators.
+//===----------------------------------------------------------------------===
+
+/// Four mutators churn pairs through rooted windows on a heap small
+/// enough that TLAB refills keep finding the collector exhausted — every
+/// collection is a safepoint rendezvous reached from the refill slow
+/// path, with the other three threads mid-allocation or queued on the
+/// heap lock. The windows' final contents must survive every rendezvous
+/// and a classic full collection after the runtime stands down.
+TEST(ServerRuntimeTest, RendezvousTriggersDuringTlabRefill) {
+  RDGC_SKIP_UNDER_ENV_TORTURE();
+  constexpr unsigned Mutators = 4;
+  constexpr int Pairs = 20000;
+  constexpr size_t Slots = 16;
+
+  auto H = makeHeap(CollectorKind::Generational, smallSizing());
+  // One classic rooted slot per thread for the surviving windows; the
+  // main thread's registry stays visible through every rendezvous.
+  Handle Survivors(*H, H->allocateVector(Mutators, Value::null()));
+
+  ServerRuntime RT(*H, Mutators);
+  RT.run([&](unsigned Index) {
+    RootStack Roots(*H);
+    std::vector<Value> Frame(Slots + 1, Value::null());
+    ScopedRootFrame Scope(Roots, &Frame);
+    Frame[Slots] = H->allocateVector(Slots, Value::null());
+    ASSERT_TRUE(Frame[Slots].isPointer());
+    for (int I = 0; I < Pairs; ++I) {
+      Value P = H->allocatePair(
+          Value::fixnum(static_cast<int64_t>(Index) * Pairs + I),
+          Value::null());
+      ASSERT_TRUE(P.isPointer());
+      Frame[static_cast<size_t>(I) % Slots] = P;
+      H->vectorSet(Frame[Slots], static_cast<size_t>(I) % Slots, P);
+    }
+    // Publish the window for post-run verification; the barrier routes
+    // through the server hooks' locked SSB/SATB path.
+    H->vectorSet(Survivors.get(), Index, Frame[Slots]);
+  });
+
+  EXPECT_EQ(H->lastFault(), HeapFault::None);
+  // The sizing guarantees exhaustion: 4 x 20000 pairs do not fit in
+  // 256 KiB, so at least one rendezvous collection must have happened,
+  // and rendezvous are the only way server mode collects.
+  EXPECT_GT(RT.safepoints().rendezvousCount(), 0u);
+  EXPECT_GT(H->stats().collections(), 0u);
+
+  // Each window's slot S last saw pair (Index*Pairs + Pairs-Slots+S).
+  auto verify = [&] {
+    for (unsigned T = 0; T < Mutators; ++T) {
+      Value Window = H->vectorRef(Survivors.get(), T);
+      ASSERT_TRUE(Window.isPointer());
+      for (size_t S = 0; S < Slots; ++S) {
+        Value P = H->vectorRef(Window, S);
+        ASSERT_TRUE(P.isPointer());
+        EXPECT_EQ(H->pairCar(P).asFixnum(),
+                  static_cast<int64_t>(T) * Pairs + Pairs -
+                      static_cast<int64_t>(Slots) + static_cast<int64_t>(S));
+      }
+    }
+  };
+  verify();
+  // The heap must be back on the classic path: a direct full collection
+  // (no runtime, no hooks) preserves the same image.
+  H->collectFullNow();
+  verify();
+}
+
+/// The per-thread allocation deltas merged at TLAB retirement must
+/// reproduce the classic path's accounting exactly: same words, same
+/// object count, for the same allocations — TLAB chunk carving and tail
+/// padding are invisible to GcStats.
+TEST(ServerRuntimeTest, AllocationDeltasMergeExactly) {
+  RDGC_SKIP_UNDER_ENV_TORTURE();
+  constexpr unsigned Mutators = 2;
+  constexpr int PairsPerThread = 5000;
+
+  // Big enough that no collection interferes with the ledger.
+  CollectorSizing Sizing;
+  Sizing.PrimaryBytes = 8 * 1024 * 1024;
+  Sizing.NurseryBytes = 2 * 1024 * 1024;
+
+  uint64_t ClassicWords, ClassicObjects;
+  {
+    auto H = makeHeap(CollectorKind::Generational, Sizing);
+    const uint64_t W0 = H->stats().wordsAllocated();
+    const uint64_t O0 = H->stats().objectsAllocated();
+    for (int I = 0; I < static_cast<int>(Mutators) * PairsPerThread; ++I)
+      H->allocatePair(Value::fixnum(I), Value::null());
+    ClassicWords = H->stats().wordsAllocated() - W0;
+    ClassicObjects = H->stats().objectsAllocated() - O0;
+  }
+
+  auto H = makeHeap(CollectorKind::Generational, Sizing);
+  const uint64_t W0 = H->stats().wordsAllocated();
+  const uint64_t O0 = H->stats().objectsAllocated();
+  ServerRuntime RT(*H, Mutators);
+  RT.run([&](unsigned) {
+    for (int I = 0; I < PairsPerThread; ++I)
+      H->allocatePair(Value::fixnum(I), Value::null());
+  });
+  EXPECT_EQ(H->stats().collections(), 0u);
+  EXPECT_EQ(H->stats().wordsAllocated() - W0, ClassicWords);
+  EXPECT_EQ(H->stats().objectsAllocated() - O0, ClassicObjects);
+}
+
+//===----------------------------------------------------------------------===
+// Session-sharded heaps.
+//===----------------------------------------------------------------------===
+
+/// Two shard threads create, serve, and destroy sessions while both keep
+/// allocating into the shared tenured heap — sized so tenured mark-sweep
+/// collections run concurrently with session teardown on the other
+/// shard. The tenured lock serializes destruction against the inter-heap
+/// remset scan; every surviving session's tenured data must come through
+/// intact, with the session heaps themselves reclaimed wholesale.
+TEST(SessionHeapManagerTest, DestructionRacesTenuredCollection) {
+  RDGC_SKIP_UNDER_ENV_TORTURE();
+  SessionHeapManager::Options Opts;
+  Opts.TenuredBytes = 64 * 1024; // Small: forces tenured collections.
+  Opts.SessionHeapBytes = 128 * 1024;
+  Opts.SessionNurseryBytes = 32 * 1024;
+  Opts.SessionHalfLifeRequests = 6.0; // Short lives: lots of teardown.
+  SessionHeapManager M(Opts);
+
+  constexpr unsigned Shards = 2;
+  constexpr int SessionsPerShard = 60;
+  constexpr size_t RefsPerSession = 64;
+
+  struct Expected {
+    SessionHeapManager::Session *S;
+    std::vector<int64_t> Cars;
+  };
+  std::vector<std::vector<Expected>> Outcomes(Shards);
+
+  std::vector<std::thread> Threads;
+  for (unsigned Shard = 0; Shard < Shards; ++Shard)
+    Threads.emplace_back([&, Shard] {
+      std::vector<SessionHeapManager::Session *> Live;
+      for (int N = 0; N < SessionsPerShard; ++N) {
+        SessionHeapManager::Session &S = M.createSession();
+        // Session-private state on the session's own heap — classic
+        // single-threaded allocation, no locks, owned by this shard.
+        S.State->set(S.SessionHeap->allocateVector(32, Value::null()));
+        for (size_t I = 0; I < 32; ++I)
+          S.SessionHeap->vectorSet(
+              S.State->get(), I,
+              S.SessionHeap->allocatePair(
+                  Value::fixnum(static_cast<int64_t>(S.Id)), Value::null()));
+        // Cross-session data in the tenured heap, reached only through
+        // the TenuredRefs remset slice; appended under the same lock the
+        // collection scan takes, so the table never changes mid-scan.
+        M.withTenured([&](Heap &TH) {
+          for (size_t K = 0; K < RefsPerSession; ++K) {
+            Value P = TH.allocatePair(
+                Value::fixnum(static_cast<int64_t>(S.Id * 131 + K)),
+                Value::null());
+            ASSERT_TRUE(P.isPointer());
+            S.TenuredRefs.push_back(P);
+          }
+        });
+        Live.push_back(&S);
+        // Serve every live session one request; expired ones die, and
+        // with them their whole heap — O(1), no tracing.
+        for (size_t I = Live.size(); I-- > 0;) {
+          if (!M.touchSession(*Live[I])) {
+            M.destroySession(Live[I]->Id);
+            Live.erase(Live.begin() + static_cast<ptrdiff_t>(I));
+          }
+        }
+      }
+      for (SessionHeapManager::Session *S : Live) {
+        Expected E;
+        E.S = S;
+        for (size_t K = 0; K < RefsPerSession; ++K)
+          E.Cars.push_back(static_cast<int64_t>(S->Id * 131 + K));
+        Outcomes[Shard].push_back(std::move(E));
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  // The survivors' tenured data made it through every collection that
+  // raced a teardown on the other shard: read each table back under the
+  // same lock the remset scan holds, then verify session-private state.
+  size_t Survivors = 0;
+  for (const auto &PerShard : Outcomes)
+    for (const Expected &E : PerShard) {
+      ++Survivors;
+      M.withTenured([&](Heap &TH) {
+        EXPECT_EQ(TH.lastFault(), HeapFault::None);
+        ASSERT_EQ(E.S->TenuredRefs.size(), RefsPerSession);
+        for (size_t K = 0; K < RefsPerSession; ++K) {
+          Value P = E.S->TenuredRefs[K];
+          ASSERT_TRUE(P.isPointer());
+          EXPECT_EQ(TH.pairCar(P).asFixnum(), E.Cars[K]);
+        }
+      });
+      Heap &SH = *E.S->SessionHeap;
+      for (size_t I = 0; I < 32; ++I) {
+        Value P = SH.vectorRef(E.S->State->get(), I);
+        ASSERT_TRUE(P.isPointer());
+        EXPECT_EQ(SH.pairCar(P).asFixnum(),
+                  static_cast<int64_t>(E.S->Id));
+      }
+    }
+  EXPECT_EQ(M.liveSessions(), Survivors);
+  // The sizing must actually have exercised the race: collections ran on
+  // the tenured heap while the shards were creating and destroying.
+  M.withTenured([&](Heap &TH) { EXPECT_GT(TH.stats().collections(), 0u); });
+  // Teardown drains to zero; the tenured heap survives a full collection
+  // with every remaining remset slice gone.
+  for (auto &PerShard : Outcomes)
+    for (Expected &E : PerShard)
+      M.destroySession(E.S->Id);
+  EXPECT_EQ(M.liveSessions(), 0u);
+  M.withTenured([&](Heap &TH) {
+    TH.collectFullNow();
+    EXPECT_EQ(TH.lastFault(), HeapFault::None);
+  });
+}
+
+//===----------------------------------------------------------------------===
+// threads=1 passthrough.
+//===----------------------------------------------------------------------===
+
+/// With one mutator the runtime must stand down completely: the same
+/// deterministic body produces a byte-identical canonicalized trace
+/// stream whether it runs through ServerRuntime::run or directly on the
+/// classic single-threaded path — the server-mode analogue of the
+/// parallel engine's RDGC_GC_THREADS=1 guarantee.
+TEST(ServerRuntimeTest, ThreadsOneTraceByteIdentical) {
+  RDGC_SKIP_UNDER_ENV_TORTURE();
+  auto body = [](Heap &H) {
+    Handle Window(H, H.allocateVector(64, Value::null()));
+    for (int I = 0; I < 20000; ++I) {
+      Value P = H.allocatePair(Value::fixnum(I), Value::null());
+      H.vectorSet(Window.get(), static_cast<size_t>(I) % 64, P);
+    }
+    H.collectFullNow();
+  };
+
+  std::vector<std::string> Streams[2];
+  for (int Run = 0; Run < 2; ++Run) {
+    auto H = makeHeap(CollectorKind::Generational, smallSizing());
+    GcTracer Tracer;
+    MemoryTraceSink Sink;
+    Tracer.addSink(&Sink);
+    H->setTracer(&Tracer);
+    if (Run == 0) {
+      ServerRuntime RT(*H, 1);
+      EXPECT_TRUE(RT.passthrough());
+      RT.run([&](unsigned Index) {
+        EXPECT_EQ(Index, 0u);
+        body(*H);
+      });
+      // Passthrough never arms, parks, or rendezvouses.
+      EXPECT_EQ(RT.safepoints().rendezvousCount(), 0u);
+    } else {
+      body(*H);
+    }
+    Streams[Run] = canonicalTrace(Sink.events());
+  }
+  ASSERT_GT(Streams[0].size(), 0u);
+  EXPECT_EQ(Streams[0], Streams[1]);
+}
+
+//===----------------------------------------------------------------------===
+// ServerWorkload.
+//===----------------------------------------------------------------------===
+
+/// The request/response workload completes its full request count with a
+/// stable checksum and sane latency accounting on a multi-mutator run.
+TEST(ServerWorkloadTest, CompletesValidWithTwoMutators) {
+  RDGC_SKIP_UNDER_ENV_TORTURE();
+  auto H = makeHeap(CollectorKind::Generational, smallSizing());
+  ServerWorkloadOptions Opts;
+  Opts.Mutators = 2;
+  Opts.RequestsPerMutator = 400;
+  Opts.WarmupRequests = 32;
+  ServerRunResult R = runServerWorkload(*H, Opts);
+  EXPECT_TRUE(R.Valid);
+  EXPECT_FALSE(R.HeapExhausted);
+  EXPECT_EQ(R.Requests, 2u * 400u);
+  EXPECT_GT(R.RequestsPerSecond, 0.0);
+  EXPECT_GE(R.LatencyP99Nanos, R.LatencyP50Nanos);
+  EXPECT_GE(R.LatencyP999Nanos, R.LatencyP99Nanos);
+  EXPECT_GE(R.LatencyMaxNanos, R.LatencyP999Nanos);
+  EXPECT_GT(R.SessionDeaths, 0u);
+  EXPECT_NE(R.Checksum, 0u);
+}
+
+/// Same workload, same seed, one mutator: the passthrough path must
+/// produce the same checksum and session-death count as a second
+/// passthrough run — the workload itself is deterministic modulo timing.
+TEST(ServerWorkloadTest, SingleMutatorIsDeterministic) {
+  RDGC_SKIP_UNDER_ENV_TORTURE();
+  ServerRunResult Results[2];
+  for (int Run = 0; Run < 2; ++Run) {
+    auto H = makeHeap(CollectorKind::Generational, smallSizing());
+    ServerWorkloadOptions Opts;
+    Opts.Mutators = 1;
+    Opts.RequestsPerMutator = 600;
+    Opts.WarmupRequests = 32;
+    Results[Run] = runServerWorkload(*H, Opts);
+    EXPECT_TRUE(Results[Run].Valid);
+  }
+  EXPECT_EQ(Results[0].Checksum, Results[1].Checksum);
+  EXPECT_EQ(Results[0].SessionDeaths, Results[1].SessionDeaths);
+  EXPECT_EQ(Results[0].BytesAllocated, Results[1].BytesAllocated);
+}

@@ -294,6 +294,8 @@ void checkClaimProtocol(const Context &Ctx, size_t FileIdx, size_t FnIdx,
                         std::vector<Finding> &Findings);
 void checkDequeOrdering(const Context &Ctx, size_t FileIdx,
                         std::vector<Finding> &Findings);
+void checkSafepointPoll(const Context &Ctx, size_t FileIdx,
+                        std::vector<Finding> &Findings);
 
 //===----------------------------------------------------------------------===//
 // Reporting

@@ -45,6 +45,10 @@ const std::vector<RuleDoc> &ruleCatalog() {
       {"deque-ordering",
        "an atomic access in a chase-lev file deviates from the audited "
        "Chase-Lev memory-order table"},
+      {"safepoint-poll",
+       "a potentially-unbounded loop in gclint-protocol(tlab) code has no "
+       "reachable safepoint poll; a spinning mutator would stall every "
+       "rendezvous"},
       {"unused-suppression",
        "a gclint-ok comment suppresses nothing (or lacks its mandatory "
        "reason) and must be removed or repaired"},

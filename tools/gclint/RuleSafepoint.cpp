@@ -1,0 +1,205 @@
+//===- tools/gclint/RuleSafepoint.cpp - TLAB safepoint-poll rule ----------===//
+//
+// Part of the rdgc project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// safepoint-poll: functions under gclint-protocol(tlab) run on mutator
+/// threads that the SafepointCoordinator must be able to rendezvous. A
+/// rendezvous only completes when every registered thread reaches a poll
+/// point, so a loop that can spin for an unbounded number of iterations
+/// without one stalls every other mutator behind the armed flag — the
+/// multi-thread analogue of a missing GC check.
+///
+/// The rule flags potentially-unbounded loops — `while`, `do`/`while`,
+/// and condition-less `for (;;)` — whose extent contains neither
+///
+///   * a direct poll-point call (pollPark, beginSafeRegion,
+///     endSafeRegion, stopTheWorld, resumeTheWorld, registerThread,
+///     unregisterThread), nor
+///   * an allocation-facade call (any `allocate*` entry point: the
+///     server fast path checks the armed flag before every bump, so an
+///     allocating loop polls by construction).
+///
+/// Range-`for` and condition-bearing counted `for` loops are exempt:
+/// their trip counts are bounded by data the mutator already holds, and
+/// treating them as hazards would demand noise suppressions on every
+/// bookkeeping sweep. The rule is about loops whose exit is a predicate
+/// the collector cannot see.
+///
+//===----------------------------------------------------------------------===//
+
+#include "GclintCore.h"
+
+#include <sstream>
+
+namespace gclint {
+
+namespace {
+
+/// Direct transitions into (or through) the safepoint machinery. A call
+/// to any of these inside the loop keeps a rendezvous reachable.
+bool isPollPointName(const std::string &Name) {
+  return Name == "pollPark" || Name == "beginSafeRegion" ||
+         Name == "endSafeRegion" || Name == "stopTheWorld" ||
+         Name == "resumeTheWorld" || Name == "registerThread" ||
+         Name == "unregisterThread";
+}
+
+/// Allocation facades poll on their fast path (tryFastAllocServer checks
+/// the armed flag before bumping) and park on their slow path.
+bool isAllocationFacadeName(const std::string &Name) {
+  return Name.compare(0, 8, "allocate") == 0;
+}
+
+/// True when any call in [Begin, End) is a poll point or an allocation
+/// facade.
+bool rangeHasPoll(const std::vector<Token> &Toks, size_t Begin, size_t End) {
+  for (size_t I = Begin; I < End; ++I) {
+    if (Toks[I].Kind != TokKind::Ident || !isCallAt(Toks, I))
+      continue;
+    if (isPollPointName(Toks[I].Text) || isAllocationFacadeName(Toks[I].Text))
+      return true;
+  }
+  return false;
+}
+
+/// The extent of the single statement starting at \p I: up to and
+/// including the terminating ';' at nesting depth zero (a braced block
+/// never reaches here — callers special-case '{').
+size_t statementEnd(const std::vector<Token> &Toks, size_t I, size_t Limit) {
+  int Depth = 0;
+  for (size_t J = I; J < Limit; ++J) {
+    if (Toks[J].Kind != TokKind::Punct)
+      continue;
+    const std::string &T = Toks[J].Text;
+    if (T == "(" || T == "{" || T == "[")
+      ++Depth;
+    else if (T == ")" || T == "}" || T == "]")
+      --Depth;
+    else if (T == ";" && Depth == 0)
+      return J + 1;
+  }
+  return Limit;
+}
+
+/// Body extent of a loop whose header ends just before \p AfterHeader:
+/// a braced block or a single statement.
+void loopBodyRange(const std::vector<Token> &Toks, size_t AfterHeader,
+                   size_t Limit, size_t &Begin, size_t &End) {
+  if (AfterHeader < Limit && Toks[AfterHeader].Text == "{") {
+    Begin = AfterHeader + 1;
+    End = matchDelim(Toks, AfterHeader, "{", "}");
+  } else {
+    Begin = AfterHeader;
+    End = statementEnd(Toks, AfterHeader, Limit);
+  }
+}
+
+} // namespace
+
+void checkSafepointPoll(const Context &Ctx, size_t FileIdx,
+                        std::vector<Finding> &Findings) {
+  const SourceFile &F = Ctx.Files[FileIdx];
+  const std::vector<Token> &Toks = F.Toks;
+
+  for (size_t FnI = 0; FnI < Ctx.Functions[FileIdx].size(); ++FnI) {
+    const Function &Fn = Ctx.Functions[FileIdx][FnI];
+    if (Ctx.protocolFor(FileIdx, Fn) != "tlab")
+      continue;
+
+    // Trailing `while (...)` conditions of do-loops, so the scan does
+    // not double-report the same loop.
+    std::set<size_t> DoWhileTails;
+
+    for (size_t I = Fn.BodyBegin + 1; I < Fn.BodyEnd; ++I) {
+      if (Toks[I].Kind != TokKind::Ident)
+        continue;
+      const std::string &Kw = Toks[I].Text;
+
+      size_t BodyBegin = 0, BodyEnd = 0;
+      const char *Shape = nullptr;
+
+      if (Kw == "do" && I + 1 < Fn.BodyEnd) {
+        // do { ... } while (cond); — the condition is part of the
+        // loop's extent (a poll in the condition expression counts).
+        loopBodyRange(Toks, I + 1, Fn.BodyEnd, BodyBegin, BodyEnd);
+        size_t Tail = BodyEnd;
+        if (Toks[BodyEnd].Text == "}")
+          Tail = BodyEnd + 1;
+        if (Tail < Fn.BodyEnd && Toks[Tail].Text == "while") {
+          DoWhileTails.insert(Tail);
+          BodyEnd = matchDelim(Toks, Tail + 1, "(", ")");
+        }
+        Shape = "do/while";
+      } else if (Kw == "while" && !DoWhileTails.count(I)) {
+        size_t Close = matchDelim(Toks, I + 1, "(", ")");
+        if (Close + 1 >= Fn.BodyEnd)
+          continue;
+        // Include the condition: `while (!tryX()) pollPark();` and
+        // `while (pollAndCheck())` are both legitimate shapes.
+        size_t StmtBegin, StmtEnd;
+        loopBodyRange(Toks, Close + 1, Fn.BodyEnd, StmtBegin, StmtEnd);
+        BodyBegin = I + 2;
+        BodyEnd = StmtEnd;
+        Shape = "while";
+      } else if (Kw == "for") {
+        size_t Open = I + 1;
+        if (Open >= Fn.BodyEnd || Toks[Open].Text != "(")
+          continue;
+        size_t Close = matchDelim(Toks, Open, "(", ")");
+        // Classify the header: range-for and condition-bearing counted
+        // loops are bounded by construction and exempt.
+        bool RangeFor = false;
+        std::vector<size_t> Semis;
+        int Depth = 0;
+        for (size_t J = Open + 1; J < Close; ++J) {
+          if (Toks[J].Kind != TokKind::Punct)
+            continue;
+          const std::string &T = Toks[J].Text;
+          if (T == "(" || T == "{" || T == "[" || T == "<")
+            ++Depth;
+          else if (T == ")" || T == "}" || T == "]" || T == ">")
+            --Depth;
+          else if (Depth == 0 && T == ":")
+            RangeFor = true;
+          else if (Depth == 0 && T == ";")
+            Semis.push_back(J);
+        }
+        if (RangeFor)
+          continue;
+        bool EmptyCondition =
+            Semis.size() >= 2 && Semis[1] == Semis[0] + 1;
+        if (!EmptyCondition)
+          continue;
+        if (Close + 1 >= Fn.BodyEnd)
+          continue;
+        size_t StmtBegin, StmtEnd;
+        loopBodyRange(Toks, Close + 1, Fn.BodyEnd, StmtBegin, StmtEnd);
+        BodyBegin = StmtBegin;
+        BodyEnd = StmtEnd;
+        Shape = "for (;;)";
+      } else {
+        continue;
+      }
+
+      if (BodyEnd <= BodyBegin || BodyEnd > Fn.BodyEnd)
+        continue;
+      if (rangeHasPoll(Toks, BodyBegin, BodyEnd))
+        continue;
+
+      std::ostringstream Msg;
+      Msg << "potentially-unbounded " << Shape << " loop in '" << Fn.Name
+          << "' has no reachable safepoint poll; a mutator spinning here "
+             "never parks, so an armed rendezvous stalls every other "
+             "thread behind the coordinator — call pollPark() (or an "
+             "allocation facade, whose fast path checks the armed flag) "
+             "inside the loop, or bound it with a visible trip count";
+      Findings.push_back(
+          {F.Path, Toks[I].Line, "safepoint-poll", Msg.str()});
+    }
+  }
+}
+
+} // namespace gclint

@@ -177,6 +177,7 @@ int main(int Argc, char **Argv) {
       checkClaimProtocol(Ctx, FI, FnI, Findings);
     }
     checkDequeOrdering(Ctx, FI, Findings);
+    checkSafepointPoll(Ctx, FI, Findings);
   }
   std::sort(Findings.begin(), Findings.end());
   Findings.erase(std::unique(Findings.begin(), Findings.end(),

@@ -1,0 +1,78 @@
+// gclint fixture: the safepoint-poll rule. Not compiled — only lexed.
+// The tlab protocol marker below opts this file into the mutator-thread
+// discipline (tools/gclint/RuleSafepoint.cpp): every potentially-
+// unbounded loop must keep a safepoint poll reachable, or a spinning
+// mutator stalls the rendezvous for every other thread. Range-fors and
+// condition-bearing counted fors are bounded and exempt.
+//
+// gclint-protocol(tlab): fixture mutator runtime, checked for poll points
+
+struct FixtureMutator {
+  // Positive: a pure spin-wait with no poll — the classic stall. The
+  // rendezvous arms, this thread never parks, everyone else waits.
+  void spinUntilReady() {
+    while (!Ready) { // gclint-expect: safepoint-poll
+      Backoff = Backoff + 1;
+    }
+  }
+
+  // Positive: condition-less for is the same hazard spelled differently.
+  void pumpQueue() {
+    for (;;) { // gclint-expect: safepoint-poll
+      if (!dequeueOne())
+        break;
+    }
+  }
+
+  // Positive: do/while spins at least once and maybe forever.
+  void drainUntilQuiet() {
+    do { // gclint-expect: safepoint-poll
+      Pending = flushSome();
+    } while (Pending);
+  }
+
+  // Negative: the idle loop polls, so an armed rendezvous captures it
+  // on the next iteration.
+  void idleUntilDue() {
+    while (nowNanos() < DueNanos)
+      Safepoints.pollPark();
+  }
+
+  // Negative: an allocating loop polls by construction — the facade's
+  // fast path checks the armed flag before every bump.
+  void refillFreeList() {
+    while (FreeCount < Target) {
+      Head = allocatePair(Head, Head);
+      FreeCount = FreeCount + 1;
+    }
+  }
+
+  // Negative: a poll in the loop condition itself counts; this is the
+  // wait-side of a rendezvous written as a condition expression.
+  void parkWhileArmed() {
+    while (pollParkOnce()) { // spelled as a call the rule cannot see...
+      Safepoints.pollPark(); // ...so the body poll is what clears it.
+    }
+  }
+
+  // Negative: bounded sweeps are exempt — the trip count is data the
+  // mutator already holds, not a predicate the collector cannot see.
+  void retireAll() {
+    for (unsigned I = 0; I < Count; ++I)
+      retireOne(I);
+    for (FixtureTlab &T : Tlabs)
+      T.retire();
+  }
+
+  // Negative: entering a safe region inside the loop makes the whole
+  // blocking section rendezvous-safe.
+  void lockStepWithHeap() {
+    for (;;) {
+      Safepoints.beginSafeRegion();
+      bool Done = stepUnderLock();
+      Safepoints.endSafeRegion();
+      if (Done)
+        break;
+    }
+  }
+};

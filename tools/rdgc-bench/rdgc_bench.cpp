@@ -45,10 +45,21 @@
 ///       pause p99/p999/max and mutator throughput side by side with the
 ///       max-pause reduction factor. --json writes an
 ///       "rdgc-bench-incremental-v1" document (the BENCH_pr9.json shape).
+///   rdgc-bench --mutators LIST [--quick] [--reps R] [--scale S]
+///              [--filter SUBSTR] [--remset ssb|card] [--json FILE]
+///              [--min-rps F]
+///       Server mode (DESIGN.md §17): run the request/response
+///       ServerWorkload under every collector at each mutator count in
+///       LIST (e.g. "1,2,4"), reporting requests/s and request-latency
+///       percentiles measured from scheduled arrival. --json writes an
+///       "rdgc-bench-server-v1" document that records the host's
+///       hardware concurrency, so single-core scaling reads as what it
+///       is. --min-rps fails the run (exit 1) if any cell's median
+///       throughput lands below F requests/s (the CI smoke gate).
 ///   rdgc-bench --validate FILE
 ///       Parse FILE and check it against the rdgc-bench-v1 (or
 ///       rdgc-bench-compare-v1 / rdgc-bench-remsets-v1 /
-///       rdgc-bench-incremental-v1) schema.
+///       rdgc-bench-incremental-v1 / rdgc-bench-server-v1) schema.
 ///   rdgc-bench --regress CURRENT REFERENCE [--tolerance FRAC]
 ///       Fail (exit 1) if CURRENT's micro allocation mutator throughput
 ///       regressed more than FRAC (default 0.15) below REFERENCE on any
@@ -71,6 +82,7 @@
 
 #include "gc/CollectorFactory.h"
 #include "workloads/Harness.h"
+#include "workloads/ServerWorkload.h"
 #include "workloads/Workload.h"
 
 #include <algorithm>
@@ -364,6 +376,12 @@ struct BenchOptions {
   /// the harness default (2.0). Tighter factors make workloads whose hint
   /// over-provisions (the boyers) actually collect.
   double HeapFactor = 0;
+  /// Server mode: mutator-thread counts to sweep (--mutators 1,2,4).
+  /// Non-empty selects the server suite instead of the plain one.
+  std::vector<unsigned> MutatorCounts;
+  /// Server mode: fail if any cell's median requests/s lands below this
+  /// (0 disables the gate).
+  double MinRps = 0;
   std::string Filter;
   std::string JsonPath;
   std::string BaselinePath;
@@ -991,6 +1009,8 @@ bool validateRemsetsSchema(const JsonValue &Doc,
                            std::vector<std::string> &Errors);
 bool validateIncrementalSchema(const JsonValue &Doc,
                                std::vector<std::string> &Errors);
+bool validateServerSchema(const JsonValue &Doc,
+                          std::vector<std::string> &Errors);
 
 int runValidate(const std::string &Path) {
   JsonValue Doc;
@@ -1013,6 +1033,8 @@ int runValidate(const std::string &Path) {
     Ok = validateRemsetsSchema(Doc, Errors);
   else if (SchemaName == "rdgc-bench-incremental-v1")
     Ok = validateIncrementalSchema(Doc, Errors);
+  else if (SchemaName == "rdgc-bench-server-v1")
+    Ok = validateServerSchema(Doc, Errors);
   else {
     SchemaName = "rdgc-bench-v1";
     Ok = validateSchema(Doc, Errors);
@@ -1629,6 +1651,233 @@ int runSloRegress(const std::string &IncPath, const std::string &MonoPath,
 }
 
 //===----------------------------------------------------------------------===//
+// Server mode: the multi-mutator request/response suite (--mutators).
+//===----------------------------------------------------------------------===//
+
+/// One (collector, mutator-count) cell of the server sweep.
+struct ServerCell {
+  std::string Collector;
+  unsigned Mutators = 0;
+  int Reps = 0;
+  bool Valid = true;
+  bool HeapExhausted = false;
+  std::vector<std::pair<std::string, MetricSummary>> Metrics;
+};
+
+const char *ServerMetricNames[] = {
+    "requests_s",       "latency_p50_ns", "latency_p99_ns",
+    "latency_p999_ns",  "latency_max_ns", "rendezvous",
+    "collections",      "bytes_allocated", "session_deaths",
+};
+
+ServerCell runServerCell(CollectorKind CK, const char *Name, unsigned Mutators,
+                         const BenchOptions &Opt) {
+  std::vector<double> Rps, P50, P99, P999, PMax, Rend, Colls, Bytes, Deaths;
+  ServerCell Cell;
+  Cell.Collector = Name;
+  Cell.Mutators = Mutators;
+  Cell.Reps = Opt.Reps;
+  for (int I = 0; I < Opt.Reps; ++I) {
+    CollectorSizing Sizing;
+    // The card table is the recommended multi-mutator backend (its barrier
+    // is one relaxed byte store, no lock); --remset overrides for A/B.
+    Sizing.Remset = Opt.Remset.empty() ? "card" : Opt.Remset;
+    std::unique_ptr<Heap> H = makeHeap(CK, Sizing);
+    ServerWorkloadOptions WOpts;
+    WOpts.Mutators = Mutators;
+    WOpts.RequestsPerMutator =
+        static_cast<uint64_t>(Opt.Quick ? 600 : 2000) * Opt.Scale;
+    WOpts.WarmupRequests = Opt.Quick ? 64 : 128;
+    WOpts.Seed += 1000003ull * static_cast<uint64_t>(I);
+    ServerRunResult Run = runServerWorkload(*H, WOpts);
+    Cell.Valid = Cell.Valid && Run.Valid;
+    Cell.HeapExhausted = Cell.HeapExhausted || Run.HeapExhausted;
+    Rps.push_back(Run.RequestsPerSecond);
+    P50.push_back(static_cast<double>(Run.LatencyP50Nanos));
+    P99.push_back(static_cast<double>(Run.LatencyP99Nanos));
+    P999.push_back(static_cast<double>(Run.LatencyP999Nanos));
+    PMax.push_back(static_cast<double>(Run.LatencyMaxNanos));
+    Rend.push_back(static_cast<double>(Run.Rendezvous));
+    Colls.push_back(static_cast<double>(Run.Collections));
+    Bytes.push_back(static_cast<double>(Run.BytesAllocated));
+    Deaths.push_back(static_cast<double>(Run.SessionDeaths));
+  }
+  Cell.Metrics = {
+      {"requests_s", summarize(Rps)},
+      {"latency_p50_ns", summarize(P50)},
+      {"latency_p99_ns", summarize(P99)},
+      {"latency_p999_ns", summarize(P999)},
+      {"latency_max_ns", summarize(PMax)},
+      {"rendezvous", summarize(Rend)},
+      {"collections", summarize(Colls)},
+      {"bytes_allocated", summarize(Bytes)},
+      {"session_deaths", summarize(Deaths)},
+  };
+  return Cell;
+}
+
+void emitServerJson(std::ostream &OS, const BenchOptions &Opt,
+                    const std::vector<ServerCell> &Cells) {
+  OS << "{\n";
+  OS << "  \"schema\": \"rdgc-bench-server-v1\",\n";
+  OS << "  \"quick\": " << (Opt.Quick ? "true" : "false") << ",\n";
+  OS << "  \"reps\": " << Opt.Reps << ",\n";
+  OS << "  \"scale\": " << Opt.Scale << ",\n";
+  OS << "  \"mutators\": [";
+  for (size_t I = 0; I < Opt.MutatorCounts.size(); ++I)
+    OS << (I ? ", " : "") << Opt.MutatorCounts[I];
+  OS << "],\n";
+  // As in the compare-threads document: record what the host can actually
+  // run in parallel, so flat scaling on a single-core container reads as
+  // the environment, not the runtime.
+  OS << "  \"host_hardware_concurrency\": "
+     << std::thread::hardware_concurrency() << ",\n";
+  OS << "  \"results\": [\n";
+  for (size_t I = 0; I < Cells.size(); ++I) {
+    const ServerCell &C = Cells[I];
+    OS << "    {\"config\": \"server\", \"collector\": \"" << C.Collector
+       << "\", \"mutators\": " << C.Mutators << ", \"reps\": " << C.Reps
+       << ",\n     \"valid\": " << (C.Valid ? "true" : "false")
+       << ", \"heap_exhausted\": " << (C.HeapExhausted ? "true" : "false")
+       << ",\n     \"metrics\": {";
+    for (size_t M = 0; M < C.Metrics.size(); ++M)
+      OS << (M ? ", " : "") << "\"" << C.Metrics[M].first
+         << "\": {\"median\": " << jsonNumber(C.Metrics[M].second.Median)
+         << ", \"mad\": " << jsonNumber(C.Metrics[M].second.Mad) << "}";
+    OS << "}}" << (I + 1 < Cells.size() ? "," : "") << "\n";
+  }
+  OS << "  ]\n}\n";
+}
+
+/// Checks \p Doc against the rdgc-bench-server-v1 schema (the --mutators
+/// output).
+bool validateServerSchema(const JsonValue &Doc,
+                          std::vector<std::string> &Errors) {
+  auto Complain = [&Errors](const std::string &Msg) { Errors.push_back(Msg); };
+  for (const char *Key : {"quick"})
+    if (const JsonValue *V = Doc.member(Key); !V || V->Kind != JsonValue::Bool)
+      Complain(std::string("missing boolean \"") + Key + "\"");
+  for (const char *Key : {"reps", "scale", "host_hardware_concurrency"})
+    if (const JsonValue *V = Doc.member(Key);
+        !V || V->Kind != JsonValue::Number)
+      Complain(std::string("missing numeric \"") + Key + "\"");
+  if (const JsonValue *M = Doc.member("mutators");
+      !M || M->Kind != JsonValue::Array || M->Elements.empty())
+    Complain("missing non-empty \"mutators\" array");
+  const JsonValue *Results = Doc.member("results");
+  if (!Results || Results->Kind != JsonValue::Array) {
+    Complain("missing \"results\" array");
+    return Errors.empty();
+  }
+  if (Results->Elements.empty())
+    Complain("\"results\" is empty");
+  for (size_t I = 0; I < Results->Elements.size(); ++I) {
+    const JsonValue &R = Results->Elements[I];
+    std::string Where = "results[" + std::to_string(I) + "]";
+    if (R.Kind != JsonValue::Object) {
+      Complain(Where + " is not an object");
+      continue;
+    }
+    for (const char *Key : {"config", "collector"})
+      if (const JsonValue *V = R.member(Key);
+          !V || V->Kind != JsonValue::String)
+        Complain(Where + " missing string \"" + Key + "\"");
+    for (const char *Key : {"mutators", "reps"})
+      if (const JsonValue *V = R.member(Key);
+          !V || V->Kind != JsonValue::Number)
+        Complain(Where + " missing numeric \"" + Key + "\"");
+    for (const char *Key : {"valid", "heap_exhausted"})
+      if (const JsonValue *V = R.member(Key); !V || V->Kind != JsonValue::Bool)
+        Complain(Where + " missing boolean \"" + Key + "\"");
+    const JsonValue *Metrics = R.member("metrics");
+    if (!Metrics || Metrics->Kind != JsonValue::Object) {
+      Complain(Where + " missing \"metrics\" object");
+      continue;
+    }
+    for (const char *M : ServerMetricNames) {
+      const JsonValue *Metric = Metrics->member(M);
+      if (!Metric || Metric->Kind != JsonValue::Object) {
+        Complain(Where + ".metrics missing \"" + M + "\"");
+        continue;
+      }
+      if (!isMeasurement(Metric->member("median")))
+        Complain(Where + ".metrics." + M + " missing numeric \"median\"");
+      if (!isMeasurement(Metric->member("mad")))
+        Complain(Where + ".metrics." + M + " missing numeric \"mad\"");
+    }
+  }
+  return Errors.empty();
+}
+
+double serverMetricMedian(const ServerCell &C, const std::string &Name) {
+  for (const auto &[M, S] : C.Metrics)
+    if (M == Name)
+      return S.Median;
+  return 0.0;
+}
+
+int runServerMode(const BenchOptions &Opt) {
+  std::vector<ServerCell> Cells;
+  for (auto &[CK, Name] : AllCollectors) {
+    if (!matchesFilter(Opt, "server", Name))
+      continue;
+    for (unsigned M : Opt.MutatorCounts) {
+      std::fprintf(stderr, "rdgc-bench: %-14s %-22s mutators %u, x%d ...\n",
+                   "server", Name, M, Opt.Reps);
+      Cells.push_back(runServerCell(CK, Name, M, Opt));
+    }
+  }
+  if (Cells.empty()) {
+    std::fprintf(stderr, "rdgc-bench: no configs matched the filter\n");
+    return 1;
+  }
+
+  if (!Opt.JsonPath.empty()) {
+    std::ofstream Out(Opt.JsonPath);
+    if (!Out) {
+      std::fprintf(stderr, "rdgc-bench: cannot write %s\n",
+                   Opt.JsonPath.c_str());
+      return 1;
+    }
+    emitServerJson(Out, Opt, Cells);
+    std::fprintf(stderr, "rdgc-bench: wrote %s\n", Opt.JsonPath.c_str());
+  }
+
+  std::printf("\nserver workload (host hardware concurrency %u)\n",
+              std::thread::hardware_concurrency());
+  std::printf("%-22s %9s %12s %12s %12s %12s %11s\n", "collector", "mutators",
+              "req/s", "p50 us", "p99 us", "p999 us", "rendezvous");
+  for (const ServerCell &C : Cells)
+    std::printf("%-22s %9u %12.1f %12.1f %12.1f %12.1f %11.0f%s\n",
+                C.Collector.c_str(), C.Mutators,
+                serverMetricMedian(C, "requests_s"),
+                serverMetricMedian(C, "latency_p50_ns") / 1000.0,
+                serverMetricMedian(C, "latency_p99_ns") / 1000.0,
+                serverMetricMedian(C, "latency_p999_ns") / 1000.0,
+                serverMetricMedian(C, "rendezvous"),
+                C.Valid ? "" : "  (INVALID)");
+
+  int Failures = 0;
+  for (const ServerCell &C : Cells) {
+    if (!C.Valid) {
+      std::fprintf(stderr, "rdgc-bench: %s at %u mutators was invalid%s\n",
+                   C.Collector.c_str(), C.Mutators,
+                   C.HeapExhausted ? " (heap exhausted)" : "");
+      ++Failures;
+    }
+    if (Opt.MinRps > 0 && serverMetricMedian(C, "requests_s") < Opt.MinRps) {
+      std::fprintf(stderr,
+                   "rdgc-bench: %s at %u mutators: %.1f req/s below the "
+                   "--min-rps %.1f gate\n",
+                   C.Collector.c_str(), C.Mutators,
+                   serverMetricMedian(C, "requests_s"), Opt.MinRps);
+      ++Failures;
+    }
+  }
+  return Failures ? 1 : 0;
+}
+
+//===----------------------------------------------------------------------===//
 // Self-test: the emit -> parse -> validate round trip, including the null
 // spelling of non-finite statistics.
 //===----------------------------------------------------------------------===//
@@ -1694,6 +1943,35 @@ int runSelfTest() {
                  "rdgc-bench: self-test: finite median failed to extract\n");
     return 1;
   }
+  // Round-trip the server document too: emit -> parse -> validate, with
+  // a NaN statistic spelled as null surviving the schema check.
+  BenchOptions ServerOpt;
+  ServerOpt.Reps = 1;
+  ServerOpt.MutatorCounts = {1, 2};
+  ServerCell Cell;
+  Cell.Collector = "stop-and-copy";
+  Cell.Mutators = 2;
+  Cell.Reps = 1;
+  for (const char *M : ServerMetricNames)
+    Cell.Metrics.push_back(
+        {M, {M == std::string("requests_s") ? Nan : 1.0, 0.0}});
+  std::ostringstream ServerSS;
+  emitServerJson(ServerSS, ServerOpt, {Cell});
+  JsonValue ServerDoc;
+  if (!JsonParser(ServerSS.str()).parse(ServerDoc, Error)) {
+    std::fprintf(
+        stderr,
+        "rdgc-bench: self-test: server JSON does not parse: %s\n%s\n",
+        Error.c_str(), ServerSS.str().c_str());
+    return 1;
+  }
+  Errors.clear();
+  if (!validateServerSchema(ServerDoc, Errors)) {
+    for (const std::string &E : Errors)
+      std::fprintf(stderr, "rdgc-bench: self-test: server schema: %s\n",
+                   E.c_str());
+    return 1;
+  }
   std::printf("rdgc-bench: self-test ok\n");
   return 0;
 }
@@ -1711,6 +1989,9 @@ void printUsage() {
       "                  [--scale S] [--filter S] [--json FILE]\n"
       "       rdgc-bench --compare-incremental US [--quick] [--reps R]\n"
       "                  [--scale S] [--filter S] [--json FILE]\n"
+      "       rdgc-bench --mutators LIST [--quick] [--reps R] [--scale S]\n"
+      "                  [--filter S] [--remset ssb|card] [--json FILE]\n"
+      "                  [--min-rps F]\n"
       "       rdgc-bench --validate FILE\n"
       "       rdgc-bench --regress CURRENT REFERENCE [--tolerance FRAC]\n"
       "       rdgc-bench --slo-regress INCREMENTAL MONOLITHIC "
@@ -1759,6 +2040,30 @@ int main(int argc, char **argv) {
       Opt.CompareIncrementalUs = std::atoll(Next("--compare-incremental"));
     else if (Arg == "--heap-factor")
       Opt.HeapFactor = std::atof(Next("--heap-factor"));
+    else if (Arg == "--mutators") {
+      std::string List = Next("--mutators");
+      size_t Pos = 0;
+      while (Pos < List.size()) {
+        size_t Comma = List.find(',', Pos);
+        if (Comma == std::string::npos)
+          Comma = List.size();
+        int N = std::atoi(List.substr(Pos, Comma - Pos).c_str());
+        if (N < 1) {
+          std::fprintf(stderr,
+                       "rdgc-bench: --mutators wants a comma-separated "
+                       "list of counts >= 1\n");
+          return 2;
+        }
+        Opt.MutatorCounts.push_back(static_cast<unsigned>(N));
+        Pos = Comma + 1;
+      }
+      if (Opt.MutatorCounts.empty()) {
+        std::fprintf(stderr, "rdgc-bench: --mutators wants a non-empty "
+                             "list\n");
+        return 2;
+      }
+    } else if (Arg == "--min-rps")
+      Opt.MinRps = std::atof(Next("--min-rps"));
     else if (Arg == "--slo-regress") {
       SloRegressInc = Next("--slo-regress");
       SloRegressMono = Next("--slo-regress");
@@ -1819,6 +2124,8 @@ int main(int argc, char **argv) {
   }
   if (Opt.CompareIncrementalUs > 0)
     return runCompareIncremental(Opt);
+  if (!Opt.MutatorCounts.empty())
+    return runServerMode(Opt);
 
   // The baseline file is loaded and schema-checked up front: a missing or
   // malformed file must fail before the suite burns minutes of runs.

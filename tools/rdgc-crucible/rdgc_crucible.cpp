@@ -37,7 +37,9 @@
 #include "heap/FaultPlan.h"
 #include "heap/Heap.h"
 #include "heap/HeapVerifier.h"
+#include "heap/RootStack.h"
 #include "observe/GcTracer.h"
+#include "server/ServerRuntime.h"
 
 #include <cinttypes>
 #include <cstdio>
@@ -81,6 +83,11 @@ struct Options {
   /// fault landing inside a sliced cycle (between slices, mid-sweep)
   /// exercises interleavings no stop-the-world schedule can.
   std::vector<uint64_t> IncrementalUs = {0};
+  /// Mutator-thread counts to sweep (DESIGN.md §17). 1 is the classic
+  /// single-threaded trial; above 1 the churn runs through the server
+  /// runtime, so injected faults land inside safepoint rendezvous
+  /// collections with TLAB retirement in the frame.
+  std::vector<unsigned> Mutators = {1};
   std::vector<CollectorEntry> Collectors{std::begin(AllCollectors),
                                          std::end(AllCollectors)};
   /// Deadline armed on every trial heap. Tight enough that some injected
@@ -178,9 +185,73 @@ void churn(Heap &H, uint64_t Seed, const Options &Opt,
   }
 }
 
+/// Multi-mutator churn (DESIGN.md §17): every mutator thread runs the
+/// same allocate-and-store mix over its own rooted window shard, all into
+/// one shared heap through the server runtime's TLABs. No thread forces
+/// collections — the small spaces exhaust constantly, so every collection
+/// is a safepoint rendezvous with the fault plan armed, which is exactly
+/// the interleaving a single-threaded trial cannot produce. Shards never
+/// share objects, so the only cross-thread traffic is the runtime's own.
+void serverChurn(Heap &H, ServerRuntime &RT, uint64_t Seed,
+                 const Options &Opt) {
+  const uint64_t PerThread = Opt.Iterations / RT.mutators() + 1;
+  RT.run([&](unsigned Index) {
+    RootStack Roots(H);
+    std::vector<Value> Window(16, Value::unspecified());
+    ScopedRootFrame Frame(Roots, &Window);
+    const size_t W = Window.size();
+    uint64_t Rng = Seed ^ (0x5e55104dull * (Index + 1)) ^ 0xc0ffee;
+    for (uint64_t I = 0; I < PerThread; ++I) {
+      uint64_t R = splitMix64(Rng);
+      size_t Slot = static_cast<size_t>(R % W);
+      Value Fresh;
+      switch ((R >> 8) % 6) {
+      case 0:
+      case 1:
+        Fresh = H.allocatePair(Window[(R >> 16) % W],
+                               Value::fixnum(static_cast<int64_t>(I)));
+        break;
+      case 2:
+        Fresh = H.allocateVector(1 + (R >> 16) % 6, Window[(R >> 24) % W]);
+        break;
+      case 3:
+        Fresh = H.allocateCell(Window[(R >> 16) % W]);
+        break;
+      case 4:
+        Fresh = H.allocateString("crucible");
+        break;
+      default:
+        Fresh = H.allocateFlonum(static_cast<double>(R));
+        break;
+      }
+      if (!Fresh.isPointer())
+        return; // Heap fault; surfaced by the caller's lastFault check.
+      Window[Slot] = Fresh;
+
+      // Cross-window stores inside this thread's shard: old→young edges
+      // drive the write barrier and remembered-set inserts concurrently.
+      uint64_t S = splitMix64(Rng);
+      Value Holder = Window[S % W];
+      Value Stored = Window[(S >> 16) % W];
+      if (!Holder.isPointer())
+        continue;
+      if (H.isa(Holder, ObjectTag::Pair)) {
+        H.setPairCdr(Holder, Stored);
+      } else if (H.isa(Holder, ObjectTag::Vector)) {
+        size_t Len = H.vectorLength(Holder);
+        if (Len)
+          H.vectorSet(Holder, (S >> 32) % Len, Stored);
+      } else if (H.isa(Holder, ObjectTag::Cell)) {
+        H.setCell(Holder, Stored);
+      }
+    }
+  });
+}
+
 TrialOutcome runTrial(const CollectorEntry &Coll, unsigned Threads,
-                      const std::string &Remset, uint64_t IncrementalUs,
-                      uint64_t Seed, const Options &Opt) {
+                      unsigned Mutators, const std::string &Remset,
+                      uint64_t IncrementalUs, uint64_t Seed,
+                      const Options &Opt) {
   TrialOutcome Out;
   FaultPlan Plan = FaultPlan::fromSeed(Seed);
 
@@ -218,7 +289,23 @@ TrialOutcome runTrial(const CollectorEntry &Coll, unsigned Threads,
     return true;
   };
 
-  {
+  if (Mutators > 1) {
+    // Server trial: the churn runs on N mutator threads, collections
+    // happen only at exhaustion rendezvous, and the verifier runs after
+    // the join (the world must be single-threaded to walk the heap).
+    ServerRuntime RT(*H, Mutators);
+    serverChurn(*H, RT, Seed, Opt);
+    if (Out.Ok)
+      CheckAfterCollect("server churn");
+    // The drain collections: degraded structures must empty back out.
+    // The heap is uncapped, so the leak check below applies unchanged —
+    // a rendezvous runs the same recovery ladder, growth included.
+    if (Out.Ok) {
+      H->collectFullNow();
+      H->collectFullNow();
+      CheckAfterCollect("final full collections");
+    }
+  } else {
     std::vector<std::unique_ptr<Handle>> Window;
     for (size_t I = 0; I < 40; ++I)
       Window.push_back(std::make_unique<Handle>(*H));
@@ -304,6 +391,9 @@ int usage(const char *Argv0) {
       "                     sweep: ssb, card (default both)\n"
       "  --incremental LIST comma-separated per-slice budgets in\n"
       "                     microseconds; 0 = stop-the-world (default 0)\n"
+      "  --mutators LIST    comma-separated mutator-thread counts; above 1\n"
+      "                     the churn runs through the server runtime's\n"
+      "                     safepoint rendezvous (default 1)\n"
       "  --collectors LIST  comma-separated collector names, or 'all'\n"
       "  --watchdog-us N    per-trial GC watchdog deadline (default 1000)\n"
       "  --iterations N     mutator iterations per trial (default 3000)\n"
@@ -416,6 +506,21 @@ int main(int Argc, char **Argv) {
           return 2;
         }
       Opt.Remsets = Items;
+    } else if (std::strcmp(Arg, "--mutators") == 0) {
+      std::vector<std::string> Items;
+      if (!splitList(NextValue(), Items))
+        return usage(Argv[0]);
+      Opt.Mutators.clear();
+      for (const std::string &M : Items) {
+        unsigned N =
+            static_cast<unsigned>(std::strtoul(M.c_str(), nullptr, 10));
+        if (N < 1) {
+          std::fprintf(stderr,
+                       "rdgc-crucible: --mutators wants counts >= 1\n");
+          return 2;
+        }
+        Opt.Mutators.push_back(N);
+      }
     } else if (std::strcmp(Arg, "--incremental") == 0) {
       std::vector<std::string> Items;
       if (!splitList(NextValue(), Items))
@@ -455,7 +560,8 @@ int main(int Argc, char **Argv) {
     }
   }
   if (Opt.Schedules == 0 || Opt.Threads.empty() || Opt.Collectors.empty() ||
-      Opt.Remsets.empty() || Opt.IncrementalUs.empty())
+      Opt.Remsets.empty() || Opt.IncrementalUs.empty() ||
+      Opt.Mutators.empty())
     return usage(Argv[0]);
 
   if (!GclintBinary.empty())
@@ -471,10 +577,11 @@ int main(int Argc, char **Argv) {
     FaultPlan Plan = FaultPlan::fromSeed(Seed);
     for (const CollectorEntry &Coll : Opt.Collectors) {
       for (unsigned Threads : Opt.Threads) {
+        for (unsigned Mutators : Opt.Mutators) {
         for (const std::string &Remset : Opt.Remsets) {
           for (uint64_t IncUs : Opt.IncrementalUs) {
             TrialOutcome Out =
-                runTrial(Coll, Threads, Remset, IncUs, Seed, Opt);
+                runTrial(Coll, Threads, Mutators, Remset, IncUs, Seed, Opt);
             ++Trials;
             TotalEvac += Out.InjectedEvac;
             TotalPlab += Out.InjectedPlab;
@@ -486,29 +593,34 @@ int main(int Argc, char **Argv) {
             if (!Out.Ok) {
               ++Failures;
               std::fprintf(stderr,
-                           "FAIL collector=%s threads=%u remset=%s "
-                           "incremental=%" PRIu64 "us plan=\"%s\": %s\n",
-                           Coll.Name, Threads, Remset.c_str(), IncUs,
-                           Plan.spec().c_str(), Out.Problem.c_str());
+                           "FAIL collector=%s threads=%u mutators=%u "
+                           "remset=%s incremental=%" PRIu64
+                           "us plan=\"%s\": %s\n",
+                           Coll.Name, Threads, Mutators, Remset.c_str(),
+                           IncUs, Plan.spec().c_str(), Out.Problem.c_str());
             } else if (Opt.Verbose) {
-              std::printf("ok   collector=%-21s threads=%u remset=%-4s "
-                          "inc=%-4" PRIu64 " plan=\"%s\" collections=%" PRIu64
+              std::printf("ok   collector=%-21s threads=%u mutators=%u "
+                          "remset=%-4s inc=%-4" PRIu64
+                          " plan=\"%s\" collections=%" PRIu64
                           " degraded=%" PRIu64 " watchdog=%" PRIu64 "\n",
-                          Coll.Name, Threads, Remset.c_str(), IncUs,
-                          Plan.spec().c_str(), Out.Collections,
+                          Coll.Name, Threads, Mutators, Remset.c_str(),
+                          IncUs, Plan.spec().c_str(), Out.Collections,
                           Out.DegradedCycles, Out.WatchdogTrips);
             }
           }
+        }
         }
       }
     }
   }
 
   std::printf("rdgc-crucible: %" PRIu64 " trials (%" PRIu64 " schedules x %zu "
-              "collectors x %zu thread counts x %zu remset backends x %zu "
-              "incremental budgets), %" PRIu64 " failures\n",
+              "collectors x %zu thread counts x %zu mutator counts x %zu "
+              "remset backends x %zu incremental budgets), %" PRIu64
+              " failures\n",
               Trials, Opt.Schedules, Opt.Collectors.size(), Opt.Threads.size(),
-              Opt.Remsets.size(), Opt.IncrementalUs.size(), Failures);
+              Opt.Mutators.size(), Opt.Remsets.size(),
+              Opt.IncrementalUs.size(), Failures);
   std::printf("  collections=%" PRIu64 " degraded=%" PRIu64
               " watchdog-trips=%" PRIu64 "\n",
               TotalCollections, TotalDegraded, TotalWatchdog);
